@@ -1,0 +1,38 @@
+//! Criterion benches for scheduler trials and policy derivation — the cost
+//! of the Figure 12/13 machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use culpeo_sched::{apps, run_trial, ChargePolicy};
+use culpeo_units::Seconds;
+
+fn bench_thresholds(c: &mut Criterion) {
+    let app = apps::responsive_reporting();
+    let model = apps::model_for(&app);
+    let mut group = c.benchmark_group("derive_thresholds");
+    group.sample_size(10);
+    for policy in [ChargePolicy::Catnap, ChargePolicy::Culpeo] {
+        group.bench_function(policy.label(), |b| {
+            b.iter(|| {
+                black_box(culpeo_sched::derive_thresholds(&app, policy, &model))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trial(c: &mut Criterion) {
+    let app = apps::periodic_sensing();
+    let mut group = c.benchmark_group("scheduler_trial_30s");
+    group.sample_size(10);
+    for policy in [ChargePolicy::Catnap, ChargePolicy::Culpeo] {
+        group.bench_function(policy.label(), |b| {
+            b.iter(|| black_box(run_trial(&app, policy, Seconds::new(30.0), 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thresholds, bench_trial);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benches for the power-system simulator and the ground-truth
+//! machinery every figure rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use culpeo_harness::ground_truth::true_vsafe;
+use culpeo_harness::reference_plant;
+use culpeo_loadgen::synthetic::UniformLoad;
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::{PowerSystem, RunConfig};
+use culpeo_units::{Amps, Seconds, Volts};
+
+fn bench_step(c: &mut Criterion) {
+    c.bench_function("plant_step_loaded", |b| {
+        let mut sys = PowerSystem::capybara();
+        sys.set_buffer_voltage(Volts::new(2.3));
+        b.iter(|| {
+            black_box(sys.step(Amps::from_milli(25.0), Seconds::from_micro(8.0)));
+            // Keep the buffer in range so every iteration does real work.
+            if sys.v_node() < Volts::new(1.8) {
+                sys.set_buffer_voltage(Volts::new(2.3));
+            }
+        })
+    });
+
+    c.bench_function("plant_step_idle", |b| {
+        let mut sys = PowerSystem::capybara();
+        sys.set_buffer_voltage(Volts::new(2.3));
+        b.iter(|| black_box(sys.step(Amps::ZERO, Seconds::from_micro(8.0))))
+    });
+}
+
+fn bench_run_profile(c: &mut Criterion) {
+    let load: LoadProfile =
+        UniformLoad::new(Amps::from_milli(25.0), Seconds::from_milli(10.0)).profile();
+    c.bench_function("run_profile_10ms_pulse", |b| {
+        b.iter(|| {
+            let mut sys = PowerSystem::capybara();
+            sys.set_buffer_voltage(Volts::new(2.3));
+            black_box(sys.run_profile(&load, RunConfig::default()))
+        })
+    });
+}
+
+fn bench_ground_truth(c: &mut Criterion) {
+    let load = UniformLoad::new(Amps::from_milli(25.0), Seconds::from_milli(10.0)).profile();
+    let mut group = c.benchmark_group("ground_truth_search");
+    group.sample_size(10);
+    group.bench_function("25mA_10ms", |b| {
+        b.iter(|| black_box(true_vsafe(&reference_plant, &load)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step, bench_run_profile, bench_ground_truth);
+criterion_main!(benches);

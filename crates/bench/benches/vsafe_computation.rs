@@ -1,0 +1,65 @@
+//! Criterion benches for the `V_safe` computation paths.
+//!
+//! The paper's argument for Culpeo-R's closed-form math is that full-trace
+//! analysis is too expensive for an MCU; these benches quantify the gap on
+//! the host: Algorithm 1 walks every trace sample, Culpeo-R is a handful
+//! of floating-point operations, and sequence composition is linear in the
+//! task count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use culpeo::compose::{vsafe_multi, TaskRequirement};
+use culpeo::runtime::TaskObservation;
+use culpeo::{pg, runtime, PowerSystemModel};
+use culpeo_loadgen::synthetic::UniformLoad;
+use culpeo_units::{Amps, Hertz, Joules, Seconds, Volts};
+
+fn bench_pg(c: &mut Criterion) {
+    let model = PowerSystemModel::capybara();
+    let mut group = c.benchmark_group("culpeo_pg_algorithm1");
+    for width_ms in [1.0, 10.0, 100.0] {
+        let trace = UniformLoad::new(Amps::from_milli(25.0), Seconds::from_milli(width_ms))
+            .profile()
+            .sample(Hertz::new(125_000.0));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{width_ms}ms_trace")),
+            &trace,
+            |b, trace| b.iter(|| pg::compute_vsafe(black_box(trace), black_box(&model))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_culpeo_r(c: &mut Criterion) {
+    let model = PowerSystemModel::capybara();
+    let obs = TaskObservation::new(Volts::new(2.4), Volts::new(2.18), Volts::new(2.33));
+    c.bench_function("culpeo_r_closed_form", |b| {
+        b.iter(|| runtime::compute_vsafe(black_box(&obs), black_box(&model)))
+    });
+}
+
+fn bench_compose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vsafe_multi");
+    for n in [2usize, 8, 32] {
+        let tasks: Vec<TaskRequirement> = (0..n)
+            .map(|k| TaskRequirement {
+                buffer_energy: Joules::new(0.5e-3 + k as f64 * 0.1e-3),
+                v_delta: Volts::from_milli(50.0 + k as f64),
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tasks, |b, tasks| {
+            b.iter(|| {
+                vsafe_multi(
+                    black_box(tasks),
+                    culpeo_units::Farads::from_milli(45.0),
+                    Volts::new(1.6),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pg, bench_culpeo_r, bench_compose);
+criterion_main!(benches);

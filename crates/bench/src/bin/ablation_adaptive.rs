@@ -1,0 +1,58 @@
+//! Regenerates the §V-B adaptive re-profiling experiment: a LoRa beacon
+//! under a fading sun, with and without the charge-rate-triggered
+//! re-profiling policy.
+
+use culpeo::PowerSystemModel;
+use culpeo_loadgen::peripheral::LoRaRadio;
+use culpeo_sched::adaptive::{run_beacon, AdaptiveConfig};
+use culpeo_units::{Seconds, Watts};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    policy: String,
+    slots: u32,
+    sent: u32,
+    brownouts: u32,
+    reprofiles: u32,
+}
+
+fn main() {
+    let model = PowerSystemModel::capybara();
+    let task = LoRaRadio::default().profile();
+    let schedule = [
+        (Seconds::ZERO, Watts::from_milli(20.0)),
+        (Seconds::new(60.0), Watts::from_milli(8.0)),
+        (Seconds::new(120.0), Watts::from_milli(1.5)),
+    ];
+    let period = Seconds::new(8.0);
+    let duration = Seconds::new(240.0);
+
+    let mut rows = Vec::new();
+    for (label, adaptive) in [
+        ("static-profile", None),
+        ("adaptive", Some(AdaptiveConfig::default())),
+    ] {
+        let stats = run_beacon(&task, &model, &schedule, period, duration, adaptive);
+        rows.push(Row {
+            policy: label.to_string(),
+            slots: stats.slots,
+            sent: stats.sent,
+            brownouts: stats.brownouts,
+            reprofiles: stats.reprofiles,
+        });
+    }
+
+    println!("§V-B adaptive re-profiling: LoRa beacon under a fading sun");
+    println!(
+        "{:<16} {:>7} {:>7} {:>10} {:>11}",
+        "policy", "slots", "sent", "brownouts", "reprofiles"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>7} {:>7} {:>10} {:>11}",
+            r.policy, r.slots, r.sent, r.brownouts, r.reprofiles
+        );
+    }
+    culpeo_bench::write_json("ablation_adaptive", &rows);
+}

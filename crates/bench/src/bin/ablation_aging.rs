@@ -1,0 +1,7 @@
+//! Regenerates the §IV-C aging ablation.
+
+fn main() {
+    let rows = culpeo_harness::aging::run();
+    culpeo_harness::aging::print_table(&rows);
+    culpeo_bench::write_json("ablation_aging", &rows);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the §II-D decoupling-capacitance ablation.
+
+fn main() {
+    let rows = culpeo_harness::decoupling::run();
+    culpeo_harness::decoupling::print_table(&rows);
+    culpeo_bench::write_json("ablation_decoupling", &rows);
+}

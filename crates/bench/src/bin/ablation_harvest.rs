@@ -1,0 +1,7 @@
+//! Regenerates the §IV-D harvesting-assumption ablation.
+
+fn main() {
+    let rows = culpeo_harness::harvest::run();
+    culpeo_harness::harvest::print_table(&rows);
+    culpeo_bench::write_json("ablation_harvest", &rows);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the §V-B reconfigurable-energy-storage experiment.
+
+fn main() {
+    let rows = culpeo_harness::reconfig::run();
+    culpeo_harness::reconfig::print_table(&rows);
+    culpeo_bench::write_json("ablation_reconfig", &rows);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 1(b): ESR drop and rebound on a voltage trace.
+
+fn main() {
+    let fig = culpeo_harness::fig01::run();
+    culpeo_harness::fig01::print_table(&fig);
+    culpeo_bench::write_json("fig01_esr_drop", &fig);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 3: volume vs ESR for 45 mF banks per technology.
+
+fn main() {
+    let rows = culpeo_harness::fig03::run();
+    culpeo_harness::fig03::print_table(&rows);
+    culpeo_bench::write_json("fig03_capacitor_trends", &rows);
+}

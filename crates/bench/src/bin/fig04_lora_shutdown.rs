@@ -1,0 +1,7 @@
+//! Regenerates Figure 4: ESR drop kills the device with energy remaining.
+
+fn main() {
+    let rows = culpeo_harness::fig04::run();
+    culpeo_harness::fig04::print_table(&rows);
+    culpeo_bench::write_json("fig04_lora_shutdown", &rows);
+}

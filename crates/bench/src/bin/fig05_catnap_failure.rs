@@ -1,0 +1,7 @@
+//! Regenerates Figure 5: CatNap's feasibility verdict vs plant reality.
+
+fn main() {
+    let fig = culpeo_harness::fig05::run();
+    culpeo_harness::fig05::print_table(&fig);
+    culpeo_bench::write_json("fig05_catnap_failure", &fig);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 6: V_safe error of energy-only estimators.
+
+fn main() {
+    let rows = culpeo_harness::fig06::run();
+    culpeo_harness::fig06::print_table(&rows);
+    culpeo_bench::write_json("fig06_energy_estimators", &rows);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 10: V_safe error of CatNap and the Culpeo variants.
+
+fn main() {
+    let rows = culpeo_harness::fig10::run();
+    culpeo_harness::fig10::print_table(&rows);
+    println!("\nPer-system summary (unsafe cells, worst err %, mean err %):");
+    for (system, unsafe_cells, worst, mean) in culpeo_harness::fig10::summarize(&rows) {
+        println!("  {system:<16} {unsafe_cells:>3} {worst:>8.1} {mean:>8.1}");
+    }
+    culpeo_bench::write_json("fig10_vsafe_error", &rows);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 11: V_safe and V_min for real peripherals.
+
+fn main() {
+    let rows = culpeo_harness::fig11::run();
+    culpeo_harness::fig11::print_table(&rows);
+    culpeo_bench::write_json("fig11_peripherals", &rows);
+}

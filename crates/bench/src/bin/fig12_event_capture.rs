@@ -1,0 +1,8 @@
+//! Regenerates Figure 12: event capture for PS / RR / NMR under CatNap
+//! and Culpeo scheduling (3 × 5-minute trials per cell).
+
+fn main() {
+    let rows = culpeo_harness::fig12::run();
+    culpeo_harness::fig12::print_table(&rows);
+    culpeo_bench::write_json("fig12_event_capture", &rows);
+}

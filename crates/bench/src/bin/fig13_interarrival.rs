@@ -1,0 +1,7 @@
+//! Regenerates Figure 13: event capture vs interarrival rate.
+
+fn main() {
+    let rows = culpeo_harness::fig13::run();
+    culpeo_harness::fig13::print_table(&rows);
+    culpeo_bench::write_json("fig13_interarrival", &rows);
+}

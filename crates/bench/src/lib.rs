@@ -1,0 +1,64 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every binary prints a human-readable table (via its harness module) and
+//! drops the raw rows as JSON under `results/`, so EXPERIMENTS.md entries
+//! are regenerable and diffable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Writes `rows` as pretty JSON to `results/<name>.json` (creating the
+/// directory if needed) and reports the path on stdout.
+///
+/// # Panics
+///
+/// Panics if the filesystem refuses the write — a figure run with no
+/// persisted data is not a successful run.
+pub fn write_json<T: Serialize>(name: &str, rows: &T) {
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(rows).expect("serialise figure rows");
+    fs::write(&path, json).expect("write figure data");
+    println!("\n[data written to {}]", path.display());
+}
+
+/// The `results/` directory at the workspace root (falling back to the
+/// current directory when run from elsewhere).
+fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map_or_else(|| PathBuf::from("results"), |root| root.join("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_workspace_results() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+
+    #[test]
+    fn write_json_roundtrip() {
+        #[derive(Serialize)]
+        struct Row {
+            x: u32,
+        }
+        write_json("self-test", &vec![Row { x: 1 }, Row { x: 2 }]);
+        let path = results_dir().join("self-test.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"x\": 1"));
+        std::fs::remove_file(path).ok();
+    }
+}

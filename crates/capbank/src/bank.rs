@@ -1,0 +1,128 @@
+//! Banks: parallel stacks of one part reaching a target capacitance.
+
+use culpeo_units::{Amps, CubicMillimetres, Farads, Ohms};
+
+use crate::{CapacitorPart, Technology};
+
+/// A bank built by paralleling `count` copies of a single part until the
+/// target capacitance is reached — the construction of Figure 3 ("e.g. a
+/// stack of 45 1 mF capacitors").
+///
+/// Parallel composition gives the bank `count × C` capacitance,
+/// `ESR / count` resistance, `count ×` leakage, and `count ×` volume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacitorBank {
+    part: CapacitorPart,
+    count: usize,
+}
+
+impl CapacitorBank {
+    /// Builds the smallest bank of `part` reaching at least `target`
+    /// capacitance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not strictly positive.
+    #[must_use]
+    pub fn reaching(part: CapacitorPart, target: Farads) -> Self {
+        assert!(target.get() > 0.0, "target capacitance must be positive");
+        let count = (target.get() / part.capacitance().get()).ceil().max(1.0) as usize;
+        Self { part, count }
+    }
+
+    /// The constituent part.
+    #[must_use]
+    pub fn part(&self) -> &CapacitorPart {
+        &self.part
+    }
+
+    /// Number of parts in the bank.
+    #[must_use]
+    pub fn part_count(&self) -> usize {
+        self.count
+    }
+
+    /// The part's technology family.
+    #[must_use]
+    pub fn technology(&self) -> Technology {
+        self.part.technology()
+    }
+
+    /// Total bank capacitance.
+    #[must_use]
+    pub fn capacitance(&self) -> Farads {
+        self.part.capacitance() * self.count as f64
+    }
+
+    /// Total bank volume.
+    #[must_use]
+    pub fn volume(&self) -> CubicMillimetres {
+        self.part.volume() * self.count as f64
+    }
+
+    /// Bank ESR (parallel resistance).
+    #[must_use]
+    pub fn esr(&self) -> Ohms {
+        self.part.esr() / self.count as f64
+    }
+
+    /// Total bank leakage.
+    #[must_use]
+    pub fn leakage(&self) -> Amps {
+        self.part.leakage() * self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_units::Volts;
+
+    fn supercap_part() -> CapacitorPart {
+        CapacitorPart::new(
+            "SC-7500",
+            Technology::Supercapacitor,
+            Farads::from_milli(7.5),
+            CubicMillimetres::new(7.2),
+            Ohms::new(20.0),
+            Amps::new(3.3e-9),
+            Volts::new(2.7),
+        )
+    }
+
+    #[test]
+    fn six_supercaps_make_the_papers_bank() {
+        let bank = CapacitorBank::reaching(supercap_part(), Farads::from_milli(45.0));
+        assert_eq!(bank.part_count(), 6);
+        assert!(bank.capacitance().approx_eq(Farads::from_milli(45.0), 1e-9));
+        assert!(bank.esr().approx_eq(Ohms::new(20.0 / 6.0), 1e-12));
+        // ~20 nA total DCL, the paper's headline number.
+        assert!(bank.leakage().approx_eq(Amps::new(19.8e-9), 1e-10));
+        assert!(bank.volume().get() < 50.0);
+    }
+
+    #[test]
+    fn bank_rounds_up() {
+        let part = CapacitorPart::new(
+            "CC-22",
+            Technology::Ceramic,
+            Farads::from_micro(22.0),
+            CubicMillimetres::new(20.0),
+            Ohms::new(0.010),
+            Amps::ZERO,
+            Volts::new(6.3),
+        );
+        let bank = CapacitorBank::reaching(part, Farads::from_milli(45.0));
+        // 45 mF / 22 µF = 2045.45… → 2046 parts, matching the paper's
+        // "> 2,000 parts" complaint.
+        assert_eq!(bank.part_count(), 2046);
+        assert!(bank.capacitance().get() >= 45e-3);
+        assert!(bank.esr().get() < 1e-5); // µΩ class
+    }
+
+    #[test]
+    fn single_part_bank_when_part_exceeds_target() {
+        let bank = CapacitorBank::reaching(supercap_part(), Farads::from_milli(5.0));
+        assert_eq!(bank.part_count(), 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! The synthetic parts catalog.
+
+use culpeo_units::{Amps, CubicMillimetres, Farads, Ohms, Volts};
+
+use crate::{CapacitorBank, CapacitorPart, Technology};
+
+/// A catalog of capacitor parts across technologies.
+///
+/// [`Catalog::synthetic`] mirrors the paper's data acquisition: for each
+/// technology it enumerates parts across the 1 µF – 45 mF search window
+/// (the paper downloaded metadata for the 500 shortest parts per category)
+/// with volume, ESR, and leakage following the technology's scaling laws
+/// plus deterministic part-to-part spread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Catalog {
+    parts: Vec<CapacitorPart>,
+}
+
+impl Catalog {
+    /// Builds a catalog from explicit parts.
+    #[must_use]
+    pub fn new(parts: Vec<CapacitorPart>) -> Self {
+        Self { parts }
+    }
+
+    /// The synthetic catalog: 125 parts per technology, log-spaced across
+    /// each technology's capacitance range, with ±30 % deterministic
+    /// spread in volume/ESR/leakage (vendors differ; the spread is seeded
+    /// by part index so the catalog is reproducible).
+    #[must_use]
+    pub fn synthetic() -> Self {
+        const PARTS_PER_TECH: usize = 125;
+        let mut parts = Vec::with_capacity(4 * PARTS_PER_TECH);
+        for tech in Technology::ALL {
+            let (lo, hi) = tech.capacitance_range();
+            let (ln_lo, ln_hi) = (lo.get().ln(), hi.get().ln());
+            for k in 0..PARTS_PER_TECH {
+                let t = k as f64 / (PARTS_PER_TECH - 1) as f64;
+                let c = Farads::new((ln_lo + (ln_hi - ln_lo) * t).exp());
+                // Three independent spread factors per part.
+                let sv = spread(tech, k, 0);
+                let sr = spread(tech, k, 1);
+                let sl = spread(tech, k, 2);
+                let rated = match tech {
+                    Technology::Supercapacitor => Volts::new(2.7),
+                    Technology::Tantalum => Volts::new(6.3),
+                    _ => Volts::new(6.3),
+                };
+                parts.push(CapacitorPart::new(
+                    format!("{}-{:04}", tech.prefix(), k),
+                    tech,
+                    c,
+                    CubicMillimetres::new(tech.nominal_volume(c).get() * sv),
+                    Ohms::new(tech.nominal_esr(c).get() * sr),
+                    Amps::new(tech.nominal_leakage(c).get() * sl),
+                    rated,
+                ));
+            }
+        }
+        Self { parts }
+    }
+
+    /// All parts.
+    #[must_use]
+    pub fn parts(&self) -> &[CapacitorPart] {
+        &self.parts
+    }
+
+    /// Parts of one technology.
+    pub fn parts_of(&self, tech: Technology) -> impl Iterator<Item = &CapacitorPart> {
+        self.parts.iter().filter(move |p| p.technology() == tech)
+    }
+
+    /// Builds one bank per catalog part, each reaching `target`
+    /// capacitance — the full Figure 3 point cloud.
+    #[must_use]
+    pub fn bank_sweep(&self, target: Farads) -> Vec<CapacitorBank> {
+        self.parts
+            .iter()
+            .cloned()
+            .map(|p| CapacitorBank::reaching(p, target))
+            .collect()
+    }
+
+    /// The smallest-volume bank of each technology for `target`
+    /// capacitance — the design points a volume-constrained EHD would
+    /// shortlist.
+    #[must_use]
+    pub fn smallest_per_technology(&self, target: Farads) -> Vec<CapacitorBank> {
+        Technology::ALL
+            .iter()
+            .filter_map(|&tech| {
+                self.parts_of(tech)
+                    .cloned()
+                    .map(|p| CapacitorBank::reaching(p, target))
+                    .min_by(|a, b| a.volume().get().total_cmp(&b.volume().get()))
+            })
+            .collect()
+    }
+}
+
+/// Deterministic multiplicative spread in `[0.7, 1.3]`, varying by
+/// technology, part index, and attribute — a cheap reproducible stand-in
+/// for vendor-to-vendor variation.
+fn spread(tech: Technology, index: usize, attribute: u64) -> f64 {
+    let mut x = (index as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(attribute.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(tech.prefix().as_bytes()[0] as u64);
+    // SplitMix64 finaliser.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+    0.7 + 0.6 * unit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_reproducible() {
+        assert_eq!(Catalog::synthetic(), Catalog::synthetic());
+    }
+
+    #[test]
+    fn catalog_covers_all_technologies() {
+        let c = Catalog::synthetic();
+        for tech in Technology::ALL {
+            assert!(c.parts_of(tech).count() >= 100, "{tech}");
+        }
+    }
+
+    #[test]
+    fn fig3_supercap_corner() {
+        // The smallest 45 mF supercap bank: few parts, tiny volume,
+        // nanoamp leakage, ohm-class ESR.
+        let c = Catalog::synthetic();
+        let target = Farads::from_milli(45.0);
+        let best = c
+            .smallest_per_technology(target)
+            .into_iter()
+            .find(|b| b.technology() == Technology::Supercapacitor)
+            .unwrap();
+        assert!(best.part_count() <= 10, "count = {}", best.part_count());
+        assert!(best.volume().get() < 100.0, "volume = {}", best.volume());
+        assert!(best.leakage().get() < 1e-7, "DCL = {}", best.leakage());
+        assert!(best.esr().get() > 0.5, "ESR = {}", best.esr());
+    }
+
+    #[test]
+    fn fig3_tantalum_leaks_milliamps() {
+        let c = Catalog::synthetic();
+        let best = c
+            .smallest_per_technology(Farads::from_milli(45.0))
+            .into_iter()
+            .find(|b| b.technology() == Technology::Tantalum)
+            .unwrap();
+        // The paper reports ~26 mA for the smallest tantalum banks.
+        assert!(
+            best.leakage().get() > 1e-3,
+            "DCL = {} should be mA-class",
+            best.leakage()
+        );
+    }
+
+    #[test]
+    fn fig3_ceramic_needs_thousands_of_parts() {
+        let c = Catalog::synthetic();
+        let best = c
+            .smallest_per_technology(Farads::from_milli(45.0))
+            .into_iter()
+            .find(|b| b.technology() == Technology::Ceramic)
+            .unwrap();
+        assert!(best.part_count() > 2000, "count = {}", best.part_count());
+        assert!(best.esr().get() < 1e-4);
+    }
+
+    #[test]
+    fn fig3_electrolytic_low_esr_is_huge() {
+        let c = Catalog::synthetic();
+        let target = Farads::from_milli(45.0);
+        // The lowest-ESR electrolytic bank is pint-glass sized or worse.
+        let banks = c.bank_sweep(target);
+        let lowest_esr_electrolytic = banks
+            .iter()
+            .filter(|b| b.technology() == Technology::Electrolytic)
+            .min_by(|a, b| a.esr().get().total_cmp(&b.esr().get()))
+            .unwrap();
+        assert!(
+            lowest_esr_electrolytic.volume().get() > 4.0e4,
+            "volume = {}",
+            lowest_esr_electrolytic.volume()
+        );
+    }
+
+    #[test]
+    fn supercap_dominates_volume_overall() {
+        let c = Catalog::synthetic();
+        let best = c.smallest_per_technology(Farads::from_milli(45.0));
+        let sc = best
+            .iter()
+            .find(|b| b.technology() == Technology::Supercapacitor)
+            .unwrap();
+        for other in best
+            .iter()
+            .filter(|b| b.technology() != Technology::Supercapacitor)
+        {
+            assert!(
+                sc.volume().get() < other.volume().get(),
+                "{} bank is smaller than the supercap bank",
+                other.technology()
+            );
+        }
+    }
+
+    #[test]
+    fn bank_sweep_covers_every_part() {
+        let c = Catalog::synthetic();
+        assert_eq!(c.bank_sweep(Farads::from_milli(45.0)).len(), c.parts().len());
+    }
+
+    #[test]
+    fn spread_is_bounded() {
+        for tech in Technology::ALL {
+            for k in 0..200 {
+                for a in 0..3 {
+                    let s = spread(tech, k, a);
+                    assert!((0.7..=1.3).contains(&s));
+                }
+            }
+        }
+    }
+}

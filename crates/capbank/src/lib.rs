@@ -1,0 +1,43 @@
+//! Capacitor technology catalog and bank construction.
+//!
+//! Figure 3 of the paper plots volume against ESR for 45 mF banks built
+//! from four capacitor technologies, sourced from Digikey part metadata.
+//! That catalog is not available offline, so this crate synthesises one
+//! from per-technology scaling laws anchored to the paper's cited data
+//! points:
+//!
+//! * **supercapacitors** reach 45 mF in six rice-grain parts with ~20 nA
+//!   total leakage but several ohms of bank ESR;
+//! * the smallest **tantalum** banks leak on the order of 26 mA;
+//! * **ceramic** banks need thousands of parts (> 2,000) but have µΩ ESR;
+//! * low-ESR **electrolytic** banks are larger than a US pint glass.
+//!
+//! The trends — who occupies which corner of the volume/ESR/leakage/part-
+//! count space — are the reproduction target, not individual part numbers.
+//!
+//! ```
+//! use culpeo_capbank::{Catalog, Technology};
+//! use culpeo_units::Farads;
+//!
+//! let catalog = Catalog::synthetic();
+//! let banks = catalog.bank_sweep(Farads::from_milli(45.0));
+//! let best_supercap = banks
+//!     .iter()
+//!     .filter(|b| b.technology() == Technology::Supercapacitor)
+//!     .min_by(|a, b| a.volume().get().total_cmp(&b.volume().get()))
+//!     .unwrap();
+//! assert!(best_supercap.part_count() <= 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod catalog;
+mod part;
+mod technology;
+
+pub use bank::CapacitorBank;
+pub use catalog::Catalog;
+pub use part::CapacitorPart;
+pub use technology::Technology;

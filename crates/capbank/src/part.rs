@@ -1,0 +1,129 @@
+//! An individual catalog part.
+
+use culpeo_units::{Amps, CubicMillimetres, Farads, Ohms, Volts};
+
+use crate::Technology;
+
+/// One capacitor part, as a catalog would describe it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacitorPart {
+    part_number: String,
+    technology: Technology,
+    capacitance: Farads,
+    volume: CubicMillimetres,
+    esr: Ohms,
+    leakage: Amps,
+    rated_voltage: Volts,
+}
+
+impl CapacitorPart {
+    /// Creates a part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacitance, volume, ESR, or rated voltage is not strictly
+    /// positive, or leakage is negative.
+    #[must_use]
+    pub fn new(
+        part_number: impl Into<String>,
+        technology: Technology,
+        capacitance: Farads,
+        volume: CubicMillimetres,
+        esr: Ohms,
+        leakage: Amps,
+        rated_voltage: Volts,
+    ) -> Self {
+        assert!(capacitance.get() > 0.0, "capacitance must be positive");
+        assert!(volume.get() > 0.0, "volume must be positive");
+        assert!(esr.get() > 0.0, "ESR must be positive");
+        assert!(leakage.get() >= 0.0, "leakage cannot be negative");
+        assert!(rated_voltage.get() > 0.0, "rated voltage must be positive");
+        Self {
+            part_number: part_number.into(),
+            technology,
+            capacitance,
+            volume,
+            esr,
+            leakage,
+            rated_voltage,
+        }
+    }
+
+    /// The part number.
+    #[must_use]
+    pub fn part_number(&self) -> &str {
+        &self.part_number
+    }
+
+    /// The technology family.
+    #[must_use]
+    pub fn technology(&self) -> Technology {
+        self.technology
+    }
+
+    /// Nominal capacitance.
+    #[must_use]
+    pub fn capacitance(&self) -> Farads {
+        self.capacitance
+    }
+
+    /// Physical volume.
+    #[must_use]
+    pub fn volume(&self) -> CubicMillimetres {
+        self.volume
+    }
+
+    /// Equivalent series resistance.
+    #[must_use]
+    pub fn esr(&self) -> Ohms {
+        self.esr
+    }
+
+    /// Intrinsic leakage (DCL).
+    #[must_use]
+    pub fn leakage(&self) -> Amps {
+        self.leakage
+    }
+
+    /// Rated working voltage.
+    #[must_use]
+    pub fn rated_voltage(&self) -> Volts {
+        self.rated_voltage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = CapacitorPart::new(
+            "SC-0001",
+            Technology::Supercapacitor,
+            Farads::from_milli(7.5),
+            CubicMillimetres::new(7.2),
+            Ohms::new(20.0),
+            Amps::new(3.3e-9),
+            Volts::new(2.7),
+        );
+        assert_eq!(p.part_number(), "SC-0001");
+        assert_eq!(p.technology(), Technology::Supercapacitor);
+        assert!(p.capacitance().approx_eq(Farads::from_milli(7.5), 1e-12));
+        assert_eq!(p.volume().get(), 7.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ESR must be positive")]
+    fn rejects_zero_esr() {
+        let _ = CapacitorPart::new(
+            "X",
+            Technology::Ceramic,
+            Farads::from_micro(1.0),
+            CubicMillimetres::new(1.0),
+            Ohms::ZERO,
+            Amps::ZERO,
+            Volts::new(6.3),
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Capacitor technologies and their scaling laws.
+
+use culpeo_units::{Amps, CubicMillimetres, Farads, Ohms};
+
+/// The four capacitor technologies compared by Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technology {
+    /// Aluminium electrolytic capacitors — bulky, moderate ESR.
+    Electrolytic,
+    /// Multilayer ceramic capacitors — tiny, µΩ-class ESR, but capped at
+    /// tens of µF per part.
+    Ceramic,
+    /// Tantalum capacitors — dense, but the densest parts leak heavily.
+    Tantalum,
+    /// Electric double-layer supercapacitors — the densest energy storage
+    /// by far, with the highest ESR.
+    Supercapacitor,
+}
+
+impl Technology {
+    /// Every technology, in the paper's legend order.
+    pub const ALL: [Technology; 4] = [
+        Technology::Electrolytic,
+        Technology::Ceramic,
+        Technology::Tantalum,
+        Technology::Supercapacitor,
+    ];
+
+    /// The per-part capacitance range this technology ships in, within the
+    /// paper's search window of 1 µF to 45 mF.
+    #[must_use]
+    pub fn capacitance_range(self) -> (Farads, Farads) {
+        match self {
+            // Electrolytics span µF to tens of mF.
+            Technology::Electrolytic => (Farads::from_micro(10.0), Farads::from_milli(45.0)),
+            // MLCCs top out around 22 µF for low-profile packages.
+            Technology::Ceramic => (Farads::from_micro(1.0), Farads::from_micro(22.0)),
+            // Tantalums reach roughly 1.5 mF.
+            Technology::Tantalum => (Farads::from_micro(10.0), Farads::from_milli(1.5)),
+            // Compact supercapacitors: single mF to tens of mF.
+            Technology::Supercapacitor => (Farads::from_milli(1.0), Farads::from_milli(45.0)),
+        }
+    }
+
+    /// Nominal part volume for capacitance `c`, before per-part variation.
+    ///
+    /// The scaling constants are anchored to the paper: a 7.5 mF
+    /// supercapacitor is rice-grain sized (~7 mm³); a low-ESR 45 mF
+    /// electrolytic bank exceeds a pint glass (~475 000 mm³); a 22 µF MLCC
+    /// is a ~20 mm³ 1210 package; a 680 µF tantalum D-case is ~90 mm³.
+    #[must_use]
+    pub fn nominal_volume(self, c: Farads) -> CubicMillimetres {
+        let f = c.get();
+        let mm3 = match self {
+            // Moderately super-linear: big low-ESR cans waste volume.
+            Technology::Electrolytic => 2.0e6 * f + 5.0,
+            Technology::Ceramic => 0.9e6 * f + 0.5,
+            Technology::Tantalum => 0.13e6 * f + 2.0,
+            Technology::Supercapacitor => 1.0e3 * f + 0.5,
+        };
+        CubicMillimetres::new(mm3)
+    }
+
+    /// Nominal part ESR for capacitance `c`.
+    ///
+    /// ESR falls with part size within a technology (`R·C` roughly
+    /// constant), with per-technology constants: ceramics are effectively
+    /// 10 mΩ flat (the paper's assumption), supercapacitors carry
+    /// ohm-class ESR even when large.
+    #[must_use]
+    pub fn nominal_esr(self, c: Farads) -> Ohms {
+        let f = c.get();
+        let ohms = match self {
+            Technology::Electrolytic => (3.0e-4 / f).clamp(0.01, 2.0),
+            Technology::Ceramic => 0.010,
+            Technology::Tantalum => (8.0e-5 / f).clamp(0.04, 3.0),
+            Technology::Supercapacitor => (0.15 / f).clamp(1.0, 200.0),
+        };
+        Ohms::new(ohms)
+    }
+
+    /// Nominal intrinsic leakage (DCL) for capacitance `c` at a 2.5 V
+    /// working voltage.
+    ///
+    /// Tantalum DCL follows the classic `0.01·C·V` datasheet rule with a
+    /// density penalty for the smallest-volume (highest CV/cc) parts —
+    /// which is how the paper's smallest tantalum banks reach ~26 mA.
+    /// Supercapacitor DCL is in single nanoamps per part.
+    #[must_use]
+    pub fn nominal_leakage(self, c: Farads) -> Amps {
+        let f = c.get();
+        const V_WORK: f64 = 2.5;
+        let amps = match self {
+            Technology::Electrolytic => 0.01 * f * V_WORK * 0.2,
+            // MLCC leakage via insulation resistance (R·C ≈ 500 s).
+            Technology::Ceramic => f * V_WORK / 500.0,
+            // Dense tantalum: 0.05·C·V for the high-CV parts this search
+            // window selects.
+            Technology::Tantalum => 0.05 * f * V_WORK,
+            Technology::Supercapacitor => 0.44e-9 * (f / 1e-3),
+        };
+        Amps::new(amps)
+    }
+
+    /// The legend label used in figure output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Technology::Electrolytic => "Electrolytic",
+            Technology::Ceramic => "Ceramic",
+            Technology::Tantalum => "Tantalum",
+            Technology::Supercapacitor => "Supercapacitors",
+        }
+    }
+
+    /// The part-number prefix used for synthetic parts.
+    pub(crate) fn prefix(self) -> &'static str {
+        match self {
+            Technology::Electrolytic => "EL",
+            Technology::Ceramic => "CC",
+            Technology::Tantalum => "TA",
+            Technology::Supercapacitor => "SC",
+        }
+    }
+}
+
+impl core::fmt::Display for Technology {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supercap_is_densest() {
+        // For the same capacitance, a supercapacitor part is orders of
+        // magnitude smaller than any alternative that can reach it.
+        let c = Farads::from_milli(1.5);
+        let sc = Technology::Supercapacitor.nominal_volume(c);
+        let ta = Technology::Tantalum.nominal_volume(c);
+        let el = Technology::Electrolytic.nominal_volume(c);
+        assert!(sc.get() * 50.0 < ta.get());
+        assert!(sc.get() * 100.0 < el.get());
+    }
+
+    #[test]
+    fn supercap_esr_dominates() {
+        let c = Farads::from_milli(1.5);
+        let sc = Technology::Supercapacitor.nominal_esr(c);
+        for t in [Technology::Electrolytic, Technology::Ceramic, Technology::Tantalum] {
+            assert!(sc.get() > t.nominal_esr(c).get() * 10.0, "{t}");
+        }
+    }
+
+    #[test]
+    fn rice_grain_anchor() {
+        // A 7.5 mF supercapacitor should be roughly rice-grain sized.
+        let v = Technology::Supercapacitor.nominal_volume(Farads::from_milli(7.5));
+        assert!(v.get() > 3.0 && v.get() < 20.0, "volume = {v}");
+    }
+
+    #[test]
+    fn tantalum_leaks_heavily_ceramic_and_supercap_do_not() {
+        let c = Farads::from_milli(1.0);
+        let ta = Technology::Tantalum.nominal_leakage(c);
+        let sc = Technology::Supercapacitor.nominal_leakage(c);
+        assert!(ta.get() > 1e-4); // sub-mA per dense mF part
+        assert!(sc.get() < 1e-8); // nanoamps
+    }
+
+    #[test]
+    fn ceramic_cannot_reach_large_capacitance() {
+        let (_, max) = Technology::Ceramic.capacitance_range();
+        assert!(max.get() < 100e-6);
+    }
+
+    #[test]
+    fn ranges_are_ordered() {
+        for t in Technology::ALL {
+            let (lo, hi) = t.capacitance_range();
+            assert!(lo.get() > 0.0 && lo.get() < hi.get(), "{t}");
+        }
+    }
+}

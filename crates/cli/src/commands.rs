@@ -1,0 +1,283 @@
+//! The CLI subcommands.
+
+use std::fmt::Write as _;
+
+use culpeo::termination::{self, TerminationVerdict};
+use culpeo::{baseline, compose, pg, PowerSystemModel};
+use culpeo_capbank::Catalog;
+use culpeo_loadgen::{io as trace_io, CurrentTrace};
+use culpeo_units::{Farads, Volts};
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Command-line usage problem.
+    Usage(String),
+    /// A file could not be read.
+    Io(String, std::io::Error),
+    /// A trace file failed to parse.
+    Trace(String, trace_io::ParseTraceError),
+    /// The system spec failed to parse or validate.
+    Spec(String),
+}
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io(path, e) => write!(f, "cannot read {path}: {e}"),
+            CliError::Trace(path, e) => write!(f, "bad trace {path}: {e}"),
+            CliError::Spec(msg) => write!(f, "bad system spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Loads the power-system model from an optional `--system` JSON path
+/// (defaulting to the Capybara reference spec).
+pub fn load_model(system_path: Option<&str>) -> Result<PowerSystemModel, CliError> {
+    let spec = match system_path {
+        None => crate::spec::SystemSpec::capybara(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Io(path.to_string(), e))?;
+            serde_json::from_str(&text).map_err(|e| CliError::Spec(e.to_string()))?
+        }
+    };
+    spec.into_model().map_err(|e| CliError::Spec(e.to_string()))
+}
+
+/// Loads one trace CSV.
+pub fn load_trace(path: &str) -> Result<CurrentTrace, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e))?;
+    trace_io::from_csv(&text).map_err(|e| CliError::Trace(path.to_string(), e))
+}
+
+/// `culpeo analyze --trace t.csv [--system spec.json]` — the core report:
+/// ESR-aware `V_safe` for one task, alongside the energy-only number.
+pub fn analyze(model: &PowerSystemModel, trace: &CurrentTrace) -> String {
+    let est = pg::compute_vsafe(trace, model);
+    let energy_only = baseline::energy_direct(trace, model);
+    let gap = est.v_safe - energy_only;
+    let range = model.operating_range();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "trace       : {} ({} samples @ {})", trace.label(), trace.len(), trace.rate());
+    let _ = writeln!(out, "peak / mean : {} / {}", trace.peak(), trace.mean());
+    if let Some(w) = trace.dominant_pulse_width() {
+        let _ = writeln!(
+            out,
+            "dominant pulse: {} → ESR operating point {}",
+            w,
+            model.esr_at(w.frequency())
+        );
+    }
+    let _ = writeln!(out, "----");
+    let _ = writeln!(out, "V_safe (Culpeo-PG) : {}", est.v_safe);
+    let _ = writeln!(out, "  worst ESR drop   : {}", est.v_delta);
+    let _ = writeln!(out, "  buffer energy    : {}", est.buffer_energy);
+    let _ = writeln!(out, "V_safe (energy-only): {}", energy_only);
+    let _ = writeln!(
+        out,
+        "ESR-blind shortfall : {} ({:.1} % of the operating range)",
+        gap,
+        gap.get() / range.get() * 100.0
+    );
+    let verdict = termination::check_task(
+        &culpeo_loadgen::LoadProfile::constant("whole-trace", trace.peak(), trace.duration()),
+        model,
+    );
+    let _ = match verdict.verdict {
+        TerminationVerdict::Terminates { headroom } => writeln!(
+            out,
+            "termination: OK (headroom {} below V_high)",
+            headroom
+        ),
+        TerminationVerdict::Marginal { headroom } => writeln!(
+            out,
+            "termination: MARGINAL (only {} below V_high)",
+            headroom
+        ),
+        TerminationVerdict::NonTerminating { deficit } => writeln!(
+            out,
+            "termination: NON-TERMINATING even from a full buffer (deficit {})",
+            deficit
+        ),
+    };
+    out
+}
+
+/// `culpeo check --trace a.csv --trace b.csv …` — per-task verdicts plus
+/// the composed `V_safe_multi` for running the tasks back-to-back.
+pub fn check(model: &PowerSystemModel, traces: &[(String, CurrentTrace)]) -> String {
+    let mut out = String::new();
+    let mut reqs = Vec::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>10} {:>12} {:>14}",
+        "task", "V_safe", "ESR drop", "verdict"
+    );
+    for (path, trace) in traces {
+        let est = pg::compute_vsafe(trace, model);
+        let headroom = model.v_high() - est.v_safe;
+        let verdict = if headroom >= termination::MARGIN {
+            "ok"
+        } else if headroom.get() >= 0.0 {
+            "marginal"
+        } else {
+            "NON-TERMINATING"
+        };
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>12} {:>14}",
+            trimmed(path),
+            format!("{}", est.v_safe),
+            format!("{}", est.v_delta),
+            verdict
+        );
+        reqs.push(compose::TaskRequirement::from_estimate(&est));
+    }
+    let multi = compose::vsafe_multi(&reqs, model.capacitance(), model.v_off());
+    let _ = writeln!(out, "----");
+    let _ = writeln!(out, "V_safe_multi (whole sequence, one discharge): {multi}");
+    if multi > model.v_high() {
+        let _ = writeln!(
+            out,
+            "  the sequence does NOT fit in one discharge; schedule a recharge"
+        );
+    }
+    out
+}
+
+/// `culpeo catalog [--capacitance-mf 45]` — the Figure 3 shortlist: the
+/// smallest bank of each technology and whether each could be practical.
+pub fn catalog(capacitance_mf: f64) -> Result<String, CliError> {
+    if !(capacitance_mf.is_finite() && capacitance_mf > 0.0) {
+        return Err(CliError::Usage("--capacitance-mf must be positive".into()));
+    }
+    let target = Farads::from_milli(capacitance_mf);
+    let catalog = Catalog::synthetic();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "smallest {capacitance_mf} mF bank per technology:"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>14} {:>12} {:>12}",
+        "technology", "parts", "volume (mm³)", "ESR (Ω)", "DCL (A)"
+    );
+    for bank in catalog.smallest_per_technology(target) {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>14.1} {:>12.4} {:>12.3e}",
+            bank.technology().label(),
+            bank.part_count(),
+            bank.volume().get(),
+            bank.esr().get(),
+            bank.leakage().get()
+        );
+    }
+    Ok(out)
+}
+
+/// `culpeo vsafe-table --trace t.csv` — `V_safe` across starting states:
+/// how far down the operating range the task can still be dispatched,
+/// printed as a small sweep for scheduler tuning.
+pub fn vsafe_table(model: &PowerSystemModel, trace: &CurrentTrace) -> String {
+    let est = pg::compute_vsafe(trace, model);
+    let mut out = String::new();
+    let _ = writeln!(out, "dispatch table for {}:", trace.label());
+    let _ = writeln!(out, "{:>10} {:>12}", "V_now", "dispatch?");
+    let lo = model.v_off().get();
+    let hi = model.v_high().get();
+    for k in 0..=8 {
+        let v = Volts::new(lo + (hi - lo) * f64::from(k) / 8.0);
+        let _ = writeln!(
+            out,
+            "{:>10} {:>12}",
+            format!("{v}"),
+            if v >= est.v_safe { "yes" } else { "wait" }
+        );
+    }
+    let _ = writeln!(out, "threshold: {}", est.v_safe);
+    out
+}
+
+fn trimmed(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_name()
+        .map_or_else(|| path.to_string(), |f| f.to_string_lossy().into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_loadgen::synthetic::PulseLoad;
+    use culpeo_units::{Amps, Hertz, Seconds};
+
+    fn model() -> PowerSystemModel {
+        crate::spec::SystemSpec::capybara().into_model().unwrap()
+    }
+
+    fn trace() -> CurrentTrace {
+        PulseLoad::new(Amps::from_milli(25.0), Seconds::from_milli(10.0))
+            .profile()
+            .sample(Hertz::new(125_000.0))
+    }
+
+    #[test]
+    fn analyze_report_contains_key_lines() {
+        let report = analyze(&model(), &trace());
+        assert!(report.contains("V_safe (Culpeo-PG)"));
+        assert!(report.contains("ESR-blind shortfall"));
+        assert!(report.contains("termination: OK"));
+    }
+
+    #[test]
+    fn check_reports_sequence_threshold() {
+        let t = trace();
+        let report = check(&model(), &[("a.csv".into(), t.clone()), ("b.csv".into(), t)]);
+        assert!(report.contains("V_safe_multi"));
+        assert!(report.matches("ok").count() >= 2);
+    }
+
+    #[test]
+    fn catalog_lists_all_four_technologies() {
+        let report = catalog(45.0).unwrap();
+        for tech in ["Electrolytic", "Ceramic", "Tantalum", "Supercapacitors"] {
+            assert!(report.contains(tech), "missing {tech}");
+        }
+    }
+
+    #[test]
+    fn catalog_rejects_nonsense() {
+        assert!(catalog(-1.0).is_err());
+    }
+
+    #[test]
+    fn vsafe_table_has_both_outcomes() {
+        let report = vsafe_table(&model(), &trace());
+        assert!(report.contains("yes"));
+        assert!(report.contains("wait"));
+    }
+
+    #[test]
+    fn load_model_default_is_capybara() {
+        let m = load_model(None).unwrap();
+        assert!(m.capacitance().approx_eq(Farads::from_milli(45.0), 1e-12));
+    }
+
+    #[test]
+    fn load_trace_round_trip_via_tempfile() {
+        let t = trace();
+        let dir = std::env::temp_dir().join("culpeo-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        std::fs::write(&path, culpeo_loadgen::io::to_csv(&t)).unwrap();
+        let loaded = load_trace(path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded.len(), t.len());
+        std::fs::remove_file(path).ok();
+    }
+}

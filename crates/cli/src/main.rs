@@ -1,0 +1,214 @@
+//! `culpeo` — command-line ESR-aware charge analysis.
+//!
+//! ```text
+//! culpeo analyze --trace packet.csv [--system spec.json]
+//! culpeo check   --trace a.csv --trace b.csv [--system spec.json]
+//! culpeo vsafe-table --trace packet.csv [--system spec.json]
+//! culpeo catalog [--capacitance-mf 45]
+//! culpeo export-example-trace packet.csv
+//! ```
+//!
+//! Trace CSVs follow the `culpeo-trace v1` dialect (see
+//! `culpeo_loadgen::io`); the system spec JSON is documented on
+//! [`spec::SystemSpec`]. With no `--system`, the simulated Capybara
+//! reference configuration is used.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod commands;
+mod spec;
+
+use commands::CliError;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("culpeo: {e}");
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  culpeo analyze --trace FILE [--system SPEC.json]\n  \
+     culpeo check --trace FILE [--trace FILE…] [--system SPEC.json]\n  \
+     culpeo vsafe-table --trace FILE [--system SPEC.json]\n  \
+     culpeo catalog [--capacitance-mf MF]\n  \
+     culpeo export-example-trace OUT.csv"
+}
+
+/// Dispatches a parsed argument vector; separated from `main` for tests.
+fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::Usage("no command given".into()));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "analyze" => {
+            let (traces, system) = parse_common(rest)?;
+            let [trace] = traces.as_slice() else {
+                return Err(CliError::Usage("analyze takes exactly one --trace".into()));
+            };
+            let model = commands::load_model(system.as_deref())?;
+            let t = commands::load_trace(trace)?;
+            Ok(commands::analyze(&model, &t))
+        }
+        "check" => {
+            let (trace_paths, system) = parse_common(rest)?;
+            if trace_paths.is_empty() {
+                return Err(CliError::Usage("check needs at least one --trace".into()));
+            }
+            let model = commands::load_model(system.as_deref())?;
+            let mut traces = Vec::new();
+            for path in trace_paths {
+                let t = commands::load_trace(&path)?;
+                traces.push((path, t));
+            }
+            Ok(commands::check(&model, &traces))
+        }
+        "vsafe-table" => {
+            let (traces, system) = parse_common(rest)?;
+            let [trace] = traces.as_slice() else {
+                return Err(CliError::Usage(
+                    "vsafe-table takes exactly one --trace".into(),
+                ));
+            };
+            let model = commands::load_model(system.as_deref())?;
+            let t = commands::load_trace(trace)?;
+            Ok(commands::vsafe_table(&model, &t))
+        }
+        "catalog" => {
+            let mf = parse_flag_value(rest, "--capacitance-mf")?
+                .map_or(Ok(45.0), |v| {
+                    v.parse::<f64>()
+                        .map_err(|_| CliError::Usage("--capacitance-mf must be a number".into()))
+                })?;
+            commands::catalog(mf)
+        }
+        "export-example-trace" => {
+            let [out] = rest else {
+                return Err(CliError::Usage(
+                    "export-example-trace takes one output path".into(),
+                ));
+            };
+            let trace = culpeo_loadgen::peripheral::BleRadio::default()
+                .profile()
+                .sample(culpeo_units::Hertz::new(125_000.0));
+            let csv = culpeo_loadgen::io::to_csv(&trace);
+            std::fs::write(out, csv).map_err(|e| CliError::Io(out.clone(), e))?;
+            Ok(format!("wrote example BLE trace to {out}\n"))
+        }
+        other => Err(CliError::Usage(format!("unknown command: {other}"))),
+    }
+}
+
+/// Parses repeated `--trace` flags and an optional `--system`.
+fn parse_common(args: &[String]) -> Result<(Vec<String>, Option<String>), CliError> {
+    let mut traces = Vec::new();
+    let mut system = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--trace" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--trace needs a path".into()))?;
+                traces.push(value.clone());
+            }
+            "--system" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--system needs a path".into()))?;
+                system = Some(value.clone());
+            }
+            other => return Err(CliError::Usage(format!("unknown flag: {other}"))),
+        }
+    }
+    Ok((traces, system))
+}
+
+/// Finds `flag VALUE` in `args`, if present.
+fn parse_flag_value(args: &[String], flag: &str) -> Result<Option<String>, CliError> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return it
+                .next()
+                .cloned()
+                .map(Some)
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_string()).collect()
+    }
+
+    fn temp_trace() -> String {
+        let dir = std::env::temp_dir().join("culpeo-cli-main-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ble.csv");
+        let trace = culpeo_loadgen::peripheral::BleRadio::default()
+            .profile()
+            .sample(culpeo_units::Hertz::new(125_000.0));
+        std::fs::write(&path, culpeo_loadgen::io::to_csv(&trace)).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn analyze_end_to_end() {
+        let path = temp_trace();
+        let report = run(&s(&["analyze", "--trace", &path])).unwrap();
+        assert!(report.contains("V_safe (Culpeo-PG)"));
+    }
+
+    #[test]
+    fn check_end_to_end_with_two_traces() {
+        let path = temp_trace();
+        let report = run(&s(&["check", "--trace", &path, "--trace", &path])).unwrap();
+        assert!(report.contains("V_safe_multi"));
+    }
+
+    #[test]
+    fn vsafe_table_end_to_end() {
+        let path = temp_trace();
+        let report = run(&s(&["vsafe-table", "--trace", &path])).unwrap();
+        assert!(report.contains("threshold"));
+    }
+
+    #[test]
+    fn catalog_end_to_end() {
+        let report = run(&s(&["catalog"])).unwrap();
+        assert!(report.contains("Supercapacitors"));
+    }
+
+    #[test]
+    fn export_then_analyze() {
+        let dir = std::env::temp_dir().join("culpeo-cli-export-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("example.csv").to_string_lossy().into_owned();
+        run(&s(&["export-example-trace", &out])).unwrap();
+        let report = run(&s(&["analyze", "--trace", &out])).unwrap();
+        assert!(report.contains("ble-tx"));
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(run(&s(&[])).is_err());
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&["analyze"])).is_err());
+        assert!(run(&s(&["analyze", "--trace"])).is_err());
+        assert!(run(&s(&["analyze", "--bogus", "x"])).is_err());
+        assert!(run(&s(&["catalog", "--capacitance-mf", "NaNish"])).is_err());
+    }
+}

@@ -1,0 +1,352 @@
+//! The Culpeo API surface of Table I: the calls a scheduler or intermittent
+//! runtime uses to profile tasks and retrieve `V_safe` / `V_δ` values.
+//!
+//! The API is deliberately narrow (§V): **profile** a running task
+//! (`profile_start` / `profile_end` / `rebound_end`), **calculate**
+//! (`compute_vsafe`), and **access** (`get_vsafe` / `get_vdrop`). Voltage
+//! readings are injected by whichever sampling layer is in use — the
+//! interrupt-driven ADC profiler or the Culpeo-µArch peripheral in
+//! `culpeo-device`, or the compile-time Culpeo-PG analysis via
+//! [`Culpeo::insert_estimate`].
+//!
+//! Per §V-B, all per-task data is additionally tagged with a *buffer
+//! configuration* identifier so devices with reconfigurable energy storage
+//! keep separate tables per configuration.
+
+use std::collections::HashMap;
+
+use culpeo_units::Volts;
+
+use crate::runtime::{self, TaskObservation};
+use crate::{PowerSystemModel, VsafeEstimate};
+
+/// Identifies a software task in Culpeo's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+/// Identifies an energy-buffer configuration (§V-B reconfigurable banks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct BufferConfigId(pub u32);
+
+/// A completed profiling record for one task execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskProfile {
+    /// Voltage when profiling started.
+    pub v_start: Volts,
+    /// Minimum voltage observed during the task.
+    pub v_min: Volts,
+    /// Final voltage after the rebound (updated by `rebound_end`).
+    pub v_final: Volts,
+}
+
+/// A profile currently being collected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ActiveProfile {
+    v_start: Volts,
+    v_min: Volts,
+}
+
+/// The Culpeo runtime object: profile tables, estimate tables, and the
+/// power-system model needed to turn observations into `V_safe`.
+#[derive(Debug, Clone)]
+pub struct Culpeo {
+    model: PowerSystemModel,
+    config: BufferConfigId,
+    active: Option<ActiveProfile>,
+    profiles: HashMap<(TaskId, BufferConfigId), TaskProfile>,
+    estimates: HashMap<(TaskId, BufferConfigId), VsafeEstimate>,
+}
+
+impl Culpeo {
+    /// Creates the runtime with a power-system model and the default
+    /// buffer configuration.
+    #[must_use]
+    pub fn new(model: PowerSystemModel) -> Self {
+        Self {
+            model,
+            config: BufferConfigId::default(),
+            active: None,
+            profiles: HashMap::new(),
+            estimates: HashMap::new(),
+        }
+    }
+
+    /// The power-system model in use.
+    #[must_use]
+    pub fn model(&self) -> &PowerSystemModel {
+        &self.model
+    }
+
+    /// Switches the active buffer configuration; subsequent profiling and
+    /// queries are tagged with it. Also updates the model's capacitance if
+    /// a different one is provided.
+    pub fn set_buffer_config(&mut self, config: BufferConfigId, model: Option<PowerSystemModel>) {
+        self.config = config;
+        if let Some(m) = model {
+            self.model = m;
+        }
+    }
+
+    /// The active buffer configuration.
+    #[must_use]
+    pub fn buffer_config(&self) -> BufferConfigId {
+        self.config
+    }
+
+    /// `profile_start()`: begins collecting a profile. `v_now` is the
+    /// voltage read at the start (by whatever ADC the deployment has).
+    ///
+    /// Starting a new profile while one is active discards the active one
+    /// — on the real system this corresponds to a scheduler abandoning a
+    /// profiling attempt.
+    pub fn profile_start(&mut self, v_now: Volts) {
+        self.active = Some(ActiveProfile {
+            v_start: v_now,
+            v_min: v_now,
+        });
+    }
+
+    /// Feeds one mid-task voltage observation into the active profile
+    /// (called by the ISR or µArch sampling layer). No-op when no profile
+    /// is active.
+    pub fn observe(&mut self, v: Volts) {
+        if let Some(active) = &mut self.active {
+            active.v_min = active.v_min.min(v);
+        }
+    }
+
+    /// `profile_end(id)`: stops profiling and stores the record under
+    /// `id` (and the active buffer configuration). `v_now` is the voltage
+    /// at completion; it seeds `v_final` until [`Culpeo::rebound_end`]
+    /// observes the true post-rebound value.
+    ///
+    /// Returns `false` (and does nothing) if no profile was active.
+    pub fn profile_end(&mut self, id: TaskId, v_now: Volts) -> bool {
+        let Some(active) = self.active.take() else {
+            return false;
+        };
+        let v_min = active.v_min.min(v_now);
+        self.profiles.insert(
+            (id, self.config),
+            TaskProfile {
+                v_start: active.v_start,
+                v_min,
+                v_final: v_min.max(v_now),
+            },
+        );
+        true
+    }
+
+    /// `rebound_end(id)`: records the settled post-rebound voltage for a
+    /// previously profiled task. Returns `false` if the task has no
+    /// profile under the active configuration.
+    pub fn rebound_end(&mut self, id: TaskId, v_final: Volts) -> bool {
+        let Some(profile) = self.profiles.get_mut(&(id, self.config)) else {
+            return false;
+        };
+        profile.v_final = profile.v_min.max(v_final);
+        true
+    }
+
+    /// `compute_vsafe(id)`: runs the Culpeo-R calculation on the stored
+    /// profile and caches the result. Per §V-B this is a **no-op** when
+    /// the task's profile-table entry is unpopulated.
+    pub fn compute_vsafe(&mut self, id: TaskId) {
+        let Some(profile) = self.profiles.get(&(id, self.config)) else {
+            return;
+        };
+        let obs = TaskObservation::new(profile.v_start, profile.v_min, profile.v_final);
+        let est = runtime::compute_vsafe(&obs, &self.model);
+        self.estimates.insert((id, self.config), est);
+    }
+
+    /// Installs an externally computed estimate (e.g. a Culpeo-PG value a
+    /// programmer compiled into the binary).
+    pub fn insert_estimate(&mut self, id: TaskId, estimate: VsafeEstimate) {
+        self.estimates.insert((id, self.config), estimate);
+    }
+
+    /// `get_vsafe(id)`: the task's computed `V_safe`, if any.
+    #[must_use]
+    pub fn get_vsafe(&self, id: TaskId) -> Option<Volts> {
+        self.estimates.get(&(id, self.config)).map(|e| e.v_safe)
+    }
+
+    /// `get_vdrop(id)`: the task's computed `V_δ`, if any.
+    #[must_use]
+    pub fn get_vdrop(&self, id: TaskId) -> Option<Volts> {
+        self.estimates.get(&(id, self.config)).map(|e| e.v_delta)
+    }
+
+    /// The full estimate record, if any.
+    #[must_use]
+    pub fn get_estimate(&self, id: TaskId) -> Option<VsafeEstimate> {
+        self.estimates.get(&(id, self.config)).copied()
+    }
+
+    /// The stored profile for a task, if any.
+    #[must_use]
+    pub fn get_profile(&self, id: TaskId) -> Option<TaskProfile> {
+        self.profiles.get(&(id, self.config)).copied()
+    }
+
+    /// Paper-faithful defaulting variant of `get_vsafe`: returns `V_high`
+    /// when no valid value exists (§V-B), so an unprofiled task is only
+    /// ever dispatched from a full buffer.
+    #[must_use]
+    pub fn get_vsafe_or_default(&self, id: TaskId) -> Volts {
+        self.get_vsafe(id).unwrap_or_else(|| self.model.v_high())
+    }
+
+    /// Paper-faithful defaulting variant of `get_vdrop`: returns −1 V (an
+    /// impossible drop) when no valid value exists (§V-B).
+    #[must_use]
+    pub fn get_vdrop_or_default(&self, id: TaskId) -> Volts {
+        self.get_vdrop(id).unwrap_or(Volts::new(-1.0))
+    }
+
+    /// Clears all profiles and estimates for the active configuration —
+    /// used when re-profiling after a harvesting-condition change (§V-B)
+    /// or capacitor aging.
+    pub fn invalidate_config(&mut self) {
+        let cfg = self.config;
+        self.profiles.retain(|&(_, c), _| c != cfg);
+        self.estimates.retain(|&(_, c), _| c != cfg);
+    }
+
+    /// True if a profile is currently being collected.
+    #[must_use]
+    pub fn profiling(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn culpeo() -> Culpeo {
+        Culpeo::new(PowerSystemModel::capybara())
+    }
+
+    const T1: TaskId = TaskId(1);
+
+    #[test]
+    fn full_profile_cycle() {
+        let mut c = culpeo();
+        c.profile_start(Volts::new(2.4));
+        assert!(c.profiling());
+        c.observe(Volts::new(2.25));
+        c.observe(Volts::new(2.18));
+        c.observe(Volts::new(2.30));
+        assert!(c.profile_end(T1, Volts::new(2.30)));
+        assert!(!c.profiling());
+        assert!(c.rebound_end(T1, Volts::new(2.37)));
+        let p = c.get_profile(T1).unwrap();
+        assert_eq!(p.v_start, Volts::new(2.4));
+        assert_eq!(p.v_min, Volts::new(2.18));
+        assert_eq!(p.v_final, Volts::new(2.37));
+
+        c.compute_vsafe(T1);
+        let v = c.get_vsafe(T1).unwrap();
+        assert!(v > c.model().v_off());
+        assert!(c.get_vdrop(T1).unwrap().get() > 0.0);
+    }
+
+    #[test]
+    fn compute_vsafe_is_noop_without_profile() {
+        let mut c = culpeo();
+        c.compute_vsafe(T1);
+        assert!(c.get_vsafe(T1).is_none());
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = culpeo();
+        assert_eq!(c.get_vsafe_or_default(T1), c.model().v_high());
+        assert_eq!(c.get_vdrop_or_default(T1), Volts::new(-1.0));
+    }
+
+    #[test]
+    fn profile_end_without_start_is_rejected() {
+        let mut c = culpeo();
+        assert!(!c.profile_end(T1, Volts::new(2.0)));
+        assert!(!c.rebound_end(T1, Volts::new(2.1)));
+    }
+
+    #[test]
+    fn buffer_configs_are_isolated() {
+        let mut c = culpeo();
+        c.profile_start(Volts::new(2.4));
+        c.observe(Volts::new(2.2));
+        c.profile_end(T1, Volts::new(2.3));
+        c.rebound_end(T1, Volts::new(2.35));
+        c.compute_vsafe(T1);
+        assert!(c.get_vsafe(T1).is_some());
+
+        // Switch configuration: the same task is unprofiled there.
+        c.set_buffer_config(BufferConfigId(1), None);
+        assert!(c.get_vsafe(T1).is_none());
+        assert!(c.get_profile(T1).is_none());
+
+        // Switch back: data still present.
+        c.set_buffer_config(BufferConfigId(0), None);
+        assert!(c.get_vsafe(T1).is_some());
+    }
+
+    #[test]
+    fn restarting_profile_discards_previous() {
+        let mut c = culpeo();
+        c.profile_start(Volts::new(2.4));
+        c.observe(Volts::new(1.9));
+        c.profile_start(Volts::new(2.3)); // abandon + restart
+        c.profile_end(T1, Volts::new(2.25));
+        let p = c.get_profile(T1).unwrap();
+        assert_eq!(p.v_start, Volts::new(2.3));
+        // The 1.9 V observation from the abandoned attempt is gone.
+        assert_eq!(p.v_min, Volts::new(2.25));
+    }
+
+    #[test]
+    fn invalidate_clears_only_active_config() {
+        let mut c = culpeo();
+        c.profile_start(Volts::new(2.4));
+        c.profile_end(T1, Volts::new(2.3));
+        c.compute_vsafe(T1);
+
+        c.set_buffer_config(BufferConfigId(1), None);
+        c.profile_start(Volts::new(2.2));
+        c.profile_end(T1, Volts::new(2.1));
+        c.compute_vsafe(T1);
+
+        c.invalidate_config();
+        assert!(c.get_vsafe(T1).is_none());
+        c.set_buffer_config(BufferConfigId(0), None);
+        assert!(c.get_vsafe(T1).is_some());
+    }
+
+    #[test]
+    fn insert_estimate_feeds_get() {
+        let mut c = culpeo();
+        let est = VsafeEstimate {
+            v_safe: Volts::new(2.0),
+            v_delta: Volts::new(0.2),
+            buffer_energy: culpeo_units::Joules::new(1e-3),
+        };
+        c.insert_estimate(T1, est);
+        assert_eq!(c.get_vsafe(T1), Some(Volts::new(2.0)));
+        assert_eq!(c.get_vdrop(T1), Some(Volts::new(0.2)));
+        assert_eq!(c.get_estimate(T1), Some(est));
+    }
+
+    #[test]
+    fn profile_end_clamps_final_above_min() {
+        let mut c = culpeo();
+        c.profile_start(Volts::new(2.4));
+        // End reading lower than anything observed: v_min tracks it.
+        c.profile_end(T1, Volts::new(2.1));
+        let p = c.get_profile(T1).unwrap();
+        assert_eq!(p.v_min, Volts::new(2.1));
+        assert!(p.v_final >= p.v_min);
+    }
+}

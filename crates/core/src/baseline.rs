@@ -1,0 +1,177 @@
+//! The energy-only baselines Culpeo is evaluated against (§II-D, §VI-A).
+//!
+//! Every baseline shares the same flaw: it decides when a task may start
+//! from *energy* alone, implicitly assuming that a buffer holding enough
+//! energy also holds enough voltage. The ESR drop breaks that assumption,
+//! and Figures 6, 10, and 11 quantify by how much. Three estimator
+//! families are modelled:
+//!
+//! * **Energy-Direct** — knows the task's true delivered energy (from a
+//!   current probe) and converts it to a starting voltage through
+//!   `E = ½C·(V² − V_off²)`;
+//! * **Energy-V** — approximates energy end-to-end from fully rebounded
+//!   start/final voltages (tracks Energy-Direct closely);
+//! * **CatNap** — the published scheduler's approach: voltage sampled
+//!   shortly *after* task completion. How soon matters: sampling before
+//!   the rebound finishes accidentally charges part of the ESR drop to
+//!   the energy account ("Catnap-Measured"), a 2 ms delay lets some of
+//!   it rebound away ("Catnap-Slow").
+
+use culpeo_loadgen::CurrentTrace;
+use culpeo_units::{Joules, Seconds, Volts};
+
+use crate::PowerSystemModel;
+
+/// The voltage that holds `buffer_energy` of usable charge above `V_off`:
+/// `V = √(V_off² + 2E/C)` — the core energy-to-voltage conversion every
+/// baseline relies on.
+///
+/// # Panics
+///
+/// Panics if the energy is negative.
+#[must_use]
+pub fn vsafe_from_buffer_energy(
+    buffer_energy: Joules,
+    model: &PowerSystemModel,
+) -> Volts {
+    assert!(buffer_energy.get() >= 0.0, "energy cannot be negative");
+    Volts::from_squared(
+        model.v_off().squared() + 2.0 * buffer_energy.get() / model.capacitance().get(),
+    )
+}
+
+/// **Energy-Direct**: predicts `V_safe` from the task's measured output
+/// energy, inflated by the booster efficiency at the bottom of the range.
+/// It knows the energy *exactly* and still fails, because no amount of
+/// energy accuracy captures the ESR drop.
+#[must_use]
+pub fn energy_direct(trace: &CurrentTrace, model: &PowerSystemModel) -> Volts {
+    let e_out = trace.output_energy(model.v_out());
+    let e_buffer = Joules::new(e_out.get() / model.efficiency_at(model.v_off()));
+    vsafe_from_buffer_energy(e_buffer, model)
+}
+
+/// **Energy-V / CatNap**: predicts `V_safe` from a pair of voltage
+/// readings around a profiled execution:
+/// `V_safe = √(V_off² + V_start² − V_end²)`.
+///
+/// What `v_end` *is* determines the estimator: the fully rebounded final
+/// voltage gives Energy-V; a reading taken milliseconds after completion
+/// gives the CatNap variants.
+///
+/// # Panics
+///
+/// Panics if `v_end > v_start` (an execution cannot add energy here).
+#[must_use]
+pub fn vsafe_from_voltage_pair(v_start: Volts, v_end: Volts, model: &PowerSystemModel) -> Volts {
+    assert!(
+        v_end <= v_start,
+        "end voltage cannot exceed start voltage for a discharging task"
+    );
+    Volts::from_squared(model.v_off().squared() + v_start.squared() - v_end.squared())
+}
+
+/// A CatNap-style estimator configuration: how long after task completion
+/// the "end" voltage is sampled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CatnapEstimator {
+    /// Delay between task completion and the voltage measurement.
+    pub measurement_delay: Seconds,
+}
+
+impl CatnapEstimator {
+    /// The published CatNap implementation: measures essentially
+    /// immediately, before any rebound ("Catnap-Measured").
+    #[must_use]
+    pub fn published() -> Self {
+        Self {
+            measurement_delay: Seconds::ZERO,
+        }
+    }
+
+    /// CatNap with a 2 ms measurement delay ("Catnap-Slow").
+    #[must_use]
+    pub fn slow() -> Self {
+        Self {
+            measurement_delay: Seconds::from_milli(2.0),
+        }
+    }
+
+    /// Predicts `V_safe` from the profiling measurements this estimator
+    /// would have taken: the start voltage and the (possibly
+    /// partially-rebounded) voltage `measurement_delay` after completion.
+    #[must_use]
+    pub fn vsafe(&self, v_start: Volts, v_at_delay: Volts, model: &PowerSystemModel) -> Volts {
+        vsafe_from_voltage_pair(v_start, v_at_delay, model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_loadgen::synthetic::UniformLoad;
+    use culpeo_units::{Amps, Hertz};
+
+    fn model() -> PowerSystemModel {
+        PowerSystemModel::capybara()
+    }
+
+    #[test]
+    fn energy_to_voltage_roundtrip() {
+        let m = model();
+        // ½·45 mF·(2.0² − 1.6²) of energy sits between 2.0 V and V_off.
+        let e = Joules::new(0.5 * 0.045 * (4.0 - 2.56));
+        let v = vsafe_from_buffer_energy(e, &m);
+        assert!(v.approx_eq(Volts::new(2.0), 1e-9));
+    }
+
+    #[test]
+    fn zero_energy_means_v_off() {
+        assert_eq!(vsafe_from_buffer_energy(Joules::ZERO, &model()), model().v_off());
+    }
+
+    #[test]
+    fn energy_direct_underestimates_vs_pg_for_high_current() {
+        // Energy-Direct vs Culpeo-PG on a hard pulse: Energy-Direct must
+        // come out lower (it misses the ESR drop entirely).
+        let m = model();
+        let load = UniformLoad::new(Amps::from_milli(50.0), Seconds::from_milli(10.0)).profile();
+        let trace = load.sample(Hertz::new(125_000.0));
+        let direct = energy_direct(&trace, &m);
+        let pg = crate::pg::compute_vsafe(&trace, &m);
+        assert!(
+            pg.v_safe.get() - direct.get() > 0.1,
+            "PG {} vs direct {}",
+            pg.v_safe,
+            direct
+        );
+    }
+
+    #[test]
+    fn voltage_pair_estimator_math() {
+        let m = model();
+        let v = vsafe_from_voltage_pair(Volts::new(2.4), Volts::new(2.3), &m);
+        let expected = (1.6f64.powi(2) + 2.4f64.powi(2) - 2.3f64.powi(2)).sqrt();
+        assert!(v.approx_eq(Volts::new(expected), 1e-12));
+    }
+
+    #[test]
+    fn earlier_measurement_is_more_conservative() {
+        // The sooner CatNap samples after the task, the lower the voltage
+        // it sees (rebound incomplete) and the higher its estimate: the
+        // §II-D accidental conservatism.
+        let m = model();
+        let v_start = Volts::new(2.4);
+        let v_pre_rebound = Volts::new(2.15); // right at completion
+        let v_partial = Volts::new(2.25); // 2 ms later
+        let measured = CatnapEstimator::published().vsafe(v_start, v_pre_rebound, &m);
+        let slow = CatnapEstimator::slow().vsafe(v_start, v_partial, &m);
+        assert!(measured > slow);
+    }
+
+    #[test]
+    #[should_panic(expected = "end voltage cannot exceed")]
+    fn rejects_charging_pair() {
+        let _ = vsafe_from_voltage_pair(Volts::new(2.0), Volts::new(2.1), &model());
+    }
+}

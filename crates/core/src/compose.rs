@@ -1,0 +1,198 @@
+//! `V_safe` for task *sequences* — `V_safe_multi` and the penalty term
+//! (§IV-A).
+//!
+//! A scheduler often needs to know whether a whole sequence of tasks can
+//! run on one discharge ("sense, then encrypt, then send"). Starting the
+//! sequence at `V_safe_multi` guarantees every task in it completes.
+//!
+//! The key subtlety is that ESR drops are *recoverable*: task `i`'s dip
+//! rebounds once its load ends, so it only forces extra headroom when the
+//! following tasks' requirement `V_safe_{i+1}` is not already high enough
+//! to absorb it. That conditional extra headroom is the `penalty` term:
+//!
+//! ```text
+//! penalty_i = max(V_off + V_δ_i − V_safe_{i+1}, 0)
+//! ```
+//!
+//! Two composition rules are provided:
+//!
+//! * [`vsafe_multi`] — the quadrature form Algorithm 1 actually uses
+//!   (energies add in `V²` space, matching `E = ½CV²`); this is the
+//!   accurate rule;
+//! * [`vsafe_multi_linear`] — the paper's §IV-A expository form, where
+//!   per-task voltage headrooms add linearly; it is more conservative and
+//!   retained for comparison and for its simpler correctness argument.
+
+use culpeo_units::{Farads, Joules, Volts};
+
+use crate::VsafeEstimate;
+
+/// What composition needs to know about one task in a sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskRequirement {
+    /// Energy the task draws from the buffer (booster losses included).
+    pub buffer_energy: Joules,
+    /// The task's worst-case ESR drop at `V_off`.
+    pub v_delta: Volts,
+}
+
+impl TaskRequirement {
+    /// Extracts the composition ingredients from a per-task estimate.
+    #[must_use]
+    pub fn from_estimate(est: &VsafeEstimate) -> Self {
+        Self {
+            buffer_energy: est.buffer_energy,
+            v_delta: est.v_delta,
+        }
+    }
+}
+
+/// The §IV-A penalty for a task with ESR drop `v_delta` followed by a
+/// suffix requiring `v_safe_next`:
+/// `max(V_off + V_δ − V_safe_next, 0)`.
+#[must_use]
+pub fn penalty(v_off: Volts, v_delta: Volts, v_safe_next: Volts) -> Volts {
+    Volts::new((v_off + v_delta - v_safe_next).get().max(0.0))
+}
+
+/// `V_safe_multi` in the accurate quadrature form.
+///
+/// Walking the sequence backwards (base case: the voltage after the last
+/// task need only be `V_off`):
+///
+/// ```text
+/// V_penalty_i = max(V_off + V_δ_i, V_{i+1})
+/// V_i         = √(2·E_i/C + V_penalty_i²)
+/// ```
+///
+/// # Panics
+///
+/// Panics if `c` is not strictly positive or any task's energy is
+/// negative.
+#[must_use]
+pub fn vsafe_multi(tasks: &[TaskRequirement], c: Farads, v_off: Volts) -> Volts {
+    assert!(c.get() > 0.0, "capacitance must be positive");
+    let mut v_suffix = v_off;
+    for t in tasks.iter().rev() {
+        assert!(t.buffer_energy.get() >= 0.0, "task energy cannot be negative");
+        let v_penalty = (v_off + t.v_delta).max(v_suffix);
+        v_suffix = Volts::from_squared(2.0 * t.buffer_energy.get() / c.get() + v_penalty.squared());
+    }
+    v_suffix
+}
+
+/// `V_safe_multi` in the paper's linear expository form:
+/// `Σ V(E_i) + Σ penalty_i + V_off`, where `V(E_i)` is the voltage
+/// headroom covering task `i`'s energy at the bottom of the range.
+///
+/// Always at least as large as [`vsafe_multi`] for the same inputs (linear
+/// addition of voltage headroom over-provisions relative to quadrature),
+/// so it shares the safety guarantee.
+///
+/// # Panics
+///
+/// Panics if `c` is not strictly positive or any task's energy is
+/// negative.
+#[must_use]
+pub fn vsafe_multi_linear(tasks: &[TaskRequirement], c: Farads, v_off: Volts) -> Volts {
+    assert!(c.get() > 0.0, "capacitance must be positive");
+    let mut v_suffix = v_off;
+    for t in tasks.iter().rev() {
+        assert!(t.buffer_energy.get() >= 0.0, "task energy cannot be negative");
+        // V(E): headroom above V_off holding this task's energy.
+        let v_e = Volts::from_squared(v_off.squared() + 2.0 * t.buffer_energy.get() / c.get())
+            - v_off;
+        let p = penalty(v_off, t.v_delta, v_suffix);
+        v_suffix = v_e + p + v_suffix;
+    }
+    v_suffix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: Farads = Farads::new(45e-3);
+    const V_OFF: Volts = Volts::new(1.6);
+
+    fn task(e_mj: f64, v_delta: f64) -> TaskRequirement {
+        TaskRequirement {
+            buffer_energy: Joules::new(e_mj * 1e-3),
+            v_delta: Volts::new(v_delta),
+        }
+    }
+
+    #[test]
+    fn empty_sequence_is_v_off() {
+        assert_eq!(vsafe_multi(&[], C, V_OFF), V_OFF);
+        assert_eq!(vsafe_multi_linear(&[], C, V_OFF), V_OFF);
+    }
+
+    #[test]
+    fn single_task_matches_algorithm1_form() {
+        let t = task(1.0, 0.15);
+        let v = vsafe_multi(&[t], C, V_OFF);
+        let expected = (2.0 * 1e-3 / 45e-3 + (1.6f64 + 0.15).powi(2)).sqrt();
+        assert!(v.approx_eq(Volts::new(expected), 1e-12));
+    }
+
+    #[test]
+    fn penalty_is_zero_when_suffix_absorbs_drop() {
+        // The next task needs 2.0 V; a 0.3 V dip from 2.0 V stays above
+        // V_off = 1.6 V, so no extra headroom is required.
+        assert_eq!(penalty(V_OFF, Volts::new(0.3), Volts::new(2.0)), Volts::ZERO);
+        // But a 0.5 V dip would cross it.
+        assert!(penalty(V_OFF, Volts::new(0.5), Volts::new(2.0)).approx_eq(Volts::new(0.1), 1e-12));
+    }
+
+    #[test]
+    fn rebound_repays_penalty_in_sequences() {
+        // big-dip task followed by demanding task vs the reverse: when the
+        // big dip comes first, the suffix requirement is already high, so
+        // the dip's penalty is absorbed.
+        let dip = task(0.1, 0.4);
+        let hungry = task(5.0, 0.05);
+        let dip_first = vsafe_multi(&[dip, hungry], C, V_OFF);
+        let dip_last = vsafe_multi(&[hungry, dip], C, V_OFF);
+        assert!(dip_first <= dip_last);
+    }
+
+    #[test]
+    fn sequence_needs_at_least_max_individual() {
+        let a = task(1.0, 0.2);
+        let b = task(2.0, 0.1);
+        let seq = vsafe_multi(&[a, b], C, V_OFF);
+        let va = vsafe_multi(&[a], C, V_OFF);
+        let vb = vsafe_multi(&[b], C, V_OFF);
+        assert!(seq >= va.max(vb));
+    }
+
+    #[test]
+    fn linear_form_is_at_least_quadrature() {
+        let seq = [task(1.0, 0.2), task(0.5, 0.05), task(2.0, 0.3)];
+        let q = vsafe_multi(&seq, C, V_OFF);
+        let l = vsafe_multi_linear(&seq, C, V_OFF);
+        assert!(l >= q - Volts::from_micro(1.0), "linear {l} < quadrature {q}");
+    }
+
+    #[test]
+    fn adding_a_task_never_lowers_the_requirement() {
+        let base = [task(1.0, 0.1), task(0.5, 0.2)];
+        let more = [task(1.0, 0.1), task(0.5, 0.2), task(0.3, 0.05)];
+        assert!(vsafe_multi(&more, C, V_OFF) >= vsafe_multi(&base, C, V_OFF));
+    }
+
+    #[test]
+    fn zero_energy_zero_drop_tasks_are_free() {
+        let seq = [task(0.0, 0.0), task(1.0, 0.1), task(0.0, 0.0)];
+        let with = vsafe_multi(&seq, C, V_OFF);
+        let without = vsafe_multi(&[task(1.0, 0.1)], C, V_OFF);
+        assert!(with.approx_eq(without, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn rejects_zero_capacitance() {
+        let _ = vsafe_multi(&[task(1.0, 0.1)], Farads::ZERO, V_OFF);
+    }
+}

@@ -1,0 +1,280 @@
+//! Energy-buffer design exploration with `V_safe` in the loop.
+//!
+//! §III: "if a task's `V_safe` value is higher than what the energy buffer
+//! can provide, the programmer knows they must correct the task division…
+//! the programmer can also use `V_safe` as a guide to configure the energy
+//! buffer." This module operationalises that guidance: sweep candidate
+//! buffer designs, compute every task's `V_safe` under each, and report
+//! which designs support the whole application with how much headroom.
+//!
+//! Buffer design is a real trade-off, not a "bigger is better" knob:
+//! capacitance adds volume and recharge time, and within a capacitor
+//! family lower ESR costs parallelism (more parts). The feasibility
+//! frontier this module computes is the quantitative version of Figure 3's
+//! qualitative corner-picking.
+
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::EfficiencyCurve;
+use culpeo_units::{Farads, Ohms, Volts};
+
+use crate::{pg, PowerSystemModel};
+
+/// One candidate energy-buffer design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferDesign {
+    /// Total bank capacitance.
+    pub capacitance: Farads,
+    /// Effective bank ESR.
+    pub esr: Ohms,
+}
+
+/// The evaluation of one design against a task set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignEvaluation {
+    /// The design under evaluation.
+    pub design: BufferDesign,
+    /// The largest per-task `V_safe` across the application.
+    pub worst_vsafe: Volts,
+    /// The task demanding it.
+    pub binding_task: String,
+    /// `V_high − worst_vsafe`: scheduling slack. Negative ⇒ infeasible.
+    pub headroom: Volts,
+}
+
+impl DesignEvaluation {
+    /// True when every task fits under `V_high` with margin.
+    #[must_use]
+    pub fn feasible(&self) -> bool {
+        self.headroom >= crate::termination::MARGIN
+    }
+}
+
+/// Evaluates one buffer design against an application's task set, using
+/// the given booster/monitor parameters.
+///
+/// # Panics
+///
+/// Panics if `tasks` is empty — an application with no tasks has no
+/// binding requirement to report.
+#[must_use]
+pub fn evaluate_design(
+    design: BufferDesign,
+    tasks: &[LoadProfile],
+    booster: &EfficiencyCurve,
+    v_out: Volts,
+    v_off: Volts,
+    v_high: Volts,
+) -> DesignEvaluation {
+    assert!(!tasks.is_empty(), "need at least one task");
+    let model = PowerSystemModel::with_flat_esr(
+        design.capacitance,
+        design.esr,
+        v_out,
+        *booster,
+        v_off,
+        v_high,
+    );
+    let mut worst_vsafe = Volts::ZERO;
+    let mut binding_task = String::new();
+    for task in tasks {
+        let est = pg::compute_vsafe_for_profile(task, &model);
+        if est.v_safe > worst_vsafe {
+            worst_vsafe = est.v_safe;
+            binding_task = task.label().to_string();
+        }
+    }
+    DesignEvaluation {
+        design,
+        worst_vsafe,
+        binding_task,
+        headroom: v_high - worst_vsafe,
+    }
+}
+
+/// Evaluates a whole grid of designs (Capybara-style booster/monitor
+/// parameters), returning evaluations in the input order.
+#[must_use]
+pub fn sweep_designs(designs: &[BufferDesign], tasks: &[LoadProfile]) -> Vec<DesignEvaluation> {
+    designs
+        .iter()
+        .map(|&d| {
+            evaluate_design(
+                d,
+                tasks,
+                &EfficiencyCurve::tps61200_like(),
+                Volts::new(2.55),
+                Volts::new(1.6),
+                Volts::new(2.56),
+            )
+        })
+        .collect()
+}
+
+/// Finds the smallest capacitance (by bisection over `[lo, hi]`) that
+/// makes the task set feasible, under a supercapacitor-family scaling law
+/// `ESR = esr_times_farads / C` (constant R·C within a family — stacking
+/// more identical parts divides R as it multiplies C).
+///
+/// Returns `None` if even `hi` is infeasible.
+///
+/// # Panics
+///
+/// Panics if the bounds are not ordered and positive.
+#[must_use]
+pub fn minimum_capacitance(
+    tasks: &[LoadProfile],
+    esr_times_farads: f64,
+    lo: Farads,
+    hi: Farads,
+) -> Option<Farads> {
+    assert!(
+        lo.get() > 0.0 && lo.get() < hi.get(),
+        "bounds must satisfy 0 < lo < hi"
+    );
+    assert!(esr_times_farads > 0.0, "R·C constant must be positive");
+    let design = |c: Farads| BufferDesign {
+        capacitance: c,
+        esr: Ohms::new(esr_times_farads / c.get()),
+    };
+    let feasible = |c: Farads| sweep_designs(&[design(c)], tasks)[0].feasible();
+
+    if !feasible(hi) {
+        return None;
+    }
+    if feasible(lo) {
+        return Some(lo);
+    }
+    let mut lo = lo;
+    let mut hi = hi;
+    // Bisection to 1 % relative tolerance — buffer parts come in coarse
+    // denominations anyway.
+    while (hi.get() - lo.get()) > 0.01 * hi.get() {
+        let mid = Farads::new(0.5 * (lo.get() + hi.get()));
+        if feasible(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_loadgen::peripheral::{BleRadio, GestureSensor, LoRaRadio};
+
+    fn app_tasks() -> Vec<LoadProfile> {
+        vec![
+            GestureSensor::default().profile(),
+            BleRadio::default().profile(),
+        ]
+    }
+
+    fn mf(v: f64) -> Farads {
+        Farads::from_milli(v)
+    }
+
+    #[test]
+    fn capybara_design_is_feasible_for_the_ble_app() {
+        let eval = sweep_designs(
+            &[BufferDesign {
+                capacitance: mf(45.0),
+                esr: Ohms::new(3.3),
+            }],
+            &app_tasks(),
+        )
+        .pop()
+        .unwrap();
+        assert!(eval.feasible(), "{eval:?}");
+        assert!(eval.headroom.get() > 0.5);
+    }
+
+    #[test]
+    fn binding_task_is_the_demanding_one() {
+        let mut tasks = app_tasks();
+        tasks.push(LoRaRadio::default().profile());
+        let eval = sweep_designs(
+            &[BufferDesign {
+                capacitance: mf(45.0),
+                esr: Ohms::new(3.3),
+            }],
+            &tasks,
+        )
+        .pop()
+        .unwrap();
+        assert_eq!(eval.binding_task, "lora-tx");
+    }
+
+    #[test]
+    fn headroom_grows_with_capacitance_at_fixed_rc() {
+        // Within a part family (R·C fixed), more parts ⇒ more C and less
+        // R ⇒ strictly more headroom.
+        let tasks = app_tasks();
+        let rc = 0.15; // Ω·F, the supercap family constant
+        let evals = sweep_designs(
+            &[7.5, 15.0, 30.0, 45.0]
+                .map(|c_mf| {
+                    let c = mf(c_mf);
+                    BufferDesign {
+                        capacitance: c,
+                        esr: Ohms::new(rc / c.get()),
+                    }
+                })
+                .to_vec()
+                .as_slice(),
+            &tasks,
+        );
+        for w in evals.windows(2) {
+            assert!(
+                w[1].headroom > w[0].headroom,
+                "headroom must grow: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimum_capacitance_is_tight() {
+        let tasks = vec![LoRaRadio::default().profile()];
+        let c_min = minimum_capacitance(&tasks, 0.15, mf(1.0), mf(100.0))
+            .expect("the LoRa app fits somewhere below 100 mF");
+        // The found point is feasible…
+        let at = |c: Farads| {
+            sweep_designs(
+                &[BufferDesign {
+                    capacitance: c,
+                    esr: Ohms::new(0.15 / c.get()),
+                }],
+                &tasks,
+            )
+            .pop()
+            .unwrap()
+        };
+        assert!(at(c_min).feasible());
+        // …and 10 % below it is not.
+        assert!(!at(Farads::new(c_min.get() * 0.9)).feasible());
+    }
+
+    #[test]
+    fn impossible_app_returns_none() {
+        // A brutal sustained load with a terrible R·C family constant.
+        let tasks = vec![LoadProfile::constant(
+            "furnace",
+            culpeo_units::Amps::new(0.5),
+            culpeo_units::Seconds::new(5.0),
+        )];
+        assert_eq!(minimum_capacitance(&tasks, 10.0, mf(1.0), mf(50.0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one task")]
+    fn empty_task_set_rejected() {
+        let _ = sweep_designs(
+            &[BufferDesign {
+                capacitance: mf(45.0),
+                esr: Ohms::new(3.3),
+            }],
+            &[],
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! **Culpeo**: an ESR-aware charge-management interface for
+//! energy-harvesting systems.
+//!
+//! This crate is a from-scratch reproduction of the primary contribution of
+//! *"An Architectural Charge Management Interface for Energy-Harvesting
+//! Systems"* (MICRO 2022): computing `V_safe`, the minimum energy-buffer
+//! voltage at which a software task can start and run to completion without
+//! browning out — accounting for the *recoverable* voltage drop that the
+//! buffer capacitor's equivalent series resistance (ESR) superimposes on
+//! the drop due to actually consumed energy.
+//!
+//! The crate provides:
+//!
+//! * [`PowerSystemModel`] — what Culpeo knows about the power system
+//!   (§IV-B): datasheet capacitance, a measured ESR-vs-frequency curve,
+//!   and the output booster's linear efficiency model;
+//! * [`pg`] — **Culpeo-PG**, the compile-time, profile-guided analysis
+//!   (Algorithm 1) that walks a task's measured current trace backwards
+//!   through the model;
+//! * [`runtime`] — **Culpeo-R**, the on-device estimator that needs only
+//!   three voltage observations per task (Equations 1a–1c, 2a–2c, 3);
+//! * [`compose`] — `V_safe` for *sequences* of tasks (`V_safe_multi`,
+//!   §IV-A), with the per-task `penalty` term;
+//! * [`Culpeo`] — the Table I API surface
+//!   (`profile_start` / `profile_end` / `rebound_end` / `compute_vsafe` /
+//!   `get_vsafe` / `get_vdrop`) that schedulers program against;
+//! * [`baseline`] — the energy-only estimators the paper shows failing
+//!   (direct-energy, end-to-end voltage, and CatNap's fast/slow voltage
+//!   sampling).
+//!
+//! # Quick start
+//!
+//! ```
+//! use culpeo::{pg, PowerSystemModel};
+//! use culpeo_loadgen::peripheral::BleRadio;
+//! use culpeo_powersim::PowerSystem;
+//! use culpeo_units::Hertz;
+//!
+//! // Characterise the (simulated) power system once, offline…
+//! let model = PowerSystemModel::characterize(&PowerSystem::capybara);
+//! // …profile the task's current draw…
+//! let trace = BleRadio::default().profile().sample(Hertz::new(125_000.0));
+//! // …and compute the ESR-aware safe starting voltage.
+//! let estimate = pg::compute_vsafe(&trace, &model);
+//! assert!(estimate.v_safe > model.v_off());
+//! assert!(estimate.v_safe < model.v_high());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod compose;
+pub mod design;
+pub mod pg;
+pub mod runtime;
+pub mod termination;
+
+mod api;
+mod model;
+
+pub use api::{BufferConfigId, Culpeo, TaskId, TaskProfile};
+pub use model::PowerSystemModel;
+
+use culpeo_units::{Joules, Volts};
+
+/// A computed safe-starting-voltage estimate for one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VsafeEstimate {
+    /// The minimum buffer voltage at which the task can start and complete
+    /// without the node dipping below `V_off`.
+    pub v_safe: Volts,
+    /// The task's worst-case ESR-induced (recoverable) drop, `V_δ` —
+    /// needed to compose this task into sequences (§IV-A).
+    pub v_delta: Volts,
+    /// Energy the task draws from the buffer (output energy inflated by
+    /// booster loss), the `V(E)` ingredient of `V_safe_multi`.
+    pub buffer_energy: Joules,
+}

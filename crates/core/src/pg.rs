@@ -1,0 +1,275 @@
+//! **Culpeo-PG** — the compile-time, profile-guided `V_safe` analysis
+//! (§IV-C, Algorithm 1).
+//!
+//! Culpeo-PG ingests a task's measured current trace and the
+//! [`PowerSystemModel`], then walks the trace *backwards*, maintaining the
+//! safe voltage for the remaining suffix: at every step the voltage must
+//! cover (a) the energy the step consumes and (b) a penalty guaranteeing
+//! the step's ESR drop cannot push the node below `V_off`.
+//!
+//! Working backwards is what makes the penalty composable: a step needs a
+//! penalty only when the *following* steps' requirement is not already high
+//! enough to absorb its ESR dip (the "rebound repays the penalty" insight
+//! of §IV-A).
+
+use culpeo_loadgen::{CurrentTrace, LoadProfile};
+use culpeo_units::{Hertz, Joules, Ohms, Volts};
+
+use crate::{PowerSystemModel, VsafeEstimate};
+
+/// Computes `V_safe` for a task from its current trace (Algorithm 1).
+///
+/// The ESR operating point is chosen from the model's measured curve at
+/// the trace's dominant pulse frequency, exactly as §IV-B prescribes.
+///
+/// An empty or all-zero trace yields `V_safe = V_off` (a task that draws
+/// nothing can start anywhere software can run).
+#[must_use]
+pub fn compute_vsafe(trace: &CurrentTrace, model: &PowerSystemModel) -> VsafeEstimate {
+    let f = trace
+        .dominant_frequency()
+        .unwrap_or_else(|| fallback_frequency(trace));
+    compute_vsafe_with_esr(trace, model, model.esr_at(f))
+}
+
+/// Algorithm 1 with an explicitly chosen ESR operating point — used by the
+/// aging ablation and ESR-sensitivity studies.
+#[must_use]
+pub fn compute_vsafe_with_esr(
+    trace: &CurrentTrace,
+    model: &PowerSystemModel,
+    esr: Ohms,
+) -> VsafeEstimate {
+    let c = model.capacitance().get();
+    let v_off = model.v_off();
+    let v_out = model.v_out().get();
+    let dt = trace.dt().get();
+    let r = esr.get();
+    // Algorithm 1 line 8 evaluates the booster efficiency at V_off — the
+    // worst case — when computing the current out of the capacitor.
+    let eta_off = model.efficiency_at(v_off);
+
+    // Denoise before walking: single-sample glitches are served by the
+    // decoupling capacitors (§II-D), so honouring them with a full DC ESR
+    // penalty would hijack V_safe; the same filter already guards the
+    // pulse-width detector.
+    let filtered = trace.median_filtered();
+
+    // V[i+1] accumulator: the safe voltage for the suffix after step i.
+    // Base case: after the final step the voltage need only be at V_off.
+    let mut v_suffix = v_off;
+    let mut worst_v_delta = Volts::ZERO;
+    let mut buffer_energy = 0.0;
+
+    for &i_load in filtered.samples().iter().rev() {
+        let i = i_load.get();
+        if i <= 0.0 {
+            continue; // an idle step imposes no requirement
+        }
+        // Estimate the buffer voltage during this step: the suffix
+        // requirement is the best (conservative, low) estimate available
+        // while walking backwards.
+        let v_cap = v_suffix.max(v_off);
+        // Current out of the capacitor (line 8) and its ESR drop (line 9).
+        // The penalty must guarantee the *terminal* voltage never dips
+        // below V_off, and at the critical moment the terminal sits at
+        // exactly V_off — so the worst-case current divides by V_off with
+        // the V_off efficiency (matching Culpeo-R's Equation 1b). Dividing
+        // by the evolving V_cap instead silently weakens the floor for
+        // interior steps once suffix energy has accumulated.
+        let i_in = i * v_out / (eta_off * v_off.get());
+        // Energy drawn from the buffer in this step (line 6). The booster
+        // operates at the *terminal* voltage — the internal estimate minus
+        // this step's ESR drop — where its efficiency is worse; EstVcap
+        // (line 7) exists precisely because "as V_cap decreases, the
+        // booster draws more current". The capacitor's own I²R dissipation
+        // is added on top, a refinement that matters for long discharges.
+        let v_term = (v_cap.get() - i * v_out * r / (eta_off * v_cap.get())).max(v_off.get());
+        let eta = model.efficiency_at(Volts::new(v_term));
+        let i_in_energy = i * v_out / (eta * v_term);
+        let e = i * v_out * dt / eta + i_in_energy * i_in_energy * r * dt;
+        buffer_energy += e;
+        let v_delta = Volts::new(i_in * r);
+        worst_v_delta = worst_v_delta.max(v_delta);
+        // Voltage penalty (line 10): either the next step's requirement
+        // already absorbs this step's dip, or we must raise it.
+        let v_penalty = (v_off + v_delta).max(v_suffix);
+        // New safe voltage (line 11): energy in quadrature with penalty.
+        v_suffix = Volts::from_squared(2.0 * e / c + v_penalty.squared());
+    }
+
+    VsafeEstimate {
+        v_safe: v_suffix,
+        v_delta: worst_v_delta,
+        buffer_energy: Joules::new(buffer_energy),
+    }
+}
+
+/// Convenience: profile an analytic load at the paper's 125 kHz rate and
+/// run Algorithm 1 on it.
+#[must_use]
+pub fn compute_vsafe_for_profile(
+    profile: &LoadProfile,
+    model: &PowerSystemModel,
+) -> VsafeEstimate {
+    compute_vsafe(
+        &profile.sample(Hertz::new(culpeo_loadgen::PG_SAMPLE_RATE_HZ)),
+        model,
+    )
+}
+
+/// Frequency to use when no dominant pulse exists: the whole trace as one
+/// "pulse", floored at 1 Hz.
+fn fallback_frequency(trace: &CurrentTrace) -> Hertz {
+    let d = trace.duration().get();
+    if d > 0.0 {
+        Hertz::new((1.0 / d).max(1.0))
+    } else {
+        Hertz::new(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_loadgen::synthetic::{PulseLoad, UniformLoad};
+    use culpeo_units::{Amps, Seconds};
+
+    fn model() -> PowerSystemModel {
+        PowerSystemModel::capybara()
+    }
+
+    fn ma(v: f64) -> Amps {
+        Amps::from_milli(v)
+    }
+
+    fn ms(v: f64) -> Seconds {
+        Seconds::from_milli(v)
+    }
+
+    #[test]
+    fn empty_trace_needs_only_v_off() {
+        let trace = CurrentTrace::new("idle", ms(1.0), vec![Amps::ZERO; 10]);
+        let est = compute_vsafe(&trace, &model());
+        assert_eq!(est.v_safe, model().v_off());
+        assert_eq!(est.v_delta, Volts::ZERO);
+    }
+
+    #[test]
+    fn pulse_vsafe_covers_esr_drop() {
+        let load = UniformLoad::new(ma(25.0), ms(10.0)).profile();
+        let est = compute_vsafe_for_profile(&load, &model());
+        // Hand calculation: I_in ≈ 25 mA·2.55/(0.78·1.6) ≈ 51 mA ⇒
+        // V_δ ≈ 0.17 V ⇒ V_safe ≈ 1.78 V.
+        assert!(est.v_safe.get() > 1.74 && est.v_safe.get() < 1.84, "{est:?}");
+        assert!(est.v_delta.get() > 0.12 && est.v_delta.get() < 0.22);
+    }
+
+    #[test]
+    fn vsafe_monotone_in_current() {
+        let m = model();
+        let lo = compute_vsafe_for_profile(&UniformLoad::new(ma(5.0), ms(10.0)).profile(), &m);
+        let hi = compute_vsafe_for_profile(&UniformLoad::new(ma(50.0), ms(10.0)).profile(), &m);
+        assert!(hi.v_safe > lo.v_safe);
+        assert!(hi.v_delta > lo.v_delta);
+    }
+
+    #[test]
+    fn vsafe_monotone_in_duration() {
+        let m = model();
+        let short = compute_vsafe_for_profile(&UniformLoad::new(ma(25.0), ms(1.0)).profile(), &m);
+        let long = compute_vsafe_for_profile(&UniformLoad::new(ma(25.0), ms(100.0)).profile(), &m);
+        assert!(long.v_safe > short.v_safe);
+    }
+
+    #[test]
+    fn vsafe_monotone_in_esr() {
+        let m = model();
+        let load = UniformLoad::new(ma(25.0), ms(10.0))
+            .profile()
+            .sample(Hertz::new(125_000.0));
+        let lo = compute_vsafe_with_esr(&load, &m, Ohms::new(1.0));
+        let hi = compute_vsafe_with_esr(&load, &m, Ohms::new(6.6));
+        assert!(hi.v_safe > lo.v_safe);
+    }
+
+    #[test]
+    fn small_tail_is_absorbed_by_pulse_penalty() {
+        // For a hard pulse, the 100 ms/1.5 mA compute tail is *free*: the
+        // pulse's penalty headroom rebounds after the pulse, repaying the
+        // tail's small requirement (§IV-A's penalty-repayment insight).
+        let m = model();
+        let bare = compute_vsafe_for_profile(&UniformLoad::new(ma(25.0), ms(10.0)).profile(), &m);
+        let tailed = compute_vsafe_for_profile(&PulseLoad::new(ma(25.0), ms(10.0)).profile(), &m);
+        assert!(tailed.v_safe.approx_eq(bare.v_safe, 0.01));
+        // The worst ESR drop still comes from the 25 mA pulse.
+        assert!(tailed.v_delta.approx_eq(bare.v_delta, 0.05));
+    }
+
+    #[test]
+    fn large_tail_raises_vsafe_beyond_pulse_alone() {
+        // When the tail consumes enough energy that its own requirement
+        // exceeds the pulse's rebound level, it is no longer free.
+        let m = model();
+        let bare = compute_vsafe_for_profile(&UniformLoad::new(ma(5.0), ms(10.0)).profile(), &m);
+        let long_tail = LoadProfile::builder("pulse+big-tail")
+            .hold(ma(5.0), ms(10.0))
+            .hold(ma(1.5), Seconds::new(3.0))
+            .build();
+        let tailed = compute_vsafe_for_profile(&long_tail, &m);
+        assert!(
+            tailed.v_safe.get() - bare.v_safe.get() > 0.05,
+            "tailed {} vs bare {}",
+            tailed.v_safe,
+            bare.v_safe
+        );
+    }
+
+    #[test]
+    fn rebound_repays_penalty_for_trailing_pulse() {
+        // A pulse at the *end* of a long low tail requires less than the
+        // naive sum: the backwards walk only penalises the pulse once.
+        let m = model();
+        let pulse_first = LoadProfile::builder("pf")
+            .hold(ma(50.0), ms(10.0))
+            .hold(ma(1.5), ms(100.0))
+            .build();
+        let pulse_last = LoadProfile::builder("pl")
+            .hold(ma(1.5), ms(100.0))
+            .hold(ma(50.0), ms(10.0))
+            .build();
+        let first = compute_vsafe_for_profile(&pulse_first, &m);
+        let last = compute_vsafe_for_profile(&pulse_last, &m);
+        // Both must cover the pulse's ESR drop; the orderings differ only
+        // in how energy stacks under the penalty. Running the pulse first
+        // lets the drop overlap the (high) starting voltage, so its
+        // requirement is no greater than pulse-last.
+        assert!(first.v_safe <= last.v_safe + Volts::from_milli(5.0));
+    }
+
+    #[test]
+    fn buffer_energy_accounts_efficiency() {
+        let m = model();
+        let load = UniformLoad::new(ma(10.0), ms(100.0)).profile();
+        let est = compute_vsafe_for_profile(&load, &m);
+        let e_out = load.output_energy(m.v_out());
+        // Buffer energy must exceed delivered energy by the booster loss.
+        assert!(est.buffer_energy.get() > e_out.get());
+        assert!(est.buffer_energy.get() < e_out.get() / 0.7);
+    }
+
+    #[test]
+    fn vsafe_never_exceeds_reasonable_bounds_for_table_iii() {
+        let m = model();
+        for load in culpeo_loadgen::synthetic::fig10_loads() {
+            let est = compute_vsafe_for_profile(&load, &m);
+            assert!(est.v_safe >= m.v_off(), "{}", load.label());
+            assert!(
+                est.v_safe.get() < 3.0,
+                "{}: V_safe = {} is absurd",
+                load.label(),
+                est.v_safe
+            );
+        }
+    }
+}

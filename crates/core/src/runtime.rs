@@ -1,0 +1,214 @@
+//! **Culpeo-R** — the runtime `V_safe` estimator (§IV-D).
+//!
+//! On a deployed device there is no current probe and no memory for full
+//! traces. Culpeo-R therefore estimates `V_safe` from just three voltage
+//! observations per task execution — the starting voltage, the minimum
+//! during execution, and the final voltage after the post-task rebound —
+//! plus the compile-time power-system model.
+//!
+//! The estimator splits the requirement in two and recombines:
+//!
+//! 1. **ESR part.** The observed recoverable drop `V_δ = V_final − V_min`
+//!    is scaled to its worst case at the power-off threshold via the
+//!    converter relation `V_out·I_out = V_cap·I_in·η(V_cap)`
+//!    (Equations 1a–1c): the same load pulls a *deeper* dip when the
+//!    buffer sits lower, because both the divider voltage and the booster
+//!    efficiency are worse there.
+//! 2. **Energy part.** Assuming the energy delivered to the load is the
+//!    same wherever the task runs, the observed discharge from `V_start`
+//!    to `V_final` is mapped onto a discharge *ending* at `V_off`
+//!    (Equations 2a–2c), approximated with endpoint efficiencies to stay
+//!    cheap on an MCU (Equation 3).
+
+use culpeo_units::{Joules, Volts};
+
+use crate::{PowerSystemModel, VsafeEstimate};
+
+/// The three per-task voltage observations Culpeo-R works from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskObservation {
+    /// Buffer voltage when the task started.
+    pub v_start: Volts,
+    /// Minimum buffer voltage observed while the task ran.
+    pub v_min: Volts,
+    /// Buffer voltage after the task ended and the ESR drop rebounded.
+    pub v_final: Volts,
+}
+
+impl TaskObservation {
+    /// Creates an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v_min ≤ v_start` and `v_min ≤ v_final` (the minimum
+    /// is, by construction, the smallest of the three) and all values are
+    /// finite.
+    #[must_use]
+    pub fn new(v_start: Volts, v_min: Volts, v_final: Volts) -> Self {
+        assert!(
+            v_start.is_finite() && v_min.is_finite() && v_final.is_finite(),
+            "observations must be finite"
+        );
+        assert!(
+            v_min <= v_start && v_min <= v_final,
+            "v_min must not exceed v_start or v_final"
+        );
+        Self {
+            v_start,
+            v_min,
+            v_final,
+        }
+    }
+
+    /// The observed recoverable (ESR) drop, `V_δ = V_final − V_min`
+    /// (Figure 8a).
+    #[must_use]
+    pub fn v_delta_observed(&self) -> Volts {
+        self.v_final - self.v_min
+    }
+}
+
+/// Scales the observed ESR drop to its worst case at `V_off`
+/// (Equation 1c):
+/// `V_δ_safe = V_δ · (V_min·η(V_min)) / (V_off·η(V_off))`.
+#[must_use]
+pub fn worst_case_v_delta(obs: &TaskObservation, model: &PowerSystemModel) -> Volts {
+    let v_off = model.v_off();
+    let num = obs.v_min.get() * model.efficiency_at(obs.v_min);
+    let den = v_off.get() * model.efficiency_at(v_off);
+    obs.v_delta_observed() * (num / den)
+}
+
+/// The energy-only component of `V_safe` (Equation 3):
+/// `V_safe_E² = η(V_start)/η(V_off) · (V_start² − V_final²) + V_off²`.
+///
+/// The squared-voltage difference is clamped at zero: a discharging task
+/// cannot add energy, so a measured `V_final` above `V_start` is ADC
+/// quantization error and must not *reduce* the estimate below `V_off`.
+#[must_use]
+pub fn energy_vsafe(obs: &TaskObservation, model: &PowerSystemModel) -> Volts {
+    let scale = model.efficiency_at(obs.v_start) / model.efficiency_at(model.v_off());
+    let consumed = (obs.v_start.squared() - obs.v_final.squared()).max(0.0);
+    Volts::from_squared(scale * consumed + model.v_off().squared())
+}
+
+/// Computes the full Culpeo-R estimate:
+/// `V_safe = V_safe_E + V_δ_safe`.
+#[must_use]
+pub fn compute_vsafe(obs: &TaskObservation, model: &PowerSystemModel) -> VsafeEstimate {
+    let v_delta = worst_case_v_delta(obs, model);
+    let v_e = energy_vsafe(obs, model);
+    let buffer_energy = Joules::new(
+        0.5 * model.capacitance().get() * (v_e.squared() - model.v_off().squared()).max(0.0),
+    );
+    VsafeEstimate {
+        v_safe: v_e + v_delta,
+        v_delta,
+        buffer_energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PowerSystemModel {
+        PowerSystemModel::capybara()
+    }
+
+    fn obs(start: f64, min: f64, fin: f64) -> TaskObservation {
+        TaskObservation::new(Volts::new(start), Volts::new(min), Volts::new(fin))
+    }
+
+    #[test]
+    fn no_drop_no_requirement_beyond_v_off() {
+        // A task that consumed nothing and dipped nothing.
+        let o = obs(2.3, 2.3, 2.3);
+        let est = compute_vsafe(&o, &model());
+        assert!(est.v_safe.approx_eq(model().v_off(), 1e-9));
+        assert_eq!(est.v_delta, Volts::ZERO);
+    }
+
+    #[test]
+    fn pure_energy_drop_maps_to_quadrature() {
+        // 2.3 → 2.2 with no ESR dip: V_safe² ≈ scale·(2.3²−2.2²) + 1.6².
+        let o = obs(2.3, 2.2, 2.2);
+        let m = model();
+        let est = compute_vsafe(&o, &m);
+        let scale = m.efficiency_at(Volts::new(2.3)) / m.efficiency_at(Volts::new(1.6));
+        let expected = (scale * (2.3f64.powi(2) - 2.2f64.powi(2)) + 1.6f64.powi(2)).sqrt();
+        assert!(est.v_safe.approx_eq(Volts::new(expected), 1e-9));
+    }
+
+    #[test]
+    fn esr_drop_scales_up_toward_v_off() {
+        // The same observed dip demands a larger margin at V_off because
+        // voltage and efficiency are both lower there.
+        let o = obs(2.3, 2.18, 2.29);
+        let m = model();
+        let wc = worst_case_v_delta(&o, &m);
+        assert!(wc > o.v_delta_observed());
+    }
+
+    #[test]
+    fn matches_hand_calculation_for_25ma_pulse() {
+        // Observation computed analytically for a 25 mA/10 ms pulse from
+        // 2.3 V on the Capybara plant (see pg.rs hand numbers).
+        let o = obs(2.3, 2.179, 2.2927);
+        let est = compute_vsafe(&o, &model());
+        assert!(
+            est.v_safe.get() > 1.72 && est.v_safe.get() < 1.84,
+            "V_safe = {}",
+            est.v_safe
+        );
+    }
+
+    #[test]
+    fn deeper_dip_larger_vsafe() {
+        let m = model();
+        let shallow = compute_vsafe(&obs(2.3, 2.25, 2.29), &m);
+        let deep = compute_vsafe(&obs(2.3, 2.05, 2.29), &m);
+        assert!(deep.v_safe > shallow.v_safe);
+        assert!(deep.v_delta > shallow.v_delta);
+    }
+
+    #[test]
+    fn more_energy_larger_vsafe() {
+        let m = model();
+        let light = compute_vsafe(&obs(2.3, 2.2, 2.28), &m);
+        let heavy = compute_vsafe(&obs(2.3, 2.1, 2.15), &m);
+        assert!(heavy.v_safe > light.v_safe);
+        assert!(heavy.buffer_energy > light.buffer_energy);
+    }
+
+    #[test]
+    fn profiling_voltage_invariance() {
+        // The point of Culpeo-R's math: profiling the same task at
+        // different starting voltages should produce similar V_safe.
+        // Construct two observations of the same physical task (equal
+        // delivered energy, ESR dip scaled by the converter relation).
+        let m = model();
+        let hi = obs(2.45, 2.339, 2.4432);
+        // At 2.1 V the same task dips deeper and ends proportionally.
+        let e_scale = m.efficiency_at(Volts::new(2.45)) / m.efficiency_at(Volts::new(2.1));
+        let v_final_lo = (2.1f64.powi(2) - e_scale * (2.45f64.powi(2) - 2.4432f64.powi(2))).sqrt();
+        let dip_scale = (2.339 * m.efficiency_at(Volts::new(2.339)))
+            / (2.1 * m.efficiency_at(Volts::new(2.1)));
+        let dip_lo = (2.4432 - 2.339) * dip_scale;
+        let lo = obs(2.1, v_final_lo - dip_lo, v_final_lo);
+        let est_hi = compute_vsafe(&hi, &m);
+        let est_lo = compute_vsafe(&lo, &m);
+        assert!(
+            est_hi.v_safe.approx_eq(est_lo.v_safe, 0.02),
+            "hi: {}, lo: {}",
+            est_hi.v_safe,
+            est_lo.v_safe
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "v_min must not exceed")]
+    fn rejects_inconsistent_observation() {
+        let _ = obs(2.0, 2.3, 2.1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Quantizing ADC models with realistic power costs.
+
+use culpeo_units::{Amps, Volts, Watts};
+
+/// A successive-approximation ADC: quantizes a node voltage to `bits`
+/// resolution over `[0, v_ref]`, drawing `active_power` while enabled.
+///
+/// The power matters: Culpeo-R charges its own sampling cost to the task
+/// being profiled (§V-D), and the 1000× gap between the MSP430's on-chip
+/// ADC (~180 µW) and the proposed 8-bit µArch ADC (~140 nW) is the headline
+/// overhead argument for the hardware design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adc {
+    bits: u8,
+    v_ref: Volts,
+    active_power: Watts,
+}
+
+impl Adc {
+    /// Creates an ADC.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ bits ≤ 16`, `v_ref > 0`, and power is
+    /// non-negative.
+    #[must_use]
+    pub fn new(bits: u8, v_ref: Volts, active_power: Watts) -> Self {
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16");
+        assert!(v_ref.get() > 0.0, "reference voltage must be positive");
+        assert!(active_power.get() >= 0.0, "power cannot be negative");
+        Self {
+            bits,
+            v_ref,
+            active_power,
+        }
+    }
+
+    /// The MSP430FR-class on-chip 12-bit ADC used by Culpeo-R-ISR:
+    /// 2.56 V reference (matching `V_high`), ~180 µW while sampling.
+    #[must_use]
+    pub fn msp430_adc12() -> Self {
+        Self::new(12, Volts::new(2.56), Watts::from_micro(180.0))
+    }
+
+    /// The proposed Culpeo-µArch 8-bit ADC: 2.56 V reference (10 mV LSB),
+    /// 140 nW.
+    #[must_use]
+    pub fn uarch_8bit() -> Self {
+        Self::new(8, Volts::new(2.56), Watts::new(140e-9))
+    }
+
+    /// Resolution in bits.
+    #[must_use]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Reference (full-scale) voltage.
+    #[must_use]
+    pub fn v_ref(&self) -> Volts {
+        self.v_ref
+    }
+
+    /// One least-significant-bit step in volts.
+    #[must_use]
+    pub fn lsb(&self) -> Volts {
+        Volts::new(self.v_ref.get() / f64::from(self.code_max() as u32 + 1))
+    }
+
+    /// The largest representable code.
+    #[must_use]
+    pub fn code_max(&self) -> u16 {
+        ((1u32 << self.bits) - 1) as u16
+    }
+
+    /// Converts a node voltage to a code (floor quantization, clamped to
+    /// range). Flooring under-reads, which is the conservative direction
+    /// for minimum tracking.
+    #[must_use]
+    pub fn sample(&self, v: Volts) -> u16 {
+        let steps = f64::from(self.code_max() as u32 + 1);
+        let code = (v.get() / self.v_ref.get() * steps).floor();
+        code.clamp(0.0, f64::from(self.code_max() as u32)) as u16
+    }
+
+    /// Converts a code back to the voltage at the *bottom* of its bin.
+    #[must_use]
+    pub fn to_volts(&self, code: u16) -> Volts {
+        Volts::new(f64::from(code.min(self.code_max()) as u32) * self.lsb().get())
+    }
+
+    /// One-shot read: quantizes and returns the reconstructed voltage at
+    /// the *bottom* of its bin — the conservative direction when tracking
+    /// a minimum.
+    #[must_use]
+    pub fn read(&self, v: Volts) -> Volts {
+        self.to_volts(self.sample(v))
+    }
+
+    /// One-shot read reconstructed at the *top* of its bin. The true value
+    /// lies in `[code·LSB, (code+1)·LSB)`, so this is the conservative
+    /// direction for quantities that feed `V_safe` positively: the
+    /// starting voltage and the rebound maximum. Under-reading those would
+    /// silently shrink the estimated requirement.
+    #[must_use]
+    pub fn read_high(&self, v: Volts) -> Volts {
+        Volts::new(self.to_volts(self.sample(v)).get() + self.lsb().get())
+    }
+
+    /// The extra load current this ADC imposes while enabled, as seen at
+    /// the regulated output rail `v_out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_out` is not strictly positive.
+    #[must_use]
+    pub fn load_current(&self, v_out: Volts) -> Amps {
+        self.active_power.current_at(v_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uarch_lsb_is_10mv() {
+        let adc = Adc::uarch_8bit();
+        assert!(adc.lsb().approx_eq(Volts::from_milli(10.0), 1e-12));
+        assert_eq!(adc.code_max(), 255);
+    }
+
+    #[test]
+    fn msp430_lsb_is_sub_mv() {
+        let adc = Adc::msp430_adc12();
+        assert!(adc.lsb().get() < 1e-3);
+        assert_eq!(adc.code_max(), 4095);
+    }
+
+    #[test]
+    fn quantization_floors() {
+        let adc = Adc::uarch_8bit();
+        // 2.499 V / 10 mV = 249.9 → code 249 → 2.49 V.
+        assert_eq!(adc.sample(Volts::new(2.499)), 249);
+        assert!(adc.read(Volts::new(2.499)).approx_eq(Volts::new(2.49), 1e-12));
+        // Quantization never over-reads.
+        for v in [0.0, 0.005, 1.6, 1.601, 2.56, 3.0] {
+            assert!(adc.read(Volts::new(v)) <= Volts::new(v).max(Volts::ZERO));
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let adc = Adc::uarch_8bit();
+        assert_eq!(adc.sample(Volts::new(-1.0)), 0);
+        assert_eq!(adc.sample(Volts::new(5.0)), 255);
+        assert_eq!(adc.to_volts(999), adc.to_volts(255));
+    }
+
+    #[test]
+    fn error_bounded_by_lsb() {
+        let adc = Adc::msp430_adc12();
+        for k in 0..100 {
+            let v = Volts::new(1.6 + k as f64 * 0.005);
+            let err = v - adc.read(v);
+            assert!(err.get() >= 0.0 && err.get() <= adc.lsb().get() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn power_gap_between_implementations() {
+        let isr = Adc::msp430_adc12().load_current(Volts::new(2.55));
+        let uarch = Adc::uarch_8bit().load_current(Volts::new(2.55));
+        // The µArch ADC is ~3 orders of magnitude cheaper.
+        assert!(isr.get() / uarch.get() > 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn rejects_zero_bits() {
+        let _ = Adc::new(0, Volts::new(2.5), Watts::ZERO);
+    }
+}

@@ -1,0 +1,134 @@
+//! The measurement procedure of CatNap-style voltage-as-energy profiling.
+//!
+//! CatNap estimates a task's energy from the buffer voltage before and
+//! after a profiled execution. *When* the "after" reading happens is the
+//! crux (§II-D): the published implementation reads essentially at
+//! completion — before the ESR drop has rebounded — while a delayed
+//! reading sees a partially recovered voltage. Neither is an intentional
+//! ESR measurement; whatever drop is captured is mistaken for consumed
+//! energy.
+
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::PowerSystem;
+use culpeo_units::{Seconds, Volts};
+
+use crate::Adc;
+
+/// A CatNap profiling measurement: start voltage and the end voltage read
+/// `delay` after task completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CatnapMeasurement {
+    /// Buffer voltage (ADC-quantized) when the task started.
+    pub v_start: Volts,
+    /// Buffer voltage (ADC-quantized) at the configured delay after the
+    /// task completed.
+    pub v_end: Volts,
+}
+
+/// Runs `load` on `sys` and takes CatNap's two voltage readings through
+/// the MCU's 12-bit ADC.
+///
+/// * `delay = 0` reproduces **Catnap-Measured**: the reading happens at
+///   the final loaded instant, capturing the un-rebounded node voltage.
+/// * `delay = 2 ms` reproduces **Catnap-Slow**: the load is removed and
+///   the node rebounds for 2 ms first.
+///
+/// Returns `None` if the task browns out (no measurement exists then).
+#[must_use]
+pub fn measure_for_catnap(
+    sys: &mut PowerSystem,
+    load: &LoadProfile,
+    delay: Seconds,
+) -> Option<CatnapMeasurement> {
+    let adc = Adc::msp430_adc12();
+    let dt = Seconds::from_micro(10.0);
+    let v_start = adc.read(sys.v_node());
+
+    let steps = load.duration().steps(dt).max(1);
+    let mut v_last_loaded = sys.v_node();
+    for k in 0..steps {
+        let offset = Seconds::new(k as f64 * dt.get());
+        let i = load.current_at(offset);
+        let out = sys.step(i, dt);
+        if i.get() > 0.0 && (!out.delivering || out.collapsed) {
+            return None;
+        }
+        v_last_loaded = out.v_node;
+    }
+
+    let v_end = if delay.get() <= 0.0 {
+        // Measured at completion, load still effectively applied.
+        adc.read(v_last_loaded)
+    } else {
+        let idle_steps = delay.steps(dt).max(1);
+        let mut v = v_last_loaded;
+        for _ in 0..idle_steps {
+            v = sys.step(culpeo_units::Amps::ZERO, dt).v_node;
+        }
+        adc.read(v)
+    };
+
+    Some(CatnapMeasurement {
+        v_start,
+        v_end: v_end.min(v_start),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_loadgen::synthetic::{PulseLoad, UniformLoad};
+    use culpeo_units::Amps;
+
+    fn plant_at(v: f64) -> PowerSystem {
+        // Two-branch bank: the rebound has a real time constant, which is
+        // what separates Measured from Slow.
+        let mut sys = PowerSystem::capybara_two_branch();
+        sys.set_buffer_voltage(Volts::new(v));
+        sys.force_output_enabled();
+        sys
+    }
+
+    #[test]
+    fn measured_sees_deeper_drop_than_slow_on_uniform_load() {
+        let load = UniformLoad::new(Amps::from_milli(25.0), Seconds::from_milli(10.0)).profile();
+        let m = measure_for_catnap(&mut plant_at(2.4), &load, Seconds::ZERO).unwrap();
+        let s = measure_for_catnap(&mut plant_at(2.4), &load, Seconds::from_milli(2.0)).unwrap();
+        // The immediate reading captures the un-rebounded voltage.
+        assert!(
+            m.v_end < s.v_end,
+            "measured end {} should sit below slow end {}",
+            m.v_end,
+            s.v_end
+        );
+    }
+
+    #[test]
+    fn pulse_tail_hides_the_esr_drop_from_both() {
+        // After 100 ms at 1.5 mA, the 25 mA pulse's ESR drop has long
+        // rebounded: both readings land close together, near the true
+        // final voltage — CatNap "sees" almost no ESR cost.
+        let load = PulseLoad::new(Amps::from_milli(25.0), Seconds::from_milli(10.0)).profile();
+        let m = measure_for_catnap(&mut plant_at(2.4), &load, Seconds::ZERO).unwrap();
+        let s = measure_for_catnap(&mut plant_at(2.4), &load, Seconds::from_milli(2.0)).unwrap();
+        assert!(
+            (s.v_end - m.v_end).get() < 0.02,
+            "tail should hide the pulse drop: measured {} vs slow {}",
+            m.v_end,
+            s.v_end
+        );
+    }
+
+    #[test]
+    fn brownout_returns_none() {
+        let load = UniformLoad::new(Amps::from_milli(50.0), Seconds::from_milli(100.0)).profile();
+        assert!(measure_for_catnap(&mut plant_at(1.7), &load, Seconds::ZERO).is_none());
+    }
+
+    #[test]
+    fn v_end_never_exceeds_v_start() {
+        let load = UniformLoad::new(Amps::from_milli(5.0), Seconds::from_milli(1.0)).profile();
+        let m = measure_for_catnap(&mut plant_at(2.4), &load, Seconds::from_milli(2.0)).unwrap();
+        assert!(m.v_end <= m.v_start);
+    }
+}

@@ -1,0 +1,208 @@
+//! Intermittent (power-failure-and-retry) task execution.
+//!
+//! The Figure 1(a) execution model: a device attempts an atomic task; if
+//! the buffer browns out mid-task, all progress is lost, the device
+//! recharges fully, and the task re-executes from scratch. The dispatch
+//! *policy* — when the device judges it safe to start — is exactly what
+//! Culpeo changes, and this module lets the policies race on the same
+//! plant.
+
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::{PowerSystem, RunConfig};
+use culpeo_units::{Seconds, Volts};
+
+/// When an intermittent runtime decides to launch a pending task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DispatchPolicy {
+    /// Launch whenever the output booster is on (voltage above `V_off`) —
+    /// the opportunistic model of most prior systems.
+    Opportunistic,
+    /// Launch only once the buffer voltage reaches the given threshold
+    /// (e.g. a Culpeo `V_safe` value).
+    VsafeGated(Volts),
+}
+
+/// Statistics from running one task to completion intermittently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntermittentStats {
+    /// Attempts launched, including the successful one.
+    pub attempts: u32,
+    /// Power failures suffered (equals `attempts − 1` on success).
+    pub failures: u32,
+    /// Wall-clock time from first dispatch to completion, including
+    /// recharging.
+    pub elapsed: Seconds,
+    /// Whether the task eventually completed within the attempt budget.
+    pub completed: bool,
+}
+
+/// Runs `task` on `sys` under `policy` until it completes or
+/// `max_attempts` executions have failed. The system's harvester recharges
+/// the buffer between attempts; waiting for charge counts toward
+/// `elapsed`.
+///
+/// # Panics
+///
+/// Panics if `max_attempts` is zero.
+#[must_use]
+pub fn run_to_completion(
+    sys: &mut PowerSystem,
+    task: &LoadProfile,
+    policy: DispatchPolicy,
+    max_attempts: u32,
+) -> IntermittentStats {
+    assert!(max_attempts > 0, "need at least one attempt");
+    let t0 = sys.time();
+    let dt = Seconds::from_micro(100.0);
+    // Bound the wait for charge: a dead harvester must not hang us.
+    let max_wait = Seconds::new(600.0);
+
+    let mut attempts = 0;
+    let mut failures = 0;
+    while attempts < max_attempts {
+        // Wait until the policy allows dispatch (or charging stalls).
+        let ready = wait_until_ready(sys, policy, dt, max_wait);
+        if !ready {
+            break;
+        }
+        attempts += 1;
+        let outcome = sys.run_profile(task, RunConfig::coarse());
+        if outcome.completed() {
+            return IntermittentStats {
+                attempts,
+                failures,
+                elapsed: Seconds::new((sys.time() - t0).get()),
+                completed: true,
+            };
+        }
+        failures += 1;
+        // The monitor now demands a full recharge before software runs
+        // again; the wait at the top of the loop models it.
+    }
+    IntermittentStats {
+        attempts,
+        failures,
+        elapsed: Seconds::new((sys.time() - t0).get()),
+        completed: false,
+    }
+}
+
+/// Advances the system until the dispatch policy is satisfied. Returns
+/// `false` if `max_wait` elapses first (insufficient harvest).
+fn wait_until_ready(
+    sys: &mut PowerSystem,
+    policy: DispatchPolicy,
+    dt: Seconds,
+    max_wait: Seconds,
+) -> bool {
+    let steps = max_wait.steps(dt);
+    for _ in 0..steps {
+        let enabled = sys.monitor().output_enabled();
+        let v = sys.v_node();
+        let ready = match policy {
+            DispatchPolicy::Opportunistic => enabled,
+            DispatchPolicy::VsafeGated(v_safe) => enabled && v >= v_safe,
+        };
+        if ready {
+            return true;
+        }
+        sys.step(culpeo_units::Amps::ZERO, dt);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_powersim::Harvester;
+    use culpeo_units::Amps;
+
+    fn charged_plant() -> PowerSystem {
+        PowerSystem::builder()
+            .harvester(Harvester::ConstantCurrent(Amps::from_milli(5.0)))
+            .build()
+    }
+
+    fn lora_task() -> LoadProfile {
+        LoadProfile::constant("lora", Amps::from_milli(50.0), Seconds::from_milli(100.0))
+    }
+
+    #[test]
+    fn full_buffer_completes_first_try() {
+        let mut sys = charged_plant();
+        let stats = run_to_completion(&mut sys, &lora_task(), DispatchPolicy::Opportunistic, 5);
+        assert!(stats.completed);
+        assert_eq!(stats.attempts, 1);
+        assert_eq!(stats.failures, 0);
+    }
+
+    #[test]
+    fn opportunistic_dispatch_from_low_voltage_fails_then_recovers() {
+        let mut sys = charged_plant();
+        sys.set_buffer_voltage(Volts::new(1.7));
+        sys.force_output_enabled();
+        let stats = run_to_completion(&mut sys, &lora_task(), DispatchPolicy::Opportunistic, 5);
+        // First attempt at 1.7 V browns out; after a full recharge the
+        // retry succeeds.
+        assert!(stats.completed);
+        assert!(stats.failures >= 1, "{stats:?}");
+        assert!(stats.attempts >= 2);
+    }
+
+    #[test]
+    fn vsafe_gating_avoids_the_failure() {
+        let mut sys = charged_plant();
+        sys.set_buffer_voltage(Volts::new(1.7));
+        sys.force_output_enabled();
+        // Gate at a (generous) safe voltage: the device waits for charge
+        // instead of dooming an attempt.
+        let stats = run_to_completion(
+            &mut sys,
+            &lora_task(),
+            DispatchPolicy::VsafeGated(Volts::new(2.2)),
+            5,
+        );
+        assert!(stats.completed);
+        assert_eq!(stats.failures, 0, "{stats:?}");
+        assert_eq!(stats.attempts, 1);
+    }
+
+    #[test]
+    fn doomed_task_without_harvest_gives_up() {
+        let mut sys = PowerSystem::capybara(); // harvester off
+        sys.set_buffer_voltage(Volts::new(1.7));
+        sys.force_output_enabled();
+        let stats = run_to_completion(&mut sys, &lora_task(), DispatchPolicy::Opportunistic, 3);
+        assert!(!stats.completed);
+        // One failed attempt, then the recharge wait times out.
+        assert_eq!(stats.failures, 1);
+    }
+
+    #[test]
+    fn failure_costs_time() {
+        // The retry path (fail, recharge, retry) takes much longer than
+        // dispatching safely in the first place.
+        let mut a = charged_plant();
+        a.set_buffer_voltage(Volts::new(1.7));
+        a.force_output_enabled();
+        let unsafe_stats =
+            run_to_completion(&mut a, &lora_task(), DispatchPolicy::Opportunistic, 5);
+
+        let mut b = charged_plant();
+        b.set_buffer_voltage(Volts::new(1.7));
+        b.force_output_enabled();
+        let safe_stats = run_to_completion(
+            &mut b,
+            &lora_task(),
+            DispatchPolicy::VsafeGated(Volts::new(2.2)),
+            5,
+        );
+        assert!(unsafe_stats.completed && safe_stats.completed);
+        assert!(
+            unsafe_stats.elapsed.get() > safe_stats.elapsed.get(),
+            "failing path {} should cost more than waiting {}",
+            unsafe_stats.elapsed,
+            safe_stats.elapsed
+        );
+    }
+}

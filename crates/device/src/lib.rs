@@ -1,0 +1,39 @@
+//! Device-side simulation: ADCs, the Culpeo-µArch peripheral, the
+//! interrupt-driven profiler, and intermittent task execution.
+//!
+//! `culpeo-core` computes `V_safe` from *observations*; this crate models
+//! how a real device actually obtains them, with all the imperfections the
+//! paper's evaluation turns on:
+//!
+//! * [`Adc`] — a quantizing ADC with a power cost that feeds back into the
+//!   load (profiling perturbs the thing being profiled);
+//! * [`UArchBlock`] — the proposed Culpeo-µArch peripheral (§V-D,
+//!   Figure 9): an 8-bit ADC, digital comparator, and one min/max capture
+//!   register, driven by a 100 kHz clock, commanded through the Table II
+//!   interface;
+//! * [`IsrProfiler`] — the Culpeo-R-ISR software implementation (§V-C):
+//!   a 1 ms timer ISR reading a 12-bit on-chip ADC, then a 50 ms sleep/wake
+//!   loop tracking the rebound;
+//! * [`profile_task`] — the closed loop: run a task on the simulated plant
+//!   while a profiler watches, producing the (quantized, rate-limited)
+//!   [`TaskObservation`](culpeo::runtime::TaskObservation) the device would
+//!   really have measured;
+//! * [`intermittent`] — power-failure-and-retry task execution, for
+//!   demonstrating what `V_safe` buys end-to-end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adc;
+mod catnap;
+mod isr;
+mod profiler;
+mod uarch;
+
+pub mod intermittent;
+
+pub use adc::Adc;
+pub use catnap::{measure_for_catnap, CatnapMeasurement};
+pub use isr::IsrProfiler;
+pub use profiler::{profile_task, ProfiledRun, Profiler, ProfilerKind};
+pub use uarch::{Command, MinMax, UArchBlock, UArchProfiler};

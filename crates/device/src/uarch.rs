@@ -1,0 +1,292 @@
+//! The Culpeo-µArch peripheral block (§V-D, Figure 9, Table II).
+//!
+//! A tiny hardware block beside the MCU: an 8-bit ADC samples `V_cap` on a
+//! 100 kHz clock, a digital comparator compares each sample against a
+//! single capture register, and a write-enable latches the new value when
+//! it improves on the captured minimum (or maximum). The MCU only talks to
+//! the block before and after a task — never during — through four
+//! memory-mapped commands.
+
+use culpeo_units::{Amps, Hertz, Volts};
+
+use crate::Adc;
+
+/// Whether the capture register tracks the minimum or maximum sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MinMax {
+    /// Track the smallest observed ADC code.
+    Min,
+    /// Track the largest observed ADC code.
+    Max,
+}
+
+/// The Table II command set for the peripheral.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// `configure([on/off])` — enable or disable the block (and its ADC).
+    Configure(bool),
+    /// `prepare([min/max])` — preload the capture register with the
+    /// identity element: `0xFF` for minimum tracking, `0x00` for maximum.
+    Prepare(MinMax),
+    /// `sample([min/max])` — start repeated ADC sampling in the given
+    /// direction.
+    Sample(MinMax),
+    /// `read()` — read the capture register (handled by
+    /// [`UArchBlock::read`], which returns the value).
+    Read,
+}
+
+/// The peripheral block itself.
+///
+/// Drive it by issuing [`Command`]s and calling [`UArchBlock::tick`] once
+/// per 100 kHz clock edge with the momentary `V_cap`; the block does the
+/// comparison in "hardware", with no MCU involvement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UArchBlock {
+    adc: Adc,
+    clock: Hertz,
+    enabled: bool,
+    sampling: Option<MinMax>,
+    capture: u8,
+}
+
+impl UArchBlock {
+    /// Creates a disabled block with the proposed 8-bit / 140 nW ADC and a
+    /// 100 kHz sample clock.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            adc: Adc::uarch_8bit(),
+            clock: Hertz::new(100_000.0),
+            enabled: false,
+            sampling: None,
+            capture: 0,
+        }
+    }
+
+    /// The block's ADC.
+    #[must_use]
+    pub fn adc(&self) -> &Adc {
+        &self.adc
+    }
+
+    /// The sample clock the MCU supplies.
+    #[must_use]
+    pub fn clock(&self) -> Hertz {
+        self.clock
+    }
+
+    /// True when the block (and its ADC) is powered.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Issues a command (Table II).
+    pub fn command(&mut self, cmd: Command) {
+        match cmd {
+            Command::Configure(on) => {
+                self.enabled = on;
+                if !on {
+                    self.sampling = None;
+                }
+            }
+            Command::Prepare(mode) => {
+                self.capture = match mode {
+                    MinMax::Min => 0xFF,
+                    MinMax::Max => 0x00,
+                };
+            }
+            Command::Sample(mode) => {
+                if self.enabled {
+                    self.sampling = Some(mode);
+                }
+            }
+            Command::Read => {}
+        }
+    }
+
+    /// Reads the capture register.
+    #[must_use]
+    pub fn read(&self) -> u8 {
+        self.capture
+    }
+
+    /// Reads the capture register as a voltage, at the bottom of its
+    /// quantization bin (conservative for a tracked minimum).
+    #[must_use]
+    pub fn read_volts(&self) -> Volts {
+        self.adc.to_volts(u16::from(self.capture))
+    }
+
+    /// Reads the capture register as a voltage at the *top* of its bin —
+    /// the conservative reconstruction for a tracked maximum (the rebound
+    /// voltage); see [`Adc::read_high`].
+    ///
+    /// [`Adc::read_high`]: crate::Adc::read_high
+    #[must_use]
+    pub fn read_volts_high(&self) -> Volts {
+        Volts::new(self.read_volts().get() + self.adc.lsb().get())
+    }
+
+    /// One-shot ADC reading reconstructed at the top of its bin (used for
+    /// `V_start`).
+    #[must_use]
+    pub fn read_adc_high(&self, v_cap: Volts) -> Volts {
+        self.adc.read_high(v_cap)
+    }
+
+    /// One 100 kHz clock edge: sample `v_cap` and latch if it improves on
+    /// the capture register. No-op while disabled or not sampling.
+    pub fn tick(&mut self, v_cap: Volts) {
+        let Some(mode) = self.sampling else {
+            return;
+        };
+        if !self.enabled {
+            return;
+        }
+        let code = self.adc.sample(v_cap).min(0xFF) as u8;
+        // The XOR'd comparator of Figure 9: write when (code < reg) for
+        // minimum mode, (code > reg) for maximum mode.
+        let write = match mode {
+            MinMax::Min => code < self.capture,
+            MinMax::Max => code > self.capture,
+        };
+        if write {
+            self.capture = code;
+        }
+    }
+
+    /// An immediate one-shot ADC reading (used for `V_start` at
+    /// `profile_start`), independent of the capture machinery.
+    #[must_use]
+    pub fn read_adc(&self, v_cap: Volts) -> Volts {
+        self.adc.read(v_cap)
+    }
+
+    /// The extra load current while the block is enabled.
+    #[must_use]
+    pub fn load_current(&self, v_out: Volts) -> Amps {
+        if self.enabled {
+            self.adc.load_current(v_out)
+        } else {
+            Amps::ZERO
+        }
+    }
+}
+
+impl Default for UArchBlock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Configuration for profiling through the µArch block: how long the
+/// scheduler lets the rebound run before calling `rebound_done`.
+///
+/// The block is cheap enough to stay enabled indefinitely (§V-D), so the
+/// choice is the scheduler's; longer windows capture a higher (more
+/// accurate) `V_final`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UArchProfiler {
+    /// How long maximum-tracking runs after the task before
+    /// `rebound_done`.
+    pub rebound_window: culpeo_units::Seconds,
+}
+
+impl Default for UArchProfiler {
+    fn default() -> Self {
+        Self {
+            rebound_window: culpeo_units::Seconds::from_milli(500.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_tracking_captures_the_dip() {
+        let mut b = UArchBlock::new();
+        b.command(Command::Configure(true));
+        b.command(Command::Prepare(MinMax::Min));
+        b.command(Command::Sample(MinMax::Min));
+        for &v in &[2.3, 2.25, 2.18, 2.22, 2.3] {
+            b.tick(Volts::new(v));
+        }
+        // 2.18 / 0.01 = 218 exactly.
+        assert_eq!(b.read(), 218);
+        assert!(b.read_volts().approx_eq(Volts::new(2.18), 1e-9));
+    }
+
+    #[test]
+    fn max_tracking_captures_the_rebound() {
+        let mut b = UArchBlock::new();
+        b.command(Command::Configure(true));
+        b.command(Command::Prepare(MinMax::Max));
+        b.command(Command::Sample(MinMax::Max));
+        for &v in &[2.18, 2.24, 2.29, 2.28] {
+            b.tick(Volts::new(v));
+        }
+        // Captured the peak to within one 10 mV LSB.
+        let err = (b.read_volts() - Volts::new(2.29)).abs();
+        assert!(err <= b.adc().lsb(), "captured {}", b.read_volts());
+    }
+
+    #[test]
+    fn prepare_loads_identity_values() {
+        let mut b = UArchBlock::new();
+        b.command(Command::Prepare(MinMax::Min));
+        assert_eq!(b.read(), 0xFF);
+        b.command(Command::Prepare(MinMax::Max));
+        assert_eq!(b.read(), 0x00);
+    }
+
+    #[test]
+    fn disabled_block_ignores_ticks_and_draws_nothing() {
+        let mut b = UArchBlock::new();
+        b.command(Command::Prepare(MinMax::Min));
+        b.command(Command::Sample(MinMax::Min)); // ignored: not enabled
+        b.tick(Volts::new(1.0));
+        assert_eq!(b.read(), 0xFF);
+        assert_eq!(b.load_current(Volts::new(2.55)), Amps::ZERO);
+    }
+
+    #[test]
+    fn configure_off_stops_sampling() {
+        let mut b = UArchBlock::new();
+        b.command(Command::Configure(true));
+        b.command(Command::Prepare(MinMax::Min));
+        b.command(Command::Sample(MinMax::Min));
+        b.tick(Volts::new(2.0));
+        b.command(Command::Configure(false));
+        b.tick(Volts::new(1.0));
+        // The 1.0 V sample after disable is not captured.
+        assert_eq!(b.read(), 200);
+    }
+
+    #[test]
+    fn switching_min_to_max_mid_flight() {
+        // The profile_end sequence: read the min, then re-prepare for max.
+        let mut b = UArchBlock::new();
+        b.command(Command::Configure(true));
+        b.command(Command::Prepare(MinMax::Min));
+        b.command(Command::Sample(MinMax::Min));
+        b.tick(Volts::new(2.1));
+        let v_min = b.read_volts();
+        b.command(Command::Prepare(MinMax::Max));
+        b.command(Command::Sample(MinMax::Max));
+        b.tick(Volts::new(2.25));
+        assert!(v_min.approx_eq(Volts::new(2.1), 1e-9));
+        assert!(b.read_volts().approx_eq(Volts::new(2.25), 1e-9));
+    }
+
+    #[test]
+    fn enabled_block_draws_nanowatts() {
+        let mut b = UArchBlock::new();
+        b.command(Command::Configure(true));
+        let i = b.load_current(Volts::new(2.55));
+        assert!(i.get() > 0.0 && i.get() < 100e-9);
+    }
+}

@@ -1,0 +1,140 @@
+//! The §IV-C aging ablation: static models go stale, runtime re-profiling
+//! adapts.
+//!
+//! Supercapacitor capacitance fades toward 80 % of nominal and ESR grows
+//! toward 2× over the device's lifetime. Culpeo-PG's `V_safe` values were
+//! computed against the *fresh* power system; as the plant ages, those
+//! values become unsafe. Culpeo-R re-profiles on the aged plant and stays
+//! safe — the paper's argument for the runtime design.
+
+use culpeo::{pg, runtime, PowerSystemModel};
+use culpeo_device::{profile_task, Profiler, UArchProfiler};
+use culpeo_loadgen::synthetic::PulseLoad;
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::{AgingState, BufferNetwork, PowerSystem};
+use culpeo_units::{Amps, Seconds, Volts};
+use serde::Serialize;
+
+/// One aging step's comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AgingRow {
+    /// Aging fraction (0 = fresh, 1 = datasheet end-of-life).
+    pub age: f64,
+    /// True `V_safe` on the aged plant, volts.
+    pub true_vsafe: f64,
+    /// Culpeo-PG's stale prediction (computed against the fresh model).
+    pub pg_stale: f64,
+    /// Culpeo-R's prediction after re-profiling on the aged plant.
+    pub culpeo_r_reprofiled: f64,
+    /// Is the stale PG value still safe?
+    pub pg_safe: bool,
+    /// Is the re-profiled value safe?
+    pub culpeo_r_safe: bool,
+}
+
+/// The workload under test: a hard 50 mA/10 ms pulse with compute tail.
+fn load() -> LoadProfile {
+    PulseLoad::new(Amps::from_milli(50.0), Seconds::from_milli(10.0)).profile()
+}
+
+/// A plant aged to fraction `t` of end-of-life.
+fn aged_plant(t: f64) -> PowerSystem {
+    let mut sys = PowerSystem::capybara_two_branch();
+    let aging = AgingState::at_fraction(t);
+    let aged: Vec<_> = sys
+        .buffer()
+        .branches()
+        .iter()
+        .map(|b| b.aged(aging))
+        .collect();
+    *sys.buffer_mut() = BufferNetwork::new(aged);
+    sys.force_output_enabled();
+    sys
+}
+
+/// Sweeps aging from fresh to 20 % beyond end-of-life.
+#[must_use]
+pub fn run() -> Vec<AgingRow> {
+    // PG computes once, against the fresh characterisation.
+    let fresh_model = PowerSystemModel::characterize(&|| aged_plant(0.0));
+    let pg_stale = pg::compute_vsafe_for_profile(&load(), &fresh_model).v_safe;
+
+    let mut rows = Vec::new();
+    for &age in &[0.0, 0.25, 0.5, 0.75, 1.0, 1.2] {
+        let make = move || aged_plant(age);
+        let truth = crate::ground_truth::true_vsafe(&make, &load())
+            .expect("load must be feasible across the aging sweep");
+
+        // Culpeo-R re-profiles on the aged plant; it keeps the fresh
+        // model's datasheet constants (C, η) but its observations come
+        // from current reality.
+        let mut sys = make();
+        let v_high = sys.monitor().v_high();
+        sys.set_buffer_voltage(v_high);
+        let reprofiled = profile_task(&mut sys, &load(), &Profiler::UArch(UArchProfiler::default()))
+            .map(|run| runtime::compute_vsafe(&run.observation, &fresh_model).v_safe)
+            .unwrap_or(v_high);
+
+        let margin = Volts::from_milli(19.0); // the paper's ±20 mV failure band
+        rows.push(AgingRow {
+            age,
+            true_vsafe: truth.get(),
+            pg_stale: pg_stale.get(),
+            culpeo_r_reprofiled: reprofiled.get(),
+            pg_safe: pg_stale >= truth - margin,
+            culpeo_r_safe: reprofiled >= truth - margin,
+        });
+    }
+    rows
+}
+
+/// Prints the aging table.
+pub fn print_table(rows: &[AgingRow]) {
+    println!("§IV-C ablation: aging vs V_safe validity (50 mA/10 ms pulse)");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>8} {:>10}",
+        "age", "true (V)", "PG stale", "Culpeo-R", "PG ok", "R ok"
+    );
+    for r in rows {
+        println!(
+            "{:>6.2} {:>10.3} {:>10.3} {:>12.3} {:>8} {:>10}",
+            r.age, r.true_vsafe, r.pg_stale, r.culpeo_r_reprofiled, r.pg_safe, r.culpeo_r_safe
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_pg_fails_at_end_of_life_reprofiled_r_does_not() {
+        let rows = run();
+        let fresh = &rows[0];
+        assert!(fresh.pg_safe, "PG must be safe on the fresh plant");
+        assert!(fresh.culpeo_r_safe);
+
+        let eol = rows.iter().find(|r| r.age >= 1.0).unwrap();
+        assert!(
+            !eol.pg_safe,
+            "stale PG should be unsafe at end-of-life: pg {} vs true {}",
+            eol.pg_stale, eol.true_vsafe
+        );
+        assert!(
+            eol.culpeo_r_safe,
+            "re-profiled Culpeo-R must track the aged plant: {} vs true {}",
+            eol.culpeo_r_reprofiled, eol.true_vsafe
+        );
+    }
+
+    #[test]
+    fn true_vsafe_grows_with_age() {
+        let rows = run();
+        for w in rows.windows(2) {
+            assert!(
+                w[1].true_vsafe >= w[0].true_vsafe - 0.006,
+                "aging should not lower the requirement: {w:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The §II-D decoupling-capacitance ablation.
+//!
+//! The standard circuit fix for load-dependent drop — parallel decoupling
+//! capacitance near the load — does not solve Culpeo's problem: sustained
+//! high-current loads drain the small decoupling caps within
+//! milliseconds and then draw from the high-ESR bank anyway. The paper
+//! measured a 33 mF supercapacitor with 400 µF–6.4 mF of decoupling under
+//! a 50 mA/100 ms LoRa-class load and still saw a 200 mV ESR drop at the
+//! highest (abnormally large) decoupling value.
+
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::{CapacitorBranch, PowerSystem, RunConfig};
+use culpeo_units::{Amps, Farads, Ohms, Seconds, Volts};
+use serde::Serialize;
+
+/// One decoupling configuration's result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DecouplingRow {
+    /// Decoupling capacitance in farads (0 = none).
+    pub decoupling_f: f64,
+    /// ESR-induced (recoverable) drop observed, volts.
+    pub esr_drop_v: f64,
+    /// The drop as a percentage of the 0.96 V operating range.
+    pub drop_pct_of_range: f64,
+}
+
+/// The §II-D plant: a 33 mF supercapacitor (higher per-bank ESR than the
+/// 45 mF six-part bank) with optional low-ESR decoupling.
+fn plant(decoupling: Option<Farads>) -> PowerSystem {
+    let mut builder = PowerSystem::builder().bank(Farads::from_milli(33.0), Ohms::new(4.5));
+    if let Some(c) = decoupling {
+        // Ceramic/tantalum decoupling: low ESR, placed at the rail.
+        builder = builder.extra_branch(CapacitorBranch::ideal(
+            c,
+            Ohms::new(0.02),
+            Volts::ZERO,
+        ));
+    }
+    let mut sys = builder.build();
+    sys.set_buffer_voltage(Volts::new(2.45));
+    sys.force_output_enabled();
+    sys
+}
+
+/// The sustained LoRa-class load of the ablation.
+fn load() -> LoadProfile {
+    LoadProfile::constant("lora", Amps::from_milli(50.0), Seconds::from_milli(100.0))
+}
+
+/// Sweeps decoupling capacitance from none to the paper's abnormally high
+/// 6.4 mF and reports the surviving ESR drop.
+#[must_use]
+pub fn run() -> Vec<DecouplingRow> {
+    let mut rows = Vec::new();
+    let configs: [Option<f64>; 6] =
+        [None, Some(400e-6), Some(800e-6), Some(1.6e-3), Some(3.2e-3), Some(6.4e-3)];
+    for cfg in configs {
+        let mut sys = plant(cfg.map(Farads::new));
+        let out = sys.run_profile(&load(), RunConfig::default());
+        assert!(
+            out.completed(),
+            "decoupling measurement must not brown out (cfg {cfg:?})"
+        );
+        let drop = out.v_delta();
+        rows.push(DecouplingRow {
+            decoupling_f: cfg.unwrap_or(0.0),
+            esr_drop_v: drop.get(),
+            drop_pct_of_range: drop.get() / 0.96 * 100.0,
+        });
+    }
+    rows
+}
+
+/// Prints the ablation table.
+pub fn print_table(rows: &[DecouplingRow]) {
+    println!("§II-D ablation: decoupling capacitance vs surviving ESR drop");
+    println!(
+        "{:>16} {:>14} {:>16}",
+        "decoupling (F)", "ESR drop (V)", "% of op. range"
+    );
+    for r in rows {
+        println!(
+            "{:>16.4e} {:>14.3} {:>16.1}",
+            r.decoupling_f, r.esr_drop_v, r.drop_pct_of_range
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoupling_helps_but_does_not_fix() {
+        let rows = run();
+        let none = rows[0];
+        let most = rows[rows.len() - 1];
+        // Decoupling reduces the drop…
+        assert!(most.esr_drop_v < none.esr_drop_v);
+        // …but even 6.4 mF leaves a drop in the 10–30 % of range band the
+        // paper reports (they saw ~20 %).
+        assert!(
+            most.drop_pct_of_range > 8.0,
+            "6.4 mF decoupling left only {:.1}% drop",
+            most.drop_pct_of_range
+        );
+    }
+
+    #[test]
+    fn drop_is_monotone_in_decoupling() {
+        let rows = run();
+        for w in rows.windows(2) {
+            assert!(
+                w[1].esr_drop_v <= w[0].esr_drop_v + 1e-6,
+                "more decoupling must not worsen the drop: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn undecoupled_drop_is_substantial() {
+        let rows = run();
+        // 50 mA through ~4.5 Ω of effective ESR (plus booster inflation):
+        // hundreds of millivolts.
+        assert!(rows[0].esr_drop_v > 0.25, "drop = {}", rows[0].esr_drop_v);
+    }
+}

@@ -1,0 +1,185 @@
+//! Figure 5: CatNap's feasibility test accepts a schedule that ESR kills.
+//!
+//! Two periodic tasks — `radio` every 6.5 τ and `sense` every 3 τ — fit
+//! energetically on the profiled buffer, so CatNap's `e_cap(t) > 0` test
+//! accepts the schedule. Executing it on the plant, the radio launch that
+//! follows a sense on the same discharge starts below its ESR-aware
+//! `V_safe` and browns out. The Theorem 1 test rejects exactly that
+//! launch.
+
+use culpeo::compose::TaskRequirement;
+use culpeo::pg;
+use culpeo::PowerSystemModel;
+use culpeo_device::measure_for_catnap;
+use culpeo_units::Joules;
+use culpeo_loadgen::peripheral::BleRadio;
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::{PowerSystem, RunConfig};
+use culpeo_sched::feasibility::{catnap_feasible, culpeo_feasible, PlanContext, PlannedLaunch};
+use culpeo_units::{Amps, Seconds, Watts};
+use serde::Serialize;
+
+/// The Figure 5 outcome.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig05 {
+    /// CatNap's verdict on the schedule.
+    pub catnap_accepts: bool,
+    /// Theorem 1's verdict.
+    pub culpeo_accepts: bool,
+    /// What actually happened on the plant: the index of the launch that
+    /// browned out, if any.
+    pub plant_failure_at_launch: Option<usize>,
+    /// Number of launches in the schedule.
+    pub launches: usize,
+}
+
+/// The Figure 5 plant: the standard 45 mF Capybara bank.
+fn plant() -> PowerSystem {
+    let mut sys = PowerSystem::capybara();
+    sys.force_output_enabled();
+    sys
+}
+
+fn sense_load() -> LoadProfile {
+    // A hungry sensing task: substantial energy, modest current. Three of
+    // these plus the weak recharge leave the buffer barely above the
+    // radio's *energy* requirement — but below its ESR-aware V_safe.
+    LoadProfile::constant("sense", Amps::from_milli(4.5), Seconds::new(2.32))
+}
+
+fn radio_load() -> LoadProfile {
+    BleRadio::default().profile()
+}
+
+/// Measures a task's energy the way CatNap's profiling does (Figure 5a):
+/// start/end voltage on the device, converted through ½C·(V₀²−V₁²).
+fn measured_energy(load: &LoadProfile, model: &PowerSystemModel) -> Joules {
+    let mut sys = plant();
+    let m = measure_for_catnap(&mut sys, load, Seconds::from_milli(2.0))
+        .expect("profiling from V_high must complete");
+    Joules::new(0.5 * model.capacitance().get() * (m.v_start.squared() - m.v_end.squared()))
+}
+
+/// Builds the periodic schedule over one hyperperiod (τ = 1 s): sense at
+/// {0, 3, 6} τ, radio at {6.5} τ — so the τ6 sense and τ6.5 radio share a
+/// discharge, the Figure 5 failure. Task energies come from CatNap-style
+/// device profiling; the ESR-aware `V_safe` values come from Culpeo-PG.
+fn schedule(model: &PowerSystemModel) -> Vec<(Seconds, LoadProfile, PlannedLaunch)> {
+    let sense = sense_load();
+    let radio = radio_load();
+    let sense_req = TaskRequirement {
+        buffer_energy: measured_energy(&sense, model),
+        v_delta: pg::compute_vsafe_for_profile(&sense, model).v_delta,
+    };
+    let radio_req = TaskRequirement {
+        buffer_energy: measured_energy(&radio, model),
+        v_delta: pg::compute_vsafe_for_profile(&radio, model).v_delta,
+    };
+    let sense_vsafe = pg::compute_vsafe_for_profile(&sense, model).v_safe;
+    let radio_vsafe = pg::compute_vsafe_for_profile(&radio, model).v_safe;
+
+    let entries = [
+        (0.0, &sense, sense_req, sense_vsafe),
+        (3.0, &sense, sense_req, sense_vsafe),
+        (6.0, &sense, sense_req, sense_vsafe),
+        (6.5, &radio, radio_req, radio_vsafe),
+    ];
+    entries
+        .into_iter()
+        .map(|(t, load, requirement, v_safe)| {
+            (
+                Seconds::new(t),
+                load.clone(),
+                PlannedLaunch {
+                    start: Seconds::new(t),
+                    requirement,
+                    v_safe,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Runs the Figure 5 experiment: evaluate both feasibility tests, then
+/// execute the schedule on the plant.
+#[must_use]
+pub fn run() -> Fig05 {
+    let model = PowerSystemModel::capybara();
+    let sched = schedule(&model);
+    let plan: Vec<PlannedLaunch> = sched.iter().map(|(_, _, p)| *p).collect();
+    let ctx = PlanContext {
+        capacitance: model.capacitance(),
+        v_off: model.v_off(),
+        v_high: model.v_high(),
+        recharge_power: Watts::from_milli(1.0),
+        v_start: model.v_high(),
+    };
+
+    let catnap_accepts = catnap_feasible(&plan, &ctx);
+    let culpeo_accepts = culpeo_feasible(&plan, &ctx);
+
+    // Execute on the plant with the plan's charging assumption.
+    let mut sys = plant();
+    sys.set_harvester(culpeo_powersim::Harvester::ConstantPower(ctx.recharge_power));
+    let dt = Seconds::from_micro(100.0);
+    let mut failure = None;
+    let mut t_prev = Seconds::ZERO;
+    for (idx, (start, load, _)) in sched.iter().enumerate() {
+        let gap = Seconds::new((start.get() - t_prev.get()).max(0.0));
+        sys.run_idle(gap, dt);
+        let out = sys.run_profile(load, RunConfig::coarse());
+        if !out.completed() {
+            failure = Some(idx);
+            break;
+        }
+        t_prev = Seconds::new(start.get() + load.duration().get());
+    }
+
+    Fig05 {
+        catnap_accepts,
+        culpeo_accepts,
+        plant_failure_at_launch: failure,
+        launches: sched.len(),
+    }
+}
+
+/// Prints the verdicts-versus-reality comparison.
+pub fn print_table(fig: &Fig05) {
+    println!("Figure 5: feasibility verdicts vs plant reality");
+    println!("  CatNap (energy-only) accepts : {}", fig.catnap_accepts);
+    println!("  Theorem 1 (V_safe)  accepts : {}", fig.culpeo_accepts);
+    match fig.plant_failure_at_launch {
+        Some(idx) => println!(
+            "  plant: launch #{idx} of {} browned out — CatNap's verdict was wrong",
+            fig.launches
+        ),
+        None => println!("  plant: all {} launches completed", fig.launches),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_units::Joules;
+
+    #[test]
+    fn catnap_accepts_culpeo_rejects_plant_fails() {
+        let fig = run();
+        assert!(fig.catnap_accepts, "CatNap must judge the schedule feasible");
+        assert!(!fig.culpeo_accepts, "Theorem 1 must reject it");
+        // The plant vindicates Theorem 1: the radio launch (index 3) dies.
+        assert_eq!(fig.plant_failure_at_launch, Some(3));
+    }
+
+    #[test]
+    fn radio_vsafe_exceeds_sense_vsafe() {
+        // The radio's burst current, not its energy, is what demands the
+        // higher starting voltage.
+        let model = PowerSystemModel::capybara();
+        let sense = pg::compute_vsafe_for_profile(&sense_load(), &model);
+        let radio = pg::compute_vsafe_for_profile(&radio_load(), &model);
+        assert!(radio.v_delta > sense.v_delta);
+        // Yet sense consumes much more energy.
+        assert!(sense.buffer_energy > Joules::new(radio.buffer_energy.get() * 2.0));
+    }
+}

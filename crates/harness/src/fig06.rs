@@ -1,0 +1,126 @@
+//! Figure 6: energy-only estimators against ground truth.
+//!
+//! For each synthetic load, the error is reported as the paper does:
+//! `(true V_safe − predicted V_safe)` as a percentage of the operating
+//! range, so **positive error means the prediction is too low and the
+//! task fails**. Energy-Direct, Catnap-Slow, and Catnap-Measured are the
+//! systems under test.
+
+use culpeo::PowerSystemModel;
+use culpeo_loadgen::synthetic::fig6_loads;
+use serde::Serialize;
+
+use crate::ground_truth::true_vsafe;
+use crate::systems::VsafeSystem;
+use crate::{error_percent_of_range, reference_plant};
+
+/// The systems Figure 6 compares.
+pub const FIG6_SYSTEMS: [VsafeSystem; 3] = [
+    VsafeSystem::EnergyDirect,
+    VsafeSystem::CatnapSlow,
+    VsafeSystem::CatnapMeasured,
+];
+
+/// One (load, system) cell of Figure 6.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig06Row {
+    /// Load label (e.g. `"25mA/10ms pulse"`).
+    pub load: String,
+    /// Estimator label.
+    pub system: String,
+    /// Ground-truth `V_safe` from the brute-force search, volts.
+    pub true_vsafe: f64,
+    /// The estimator's prediction, volts.
+    pub predicted_vsafe: f64,
+    /// `(true − predicted)` as % of operating range; positive ⇒ the task
+    /// fails when dispatched at the prediction.
+    pub error_pct: f64,
+}
+
+/// Runs the Figure 6 comparison over the 12 synthetic loads.
+#[must_use]
+pub fn run() -> Vec<Fig06Row> {
+    let model = PowerSystemModel::characterize(&reference_plant);
+    let range = model.operating_range();
+    let mut rows = Vec::new();
+    for load in fig6_loads() {
+        let Some(truth) = true_vsafe(&reference_plant, &load) else {
+            continue;
+        };
+        for system in FIG6_SYSTEMS {
+            let Some(predicted) = system.predict(&load, &model, &reference_plant) else {
+                continue;
+            };
+            rows.push(Fig06Row {
+                load: load.label().to_string(),
+                system: system.label().to_string(),
+                true_vsafe: truth.get(),
+                predicted_vsafe: predicted.get(),
+                error_pct: error_percent_of_range(truth - predicted, range).get(),
+            });
+        }
+    }
+    rows
+}
+
+/// Prints the Figure 6 table.
+pub fn print_table(rows: &[Fig06Row]) {
+    println!("Figure 6: V_safe error of energy-only estimators (+ = task fails)");
+    println!(
+        "{:<22} {:<18} {:>10} {:>10} {:>9}",
+        "load", "system", "true (V)", "pred (V)", "err (%)"
+    );
+    for r in rows {
+        println!(
+            "{:<22} {:<18} {:>10.3} {:>10.3} {:>9.1}",
+            r.load, r.system, r.true_vsafe, r.predicted_vsafe, r.error_pct
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_estimators_fail_most_pulse_loads() {
+        let rows = run();
+        // Among the pulse+compute loads, the energy-only estimators must
+        // produce substantially positive (unsafe) errors for the
+        // high-current points — the paper's headline claim.
+        let unsafe_pulse_cells = rows
+            .iter()
+            .filter(|r| r.load.contains("pulse") && r.load.contains("50mA"))
+            .filter(|r| r.error_pct > 5.0)
+            .count();
+        assert!(
+            unsafe_pulse_cells >= 2,
+            "expected ≥2 badly-unsafe 50 mA pulse cells, rows: {:#?}",
+            rows.iter()
+                .filter(|r| r.load.contains("50mA"))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn direct_energy_is_never_conservative_for_pulses() {
+        let rows = run();
+        for r in rows
+            .iter()
+            .filter(|r| r.system == "Energy-Direct" && r.load.contains("pulse"))
+        {
+            assert!(
+                r.error_pct > -2.0,
+                "Energy-Direct should never exceed the true V_safe by much: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn covers_all_loads_and_systems() {
+        let rows = run();
+        // 12 loads × 3 systems, modulo loads that are infeasible (none of
+        // the Fig 6 set should be).
+        assert_eq!(rows.len(), 36, "expected full grid");
+    }
+}

@@ -1,0 +1,160 @@
+//! Figure 10: `V_safe` prediction error for CatNap and all three Culpeo
+//! implementations over the 18 synthetic loads.
+//!
+//! Sign convention (the paper flips it relative to Figure 6): error is
+//! `(predicted − true)` as a percentage of the operating range, so
+//! **negative error is unsafe** (task fails) and the paper's correctness
+//! bar is "above −2 %, ideally > 0 with < 10 % conservatism".
+
+use culpeo::PowerSystemModel;
+use culpeo_loadgen::synthetic::fig10_loads;
+use serde::Serialize;
+
+use crate::ground_truth::true_vsafe;
+use crate::systems::VsafeSystem;
+use crate::{error_percent_of_range, reference_plant};
+
+/// The systems Figure 10 compares.
+pub const FIG10_SYSTEMS: [VsafeSystem; 4] = [
+    VsafeSystem::CatnapMeasured,
+    VsafeSystem::CulpeoPg,
+    VsafeSystem::CulpeoIsr,
+    VsafeSystem::CulpeoUArch,
+];
+
+/// One (load, system) cell of Figure 10.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig10Row {
+    /// Load label.
+    pub load: String,
+    /// System label.
+    pub system: String,
+    /// Ground-truth `V_safe`, volts.
+    pub true_vsafe: f64,
+    /// Predicted `V_safe`, volts.
+    pub predicted_vsafe: f64,
+    /// `(predicted − true)` as % of operating range; negative ⇒ unsafe.
+    pub error_pct: f64,
+}
+
+/// Runs the Figure 10 comparison over the 18 loads × 4 systems.
+#[must_use]
+pub fn run() -> Vec<Fig10Row> {
+    let model = PowerSystemModel::characterize(&reference_plant);
+    let range = model.operating_range();
+    let mut rows = Vec::new();
+    for load in fig10_loads() {
+        let Some(truth) = true_vsafe(&reference_plant, &load) else {
+            continue;
+        };
+        for system in FIG10_SYSTEMS {
+            let Some(predicted) = system.predict(&load, &model, &reference_plant) else {
+                continue;
+            };
+            rows.push(Fig10Row {
+                load: load.label().to_string(),
+                system: system.label().to_string(),
+                true_vsafe: truth.get(),
+                predicted_vsafe: predicted.get(),
+                error_pct: error_percent_of_range(predicted - truth, range).get(),
+            });
+        }
+    }
+    rows
+}
+
+/// Prints the Figure 10 table.
+pub fn print_table(rows: &[Fig10Row]) {
+    println!("Figure 10: V_safe prediction error (− = UNSAFE, + = conservative)");
+    println!(
+        "{:<22} {:<16} {:>10} {:>10} {:>9}",
+        "load", "system", "true (V)", "pred (V)", "err (%)"
+    );
+    for r in rows {
+        let marker = if r.error_pct < -2.0 { "  ✗" } else { "" };
+        println!(
+            "{:<22} {:<16} {:>10.3} {:>10.3} {:>9.1}{marker}",
+            r.load, r.system, r.true_vsafe, r.predicted_vsafe, r.error_pct
+        );
+    }
+}
+
+/// Summarises safety per system: (unsafe cells, worst error, mean error).
+#[must_use]
+pub fn summarize(rows: &[Fig10Row]) -> Vec<(String, usize, f64, f64)> {
+    FIG10_SYSTEMS
+        .iter()
+        .map(|s| {
+            let cells: Vec<&Fig10Row> =
+                rows.iter().filter(|r| r.system == s.label()).collect();
+            let unsafe_cells = cells.iter().filter(|r| r.error_pct < -2.0).count();
+            let worst = cells
+                .iter()
+                .map(|r| r.error_pct)
+                .fold(f64::INFINITY, f64::min);
+            let mean = cells.iter().map(|r| r.error_pct).sum::<f64>() / cells.len().max(1) as f64;
+            (s.label().to_string(), unsafe_cells, worst, mean)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn culpeo_r_variants_are_always_safe() {
+        let rows = run();
+        for r in rows
+            .iter()
+            .filter(|r| r.system == "Culpeo-ISR" || r.system == "Culpeo-µArch")
+        {
+            assert!(
+                r.error_pct > -2.0,
+                "{} on {} is unsafe: {:.1}% (pred {:.3} vs true {:.3})",
+                r.system,
+                r.load,
+                r.error_pct,
+                r.predicted_vsafe,
+                r.true_vsafe
+            );
+        }
+    }
+
+    #[test]
+    fn catnap_is_unsafe_on_pulse_loads() {
+        let rows = run();
+        let unsafe_catnap = rows
+            .iter()
+            .filter(|r| r.system == "Catnap-Measured" && r.load.contains("pulse"))
+            .filter(|r| r.error_pct < -2.0)
+            .count();
+        assert!(
+            unsafe_catnap >= 4,
+            "CatNap should be unsafe on most pulse loads, got {unsafe_catnap}"
+        );
+    }
+
+    #[test]
+    fn culpeo_estimates_are_not_wildly_conservative() {
+        let rows = run();
+        for r in rows
+            .iter()
+            .filter(|r| r.system.starts_with("Culpeo"))
+        {
+            assert!(
+                r.error_pct < 40.0,
+                "{} on {}: {:.1}% over-conservative",
+                r.system,
+                r.load,
+                r.error_pct
+            );
+        }
+    }
+
+    #[test]
+    fn grid_is_complete() {
+        let rows = run();
+        assert_eq!(rows.len(), 18 * 4);
+    }
+}

@@ -1,0 +1,174 @@
+//! Figure 12: event-capture rates for the three applications under
+//! CatNap and Culpeo scheduling.
+
+use culpeo_sched::{apps, run_trial, AppSpec, ChargePolicy};
+use culpeo_units::Seconds;
+use serde::Serialize;
+
+/// One (application-class, policy) bar of Figure 12.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig12Row {
+    /// Event-class label (PS, report, NMR-mic, NMR-BLE).
+    pub class: String,
+    /// Policy label.
+    pub policy: String,
+    /// Events generated across all trials.
+    pub generated: u32,
+    /// Events captured across all trials.
+    pub captured: u32,
+    /// Capture rate in percent.
+    pub capture_pct: f64,
+    /// Brownouts suffered across all trials.
+    pub brownouts: u32,
+}
+
+/// Number of trials per (app, policy), as in the paper.
+pub const TRIALS: u32 = 3;
+
+/// Trial duration (the paper runs five-minute trials).
+pub const TRIAL_DURATION: Seconds = Seconds::new(300.0);
+
+/// Runs Figure 12: three apps × two policies × three 5-minute trials.
+#[must_use]
+pub fn run() -> Vec<Fig12Row> {
+    run_with(TRIAL_DURATION, TRIALS)
+}
+
+/// Parameterised variant (shorter runs for tests).
+#[must_use]
+pub fn run_with(duration: Seconds, trials: u32) -> Vec<Fig12Row> {
+    let applications = [
+        apps::periodic_sensing(),
+        apps::responsive_reporting(),
+        apps::noise_monitoring(),
+    ];
+    let mut rows = Vec::new();
+    for app in &applications {
+        for policy in [ChargePolicy::Catnap, ChargePolicy::Culpeo] {
+            rows.extend(aggregate(app, policy, duration, trials));
+        }
+    }
+    rows
+}
+
+/// Aggregates per-class stats over seeded trials of one (app, policy).
+fn aggregate(
+    app: &AppSpec,
+    policy: ChargePolicy,
+    duration: Seconds,
+    trials: u32,
+) -> Vec<Fig12Row> {
+    let mut per_class: Vec<(String, u32, u32)> = app
+        .classes
+        .iter()
+        .map(|c| (c.name.clone(), 0u32, 0u32))
+        .collect();
+    let mut brownouts = 0;
+    for k in 0..trials {
+        let result = run_trial(app, policy, duration, 7000 + u64::from(k));
+        brownouts += result.brownouts;
+        for (name, gen, cap) in &mut per_class {
+            let s = result.class(name);
+            *gen += s.generated;
+            *cap += s.captured;
+        }
+    }
+    per_class
+        .into_iter()
+        .map(|(class, generated, captured)| Fig12Row {
+            class,
+            policy: policy.label().to_string(),
+            generated,
+            captured,
+            capture_pct: if generated == 0 {
+                100.0
+            } else {
+                f64::from(captured) / f64::from(generated) * 100.0
+            },
+            brownouts,
+        })
+        .collect()
+}
+
+/// Prints the Figure 12 table.
+pub fn print_table(rows: &[Fig12Row]) {
+    println!("Figure 12: events captured (%) per application class");
+    println!(
+        "{:<12} {:<8} {:>10} {:>10} {:>10} {:>10}",
+        "class", "policy", "generated", "captured", "capture %", "brownouts"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:<8} {:>10} {:>10} {:>10.1} {:>10}",
+            r.class, r.policy, r.generated, r.captured, r.capture_pct, r.brownouts
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shortened Figure 12 (one 2-minute trial per cell) so the test stays
+    /// fast; the full binaries run the paper-scale version.
+    fn quick() -> Vec<Fig12Row> {
+        run_with(Seconds::new(120.0), 1)
+    }
+
+    #[test]
+    fn culpeo_beats_catnap_on_every_class_it_matters() {
+        let rows = quick();
+        for class in ["PS", "report"] {
+            let cat = rows
+                .iter()
+                .find(|r| r.class == class && r.policy == "Catnap")
+                .unwrap();
+            let cul = rows
+                .iter()
+                .find(|r| r.class == class && r.policy == "Culpeo")
+                .unwrap();
+            assert!(
+                cul.capture_pct >= cat.capture_pct,
+                "{class}: culpeo {:.0}% < catnap {:.0}%",
+                cul.capture_pct,
+                cat.capture_pct
+            );
+        }
+        // And strictly better somewhere substantial.
+        let cat_report = rows
+            .iter()
+            .find(|r| r.class == "report" && r.policy == "Catnap")
+            .unwrap();
+        let cul_report = rows
+            .iter()
+            .find(|r| r.class == "report" && r.policy == "Culpeo")
+            .unwrap();
+        assert!(
+            cul_report.capture_pct > cat_report.capture_pct + 20.0,
+            "culpeo {:.0}% vs catnap {:.0}% on RR",
+            cul_report.capture_pct,
+            cat_report.capture_pct
+        );
+    }
+
+    #[test]
+    fn culpeo_capture_is_high_everywhere() {
+        let rows = quick();
+        for r in rows.iter().filter(|r| r.policy == "Culpeo") {
+            assert!(
+                r.capture_pct > 60.0,
+                "{}: culpeo captured only {:.0}%",
+                r.class,
+                r.capture_pct
+            );
+        }
+    }
+
+    #[test]
+    fn all_four_paper_classes_appear() {
+        let rows = quick();
+        for class in ["PS", "report", "NMR-mic", "NMR-BLE"] {
+            assert!(rows.iter().any(|r| r.class == class), "missing {class}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Figure 13: event capture versus interarrival rate.
+//!
+//! PS and RR run at three event rates — slow (6 s / 60 s), achievable
+//! (4.5 s / 45 s), and too fast (3 s / 30 s). Culpeo's capture should be
+//! high once the rate is achievable; CatNap, which drains the buffer too
+//! far between events, shows little or *inverted* benefit from slowing
+//! events down.
+
+use culpeo_sched::{apps, run_trial, AppSpec, ChargePolicy};
+use culpeo_units::Seconds;
+use serde::Serialize;
+
+/// One (app, rate, policy) bar of Figure 13.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Fig13Row {
+    /// Application ("PS" or "RR").
+    pub app: String,
+    /// Rate label: "slow", "achievable", or "too-fast".
+    pub rate: String,
+    /// Policy label.
+    pub policy: String,
+    /// Events generated.
+    pub generated: u32,
+    /// Events captured.
+    pub captured: u32,
+    /// Capture rate in percent.
+    pub capture_pct: f64,
+}
+
+/// The paper's rate scalings relative to the achievable setting: slow =
+/// 4/3× the interarrival, too fast = 2/3×.
+pub const RATE_POINTS: [(&str, f64); 3] =
+    [("slow", 4.0 / 3.0), ("achievable", 1.0), ("too-fast", 2.0 / 3.0)];
+
+/// Runs Figure 13 at the paper's scale.
+#[must_use]
+pub fn run() -> Vec<Fig13Row> {
+    run_with(Seconds::new(300.0), 3)
+}
+
+/// Parameterised variant (shorter runs for tests).
+#[must_use]
+pub fn run_with(duration: Seconds, trials: u32) -> Vec<Fig13Row> {
+    let candidates: [(&str, AppSpec, &str); 2] = [
+        ("PS", apps::periodic_sensing(), "PS"),
+        ("RR", apps::responsive_reporting(), "report"),
+    ];
+    let mut rows = Vec::new();
+    for (app_label, base, class) in candidates {
+        for (rate_label, factor) in RATE_POINTS {
+            let app = base.with_rate_scaled(factor);
+            for policy in [ChargePolicy::Catnap, ChargePolicy::Culpeo] {
+                let mut generated = 0;
+                let mut captured = 0;
+                for k in 0..trials {
+                    let r = run_trial(&app, policy, duration, 9000 + u64::from(k));
+                    let s = r.class(class);
+                    generated += s.generated;
+                    captured += s.captured;
+                }
+                rows.push(Fig13Row {
+                    app: app_label.to_string(),
+                    rate: rate_label.to_string(),
+                    policy: policy.label().to_string(),
+                    generated,
+                    captured,
+                    capture_pct: if generated == 0 {
+                        100.0
+                    } else {
+                        f64::from(captured) / f64::from(generated) * 100.0
+                    },
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Prints the Figure 13 table.
+pub fn print_table(rows: &[Fig13Row]) {
+    println!("Figure 13: events captured (%) vs event rate");
+    println!(
+        "{:<6} {:<12} {:<8} {:>10} {:>10} {:>10}",
+        "app", "rate", "policy", "generated", "captured", "capture %"
+    );
+    for r in rows {
+        println!(
+            "{:<6} {:<12} {:<8} {:>10} {:>10} {:>10.1}",
+            r.app, r.rate, r.policy, r.generated, r.captured, r.capture_pct
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Vec<Fig13Row> {
+        run_with(Seconds::new(120.0), 1)
+    }
+
+    fn rate_of(rows: &[Fig13Row], app: &str, rate: &str, policy: &str) -> f64 {
+        rows.iter()
+            .find(|r| r.app == app && r.rate == rate && r.policy == policy)
+            .unwrap()
+            .capture_pct
+    }
+
+    #[test]
+    fn culpeo_is_high_at_achievable_and_slow_rates() {
+        let rows = quick();
+        for app in ["PS", "RR"] {
+            for rate in ["slow", "achievable"] {
+                let pct = rate_of(&rows, app, rate, "Culpeo");
+                assert!(
+                    pct > 75.0,
+                    "{app}@{rate}: culpeo captured only {pct:.0}%"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn culpeo_beats_catnap_at_achievable_rates() {
+        let rows = quick();
+        for app in ["PS", "RR"] {
+            let cul = rate_of(&rows, app, "achievable", "Culpeo");
+            let cat = rate_of(&rows, app, "achievable", "Catnap");
+            assert!(
+                cul >= cat,
+                "{app}: culpeo {cul:.0}% < catnap {cat:.0}%"
+            );
+        }
+    }
+
+    #[test]
+    fn catnap_gains_little_from_slowing_down() {
+        // The paper's counterintuitive observation: more time between
+        // events lets CatNap drain the buffer further, so slowing down
+        // does not rescue it the way it should.
+        let rows = quick();
+        let slow = rate_of(&rows, "RR", "slow", "Catnap");
+        let cul_slow = rate_of(&rows, "RR", "slow", "Culpeo");
+        assert!(
+            cul_slow - slow > 20.0,
+            "even slowed down, catnap ({slow:.0}%) should trail culpeo ({cul_slow:.0}%)"
+        );
+    }
+
+    #[test]
+    fn full_grid() {
+        let rows = quick();
+        assert_eq!(rows.len(), 2 * 3 * 2);
+    }
+}

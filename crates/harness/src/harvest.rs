@@ -1,0 +1,145 @@
+//! The §IV-D harvesting-assumption ablation.
+//!
+//! Culpeo-R assumes harvested power is roughly constant *during* an event
+//! and therefore produces `V_safe` values that bake the profiling-time
+//! harvest in: profile under strong sun and the observed dips are
+//! shallower (the harvester offsets part of the draw), so the estimate is
+//! lower than what a cloudy afternoon requires. The paper's prescription
+//! is to pair Culpeo-R with scheduler policies that re-profile when the
+//! charge rate changes; this experiment measures how much that matters.
+
+use culpeo::{runtime, PowerSystemModel};
+use culpeo_device::{profile_task, Profiler, UArchProfiler};
+use culpeo_loadgen::peripheral::LoRaRadio;
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::{Harvester, PowerSystem, RunConfig};
+use culpeo_units::{Volts, Watts};
+use serde::Serialize;
+
+/// One harvest level's result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct HarvestRow {
+    /// Constant harvested power during profiling *and* execution, watts.
+    pub harvest_w: f64,
+    /// Culpeo-R's `V_safe` when profiled at this harvest level, volts.
+    pub v_safe: f64,
+    /// Dispatching at this level's own estimate completes?
+    pub own_completes: bool,
+    /// Dispatching at the *strong-harvest* estimate completes here?
+    pub strong_estimate_completes: bool,
+}
+
+/// The harvest levels swept: strong sun down to darkness.
+pub const LEVELS_MW: [f64; 4] = [20.0, 8.0, 2.0, 0.0];
+
+fn plant(harvest_mw: f64) -> PowerSystem {
+    let mut sys = PowerSystem::capybara();
+    if harvest_mw > 0.0 {
+        sys.set_harvester(Harvester::ConstantPower(Watts::from_milli(harvest_mw)));
+    }
+    sys.force_output_enabled();
+    sys
+}
+
+fn load() -> LoadProfile {
+    LoRaRadio::default().profile()
+}
+
+/// Profiles the LoRa task at each harvest level and cross-dispatches the
+/// strong-harvest estimate everywhere.
+#[must_use]
+pub fn run() -> Vec<HarvestRow> {
+    let model = PowerSystemModel::capybara();
+
+    let estimate_at = |mw: f64| -> Volts {
+        let mut sys = plant(mw);
+        sys.set_buffer_voltage(model.v_high());
+        profile_task(&mut sys, &load(), &Profiler::UArch(UArchProfiler::default()))
+            .map(|run| runtime::compute_vsafe(&run.observation, &model).v_safe)
+            .unwrap_or_else(|| model.v_high())
+    };
+
+    let strong = estimate_at(LEVELS_MW[0]);
+    LEVELS_MW
+        .iter()
+        .map(|&mw| {
+            let own = estimate_at(mw);
+            HarvestRow {
+                harvest_w: mw * 1e-3,
+                v_safe: own.get(),
+                own_completes: dispatch(mw, own),
+                strong_estimate_completes: dispatch(mw, strong),
+            }
+        })
+        .collect()
+}
+
+fn dispatch(harvest_mw: f64, v: Volts) -> bool {
+    let mut sys = plant(harvest_mw);
+    sys.set_buffer_voltage((v + Volts::from_milli(5.0)).min(Volts::new(2.56)));
+    sys.force_output_enabled();
+    sys.run_profile(&load(), RunConfig::default()).completed()
+}
+
+/// Prints the ablation table.
+pub fn print_table(rows: &[HarvestRow]) {
+    println!("§IV-D: Culpeo-R V_safe vs harvesting conditions (LoRa TX)");
+    println!(
+        "{:>12} {:>10} {:>12} {:>22}",
+        "harvest", "V_safe", "own works", "strong-sun est. works"
+    );
+    for r in rows {
+        println!(
+            "{:>10.1} mW {:>10.3} {:>12} {:>22}",
+            r.harvest_w * 1e3,
+            r.v_safe,
+            r.own_completes,
+            r.strong_estimate_completes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weaker_harvest_demands_higher_vsafe() {
+        let rows = run();
+        for w in rows.windows(2) {
+            assert!(
+                w[1].v_safe >= w[0].v_safe - 0.005,
+                "V_safe should not fall as harvest weakens: {w:?}"
+            );
+        }
+        // Strong sun vs darkness differ by a scheduler-relevant margin.
+        assert!(
+            rows[rows.len() - 1].v_safe - rows[0].v_safe > 0.03,
+            "dark {} vs sunny {}",
+            rows[rows.len() - 1].v_safe,
+            rows[0].v_safe
+        );
+    }
+
+    #[test]
+    fn own_estimates_are_safe_everywhere() {
+        for r in run() {
+            assert!(
+                r.own_completes,
+                "estimate profiled at {} W failed at its own level",
+                r.harvest_w
+            );
+        }
+    }
+
+    #[test]
+    fn stale_sunny_estimate_fails_in_the_dark() {
+        let rows = run();
+        let dark = rows.last().unwrap();
+        assert!(
+            !dark.strong_estimate_completes,
+            "the strong-sun estimate must fail without harvest — this is \
+             why §IV-D re-profiles when the charge rate changes"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! The experiment harness: ground-truth `V_safe` search and drivers that
+//! regenerate every table and figure of the paper's evaluation.
+//!
+//! Each `figNN` module exposes a `run()` producing serialisable rows and a
+//! `print_table()` for human-readable output; the binaries in
+//! `culpeo-bench` are thin wrappers around them. DESIGN.md's
+//! per-experiment index maps each module to the paper artefact it
+//! regenerates, and EXPERIMENTS.md records paper-vs-measured values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aging;
+pub mod decoupling;
+pub mod fig01;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod ground_truth;
+pub mod harvest;
+pub mod reconfig;
+pub mod systems;
+
+use culpeo_powersim::PowerSystem;
+use culpeo_units::{Percent, Volts};
+
+/// The reference plant every estimator-accuracy experiment runs against:
+/// the two-branch supercapacitor bank, whose frequency-dependent ESR and
+/// millisecond-scale rebound are what distinguish the estimators.
+#[must_use]
+pub fn reference_plant() -> PowerSystem {
+    let mut sys = PowerSystem::capybara_two_branch();
+    sys.force_output_enabled();
+    sys
+}
+
+/// Error as a percentage of the software operating range
+/// (`V_high − V_off`), the unit of Figures 6 and 10.
+#[must_use]
+pub fn error_percent_of_range(delta: Volts, range: Volts) -> Percent {
+    Percent::new(delta.get() / range.get() * 100.0)
+}

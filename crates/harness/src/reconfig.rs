@@ -1,0 +1,181 @@
+//! The §V-B reconfigurable-energy-storage experiment.
+//!
+//! Devices like Capybara and Morphy switch capacitor banks in and out at
+//! runtime, trading storage capacity against recharge time. Every
+//! configuration is a different power system — different effective
+//! capacitance *and* different effective ESR — so a `V_safe` computed
+//! under one configuration is wrong under another. Culpeo handles this by
+//! tagging per-task data with a buffer-configuration identifier (§V-B);
+//! this experiment shows the tagging is not bureaucracy: the same task's
+//! `V_safe` differs across configurations by a scheduler-relevant margin,
+//! and using the wrong configuration's value browns the device out.
+
+use culpeo::{runtime, BufferConfigId, Culpeo, PowerSystemModel, TaskId};
+use culpeo_device::{profile_task, Profiler, UArchProfiler};
+use culpeo_loadgen::peripheral::BleRadio;
+use culpeo_powersim::{CapacitorBranch, PowerSystem, RunConfig};
+use culpeo_units::{Amps, Farads, Ohms, Volts};
+use serde::Serialize;
+
+/// One buffer configuration's result.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ReconfigRow {
+    /// Configuration name.
+    pub config: String,
+    /// Connected capacitance in farads.
+    pub capacitance_f: f64,
+    /// The BLE task's `V_safe` under this configuration, volts.
+    pub v_safe: f64,
+    /// Dispatching at *this* configuration's value completes?
+    pub own_value_completes: bool,
+    /// Dispatching at the *other* configuration's value completes?
+    pub crossed_value_completes: bool,
+}
+
+/// A two-bank reconfigurable array: a small "fast" bank (one 7.5 mF part)
+/// and a large "bulk" bank (five more parts). `small_only = true` leaves
+/// only the fast bank connected.
+fn array(small_only: bool) -> PowerSystem {
+    let part = |v: f64| CapacitorBranch::new(
+        Farads::from_milli(7.5),
+        Ohms::new(20.0),
+        Amps::new(3.3e-9),
+        Volts::new(v),
+    );
+    let mut sys = PowerSystem::builder()
+        .extra_branch(part(0.0)) // placeholder; replaced below
+        .build();
+    // Build the explicit 2-bank array: branch 0 = fast bank (1 part),
+    // branch 1 = bulk bank (5 parts in parallel ⇒ 37.5 mF, 4 Ω).
+    let bulk = CapacitorBranch::new(
+        Farads::from_milli(37.5),
+        Ohms::new(4.0),
+        Amps::new(16.5e-9),
+        Volts::new(2.56),
+    );
+    let fast = part(2.56);
+    *sys.buffer_mut() = culpeo_powersim::BufferNetwork::new(vec![fast, bulk]);
+    if small_only {
+        sys.buffer_mut().set_branch_connected(1, false);
+    }
+    sys.force_output_enabled();
+    sys
+}
+
+/// The per-configuration model a designer would register with Culpeo.
+fn model_for(small_only: bool) -> PowerSystemModel {
+    let (c, r) = if small_only {
+        (Farads::from_milli(7.5), Ohms::new(20.0))
+    } else {
+        // 7.5 mF ∥ 37.5 mF with 20 Ω ∥ 4 Ω.
+        (Farads::from_milli(45.0), Ohms::new(1.0 / (1.0 / 20.0 + 1.0 / 4.0)))
+    };
+    PowerSystemModel::with_flat_esr(
+        c,
+        r,
+        Volts::new(2.55),
+        culpeo_powersim::EfficiencyCurve::tps61200_like(),
+        Volts::new(1.6),
+        Volts::new(2.56),
+    )
+}
+
+/// Profiles the BLE task under both configurations through the Culpeo
+/// API (config-tagged), then cross-dispatches.
+#[must_use]
+pub fn run() -> Vec<ReconfigRow> {
+    let task = TaskId(1);
+    let load = BleRadio::default().profile();
+    let configs = [("full-array", false), ("small-bank", true)];
+
+    // Profile under each configuration, tagging via the Culpeo API.
+    let mut culpeo = Culpeo::new(model_for(false));
+    let mut vsafes = Vec::new();
+    for (idx, &(_, small_only)) in configs.iter().enumerate() {
+        culpeo.set_buffer_config(BufferConfigId(idx as u32), Some(model_for(small_only)));
+        let mut sys = array(small_only);
+        let run = profile_task(&mut sys, &load, &Profiler::UArch(UArchProfiler::default()))
+            .expect("profiling from full charge completes");
+        let est = runtime::compute_vsafe(&run.observation, culpeo.model());
+        culpeo.insert_estimate(task, est);
+        vsafes.push(culpeo.get_vsafe(task).expect("estimate stored"));
+    }
+
+    // Cross-dispatch: own value vs the other configuration's value.
+    let mut rows = Vec::new();
+    for (idx, &(name, small_only)) in configs.iter().enumerate() {
+        let own = vsafes[idx];
+        let other = vsafes[1 - idx];
+        rows.push(ReconfigRow {
+            config: name.to_string(),
+            capacitance_f: array(small_only).buffer().connected_capacitance().get(),
+            v_safe: own.get(),
+            own_value_completes: dispatch(small_only, &load, own),
+            crossed_value_completes: dispatch(small_only, &load, other),
+        });
+    }
+    rows
+}
+
+fn dispatch(small_only: bool, load: &culpeo_loadgen::LoadProfile, v: Volts) -> bool {
+    let mut sys = array(small_only);
+    let v = (v + Volts::from_milli(5.0)).min(Volts::new(2.56));
+    sys.set_buffer_voltage(v);
+    sys.force_output_enabled();
+    sys.run_profile(load, RunConfig::default()).completed()
+}
+
+/// Prints the experiment table.
+pub fn print_table(rows: &[ReconfigRow]) {
+    println!("§V-B: per-configuration V_safe for the BLE task");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>14}",
+        "config", "C (mF)", "V_safe", "own works", "crossed works"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>10.1} {:>10.3} {:>12} {:>14}",
+            r.config,
+            r.capacitance_f * 1e3,
+            r.v_safe,
+            r.own_value_completes,
+            r.crossed_value_completes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_config_vsafe_differs_substantially() {
+        let rows = run();
+        let full = rows.iter().find(|r| r.config == "full-array").unwrap();
+        let small = rows.iter().find(|r| r.config == "small-bank").unwrap();
+        // The lone 7.5 mF / 20 Ω bank needs a much higher start.
+        assert!(
+            small.v_safe - full.v_safe > 0.1,
+            "small {} vs full {}",
+            small.v_safe,
+            full.v_safe
+        );
+    }
+
+    #[test]
+    fn own_configuration_values_are_safe() {
+        for r in run() {
+            assert!(r.own_value_completes, "{}: own V_safe failed", r.config);
+        }
+    }
+
+    #[test]
+    fn full_array_value_is_unsafe_on_the_small_bank() {
+        let rows = run();
+        let small = rows.iter().find(|r| r.config == "small-bank").unwrap();
+        assert!(
+            !small.crossed_value_completes,
+            "the full-array V_safe must NOT be enough for the small bank"
+        );
+    }
+}

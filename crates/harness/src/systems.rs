@@ -1,0 +1,193 @@
+//! The `V_safe` estimation systems under comparison.
+//!
+//! One enum unifies every estimator the evaluation races: the energy-only
+//! baselines (Energy-Direct, Energy-V, the two CatNap measurement
+//! timings), the compile-time Culpeo-PG analysis, and the two Culpeo-R
+//! runtime implementations (ISR and µArch). Each system predicts a
+//! `V_safe` for a load using exactly — and only — the information that
+//! system would have on a real deployment.
+
+use culpeo::baseline::{energy_direct, vsafe_from_voltage_pair, CatnapEstimator};
+use culpeo::{pg, runtime, PowerSystemModel};
+use culpeo_device::{
+    measure_for_catnap, profile_task, IsrProfiler, Profiler, UArchProfiler,
+};
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::{PowerSystem, RunConfig};
+use culpeo_units::{Hertz, Volts};
+
+/// Every `V_safe` estimation system in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VsafeSystem {
+    /// Direct energy measurement converted to voltage (no ESR model).
+    EnergyDirect,
+    /// End-to-end voltage-as-energy from fully rebounded readings.
+    EnergyV,
+    /// Published CatNap: end voltage read at completion (pre-rebound).
+    CatnapMeasured,
+    /// CatNap with a 2 ms measurement delay.
+    CatnapSlow,
+    /// Culpeo-PG: Algorithm 1 over a 125 kHz current trace.
+    CulpeoPg,
+    /// Culpeo-R via the 1 ms timer ISR and 12-bit on-chip ADC.
+    CulpeoIsr,
+    /// Culpeo-R via the 100 kHz, 8-bit µArch capture block.
+    CulpeoUArch,
+}
+
+impl VsafeSystem {
+    /// All systems, in a stable presentation order.
+    pub const ALL: [VsafeSystem; 7] = [
+        VsafeSystem::EnergyDirect,
+        VsafeSystem::EnergyV,
+        VsafeSystem::CatnapMeasured,
+        VsafeSystem::CatnapSlow,
+        VsafeSystem::CulpeoPg,
+        VsafeSystem::CulpeoIsr,
+        VsafeSystem::CulpeoUArch,
+    ];
+
+    /// The figure-legend label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            VsafeSystem::EnergyDirect => "Energy-Direct",
+            VsafeSystem::EnergyV => "Energy-V",
+            VsafeSystem::CatnapMeasured => "Catnap-Measured",
+            VsafeSystem::CatnapSlow => "Catnap-Slow",
+            VsafeSystem::CulpeoPg => "Culpeo-PG",
+            VsafeSystem::CulpeoIsr => "Culpeo-ISR",
+            VsafeSystem::CulpeoUArch => "Culpeo-µArch",
+        }
+    }
+
+    /// Predicts `V_safe` for `load`.
+    ///
+    /// `model` is the compile-time power-system model (shared by every
+    /// system that needs one); `make_system` supplies fresh plants for the
+    /// systems that profile by running the task. Profiling runs start from
+    /// a full buffer, as in the paper's methodology.
+    ///
+    /// Returns `None` if the system could not produce an estimate (its
+    /// profiling run browned out even from `V_high`).
+    #[must_use]
+    pub fn predict(
+        self,
+        load: &LoadProfile,
+        model: &PowerSystemModel,
+        make_system: &dyn Fn() -> PowerSystem,
+    ) -> Option<Volts> {
+        match self {
+            VsafeSystem::EnergyDirect => {
+                let trace = load.sample(Hertz::new(culpeo_loadgen::PG_SAMPLE_RATE_HZ));
+                Some(energy_direct(&trace, model))
+            }
+            VsafeSystem::EnergyV => {
+                let mut sys = fresh_full(make_system);
+                let out = sys.run_profile(load, RunConfig::default());
+                if !out.completed() {
+                    return None;
+                }
+                Some(vsafe_from_voltage_pair(out.v_start, out.v_final, model))
+            }
+            VsafeSystem::CatnapMeasured | VsafeSystem::CatnapSlow => {
+                let estimator = if self == VsafeSystem::CatnapMeasured {
+                    CatnapEstimator::published()
+                } else {
+                    CatnapEstimator::slow()
+                };
+                let mut sys = fresh_full(make_system);
+                let m = measure_for_catnap(&mut sys, load, estimator.measurement_delay)?;
+                Some(estimator.vsafe(m.v_start, m.v_end, model))
+            }
+            VsafeSystem::CulpeoPg => Some(pg::compute_vsafe_for_profile(load, model).v_safe),
+            VsafeSystem::CulpeoIsr => {
+                let mut sys = fresh_full(make_system);
+                let run =
+                    profile_task(&mut sys, load, &Profiler::Isr(IsrProfiler::msp430()))?;
+                Some(runtime::compute_vsafe(&run.observation, model).v_safe)
+            }
+            VsafeSystem::CulpeoUArch => {
+                let mut sys = fresh_full(make_system);
+                let run = profile_task(
+                    &mut sys,
+                    load,
+                    &Profiler::UArch(UArchProfiler::default()),
+                )?;
+                Some(runtime::compute_vsafe(&run.observation, model).v_safe)
+            }
+        }
+    }
+}
+
+impl core::fmt::Display for VsafeSystem {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+fn fresh_full(make_system: &dyn Fn() -> PowerSystem) -> PowerSystem {
+    let mut sys = make_system();
+    let v_high = sys.monitor().v_high();
+    sys.set_buffer_voltage(v_high);
+    sys.force_output_enabled();
+    sys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference_plant;
+    use culpeo_loadgen::synthetic::UniformLoad;
+    use culpeo_units::{Amps, Seconds};
+
+    fn model() -> PowerSystemModel {
+        PowerSystemModel::characterize(&reference_plant)
+    }
+
+    fn pulse(ma: f64, ms: f64) -> LoadProfile {
+        UniformLoad::new(Amps::from_milli(ma), Seconds::from_milli(ms)).profile()
+    }
+
+    #[test]
+    fn every_system_produces_an_estimate_for_a_moderate_load() {
+        let m = model();
+        let load = pulse(25.0, 10.0);
+        for sys in VsafeSystem::ALL {
+            let v = sys.predict(&load, &m, &reference_plant);
+            assert!(v.is_some(), "{sys} produced no estimate");
+            let v = v.unwrap();
+            assert!(
+                v >= m.v_off() && v <= m.v_high() + Volts::from_milli(50.0),
+                "{sys}: {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn culpeo_systems_exceed_energy_direct_for_hard_pulses() {
+        let m = model();
+        let load = pulse(50.0, 10.0);
+        let direct = VsafeSystem::EnergyDirect
+            .predict(&load, &m, &reference_plant)
+            .unwrap();
+        for sys in [
+            VsafeSystem::CulpeoPg,
+            VsafeSystem::CulpeoIsr,
+            VsafeSystem::CulpeoUArch,
+        ] {
+            let v = sys.predict(&load, &m, &reference_plant).unwrap();
+            assert!(
+                v.get() > direct.get() + 0.1,
+                "{sys} ({v}) should far exceed Energy-Direct ({direct})"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            VsafeSystem::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), VsafeSystem::ALL.len());
+    }
+}

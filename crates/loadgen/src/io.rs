@@ -1,0 +1,216 @@
+//! Import and export of current traces.
+//!
+//! Real deployments capture traces with external instruments (the paper
+//! used an STM32 power shield at 125 kHz) and move them around as CSV.
+//! This module reads and writes a small, self-describing CSV dialect so
+//! captured traces can flow into Culpeo-PG without custom glue:
+//!
+//! ```text
+//! # culpeo-trace v1
+//! # label: ble-tx
+//! # dt_us: 8
+//! time_s,current_a
+//! 0.000000,0.003000
+//! 0.000008,0.003100
+//! ```
+//!
+//! The `time_s` column is redundant with `dt_us` and is validated against
+//! it on import (instrument exports often carry both; silent disagreement
+//! means a corrupted capture).
+
+use culpeo_units::{Amps, Seconds};
+
+use crate::CurrentTrace;
+
+/// Why a trace failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTraceError {
+    /// The input had no samples.
+    Empty,
+    /// A required header (`dt_us`) was missing or malformed.
+    MissingHeader(&'static str),
+    /// A data row failed to parse; holds the 1-based line number.
+    BadRow(usize),
+    /// A timestamp disagreed with `dt_us` by more than half a period;
+    /// holds the 1-based line number.
+    TimestampMismatch(usize),
+    /// A current sample was negative or non-finite; holds the 1-based
+    /// line number.
+    BadCurrent(usize),
+}
+
+impl core::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseTraceError::Empty => write!(f, "trace has no samples"),
+            ParseTraceError::MissingHeader(h) => write!(f, "missing or malformed header: {h}"),
+            ParseTraceError::BadRow(line) => write!(f, "unparseable row at line {line}"),
+            ParseTraceError::TimestampMismatch(line) => {
+                write!(f, "timestamp disagrees with dt_us at line {line}")
+            }
+            ParseTraceError::BadCurrent(line) => {
+                write!(f, "negative or non-finite current at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Serialises a trace to the CSV dialect above.
+#[must_use]
+pub fn to_csv(trace: &CurrentTrace) -> String {
+    let mut out = String::with_capacity(32 * trace.len() + 128);
+    out.push_str("# culpeo-trace v1\n");
+    out.push_str(&format!("# label: {}\n", trace.label()));
+    out.push_str(&format!("# dt_us: {}\n", trace.dt().to_micro()));
+    out.push_str("time_s,current_a\n");
+    for (t, i) in trace.iter() {
+        out.push_str(&format!("{:.9},{:.9}\n", t.get(), i.get()));
+    }
+    out
+}
+
+/// Parses a trace from the CSV dialect above.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] describing the first problem found.
+pub fn from_csv(text: &str) -> Result<CurrentTrace, ParseTraceError> {
+    let mut label = "imported".to_string();
+    let mut dt: Option<Seconds> = None;
+    let mut samples = Vec::new();
+    let mut sample_index = 0usize;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(value) = rest.strip_prefix("label:") {
+                label = value.trim().to_string();
+            } else if let Some(value) = rest.strip_prefix("dt_us:") {
+                let us: f64 = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseTraceError::MissingHeader("dt_us"))?;
+                if !(us.is_finite() && us > 0.0) {
+                    return Err(ParseTraceError::MissingHeader("dt_us"));
+                }
+                dt = Some(Seconds::from_micro(us));
+            }
+            continue;
+        }
+        if line.starts_with("time_s") {
+            continue; // column header
+        }
+        let dt = dt.ok_or(ParseTraceError::MissingHeader("dt_us"))?;
+        let mut cols = line.split(',');
+        let (Some(t_txt), Some(i_txt)) = (cols.next(), cols.next()) else {
+            return Err(ParseTraceError::BadRow(line_no));
+        };
+        let t: f64 = t_txt
+            .trim()
+            .parse()
+            .map_err(|_| ParseTraceError::BadRow(line_no))?;
+        let i: f64 = i_txt
+            .trim()
+            .parse()
+            .map_err(|_| ParseTraceError::BadRow(line_no))?;
+        if !i.is_finite() || i < 0.0 {
+            return Err(ParseTraceError::BadCurrent(line_no));
+        }
+        let expected_t = sample_index as f64 * dt.get();
+        if (t - expected_t).abs() > dt.get() * 0.5 {
+            return Err(ParseTraceError::TimestampMismatch(line_no));
+        }
+        samples.push(Amps::new(i));
+        sample_index += 1;
+    }
+
+    let dt = dt.ok_or(ParseTraceError::MissingHeader("dt_us"))?;
+    if samples.is_empty() {
+        return Err(ParseTraceError::Empty);
+    }
+    Ok(CurrentTrace::new(label, dt, samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LoadProfile;
+    use culpeo_units::Hertz;
+
+    fn trace() -> CurrentTrace {
+        LoadProfile::builder("round-trip")
+            .hold(Amps::from_milli(25.0), Seconds::from_milli(2.0))
+            .hold(Amps::from_milli(1.5), Seconds::from_milli(3.0))
+            .build()
+            .sample(Hertz::new(10_000.0))
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_everything() {
+        let original = trace();
+        let parsed = from_csv(&to_csv(&original)).unwrap();
+        assert_eq!(parsed.label(), original.label());
+        assert_eq!(parsed.len(), original.len());
+        assert!(parsed.dt().approx_eq(original.dt(), 1e-15));
+        for (a, b) in parsed.samples().iter().zip(original.samples()) {
+            assert!(a.approx_eq(*b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn missing_dt_header_is_an_error() {
+        let text = "time_s,current_a\n0.0,0.001\n";
+        assert_eq!(
+            from_csv(text),
+            Err(ParseTraceError::MissingHeader("dt_us"))
+        );
+    }
+
+    #[test]
+    fn empty_body_is_an_error() {
+        let text = "# dt_us: 8\ntime_s,current_a\n";
+        assert_eq!(from_csv(text), Err(ParseTraceError::Empty));
+    }
+
+    #[test]
+    fn bad_row_reports_line_number() {
+        let text = "# dt_us: 100\n0.0,0.001\nnot,a number\n";
+        assert_eq!(from_csv(text), Err(ParseTraceError::BadRow(3)));
+    }
+
+    #[test]
+    fn negative_current_rejected() {
+        let text = "# dt_us: 100\n0.0,-0.001\n";
+        assert_eq!(from_csv(text), Err(ParseTraceError::BadCurrent(2)));
+    }
+
+    #[test]
+    fn timestamp_mismatch_detected() {
+        // Second sample claims t = 1 ms but dt is 100 µs.
+        let text = "# dt_us: 100\n0.0,0.001\n0.001,0.001\n";
+        assert_eq!(from_csv(text), Err(ParseTraceError::TimestampMismatch(3)));
+    }
+
+    #[test]
+    fn header_order_and_blank_lines_tolerated() {
+        let text = "\n# label: x\n\n# dt_us: 100\ntime_s,current_a\n0.0,0.002\n0.0001,0.002\n";
+        let t = from_csv(text).unwrap();
+        assert_eq!(t.label(), "x");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert_eq!(
+            ParseTraceError::TimestampMismatch(7).to_string(),
+            "timestamp disagrees with dt_us at line 7"
+        );
+    }
+}

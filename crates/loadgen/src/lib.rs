@@ -1,0 +1,47 @@
+//! Load-current modelling for energy-harvesting devices.
+//!
+//! Culpeo's analyses consume *current profiles*: what a task draws from the
+//! regulated output rail over time. This crate provides
+//!
+//! * [`LoadProfile`] — an analytic, piecewise description of a load
+//!   (constant holds, linear ramps, repeating bursts), cheap to evaluate at
+//!   any instant and therefore what the circuit simulator integrates;
+//! * [`CurrentTrace`] — a uniformly sampled capture of a profile, the form
+//!   Culpeo-PG ingests (the paper profiles at 125 kHz);
+//! * [`synthetic`] — the Uniform and Pulse loads of Table III used by
+//!   Figures 6 and 10;
+//! * [`peripheral`] — models of the real peripherals the paper evaluates
+//!   (gesture sensor, BLE radio, MNIST accelerator, LoRa, IMU, microphone);
+//! * [`noise`] — measurement-style noise injection for robustness tests.
+//!
+//! ```
+//! use culpeo_loadgen::LoadProfile;
+//! use culpeo_units::{Amps, Hertz, Quantity, Seconds};
+//!
+//! // A 25 mA, 10 ms pulse followed by 100 ms of low-power compute.
+//! let profile = LoadProfile::builder("pulse+compute")
+//!     .hold(Amps::from_milli(25.0), Seconds::from_milli(10.0))
+//!     .hold(Amps::from_milli(1.5), Seconds::from_milli(100.0))
+//!     .build();
+//! let trace = profile.sample(Hertz::new(125_000.0));
+//! assert!(trace.peak().approx_eq(Amps::from_milli(25.0), 1e-9));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod profile;
+mod segment;
+mod trace;
+
+pub mod io;
+pub mod noise;
+pub mod peripheral;
+pub mod synthetic;
+
+pub use profile::{LoadProfile, LoadProfileBuilder};
+pub use segment::Segment;
+pub use trace::CurrentTrace;
+
+/// The sampling rate used by the paper's Culpeo-PG profiling prototype.
+pub const PG_SAMPLE_RATE_HZ: f64 = 125_000.0;

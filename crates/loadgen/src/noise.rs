@@ -1,0 +1,118 @@
+//! Measurement-style noise injection for robustness testing.
+//!
+//! Real current probes add Gaussian noise and occasional single-sample
+//! glitches; Culpeo-PG must tolerate both (its pulse-width detector filters
+//! high-frequency noise before choosing an ESR operating point, §IV-B).
+//! These helpers produce dirtied copies of clean traces so tests can check
+//! that tolerance.
+
+use culpeo_units::Amps;
+use rand::Rng;
+
+use crate::CurrentTrace;
+
+/// Adds zero-mean Gaussian noise with standard deviation `sigma` to every
+/// sample. Samples are floored at zero — a probe cannot report negative
+/// magnitude on this unidirectional rail.
+#[must_use]
+pub fn gaussian(trace: &CurrentTrace, sigma: Amps, rng: &mut impl Rng) -> CurrentTrace {
+    let samples = trace
+        .samples()
+        .iter()
+        .map(|&s| {
+            let noisy = s.get() + sigma.get() * standard_normal(rng);
+            Amps::new(noisy.max(0.0))
+        })
+        .collect();
+    CurrentTrace::new(format!("{}~noisy", trace.label()), trace.dt(), samples)
+}
+
+/// Injects `count` single-sample spikes of `magnitude` at random positions —
+/// the instrumentation glitches that median filtering must reject.
+#[must_use]
+pub fn spikes(
+    trace: &CurrentTrace,
+    magnitude: Amps,
+    count: usize,
+    rng: &mut impl Rng,
+) -> CurrentTrace {
+    let mut samples = trace.samples().to_vec();
+    if samples.is_empty() {
+        return trace.clone();
+    }
+    for _ in 0..count {
+        let idx = rng.gen_range(0..samples.len());
+        samples[idx] = magnitude;
+    }
+    CurrentTrace::new(format!("{}~spiked", trace.label()), trace.dt(), samples)
+}
+
+/// Samples a standard normal via Box–Muller, needing only a `Rng`.
+fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0) by sampling u1 from the open interval.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LoadProfile;
+    use culpeo_units::{Hertz, Seconds};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn clean_trace() -> CurrentTrace {
+        LoadProfile::constant("c", Amps::from_milli(10.0), Seconds::from_milli(50.0))
+            .sample(Hertz::new(10_000.0))
+    }
+
+    #[test]
+    fn gaussian_preserves_mean_roughly() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = clean_trace();
+        let n = gaussian(&t, Amps::from_micro(100.0), &mut rng);
+        assert_eq!(n.len(), t.len());
+        assert!((n.mean().get() - t.mean().get()).abs() < t.mean().get() * 0.01);
+    }
+
+    #[test]
+    fn gaussian_never_negative() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let quiet =
+            LoadProfile::constant("q", Amps::from_micro(1.0), Seconds::from_milli(10.0))
+                .sample(Hertz::new(10_000.0));
+        let n = gaussian(&quiet, Amps::from_milli(1.0), &mut rng);
+        assert!(n.samples().iter().all(|s| s.get() >= 0.0));
+    }
+
+    #[test]
+    fn spikes_inject_expected_magnitude() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = clean_trace();
+        let s = spikes(&t, Amps::from_milli(100.0), 5, &mut rng);
+        assert_eq!(s.peak(), Amps::from_milli(100.0));
+        // Median filtering inside dominant_pulse_width must ignore them.
+        let w = s.dominant_pulse_width().unwrap();
+        assert!(w.approx_eq(t.duration(), t.dt().get() * 4.0));
+    }
+
+    #[test]
+    fn spikes_on_empty_trace_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty = CurrentTrace::new("e", Seconds::from_milli(1.0), vec![]);
+        let s = spikes(&empty, Amps::from_milli(1.0), 3, &mut rng);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+}

@@ -1,0 +1,453 @@
+//! Load models for the real peripherals in the paper's evaluation.
+//!
+//! The paper captures current traces from the hardware on and around the
+//! Capybara platform (Table III bottom rows and §VI-B). We reconstruct each
+//! as a parameterised analytic profile matching the published envelope —
+//! peak current, pulse width, and qualitative shape — which is what `V_safe`
+//! actually depends on. Defaults reproduce the paper's numbers; every
+//! parameter is adjustable for sensitivity studies.
+
+use culpeo_units::{Amps, Seconds};
+
+use crate::LoadProfile;
+
+fn ma(v: f64) -> Amps {
+    Amps::from_milli(v)
+}
+
+fn ms(v: f64) -> Seconds {
+    Seconds::from_milli(v)
+}
+
+/// APDS-9960 gesture-recognition sensor: a short, intense burst
+/// (`I_max = 25 mA`, `t_pulse = 3.5 ms` in Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GestureSensor {
+    /// Peak LED-drive current.
+    pub peak: Amps,
+    /// Total active window.
+    pub width: Seconds,
+}
+
+impl Default for GestureSensor {
+    fn default() -> Self {
+        Self {
+            peak: ma(25.0),
+            width: ms(3.5),
+        }
+    }
+}
+
+impl GestureSensor {
+    /// The gesture engine's load profile: LED ramp-up, a sustained
+    /// measurement window at peak drive, and ramp-down.
+    ///
+    /// The sensor internally strobes its LEDs at sub-millisecond periods,
+    /// but those fast transients are served by the local decoupling
+    /// capacitors (§II-D); the sustained envelope modelled here is what
+    /// the supercapacitor rail actually sees.
+    #[must_use]
+    pub fn profile(&self) -> LoadProfile {
+        let ramp = Seconds::new(self.width.get() * 0.1);
+        let body = Seconds::new(self.width.get() * 0.8);
+        LoadProfile::builder("gesture")
+            .ramp(ma(0.2), self.peak, ramp)
+            .hold(self.peak, body)
+            .ramp(self.peak, ma(0.2), ramp)
+            .build()
+    }
+}
+
+/// CC2650 BLE radio transmit + connection event
+/// (`I_max = 13 mA`, `t_pulse = 17 ms` in Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BleRadio {
+    /// Peak TX current.
+    pub peak: Amps,
+    /// Total radio-on window.
+    pub width: Seconds,
+}
+
+impl Default for BleRadio {
+    fn default() -> Self {
+        Self {
+            peak: ma(13.0),
+            width: ms(17.0),
+        }
+    }
+}
+
+impl BleRadio {
+    /// The radio event profile: MCU wake + stack setup, three advertising /
+    /// TX slots at peak current separated by inter-slot processing, and a
+    /// teardown tail. Matches the multi-hump shape of published CC2650
+    /// traces with the paper's envelope.
+    #[must_use]
+    pub fn profile(&self) -> LoadProfile {
+        let w = self.width.get();
+        LoadProfile::builder("ble-tx")
+            .hold(ma(3.0), Seconds::new(w * 0.12)) // wake + stack setup
+            .ramp(ma(3.0), ma(6.0), Seconds::new(w * 0.06))
+            .burst(
+                self.peak,
+                ma(5.0),
+                Seconds::new(w * 0.22),
+                0.62,
+                Seconds::new(w * 0.66),
+            ) // three TX slots
+            .ramp(ma(6.0), ma(1.5), Seconds::new(w * 0.08))
+            .hold(ma(1.5), Seconds::new(w * 0.08)) // teardown
+            .build()
+    }
+
+    /// A low-power listen window following a transmission (§VI-A RR/NMR
+    /// apps listen for a response): duty-cycled RX at a few mA over a long
+    /// window.
+    #[must_use]
+    pub fn listen_profile(&self, window: Seconds) -> LoadProfile {
+        LoadProfile::builder("ble-listen")
+            .burst(ma(5.5), ma(0.8), ms(25.0), 0.12, window)
+            .build()
+    }
+}
+
+/// Cortex-M4 compute accelerator running MNIST digit recognition
+/// (`I = 5 mA`, `t = 1.1 s` in Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MnistAccelerator {
+    /// Sustained inference current.
+    pub current: Amps,
+    /// Inference latency.
+    pub duration: Seconds,
+}
+
+impl Default for MnistAccelerator {
+    fn default() -> Self {
+        Self {
+            current: ma(5.0),
+            duration: Seconds::new(1.1),
+        }
+    }
+}
+
+impl MnistAccelerator {
+    /// The accelerator's load profile: sustained compute with mild
+    /// layer-to-layer variation (convolution layers draw slightly more than
+    /// dense layers).
+    #[must_use]
+    pub fn profile(&self) -> LoadProfile {
+        let i = self.current;
+        let d = self.duration.get();
+        LoadProfile::builder("mnist")
+            .hold(i * 0.6, Seconds::new(d * 0.05)) // load weights
+            .hold(i, Seconds::new(d * 0.45)) // conv layers
+            .hold(i * 0.85, Seconds::new(d * 0.30)) // pooling + dense
+            .hold(i, Seconds::new(d * 0.15)) // final dense + softmax
+            .hold(i * 0.5, Seconds::new(d * 0.05)) // result write-back
+            .build()
+    }
+}
+
+/// SX1276-class LoRa radio: the motivating example of Figure 4
+/// (`~50 mA` sustained for on the order of 100 ms per packet).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoRaRadio {
+    /// TX current.
+    pub tx_current: Amps,
+    /// Packet airtime.
+    pub airtime: Seconds,
+}
+
+impl Default for LoRaRadio {
+    fn default() -> Self {
+        Self {
+            tx_current: ma(50.0),
+            airtime: ms(100.0),
+        }
+    }
+}
+
+impl LoRaRadio {
+    /// The packet-transmit profile: PLL spin-up ramp then sustained TX.
+    #[must_use]
+    pub fn profile(&self) -> LoadProfile {
+        LoadProfile::builder("lora-tx")
+            .ramp(ma(2.0), self.tx_current, ms(1.0))
+            .hold(self.tx_current, self.airtime)
+            .ramp(self.tx_current, ma(0.5), ms(0.5))
+            .build()
+    }
+}
+
+/// LSM6DS3 IMU sample batch (the PS and RR applications read 32 samples).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImuRead {
+    /// Number of accelerometer+gyro samples read.
+    pub samples: u32,
+    /// Output data rate of the IMU.
+    pub sample_rate_hz: f64,
+    /// Active rail current while the batch is read: IMU in
+    /// high-performance mode plus the awake MCU and SPI traffic.
+    pub active_current: Amps,
+}
+
+impl Default for ImuRead {
+    fn default() -> Self {
+        Self {
+            samples: 32,
+            sample_rate_hz: 416.0, // a standard LSM6DS3 ODR
+            active_current: ma(5.0),
+        }
+    }
+}
+
+impl ImuRead {
+    /// The batch-read profile: sensor power-up, sampling window whose length
+    /// follows from `samples / rate`, bus readout, and a low-power
+    /// average-and-store tail (the application computes statistics over
+    /// the batch before sleeping). The tail matters for charge managers:
+    /// by its end, the sampling window's ESR drop has rebounded, so an
+    /// end-of-task voltage measurement misses it entirely.
+    #[must_use]
+    pub fn profile(&self) -> LoadProfile {
+        let window = Seconds::new(f64::from(self.samples) / self.sample_rate_hz);
+        LoadProfile::builder("imu-read")
+            .ramp(ma(0.3), self.active_current, ms(1.0))
+            .hold(self.active_current, window)
+            .hold(ma(2.0), ms(2.0)) // SPI readout burst
+            .hold(ma(0.5), ms(30.0)) // average + store
+            .build()
+    }
+}
+
+/// SPU0414 analog microphone batch capture (NMR reads 256 samples at
+/// 12 kHz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicrophoneRead {
+    /// Number of audio samples captured.
+    pub samples: u32,
+    /// ADC sampling rate.
+    pub sample_rate_hz: f64,
+    /// Microphone + ADC active current.
+    pub active_current: Amps,
+}
+
+impl Default for MicrophoneRead {
+    fn default() -> Self {
+        Self {
+            samples: 256,
+            sample_rate_hz: 12_000.0,
+            active_current: ma(2.4),
+        }
+    }
+}
+
+impl MicrophoneRead {
+    /// The capture profile: amplifier settle then a sampling window of
+    /// `samples / rate` seconds (21.3 ms at the defaults).
+    #[must_use]
+    pub fn profile(&self) -> LoadProfile {
+        let window = Seconds::new(f64::from(self.samples) / self.sample_rate_hz);
+        LoadProfile::builder("mic-read")
+            .ramp(ma(0.2), self.active_current, ms(0.5))
+            .hold(self.active_current, window)
+            .build()
+    }
+}
+
+/// Software AES encryption of a sample buffer on the MCU (the RR app
+/// encrypts the IMU batch before transmission).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AesEncrypt {
+    /// Buffer size in bytes.
+    pub bytes: u32,
+    /// MCU active current while encrypting.
+    pub active_current: Amps,
+    /// Encryption throughput in bytes per second.
+    pub throughput_bps: f64,
+}
+
+impl Default for AesEncrypt {
+    fn default() -> Self {
+        Self {
+            bytes: 384, // 32 IMU samples × 12 bytes
+            active_current: ma(2.2),
+            throughput_bps: 20_000.0, // software AES on an MSP430-class MCU
+        }
+    }
+}
+
+impl AesEncrypt {
+    /// The encryption profile: sustained MCU-active current for
+    /// `bytes / throughput` seconds.
+    #[must_use]
+    pub fn profile(&self) -> LoadProfile {
+        let duration = Seconds::new(f64::from(self.bytes) / self.throughput_bps);
+        LoadProfile::constant("aes-encrypt", self.active_current, duration)
+    }
+}
+
+/// Fixed-point FFT over a microphone buffer (NMR's background task).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FftCompute {
+    /// Transform size (power of two).
+    pub points: u32,
+    /// MCU active current while computing.
+    pub active_current: Amps,
+    /// Butterfly throughput in butterflies per second.
+    pub butterflies_per_sec: f64,
+}
+
+impl Default for FftCompute {
+    fn default() -> Self {
+        Self {
+            points: 256,
+            active_current: ma(2.0),
+            butterflies_per_sec: 250_000.0,
+        }
+    }
+}
+
+impl FftCompute {
+    /// The compute profile; duration follows `(N/2)·log₂N` butterflies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is not a power of two ≥ 2.
+    #[must_use]
+    pub fn profile(&self) -> LoadProfile {
+        assert!(
+            self.points.is_power_of_two() && self.points >= 2,
+            "FFT size must be a power of two ≥ 2"
+        );
+        let n = f64::from(self.points);
+        let butterflies = (n / 2.0) * n.log2();
+        let duration = Seconds::new(butterflies / self.butterflies_per_sec);
+        LoadProfile::constant("fft", self.active_current, duration)
+    }
+}
+
+/// Photoresistor light-level read (the PS and RR background task).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhotoresistorRead {
+    /// Divider + ADC current during the read.
+    pub active_current: Amps,
+    /// Read duration.
+    pub duration: Seconds,
+}
+
+impl Default for PhotoresistorRead {
+    fn default() -> Self {
+        Self {
+            active_current: ma(0.8),
+            duration: ms(2.0),
+        }
+    }
+}
+
+impl PhotoresistorRead {
+    /// The read profile: one short constant-current sample.
+    #[must_use]
+    pub fn profile(&self) -> LoadProfile {
+        LoadProfile::constant("photoresistor", self.active_current, self.duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gesture_matches_table_iii_envelope() {
+        let p = GestureSensor::default().profile();
+        assert!(p.peak().approx_eq(ma(25.0), 1e-9));
+        assert!(p.duration().approx_eq(ms(3.5), 1e-9));
+    }
+
+    #[test]
+    fn ble_matches_table_iii_envelope() {
+        let p = BleRadio::default().profile();
+        assert!(p.peak().approx_eq(ma(13.0), 1e-9));
+        assert!(p.duration().approx_eq(ms(17.0), 1e-6));
+    }
+
+    #[test]
+    fn mnist_matches_table_iii_envelope() {
+        let p = MnistAccelerator::default().profile();
+        assert!(p.peak().approx_eq(ma(5.0), 1e-9));
+        assert!(p.duration().approx_eq(Seconds::new(1.1), 1e-9));
+    }
+
+    #[test]
+    fn lora_matches_figure4_envelope() {
+        let p = LoRaRadio::default().profile();
+        assert!(p.peak().approx_eq(ma(50.0), 1e-9));
+        assert!(p.duration().get() > 0.100 && p.duration().get() < 0.105);
+    }
+
+    #[test]
+    fn imu_window_follows_sample_count() {
+        let p = ImuRead::default().profile();
+        // 32 samples at 416 Hz ≈ 77 ms plus power-up, readout, and the
+        // 30 ms average-and-store tail.
+        assert!(p.duration().get() > 0.105 && p.duration().get() < 0.115);
+    }
+
+    #[test]
+    fn microphone_window_is_256_over_12k() {
+        let p = MicrophoneRead::default().profile();
+        let expected = 256.0 / 12_000.0;
+        assert!((p.duration().get() - (expected + 0.0005)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fft_duration_scales_nlogn() {
+        let small = FftCompute {
+            points: 64,
+            ..FftCompute::default()
+        }
+        .profile();
+        let big = FftCompute::default().profile();
+        assert!(big.duration().get() > small.duration().get() * 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let _ = FftCompute {
+            points: 100,
+            ..FftCompute::default()
+        }
+        .profile();
+    }
+
+    #[test]
+    fn listen_profile_is_low_duty() {
+        let p = BleRadio::default().listen_profile(Seconds::new(2.0));
+        assert!(p.duration().approx_eq(Seconds::new(2.0), 1e-9));
+        // Mean well below peak: duty-cycled listening.
+        assert!(p.mean().get() < p.peak().get() * 0.4);
+    }
+
+    #[test]
+    fn all_profiles_are_nonnegative_and_finite() {
+        let profiles = [
+            GestureSensor::default().profile(),
+            BleRadio::default().profile(),
+            BleRadio::default().listen_profile(Seconds::new(2.0)),
+            MnistAccelerator::default().profile(),
+            LoRaRadio::default().profile(),
+            ImuRead::default().profile(),
+            MicrophoneRead::default().profile(),
+            AesEncrypt::default().profile(),
+            FftCompute::default().profile(),
+            PhotoresistorRead::default().profile(),
+        ];
+        for p in &profiles {
+            let trace = p.sample(culpeo_units::Hertz::new(50_000.0));
+            for &s in trace.samples() {
+                assert!(s.get() >= 0.0 && s.is_finite(), "{}", p.label());
+            }
+        }
+    }
+}

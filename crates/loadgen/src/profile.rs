@@ -1,0 +1,410 @@
+//! Analytic, piecewise load profiles.
+
+use culpeo_units::{Amps, Hertz, Joules, Seconds, Volts};
+
+use crate::{CurrentTrace, Segment};
+
+/// A piecewise-defined load: what a task draws from the regulated output
+/// rail over its execution.
+///
+/// Profiles are analytic — [`LoadProfile::current_at`] is exact at any
+/// instant — which lets the circuit simulator integrate long application
+/// runs without storing millions of samples. Use [`LoadProfile::sample`] to
+/// obtain the uniformly sampled [`CurrentTrace`] form that Culpeo-PG ingests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadProfile {
+    label: String,
+    segments: Vec<Segment>,
+    /// Cumulative end-time of each segment, kept in lockstep with
+    /// `segments` so `current_at` is a binary search.
+    ends: Vec<f64>,
+}
+
+impl LoadProfile {
+    /// Starts building a profile. See [`LoadProfileBuilder`].
+    #[must_use]
+    pub fn builder(label: impl Into<String>) -> LoadProfileBuilder {
+        LoadProfileBuilder {
+            label: label.into(),
+            segments: Vec::new(),
+        }
+    }
+
+    /// A single constant-current load, the simplest useful profile.
+    #[must_use]
+    pub fn constant(label: impl Into<String>, current: Amps, duration: Seconds) -> Self {
+        Self::builder(label).hold(current, duration).build()
+    }
+
+    /// The human-readable label (used in figure output and profile tables).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The segments making up this profile.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total duration of the profile.
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        Seconds::new(self.ends.last().copied().unwrap_or(0.0))
+    }
+
+    /// The instantaneous current at time `t` from the profile's start.
+    ///
+    /// Returns zero before the start and after the end — a task that has
+    /// finished draws nothing.
+    #[must_use]
+    pub fn current_at(&self, t: Seconds) -> Amps {
+        let t = t.get();
+        if t < 0.0 {
+            return Amps::ZERO;
+        }
+        // First segment whose end time strictly exceeds t.
+        let idx = self.ends.partition_point(|&end| end <= t);
+        if idx >= self.segments.len() {
+            // Exactly at (or beyond) the profile end: report the final
+            // segment's terminal value at the boundary, zero afterwards.
+            if t == self.duration().get() {
+                if let Some(last) = self.segments.last() {
+                    return last.current_at(last.duration());
+                }
+            }
+            return Amps::ZERO;
+        }
+        let start = if idx == 0 { 0.0 } else { self.ends[idx - 1] };
+        self.segments[idx].current_at(Seconds::new(t - start))
+    }
+
+    /// The maximum current anywhere in the profile.
+    #[must_use]
+    pub fn peak(&self) -> Amps {
+        self.segments
+            .iter()
+            .map(Segment::peak)
+            .fold(Amps::ZERO, Amps::max)
+    }
+
+    /// Exact total charge (ampere-seconds, i.e. coulombs) delivered.
+    #[must_use]
+    pub fn charge(&self) -> f64 {
+        self.segments.iter().map(Segment::charge).sum()
+    }
+
+    /// Mean current over the profile duration.
+    ///
+    /// Returns zero for an empty profile.
+    #[must_use]
+    pub fn mean(&self) -> Amps {
+        let d = self.duration().get();
+        if d == 0.0 {
+            Amps::ZERO
+        } else {
+            Amps::new(self.charge() / d)
+        }
+    }
+
+    /// Energy delivered *at the output rail* when run at regulated voltage
+    /// `v_out` — this is `E_out` in the paper's Equation 2a, before booster
+    /// inefficiency inflates the draw from the capacitor.
+    #[must_use]
+    pub fn output_energy(&self, v_out: Volts) -> Joules {
+        Joules::new(self.charge() * v_out.get())
+    }
+
+    /// Samples the profile into a [`CurrentTrace`] at `rate`.
+    ///
+    /// Sampling uses the left edge of each interval, matching how a current
+    /// probe reports instantaneous values. The trace always includes the
+    /// profile's full duration (the last partial interval is included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    #[must_use]
+    pub fn sample(&self, rate: Hertz) -> CurrentTrace {
+        let dt = rate.period();
+        let n = (self.duration().get() / dt.get()).ceil().max(0.0) as usize;
+        let samples = (0..n)
+            .map(|k| self.current_at(Seconds::new(k as f64 * dt.get())))
+            .collect();
+        CurrentTrace::new(self.label.clone(), dt, samples)
+    }
+
+    /// Returns a new profile that runs `self` then `next`, back to back.
+    ///
+    /// Used to compose task sequences ("sense, then encrypt, then send") for
+    /// `V_safe_multi` experiments.
+    #[must_use]
+    pub fn then(&self, next: &LoadProfile) -> LoadProfile {
+        let mut b = LoadProfile::builder(format!("{}+{}", self.label, next.label));
+        for s in self.segments.iter().chain(next.segments.iter()) {
+            b = b.segment(*s);
+        }
+        b.build()
+    }
+
+    /// Returns a copy with every current scaled by `factor` (e.g. to model a
+    /// "knob" such as matrix dimension scaling compute intensity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> LoadProfile {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
+        let scale = |a: Amps| Amps::new(a.get() * factor);
+        let segments = self
+            .segments
+            .iter()
+            .map(|s| match *s {
+                Segment::Constant { current, duration } => Segment::Constant {
+                    current: scale(current),
+                    duration,
+                },
+                Segment::Ramp { from, to, duration } => Segment::Ramp {
+                    from: scale(from),
+                    to: scale(to),
+                    duration,
+                },
+                Segment::Burst {
+                    peak,
+                    base,
+                    period,
+                    duty,
+                    duration,
+                } => Segment::Burst {
+                    peak: scale(peak),
+                    base: scale(base),
+                    period,
+                    duty,
+                    duration,
+                },
+            })
+            .collect::<Vec<_>>();
+        let mut b = LoadProfile::builder(self.label.clone());
+        for s in segments {
+            b = b.segment(s);
+        }
+        b.build()
+    }
+}
+
+/// Incrementally builds a [`LoadProfile`]; obtain one from
+/// [`LoadProfile::builder`].
+#[derive(Debug, Clone)]
+pub struct LoadProfileBuilder {
+    label: String,
+    segments: Vec<Segment>,
+}
+
+impl LoadProfileBuilder {
+    /// Appends a constant-current hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not strictly positive or `current` negative.
+    #[must_use]
+    pub fn hold(self, current: Amps, duration: Seconds) -> Self {
+        assert!(current.get() >= 0.0, "load current cannot be negative");
+        self.segment(Segment::Constant { current, duration })
+    }
+
+    /// Appends a linear ramp between two currents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not strictly positive or a current negative.
+    #[must_use]
+    pub fn ramp(self, from: Amps, to: Amps, duration: Seconds) -> Self {
+        assert!(
+            from.get() >= 0.0 && to.get() >= 0.0,
+            "load current cannot be negative"
+        );
+        self.segment(Segment::Ramp { from, to, duration })
+    }
+
+    /// Appends a repeating rectangular burst.
+    ///
+    /// # Panics
+    ///
+    /// Panics if durations are non-positive, currents negative, or `duty`
+    /// outside `(0, 1]`.
+    #[must_use]
+    pub fn burst(
+        self,
+        peak: Amps,
+        base: Amps,
+        period: Seconds,
+        duty: f64,
+        duration: Seconds,
+    ) -> Self {
+        assert!(
+            peak.get() >= 0.0 && base.get() >= 0.0,
+            "load current cannot be negative"
+        );
+        assert!(period.get() > 0.0, "burst period must be positive");
+        assert!(duty > 0.0 && duty <= 1.0, "duty must be in (0, 1]");
+        self.segment(Segment::Burst {
+            peak,
+            base,
+            period,
+            duty,
+            duration,
+        })
+    }
+
+    /// Appends an arbitrary pre-built segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment duration is not strictly positive.
+    #[must_use]
+    pub fn segment(mut self, segment: Segment) -> Self {
+        assert!(
+            segment.duration().get() > 0.0,
+            "segment duration must be positive"
+        );
+        self.segments.push(segment);
+        self
+    }
+
+    /// Finalises the profile.
+    #[must_use]
+    pub fn build(self) -> LoadProfile {
+        let mut ends = Vec::with_capacity(self.segments.len());
+        let mut acc = 0.0;
+        for s in &self.segments {
+            acc += s.duration().get();
+            ends.push(acc);
+        }
+        LoadProfile {
+            label: self.label,
+            segments: self.segments,
+            ends,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ma(v: f64) -> Amps {
+        Amps::from_milli(v)
+    }
+
+    fn ms(v: f64) -> Seconds {
+        Seconds::from_milli(v)
+    }
+
+    fn pulse_plus_compute() -> LoadProfile {
+        LoadProfile::builder("p")
+            .hold(ma(25.0), ms(10.0))
+            .hold(ma(1.5), ms(100.0))
+            .build()
+    }
+
+    #[test]
+    fn duration_and_lookup() {
+        let p = pulse_plus_compute();
+        assert!(p.duration().approx_eq(ms(110.0), 1e-12));
+        assert_eq!(p.current_at(ms(5.0)), ma(25.0));
+        assert_eq!(p.current_at(ms(50.0)), ma(1.5));
+        assert_eq!(p.current_at(ms(200.0)), Amps::ZERO);
+        assert_eq!(p.current_at(ms(-1.0)), Amps::ZERO);
+    }
+
+    #[test]
+    fn boundary_between_segments_belongs_to_second() {
+        let p = pulse_plus_compute();
+        assert_eq!(p.current_at(ms(10.0)), ma(1.5));
+    }
+
+    #[test]
+    fn end_boundary_reports_final_value() {
+        let p = pulse_plus_compute();
+        assert_eq!(p.current_at(p.duration()), ma(1.5));
+    }
+
+    #[test]
+    fn peak_mean_charge() {
+        let p = pulse_plus_compute();
+        assert_eq!(p.peak(), ma(25.0));
+        let expected_charge = 0.025 * 0.010 + 0.0015 * 0.100;
+        assert!((p.charge() - expected_charge).abs() < 1e-12);
+        assert!(p
+            .mean()
+            .approx_eq(Amps::new(expected_charge / 0.110), 1e-12));
+    }
+
+    #[test]
+    fn output_energy_matches_charge_times_voltage() {
+        let p = pulse_plus_compute();
+        let e = p.output_energy(Volts::new(2.55));
+        assert!((e.get() - p.charge() * 2.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_covers_full_duration() {
+        let p = pulse_plus_compute();
+        let t = p.sample(Hertz::new(10_000.0)); // dt = 100 µs
+        assert_eq!(t.len(), 1100);
+        assert!(t.duration().approx_eq(p.duration(), 1e-9));
+        assert_eq!(t.peak(), ma(25.0));
+    }
+
+    #[test]
+    fn sampled_charge_approximates_analytic() {
+        let p = pulse_plus_compute();
+        let t = p.sample(Hertz::new(125_000.0));
+        assert!((t.charge() - p.charge()).abs() < p.charge() * 1e-3);
+    }
+
+    #[test]
+    fn then_concatenates() {
+        let a = LoadProfile::constant("a", ma(5.0), ms(10.0));
+        let b = LoadProfile::constant("b", ma(10.0), ms(20.0));
+        let c = a.then(&b);
+        assert_eq!(c.label(), "a+b");
+        assert!(c.duration().approx_eq(ms(30.0), 1e-12));
+        assert_eq!(c.current_at(ms(5.0)), ma(5.0));
+        assert_eq!(c.current_at(ms(15.0)), ma(10.0));
+    }
+
+    #[test]
+    fn scaled_multiplies_currents_only() {
+        let p = pulse_plus_compute().scaled(2.0);
+        assert_eq!(p.peak(), ma(50.0));
+        assert!(p.duration().approx_eq(ms(110.0), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaled_rejects_negative() {
+        let _ = pulse_plus_compute().scaled(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn builder_rejects_zero_duration() {
+        let _ = LoadProfile::builder("x").hold(ma(1.0), Seconds::ZERO);
+    }
+
+    #[test]
+    fn empty_profile_is_well_behaved() {
+        let p = LoadProfile::builder("empty").build();
+        assert_eq!(p.duration(), Seconds::ZERO);
+        assert_eq!(p.peak(), Amps::ZERO);
+        assert_eq!(p.mean(), Amps::ZERO);
+        assert_eq!(p.current_at(Seconds::ZERO), Amps::ZERO);
+        assert_eq!(p.sample(Hertz::new(1000.0)).len(), 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! The piecewise building blocks of a [`LoadProfile`](crate::LoadProfile).
+
+use culpeo_units::{Amps, Seconds};
+
+/// One piece of a piecewise load description.
+///
+/// Durations are always strictly positive; the constructors on
+/// [`LoadProfileBuilder`](crate::LoadProfileBuilder) enforce this.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Segment {
+    /// Constant current for a duration.
+    Constant {
+        /// Current drawn throughout the segment.
+        current: Amps,
+        /// Segment length.
+        duration: Seconds,
+    },
+    /// Linear ramp from one current to another.
+    Ramp {
+        /// Current at the start of the segment.
+        from: Amps,
+        /// Current at the end of the segment.
+        to: Amps,
+        /// Segment length.
+        duration: Seconds,
+    },
+    /// A repeating rectangular burst: `peak` for `duty·period`, then `base`
+    /// for the remainder, repeated for `duration`. Models radios that
+    /// transmit in slots and sensors with internal duty cycling.
+    Burst {
+        /// Current during the active part of each period.
+        peak: Amps,
+        /// Current during the idle part of each period.
+        base: Amps,
+        /// Length of one on/off cycle.
+        period: Seconds,
+        /// Fraction of each period spent at `peak`, in `(0, 1]`.
+        duty: f64,
+        /// Total segment length.
+        duration: Seconds,
+    },
+}
+
+impl Segment {
+    /// The length of this segment.
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        match *self {
+            Segment::Constant { duration, .. }
+            | Segment::Ramp { duration, .. }
+            | Segment::Burst { duration, .. } => duration,
+        }
+    }
+
+    /// Current at offset `t` into the segment (`0 ≤ t ≤ duration`).
+    ///
+    /// Out-of-range offsets clamp to the nearest endpoint, so callers never
+    /// observe discontinuities from floating-point edge effects.
+    #[must_use]
+    pub fn current_at(&self, t: Seconds) -> Amps {
+        let d = self.duration().get();
+        let t = t.get().clamp(0.0, d);
+        match *self {
+            Segment::Constant { current, .. } => current,
+            Segment::Ramp { from, to, .. } => {
+                let frac = if d > 0.0 { t / d } else { 1.0 };
+                Amps::new(from.get() + (to.get() - from.get()) * frac)
+            }
+            Segment::Burst {
+                peak,
+                base,
+                period,
+                duty,
+                ..
+            } => {
+                let phase = (t / period.get()).fract();
+                if phase < duty {
+                    peak
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    /// The maximum current anywhere in the segment.
+    #[must_use]
+    pub fn peak(&self) -> Amps {
+        match *self {
+            Segment::Constant { current, .. } => current,
+            Segment::Ramp { from, to, .. } => from.max(to),
+            Segment::Burst { peak, base, .. } => peak.max(base),
+        }
+    }
+
+    /// Exact charge (ampere-seconds) delivered over the whole segment.
+    #[must_use]
+    pub fn charge(&self) -> f64 {
+        match *self {
+            Segment::Constant { current, duration } => current.get() * duration.get(),
+            Segment::Ramp { from, to, duration } => {
+                0.5 * (from.get() + to.get()) * duration.get()
+            }
+            Segment::Burst {
+                peak,
+                base,
+                period,
+                duty,
+                duration,
+            } => {
+                // Whole periods contribute exactly; the trailing partial
+                // period contributes its clipped on/off portions.
+                let d = duration.get();
+                let p = period.get();
+                let full = (d / p).floor();
+                let per_period = (peak.get() * duty + base.get() * (1.0 - duty)) * p;
+                let rem = d - full * p;
+                let on = rem.min(duty * p);
+                let off = (rem - on).max(0.0);
+                full * per_period + peak.get() * on + base.get() * off
+            }
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    fn ma(v: f64) -> Amps {
+        Amps::from_milli(v)
+    }
+
+    fn ms(v: f64) -> Seconds {
+        Seconds::from_milli(v)
+    }
+
+    #[test]
+    fn constant_segment() {
+        let s = Segment::Constant {
+            current: ma(25.0),
+            duration: ms(10.0),
+        };
+        assert_eq!(s.current_at(ms(5.0)), ma(25.0));
+        assert_eq!(s.peak(), ma(25.0));
+        assert!((s.charge() - 0.025 * 0.010).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ramp_segment_interpolates() {
+        let s = Segment::Ramp {
+            from: Amps::ZERO,
+            to: ma(10.0),
+            duration: ms(2.0),
+        };
+        assert!(s.current_at(ms(1.0)).approx_eq(ma(5.0), 1e-12));
+        assert_eq!(s.current_at(Seconds::ZERO), Amps::ZERO);
+        assert_eq!(s.current_at(ms(2.0)), ma(10.0));
+        // Triangle area.
+        assert!((s.charge() - 0.5 * 0.010 * 0.002).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ramp_clamps_out_of_range() {
+        let s = Segment::Ramp {
+            from: ma(1.0),
+            to: ma(3.0),
+            duration: ms(1.0),
+        };
+        assert_eq!(s.current_at(ms(-5.0)), ma(1.0));
+        assert_eq!(s.current_at(ms(99.0)), ma(3.0));
+    }
+
+    #[test]
+    fn burst_segment_alternates() {
+        let s = Segment::Burst {
+            peak: ma(13.0),
+            base: ma(4.0),
+            period: ms(2.0),
+            duty: 0.5,
+            duration: ms(10.0),
+        };
+        assert_eq!(s.current_at(ms(0.5)), ma(13.0)); // on phase
+        assert_eq!(s.current_at(ms(1.5)), ma(4.0)); // off phase
+        assert_eq!(s.current_at(ms(2.5)), ma(13.0)); // next period
+        assert_eq!(s.peak(), ma(13.0));
+    }
+
+    #[test]
+    fn burst_charge_with_partial_period() {
+        let s = Segment::Burst {
+            peak: ma(10.0),
+            base: Amps::ZERO,
+            period: ms(2.0),
+            duty: 0.5,
+            duration: ms(5.0), // 2 full periods + half a period (all "on")
+        };
+        // Full periods: 2 × (10 mA × 1 ms) = 20 µC; remainder 1 ms on = 10 µC.
+        assert!((s.charge() - 30e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burst_full_duty_is_constant() {
+        let s = Segment::Burst {
+            peak: ma(7.0),
+            base: ma(1.0),
+            period: ms(1.0),
+            duty: 1.0,
+            duration: ms(4.0),
+        };
+        let c = Segment::Constant {
+            current: ma(7.0),
+            duration: ms(4.0),
+        };
+        assert!((s.charge() - c.charge()).abs() < 1e-12);
+    }
+}

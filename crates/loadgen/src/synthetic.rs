@@ -1,0 +1,253 @@
+//! The synthetic Uniform and Pulse loads of Table III.
+//!
+//! The paper validates `V_safe` against resistor-transistor loads tuned to
+//! sink specific currents under two shapes:
+//!
+//! * **Uniform** — `I_load` held for `t_pulse`;
+//! * **Pulse** — `I_load` for `t_pulse`, then 100 ms at `I_compute = 1.5 mA`
+//!   ("peripheral activation followed by low-power computing").
+//!
+//! Figures 6 and 10 sweep `I_load ∈ {5, 10, 25, 50} mA` and
+//! `t_pulse ∈ {1, 10, 100} ms`.
+
+use culpeo_units::{Amps, Seconds};
+
+use crate::LoadProfile;
+
+/// The load currents swept by Table III, in milliamps.
+pub const TABLE_III_CURRENTS_MA: [f64; 4] = [5.0, 10.0, 25.0, 50.0];
+
+/// The pulse widths swept by Table III, in milliseconds.
+pub const TABLE_III_WIDTHS_MS: [f64; 3] = [1.0, 10.0, 100.0];
+
+/// Duration of the low-power compute tail in the Pulse shape.
+pub const COMPUTE_TAIL: Seconds = Seconds::new(0.100);
+
+/// Current of the low-power compute tail in the Pulse shape.
+pub const COMPUTE_CURRENT: Amps = Amps::new(1.5e-3);
+
+/// A Uniform load: constant `i_load` for `t_pulse` (Table III, row 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformLoad {
+    /// The sunk current.
+    pub i_load: Amps,
+    /// How long the current is applied.
+    pub t_pulse: Seconds,
+}
+
+impl UniformLoad {
+    /// Creates a uniform load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current is negative or the width non-positive.
+    #[must_use]
+    pub fn new(i_load: Amps, t_pulse: Seconds) -> Self {
+        assert!(i_load.get() >= 0.0, "load current cannot be negative");
+        assert!(t_pulse.get() > 0.0, "pulse width must be positive");
+        Self { i_load, t_pulse }
+    }
+
+    /// The load's label in figure output, e.g. `"25mA/10ms uniform"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{:.0}mA/{:.0}ms uniform",
+            self.i_load.to_milli(),
+            self.t_pulse.to_milli()
+        )
+    }
+
+    /// Renders the load as an analytic profile.
+    #[must_use]
+    pub fn profile(&self) -> LoadProfile {
+        LoadProfile::constant(self.label(), self.i_load, self.t_pulse)
+    }
+}
+
+/// A Pulse load: `i_load` for `t_pulse`, then the 100 ms / 1.5 mA compute
+/// tail (Table III, row 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulseLoad {
+    /// The pulse current.
+    pub i_load: Amps,
+    /// The pulse width.
+    pub t_pulse: Seconds,
+    /// Current of the trailing compute phase.
+    pub i_compute: Amps,
+    /// Duration of the trailing compute phase.
+    pub t_compute: Seconds,
+}
+
+impl PulseLoad {
+    /// Creates a pulse load with the paper's standard compute tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current is negative or the width non-positive.
+    #[must_use]
+    pub fn new(i_load: Amps, t_pulse: Seconds) -> Self {
+        assert!(i_load.get() >= 0.0, "load current cannot be negative");
+        assert!(t_pulse.get() > 0.0, "pulse width must be positive");
+        Self {
+            i_load,
+            t_pulse,
+            i_compute: COMPUTE_CURRENT,
+            t_compute: COMPUTE_TAIL,
+        }
+    }
+
+    /// The load's label in figure output, e.g. `"50mA/10ms pulse"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{:.0}mA/{:.0}ms pulse",
+            self.i_load.to_milli(),
+            self.t_pulse.to_milli()
+        )
+    }
+
+    /// Renders the load as an analytic profile.
+    #[must_use]
+    pub fn profile(&self) -> LoadProfile {
+        LoadProfile::builder(self.label())
+            .hold(self.i_load, self.t_pulse)
+            .hold(self.i_compute, self.t_compute)
+            .build()
+    }
+}
+
+/// All 12 Uniform loads of Table III (4 currents × 3 widths).
+#[must_use]
+pub fn table_iii_uniform() -> Vec<UniformLoad> {
+    let mut v = Vec::with_capacity(12);
+    for &ma in &TABLE_III_CURRENTS_MA {
+        for &ms in &TABLE_III_WIDTHS_MS {
+            v.push(UniformLoad::new(
+                Amps::from_milli(ma),
+                Seconds::from_milli(ms),
+            ));
+        }
+    }
+    v
+}
+
+/// All 12 Pulse loads of Table III (4 currents × 3 widths).
+#[must_use]
+pub fn table_iii_pulse() -> Vec<PulseLoad> {
+    let mut v = Vec::with_capacity(12);
+    for &ma in &TABLE_III_CURRENTS_MA {
+        for &ms in &TABLE_III_WIDTHS_MS {
+            v.push(PulseLoad::new(
+                Amps::from_milli(ma),
+                Seconds::from_milli(ms),
+            ));
+        }
+    }
+    v
+}
+
+/// The 9 `(I_load mA, t_pulse ms)` points plotted per shape in Figure 10.
+///
+/// The paper drops the three points whose pulse energy is too small to
+/// matter at a given width (5 mA/1 ms) or whose drop exceeds the operating
+/// range at 100 ms (25 and 50 mA/100 ms).
+pub const FIG10_POINTS: [(f64, f64); 9] = [
+    (5.0, 100.0),
+    (10.0, 100.0),
+    (5.0, 10.0),
+    (10.0, 10.0),
+    (25.0, 10.0),
+    (50.0, 10.0),
+    (10.0, 1.0),
+    (25.0, 1.0),
+    (50.0, 1.0),
+];
+
+/// The 6 `(I_load mA, t_pulse ms)` points plotted per shape in Figure 6
+/// (the energy-estimator comparison omits the 1 ms column).
+pub const FIG6_POINTS: [(f64, f64); 6] = [
+    (5.0, 100.0),
+    (10.0, 100.0),
+    (5.0, 10.0),
+    (10.0, 10.0),
+    (25.0, 10.0),
+    (50.0, 10.0),
+];
+
+/// The Figure 10 workload set: 9 uniform loads then 9 pulse loads, in the
+/// paper's plotting order.
+#[must_use]
+pub fn fig10_loads() -> Vec<LoadProfile> {
+    let uniform = FIG10_POINTS.iter().map(|&(ma, ms)| {
+        UniformLoad::new(Amps::from_milli(ma), Seconds::from_milli(ms)).profile()
+    });
+    let pulse = FIG10_POINTS.iter().map(|&(ma, ms)| {
+        PulseLoad::new(Amps::from_milli(ma), Seconds::from_milli(ms)).profile()
+    });
+    uniform.chain(pulse).collect()
+}
+
+/// The Figure 6 workload set: 6 uniform loads then 6 pulse loads.
+#[must_use]
+pub fn fig6_loads() -> Vec<LoadProfile> {
+    let uniform = FIG6_POINTS.iter().map(|&(ma, ms)| {
+        UniformLoad::new(Amps::from_milli(ma), Seconds::from_milli(ms)).profile()
+    });
+    let pulse = FIG6_POINTS.iter().map(|&(ma, ms)| {
+        PulseLoad::new(Amps::from_milli(ma), Seconds::from_milli(ms)).profile()
+    });
+    uniform.chain(pulse).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_profile_shape() {
+        let u = UniformLoad::new(Amps::from_milli(50.0), Seconds::from_milli(10.0));
+        let p = u.profile();
+        assert_eq!(p.peak(), Amps::from_milli(50.0));
+        assert!(p.duration().approx_eq(Seconds::from_milli(10.0), 1e-12));
+        assert_eq!(u.label(), "50mA/10ms uniform");
+    }
+
+    #[test]
+    fn pulse_profile_has_compute_tail() {
+        let pl = PulseLoad::new(Amps::from_milli(25.0), Seconds::from_milli(10.0));
+        let p = pl.profile();
+        assert!(p.duration().approx_eq(Seconds::from_milli(110.0), 1e-12));
+        assert_eq!(p.current_at(Seconds::from_milli(50.0)), COMPUTE_CURRENT);
+        assert_eq!(pl.label(), "25mA/10ms pulse");
+    }
+
+    #[test]
+    fn table_iii_grids_are_complete() {
+        assert_eq!(table_iii_uniform().len(), 12);
+        assert_eq!(table_iii_pulse().len(), 12);
+        // Every grid point is distinct.
+        let labels: std::collections::HashSet<_> =
+            table_iii_uniform().iter().map(UniformLoad::label).collect();
+        assert_eq!(labels.len(), 12);
+    }
+
+    #[test]
+    fn figure_sets_have_paper_cardinality() {
+        assert_eq!(fig10_loads().len(), 18);
+        assert_eq!(fig6_loads().len(), 12);
+    }
+
+    #[test]
+    fn fig6_is_subset_of_fig10() {
+        for pt in FIG6_POINTS {
+            assert!(FIG10_POINTS.contains(&pt));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pulse width must be positive")]
+    fn uniform_rejects_zero_width() {
+        let _ = UniformLoad::new(Amps::from_milli(5.0), Seconds::ZERO);
+    }
+}

@@ -1,0 +1,367 @@
+//! Uniformly sampled current traces — the representation Culpeo-PG ingests.
+
+use culpeo_units::{Amps, Hertz, Joules, Seconds, Volts};
+
+/// A current waveform sampled at a fixed interval.
+///
+/// This mirrors what the paper's measurement harness (an STM32 power shield
+/// sampling at 125 kHz) hands to Culpeo-PG: a label, a sample period, and the
+/// instantaneous current at each sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurrentTrace {
+    label: String,
+    dt: Seconds,
+    samples: Vec<Amps>,
+}
+
+impl CurrentTrace {
+    /// Creates a trace from raw samples taken every `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    #[must_use]
+    pub fn new(label: impl Into<String>, dt: Seconds, samples: Vec<Amps>) -> Self {
+        assert!(dt.get() > 0.0, "sample period must be positive");
+        Self {
+            label: label.into(),
+            dt,
+            samples,
+        }
+    }
+
+    /// The trace label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The sample period.
+    #[must_use]
+    pub fn dt(&self) -> Seconds {
+        self.dt
+    }
+
+    /// The sample rate.
+    #[must_use]
+    pub fn rate(&self) -> Hertz {
+        self.dt.frequency()
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the trace holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total covered duration (`len × dt`).
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        Seconds::new(self.samples.len() as f64 * self.dt.get())
+    }
+
+    /// Borrows the raw samples.
+    #[must_use]
+    pub fn samples(&self) -> &[Amps] {
+        &self.samples
+    }
+
+    /// Iterates `(timestamp, current)` pairs; timestamps are the left edge
+    /// of each sampling interval.
+    pub fn iter(&self) -> impl Iterator<Item = (Seconds, Amps)> + '_ {
+        let dt = self.dt.get();
+        self.samples
+            .iter()
+            .enumerate()
+            .map(move |(k, &i)| (Seconds::new(k as f64 * dt), i))
+    }
+
+    /// The maximum sampled current (zero for an empty trace).
+    #[must_use]
+    pub fn peak(&self) -> Amps {
+        self.samples.iter().copied().fold(Amps::ZERO, Amps::max)
+    }
+
+    /// Mean current over the trace (zero for an empty trace).
+    #[must_use]
+    pub fn mean(&self) -> Amps {
+        if self.samples.is_empty() {
+            return Amps::ZERO;
+        }
+        let sum: f64 = self.samples.iter().map(|i| i.get()).sum();
+        Amps::new(sum / self.samples.len() as f64)
+    }
+
+    /// Total charge (coulombs) as a left-Riemann sum.
+    #[must_use]
+    pub fn charge(&self) -> f64 {
+        self.samples.iter().map(|i| i.get()).sum::<f64>() * self.dt.get()
+    }
+
+    /// Energy delivered at the regulated output voltage `v_out`
+    /// (`E = ΣI·V·dt`).
+    #[must_use]
+    pub fn output_energy(&self, v_out: Volts) -> Joules {
+        Joules::new(self.charge() * v_out.get())
+    }
+
+    /// The width of the largest current pulse, excluding high-frequency
+    /// noise — the statistic Culpeo-PG uses to pick a representative ESR
+    /// value from the power system's ESR-vs-frequency curve (§IV-B).
+    ///
+    /// "Pulse" means a maximal run of samples at or above a quarter of the
+    /// (noise-filtered) peak — low enough that a duty-cycled radio's whole
+    /// on-window counts as one pulse (its ESR operating point is set by
+    /// the envelope, not the slot rate), but high enough that a low-power
+    /// compute tail does not. A short median filter removes single-sample
+    /// spikes first, so an instrumentation glitch cannot masquerade as the
+    /// dominant load.
+    ///
+    /// Returns `None` for an empty or all-zero trace.
+    #[must_use]
+    pub fn dominant_pulse_width(&self) -> Option<Seconds> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let filtered = median3(&self.samples);
+        let peak = filtered.iter().copied().fold(Amps::ZERO, Amps::max);
+        if peak.get() <= 0.0 {
+            return None;
+        }
+        let threshold = peak.get() * 0.25;
+        let mut best = 0usize;
+        let mut run = 0usize;
+        for &s in &filtered {
+            if s.get() >= threshold {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        (best > 0).then(|| Seconds::new(best as f64 * self.dt.get()))
+    }
+
+    /// The frequency corresponding to [`dominant_pulse_width`]
+    /// (`f = 1 / width`), or `None` when no pulse exists.
+    ///
+    /// [`dominant_pulse_width`]: CurrentTrace::dominant_pulse_width
+    #[must_use]
+    pub fn dominant_frequency(&self) -> Option<Hertz> {
+        self.dominant_pulse_width().map(Seconds::frequency)
+    }
+
+    /// Resamples to a new rate by zero-order hold (the value in effect at
+    /// each new sample instant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    #[must_use]
+    pub fn resample(&self, rate: Hertz) -> CurrentTrace {
+        let new_dt = rate.period();
+        let n = (self.duration().get() / new_dt.get()).ceil().max(0.0) as usize;
+        let samples = (0..n)
+            .map(|k| {
+                let t = k as f64 * new_dt.get();
+                let idx = ((t / self.dt.get()).floor() as usize).min(self.samples.len() - 1);
+                self.samples[idx]
+            })
+            .collect();
+        CurrentTrace::new(self.label.clone(), new_dt, samples)
+    }
+
+    /// Extracts the sub-trace covering `[from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > to` or the window extends beyond the trace.
+    #[must_use]
+    pub fn window(&self, from: Seconds, to: Seconds) -> CurrentTrace {
+        assert!(from.get() <= to.get(), "window is inverted");
+        assert!(
+            to.get() <= self.duration().get() + self.dt.get() * 0.5,
+            "window extends beyond trace"
+        );
+        let a = (from.get() / self.dt.get()).round() as usize;
+        let b = ((to.get() / self.dt.get()).round() as usize).min(self.samples.len());
+        CurrentTrace::new(self.label.clone(), self.dt, self.samples[a..b].to_vec())
+    }
+
+    /// Returns a copy with a width-3 median filter applied — the §II-D
+    /// denoising step: single-sample instrumentation glitches and
+    /// sub-resolution transients (which the board's decoupling capacitors
+    /// serve, not the energy buffer) are removed, while real pulse edges
+    /// move by at most one sample.
+    #[must_use]
+    pub fn median_filtered(&self) -> CurrentTrace {
+        CurrentTrace::new(self.label.clone(), self.dt, median3(&self.samples))
+    }
+
+    /// Appends another trace (must share the same sample period).
+    ///
+    /// # Panics
+    ///
+    /// Panics if sample periods differ by more than 1 ppm.
+    #[must_use]
+    pub fn concat(&self, other: &CurrentTrace) -> CurrentTrace {
+        assert!(
+            (self.dt.get() - other.dt.get()).abs() <= self.dt.get() * 1e-6,
+            "cannot concatenate traces with different sample periods"
+        );
+        let mut samples = self.samples.clone();
+        samples.extend_from_slice(&other.samples);
+        CurrentTrace::new(
+            format!("{}+{}", self.label, other.label),
+            self.dt,
+            samples,
+        )
+    }
+}
+
+/// Width-3 median filter with edge passthrough — enough to remove
+/// single-sample instrumentation spikes without smearing real pulse edges.
+fn median3(samples: &[Amps]) -> Vec<Amps> {
+    if samples.len() < 3 {
+        return samples.to_vec();
+    }
+    let mut out = Vec::with_capacity(samples.len());
+    out.push(samples[0]);
+    for w in samples.windows(3) {
+        let (a, b, c) = (w[0].get(), w[1].get(), w[2].get());
+        let med = a.max(b).min(a.max(c)).min(b.max(c));
+        out.push(Amps::new(med));
+    }
+    out.push(samples[samples.len() - 1]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LoadProfile;
+
+    fn ma(v: f64) -> Amps {
+        Amps::from_milli(v)
+    }
+
+    fn ms(v: f64) -> Seconds {
+        Seconds::from_milli(v)
+    }
+
+    fn pulse_trace() -> CurrentTrace {
+        // 10 ms @ 25 mA then 100 ms @ 1.5 mA, sampled at 1 kHz.
+        LoadProfile::builder("p")
+            .hold(ma(25.0), ms(10.0))
+            .hold(ma(1.5), ms(100.0))
+            .build()
+            .sample(Hertz::new(1000.0))
+    }
+
+    #[test]
+    fn stats() {
+        let t = pulse_trace();
+        assert_eq!(t.len(), 110);
+        assert_eq!(t.peak(), ma(25.0));
+        assert!((t.charge() - (0.025 * 0.010 + 0.0015 * 0.100)).abs() < 1e-9);
+        assert!(t.duration().approx_eq(ms(110.0), 1e-9));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn dominant_pulse_width_finds_the_pulse() {
+        let t = pulse_trace();
+        // The 25 mA pulse is 10 ms wide; threshold is 12.5 mA so the 1.5 mA
+        // tail does not count.
+        let w = t.dominant_pulse_width().unwrap();
+        assert!(w.approx_eq(ms(10.0), 1.5e-3), "width = {w}");
+        let f = t.dominant_frequency().unwrap();
+        assert!((f.get() - 100.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn dominant_pulse_ignores_single_sample_spikes() {
+        // Constant 1 mA with one 50 mA glitch sample: the glitch must not
+        // become the dominant pulse.
+        let mut samples = vec![ma(1.0); 100];
+        samples[50] = ma(50.0);
+        let t = CurrentTrace::new("glitch", ms(1.0), samples);
+        let w = t.dominant_pulse_width().unwrap();
+        // After filtering, the peak is 1 mA and the whole trace is "pulse".
+        assert!(w.approx_eq(ms(100.0), 1e-9), "width = {w}");
+    }
+
+    #[test]
+    fn dominant_pulse_none_for_silent_trace() {
+        let t = CurrentTrace::new("zeros", ms(1.0), vec![Amps::ZERO; 10]);
+        assert!(t.dominant_pulse_width().is_none());
+        let e = CurrentTrace::new("empty", ms(1.0), vec![]);
+        assert!(e.dominant_pulse_width().is_none());
+    }
+
+    #[test]
+    fn resample_preserves_charge_roughly() {
+        let t = pulse_trace();
+        let r = t.resample(Hertz::new(10_000.0));
+        assert!((r.charge() - t.charge()).abs() < t.charge() * 0.01);
+        assert_eq!(r.peak(), t.peak());
+    }
+
+    #[test]
+    fn window_extracts_range() {
+        let t = pulse_trace();
+        let w = t.window(Seconds::ZERO, ms(10.0));
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.peak(), ma(25.0));
+        assert!(w.mean().approx_eq(ma(25.0), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "window is inverted")]
+    fn window_rejects_inverted_range() {
+        let _ = pulse_trace().window(ms(10.0), ms(5.0));
+    }
+
+    #[test]
+    fn concat_joins_traces() {
+        let t = pulse_trace();
+        let j = t.concat(&t);
+        assert_eq!(j.len(), 2 * t.len());
+        assert!((j.charge() - 2.0 * t.charge()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different sample periods")]
+    fn concat_rejects_mismatched_rates() {
+        let t = pulse_trace();
+        let other = t.resample(Hertz::new(2000.0));
+        let _ = t.concat(&other);
+    }
+
+    #[test]
+    fn output_energy() {
+        let t = pulse_trace();
+        let e = t.output_energy(Volts::new(2.55));
+        assert!((e.get() - t.charge() * 2.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_timestamps() {
+        let t = pulse_trace();
+        let (ts, i) = t.iter().nth(3).unwrap();
+        assert!(ts.approx_eq(ms(3.0), 1e-12));
+        assert_eq!(i, ma(25.0));
+    }
+
+    #[test]
+    fn median3_short_inputs_pass_through() {
+        let s = vec![ma(1.0), ma(2.0)];
+        assert_eq!(median3(&s), s);
+    }
+}

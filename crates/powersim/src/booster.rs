@@ -1,0 +1,235 @@
+//! The output booster: a regulated converter whose efficiency varies with
+//! its input voltage.
+
+use culpeo_units::{Amps, Volts, Watts};
+
+/// A linear efficiency model `η(V) = m·V + b`, clamped to a sane range.
+///
+/// The paper assumes the output booster's efficiency changes little with
+/// current and models it "as a line relating input voltage to efficiency"
+/// (§IV-B); both Culpeo implementations share that assumption, and the
+/// simulator uses the same family so model error comes from dynamics, not
+/// from an unfair efficiency mismatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EfficiencyCurve {
+    slope: f64,
+    intercept: f64,
+    floor: f64,
+    ceiling: f64,
+}
+
+impl EfficiencyCurve {
+    /// Creates a curve from slope (per volt) and intercept, clamped to
+    /// `[floor, ceiling]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < floor ≤ ceiling ≤ 1`.
+    #[must_use]
+    pub fn new(slope: f64, intercept: f64, floor: f64, ceiling: f64) -> Self {
+        assert!(
+            0.0 < floor && floor <= ceiling && ceiling <= 1.0,
+            "efficiency clamp must satisfy 0 < floor ≤ ceiling ≤ 1"
+        );
+        Self {
+            slope,
+            intercept,
+            floor,
+            ceiling,
+        }
+    }
+
+    /// A curve through two `(voltage, efficiency)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two voltages coincide or the clamp range is invalid.
+    #[must_use]
+    pub fn through(p1: (Volts, f64), p2: (Volts, f64), floor: f64, ceiling: f64) -> Self {
+        let dv = p2.0.get() - p1.0.get();
+        assert!(dv.abs() > 1e-12, "efficiency points must differ in voltage");
+        let slope = (p2.1 - p1.1) / dv;
+        let intercept = p1.1 - slope * p1.0.get();
+        Self::new(slope, intercept, floor, ceiling)
+    }
+
+    /// The TPS61200-like curve used for the simulated Capybara: 78 %
+    /// efficient at 1.6 V rising to 87 % at 2.5 V.
+    #[must_use]
+    pub fn tps61200_like() -> Self {
+        Self::through((Volts::new(1.6), 0.78), (Volts::new(2.5), 0.87), 0.05, 0.95)
+    }
+
+    /// Efficiency at input voltage `v`, clamped to the configured range.
+    #[must_use]
+    pub fn at(&self, v: Volts) -> f64 {
+        (self.slope * v.get() + self.intercept).clamp(self.floor, self.ceiling)
+    }
+
+    /// The slope `m` of the underlying line.
+    #[must_use]
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
+
+    /// The intercept `b` of the underlying line.
+    #[must_use]
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+impl Default for EfficiencyCurve {
+    fn default() -> Self {
+        Self::tps61200_like()
+    }
+}
+
+/// The output booster: regulates the buffer's (sagging) voltage up/down to a
+/// stable `V_out` for the load side, at the cost of `η(V_in)` efficiency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutputBooster {
+    v_out: Volts,
+    efficiency: EfficiencyCurve,
+    min_input: Volts,
+}
+
+impl OutputBooster {
+    /// Creates a booster regulating to `v_out`.
+    ///
+    /// `min_input` is the input voltage below which the converter leaves
+    /// its operational region entirely (distinct from — and lower than —
+    /// the monitor's `V_off`); Figure 11 shows Energy-V estimates driving
+    /// the booster into exactly this region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_out` or `min_input` is not strictly positive.
+    #[must_use]
+    pub fn new(v_out: Volts, efficiency: EfficiencyCurve, min_input: Volts) -> Self {
+        assert!(v_out.get() > 0.0, "output voltage must be positive");
+        assert!(min_input.get() > 0.0, "minimum input voltage must be positive");
+        Self {
+            v_out,
+            efficiency,
+            min_input,
+        }
+    }
+
+    /// The Capybara-like default: `V_out` = 2.55 V, TPS61200-like
+    /// efficiency, operational down to 0.5 V input.
+    #[must_use]
+    pub fn capybara() -> Self {
+        Self::new(
+            Volts::new(2.55),
+            EfficiencyCurve::tps61200_like(),
+            Volts::new(0.5),
+        )
+    }
+
+    /// The regulated output voltage.
+    #[must_use]
+    pub fn v_out(&self) -> Volts {
+        self.v_out
+    }
+
+    /// The efficiency curve.
+    #[must_use]
+    pub fn efficiency(&self) -> &EfficiencyCurve {
+        &self.efficiency
+    }
+
+    /// The minimum operational input voltage.
+    #[must_use]
+    pub fn min_input(&self) -> Volts {
+        self.min_input
+    }
+
+    /// Power drawn from the buffer node at `v_in` to deliver `i_load` at
+    /// the regulated output (`P_in = V_out·I_load / η(V_in)`).
+    ///
+    /// Returns `None` if the converter is below its operational input
+    /// voltage — it cannot deliver at all there.
+    #[must_use]
+    pub fn input_power(&self, v_in: Volts, i_load: Amps) -> Option<Watts> {
+        if v_in < self.min_input {
+            return None;
+        }
+        let p_out = self.v_out * i_load;
+        Some(Watts::new(p_out.get() / self.efficiency.at(v_in)))
+    }
+
+    /// Current drawn from the buffer node at `v_in` for load `i_load`
+    /// (`I_in = P_in / V_in`), or `None` below the operational region.
+    #[must_use]
+    pub fn input_current(&self, v_in: Volts, i_load: Amps) -> Option<Amps> {
+        self.input_power(v_in, i_load).map(|p| p.current_at(v_in))
+    }
+}
+
+impl Default for OutputBooster {
+    fn default() -> Self {
+        Self::capybara()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_line_and_clamp() {
+        let e = EfficiencyCurve::tps61200_like();
+        assert!((e.at(Volts::new(1.6)) - 0.78).abs() < 1e-12);
+        assert!((e.at(Volts::new(2.5)) - 0.87).abs() < 1e-12);
+        // Far below the line: clamped at the floor, not negative.
+        assert!((e.at(Volts::new(-10.0)) - 0.05).abs() < 1e-12);
+        assert!((e.at(Volts::new(100.0)) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_through_points_recovers_line() {
+        let e = EfficiencyCurve::through((Volts::new(1.0), 0.7), (Volts::new(2.0), 0.8), 0.1, 0.9);
+        assert!((e.slope() - 0.1).abs() < 1e-12);
+        assert!((e.intercept() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in voltage")]
+    fn through_rejects_coincident_points() {
+        let _ =
+            EfficiencyCurve::through((Volts::new(1.0), 0.7), (Volts::new(1.0), 0.8), 0.1, 0.9);
+    }
+
+    #[test]
+    fn input_power_inflates_by_efficiency() {
+        let b = OutputBooster::capybara();
+        let v_in = Volts::new(2.0);
+        let i = Amps::from_milli(50.0);
+        let p_in = b.input_power(v_in, i).unwrap();
+        let eta = b.efficiency().at(v_in);
+        assert!((p_in.get() - 2.55 * 0.050 / eta).abs() < 1e-12);
+        // Input current exceeds load current at similar voltages because of
+        // the efficiency loss.
+        let i_in = b.input_current(v_in, i).unwrap();
+        assert!(i_in.get() > i.get());
+    }
+
+    #[test]
+    fn below_operational_region_delivers_nothing() {
+        let b = OutputBooster::capybara();
+        assert!(b.input_power(Volts::new(0.4), Amps::from_milli(1.0)).is_none());
+        assert!(b.input_current(Volts::new(0.3), Amps::from_milli(1.0)).is_none());
+    }
+
+    #[test]
+    fn lower_input_voltage_draws_more_current() {
+        let b = OutputBooster::capybara();
+        let i = Amps::from_milli(25.0);
+        let hi = b.input_current(Volts::new(2.5), i).unwrap();
+        let lo = b.input_current(Volts::new(1.7), i).unwrap();
+        // The §IV-C observation: "as V_cap decreases, the booster draws
+        // more current from the capacitor".
+        assert!(lo.get() > hi.get());
+    }
+}

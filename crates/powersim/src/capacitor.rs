@@ -1,0 +1,240 @@
+//! A single capacitor branch: ideal capacitance in series with its ESR.
+
+use culpeo_units::{Amps, Farads, Joules, Ohms, Volts};
+
+/// One branch of the energy buffer: an ideal capacitor in series with a
+/// resistance (its ESR), with a constant intrinsic leakage (DCL).
+///
+/// This is exactly the model the paper uses for the energy buffer (§IV-B),
+/// plus the leakage term that matters for the capacitor-technology
+/// comparison of Figure 3. Several branches in parallel form a
+/// [`BufferNetwork`](crate::BufferNetwork).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacitorBranch {
+    capacitance: Farads,
+    esr: Ohms,
+    leakage: Amps,
+    /// Internal (ideal-capacitor) voltage — *not* directly observable; the
+    /// terminal sees this minus the ESR drop of whatever current flows.
+    v_internal: Volts,
+}
+
+impl CapacitorBranch {
+    /// Creates a branch at `initial` internal voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacitance or ESR is not strictly positive, or leakage is
+    /// negative.
+    #[must_use]
+    pub fn new(capacitance: Farads, esr: Ohms, leakage: Amps, initial: Volts) -> Self {
+        assert!(capacitance.get() > 0.0, "capacitance must be positive");
+        assert!(esr.get() > 0.0, "ESR must be positive");
+        assert!(leakage.get() >= 0.0, "leakage cannot be negative");
+        Self {
+            capacitance,
+            esr,
+            leakage,
+            v_internal: initial,
+        }
+    }
+
+    /// A leakage-free branch (fine for short-horizon experiments where DCL
+    /// is negligible).
+    #[must_use]
+    pub fn ideal(capacitance: Farads, esr: Ohms, initial: Volts) -> Self {
+        Self::new(capacitance, esr, Amps::ZERO, initial)
+    }
+
+    /// The branch capacitance.
+    #[must_use]
+    pub fn capacitance(&self) -> Farads {
+        self.capacitance
+    }
+
+    /// The branch ESR.
+    #[must_use]
+    pub fn esr(&self) -> Ohms {
+        self.esr
+    }
+
+    /// The branch's intrinsic leakage current.
+    #[must_use]
+    pub fn leakage(&self) -> Amps {
+        self.leakage
+    }
+
+    /// The internal (ideal-capacitor) voltage.
+    #[must_use]
+    pub fn v_internal(&self) -> Volts {
+        self.v_internal
+    }
+
+    /// Forces the internal voltage (test-harness "discharge to level").
+    pub fn set_v_internal(&mut self, v: Volts) {
+        self.v_internal = v;
+    }
+
+    /// Stored energy at the current internal voltage (`½CV²`).
+    #[must_use]
+    pub fn stored_energy(&self) -> Joules {
+        self.capacitance.stored_energy(self.v_internal)
+    }
+
+    /// The current this branch sources into a node held at `v_node`
+    /// (`I = (V_int − V_node)/R`, positive = discharging into the node).
+    #[must_use]
+    pub fn current_into_node(&self, v_node: Volts) -> Amps {
+        (self.v_internal - v_node) / self.esr
+    }
+
+    /// Advances the internal voltage after sourcing `i` (plus leakage) for
+    /// `dt`. The internal voltage is floored at zero — a capacitor cannot
+    /// be driven to negative charge by leakage.
+    pub fn integrate(&mut self, i: Amps, dt: culpeo_units::Seconds) {
+        let total = Amps::new(i.get() + self.leakage.get());
+        let dv = self.capacitance.slew_for_current(total, dt);
+        self.v_internal = Volts::new((self.v_internal - dv).get().max(0.0));
+    }
+
+    /// Applies capacitor aging: capacitance retention `c_factor` (e.g. 0.8
+    /// at end-of-life) and ESR growth `r_factor` (e.g. 2.0 at end-of-life),
+    /// the §IV-C lifetime drift that motivates runtime re-profiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either factor is not strictly positive.
+    #[must_use]
+    pub fn aged(&self, aging: AgingState) -> Self {
+        Self {
+            capacitance: self.capacitance * aging.capacitance_retention,
+            esr: self.esr * aging.esr_growth,
+            ..*self
+        }
+    }
+}
+
+/// Lifetime drift of a capacitor: how much capacitance remains and how much
+/// the ESR has grown.
+///
+/// Datasheets consider a supercapacitor dead once capacitance falls below
+/// 80 % of nominal or ESR doubles; [`AgingState::END_OF_LIFE`] encodes that
+/// boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgingState {
+    /// Remaining fraction of nominal capacitance, in `(0, 1]`.
+    pub capacitance_retention: f64,
+    /// Multiplier on nominal ESR, `≥ 1`.
+    pub esr_growth: f64,
+}
+
+impl AgingState {
+    /// A fresh part: full capacitance, nominal ESR.
+    pub const FRESH: Self = Self {
+        capacitance_retention: 1.0,
+        esr_growth: 1.0,
+    };
+
+    /// The datasheet end-of-life boundary: 80 % capacitance, 2× ESR.
+    pub const END_OF_LIFE: Self = Self {
+        capacitance_retention: 0.8,
+        esr_growth: 2.0,
+    };
+
+    /// Linear interpolation between fresh (`t = 0`) and end-of-life
+    /// (`t = 1`). `t` may exceed 1 to model beyond-spec wear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative.
+    #[must_use]
+    pub fn at_fraction(t: f64) -> Self {
+        assert!(t >= 0.0, "aging fraction cannot be negative");
+        Self {
+            capacitance_retention: (1.0 + (0.8 - 1.0) * t).max(0.05),
+            esr_growth: 1.0 + (2.0 - 1.0) * t,
+        }
+    }
+}
+
+impl Default for AgingState {
+    fn default() -> Self {
+        Self::FRESH
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_units::Seconds;
+
+    fn bank() -> CapacitorBranch {
+        CapacitorBranch::ideal(Farads::from_milli(45.0), Ohms::new(3.3), Volts::new(2.5))
+    }
+
+    #[test]
+    fn current_into_node_follows_ohms_law() {
+        let b = bank();
+        let i = b.current_into_node(Volts::new(2.17));
+        assert!(i.approx_eq(Amps::new((2.5 - 2.17) / 3.3), 1e-15));
+        // Node above internal voltage → branch absorbs current (charging).
+        assert!(b.current_into_node(Volts::new(2.6)).get() < 0.0);
+    }
+
+    #[test]
+    fn integrate_discharges() {
+        let mut b = bank();
+        b.integrate(Amps::from_milli(45.0), Seconds::new(1.0));
+        // ΔV = I·t/C = 0.045·1/0.045 = 1 V.
+        assert!(b.v_internal().approx_eq(Volts::new(1.5), 1e-12));
+    }
+
+    #[test]
+    fn integrate_floors_at_zero() {
+        let mut b = bank();
+        b.integrate(Amps::new(10.0), Seconds::new(10.0));
+        assert_eq!(b.v_internal(), Volts::ZERO);
+    }
+
+    #[test]
+    fn leakage_drains_without_load() {
+        let mut b = CapacitorBranch::new(
+            Farads::from_milli(45.0),
+            Ohms::new(3.3),
+            Amps::from_micro(20.0),
+            Volts::new(2.5),
+        );
+        b.integrate(Amps::ZERO, Seconds::new(3600.0));
+        // 20 nA·h ≈ 20 µA × 3600 s / 45 mF = 1.6 V of droop.
+        assert!(b.v_internal().get() < 1.0);
+    }
+
+    #[test]
+    fn stored_energy_tracks_half_cv_squared() {
+        let b = bank();
+        assert!(b
+            .stored_energy()
+            .approx_eq(Joules::new(0.5 * 0.045 * 6.25), 1e-12));
+    }
+
+    #[test]
+    fn aging_scales_parameters() {
+        let aged = bank().aged(AgingState::END_OF_LIFE);
+        assert!(aged.capacitance().approx_eq(Farads::from_milli(36.0), 1e-12));
+        assert!(aged.esr().approx_eq(Ohms::new(6.6), 1e-12));
+    }
+
+    #[test]
+    fn aging_interpolation_endpoints() {
+        assert_eq!(AgingState::at_fraction(0.0), AgingState::FRESH);
+        let eol = AgingState::at_fraction(1.0);
+        assert!((eol.capacitance_retention - 0.8).abs() < 1e-12);
+        assert!((eol.esr_growth - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ESR must be positive")]
+    fn rejects_zero_esr() {
+        let _ = CapacitorBranch::ideal(Farads::from_milli(1.0), Ohms::ZERO, Volts::ZERO);
+    }
+}

@@ -1,0 +1,665 @@
+//! The composed power system and its fixed-step simulation engine.
+
+use culpeo_loadgen::LoadProfile;
+use culpeo_units::{Amps, Farads, Joules, Ohms, Seconds, Volts};
+
+use crate::{
+    BufferNetwork, CapacitorBranch, EnergyLedger, Harvester, MonitorState, OutputBooster,
+    VoltageMonitor, VoltageSample, VoltageTrace, DEFAULT_DT,
+};
+
+/// A complete energy-harvesting power system: buffer network, output
+/// booster, harvester/input booster, and voltage monitor (Figure 2).
+///
+/// The system is stepped at fixed `dt`; each step solves the buffer node,
+/// advances the capacitors, updates the monitor's hysteresis, and keeps the
+/// energy ledger. Higher layers either drive [`PowerSystem::step`]
+/// directly (the scheduler does) or hand a whole [`LoadProfile`] to
+/// [`PowerSystem::run_profile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerSystem {
+    buffer: BufferNetwork,
+    booster: OutputBooster,
+    harvester: Harvester,
+    monitor: VoltageMonitor,
+    time: Seconds,
+    last_v_node: Volts,
+    ledger: EnergyLedger,
+}
+
+/// The observable result of one simulation step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutput {
+    /// Simulation time at the *end* of the step.
+    pub t: Seconds,
+    /// Buffer-node voltage during the step.
+    pub v_node: Volts,
+    /// Current drawn by the output booster.
+    pub i_in: Amps,
+    /// True if the requested load was actually powered this step.
+    pub delivering: bool,
+    /// True if the rail collapsed (no electrical operating point).
+    pub collapsed: bool,
+    /// Monitor state after observing this step's node voltage.
+    pub monitor: MonitorState,
+}
+
+/// Configuration for [`PowerSystem::run_profile`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Integration step.
+    pub dt: Seconds,
+    /// Record every n-th sample into the returned trace (minimum voltage is
+    /// always exact regardless).
+    pub record_stride: usize,
+    /// After the load ends, keep simulating (zero load) until the node
+    /// voltage stops rebounding, up to this long.
+    pub settle_timeout: Seconds,
+    /// Rebound is considered settled when the node moves less than this
+    /// over 10 ms.
+    pub settle_tolerance: Volts,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            dt: DEFAULT_DT,
+            record_stride: 8, // 125 kHz integration, ~15.6 kHz recording
+            settle_timeout: Seconds::new(2.0),
+            settle_tolerance: Volts::from_micro(100.0),
+        }
+    }
+}
+
+impl RunConfig {
+    /// A coarse configuration for long application runs: 100 µs steps,
+    /// minimum-only recording.
+    #[must_use]
+    pub fn coarse() -> Self {
+        Self {
+            dt: Seconds::from_micro(100.0),
+            record_stride: usize::MAX,
+            ..Self::default()
+        }
+    }
+}
+
+/// The result of running a load profile on the plant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Recorded node-voltage trace (decimated per the run configuration).
+    pub trace: VoltageTrace,
+    /// Node voltage just before the load was applied.
+    pub v_start: Volts,
+    /// Minimum node voltage observed during the load.
+    pub v_min: Volts,
+    /// When the minimum occurred.
+    pub t_min: Seconds,
+    /// Node voltage after the post-load rebound settled (or at the failure
+    /// instant for a browned-out run).
+    pub v_final: Volts,
+    /// If the monitor cut power during the load, the time at which it did.
+    pub brownout: Option<Seconds>,
+    /// True if the rail electrically collapsed at some step.
+    pub collapsed: bool,
+    /// Energy movements over this run (including the settle phase).
+    pub ledger: EnergyLedger,
+}
+
+impl RunOutcome {
+    /// True if the load ran to completion without losing power.
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.brownout.is_none() && !self.collapsed
+    }
+
+    /// The paper's `V_δ`: the recoverable, ESR-induced part of the dip —
+    /// final (rebounded) voltage minus the minimum during execution
+    /// (Figure 8a).
+    #[must_use]
+    pub fn v_delta(&self) -> Volts {
+        Volts::new((self.v_final - self.v_min).get().max(0.0))
+    }
+}
+
+impl PowerSystem {
+    /// Starts building a custom system.
+    #[must_use]
+    pub fn builder() -> PowerSystemBuilder {
+        PowerSystemBuilder::default()
+    }
+
+    /// The simulated Capybara configuration used throughout the paper's
+    /// evaluation: a 45 mF supercapacitor bank (six CPX-class parts) with
+    /// 3.3 Ω of effective ESR and 20 nA-class leakage, a TPS61200-like
+    /// output booster at 2.55 V, a BU4924-like monitor (2.56 V / 1.6 V),
+    /// and no incoming power.
+    ///
+    /// The buffer starts fully charged at `V_high` with the output enabled,
+    /// as in the paper's test-harness setup.
+    #[must_use]
+    pub fn capybara() -> Self {
+        Self::builder().build()
+    }
+
+    /// Capybara with a different bank: total capacitance `c` and effective
+    /// ESR `esr` as a single branch.
+    #[must_use]
+    pub fn capybara_with_bank(c: Farads, esr: Ohms) -> Self {
+        Self::builder().bank(c, esr).build()
+    }
+
+    /// Capybara with the two-time-constant supercapacitor ladder: a large,
+    /// slow branch and a small, fast branch whose combination produces the
+    /// frequency-dependent ESR real supercapacitors exhibit.
+    #[must_use]
+    pub fn capybara_two_branch() -> Self {
+        Self::builder().two_branch_bank().build()
+    }
+
+    /// The output booster.
+    #[must_use]
+    pub fn booster(&self) -> &OutputBooster {
+        &self.booster
+    }
+
+    /// The voltage monitor.
+    #[must_use]
+    pub fn monitor(&self) -> &VoltageMonitor {
+        &self.monitor
+    }
+
+    /// The buffer network.
+    #[must_use]
+    pub fn buffer(&self) -> &BufferNetwork {
+        &self.buffer
+    }
+
+    /// Mutable buffer access (aging experiments swap branches in place).
+    pub fn buffer_mut(&mut self) -> &mut BufferNetwork {
+        &mut self.buffer
+    }
+
+    /// Replaces the harvester model.
+    pub fn set_harvester(&mut self, harvester: Harvester) {
+        self.harvester = harvester;
+    }
+
+    /// The harvester model.
+    #[must_use]
+    pub fn harvester(&self) -> Harvester {
+        self.harvester
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn time(&self) -> Seconds {
+        self.time
+    }
+
+    /// The cumulative energy ledger.
+    #[must_use]
+    pub fn ledger(&self) -> EnergyLedger {
+        self.ledger
+    }
+
+    /// The unloaded node voltage right now (what an idle ADC would read).
+    #[must_use]
+    pub fn v_node(&self) -> Volts {
+        self.buffer.open_circuit_voltage()
+    }
+
+    /// Sets every buffer branch to `v` — the test harness's "discharge the
+    /// capacitor to the starting level" operation.
+    pub fn set_buffer_voltage(&mut self, v: Volts) {
+        self.buffer.set_voltage(v);
+        self.last_v_node = v;
+    }
+
+    /// Forces the monitor's output-enabled state (test harness trigger).
+    pub fn force_output_enabled(&mut self) {
+        self.monitor.force_enable();
+    }
+
+    /// Advances the system by `dt` with the load requesting `i_load` at the
+    /// regulated output.
+    ///
+    /// If the monitor has the output disabled, the load receives nothing
+    /// (`delivering = false`) and only charging/leakage dynamics run.
+    pub fn step(&mut self, i_load: Amps, dt: Seconds) -> StepOutput {
+        let charging_enabled = self.last_v_node < self.monitor.v_high();
+        let i_charge = if charging_enabled {
+            self.harvester.charge_current(self.last_v_node)
+        } else {
+            Amps::ZERO
+        };
+
+        let delivering = self.monitor.output_enabled() && i_load.get() > 0.0;
+        let effective_load = if delivering { i_load } else { Amps::ZERO };
+        let sol = self.buffer.solve_node(&self.booster, effective_load, i_charge);
+
+        // Energy bookkeeping (before integrating, using this step's state).
+        let dt_s = dt.get();
+        if delivering && !sol.collapsed {
+            let p_out = self.booster.v_out() * i_load;
+            let p_in = sol.v_node * sol.i_in;
+            self.ledger.delivered += p_out * dt;
+            self.ledger.booster_loss += Joules::new((p_in.get() - p_out.get()).max(0.0) * dt_s);
+        }
+        for (b, &i) in self.buffer.branches().iter().zip(&sol.branch_currents) {
+            self.ledger.esr_loss += Joules::new(i.get() * i.get() * b.esr().get() * dt_s);
+            self.ledger.leakage_loss +=
+                Joules::new(b.v_internal().get() * b.leakage().get() * dt_s);
+        }
+        self.ledger.harvested += Joules::new(sol.v_node.get() * i_charge.get() * dt_s);
+
+        self.buffer.integrate(&sol, dt);
+        let monitor = self.monitor.observe(sol.v_node);
+        self.time += dt;
+        self.last_v_node = sol.v_node;
+
+        StepOutput {
+            t: self.time,
+            v_node: sol.v_node,
+            i_in: sol.i_in,
+            delivering: delivering && !sol.collapsed,
+            collapsed: sol.collapsed,
+            monitor,
+        }
+    }
+
+    /// Runs a complete load profile, then lets the node rebound, returning
+    /// the full outcome.
+    ///
+    /// The run aborts (with `brownout = Some(t)`) the moment the monitor
+    /// cuts the output or the rail collapses — on the real device the task
+    /// dies there.
+    #[must_use]
+    pub fn run_profile(&mut self, profile: &LoadProfile, cfg: RunConfig) -> RunOutcome {
+        let ledger_before = self.ledger;
+        let v_start = self.v_node();
+        let mut trace = VoltageTrace::new(cfg.record_stride);
+        let t0 = self.time;
+        let steps = profile.duration().steps(cfg.dt).max(1);
+
+        let mut brownout = None;
+        let mut collapsed = false;
+        for k in 0..steps {
+            let offset = Seconds::new(k as f64 * cfg.dt.get());
+            let i = profile.current_at(offset);
+            let out = self.step(i, cfg.dt);
+            trace.push(VoltageSample {
+                t: out.t,
+                v_node: out.v_node,
+                i_in: out.i_in,
+            });
+            if out.collapsed {
+                collapsed = true;
+            }
+            if i.get() > 0.0 && !out.delivering {
+                brownout = Some(Seconds::new(out.t.get() - t0.get()));
+                break;
+            }
+            if out.monitor == MonitorState::Recharging {
+                brownout = Some(Seconds::new(out.t.get() - t0.get()));
+                break;
+            }
+        }
+
+        let (t_min, v_min) = trace
+            .minimum()
+            .unwrap_or((Seconds::ZERO, v_start));
+
+        let v_final = if brownout.is_none() {
+            self.settle(cfg)
+        } else {
+            self.v_node()
+        };
+
+        let mut ledger = self.ledger;
+        // Report only this run's movements.
+        ledger.delivered -= ledger_before.delivered;
+        ledger.esr_loss -= ledger_before.esr_loss;
+        ledger.booster_loss -= ledger_before.booster_loss;
+        ledger.leakage_loss -= ledger_before.leakage_loss;
+        ledger.harvested -= ledger_before.harvested;
+
+        RunOutcome {
+            trace,
+            v_start,
+            v_min,
+            t_min,
+            v_final,
+            brownout,
+            collapsed,
+            ledger,
+        }
+    }
+
+    /// Runs the system unloaded until the node voltage stops moving (the
+    /// post-task rebound of Figure 1b), returning the settled voltage.
+    pub fn settle(&mut self, cfg: RunConfig) -> Volts {
+        let window = Seconds::from_milli(10.0);
+        let window_steps = window.steps(cfg.dt).max(1);
+        let max_windows =
+            (cfg.settle_timeout.get() / window.get()).ceil().max(1.0) as usize;
+        let mut prev = self.v_node();
+        for _ in 0..max_windows {
+            let mut last = prev;
+            for _ in 0..window_steps {
+                last = self.step(Amps::ZERO, cfg.dt).v_node;
+            }
+            if (last - prev).abs() < cfg.settle_tolerance {
+                return last;
+            }
+            prev = last;
+        }
+        prev
+    }
+
+    /// Runs unloaded (charging if a harvester is set) for a fixed duration.
+    /// Returns the node voltage at the end.
+    pub fn run_idle(&mut self, duration: Seconds, dt: Seconds) -> Volts {
+        let steps = duration.steps(dt);
+        let mut v = self.v_node();
+        for _ in 0..steps {
+            v = self.step(Amps::ZERO, dt).v_node;
+        }
+        v
+    }
+}
+
+/// Builder for a [`PowerSystem`]; defaults reproduce the simulated Capybara.
+#[derive(Debug, Clone)]
+pub struct PowerSystemBuilder {
+    branches: Vec<CapacitorBranch>,
+    booster: OutputBooster,
+    harvester: Harvester,
+    monitor: VoltageMonitor,
+    initial_voltage: Option<Volts>,
+    output_enabled: bool,
+}
+
+impl Default for PowerSystemBuilder {
+    fn default() -> Self {
+        Self {
+            branches: Vec::new(),
+            booster: OutputBooster::capybara(),
+            harvester: Harvester::Off,
+            monitor: VoltageMonitor::capybara(),
+            initial_voltage: None,
+            output_enabled: true,
+        }
+    }
+}
+
+impl PowerSystemBuilder {
+    /// Uses a single-branch bank of capacitance `c` and ESR `esr`
+    /// (leakage 20 nA-class, scaled by capacitance).
+    #[must_use]
+    pub fn bank(mut self, c: Farads, esr: Ohms) -> Self {
+        let leakage = Amps::new(20e-9 * (c.get() / 45e-3).max(0.1));
+        self.branches = vec![CapacitorBranch::new(c, esr, leakage, Volts::ZERO)];
+        self
+    }
+
+    /// Uses the two-branch supercapacitor ladder (40 mF/4.5 Ω slow branch +
+    /// 5 mF/1.2 Ω fast branch) whose effective ESR falls with frequency.
+    #[must_use]
+    pub fn two_branch_bank(mut self) -> Self {
+        self.branches = vec![
+            CapacitorBranch::new(
+                Farads::from_milli(40.0),
+                Ohms::new(4.5),
+                Amps::new(18e-9),
+                Volts::ZERO,
+            ),
+            CapacitorBranch::new(
+                Farads::from_milli(5.0),
+                Ohms::new(1.2),
+                Amps::new(2e-9),
+                Volts::ZERO,
+            ),
+        ];
+        self
+    }
+
+    /// Adds an extra branch (decoupling capacitance, reconfigurable-bank
+    /// segments, …).
+    #[must_use]
+    pub fn extra_branch(mut self, branch: CapacitorBranch) -> Self {
+        if self.branches.is_empty() {
+            self.branches = default_bank();
+        }
+        self.branches.push(branch);
+        self
+    }
+
+    /// Replaces the output booster.
+    #[must_use]
+    pub fn booster(mut self, booster: OutputBooster) -> Self {
+        self.booster = booster;
+        self
+    }
+
+    /// Replaces the harvester.
+    #[must_use]
+    pub fn harvester(mut self, harvester: Harvester) -> Self {
+        self.harvester = harvester;
+        self
+    }
+
+    /// Replaces the voltage monitor.
+    #[must_use]
+    pub fn monitor(mut self, monitor: VoltageMonitor) -> Self {
+        self.monitor = monitor;
+        self
+    }
+
+    /// Sets the initial buffer voltage (defaults to the monitor's
+    /// `V_high`).
+    #[must_use]
+    pub fn initial_voltage(mut self, v: Volts) -> Self {
+        self.initial_voltage = Some(v);
+        self
+    }
+
+    /// Starts with the output booster disabled (a cold, uncharged device).
+    #[must_use]
+    pub fn cold_start(mut self) -> Self {
+        self.output_enabled = false;
+        self
+    }
+
+    /// Builds the system.
+    #[must_use]
+    pub fn build(self) -> PowerSystem {
+        let mut branches = if self.branches.is_empty() {
+            default_bank()
+        } else {
+            self.branches
+        };
+        let v0 = self.initial_voltage.unwrap_or_else(|| self.monitor.v_high());
+        for b in &mut branches {
+            b.set_v_internal(v0);
+        }
+        let mut monitor = self.monitor;
+        if self.output_enabled {
+            monitor.force_enable();
+        }
+        PowerSystem {
+            buffer: BufferNetwork::new(branches),
+            booster: self.booster,
+            harvester: self.harvester,
+            monitor,
+            time: Seconds::ZERO,
+            last_v_node: v0,
+            ledger: EnergyLedger::new(),
+        }
+    }
+}
+
+/// The default 45 mF / 3.3 Ω single-branch Capybara bank.
+fn default_bank() -> Vec<CapacitorBranch> {
+    vec![CapacitorBranch::new(
+        Farads::from_milli(45.0),
+        Ohms::new(3.3),
+        Amps::new(20e-9),
+        Volts::ZERO,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ma(v: f64) -> Amps {
+        Amps::from_milli(v)
+    }
+
+    #[test]
+    fn capybara_starts_charged_and_enabled() {
+        let sys = PowerSystem::capybara();
+        assert!(sys.v_node().approx_eq(Volts::new(2.56), 1e-9));
+        assert!(sys.monitor().output_enabled());
+        assert!(sys
+            .buffer()
+            .total_capacitance()
+            .approx_eq(Farads::from_milli(45.0), 1e-12));
+    }
+
+    #[test]
+    fn step_under_load_shows_esr_drop() {
+        let mut sys = PowerSystem::capybara();
+        sys.set_buffer_voltage(Volts::new(2.3));
+        let out = sys.step(ma(25.0), DEFAULT_DT);
+        assert!(out.delivering);
+        // Node sits below the internal voltage by I_in·R.
+        assert!(out.v_node < Volts::new(2.3));
+        let expected = Volts::new(2.3 - out.i_in.get() * 3.3);
+        assert!(out.v_node.approx_eq(expected, 1e-4), "v = {}", out.v_node);
+    }
+
+    #[test]
+    fn esr_drop_rebounds_after_load_removed() {
+        let mut sys = PowerSystem::capybara();
+        sys.set_buffer_voltage(Volts::new(2.3));
+        let profile = LoadProfile::constant("pulse", ma(25.0), Seconds::from_milli(10.0));
+        let out = sys.run_profile(&profile, RunConfig::default());
+        assert!(out.completed());
+        // Figure 1b: the minimum dips well below the settled final voltage.
+        assert!(out.v_min < out.v_final);
+        assert!(out.v_delta().get() > 0.05, "V_δ = {}", out.v_delta());
+        // Yet the energy-consumption drop (start − final) is much smaller
+        // than the total drop (start − min).
+        let energy_drop = out.v_start - out.v_final;
+        let total_drop = out.v_start - out.v_min;
+        assert!(total_drop.get() > 2.0 * energy_drop.get());
+    }
+
+    #[test]
+    fn brownout_when_starting_too_low() {
+        let mut sys = PowerSystem::capybara();
+        // Plenty of stored energy at 1.75 V, but a 50 mA load's ESR drop
+        // crosses V_off = 1.6 V: the Figure 4 scenario.
+        sys.set_buffer_voltage(Volts::new(1.75));
+        let profile = LoadProfile::constant("lora", ma(50.0), Seconds::from_milli(100.0));
+        let out = sys.run_profile(&profile, RunConfig::default());
+        assert!(!out.completed());
+        assert!(out.brownout.is_some());
+        // Energy remained: the buffer still holds far more than the load
+        // would have consumed.
+        assert!(sys.buffer().stored_energy().get() > 0.5 * 0.045 * (1.6f64.powi(2)) * 0.9);
+    }
+
+    #[test]
+    fn same_energy_lower_current_completes() {
+        // The same charge delivered at 5 mA over 1 s completes from 1.9 V
+        // while 50 mA over 100 ms browns out from the same voltage:
+        // voltage, not energy, is the binding constraint.
+        let mut sys = PowerSystem::capybara();
+        sys.set_buffer_voltage(Volts::new(1.9));
+        let gentle = LoadProfile::constant("gentle", ma(5.0), Seconds::new(1.0));
+        let out = sys.run_profile(&gentle, RunConfig::default());
+        assert!(out.completed(), "brownout at {:?}", out.brownout);
+
+        let mut sys = PowerSystem::capybara();
+        sys.set_buffer_voltage(Volts::new(1.9));
+        let harsh = LoadProfile::constant("harsh", ma(50.0), Seconds::from_milli(100.0));
+        let out = sys.run_profile(&harsh, RunConfig::default());
+        assert!(!out.completed());
+    }
+
+    #[test]
+    fn monitor_gates_delivery_after_brownout() {
+        let mut sys = PowerSystem::capybara();
+        sys.set_buffer_voltage(Volts::new(1.7));
+        let profile = LoadProfile::constant("radio", ma(50.0), Seconds::from_milli(100.0));
+        let out = sys.run_profile(&profile, RunConfig::default());
+        assert!(!out.completed());
+        // Further steps deliver nothing until recharged to V_high.
+        let next = sys.step(ma(5.0), DEFAULT_DT);
+        assert!(!next.delivering);
+    }
+
+    #[test]
+    fn charging_recovers_output_at_v_high() {
+        let mut sys = PowerSystem::builder()
+            .harvester(Harvester::ConstantCurrent(ma(10.0)))
+            .initial_voltage(Volts::new(1.5))
+            .cold_start()
+            .build();
+        assert!(!sys.monitor().output_enabled());
+        // 45 mF from 1.5 V to 2.56 V at 10 mA ≈ 4.8 s.
+        sys.run_idle(Seconds::new(6.0), Seconds::from_micro(100.0));
+        assert!(sys.monitor().output_enabled());
+        // Input booster cut off at V_high: voltage must not run away.
+        assert!(sys.v_node().get() < 2.6);
+    }
+
+    #[test]
+    fn energy_ledger_balances() {
+        let mut sys = PowerSystem::capybara();
+        sys.set_buffer_voltage(Volts::new(2.4));
+        let e0 = sys.buffer().stored_energy();
+        let profile = LoadProfile::constant("p", ma(25.0), Seconds::from_milli(50.0));
+        let out = sys.run_profile(&profile, RunConfig::default());
+        assert!(out.completed());
+        let e1 = sys.buffer().stored_energy();
+        let actual_delta = e1 - e0;
+        let expected_delta = out.ledger.expected_storage_delta();
+        let tol = e0.get() * 1e-4 + 1e-9;
+        assert!(
+            actual_delta.approx_eq(expected_delta, tol),
+            "actual {actual_delta} vs ledger {expected_delta}"
+        );
+    }
+
+    #[test]
+    fn two_branch_system_rebounds_gradually() {
+        let mut sys = PowerSystem::capybara_two_branch();
+        sys.set_buffer_voltage(Volts::new(2.3));
+        let profile = LoadProfile::constant("pulse", ma(50.0), Seconds::from_milli(10.0));
+        let out = sys.run_profile(&profile, RunConfig::default());
+        assert!(out.completed());
+        assert!(out.v_delta().get() > 0.0);
+    }
+
+    #[test]
+    fn run_outcome_v_delta_never_negative() {
+        let mut sys = PowerSystem::capybara();
+        sys.set_buffer_voltage(Volts::new(2.5));
+        let tiny = LoadProfile::constant("tiny", Amps::from_micro(10.0), Seconds::from_milli(1.0));
+        let out = sys.run_profile(&tiny, RunConfig::default());
+        assert!(out.v_delta().get() >= 0.0);
+    }
+
+    #[test]
+    fn collapse_reported_for_absurd_load() {
+        let mut sys = PowerSystem::capybara_with_bank(Farads::from_micro(100.0), Ohms::new(80.0));
+        sys.set_buffer_voltage(Volts::new(2.5));
+        let out = sys.step(Amps::new(2.0), DEFAULT_DT);
+        assert!(out.collapsed);
+        assert!(!out.delivering);
+    }
+}

@@ -1,0 +1,222 @@
+//! ESR-versus-frequency curves and their measurement.
+//!
+//! Datasheet ESR values are too coarse for `V_safe` work: the resistance a
+//! load experiences depends on how long the load is applied, because a real
+//! supercapacitor's porous electrodes behave like a ladder of RC branches.
+//! The paper therefore derives an ESR-vs-frequency curve "via direct
+//! measurement of the power system" (§IV-B) and has Culpeo-PG select the
+//! point matching the workload's dominant pulse width. This module provides
+//! both the curve type and the measurement procedure, run against the
+//! simulated plant exactly as the authors ran it against the real one.
+
+use culpeo_loadgen::LoadProfile;
+use culpeo_units::{Amps, Hertz, Ohms, Volts};
+
+use crate::{PowerSystem, RunConfig};
+
+/// A measured ESR-vs-frequency curve with log-frequency interpolation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EsrCurve {
+    /// `(frequency, resistance)` points, sorted by ascending frequency.
+    points: Vec<(Hertz, Ohms)>,
+}
+
+impl EsrCurve {
+    /// Creates a curve from measurement points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no points are given, frequencies are not strictly
+    /// ascending and positive, or any resistance is non-positive.
+    #[must_use]
+    pub fn new(points: Vec<(Hertz, Ohms)>) -> Self {
+        assert!(!points.is_empty(), "ESR curve needs at least one point");
+        for w in points.windows(2) {
+            assert!(
+                w[0].0.get() < w[1].0.get(),
+                "ESR curve frequencies must be strictly ascending"
+            );
+        }
+        for &(f, r) in &points {
+            assert!(f.get() > 0.0, "frequencies must be positive");
+            assert!(r.get() > 0.0, "resistances must be positive");
+        }
+        Self { points }
+    }
+
+    /// A frequency-independent curve (an ideal single-RC capacitor).
+    #[must_use]
+    pub fn flat(r: Ohms) -> Self {
+        Self::new(vec![(Hertz::new(1.0), r)])
+    }
+
+    /// The measurement points.
+    #[must_use]
+    pub fn points(&self) -> &[(Hertz, Ohms)] {
+        &self.points
+    }
+
+    /// The resistance at frequency `f`, interpolated linearly in
+    /// log-frequency and clamped to the measured range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not strictly positive.
+    #[must_use]
+    pub fn at(&self, f: Hertz) -> Ohms {
+        assert!(f.get() > 0.0, "frequency must be positive");
+        let first = self.points[0];
+        let last = self.points[self.points.len() - 1];
+        if f.get() <= first.0.get() {
+            return first.1;
+        }
+        if f.get() >= last.0.get() {
+            return last.1;
+        }
+        let idx = self
+            .points
+            .partition_point(|&(pf, _)| pf.get() <= f.get());
+        let (f0, r0) = self.points[idx - 1];
+        let (f1, r1) = self.points[idx];
+        let t = (f.get().ln() - f0.get().ln()) / (f1.get().ln() - f0.get().ln());
+        Ohms::new(r0.get() + (r1.get() - r0.get()) * t)
+    }
+}
+
+/// Measures the power system's effective ESR across `frequencies`.
+///
+/// For each frequency `f`, a fresh copy of the plant (from `make_system`)
+/// is loaded with a single `i_test` pulse of width `1/f`; the effective ESR
+/// is the *recoverable* voltage drop divided by the input current at the
+/// minimum — precisely the `V_δ = I_in·R` relation Culpeo-PG later inverts.
+///
+/// Frequencies whose pulse would brown the plant out (or deliver no
+/// measurable drop) are skipped.
+///
+/// # Panics
+///
+/// Panics if `i_test` is not strictly positive or `frequencies` is empty,
+/// or if no frequency yields a valid measurement.
+#[must_use]
+pub fn measure_esr_curve(
+    make_system: &dyn Fn() -> PowerSystem,
+    i_test: Amps,
+    frequencies: &[Hertz],
+) -> EsrCurve {
+    assert!(i_test.get() > 0.0, "test current must be positive");
+    assert!(!frequencies.is_empty(), "need at least one frequency");
+    let mut freqs = frequencies.to_vec();
+    freqs.sort_by(|a, b| a.get().total_cmp(&b.get()));
+
+    let mut points = Vec::with_capacity(freqs.len());
+    for f in freqs {
+        let mut sys = make_system();
+        // Measure from a comfortable mid-range voltage.
+        sys.set_buffer_voltage(Volts::new(2.3));
+        sys.force_output_enabled();
+        let width = f.period();
+        let pulse = LoadProfile::constant("esr-probe", i_test, width);
+        let mut cfg = RunConfig::default();
+        // Resolve fast pulses: at least 32 steps across the pulse.
+        if width.get() / cfg.dt.get() < 32.0 {
+            cfg.dt = width / 32.0;
+        }
+        let out = sys.run_profile(&pulse, cfg);
+        if !out.completed() {
+            continue;
+        }
+        let v_delta = out.v_delta();
+        let Some(i_in) = sys.booster().input_current(out.v_min, i_test) else {
+            continue;
+        };
+        if i_in.get() <= 0.0 || v_delta.get() <= 0.0 {
+            continue;
+        }
+        points.push((f, Ohms::new(v_delta.get() / i_in.get())));
+    }
+    assert!(
+        !points.is_empty(),
+        "no frequency produced a valid ESR measurement"
+    );
+    // Deduplicate identical frequencies defensively (ascending already).
+    points.dedup_by(|a, b| a.0.get() == b.0.get());
+    EsrCurve::new(points)
+}
+
+/// The standard probe frequencies used when characterising a power system:
+/// pulse widths from 100 ms up to 1 ms, log-spaced.
+#[must_use]
+pub fn standard_probe_frequencies() -> Vec<Hertz> {
+    [10.0, 21.5, 46.4, 100.0, 215.0, 464.0, 1000.0]
+        .into_iter()
+        .map(Hertz::new)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_curve_is_constant() {
+        let c = EsrCurve::flat(Ohms::new(3.3));
+        assert_eq!(c.at(Hertz::new(0.1)), Ohms::new(3.3));
+        assert_eq!(c.at(Hertz::new(1e5)), Ohms::new(3.3));
+    }
+
+    #[test]
+    fn interpolation_is_log_frequency() {
+        let c = EsrCurve::new(vec![
+            (Hertz::new(10.0), Ohms::new(4.0)),
+            (Hertz::new(1000.0), Ohms::new(2.0)),
+        ]);
+        // Geometric midpoint of 10 and 1000 is 100 → arithmetic midpoint
+        // of the resistances.
+        assert!(c.at(Hertz::new(100.0)).approx_eq(Ohms::new(3.0), 1e-9));
+        // Clamped outside the range.
+        assert_eq!(c.at(Hertz::new(1.0)), Ohms::new(4.0));
+        assert_eq!(c.at(Hertz::new(1e6)), Ohms::new(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_points() {
+        let _ = EsrCurve::new(vec![
+            (Hertz::new(100.0), Ohms::new(1.0)),
+            (Hertz::new(10.0), Ohms::new(2.0)),
+        ]);
+    }
+
+    #[test]
+    fn measured_curve_on_ideal_bank_recovers_its_esr() {
+        let make = || PowerSystem::capybara();
+        let curve = measure_esr_curve(
+            &make,
+            Amps::from_milli(25.0),
+            &[Hertz::new(10.0), Hertz::new(100.0)],
+        );
+        for &(f, r) in curve.points() {
+            assert!(
+                r.approx_eq(Ohms::new(3.3), 0.2),
+                "R({f}) = {r}, expected ≈ 3.3 Ω"
+            );
+        }
+    }
+
+    #[test]
+    fn measured_curve_on_two_branch_bank_falls_with_frequency() {
+        let make = || PowerSystem::capybara_two_branch();
+        let curve = measure_esr_curve(
+            &make,
+            Amps::from_milli(25.0),
+            &standard_probe_frequencies(),
+        );
+        assert!(curve.points().len() >= 3);
+        let lowest = curve.points().first().unwrap().1;
+        let highest = curve.points().last().unwrap().1;
+        assert!(
+            lowest.get() > highest.get(),
+            "expected descending ESR: {lowest} at low f vs {highest} at high f"
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Circuit-level simulation of an energy-harvesting power system.
+//!
+//! This crate is the hardware substitute for the paper's Capybara platform:
+//! a fixed-step simulator of the §II-A power-system architecture —
+//!
+//! ```text
+//!  harvester → input booster → [ energy buffer: capacitor(s) + ESR ]
+//!                                    │ V_cap (observable node)
+//!                              voltage monitor (V_high / V_off hysteresis)
+//!                                    │
+//!                              output booster (η = m·V + b) → load @ V_out
+//! ```
+//!
+//! The energy buffer is a parallel network of `(C, R_esr, I_leak)` branches,
+//! which uniformly models a single supercapacitor bank, a bank plus
+//! decoupling capacitance (the §II-D ablation), and the two-branch ladder
+//! model that gives supercapacitors their frequency-dependent ESR.
+//!
+//! The simulator integrates `I = C·dV/dt` exactly as the paper's charge
+//! model assumes, but at much finer resolution and with the nonidealities
+//! (booster efficiency vs voltage, leakage, charge redistribution between
+//! branches, aging) that make energy-only charge management fail. It serves
+//! as *ground truth*: the analytical models under test (Culpeo-PG,
+//! Culpeo-R, CatNap's estimators) are judged against brute-force searches
+//! run on this plant.
+//!
+//! ```
+//! use culpeo_powersim::PowerSystem;
+//! use culpeo_loadgen::LoadProfile;
+//! use culpeo_units::{Amps, Seconds, Volts};
+//!
+//! let mut sys = PowerSystem::capybara();
+//! sys.set_buffer_voltage(Volts::new(2.2));
+//! sys.force_output_enabled();
+//! let load = LoadProfile::constant("pulse", Amps::from_milli(25.0), Seconds::from_milli(10.0));
+//! let outcome = sys.run_profile(&load, Default::default());
+//! assert!(outcome.completed());
+//! // ESR makes the minimum voltage dip below the post-rebound final value.
+//! assert!(outcome.v_min < outcome.v_final);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod audit;
+mod booster;
+mod capacitor;
+mod energy;
+mod engine;
+mod esr_curve;
+mod harvester;
+mod monitor;
+mod network;
+mod vtrace;
+
+pub use audit::{Auditor, Violation};
+pub use booster::{EfficiencyCurve, OutputBooster};
+pub use capacitor::{AgingState, CapacitorBranch};
+pub use energy::EnergyLedger;
+pub use engine::{PowerSystem, PowerSystemBuilder, RunConfig, RunOutcome, StepOutput};
+pub use esr_curve::{measure_esr_curve, standard_probe_frequencies, EsrCurve};
+pub use harvester::Harvester;
+pub use monitor::{MonitorState, VoltageMonitor};
+pub use network::{BufferNetwork, NodeSolution};
+pub use vtrace::{VoltageSample, VoltageTrace};
+
+/// The default integration step: 8 µs, i.e. the paper's 125 kHz profiling
+/// rate.
+pub const DEFAULT_DT: culpeo_units::Seconds = culpeo_units::Seconds::new(8e-6);

@@ -1,0 +1,168 @@
+//! The voltage monitor: `V_high` / `V_off` hysteresis gating the output
+//! booster.
+
+use culpeo_units::Volts;
+
+/// Which side of the hysteresis loop the monitor is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorState {
+    /// The output booster is enabled; software may run.
+    OutputEnabled,
+    /// The device browned out (or has not yet charged); the output booster
+    /// stays disabled until the buffer fully recharges to `V_high`.
+    Recharging,
+}
+
+/// The BU4924-like voltage monitor of §II-A.
+///
+/// Software executes only while the buffer voltage is between `V_high` and
+/// `V_off`: the monitor enables the output booster when the buffer first
+/// reaches `V_high` and disables it when the (observable, ESR-inclusive)
+/// node voltage dips below `V_off` — after which the system must *fully*
+/// recharge before software runs again. That full-recharge hysteresis is
+/// what makes a brownout so costly, and what Culpeo exists to avoid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageMonitor {
+    v_high: Volts,
+    v_off: Volts,
+    state: MonitorState,
+}
+
+impl VoltageMonitor {
+    /// Creates a monitor starting in the [`MonitorState::Recharging`] state
+    /// (a freshly deployed device has an empty buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < v_off < v_high`.
+    #[must_use]
+    pub fn new(v_high: Volts, v_off: Volts) -> Self {
+        assert!(
+            Volts::ZERO < v_off && v_off < v_high,
+            "monitor thresholds must satisfy 0 < V_off < V_high"
+        );
+        Self {
+            v_high,
+            v_off,
+            state: MonitorState::Recharging,
+        }
+    }
+
+    /// The Capybara configuration: `V_high` = 2.56 V, `V_off` = 1.6 V.
+    #[must_use]
+    pub fn capybara() -> Self {
+        Self::new(Volts::new(2.56), Volts::new(1.6))
+    }
+
+    /// The upper threshold that re-enables the output booster.
+    #[must_use]
+    pub fn v_high(&self) -> Volts {
+        self.v_high
+    }
+
+    /// The power-off threshold.
+    #[must_use]
+    pub fn v_off(&self) -> Volts {
+        self.v_off
+    }
+
+    /// The full software-operating voltage range, `V_high − V_off` — the
+    /// denominator of every "% of operating range" figure in the paper.
+    #[must_use]
+    pub fn operating_range(&self) -> Volts {
+        self.v_high - self.v_off
+    }
+
+    /// The current hysteresis state.
+    #[must_use]
+    pub fn state(&self) -> MonitorState {
+        self.state
+    }
+
+    /// True when the output booster is currently allowed to deliver.
+    #[must_use]
+    pub fn output_enabled(&self) -> bool {
+        self.state == MonitorState::OutputEnabled
+    }
+
+    /// Observes the node voltage and advances the hysteresis. Returns the
+    /// new state.
+    pub fn observe(&mut self, v_node: Volts) -> MonitorState {
+        match self.state {
+            MonitorState::OutputEnabled => {
+                if v_node < self.v_off {
+                    self.state = MonitorState::Recharging;
+                }
+            }
+            MonitorState::Recharging => {
+                if v_node >= self.v_high {
+                    self.state = MonitorState::OutputEnabled;
+                }
+            }
+        }
+        self.state
+    }
+
+    /// Forces the output on regardless of voltage — the §VI-A test-harness
+    /// modification ("explicitly triggers the power system to begin
+    /// delivering power") that lets `V_safe` validation start a task at an
+    /// arbitrary voltage.
+    pub fn force_enable(&mut self) {
+        self.state = MonitorState::OutputEnabled;
+    }
+}
+
+impl Default for VoltageMonitor {
+    fn default() -> Self {
+        Self::capybara()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_recharging_until_v_high() {
+        let mut m = VoltageMonitor::capybara();
+        assert!(!m.output_enabled());
+        m.observe(Volts::new(2.0));
+        assert!(!m.output_enabled());
+        m.observe(Volts::new(2.56));
+        assert!(m.output_enabled());
+    }
+
+    #[test]
+    fn brownout_requires_full_recharge() {
+        let mut m = VoltageMonitor::capybara();
+        m.force_enable();
+        m.observe(Volts::new(1.59));
+        assert_eq!(m.state(), MonitorState::Recharging);
+        // Merely recovering above V_off is not enough…
+        m.observe(Volts::new(2.2));
+        assert!(!m.output_enabled());
+        // …the buffer must reach V_high again.
+        m.observe(Volts::new(2.56));
+        assert!(m.output_enabled());
+    }
+
+    #[test]
+    fn stays_enabled_at_exactly_v_off() {
+        let mut m = VoltageMonitor::capybara();
+        m.force_enable();
+        m.observe(Volts::new(1.6));
+        assert!(m.output_enabled());
+    }
+
+    #[test]
+    fn operating_range() {
+        let m = VoltageMonitor::capybara();
+        assert!(m.operating_range().approx_eq(Volts::new(0.96), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "V_off < V_high")]
+    fn rejects_inverted_thresholds() {
+        let _ = VoltageMonitor::new(Volts::new(1.0), Volts::new(2.0));
+    }
+}

@@ -1,0 +1,260 @@
+//! Adaptive re-profiling under changing harvest (§V-B).
+//!
+//! Culpeo-R's estimates bake in the harvesting conditions at profiling
+//! time (§IV-D), so the paper pairs it "with scheduler policies that
+//! re-profile as harvestable power changes": a charge-rate change beyond a
+//! threshold triggers re-collection of `V_safe` and `V_δ`. This module
+//! implements that trigger and a beacon workload that exercises it under
+//! a fading sun, comparing a static profile against the adaptive policy.
+//!
+//! Re-profiling is not free — it executes the real task once from a full
+//! buffer — which is exactly why it should run only when the measured
+//! charge rate moves, not on a timer.
+
+use culpeo::{runtime, PowerSystemModel};
+use culpeo_device::{profile_task, Profiler, UArchProfiler};
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::{Harvester, PowerSystem, RunConfig};
+use culpeo_units::{Amps, Seconds, Volts, Watts};
+
+/// The adaptive policy's knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Re-profile when the measured charge rate differs from the
+    /// profiling-time rate by more than this fraction.
+    pub rate_change_threshold: f64,
+    /// How long the idle charge-rate measurement observes the buffer.
+    pub rate_window: Seconds,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            rate_change_threshold: 0.3,
+            rate_window: Seconds::new(1.0),
+        }
+    }
+}
+
+/// Statistics from one beacon run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeaconStats {
+    /// Beacon slots that arrived.
+    pub slots: u32,
+    /// Beacons transmitted successfully.
+    pub sent: u32,
+    /// Brownouts suffered mid-transmission.
+    pub brownouts: u32,
+    /// Times the adaptive policy re-profiled.
+    pub reprofiles: u32,
+}
+
+/// A piecewise-constant harvest schedule: `(start_time, power)` entries,
+/// ascending by time; the last entry holds to the end.
+pub type HarvestSchedule = [(Seconds, Watts)];
+
+fn harvest_at(schedule: &HarvestSchedule, t: Seconds) -> Watts {
+    let mut level = schedule.first().map_or(Watts::ZERO, |&(_, w)| w);
+    for &(start, w) in schedule {
+        if t >= start {
+            level = w;
+        }
+    }
+    level
+}
+
+/// Runs a periodic beacon (one `task` transmission every `period`) for
+/// `duration` under the given harvest schedule.
+///
+/// With `adaptive = None` the estimate from the initial profiling run is
+/// used for the whole trial (the §IV-D pitfall). With
+/// `adaptive = Some(cfg)`, the scheduler measures the charge rate before
+/// each slot and re-profiles when it has drifted beyond the threshold.
+#[must_use]
+pub fn run_beacon(
+    task: &LoadProfile,
+    model: &PowerSystemModel,
+    schedule: &HarvestSchedule,
+    period: Seconds,
+    duration: Seconds,
+    adaptive: Option<AdaptiveConfig>,
+) -> BeaconStats {
+    let dt = Seconds::from_micro(100.0);
+    let mut sys = PowerSystem::builder().build();
+    let pad = Volts::from_milli(5.0);
+
+    // Initial profiling from a full buffer under the schedule's first level.
+    sys.set_harvester(Harvester::ConstantPower(harvest_at(schedule, Seconds::ZERO)));
+    let mut v_safe = profile_now(&mut sys, task, model);
+    let mut profiled_rate = measure_rate(&mut sys, dt, Seconds::new(1.0));
+    let mut reprofiles = 0u32;
+
+    let mut stats = BeaconStats {
+        slots: 0,
+        sent: 0,
+        brownouts: 0,
+        reprofiles: 0,
+    };
+
+    let mut next_slot = period;
+    while sys.time() < duration {
+        // Track the harvest schedule.
+        sys.set_harvester(Harvester::ConstantPower(harvest_at(schedule, sys.time())));
+        if sys.time() >= next_slot {
+            stats.slots += 1;
+            next_slot += period;
+
+            if let Some(cfg) = adaptive {
+                // §V-B trigger: has the charge rate drifted? The rate is
+                // only observable while the charger is actually running —
+                // near V_high the input booster cuts off and dV/dt says
+                // nothing about the harvest. (A full buffer also means
+                // maximum dispatch margin, so skipping the check there is
+                // safe.)
+                let charging_observable =
+                    sys.v_node() < model.v_high() - Volts::from_milli(20.0);
+                if charging_observable {
+                    let rate = measure_rate(&mut sys, dt, cfg.rate_window);
+                    let drift = (rate - profiled_rate).abs();
+                    let threshold =
+                        profiled_rate.abs().max(1e-6) * cfg.rate_change_threshold;
+                    if drift > threshold {
+                        v_safe = profile_now(&mut sys, task, model);
+                        profiled_rate = measure_rate(&mut sys, dt, cfg.rate_window);
+                        reprofiles += 1;
+                    }
+                }
+            }
+
+            // Wait (bounded by the slot period) for the gate, then send.
+            // The monitor must be delivering too — after a brownout the
+            // device cannot run anything until fully recharged.
+            let deadline = sys.time() + period * 0.9;
+            while (sys.v_node() < v_safe + pad || !sys.monitor().output_enabled())
+                && sys.time() < deadline
+            {
+                sys.step(Amps::ZERO, dt);
+            }
+            if sys.v_node() >= v_safe + pad && sys.monitor().output_enabled() {
+                let out = sys.run_profile(task, RunConfig::coarse());
+                if out.completed() {
+                    stats.sent += 1;
+                } else {
+                    stats.brownouts += 1;
+                }
+            }
+        } else {
+            sys.step(Amps::ZERO, dt);
+        }
+    }
+    stats.reprofiles = reprofiles;
+    stats
+}
+
+/// Charges to full and profiles the task once (the §V-C procedure),
+/// returning the fresh `V_safe`.
+fn profile_now(sys: &mut PowerSystem, task: &LoadProfile, model: &PowerSystemModel) -> Volts {
+    // Top the buffer up first: profiling must start from a known-safe
+    // state. A dead harvester bounds the wait.
+    let dt = Seconds::from_micro(100.0);
+    let give_up = sys.time() + Seconds::new(120.0);
+    while sys.v_node() < model.v_high() - Volts::from_milli(5.0) && sys.time() < give_up {
+        sys.step(Amps::ZERO, dt);
+    }
+    profile_task(sys, task, &Profiler::UArch(UArchProfiler::default()))
+        .map(|run| runtime::compute_vsafe(&run.observation, model).v_safe)
+        .unwrap_or_else(|| model.v_high())
+}
+
+/// Measures the idle charge rate (volts/second) over `window`.
+fn measure_rate(sys: &mut PowerSystem, dt: Seconds, window: Seconds) -> f64 {
+    let v0 = sys.v_node();
+    let steps = window.steps(dt).max(1);
+    for _ in 0..steps {
+        sys.step(Amps::ZERO, dt);
+    }
+    (sys.v_node() - v0).get() / window.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_loadgen::peripheral::LoRaRadio;
+
+    fn fading_sun() -> Vec<(Seconds, Watts)> {
+        vec![
+            (Seconds::ZERO, Watts::from_milli(20.0)),
+            (Seconds::new(60.0), Watts::from_milli(8.0)),
+            // The final era is energy-deficient for the 8 s beacon
+            // cadence (~1.9 mW duty), so the buffer grinds down to the
+            // dispatch gate instead of hovering near full.
+            (Seconds::new(120.0), Watts::from_milli(1.5)),
+        ]
+    }
+
+    fn beacon_task() -> LoadProfile {
+        LoRaRadio::default().profile()
+    }
+
+    #[test]
+    fn static_profile_browns_out_as_the_sun_fades() {
+        let model = PowerSystemModel::capybara();
+        let stats = run_beacon(
+            &beacon_task(),
+            &model,
+            &fading_sun(),
+            Seconds::new(8.0),
+            Seconds::new(240.0),
+            None,
+        );
+        assert!(stats.slots >= 20, "{stats:?}");
+        assert!(
+            stats.brownouts > 0,
+            "the 20 mW-era estimate must fail in the 2 mW era: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_reprofiling_stays_safe() {
+        let model = PowerSystemModel::capybara();
+        let stats = run_beacon(
+            &beacon_task(),
+            &model,
+            &fading_sun(),
+            Seconds::new(8.0),
+            Seconds::new(240.0),
+            Some(AdaptiveConfig::default()),
+        );
+        assert_eq!(stats.brownouts, 0, "{stats:?}");
+        assert!(
+            stats.reprofiles >= 1 && stats.reprofiles <= 4,
+            "re-profiling should fire per harvest change, not per slot: {stats:?}"
+        );
+        assert!(stats.sent > 0);
+    }
+
+    #[test]
+    fn stable_harvest_never_reprofiles() {
+        let model = PowerSystemModel::capybara();
+        let steady = vec![(Seconds::ZERO, Watts::from_milli(10.0))];
+        let stats = run_beacon(
+            &beacon_task(),
+            &model,
+            &steady,
+            Seconds::new(8.0),
+            Seconds::new(120.0),
+            Some(AdaptiveConfig::default()),
+        );
+        assert_eq!(stats.reprofiles, 0, "{stats:?}");
+        assert_eq!(stats.brownouts, 0);
+    }
+
+    #[test]
+    fn harvest_schedule_lookup() {
+        let s = fading_sun();
+        assert_eq!(harvest_at(&s, Seconds::ZERO), Watts::from_milli(20.0));
+        assert_eq!(harvest_at(&s, Seconds::new(59.0)), Watts::from_milli(20.0));
+        assert_eq!(harvest_at(&s, Seconds::new(60.0)), Watts::from_milli(8.0));
+        assert_eq!(harvest_at(&s, Seconds::new(500.0)), Watts::from_milli(1.5));
+    }
+}

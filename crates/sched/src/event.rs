@@ -1,0 +1,161 @@
+//! Event sources and event classes.
+
+use culpeo::TaskId;
+use culpeo_units::Seconds;
+use rand::Rng;
+
+/// How a high-priority event class fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventSource {
+    /// Fires every `period` (PS's sensing interval, NMR's microphone).
+    Periodic {
+        /// The fixed inter-event interval.
+        period: Seconds,
+    },
+    /// Fires with exponentially distributed interarrival times of the
+    /// given mean (RR's GPIO interrupt, NMR's report trigger — the
+    /// paper's Poisson arrivals with λ = 45 s and λ = 30 s).
+    Poisson {
+        /// Mean interarrival time (1/rate).
+        mean_interarrival: Seconds,
+    },
+}
+
+impl EventSource {
+    /// Scales the (mean) interarrival time by `factor` — the Figure 13
+    /// slow/achievable/too-fast sweep.
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Self {
+        match self {
+            EventSource::Periodic { period } => EventSource::Periodic {
+                period: period * factor,
+            },
+            EventSource::Poisson { mean_interarrival } => EventSource::Poisson {
+                mean_interarrival: mean_interarrival * factor,
+            },
+        }
+    }
+
+    /// Generates all arrival times in `[0, horizon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period/mean is not strictly positive.
+    #[must_use]
+    pub fn arrivals(&self, horizon: Seconds, rng: &mut impl Rng) -> Vec<Seconds> {
+        let mut out = Vec::new();
+        match *self {
+            EventSource::Periodic { period } => {
+                assert!(period.get() > 0.0, "period must be positive");
+                let mut t = period.get();
+                while t < horizon.get() {
+                    out.push(Seconds::new(t));
+                    t += period.get();
+                }
+            }
+            EventSource::Poisson { mean_interarrival } => {
+                assert!(
+                    mean_interarrival.get() > 0.0,
+                    "mean interarrival must be positive"
+                );
+                let mut t = 0.0;
+                loop {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    t += -u.ln() * mean_interarrival.get();
+                    if t >= horizon.get() {
+                        break;
+                    }
+                    out.push(Seconds::new(t));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A class of high-priority events: its arrival process, response
+/// deadline, and the task sequence a response runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventClass {
+    /// Name for reporting (e.g. `"NMR-BLE"`).
+    pub name: String,
+    /// The arrival process.
+    pub source: EventSource,
+    /// An event is *captured* iff its deadline-critical sequence completes
+    /// within this long of its arrival.
+    pub deadline: Seconds,
+    /// The deadline-critical task sequence (run in order).
+    pub sequence: Vec<TaskId>,
+    /// Tasks run after the critical sequence (e.g. a response listen
+    /// window); they consume energy but do not gate capture.
+    pub followup: Vec<TaskId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn periodic_arrivals_are_regular() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let src = EventSource::Periodic {
+            period: Seconds::new(4.5),
+        };
+        let a = src.arrivals(Seconds::new(300.0), &mut rng);
+        // 300 / 4.5 = 66.7 → arrivals at 4.5, 9.0, …, 297.0 → 66 events.
+        assert_eq!(a.len(), 66);
+        assert!(a[0].approx_eq(Seconds::new(4.5), 1e-9));
+        for w in a.windows(2) {
+            assert!((w[1] - w[0]).approx_eq(Seconds::new(4.5), 1e-9));
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_have_roughly_the_right_rate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let src = EventSource::Poisson {
+            mean_interarrival: Seconds::new(30.0),
+        };
+        // Expect ~100 events over 3000 s; allow generous slack.
+        let a = src.arrivals(Seconds::new(3000.0), &mut rng);
+        assert!(
+            (70..=130).contains(&a.len()),
+            "got {} arrivals",
+            a.len()
+        );
+        // Strictly increasing.
+        for w in a.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn poisson_is_seed_deterministic() {
+        let src = EventSource::Poisson {
+            mean_interarrival: Seconds::new(45.0),
+        };
+        let a = src.arrivals(Seconds::new(300.0), &mut StdRng::seed_from_u64(3));
+        let b = src.arrivals(Seconds::new(300.0), &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaling_changes_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let src = EventSource::Periodic {
+            period: Seconds::new(4.5),
+        };
+        let slow = src.scaled(2.0).arrivals(Seconds::new(300.0), &mut rng);
+        assert_eq!(slow.len(), 33);
+    }
+
+    #[test]
+    fn empty_horizon_no_arrivals() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let src = EventSource::Periodic {
+            period: Seconds::new(4.5),
+        };
+        assert!(src.arrivals(Seconds::new(1.0), &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Feasibility tests: CatNap's energy-only test and the Theorem 1
+//! voltage-aware correction (§VI-B, Figure 5).
+//!
+//! CatNap accepts a schedule when the buffer never runs out of *energy*:
+//! `∀t, e_cap(t) > 0`. Theorem 1 adds the voltage constraint the paper
+//! proves necessary: before each task `ε_t` starts, the buffer voltage
+//! must also clear that task's `V_safe`:
+//! `∀t, V_t ≥ V_safe_t ∧ e_cap(t) > 0`.
+//!
+//! The functions here evaluate both tests against a *planned* schedule —
+//! a list of task launches with recharge gaps — using each system's own
+//! per-task estimates. The harness then executes the same plan on the
+//! plant to show which verdicts were right.
+
+use culpeo::compose::TaskRequirement;
+use culpeo_units::{Farads, Seconds, Volts, Watts};
+#[cfg(test)]
+use culpeo_units::Joules;
+
+/// One planned task launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedLaunch {
+    /// When the task starts, relative to the schedule's origin.
+    pub start: Seconds,
+    /// The task's buffer-energy cost and ESR drop, per the estimator
+    /// producing the plan.
+    pub requirement: TaskRequirement,
+    /// The task's `V_safe` per the estimator (CatNap's is energy-only).
+    pub v_safe: Volts,
+}
+
+/// The planning context: buffer and charging assumptions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanContext {
+    /// Buffer capacitance.
+    pub capacitance: Farads,
+    /// Power-off threshold.
+    pub v_off: Volts,
+    /// Maximum buffer voltage.
+    pub v_high: Volts,
+    /// Assumed constant harvested power while recharging/idle.
+    pub recharge_power: Watts,
+    /// Voltage at the schedule's origin.
+    pub v_start: Volts,
+}
+
+/// The predicted buffer voltage immediately before each launch, assuming
+/// each task consumes exactly its planned energy and idle gaps recharge
+/// at the context's constant power (capped at `V_high`).
+#[must_use]
+pub fn predicted_voltages(plan: &[PlannedLaunch], ctx: &PlanContext) -> Vec<Volts> {
+    let c = ctx.capacitance.get();
+    let mut v = ctx.v_start;
+    let mut t_prev = Seconds::ZERO;
+    let mut out = Vec::with_capacity(plan.len());
+    for launch in plan {
+        // Recharge during the gap before this launch.
+        let gap = (launch.start.get() - t_prev.get()).max(0.0);
+        let e_in = ctx.recharge_power.get() * gap;
+        v = Volts::from_squared(v.squared() + 2.0 * e_in / c).min(ctx.v_high);
+        out.push(v);
+        // Consume the task's energy.
+        let e = launch.requirement.buffer_energy.get();
+        v = Volts::from_squared((v.squared() - 2.0 * e / c).max(0.0));
+        t_prev = launch.start;
+    }
+    out
+}
+
+/// CatNap's feasibility test: at every launch, the buffer holds positive
+/// usable energy (voltage above `V_off`) after accounting for planned
+/// consumption. ESR does not appear anywhere.
+#[must_use]
+pub fn catnap_feasible(plan: &[PlannedLaunch], ctx: &PlanContext) -> bool {
+    let voltages = predicted_voltages(plan, ctx);
+    plan.iter().zip(&voltages).all(|(launch, &v)| {
+        // Energy after running the task remains positive:
+        let c = ctx.capacitance.get();
+        let v_after =
+            Volts::from_squared((v.squared() - 2.0 * launch.requirement.buffer_energy.get() / c).max(0.0));
+        v_after > ctx.v_off
+    })
+}
+
+/// The Theorem 1 test: every launch must *also* clear the task's
+/// `V_safe`. With Culpeo's ESR-aware `V_safe` values, passing this test
+/// guarantees no task-killing brownout (for loads within the profiled
+/// envelope).
+#[must_use]
+pub fn culpeo_feasible(plan: &[PlannedLaunch], ctx: &PlanContext) -> bool {
+    if !catnap_feasible(plan, ctx) {
+        return false; // Theorem 1 includes the energy conjunct
+    }
+    let voltages = predicted_voltages(plan, ctx);
+    plan.iter()
+        .zip(&voltages)
+        .all(|(launch, &v)| v >= launch.v_safe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> PlanContext {
+        PlanContext {
+            capacitance: Farads::from_milli(45.0),
+            v_off: Volts::new(1.6),
+            v_high: Volts::new(2.56),
+            recharge_power: Watts::from_milli(8.0),
+            v_start: Volts::new(2.56),
+        }
+    }
+
+    fn launch(start_s: f64, e_mj: f64, v_delta: f64, v_safe: f64) -> PlannedLaunch {
+        PlannedLaunch {
+            start: Seconds::new(start_s),
+            requirement: TaskRequirement {
+                buffer_energy: Joules::new(e_mj * 1e-3),
+                v_delta: Volts::new(v_delta),
+            },
+            v_safe: Volts::new(v_safe),
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_feasible_for_both() {
+        assert!(catnap_feasible(&[], &ctx()));
+        assert!(culpeo_feasible(&[], &ctx()));
+    }
+
+    #[test]
+    fn energy_rich_plan_passes_both() {
+        let plan = [launch(0.0, 2.0, 0.05, 1.7), launch(10.0, 2.0, 0.05, 1.7)];
+        assert!(catnap_feasible(&plan, &ctx()));
+        assert!(culpeo_feasible(&plan, &ctx()));
+    }
+
+    #[test]
+    fn catnap_accepts_what_theorem1_rejects() {
+        // The Figure 5 discrepancy: enough energy for both tasks on one
+        // discharge, but the second launches below its ESR-aware V_safe.
+        let plan = [
+            launch(0.0, 60.0, 0.05, 1.7), // big sense burn: 2.56 V → ~1.97 V
+            launch(0.5, 3.0, 0.35, 2.1),  // radio: needs 2.1 V to survive ESR
+        ];
+        let c = ctx();
+        assert!(catnap_feasible(&plan, &c), "catnap should accept");
+        assert!(!culpeo_feasible(&plan, &c), "theorem 1 must reject");
+    }
+
+    #[test]
+    fn recharge_gaps_restore_feasibility() {
+        // Same workload, but the radio waits long enough to recharge
+        // above its V_safe: now both accept.
+        let plan = [
+            launch(0.0, 30.0, 0.05, 1.7),
+            launch(60.0, 3.0, 0.35, 2.1),
+        ];
+        let c = ctx();
+        assert!(catnap_feasible(&plan, &c));
+        assert!(culpeo_feasible(&plan, &c), "{:?}", predicted_voltages(&plan, &c));
+    }
+
+    #[test]
+    fn energy_exhaustion_fails_both() {
+        // Back-to-back launches draining far more than the buffer holds.
+        let plan = [
+            launch(0.0, 60.0, 0.0, 1.6),
+            launch(0.1, 60.0, 0.0, 1.6),
+            launch(0.2, 60.0, 0.0, 1.6),
+        ];
+        let c = ctx();
+        assert!(!catnap_feasible(&plan, &c));
+        assert!(!culpeo_feasible(&plan, &c));
+    }
+
+    #[test]
+    fn predicted_voltage_caps_at_v_high() {
+        let plan = [launch(1000.0, 1.0, 0.0, 1.7)];
+        let v = predicted_voltages(&plan, &ctx());
+        assert!(v[0] <= ctx().v_high);
+    }
+}

@@ -1,0 +1,38 @@
+//! Event-driven scheduling for intermittently powered devices: the CatNap
+//! baseline and its Culpeo-corrected variant (§VI-B).
+//!
+//! The paper's end-to-end claim is that a state-of-the-art scheduler whose
+//! dispatch decisions rest on *energy* estimates misses events that the
+//! same scheduler captures once its per-task thresholds come from Culpeo's
+//! ESR-aware `V_safe`. This crate reproduces that comparison:
+//!
+//! * [`Task`] / [`EventClass`] / [`AppSpec`] — the workload model:
+//!   high-priority event-triggered task sequences with deadlines, plus a
+//!   low-priority background task;
+//! * [`ChargePolicy`] — where the dispatch thresholds come from:
+//!   CatNap's voltage-as-energy profiling or Culpeo-R's ESR-aware
+//!   profiling (both run on the simulated device, §V-C style);
+//! * [`run_trial`] — a full closed-loop trial on the simulated plant,
+//!   reporting per-event-class capture rates (Figures 12 and 13);
+//! * [`apps`] — the paper's three applications: Periodic Sensing (PS),
+//!   Responsive Reporting (RR), and Noise Monitoring & Reporting (NMR);
+//! * [`feasibility`] — CatNap's energy-only feasibility test and the
+//!   Theorem 1 voltage-aware test that corrects it (Figure 5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod apps;
+pub mod degrade;
+pub mod feasibility;
+
+mod event;
+mod policy;
+mod task;
+mod trial;
+
+pub use event::{EventClass, EventSource};
+pub use policy::{derive_thresholds, ChargePolicy, PolicyThresholds};
+pub use task::{AppSpec, Task};
+pub use trial::{mean_capture_rate, run_trial, ClassStats, TrialResult};

@@ -1,0 +1,142 @@
+//! Tasks and application specifications.
+
+use culpeo::TaskId;
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::Harvester;
+use culpeo_units::{Farads, Ohms};
+
+use crate::EventClass;
+
+/// One schedulable unit of work: an atomic task with a known load profile.
+///
+/// Atomicity is the intermittent-computing contract — if power fails
+/// mid-task, all of its progress is lost and it must rerun from the start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Identifier used across Culpeo's tables and event sequences.
+    pub id: TaskId,
+    /// Human-readable name for reporting.
+    pub name: String,
+    /// The task's load on the regulated output rail.
+    pub load: LoadProfile,
+}
+
+impl Task {
+    /// Creates a task.
+    #[must_use]
+    pub fn new(id: TaskId, name: impl Into<String>, load: LoadProfile) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            load,
+        }
+    }
+}
+
+/// A complete application: its tasks, event classes, optional background
+/// work, and the power-system configuration it deploys on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// Application name (e.g. `"periodic-sensing"`).
+    pub name: String,
+    /// All tasks, high and low priority.
+    pub tasks: Vec<Task>,
+    /// Event classes triggering high-priority sequences.
+    pub classes: Vec<EventClass>,
+    /// The low-priority background task run when energy is to spare.
+    pub background: Option<TaskId>,
+    /// Energy-buffer capacitance for this deployment.
+    pub capacitance: Farads,
+    /// Energy-buffer effective ESR.
+    pub esr: Ohms,
+    /// Harvesting conditions during the trial.
+    pub harvester: Harvester,
+}
+
+impl AppSpec {
+    /// Looks up a task by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not exist in this app — a malformed spec is a
+    /// programming error.
+    #[must_use]
+    pub fn task(&self, id: TaskId) -> &Task {
+        self.tasks
+            .iter()
+            .find(|t| t.id == id)
+            .unwrap_or_else(|| panic!("app {} has no task {id:?}", self.name))
+    }
+
+    /// Returns a copy with every event class's arrival period scaled by
+    /// `factor` (> 1 slows events down, < 1 speeds them up) — the
+    /// Figure 13 interarrival sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    #[must_use]
+    pub fn with_rate_scaled(&self, factor: f64) -> AppSpec {
+        assert!(factor > 0.0, "rate scale must be positive");
+        let mut app = self.clone();
+        for class in &mut app.classes {
+            class.source = class.source.scaled(factor);
+        }
+        app
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventSource;
+    use culpeo_units::{Amps, Seconds};
+
+    fn spec() -> AppSpec {
+        AppSpec {
+            name: "t".into(),
+            tasks: vec![Task::new(
+                TaskId(1),
+                "sense",
+                LoadProfile::constant("sense", Amps::from_milli(3.0), Seconds::from_milli(10.0)),
+            )],
+            classes: vec![EventClass {
+                name: "sense".into(),
+                source: EventSource::Periodic {
+                    period: Seconds::new(4.5),
+                },
+                deadline: Seconds::new(4.5),
+                sequence: vec![TaskId(1)],
+                followup: vec![],
+            }],
+            background: None,
+            capacitance: Farads::from_milli(15.0),
+            esr: Ohms::new(3.3),
+            harvester: Harvester::weak_solar(),
+        }
+    }
+
+    #[test]
+    fn task_lookup() {
+        let s = spec();
+        assert_eq!(s.task(TaskId(1)).name, "sense");
+    }
+
+    #[test]
+    #[should_panic(expected = "has no task")]
+    fn missing_task_panics() {
+        let s = spec();
+        let _ = s.task(TaskId(99));
+    }
+
+    #[test]
+    fn rate_scaling_stretches_periods() {
+        let s = spec().with_rate_scaled(2.0);
+        match s.classes[0].source {
+            EventSource::Periodic { period } => {
+                assert!(period.approx_eq(Seconds::new(9.0), 1e-12));
+            }
+            _ => panic!("expected periodic"),
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests on the scheduler layer: across random seeds and rates,
+//! the Culpeo policy's guarantees hold relative to CatNap's.
+
+use culpeo_sched::{apps, derive_thresholds, run_trial, ChargePolicy};
+use culpeo_units::Seconds;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Across seeds, Culpeo's RR capture is never worse than CatNap's,
+    /// and Culpeo suffers no brownouts.
+    #[test]
+    fn culpeo_dominates_catnap_on_rr(seed in 0u64..64) {
+        let app = apps::responsive_reporting();
+        let duration = Seconds::new(120.0);
+        let cul = run_trial(&app, ChargePolicy::Culpeo, duration, seed);
+        let cat = run_trial(&app, ChargePolicy::Catnap, duration, seed);
+        prop_assert_eq!(cul.brownouts, 0, "culpeo browned out");
+        prop_assert!(
+            cul.class("report").capture_rate() >= cat.class("report").capture_rate(),
+            "culpeo {:?} vs catnap {:?}",
+            cul.class("report"),
+            cat.class("report")
+        );
+    }
+
+    /// Rate scaling preserves the zero-brownout property for Culpeo on PS.
+    #[test]
+    fn culpeo_ps_never_browns_out_across_rates(
+        seed in 0u64..32,
+        scale in 0.7..2.0f64,
+    ) {
+        let app = apps::periodic_sensing().with_rate_scaled(scale);
+        let r = run_trial(&app, ChargePolicy::Culpeo, Seconds::new(90.0), seed);
+        prop_assert_eq!(r.brownouts, 0);
+    }
+
+    /// Both policies generate identical event timelines for the same
+    /// seed: differences in capture are attributable to dispatch policy
+    /// alone.
+    #[test]
+    fn seeded_arrivals_are_policy_independent(seed in 0u64..64) {
+        let app = apps::noise_monitoring();
+        let duration = Seconds::new(60.0);
+        let a = run_trial(&app, ChargePolicy::Culpeo, duration, seed);
+        let b = run_trial(&app, ChargePolicy::Catnap, duration, seed);
+        for (class_a, class_b) in a.per_class.iter().zip(&b.per_class) {
+            prop_assert_eq!(&class_a.0, &class_b.0);
+            prop_assert_eq!(class_a.1.generated, class_b.1.generated);
+        }
+    }
+}
+
+/// Thresholds are deterministic: deriving twice gives identical tables.
+#[test]
+fn threshold_derivation_is_deterministic() {
+    let app = apps::responsive_reporting();
+    let model = apps::model_for(&app);
+    for policy in [ChargePolicy::Catnap, ChargePolicy::Culpeo] {
+        let a = derive_thresholds(&app, policy, &model);
+        let b = derive_thresholds(&app, policy, &model);
+        assert_eq!(a, b);
+    }
+}
+
+/// Culpeo's per-class thresholds always sit inside the operating window.
+#[test]
+fn thresholds_inside_operating_window() {
+    for app in [
+        apps::periodic_sensing(),
+        apps::responsive_reporting(),
+        apps::noise_monitoring(),
+    ] {
+        let model = apps::model_for(&app);
+        let th = derive_thresholds(&app, ChargePolicy::Culpeo, &model);
+        for (name, &v) in &th.class_vsafe {
+            assert!(
+                v > model.v_off() && v <= model.v_high(),
+                "{}: class {} threshold {} outside ({}, {}]",
+                app.name,
+                name,
+                v,
+                model.v_off(),
+                model.v_high()
+            );
+        }
+        assert!(th.lp_threshold >= *th.class_vsafe.values().max_by(|a, b| a.get().total_cmp(&b.get())).unwrap());
+    }
+}

@@ -1,0 +1,115 @@
+//! Human-readable `Display` with SI-prefix auto-scaling.
+//!
+//! Figure binaries print values like "45 mF" and "82.5 mV"; centralising the
+//! prefix logic keeps all output consistent with the paper's notation.
+
+use crate::{Amps, Celsius, Farads, Hertz, Joules, Ohms, Percent, Seconds, Volts, Watts};
+
+/// Formats `value` (in base units) with an auto-selected SI prefix.
+///
+/// Returns e.g. `"25 mA"`, `"3.3 Ω"`, `"140 nW"`. Values are rendered with
+/// up to four significant digits, trailing zeros trimmed.
+#[must_use]
+pub fn si(value: f64, symbol: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {symbol}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {symbol}");
+    }
+    const PREFIXES: [(f64, &str); 9] = [
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "µ"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+    ];
+    let magnitude = value.abs();
+    let (scale, prefix) = PREFIXES
+        .iter()
+        .find(|(s, _)| magnitude >= *s)
+        .copied()
+        .unwrap_or((1e-15, "f"));
+    let scaled = value / scale;
+    // Four significant digits, then trim trailing zeros and a dangling dot.
+    let mut text = format!("{scaled:.4}");
+    if text.contains('.') {
+        while text.ends_with('0') {
+            text.pop();
+        }
+        if text.ends_with('.') {
+            text.pop();
+        }
+    }
+    format!("{text} {prefix}{symbol}")
+}
+
+macro_rules! display_si {
+    ($($t:ty),+) => {
+        $(
+            impl core::fmt::Display for $t {
+                fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                    write!(f, "{}", si(self.get(), <$t as crate::Quantity>::SYMBOL))
+                }
+            }
+        )+
+    };
+}
+
+display_si!(Volts, Amps, Ohms, Farads, Seconds, Joules, Watts, Hertz);
+
+impl core::fmt::Display for Percent {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.2} %", self.get())
+    }
+}
+
+impl core::fmt::Display for Celsius {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.1} °C", self.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Quantity as _;
+
+    #[test]
+    fn si_prefix_selection() {
+        assert_eq!(si(0.025, "A"), "25 mA");
+        assert_eq!(si(45e-3, "F"), "45 mF");
+        assert_eq!(si(140e-9, "W"), "140 nW");
+        assert_eq!(si(125_000.0, "Hz"), "125 kHz");
+        assert_eq!(si(3.3, "Ω"), "3.3 Ω");
+    }
+
+    #[test]
+    fn si_zero_and_negative() {
+        assert_eq!(si(0.0, "V"), "0 V");
+        assert_eq!(si(-0.5, "V"), "-500 mV");
+    }
+
+    #[test]
+    fn si_non_finite_values_do_not_panic() {
+        assert_eq!(si(f64::INFINITY, "V"), "inf V");
+        assert!(si(f64::NAN, "V").contains("NaN"));
+    }
+
+    #[test]
+    fn display_uses_si() {
+        assert_eq!(Amps::from_milli(50.0).to_string(), "50 mA");
+        assert_eq!(Volts::new(2.5).to_string(), "2.5 V");
+        assert_eq!(Percent::new(62.5).to_string(), "62.50 %");
+        assert_eq!(Celsius::new(25.0).to_string(), "25.0 °C");
+    }
+
+    #[test]
+    fn tiny_values_saturate_at_femto() {
+        assert!(si(1e-18, "A").ends_with("fA"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Physical-quantity newtypes for the Culpeo workspace.
+//!
+//! Every crate in the workspace moves electrical quantities around — volts on
+//! a capacitor, amps into a booster, joules out of a task. Mixing those up in
+//! bare `f64`s is exactly the class of bug a reproduction of a measurement
+//! paper cannot afford, so this crate wraps each quantity in a newtype and
+//! implements only the physically meaningful arithmetic between them:
+//!
+//! ```
+//! use culpeo_units::{Volts, Amps, Ohms, Watts, Seconds, Quantity};
+//!
+//! let esr = Ohms::new(3.3);
+//! let draw = Amps::from_milli(25.0);
+//! let drop: Volts = draw * esr;             // Ohm's law
+//! let power: Watts = Volts::new(2.5) * draw; // P = V·I
+//! let energy = power * Seconds::from_milli(10.0);
+//! assert!((drop.get() - 0.0825).abs() < 1e-12);
+//! assert!(energy.get() > 0.0);
+//! ```
+//!
+//! The wrappers are `Copy` and free at runtime; [`Quantity::get`] recovers
+//! the raw `f64` when interfacing with code that does not care about units.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fmt;
+mod ops;
+mod quantity;
+
+pub use fmt::si;
+pub use quantity::{
+    Amps, Celsius, Farads, Hertz, Joules, Ohms, Percent, Quantity, Seconds, Volts, Watts,
+};
+
+/// A cubic-millimetre volume, used by the capacitor catalog (`culpeo-capbank`).
+///
+/// Kept separate from the electrical quantities because it participates in no
+/// electrical arithmetic; it exists so part volumes cannot be confused with,
+/// say, capacitance in the Figure 3 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct CubicMillimetres(pub f64);
+
+impl CubicMillimetres {
+    /// Creates a volume from a raw value in mm³.
+    #[must_use]
+    pub const fn new(v: f64) -> Self {
+        Self(v)
+    }
+
+    /// Returns the raw value in mm³.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl core::ops::Add for CubicMillimetres {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Mul<f64> for CubicMillimetres {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl core::iter::Sum for CubicMillimetres {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|v| v.0).sum())
+    }
+}
+
+impl core::fmt::Display for CubicMillimetres {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} mm³", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_addition_and_sum() {
+        let a = CubicMillimetres::new(10.0);
+        let b = CubicMillimetres::new(2.5);
+        assert_eq!((a + b).get(), 12.5);
+        let total: CubicMillimetres = [a, b, b].into_iter().sum();
+        assert_eq!(total.get(), 15.0);
+    }
+
+    #[test]
+    fn volume_scaling() {
+        let a = CubicMillimetres::new(4.0) * 6.0;
+        assert_eq!(a.get(), 24.0);
+    }
+
+    #[test]
+    fn volume_display() {
+        assert_eq!(CubicMillimetres::new(3.0).to_string(), "3 mm³");
+    }
+}

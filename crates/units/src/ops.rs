@@ -1,0 +1,225 @@
+//! Cross-quantity arithmetic: only the physically meaningful products and
+//! quotients are defined, so dimensional errors fail to compile.
+
+use crate::{Amps, Farads, Hertz, Joules, Ohms, Seconds, Volts, Watts};
+
+macro_rules! relate {
+    // $a * $b = $c  (and the symmetric + division forms)
+    ($a:ty, $b:ty, $c:ty) => {
+        impl core::ops::Mul<$b> for $a {
+            type Output = $c;
+            fn mul(self, rhs: $b) -> $c {
+                <$c>::new(self.get() * rhs.get())
+            }
+        }
+
+        impl core::ops::Mul<$a> for $b {
+            type Output = $c;
+            fn mul(self, rhs: $a) -> $c {
+                <$c>::new(self.get() * rhs.get())
+            }
+        }
+
+        impl core::ops::Div<$a> for $c {
+            type Output = $b;
+            fn div(self, rhs: $a) -> $b {
+                <$b>::new(self.get() / rhs.get())
+            }
+        }
+
+        impl core::ops::Div<$b> for $c {
+            type Output = $a;
+            fn div(self, rhs: $b) -> $a {
+                <$a>::new(self.get() / rhs.get())
+            }
+        }
+    };
+}
+
+// Ohm's law: V = I·R.
+relate!(Amps, Ohms, Volts);
+// Electrical power: P = V·I.
+relate!(Volts, Amps, Watts);
+// Energy: E = P·t.
+relate!(Watts, Seconds, Joules);
+// Charge-ish relation used by I = C·dV/dt: C·V has units A·s, and we only
+// ever divide it by seconds, so expose (Farads × Volts) ÷ Seconds = Amps via
+// an inherent helper instead of a lossy intermediate "Coulombs" type.
+
+impl Farads {
+    /// Current required to change this capacitance by `dv` in `dt`
+    /// (`I = C · dV/dt`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is zero or negative.
+    #[must_use]
+    pub fn current_for_slew(self, dv: Volts, dt: Seconds) -> Amps {
+        assert!(dt.get() > 0.0, "dt must be positive");
+        Amps::new(self.get() * dv.get() / dt.get())
+    }
+
+    /// Voltage change produced by drawing `i` for `dt` (`ΔV = I·dt / C`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacitance is zero or negative.
+    #[must_use]
+    pub fn slew_for_current(self, i: Amps, dt: Seconds) -> Volts {
+        assert!(self.get() > 0.0, "capacitance must be positive");
+        Volts::new(i.get() * dt.get() / self.get())
+    }
+
+    /// Energy stored at voltage `v`: `E = ½·C·V²`.
+    #[must_use]
+    pub fn stored_energy(self, v: Volts) -> Joules {
+        Joules::new(0.5 * self.get() * v.squared())
+    }
+
+    /// Energy released when discharging from `from` down to `to`:
+    /// `E = ½·C·(V₀² − V₁²)`. Negative if `to > from` (charging).
+    #[must_use]
+    pub fn energy_between(self, from: Volts, to: Volts) -> Joules {
+        Joules::new(0.5 * self.get() * (from.squared() - to.squared()))
+    }
+
+    /// Voltage the capacitor will sit at when holding `e` joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacitance is zero or negative, or `e` is negative.
+    #[must_use]
+    pub fn voltage_for_energy(self, e: Joules) -> Volts {
+        assert!(self.get() > 0.0, "capacitance must be positive");
+        assert!(e.get() >= 0.0, "stored energy cannot be negative");
+        Volts::new((2.0 * e.get() / self.get()).sqrt())
+    }
+}
+
+impl Seconds {
+    /// The reciprocal frequency (`f = 1/t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is zero or negative.
+    #[must_use]
+    pub fn frequency(self) -> Hertz {
+        assert!(self.get() > 0.0, "period must be positive");
+        Hertz::new(1.0 / self.get())
+    }
+}
+
+impl Hertz {
+    /// The reciprocal period (`t = 1/f`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero or negative.
+    #[must_use]
+    pub fn period(self) -> Seconds {
+        assert!(self.get() > 0.0, "frequency must be positive");
+        Seconds::new(1.0 / self.get())
+    }
+}
+
+impl Joules {
+    /// Average power delivering this energy over `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is zero or negative.
+    #[must_use]
+    pub fn over(self, dt: Seconds) -> Watts {
+        assert!(dt.get() > 0.0, "dt must be positive");
+        Watts::new(self.get() / dt.get())
+    }
+}
+
+impl Watts {
+    /// Current drawn at potential `v` to deliver this power (`I = P/V`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is zero or negative.
+    #[must_use]
+    pub fn current_at(self, v: Volts) -> Amps {
+        assert!(v.get() > 0.0, "voltage must be positive to draw power");
+        Amps::new(self.get() / v.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Quantity as _;
+
+    #[test]
+    fn ohms_law_both_orders() {
+        let v1: Volts = Amps::from_milli(50.0) * Ohms::new(10.0);
+        let v2: Volts = Ohms::new(10.0) * Amps::from_milli(50.0);
+        assert_eq!(v1, Volts::new(0.5)); // the paper's LoRa example
+        assert_eq!(v1, v2);
+        let back: Amps = v1 / Ohms::new(10.0);
+        assert!(back.approx_eq(Amps::from_milli(50.0), 1e-15));
+    }
+
+    #[test]
+    fn power_and_energy_chain() {
+        let p: Watts = Volts::new(2.5) * Amps::from_milli(10.0);
+        assert!((p.get() - 0.025).abs() < 1e-15);
+        let e: Joules = p * Seconds::from_milli(100.0);
+        assert!((e.get() - 2.5e-3).abs() < 1e-15);
+        let p_back: Watts = e / Seconds::from_milli(100.0);
+        assert!(p_back.approx_eq(p, 1e-15));
+    }
+
+    #[test]
+    fn capacitor_energy_accounting() {
+        let c = Farads::from_milli(45.0);
+        // Fully usable energy of the Capybara bank, 2.5 V → 1.6 V.
+        let e = c.energy_between(Volts::new(2.5), Volts::new(1.6));
+        assert!((e.get() - 0.5 * 0.045 * (2.5 * 2.5 - 1.6 * 1.6)).abs() < 1e-12);
+        // Charging direction is negative.
+        assert!(c.energy_between(Volts::new(1.6), Volts::new(2.5)).get() < 0.0);
+    }
+
+    #[test]
+    fn capacitor_slew_roundtrip() {
+        let c = Farads::from_milli(45.0);
+        let i = c.current_for_slew(Volts::from_milli(1.0), Seconds::from_milli(1.0));
+        let dv = c.slew_for_current(i, Seconds::from_milli(1.0));
+        assert!(dv.approx_eq(Volts::from_milli(1.0), 1e-15));
+    }
+
+    #[test]
+    fn voltage_for_energy_inverts_stored_energy() {
+        let c = Farads::from_milli(15.0);
+        let v = Volts::new(2.2);
+        let e = c.stored_energy(v);
+        assert!(c.voltage_for_energy(e).approx_eq(v, 1e-12));
+    }
+
+    #[test]
+    fn frequency_period_roundtrip() {
+        let f = Hertz::new(125_000.0);
+        assert!(f.period().frequency().approx_eq(f, 1e-6));
+    }
+
+    #[test]
+    fn watts_current_at() {
+        let i = Watts::new(0.05).current_at(Volts::new(2.0));
+        assert!(i.approx_eq(Amps::from_milli(25.0), 1e-15));
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage must be positive")]
+    fn current_at_zero_volts_panics() {
+        let _ = Watts::new(1.0).current_at(Volts::ZERO);
+    }
+
+    #[test]
+    fn joules_over_duration() {
+        let w = Joules::new(0.5).over(Seconds::new(2.0));
+        assert_eq!(w, Watts::new(0.25));
+    }
+}

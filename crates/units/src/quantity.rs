@@ -1,0 +1,436 @@
+//! The quantity newtypes and the shared [`Quantity`] trait.
+
+/// Common behaviour for every scalar physical quantity in the workspace.
+///
+/// All quantities are thin `f64` wrappers; this trait gives generic code
+/// (interpolation, clamping, trace storage) one surface to program against.
+pub trait Quantity:
+    Copy + PartialEq + PartialOrd + core::fmt::Debug + core::fmt::Display + Default
+{
+    /// The SI unit symbol, e.g. `"V"`.
+    const SYMBOL: &'static str;
+
+    /// Wraps a raw value expressed in the base SI unit.
+    fn new(value: f64) -> Self;
+
+    /// Returns the raw value in the base SI unit.
+    fn get(self) -> f64;
+
+    /// Wraps a value given in thousandths of the base unit (mV, mA, ms, …).
+    fn from_milli(value: f64) -> Self {
+        Self::new(value * 1e-3)
+    }
+
+    /// Wraps a value given in millionths of the base unit (µV, µA, µs, …).
+    fn from_micro(value: f64) -> Self {
+        Self::new(value * 1e-6)
+    }
+
+    /// Returns the value expressed in thousandths of the base unit.
+    fn to_milli(self) -> f64 {
+        self.get() * 1e3
+    }
+
+    /// Returns the value expressed in millionths of the base unit.
+    fn to_micro(self) -> f64 {
+        self.get() * 1e6
+    }
+
+    /// Returns the smaller of two quantities (total order assuming no NaN).
+    #[must_use]
+    fn min(self, other: Self) -> Self {
+        Self::new(self.get().min(other.get()))
+    }
+
+    /// Returns the larger of two quantities (total order assuming no NaN).
+    #[must_use]
+    fn max(self, other: Self) -> Self {
+        Self::new(self.get().max(other.get()))
+    }
+
+    /// Clamps the quantity into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    fn clamp(self, lo: Self, hi: Self) -> Self {
+        assert!(lo.get() <= hi.get(), "clamp range inverted");
+        Self::new(self.get().clamp(lo.get(), hi.get()))
+    }
+
+    /// Returns the absolute value.
+    #[must_use]
+    fn abs(self) -> Self {
+        Self::new(self.get().abs())
+    }
+
+    /// True if the value is finite (not NaN or ±∞).
+    fn is_finite(self) -> bool {
+        self.get().is_finite()
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    #[must_use]
+    fn lerp(self, other: Self, t: f64) -> Self {
+        Self::new(self.get() + (other.get() - self.get()) * t)
+    }
+
+    /// True if the two quantities differ by no more than `tol` base units.
+    fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.get() - other.get()).abs() <= tol
+    }
+}
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $symbol:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw value expressed in the base SI unit.
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the raw value in the base SI unit.
+            #[must_use]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Wraps a value given in thousandths of the base unit.
+            #[must_use]
+            pub fn from_milli(value: f64) -> Self {
+                Self(value * 1e-3)
+            }
+
+            /// Wraps a value given in millionths of the base unit.
+            #[must_use]
+            pub fn from_micro(value: f64) -> Self {
+                Self(value * 1e-6)
+            }
+
+            /// Returns the value expressed in thousandths of the base unit.
+            #[must_use]
+            pub fn to_milli(self) -> f64 {
+                self.0 * 1e3
+            }
+
+            /// Returns the value expressed in millionths of the base unit.
+            #[must_use]
+            pub fn to_micro(self) -> f64 {
+                self.0 * 1e6
+            }
+
+            /// Returns the smaller of two quantities.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two quantities.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// True if the two values differ by no more than `tol` base units.
+            #[must_use]
+            pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+                (self.0 - other.0).abs() <= tol
+            }
+
+            /// True if the value is finite (not NaN or ±∞).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+        }
+
+        impl crate::quantity::Quantity for $name {
+            const SYMBOL: &'static str = $symbol;
+
+            fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            fn get(self) -> f64 {
+                self.0
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Dividing like quantities yields a dimensionless ratio.
+        impl core::ops::Div<$name> for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential in volts.
+    ///
+    /// The central quantity of the paper: capacitor terminal voltage, safe
+    /// starting voltage `V_safe`, ESR drop `V_δ` are all `Volts`.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+quantity!(
+    /// Resistance in ohms — in this workspace, almost always an ESR.
+    Ohms,
+    "Ω"
+);
+quantity!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+quantity!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+quantity!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+quantity!(
+    /// Temperature in degrees Celsius (capacitor derating models).
+    Celsius,
+    "°C"
+);
+quantity!(
+    /// A dimensionless percentage, stored as the fraction ×100.
+    ///
+    /// Used for figure outputs ("V_safe error as % of operating range") and
+    /// booster efficiency when reported rather than computed.
+    Percent,
+    "%"
+);
+
+impl Percent {
+    /// Converts a fraction in `[0, 1]` to a percentage.
+    #[must_use]
+    pub fn from_fraction(f: f64) -> Self {
+        Self::new(f * 100.0)
+    }
+
+    /// Returns the value as a fraction (50 % → 0.5).
+    #[must_use]
+    pub fn as_fraction(self) -> f64 {
+        self.get() / 100.0
+    }
+}
+
+impl Seconds {
+    /// Number of whole+fractional steps of length `dt` in this duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    #[must_use]
+    pub fn steps(self, dt: Seconds) -> usize {
+        assert!(dt.get() > 0.0, "step size must be positive");
+        (self.get() / dt.get()).round() as usize
+    }
+}
+
+impl Volts {
+    /// Squared voltage — convenience for the ubiquitous `½CV²` terms.
+    #[must_use]
+    pub fn squared(self) -> f64 {
+        self.get() * self.get()
+    }
+
+    /// Square root constructor, inverse of [`Volts::squared`].
+    ///
+    /// Negative inputs (which arise transiently from subtracting squared
+    /// terms near equality) clamp to zero rather than producing NaN.
+    #[must_use]
+    pub fn from_squared(v_squared: f64) -> Self {
+        Self::new(v_squared.max(0.0).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Quantity as _;
+
+    #[test]
+    fn construction_and_prefixes() {
+        assert!(Volts::from_milli(2500.0).approx_eq(Volts::new(2.5), 1e-12));
+        assert!((Amps::from_micro(20.0).get() - 20e-6).abs() < 1e-18);
+        assert!((Seconds::new(0.01).to_milli() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn additive_arithmetic() {
+        let mut v = Volts::new(2.0);
+        v += Volts::new(0.5);
+        assert_eq!(v, Volts::new(2.5));
+        v -= Volts::new(1.0);
+        assert_eq!(v, Volts::new(1.5));
+        assert_eq!(-v, Volts::new(-1.5));
+    }
+
+    #[test]
+    fn scalar_scaling_is_commutative() {
+        assert_eq!(Volts::new(2.0) * 3.0, 3.0 * Volts::new(2.0));
+        assert_eq!((Volts::new(3.0) / 2.0).get(), 1.5);
+    }
+
+    #[test]
+    fn like_division_is_dimensionless() {
+        let ratio: f64 = Volts::new(3.0) / Volts::new(2.0);
+        assert_eq!(ratio, 1.5);
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let lo = Volts::new(1.6);
+        let hi = Volts::new(2.5);
+        assert_eq!(Volts::new(3.0).clamp(lo, hi), hi);
+        assert_eq!(Volts::new(1.0).clamp(lo, hi), lo);
+        assert_eq!(lo.max(hi), hi);
+        assert_eq!(lo.min(hi), lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp range inverted")]
+    fn clamp_panics_on_inverted_range() {
+        let _ = Volts::new(2.0).clamp(Volts::new(3.0), Volts::new(1.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Volts::new(1.0);
+        let b = Volts::new(3.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Volts::new(2.0));
+    }
+
+    #[test]
+    fn percent_fraction_roundtrip() {
+        let p = Percent::from_fraction(0.825);
+        assert!((p.get() - 82.5).abs() < 1e-12);
+        assert!((p.as_fraction() - 0.825).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_steps() {
+        assert_eq!(Seconds::new(1.0).steps(Seconds::from_micro(8.0)), 125_000);
+        assert_eq!(Seconds::from_milli(10.0).steps(Seconds::from_milli(1.0)), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "step size must be positive")]
+    fn seconds_steps_rejects_zero_dt() {
+        let _ = Seconds::new(1.0).steps(Seconds::ZERO);
+    }
+
+    #[test]
+    fn volts_squared_roundtrip() {
+        let v = Volts::new(2.4);
+        assert!(Volts::from_squared(v.squared()).approx_eq(v, 1e-12));
+        // Negative squared values clamp to zero instead of NaN.
+        assert_eq!(Volts::from_squared(-1e-9), Volts::ZERO);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Joules = (1..=4).map(|i| Joules::new(f64::from(i))).sum();
+        assert_eq!(total, Joules::new(10.0));
+    }
+}

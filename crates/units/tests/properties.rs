@@ -1,0 +1,70 @@
+//! Property-based tests of the unit algebra.
+
+use culpeo_units::{Amps, Farads, Joules, Ohms, Quantity, Seconds, Volts, Watts};
+use proptest::prelude::*;
+
+fn finite_positive() -> impl Strategy<Value = f64> {
+    // Stay in a physically plausible range to avoid overflow artifacts.
+    1e-9..1e6f64
+}
+
+proptest! {
+    #[test]
+    fn ohms_law_roundtrip(i in finite_positive(), r in finite_positive()) {
+        let v: Volts = Amps::new(i) * Ohms::new(r);
+        let i_back: Amps = v / Ohms::new(r);
+        prop_assert!((i_back.get() - i).abs() <= i * 1e-12);
+    }
+
+    #[test]
+    fn power_energy_roundtrip(v in finite_positive(), i in finite_positive(), t in finite_positive()) {
+        let p: Watts = Volts::new(v) * Amps::new(i);
+        let e: Joules = p * Seconds::new(t);
+        let p_back: Watts = e / Seconds::new(t);
+        prop_assert!((p_back.get() - p.get()).abs() <= p.get() * 1e-12);
+    }
+
+    #[test]
+    fn stored_energy_is_monotone_in_voltage(c in finite_positive(), v1 in 0.0..10.0f64, v2 in 0.0..10.0f64) {
+        let c = Farads::new(c);
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        prop_assert!(c.stored_energy(Volts::new(hi)).get() >= c.stored_energy(Volts::new(lo)).get());
+    }
+
+    #[test]
+    fn energy_between_is_antisymmetric(c in finite_positive(), a in 0.0..10.0f64, b in 0.0..10.0f64) {
+        let c = Farads::new(c);
+        let fwd = c.energy_between(Volts::new(a), Volts::new(b));
+        let rev = c.energy_between(Volts::new(b), Volts::new(a));
+        let tol = 1e-12 * (1.0 + fwd.get().abs());
+        prop_assert!((fwd.get() + rev.get()).abs() <= tol);
+    }
+
+    #[test]
+    fn voltage_for_energy_inverts(c in finite_positive(), v in 0.0..10.0f64) {
+        let c = Farads::new(c);
+        let v_back = c.voltage_for_energy(c.stored_energy(Volts::new(v)));
+        prop_assert!((v_back.get() - v).abs() <= 1e-9 * (1.0 + v));
+    }
+
+    #[test]
+    fn slew_roundtrip(c in finite_positive(), dv in -5.0..5.0f64, dt in finite_positive()) {
+        let c = Farads::new(c);
+        let i = c.current_for_slew(Volts::new(dv), Seconds::new(dt));
+        let dv_back = c.slew_for_current(i, Seconds::new(dt));
+        prop_assert!((dv_back.get() - dv).abs() <= 1e-9 * (1.0 + dv.abs()));
+    }
+
+    #[test]
+    fn lerp_stays_in_range(a in -10.0..10.0f64, b in -10.0..10.0f64, t in 0.0..1.0f64) {
+        let lo = a.min(b);
+        let hi = a.max(b);
+        let x = Volts::new(a).lerp(Volts::new(b), t).get();
+        prop_assert!(x >= lo - 1e-12 && x <= hi + 1e-12);
+    }
+
+    #[test]
+    fn si_formatting_never_panics(v in -1e20..1e20f64) {
+        let _ = culpeo_units::si(v, "V");
+    }
+}

@@ -1,0 +1,61 @@
+//! Sizing an energy buffer with `V_safe` in the loop: the quantitative
+//! version of Figure 3's corner-picking.
+//!
+//! ```text
+//! cargo run -p culpeo-examples --example buffer_design
+//! ```
+
+use culpeo::design::{minimum_capacitance, sweep_designs, BufferDesign};
+use culpeo_loadgen::peripheral::{BleRadio, GestureSensor, LoRaRadio};
+use culpeo_units::{Farads, Ohms};
+
+fn main() {
+    let tasks = vec![
+        GestureSensor::default().profile(),
+        BleRadio::default().profile(),
+        LoRaRadio::default().profile(),
+    ];
+    println!("application tasks: gesture, BLE TX, LoRa TX\n");
+
+    // Sweep bank sizes within the supercapacitor family (R·C ≈ 0.15 Ω·F:
+    // stacking parts multiplies C and divides R).
+    const RC: f64 = 0.15;
+    let designs: Vec<BufferDesign> = [7.5, 15.0, 22.5, 30.0, 45.0, 60.0]
+        .into_iter()
+        .map(|mf| {
+            let c = Farads::from_milli(mf);
+            BufferDesign {
+                capacitance: c,
+                esr: Ohms::new(RC / c.get()),
+            }
+        })
+        .collect();
+
+    println!(
+        "{:>10} {:>10} {:>12} {:>14} {:>10}",
+        "C", "ESR", "worst V_safe", "binding task", "feasible"
+    );
+    for eval in sweep_designs(&designs, &tasks) {
+        println!(
+            "{:>10} {:>10} {:>12} {:>14} {:>10}",
+            format!("{}", eval.design.capacitance),
+            format!("{}", eval.design.esr),
+            format!("{}", eval.worst_vsafe),
+            eval.binding_task,
+            eval.feasible()
+        );
+    }
+
+    let c_min = minimum_capacitance(
+        &tasks,
+        RC,
+        Farads::from_milli(1.0),
+        Farads::from_milli(100.0),
+    )
+    .expect("this task set fits below 100 mF");
+    println!(
+        "\nsmallest bank in this part family that supports the whole app: {c_min}\n\
+         (that is {} parts of 7.5 mF)",
+        (c_min.get() / 7.5e-3).ceil()
+    );
+}

@@ -1,0 +1,63 @@
+//! Designing an energy buffer with Culpeo in the loop: shortlist 45 mF
+//! banks from the parts catalog, then check which ones can actually power
+//! a radio task — the Figure 3 trade-off made operational.
+//!
+//! ```text
+//! cargo run -p culpeo-examples --example capacitor_selection
+//! ```
+
+use culpeo::{pg, PowerSystemModel};
+use culpeo_capbank::{Catalog, Technology};
+use culpeo_loadgen::peripheral::BleRadio;
+use culpeo_powersim::{EfficiencyCurve, PowerSystem};
+use culpeo_units::{Farads, Hertz, Volts};
+
+fn main() {
+    let catalog = Catalog::synthetic();
+    let target = Farads::from_milli(45.0);
+    let radio = BleRadio::default().profile();
+    let trace = radio.sample(Hertz::new(125_000.0));
+
+    println!(
+        "{:<16} {:>8} {:>14} {:>10} {:>10} {:>10}",
+        "technology", "parts", "volume (mm³)", "ESR (Ω)", "V_safe", "feasible"
+    );
+    for bank in catalog.smallest_per_technology(target) {
+        // Model the power system this bank would produce.
+        let model = PowerSystemModel::with_flat_esr(
+            bank.capacitance(),
+            bank.esr(),
+            Volts::new(2.55),
+            EfficiencyCurve::tps61200_like(),
+            Volts::new(1.6),
+            Volts::new(2.56),
+        );
+        let est = pg::compute_vsafe(&trace, &model);
+        // Feasible if the safe voltage fits under the full-charge level —
+        // and double-checked on the simulated plant.
+        let mut sys = PowerSystem::capybara_with_bank(bank.capacitance(), bank.esr());
+        sys.set_buffer_voltage(Volts::new(2.56));
+        sys.force_output_enabled();
+        let runs = sys
+            .run_profile(&radio, culpeo_powersim::RunConfig::default())
+            .completed();
+        let feasible = est.v_safe < model.v_high() && runs;
+        println!(
+            "{:<16} {:>8} {:>14.1} {:>10.4} {:>10} {:>10}",
+            bank.technology().label(),
+            bank.part_count(),
+            bank.volume().get(),
+            bank.esr().get(),
+            est.v_safe,
+            feasible
+        );
+        if bank.technology() == Technology::Supercapacitor {
+            assert!(feasible, "the supercap bank must power the radio");
+        }
+    }
+    println!(
+        "\nCulpeo turns Figure 3's volume/ESR trade-off into a pass/fail\n\
+         check: the smallest (supercapacitor) bank works *because* V_safe\n\
+         accounts for its ESR, not despite it."
+    );
+}

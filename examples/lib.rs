@@ -1,0 +1,1 @@
+//! Examples-only crate: see the `[[example]]` targets beside this file.

@@ -1,0 +1,45 @@
+//! Quickstart: compute an ESR-aware safe starting voltage for a radio
+//! task and see why the energy-only answer is wrong.
+//!
+//! ```text
+//! cargo run -p culpeo-examples --example quickstart
+//! ```
+
+use culpeo::baseline::energy_direct;
+use culpeo::{pg, PowerSystemModel};
+use culpeo_loadgen::peripheral::BleRadio;
+use culpeo_powersim::{PowerSystem, RunConfig};
+use culpeo_units::{Hertz, Volts};
+
+fn main() {
+    // 1. Characterise the power system once, offline. On real hardware
+    //    this is datasheet values plus a measured ESR-vs-frequency curve;
+    //    here the "hardware" is the simulated Capybara plant.
+    let make_plant = PowerSystem::capybara_two_branch;
+    let model = PowerSystemModel::characterize(&make_plant);
+    println!("power system: C = {}, V_off = {}", model.capacitance(), model.v_off());
+
+    // 2. Profile the task's current draw (a BLE transmission) and run the
+    //    Culpeo-PG analysis (Algorithm 1).
+    let radio = BleRadio::default().profile();
+    let trace = radio.sample(Hertz::new(125_000.0));
+    let culpeo = pg::compute_vsafe(&trace, &model);
+    println!("Culpeo-PG   : V_safe = {}, V_δ = {}", culpeo.v_safe, culpeo.v_delta);
+
+    // 3. The energy-only answer for comparison.
+    let energy_only = energy_direct(&trace, &model);
+    println!("Energy-only : V_safe = {energy_only}");
+
+    // 4. Validate both on the plant: dispatch the radio at each estimate.
+    for (label, v_start) in [("Culpeo-PG", culpeo.v_safe), ("Energy-only", energy_only)] {
+        let mut sys = make_plant();
+        sys.set_buffer_voltage(v_start + Volts::from_milli(5.0));
+        sys.force_output_enabled();
+        let out = sys.run_profile(&radio, RunConfig::default());
+        println!(
+            "dispatch at {label} estimate ({v_start}): {} (V_min = {})",
+            if out.completed() { "completed" } else { "POWER FAILURE" },
+            out.v_min
+        );
+    }
+}

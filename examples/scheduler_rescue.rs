@@ -1,0 +1,35 @@
+//! Rescue a failing scheduler: the Responsive Reporting app under
+//! CatNap's energy-only thresholds versus Culpeo's ESR-aware ones.
+//!
+//! ```text
+//! cargo run -p culpeo-examples --example scheduler_rescue
+//! ```
+
+use culpeo_sched::{apps, derive_thresholds, run_trial, ChargePolicy};
+use culpeo_units::Seconds;
+
+fn main() {
+    let app = apps::responsive_reporting();
+    let model = apps::model_for(&app);
+
+    println!("application: {} (Poisson reports, 3 s deadline)\n", app.name);
+    for policy in [ChargePolicy::Catnap, ChargePolicy::Culpeo] {
+        let thresholds = derive_thresholds(&app, policy, &model);
+        println!("{} thresholds:", policy.label());
+        println!(
+            "  report sequence V_safe = {}",
+            thresholds.class_vsafe["report"]
+        );
+        println!("  background threshold   = {}", thresholds.lp_threshold);
+
+        let result = run_trial(&app, policy, Seconds::new(300.0), 7);
+        let s = result.class("report");
+        println!(
+            "  5-minute trial: {}/{} reports captured ({:.0} %), {} brownouts\n",
+            s.captured,
+            s.generated,
+            s.capture_rate() * 100.0,
+            result.brownouts
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Termination checking with `V_safe` (§VIII/§IX): which tasks can a
+//! given power system ever complete, and can splitting rescue the rest?
+//!
+//! ```text
+//! cargo run -p culpeo-examples --example termination_check
+//! ```
+
+use culpeo::termination::{check_program, required_splits, TerminationVerdict};
+use culpeo::PowerSystemModel;
+use culpeo_loadgen::peripheral::{BleRadio, GestureSensor, LoRaRadio, MnistAccelerator};
+use culpeo_powersim::EfficiencyCurve;
+use culpeo_units::{Farads, Ohms, Volts};
+
+fn main() {
+    // A deliberately small, high-ESR deployment: a single 10 mF part.
+    let model = PowerSystemModel::with_flat_esr(
+        Farads::from_milli(10.0),
+        Ohms::new(15.0),
+        Volts::new(2.55),
+        EfficiencyCurve::tps61200_like(),
+        Volts::new(1.6),
+        Volts::new(2.56),
+    );
+    println!(
+        "device: C = {}, ESR = 15 Ω, operating range {} … {}\n",
+        model.capacitance(),
+        model.v_off(),
+        model.v_high()
+    );
+
+    let tasks = vec![
+        GestureSensor::default().profile(),
+        BleRadio::default().profile(),
+        MnistAccelerator::default().profile(),
+        LoRaRadio::default().profile(),
+    ];
+
+    println!("{:<12} {:>10} {:>12} {}", "task", "V_safe", "ESR drop", "verdict");
+    for check in check_program(&tasks, &model) {
+        let verdict = match check.verdict {
+            TerminationVerdict::Terminates { headroom } => {
+                format!("terminates ({headroom} headroom)")
+            }
+            TerminationVerdict::Marginal { headroom } => {
+                format!("MARGINAL ({headroom} headroom)")
+            }
+            TerminationVerdict::NonTerminating { deficit } => {
+                format!("NON-TERMINATING (needs {deficit} more)")
+            }
+        };
+        println!(
+            "{:<12} {:>10} {:>12} {}",
+            check.task, check.estimate.v_safe, check.estimate.v_delta, verdict
+        );
+    }
+
+    // The MNIST inference is pure computation: splitting rescues it.
+    println!();
+    let mnist = MnistAccelerator::default().profile();
+    match required_splits(&mnist, &model, 64) {
+        Some(1) => println!("MNIST fits whole."),
+        Some(n) => println!("MNIST fits when split into {n} checkpointed pieces."),
+        None => println!("MNIST cannot fit at any granularity."),
+    }
+    // The LoRa packet is atomic — and its problem is *current*, so no
+    // split count helps.
+    match required_splits(&LoRaRadio::default().profile(), &model, 64) {
+        None => println!(
+            "LoRa TX can NEVER fit here: its ESR drop exceeds the headroom.\n\
+             No task division fixes a current problem — pick a lower-ESR\n\
+             buffer (see the capacitor_selection example)."
+        ),
+        Some(n) => println!("LoRa TX fits split {n} ways (unexpected!)"),
+    }
+}

@@ -1,0 +1,91 @@
+//! Integration of the Table I API object with device profiling and
+//! scheduler-style dispatch decisions.
+
+use culpeo::{Culpeo, PowerSystemModel, TaskId};
+use culpeo_device::{profile_task, Profiler, UArchProfiler};
+use culpeo_harness::reference_plant;
+use culpeo_loadgen::peripheral::{BleRadio, GestureSensor};
+use culpeo_powersim::RunConfig;
+use culpeo_units::Volts;
+
+const RADIO: TaskId = TaskId(1);
+const GESTURE: TaskId = TaskId(2);
+
+/// Drives the Table I call sequence with observations from the simulated
+/// µArch profiler, then uses `get_vsafe` the way a scheduler would.
+#[test]
+fn api_profile_compute_dispatch_cycle() {
+    let model = PowerSystemModel::characterize(&reference_plant);
+    let mut culpeo = Culpeo::new(model.clone());
+
+    for (id, load) in [
+        (RADIO, BleRadio::default().profile()),
+        (GESTURE, GestureSensor::default().profile()),
+    ] {
+        // profile_start / observe / profile_end / rebound_end, with the
+        // voltages coming from an actual profiled run on the plant.
+        let mut sys = reference_plant();
+        sys.set_buffer_voltage(model.v_high());
+        let run = profile_task(&mut sys, &load, &Profiler::UArch(UArchProfiler::default()))
+            .expect("profiling from V_high completes");
+        culpeo.profile_start(run.observation.v_start);
+        culpeo.observe(run.observation.v_min);
+        assert!(culpeo.profile_end(id, run.observation.v_min.max(run.observation.v_final)));
+        assert!(culpeo.rebound_end(id, run.observation.v_final));
+        culpeo.compute_vsafe(id);
+    }
+
+    // A scheduler consults the table before dispatch.
+    let radio_vsafe = culpeo.get_vsafe(RADIO).expect("radio has a V_safe");
+    let gesture_vsafe = culpeo.get_vsafe(GESTURE).expect("gesture has a V_safe");
+    assert!(radio_vsafe > model.v_off());
+    assert!(gesture_vsafe > model.v_off());
+    assert!(culpeo.get_vdrop(RADIO).unwrap().get() > 0.0);
+
+    // Dispatch each task at its V_safe (+ the 5 mV search granularity) on
+    // a fresh plant: both complete.
+    for (id, load) in [
+        (RADIO, BleRadio::default().profile()),
+        (GESTURE, GestureSensor::default().profile()),
+    ] {
+        let v = culpeo.get_vsafe(id).unwrap() + Volts::from_milli(5.0);
+        let mut sys = reference_plant();
+        sys.set_buffer_voltage(v);
+        sys.force_output_enabled();
+        let out = sys.run_profile(&load, RunConfig::default());
+        assert!(out.completed(), "task {id:?} failed from {v}");
+    }
+
+    // An unprofiled task falls back to the paper's defaults.
+    let unknown = TaskId(99);
+    assert_eq!(culpeo.get_vsafe(unknown), None);
+    assert_eq!(culpeo.get_vsafe_or_default(unknown), model.v_high());
+    assert_eq!(culpeo.get_vdrop_or_default(unknown), Volts::new(-1.0));
+}
+
+/// Re-profiling after invalidation (harvesting-condition change) produces
+/// fresh values rather than stale ones.
+#[test]
+fn invalidate_and_reprofile() {
+    let model = PowerSystemModel::characterize(&reference_plant);
+    let mut culpeo = Culpeo::new(model.clone());
+
+    culpeo.profile_start(Volts::new(2.5));
+    culpeo.observe(Volts::new(2.3));
+    culpeo.profile_end(RADIO, Volts::new(2.4));
+    culpeo.rebound_end(RADIO, Volts::new(2.45));
+    culpeo.compute_vsafe(RADIO);
+    let first = culpeo.get_vsafe(RADIO).unwrap();
+
+    culpeo.invalidate_config();
+    assert!(culpeo.get_vsafe(RADIO).is_none());
+
+    // New conditions: a deeper dip (weaker harvest during the task).
+    culpeo.profile_start(Volts::new(2.5));
+    culpeo.observe(Volts::new(2.1));
+    culpeo.profile_end(RADIO, Volts::new(2.35));
+    culpeo.rebound_end(RADIO, Volts::new(2.42));
+    culpeo.compute_vsafe(RADIO);
+    let second = culpeo.get_vsafe(RADIO).unwrap();
+    assert!(second > first, "deeper dip must raise V_safe");
+}

@@ -1,0 +1,134 @@
+//! End-to-end integration: characterise → estimate → validate, across
+//! every crate boundary.
+
+use culpeo::{pg, runtime, PowerSystemModel};
+use culpeo_device::{profile_task, IsrProfiler, Profiler, UArchProfiler};
+use culpeo_harness::ground_truth::{completes_from, true_vsafe, TOLERANCE};
+use culpeo_harness::reference_plant;
+use culpeo_loadgen::peripheral::{BleRadio, GestureSensor, MnistAccelerator};
+use culpeo_loadgen::synthetic::PulseLoad;
+use culpeo_loadgen::LoadProfile;
+use culpeo_units::{Amps, Hertz, Quantity as _, Seconds, Volts};
+
+fn model() -> PowerSystemModel {
+    PowerSystemModel::characterize(&reference_plant)
+}
+
+fn workloads() -> Vec<LoadProfile> {
+    vec![
+        GestureSensor::default().profile(),
+        BleRadio::default().profile(),
+        MnistAccelerator::default().profile(),
+        PulseLoad::new(Amps::from_milli(25.0), Seconds::from_milli(10.0)).profile(),
+        PulseLoad::new(Amps::from_milli(50.0), Seconds::from_milli(10.0)).profile(),
+    ]
+}
+
+/// Culpeo-PG's estimate, dispatched with the paper's 5 mV search
+/// granularity, completes on the plant for every workload.
+#[test]
+fn pg_estimates_are_dispatchable() {
+    let m = model();
+    for load in workloads() {
+        let est = pg::compute_vsafe_for_profile(&load, &m);
+        let v = (est.v_safe + TOLERANCE).min(m.v_high());
+        assert!(
+            completes_from(&reference_plant, &load, v),
+            "{}: dispatch at {} failed",
+            load.label(),
+            v
+        );
+    }
+}
+
+/// Culpeo-R estimates (through both device implementations) are
+/// dispatchable and within a tight band of the true V_safe.
+#[test]
+fn culpeo_r_estimates_are_dispatchable_and_tight() {
+    let m = model();
+    for load in workloads() {
+        let truth = true_vsafe(&reference_plant, &load).expect("feasible");
+        for profiler in [
+            Profiler::Isr(IsrProfiler::msp430()),
+            Profiler::UArch(UArchProfiler::default()),
+        ] {
+            let mut sys = reference_plant();
+            sys.set_buffer_voltage(m.v_high());
+            let run = profile_task(&mut sys, &load, &profiler).expect("profiling completes");
+            let est = runtime::compute_vsafe(&run.observation, &m);
+            let err = est.v_safe - truth;
+            // Within −2 % … +10 % of the operating range (the paper's
+            // correctness and performance bars).
+            let range = m.operating_range().get();
+            assert!(
+                err.get() > -0.02 * range && err.get() < 0.10 * range,
+                "{} via {:?}: err = {}",
+                load.label(),
+                profiler.kind(),
+                err
+            );
+        }
+    }
+}
+
+/// The full-text quickstart flow: model + trace + estimate, then a
+/// ground-truth cross-check that the estimate is no more than ~25 mV
+/// conservative for a simple pulse.
+#[test]
+fn quickstart_flow_is_accurate() {
+    let m = model();
+    let load = PulseLoad::new(Amps::from_milli(10.0), Seconds::from_milli(10.0)).profile();
+    let trace = load.sample(Hertz::new(125_000.0));
+    let est = pg::compute_vsafe(&trace, &m);
+    let truth = true_vsafe(&reference_plant, &load).unwrap();
+    assert!(
+        est.v_safe.approx_eq(truth, 0.025),
+        "pred {} vs true {}",
+        est.v_safe,
+        truth
+    );
+}
+
+/// The two Culpeo implementations agree with each other across workloads
+/// (they observe the same physics through different samplers).
+#[test]
+fn isr_and_uarch_agree() {
+    let m = model();
+    for load in workloads() {
+        let mut a = reference_plant();
+        a.set_buffer_voltage(m.v_high());
+        let isr = profile_task(&mut a, &load, &Profiler::Isr(IsrProfiler::msp430()))
+            .map(|r| runtime::compute_vsafe(&r.observation, &m).v_safe)
+            .unwrap();
+        let mut b = reference_plant();
+        b.set_buffer_voltage(m.v_high());
+        let ua = profile_task(&mut b, &load, &Profiler::UArch(UArchProfiler::default()))
+            .map(|r| runtime::compute_vsafe(&r.observation, &m).v_safe)
+            .unwrap();
+        assert!(
+            isr.approx_eq(ua, 0.05),
+            "{}: ISR {} vs µArch {}",
+            load.label(),
+            isr,
+            ua
+        );
+    }
+}
+
+/// Dispatching 20 mV below the true V_safe reliably fails — the paper's
+/// validation of its own brute-force search.
+#[test]
+fn below_true_vsafe_reliably_fails() {
+    let load = PulseLoad::new(Amps::from_milli(25.0), Seconds::from_milli(10.0)).profile();
+    let truth = true_vsafe(&reference_plant, &load).unwrap();
+    assert!(!completes_from(
+        &reference_plant,
+        &load,
+        truth - Volts::from_milli(25.0)
+    ));
+    assert!(completes_from(
+        &reference_plant,
+        &load,
+        truth + Volts::from_milli(5.0)
+    ));
+}

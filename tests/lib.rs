@@ -1,0 +1,2 @@
+//! Integration-tests-only crate: see the `[[test]]` targets beside this
+//! file.

@@ -1,0 +1,134 @@
+//! Property-based safety tests spanning the whole stack: for randomly
+//! drawn workloads, Culpeo's estimates must be *safe* on the plant — the
+//! paper's central correctness claim.
+
+use culpeo::compose::{vsafe_multi, TaskRequirement};
+use culpeo::{pg, runtime, PowerSystemModel};
+use culpeo_device::{profile_task, Profiler, UArchProfiler};
+use culpeo_harness::ground_truth::completes_from;
+use culpeo_harness::reference_plant;
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::{PowerSystem, RunConfig};
+use culpeo_units::{Amps, Seconds, Volts};
+use proptest::prelude::*;
+
+fn model() -> PowerSystemModel {
+    // Characterisation is expensive; do it once.
+    use std::sync::OnceLock;
+    static MODEL: OnceLock<PowerSystemModel> = OnceLock::new();
+    MODEL
+        .get_or_init(|| PowerSystemModel::characterize(&reference_plant))
+        .clone()
+}
+
+/// A single-branch plant whose physics the analytic model captures almost
+/// exactly — used to test the *composition rule* in isolation from the
+/// two-branch model-mismatch the per-task accuracy tests already cover.
+fn single_branch_plant() -> PowerSystem {
+    let mut sys = PowerSystem::capybara();
+    sys.force_output_enabled();
+    sys
+}
+
+fn single_branch_model() -> PowerSystemModel {
+    use std::sync::OnceLock;
+    static MODEL: OnceLock<PowerSystemModel> = OnceLock::new();
+    MODEL
+        .get_or_init(|| PowerSystemModel::characterize(&single_branch_plant))
+        .clone()
+}
+
+/// A random two-phase workload: a pulse followed by a lighter tail.
+fn arbitrary_load() -> impl Strategy<Value = LoadProfile> {
+    (2.0..45.0f64, 1.0..40.0f64, 0.5..3.0f64, 10.0..150.0f64).prop_map(
+        |(i_pulse, w_pulse, i_tail, w_tail)| {
+            LoadProfile::builder("random")
+                .hold(Amps::from_milli(i_pulse), Seconds::from_milli(w_pulse))
+                .hold(Amps::from_milli(i_tail), Seconds::from_milli(w_tail))
+                .build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Culpeo-PG's V_safe (plus the 5 mV search granularity) is always
+    /// dispatchable on the plant.
+    #[test]
+    fn pg_vsafe_is_safe(load in arbitrary_load()) {
+        let m = model();
+        let est = pg::compute_vsafe_for_profile(&load, &m);
+        prop_assume!(est.v_safe < m.v_high());
+        let v = est.v_safe + Volts::from_milli(5.0);
+        prop_assert!(
+            completes_from(&reference_plant, &load, v),
+            "dispatch at {} failed for {:?}", v, load
+        );
+    }
+
+    /// Culpeo-R (µArch sampling) estimates are dispatchable too.
+    #[test]
+    fn culpeo_r_vsafe_is_safe(load in arbitrary_load()) {
+        let m = model();
+        let mut sys = reference_plant();
+        sys.set_buffer_voltage(m.v_high());
+        let run = profile_task(&mut sys, &load, &Profiler::UArch(UArchProfiler::default()));
+        prop_assume!(run.is_some());
+        let est = runtime::compute_vsafe(&run.unwrap().observation, &m);
+        prop_assume!(est.v_safe < m.v_high());
+        let v = est.v_safe + Volts::from_milli(5.0);
+        prop_assert!(
+            completes_from(&reference_plant, &load, v),
+            "dispatch at {} failed for {:?}", v, load
+        );
+    }
+
+    /// V_safe_multi safety (the §IV-A proof, checked on the plant): a
+    /// back-to-back sequence started at the composed V_safe never browns
+    /// out.
+    #[test]
+    fn vsafe_multi_is_safe_for_sequences(
+        a in arbitrary_load(),
+        b in arbitrary_load(),
+    ) {
+        let m = single_branch_model();
+        let reqs = [
+            TaskRequirement::from_estimate(&pg::compute_vsafe_for_profile(&a, &m)),
+            TaskRequirement::from_estimate(&pg::compute_vsafe_for_profile(&b, &m)),
+        ];
+        let v_multi = vsafe_multi(&reqs, m.capacitance(), m.v_off());
+        prop_assume!(v_multi < m.v_high());
+        let combined = a.then(&b);
+        let v = v_multi + Volts::from_milli(5.0);
+        prop_assert!(
+            completes_from(&single_branch_plant, &combined, v),
+            "sequence dispatch at {} failed", v
+        );
+    }
+}
+
+/// Deterministic regression companion to the properties above: the
+/// scheduler-facing invariant that V_safe-gated dispatch never browns out
+/// while opportunistic dispatch does, on a mid-range buffer state.
+#[test]
+fn gated_dispatch_beats_opportunistic_from_mid_charge() {
+    let m = model();
+    let load = LoadProfile::builder("radio-ish")
+        .hold(Amps::from_milli(40.0), Seconds::from_milli(20.0))
+        .build();
+    let est = pg::compute_vsafe_for_profile(&load, &m);
+
+    // Opportunistic: dispatch at 1.7 V (allowed by the monitor) fails.
+    let mut sys: PowerSystem = reference_plant();
+    sys.set_buffer_voltage(Volts::new(1.7));
+    let out = sys.run_profile(&load, RunConfig::default());
+    assert!(!out.completed());
+
+    // Gated: waiting for the estimate succeeds.
+    assert!(completes_from(
+        &reference_plant,
+        &load,
+        est.v_safe + Volts::from_milli(5.0)
+    ));
+}
