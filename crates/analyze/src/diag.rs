@@ -1,0 +1,294 @@
+//! The diagnostic vocabulary: codes, severities, and renderers.
+//!
+//! Every lint pass reports through [`Diagnostic`], a rustc-flavoured
+//! record — a stable `C0xx` code, a severity, a *locus* (which input, and
+//! where inside it), a one-line message, and optional help text. A
+//! [`Report`] aggregates them and renders either for humans (colour
+//! optional) or machines (a versioned JSON document).
+
+use std::fmt::Write as _;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not disqualifying; the pipeline may proceed.
+    Warning,
+    /// The input is unusable or would produce untrustworthy results;
+    /// harness pre-flight and the CLI refuse it.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase label used by both renderers.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding from one lint pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code, `C001`–`C032`; see DESIGN.md for the full table.
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Which input, and where inside it (for example
+    /// `spec.json: esr_curve[2]` or `packet.csv: sample 1041`).
+    pub locus: String,
+    /// One-line statement of the problem.
+    pub message: String,
+    /// Optional remediation hint.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic.
+    #[must_use]
+    pub fn error(code: &'static str, locus: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity: Severity::Error,
+            locus: locus.into(),
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// A warning-severity diagnostic.
+    #[must_use]
+    pub fn warning(
+        code: &'static str,
+        locus: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            severity: Severity::Warning,
+            ..Self::error(code, locus, message)
+        }
+    }
+
+    /// Attaches a remediation hint.
+    #[must_use]
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+/// The aggregated outcome of a lint battery.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Adds many diagnostics.
+    pub fn extend(&mut self, ds: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(ds);
+    }
+
+    /// Every finding, in pass order.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// Whether any finding is an error.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Whether the battery found nothing at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Renders rustc-style text, optionally with ANSI colour:
+    ///
+    /// ```text
+    /// error[C002]: esr_curve frequencies must be strictly ascending
+    ///   --> spec.json: esr_curve[1]
+    ///   = help: sort the [hz, ohms] pairs by frequency
+    /// ```
+    #[must_use]
+    pub fn render_human(&self, color: bool) -> String {
+        let (bold, red, yellow, reset) = if color {
+            ("\u{1b}[1m", "\u{1b}[31m", "\u{1b}[33m", "\u{1b}[0m")
+        } else {
+            ("", "", "", "")
+        };
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let tint = match d.severity {
+                Severity::Error => red,
+                Severity::Warning => yellow,
+            };
+            let _ = writeln!(
+                out,
+                "{bold}{tint}{}[{}]{reset}{bold}: {}{reset}",
+                d.severity.label(),
+                d.code,
+                d.message
+            );
+            let _ = writeln!(out, "  --> {}", d.locus);
+            if let Some(help) = &d.help {
+                let _ = writeln!(out, "  = help: {help}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{} error{}, {} warning{}",
+            self.error_count(),
+            if self.error_count() == 1 { "" } else { "s" },
+            self.warning_count(),
+            if self.warning_count() == 1 { "" } else { "s" },
+        );
+        out
+    }
+
+    /// Renders the stable machine-readable report (schema version 1):
+    ///
+    /// ```json
+    /// {
+    ///   "version": 1,
+    ///   "errors": 1,
+    ///   "warnings": 0,
+    ///   "diagnostics": [
+    ///     { "code": "C002", "severity": "error",
+    ///       "locus": "spec.json: esr_curve[1]",
+    ///       "message": "...", "help": "..." }
+    ///   ]
+    /// }
+    /// ```
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        use serde::Value;
+        let diags: Vec<Value> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let mut fields = vec![
+                    ("code".to_string(), Value::String(d.code.to_string())),
+                    (
+                        "severity".to_string(),
+                        Value::String(d.severity.label().to_string()),
+                    ),
+                    ("locus".to_string(), Value::String(d.locus.clone())),
+                    ("message".to_string(), Value::String(d.message.clone())),
+                ];
+                if let Some(help) = &d.help {
+                    fields.push(("help".to_string(), Value::String(help.clone())));
+                }
+                Value::Object(fields)
+            })
+            .collect();
+        #[allow(clippy::cast_precision_loss)]
+        let doc = Value::Object(vec![
+            ("version".to_string(), Value::Number(1.0)),
+            (
+                "errors".to_string(),
+                Value::Number(self.error_count() as f64),
+            ),
+            (
+                "warnings".to_string(),
+                Value::Number(self.warning_count() as f64),
+            ),
+            ("diagnostics".to_string(), Value::Array(diags)),
+        ]);
+        serde_json::to_string_pretty(&doc).expect("report serialisation cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::error("C002", "spec.json: esr_curve[1]", "frequencies must ascend")
+                .with_help("sort the [hz, ohms] pairs by frequency"),
+        );
+        r.push(Diagnostic::warning(
+            "C013",
+            "packet.csv",
+            "dominant frequency outside measured ESR support",
+        ));
+        r
+    }
+
+    #[test]
+    fn counting_and_cleanliness() {
+        let r = sample_report();
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_errors());
+        assert!(!r.is_clean());
+        assert!(Report::new().is_clean());
+        assert!(!Report::new().has_errors());
+    }
+
+    #[test]
+    fn human_rendering_is_rustc_shaped() {
+        let text = sample_report().render_human(false);
+        assert!(text.contains("error[C002]: frequencies must ascend"));
+        assert!(text.contains("--> spec.json: esr_curve[1]"));
+        assert!(text.contains("= help: sort the [hz, ohms] pairs"));
+        assert!(text.contains("warning[C013]"));
+        assert!(text.contains("1 error, 1 warning"));
+        assert!(!text.contains('\u{1b}'), "no ANSI without color");
+    }
+
+    #[test]
+    fn colored_rendering_wraps_with_ansi() {
+        let text = sample_report().render_human(true);
+        assert!(text.contains("\u{1b}[31m"));
+        assert!(text.contains("\u{1b}[0m"));
+    }
+
+    #[test]
+    fn json_rendering_round_trips() {
+        let json = sample_report().render_json();
+        let doc = serde_json::parse_value_str(&json).unwrap();
+        assert_eq!(doc.get("version").and_then(serde::Value::as_f64), Some(1.0));
+        assert_eq!(doc.get("errors").and_then(serde::Value::as_f64), Some(1.0));
+        let diags = doc.get("diagnostics").unwrap().as_array().unwrap();
+        assert_eq!(diags.len(), 2);
+        assert_eq!(
+            diags[0].get("code").and_then(serde::Value::as_str),
+            Some("C002")
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! The inputs a lint battery runs over.
+//!
+//! [`TraceInput`] is a *lenient* view of a current trace: raw `f64`
+//! samples that may be non-finite or negative, exactly as a corrupted
+//! capture would arrive, plus the file's own timestamps when it came from
+//! CSV. [`PlanSpec`] is the JSON schedule description the plan lints
+//! check against Theorem 1. [`AnalysisInput`] bundles everything one
+//! battery run sees.
+
+use culpeo_loadgen::io::RawTraceFile;
+use culpeo_loadgen::CurrentTrace;
+use culpeo_units::{Amps, Seconds};
+use serde::{Deserialize, Serialize};
+
+use crate::spec::SystemSpec;
+
+/// One trace, pre-validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceInput {
+    /// Where the trace came from (path or in-memory label); used as the
+    /// diagnostic locus.
+    pub locus: String,
+    /// The trace's own label.
+    pub label: String,
+    /// Sample period in seconds.
+    pub dt_s: f64,
+    /// Raw current samples in amps; may contain NaN, ±inf, negatives.
+    pub samples: Vec<f64>,
+    /// Per-sample timestamps as written in the file, when known. In-memory
+    /// traces have none (their timebase is `dt` by construction).
+    pub timestamps: Option<Vec<f64>>,
+}
+
+impl TraceInput {
+    /// Wraps a structurally parsed CSV file.
+    #[must_use]
+    pub fn from_raw_file(locus: impl Into<String>, raw: &RawTraceFile) -> Self {
+        Self {
+            locus: locus.into(),
+            label: raw.label.clone(),
+            dt_s: raw.dt.get(),
+            samples: raw.currents(),
+            timestamps: Some(raw.timestamps()),
+        }
+    }
+
+    /// Wraps an in-memory trace (harness pre-flight path).
+    #[must_use]
+    pub fn from_trace(locus: impl Into<String>, trace: &CurrentTrace) -> Self {
+        Self {
+            locus: locus.into(),
+            label: trace.label().to_string(),
+            dt_s: trace.dt().get(),
+            samples: trace.samples().iter().map(|a| a.get()).collect(),
+            timestamps: None,
+        }
+    }
+
+    /// Rebuilds a [`CurrentTrace`] — only possible once the samples are
+    /// known clean (finite, non-negative, non-empty, positive dt).
+    #[must_use]
+    pub fn to_current_trace(&self) -> Option<CurrentTrace> {
+        let clean = !self.samples.is_empty()
+            && self.dt_s.is_finite()
+            && self.dt_s > 0.0
+            && self.samples.iter().all(|&s| s.is_finite() && s >= 0.0);
+        clean.then(|| {
+            CurrentTrace::new(
+                self.label.clone(),
+                Seconds::new(self.dt_s),
+                self.samples.iter().map(|&s| Amps::new(s)).collect(),
+            )
+        })
+    }
+}
+
+/// A planned schedule, as JSON:
+///
+/// ```json
+/// {
+///   "recharge_power_mw": 8.0,
+///   "v_start": 2.56,
+///   "launches": [
+///     { "task": "sense", "start_s": 0.0, "energy_mj": 60.0,
+///       "v_delta": 0.05, "v_safe": 1.7 },
+///     { "task": "radio", "start_s": 0.5, "energy_mj": 3.0,
+///       "v_delta": 0.35, "v_safe": 2.1 }
+///   ]
+/// }
+/// ```
+///
+/// The buffer parameters (`C`, `V_off`, `V_high`) come from the system
+/// spec the plan is analyzed against, not from the plan file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanSpec {
+    /// Assumed constant harvested power while idle, in milliwatts.
+    pub recharge_power_mw: f64,
+    /// Buffer voltage at the schedule origin; defaults to `V_high`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub v_start: Option<f64>,
+    /// The task launches, in start order.
+    pub launches: Vec<LaunchSpec>,
+}
+
+/// One planned task launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchSpec {
+    /// Task name, used in diagnostics.
+    pub task: String,
+    /// Start time relative to the schedule origin, in seconds.
+    pub start_s: f64,
+    /// Worst-case buffer energy the task draws, in millijoules.
+    pub energy_mj: f64,
+    /// Worst-case ESR-induced voltage dip `V_δ`, in volts.
+    pub v_delta: f64,
+    /// The task's registered `V_safe` estimate, in volts. Theorem 1
+    /// cannot be evaluated for a task without one (lint C022).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub v_safe: Option<f64>,
+}
+
+impl PlanSpec {
+    /// A plan reproducing the paper's Figure 5 discrepancy: energy enough
+    /// for both tasks, but the radio launches below its ESR-aware
+    /// `V_safe`. Useful as a documented example and in tests.
+    #[must_use]
+    pub fn figure5_example() -> Self {
+        Self {
+            recharge_power_mw: 8.0,
+            v_start: Some(2.56),
+            launches: vec![
+                LaunchSpec {
+                    task: "sense".to_string(),
+                    start_s: 0.0,
+                    energy_mj: 60.0,
+                    v_delta: 0.05,
+                    v_safe: Some(1.7),
+                },
+                LaunchSpec {
+                    task: "radio".to_string(),
+                    start_s: 0.5,
+                    energy_mj: 3.0,
+                    v_delta: 0.35,
+                    v_safe: Some(2.1),
+                },
+            ],
+        }
+    }
+}
+
+/// Everything one battery run sees.
+#[derive(Debug, Clone)]
+pub struct AnalysisInput<'a> {
+    /// The system spec under analysis.
+    pub spec: &'a SystemSpec,
+    /// Locus prefix for spec diagnostics (usually the file path).
+    pub spec_locus: &'a str,
+    /// Zero or more traces to lint against the spec.
+    pub traces: &'a [TraceInput],
+    /// An optional schedule to lint against the spec.
+    pub plan: Option<&'a PlanSpec>,
+    /// Locus prefix for plan diagnostics.
+    pub plan_locus: &'a str,
+}
+
+impl<'a> AnalysisInput<'a> {
+    /// A spec-only input.
+    #[must_use]
+    pub fn spec_only(spec: &'a SystemSpec, spec_locus: &'a str) -> Self {
+        Self {
+            spec,
+            spec_locus,
+            traces: &[],
+            plan: None,
+            plan_locus: "plan",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_loadgen::io;
+
+    #[test]
+    fn raw_file_view_preserves_corruption() {
+        let text = "# label: dirty\n# dt_us: 100\n0.0,NaN\n0.0001,-0.002\n";
+        let raw = io::parse_raw(text).unwrap();
+        let input = TraceInput::from_raw_file("dirty.csv", &raw);
+        assert_eq!(input.label, "dirty");
+        assert!(input.samples[0].is_nan());
+        assert_eq!(input.samples[1], -0.002);
+        assert!(input.to_current_trace().is_none());
+    }
+
+    #[test]
+    fn clean_input_rebuilds_a_trace() {
+        let text = "# dt_us: 100\n0.0,0.001\n0.0001,0.002\n";
+        let raw = io::parse_raw(text).unwrap();
+        let input = TraceInput::from_raw_file("ok.csv", &raw);
+        let trace = input.to_current_trace().unwrap();
+        assert_eq!(trace.len(), 2);
+        assert!(trace.dt().approx_eq(Seconds::from_micro(100.0), 1e-15));
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = PlanSpec::figure5_example();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: PlanSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.launches[1].v_safe, Some(2.1));
+    }
+
+    #[test]
+    fn missing_v_safe_deserialises_as_none() {
+        let json = r#"{
+            "recharge_power_mw": 8.0,
+            "launches": [
+                { "task": "x", "start_s": 0.0, "energy_mj": 1.0, "v_delta": 0.1 }
+            ]
+        }"#;
+        let plan: PlanSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(plan.v_start, None);
+        assert_eq!(plan.launches[0].v_safe, None);
+    }
+}

@@ -1,0 +1,42 @@
+//! `culpeo-analyze` — static feasibility and physics lints for Culpeo
+//! inputs: system specs, captured current traces, and planned schedules.
+//!
+//! The paper's correctness story (Theorem 1, §VI-B) only holds when its
+//! inputs are physically sensible: the measured ESR curve must actually
+//! look like a supercapacitor's, the trace must be finite and resolved,
+//! and every scheduled task must carry a registered `V_safe`. This crate
+//! checks all of that *statically* — before any simulation runs — through
+//! a rustc-style diagnostics engine:
+//!
+//! * [`Diagnostic`] / [`Report`] — stable `C0xx` codes, error/warning
+//!   severities, human and JSON renderers;
+//! * [`Registry`] — the ordered battery of lint passes (spec C001–C006,
+//!   trace C010–C014, plan C020–C023);
+//! * [`promote`] — lifts `culpeo_powersim::Violation`s (the
+//!   *dynamic* invariant checks) into the same vocabulary (C030–C032).
+//!
+//! ```
+//! use culpeo_analyze::{AnalysisInput, Registry, SystemSpec};
+//!
+//! let mut spec = SystemSpec::capybara();
+//! spec.esr_ohms = None;
+//! spec.esr_curve = Some(vec![(10.0, 3.1), (100.0, 4.2)]); // rises!
+//! let report = Registry::default_battery().run(&AnalysisInput::spec_only(&spec, "spec.json"));
+//! assert!(report.has_errors());
+//! assert_eq!(report.diagnostics()[0].code, "C003");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod input;
+pub mod lints;
+pub mod promote;
+pub mod registry;
+pub mod spec;
+
+pub use diag::{Diagnostic, Report, Severity};
+pub use input::{AnalysisInput, LaunchSpec, PlanSpec, TraceInput};
+pub use registry::{Pass, Registry};
+pub use spec::{EfficiencySpec, SpecError, SystemSpec};

@@ -1,0 +1,5 @@
+//! The lint passes, grouped by the input they interrogate.
+
+pub mod plan;
+pub mod spec;
+pub mod trace;

@@ -1,0 +1,325 @@
+//! Plan lints C020–C023: static Theorem 1 checking for schedules.
+//!
+//! These passes evaluate `culpeo_sched::feasibility` over the plan's
+//! worst-case task requirements *before* anything runs: brownout
+//! reachability (a launch below its `V_safe`), energy exhaustion (the
+//! CatNap conjunct), the Theorem 1 precondition that every task carries a
+//! registered `V_safe` estimate, and structural sanity of the plan file.
+
+use culpeo::compose::TaskRequirement;
+use culpeo_sched::feasibility::{predicted_voltages, PlanContext, PlannedLaunch};
+use culpeo_units::{Joules, Seconds, Volts, Watts};
+
+use crate::diag::{Diagnostic, Report};
+use crate::input::{AnalysisInput, PlanSpec};
+
+/// C023: the plan file itself must be well-formed — finite, non-negative
+/// numbers and launches sorted by start time.
+pub fn plan_shape(input: &AnalysisInput<'_>, report: &mut Report) {
+    let Some(plan) = input.plan else {
+        return;
+    };
+    let locus = input.plan_locus;
+    if !(plan.recharge_power_mw.is_finite() && plan.recharge_power_mw >= 0.0) {
+        report.push(Diagnostic::error(
+            "C023",
+            format!("{locus}: recharge_power_mw"),
+            format!(
+                "recharge power must be finite and non-negative; got {} mW",
+                plan.recharge_power_mw
+            ),
+        ));
+    }
+    if let Some(v) = plan.v_start {
+        if !(v.is_finite() && v > 0.0) {
+            report.push(Diagnostic::error(
+                "C023",
+                format!("{locus}: v_start"),
+                format!("start voltage must be positive and finite; got {v} V"),
+            ));
+        }
+    }
+    for (i, launch) in plan.launches.iter().enumerate() {
+        let at = |field: &str| format!("{locus}: launches[{i}].{field}");
+        if !(launch.start_s.is_finite() && launch.start_s >= 0.0) {
+            report.push(Diagnostic::error(
+                "C023",
+                at("start_s"),
+                format!(
+                    "start time must be finite and non-negative; got {} s",
+                    launch.start_s
+                ),
+            ));
+        }
+        if !(launch.energy_mj.is_finite() && launch.energy_mj >= 0.0) {
+            report.push(Diagnostic::error(
+                "C023",
+                at("energy_mj"),
+                format!(
+                    "task energy must be finite and non-negative; got {} mJ",
+                    launch.energy_mj
+                ),
+            ));
+        }
+        if !(launch.v_delta.is_finite() && launch.v_delta >= 0.0) {
+            report.push(Diagnostic::error(
+                "C023",
+                at("v_delta"),
+                format!(
+                    "V_δ must be finite and non-negative; got {} V",
+                    launch.v_delta
+                ),
+            ));
+        }
+        if let Some(v) = launch.v_safe {
+            if !v.is_finite() {
+                report.push(Diagnostic::error(
+                    "C023",
+                    at("v_safe"),
+                    "a registered V_safe must be finite",
+                ));
+            }
+        }
+        if i > 0 && launch.start_s < plan.launches[i - 1].start_s {
+            report.push(
+                Diagnostic::error(
+                    "C023",
+                    at("start_s"),
+                    format!(
+                        "launches must be sorted by start time; {} s follows {} s",
+                        launch.start_s,
+                        plan.launches[i - 1].start_s
+                    ),
+                )
+                .with_help("the voltage predictor walks launches in order"),
+            );
+        }
+    }
+}
+
+/// C022: Theorem 1's precondition — every task needs a registered
+/// `VsafeEstimate` before the feasibility test means anything.
+pub fn vsafe_registered(input: &AnalysisInput<'_>, report: &mut Report) {
+    let Some(plan) = input.plan else {
+        return;
+    };
+    for (i, launch) in plan.launches.iter().enumerate() {
+        if launch.v_safe.is_none() {
+            report.push(
+                Diagnostic::error(
+                    "C022",
+                    format!("{}: launches[{i}].v_safe", input.plan_locus),
+                    format!(
+                        "task '{}' has no registered V_safe estimate; Theorem 1 cannot be evaluated",
+                        launch.task
+                    ),
+                )
+                .with_help("run `culpeo analyze --trace <task trace>` and record the reported V_safe"),
+            );
+        }
+    }
+}
+
+/// C020 + C021: static brownout reachability.
+///
+/// Walks `predicted_voltages` over the plan's worst-case requirements.
+/// A launch whose predicted pre-start voltage undercuts its `V_safe`
+/// violates Theorem 1's voltage conjunct (C020); a launch whose planned
+/// energy drains the buffer to `V_off` fails even CatNap's energy-only
+/// test (C021). Both are errors: executing such a plan browns out.
+pub fn brownout_reachability(input: &AnalysisInput<'_>, report: &mut Report) {
+    let Some(plan) = input.plan else {
+        return;
+    };
+    // The voltage walk needs a valid buffer description and clean plan
+    // numbers; those failures are already reported by C002/C005/C023.
+    let Ok(model) = input.spec.clone().into_model() else {
+        return;
+    };
+    if !plan_numbers_clean(plan) {
+        return;
+    }
+    let ctx = PlanContext {
+        capacitance: model.capacitance(),
+        v_off: model.v_off(),
+        v_high: model.v_high(),
+        recharge_power: Watts::from_milli(plan.recharge_power_mw),
+        v_start: plan.v_start.map_or(model.v_high(), Volts::new),
+    };
+    let launches: Vec<PlannedLaunch> = plan
+        .launches
+        .iter()
+        .map(|l| PlannedLaunch {
+            start: Seconds::new(l.start_s),
+            requirement: TaskRequirement {
+                buffer_energy: Joules::new(l.energy_mj * 1e-3),
+                v_delta: Volts::new(l.v_delta),
+            },
+            // C022 reports missing estimates; V_off here keeps the energy
+            // walk going without inventing a voltage constraint.
+            v_safe: l.v_safe.map_or(ctx.v_off, Volts::new),
+        })
+        .collect();
+    let voltages = predicted_voltages(&launches, &ctx);
+    let c = ctx.capacitance.get();
+    for ((spec_launch, launch), &v) in plan.launches.iter().zip(&launches).zip(&voltages) {
+        if spec_launch.v_safe.is_some() && v < launch.v_safe {
+            report.push(
+                Diagnostic::error(
+                    "C020",
+                    format!("{}: launch '{}'", input.plan_locus, spec_launch.task),
+                    format!(
+                        "predicted voltage {v} at start undercuts the task's V_safe = {}; the launch browns out",
+                        launch.v_safe
+                    ),
+                )
+                .with_help("delay the launch to recharge, or lower the task's requirement"),
+            );
+        }
+        let v_after = Volts::from_squared(
+            (v.squared() - 2.0 * launch.requirement.buffer_energy.get() / c).max(0.0),
+        );
+        if v_after <= ctx.v_off {
+            report.push(
+                Diagnostic::error(
+                    "C021",
+                    format!("{}: launch '{}'", input.plan_locus, spec_launch.task),
+                    format!(
+                        "planned energy ({} mJ) drains the buffer from {v} to {v_after}, at or below V_off = {}",
+                        spec_launch.energy_mj, ctx.v_off
+                    ),
+                )
+                .with_help("even CatNap's energy-only test rejects this plan"),
+            );
+        }
+    }
+}
+
+/// Whether every number the voltage walk consumes is usable.
+fn plan_numbers_clean(plan: &PlanSpec) -> bool {
+    let clean_f = |v: f64| v.is_finite() && v >= 0.0;
+    clean_f(plan.recharge_power_mw)
+        && plan.v_start.is_none_or(|v| v.is_finite() && v > 0.0)
+        && plan.launches.iter().all(|l| {
+            clean_f(l.start_s)
+                && clean_f(l.energy_mj)
+                && clean_f(l.v_delta)
+                && l.v_safe.is_none_or(f64::is_finite)
+        })
+        && plan
+            .launches
+            .windows(2)
+            .all(|w| w[0].start_s <= w[1].start_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::LaunchSpec;
+    use crate::spec::SystemSpec;
+
+    fn run_plan(plan: &PlanSpec) -> Report {
+        let spec = SystemSpec::capybara();
+        let input = AnalysisInput {
+            spec: &spec,
+            spec_locus: "spec.json",
+            traces: &[],
+            plan: Some(plan),
+            plan_locus: "plan.json",
+        };
+        let mut report = Report::new();
+        plan_shape(&input, &mut report);
+        vsafe_registered(&input, &mut report);
+        brownout_reachability(&input, &mut report);
+        report
+    }
+
+    #[test]
+    fn figure5_plan_triggers_c020() {
+        let report = run_plan(&PlanSpec::figure5_example());
+        assert!(report.has_errors());
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "C020")
+            .unwrap();
+        assert!(d.locus.contains("radio"), "{}", d.locus);
+        assert!(
+            !report.diagnostics().iter().any(|d| d.code == "C021"),
+            "figure 5's point is that the energy test passes"
+        );
+    }
+
+    #[test]
+    fn recharged_plan_is_clean() {
+        let mut plan = PlanSpec::figure5_example();
+        plan.launches[0].energy_mj = 30.0;
+        plan.launches[1].start_s = 60.0; // long recharge before the radio
+        let report = run_plan(&plan);
+        assert!(report.is_clean(), "{}", report.render_human(false));
+    }
+
+    #[test]
+    fn exhaustion_triggers_c021() {
+        let mut plan = PlanSpec::figure5_example();
+        plan.launches[0].energy_mj = 200.0; // more than ½C(V_high²−V_off²)
+        let report = run_plan(&plan);
+        assert!(report.diagnostics().iter().any(|d| d.code == "C021"));
+    }
+
+    #[test]
+    fn missing_v_safe_triggers_c022() {
+        let mut plan = PlanSpec::figure5_example();
+        plan.launches[1].v_safe = None;
+        let report = run_plan(&plan);
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "C022")
+            .unwrap();
+        assert!(d.message.contains("radio"));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn unsorted_launches_trigger_c023_and_skip_the_walk() {
+        let mut plan = PlanSpec::figure5_example();
+        plan.launches.swap(0, 1);
+        let report = run_plan(&plan);
+        assert!(report.diagnostics().iter().any(|d| d.code == "C023"));
+        assert!(
+            !report.diagnostics().iter().any(|d| d.code == "C020"),
+            "the voltage walk is meaningless on an unsorted plan"
+        );
+    }
+
+    #[test]
+    fn unphysical_numbers_trigger_c023() {
+        let mut plan = PlanSpec::figure5_example();
+        plan.recharge_power_mw = f64::NAN;
+        plan.launches.push(LaunchSpec {
+            task: "bad".to_string(),
+            start_s: -1.0,
+            energy_mj: f64::INFINITY,
+            v_delta: -0.1,
+            v_safe: Some(f64::NAN),
+        });
+        let report = run_plan(&plan);
+        let c023 = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == "C023")
+            .count();
+        assert!(c023 >= 4, "one per bad field, got {c023}");
+    }
+
+    #[test]
+    fn empty_plan_is_clean() {
+        let plan = PlanSpec {
+            recharge_power_mw: 8.0,
+            v_start: None,
+            launches: vec![],
+        };
+        assert!(run_plan(&plan).is_clean());
+    }
+}

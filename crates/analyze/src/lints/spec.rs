@@ -1,0 +1,384 @@
+//! Spec lints C001–C006: physics sanity for the power-system description.
+
+use culpeo_capbank::Catalog;
+use culpeo_units::Farads;
+
+use crate::diag::{Diagnostic, Report};
+use crate::input::AnalysisInput;
+use crate::spec::{validate_esr_curve, SpecError};
+
+/// C001: exactly one ESR description must be present.
+pub fn esr_exclusivity(input: &AnalysisInput<'_>, report: &mut Report) {
+    let locus = format!("{}: esr_ohms/esr_curve", input.spec_locus);
+    match (input.spec.esr_ohms.is_some(), input.spec.esr_curve.is_some()) {
+        (false, false) => report.push(
+            Diagnostic::error("C001", locus, "no ESR given: specify esr_ohms or esr_curve")
+                .with_help("a flat datasheet value (esr_ohms) is enough to start; a measured esr_curve is more accurate"),
+        ),
+        (true, true) => report.push(
+            Diagnostic::error("C001", locus, "both esr_ohms and esr_curve given; they are mutually exclusive")
+                .with_help("keep the measured esr_curve and delete esr_ohms"),
+        ),
+        _ => {}
+    }
+}
+
+/// C002: the ESR curve must be structurally valid — non-empty, physical
+/// points, strictly ascending frequencies with no duplicates.
+pub fn esr_curve_shape(input: &AnalysisInput<'_>, report: &mut Report) {
+    let Some(points) = &input.spec.esr_curve else {
+        return;
+    };
+    match validate_esr_curve(points) {
+        Ok(()) => {}
+        Err(e) => {
+            let index = match e {
+                SpecError::EsrCurveUnsorted { index }
+                | SpecError::EsrCurveDuplicate { index }
+                | SpecError::EsrCurvePoint { index } => Some(index),
+                _ => None,
+            };
+            let locus = match index {
+                Some(i) => format!("{}: esr_curve[{i}]", input.spec_locus),
+                None => format!("{}: esr_curve", input.spec_locus),
+            };
+            report.push(Diagnostic::error("C002", locus, e.to_string()).with_help(
+                "list [hz, ohms] pairs with finite positive values, sorted by ascending frequency",
+            ));
+        }
+    }
+}
+
+/// C003: a measured ESR curve must descend (weakly) with frequency.
+///
+/// Supercapacitor ESR falls as frequency rises — the slow ion-diffusion
+/// resistance stops contributing (§II-C). A curve that *rises* with
+/// frequency contradicts the device physics Culpeo-PG's ESR selection
+/// rests on, and almost always means swapped columns or a corrupted
+/// measurement, so this is an error, not a style nit.
+pub fn esr_monotone(input: &AnalysisInput<'_>, report: &mut Report) {
+    let Some(points) = &input.spec.esr_curve else {
+        return;
+    };
+    if validate_esr_curve(points).is_err() {
+        return; // C002 already fired; order is unreliable here
+    }
+    // Tolerate rounding-level rises (0.1 % of the local value).
+    for (i, w) in points.windows(2).enumerate() {
+        let (r_lo, r_hi) = (w[0].1, w[1].1);
+        if r_hi > r_lo * (1.0 + 1e-3) {
+            report.push(
+                Diagnostic::error(
+                    "C003",
+                    format!("{}: esr_curve[{}]", input.spec_locus, i + 1),
+                    format!(
+                        "ESR rises with frequency ({r_lo} Ω @ {} Hz → {r_hi} Ω @ {} Hz); measured curves descend",
+                        w[0].0, w[1].0
+                    ),
+                )
+                .with_help("check for swapped frequency/resistance columns or a corrupted measurement"),
+            );
+        }
+    }
+}
+
+/// C004: booster efficiency must be a real efficiency — two points with
+/// distinct voltages, each in (0, 1], and not decreasing with voltage.
+pub fn efficiency_shape(input: &AnalysisInput<'_>, report: &mut Report) {
+    let locus = format!("{}: efficiency.points", input.spec_locus);
+    let points = &input.spec.efficiency.points;
+    if points.len() != 2 {
+        report.push(
+            Diagnostic::error(
+                "C004",
+                locus,
+                format!("efficiency.points holds {} pairs; exactly two are required", points.len()),
+            )
+            .with_help("give the booster's efficiency at two buffer voltages, e.g. [[1.6, 0.78], [2.5, 0.87]]"),
+        );
+        return;
+    }
+    let (p1, p2) = (points[0], points[1]);
+    for (i, p) in [p1, p2].iter().enumerate() {
+        if !(p.0.is_finite() && p.1.is_finite() && 0.0 < p.1 && p.1 <= 1.0) {
+            report.push(
+                Diagnostic::error(
+                    "C004",
+                    format!("{locus}[{i}]"),
+                    format!("efficiency must lie in (0, 1]; got {} at {} V", p.1, p.0),
+                )
+                .with_help("efficiencies are fractions, not percentages"),
+            );
+        }
+    }
+    if (p1.0 - p2.0).abs() < 1e-9 {
+        report.push(Diagnostic::error(
+            "C004",
+            locus,
+            "the two efficiency points share a voltage; a line cannot be fit",
+        ));
+        return;
+    }
+    // Boost converters get *more* efficient as the input voltage rises
+    // toward V_out (less boosting work); a falling line is suspicious but
+    // representable, so it warns rather than errors.
+    let (lo, hi) = if p1.0 < p2.0 { (p1, p2) } else { (p2, p1) };
+    if hi.1 < lo.1 {
+        report.push(
+            Diagnostic::warning(
+                "C004",
+                locus,
+                format!(
+                    "efficiency falls as voltage rises ({} @ {} V → {} @ {} V); boost converters usually improve with input voltage",
+                    lo.1, lo.0, hi.1, hi.0
+                ),
+            )
+            .with_help("double-check the measurement; a falling line inflates V_safe estimates"),
+        );
+    }
+}
+
+/// C005: monitor thresholds must be ordered, and the regulated output
+/// should sit inside the monitor window: `0 < V_off < V_out ≤ V_high`.
+pub fn thresholds(input: &AnalysisInput<'_>, report: &mut Report) {
+    let s = input.spec;
+    let locus = format!("{}: v_off/v_out/v_high", input.spec_locus);
+    if !(s.v_off.is_finite() && s.v_high.is_finite() && 0.0 < s.v_off && s.v_off < s.v_high) {
+        report.push(
+            Diagnostic::error(
+                "C005",
+                locus,
+                format!(
+                    "monitor thresholds must satisfy 0 < V_off < V_high; got V_off = {}, V_high = {}",
+                    s.v_off, s.v_high
+                ),
+            )
+            .with_help("V_off is where the monitor cuts power; V_high is the recharge target above it"),
+        );
+        return;
+    }
+    if !(s.v_out.is_finite() && s.v_out > 0.0) {
+        report.push(Diagnostic::error(
+            "C005",
+            locus,
+            format!(
+                "regulated output voltage must be positive and finite; got {}",
+                s.v_out
+            ),
+        ));
+        return;
+    }
+    // V_out outside (V_off, V_high] is constructible but suspicious: the
+    // booster would always (or never) be boosting across the whole
+    // software operating range.
+    if !(s.v_off < s.v_out && s.v_out <= s.v_high) {
+        report.push(
+            Diagnostic::warning(
+                "C005",
+                locus,
+                format!(
+                    "V_out = {} lies outside the monitor window (V_off = {}, V_high = {}]; expected V_off < V_out ≤ V_high",
+                    s.v_out, s.v_off, s.v_high
+                ),
+            )
+            .with_help("Culpeo's booster model assumes the output is regulated within the buffer's software range"),
+        );
+    }
+}
+
+/// C006: capacitance and ESR should be buildable from real capacitor
+/// technology — checked against the `culpeo-capbank` catalog envelopes.
+pub fn plausibility(input: &AnalysisInput<'_>, report: &mut Report) {
+    let s = input.spec;
+    if !(s.capacitance_mf.is_finite() && s.capacitance_mf > 0.0) {
+        report.push(
+            Diagnostic::error(
+                "C006",
+                format!("{}: capacitance_mf", input.spec_locus),
+                format!(
+                    "capacitance must be positive and finite; got {} mF",
+                    s.capacitance_mf
+                ),
+            )
+            .with_help("the paper's design-space search spans 1 µF to 45 mF"),
+        );
+        return;
+    }
+    // The catalog's per-part window is 1 µF to 45 mF; banks compose parts
+    // upward, so only the lower bound is hard. Far outside the window in
+    // either direction is worth a look.
+    if !(1e-3..=1000.0).contains(&s.capacitance_mf) {
+        report.push(
+            Diagnostic::warning(
+                "C006",
+                format!("{}: capacitance_mf", input.spec_locus),
+                format!(
+                    "{} mF is outside the catalogued 0.001–1000 mF range of buildable banks",
+                    s.capacitance_mf
+                ),
+            )
+            .with_help("compare with `culpeo catalog` for banks near your target"),
+        );
+        return;
+    }
+    // A representative ESR: the flat value, or the curve's DC-end (the
+    // highest, since measured curves descend with frequency).
+    let esr = match (s.esr_ohms, &s.esr_curve) {
+        (Some(r), None) if r.is_finite() && r > 0.0 => r,
+        (None, Some(points)) if validate_esr_curve(points).is_ok() => {
+            points.iter().map(|&(_, r)| r).fold(0.0f64, f64::max)
+        }
+        _ => return, // C001/C002 already cover malformed ESR
+    };
+    let banks = Catalog::synthetic().bank_sweep(Farads::from_milli(s.capacitance_mf));
+    let Some(max_bank) = banks
+        .iter()
+        .map(|b| b.esr().get())
+        .fold(None::<f64>, |acc, r| Some(acc.map_or(r, |m| m.max(r))))
+    else {
+        return;
+    };
+    // ×3 headroom: wiring, aging, and temperature raise real bank ESR
+    // above nominal, but an order of magnitude means a transcription slip.
+    if esr > max_bank * 3.0 {
+        report.push(
+            Diagnostic::warning(
+                "C006",
+                format!("{}: esr", input.spec_locus),
+                format!(
+                    "{esr} Ω is implausibly high for a {} mF bank; the highest catalogued technology (supercapacitor) reaches about {max_bank:.1} Ω",
+                    s.capacitance_mf
+                ),
+            )
+            .with_help("milliohm/ohm confusion is the usual cause; see `culpeo catalog`"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SystemSpec;
+
+    fn run_all(spec: &SystemSpec) -> Report {
+        let input = AnalysisInput::spec_only(spec, "spec.json");
+        let mut report = Report::new();
+        esr_exclusivity(&input, &mut report);
+        esr_curve_shape(&input, &mut report);
+        esr_monotone(&input, &mut report);
+        efficiency_shape(&input, &mut report);
+        thresholds(&input, &mut report);
+        plausibility(&input, &mut report);
+        report
+    }
+
+    #[test]
+    fn capybara_is_clean() {
+        assert!(run_all(&SystemSpec::capybara()).is_clean());
+    }
+
+    #[test]
+    fn descending_measured_curve_is_clean() {
+        let mut spec = SystemSpec::capybara();
+        spec.esr_ohms = None;
+        spec.esr_curve = Some(vec![(10.0, 4.2), (100.0, 3.6), (1000.0, 3.1)]);
+        let report = run_all(&spec);
+        assert!(report.is_clean(), "{}", report.render_human(false));
+    }
+
+    #[test]
+    fn c001_fires_on_both_and_neither() {
+        let mut spec = SystemSpec::capybara();
+        spec.esr_curve = Some(vec![(10.0, 4.0)]);
+        let report = run_all(&spec);
+        assert_eq!(report.diagnostics()[0].code, "C001");
+
+        let mut spec = SystemSpec::capybara();
+        spec.esr_ohms = None;
+        let report = run_all(&spec);
+        assert_eq!(report.diagnostics()[0].code, "C001");
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn c002_names_the_unsorted_index() {
+        let mut spec = SystemSpec::capybara();
+        spec.esr_ohms = None;
+        spec.esr_curve = Some(vec![(100.0, 4.0), (10.0, 5.0)]);
+        let report = run_all(&spec);
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code, "C002");
+        assert!(d.locus.contains("esr_curve[1]"), "{}", d.locus);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn c003_fires_on_rising_esr() {
+        let mut spec = SystemSpec::capybara();
+        spec.esr_ohms = None;
+        spec.esr_curve = Some(vec![(10.0, 3.1), (100.0, 3.6), (1000.0, 4.2)]);
+        let report = run_all(&spec);
+        assert!(report.has_errors());
+        assert!(report.diagnostics().iter().all(|d| d.code == "C003"));
+        assert_eq!(report.error_count(), 2);
+    }
+
+    #[test]
+    fn c004_catches_percentages_and_vertical_lines() {
+        let mut spec = SystemSpec::capybara();
+        spec.efficiency.points = vec![(1.6, 78.0), (2.5, 87.0)];
+        let report = run_all(&spec);
+        assert!(report.diagnostics().iter().any(|d| d.code == "C004"));
+        assert!(report.has_errors());
+
+        let mut spec = SystemSpec::capybara();
+        spec.efficiency.points = vec![(2.0, 0.8), (2.0, 0.9)];
+        assert!(run_all(&spec).has_errors());
+    }
+
+    #[test]
+    fn c004_warns_on_falling_efficiency() {
+        let mut spec = SystemSpec::capybara();
+        spec.efficiency.points = vec![(1.6, 0.87), (2.5, 0.78)];
+        let report = run_all(&spec);
+        assert!(!report.has_errors());
+        assert_eq!(report.warning_count(), 1);
+    }
+
+    #[test]
+    fn c005_catches_inverted_thresholds_and_stray_v_out() {
+        let mut spec = SystemSpec::capybara();
+        spec.v_off = 2.6;
+        let report = run_all(&spec);
+        assert!(report.diagnostics().iter().any(|d| d.code == "C005"));
+        assert!(report.has_errors());
+
+        let mut spec = SystemSpec::capybara();
+        spec.v_out = 5.0;
+        let report = run_all(&spec);
+        assert!(!report.has_errors());
+        assert!(report.diagnostics().iter().any(|d| d.code == "C005"));
+    }
+
+    #[test]
+    fn c006_warns_on_implausible_esr() {
+        let mut spec = SystemSpec::capybara();
+        spec.esr_ohms = Some(3300.0); // mΩ typed as Ω
+        let report = run_all(&spec);
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "C006")
+            .expect("C006 expected");
+        assert!(d.message.contains("implausibly high"));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn c006_warns_on_out_of_catalog_capacitance() {
+        let mut spec = SystemSpec::capybara();
+        spec.capacitance_mf = 5000.0;
+        let report = run_all(&spec);
+        assert!(report.diagnostics().iter().any(|d| d.code == "C006"));
+    }
+}

@@ -1,0 +1,394 @@
+//! Trace lints C010–C014: is a captured current trace trustworthy input
+//! for Algorithm 1?
+
+use culpeo_units::Hertz;
+
+use crate::diag::{Diagnostic, Report};
+use crate::input::{AnalysisInput, TraceInput};
+
+/// C010: every sample and the timebase must be finite.
+///
+/// Algorithm 1 walks the samples arithmetically; one NaN poisons the
+/// whole `V_safe` and a silent ±inf saturates it. Hard error.
+pub fn finiteness(input: &AnalysisInput<'_>, report: &mut Report) {
+    for trace in input.traces {
+        if !(trace.dt_s.is_finite() && trace.dt_s > 0.0) {
+            report.push(Diagnostic::error(
+                "C010",
+                format!("{}: dt", trace.locus),
+                format!(
+                    "sample period must be positive and finite; got {} s",
+                    trace.dt_s
+                ),
+            ));
+        }
+        let bad: Vec<usize> = trace
+            .samples
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_finite())
+            .map(|(i, _)| i)
+            .collect();
+        if let (Some(&first), n) = (bad.first(), bad.len()) {
+            report.push(
+                Diagnostic::error(
+                    "C010",
+                    format!("{}: sample {first}", trace.locus),
+                    format!(
+                        "{n} non-finite sample{} (first at index {first})",
+                        plural(n)
+                    ),
+                )
+                .with_help("recapture the trace; NaN/inf samples mean the instrument dropped data"),
+            );
+        }
+    }
+}
+
+/// C011: the timebase must actually resolve the load.
+///
+/// Two independent checks, both warnings: file timestamps jittering
+/// against the declared `dt_us` (corrupted or resampled capture), and a
+/// dominant pulse so short it spans under four samples (the pulse-width
+/// detector Culpeo-PG keys ESR selection on becomes unreliable).
+pub fn sampling(input: &AnalysisInput<'_>, report: &mut Report) {
+    for trace in input.traces {
+        if !(trace.dt_s.is_finite() && trace.dt_s > 0.0) {
+            continue; // C010 already fired
+        }
+        if let Some(stamps) = &trace.timestamps {
+            let jittered = stamps
+                .iter()
+                .enumerate()
+                .filter(|&(i, &t)| {
+                    #[allow(clippy::cast_precision_loss)]
+                    let expected = i as f64 * trace.dt_s;
+                    // NaN-safe: a NaN timestamp compares false ⇒ jittered.
+                    let agrees = (t - expected).abs() <= trace.dt_s * 0.5;
+                    !agrees
+                })
+                .count();
+            if jittered > 0 {
+                report.push(
+                    Diagnostic::warning(
+                        "C011",
+                        format!("{}: time_s column", trace.locus),
+                        format!(
+                            "{jittered} timestamp{} disagree with dt_us by more than half a period",
+                            plural(jittered)
+                        ),
+                    )
+                    .with_help("the time_s column is redundant with dt_us; disagreement means a resampled or corrupted capture"),
+                );
+            }
+        }
+        if let Some(t) = trace.to_current_trace() {
+            if let Some(width) = t.dominant_pulse_width() {
+                if width.get() < 4.0 * trace.dt_s {
+                    report.push(
+                        Diagnostic::warning(
+                            "C011",
+                            format!("{}: dt", trace.locus),
+                            format!(
+                                "dominant pulse ({width}) spans under four samples at dt = {} s",
+                                trace.dt_s
+                            ),
+                        )
+                        .with_help(
+                            "capture at a higher rate; the paper's instrument sampled at 125 kHz",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// C012: current into the load cannot be negative.
+///
+/// A sustained negative run means swapped probe polarity or a back-fed
+/// supply — error. An isolated single-sample blip is measurement noise
+/// the median filter already absorbs — warning.
+pub fn negative_runs(input: &AnalysisInput<'_>, report: &mut Report) {
+    for trace in input.traces {
+        let mut runs: Vec<(usize, usize)> = Vec::new(); // (start, len)
+        let mut current: Option<(usize, usize)> = None;
+        for (i, &s) in trace.samples.iter().enumerate() {
+            if s < 0.0 {
+                current = Some(current.map_or((i, 1), |(start, len)| (start, len + 1)));
+            } else if let Some(run) = current.take() {
+                runs.push(run);
+            }
+        }
+        if let Some(run) = current {
+            runs.push(run);
+        }
+        if runs.is_empty() {
+            continue;
+        }
+        let longest = runs
+            .iter()
+            .max_by_key(|&&(_, len)| len)
+            .copied()
+            .unwrap_or((0, 0));
+        let total: usize = runs.iter().map(|&(_, len)| len).sum();
+        if longest.1 >= 2 {
+            report.push(
+                Diagnostic::error(
+                    "C012",
+                    format!("{}: sample {}", trace.locus, longest.0),
+                    format!(
+                        "sustained negative current ({} consecutive samples from index {}; {total} negative in all)",
+                        longest.1, longest.0
+                    ),
+                )
+                .with_help("check probe polarity; a load trace cannot back-feed the supply"),
+            );
+        } else {
+            report.push(
+                Diagnostic::warning(
+                    "C012",
+                    format!("{}: sample {}", trace.locus, runs[0].0),
+                    format!(
+                        "{} isolated negative sample{} (noise-level; the median filter will absorb them)",
+                        runs.len(),
+                        plural(runs.len())
+                    ),
+                )
+                .with_help("clamp to zero on import if the instrument's zero offset drifts"),
+            );
+        }
+    }
+}
+
+/// C013: the trace's dominant frequency must lie inside the measured ESR
+/// curve's support.
+///
+/// `pg::compute_vsafe` picks its ESR operating point at the dominant
+/// pulse frequency — and `EsrCurve::at` silently *clamps* outside the
+/// measured band, so the returned `V_safe` rests on an extrapolated
+/// resistance. Warning, because the clamp is conservative at the
+/// low-frequency end but not provably so at the high end.
+pub fn esr_support(input: &AnalysisInput<'_>, report: &mut Report) {
+    let Ok(model) = input.spec.clone().into_model() else {
+        return; // spec lints already cover this
+    };
+    let points = model.esr_curve().points();
+    if points.len() < 2 {
+        return; // a flat ESR has no measured band to leave
+    }
+    let (f_lo, f_hi) = (points[0].0, points[points.len() - 1].0);
+    for trace in input.traces {
+        let Some(t) = trace.to_current_trace() else {
+            continue;
+        };
+        let Some(f) = t.dominant_frequency() else {
+            continue;
+        };
+        if f < f_lo || f > f_hi {
+            report.push(
+                Diagnostic::warning(
+                    "C013",
+                    format!("{}: dominant frequency", trace.locus),
+                    format!(
+                        "dominant frequency {f} lies outside the measured ESR support [{f_lo}, {f_hi}]; the model will clamp to the nearest endpoint",
+                    ),
+                )
+                .with_help("extend the ESR measurement to cover the workload's pulse frequency"),
+            );
+        }
+    }
+}
+
+/// C014: an empty or all-idle trace imposes no requirement.
+///
+/// `V_safe` degenerates to `V_off`, which is *correct* but almost never
+/// what the user meant to feed the analyzer. Warning.
+pub fn empty_trace(input: &AnalysisInput<'_>, report: &mut Report) {
+    for trace in input.traces {
+        if trace.samples.is_empty() {
+            report.push(Diagnostic::warning(
+                "C014",
+                trace.locus.clone(),
+                "trace holds no samples; V_safe degenerates to V_off",
+            ));
+        } else if trace.samples.iter().all(|&s| s == 0.0) {
+            report.push(
+                Diagnostic::warning(
+                    "C014",
+                    trace.locus.clone(),
+                    "every sample is zero; V_safe degenerates to V_off",
+                )
+                .with_help("did the capture start before the device woke?"),
+            );
+        }
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// The dominant frequency of a clean trace, for callers that want to
+/// cross-check C013 manually.
+#[must_use]
+pub fn dominant_frequency(trace: &TraceInput) -> Option<Hertz> {
+    trace
+        .to_current_trace()
+        .and_then(|t| t.dominant_frequency())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SystemSpec;
+    use culpeo_loadgen::LoadProfile;
+    use culpeo_units::{Amps, Seconds};
+
+    fn run_traces(spec: &SystemSpec, traces: &[TraceInput]) -> Report {
+        let input = AnalysisInput {
+            spec,
+            spec_locus: "spec.json",
+            traces,
+            plan: None,
+            plan_locus: "plan",
+        };
+        let mut report = Report::new();
+        finiteness(&input, &mut report);
+        sampling(&input, &mut report);
+        negative_runs(&input, &mut report);
+        esr_support(&input, &mut report);
+        empty_trace(&input, &mut report);
+        report
+    }
+
+    fn ble_like() -> TraceInput {
+        let trace = LoadProfile::builder("ble")
+            .hold(Amps::from_milli(1.5), Seconds::from_milli(2.0))
+            .hold(Amps::from_milli(25.0), Seconds::from_milli(3.0))
+            .hold(Amps::from_milli(1.5), Seconds::from_milli(2.0))
+            .build()
+            .sample(culpeo_units::Hertz::new(125_000.0));
+        TraceInput::from_trace("ble.csv", &trace)
+    }
+
+    #[test]
+    fn clean_trace_is_clean() {
+        let report = run_traces(&SystemSpec::capybara(), &[ble_like()]);
+        assert!(report.is_clean(), "{}", report.render_human(false));
+    }
+
+    #[test]
+    fn c010_counts_nan_samples() {
+        let mut t = ble_like();
+        t.samples[10] = f64::NAN;
+        t.samples[20] = f64::INFINITY;
+        let report = run_traces(&SystemSpec::capybara(), &[t]);
+        assert!(report.has_errors());
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "C010")
+            .unwrap();
+        assert!(d.message.contains("2 non-finite"));
+        assert!(d.locus.contains("sample 10"));
+    }
+
+    #[test]
+    fn c011_flags_jittered_timestamps() {
+        let mut t = ble_like();
+        let n = t.samples.len();
+        let mut stamps: Vec<f64> = (0..n).map(|i| i as f64 * t.dt_s).collect();
+        stamps[5] += t.dt_s * 2.0;
+        t.timestamps = Some(stamps);
+        let report = run_traces(&SystemSpec::capybara(), &[t]);
+        assert!(!report.has_errors());
+        assert!(report.diagnostics().iter().any(|d| d.code == "C011"));
+    }
+
+    #[test]
+    fn c011_flags_under_resolved_pulses() {
+        // A 3 ms pulse sampled at 1 kHz spans 3 samples — under four.
+        let trace = LoadProfile::builder("coarse")
+            .hold(Amps::from_milli(1.0), Seconds::from_milli(5.0))
+            .hold(Amps::from_milli(25.0), Seconds::from_milli(3.0))
+            .hold(Amps::from_milli(1.0), Seconds::from_milli(5.0))
+            .build()
+            .sample(culpeo_units::Hertz::new(1_000.0));
+        let t = TraceInput::from_trace("coarse.csv", &trace);
+        let report = run_traces(&SystemSpec::capybara(), &[t]);
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "C011" && d.message.contains("four samples")));
+    }
+
+    #[test]
+    fn c012_distinguishes_runs_from_blips() {
+        let mut t = ble_like();
+        t.samples[100] = -1e-5;
+        let report = run_traces(&SystemSpec::capybara(), &[t]);
+        assert!(!report.has_errors(), "single blip is a warning");
+        assert!(report.diagnostics().iter().any(|d| d.code == "C012"));
+
+        let mut t = ble_like();
+        for s in &mut t.samples[100..150] {
+            *s = -0.002;
+        }
+        let report = run_traces(&SystemSpec::capybara(), &[t]);
+        assert!(report.has_errors(), "sustained run is an error");
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "C012")
+            .unwrap();
+        assert!(d.message.contains("50 consecutive"));
+    }
+
+    #[test]
+    fn c013_fires_outside_measured_support() {
+        let mut spec = SystemSpec::capybara();
+        spec.esr_ohms = None;
+        // Measured band 1–10 Hz; the BLE pulse is ~160 Hz dominant.
+        spec.esr_curve = Some(vec![(1.0, 4.2), (10.0, 3.6)]);
+        let report = run_traces(&spec, &[ble_like()]);
+        assert!(report.diagnostics().iter().any(|d| d.code == "C013"));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn c013_silent_for_flat_esr() {
+        let report = run_traces(&SystemSpec::capybara(), &[ble_like()]);
+        assert!(!report.diagnostics().iter().any(|d| d.code == "C013"));
+    }
+
+    #[test]
+    fn c014_flags_empty_and_idle() {
+        let t = TraceInput {
+            locus: "empty.csv".to_string(),
+            label: "empty".to_string(),
+            dt_s: 8e-6,
+            samples: vec![],
+            timestamps: None,
+        };
+        let report = run_traces(&SystemSpec::capybara(), &[t]);
+        assert!(report.diagnostics().iter().any(|d| d.code == "C014"));
+
+        let t = TraceInput {
+            locus: "idle.csv".to_string(),
+            label: "idle".to_string(),
+            dt_s: 8e-6,
+            samples: vec![0.0; 1000],
+            timestamps: None,
+        };
+        let report = run_traces(&SystemSpec::capybara(), &[t]);
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "C014" && d.message.contains("every sample is zero")));
+    }
+}

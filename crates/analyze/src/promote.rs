@@ -1,0 +1,76 @@
+//! Promotion of runtime audit findings into the diagnostic vocabulary.
+//!
+//! `culpeo_powersim::Auditor` checks the *simulated plant's*
+//! invariants while it runs; its [`Violation`]s are the dynamic cousins of
+//! the static lints in this crate. Promoting them into [`Diagnostic`]s
+//! gives the harness one reporting pipeline for both: C030 energy-ledger
+//! imbalance, C031 delivery while recharging, C032 unphysical values.
+
+use culpeo_powersim::Violation;
+
+use crate::diag::{Diagnostic, Report};
+
+/// Maps one audit violation to its diagnostic.
+#[must_use]
+pub fn promote(violation: &Violation, locus: &str) -> Diagnostic {
+    match violation {
+        Violation::EnergyImbalance { actual, expected } => Diagnostic::error(
+            "C030",
+            format!("{locus}: energy ledger"),
+            format!("stored-energy change {actual} disagrees with the ledger's {expected}"),
+        )
+        .with_help("a conservation bug in the plant model, never in the workload"),
+        Violation::DeliveryWhileRecharging { t } => Diagnostic::error(
+            "C031",
+            format!("{locus}: t = {t}"),
+            "the plant delivered power while the monitor demanded recharge".to_string(),
+        )
+        .with_help("monitor hysteresis must keep the output off until V_high"),
+        Violation::UnphysicalValue { t, what } => Diagnostic::error(
+            "C032",
+            format!("{locus}: t = {t}"),
+            format!("unphysical {what} appeared during simulation"),
+        ),
+    }
+}
+
+/// Promotes a full audit outcome into a [`Report`].
+#[must_use]
+pub fn promote_all(violations: &[Violation], locus: &str) -> Report {
+    let mut report = Report::new();
+    report.extend(violations.iter().map(|v| promote(v, locus)));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_units::{Joules, Seconds};
+
+    #[test]
+    fn each_violation_kind_maps_to_its_code() {
+        let vs = [
+            Violation::EnergyImbalance {
+                actual: Joules::new(1.0e-3),
+                expected: Joules::new(2.0e-3),
+            },
+            Violation::DeliveryWhileRecharging {
+                t: Seconds::new(0.5),
+            },
+            Violation::UnphysicalValue {
+                t: Seconds::new(0.7),
+                what: "node voltage",
+            },
+        ];
+        let report = promote_all(&vs, "fig10 run");
+        let codes: Vec<&str> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["C030", "C031", "C032"]);
+        assert_eq!(report.error_count(), 3);
+        assert!(report.diagnostics()[1].locus.contains("t = "));
+    }
+
+    #[test]
+    fn clean_audit_promotes_to_clean_report() {
+        assert!(promote_all(&[], "anywhere").is_clean());
+    }
+}

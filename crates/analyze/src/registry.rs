@@ -1,0 +1,167 @@
+//! The pass registry: the full battery, named and enumerable.
+
+use crate::diag::Report;
+use crate::input::AnalysisInput;
+use crate::lints;
+
+/// One registered lint pass.
+pub struct Pass {
+    /// Stable pass name (kebab-case, shown by `--list-passes`-style UIs).
+    pub name: &'static str,
+    /// The diagnostic codes this pass can emit.
+    pub codes: &'static [&'static str],
+    /// The pass body.
+    pub run: fn(&AnalysisInput<'_>, &mut Report),
+}
+
+/// An ordered collection of lint passes.
+pub struct Registry {
+    passes: Vec<Pass>,
+}
+
+impl Registry {
+    /// The full battery, in reporting order: spec lints first (everything
+    /// downstream interprets inputs through the spec), then traces, then
+    /// the plan.
+    #[must_use]
+    pub fn default_battery() -> Self {
+        Self {
+            passes: vec![
+                Pass {
+                    name: "spec-esr-exclusivity",
+                    codes: &["C001"],
+                    run: lints::spec::esr_exclusivity,
+                },
+                Pass {
+                    name: "spec-esr-curve-shape",
+                    codes: &["C002"],
+                    run: lints::spec::esr_curve_shape,
+                },
+                Pass {
+                    name: "spec-esr-monotone",
+                    codes: &["C003"],
+                    run: lints::spec::esr_monotone,
+                },
+                Pass {
+                    name: "spec-efficiency",
+                    codes: &["C004"],
+                    run: lints::spec::efficiency_shape,
+                },
+                Pass {
+                    name: "spec-thresholds",
+                    codes: &["C005"],
+                    run: lints::spec::thresholds,
+                },
+                Pass {
+                    name: "spec-plausibility",
+                    codes: &["C006"],
+                    run: lints::spec::plausibility,
+                },
+                Pass {
+                    name: "trace-finiteness",
+                    codes: &["C010"],
+                    run: lints::trace::finiteness,
+                },
+                Pass {
+                    name: "trace-sampling",
+                    codes: &["C011"],
+                    run: lints::trace::sampling,
+                },
+                Pass {
+                    name: "trace-negative-current",
+                    codes: &["C012"],
+                    run: lints::trace::negative_runs,
+                },
+                Pass {
+                    name: "trace-esr-support",
+                    codes: &["C013"],
+                    run: lints::trace::esr_support,
+                },
+                Pass {
+                    name: "trace-empty",
+                    codes: &["C014"],
+                    run: lints::trace::empty_trace,
+                },
+                Pass {
+                    name: "plan-shape",
+                    codes: &["C023"],
+                    run: lints::plan::plan_shape,
+                },
+                Pass {
+                    name: "plan-vsafe-registered",
+                    codes: &["C022"],
+                    run: lints::plan::vsafe_registered,
+                },
+                Pass {
+                    name: "plan-brownout-reachability",
+                    codes: &["C020", "C021"],
+                    run: lints::plan::brownout_reachability,
+                },
+            ],
+        }
+    }
+
+    /// The registered passes, in run order.
+    #[must_use]
+    pub fn passes(&self) -> &[Pass] {
+        &self.passes
+    }
+
+    /// Runs every pass over `input` and aggregates the findings.
+    #[must_use]
+    pub fn run(&self, input: &AnalysisInput<'_>) -> Report {
+        let mut report = Report::new();
+        for pass in &self.passes {
+            (pass.run)(input, &mut report);
+        }
+        report
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::default_battery()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SystemSpec;
+
+    #[test]
+    fn battery_covers_every_documented_code() {
+        let registry = Registry::default_battery();
+        let mut codes: Vec<&str> = registry
+            .passes()
+            .iter()
+            .flat_map(|p| p.codes)
+            .copied()
+            .collect();
+        codes.sort_unstable();
+        assert_eq!(
+            codes,
+            [
+                "C001", "C002", "C003", "C004", "C005", "C006", "C010", "C011", "C012", "C013",
+                "C014", "C020", "C021", "C022", "C023"
+            ]
+        );
+    }
+
+    #[test]
+    fn pass_names_are_unique() {
+        let registry = Registry::default_battery();
+        let mut names: Vec<&str> = registry.passes().iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), registry.passes().len());
+    }
+
+    #[test]
+    fn reference_spec_passes_the_full_battery() {
+        let spec = SystemSpec::capybara();
+        let input = crate::input::AnalysisInput::spec_only(&spec, "reference");
+        let report = Registry::default_battery().run(&input);
+        assert!(report.is_clean(), "{}", report.render_human(false));
+    }
+}

@@ -1,0 +1,82 @@
+//! Criterion benches for the `culpeo-analyze` lint battery.
+//!
+//! The battery runs as a pre-flight gate in front of every experiment
+//! driver and (via `culpeo analyze`) in CI, so its cost must stay
+//! negligible next to the simulations it guards. Three shapes: the spec
+//! lints alone, the trace lints over a 10k-sample capture, and the full
+//! battery with spec + trace + plan together.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use culpeo_analyze::{AnalysisInput, PlanSpec, Registry, SystemSpec, TraceInput};
+use culpeo_loadgen::synthetic::UniformLoad;
+use culpeo_units::{Amps, Hertz, Seconds};
+
+/// A 10k-sample trace: 80 ms of a 25 mA pulse train at 125 kHz.
+fn ten_k_trace() -> TraceInput {
+    let trace = UniformLoad::new(Amps::from_milli(25.0), Seconds::from_milli(80.0))
+        .profile()
+        .sample(Hertz::new(125_000.0));
+    TraceInput::from_trace("bench trace", &trace)
+}
+
+fn bench_spec_lints(c: &mut Criterion) {
+    let spec = SystemSpec::capybara();
+    c.bench_function("lint_battery_spec_only", |b| {
+        b.iter(|| {
+            Registry::default_battery()
+                .run(black_box(&AnalysisInput::spec_only(&spec, "capybara spec")))
+        })
+    });
+}
+
+fn bench_trace_lints(c: &mut Criterion) {
+    let spec = SystemSpec::capybara();
+    let trace = ten_k_trace();
+    let mut group = c.benchmark_group("lint_battery_trace");
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("{}_samples", trace.samples.len())),
+        &trace,
+        |b, trace| {
+            b.iter(|| {
+                let traces = std::slice::from_ref(black_box(trace));
+                let input = AnalysisInput {
+                    spec: &spec,
+                    spec_locus: "capybara spec",
+                    traces,
+                    plan: None,
+                    plan_locus: "",
+                };
+                Registry::default_battery().run(&input)
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_full_battery(c: &mut Criterion) {
+    let spec = SystemSpec::capybara();
+    let traces = vec![ten_k_trace()];
+    let plan = PlanSpec::figure5_example();
+    c.bench_function("lint_battery_full", |b| {
+        b.iter(|| {
+            let input = AnalysisInput {
+                spec: black_box(&spec),
+                spec_locus: "capybara spec",
+                traces: &traces,
+                plan: Some(&plan),
+                plan_locus: "figure5 plan",
+            };
+            Registry::default_battery().run(&input)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_spec_lints,
+    bench_trace_lints,
+    bench_full_battery
+);
+criterion_main!(benches);

@@ -14,9 +14,7 @@ fn bench_thresholds(c: &mut Criterion) {
     group.sample_size(10);
     for policy in [ChargePolicy::Catnap, ChargePolicy::Culpeo] {
         group.bench_function(policy.label(), |b| {
-            b.iter(|| {
-                black_box(culpeo_sched::derive_thresholds(&app, policy, &model))
-            })
+            b.iter(|| black_box(culpeo_sched::derive_thresholds(&app, policy, &model)))
         });
     }
     group.finish();

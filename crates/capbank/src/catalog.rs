@@ -220,7 +220,10 @@ mod tests {
     #[test]
     fn bank_sweep_covers_every_part() {
         let c = Catalog::synthetic();
-        assert_eq!(c.bank_sweep(Farads::from_milli(45.0)).len(), c.parts().len());
+        assert_eq!(
+            c.bank_sweep(Farads::from_milli(45.0)).len(),
+            c.parts().len()
+        );
     }
 
     #[test]

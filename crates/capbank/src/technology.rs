@@ -150,7 +150,11 @@ mod tests {
     fn supercap_esr_dominates() {
         let c = Farads::from_milli(1.5);
         let sc = Technology::Supercapacitor.nominal_esr(c);
-        for t in [Technology::Electrolytic, Technology::Ceramic, Technology::Tantalum] {
+        for t in [
+            Technology::Electrolytic,
+            Technology::Ceramic,
+            Technology::Tantalum,
+        ] {
             assert!(sc.get() > t.nominal_esr(c).get() * 10.0, "{t}");
         }
     }

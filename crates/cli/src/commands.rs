@@ -4,6 +4,7 @@ use std::fmt::Write as _;
 
 use culpeo::termination::{self, TerminationVerdict};
 use culpeo::{baseline, compose, pg, PowerSystemModel};
+use culpeo_analyze::{AnalysisInput, PlanSpec, Registry, TraceInput};
 use culpeo_capbank::Catalog;
 use culpeo_loadgen::{io as trace_io, CurrentTrace};
 use culpeo_units::{Farads, Volts};
@@ -40,8 +41,8 @@ pub fn load_model(system_path: Option<&str>) -> Result<PowerSystemModel, CliErro
     let spec = match system_path {
         None => crate::spec::SystemSpec::capybara(),
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| CliError::Io(path.to_string(), e))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e))?;
             serde_json::from_str(&text).map_err(|e| CliError::Spec(e.to_string()))?
         }
     };
@@ -54,6 +55,67 @@ pub fn load_trace(path: &str) -> Result<CurrentTrace, CliError> {
     trace_io::from_csv(&text).map_err(|e| CliError::Trace(path.to_string(), e))
 }
 
+/// Output format for the lint report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintFormat {
+    /// Rustc-style text, coloured when stdout is a terminal.
+    Human,
+    /// The versioned JSON document (`--format json`).
+    Json,
+}
+
+/// `culpeo analyze SPEC.json [--trace FILE]… [--plan FILE] [--format json]`
+/// — the static lint battery. Returns the rendered report and the exit
+/// code: 1 when any error-severity diagnostic fired, 0 otherwise.
+pub fn lint(
+    spec_path: &str,
+    trace_paths: &[String],
+    plan_path: Option<&str>,
+    format: LintFormat,
+) -> Result<(String, i32), CliError> {
+    let text =
+        std::fs::read_to_string(spec_path).map_err(|e| CliError::Io(spec_path.to_string(), e))?;
+    let spec: culpeo_analyze::SystemSpec =
+        serde_json::from_str(&text).map_err(|e| CliError::Spec(e.to_string()))?;
+
+    let mut traces = Vec::new();
+    for path in trace_paths {
+        let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(path.clone(), e))?;
+        let raw = trace_io::parse_raw(&text).map_err(|e| CliError::Trace(path.clone(), e))?;
+        traces.push(TraceInput::from_raw_file(path.clone(), &raw));
+    }
+
+    let plan: Option<PlanSpec> = match plan_path {
+        None => None,
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e))?;
+            Some(serde_json::from_str(&text).map_err(|e| CliError::Spec(e.to_string()))?)
+        }
+    };
+
+    let input = AnalysisInput {
+        spec: &spec,
+        spec_locus: spec_path,
+        traces: &traces,
+        plan: plan.as_ref(),
+        plan_locus: plan_path.unwrap_or("plan"),
+    };
+    let report = Registry::default_battery().run(&input);
+    let rendered = match format {
+        LintFormat::Json => report.render_json(),
+        LintFormat::Human => {
+            use std::io::IsTerminal as _;
+            let mut out = report.render_human(std::io::stdout().is_terminal());
+            if report.is_clean() {
+                out = format!("no diagnostics: {spec_path} is clean\n{out}");
+            }
+            out
+        }
+    };
+    Ok((rendered, i32::from(report.has_errors())))
+}
+
 /// `culpeo analyze --trace t.csv [--system spec.json]` — the core report:
 /// ESR-aware `V_safe` for one task, alongside the energy-only number.
 pub fn analyze(model: &PowerSystemModel, trace: &CurrentTrace) -> String {
@@ -63,7 +125,13 @@ pub fn analyze(model: &PowerSystemModel, trace: &CurrentTrace) -> String {
     let range = model.operating_range();
 
     let mut out = String::new();
-    let _ = writeln!(out, "trace       : {} ({} samples @ {})", trace.label(), trace.len(), trace.rate());
+    let _ = writeln!(
+        out,
+        "trace       : {} ({} samples @ {})",
+        trace.label(),
+        trace.len(),
+        trace.rate()
+    );
     let _ = writeln!(out, "peak / mean : {} / {}", trace.peak(), trace.mean());
     if let Some(w) = trace.dominant_pulse_width() {
         let _ = writeln!(
@@ -89,11 +157,9 @@ pub fn analyze(model: &PowerSystemModel, trace: &CurrentTrace) -> String {
         model,
     );
     let _ = match verdict.verdict {
-        TerminationVerdict::Terminates { headroom } => writeln!(
-            out,
-            "termination: OK (headroom {} below V_high)",
-            headroom
-        ),
+        TerminationVerdict::Terminates { headroom } => {
+            writeln!(out, "termination: OK (headroom {} below V_high)", headroom)
+        }
         TerminationVerdict::Marginal { headroom } => writeln!(
             out,
             "termination: MARGINAL (only {} below V_high)",
@@ -159,10 +225,7 @@ pub fn catalog(capacitance_mf: f64) -> Result<String, CliError> {
     let target = Farads::from_milli(capacitance_mf);
     let catalog = Catalog::synthetic();
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "smallest {capacitance_mf} mF bank per technology:"
-    );
+    let _ = writeln!(out, "smallest {capacitance_mf} mF bank per technology:");
     let _ = writeln!(
         out,
         "{:<16} {:>8} {:>14} {:>12} {:>12}",
@@ -238,7 +301,10 @@ mod tests {
     #[test]
     fn check_reports_sequence_threshold() {
         let t = trace();
-        let report = check(&model(), &[("a.csv".into(), t.clone()), ("b.csv".into(), t)]);
+        let report = check(
+            &model(),
+            &[("a.csv".into(), t.clone()), ("b.csv".into(), t)],
+        );
         assert!(report.contains("V_safe_multi"));
         assert!(report.matches("ok").count() >= 2);
     }

@@ -2,11 +2,19 @@
 //!
 //! ```text
 //! culpeo analyze --trace packet.csv [--system spec.json]
+//! culpeo analyze spec.json [--trace packet.csv]… [--plan plan.json] [--format json]
 //! culpeo check   --trace a.csv --trace b.csv [--system spec.json]
 //! culpeo vsafe-table --trace packet.csv [--system spec.json]
 //! culpeo catalog [--capacitance-mf 45]
 //! culpeo export-example-trace packet.csv
 //! ```
+//!
+//! The two `analyze` forms share a name but answer different questions.
+//! `analyze --trace` is the original `V_safe` report for one task.
+//! `analyze SPEC.json` (a positional spec path) runs the *static lint
+//! battery* from `culpeo-analyze` over the spec and any `--trace` /
+//! `--plan` inputs, printing rustc-style `C0xx` diagnostics (or a JSON
+//! report with `--format json`) and exiting 1 if any error fired.
 //!
 //! Trace CSVs follow the `culpeo-trace v1` dialect (see
 //! `culpeo_loadgen::io`); the system spec JSON is documented on
@@ -19,12 +27,15 @@
 mod commands;
 mod spec;
 
-use commands::CliError;
+use commands::{CliError, LintFormat};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(report) => print!("{report}"),
+        Ok((report, code)) => {
+            print!("{report}");
+            std::process::exit(code);
+        }
         Err(e) => {
             eprintln!("culpeo: {e}");
             eprintln!("{}", usage());
@@ -35,6 +46,7 @@ fn main() {
 
 fn usage() -> &'static str {
     "usage:\n  culpeo analyze --trace FILE [--system SPEC.json]\n  \
+     culpeo analyze SPEC.json [--trace FILE…] [--plan PLAN.json] [--format json|human]\n  \
      culpeo check --trace FILE [--trace FILE…] [--system SPEC.json]\n  \
      culpeo vsafe-table --trace FILE [--system SPEC.json]\n  \
      culpeo catalog [--capacitance-mf MF]\n  \
@@ -42,12 +54,51 @@ fn usage() -> &'static str {
 }
 
 /// Dispatches a parsed argument vector; separated from `main` for tests.
-fn run(args: &[String]) -> Result<String, CliError> {
+/// Returns the report text and the process exit code (0 or 1; usage and
+/// I/O failures surface as `Err` and exit 2).
+fn run(args: &[String]) -> Result<(String, i32), CliError> {
     let Some(command) = args.first() else {
         return Err(CliError::Usage("no command given".into()));
     };
     let rest = &args[1..];
     match command.as_str() {
+        // Lint mode: a positional (non-flag) first argument is the spec.
+        "analyze" if rest.first().is_some_and(|a| !a.starts_with("--")) => {
+            let (spec_path, lint_rest) = (rest[0].as_str(), &rest[1..]);
+            let mut traces = Vec::new();
+            let mut plan = None;
+            let mut format = LintFormat::Human;
+            let mut it = lint_rest.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--trace" => traces.push(
+                        it.next()
+                            .ok_or_else(|| CliError::Usage("--trace needs a path".into()))?
+                            .clone(),
+                    ),
+                    "--plan" => {
+                        plan = Some(
+                            it.next()
+                                .ok_or_else(|| CliError::Usage("--plan needs a path".into()))?
+                                .clone(),
+                        );
+                    }
+                    "--format" => {
+                        format = match it.next().map(String::as_str) {
+                            Some("json") => LintFormat::Json,
+                            Some("human") => LintFormat::Human,
+                            _ => {
+                                return Err(CliError::Usage(
+                                    "--format takes `json` or `human`".into(),
+                                ))
+                            }
+                        };
+                    }
+                    other => return Err(CliError::Usage(format!("unknown flag: {other}"))),
+                }
+            }
+            commands::lint(spec_path, &traces, plan.as_deref(), format)
+        }
         "analyze" => {
             let (traces, system) = parse_common(rest)?;
             let [trace] = traces.as_slice() else {
@@ -55,7 +106,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
             };
             let model = commands::load_model(system.as_deref())?;
             let t = commands::load_trace(trace)?;
-            Ok(commands::analyze(&model, &t))
+            Ok((commands::analyze(&model, &t), 0))
         }
         "check" => {
             let (trace_paths, system) = parse_common(rest)?;
@@ -68,7 +119,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 let t = commands::load_trace(&path)?;
                 traces.push((path, t));
             }
-            Ok(commands::check(&model, &traces))
+            Ok((commands::check(&model, &traces), 0))
         }
         "vsafe-table" => {
             let (traces, system) = parse_common(rest)?;
@@ -79,15 +130,14 @@ fn run(args: &[String]) -> Result<String, CliError> {
             };
             let model = commands::load_model(system.as_deref())?;
             let t = commands::load_trace(trace)?;
-            Ok(commands::vsafe_table(&model, &t))
+            Ok((commands::vsafe_table(&model, &t), 0))
         }
         "catalog" => {
-            let mf = parse_flag_value(rest, "--capacitance-mf")?
-                .map_or(Ok(45.0), |v| {
-                    v.parse::<f64>()
-                        .map_err(|_| CliError::Usage("--capacitance-mf must be a number".into()))
-                })?;
-            commands::catalog(mf)
+            let mf = parse_flag_value(rest, "--capacitance-mf")?.map_or(Ok(45.0), |v| {
+                v.parse::<f64>()
+                    .map_err(|_| CliError::Usage("--capacitance-mf must be a number".into()))
+            })?;
+            commands::catalog(mf).map(|report| (report, 0))
         }
         "export-example-trace" => {
             let [out] = rest else {
@@ -100,7 +150,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 .sample(culpeo_units::Hertz::new(125_000.0));
             let csv = culpeo_loadgen::io::to_csv(&trace);
             std::fs::write(out, csv).map_err(|e| CliError::Io(out.clone(), e))?;
-            Ok(format!("wrote example BLE trace to {out}\n"))
+            Ok((format!("wrote example BLE trace to {out}\n"), 0))
         }
         other => Err(CliError::Usage(format!("unknown command: {other}"))),
     }
@@ -165,30 +215,44 @@ mod tests {
         path.to_string_lossy().into_owned()
     }
 
+    /// Writes `content` into the shared test temp dir and returns its path.
+    fn temp_file(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("culpeo-cli-main-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn capybara_spec_json() -> String {
+        serde_json::to_string(&crate::spec::SystemSpec::capybara()).unwrap()
+    }
+
     #[test]
     fn analyze_end_to_end() {
         let path = temp_trace();
-        let report = run(&s(&["analyze", "--trace", &path])).unwrap();
+        let (report, code) = run(&s(&["analyze", "--trace", &path])).unwrap();
         assert!(report.contains("V_safe (Culpeo-PG)"));
+        assert_eq!(code, 0);
     }
 
     #[test]
     fn check_end_to_end_with_two_traces() {
         let path = temp_trace();
-        let report = run(&s(&["check", "--trace", &path, "--trace", &path])).unwrap();
+        let (report, _) = run(&s(&["check", "--trace", &path, "--trace", &path])).unwrap();
         assert!(report.contains("V_safe_multi"));
     }
 
     #[test]
     fn vsafe_table_end_to_end() {
         let path = temp_trace();
-        let report = run(&s(&["vsafe-table", "--trace", &path])).unwrap();
+        let (report, _) = run(&s(&["vsafe-table", "--trace", &path])).unwrap();
         assert!(report.contains("threshold"));
     }
 
     #[test]
     fn catalog_end_to_end() {
-        let report = run(&s(&["catalog"])).unwrap();
+        let (report, _) = run(&s(&["catalog"])).unwrap();
         assert!(report.contains("Supercapacitors"));
     }
 
@@ -198,7 +262,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("example.csv").to_string_lossy().into_owned();
         run(&s(&["export-example-trace", &out])).unwrap();
-        let report = run(&s(&["analyze", "--trace", &out])).unwrap();
+        let (report, _) = run(&s(&["analyze", "--trace", &out])).unwrap();
         assert!(report.contains("ble-tx"));
     }
 
@@ -210,5 +274,76 @@ mod tests {
         assert!(run(&s(&["analyze", "--trace"])).is_err());
         assert!(run(&s(&["analyze", "--bogus", "x"])).is_err());
         assert!(run(&s(&["catalog", "--capacitance-mf", "NaNish"])).is_err());
+        assert!(run(&s(&["analyze", "spec.json", "--format", "yaml"])).is_err());
+        assert!(run(&s(&["analyze", "spec.json", "--plan"])).is_err());
+    }
+
+    // -- lint mode (positional spec path) ---------------------------------
+
+    #[test]
+    fn lint_clean_capybara_spec_exits_zero() {
+        let spec = temp_file("clean-spec.json", &capybara_spec_json());
+        let (report, code) = run(&s(&["analyze", &spec])).unwrap();
+        assert_eq!(code, 0, "reference spec must lint clean: {report}");
+        assert!(report.contains("no diagnostics"));
+    }
+
+    #[test]
+    fn lint_rising_esr_curve_exits_one_with_c003() {
+        let spec = temp_file(
+            "rising-esr.json",
+            r#"{
+              "capacitance_mf": 45.0,
+              "esr_curve": [[10.0, 3.1], [100.0, 4.2]],
+              "v_out": 2.55, "v_off": 1.6, "v_high": 2.56,
+              "efficiency": { "points": [[1.6, 0.78], [2.5, 0.87]] }
+            }"#,
+        );
+        let (report, code) = run(&s(&["analyze", &spec])).unwrap();
+        assert_eq!(code, 1);
+        assert!(report.contains("C003"), "missing C003 in: {report}");
+    }
+
+    #[test]
+    fn lint_nan_trace_exits_one_with_c010() {
+        let spec = temp_file("spec-for-nan.json", &capybara_spec_json());
+        let trace = temp_file(
+            "nan.csv",
+            "# culpeo-trace v1\n# label: corrupt\n# dt_us: 8\n\
+             time_s,current_a\n0.000000,0.010\n0.000008,NaN\n0.000016,0.010\n",
+        );
+        let (report, code) = run(&s(&["analyze", &spec, "--trace", &trace])).unwrap();
+        assert_eq!(code, 1);
+        assert!(report.contains("C010"), "missing C010 in: {report}");
+    }
+
+    #[test]
+    fn lint_plan_below_vsafe_exits_one_with_c020() {
+        let spec = temp_file("spec-for-plan.json", &capybara_spec_json());
+        let plan = temp_file(
+            "figure5-plan.json",
+            &serde_json::to_string(&culpeo_analyze::PlanSpec::figure5_example()).unwrap(),
+        );
+        let (report, code) = run(&s(&["analyze", &spec, "--plan", &plan])).unwrap();
+        assert_eq!(code, 1);
+        assert!(report.contains("C020"), "missing C020 in: {report}");
+    }
+
+    #[test]
+    fn lint_json_format_is_parseable() {
+        let spec = temp_file("spec-for-json.json", &capybara_spec_json());
+        let (report, code) = run(&s(&["analyze", &spec, "--format", "json"])).unwrap();
+        assert_eq!(code, 0);
+        let doc = serde_json::parse_value_str(&report).unwrap();
+        assert_eq!(doc.get("errors").and_then(serde::Value::as_f64), Some(0.0));
+        assert!(doc
+            .get("diagnostics")
+            .and_then(serde::Value::as_array)
+            .is_some());
+    }
+
+    #[test]
+    fn lint_missing_spec_file_is_a_usage_error() {
+        assert!(run(&s(&["analyze", "/nonexistent/spec.json"])).is_err());
     }
 }

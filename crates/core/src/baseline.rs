@@ -30,10 +30,7 @@ use crate::PowerSystemModel;
 ///
 /// Panics if the energy is negative.
 #[must_use]
-pub fn vsafe_from_buffer_energy(
-    buffer_energy: Joules,
-    model: &PowerSystemModel,
-) -> Volts {
+pub fn vsafe_from_buffer_energy(buffer_energy: Joules, model: &PowerSystemModel) -> Volts {
     assert!(buffer_energy.get() >= 0.0, "energy cannot be negative");
     Volts::from_squared(
         model.v_off().squared() + 2.0 * buffer_energy.get() / model.capacitance().get(),
@@ -127,7 +124,10 @@ mod tests {
 
     #[test]
     fn zero_energy_means_v_off() {
-        assert_eq!(vsafe_from_buffer_energy(Joules::ZERO, &model()), model().v_off());
+        assert_eq!(
+            vsafe_from_buffer_energy(Joules::ZERO, &model()),
+            model().v_off()
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ pub fn vsafe_multi(tasks: &[TaskRequirement], c: Farads, v_off: Volts) -> Volts 
     assert!(c.get() > 0.0, "capacitance must be positive");
     let mut v_suffix = v_off;
     for t in tasks.iter().rev() {
-        assert!(t.buffer_energy.get() >= 0.0, "task energy cannot be negative");
+        assert!(
+            t.buffer_energy.get() >= 0.0,
+            "task energy cannot be negative"
+        );
         let v_penalty = (v_off + t.v_delta).max(v_suffix);
         v_suffix = Volts::from_squared(2.0 * t.buffer_energy.get() / c.get() + v_penalty.squared());
     }
@@ -98,10 +101,13 @@ pub fn vsafe_multi_linear(tasks: &[TaskRequirement], c: Farads, v_off: Volts) ->
     assert!(c.get() > 0.0, "capacitance must be positive");
     let mut v_suffix = v_off;
     for t in tasks.iter().rev() {
-        assert!(t.buffer_energy.get() >= 0.0, "task energy cannot be negative");
+        assert!(
+            t.buffer_energy.get() >= 0.0,
+            "task energy cannot be negative"
+        );
         // V(E): headroom above V_off holding this task's energy.
-        let v_e = Volts::from_squared(v_off.squared() + 2.0 * t.buffer_energy.get() / c.get())
-            - v_off;
+        let v_e =
+            Volts::from_squared(v_off.squared() + 2.0 * t.buffer_energy.get() / c.get()) - v_off;
         let p = penalty(v_off, t.v_delta, v_suffix);
         v_suffix = v_e + p + v_suffix;
     }
@@ -140,7 +146,10 @@ mod tests {
     fn penalty_is_zero_when_suffix_absorbs_drop() {
         // The next task needs 2.0 V; a 0.3 V dip from 2.0 V stays above
         // V_off = 1.6 V, so no extra headroom is required.
-        assert_eq!(penalty(V_OFF, Volts::new(0.3), Volts::new(2.0)), Volts::ZERO);
+        assert_eq!(
+            penalty(V_OFF, Volts::new(0.3), Volts::new(2.0)),
+            Volts::ZERO
+        );
         // But a 0.5 V dip would cross it.
         assert!(penalty(V_OFF, Volts::new(0.5), Volts::new(2.0)).approx_eq(Volts::new(0.1), 1e-12));
     }
@@ -172,7 +181,10 @@ mod tests {
         let seq = [task(1.0, 0.2), task(0.5, 0.05), task(2.0, 0.3)];
         let q = vsafe_multi(&seq, C, V_OFF);
         let l = vsafe_multi_linear(&seq, C, V_OFF);
-        assert!(l >= q - Volts::from_micro(1.0), "linear {l} < quadrature {q}");
+        assert!(
+            l >= q - Volts::from_micro(1.0),
+            "linear {l} < quadrature {q}"
+        );
     }
 
     #[test]

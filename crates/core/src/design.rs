@@ -212,24 +212,16 @@ mod tests {
         // R ⇒ strictly more headroom.
         let tasks = app_tasks();
         let rc = 0.15; // Ω·F, the supercap family constant
-        let evals = sweep_designs(
-            &[7.5, 15.0, 30.0, 45.0]
-                .map(|c_mf| {
-                    let c = mf(c_mf);
-                    BufferDesign {
-                        capacitance: c,
-                        esr: Ohms::new(rc / c.get()),
-                    }
-                })
-                .to_vec()
-                .as_slice(),
-            &tasks,
-        );
+        let designs = [7.5, 15.0, 30.0, 45.0].map(|c_mf| {
+            let c = mf(c_mf);
+            BufferDesign {
+                capacitance: c,
+                esr: Ohms::new(rc / c.get()),
+            }
+        });
+        let evals = sweep_designs(&designs, &tasks);
         for w in evals.windows(2) {
-            assert!(
-                w[1].headroom > w[0].headroom,
-                "headroom must grow: {w:?}"
-            );
+            assert!(w[1].headroom > w[0].headroom, "headroom must grow: {w:?}");
         }
     }
 

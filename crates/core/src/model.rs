@@ -103,7 +103,14 @@ impl PowerSystemModel {
         v_off: Volts,
         v_high: Volts,
     ) -> Self {
-        Self::new(capacitance, EsrCurve::flat(esr), v_out, efficiency, v_off, v_high)
+        Self::new(
+            capacitance,
+            EsrCurve::flat(esr),
+            v_out,
+            efficiency,
+            v_off,
+            v_high,
+        )
     }
 
     /// The Capybara reference model used throughout the paper's

@@ -108,10 +108,7 @@ pub fn compute_vsafe_with_esr(
 /// Convenience: profile an analytic load at the paper's 125 kHz rate and
 /// run Algorithm 1 on it.
 #[must_use]
-pub fn compute_vsafe_for_profile(
-    profile: &LoadProfile,
-    model: &PowerSystemModel,
-) -> VsafeEstimate {
+pub fn compute_vsafe_for_profile(profile: &LoadProfile, model: &PowerSystemModel) -> VsafeEstimate {
     compute_vsafe(
         &profile.sample(Hertz::new(culpeo_loadgen::PG_SAMPLE_RATE_HZ)),
         model,
@@ -161,7 +158,10 @@ mod tests {
         let est = compute_vsafe_for_profile(&load, &model());
         // Hand calculation: I_in ≈ 25 mA·2.55/(0.78·1.6) ≈ 51 mA ⇒
         // V_δ ≈ 0.17 V ⇒ V_safe ≈ 1.78 V.
-        assert!(est.v_safe.get() > 1.74 && est.v_safe.get() < 1.84, "{est:?}");
+        assert!(
+            est.v_safe.get() > 1.74 && est.v_safe.get() < 1.84,
+            "{est:?}"
+        );
         assert!(est.v_delta.get() > 0.12 && est.v_delta.get() < 0.22);
     }
 

@@ -192,8 +192,8 @@ mod tests {
         // At 2.1 V the same task dips deeper and ends proportionally.
         let e_scale = m.efficiency_at(Volts::new(2.45)) / m.efficiency_at(Volts::new(2.1));
         let v_final_lo = (2.1f64.powi(2) - e_scale * (2.45f64.powi(2) - 2.4432f64.powi(2))).sqrt();
-        let dip_scale = (2.339 * m.efficiency_at(Volts::new(2.339)))
-            / (2.1 * m.efficiency_at(Volts::new(2.1)));
+        let dip_scale =
+            (2.339 * m.efficiency_at(Volts::new(2.339))) / (2.1 * m.efficiency_at(Volts::new(2.1)));
         let dip_lo = (2.4432 - 2.339) * dip_scale;
         let lo = obs(2.1, v_final_lo - dip_lo, v_final_lo);
         let est_hi = compute_vsafe(&hi, &m);

@@ -77,9 +77,7 @@ pub fn check_task(load: &LoadProfile, model: &PowerSystemModel) -> TaskCheck {
     } else if headroom.get() >= 0.0 {
         TerminationVerdict::Marginal { headroom }
     } else {
-        TerminationVerdict::NonTerminating {
-            deficit: -headroom,
-        }
+        TerminationVerdict::NonTerminating { deficit: -headroom }
     };
     TaskCheck {
         task: load.label().to_string(),
@@ -228,7 +226,8 @@ mod tests {
         for _ in 0..40 {
             let mid = 0.5 * (lo + hi);
             let load = LoadProfile::constant("probe", Amps::from_milli(20.0), Seconds::new(mid));
-            if pg::compute_vsafe_for_profile(&load, &m).v_safe < m.v_high() - Volts::from_milli(10.0)
+            if pg::compute_vsafe_for_profile(&load, &m).v_safe
+                < m.v_high() - Volts::from_milli(10.0)
             {
                 lo = mid;
             } else {

@@ -142,7 +142,9 @@ mod tests {
         let adc = Adc::uarch_8bit();
         // 2.499 V / 10 mV = 249.9 → code 249 → 2.49 V.
         assert_eq!(adc.sample(Volts::new(2.499)), 249);
-        assert!(adc.read(Volts::new(2.499)).approx_eq(Volts::new(2.49), 1e-12));
+        assert!(adc
+            .read(Volts::new(2.499))
+            .approx_eq(Volts::new(2.49), 1e-12));
         // Quantization never over-reads.
         for v in [0.0, 0.005, 1.6, 1.601, 2.56, 3.0] {
             assert!(adc.read(Volts::new(v)) <= Volts::new(v).max(Volts::ZERO));

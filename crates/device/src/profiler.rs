@@ -120,7 +120,7 @@ fn profile_isr(
         // first fire lands half a period in. This is what lets a pulse as
         // short as the sample period slip past the ISR (§VII-A's
         // 50 mA/1 ms anomaly).
-        if (k + sample_every / 2) % sample_every.max(1) == 0 {
+        if (k + sample_every / 2).is_multiple_of(sample_every.max(1)) {
             // Timer ISR: read the ADC, update the software minimum.
             let reading = cfg.adc.read(out.v_node);
             v_min_code = v_min_code.min(reading);
@@ -139,8 +139,7 @@ fn profile_isr(
     // track the rebound maximum; stop after `rebound_stable_wakes`
     // non-increasing readings.
     let wake_steps = (cfg.rebound_wake_period.get() / dt.get()).round().max(1.0) as usize;
-    let max_wakes =
-        (cfg.rebound_timeout.get() / cfg.rebound_wake_period.get()).ceil() as u32;
+    let max_wakes = (cfg.rebound_timeout.get() / cfg.rebound_wake_period.get()).ceil() as u32;
     let mut v_final_code = cfg.adc.read_high(sys.v_node());
     let mut stable = 0u32;
     for _ in 0..max_wakes {
@@ -330,11 +329,14 @@ mod tests {
         // µArch block's.
         let load = pulse(50.0, 1.0);
         let mut sys_isr = plant_at(2.4);
-        let isr = profile_task(&mut sys_isr, &load, &Profiler::Isr(IsrProfiler::msp430()))
-            .unwrap();
+        let isr = profile_task(&mut sys_isr, &load, &Profiler::Isr(IsrProfiler::msp430())).unwrap();
         let mut sys_ua = plant_at(2.4);
-        let ua = profile_task(&mut sys_ua, &load, &Profiler::UArch(UArchProfiler::default()))
-            .unwrap();
+        let ua = profile_task(
+            &mut sys_ua,
+            &load,
+            &Profiler::UArch(UArchProfiler::default()),
+        )
+        .unwrap();
         let isr_dip = isr.observation.v_start - isr.observation.v_min;
         let ua_dip = ua.observation.v_start - ua.observation.v_min;
         // Two mechanisms make the ISR's observed dip shallower: its
@@ -380,11 +382,14 @@ mod tests {
         // total discharge deeper than the µArch block's.
         let load = pulse(1.0, 500.0);
         let mut sys_isr = plant_at(2.4);
-        let isr = profile_task(&mut sys_isr, &load, &Profiler::Isr(IsrProfiler::msp430()))
-            .unwrap();
+        let isr = profile_task(&mut sys_isr, &load, &Profiler::Isr(IsrProfiler::msp430())).unwrap();
         let mut sys_ua = plant_at(2.4);
-        let ua = profile_task(&mut sys_ua, &load, &Profiler::UArch(UArchProfiler::default()))
-            .unwrap();
+        let ua = profile_task(
+            &mut sys_ua,
+            &load,
+            &Profiler::UArch(UArchProfiler::default()),
+        )
+        .unwrap();
         // Compare *plant truth*, not quantized observations: the 8-bit
         // grid would mask the sub-millivolt effect. The ISR's ~72 µA ADC
         // draw over 500 ms pulls the buffer measurably lower than the
@@ -399,7 +404,10 @@ mod tests {
 
     #[test]
     fn profiler_kind_discriminates() {
-        assert_eq!(Profiler::Isr(IsrProfiler::msp430()).kind(), ProfilerKind::Isr);
+        assert_eq!(
+            Profiler::Isr(IsrProfiler::msp430()).kind(),
+            ProfilerKind::Isr
+        );
         assert_eq!(
             Profiler::UArch(UArchProfiler::default()).kind(),
             ProfilerKind::UArch

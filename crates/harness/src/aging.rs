@@ -55,6 +55,7 @@ fn aged_plant(t: f64) -> PowerSystem {
 /// Sweeps aging from fresh to 20 % beyond end-of-life.
 #[must_use]
 pub fn run() -> Vec<AgingRow> {
+    crate::preflight::require_clean_reference();
     // PG computes once, against the fresh characterisation.
     let fresh_model = PowerSystemModel::characterize(&|| aged_plant(0.0));
     let pg_stale = pg::compute_vsafe_for_profile(&load(), &fresh_model).v_safe;
@@ -71,9 +72,13 @@ pub fn run() -> Vec<AgingRow> {
         let mut sys = make();
         let v_high = sys.monitor().v_high();
         sys.set_buffer_voltage(v_high);
-        let reprofiled = profile_task(&mut sys, &load(), &Profiler::UArch(UArchProfiler::default()))
-            .map(|run| runtime::compute_vsafe(&run.observation, &fresh_model).v_safe)
-            .unwrap_or(v_high);
+        let reprofiled = profile_task(
+            &mut sys,
+            &load(),
+            &Profiler::UArch(UArchProfiler::default()),
+        )
+        .map(|run| runtime::compute_vsafe(&run.observation, &fresh_model).v_safe)
+        .unwrap_or(v_high);
 
         let margin = Volts::from_milli(19.0); // the paper's ±20 mV failure band
         rows.push(AgingRow {

@@ -30,11 +30,7 @@ fn plant(decoupling: Option<Farads>) -> PowerSystem {
     let mut builder = PowerSystem::builder().bank(Farads::from_milli(33.0), Ohms::new(4.5));
     if let Some(c) = decoupling {
         // Ceramic/tantalum decoupling: low ESR, placed at the rail.
-        builder = builder.extra_branch(CapacitorBranch::ideal(
-            c,
-            Ohms::new(0.02),
-            Volts::ZERO,
-        ));
+        builder = builder.extra_branch(CapacitorBranch::ideal(c, Ohms::new(0.02), Volts::ZERO));
     }
     let mut sys = builder.build();
     sys.set_buffer_voltage(Volts::new(2.45));
@@ -51,9 +47,16 @@ fn load() -> LoadProfile {
 /// 6.4 mF and reports the surviving ESR drop.
 #[must_use]
 pub fn run() -> Vec<DecouplingRow> {
+    crate::preflight::require_clean_reference();
     let mut rows = Vec::new();
-    let configs: [Option<f64>; 6] =
-        [None, Some(400e-6), Some(800e-6), Some(1.6e-3), Some(3.2e-3), Some(6.4e-3)];
+    let configs: [Option<f64>; 6] = [
+        None,
+        Some(400e-6),
+        Some(800e-6),
+        Some(1.6e-3),
+        Some(3.2e-3),
+        Some(6.4e-3),
+    ];
     for cfg in configs {
         let mut sys = plant(cfg.map(Farads::new));
         let out = sys.run_profile(&load(), RunConfig::default());

@@ -44,6 +44,7 @@ pub struct Fig01 {
 /// tail, from 2.2 V on the reference bank.
 #[must_use]
 pub fn run() -> Fig01 {
+    crate::preflight::require_clean_reference();
     let mut sys = reference_plant();
     sys.set_buffer_voltage(Volts::new(2.2));
     let load = PulseLoad::new(Amps::from_milli(25.0), Seconds::from_milli(10.0)).profile();
@@ -82,8 +83,14 @@ pub fn print_table(fig: &Fig01) {
     println!("  V_min        = {:.3} V", fig.v_min);
     println!("  V_after      = {:.3} V", fig.v_after);
     println!("  total drop   = {:.3} V", fig.total_drop);
-    println!("  energy drop  = {:.3} V  (all an energy model accounts for)", fig.energy_drop);
-    println!("  missed drop  = {:.3} V  (ESR-induced, rebounds after the load)", fig.missed_drop);
+    println!(
+        "  energy drop  = {:.3} V  (all an energy model accounts for)",
+        fig.energy_drop
+    );
+    println!(
+        "  missed drop  = {:.3} V  (ESR-induced, rebounds after the load)",
+        fig.missed_drop
+    );
     println!(
         "  ratio missed/energy = {:.2}×",
         fig.missed_drop / fig.energy_drop.max(1e-9)

@@ -25,6 +25,7 @@ pub struct BankRow {
 /// Builds the full Figure 3 point cloud for 45 mF banks.
 #[must_use]
 pub fn run() -> Vec<BankRow> {
+    crate::preflight::require_clean_reference();
     let catalog = Catalog::synthetic();
     catalog
         .bank_sweep(Farads::from_milli(45.0))

@@ -52,6 +52,7 @@ fn fig04_plant() -> PowerSystem {
 /// the LoRa packet survives.
 #[must_use]
 pub fn run() -> Vec<Fig04Row> {
+    crate::preflight::require_clean_reference();
     let load = LoRaRadio::default().profile();
     let mut rows = Vec::new();
     for k in 0..=16 {

@@ -11,11 +11,11 @@ use culpeo::compose::TaskRequirement;
 use culpeo::pg;
 use culpeo::PowerSystemModel;
 use culpeo_device::measure_for_catnap;
-use culpeo_units::Joules;
 use culpeo_loadgen::peripheral::BleRadio;
 use culpeo_loadgen::LoadProfile;
 use culpeo_powersim::{PowerSystem, RunConfig};
 use culpeo_sched::feasibility::{catnap_feasible, culpeo_feasible, PlanContext, PlannedLaunch};
+use culpeo_units::Joules;
 use culpeo_units::{Amps, Seconds, Watts};
 use serde::Serialize;
 
@@ -104,6 +104,7 @@ fn schedule(model: &PowerSystemModel) -> Vec<(Seconds, LoadProfile, PlannedLaunc
 /// execute the schedule on the plant.
 #[must_use]
 pub fn run() -> Fig05 {
+    crate::preflight::require_clean_reference();
     let model = PowerSystemModel::capybara();
     let sched = schedule(&model);
     let plan: Vec<PlannedLaunch> = sched.iter().map(|(_, _, p)| *p).collect();
@@ -120,7 +121,9 @@ pub fn run() -> Fig05 {
 
     // Execute on the plant with the plan's charging assumption.
     let mut sys = plant();
-    sys.set_harvester(culpeo_powersim::Harvester::ConstantPower(ctx.recharge_power));
+    sys.set_harvester(culpeo_powersim::Harvester::ConstantPower(
+        ctx.recharge_power,
+    ));
     let dt = Seconds::from_micro(100.0);
     let mut failure = None;
     let mut t_prev = Seconds::ZERO;
@@ -165,7 +168,10 @@ mod tests {
     #[test]
     fn catnap_accepts_culpeo_rejects_plant_fails() {
         let fig = run();
-        assert!(fig.catnap_accepts, "CatNap must judge the schedule feasible");
+        assert!(
+            fig.catnap_accepts,
+            "CatNap must judge the schedule feasible"
+        );
         assert!(!fig.culpeo_accepts, "Theorem 1 must reject it");
         // The plant vindicates Theorem 1: the radio launch (index 3) dies.
         assert_eq!(fig.plant_failure_at_launch, Some(3));

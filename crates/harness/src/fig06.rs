@@ -40,6 +40,7 @@ pub struct Fig06Row {
 /// Runs the Figure 6 comparison over the 12 synthetic loads.
 #[must_use]
 pub fn run() -> Vec<Fig06Row> {
+    crate::preflight::require_clean_reference();
     let model = PowerSystemModel::characterize(&reference_plant);
     let range = model.operating_range();
     let mut rows = Vec::new();

@@ -40,6 +40,7 @@ pub struct Fig10Row {
 /// Runs the Figure 10 comparison over the 18 loads × 4 systems.
 #[must_use]
 pub fn run() -> Vec<Fig10Row> {
+    crate::preflight::require_clean_reference();
     let model = PowerSystemModel::characterize(&reference_plant);
     let range = model.operating_range();
     let mut rows = Vec::new();
@@ -85,8 +86,7 @@ pub fn summarize(rows: &[Fig10Row]) -> Vec<(String, usize, f64, f64)> {
     FIG10_SYSTEMS
         .iter()
         .map(|s| {
-            let cells: Vec<&Fig10Row> =
-                rows.iter().filter(|r| r.system == s.label()).collect();
+            let cells: Vec<&Fig10Row> = rows.iter().filter(|r| r.system == s.label()).collect();
             let unsafe_cells = cells.iter().filter(|r| r.error_pct < -2.0).count();
             let worst = cells
                 .iter()
@@ -138,10 +138,7 @@ mod tests {
     #[test]
     fn culpeo_estimates_are_not_wildly_conservative() {
         let rows = run();
-        for r in rows
-            .iter()
-            .filter(|r| r.system.starts_with("Culpeo"))
-        {
+        for r in rows.iter().filter(|r| r.system.starts_with("Culpeo")) {
             assert!(
                 r.error_pct < 40.0,
                 "{} on {}: {:.1}% over-conservative",

@@ -65,6 +65,7 @@ fn rename(p: LoadProfile, name: &str) -> LoadProfile {
 /// Runs the Figure 11 experiment.
 #[must_use]
 pub fn run() -> Vec<Fig11Row> {
+    crate::preflight::require_clean_reference();
     let model = PowerSystemModel::characterize(&reference_plant);
     let mut rows = Vec::new();
     for load in peripherals() {

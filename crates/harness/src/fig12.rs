@@ -37,6 +37,7 @@ pub fn run() -> Vec<Fig12Row> {
 /// Parameterised variant (shorter runs for tests).
 #[must_use]
 pub fn run_with(duration: Seconds, trials: u32) -> Vec<Fig12Row> {
+    crate::preflight::require_clean_reference();
     let applications = [
         apps::periodic_sensing(),
         apps::responsive_reporting(),
@@ -52,12 +53,7 @@ pub fn run_with(duration: Seconds, trials: u32) -> Vec<Fig12Row> {
 }
 
 /// Aggregates per-class stats over seeded trials of one (app, policy).
-fn aggregate(
-    app: &AppSpec,
-    policy: ChargePolicy,
-    duration: Seconds,
-    trials: u32,
-) -> Vec<Fig12Row> {
+fn aggregate(app: &AppSpec, policy: ChargePolicy, duration: Seconds, trials: u32) -> Vec<Fig12Row> {
     let mut per_class: Vec<(String, u32, u32)> = app
         .classes
         .iter()

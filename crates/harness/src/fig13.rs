@@ -29,8 +29,11 @@ pub struct Fig13Row {
 
 /// The paper's rate scalings relative to the achievable setting: slow =
 /// 4/3× the interarrival, too fast = 2/3×.
-pub const RATE_POINTS: [(&str, f64); 3] =
-    [("slow", 4.0 / 3.0), ("achievable", 1.0), ("too-fast", 2.0 / 3.0)];
+pub const RATE_POINTS: [(&str, f64); 3] = [
+    ("slow", 4.0 / 3.0),
+    ("achievable", 1.0),
+    ("too-fast", 2.0 / 3.0),
+];
 
 /// Runs Figure 13 at the paper's scale.
 #[must_use]
@@ -41,6 +44,7 @@ pub fn run() -> Vec<Fig13Row> {
 /// Parameterised variant (shorter runs for tests).
 #[must_use]
 pub fn run_with(duration: Seconds, trials: u32) -> Vec<Fig13Row> {
+    crate::preflight::require_clean_reference();
     let candidates: [(&str, AppSpec, &str); 2] = [
         ("PS", apps::periodic_sensing(), "PS"),
         ("RR", apps::responsive_reporting(), "report"),
@@ -112,10 +116,7 @@ mod tests {
         for app in ["PS", "RR"] {
             for rate in ["slow", "achievable"] {
                 let pct = rate_of(&rows, app, rate, "Culpeo");
-                assert!(
-                    pct > 75.0,
-                    "{app}@{rate}: culpeo captured only {pct:.0}%"
-                );
+                assert!(pct > 75.0, "{app}@{rate}: culpeo captured only {pct:.0}%");
             }
         }
     }
@@ -126,10 +127,7 @@ mod tests {
         for app in ["PS", "RR"] {
             let cul = rate_of(&rows, app, "achievable", "Culpeo");
             let cat = rate_of(&rows, app, "achievable", "Catnap");
-            assert!(
-                cul >= cat,
-                "{app}: culpeo {cul:.0}% < catnap {cat:.0}%"
-            );
+            assert!(cul >= cat, "{app}: culpeo {cul:.0}% < catnap {cat:.0}%");
         }
     }
 

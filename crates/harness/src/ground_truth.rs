@@ -115,11 +115,7 @@ mod tests {
 
     #[test]
     fn trivial_load_needs_little_above_v_off() {
-        let load = LoadProfile::constant(
-            "tiny",
-            Amps::from_micro(100.0),
-            Seconds::from_milli(1.0),
-        );
+        let load = LoadProfile::constant("tiny", Amps::from_micro(100.0), Seconds::from_milli(1.0));
         let v = true_vsafe(&make, &load).unwrap();
         assert!(v.get() < 1.62, "V_safe = {v}");
     }

@@ -49,14 +49,19 @@ fn load() -> LoadProfile {
 /// strong-harvest estimate everywhere.
 #[must_use]
 pub fn run() -> Vec<HarvestRow> {
+    crate::preflight::require_clean_reference();
     let model = PowerSystemModel::capybara();
 
     let estimate_at = |mw: f64| -> Volts {
         let mut sys = plant(mw);
         sys.set_buffer_voltage(model.v_high());
-        profile_task(&mut sys, &load(), &Profiler::UArch(UArchProfiler::default()))
-            .map(|run| runtime::compute_vsafe(&run.observation, &model).v_safe)
-            .unwrap_or_else(|| model.v_high())
+        profile_task(
+            &mut sys,
+            &load(),
+            &Profiler::UArch(UArchProfiler::default()),
+        )
+        .map(|run| runtime::compute_vsafe(&run.observation, &model).v_safe)
+        .unwrap_or_else(|| model.v_high())
     };
 
     let strong = estimate_at(LEVELS_MW[0]);

@@ -23,6 +23,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod ground_truth;
 pub mod harvest;
+pub mod preflight;
 pub mod reconfig;
 pub mod systems;
 

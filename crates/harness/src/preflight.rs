@@ -1,0 +1,164 @@
+//! Pre-flight lint gate: the experiment drivers refuse to run on
+//! diagnostics-bearing inputs.
+//!
+//! Every `figNN::run()` (and the ablation drivers) calls
+//! [`require_clean_reference`] before touching the plant. The gate runs
+//! the full `culpeo-analyze` battery over the reference configuration —
+//! the Capybara spec, a sampled BLE trace, and a short audited smoke run
+//! of the simulated plant with its `Violation`s promoted into the same
+//! `C0xx` vocabulary — and panics with the rendered diagnostics if any
+//! *error* fired. The verdict is computed once per process and cached.
+//!
+//! For experiment-specific inputs, [`require_clean`] applies the same
+//! policy to an arbitrary [`AnalysisInput`].
+
+use std::sync::OnceLock;
+
+use culpeo_analyze::promote::promote;
+use culpeo_analyze::{AnalysisInput, Registry, Report, SystemSpec, TraceInput};
+use culpeo_loadgen::peripheral::BleRadio;
+use culpeo_powersim::Auditor;
+use culpeo_units::{Amps, Hertz, Seconds};
+
+/// Runs the default lint battery over `input`.
+#[must_use]
+pub fn report_for(input: &AnalysisInput) -> Report {
+    Registry::default_battery().run(input)
+}
+
+/// Runs the battery and panics with the rendered diagnostics if any
+/// error fired. `what` names the input in the panic message.
+///
+/// # Panics
+///
+/// Panics when the battery reports at least one error-severity
+/// diagnostic.
+pub fn require_clean(input: &AnalysisInput, what: &str) {
+    let report = report_for(input);
+    assert!(
+        !report.has_errors(),
+        "pre-flight refused {what}: input carries error diagnostics\n{}",
+        report.render_human(false)
+    );
+}
+
+/// Lints the reference configuration the fig drivers consume: the
+/// Capybara spec, a sampled BLE radio trace, and an audited smoke run of
+/// the simulated plant (whose `Violation`s are promoted to C03x).
+#[must_use]
+pub fn reference_report() -> Report {
+    let spec = SystemSpec::capybara();
+    let trace = BleRadio::default().profile().sample(Hertz::new(125_000.0));
+    let traces = vec![TraceInput::from_trace("reference ble trace", &trace)];
+    let input = AnalysisInput {
+        spec: &spec,
+        spec_locus: "reference capybara spec",
+        traces: &traces,
+        plan: None,
+        plan_locus: "",
+    };
+    let mut report = report_for(&input);
+
+    // Dynamic leg: a short audited run of the reference plant. The
+    // Auditor's physics violations join the static diagnostics so one
+    // report gates both.
+    let mut sys = crate::reference_plant();
+    let mut audit = Auditor::new(&mut sys);
+    let dt = Seconds::from_micro(100.0);
+    for _ in 0..500 {
+        audit.step(Amps::from_milli(5.0), dt);
+    }
+    report.extend(
+        audit
+            .finish()
+            .iter()
+            .map(|v| promote(v, "reference plant smoke run")),
+    );
+    report
+}
+
+/// Gates the experiment drivers on [`reference_report`]; the verdict is
+/// computed once per process.
+///
+/// # Panics
+///
+/// Panics when the reference configuration carries error diagnostics —
+/// no figure or ablation may be regenerated from inputs the linter
+/// rejects.
+pub fn require_clean_reference() {
+    static VERDICT: OnceLock<Result<(), String>> = OnceLock::new();
+    let verdict = VERDICT.get_or_init(|| {
+        let report = reference_report();
+        if report.has_errors() {
+            Err(report.render_human(false))
+        } else {
+            Ok(())
+        }
+    });
+    if let Err(rendered) = verdict {
+        panic!("pre-flight refused the reference configuration:\n{rendered}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_analyze::Severity;
+
+    #[test]
+    fn reference_configuration_is_clean() {
+        let report = reference_report();
+        assert!(
+            !report.has_errors(),
+            "reference inputs must lint clean:\n{}",
+            report.render_human(false)
+        );
+    }
+
+    #[test]
+    fn gate_accepts_reference_and_is_idempotent() {
+        require_clean_reference();
+        require_clean_reference();
+    }
+
+    #[test]
+    fn gate_refuses_a_corrupted_spec() {
+        let mut spec = SystemSpec::capybara();
+        spec.esr_ohms = None;
+        spec.esr_curve = Some(vec![(10.0, 3.1), (100.0, 4.2)]); // rises
+        let input = AnalysisInput::spec_only(&spec, "corrupted spec");
+        let report = report_for(&input);
+        assert!(report.has_errors());
+        let caught = std::panic::catch_unwind(|| require_clean(&input, "corrupted spec"));
+        assert!(caught.is_err(), "gate must refuse a rising ESR curve");
+    }
+
+    /// The machine-readable report is the contract CI consumes: parse it
+    /// back and check the schema fields the drivers rely on.
+    #[test]
+    fn json_report_round_trips_through_the_schema() {
+        let report = reference_report();
+        let doc = serde_json::parse_value_str(&report.render_json()).unwrap();
+        assert_eq!(doc.get("version").and_then(serde::Value::as_f64), Some(1.0));
+        assert_eq!(doc.get("errors").and_then(serde::Value::as_f64), Some(0.0));
+        let diags = doc
+            .get("diagnostics")
+            .and_then(serde::Value::as_array)
+            .expect("diagnostics array");
+        assert_eq!(diags.len(), report.diagnostics().len());
+        for (json, diag) in diags.iter().zip(report.diagnostics()) {
+            assert_eq!(
+                json.get("code").and_then(serde::Value::as_str),
+                Some(diag.code)
+            );
+            let label = match diag.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            assert_eq!(
+                json.get("severity").and_then(serde::Value::as_str),
+                Some(label)
+            );
+        }
+    }
+}

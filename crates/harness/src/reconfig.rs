@@ -36,12 +36,14 @@ pub struct ReconfigRow {
 /// and a large "bulk" bank (five more parts). `small_only = true` leaves
 /// only the fast bank connected.
 fn array(small_only: bool) -> PowerSystem {
-    let part = |v: f64| CapacitorBranch::new(
-        Farads::from_milli(7.5),
-        Ohms::new(20.0),
-        Amps::new(3.3e-9),
-        Volts::new(v),
-    );
+    let part = |v: f64| {
+        CapacitorBranch::new(
+            Farads::from_milli(7.5),
+            Ohms::new(20.0),
+            Amps::new(3.3e-9),
+            Volts::new(v),
+        )
+    };
     let mut sys = PowerSystem::builder()
         .extra_branch(part(0.0)) // placeholder; replaced below
         .build();
@@ -68,7 +70,10 @@ fn model_for(small_only: bool) -> PowerSystemModel {
         (Farads::from_milli(7.5), Ohms::new(20.0))
     } else {
         // 7.5 mF ∥ 37.5 mF with 20 Ω ∥ 4 Ω.
-        (Farads::from_milli(45.0), Ohms::new(1.0 / (1.0 / 20.0 + 1.0 / 4.0)))
+        (
+            Farads::from_milli(45.0),
+            Ohms::new(1.0 / (1.0 / 20.0 + 1.0 / 4.0)),
+        )
     };
     PowerSystemModel::with_flat_esr(
         c,
@@ -84,6 +89,7 @@ fn model_for(small_only: bool) -> PowerSystemModel {
 /// API (config-tagged), then cross-dispatches.
 #[must_use]
 pub fn run() -> Vec<ReconfigRow> {
+    crate::preflight::require_clean_reference();
     let task = TaskId(1);
     let load = BleRadio::default().profile();
     let configs = [("full-array", false), ("small-bank", true)];

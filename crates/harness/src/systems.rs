@@ -9,9 +9,7 @@
 
 use culpeo::baseline::{energy_direct, vsafe_from_voltage_pair, CatnapEstimator};
 use culpeo::{pg, runtime, PowerSystemModel};
-use culpeo_device::{
-    measure_for_catnap, profile_task, IsrProfiler, Profiler, UArchProfiler,
-};
+use culpeo_device::{measure_for_catnap, profile_task, IsrProfiler, Profiler, UArchProfiler};
 use culpeo_loadgen::LoadProfile;
 use culpeo_powersim::{PowerSystem, RunConfig};
 use culpeo_units::{Hertz, Volts};
@@ -103,17 +101,12 @@ impl VsafeSystem {
             VsafeSystem::CulpeoPg => Some(pg::compute_vsafe_for_profile(load, model).v_safe),
             VsafeSystem::CulpeoIsr => {
                 let mut sys = fresh_full(make_system);
-                let run =
-                    profile_task(&mut sys, load, &Profiler::Isr(IsrProfiler::msp430()))?;
+                let run = profile_task(&mut sys, load, &Profiler::Isr(IsrProfiler::msp430()))?;
                 Some(runtime::compute_vsafe(&run.observation, model).v_safe)
             }
             VsafeSystem::CulpeoUArch => {
                 let mut sys = fresh_full(make_system);
-                let run = profile_task(
-                    &mut sys,
-                    load,
-                    &Profiler::UArch(UArchProfiler::default()),
-                )?;
+                let run = profile_task(&mut sys, load, &Profiler::UArch(UArchProfiler::default()))?;
                 Some(runtime::compute_vsafe(&run.observation, model).v_safe)
             }
         }

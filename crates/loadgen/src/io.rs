@@ -57,30 +57,52 @@ impl core::fmt::Display for ParseTraceError {
 
 impl std::error::Error for ParseTraceError {}
 
-/// Serialises a trace to the CSV dialect above.
-#[must_use]
-pub fn to_csv(trace: &CurrentTrace) -> String {
-    let mut out = String::with_capacity(32 * trace.len() + 128);
-    out.push_str("# culpeo-trace v1\n");
-    out.push_str(&format!("# label: {}\n", trace.label()));
-    out.push_str(&format!("# dt_us: {}\n", trace.dt().to_micro()));
-    out.push_str("time_s,current_a\n");
-    for (t, i) in trace.iter() {
-        out.push_str(&format!("{:.9},{:.9}\n", t.get(), i.get()));
-    }
-    out
+/// A structurally parsed trace file, before any physical validation.
+///
+/// This is the input type for diagnostic tooling (`culpeo-analyze`),
+/// which must be able to *inspect* non-finite or negative samples and
+/// timestamp jitter rather than refuse them at the door the way
+/// [`from_csv`] does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawTraceFile {
+    /// The `# label:` header, or `"imported"`.
+    pub label: String,
+    /// The `# dt_us:` header.
+    pub dt: Seconds,
+    /// Data rows as written: `(line_number, time_s, current_a)`.
+    pub rows: Vec<(usize, f64, f64)>,
 }
 
-/// Parses a trace from the CSV dialect above.
+impl RawTraceFile {
+    /// The current column alone, in file order.
+    #[must_use]
+    pub fn currents(&self) -> Vec<f64> {
+        self.rows.iter().map(|&(_, _, i)| i).collect()
+    }
+
+    /// The timestamp column alone, in file order.
+    #[must_use]
+    pub fn timestamps(&self) -> Vec<f64> {
+        self.rows.iter().map(|&(_, t, _)| t).collect()
+    }
+}
+
+/// Parses the CSV dialect structurally, deferring physical validation.
+///
+/// Only structural problems are errors here: a missing/malformed `dt_us`
+/// header, rows that fail to parse as two numbers, or an empty body.
+/// Non-finite currents, negative currents, and timestamps disagreeing
+/// with `dt_us` all come through untouched so diagnostic passes can
+/// report them precisely.
 ///
 /// # Errors
 ///
-/// Returns a [`ParseTraceError`] describing the first problem found.
-pub fn from_csv(text: &str) -> Result<CurrentTrace, ParseTraceError> {
+/// Returns [`ParseTraceError::Empty`], [`ParseTraceError::MissingHeader`],
+/// or [`ParseTraceError::BadRow`] describing the first structural problem.
+pub fn parse_raw(text: &str) -> Result<RawTraceFile, ParseTraceError> {
     let mut label = "imported".to_string();
     let mut dt: Option<Seconds> = None;
-    let mut samples = Vec::new();
-    let mut sample_index = 0usize;
+    let mut rows = Vec::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -107,11 +129,15 @@ pub fn from_csv(text: &str) -> Result<CurrentTrace, ParseTraceError> {
         if line.starts_with("time_s") {
             continue; // column header
         }
-        let dt = dt.ok_or(ParseTraceError::MissingHeader("dt_us"))?;
+        if dt.is_none() {
+            return Err(ParseTraceError::MissingHeader("dt_us"));
+        }
         let mut cols = line.split(',');
         let (Some(t_txt), Some(i_txt)) = (cols.next(), cols.next()) else {
             return Err(ParseTraceError::BadRow(line_no));
         };
+        // `parse::<f64>` accepts the spellings "NaN" and "inf", which is
+        // exactly what lets the linter see corrupted captures.
         let t: f64 = t_txt
             .trim()
             .parse()
@@ -120,22 +146,53 @@ pub fn from_csv(text: &str) -> Result<CurrentTrace, ParseTraceError> {
             .trim()
             .parse()
             .map_err(|_| ParseTraceError::BadRow(line_no))?;
-        if !i.is_finite() || i < 0.0 {
-            return Err(ParseTraceError::BadCurrent(line_no));
-        }
-        let expected_t = sample_index as f64 * dt.get();
-        if (t - expected_t).abs() > dt.get() * 0.5 {
-            return Err(ParseTraceError::TimestampMismatch(line_no));
-        }
-        samples.push(Amps::new(i));
-        sample_index += 1;
+        rows.push((line_no, t, i));
     }
 
     let dt = dt.ok_or(ParseTraceError::MissingHeader("dt_us"))?;
-    if samples.is_empty() {
+    if rows.is_empty() {
         return Err(ParseTraceError::Empty);
     }
-    Ok(CurrentTrace::new(label, dt, samples))
+    Ok(RawTraceFile { label, dt, rows })
+}
+
+/// Serialises a trace to the CSV dialect above.
+#[must_use]
+pub fn to_csv(trace: &CurrentTrace) -> String {
+    let mut out = String::with_capacity(32 * trace.len() + 128);
+    out.push_str("# culpeo-trace v1\n");
+    out.push_str(&format!("# label: {}\n", trace.label()));
+    out.push_str(&format!("# dt_us: {}\n", trace.dt().to_micro()));
+    out.push_str("time_s,current_a\n");
+    for (t, i) in trace.iter() {
+        out.push_str(&format!("{:.9},{:.9}\n", t.get(), i.get()));
+    }
+    out
+}
+
+/// Parses a trace from the CSV dialect above.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] describing the first problem found.
+pub fn from_csv(text: &str) -> Result<CurrentTrace, ParseTraceError> {
+    let raw = parse_raw(text)?;
+    let dt = raw.dt.get();
+    let mut samples = Vec::with_capacity(raw.rows.len());
+    for (sample_index, &(line_no, t, i)) in raw.rows.iter().enumerate() {
+        if !i.is_finite() || i < 0.0 {
+            return Err(ParseTraceError::BadCurrent(line_no));
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let expected_t = sample_index as f64 * dt;
+        // NaN-safe: a NaN timestamp compares false, so it is a mismatch.
+        let within_tolerance = (t - expected_t).abs() <= dt * 0.5;
+        if !within_tolerance {
+            return Err(ParseTraceError::TimestampMismatch(line_no));
+        }
+        samples.push(Amps::new(i));
+    }
+    Ok(CurrentTrace::new(raw.label, raw.dt, samples))
 }
 
 #[cfg(test)]
@@ -167,10 +224,7 @@ mod tests {
     #[test]
     fn missing_dt_header_is_an_error() {
         let text = "time_s,current_a\n0.0,0.001\n";
-        assert_eq!(
-            from_csv(text),
-            Err(ParseTraceError::MissingHeader("dt_us"))
-        );
+        assert_eq!(from_csv(text), Err(ParseTraceError::MissingHeader("dt_us")));
     }
 
     #[test]
@@ -204,6 +258,37 @@ mod tests {
         let t = from_csv(text).unwrap();
         assert_eq!(t.label(), "x");
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn parse_raw_admits_what_from_csv_rejects() {
+        // A corrupted capture: NaN and negative currents, jittered stamp.
+        let text = "# dt_us: 100\n0.0,NaN\n0.00015,-0.001\n";
+        let raw = parse_raw(text).unwrap();
+        assert_eq!(raw.rows.len(), 2);
+        assert!(raw.currents()[0].is_nan());
+        assert_eq!(raw.currents()[1], -0.001);
+        assert_eq!(raw.timestamps()[1], 0.000_15);
+        assert!(from_csv(text).is_err());
+    }
+
+    #[test]
+    fn parse_raw_still_rejects_structural_damage() {
+        assert_eq!(
+            parse_raw("time_s,current_a\n0.0,0.001\n"),
+            Err(ParseTraceError::MissingHeader("dt_us"))
+        );
+        assert_eq!(
+            parse_raw("# dt_us: 100\nnot,a number\n"),
+            Err(ParseTraceError::BadRow(2))
+        );
+        assert_eq!(parse_raw("# dt_us: 100\n"), Err(ParseTraceError::Empty));
+    }
+
+    #[test]
+    fn nan_timestamp_is_a_mismatch() {
+        let text = "# dt_us: 100\nNaN,0.001\n";
+        assert_eq!(from_csv(text), Err(ParseTraceError::TimestampMismatch(2)));
     }
 
     #[test]

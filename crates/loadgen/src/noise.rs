@@ -79,9 +79,8 @@ mod tests {
     #[test]
     fn gaussian_never_negative() {
         let mut rng = StdRng::seed_from_u64(11);
-        let quiet =
-            LoadProfile::constant("q", Amps::from_micro(1.0), Seconds::from_milli(10.0))
-                .sample(Hertz::new(10_000.0));
+        let quiet = LoadProfile::constant("q", Amps::from_micro(1.0), Seconds::from_milli(10.0))
+            .sample(Hertz::new(10_000.0));
         let n = gaussian(&quiet, Amps::from_milli(1.0), &mut rng);
         assert!(n.samples().iter().all(|s| s.get() >= 0.0));
     }

@@ -98,9 +98,7 @@ impl Segment {
     pub fn charge(&self) -> f64 {
         match *self {
             Segment::Constant { current, duration } => current.get() * duration.get(),
-            Segment::Ramp { from, to, duration } => {
-                0.5 * (from.get() + to.get()) * duration.get()
-            }
+            Segment::Ramp { from, to, duration } => 0.5 * (from.get() + to.get()) * duration.get(),
             Segment::Burst {
                 peak,
                 base,
@@ -123,11 +121,9 @@ impl Segment {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn ma(v: f64) -> Amps {
         Amps::from_milli(v)

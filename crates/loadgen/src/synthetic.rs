@@ -179,24 +179,24 @@ pub const FIG6_POINTS: [(f64, f64); 6] = [
 /// paper's plotting order.
 #[must_use]
 pub fn fig10_loads() -> Vec<LoadProfile> {
-    let uniform = FIG10_POINTS.iter().map(|&(ma, ms)| {
-        UniformLoad::new(Amps::from_milli(ma), Seconds::from_milli(ms)).profile()
-    });
-    let pulse = FIG10_POINTS.iter().map(|&(ma, ms)| {
-        PulseLoad::new(Amps::from_milli(ma), Seconds::from_milli(ms)).profile()
-    });
+    let uniform = FIG10_POINTS
+        .iter()
+        .map(|&(ma, ms)| UniformLoad::new(Amps::from_milli(ma), Seconds::from_milli(ms)).profile());
+    let pulse = FIG10_POINTS
+        .iter()
+        .map(|&(ma, ms)| PulseLoad::new(Amps::from_milli(ma), Seconds::from_milli(ms)).profile());
     uniform.chain(pulse).collect()
 }
 
 /// The Figure 6 workload set: 6 uniform loads then 6 pulse loads.
 #[must_use]
 pub fn fig6_loads() -> Vec<LoadProfile> {
-    let uniform = FIG6_POINTS.iter().map(|&(ma, ms)| {
-        UniformLoad::new(Amps::from_milli(ma), Seconds::from_milli(ms)).profile()
-    });
-    let pulse = FIG6_POINTS.iter().map(|&(ma, ms)| {
-        PulseLoad::new(Amps::from_milli(ma), Seconds::from_milli(ms)).profile()
-    });
+    let uniform = FIG6_POINTS
+        .iter()
+        .map(|&(ma, ms)| UniformLoad::new(Amps::from_milli(ma), Seconds::from_milli(ms)).profile());
+    let pulse = FIG6_POINTS
+        .iter()
+        .map(|&(ma, ms)| PulseLoad::new(Amps::from_milli(ma), Seconds::from_milli(ms)).profile());
     uniform.chain(pulse).collect()
 }
 

@@ -217,11 +217,7 @@ impl CurrentTrace {
         );
         let mut samples = self.samples.clone();
         samples.extend_from_slice(&other.samples);
-        CurrentTrace::new(
-            format!("{}+{}", self.label, other.label),
-            self.dt,
-            samples,
-        )
+        CurrentTrace::new(format!("{}+{}", self.label, other.label), self.dt, samples)
     }
 }
 

@@ -46,7 +46,10 @@ impl core::fmt::Display for Violation {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             Violation::EnergyImbalance { actual, expected } => {
-                write!(f, "energy imbalance: stored Δ{actual} vs ledger Δ{expected}")
+                write!(
+                    f,
+                    "energy imbalance: stored Δ{actual} vs ledger Δ{expected}"
+                )
             }
             Violation::DeliveryWhileRecharging { t } => {
                 write!(f, "delivered power during recharge at t = {t}")

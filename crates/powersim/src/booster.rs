@@ -108,7 +108,10 @@ impl OutputBooster {
     #[must_use]
     pub fn new(v_out: Volts, efficiency: EfficiencyCurve, min_input: Volts) -> Self {
         assert!(v_out.get() > 0.0, "output voltage must be positive");
-        assert!(min_input.get() > 0.0, "minimum input voltage must be positive");
+        assert!(
+            min_input.get() > 0.0,
+            "minimum input voltage must be positive"
+        );
         Self {
             v_out,
             efficiency,
@@ -197,8 +200,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "differ in voltage")]
     fn through_rejects_coincident_points() {
-        let _ =
-            EfficiencyCurve::through((Volts::new(1.0), 0.7), (Volts::new(1.0), 0.8), 0.1, 0.9);
+        let _ = EfficiencyCurve::through((Volts::new(1.0), 0.7), (Volts::new(1.0), 0.8), 0.1, 0.9);
     }
 
     #[test]
@@ -218,8 +220,12 @@ mod tests {
     #[test]
     fn below_operational_region_delivers_nothing() {
         let b = OutputBooster::capybara();
-        assert!(b.input_power(Volts::new(0.4), Amps::from_milli(1.0)).is_none());
-        assert!(b.input_current(Volts::new(0.3), Amps::from_milli(1.0)).is_none());
+        assert!(b
+            .input_power(Volts::new(0.4), Amps::from_milli(1.0))
+            .is_none());
+        assert!(b
+            .input_current(Volts::new(0.3), Amps::from_milli(1.0))
+            .is_none());
     }
 
     #[test]

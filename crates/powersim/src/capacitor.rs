@@ -220,7 +220,9 @@ mod tests {
     #[test]
     fn aging_scales_parameters() {
         let aged = bank().aged(AgingState::END_OF_LIFE);
-        assert!(aged.capacitance().approx_eq(Farads::from_milli(36.0), 1e-12));
+        assert!(aged
+            .capacitance()
+            .approx_eq(Farads::from_milli(36.0), 1e-12));
         assert!(aged.esr().approx_eq(Ohms::new(6.6), 1e-12));
     }
 

@@ -68,7 +68,9 @@ mod tests {
             harvested: Joules::new(2.0),
         };
         assert!(l.total_outflow().approx_eq(Joules::new(1.6), 1e-12));
-        assert!(l.expected_storage_delta().approx_eq(Joules::new(0.4), 1e-12));
+        assert!(l
+            .expected_storage_delta()
+            .approx_eq(Joules::new(0.4), 1e-12));
     }
 
     #[test]

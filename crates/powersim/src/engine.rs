@@ -236,7 +236,9 @@ impl PowerSystem {
 
         let delivering = self.monitor.output_enabled() && i_load.get() > 0.0;
         let effective_load = if delivering { i_load } else { Amps::ZERO };
-        let sol = self.buffer.solve_node(&self.booster, effective_load, i_charge);
+        let sol = self
+            .buffer
+            .solve_node(&self.booster, effective_load, i_charge);
 
         // Energy bookkeeping (before integrating, using this step's state).
         let dt_s = dt.get();
@@ -306,9 +308,7 @@ impl PowerSystem {
             }
         }
 
-        let (t_min, v_min) = trace
-            .minimum()
-            .unwrap_or((Seconds::ZERO, v_start));
+        let (t_min, v_min) = trace.minimum().unwrap_or((Seconds::ZERO, v_start));
 
         let v_final = if brownout.is_none() {
             self.settle(cfg)
@@ -341,8 +341,7 @@ impl PowerSystem {
     pub fn settle(&mut self, cfg: RunConfig) -> Volts {
         let window = Seconds::from_milli(10.0);
         let window_steps = window.steps(cfg.dt).max(1);
-        let max_windows =
-            (cfg.settle_timeout.get() / window.get()).ceil().max(1.0) as usize;
+        let max_windows = (cfg.settle_timeout.get() / window.get()).ceil().max(1.0) as usize;
         let mut prev = self.v_node();
         for _ in 0..max_windows {
             let mut last = prev;
@@ -479,7 +478,9 @@ impl PowerSystemBuilder {
         } else {
             self.branches
         };
-        let v0 = self.initial_voltage.unwrap_or_else(|| self.monitor.v_high());
+        let v0 = self
+            .initial_voltage
+            .unwrap_or_else(|| self.monitor.v_high());
         for b in &mut branches {
             b.set_v_internal(v0);
         }

@@ -73,9 +73,7 @@ impl EsrCurve {
         if f.get() >= last.0.get() {
             return last.1;
         }
-        let idx = self
-            .points
-            .partition_point(|&(pf, _)| pf.get() <= f.get());
+        let idx = self.points.partition_point(|&(pf, _)| pf.get() <= f.get());
         let (f0, r0) = self.points[idx - 1];
         let (f1, r1) = self.points[idx];
         let t = (f.get().ln() - f0.get().ln()) / (f1.get().ln() - f0.get().ln());
@@ -206,11 +204,7 @@ mod tests {
     #[test]
     fn measured_curve_on_two_branch_bank_falls_with_frequency() {
         let make = || PowerSystem::capybara_two_branch();
-        let curve = measure_esr_curve(
-            &make,
-            Amps::from_milli(25.0),
-            &standard_probe_frequencies(),
-        );
+        let curve = measure_esr_curve(&make, Amps::from_milli(25.0), &standard_probe_frequencies());
         assert!(curve.points().len() >= 3);
         let lowest = curve.points().first().unwrap().1;
         let highest = curve.points().last().unwrap().1;

@@ -126,7 +126,10 @@ impl BufferNetwork {
     /// Total stored energy across branches.
     #[must_use]
     pub fn stored_energy(&self) -> Joules {
-        self.branches.iter().map(CapacitorBranch::stored_energy).sum()
+        self.branches
+            .iter()
+            .map(CapacitorBranch::stored_energy)
+            .sum()
     }
 
     /// Sets every branch's internal voltage to `v` (a fully settled buffer).
@@ -146,10 +149,7 @@ impl BufferNetwork {
     /// Node voltage given a fixed external current draw `i_ext`
     /// (positive = out of the network). Exact linear solve.
     fn node_for_external(&self, i_ext: Amps) -> Volts {
-        let g: f64 = self
-            .connected_branches()
-            .map(|b| 1.0 / b.esr().get())
-            .sum();
+        let g: f64 = self.connected_branches().map(|b| 1.0 / b.esr().get()).sum();
         let weighted: f64 = self
             .connected_branches()
             .map(|b| b.v_internal().get() / b.esr().get())
@@ -441,7 +441,9 @@ mod tests {
         let n = BufferNetwork::new(vec![bank(2.0), bank(2.0)]);
         let e = n.stored_energy();
         assert!(e.approx_eq(Joules::new(2.0 * 0.5 * 0.045 * 4.0), 1e-12));
-        assert!(n.total_capacitance().approx_eq(Farads::from_milli(90.0), 1e-12));
+        assert!(n
+            .total_capacitance()
+            .approx_eq(Farads::from_milli(90.0), 1e-12));
     }
 
     #[test]

@@ -42,7 +42,9 @@ impl VoltageTrace {
             samples: Vec::new(),
             stride,
             counter: 0,
-            v_min: Volts::new(f64::INFINITY),
+            // Sentinel above any reachable voltage; `seen_any` gates its
+            // exposure. Finite so the strict-finite guard stays quiet.
+            v_min: Volts::new(f64::MAX),
             t_min: Seconds::ZERO,
             seen_any: false,
         }

@@ -6,8 +6,7 @@ use culpeo_units::{Amps, Farads, Ohms, Seconds, Volts};
 use proptest::prelude::*;
 
 fn system(c_mf: f64, esr: f64, v0: f64) -> PowerSystem {
-    let mut sys =
-        PowerSystem::capybara_with_bank(Farads::from_milli(c_mf), Ohms::new(esr));
+    let mut sys = PowerSystem::capybara_with_bank(Farads::from_milli(c_mf), Ohms::new(esr));
     sys.set_buffer_voltage(Volts::new(v0));
     sys.force_output_enabled();
     sys

@@ -84,7 +84,10 @@ pub fn run_beacon(
     let pad = Volts::from_milli(5.0);
 
     // Initial profiling from a full buffer under the schedule's first level.
-    sys.set_harvester(Harvester::ConstantPower(harvest_at(schedule, Seconds::ZERO)));
+    sys.set_harvester(Harvester::ConstantPower(harvest_at(
+        schedule,
+        Seconds::ZERO,
+    )));
     let mut v_safe = profile_now(&mut sys, task, model);
     let mut profiled_rate = measure_rate(&mut sys, dt, Seconds::new(1.0));
     let mut reprofiles = 0u32;
@@ -111,13 +114,11 @@ pub fn run_beacon(
                 // nothing about the harvest. (A full buffer also means
                 // maximum dispatch margin, so skipping the check there is
                 // safe.)
-                let charging_observable =
-                    sys.v_node() < model.v_high() - Volts::from_milli(20.0);
+                let charging_observable = sys.v_node() < model.v_high() - Volts::from_milli(20.0);
                 if charging_observable {
                     let rate = measure_rate(&mut sys, dt, cfg.rate_window);
                     let drift = (rate - profiled_rate).abs();
-                    let threshold =
-                        profiled_rate.abs().max(1e-6) * cfg.rate_change_threshold;
+                    let threshold = profiled_rate.abs().max(1e-6) * cfg.rate_change_threshold;
                     if drift > threshold {
                         v_safe = profile_now(&mut sys, task, model);
                         profiled_rate = measure_rate(&mut sys, dt, cfg.rate_window);

@@ -186,7 +186,11 @@ mod tests {
 
     #[test]
     fn all_apps_are_well_formed() {
-        for app in [periodic_sensing(), responsive_reporting(), noise_monitoring()] {
+        for app in [
+            periodic_sensing(),
+            responsive_reporting(),
+            noise_monitoring(),
+        ] {
             assert!(!app.tasks.is_empty());
             assert!(!app.classes.is_empty());
             // Every referenced task exists.

@@ -29,12 +29,12 @@ pub struct DegradeResult {
 
 /// Finds the smallest interarrival scale (fastest event rate) at which
 /// `class` is captured at `target_rate` or better, probing
-/// geometrically between `min_scale` and `max_scale` and then refining
+/// geometrically across `scale_bounds = (min, max)` and then refining
 /// by bisection.
 ///
-/// Returns `None` if even `max_scale` (the slowest rate) misses the
-/// target — the application is infeasible for this policy regardless of
-/// rate, which is precisely CatNap's Figure 13 pathology.
+/// Returns `None` if even the maximum scale (the slowest rate) misses
+/// the target — the application is infeasible for this policy regardless
+/// of rate, which is precisely CatNap's Figure 13 pathology.
 ///
 /// # Panics
 ///
@@ -46,11 +46,11 @@ pub fn fastest_sustainable_rate(
     policy: ChargePolicy,
     class: &str,
     target_rate: f64,
-    min_scale: f64,
-    max_scale: f64,
+    scale_bounds: (f64, f64),
     trial: Seconds,
     seed: u64,
 ) -> Option<DegradeResult> {
+    let (min_scale, max_scale) = scale_bounds;
     assert!(
         0.0 < min_scale && min_scale < max_scale,
         "scales must satisfy 0 < min < max"
@@ -119,8 +119,7 @@ mod tests {
             ChargePolicy::Culpeo,
             "report",
             0.9,
-            0.25,
-            4.0,
+            (0.25, 4.0),
             trial,
             5,
         );
@@ -129,8 +128,7 @@ mod tests {
             ChargePolicy::Catnap,
             "report",
             0.9,
-            0.25,
-            4.0,
+            (0.25, 4.0),
             trial,
             5,
         );
@@ -158,8 +156,7 @@ mod tests {
             ChargePolicy::Culpeo,
             "PS",
             0.9,
-            0.5,
-            2.0,
+            (0.5, 2.0),
             Seconds::new(60.0),
             3,
         )
@@ -177,8 +174,7 @@ mod tests {
             ChargePolicy::Culpeo,
             "PS",
             1.5,
-            0.5,
-            2.0,
+            (0.5, 2.0),
             Seconds::new(30.0),
             1,
         );

@@ -119,11 +119,7 @@ mod tests {
         };
         // Expect ~100 events over 3000 s; allow generous slack.
         let a = src.arrivals(Seconds::new(3000.0), &mut rng);
-        assert!(
-            (70..=130).contains(&a.len()),
-            "got {} arrivals",
-            a.len()
-        );
+        assert!((70..=130).contains(&a.len()), "got {} arrivals", a.len());
         // Strictly increasing.
         for w in a.windows(2) {
             assert!(w[1] > w[0]);

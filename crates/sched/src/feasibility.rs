@@ -13,9 +13,9 @@
 //! plant to show which verdicts were right.
 
 use culpeo::compose::TaskRequirement;
-use culpeo_units::{Farads, Seconds, Volts, Watts};
 #[cfg(test)]
 use culpeo_units::Joules;
+use culpeo_units::{Farads, Seconds, Volts, Watts};
 
 /// One planned task launch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,8 +76,9 @@ pub fn catnap_feasible(plan: &[PlannedLaunch], ctx: &PlanContext) -> bool {
     plan.iter().zip(&voltages).all(|(launch, &v)| {
         // Energy after running the task remains positive:
         let c = ctx.capacitance.get();
-        let v_after =
-            Volts::from_squared((v.squared() - 2.0 * launch.requirement.buffer_energy.get() / c).max(0.0));
+        let v_after = Volts::from_squared(
+            (v.squared() - 2.0 * launch.requirement.buffer_energy.get() / c).max(0.0),
+        );
         v_after > ctx.v_off
     })
 }
@@ -152,13 +153,14 @@ mod tests {
     fn recharge_gaps_restore_feasibility() {
         // Same workload, but the radio waits long enough to recharge
         // above its V_safe: now both accept.
-        let plan = [
-            launch(0.0, 30.0, 0.05, 1.7),
-            launch(60.0, 3.0, 0.35, 2.1),
-        ];
+        let plan = [launch(0.0, 30.0, 0.05, 1.7), launch(60.0, 3.0, 0.35, 2.1)];
         let c = ctx();
         assert!(catnap_feasible(&plan, &c));
-        assert!(culpeo_feasible(&plan, &c), "{:?}", predicted_voltages(&plan, &c));
+        assert!(
+            culpeo_feasible(&plan, &c),
+            "{:?}",
+            predicted_voltages(&plan, &c)
+        );
     }
 
     #[test]

@@ -83,17 +83,15 @@ pub fn derive_thresholds(
     // Per-class sequence thresholds.
     let mut class_vsafe = HashMap::new();
     for class in &app.classes {
-        let seq: Vec<TaskRequirement> = class
-            .sequence
-            .iter()
-            .map(|id| requirements[id])
-            .collect();
+        let seq: Vec<TaskRequirement> = class.sequence.iter().map(|id| requirements[id]).collect();
         let v = match policy {
             // CatNap's "energy bucket": energies add, ESR ignored.
             ChargePolicy::Catnap => {
                 let total: f64 = seq.iter().map(|r| r.buffer_energy.get()).sum();
                 vsafe_from_voltage_pair(
-                    Volts::from_squared(model.v_off().squared() + 2.0 * total / app.capacitance.get()),
+                    Volts::from_squared(
+                        model.v_off().squared() + 2.0 * total / app.capacitance.get(),
+                    ),
                     model.v_off(),
                     model,
                 )
@@ -116,7 +114,8 @@ pub fn derive_thresholds(
             let bg_req = requirements[&bg];
             match policy {
                 ChargePolicy::Catnap => Volts::from_squared(
-                    worst_class.squared() + 2.0 * bg_req.buffer_energy.get() / app.capacitance.get(),
+                    worst_class.squared()
+                        + 2.0 * bg_req.buffer_energy.get() / app.capacitance.get(),
                 ),
                 ChargePolicy::Culpeo => {
                     // Compose the background chunk before a pseudo-task
@@ -146,11 +145,7 @@ fn profiling_plant(app: &AppSpec) -> PowerSystem {
     PowerSystem::capybara_with_bank(app.capacitance, app.esr)
 }
 
-fn profile_culpeo(
-    app: &AppSpec,
-    id: TaskId,
-    model: &PowerSystemModel,
-) -> (Volts, TaskRequirement) {
+fn profile_culpeo(app: &AppSpec, id: TaskId, model: &PowerSystemModel) -> (Volts, TaskRequirement) {
     let task = app.task(id);
     let mut sys = profiling_plant(app);
     let est = profile_task(&mut sys, &task.load, &Profiler::Isr(IsrProfiler::msp430()))
@@ -165,11 +160,7 @@ fn profile_culpeo(
     (est.v_safe, TaskRequirement::from_estimate(&est))
 }
 
-fn profile_catnap(
-    app: &AppSpec,
-    id: TaskId,
-    model: &PowerSystemModel,
-) -> (Volts, TaskRequirement) {
+fn profile_catnap(app: &AppSpec, id: TaskId, model: &PowerSystemModel) -> (Volts, TaskRequirement) {
     let task = app.task(id);
     let mut sys = profiling_plant(app);
     let estimator = CatnapEstimator::published();

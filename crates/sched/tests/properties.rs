@@ -85,6 +85,13 @@ fn thresholds_inside_operating_window() {
                 model.v_high()
             );
         }
-        assert!(th.lp_threshold >= *th.class_vsafe.values().max_by(|a, b| a.get().total_cmp(&b.get())).unwrap());
+        assert!(
+            th.lp_threshold
+                >= *th
+                    .class_vsafe
+                    .values()
+                    .max_by(|a, b| a.get().total_cmp(&b.get()))
+                    .unwrap()
+        );
     }
 }

@@ -77,7 +77,6 @@ impl core::fmt::Display for Celsius {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Quantity as _;
 
     #[test]
     fn si_prefix_selection() {

@@ -43,8 +43,13 @@ pub struct CubicMillimetres(pub f64);
 
 impl CubicMillimetres {
     /// Creates a volume from a raw value in mm³.
+    ///
+    /// Under `strict-finite`, debug builds reject NaN and ±∞ like the
+    /// electrical quantities do.
     #[must_use]
     pub const fn new(v: f64) -> Self {
+        #[cfg(feature = "strict-finite")]
+        debug_assert!(v.is_finite(), "non-finite quantity constructed");
         Self(v)
     }
 

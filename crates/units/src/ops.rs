@@ -151,7 +151,6 @@ impl Watts {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Quantity as _;
 
     #[test]
     fn ohms_law_both_orders() {

@@ -90,8 +90,16 @@ macro_rules! quantity {
 
         impl $name {
             /// Wraps a raw value expressed in the base SI unit.
+            ///
+            /// With the `strict-finite` feature (enabled by the test and
+            /// harness crates), debug builds reject NaN and ±∞ here — at
+            /// the construction site — instead of letting them propagate
+            /// into a simulation where the first visible symptom is far
+            /// from the cause.
             #[must_use]
             pub const fn new(value: f64) -> Self {
+                #[cfg(feature = "strict-finite")]
+                debug_assert!(value.is_finite(), "non-finite quantity constructed");
                 Self(value)
             }
 
@@ -163,7 +171,7 @@ macro_rules! quantity {
             const SYMBOL: &'static str = $symbol;
 
             fn new(value: f64) -> Self {
-                Self(value)
+                Self::new(value)
             }
 
             fn get(self) -> f64 {
@@ -345,7 +353,6 @@ impl Volts {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Quantity as _;
 
     #[test]
     fn construction_and_prefixes() {
@@ -411,7 +418,10 @@ mod tests {
     #[test]
     fn seconds_steps() {
         assert_eq!(Seconds::new(1.0).steps(Seconds::from_micro(8.0)), 125_000);
-        assert_eq!(Seconds::from_milli(10.0).steps(Seconds::from_milli(1.0)), 10);
+        assert_eq!(
+            Seconds::from_milli(10.0).steps(Seconds::from_milli(1.0)),
+            10
+        );
     }
 
     #[test]

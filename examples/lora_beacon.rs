@@ -28,7 +28,11 @@ fn main() {
     let packet = LoRaRadio::default().profile();
     let model = PowerSystemModel::capybara();
     let v_safe = pg::compute_vsafe_for_profile(&packet, &model).v_safe;
-    println!("LoRa packet: {} peak for {}", packet.peak(), packet.duration());
+    println!(
+        "LoRa packet: {} peak for {}",
+        packet.peak(),
+        packet.duration()
+    );
     println!("Culpeo V_safe for the packet: {v_safe}\n");
 
     // The device wakes at 1.75 V — above V_off, with plenty of stored

@@ -17,14 +17,21 @@ fn main() {
     //    here the "hardware" is the simulated Capybara plant.
     let make_plant = PowerSystem::capybara_two_branch;
     let model = PowerSystemModel::characterize(&make_plant);
-    println!("power system: C = {}, V_off = {}", model.capacitance(), model.v_off());
+    println!(
+        "power system: C = {}, V_off = {}",
+        model.capacitance(),
+        model.v_off()
+    );
 
     // 2. Profile the task's current draw (a BLE transmission) and run the
     //    Culpeo-PG analysis (Algorithm 1).
     let radio = BleRadio::default().profile();
     let trace = radio.sample(Hertz::new(125_000.0));
     let culpeo = pg::compute_vsafe(&trace, &model);
-    println!("Culpeo-PG   : V_safe = {}, V_δ = {}", culpeo.v_safe, culpeo.v_delta);
+    println!(
+        "Culpeo-PG   : V_safe = {}, V_δ = {}",
+        culpeo.v_safe, culpeo.v_delta
+    );
 
     // 3. The energy-only answer for comparison.
     let energy_only = energy_direct(&trace, &model);
@@ -38,7 +45,11 @@ fn main() {
         let out = sys.run_profile(&radio, RunConfig::default());
         println!(
             "dispatch at {label} estimate ({v_start}): {} (V_min = {})",
-            if out.completed() { "completed" } else { "POWER FAILURE" },
+            if out.completed() {
+                "completed"
+            } else {
+                "POWER FAILURE"
+            },
             out.v_min
         );
     }

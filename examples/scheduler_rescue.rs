@@ -12,7 +12,10 @@ fn main() {
     let app = apps::responsive_reporting();
     let model = apps::model_for(&app);
 
-    println!("application: {} (Poisson reports, 3 s deadline)\n", app.name);
+    println!(
+        "application: {} (Poisson reports, 3 s deadline)\n",
+        app.name
+    );
     for policy in [ChargePolicy::Catnap, ChargePolicy::Culpeo] {
         let thresholds = derive_thresholds(&app, policy, &model);
         println!("{} thresholds:", policy.label());

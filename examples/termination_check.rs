@@ -35,7 +35,7 @@ fn main() {
         LoRaRadio::default().profile(),
     ];
 
-    println!("{:<12} {:>10} {:>12} {}", "task", "V_safe", "ESR drop", "verdict");
+    println!("{:<12} {:>10} {:>12} verdict", "task", "V_safe", "ESR drop");
     for check in check_program(&tasks, &model) {
         let verdict = match check.verdict {
             TerminationVerdict::Terminates { headroom } => {

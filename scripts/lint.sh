@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Static quality gate: clippy (deny warnings) + rustfmt check over the
+# whole workspace, including benches, tests, and the vendored stubs.
+# CI and pre-commit both call this; it must stay green.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "lint: clean"

@@ -8,7 +8,7 @@ use culpeo_harness::reference_plant;
 use culpeo_loadgen::peripheral::{BleRadio, GestureSensor, MnistAccelerator};
 use culpeo_loadgen::synthetic::PulseLoad;
 use culpeo_loadgen::LoadProfile;
-use culpeo_units::{Amps, Hertz, Quantity as _, Seconds, Volts};
+use culpeo_units::{Amps, Hertz, Seconds, Volts};
 
 fn model() -> PowerSystemModel {
     PowerSystemModel::characterize(&reference_plant)

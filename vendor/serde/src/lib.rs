@@ -1,0 +1,336 @@
+//! Offline stub of `serde`.
+//!
+//! Instead of upstream serde's visitor-based data model, this stub routes
+//! everything through one owned JSON-like [`Value`]: [`Serialize`] renders
+//! into a `Value`, [`Deserialize`] reads back out of one. The derive macros
+//! (re-exported from `serde_derive`) generate impls of these simplified
+//! traits for named-field structs. `serde_json` (the sibling stub) supplies
+//! the text layer.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON value — the single data model every (de)serialisation in
+/// this workspace passes through.
+///
+/// Objects are kept as insertion-ordered `(key, value)` pairs so rendered
+/// JSON is stable and matches struct declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup; `None` for missing keys or non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => Self::obj_get(fields, key),
+            _ => None,
+        }
+    }
+
+    /// Lookup in an already-borrowed object field list (used by derives).
+    #[must_use]
+    pub fn obj_get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The number payload, if this is a finite JSON number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if any.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if any.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// The single error type for both directions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Self(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructable from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called by derived impls when an object field is absent. Overridden
+    /// by `Option<T>` to yield `None`; everything else errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a "missing field" error by default.
+    fn absent(field: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{field}`")))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected boolean")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(*self)
+        } else {
+            Value::Null // serde_json renders non-finite floats as null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        #[allow(clippy::cast_possible_truncation)]
+        f64::from_value(v).map(|n| n as f32)
+    }
+}
+
+macro_rules! integer_impls {
+    ($($ty:ty),+) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                #[allow(clippy::cast_precision_loss)]
+                Value::Number(*self as f64)
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_f64().ok_or_else(|| Error::custom("expected number"))?;
+                #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::float_cmp)]
+                if n.fract() == 0.0 && n >= <$ty>::MIN as f64 && n <= <$ty>::MAX as f64 {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    Ok(n as $ty)
+                } else {
+                    Err(Error::custom(concat!("expected ", stringify!($ty))))
+                }
+            }
+        }
+    )+};
+}
+
+integer_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($idx:tt $name:ident),+))+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::custom("expected array"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected array of length {expected}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_absent_yields_none() {
+        assert_eq!(<Option<f64>>::absent("x"), Ok(None));
+        assert!(f64::absent("x").is_err());
+    }
+
+    #[test]
+    fn vec_of_pairs_round_trips() {
+        let pairs: Vec<(f64, f64)> = vec![(1.0, 2.0), (3.0, 4.5)];
+        let v = pairs.to_value();
+        assert_eq!(<Vec<(f64, f64)>>::from_value(&v).unwrap(), pairs);
+    }
+
+    #[test]
+    fn integers_reject_fractional_numbers() {
+        assert!(usize::from_value(&Value::Number(1.5)).is_err());
+        assert_eq!(usize::from_value(&Value::Number(3.0)), Ok(3));
+    }
+
+    #[test]
+    fn object_lookup() {
+        let obj = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        assert_eq!(obj.get("a"), Some(&Value::Bool(true)));
+        assert_eq!(obj.get("b"), None);
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Derives the stub `serde::Serialize` / `serde::Deserialize` traits (which
+//! route through `serde::Value`) for **named-field structs** — the only
+//! shape this workspace serialises. Tuple structs, enums, and generics are
+//! rejected with a compile error naming the limitation.
+//!
+//! Supported field attributes (matching upstream syntax):
+//!
+//! * `#[serde(default)]` — absent fields fall back to `Default::default()`;
+//! * `#[serde(skip_serializing_if = "path")]` — the field is omitted from
+//!   output when `path(&field)` is true.
+//!
+//! No `syn`/`quote`: the struct is parsed straight off the token stream and
+//! the impls are emitted as formatted source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// One parsed named field.
+struct Field {
+    name: String,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+struct Input {
+    name: String,
+    fields: Vec<Field>,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_struct(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let mut body = String::new();
+    for f in &parsed.fields {
+        let push = format!(
+            "fields.push(({n:?}.to_string(), ::serde::Serialize::to_value(&self.{n})));",
+            n = f.name
+        );
+        if let Some(skip) = &f.skip_serializing_if {
+            let _ = writeln!(body, "if !{skip}(&self.{}) {{ {push} }}", f.name);
+        } else {
+            let _ = writeln!(body, "{push}");
+        }
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {body}\n\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}",
+        name = parsed.name,
+    );
+    out.parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_struct(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let mut body = String::new();
+    for f in &parsed.fields {
+        let missing = if f.default {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!("::serde::Deserialize::absent({:?})?", f.name)
+        };
+        let _ = writeln!(
+            body,
+            "{n}: match ::serde::Value::obj_get(obj, {n:?}) {{\n\
+                 Some(val) => ::serde::Deserialize::from_value(val)?,\n\
+                 None => {missing},\n\
+             }},",
+            n = f.name,
+        );
+    }
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 let ::serde::Value::Object(obj) = v else {{\n\
+                     return Err(::serde::Error::custom(concat!(\"expected object for \", {name:?})));\n\
+                 }};\n\
+                 let obj: &[(String, ::serde::Value)] = obj;\n\
+                 Ok(Self {{\n{body}\n}})\n\
+             }}\n\
+         }}",
+        name = parsed.name,
+    );
+    out.parse().expect("generated Deserialize impl must parse")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal")
+}
+
+/// Parses `[attrs] [pub] struct Name { fields… }` from the derive input.
+fn parse_struct(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip leading attributes and visibility until the `struct` keyword.
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(_) => continue,
+            None => return Err("serde stub derive: no `struct` found".into()),
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stub derive: missing struct name".into()),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "serde stub derive: generic struct `{name}` is not supported"
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde stub derive: tuple struct `{name}` is not supported"
+                ));
+            }
+            Some(_) => continue,
+            None => {
+                return Err(format!(
+                    "serde stub derive: struct `{name}` has no braced field list \
+                     (enums/tuple structs are not supported)"
+                ));
+            }
+        }
+    };
+    Ok(Input {
+        name,
+        fields: parse_fields(body.stream())?,
+    })
+}
+
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Gather this field's attributes.
+        let mut default = false;
+        let mut skip_serializing_if = None;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    let Some(TokenTree::Group(attr)) = tokens.next() else {
+                        return Err("serde stub derive: malformed attribute".into());
+                    };
+                    parse_serde_attr(attr.stream(), &mut default, &mut skip_serializing_if)?;
+                }
+                _ => break,
+            }
+        }
+        // Skip visibility.
+        match tokens.peek() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Field name (or end of struct).
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => {
+                return Err(format!("serde stub derive: unexpected token `{other}`"));
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("serde stub derive: field `{name}` missing `:`")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+                None => break,
+            }
+        }
+        fields.push(Field {
+            name,
+            default,
+            skip_serializing_if,
+        });
+    }
+    Ok(fields)
+}
+
+/// Inspects one `[...]` attribute body; extracts serde options, ignores the
+/// rest (doc comments and other derives' helpers).
+fn parse_serde_attr(
+    stream: TokenStream,
+    default: &mut bool,
+    skip_serializing_if: &mut Option<String>,
+) -> Result<(), String> {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(()), // #[doc = "..."] and friends
+    }
+    let Some(TokenTree::Group(args)) = tokens.next() else {
+        return Ok(()); // bare `#[serde]` — nothing to do
+    };
+    let mut inner = args.stream().into_iter().peekable();
+    while let Some(tree) = inner.next() {
+        match tree {
+            TokenTree::Ident(id) => {
+                let key = id.to_string();
+                match key.as_str() {
+                    "default" => *default = true,
+                    "skip_serializing_if" => match (inner.next(), inner.next()) {
+                        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                            if eq.as_char() == '=' =>
+                        {
+                            let raw = lit.to_string();
+                            let path = raw.trim_matches('"').to_string();
+                            *skip_serializing_if = Some(path);
+                        }
+                        _ => {
+                            return Err("serde stub derive: skip_serializing_if needs a \
+                                     quoted path"
+                                .into());
+                        }
+                    },
+                    other => {
+                        return Err(format!(
+                            "serde stub derive: unsupported serde attribute `{other}`"
+                        ));
+                    }
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => {
+                return Err(format!(
+                    "serde stub derive: unexpected token in serde attribute: `{other}`"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
