@@ -1,0 +1,81 @@
+//! Criterion benches for the `run_profile` hot loop: the segment-cursor
+//! iterator, trace-free summary runs, and the per-step costs the sweep
+//! executor amplifies across thousands of bisection probes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use culpeo_loadgen::synthetic::PulseLoad;
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::{PowerSystem, RunConfig};
+use culpeo_units::{Amps, Seconds, Volts};
+
+/// A pulse-plus-tail profile with several segments, so the per-step load
+/// lookup has real work to do.
+fn load() -> LoadProfile {
+    PulseLoad::new(Amps::from_milli(50.0), Seconds::from_milli(10.0)).profile()
+}
+
+fn fresh_system() -> PowerSystem {
+    let mut sys = PowerSystem::capybara();
+    sys.set_buffer_voltage(Volts::new(2.4));
+    sys.force_output_enabled();
+    sys
+}
+
+fn bench_full_trace(c: &mut Criterion) {
+    let profile = load();
+    c.bench_function("run_profile_full_trace", |b| {
+        b.iter(|| {
+            let mut sys = fresh_system();
+            black_box(sys.run_profile(&profile, RunConfig::default()))
+        })
+    });
+}
+
+fn bench_summary_only(c: &mut Criterion) {
+    let profile = load();
+    c.bench_function("run_profile_summary_only", |b| {
+        b.iter(|| {
+            let mut sys = fresh_system();
+            black_box(sys.run_profile(&profile, RunConfig::default().without_trace()))
+        })
+    });
+}
+
+fn bench_load_query(c: &mut Criterion) {
+    let profile = load();
+    let dt = Seconds::from_micro(10.0);
+    let steps = profile.duration().steps(dt).max(1);
+
+    c.bench_function("load_query_binary_search", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..steps {
+                let t = Seconds::new(k as f64 * dt.get());
+                acc += profile.current_at(black_box(t)).get();
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("load_query_cursor", |b| {
+        b.iter(|| {
+            let mut cursor = profile.cursor();
+            let mut acc = 0.0;
+            for k in 0..steps {
+                let t = Seconds::new(k as f64 * dt.get());
+                acc += cursor.current_at(black_box(t)).get();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_full_trace,
+    bench_summary_only,
+    bench_load_query
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benches for the ground-truth bisection: cold searches (every
+//! probe simulated) versus warm searches served from the memoised
+//! verdict cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use culpeo_harness::ground_truth::{clear_truth_cache, true_vsafe_cached};
+use culpeo_harness::reference_plant;
+use culpeo_loadgen::synthetic::UniformLoad;
+use culpeo_units::{Amps, Seconds};
+
+fn bench_bisect(c: &mut Criterion) {
+    let load = UniformLoad::new(Amps::from_milli(25.0), Seconds::from_milli(10.0)).profile();
+    let mut group = c.benchmark_group("true_vsafe_bisect");
+    group.sample_size(10);
+
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            clear_truth_cache();
+            black_box(true_vsafe_cached("reference", &reference_plant, &load))
+        })
+    });
+
+    group.bench_function("warm_cache", |b| {
+        // Populate once; every iteration after this is pure cache lookups.
+        clear_truth_cache();
+        let _ = true_vsafe_cached("reference", &reference_plant, &load);
+        b.iter(|| black_box(true_vsafe_cached("reference", &reference_plant, &load)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_bisect);
+criterion_main!(benches);

@@ -3,6 +3,7 @@
 //! re-profiling policy.
 
 use culpeo::PowerSystemModel;
+use culpeo_harness::exec::PhaseClock;
 use culpeo_loadgen::peripheral::LoRaRadio;
 use culpeo_sched::adaptive::{run_beacon, AdaptiveConfig};
 use culpeo_units::{Seconds, Watts};
@@ -18,6 +19,7 @@ struct Row {
 }
 
 fn main() {
+    let mut clock = PhaseClock::new(1);
     let model = PowerSystemModel::capybara();
     let task = LoRaRadio::default().profile();
     let schedule = [
@@ -42,6 +44,7 @@ fn main() {
             reprofiles: stats.reprofiles,
         });
     }
+    clock.mark("run");
 
     println!("§V-B adaptive re-profiling: LoRa beacon under a fading sun");
     println!(
@@ -54,5 +57,5 @@ fn main() {
             r.policy, r.slots, r.sent, r.brownouts, r.reprofiles
         );
     }
-    culpeo_bench::write_json("ablation_adaptive", &rows);
+    culpeo_bench::write_json_with_telemetry("ablation_adaptive", &rows, &clock.finish());
 }

@@ -1,7 +1,9 @@
 //! Regenerates the §IV-C aging ablation.
 
+use culpeo_harness::exec::Sweep;
+
 fn main() {
-    let rows = culpeo_harness::aging::run();
+    let (rows, telemetry) = culpeo_harness::aging::run_timed(Sweep::from_env());
     culpeo_harness::aging::print_table(&rows);
-    culpeo_bench::write_json("ablation_aging", &rows);
+    culpeo_bench::write_json_with_telemetry("ablation_aging", &rows, &telemetry);
 }

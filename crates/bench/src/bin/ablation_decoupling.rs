@@ -1,7 +1,9 @@
 //! Regenerates the §II-D decoupling-capacitance ablation.
 
+use culpeo_harness::exec::Sweep;
+
 fn main() {
-    let rows = culpeo_harness::decoupling::run();
+    let (rows, telemetry) = culpeo_harness::decoupling::run_timed(Sweep::from_env());
     culpeo_harness::decoupling::print_table(&rows);
-    culpeo_bench::write_json("ablation_decoupling", &rows);
+    culpeo_bench::write_json_with_telemetry("ablation_decoupling", &rows, &telemetry);
 }

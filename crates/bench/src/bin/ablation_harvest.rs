@@ -1,7 +1,9 @@
 //! Regenerates the §IV-D harvesting-assumption ablation.
 
+use culpeo_harness::exec::Sweep;
+
 fn main() {
-    let rows = culpeo_harness::harvest::run();
+    let (rows, telemetry) = culpeo_harness::harvest::run_timed(Sweep::from_env());
     culpeo_harness::harvest::print_table(&rows);
-    culpeo_bench::write_json("ablation_harvest", &rows);
+    culpeo_bench::write_json_with_telemetry("ablation_harvest", &rows, &telemetry);
 }

@@ -1,7 +1,9 @@
 //! Regenerates the §V-B reconfigurable-energy-storage experiment.
 
+use culpeo_harness::exec::Sweep;
+
 fn main() {
-    let rows = culpeo_harness::reconfig::run();
+    let (rows, telemetry) = culpeo_harness::reconfig::run_timed(Sweep::from_env());
     culpeo_harness::reconfig::print_table(&rows);
-    culpeo_bench::write_json("ablation_reconfig", &rows);
+    culpeo_bench::write_json_with_telemetry("ablation_reconfig", &rows, &telemetry);
 }

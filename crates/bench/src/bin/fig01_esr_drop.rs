@@ -1,7 +1,11 @@
 //! Regenerates Figure 1(b): ESR drop and rebound on a voltage trace.
 
+use culpeo_harness::exec::PhaseClock;
+
 fn main() {
+    let mut clock = PhaseClock::new(1);
     let fig = culpeo_harness::fig01::run();
+    clock.mark("run");
     culpeo_harness::fig01::print_table(&fig);
-    culpeo_bench::write_json("fig01_esr_drop", &fig);
+    culpeo_bench::write_json_with_telemetry("fig01_esr_drop", &fig, &clock.finish());
 }

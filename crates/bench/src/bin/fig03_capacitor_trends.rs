@@ -1,7 +1,11 @@
 //! Regenerates Figure 3: volume vs ESR for 45 mF banks per technology.
 
+use culpeo_harness::exec::PhaseClock;
+
 fn main() {
+    let mut clock = PhaseClock::new(1);
     let rows = culpeo_harness::fig03::run();
+    clock.mark("run");
     culpeo_harness::fig03::print_table(&rows);
-    culpeo_bench::write_json("fig03_capacitor_trends", &rows);
+    culpeo_bench::write_json_with_telemetry("fig03_capacitor_trends", &rows, &clock.finish());
 }

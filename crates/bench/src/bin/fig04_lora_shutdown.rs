@@ -1,7 +1,11 @@
 //! Regenerates Figure 4: ESR drop kills the device with energy remaining.
 
+use culpeo_harness::exec::PhaseClock;
+
 fn main() {
+    let mut clock = PhaseClock::new(1);
     let rows = culpeo_harness::fig04::run();
+    clock.mark("run");
     culpeo_harness::fig04::print_table(&rows);
-    culpeo_bench::write_json("fig04_lora_shutdown", &rows);
+    culpeo_bench::write_json_with_telemetry("fig04_lora_shutdown", &rows, &clock.finish());
 }

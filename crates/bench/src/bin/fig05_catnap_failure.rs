@@ -1,7 +1,9 @@
 //! Regenerates Figure 5: CatNap's feasibility verdict vs plant reality.
 
+use culpeo_harness::exec::Sweep;
+
 fn main() {
-    let fig = culpeo_harness::fig05::run();
+    let (fig, telemetry) = culpeo_harness::fig05::run_timed(Sweep::from_env());
     culpeo_harness::fig05::print_table(&fig);
-    culpeo_bench::write_json("fig05_catnap_failure", &fig);
+    culpeo_bench::write_json_with_telemetry("fig05_catnap_failure", &fig, &telemetry);
 }

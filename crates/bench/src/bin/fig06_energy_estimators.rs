@@ -1,7 +1,9 @@
 //! Regenerates Figure 6: V_safe error of energy-only estimators.
 
+use culpeo_harness::exec::Sweep;
+
 fn main() {
-    let rows = culpeo_harness::fig06::run();
+    let (rows, telemetry) = culpeo_harness::fig06::run_timed(Sweep::from_env());
     culpeo_harness::fig06::print_table(&rows);
-    culpeo_bench::write_json("fig06_energy_estimators", &rows);
+    culpeo_bench::write_json_with_telemetry("fig06_energy_estimators", &rows, &telemetry);
 }

@@ -1,11 +1,13 @@
 //! Regenerates Figure 10: V_safe error of CatNap and the Culpeo variants.
 
+use culpeo_harness::exec::Sweep;
+
 fn main() {
-    let rows = culpeo_harness::fig10::run();
+    let (rows, telemetry) = culpeo_harness::fig10::run_timed(Sweep::from_env());
     culpeo_harness::fig10::print_table(&rows);
     println!("\nPer-system summary (unsafe cells, worst err %, mean err %):");
     for (system, unsafe_cells, worst, mean) in culpeo_harness::fig10::summarize(&rows) {
         println!("  {system:<16} {unsafe_cells:>3} {worst:>8.1} {mean:>8.1}");
     }
-    culpeo_bench::write_json("fig10_vsafe_error", &rows);
+    culpeo_bench::write_json_with_telemetry("fig10_vsafe_error", &rows, &telemetry);
 }

@@ -1,7 +1,9 @@
 //! Regenerates Figure 11: V_safe and V_min for real peripherals.
 
+use culpeo_harness::exec::Sweep;
+
 fn main() {
-    let rows = culpeo_harness::fig11::run();
+    let (rows, telemetry) = culpeo_harness::fig11::run_timed(Sweep::from_env());
     culpeo_harness::fig11::print_table(&rows);
-    culpeo_bench::write_json("fig11_peripherals", &rows);
+    culpeo_bench::write_json_with_telemetry("fig11_peripherals", &rows, &telemetry);
 }

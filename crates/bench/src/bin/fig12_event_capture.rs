@@ -1,8 +1,12 @@
 //! Regenerates Figure 12: event capture for PS / RR / NMR under CatNap
 //! and Culpeo scheduling (3 × 5-minute trials per cell).
 
+use culpeo_harness::exec::Sweep;
+use culpeo_harness::fig12::{TRIALS, TRIAL_DURATION};
+
 fn main() {
-    let rows = culpeo_harness::fig12::run();
+    let (rows, telemetry) =
+        culpeo_harness::fig12::run_timed(Sweep::from_env(), TRIAL_DURATION, TRIALS);
     culpeo_harness::fig12::print_table(&rows);
-    culpeo_bench::write_json("fig12_event_capture", &rows);
+    culpeo_bench::write_json_with_telemetry("fig12_event_capture", &rows, &telemetry);
 }

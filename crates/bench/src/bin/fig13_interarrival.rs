@@ -1,7 +1,11 @@
 //! Regenerates Figure 13: event capture vs interarrival rate.
 
+use culpeo_harness::exec::Sweep;
+use culpeo_units::Seconds;
+
 fn main() {
-    let rows = culpeo_harness::fig13::run();
+    let (rows, telemetry) =
+        culpeo_harness::fig13::run_timed(Sweep::from_env(), Seconds::new(300.0), 3);
     culpeo_harness::fig13::print_table(&rows);
-    culpeo_bench::write_json("fig13_interarrival", &rows);
+    culpeo_bench::write_json_with_telemetry("fig13_interarrival", &rows, &telemetry);
 }

@@ -1,0 +1,251 @@
+//! Produces `results/perf_summary.json`: the wall-clock receipts behind
+//! this repo's execution-layer and hot-loop optimisations.
+//!
+//! Two baselines are reported:
+//!
+//! * **Pre-PR baseline** — the wall-clock of the seed revision's actual
+//!   `fig10_vsafe_error` binary, measured by `scripts/bench.sh` (it builds
+//!   the repo's root commit in a worktree) and passed in via
+//!   `--baseline-seconds`. This is the honest before/after: it includes
+//!   the node-solver rewrite, the probe settle-skip, and the execution
+//!   layer. Without the flag this column is absent.
+//! * **Execution-layer baseline** — an in-process re-run of Figure 10
+//!   through a faithful reconstruction of the seed *execution mode*
+//!   (per-step binary-search load lookup, a `VoltageTrace` allocated and
+//!   fed inside every bisection probe, a full rebound settle after each
+//!   completing probe, no verdict memoisation) on top of today's solver.
+//!   Comparing it to the shipping driver isolates the
+//!   summary-only + cursor + settle-skip + memoisation win from the
+//!   physics-layer speedups, as both columns step the identical plant.
+//!
+//! Pass `--quick` to run a 6-load subset (CI-friendly); the full run
+//! sweeps all 18 Figure 10 loads.
+
+use std::time::Instant;
+
+use culpeo::PowerSystemModel;
+use culpeo_harness::exec::Sweep;
+use culpeo_harness::fig10::{self, FIG10_SYSTEMS};
+use culpeo_harness::ground_truth::TOLERANCE;
+use culpeo_harness::{ground_truth, reference_plant};
+use culpeo_loadgen::synthetic::fig10_loads;
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::{MonitorState, RunConfig, VoltageSample, VoltageTrace};
+use culpeo_units::{Quantity as _, Seconds, Volts};
+use serde::Serialize;
+
+/// The receipts written to `results/perf_summary.json`.
+#[derive(Debug, Serialize)]
+struct PerfSummary {
+    /// True when `--quick` trimmed the load set.
+    quick: bool,
+    /// Number of Figure 10 loads measured.
+    loads: usize,
+    /// Worker threads used by the parallel measurement.
+    threads: usize,
+    /// The seed revision's own fig10 binary, timed by `scripts/bench.sh`
+    /// (absent when `--baseline-seconds` was not supplied).
+    pre_pr_fig10_seconds: Option<f64>,
+    /// Seed *execution mode* re-run in-process on today's solver: per-step
+    /// load search, per-probe trace, per-probe settle, no memoisation.
+    exec_baseline_fig10_seconds: f64,
+    /// Optimized Figure 10, serial, cold verdict cache.
+    optimized_fig10_serial_seconds: f64,
+    /// Optimized Figure 10 on `CULPEO_THREADS` workers, cold cache.
+    optimized_fig10_parallel_seconds: f64,
+    /// Optimized Figure 10, serial, warm verdict cache (the repeated-run
+    /// cost every test-suite invocation pays).
+    warm_cache_fig10_seconds: f64,
+    /// `pre_pr / optimized_parallel` — the headline before/after (absent
+    /// without `--baseline-seconds`).
+    fig10_speedup_vs_pre_pr: Option<f64>,
+    /// `exec_baseline / optimized_serial` — the serial
+    /// summary-only + cursor + settle-skip + memoisation win, isolated
+    /// from the solver changes.
+    serial_exec_layer_speedup: f64,
+    /// `exec_baseline / warm_cache`.
+    warm_cache_speedup: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let pre_pr_fig10_seconds = args
+        .iter()
+        .position(|a| a == "--baseline-seconds")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--baseline-seconds takes a float"));
+    let mut loads = fig10_loads();
+    if quick {
+        loads.truncate(6);
+    }
+
+    ground_truth::clear_truth_cache();
+    let started = Instant::now();
+    let baseline_rows = exec_baseline_fig10(&loads);
+    let exec_baseline_fig10_seconds = started.elapsed().as_secs_f64();
+
+    ground_truth::clear_truth_cache();
+    let started = Instant::now();
+    let (serial_rows, _) = fig10::run_on(Sweep::serial(), &loads);
+    let optimized_fig10_serial_seconds = started.elapsed().as_secs_f64();
+    assert_eq!(
+        baseline_rows,
+        serial_rows.len(),
+        "baseline emulation must cover the same grid"
+    );
+
+    let parallel_sweep = Sweep::from_env();
+    let threads = parallel_sweep.threads();
+    ground_truth::clear_truth_cache();
+    let started = Instant::now();
+    let (parallel_rows, _) = fig10::run_on(parallel_sweep, &loads);
+    let optimized_fig10_parallel_seconds = started.elapsed().as_secs_f64();
+    assert_eq!(serial_rows.len(), parallel_rows.len());
+
+    // Cache is warm from the run above; measure the repeated-run cost.
+    let started = Instant::now();
+    let (warm_rows, _) = fig10::run_on(Sweep::serial(), &loads);
+    let warm_cache_fig10_seconds = started.elapsed().as_secs_f64();
+    assert_eq!(serial_rows.len(), warm_rows.len());
+
+    let summary = PerfSummary {
+        quick,
+        loads: loads.len(),
+        threads,
+        pre_pr_fig10_seconds,
+        exec_baseline_fig10_seconds,
+        optimized_fig10_serial_seconds,
+        optimized_fig10_parallel_seconds,
+        warm_cache_fig10_seconds,
+        fig10_speedup_vs_pre_pr: pre_pr_fig10_seconds.map(|b| b / optimized_fig10_parallel_seconds),
+        serial_exec_layer_speedup: exec_baseline_fig10_seconds / optimized_fig10_serial_seconds,
+        warm_cache_speedup: exec_baseline_fig10_seconds / warm_cache_fig10_seconds,
+    };
+
+    println!("Figure 10 wall-clock ({} loads):", summary.loads);
+    if let Some(b) = summary.pre_pr_fig10_seconds {
+        println!(
+            "  {:<42} {:>8.3} s",
+            "pre-PR baseline (seed binary, serial)", b
+        );
+    }
+    println!(
+        "  {:<42} {:>8.3} s",
+        "exec-layer baseline (seed mode, serial)", summary.exec_baseline_fig10_seconds
+    );
+    println!(
+        "  {:<42} {:>8.3} s",
+        "optimized (serial, cold cache)", summary.optimized_fig10_serial_seconds
+    );
+    println!(
+        "  {:<42} {:>8.3} s",
+        format!("optimized ({} threads, cold cache)", summary.threads),
+        summary.optimized_fig10_parallel_seconds
+    );
+    println!(
+        "  {:<42} {:>8.3} s",
+        "optimized (serial, warm cache)", summary.warm_cache_fig10_seconds
+    );
+    if let Some(s) = summary.fig10_speedup_vs_pre_pr {
+        println!(
+            "  speedup vs pre-PR baseline ({} threads): {:.2}x",
+            summary.threads, s
+        );
+    }
+    println!(
+        "  serial execution-layer speedup: {:.2}x cold, {:.2}x warm",
+        summary.serial_exec_layer_speedup, summary.warm_cache_speedup
+    );
+
+    culpeo_bench::write_json("perf_summary", &summary);
+}
+
+/// Seed-style Figure 10: same grid, same physics, seed execution mode.
+/// Returns the number of rows produced (must match the driver's).
+fn exec_baseline_fig10(loads: &[LoadProfile]) -> usize {
+    let model = PowerSystemModel::characterize(&reference_plant);
+    let mut rows = 0;
+    for load in loads {
+        let Some(truth) = baseline_true_vsafe(load) else {
+            continue;
+        };
+        for system in FIG10_SYSTEMS {
+            if let Some(predicted) = system.predict(load, &model, &reference_plant) {
+                // Same row arithmetic as the driver; the value is dropped
+                // because only the wall-clock matters here.
+                let _ = predicted - truth;
+                rows += 1;
+            }
+        }
+    }
+    rows
+}
+
+/// The §VI-A bisection with every probe run in the seed execution mode.
+fn baseline_true_vsafe(load: &LoadProfile) -> Option<Volts> {
+    let reference = reference_plant();
+    let v_off = reference.monitor().v_off();
+    let v_high = reference.monitor().v_high();
+
+    if !baseline_probe(load, v_high) {
+        return None;
+    }
+    let mut lo = v_off;
+    let mut hi = v_high;
+    while (hi - lo).get() > TOLERANCE.get() {
+        let mid = lo.lerp(hi, 0.5);
+        if baseline_probe(load, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// One completion probe exactly as the seed ran it: binary-search load
+/// lookup each step, a stride-decimated trace allocated and pushed every
+/// step, a full rebound settle afterwards.
+fn baseline_probe(load: &LoadProfile, v_start: Volts) -> bool {
+    let mut sys = reference_plant();
+    sys.set_buffer_voltage(v_start);
+    sys.force_output_enabled();
+    let dt = if load.duration().get() > 1.0 {
+        Seconds::from_micro(50.0)
+    } else {
+        Seconds::from_micro(10.0)
+    };
+    let cfg = RunConfig {
+        dt,
+        record_stride: usize::MAX,
+        ..RunConfig::default()
+    };
+
+    let steps = load.duration().steps(dt).max(1);
+    let mut trace = VoltageTrace::new(cfg.record_stride);
+    let mut brownout = false;
+    let mut collapsed = false;
+    for k in 0..steps {
+        let offset = Seconds::new(k as f64 * dt.get());
+        let i = load.current_at(offset);
+        let out = sys.step(i, dt);
+        trace.push(VoltageSample {
+            t: out.t,
+            v_node: out.v_node,
+            i_in: out.i_in,
+        });
+        if out.collapsed {
+            collapsed = true;
+        }
+        if (i.get() > 0.0 && !out.delivering) || out.monitor == MonitorState::Recharging {
+            brownout = true;
+            break;
+        }
+    }
+    let _ = trace.minimum();
+    if !brownout {
+        let _ = sys.settle(cfg);
+    }
+    !brownout && !collapsed
+}

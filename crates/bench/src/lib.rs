@@ -10,6 +10,7 @@
 use std::fs;
 use std::path::PathBuf;
 
+use culpeo_exec::Telemetry;
 use serde::Serialize;
 
 /// Writes `rows` as pretty JSON to `results/<name>.json` (creating the
@@ -26,6 +27,51 @@ pub fn write_json<T: Serialize>(name: &str, rows: &T) {
     let json = serde_json::to_string_pretty(rows).expect("serialise figure rows");
     fs::write(&path, json).expect("write figure data");
     println!("\n[data written to {}]", path.display());
+}
+
+/// Writes `{"telemetry": …, "rows": …}` as pretty JSON to
+/// `results/<name>.json` and echoes the phase timings on stdout.
+///
+/// The telemetry block records wall-clock per phase and the worker-thread
+/// count, so every regenerated figure carries its own runtime receipt.
+/// The `rows` value is serialised exactly as [`write_json`] would — the
+/// determinism contract (identical rows at any thread count) applies to
+/// it unchanged.
+///
+/// # Panics
+///
+/// Panics if serialisation or the filesystem write fails.
+pub fn write_json_with_telemetry<T: Serialize>(name: &str, rows: &T, telemetry: &Telemetry) {
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join(format!("{name}.json"));
+    let rows_json = serde_json::to_string_pretty(rows).expect("serialise figure rows");
+    let tele_json = serde_json::to_string_pretty(telemetry).expect("serialise telemetry");
+    // Splice the two pretty documents into one object, re-indenting the
+    // nested bodies so the composite stays readable.
+    let json = format!(
+        "{{\n  \"telemetry\": {},\n  \"rows\": {}\n}}",
+        indent_tail(&tele_json),
+        indent_tail(&rows_json)
+    );
+    fs::write(&path, json).expect("write figure data");
+    print_telemetry(telemetry);
+    println!("[data written to {}]", path.display());
+}
+
+/// Prints the phase-timing table a binary just recorded.
+pub fn print_telemetry(telemetry: &Telemetry) {
+    println!(
+        "\n[timing: {:.2} s total on {} thread(s)]",
+        telemetry.total_seconds, telemetry.threads
+    );
+    for phase in &telemetry.phases {
+        println!("[  {:<28} {:>8.2} s]", phase.name, phase.seconds);
+    }
+}
+
+fn indent_tail(s: &str) -> String {
+    s.replace('\n', "\n  ")
 }
 
 /// The `results/` directory at the workspace root (falling back to the
@@ -59,6 +105,35 @@ mod tests {
         let path = results_dir().join("self-test.json");
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"x\": 1"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn write_json_with_telemetry_wraps_rows_and_stays_parseable() {
+        use serde_json::Value;
+
+        #[derive(Serialize)]
+        struct Row {
+            x: u32,
+        }
+        let telemetry = Telemetry {
+            threads: 2,
+            phases: vec![culpeo_exec::Phase {
+                name: "sweep".to_string(),
+                seconds: 0.125,
+            }],
+            total_seconds: 0.25,
+        };
+        write_json_with_telemetry("self-test-telemetry", &vec![Row { x: 7 }], &telemetry);
+        let path = results_dir().join("self-test-telemetry.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value = serde_json::parse_value_str(&text).unwrap();
+        let tele = value.get("telemetry").expect("telemetry block");
+        assert_eq!(tele.get("threads").and_then(Value::as_f64), Some(2.0));
+        let phases = tele.get("phases").and_then(Value::as_array).unwrap();
+        assert_eq!(phases[0].get("name").and_then(Value::as_str), Some("sweep"));
+        let rows = value.get("rows").and_then(Value::as_array).unwrap();
+        assert_eq!(rows[0].get("x").and_then(Value::as_f64), Some(7.0));
         std::fs::remove_file(path).ok();
     }
 }

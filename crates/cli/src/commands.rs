@@ -176,7 +176,16 @@ pub fn analyze(model: &PowerSystemModel, trace: &CurrentTrace) -> String {
 
 /// `culpeo check --trace a.csv --trace b.csv …` — per-task verdicts plus
 /// the composed `V_safe_multi` for running the tasks back-to-back.
-pub fn check(model: &PowerSystemModel, traces: &[(String, CurrentTrace)]) -> String {
+///
+/// The per-trace `V_safe` estimates are independent, so they fan out over
+/// `sweep`; the report is assembled serially in input order afterwards, so
+/// the output text is identical at any thread count.
+pub fn check(
+    model: &PowerSystemModel,
+    traces: &[(String, CurrentTrace)],
+    sweep: &culpeo_exec::Sweep,
+) -> String {
+    let estimates = sweep.map(traces, |_, (_, trace)| pg::compute_vsafe(trace, model));
     let mut out = String::new();
     let mut reqs = Vec::new();
     let _ = writeln!(
@@ -184,8 +193,7 @@ pub fn check(model: &PowerSystemModel, traces: &[(String, CurrentTrace)]) -> Str
         "{:<24} {:>10} {:>12} {:>14}",
         "task", "V_safe", "ESR drop", "verdict"
     );
-    for (path, trace) in traces {
-        let est = pg::compute_vsafe(trace, model);
+    for ((path, _), est) in traces.iter().zip(&estimates) {
         let headroom = model.v_high() - est.v_safe;
         let verdict = if headroom >= termination::MARGIN {
             "ok"
@@ -202,7 +210,7 @@ pub fn check(model: &PowerSystemModel, traces: &[(String, CurrentTrace)]) -> Str
             format!("{}", est.v_delta),
             verdict
         );
-        reqs.push(compose::TaskRequirement::from_estimate(&est));
+        reqs.push(compose::TaskRequirement::from_estimate(est));
     }
     let multi = compose::vsafe_multi(&reqs, model.capacitance(), model.v_off());
     let _ = writeln!(out, "----");
@@ -304,9 +312,20 @@ mod tests {
         let report = check(
             &model(),
             &[("a.csv".into(), t.clone()), ("b.csv".into(), t)],
+            &culpeo_exec::Sweep::serial(),
         );
         assert!(report.contains("V_safe_multi"));
         assert!(report.matches("ok").count() >= 2);
+    }
+
+    #[test]
+    fn check_report_is_identical_at_any_thread_count() {
+        let t = trace();
+        let traces: Vec<(String, CurrentTrace)> =
+            (0..4).map(|i| (format!("t{i}.csv"), t.clone())).collect();
+        let serial = check(&model(), &traces, &culpeo_exec::Sweep::serial());
+        let parallel = check(&model(), &traces, &culpeo_exec::Sweep::with_threads(4));
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! culpeo analyze --trace packet.csv [--system spec.json]
 //! culpeo analyze spec.json [--trace packet.csv]… [--plan plan.json] [--format json]
-//! culpeo check   --trace a.csv --trace b.csv [--system spec.json]
+//! culpeo check   --trace a.csv --trace b.csv [--system spec.json] [--threads N]
 //! culpeo vsafe-table --trace packet.csv [--system spec.json]
 //! culpeo catalog [--capacitance-mf 45]
 //! culpeo export-example-trace packet.csv
@@ -47,7 +47,7 @@ fn main() {
 fn usage() -> &'static str {
     "usage:\n  culpeo analyze --trace FILE [--system SPEC.json]\n  \
      culpeo analyze SPEC.json [--trace FILE…] [--plan PLAN.json] [--format json|human]\n  \
-     culpeo check --trace FILE [--trace FILE…] [--system SPEC.json]\n  \
+     culpeo check --trace FILE [--trace FILE…] [--system SPEC.json] [--threads N]\n  \
      culpeo vsafe-table --trace FILE [--system SPEC.json]\n  \
      culpeo catalog [--capacitance-mf MF]\n  \
      culpeo export-example-trace OUT.csv"
@@ -109,17 +109,21 @@ fn run(args: &[String]) -> Result<(String, i32), CliError> {
             Ok((commands::analyze(&model, &t), 0))
         }
         "check" => {
-            let (trace_paths, system) = parse_common(rest)?;
+            let (trace_paths, system, threads) = parse_check(rest)?;
             if trace_paths.is_empty() {
                 return Err(CliError::Usage("check needs at least one --trace".into()));
             }
+            // Explicit --threads wins; otherwise CULPEO_THREADS, then serial.
+            let sweep = threads.map_or_else(culpeo_exec::Sweep::from_env, |n| {
+                culpeo_exec::Sweep::with_threads(n)
+            });
             let model = commands::load_model(system.as_deref())?;
             let mut traces = Vec::new();
             for path in trace_paths {
                 let t = commands::load_trace(&path)?;
                 traces.push((path, t));
             }
-            Ok((commands::check(&model, &traces), 0))
+            Ok((commands::check(&model, &traces, &sweep), 0))
         }
         "vsafe-table" => {
             let (traces, system) = parse_common(rest)?;
@@ -181,6 +185,45 @@ fn parse_common(args: &[String]) -> Result<(Vec<String>, Option<String>), CliErr
     Ok((traces, system))
 }
 
+/// `check`'s parsed flags: trace paths, optional `--system` path, optional
+/// `--threads` worker count.
+type CheckArgs = (Vec<String>, Option<String>, Option<usize>);
+
+/// Parses `check`'s flags: repeated `--trace`, optional `--system`, and an
+/// optional `--threads N` worker count for the per-trace sweep.
+fn parse_check(args: &[String]) -> Result<CheckArgs, CliError> {
+    let mut traces = Vec::new();
+    let mut system = None;
+    let mut threads = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--trace" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--trace needs a path".into()))?;
+                traces.push(value.clone());
+            }
+            "--system" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--system needs a path".into()))?;
+                system = Some(value.clone());
+            }
+            "--threads" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--threads needs a count".into()))?;
+                threads = Some(value.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(
+                    || CliError::Usage("--threads must be a positive integer".into()),
+                )?);
+            }
+            other => return Err(CliError::Usage(format!("unknown flag: {other}"))),
+        }
+    }
+    Ok((traces, system, threads))
+}
+
 /// Finds `flag VALUE` in `args`, if present.
 fn parse_flag_value(args: &[String], flag: &str) -> Result<Option<String>, CliError> {
     let mut it = args.iter();
@@ -239,7 +282,16 @@ mod tests {
     #[test]
     fn check_end_to_end_with_two_traces() {
         let path = temp_trace();
-        let (report, _) = run(&s(&["check", "--trace", &path, "--trace", &path])).unwrap();
+        let (report, _) = run(&s(&[
+            "check",
+            "--trace",
+            &path,
+            "--trace",
+            &path,
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
         assert!(report.contains("V_safe_multi"));
     }
 
@@ -274,6 +326,9 @@ mod tests {
         assert!(run(&s(&["analyze", "--trace"])).is_err());
         assert!(run(&s(&["analyze", "--bogus", "x"])).is_err());
         assert!(run(&s(&["catalog", "--capacitance-mf", "NaNish"])).is_err());
+        assert!(run(&s(&["check", "--trace", "x.csv", "--threads", "zero"])).is_err());
+        assert!(run(&s(&["check", "--trace", "x.csv", "--threads", "0"])).is_err());
+        assert!(run(&s(&["analyze", "--trace", "x.csv", "--threads", "2"])).is_err());
         assert!(run(&s(&["analyze", "spec.json", "--format", "yaml"])).is_err());
         assert!(run(&s(&["analyze", "spec.json", "--plan"])).is_err());
     }

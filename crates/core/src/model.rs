@@ -75,7 +75,7 @@ impl PowerSystemModel {
     /// `make_system` must produce fresh, identical instances of the plant;
     /// the measurement discharges and pulses several of them.
     #[must_use]
-    pub fn characterize(make_system: &dyn Fn() -> PowerSystem) -> Self {
+    pub fn characterize(make_system: &(dyn Fn() -> PowerSystem + Sync)) -> Self {
         let reference = make_system();
         let esr = measure_esr_curve(
             make_system,

@@ -82,6 +82,24 @@ fn sim_dt(load: &LoadProfile) -> Seconds {
     }
 }
 
+/// Integration step for the post-task rebound phases.
+///
+/// Once the task ends the only dynamics left are the branch RC
+/// redistributions (the profiler draw is nanoamp-scale), so the step only
+/// needs to resolve the *fastest branch time constant* — not the task or
+/// the sampling clock. A fifth of that constant keeps forward Euler well
+/// inside its stability region; the clamp keeps plants with fast
+/// decoupling branches on the task step and caps the coarsening at 1 ms.
+fn rebound_dt(sys: &PowerSystem, task_dt: Seconds) -> Seconds {
+    let tau = sys
+        .buffer()
+        .branches()
+        .iter()
+        .map(|b| b.esr().get() * b.capacitance().get())
+        .fold(f64::INFINITY, f64::min);
+    Seconds::new((tau / 5.0).clamp(task_dt.get(), 1e-3))
+}
+
 fn profile_isr(
     sys: &mut PowerSystem,
     load: &LoadProfile,
@@ -137,15 +155,19 @@ fn profile_isr(
 
     // profile_end(): disable the timer/ADC, sleep, wake every 50 ms to
     // track the rebound maximum; stop after `rebound_stable_wakes`
-    // non-increasing readings.
-    let wake_steps = (cfg.rebound_wake_period.get() / dt.get()).round().max(1.0) as usize;
+    // non-increasing readings. The MCU is asleep between wakes, so the
+    // simulation coarsens to the rebound step.
+    let dt_rb = rebound_dt(sys, dt);
+    let wake_steps = (cfg.rebound_wake_period.get() / dt_rb.get())
+        .round()
+        .max(1.0) as usize;
     let max_wakes = (cfg.rebound_timeout.get() / cfg.rebound_wake_period.get()).ceil() as u32;
     let mut v_final_code = cfg.adc.read_high(sys.v_node());
     let mut stable = 0u32;
     for _ in 0..max_wakes {
         for _ in 0..wake_steps {
             // MCU asleep: only the buffer's own dynamics run.
-            sys.step(Amps::ZERO, dt);
+            sys.step(Amps::ZERO, dt_rb);
         }
         let reading = cfg.adc.read_high(sys.v_node());
         if reading > v_final_code {
@@ -229,11 +251,18 @@ fn profile_uarch(
     block.command(Command::Sample(MinMax::Max));
 
     // The block keeps tracking the rebound (no MCU involvement) for the
-    // scheduler-chosen window, then rebound_done() reads the max.
-    let rebound_steps = cfg.rebound_window.steps(dt);
+    // scheduler-chosen window, then rebound_done() reads the max. The
+    // simulation coarsens to the rebound step; the block still ticks at
+    // least once per simulated step, and the rebound is monotonic, so its
+    // tracked maximum is the same window-end value either way.
+    let dt_rb = rebound_dt(sys, dt);
+    let tick_every_rb = ((block.clock().period().get()) / dt_rb.get())
+        .round()
+        .max(1.0) as usize;
+    let rebound_steps = cfg.rebound_window.steps(dt_rb);
     for k in 0..rebound_steps {
-        let out = sys.step(block_current, dt);
-        if k % tick_every == 0 {
+        let out = sys.step(block_current, dt_rb);
+        if k % tick_every_rb == 0 {
             block.tick(out.v_node);
         }
     }

@@ -1,0 +1,282 @@
+//! The execution layer: a deterministic parallel sweep executor plus the
+//! wall-clock telemetry every experiment driver embeds in its results.
+//!
+//! Every figure and ablation driver is, at heart, a grid of independent
+//! cells — (load, system, trial, seed) tuples — each of which builds a
+//! fresh simulated plant and grinds through `PowerSystem::step`. The cells
+//! share no mutable state, so they parallelise perfectly; what must *not*
+//! change with the thread count is the output. [`Sweep::map`] therefore
+//! hands cells to a scoped worker pool through an atomic cursor and writes
+//! each result back into its input slot, so the collected vector is always
+//! in input order and `results/*.json` stays byte-identical whether the
+//! sweep ran on one thread or sixteen (floating-point work per cell is an
+//! identical instruction sequence either way; only wall-clock changes).
+//!
+//! Thread count resolution, in priority order: an explicit
+//! [`Sweep::with_threads`], the `CULPEO_THREADS` environment variable, the
+//! machine's available parallelism. DESIGN.md §8 documents the contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod telemetry;
+
+pub use telemetry::{Phase, PhaseClock, Telemetry};
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "CULPEO_THREADS";
+
+/// A parallel executor for grids of independent cells.
+///
+/// Construction picks the worker count; [`Sweep::map`] runs a closure over
+/// a slice of cells on that many scoped threads, returning the results in
+/// input order. A `Sweep` holds no pool state — threads are scoped to each
+/// `map` call — so it is `Copy` and free to construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sweep {
+    threads: usize,
+}
+
+impl Sweep {
+    /// An executor with an explicit worker count (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded executor: `map` degenerates to a plain serial
+    /// loop on the calling thread.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// The executor the drivers use: `CULPEO_THREADS` if set (and a
+    /// positive integer), otherwise the machine's available parallelism.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let from_env = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        let threads = from_env.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        Self::with_threads(threads)
+    }
+
+    /// The worker count this executor fans out to.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every cell, returning results in input order.
+    ///
+    /// `f` receives the cell's index and a reference to the cell. Cells
+    /// are claimed through an atomic cursor (dynamic scheduling — cheap
+    /// cells don't serialise behind expensive ones), but every result is
+    /// written back to its input slot, so the output order — and therefore
+    /// any serialisation of it — is independent of the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised inside `f` (after all workers
+    /// stop claiming new cells).
+    pub fn map<T, R, F>(&self, cells: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.threads.min(cells.len()).max(1);
+        if workers == 1 {
+            return cells.iter().enumerate().map(|(i, c)| f(i, c)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(cells.len());
+        slots.resize_with(cells.len(), || None);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            // Hand each worker a disjoint slice of output slots? No — the
+            // cursor hands out arbitrary indices. Instead each worker
+            // returns its (index, result) pairs and the parent scatters
+            // them; scattering is O(cells) and order-insensitive.
+            for _ in 0..workers {
+                let cursor = &cursor;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(cell) = cells.get(idx) else { break };
+                        local.push((idx, f(idx, cell)));
+                    }
+                    local
+                }));
+            }
+            let mut panic = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(pairs) => {
+                        for (idx, r) in pairs {
+                            slots[idx] = Some(r);
+                        }
+                    }
+                    Err(payload) => panic = panic.or(Some(payload)),
+                }
+            }
+            if let Some(payload) = panic {
+                std::panic::resume_unwind(payload);
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|s| s.expect("every cell produced a result"))
+            .collect()
+    }
+
+    /// [`Sweep::map`] over an owned vector of cells.
+    pub fn map_into<T, R, F>(&self, cells: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.map(&cells, f)
+    }
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// A two-axis cell grid in row-major order.
+///
+/// Sweeps like Figure 10's (load × system) or Figure 12's
+/// (application × policy × trial) are cartesian products whose *output
+/// order* is part of the determinism contract. `CellGrid` materialises the
+/// index pairs once, row-major, so drivers fan the product out through
+/// [`Sweep::map`] without hand-rolling nested loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellGrid {
+    rows: usize,
+    cols: usize,
+}
+
+impl CellGrid {
+    /// A grid of `rows × cols` cells.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols }
+    }
+
+    /// Total cell count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// True when either axis is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `(row, col)` index pairs in row-major order.
+    #[must_use]
+    pub fn cells(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.len());
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.push((r, c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let cells: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = cells.iter().map(|c| c * c).collect();
+        for threads in [1, 2, 4, 7] {
+            let got = Sweep::with_threads(threads).map(&cells, |_, &c| c * c);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_passes_matching_indices() {
+        let cells: Vec<usize> = (0..50).collect();
+        let got = Sweep::with_threads(4).map(&cells, |i, &c| (i, c));
+        for (i, &(idx, cell)) in got.iter().enumerate() {
+            assert_eq!(i, idx);
+            assert_eq!(i, cell);
+        }
+    }
+
+    #[test]
+    fn map_actually_fans_out() {
+        let seen = Mutex::new(std::collections::HashSet::new());
+        let cells: Vec<u32> = (0..64).collect();
+        Sweep::with_threads(4).map(&cells, |_, _| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        // With 64 sleeping cells and 4 workers, more than one worker must
+        // have participated.
+        assert!(seen.lock().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(Sweep::with_threads(8).map(&empty, |_, &c| c).is_empty());
+        assert_eq!(Sweep::with_threads(8).map(&[5u32], |_, &c| c), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 13")]
+    fn map_propagates_worker_panics() {
+        let cells: Vec<usize> = (0..32).collect();
+        Sweep::with_threads(4).map(&cells, |i, _| {
+            assert!(i != 13, "cell 13");
+        });
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(Sweep::with_threads(0).threads(), 1);
+        assert_eq!(Sweep::serial().threads(), 1);
+    }
+
+    #[test]
+    fn grid_is_row_major() {
+        let g = CellGrid::new(2, 3);
+        assert_eq!(g.len(), 6);
+        assert!(!g.is_empty());
+        assert_eq!(
+            g.cells(),
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        );
+        assert!(CellGrid::new(0, 3).is_empty());
+    }
+}

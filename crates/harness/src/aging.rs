@@ -9,6 +9,7 @@
 
 use culpeo::{pg, runtime, PowerSystemModel};
 use culpeo_device::{profile_task, Profiler, UArchProfiler};
+use culpeo_exec::{PhaseClock, Sweep, Telemetry};
 use culpeo_loadgen::synthetic::PulseLoad;
 use culpeo_loadgen::LoadProfile;
 use culpeo_powersim::{AgingState, BufferNetwork, PowerSystem};
@@ -55,15 +56,26 @@ fn aged_plant(t: f64) -> PowerSystem {
 /// Sweeps aging from fresh to 20 % beyond end-of-life.
 #[must_use]
 pub fn run() -> Vec<AgingRow> {
+    run_timed(Sweep::from_env()).0
+}
+
+/// [`run`] on an explicit executor, with phase telemetry. Each aging step
+/// — ground-truth search plus Culpeo-R re-profiling on that aged plant —
+/// is one sweep cell.
+#[must_use]
+pub fn run_timed(sweep: Sweep) -> (Vec<AgingRow>, Telemetry) {
     crate::preflight::require_clean_reference();
+    let mut clock = PhaseClock::new(sweep.threads());
     // PG computes once, against the fresh characterisation.
     let fresh_model = PowerSystemModel::characterize(&|| aged_plant(0.0));
     let pg_stale = pg::compute_vsafe_for_profile(&load(), &fresh_model).v_safe;
+    clock.mark("characterize");
 
-    let mut rows = Vec::new();
-    for &age in &[0.0, 0.25, 0.5, 0.75, 1.0, 1.2] {
+    let ages = [0.0, 0.25, 0.5, 0.75, 1.0, 1.2];
+    let rows = sweep.map(&ages, |_, &age| {
         let make = move || aged_plant(age);
-        let truth = crate::ground_truth::true_vsafe(&make, &load())
+        let plant_key = format!("aged-{age}");
+        let truth = crate::ground_truth::true_vsafe_cached(&plant_key, &make, &load())
             .expect("load must be feasible across the aging sweep");
 
         // Culpeo-R re-profiles on the aged plant; it keeps the fresh
@@ -81,16 +93,17 @@ pub fn run() -> Vec<AgingRow> {
         .unwrap_or(v_high);
 
         let margin = Volts::from_milli(19.0); // the paper's ±20 mV failure band
-        rows.push(AgingRow {
+        AgingRow {
             age,
             true_vsafe: truth.get(),
             pg_stale: pg_stale.get(),
             culpeo_r_reprofiled: reprofiled.get(),
             pg_safe: pg_stale >= truth - margin,
             culpeo_r_safe: reprofiled >= truth - margin,
-        });
-    }
-    rows
+        }
+    });
+    clock.mark("ground-truth+reprofile");
+    (rows, clock.finish())
 }
 
 /// Prints the aging table.

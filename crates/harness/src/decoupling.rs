@@ -8,6 +8,7 @@
 //! a 50 mA/100 ms LoRa-class load and still saw a 200 mV ESR drop at the
 //! highest (abnormally large) decoupling value.
 
+use culpeo_exec::{PhaseClock, Sweep, Telemetry};
 use culpeo_loadgen::LoadProfile;
 use culpeo_powersim::{CapacitorBranch, PowerSystem, RunConfig};
 use culpeo_units::{Amps, Farads, Ohms, Seconds, Volts};
@@ -47,8 +48,15 @@ fn load() -> LoadProfile {
 /// 6.4 mF and reports the surviving ESR drop.
 #[must_use]
 pub fn run() -> Vec<DecouplingRow> {
+    run_timed(Sweep::from_env()).0
+}
+
+/// [`run`] on an explicit executor, with phase telemetry. Each decoupling
+/// configuration measures on its own plant — one sweep cell each.
+#[must_use]
+pub fn run_timed(sweep: Sweep) -> (Vec<DecouplingRow>, Telemetry) {
     crate::preflight::require_clean_reference();
-    let mut rows = Vec::new();
+    let mut clock = PhaseClock::new(sweep.threads());
     let configs: [Option<f64>; 6] = [
         None,
         Some(400e-6),
@@ -57,7 +65,7 @@ pub fn run() -> Vec<DecouplingRow> {
         Some(3.2e-3),
         Some(6.4e-3),
     ];
-    for cfg in configs {
+    let rows = sweep.map(&configs, |_, &cfg| {
         let mut sys = plant(cfg.map(Farads::new));
         let out = sys.run_profile(&load(), RunConfig::default());
         assert!(
@@ -65,13 +73,14 @@ pub fn run() -> Vec<DecouplingRow> {
             "decoupling measurement must not brown out (cfg {cfg:?})"
         );
         let drop = out.v_delta();
-        rows.push(DecouplingRow {
+        DecouplingRow {
             decoupling_f: cfg.unwrap_or(0.0),
             esr_drop_v: drop.get(),
             drop_pct_of_range: drop.get() / 0.96 * 100.0,
-        });
-    }
-    rows
+        }
+    });
+    clock.mark("measure");
+    (rows, clock.finish())
 }
 
 /// Prints the ablation table.

@@ -11,6 +11,7 @@ use culpeo::compose::TaskRequirement;
 use culpeo::pg;
 use culpeo::PowerSystemModel;
 use culpeo_device::measure_for_catnap;
+use culpeo_exec::{PhaseClock, Sweep, Telemetry};
 use culpeo_loadgen::peripheral::BleRadio;
 use culpeo_loadgen::LoadProfile;
 use culpeo_powersim::{PowerSystem, RunConfig};
@@ -64,25 +65,27 @@ fn measured_energy(load: &LoadProfile, model: &PowerSystemModel) -> Joules {
 /// {0, 3, 6} τ, radio at {6.5} τ — so the τ6 sense and τ6.5 radio share a
 /// discharge, the Figure 5 failure. Task energies come from CatNap-style
 /// device profiling; the ESR-aware `V_safe` values come from Culpeo-PG.
-fn schedule(model: &PowerSystemModel) -> Vec<(Seconds, LoadProfile, PlannedLaunch)> {
-    let sense = sense_load();
-    let radio = radio_load();
-    let sense_req = TaskRequirement {
-        buffer_energy: measured_energy(&sense, model),
-        v_delta: pg::compute_vsafe_for_profile(&sense, model).v_delta,
-    };
-    let radio_req = TaskRequirement {
-        buffer_energy: measured_energy(&radio, model),
-        v_delta: pg::compute_vsafe_for_profile(&radio, model).v_delta,
-    };
-    let sense_vsafe = pg::compute_vsafe_for_profile(&sense, model).v_safe;
-    let radio_vsafe = pg::compute_vsafe_for_profile(&radio, model).v_safe;
+fn schedule(model: &PowerSystemModel, sweep: Sweep) -> Vec<(Seconds, LoadProfile, PlannedLaunch)> {
+    // Each task's profiling (CatNap-style energy measurement plus the
+    // Culpeo-PG pass) is independent of the others' — one sweep cell each.
+    let tasks = [sense_load(), radio_load()];
+    let profiled = sweep.map(&tasks, |_, load| {
+        let pg_out = pg::compute_vsafe_for_profile(load, model);
+        let requirement = TaskRequirement {
+            buffer_energy: measured_energy(load, model),
+            v_delta: pg_out.v_delta,
+        };
+        (requirement, pg_out.v_safe)
+    });
+    let [sense, radio] = &tasks;
+    let (sense_req, sense_vsafe) = profiled[0];
+    let (radio_req, radio_vsafe) = profiled[1];
 
     let entries = [
-        (0.0, &sense, sense_req, sense_vsafe),
-        (3.0, &sense, sense_req, sense_vsafe),
-        (6.0, &sense, sense_req, sense_vsafe),
-        (6.5, &radio, radio_req, radio_vsafe),
+        (0.0, sense, sense_req, sense_vsafe),
+        (3.0, sense, sense_req, sense_vsafe),
+        (6.0, sense, sense_req, sense_vsafe),
+        (6.5, radio, radio_req, radio_vsafe),
     ];
     entries
         .into_iter()
@@ -104,9 +107,19 @@ fn schedule(model: &PowerSystemModel) -> Vec<(Seconds, LoadProfile, PlannedLaunc
 /// execute the schedule on the plant.
 #[must_use]
 pub fn run() -> Fig05 {
+    run_timed(Sweep::from_env()).0
+}
+
+/// [`run`] on an explicit executor, with phase telemetry. The per-task
+/// profiling fans out; the schedule execution is inherently serial (one
+/// plant, one timeline).
+#[must_use]
+pub fn run_timed(sweep: Sweep) -> (Fig05, Telemetry) {
     crate::preflight::require_clean_reference();
+    let mut clock = PhaseClock::new(sweep.threads());
     let model = PowerSystemModel::capybara();
-    let sched = schedule(&model);
+    let sched = schedule(&model, sweep);
+    clock.mark("profile-tasks");
     let plan: Vec<PlannedLaunch> = sched.iter().map(|(_, _, p)| *p).collect();
     let ctx = PlanContext {
         capacitance: model.capacitance(),
@@ -118,6 +131,7 @@ pub fn run() -> Fig05 {
 
     let catnap_accepts = catnap_feasible(&plan, &ctx);
     let culpeo_accepts = culpeo_feasible(&plan, &ctx);
+    clock.mark("feasibility");
 
     // Execute on the plant with the plan's charging assumption.
     let mut sys = plant();
@@ -138,12 +152,17 @@ pub fn run() -> Fig05 {
         t_prev = Seconds::new(start.get() + load.duration().get());
     }
 
-    Fig05 {
-        catnap_accepts,
-        culpeo_accepts,
-        plant_failure_at_launch: failure,
-        launches: sched.len(),
-    }
+    clock.mark("execute");
+
+    (
+        Fig05 {
+            catnap_accepts,
+            culpeo_accepts,
+            plant_failure_at_launch: failure,
+            launches: sched.len(),
+        },
+        clock.finish(),
+    )
 }
 
 /// Prints the verdicts-versus-reality comparison.

@@ -7,10 +7,11 @@
 //! systems under test.
 
 use culpeo::PowerSystemModel;
+use culpeo_exec::{PhaseClock, Sweep, Telemetry};
 use culpeo_loadgen::synthetic::fig6_loads;
 use serde::Serialize;
 
-use crate::ground_truth::true_vsafe;
+use crate::ground_truth::true_vsafe_cached;
 use crate::systems::VsafeSystem;
 use crate::{error_percent_of_range, reference_plant};
 
@@ -40,28 +41,39 @@ pub struct Fig06Row {
 /// Runs the Figure 6 comparison over the 12 synthetic loads.
 #[must_use]
 pub fn run() -> Vec<Fig06Row> {
+    run_timed(Sweep::from_env()).0
+}
+
+/// [`run`] on an explicit executor, with phase telemetry. One sweep cell
+/// per load: the ground-truth search plus all three predictions.
+#[must_use]
+pub fn run_timed(sweep: Sweep) -> (Vec<Fig06Row>, Telemetry) {
     crate::preflight::require_clean_reference();
+    let mut clock = PhaseClock::new(sweep.threads());
     let model = PowerSystemModel::characterize(&reference_plant);
     let range = model.operating_range();
-    let mut rows = Vec::new();
-    for load in fig6_loads() {
-        let Some(truth) = true_vsafe(&reference_plant, &load) else {
-            continue;
+    clock.mark("characterize");
+    let per_load = sweep.map_into(fig6_loads(), |_, load| {
+        let Some(truth) = true_vsafe_cached("reference", &reference_plant, load) else {
+            return Vec::new();
         };
-        for system in FIG6_SYSTEMS {
-            let Some(predicted) = system.predict(&load, &model, &reference_plant) else {
-                continue;
-            };
-            rows.push(Fig06Row {
-                load: load.label().to_string(),
-                system: system.label().to_string(),
-                true_vsafe: truth.get(),
-                predicted_vsafe: predicted.get(),
-                error_pct: error_percent_of_range(truth - predicted, range).get(),
-            });
-        }
-    }
-    rows
+        FIG6_SYSTEMS
+            .iter()
+            .filter_map(|&system| {
+                let predicted = system.predict(load, &model, &reference_plant)?;
+                Some(Fig06Row {
+                    load: load.label().to_string(),
+                    system: system.label().to_string(),
+                    true_vsafe: truth.get(),
+                    predicted_vsafe: predicted.get(),
+                    error_pct: error_percent_of_range(truth - predicted, range).get(),
+                })
+            })
+            .collect::<Vec<_>>()
+    });
+    clock.mark("ground-truth+predictions");
+    let rows = per_load.into_iter().flatten().collect();
+    (rows, clock.finish())
 }
 
 /// Prints the Figure 6 table.

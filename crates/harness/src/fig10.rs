@@ -7,10 +7,12 @@
 //! bar is "above −2 %, ideally > 0 with < 10 % conservatism".
 
 use culpeo::PowerSystemModel;
+use culpeo_exec::{PhaseClock, Sweep, Telemetry};
 use culpeo_loadgen::synthetic::fig10_loads;
+use culpeo_loadgen::LoadProfile;
 use serde::Serialize;
 
-use crate::ground_truth::true_vsafe;
+use crate::ground_truth::true_vsafe_cached;
 use crate::systems::VsafeSystem;
 use crate::{error_percent_of_range, reference_plant};
 
@@ -40,28 +42,47 @@ pub struct Fig10Row {
 /// Runs the Figure 10 comparison over the 18 loads × 4 systems.
 #[must_use]
 pub fn run() -> Vec<Fig10Row> {
+    run_timed(Sweep::from_env()).0
+}
+
+/// [`run`] on an explicit executor, with phase telemetry.
+#[must_use]
+pub fn run_timed(sweep: Sweep) -> (Vec<Fig10Row>, Telemetry) {
+    run_on(sweep, &fig10_loads())
+}
+
+/// The Figure 10 comparison over an arbitrary load subset — one sweep cell
+/// per load (ground truth plus all four predictions). The determinism
+/// tests run a short subset serially and in parallel and require
+/// byte-identical rows.
+#[must_use]
+pub fn run_on(sweep: Sweep, loads: &[LoadProfile]) -> (Vec<Fig10Row>, Telemetry) {
     crate::preflight::require_clean_reference();
+    let mut clock = PhaseClock::new(sweep.threads());
     let model = PowerSystemModel::characterize(&reference_plant);
     let range = model.operating_range();
-    let mut rows = Vec::new();
-    for load in fig10_loads() {
-        let Some(truth) = true_vsafe(&reference_plant, &load) else {
-            continue;
+    clock.mark("characterize");
+    let per_load = sweep.map(loads, |_, load| {
+        let Some(truth) = true_vsafe_cached("reference", &reference_plant, load) else {
+            return Vec::new();
         };
-        for system in FIG10_SYSTEMS {
-            let Some(predicted) = system.predict(&load, &model, &reference_plant) else {
-                continue;
-            };
-            rows.push(Fig10Row {
-                load: load.label().to_string(),
-                system: system.label().to_string(),
-                true_vsafe: truth.get(),
-                predicted_vsafe: predicted.get(),
-                error_pct: error_percent_of_range(predicted - truth, range).get(),
-            });
-        }
-    }
-    rows
+        FIG10_SYSTEMS
+            .iter()
+            .filter_map(|&system| {
+                let predicted = system.predict(load, &model, &reference_plant)?;
+                Some(Fig10Row {
+                    load: load.label().to_string(),
+                    system: system.label().to_string(),
+                    true_vsafe: truth.get(),
+                    predicted_vsafe: predicted.get(),
+                    error_pct: error_percent_of_range(predicted - truth, range).get(),
+                })
+            })
+            .collect::<Vec<_>>()
+    });
+    clock.mark("ground-truth+predictions");
+    let rows = per_load.into_iter().flatten().collect();
+    (rows, clock.finish())
 }
 
 /// Prints the Figure 10 table.

@@ -7,6 +7,7 @@
 //! below `V_off` means the device powered off under that system.
 
 use culpeo::PowerSystemModel;
+use culpeo_exec::{CellGrid, PhaseClock, Sweep, Telemetry};
 use culpeo_loadgen::peripheral::{BleRadio, GestureSensor, MnistAccelerator};
 use culpeo_loadgen::LoadProfile;
 use culpeo_powersim::RunConfig;
@@ -65,33 +66,45 @@ fn rename(p: LoadProfile, name: &str) -> LoadProfile {
 /// Runs the Figure 11 experiment.
 #[must_use]
 pub fn run() -> Vec<Fig11Row> {
+    run_timed(Sweep::from_env()).0
+}
+
+/// [`run`] on an explicit executor, with phase telemetry. Every
+/// (peripheral × system) pair predicts and dispatches independently — one
+/// sweep cell each, row-major so the output order matches the serial
+/// nesting.
+#[must_use]
+pub fn run_timed(sweep: Sweep) -> (Vec<Fig11Row>, Telemetry) {
     crate::preflight::require_clean_reference();
+    let mut clock = PhaseClock::new(sweep.threads());
     let model = PowerSystemModel::characterize(&reference_plant);
-    let mut rows = Vec::new();
-    for load in peripherals() {
-        for system in FIG11_SYSTEMS {
-            let Some(v_safe) = system.predict(&load, &model, &reference_plant) else {
-                continue;
-            };
-            // Dispatch the operation at the predicted V_safe, padded by
-            // the 5 mV granularity the §VI-A search procedure resolves —
-            // a prediction within that band is indistinguishable from the
-            // true boundary on the real harness.
-            let mut sys = reference_plant();
-            let v_start = (v_safe + crate::ground_truth::TOLERANCE).min(model.v_high());
-            sys.set_buffer_voltage(v_start);
-            sys.force_output_enabled();
-            let out = sys.run_profile(&load, RunConfig::default());
-            rows.push(Fig11Row {
-                peripheral: load.label().to_string(),
-                system: system.label().to_string(),
-                v_safe: v_safe.get(),
-                v_min: out.v_min.get(),
-                completed: out.completed(),
-            });
-        }
-    }
-    rows
+    clock.mark("characterize");
+    let loads = peripherals();
+    let grid = CellGrid::new(loads.len(), FIG11_SYSTEMS.len());
+    let cells = sweep.map_into(grid.cells(), |_, &(li, si)| {
+        let load = &loads[li];
+        let system = FIG11_SYSTEMS[si];
+        let v_safe = system.predict(load, &model, &reference_plant)?;
+        // Dispatch the operation at the predicted V_safe, padded by
+        // the 5 mV granularity the §VI-A search procedure resolves —
+        // a prediction within that band is indistinguishable from the
+        // true boundary on the real harness.
+        let mut sys = reference_plant();
+        let v_start = (v_safe + crate::ground_truth::TOLERANCE).min(model.v_high());
+        sys.set_buffer_voltage(v_start);
+        sys.force_output_enabled();
+        let out = sys.run_profile(load, RunConfig::default());
+        Some(Fig11Row {
+            peripheral: load.label().to_string(),
+            system: system.label().to_string(),
+            v_safe: v_safe.get(),
+            v_min: out.v_min.get(),
+            completed: out.completed(),
+        })
+    });
+    clock.mark("predict+dispatch");
+    let rows = cells.into_iter().flatten().collect();
+    (rows, clock.finish())
 }
 
 /// Prints the Figure 11 table.

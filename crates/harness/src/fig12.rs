@@ -1,7 +1,8 @@
 //! Figure 12: event-capture rates for the three applications under
 //! CatNap and Culpeo scheduling.
 
-use culpeo_sched::{apps, run_trial, AppSpec, ChargePolicy};
+use culpeo_exec::{PhaseClock, Sweep, Telemetry};
+use culpeo_sched::{apps, run_trial, AppSpec, ChargePolicy, TrialResult};
 use culpeo_units::Seconds;
 use serde::Serialize;
 
@@ -37,31 +38,61 @@ pub fn run() -> Vec<Fig12Row> {
 /// Parameterised variant (shorter runs for tests).
 #[must_use]
 pub fn run_with(duration: Seconds, trials: u32) -> Vec<Fig12Row> {
+    run_timed(Sweep::from_env(), duration, trials).0
+}
+
+/// [`run_with`] on an explicit executor, with phase telemetry. Every
+/// seeded (app × policy × trial) tuple is one sweep cell; aggregation
+/// happens afterwards over the input-ordered results, so rows are
+/// identical at any thread count.
+#[must_use]
+pub fn run_timed(sweep: Sweep, duration: Seconds, trials: u32) -> (Vec<Fig12Row>, Telemetry) {
     crate::preflight::require_clean_reference();
+    let mut clock = PhaseClock::new(sweep.threads());
     let applications = [
         apps::periodic_sensing(),
         apps::responsive_reporting(),
         apps::noise_monitoring(),
     ];
-    let mut rows = Vec::new();
-    for app in &applications {
-        for policy in [ChargePolicy::Catnap, ChargePolicy::Culpeo] {
-            rows.extend(aggregate(app, policy, duration, trials));
+    let policies = [ChargePolicy::Catnap, ChargePolicy::Culpeo];
+    let mut cells = Vec::new();
+    for ai in 0..applications.len() {
+        for policy in policies {
+            for k in 0..trials {
+                cells.push((ai, policy, k));
+            }
         }
     }
-    rows
+    let results = sweep.map(&cells, |_, &(ai, policy, k)| {
+        run_trial(&applications[ai], policy, duration, 7000 + u64::from(k))
+    });
+    clock.mark("trials");
+
+    let mut rows = Vec::new();
+    for (ai, app) in applications.iter().enumerate() {
+        for policy in policies {
+            let group: Vec<&TrialResult> = cells
+                .iter()
+                .zip(&results)
+                .filter(|((ci, cp, _), _)| *ci == ai && *cp == policy)
+                .map(|(_, r)| r)
+                .collect();
+            rows.extend(aggregate(app, policy, &group));
+        }
+    }
+    clock.mark("aggregate");
+    (rows, clock.finish())
 }
 
 /// Aggregates per-class stats over seeded trials of one (app, policy).
-fn aggregate(app: &AppSpec, policy: ChargePolicy, duration: Seconds, trials: u32) -> Vec<Fig12Row> {
+fn aggregate(app: &AppSpec, policy: ChargePolicy, trials: &[&TrialResult]) -> Vec<Fig12Row> {
     let mut per_class: Vec<(String, u32, u32)> = app
         .classes
         .iter()
         .map(|c| (c.name.clone(), 0u32, 0u32))
         .collect();
     let mut brownouts = 0;
-    for k in 0..trials {
-        let result = run_trial(app, policy, duration, 7000 + u64::from(k));
+    for result in trials {
         brownouts += result.brownouts;
         for (name, gen, cap) in &mut per_class {
             let s = result.class(name);

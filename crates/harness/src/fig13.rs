@@ -6,6 +6,7 @@
 //! far between events, shows little or *inverted* benefit from slowing
 //! events down.
 
+use culpeo_exec::{PhaseClock, Sweep, Telemetry};
 use culpeo_sched::{apps, run_trial, AppSpec, ChargePolicy};
 use culpeo_units::Seconds;
 use serde::Serialize;
@@ -44,40 +45,75 @@ pub fn run() -> Vec<Fig13Row> {
 /// Parameterised variant (shorter runs for tests).
 #[must_use]
 pub fn run_with(duration: Seconds, trials: u32) -> Vec<Fig13Row> {
+    run_timed(Sweep::from_env(), duration, trials).0
+}
+
+/// [`run_with`] on an explicit executor, with phase telemetry. Every
+/// seeded (app × rate × policy × trial) tuple is one sweep cell;
+/// aggregation over the input-ordered results keeps rows thread-count
+/// independent.
+#[must_use]
+pub fn run_timed(sweep: Sweep, duration: Seconds, trials: u32) -> (Vec<Fig13Row>, Telemetry) {
     crate::preflight::require_clean_reference();
+    let mut clock = PhaseClock::new(sweep.threads());
     let candidates: [(&str, AppSpec, &str); 2] = [
         ("PS", apps::periodic_sensing(), "PS"),
         ("RR", apps::responsive_reporting(), "report"),
     ];
-    let mut rows = Vec::new();
-    for (app_label, base, class) in candidates {
+    // (app label, scaled spec, class, rate label) per grid point.
+    let mut configs = Vec::new();
+    for (app_label, base, class) in &candidates {
         for (rate_label, factor) in RATE_POINTS {
-            let app = base.with_rate_scaled(factor);
-            for policy in [ChargePolicy::Catnap, ChargePolicy::Culpeo] {
-                let mut generated = 0;
-                let mut captured = 0;
-                for k in 0..trials {
-                    let r = run_trial(&app, policy, duration, 9000 + u64::from(k));
-                    let s = r.class(class);
-                    generated += s.generated;
-                    captured += s.captured;
-                }
-                rows.push(Fig13Row {
-                    app: app_label.to_string(),
-                    rate: rate_label.to_string(),
-                    policy: policy.label().to_string(),
-                    generated,
-                    captured,
-                    capture_pct: if generated == 0 {
-                        100.0
-                    } else {
-                        f64::from(captured) / f64::from(generated) * 100.0
-                    },
-                });
+            configs.push((
+                *app_label,
+                base.with_rate_scaled(factor),
+                *class,
+                rate_label,
+            ));
+        }
+    }
+    let mut cells = Vec::new();
+    for ci in 0..configs.len() {
+        for policy in [ChargePolicy::Catnap, ChargePolicy::Culpeo] {
+            for k in 0..trials {
+                cells.push((ci, policy, k));
             }
         }
     }
-    rows
+    let results = sweep.map(&cells, |_, &(ci, policy, k)| {
+        run_trial(&configs[ci].1, policy, duration, 9000 + u64::from(k))
+    });
+    clock.mark("trials");
+
+    let mut rows = Vec::new();
+    for (ci, (app_label, _, class, rate_label)) in configs.iter().enumerate() {
+        for policy in [ChargePolicy::Catnap, ChargePolicy::Culpeo] {
+            let mut generated = 0;
+            let mut captured = 0;
+            for ((cell_ci, cell_policy, _), r) in cells.iter().zip(&results) {
+                if *cell_ci != ci || *cell_policy != policy {
+                    continue;
+                }
+                let s = r.class(class);
+                generated += s.generated;
+                captured += s.captured;
+            }
+            rows.push(Fig13Row {
+                app: (*app_label).to_string(),
+                rate: (*rate_label).to_string(),
+                policy: policy.label().to_string(),
+                generated,
+                captured,
+                capture_pct: if generated == 0 {
+                    100.0
+                } else {
+                    f64::from(captured) / f64::from(generated) * 100.0
+                },
+            });
+        }
+    }
+    clock.mark("aggregate");
+    (rows, clock.finish())
 }
 
 /// Prints the Figure 13 table.

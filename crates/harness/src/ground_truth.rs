@@ -7,7 +7,11 @@
 //! the minimum voltage stays above `V_off`. We run the identical procedure
 //! against the simulated plant, to a 5 mV tolerance.
 
-use culpeo_loadgen::LoadProfile;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, OnceLock};
+
+use culpeo_loadgen::{LoadProfile, Segment};
 use culpeo_powersim::{PowerSystem, RunConfig};
 use culpeo_units::{Quantity as _, Seconds, Volts};
 
@@ -19,7 +23,7 @@ pub const TOLERANCE: Volts = Volts::new(5e-3);
 /// fresh plant from `make_system`.
 #[must_use]
 pub fn completes_from(
-    make_system: &dyn Fn() -> PowerSystem,
+    make_system: &(dyn Fn() -> PowerSystem + Sync),
     load: &LoadProfile,
     v_start: Volts,
 ) -> bool {
@@ -30,18 +34,74 @@ pub fn completes_from(
     sys.run_profile(load, cfg).completed()
 }
 
+/// [`completes_from`] with memoisation keyed on `(plant_key, load,
+/// v_start)`.
+///
+/// The figure drivers re-run the same bisection probes many times — every
+/// estimator sharing a plant triggers the same ground-truth search, and
+/// the test suite invokes each driver repeatedly. A probe verdict is a
+/// pure function of the plant, the load, and the start voltage, so it is
+/// cached globally. `plant_key` must uniquely identify what `make_system`
+/// builds; callers that mutate a shared plant family (aging sweeps, bank
+/// reconfiguration) must fold those parameters into the key.
+#[must_use]
+pub fn completes_from_cached(
+    plant_key: &str,
+    make_system: &(dyn Fn() -> PowerSystem + Sync),
+    load: &LoadProfile,
+    v_start: Volts,
+) -> bool {
+    let key = (
+        plant_key.to_owned(),
+        load_fingerprint(load),
+        v_start.get().to_bits(),
+    );
+    if let Some(&verdict) = truth_cache().lock().unwrap().get(&key) {
+        return verdict;
+    }
+    let verdict = completes_from(make_system, load, v_start);
+    truth_cache().lock().unwrap().insert(key, verdict);
+    verdict
+}
+
 /// Binary-searches the smallest starting voltage from which `load`
 /// completes, to within [`TOLERANCE`].
 ///
 /// Returns `None` when the load cannot complete even from `V_high` (it is
 /// infeasible on this power system).
 #[must_use]
-pub fn true_vsafe(make_system: &dyn Fn() -> PowerSystem, load: &LoadProfile) -> Option<Volts> {
+pub fn true_vsafe(
+    make_system: &(dyn Fn() -> PowerSystem + Sync),
+    load: &LoadProfile,
+) -> Option<Volts> {
+    bisect(make_system, load, None)
+}
+
+/// [`true_vsafe`] with every bisection probe memoised through
+/// [`completes_from_cached`] under `plant_key`.
+#[must_use]
+pub fn true_vsafe_cached(
+    plant_key: &str,
+    make_system: &(dyn Fn() -> PowerSystem + Sync),
+    load: &LoadProfile,
+) -> Option<Volts> {
+    bisect(make_system, load, Some(plant_key))
+}
+
+fn bisect(
+    make_system: &(dyn Fn() -> PowerSystem + Sync),
+    load: &LoadProfile,
+    plant_key: Option<&str>,
+) -> Option<Volts> {
+    let probe = |v: Volts| match plant_key {
+        Some(key) => completes_from_cached(key, make_system, load, v),
+        None => completes_from(make_system, load, v),
+    };
     let reference = make_system();
     let v_off = reference.monitor().v_off();
     let v_high = reference.monitor().v_high();
 
-    if !completes_from(make_system, load, v_high) {
+    if !probe(v_high) {
         return None;
     }
     // Starting exactly at V_off fails for any real load (the first ESR
@@ -50,7 +110,7 @@ pub fn true_vsafe(make_system: &dyn Fn() -> PowerSystem, load: &LoadProfile) -> 
     let mut hi = v_high;
     while (hi - lo).get() > TOLERANCE.get() {
         let mid = lo.lerp(hi, 0.5);
-        if completes_from(make_system, load, mid) {
+        if probe(mid) {
             hi = mid;
         } else {
             lo = mid;
@@ -59,8 +119,62 @@ pub fn true_vsafe(make_system: &dyn Fn() -> PowerSystem, load: &LoadProfile) -> 
     Some(hi)
 }
 
+/// Empties the global probe-verdict cache (bench/test hook: honest
+/// cold-cache timings, and determinism tests that must re-run the full
+/// search).
+pub fn clear_truth_cache() {
+    truth_cache().lock().unwrap().clear();
+}
+
+type TruthKey = (String, u64, u64);
+
+fn truth_cache() -> &'static Mutex<HashMap<TruthKey, bool>> {
+    static CACHE: OnceLock<Mutex<HashMap<TruthKey, bool>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// A structural fingerprint of a load profile: label plus every segment's
+/// exact parameter bits.
+fn load_fingerprint(load: &LoadProfile) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    load.label().hash(&mut h);
+    for seg in load.segments() {
+        match *seg {
+            Segment::Constant { current, duration } => {
+                0u8.hash(&mut h);
+                current.get().to_bits().hash(&mut h);
+                duration.get().to_bits().hash(&mut h);
+            }
+            Segment::Ramp { from, to, duration } => {
+                1u8.hash(&mut h);
+                from.get().to_bits().hash(&mut h);
+                to.get().to_bits().hash(&mut h);
+                duration.get().to_bits().hash(&mut h);
+            }
+            Segment::Burst {
+                peak,
+                base,
+                period,
+                duty,
+                duration,
+            } => {
+                2u8.hash(&mut h);
+                peak.get().to_bits().hash(&mut h);
+                base.get().to_bits().hash(&mut h);
+                period.get().to_bits().hash(&mut h);
+                duty.to_bits().hash(&mut h);
+                duration.get().to_bits().hash(&mut h);
+            }
+        }
+    }
+    h.finish()
+}
+
 /// Run configuration for search probes: fine enough to resolve 1 ms
-/// pulses, minimum-only recording, generous settle.
+/// pulses, summary-only, and with the rebound settle disabled — the
+/// search consumes nothing but the completion verdict, which is decided
+/// before settling would start, so the (often seconds-long) rebound
+/// simulation is pure waste here.
 fn search_run_config(load: &LoadProfile) -> RunConfig {
     let dt = if load.duration().get() > 1.0 {
         Seconds::from_micro(50.0)
@@ -70,8 +184,10 @@ fn search_run_config(load: &LoadProfile) -> RunConfig {
     RunConfig {
         dt,
         record_stride: usize::MAX,
+        settle_timeout: Seconds::ZERO,
         ..RunConfig::default()
     }
+    .without_trace()
 }
 
 #[cfg(test)]
@@ -111,6 +227,36 @@ mod tests {
         // 2 A cannot be sourced through ohms of ESR at these voltages.
         let load = LoadProfile::constant("absurd", Amps::new(2.0), Seconds::from_milli(10.0));
         assert!(true_vsafe(&make, &load).is_none());
+    }
+
+    #[test]
+    fn cached_search_matches_uncached() {
+        let load = pulse(30.0, 8.0);
+        let direct = true_vsafe(&make, &load).unwrap();
+        clear_truth_cache();
+        let cold = true_vsafe_cached("reference", &make, &load).unwrap();
+        let warm = true_vsafe_cached("reference", &make, &load).unwrap();
+        assert_eq!(direct, cold);
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn distinct_plant_keys_do_not_collide() {
+        // The same load on a weaker plant must not be served the reference
+        // plant's cached verdicts.
+        let weak = || {
+            let mut sys = PowerSystem::capybara_with_bank(
+                culpeo_units::Farads::from_milli(45.0),
+                culpeo_units::Ohms::new(8.0),
+            );
+            sys.force_output_enabled();
+            sys
+        };
+        let load = pulse(40.0, 10.0);
+        clear_truth_cache();
+        let v_ref = true_vsafe_cached("reference", &make, &load).unwrap();
+        let v_weak = true_vsafe_cached("weak-bank", &weak, &load).unwrap();
+        assert!(v_weak > v_ref, "weak plant {v_weak} vs reference {v_ref}");
     }
 
     #[test]

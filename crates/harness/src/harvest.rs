@@ -10,6 +10,7 @@
 
 use culpeo::{runtime, PowerSystemModel};
 use culpeo_device::{profile_task, Profiler, UArchProfiler};
+use culpeo_exec::{PhaseClock, Sweep, Telemetry};
 use culpeo_loadgen::peripheral::LoRaRadio;
 use culpeo_loadgen::LoadProfile;
 use culpeo_powersim::{Harvester, PowerSystem, RunConfig};
@@ -49,7 +50,16 @@ fn load() -> LoadProfile {
 /// strong-harvest estimate everywhere.
 #[must_use]
 pub fn run() -> Vec<HarvestRow> {
+    run_timed(Sweep::from_env()).0
+}
+
+/// [`run`] on an explicit executor, with phase telemetry. The strong-sun
+/// estimate is shared by every row so it profiles first; each harvest
+/// level then profiles and cross-dispatches as one independent cell.
+#[must_use]
+pub fn run_timed(sweep: Sweep) -> (Vec<HarvestRow>, Telemetry) {
     crate::preflight::require_clean_reference();
+    let mut clock = PhaseClock::new(sweep.threads());
     let model = PowerSystemModel::capybara();
 
     let estimate_at = |mw: f64| -> Volts {
@@ -65,18 +75,18 @@ pub fn run() -> Vec<HarvestRow> {
     };
 
     let strong = estimate_at(LEVELS_MW[0]);
-    LEVELS_MW
-        .iter()
-        .map(|&mw| {
-            let own = estimate_at(mw);
-            HarvestRow {
-                harvest_w: mw * 1e-3,
-                v_safe: own.get(),
-                own_completes: dispatch(mw, own),
-                strong_estimate_completes: dispatch(mw, strong),
-            }
-        })
-        .collect()
+    clock.mark("strong-estimate");
+    let rows = sweep.map(&LEVELS_MW, |_, &mw| {
+        let own = estimate_at(mw);
+        HarvestRow {
+            harvest_w: mw * 1e-3,
+            v_safe: own.get(),
+            own_completes: dispatch(mw, own),
+            strong_estimate_completes: dispatch(mw, strong),
+        }
+    });
+    clock.mark("profile+dispatch");
+    (rows, clock.finish())
 }
 
 fn dispatch(harvest_mw: f64, v: Volts) -> bool {

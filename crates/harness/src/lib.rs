@@ -27,6 +27,8 @@ pub mod preflight;
 pub mod reconfig;
 pub mod systems;
 
+pub use culpeo_exec as exec;
+
 use culpeo_powersim::PowerSystem;
 use culpeo_units::{Percent, Volts};
 

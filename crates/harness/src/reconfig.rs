@@ -12,6 +12,7 @@
 
 use culpeo::{runtime, BufferConfigId, Culpeo, PowerSystemModel, TaskId};
 use culpeo_device::{profile_task, Profiler, UArchProfiler};
+use culpeo_exec::{PhaseClock, Sweep, Telemetry};
 use culpeo_loadgen::peripheral::BleRadio;
 use culpeo_powersim::{CapacitorBranch, PowerSystem, RunConfig};
 use culpeo_units::{Amps, Farads, Ohms, Volts};
@@ -89,38 +90,57 @@ fn model_for(small_only: bool) -> PowerSystemModel {
 /// API (config-tagged), then cross-dispatches.
 #[must_use]
 pub fn run() -> Vec<ReconfigRow> {
+    run_timed(Sweep::from_env()).0
+}
+
+/// [`run`] on an explicit executor, with phase telemetry. The simulated
+/// profiling runs fan out per configuration; the Culpeo bookkeeping
+/// (config tagging, estimate storage) stays serial because it mutates one
+/// shared runtime object, exactly as on the device. Cross-dispatch fans
+/// out per configuration again.
+#[must_use]
+pub fn run_timed(sweep: Sweep) -> (Vec<ReconfigRow>, Telemetry) {
     crate::preflight::require_clean_reference();
+    let mut clock = PhaseClock::new(sweep.threads());
     let task = TaskId(1);
     let load = BleRadio::default().profile();
     let configs = [("full-array", false), ("small-bank", true)];
 
-    // Profile under each configuration, tagging via the Culpeo API.
+    // Profile under each configuration (the expensive simulated part)…
+    let runs = sweep.map(&configs, |_, &(_, small_only)| {
+        let mut sys = array(small_only);
+        profile_task(&mut sys, &load, &Profiler::UArch(UArchProfiler::default()))
+            .expect("profiling from full charge completes")
+    });
+    clock.mark("profile");
+
+    // …then tag the observations via the Culpeo API in input order.
     let mut culpeo = Culpeo::new(model_for(false));
     let mut vsafes = Vec::new();
-    for (idx, &(_, small_only)) in configs.iter().enumerate() {
+    for (idx, (&(_, small_only), run)) in configs.iter().zip(&runs).enumerate() {
         culpeo.set_buffer_config(BufferConfigId(idx as u32), Some(model_for(small_only)));
-        let mut sys = array(small_only);
-        let run = profile_task(&mut sys, &load, &Profiler::UArch(UArchProfiler::default()))
-            .expect("profiling from full charge completes");
         let est = runtime::compute_vsafe(&run.observation, culpeo.model());
         culpeo.insert_estimate(task, est);
         vsafes.push(culpeo.get_vsafe(task).expect("estimate stored"));
     }
+    clock.mark("estimate");
 
     // Cross-dispatch: own value vs the other configuration's value.
-    let mut rows = Vec::new();
-    for (idx, &(name, small_only)) in configs.iter().enumerate() {
+    let cells: Vec<usize> = (0..configs.len()).collect();
+    let rows = sweep.map(&cells, |_, &idx| {
+        let (name, small_only) = configs[idx];
         let own = vsafes[idx];
         let other = vsafes[1 - idx];
-        rows.push(ReconfigRow {
+        ReconfigRow {
             config: name.to_string(),
             capacitance_f: array(small_only).buffer().connected_capacitance().get(),
             v_safe: own.get(),
             own_value_completes: dispatch(small_only, &load, own),
             crossed_value_completes: dispatch(small_only, &load, other),
-        });
-    }
-    rows
+        }
+    });
+    clock.mark("cross-dispatch");
+    (rows, clock.finish())
 }
 
 fn dispatch(small_only: bool, load: &culpeo_loadgen::LoadProfile, v: Volts) -> bool {

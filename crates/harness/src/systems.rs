@@ -73,7 +73,7 @@ impl VsafeSystem {
         self,
         load: &LoadProfile,
         model: &PowerSystemModel,
-        make_system: &dyn Fn() -> PowerSystem,
+        make_system: &(dyn Fn() -> PowerSystem + Sync),
     ) -> Option<Volts> {
         match self {
             VsafeSystem::EnergyDirect => {
@@ -119,7 +119,7 @@ impl core::fmt::Display for VsafeSystem {
     }
 }
 
-fn fresh_full(make_system: &dyn Fn() -> PowerSystem) -> PowerSystem {
+fn fresh_full(make_system: &(dyn Fn() -> PowerSystem + Sync)) -> PowerSystem {
     let mut sys = make_system();
     let v_high = sys.monitor().v_high();
     sys.set_buffer_voltage(v_high);

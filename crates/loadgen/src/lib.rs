@@ -39,7 +39,7 @@ pub mod noise;
 pub mod peripheral;
 pub mod synthetic;
 
-pub use profile::{LoadProfile, LoadProfileBuilder};
+pub use profile::{LoadProfile, LoadProfileBuilder, ProfileCursor};
 pub use segment::Segment;
 pub use trace::CurrentTrace;
 

@@ -148,6 +148,21 @@ impl LoadProfile {
         b.build()
     }
 
+    /// A forward-only cursor over this profile for monotone time queries.
+    ///
+    /// The circuit simulator evaluates the load at every step of a run, and
+    /// those query times only ever increase; a cursor remembers which
+    /// segment the last query landed in and resumes the scan there, turning
+    /// the per-step `O(log n)` binary search of [`LoadProfile::current_at`]
+    /// into amortised `O(1)`.
+    #[must_use]
+    pub fn cursor(&self) -> ProfileCursor<'_> {
+        ProfileCursor {
+            profile: self,
+            idx: 0,
+        }
+    }
+
     /// Returns a copy with every current scaled by `factor` (e.g. to model a
     /// "knob" such as matrix dimension scaling compute intensity).
     ///
@@ -194,6 +209,56 @@ impl LoadProfile {
             b = b.segment(s);
         }
         b.build()
+    }
+}
+
+/// A forward-only evaluation cursor over a [`LoadProfile`]; obtain one from
+/// [`LoadProfile::cursor`].
+///
+/// For non-decreasing query times, [`ProfileCursor::current_at`] returns
+/// exactly what [`LoadProfile::current_at`] would — same segment selection,
+/// same boundary semantics — without re-running the binary search each call.
+/// Queries that move backwards in time past a segment boundary are outside
+/// the contract (the cursor never rewinds); create a fresh cursor instead.
+#[derive(Debug, Clone)]
+pub struct ProfileCursor<'a> {
+    profile: &'a LoadProfile,
+    /// Index of the segment the scan resumes at: every earlier segment's
+    /// end time is ≤ the previous query time.
+    idx: usize,
+}
+
+impl ProfileCursor<'_> {
+    /// The instantaneous current at time `t`, for `t` no earlier than the
+    /// previous call's `t`. Matches [`LoadProfile::current_at`] exactly
+    /// under that ordering.
+    #[must_use]
+    pub fn current_at(&mut self, t: Seconds) -> Amps {
+        let t = t.get();
+        if t < 0.0 {
+            return Amps::ZERO;
+        }
+        let ends = &self.profile.ends;
+        // Advance to the first segment whose end time strictly exceeds t —
+        // the same index `partition_point` would find, reached by resuming
+        // the scan from the previous query's segment.
+        while self.idx < ends.len() && ends[self.idx] <= t {
+            self.idx += 1;
+        }
+        if self.idx >= self.profile.segments.len() {
+            if t == self.profile.duration().get() {
+                if let Some(last) = self.profile.segments.last() {
+                    return last.current_at(last.duration());
+                }
+            }
+            return Amps::ZERO;
+        }
+        let start = if self.idx == 0 {
+            0.0
+        } else {
+            self.profile.ends[self.idx - 1]
+        };
+        self.profile.segments[self.idx].current_at(Seconds::new(t - start))
     }
 }
 
@@ -396,6 +461,51 @@ mod tests {
     #[should_panic(expected = "duration must be positive")]
     fn builder_rejects_zero_duration() {
         let _ = LoadProfile::builder("x").hold(ma(1.0), Seconds::ZERO);
+    }
+
+    #[test]
+    fn cursor_matches_current_at_on_monotone_queries() {
+        let p = LoadProfile::builder("mixed")
+            .hold(ma(25.0), ms(10.0))
+            .ramp(ma(25.0), ma(2.0), ms(30.0))
+            .burst(ma(40.0), ma(1.0), ms(4.0), 0.25, ms(60.0))
+            .build();
+        let mut cursor = p.cursor();
+        let dur = p.duration().get();
+        let n = 5000;
+        for k in 0..=n {
+            // Sweep slightly past the end to hit the boundary + beyond.
+            let t = Seconds::new(dur * 1.05 * k as f64 / n as f64);
+            assert_eq!(cursor.current_at(t), p.current_at(t), "t = {t:?}");
+        }
+    }
+
+    #[test]
+    fn cursor_handles_boundaries_and_negative_time() {
+        let p = pulse_plus_compute();
+        let mut c = p.cursor();
+        assert_eq!(c.current_at(ms(-1.0)), Amps::ZERO);
+        assert_eq!(c.current_at(ms(5.0)), ma(25.0));
+        assert_eq!(c.current_at(ms(10.0)), ma(1.5)); // boundary → second seg
+        assert_eq!(c.current_at(p.duration()), ma(1.5)); // end boundary
+        assert_eq!(c.current_at(ms(200.0)), Amps::ZERO);
+    }
+
+    #[test]
+    fn cursor_repeated_same_time_is_stable() {
+        let p = pulse_plus_compute();
+        let mut c = p.cursor();
+        for _ in 0..3 {
+            assert_eq!(c.current_at(ms(50.0)), ma(1.5));
+        }
+    }
+
+    #[test]
+    fn cursor_on_empty_profile() {
+        let p = LoadProfile::builder("empty").build();
+        let mut c = p.cursor();
+        assert_eq!(c.current_at(Seconds::ZERO), Amps::ZERO);
+        assert_eq!(c.current_at(ms(1.0)), Amps::ZERO);
     }
 
     #[test]

@@ -66,6 +66,20 @@ impl EfficiencyCurve {
         (self.slope * v.get() + self.intercept).clamp(self.floor, self.ceiling)
     }
 
+    /// The efficiency and its derivative `dη/dV` at `v`: the line's slope
+    /// inside the clamp band, zero on the flats.
+    #[must_use]
+    pub fn at_with_slope(&self, v: Volts) -> (f64, f64) {
+        let raw = self.slope * v.get() + self.intercept;
+        if raw <= self.floor {
+            (self.floor, 0.0)
+        } else if raw >= self.ceiling {
+            (self.ceiling, 0.0)
+        } else {
+            (raw, self.slope)
+        }
+    }
+
     /// The slope `m` of the underlying line.
     #[must_use]
     pub fn slope(&self) -> f64 {

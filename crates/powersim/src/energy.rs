@@ -43,6 +43,23 @@ impl EnergyLedger {
         self.harvested - self.total_outflow()
     }
 
+    /// The movements recorded since `before` was captured: every field of
+    /// `self` minus the same field of `before`.
+    ///
+    /// `run_profile` snapshots the cumulative ledger at entry and reports
+    /// `final.delta(&snapshot)`; keeping the subtraction here means a new
+    /// ledger field cannot be silently dropped from per-run reporting.
+    #[must_use]
+    pub fn delta(&self, before: &EnergyLedger) -> EnergyLedger {
+        EnergyLedger {
+            delivered: self.delivered - before.delivered,
+            esr_loss: self.esr_loss - before.esr_loss,
+            booster_loss: self.booster_loss - before.booster_loss,
+            leakage_loss: self.leakage_loss - before.leakage_loss,
+            harvested: self.harvested - before.harvested,
+        }
+    }
+
     /// Merges another ledger into this one (e.g. accumulating per-task
     /// ledgers into a per-trial total).
     pub fn absorb(&mut self, other: &EnergyLedger) {

@@ -25,6 +25,26 @@ pub struct PowerSystem {
     time: Seconds,
     last_v_node: Volts,
     ledger: EnergyLedger,
+    hint: SolverHint,
+}
+
+/// The previous step's solved node root, carried purely as a Newton
+/// warm-start for [`BufferNetwork::solve_node_hinted`]. While the load is
+/// segment-constant the root drifts by microvolts per step, so starting
+/// from it converges immediately; any external state change clears it.
+///
+/// Equality-transparent: two systems in the same electrical state compare
+/// equal regardless of solver-history hints.
+#[derive(Debug, Clone, Copy, Default)]
+struct SolverHint {
+    root: Option<f64>,
+    load_bits: u64,
+}
+
+impl PartialEq for SolverHint {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
 }
 
 /// The observable result of one simulation step.
@@ -53,11 +73,19 @@ pub struct RunConfig {
     /// always exact regardless).
     pub record_stride: usize,
     /// After the load ends, keep simulating (zero load) until the node
-    /// voltage stops rebounding, up to this long.
+    /// voltage stops rebounding, up to this long. Zero skips the rebound
+    /// wait entirely (`v_final` is then the node voltage at the instant
+    /// the run ended).
     pub settle_timeout: Seconds,
     /// Rebound is considered settled when the node moves less than this
     /// over 10 ms.
     pub settle_tolerance: Volts,
+    /// Skip voltage-trace recording entirely: the returned
+    /// [`RunOutcome::trace`] is empty, while `v_start` / `v_min` / `t_min` /
+    /// `v_final` / `brownout` are exactly what a recording run would report.
+    /// The bisection searches and application trials only consume the
+    /// summary, so they skip the per-step trace work.
+    pub summary_only: bool,
 }
 
 impl Default for RunConfig {
@@ -67,6 +95,7 @@ impl Default for RunConfig {
             record_stride: 8, // 125 kHz integration, ~15.6 kHz recording
             settle_timeout: Seconds::new(2.0),
             settle_tolerance: Volts::from_micro(100.0),
+            summary_only: false,
         }
     }
 }
@@ -82,12 +111,20 @@ impl RunConfig {
             ..Self::default()
         }
     }
+
+    /// The same configuration with [`RunConfig::summary_only`] set.
+    #[must_use]
+    pub fn without_trace(mut self) -> Self {
+        self.summary_only = true;
+        self
+    }
 }
 
 /// The result of running a load profile on the plant.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunOutcome {
-    /// Recorded node-voltage trace (decimated per the run configuration).
+    /// Recorded node-voltage trace (decimated per the run configuration;
+    /// empty when the run was configured [`RunConfig::summary_only`]).
     pub trace: VoltageTrace,
     /// Node voltage just before the load was applied.
     pub v_start: Volts,
@@ -177,11 +214,13 @@ impl PowerSystem {
 
     /// Mutable buffer access (aging experiments swap branches in place).
     pub fn buffer_mut(&mut self) -> &mut BufferNetwork {
+        self.hint = SolverHint::default();
         &mut self.buffer
     }
 
     /// Replaces the harvester model.
     pub fn set_harvester(&mut self, harvester: Harvester) {
+        self.hint = SolverHint::default();
         self.harvester = harvester;
     }
 
@@ -214,6 +253,7 @@ impl PowerSystem {
     pub fn set_buffer_voltage(&mut self, v: Volts) {
         self.buffer.set_voltage(v);
         self.last_v_node = v;
+        self.hint = SolverHint::default();
     }
 
     /// Forces the monitor's output-enabled state (test harness trigger).
@@ -236,9 +276,24 @@ impl PowerSystem {
 
         let delivering = self.monitor.output_enabled() && i_load.get() > 0.0;
         let effective_load = if delivering { i_load } else { Amps::ZERO };
+        // Warm-start the node solve from the previous step's root while
+        // the requested load is unchanged (segment-constant profiles).
+        let hint = if self.hint.load_bits == effective_load.get().to_bits() {
+            self.hint.root
+        } else {
+            None
+        };
         let sol = self
             .buffer
-            .solve_node(&self.booster, effective_load, i_charge);
+            .solve_node_hinted(&self.booster, effective_load, i_charge, hint);
+        self.hint = if delivering && !sol.collapsed {
+            SolverHint {
+                root: Some(sol.v_node.get()),
+                load_bits: effective_load.get().to_bits(),
+            }
+        } else {
+            SolverHint::default()
+        };
 
         // Energy bookkeeping (before integrating, using this step's state).
         let dt_s = dt.get();
@@ -280,21 +335,44 @@ impl PowerSystem {
     pub fn run_profile(&mut self, profile: &LoadProfile, cfg: RunConfig) -> RunOutcome {
         let ledger_before = self.ledger;
         let v_start = self.v_node();
-        let mut trace = VoltageTrace::new(cfg.record_stride);
+        // A `None` trace (summary-only mode) skips all recording work; the
+        // minimum is tracked in the loop below either way.
+        let mut trace = if cfg.summary_only {
+            None
+        } else {
+            Some(VoltageTrace::new(cfg.record_stride))
+        };
         let t0 = self.time;
         let steps = profile.duration().steps(cfg.dt).max(1);
+        // Forward-only cursor: query times are k·dt, strictly increasing,
+        // so the per-step segment lookup is amortised O(1).
+        let mut load = profile.cursor();
 
         let mut brownout = None;
         let mut collapsed = false;
+        // Running minimum, tracked here rather than read back from the
+        // trace: same strict-< / first-occurrence rule as
+        // `VoltageTrace::minimum`, but independent of whether a trace
+        // exists at all.
+        let mut v_min = Volts::new(f64::MAX);
+        let mut t_min = Seconds::ZERO;
+        let mut seen_any = false;
         for k in 0..steps {
             let offset = Seconds::new(k as f64 * cfg.dt.get());
-            let i = profile.current_at(offset);
+            let i = load.current_at(offset);
             let out = self.step(i, cfg.dt);
-            trace.push(VoltageSample {
-                t: out.t,
-                v_node: out.v_node,
-                i_in: out.i_in,
-            });
+            if let Some(trace) = trace.as_mut() {
+                trace.push(VoltageSample {
+                    t: out.t,
+                    v_node: out.v_node,
+                    i_in: out.i_in,
+                });
+            }
+            if out.v_node < v_min {
+                v_min = out.v_node;
+                t_min = out.t;
+            }
+            seen_any = true;
             if out.collapsed {
                 collapsed = true;
             }
@@ -307,8 +385,12 @@ impl PowerSystem {
                 break;
             }
         }
-
-        let (t_min, v_min) = trace.minimum().unwrap_or((Seconds::ZERO, v_start));
+        if !seen_any {
+            // Unreachable today (`steps ≥ 1`), but keep the degenerate case
+            // well-defined rather than reporting the f64::MAX sentinel.
+            v_min = v_start;
+            t_min = Seconds::ZERO;
+        }
 
         let v_final = if brownout.is_none() {
             self.settle(cfg)
@@ -316,16 +398,11 @@ impl PowerSystem {
             self.v_node()
         };
 
-        let mut ledger = self.ledger;
         // Report only this run's movements.
-        ledger.delivered -= ledger_before.delivered;
-        ledger.esr_loss -= ledger_before.esr_loss;
-        ledger.booster_loss -= ledger_before.booster_loss;
-        ledger.leakage_loss -= ledger_before.leakage_loss;
-        ledger.harvested -= ledger_before.harvested;
+        let ledger = self.ledger.delta(&ledger_before);
 
         RunOutcome {
-            trace,
+            trace: trace.unwrap_or_else(VoltageTrace::min_only),
             v_start,
             v_min,
             t_min,
@@ -339,6 +416,12 @@ impl PowerSystem {
     /// Runs the system unloaded until the node voltage stops moving (the
     /// post-task rebound of Figure 1b), returning the settled voltage.
     pub fn settle(&mut self, cfg: RunConfig) -> Volts {
+        if cfg.settle_timeout.get() <= 0.0 {
+            // A zero timeout disables the rebound wait entirely: report the
+            // node as it stands. Completion-probe runs use this — their
+            // verdict is decided before settling starts.
+            return self.v_node();
+        }
         let window = Seconds::from_milli(10.0);
         let window_steps = window.steps(cfg.dt).max(1);
         let max_windows = (cfg.settle_timeout.get() / window.get()).ceil().max(1.0) as usize;
@@ -496,6 +579,7 @@ impl PowerSystemBuilder {
             time: Seconds::ZERO,
             last_v_node: v0,
             ledger: EnergyLedger::new(),
+            hint: SolverHint::default(),
         }
     }
 }

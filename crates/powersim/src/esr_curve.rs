@@ -15,10 +15,23 @@ use culpeo_units::{Amps, Hertz, Ohms, Volts};
 use crate::{PowerSystem, RunConfig};
 
 /// A measured ESR-vs-frequency curve with log-frequency interpolation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct EsrCurve {
     /// `(frequency, resistance)` points, sorted by ascending frequency.
     points: Vec<(Hertz, Ohms)>,
+    /// `ln` of each point's frequency, precomputed so [`EsrCurve::at`] —
+    /// called once per simulator step via the booster model — takes no
+    /// logarithms of the fixed points.
+    ln_freqs: Vec<f64>,
+    /// Per-interval slope `ΔR / Δln f` (one entry per adjacent pair).
+    slopes: Vec<f64>,
+}
+
+impl PartialEq for EsrCurve {
+    fn eq(&self, other: &Self) -> bool {
+        // The derived fields are functions of the points.
+        self.points == other.points
+    }
 }
 
 impl EsrCurve {
@@ -41,7 +54,17 @@ impl EsrCurve {
             assert!(f.get() > 0.0, "frequencies must be positive");
             assert!(r.get() > 0.0, "resistances must be positive");
         }
-        Self { points }
+        let ln_freqs: Vec<f64> = points.iter().map(|&(f, _)| f.get().ln()).collect();
+        let slopes = points
+            .windows(2)
+            .zip(ln_freqs.windows(2))
+            .map(|(p, lf)| (p[1].1.get() - p[0].1.get()) / (lf[1] - lf[0]))
+            .collect();
+        Self {
+            points,
+            ln_freqs,
+            slopes,
+        }
     }
 
     /// A frequency-independent curve (an ideal single-RC capacitor).
@@ -74,10 +97,8 @@ impl EsrCurve {
             return last.1;
         }
         let idx = self.points.partition_point(|&(pf, _)| pf.get() <= f.get());
-        let (f0, r0) = self.points[idx - 1];
-        let (f1, r1) = self.points[idx];
-        let t = (f.get().ln() - f0.get().ln()) / (f1.get().ln() - f0.get().ln());
-        Ohms::new(r0.get() + (r1.get() - r0.get()) * t)
+        let r0 = self.points[idx - 1].1.get();
+        Ohms::new(r0 + self.slopes[idx - 1] * (f.get().ln() - self.ln_freqs[idx - 1]))
     }
 }
 
@@ -97,7 +118,7 @@ impl EsrCurve {
 /// or if no frequency yields a valid measurement.
 #[must_use]
 pub fn measure_esr_curve(
-    make_system: &dyn Fn() -> PowerSystem,
+    make_system: &(dyn Fn() -> PowerSystem + Sync),
     i_test: Amps,
     frequencies: &[Hertz],
 ) -> EsrCurve {

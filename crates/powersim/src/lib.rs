@@ -61,7 +61,7 @@ pub use engine::{PowerSystem, PowerSystemBuilder, RunConfig, RunOutcome, StepOut
 pub use esr_curve::{measure_esr_curve, standard_probe_frequencies, EsrCurve};
 pub use harvester::Harvester;
 pub use monitor::{MonitorState, VoltageMonitor};
-pub use network::{BufferNetwork, NodeSolution};
+pub use network::{BranchCurrents, BufferNetwork, NodeSolution};
 pub use vtrace::{VoltageSample, VoltageTrace};
 
 /// The default integration step: 8 µs, i.e. the paper's 125 kHz profiling

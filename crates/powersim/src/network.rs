@@ -32,10 +32,112 @@ pub struct NodeSolution {
     /// Current flowing into the output booster.
     pub i_in: Amps,
     /// Per-branch currents (positive = branch discharging into the node).
-    pub branch_currents: Vec<Amps>,
+    pub branch_currents: BranchCurrents,
     /// True if no operating point exists — the load demands more power
     /// than the network can deliver at any voltage, so the rail collapses.
     pub collapsed: bool,
+}
+
+/// Per-branch currents for one solved step.
+///
+/// A `NodeSolution` is produced on every simulator step, so its branch
+/// currents are stored inline for the branch counts that actually occur
+/// (every plant in the workspace has ≤ 4 branches), spilling to the heap
+/// only beyond that. This keeps `PowerSystem::step` allocation-free.
+#[derive(Debug, Clone)]
+pub struct BranchCurrents {
+    inline: [Amps; Self::INLINE],
+    len: usize,
+    /// Holds *all* currents once the count exceeds `INLINE`; empty
+    /// otherwise, so the live data is always one contiguous slice.
+    spill: Vec<Amps>,
+}
+
+impl BranchCurrents {
+    const INLINE: usize = 4;
+
+    fn new() -> Self {
+        Self {
+            inline: [Amps::ZERO; Self::INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, i: Amps) {
+        if !self.spill.is_empty() {
+            self.spill.push(i);
+        } else if self.len < Self::INLINE {
+            self.inline[self.len] = i;
+        } else {
+            self.spill.reserve(self.len + 1);
+            self.spill.extend_from_slice(&self.inline);
+            self.spill.push(i);
+        }
+        self.len += 1;
+    }
+
+    /// The currents as one contiguous slice, in branch order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Amps] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Number of branches.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when there are no branches.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the currents in branch order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Amps> {
+        self.as_slice().iter()
+    }
+}
+
+impl std::ops::Index<usize> for BranchCurrents {
+    type Output = Amps;
+
+    fn index(&self, idx: usize) -> &Amps {
+        &self.as_slice()[idx]
+    }
+}
+
+impl<'a> IntoIterator for &'a BranchCurrents {
+    type Item = &'a Amps;
+    type IntoIter = std::slice::Iter<'a, Amps>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<Amps> for BranchCurrents {
+    fn from_iter<I: IntoIterator<Item = Amps>>(iter: I) -> Self {
+        let mut out = Self::new();
+        for i in iter {
+            out.push(i);
+        }
+        out
+    }
+}
+
+impl PartialEq for BranchCurrents {
+    fn eq(&self, other: &Self) -> bool {
+        // Representation-insensitive: inline vs spilled storage of the
+        // same currents compares equal.
+        self.as_slice() == other.as_slice()
+    }
 }
 
 impl BufferNetwork {
@@ -194,28 +296,80 @@ impl BufferNetwork {
         i_load: Amps,
         i_charge: Amps,
     ) -> NodeSolution {
+        self.solve_node_hinted(booster, i_load, i_charge, None)
+    }
+
+    /// [`BufferNetwork::solve_node`] with an optional warm-start: `hint`
+    /// is a previous solve's root for the *same load*, used as the Newton
+    /// starting point instead of the closed-form seed. Between consecutive
+    /// steps of a constant load segment the root drifts by microvolts, so
+    /// the warm-started iteration converges immediately; a hint outside
+    /// the physical bracket is ignored.
+    #[must_use]
+    pub fn solve_node_hinted(
+        &self,
+        booster: &OutputBooster,
+        i_load: Amps,
+        i_charge: Amps,
+        hint: Option<f64>,
+    ) -> NodeSolution {
+        // Supply is affine in the node voltage —
+        // `Σ (V_i − V_n)/R_i = W − G·V_n` — so the branch loop folds into
+        // two constants for the whole solve and every Newton iteration
+        // below is pure scalar arithmetic.
+        let mut g = 0.0;
+        let mut w = 0.0;
+        for b in self.connected_branches() {
+            let r = b.esr().get();
+            g += 1.0 / r;
+            w += b.v_internal().get() / r;
+        }
+        let v_oc = Volts::new((w + i_charge.get()) / g);
+
         // No load → exact linear solve, no iteration.
         if i_load.get() <= 0.0 {
-            let v = self.node_for_external(Amps::new(-i_charge.get()));
-            return self.solution_at(v, Amps::ZERO, false);
+            return self.solution_at(v_oc, Amps::ZERO, false);
         }
 
-        let v_oc = self.node_for_external(Amps::new(-i_charge.get()));
         let floor = booster.min_input();
         if v_oc <= floor {
             // Even unloaded the node is below the booster's reach.
             return self.solution_at(v_oc, Amps::ZERO, true);
         }
 
-        // Newton from just below open-circuit (f(v_oc) < 0 because demand
-        // is positive there), seeking the largest root.
-        let mut v = v_oc.get() - 1e-6;
-        let mut converged = None;
+        // Seed Newton from the closed-form largest root of the η-frozen
+        // balance: holding η at η(V_oc), `(W + I_c − G·v)·v = P_out/η` is
+        // quadratic in v. Since η is non-decreasing in v, freezing it at
+        // V_oc under-estimates demand, which puts this root at or *above*
+        // the true operating point — the safe side for a largest-root
+        // descent. The seed lands within the η-slope error of the answer,
+        // so Newton below needs only a couple of iterations.
+        let s = w + i_charge.get();
+        let p_out = (booster.v_out() * i_load).get();
+        let eta_curve = booster.efficiency();
+        let mut v = match hint {
+            Some(h) if h > floor.get() && h < v_oc.get() => h,
+            _ => {
+                let disc = s * s - 4.0 * g * (p_out / eta_curve.at(v_oc));
+                if disc >= 0.0 {
+                    ((s + disc.sqrt()) / (2.0 * g)).max(floor.get())
+                } else {
+                    // No η-frozen root; start just below open circuit as
+                    // before (f(v_oc) < 0 because demand is positive
+                    // there).
+                    v_oc.get() - 1e-6
+                }
+            }
+        };
+        // Analytic-derivative Newton: with `I_in = P_out/(η(v)·v)`,
+        // `f(v) = S − G·v − I_in` and `f′(v) = −G + I_in·(η′·v + η)/(η·v)`.
         for _ in 0..40 {
-            let f = self.imbalance(Volts::new(v), booster, i_load, i_charge);
-            let h = 1e-6;
-            let f2 = self.imbalance(Volts::new(v + h), booster, i_load, i_charge);
-            let df = (f2 - f) / h;
+            let (eta, d_eta) = eta_curve.at_with_slope(Volts::new(v));
+            let denom = eta * v;
+            let demand = p_out / denom;
+            let f = s - g * v - demand;
+            let d_demand = -demand * (d_eta * v + eta) / denom;
+            let df = -g - d_demand;
             if df.abs() < 1e-12 {
                 break;
             }
@@ -225,16 +379,16 @@ impl BufferNetwork {
                 break; // left the physical bracket; fall back to bisection
             }
             if (next - v).abs() < 1e-9 {
-                converged = Some(next);
-                break;
+                // First-order demand update to the converged point — the
+                // shift is < 1 nV, far below any downstream resolution.
+                let i_in = Amps::new(demand + d_demand * (next - v));
+                return self.solution_at(Volts::new(next), i_in, false);
             }
             v = next;
         }
-        if converged.is_none() {
-            converged = self.bisect_root(booster, i_load, i_charge, floor, v_oc);
-        }
 
-        match converged {
+        // Newton left the bracket or stalled: bracketed bisection fallback.
+        match self.bisect_root(booster, i_load, i_charge, floor, v_oc) {
             Some(v) => {
                 let v = Volts::new(v);
                 let i_in = booster.input_current(v, i_load).unwrap_or(Amps::ZERO);

@@ -130,6 +130,51 @@ proptest! {
         prop_assert!(out_b.v_min >= out_a.v_min - Volts::from_micro(10.0));
     }
 
+    /// `summary_only` is purely an output-shape option: a run that skips
+    /// trace recording reports bit-identical `(v_min, t_min, v_final,
+    /// brownout, collapsed)` to the same run with a full trace — and both
+    /// agree with what the trace itself would report as its minimum.
+    #[test]
+    fn summary_only_matches_full_trace(
+        i_ma in 1.0..60.0f64,
+        w_ms in 1.0..60.0f64,
+        burst_ma in 0.0..30.0f64,
+        v0 in 1.8..2.5f64,
+    ) {
+        let load = LoadProfile::builder("mix")
+            .hold(Amps::from_milli(i_ma), Seconds::from_milli(w_ms))
+            .ramp(Amps::from_milli(i_ma), Amps::from_milli(1.0), Seconds::from_milli(5.0))
+            .burst(
+                Amps::from_milli(i_ma + burst_ma),
+                Amps::from_milli(1.0),
+                Seconds::from_milli(2.0),
+                0.5,
+                Seconds::from_milli(10.0),
+            )
+            .build();
+        let full_cfg = RunConfig {
+            dt: Seconds::from_micro(50.0),
+            record_stride: 4,
+            ..RunConfig::default()
+        };
+        let mut a = system(45.0, 3.3, v0);
+        let mut b = system(45.0, 3.3, v0);
+        let full = a.run_profile(&load, full_cfg);
+        let summary = b.run_profile(&load, full_cfg.without_trace());
+        prop_assert_eq!(full.v_start, summary.v_start);
+        prop_assert_eq!(full.v_min, summary.v_min);
+        prop_assert_eq!(full.t_min, summary.t_min);
+        prop_assert_eq!(full.v_final, summary.v_final);
+        prop_assert_eq!(full.brownout, summary.brownout);
+        prop_assert_eq!(full.collapsed, summary.collapsed);
+        // The full run's trace minimum agrees with the in-loop minimum.
+        let (t_min, v_min) = full.trace.minimum().unwrap();
+        prop_assert_eq!(t_min, full.t_min);
+        prop_assert_eq!(v_min, full.v_min);
+        // And the summary run really recorded nothing.
+        prop_assert!(summary.trace.is_empty());
+    }
+
     /// The monitor enforces its invariant: while output is enabled the
     /// observed node voltage never goes below V_off for more than one step.
     #[test]

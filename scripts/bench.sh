@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Performance receipts for the sweep executor + hot-loop work.
+#
+# Full mode (default):
+#   1. Builds the repo's seed revision (the root commit) in a detached
+#      worktree under target/seed-baseline, with its crates.io
+#      dependencies re-pointed at vendor/ so the build stays offline.
+#   2. Times the seed's own fig10_vsafe_error binary (median of three).
+#   3. Runs perf_summary with that measurement as --baseline-seconds and
+#      CULPEO_THREADS workers, producing results/perf_summary.json.
+#   4. Compiles and runs the criterion micro-benches.
+#
+# Quick mode (--quick):
+#   Skips the seed build and the criterion benches; runs perf_summary
+#   --quick against the in-process execution-layer baseline only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
+
+THREADS="${CULPEO_THREADS:-4}"
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) echo "usage: scripts/bench.sh [--quick]" >&2; exit 2 ;;
+    esac
+done
+
+cargo build --release --workspace
+
+if [ "$QUICK" -eq 1 ]; then
+    CULPEO_THREADS="$THREADS" ./target/release/perf_summary --quick
+    exit 0
+fi
+
+# --- 1. Seed worktree -------------------------------------------------------
+SEED_DIR="$ROOT/target/seed-baseline"
+SEED_REV="$(git rev-list --max-parents=0 HEAD)"
+if [ ! -f "$SEED_DIR/Cargo.toml" ]; then
+    git worktree add --detach "$SEED_DIR" "$SEED_REV"
+fi
+# The seed tree predates vendor/; point its crates.io deps at our vendored
+# stubs so the build needs no network.
+if grep -q 'rand = "0.8"' "$SEED_DIR/Cargo.toml"; then
+    sed -i \
+        -e "s|^rand = \"0.8\"|rand = { path = \"$ROOT/vendor/rand\" }|" \
+        -e "s|^proptest = \"1\"|proptest = { path = \"$ROOT/vendor/proptest\" }|" \
+        -e "s|^criterion = \"0.5\"|criterion = { path = \"$ROOT/vendor/criterion\" }|" \
+        -e "s|^serde = { version = \"1\", features = \[\"derive\"\] }|serde = { path = \"$ROOT/vendor/serde\", features = [\"derive\"] }|" \
+        -e "s|^serde_json = \"1\"|serde_json = { path = \"$ROOT/vendor/serde_json\" }|" \
+        "$SEED_DIR/Cargo.toml"
+fi
+SEED_BIN="$SEED_DIR/target/release/fig10_vsafe_error"
+(cd "$SEED_DIR" && cargo build --release -p culpeo-bench --bin fig10_vsafe_error)
+
+# --- 2. Time the seed binary (median of three) ------------------------------
+now_ns() { date +%s%N; }
+runs=()
+for _ in 1 2 3; do
+    t0="$(now_ns)"
+    (cd "$SEED_DIR" && "$SEED_BIN" >/dev/null)
+    t1="$(now_ns)"
+    runs+=($(( t1 - t0 )))
+done
+BASELINE_NS="$(printf '%s\n' "${runs[@]}" | sort -n | sed -n 2p)"
+BASELINE_S="$(awk -v ns="$BASELINE_NS" 'BEGIN { printf "%.6f", ns / 1e9 }')"
+echo "seed fig10_vsafe_error: ${BASELINE_S}s (median of 3)"
+
+# --- 3. perf_summary with the measured baseline -----------------------------
+CULPEO_THREADS="$THREADS" ./target/release/perf_summary --baseline-seconds "$BASELINE_S"
+
+# --- 4. Criterion micro-benches ---------------------------------------------
+cargo bench -p culpeo-bench

@@ -12,4 +12,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
+echo "== cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
+
 echo "lint: clean"
