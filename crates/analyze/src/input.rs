@@ -3,14 +3,16 @@
 //! [`TraceInput`] is a *lenient* view of a current trace: raw `f64`
 //! samples that may be non-finite or negative, exactly as a corrupted
 //! capture would arrive, plus the file's own timestamps when it came from
-//! CSV. [`PlanSpec`] is the JSON schedule description the plan lints
-//! check against Theorem 1. [`AnalysisInput`] bundles everything one
+//! CSV. [`PlanSpec`] — the JSON schedule description the plan lints
+//! check against Theorem 1 — is a wire type owned by `culpeo-api` and
+//! re-exported here unchanged. [`AnalysisInput`] bundles everything one
 //! battery run sees.
 
 use culpeo_loadgen::io::RawTraceFile;
 use culpeo_loadgen::CurrentTrace;
 use culpeo_units::{Amps, Seconds};
-use serde::{Deserialize, Serialize};
+
+pub use culpeo_api::plan::{LaunchSpec, PlanSpec};
 
 use crate::spec::SystemSpec;
 
@@ -74,80 +76,6 @@ impl TraceInput {
     }
 }
 
-/// A planned schedule, as JSON:
-///
-/// ```json
-/// {
-///   "recharge_power_mw": 8.0,
-///   "v_start": 2.56,
-///   "launches": [
-///     { "task": "sense", "start_s": 0.0, "energy_mj": 60.0,
-///       "v_delta": 0.05, "v_safe": 1.7 },
-///     { "task": "radio", "start_s": 0.5, "energy_mj": 3.0,
-///       "v_delta": 0.35, "v_safe": 2.1 }
-///   ]
-/// }
-/// ```
-///
-/// The buffer parameters (`C`, `V_off`, `V_high`) come from the system
-/// spec the plan is analyzed against, not from the plan file.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PlanSpec {
-    /// Assumed constant harvested power while idle, in milliwatts.
-    pub recharge_power_mw: f64,
-    /// Buffer voltage at the schedule origin; defaults to `V_high`.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    pub v_start: Option<f64>,
-    /// The task launches, in start order.
-    pub launches: Vec<LaunchSpec>,
-}
-
-/// One planned task launch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct LaunchSpec {
-    /// Task name, used in diagnostics.
-    pub task: String,
-    /// Start time relative to the schedule origin, in seconds.
-    pub start_s: f64,
-    /// Worst-case buffer energy the task draws, in millijoules.
-    pub energy_mj: f64,
-    /// Worst-case ESR-induced voltage dip `V_δ`, in volts.
-    pub v_delta: f64,
-    /// The task's registered `V_safe` estimate, in volts. Theorem 1
-    /// cannot be evaluated for a task without one (lint C022).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    pub v_safe: Option<f64>,
-}
-
-impl PlanSpec {
-    /// A plan reproducing the paper's Figure 5 discrepancy: energy enough
-    /// for both tasks, but the radio launches below its ESR-aware
-    /// `V_safe`. Useful as a documented example and in tests.
-    #[must_use]
-    pub fn figure5_example() -> Self {
-        Self {
-            recharge_power_mw: 8.0,
-            v_start: Some(2.56),
-            launches: vec![
-                LaunchSpec {
-                    task: "sense".to_string(),
-                    start_s: 0.0,
-                    energy_mj: 60.0,
-                    v_delta: 0.05,
-                    v_safe: Some(1.7),
-                },
-                LaunchSpec {
-                    task: "radio".to_string(),
-                    start_s: 0.5,
-                    energy_mj: 3.0,
-                    v_delta: 0.35,
-                    v_safe: Some(2.1),
-                },
-            ],
-        }
-    }
-}
-
 /// Everything one battery run sees.
 #[derive(Debug, Clone)]
 pub struct AnalysisInput<'a> {
@@ -204,24 +132,10 @@ mod tests {
     }
 
     #[test]
-    fn plan_round_trips_through_json() {
-        let plan = PlanSpec::figure5_example();
-        let json = serde_json::to_string(&plan).unwrap();
-        let back: PlanSpec = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, plan);
-        assert_eq!(back.launches[1].v_safe, Some(2.1));
-    }
-
-    #[test]
-    fn missing_v_safe_deserialises_as_none() {
-        let json = r#"{
-            "recharge_power_mw": 8.0,
-            "launches": [
-                { "task": "x", "start_s": 0.0, "energy_mj": 1.0, "v_delta": 0.1 }
-            ]
-        }"#;
-        let plan: PlanSpec = serde_json::from_str(json).unwrap();
-        assert_eq!(plan.v_start, None);
-        assert_eq!(plan.launches[0].v_safe, None);
+    fn plan_reexport_is_the_api_type() {
+        // The shape itself is tested in `culpeo-api`; this pins the
+        // re-export so `culpeo_analyze::PlanSpec` stays the same type.
+        let plan: culpeo_api::PlanSpec = PlanSpec::figure5_example();
+        assert_eq!(plan.launches.len(), 2);
     }
 }

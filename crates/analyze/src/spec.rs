@@ -1,332 +1,25 @@
-//! The JSON power-system specification and its validating conversion.
+//! The JSON power-system specification the analyzers consume.
 //!
-//! This lived in `culpeo-cli` originally; it moved here so the lint
-//! battery, the harness pre-flight, and the CLI all validate specs through
-//! one code path. The CLI re-exports these types unchanged.
+//! The types and validation moved again — `culpeo-cli` → here →
+//! `culpeo-api` — so the CLI, the daemon, the lint battery, and the
+//! harness pre-flight all share exactly one spec parser/validator. This
+//! module re-exports them under their historical home; the contract
+//! tests live next to the types in `culpeo-api`.
 
-use culpeo::PowerSystemModel;
-use culpeo_powersim::{EfficiencyCurve, EsrCurve};
-use culpeo_units::{Farads, Hertz, Ohms, Volts};
-use serde::{Deserialize, Serialize};
-
-/// A power-system description, as a designer would write it down:
-///
-/// ```json
-/// {
-///   "capacitance_mf": 45.0,
-///   "esr_ohms": 3.3,
-///   "v_out": 2.55,
-///   "v_off": 1.6,
-///   "v_high": 2.56,
-///   "efficiency": { "points": [[1.6, 0.78], [2.5, 0.87]] }
-/// }
-/// ```
-///
-/// `esr_ohms` may be replaced by a measured curve:
-/// `"esr_curve": [[10.0, 4.2], [100.0, 3.6], [1000.0, 3.1]]`
-/// (frequency in hertz, resistance in ohms, ascending frequency).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SystemSpec {
-    /// Energy-buffer capacitance in millifarads.
-    pub capacitance_mf: f64,
-    /// Flat ESR in ohms (mutually exclusive with `esr_curve`).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    pub esr_ohms: Option<f64>,
-    /// Measured ESR-vs-frequency curve: `[hz, ohms]` pairs, ascending.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    pub esr_curve: Option<Vec<(f64, f64)>>,
-    /// Regulated output voltage in volts.
-    pub v_out: f64,
-    /// Power-off threshold in volts.
-    pub v_off: f64,
-    /// Full-charge voltage in volts.
-    pub v_high: f64,
-    /// Booster efficiency description.
-    pub efficiency: EfficiencySpec,
-}
-
-/// A linear efficiency model given as two `(voltage, efficiency)` points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct EfficiencySpec {
-    /// Exactly two `[volts, efficiency]` points.
-    pub points: Vec<(f64, f64)>,
-}
-
-/// Why a spec failed validation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SpecError {
-    /// Neither `esr_ohms` nor `esr_curve` was given.
-    EsrMissing,
-    /// Both `esr_ohms` and `esr_curve` were given.
-    EsrAmbiguous,
-    /// `esr_curve` was given but holds no points.
-    EsrCurveEmpty,
-    /// Adjacent `esr_curve` frequencies decreased; holds the 0-based
-    /// index of the out-of-order point.
-    EsrCurveUnsorted {
-        /// Index of the point whose frequency is below its predecessor's.
-        index: usize,
-    },
-    /// Two `esr_curve` points share a frequency; holds the 0-based index
-    /// of the second occurrence.
-    EsrCurveDuplicate {
-        /// Index of the repeated-frequency point.
-        index: usize,
-    },
-    /// An `esr_curve` point had a non-finite or non-positive frequency or
-    /// resistance; holds its 0-based index.
-    EsrCurvePoint {
-        /// Index of the unphysical point.
-        index: usize,
-    },
-    /// The efficiency spec did not hold exactly two valid points.
-    EfficiencyPoints,
-    /// A numeric field was out of range; holds the field name.
-    OutOfRange(&'static str),
-}
-
-impl core::fmt::Display for SpecError {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            SpecError::EsrMissing => {
-                write!(f, "specify one of esr_ohms or esr_curve")
-            }
-            SpecError::EsrAmbiguous => {
-                write!(f, "specify exactly one of esr_ohms or esr_curve, not both")
-            }
-            SpecError::EsrCurveEmpty => write!(f, "esr_curve holds no points"),
-            SpecError::EsrCurveUnsorted { index } => {
-                write!(
-                    f,
-                    "esr_curve frequencies must ascend; point {index} is out of order"
-                )
-            }
-            SpecError::EsrCurveDuplicate { index } => {
-                write!(f, "esr_curve point {index} repeats the previous frequency")
-            }
-            SpecError::EsrCurvePoint { index } => {
-                write!(
-                    f,
-                    "esr_curve point {index} must have finite, positive frequency and resistance"
-                )
-            }
-            SpecError::EfficiencyPoints => {
-                write!(
-                    f,
-                    "efficiency.points must hold exactly two [volts, eta] pairs"
-                )
-            }
-            SpecError::OutOfRange(field) => write!(f, "field out of range: {field}"),
-        }
-    }
-}
-
-impl std::error::Error for SpecError {}
-
-/// Validates the `esr_curve` field alone; shared between [`SystemSpec::
-/// into_model`] and the C002 lint so both report identical findings.
-///
-/// # Errors
-///
-/// Returns the first `EsrCurve*` [`SpecError`] in index order.
-pub fn validate_esr_curve(points: &[(f64, f64)]) -> Result<(), SpecError> {
-    if points.is_empty() {
-        return Err(SpecError::EsrCurveEmpty);
-    }
-    for (index, &(hz, ohms)) in points.iter().enumerate() {
-        if !(hz.is_finite() && hz > 0.0 && ohms.is_finite() && ohms > 0.0) {
-            return Err(SpecError::EsrCurvePoint { index });
-        }
-        if index > 0 {
-            let prev = points[index - 1].0;
-            if hz == prev {
-                return Err(SpecError::EsrCurveDuplicate { index });
-            }
-            if hz < prev {
-                return Err(SpecError::EsrCurveUnsorted { index });
-            }
-        }
-    }
-    Ok(())
-}
-
-impl SystemSpec {
-    /// The simulated Capybara reference spec, used when the user supplies
-    /// no `--system` file.
-    #[must_use]
-    pub fn capybara() -> Self {
-        Self {
-            capacitance_mf: 45.0,
-            esr_ohms: Some(3.3),
-            esr_curve: None,
-            v_out: 2.55,
-            v_off: 1.6,
-            v_high: 2.56,
-            efficiency: EfficiencySpec {
-                points: vec![(1.6, 0.78), (2.5, 0.87)],
-            },
-        }
-    }
-
-    /// Validates and converts the spec into a [`PowerSystemModel`].
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`SpecError`] describing the first invalid field.
-    pub fn into_model(self) -> Result<PowerSystemModel, SpecError> {
-        if !(self.capacitance_mf.is_finite() && self.capacitance_mf > 0.0) {
-            return Err(SpecError::OutOfRange("capacitance_mf"));
-        }
-        if !(self.v_out.is_finite() && self.v_out > 0.0) {
-            return Err(SpecError::OutOfRange("v_out"));
-        }
-        if !(self.v_off.is_finite()
-            && self.v_high.is_finite()
-            && 0.0 < self.v_off
-            && self.v_off < self.v_high)
-        {
-            return Err(SpecError::OutOfRange("v_off/v_high"));
-        }
-
-        let esr = match (self.esr_ohms, &self.esr_curve) {
-            (Some(r), None) => {
-                if !(r.is_finite() && r > 0.0) {
-                    return Err(SpecError::OutOfRange("esr_ohms"));
-                }
-                EsrCurve::flat(Ohms::new(r))
-            }
-            (None, Some(points)) => {
-                validate_esr_curve(points)?;
-                EsrCurve::new(
-                    points
-                        .iter()
-                        .map(|&(f, r)| (Hertz::new(f), Ohms::new(r)))
-                        .collect(),
-                )
-            }
-            (None, None) => return Err(SpecError::EsrMissing),
-            (Some(_), Some(_)) => return Err(SpecError::EsrAmbiguous),
-        };
-
-        if self.efficiency.points.len() != 2 {
-            return Err(SpecError::EfficiencyPoints);
-        }
-        let p1 = self.efficiency.points[0];
-        let p2 = self.efficiency.points[1];
-        if !(p1.0.is_finite() && p2.0.is_finite())
-            || (p1.0 - p2.0).abs() < 1e-9
-            || !(0.0 < p1.1 && p1.1 <= 1.0 && 0.0 < p2.1 && p2.1 <= 1.0)
-        {
-            return Err(SpecError::EfficiencyPoints);
-        }
-        let efficiency = EfficiencyCurve::through(
-            (Volts::new(p1.0), p1.1),
-            (Volts::new(p2.0), p2.1),
-            0.05,
-            0.95,
-        );
-
-        Ok(PowerSystemModel::new(
-            Farads::from_milli(self.capacitance_mf),
-            esr,
-            Volts::new(self.v_out),
-            efficiency,
-            Volts::new(self.v_off),
-            Volts::new(self.v_high),
-        ))
-    }
-}
+pub use culpeo_api::spec::{validate_esr_curve, EfficiencySpec, SpecError, SystemSpec};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn capybara_spec_round_trips_through_json() {
-        let spec = SystemSpec::capybara();
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: SystemSpec = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, spec);
-        let model = back.into_model().unwrap();
+    fn reexported_spec_still_validates() {
+        let model = SystemSpec::capybara().into_model().unwrap();
         assert!(model
             .capacitance()
-            .approx_eq(Farads::from_milli(45.0), 1e-12));
-    }
-
-    #[test]
-    fn esr_curve_variant_parses() {
-        let json = r#"{
-            "capacitance_mf": 45.0,
-            "esr_curve": [[10.0, 4.2], [1000.0, 3.1]],
-            "v_out": 2.55, "v_off": 1.6, "v_high": 2.56,
-            "efficiency": { "points": [[1.6, 0.78], [2.5, 0.87]] }
-        }"#;
-        let spec: SystemSpec = serde_json::from_str(json).unwrap();
-        let model = spec.into_model().unwrap();
-        assert!(model
-            .esr_at(Hertz::new(10.0))
-            .approx_eq(Ohms::new(4.2), 1e-12));
-    }
-
-    #[test]
-    fn inverted_thresholds_rejected() {
+            .approx_eq(culpeo_units::Farads::from_milli(45.0), 1e-12));
         let mut spec = SystemSpec::capybara();
-        spec.v_off = 2.6;
-        assert_eq!(
-            spec.into_model(),
-            Err(SpecError::OutOfRange("v_off/v_high"))
-        );
-    }
-
-    #[test]
-    fn unsorted_curve_names_the_offending_index() {
-        let mut spec = SystemSpec::capybara();
-        spec.esr_ohms = None;
-        spec.esr_curve = Some(vec![(10.0, 5.0), (100.0, 4.0), (50.0, 4.5)]);
-        assert_eq!(
-            spec.into_model(),
-            Err(SpecError::EsrCurveUnsorted { index: 2 })
-        );
-    }
-
-    #[test]
-    fn duplicate_frequency_distinguished_from_unsorted() {
-        let mut spec = SystemSpec::capybara();
-        spec.esr_ohms = None;
-        spec.esr_curve = Some(vec![(10.0, 5.0), (10.0, 4.0)]);
-        assert_eq!(
-            spec.into_model(),
-            Err(SpecError::EsrCurveDuplicate { index: 1 })
-        );
-    }
-
-    #[test]
-    fn unphysical_curve_point_named_by_index() {
-        let mut spec = SystemSpec::capybara();
-        spec.esr_ohms = None;
-        spec.esr_curve = Some(vec![(10.0, 5.0), (100.0, -1.0)]);
-        assert_eq!(
-            spec.clone().into_model(),
-            Err(SpecError::EsrCurvePoint { index: 1 })
-        );
-        spec.esr_curve = Some(vec![]);
-        assert_eq!(spec.clone().into_model(), Err(SpecError::EsrCurveEmpty));
-    }
-
-    #[test]
-    fn efficiency_needs_two_distinct_points() {
-        let mut spec = SystemSpec::capybara();
-        spec.efficiency.points = vec![(1.6, 0.78)];
-        assert_eq!(spec.into_model(), Err(SpecError::EfficiencyPoints));
-    }
-
-    #[test]
-    fn error_messages_name_indices() {
-        assert!(SpecError::EsrCurveUnsorted { index: 2 }
-            .to_string()
-            .contains("point 2"));
-        assert!(SpecError::EsrCurveDuplicate { index: 1 }
-            .to_string()
-            .contains("point 1"));
+        spec.esr_curve = Some(vec![(10.0, 4.0)]);
+        assert_eq!(spec.into_model(), Err(SpecError::EsrAmbiguous));
     }
 }

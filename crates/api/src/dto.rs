@@ -1,0 +1,288 @@
+//! The versioned request/response DTOs for every Culpeo analysis surface.
+//!
+//! One request shape per question, one response shape per answer, all
+//! stamped with [`crate::SCHEMA_VERSION`]. The daemon (`culpeo-served`),
+//! the CLI, and the harness drivers all speak these types; nothing else
+//! goes over the wire or into `results/*.json` envelopes.
+//!
+//! Requests carry their payloads *inline* (trace CSV text, spec JSON
+//! object) rather than as file paths: the daemon must not read the
+//! client's filesystem, and inline payloads are what make content-hash
+//! memoization sound.
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::error::ApiError;
+use crate::plan::PlanSpec;
+use crate::spec::SystemSpec;
+
+/// Checks a request's optional `schema_version` claim against this
+/// build's [`crate::SCHEMA_VERSION`]. Absent means "current".
+///
+/// # Errors
+///
+/// Returns an [`ApiError`] of kind `unsupported_version` on mismatch.
+pub fn check_schema_version(claimed: Option<u32>) -> Result<(), ApiError> {
+    match claimed {
+        None => Ok(()),
+        Some(v) if v == crate::SCHEMA_VERSION => Ok(()),
+        Some(v) => Err(ApiError::new(
+            crate::error::ApiErrorKind::UnsupportedVersion,
+            format!(
+                "request claims schema_version {v}; this build speaks {}",
+                crate::SCHEMA_VERSION
+            ),
+        )),
+    }
+}
+
+/// `POST /v1/vsafe` — compute the ESR-aware `V_safe` for one task trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VsafeRequest {
+    /// Optional version claim; absent means "current".
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub schema_version: Option<u32>,
+    /// The system spec to analyse against; absent means the Capybara
+    /// reference configuration (the CLI's `--system` default).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub spec: Option<SystemSpec>,
+    /// The task's current trace as `culpeo-trace v1` CSV text.
+    pub trace_csv: String,
+}
+
+/// The answer to a [`VsafeRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VsafeResponse {
+    /// Always [`crate::SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// The trace's own label.
+    pub label: String,
+    /// ESR-aware safe starting voltage (Culpeo-PG), in volts.
+    pub v_safe_v: f64,
+    /// Worst-case ESR-induced recoverable drop `V_δ`, in volts.
+    pub v_delta_v: f64,
+    /// Buffer energy the task draws, in joules.
+    pub buffer_energy_j: f64,
+    /// The energy-only (ESR-blind) estimate, in volts, for comparison.
+    pub energy_only_v: f64,
+    /// The human-readable report, byte-identical to what
+    /// `culpeo vsafe --trace` prints for the same inputs.
+    pub report: String,
+}
+
+/// One named trace payload inside a [`LintRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedTrace {
+    /// Diagnostic locus (the client's file name, typically).
+    pub name: String,
+    /// The raw `culpeo-trace v1` CSV text, corruption and all — the lint
+    /// battery wants to *see* NaNs, not have the parser reject them.
+    pub csv: String,
+}
+
+/// `POST /v1/lint` — run the C0xx static battery over a spec and
+/// optional traces / plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LintRequest {
+    /// Optional version claim; absent means "current".
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub schema_version: Option<u32>,
+    /// The spec under analysis.
+    pub spec: SystemSpec,
+    /// Zero or more traces to lint against the spec.
+    #[serde(default)]
+    pub traces: Vec<NamedTrace>,
+    /// An optional schedule to lint against the spec.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub plan: Option<PlanSpec>,
+}
+
+/// The answer to a [`LintRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LintResponse {
+    /// Always [`crate::SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Error-severity diagnostic count.
+    pub errors: u64,
+    /// Warning-severity diagnostic count.
+    pub warnings: u64,
+    /// The exit code the CLI would have returned (1 if any error fired).
+    pub exit_code: u32,
+    /// The battery's versioned JSON report document, embedded verbatim
+    /// (the same document `culpeo lint --format json` prints).
+    pub report: Value,
+}
+
+/// One entry of a [`BatchRequest`]: exactly one of the fields is set.
+///
+/// (The vendored serde stub derives structs only, so the sum type is
+/// spelled as a struct of options with an exactly-one invariant, checked
+/// by [`BatchItem::validate`].)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchItem {
+    /// A `V_safe` computation.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub vsafe: Option<VsafeRequest>,
+    /// A lint battery run.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub lint: Option<LintRequest>,
+}
+
+impl BatchItem {
+    /// Confirms exactly one request field is populated.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `bad_request` [`ApiError`] naming the item index.
+    pub fn validate(&self, index: usize) -> Result<(), ApiError> {
+        match (&self.vsafe, &self.lint) {
+            (Some(_), None) | (None, Some(_)) => Ok(()),
+            _ => Err(ApiError::bad_request(format!(
+                "batch item {index} must set exactly one of `vsafe` or `lint`"
+            ))),
+        }
+    }
+}
+
+/// `POST /v1/batch` — many analyses in one round trip; items fan out
+/// over the daemon's `Sweep` worker pool and come back in input order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchRequest {
+    /// Optional version claim; absent means "current".
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub schema_version: Option<u32>,
+    /// The analyses to run, answered in input order.
+    pub items: Vec<BatchItem>,
+}
+
+/// One entry of a [`BatchResponse`]: the item's answer or its error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchOutcome {
+    /// Set when the item was a successful `vsafe` request.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub vsafe: Option<VsafeResponse>,
+    /// Set when the item was a successful `lint` request.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub lint: Option<LintResponse>,
+    /// Set when the item failed; the other fields are absent.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<ApiError>,
+}
+
+/// The answer to a [`BatchRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchResponse {
+    /// Always [`crate::SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Per-item outcomes, in request order.
+    pub results: Vec<BatchOutcome>,
+}
+
+/// `GET /v1/health` — liveness and drain state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always [`crate::SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// `"ok"` while serving, `"draining"` once shutdown has begun.
+    pub status: String,
+    /// Seconds since the daemon started.
+    pub uptime_s: f64,
+    /// Worker threads serving requests.
+    pub threads: u64,
+}
+
+/// Counters for one endpoint, inside a [`MetricsResponse`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointMetrics {
+    /// Endpoint path (`"/v1/vsafe"`, …).
+    pub path: String,
+    /// Requests answered (including error answers).
+    pub requests: u64,
+    /// Requests answered with an [`ApiError`].
+    pub errors: u64,
+    /// Total handling wall-clock across those requests, in microseconds.
+    pub total_latency_us: u64,
+    /// Worst single-request handling wall-clock, in microseconds.
+    pub max_latency_us: u64,
+}
+
+/// Counters for the `V_safe` memoization cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheMetrics {
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Configured capacity (entries).
+    pub capacity: u64,
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+/// `GET /v1/metrics` — per-endpoint latency/hit-rate counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsResponse {
+    /// Always [`crate::SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Seconds since the daemon started.
+    pub uptime_s: f64,
+    /// Per-endpoint counters, one row per known endpoint.
+    pub endpoints: Vec<EndpointMetrics>,
+    /// `V_safe` memoization cache counters.
+    pub cache: CacheMetrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_check_accepts_absent_and_current() {
+        assert!(check_schema_version(None).is_ok());
+        assert!(check_schema_version(Some(crate::SCHEMA_VERSION)).is_ok());
+        let err = check_schema_version(Some(99)).unwrap_err();
+        assert_eq!(err.kind, crate::error::ApiErrorKind::UnsupportedVersion);
+    }
+
+    #[test]
+    fn vsafe_request_minimal_json_parses() {
+        let req: VsafeRequest =
+            serde_json::from_str(r##"{ "trace_csv": "# dt_us: 8\n0.0,0.01\n" }"##).unwrap();
+        assert_eq!(req.schema_version, None);
+        assert!(req.spec.is_none());
+    }
+
+    #[test]
+    fn batch_item_exactly_one_invariant() {
+        let neither = BatchItem {
+            vsafe: None,
+            lint: None,
+        };
+        assert!(neither.validate(0).is_err());
+        let both = BatchItem {
+            vsafe: Some(VsafeRequest {
+                schema_version: None,
+                spec: None,
+                trace_csv: String::new(),
+            }),
+            lint: Some(LintRequest {
+                schema_version: None,
+                spec: SystemSpec::capybara(),
+                traces: Vec::new(),
+                plan: None,
+            }),
+        };
+        let err = both.validate(3).unwrap_err();
+        assert!(err.message.contains("item 3"));
+    }
+
+    #[test]
+    fn lint_request_defaults_are_empty() {
+        let json = serde_json::to_string(&SystemSpec::capybara()).unwrap();
+        let req: LintRequest = serde_json::from_str(&format!(r#"{{ "spec": {json} }}"#)).unwrap();
+        assert!(req.traces.is_empty());
+        assert!(req.plan.is_none());
+    }
+}

@@ -1,0 +1,228 @@
+//! The single error taxonomy every Culpeo surface speaks.
+//!
+//! Before this crate, a failed request surfaced as one of three divergent
+//! shapes: the CLI's `CliError` display strings, the analyzers'
+//! `SpecError` variants, and ad-hoc JSON in the harness drivers. An
+//! [`ApiError`] is the one wire shape they all map into: a closed
+//! machine-readable [`ApiErrorKind`] plus a human message. The daemon
+//! derives its HTTP status directly from the kind.
+
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+/// The closed set of failure classes a Culpeo API call can report.
+///
+/// Serialised as a lower-snake-case string (`"bad_request"`, …) so the
+/// set can grow without renumbering anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiErrorKind {
+    /// The request was syntactically or structurally malformed.
+    BadRequest,
+    /// The request named a `schema_version` this build does not speak.
+    UnsupportedVersion,
+    /// The embedded system spec failed validation.
+    Spec,
+    /// An embedded trace failed to parse.
+    Trace,
+    /// An embedded plan failed to parse.
+    Plan,
+    /// The requested endpoint does not exist.
+    NotFound,
+    /// The endpoint exists but not for this HTTP method.
+    MethodNotAllowed,
+    /// The daemon's bounded accept queue is full; retry later.
+    Busy,
+    /// The daemon is draining and accepts no new work.
+    ShuttingDown,
+    /// An unexpected server-side failure.
+    Internal,
+}
+
+impl ApiErrorKind {
+    /// The wire spelling of this kind.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ApiErrorKind::BadRequest => "bad_request",
+            ApiErrorKind::UnsupportedVersion => "unsupported_version",
+            ApiErrorKind::Spec => "spec",
+            ApiErrorKind::Trace => "trace",
+            ApiErrorKind::Plan => "plan",
+            ApiErrorKind::NotFound => "not_found",
+            ApiErrorKind::MethodNotAllowed => "method_not_allowed",
+            ApiErrorKind::Busy => "busy",
+            ApiErrorKind::ShuttingDown => "shutting_down",
+            ApiErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parses the wire spelling back into a kind.
+    #[must_use]
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        Some(match s {
+            "bad_request" => ApiErrorKind::BadRequest,
+            "unsupported_version" => ApiErrorKind::UnsupportedVersion,
+            "spec" => ApiErrorKind::Spec,
+            "trace" => ApiErrorKind::Trace,
+            "plan" => ApiErrorKind::Plan,
+            "not_found" => ApiErrorKind::NotFound,
+            "method_not_allowed" => ApiErrorKind::MethodNotAllowed,
+            "busy" => ApiErrorKind::Busy,
+            "shutting_down" => ApiErrorKind::ShuttingDown,
+            "internal" => ApiErrorKind::Internal,
+            _ => return None,
+        })
+    }
+
+    /// The HTTP status code the daemon answers with for this kind.
+    #[must_use]
+    pub fn http_status(self) -> u16 {
+        match self {
+            ApiErrorKind::BadRequest
+            | ApiErrorKind::UnsupportedVersion
+            | ApiErrorKind::Spec
+            | ApiErrorKind::Trace
+            | ApiErrorKind::Plan => 400,
+            ApiErrorKind::NotFound => 404,
+            ApiErrorKind::MethodNotAllowed => 405,
+            ApiErrorKind::Busy | ApiErrorKind::ShuttingDown => 503,
+            ApiErrorKind::Internal => 500,
+        }
+    }
+
+    /// Every kind, in declaration order — used by round-trip tests.
+    #[must_use]
+    pub fn all() -> &'static [ApiErrorKind] {
+        &[
+            ApiErrorKind::BadRequest,
+            ApiErrorKind::UnsupportedVersion,
+            ApiErrorKind::Spec,
+            ApiErrorKind::Trace,
+            ApiErrorKind::Plan,
+            ApiErrorKind::NotFound,
+            ApiErrorKind::MethodNotAllowed,
+            ApiErrorKind::Busy,
+            ApiErrorKind::ShuttingDown,
+            ApiErrorKind::Internal,
+        ]
+    }
+}
+
+// The vendored serde derive handles named-field structs only, so the
+// string-enum impls are written out by hand.
+impl Serialize for ApiErrorKind {
+    fn to_value(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for ApiErrorKind {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| SerdeError::custom("expected error-kind string"))?;
+        Self::from_str_opt(s).ok_or_else(|| SerdeError::custom(format!("unknown error kind `{s}`")))
+    }
+}
+
+/// The unified wire error: a machine-readable kind plus a human message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApiError {
+    /// Which failure class this is.
+    pub kind: ApiErrorKind,
+    /// Human-readable detail (file name, field, parser message, …).
+    pub message: String,
+}
+
+impl ApiError {
+    /// Builds an error of `kind` with a displayable message.
+    #[must_use]
+    pub fn new(kind: ApiErrorKind, message: impl core::fmt::Display) -> Self {
+        Self {
+            kind,
+            message: message.to_string(),
+        }
+    }
+
+    /// Shorthand for a [`ApiErrorKind::BadRequest`] error.
+    #[must_use]
+    pub fn bad_request(message: impl core::fmt::Display) -> Self {
+        Self::new(ApiErrorKind::BadRequest, message)
+    }
+
+    /// Shorthand for a [`ApiErrorKind::Spec`] error.
+    #[must_use]
+    pub fn spec(message: impl core::fmt::Display) -> Self {
+        Self::new(ApiErrorKind::Spec, message)
+    }
+
+    /// Shorthand for a [`ApiErrorKind::Trace`] error.
+    #[must_use]
+    pub fn trace(message: impl core::fmt::Display) -> Self {
+        Self::new(ApiErrorKind::Trace, message)
+    }
+
+    /// The HTTP status code this error maps to.
+    #[must_use]
+    pub fn http_status(&self) -> u16 {
+        self.kind.http_status()
+    }
+}
+
+impl core::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: {}", self.kind.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<crate::spec::SpecError> for ApiError {
+    fn from(e: crate::spec::SpecError) -> Self {
+        ApiError::spec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_round_trips_as_a_string() {
+        for &kind in ApiErrorKind::all() {
+            let back = ApiErrorKind::from_str_opt(kind.as_str()).unwrap();
+            assert_eq!(back, kind);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_string_is_rejected() {
+        assert!(ApiErrorKind::from_str_opt("weird").is_none());
+        let v = Value::String("weird".into());
+        assert!(ApiErrorKind::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn error_round_trips_through_json() {
+        let e = ApiError::new(ApiErrorKind::Trace, "bad trace t.csv: line 3");
+        let json = serde_json::to_string(&e).unwrap();
+        let back: ApiError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+        assert!(json.contains("\"trace\""));
+    }
+
+    #[test]
+    fn statuses_partition_sensibly() {
+        assert_eq!(ApiErrorKind::Spec.http_status(), 400);
+        assert_eq!(ApiErrorKind::NotFound.http_status(), 404);
+        assert_eq!(ApiErrorKind::MethodNotAllowed.http_status(), 405);
+        assert_eq!(ApiErrorKind::Busy.http_status(), 503);
+        assert_eq!(ApiErrorKind::Internal.http_status(), 500);
+    }
+
+    #[test]
+    fn spec_error_converts() {
+        let e: ApiError = crate::spec::SpecError::EsrMissing.into();
+        assert_eq!(e.kind, ApiErrorKind::Spec);
+        assert!(e.message.contains("esr"));
+    }
+}

@@ -1,0 +1,43 @@
+//! `culpeo-api` — the unified, versioned request/response surface.
+//!
+//! Every way of asking Culpeo a question — the `culpeo` CLI, the
+//! `culpeo-served` daemon, the harness drivers — used to carry its own
+//! input parsing and its own results shape. This crate is the single
+//! vocabulary they now share:
+//!
+//! * [`spec::SystemSpec`] — the one spec JSON parser/validator (the CLI
+//!   and `culpeo-analyze` re-export it from here);
+//! * [`plan::PlanSpec`] — the one schedule shape;
+//! * [`dto`] — `VsafeRequest`/`VsafeResponse`, `LintRequest`/…, the
+//!   batch envelope, and the health/metrics documents;
+//! * [`error::ApiError`] — the single error taxonomy, with its
+//!   HTTP-status mapping;
+//! * [`SCHEMA_VERSION`] — the wire/results schema version stamped into
+//!   every response and every `results/*.json` file.
+//!
+//! The crate is deliberately thin: shapes, validation, and version
+//! plumbing. Computation lives in `culpeo` (core) and `culpeo-served`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dto;
+pub mod error;
+pub mod plan;
+pub mod spec;
+
+pub use dto::{
+    check_schema_version, BatchItem, BatchOutcome, BatchRequest, BatchResponse, CacheMetrics,
+    EndpointMetrics, HealthResponse, LintRequest, LintResponse, MetricsResponse, NamedTrace,
+    VsafeRequest, VsafeResponse,
+};
+pub use error::{ApiError, ApiErrorKind};
+pub use plan::{LaunchSpec, PlanSpec};
+pub use spec::{EfficiencySpec, SpecError, SystemSpec};
+
+/// The version of every serialised shape this workspace emits: wire
+/// responses, lint report documents, and `results/*.json` envelopes.
+///
+/// Bump it when a shape changes incompatibly; downstream consumers key
+/// their parsers off the `"schema_version"` field this constant feeds.
+pub const SCHEMA_VERSION: u32 = 1;

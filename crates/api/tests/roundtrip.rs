@@ -1,0 +1,285 @@
+//! Wire-layer property tests: every DTO must survive
+//! serialise → parse → compare, bit-for-bit, under randomized contents.
+//!
+//! The vendored proptest stub has no string strategies, so text fields
+//! are synthesized from numeric draws (labels picked from a fixed pool,
+//! CSV bodies formatted from floats). Rust's `{}` float formatting emits
+//! the shortest round-trippable decimal, so `f64` fields compare exactly
+//! after a JSON round trip.
+
+use culpeo_api::{
+    ApiError, ApiErrorKind, BatchItem, BatchOutcome, BatchRequest, BatchResponse, CacheMetrics,
+    EndpointMetrics, HealthResponse, LintRequest, LintResponse, MetricsResponse, NamedTrace,
+    PlanSpec, SystemSpec, VsafeRequest, VsafeResponse, SCHEMA_VERSION,
+};
+use proptest::prelude::*;
+
+/// A label from a small fixed pool.
+fn label(i: usize) -> String {
+    const POOL: [&str; 6] = ["ble", "adc", "mcu-active", "trace 7", "αβ", "a\"b\\c"];
+    POOL[i % POOL.len()].to_string()
+}
+
+/// A plausible trace-CSV body synthesized from two floats.
+fn csv(a: f64, b: f64) -> String {
+    format!("# dt_us: 8\n0.0,{a}\n0.000008,{b}\n")
+}
+
+fn spec_from(cap: f64, esr_sel: u32, v: (f64, f64, f64), points: usize) -> SystemSpec {
+    let mut spec = SystemSpec::capybara();
+    spec.capacitance_mf = cap;
+    spec.v_out = v.0;
+    spec.v_off = v.1;
+    spec.v_high = v.2;
+    match esr_sel {
+        0 => {
+            spec.esr_ohms = Some(cap / 10.0);
+            spec.esr_curve = None;
+        }
+        1 => {
+            spec.esr_ohms = None;
+            spec.esr_curve = Some(
+                (0..points.max(1))
+                    .map(|i| (1000.0 * (i + 1) as f64, 0.5 + cap / (i + 1) as f64))
+                    .collect(),
+            );
+        }
+        _ => {} // keep capybara's own ESR fields
+    }
+    spec.efficiency.points = (0..points.max(2))
+        .map(|i| (0.5 + i as f64 * 0.5, 0.80 + 0.01 * i as f64))
+        .collect();
+    spec
+}
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::Deserialize,
+{
+    let json = serde_json::to_string(value).expect("serialise");
+    serde_json::from_str(&json).expect("parse back")
+}
+
+proptest! {
+    #[test]
+    fn system_spec_roundtrips(
+        cap in 0.001..1000.0f64,
+        esr_sel in 0u32..3,
+        v in (1.0..5.0f64, 0.1..1.0f64, 3.0..6.0f64),
+        points in 1usize..5,
+    ) {
+        let spec = spec_from(cap, esr_sel, v, points);
+        prop_assert_eq!(roundtrip(&spec), spec);
+    }
+
+    #[test]
+    fn plan_spec_roundtrips(
+        power in 0.0..500.0f64,
+        with_vstart in 0u32..2,
+        n in 0usize..4,
+        t in (0.0..10.0f64, 0.0..100.0f64, 0.0..0.5f64),
+        with_vsafe in 0u32..2,
+    ) {
+        let plan = PlanSpec {
+            recharge_power_mw: power,
+            v_start: (with_vstart == 1).then_some(t.0),
+            launches: (0..n)
+                .map(|i| culpeo_api::LaunchSpec {
+                    task: label(i),
+                    start_s: t.0 * (i + 1) as f64,
+                    energy_mj: t.1,
+                    v_delta: t.2,
+                    v_safe: (with_vsafe == 1).then_some(t.0 + t.2),
+                })
+                .collect(),
+        };
+        prop_assert_eq!(roundtrip(&plan), plan);
+    }
+
+    #[test]
+    fn vsafe_request_roundtrips(
+        versioned in 0u32..2,
+        with_spec in 0u32..2,
+        a in 0.0..0.5f64,
+        b in 0.0..0.5f64,
+    ) {
+        let req = VsafeRequest {
+            schema_version: (versioned == 1).then_some(SCHEMA_VERSION),
+            spec: (with_spec == 1).then_some(SystemSpec::capybara()),
+            trace_csv: csv(a, b),
+        };
+        prop_assert_eq!(roundtrip(&req), req);
+    }
+
+    #[test]
+    fn vsafe_response_roundtrips(
+        li in 0usize..6,
+        vs in (2.0..5.0f64, 0.0..1.0f64, 0.0..0.1f64, 2.0..5.0f64),
+    ) {
+        let resp = VsafeResponse {
+            schema_version: SCHEMA_VERSION,
+            label: label(li),
+            v_safe_v: vs.0,
+            v_delta_v: vs.1,
+            buffer_energy_j: vs.2,
+            energy_only_v: vs.3,
+            report: format!("V_safe (Culpeo-PG) : {} V\nline two {}\n", vs.0, label(li)),
+        };
+        prop_assert_eq!(roundtrip(&resp), resp);
+    }
+
+    #[test]
+    fn lint_request_roundtrips(
+        n in 0usize..4,
+        a in 0.0..0.5f64,
+        with_plan in 0u32..2,
+        power in 0.0..100.0f64,
+    ) {
+        let req = LintRequest {
+            schema_version: None,
+            spec: SystemSpec::capybara(),
+            traces: (0..n)
+                .map(|i| NamedTrace { name: label(i), csv: csv(a, a * (i + 1) as f64) })
+                .collect(),
+            plan: (with_plan == 1).then_some(PlanSpec {
+                recharge_power_mw: power,
+                v_start: None,
+                launches: Vec::new(),
+            }),
+        };
+        prop_assert_eq!(roundtrip(&req), req);
+    }
+
+    #[test]
+    fn lint_response_roundtrips(
+        counts in (0u64..100, 0u64..100),
+        doc_n in 0.0..9.0f64,
+    ) {
+        let report = serde_json::parse_value_str(&format!(
+            r#"{{"version": 1, "errors": {}, "diagnostics": [{{"code": "C001", "x": {doc_n}}}]}}"#,
+            counts.0
+        )).unwrap();
+        let resp = LintResponse {
+            schema_version: SCHEMA_VERSION,
+            errors: counts.0,
+            warnings: counts.1,
+            exit_code: u32::from(counts.0 > 0),
+            report,
+        };
+        prop_assert_eq!(roundtrip(&resp), resp);
+    }
+
+    #[test]
+    fn batch_request_roundtrips(
+        n in 1usize..5,
+        kind_seed in 0u32..2,
+        a in 0.0..0.5f64,
+    ) {
+        let items = (0..n)
+            .map(|i| {
+                if (i as u32 + kind_seed).is_multiple_of(2) {
+                    BatchItem {
+                        vsafe: Some(VsafeRequest {
+                            schema_version: None,
+                            spec: None,
+                            trace_csv: csv(a, a + i as f64),
+                        }),
+                        lint: None,
+                    }
+                } else {
+                    BatchItem {
+                        vsafe: None,
+                        lint: Some(LintRequest {
+                            schema_version: None,
+                            spec: SystemSpec::capybara(),
+                            traces: Vec::new(),
+                            plan: None,
+                        }),
+                    }
+                }
+            })
+            .collect();
+        let req = BatchRequest { schema_version: Some(SCHEMA_VERSION), items };
+        for (i, item) in req.items.iter().enumerate() {
+            prop_assert!(item.validate(i).is_ok());
+        }
+        prop_assert_eq!(roundtrip(&req), req);
+    }
+
+    #[test]
+    fn batch_response_roundtrips(
+        kinds in (0u32..2, 0u32..2),
+        v in 2.0..5.0f64,
+        ki in 0usize..10,
+    ) {
+        let ok = BatchOutcome {
+            vsafe: Some(VsafeResponse {
+                schema_version: SCHEMA_VERSION,
+                label: label(kinds.0 as usize),
+                v_safe_v: v,
+                v_delta_v: v / 10.0,
+                buffer_energy_j: v / 100.0,
+                energy_only_v: v - 0.1,
+                report: "r".to_string(),
+            }),
+            lint: None,
+            error: None,
+        };
+        let err = BatchOutcome {
+            vsafe: None,
+            lint: None,
+            error: Some(ApiError::new(
+                ApiErrorKind::all()[ki % ApiErrorKind::all().len()],
+                format!("failed at {v}"),
+            )),
+        };
+        let resp = BatchResponse {
+            schema_version: SCHEMA_VERSION,
+            results: vec![ok, err],
+        };
+        prop_assert_eq!(roundtrip(&resp), resp);
+    }
+
+    #[test]
+    fn health_and_metrics_roundtrip(
+        uptime in 0.0..1.0e6f64,
+        threads in 1u64..64,
+        c in (0u64..1000, 0u64..1000, 0u64..1000),
+        lat in (0u64..10_000_000, 0u64..10_000_000),
+    ) {
+        let health = HealthResponse {
+            schema_version: SCHEMA_VERSION,
+            status: "ok".to_string(),
+            uptime_s: uptime,
+            threads,
+        };
+        prop_assert_eq!(roundtrip(&health), health);
+
+        let metrics = MetricsResponse {
+            schema_version: SCHEMA_VERSION,
+            uptime_s: uptime,
+            endpoints: vec![EndpointMetrics {
+                path: "/v1/vsafe".to_string(),
+                requests: c.0,
+                errors: c.1,
+                total_latency_us: lat.0,
+                max_latency_us: lat.1,
+            }],
+            cache: CacheMetrics {
+                entries: c.0,
+                capacity: c.1,
+                hits: c.2,
+                misses: lat.0,
+                evictions: lat.1,
+            },
+        };
+        prop_assert_eq!(roundtrip(&metrics), metrics);
+    }
+
+    #[test]
+    fn api_error_roundtrips_for_every_kind(ki in 0usize..10, mi in 0usize..6) {
+        let kinds = ApiErrorKind::all();
+        let e = ApiError::new(kinds[ki % kinds.len()], label(mi));
+        prop_assert_eq!(roundtrip(&e), e);
+    }
+}

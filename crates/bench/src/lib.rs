@@ -2,7 +2,9 @@
 //!
 //! Every binary prints a human-readable table (via its harness module) and
 //! drops the raw rows as JSON under `results/`, so EXPERIMENTS.md entries
-//! are regenerable and diffable.
+//! are regenerable and diffable. Every written document is an object
+//! stamped with the workspace-wide `"schema_version"` (owned by
+//! `culpeo-api`), so downstream tooling can detect envelope changes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -13,8 +15,9 @@ use std::path::PathBuf;
 use culpeo_exec::Telemetry;
 use serde::Serialize;
 
-/// Writes `rows` as pretty JSON to `results/<name>.json` (creating the
-/// directory if needed) and reports the path on stdout.
+/// Writes `{"schema_version": …, "rows": …}` as pretty JSON to
+/// `results/<name>.json` (creating the directory if needed) and reports
+/// the path on stdout.
 ///
 /// # Panics
 ///
@@ -24,13 +27,18 @@ pub fn write_json<T: Serialize>(name: &str, rows: &T) {
     let dir = results_dir();
     fs::create_dir_all(&dir).expect("create results directory");
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(rows).expect("serialise figure rows");
+    let rows_json = serde_json::to_string_pretty(rows).expect("serialise figure rows");
+    let json = format!(
+        "{{\n  \"schema_version\": {},\n  \"rows\": {}\n}}",
+        culpeo_api::SCHEMA_VERSION,
+        indent_tail(&rows_json)
+    );
     fs::write(&path, json).expect("write figure data");
     println!("\n[data written to {}]", path.display());
 }
 
-/// Writes `{"telemetry": …, "rows": …}` as pretty JSON to
-/// `results/<name>.json` and echoes the phase timings on stdout.
+/// Writes `{"schema_version": …, "telemetry": …, "rows": …}` as pretty
+/// JSON to `results/<name>.json` and echoes the phase timings on stdout.
 ///
 /// The telemetry block records wall-clock per phase and the worker-thread
 /// count, so every regenerated figure carries its own runtime receipt.
@@ -50,7 +58,8 @@ pub fn write_json_with_telemetry<T: Serialize>(name: &str, rows: &T, telemetry: 
     // Splice the two pretty documents into one object, re-indenting the
     // nested bodies so the composite stays readable.
     let json = format!(
-        "{{\n  \"telemetry\": {},\n  \"rows\": {}\n}}",
+        "{{\n  \"schema_version\": {},\n  \"telemetry\": {},\n  \"rows\": {}\n}}",
+        culpeo_api::SCHEMA_VERSION,
         indent_tail(&tele_json),
         indent_tail(&rows_json)
     );
@@ -97,6 +106,8 @@ mod tests {
 
     #[test]
     fn write_json_roundtrip() {
+        use serde_json::Value;
+
         #[derive(Serialize)]
         struct Row {
             x: u32,
@@ -104,7 +115,13 @@ mod tests {
         write_json("self-test", &vec![Row { x: 1 }, Row { x: 2 }]);
         let path = results_dir().join("self-test.json");
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("\"x\": 1"));
+        let value = serde_json::parse_value_str(&text).unwrap();
+        assert_eq!(
+            value.get("schema_version").and_then(Value::as_f64),
+            Some(f64::from(culpeo_api::SCHEMA_VERSION))
+        );
+        let rows = value.get("rows").and_then(Value::as_array).unwrap();
+        assert_eq!(rows[0].get("x").and_then(Value::as_f64), Some(1.0));
         std::fs::remove_file(path).ok();
     }
 
@@ -128,6 +145,10 @@ mod tests {
         let path = results_dir().join("self-test-telemetry.json");
         let text = std::fs::read_to_string(&path).unwrap();
         let value = serde_json::parse_value_str(&text).unwrap();
+        assert_eq!(
+            value.get("schema_version").and_then(Value::as_f64),
+            Some(f64::from(culpeo_api::SCHEMA_VERSION))
+        );
         let tele = value.get("telemetry").expect("telemetry block");
         assert_eq!(tele.get("threads").and_then(Value::as_f64), Some(2.0));
         let phases = tele.get("phases").and_then(Value::as_array).unwrap();

@@ -2,8 +2,8 @@
 
 use std::fmt::Write as _;
 
-use culpeo::termination::{self, TerminationVerdict};
-use culpeo::{baseline, compose, pg, PowerSystemModel};
+use culpeo::termination;
+use culpeo::{compose, pg, PowerSystemModel};
 use culpeo_analyze::{AnalysisInput, PlanSpec, Registry, TraceInput};
 use culpeo_capbank::Catalog;
 use culpeo_loadgen::{io as trace_io, CurrentTrace};
@@ -64,7 +64,7 @@ pub enum LintFormat {
     Json,
 }
 
-/// `culpeo analyze SPEC.json [--trace FILE]… [--plan FILE] [--format json]`
+/// `culpeo lint SPEC.json [--trace FILE]… [--plan FILE] [--format json]`
 /// — the static lint battery. Returns the rendered report and the exit
 /// code: 1 when any error-severity diagnostic fired, 0 otherwise.
 pub fn lint(
@@ -116,62 +116,34 @@ pub fn lint(
     Ok((rendered, i32::from(report.has_errors())))
 }
 
-/// `culpeo analyze --trace t.csv [--system spec.json]` — the core report:
+/// `culpeo vsafe --trace t.csv [--system spec.json]` — the core report:
 /// ESR-aware `V_safe` for one task, alongside the energy-only number.
-pub fn analyze(model: &PowerSystemModel, trace: &CurrentTrace) -> String {
-    let est = pg::compute_vsafe(trace, model);
-    let energy_only = baseline::energy_direct(trace, model);
-    let gap = est.v_safe - energy_only;
-    let range = model.operating_range();
+///
+/// The rendering lives in [`culpeo_served::handle::vsafe_report`], shared
+/// with the daemon's `/v1/vsafe` endpoint — the two surfaces are
+/// byte-identical by construction, not by discipline.
+pub fn vsafe(model: &PowerSystemModel, trace: &CurrentTrace) -> String {
+    culpeo_served::handle::vsafe_report(model, trace)
+}
 
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "trace       : {} ({} samples @ {})",
-        trace.label(),
-        trace.len(),
-        trace.rate()
-    );
-    let _ = writeln!(out, "peak / mean : {} / {}", trace.peak(), trace.mean());
-    if let Some(w) = trace.dominant_pulse_width() {
-        let _ = writeln!(
-            out,
-            "dominant pulse: {} → ESR operating point {}",
-            w,
-            model.esr_at(w.frequency())
-        );
-    }
-    let _ = writeln!(out, "----");
-    let _ = writeln!(out, "V_safe (Culpeo-PG) : {}", est.v_safe);
-    let _ = writeln!(out, "  worst ESR drop   : {}", est.v_delta);
-    let _ = writeln!(out, "  buffer energy    : {}", est.buffer_energy);
-    let _ = writeln!(out, "V_safe (energy-only): {}", energy_only);
-    let _ = writeln!(
-        out,
-        "ESR-blind shortfall : {} ({:.1} % of the operating range)",
-        gap,
-        gap.get() / range.get() * 100.0
-    );
-    let verdict = termination::check_task(
-        &culpeo_loadgen::LoadProfile::constant("whole-trace", trace.peak(), trace.duration()),
-        model,
-    );
-    let _ = match verdict.verdict {
-        TerminationVerdict::Terminates { headroom } => {
-            writeln!(out, "termination: OK (headroom {} below V_high)", headroom)
-        }
-        TerminationVerdict::Marginal { headroom } => writeln!(
-            out,
-            "termination: MARGINAL (only {} below V_high)",
-            headroom
+/// `culpeo serve [--port P] [--threads N] …` — runs the batch analysis
+/// daemon until a client POSTs `/v1/shutdown`. Prints the bound address
+/// up front (flushed, so wrapper scripts can scrape the port) and returns
+/// a drain summary as the report text.
+pub fn serve(config: &culpeo_served::ServerConfig) -> Result<(String, i32), CliError> {
+    let server = culpeo_served::Server::start(config)
+        .map_err(|e| CliError::Io(format!("{}:{}", config.host, config.port), e))?;
+    println!("culpeo-served listening on http://{}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let summary = server.join();
+    Ok((
+        format!(
+            "culpeo-served drained: {} requests answered, {} cache hits\n",
+            summary.requests, summary.cache_hits
         ),
-        TerminationVerdict::NonTerminating { deficit } => writeln!(
-            out,
-            "termination: NON-TERMINATING even from a full buffer (deficit {})",
-            deficit
-        ),
-    };
-    out
+        0,
+    ))
 }
 
 /// `culpeo check --trace a.csv --trace b.csv …` — per-task verdicts plus
@@ -299,8 +271,8 @@ mod tests {
     }
 
     #[test]
-    fn analyze_report_contains_key_lines() {
-        let report = analyze(&model(), &trace());
+    fn vsafe_report_contains_key_lines() {
+        let report = vsafe(&model(), &trace());
         assert!(report.contains("V_safe (Culpeo-PG)"));
         assert!(report.contains("ESR-blind shortfall"));
         assert!(report.contains("termination: OK"));

@@ -1,20 +1,25 @@
 //! `culpeo` — command-line ESR-aware charge analysis.
 //!
 //! ```text
-//! culpeo analyze --trace packet.csv [--system spec.json]
-//! culpeo analyze spec.json [--trace packet.csv]… [--plan plan.json] [--format json]
-//! culpeo check   --trace a.csv --trace b.csv [--system spec.json] [--threads N]
+//! culpeo vsafe --trace packet.csv [--system spec.json]
+//! culpeo lint  spec.json [--trace packet.csv]… [--plan plan.json] [--format json]
+//! culpeo serve [--port 7070] [--threads N] [--queue-depth 64] [--cache-capacity 256]
+//! culpeo check --trace a.csv --trace b.csv [--system spec.json] [--threads N]
 //! culpeo vsafe-table --trace packet.csv [--system spec.json]
 //! culpeo catalog [--capacitance-mf 45]
 //! culpeo export-example-trace packet.csv
 //! ```
 //!
-//! The two `analyze` forms share a name but answer different questions.
-//! `analyze --trace` is the original `V_safe` report for one task.
-//! `analyze SPEC.json` (a positional spec path) runs the *static lint
-//! battery* from `culpeo-analyze` over the spec and any `--trace` /
-//! `--plan` inputs, printing rustc-style `C0xx` diagnostics (or a JSON
-//! report with `--format json`) and exiting 1 if any error fired.
+//! `vsafe` is the core report: ESR-aware `V_safe` for one task trace.
+//! `lint` runs the *static lint battery* from `culpeo-analyze` over the
+//! spec and any `--trace` / `--plan` inputs, printing rustc-style `C0xx`
+//! diagnostics (or a JSON report with `--format json`) and exiting 1 if
+//! any error fired. `serve` starts the `culpeo-served` batch daemon
+//! speaking the versioned `/v1/*` API over HTTP.
+//!
+//! (Both questions used to share the `analyze` verb; those spellings
+//! still work as hidden aliases with the exact same exit codes, printing
+//! a one-line pointer to the new verb on stderr.)
 //!
 //! Trace CSVs follow the `culpeo-trace v1` dialect (see
 //! `culpeo_loadgen::io`); the system spec JSON is documented on
@@ -45,8 +50,9 @@ fn main() {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  culpeo analyze --trace FILE [--system SPEC.json]\n  \
-     culpeo analyze SPEC.json [--trace FILE…] [--plan PLAN.json] [--format json|human]\n  \
+    "usage:\n  culpeo vsafe --trace FILE [--system SPEC.json]\n  \
+     culpeo lint SPEC.json [--trace FILE…] [--plan PLAN.json] [--format json|human]\n  \
+     culpeo serve [--port 7070] [--threads N] [--queue-depth 64] [--cache-capacity 256]\n  \
      culpeo check --trace FILE [--trace FILE…] [--system SPEC.json] [--threads N]\n  \
      culpeo vsafe-table --trace FILE [--system SPEC.json]\n  \
      culpeo catalog [--capacitance-mf MF]\n  \
@@ -62,51 +68,22 @@ fn run(args: &[String]) -> Result<(String, i32), CliError> {
     };
     let rest = &args[1..];
     match command.as_str() {
-        // Lint mode: a positional (non-flag) first argument is the spec.
+        "lint" => run_lint(rest),
+        "vsafe" => run_vsafe(rest),
+        // Deprecated spellings: `analyze SPEC` → `lint`, `analyze --trace`
+        // → `vsafe`. Same parsing, same exit codes; only a stderr pointer
+        // is added, so scripted callers keep working unchanged.
         "analyze" if rest.first().is_some_and(|a| !a.starts_with("--")) => {
-            let (spec_path, lint_rest) = (rest[0].as_str(), &rest[1..]);
-            let mut traces = Vec::new();
-            let mut plan = None;
-            let mut format = LintFormat::Human;
-            let mut it = lint_rest.iter();
-            while let Some(flag) = it.next() {
-                match flag.as_str() {
-                    "--trace" => traces.push(
-                        it.next()
-                            .ok_or_else(|| CliError::Usage("--trace needs a path".into()))?
-                            .clone(),
-                    ),
-                    "--plan" => {
-                        plan = Some(
-                            it.next()
-                                .ok_or_else(|| CliError::Usage("--plan needs a path".into()))?
-                                .clone(),
-                        );
-                    }
-                    "--format" => {
-                        format = match it.next().map(String::as_str) {
-                            Some("json") => LintFormat::Json,
-                            Some("human") => LintFormat::Human,
-                            _ => {
-                                return Err(CliError::Usage(
-                                    "--format takes `json` or `human`".into(),
-                                ))
-                            }
-                        };
-                    }
-                    other => return Err(CliError::Usage(format!("unknown flag: {other}"))),
-                }
-            }
-            commands::lint(spec_path, &traces, plan.as_deref(), format)
+            eprintln!("culpeo: `analyze SPEC.json` is deprecated; use `culpeo lint SPEC.json`");
+            run_lint(rest)
         }
         "analyze" => {
-            let (traces, system) = parse_common(rest)?;
-            let [trace] = traces.as_slice() else {
-                return Err(CliError::Usage("analyze takes exactly one --trace".into()));
-            };
-            let model = commands::load_model(system.as_deref())?;
-            let t = commands::load_trace(trace)?;
-            Ok((commands::analyze(&model, &t), 0))
+            eprintln!("culpeo: `analyze --trace` is deprecated; use `culpeo vsafe --trace`");
+            run_vsafe(rest)
+        }
+        "serve" => {
+            let config = parse_serve(rest)?;
+            commands::serve(&config)
         }
         "check" => {
             let (trace_paths, system, threads) = parse_check(rest)?;
@@ -158,6 +135,95 @@ fn run(args: &[String]) -> Result<(String, i32), CliError> {
         }
         other => Err(CliError::Usage(format!("unknown command: {other}"))),
     }
+}
+
+/// `culpeo lint SPEC.json [--trace FILE]… [--plan FILE] [--format json]`.
+fn run_lint(rest: &[String]) -> Result<(String, i32), CliError> {
+    let Some(spec_path) = rest.first().filter(|a| !a.starts_with("--")) else {
+        return Err(CliError::Usage("lint needs a spec path".into()));
+    };
+    let lint_rest = &rest[1..];
+    let mut traces = Vec::new();
+    let mut plan = None;
+    let mut format = LintFormat::Human;
+    let mut it = lint_rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--trace" => traces.push(
+                it.next()
+                    .ok_or_else(|| CliError::Usage("--trace needs a path".into()))?
+                    .clone(),
+            ),
+            "--plan" => {
+                plan = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--plan needs a path".into()))?
+                        .clone(),
+                );
+            }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("json") => LintFormat::Json,
+                    Some("human") => LintFormat::Human,
+                    _ => return Err(CliError::Usage("--format takes `json` or `human`".into())),
+                };
+            }
+            other => return Err(CliError::Usage(format!("unknown flag: {other}"))),
+        }
+    }
+    commands::lint(spec_path, &traces, plan.as_deref(), format)
+}
+
+/// `culpeo vsafe --trace FILE [--system SPEC.json]`.
+fn run_vsafe(rest: &[String]) -> Result<(String, i32), CliError> {
+    let (traces, system) = parse_common(rest)?;
+    let [trace] = traces.as_slice() else {
+        return Err(CliError::Usage("vsafe takes exactly one --trace".into()));
+    };
+    let model = commands::load_model(system.as_deref())?;
+    let t = commands::load_trace(trace)?;
+    Ok((commands::vsafe(&model, &t), 0))
+}
+
+/// Parses `serve`'s flags into a daemon config.
+fn parse_serve(args: &[String]) -> Result<culpeo_served::ServerConfig, CliError> {
+    let mut config = culpeo_served::ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut numeric = |what: &str| -> Result<u64, CliError> {
+            it.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| CliError::Usage(format!("{what} needs a non-negative integer")))
+        };
+        match flag.as_str() {
+            "--port" => {
+                config.port = u16::try_from(numeric("--port")?)
+                    .map_err(|_| CliError::Usage("--port must fit in 16 bits".into()))?;
+            }
+            "--threads" => {
+                let n = numeric("--threads")?;
+                if n == 0 {
+                    return Err(CliError::Usage("--threads must be positive".into()));
+                }
+                config.threads = usize::try_from(n)
+                    .map_err(|_| CliError::Usage("--threads is out of range".into()))?;
+            }
+            "--queue-depth" => {
+                let n = numeric("--queue-depth")?;
+                if n == 0 {
+                    return Err(CliError::Usage("--queue-depth must be positive".into()));
+                }
+                config.queue_depth = usize::try_from(n)
+                    .map_err(|_| CliError::Usage("--queue-depth is out of range".into()))?;
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = usize::try_from(numeric("--cache-capacity")?)
+                    .map_err(|_| CliError::Usage("--cache-capacity is out of range".into()))?;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag: {other}"))),
+        }
+    }
+    Ok(config)
 }
 
 /// Parses repeated `--trace` flags and an optional `--system`.
@@ -272,11 +338,43 @@ mod tests {
     }
 
     #[test]
-    fn analyze_end_to_end() {
+    fn vsafe_end_to_end() {
         let path = temp_trace();
-        let (report, code) = run(&s(&["analyze", "--trace", &path])).unwrap();
+        let (report, code) = run(&s(&["vsafe", "--trace", &path])).unwrap();
         assert!(report.contains("V_safe (Culpeo-PG)"));
         assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn deprecated_analyze_alias_still_answers() {
+        let path = temp_trace();
+        let new = run(&s(&["vsafe", "--trace", &path])).unwrap();
+        let old = run(&s(&["analyze", "--trace", &path])).unwrap();
+        assert_eq!(old, new, "alias must match the new verb exactly");
+    }
+
+    #[test]
+    fn serve_flag_parsing() {
+        let config = parse_serve(&s(&[
+            "--port",
+            "9999",
+            "--threads",
+            "3",
+            "--queue-depth",
+            "7",
+            "--cache-capacity",
+            "0",
+        ]))
+        .unwrap();
+        assert_eq!(config.port, 9999);
+        assert_eq!(config.threads, 3);
+        assert_eq!(config.queue_depth, 7);
+        assert_eq!(config.cache_capacity, 0);
+        assert!(parse_serve(&s(&["--port", "notaport"])).is_err());
+        assert!(parse_serve(&s(&["--port", "70000"])).is_err());
+        assert!(parse_serve(&s(&["--threads", "0"])).is_err());
+        assert!(parse_serve(&s(&["--queue-depth", "0"])).is_err());
+        assert!(parse_serve(&s(&["--bogus"])).is_err());
     }
 
     #[test]
@@ -309,12 +407,12 @@ mod tests {
     }
 
     #[test]
-    fn export_then_analyze() {
+    fn export_then_vsafe() {
         let dir = std::env::temp_dir().join("culpeo-cli-export-test");
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("example.csv").to_string_lossy().into_owned();
         run(&s(&["export-example-trace", &out])).unwrap();
-        let (report, _) = run(&s(&["analyze", "--trace", &out])).unwrap();
+        let (report, _) = run(&s(&["vsafe", "--trace", &out])).unwrap();
         assert!(report.contains("ble-tx"));
     }
 
@@ -322,15 +420,19 @@ mod tests {
     fn usage_errors() {
         assert!(run(&s(&[])).is_err());
         assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&["vsafe"])).is_err());
+        assert!(run(&s(&["vsafe", "--trace"])).is_err());
+        assert!(run(&s(&["vsafe", "--bogus", "x"])).is_err());
         assert!(run(&s(&["analyze"])).is_err());
         assert!(run(&s(&["analyze", "--trace"])).is_err());
-        assert!(run(&s(&["analyze", "--bogus", "x"])).is_err());
+        assert!(run(&s(&["lint"])).is_err());
+        assert!(run(&s(&["lint", "--trace", "x.csv"])).is_err());
         assert!(run(&s(&["catalog", "--capacitance-mf", "NaNish"])).is_err());
         assert!(run(&s(&["check", "--trace", "x.csv", "--threads", "zero"])).is_err());
         assert!(run(&s(&["check", "--trace", "x.csv", "--threads", "0"])).is_err());
-        assert!(run(&s(&["analyze", "--trace", "x.csv", "--threads", "2"])).is_err());
-        assert!(run(&s(&["analyze", "spec.json", "--format", "yaml"])).is_err());
-        assert!(run(&s(&["analyze", "spec.json", "--plan"])).is_err());
+        assert!(run(&s(&["vsafe", "--trace", "x.csv", "--threads", "2"])).is_err());
+        assert!(run(&s(&["lint", "spec.json", "--format", "yaml"])).is_err());
+        assert!(run(&s(&["lint", "spec.json", "--plan"])).is_err());
     }
 
     // -- lint mode (positional spec path) ---------------------------------
@@ -338,9 +440,12 @@ mod tests {
     #[test]
     fn lint_clean_capybara_spec_exits_zero() {
         let spec = temp_file("clean-spec.json", &capybara_spec_json());
-        let (report, code) = run(&s(&["analyze", &spec])).unwrap();
+        let (report, code) = run(&s(&["lint", &spec])).unwrap();
         assert_eq!(code, 0, "reference spec must lint clean: {report}");
         assert!(report.contains("no diagnostics"));
+        // The deprecated spelling must answer identically.
+        let (alias_report, alias_code) = run(&s(&["analyze", &spec])).unwrap();
+        assert_eq!((alias_report, alias_code), (report, code));
     }
 
     #[test]
@@ -354,7 +459,7 @@ mod tests {
               "efficiency": { "points": [[1.6, 0.78], [2.5, 0.87]] }
             }"#,
         );
-        let (report, code) = run(&s(&["analyze", &spec])).unwrap();
+        let (report, code) = run(&s(&["lint", &spec])).unwrap();
         assert_eq!(code, 1);
         assert!(report.contains("C003"), "missing C003 in: {report}");
     }
@@ -367,7 +472,7 @@ mod tests {
             "# culpeo-trace v1\n# label: corrupt\n# dt_us: 8\n\
              time_s,current_a\n0.000000,0.010\n0.000008,NaN\n0.000016,0.010\n",
         );
-        let (report, code) = run(&s(&["analyze", &spec, "--trace", &trace])).unwrap();
+        let (report, code) = run(&s(&["lint", &spec, "--trace", &trace])).unwrap();
         assert_eq!(code, 1);
         assert!(report.contains("C010"), "missing C010 in: {report}");
     }
@@ -379,7 +484,7 @@ mod tests {
             "figure5-plan.json",
             &serde_json::to_string(&culpeo_analyze::PlanSpec::figure5_example()).unwrap(),
         );
-        let (report, code) = run(&s(&["analyze", &spec, "--plan", &plan])).unwrap();
+        let (report, code) = run(&s(&["lint", &spec, "--plan", &plan])).unwrap();
         assert_eq!(code, 1);
         assert!(report.contains("C020"), "missing C020 in: {report}");
     }
@@ -387,7 +492,7 @@ mod tests {
     #[test]
     fn lint_json_format_is_parseable() {
         let spec = temp_file("spec-for-json.json", &capybara_spec_json());
-        let (report, code) = run(&s(&["analyze", &spec, "--format", "json"])).unwrap();
+        let (report, code) = run(&s(&["lint", &spec, "--format", "json"])).unwrap();
         assert_eq!(code, 0);
         let doc = serde_json::parse_value_str(&report).unwrap();
         assert_eq!(doc.get("errors").and_then(serde::Value::as_f64), Some(0.0));
@@ -399,6 +504,6 @@ mod tests {
 
     #[test]
     fn lint_missing_spec_file_is_a_usage_error() {
-        assert!(run(&s(&["analyze", "/nonexistent/spec.json"])).is_err());
+        assert!(run(&s(&["lint", "/nonexistent/spec.json"])).is_err());
     }
 }

@@ -1,11 +1,12 @@
 //! The JSON power-system specification the CLI consumes.
 //!
-//! The types and validation moved to `culpeo-analyze` so the lint
-//! battery, the harness pre-flight, and this CLI share one code path;
-//! this module re-exports them under their historical home and keeps the
-//! CLI-facing contract tests.
+//! The types and validation now live in `culpeo-api` (they moved there
+//! from `culpeo-analyze` when the daemon arrived) so the lint battery,
+//! the harness pre-flight, the daemon, and this CLI share exactly one
+//! parser and validator; this module re-exports them under their
+//! historical home and keeps the CLI-facing contract tests.
 
-pub use culpeo_analyze::spec::SystemSpec;
+pub use culpeo_api::spec::SystemSpec;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,159 @@
+//! Content-hash memoization for repeated `V_safe` queries.
+//!
+//! A `V_safe` answer is a pure function of (spec, trace). The daemon
+//! hashes the canonical spec JSON and the raw trace CSV into one 64-bit
+//! key and remembers the full [`VsafeResponse`] under it, with
+//! least-recently-used eviction once the configured capacity is reached.
+//!
+//! The key is a 64-bit `DefaultHasher` digest, not the full content: a
+//! collision would serve the wrong memo. At the default capacity (256
+//! entries) the birthday-bound collision odds are ~2⁻⁴⁸ per insert —
+//! accepted, and documented in DESIGN.md §9, rather than keying on the
+//! full payload and burning memory on megabyte CSV keys.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use culpeo_api::CacheMetrics;
+
+/// Builds the memo key for a `V_safe` request from the canonical spec
+/// JSON (`"default"` when the request carries none) and the trace CSV.
+#[must_use]
+pub fn content_key(spec_json: &str, trace_csv: &str) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    // Hash as two length-prefixed fields so ("ab", "c") ≠ ("a", "bc").
+    spec_json.hash(&mut h);
+    trace_csv.hash(&mut h);
+    h.finish()
+}
+
+/// An LRU map with hit/miss/eviction counters.
+///
+/// Recency is tracked by a monotone tick per entry; eviction scans for
+/// the minimum tick. That makes eviction O(capacity), which at daemon
+/// capacities (hundreds of entries) is noise next to one simulation
+/// step, and keeps the structure a single `HashMap` — no unsafe, no
+/// intrusive lists.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    map: HashMap<u64, (u64, V)>,
+}
+
+impl<V: Clone> LruCache<V> {
+    /// An empty cache evicting beyond `capacity` entries. A capacity of
+    /// zero disables memoization (every lookup misses, nothing is kept).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<V> {
+        self.tick += 1;
+        match self.map.get_mut(&key) {
+            Some((tick, v)) => {
+                *tick = self.tick;
+                self.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `key`, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.map.iter().min_by_key(|(_, (tick, _))| *tick) {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+    }
+
+    /// Current counters, for `/v1/metrics`.
+    #[must_use]
+    pub fn metrics(&self) -> CacheMetrics {
+        CacheMetrics {
+            entries: self.map.len() as u64,
+            capacity: self.capacity as u64,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_miss_and_counters() {
+        let mut c: LruCache<u32> = LruCache::new(4);
+        assert_eq!(c.get(1), None);
+        c.insert(1, 10);
+        assert_eq!(c.get(1), Some(10));
+        let m = c.metrics();
+        assert_eq!((m.hits, m.misses, m.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(1), Some(10)); // refresh 1; 2 is now LRU
+        c.insert(3, 30);
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some(10));
+        assert_eq!(c.get(3), Some(30));
+        assert_eq!(c.metrics().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_memoization() {
+        let mut c: LruCache<u32> = LruCache::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.metrics().entries, 0);
+    }
+
+    #[test]
+    fn reinserting_same_key_does_not_evict() {
+        let mut c: LruCache<u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11);
+        assert_eq!(c.get(2), Some(20));
+        assert_eq!(c.get(1), Some(11));
+        assert_eq!(c.metrics().evictions, 0);
+    }
+
+    #[test]
+    fn content_key_separates_fields() {
+        assert_ne!(content_key("ab", "c"), content_key("a", "bc"));
+        assert_ne!(content_key("spec", "t1"), content_key("spec", "t2"));
+        assert_eq!(content_key("spec", "t1"), content_key("spec", "t1"));
+    }
+}

@@ -1,0 +1,338 @@
+//! Pure request → response handlers, shared by the HTTP layer and the CLI.
+//!
+//! Everything here is deterministic and transport-free: a handler takes a
+//! `culpeo-api` request DTO and returns the response DTO or an
+//! [`ApiError`]. The daemon wraps these in HTTP; the CLI's `vsafe` verb
+//! calls [`vsafe_report`] directly — which is what makes the daemon's
+//! `report` field *byte-identical* to the CLI output for the same inputs.
+
+use std::fmt::Write as _;
+
+use culpeo::termination::{self, TerminationVerdict};
+use culpeo::{baseline, pg, PowerSystemModel};
+use culpeo_analyze::{AnalysisInput, Registry, TraceInput};
+use culpeo_api::{
+    check_schema_version, ApiError, BatchOutcome, BatchRequest, BatchResponse, LintRequest,
+    LintResponse, SystemSpec, VsafeRequest, VsafeResponse, SCHEMA_VERSION,
+};
+use culpeo_loadgen::{io as trace_io, CurrentTrace};
+
+/// Renders the `V_safe` report for one task — the exact text
+/// `culpeo vsafe --trace` prints (it moved here from the CLI so the
+/// daemon and the CLI cannot drift).
+#[must_use]
+pub fn vsafe_report(model: &PowerSystemModel, trace: &CurrentTrace) -> String {
+    let est = pg::compute_vsafe(trace, model);
+    let energy_only = baseline::energy_direct(trace, model);
+    let gap = est.v_safe - energy_only;
+    let range = model.operating_range();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace       : {} ({} samples @ {})",
+        trace.label(),
+        trace.len(),
+        trace.rate()
+    );
+    let _ = writeln!(out, "peak / mean : {} / {}", trace.peak(), trace.mean());
+    if let Some(w) = trace.dominant_pulse_width() {
+        let _ = writeln!(
+            out,
+            "dominant pulse: {} → ESR operating point {}",
+            w,
+            model.esr_at(w.frequency())
+        );
+    }
+    let _ = writeln!(out, "----");
+    let _ = writeln!(out, "V_safe (Culpeo-PG) : {}", est.v_safe);
+    let _ = writeln!(out, "  worst ESR drop   : {}", est.v_delta);
+    let _ = writeln!(out, "  buffer energy    : {}", est.buffer_energy);
+    let _ = writeln!(out, "V_safe (energy-only): {}", energy_only);
+    let _ = writeln!(
+        out,
+        "ESR-blind shortfall : {} ({:.1} % of the operating range)",
+        gap,
+        gap.get() / range.get() * 100.0
+    );
+    let verdict = termination::check_task(
+        &culpeo_loadgen::LoadProfile::constant("whole-trace", trace.peak(), trace.duration()),
+        model,
+    );
+    let _ = match verdict.verdict {
+        TerminationVerdict::Terminates { headroom } => {
+            writeln!(out, "termination: OK (headroom {} below V_high)", headroom)
+        }
+        TerminationVerdict::Marginal { headroom } => writeln!(
+            out,
+            "termination: MARGINAL (only {} below V_high)",
+            headroom
+        ),
+        TerminationVerdict::NonTerminating { deficit } => writeln!(
+            out,
+            "termination: NON-TERMINATING even from a full buffer (deficit {})",
+            deficit
+        ),
+    };
+    out
+}
+
+/// Resolves a request's optional spec into a model (absent = Capybara).
+fn resolve_model(spec: &Option<SystemSpec>) -> Result<PowerSystemModel, ApiError> {
+    spec.clone()
+        .unwrap_or_else(SystemSpec::capybara)
+        .into_model()
+        .map_err(ApiError::from)
+}
+
+/// Answers a [`VsafeRequest`].
+///
+/// # Errors
+///
+/// `unsupported_version`, `spec`, or `trace` [`ApiError`]s.
+pub fn vsafe(req: &VsafeRequest) -> Result<VsafeResponse, ApiError> {
+    check_schema_version(req.schema_version)?;
+    let model = resolve_model(&req.spec)?;
+    let trace = trace_io::from_csv(&req.trace_csv)
+        .map_err(|e| ApiError::trace(format!("bad trace_csv: {e}")))?;
+    let est = pg::compute_vsafe(&trace, &model);
+    let energy_only = baseline::energy_direct(&trace, &model);
+    Ok(VsafeResponse {
+        schema_version: SCHEMA_VERSION,
+        label: trace.label().to_string(),
+        v_safe_v: est.v_safe.get(),
+        v_delta_v: est.v_delta.get(),
+        buffer_energy_j: est.buffer_energy.get(),
+        energy_only_v: energy_only.get(),
+        report: vsafe_report(&model, &trace),
+    })
+}
+
+/// Answers a [`LintRequest`] by running the C0xx battery.
+///
+/// # Errors
+///
+/// `unsupported_version` or `trace` [`ApiError`]s. A spec that parses
+/// but fails validation is not an error here — reporting that *is* the
+/// battery's job.
+pub fn lint(req: &LintRequest) -> Result<LintResponse, ApiError> {
+    check_schema_version(req.schema_version)?;
+    let mut traces = Vec::new();
+    for t in &req.traces {
+        let raw = trace_io::parse_raw(&t.csv)
+            .map_err(|e| ApiError::trace(format!("bad trace `{}`: {e}", t.name)))?;
+        traces.push(TraceInput::from_raw_file(t.name.clone(), &raw));
+    }
+    let input = AnalysisInput {
+        spec: &req.spec,
+        spec_locus: "spec",
+        traces: &traces,
+        plan: req.plan.as_ref(),
+        plan_locus: "plan",
+    };
+    let report = Registry::default_battery().run(&input);
+    let report_doc = serde_json::parse_value_str(&report.render_json())
+        .map_err(|e| ApiError::new(culpeo_api::ApiErrorKind::Internal, e))?;
+    Ok(LintResponse {
+        schema_version: SCHEMA_VERSION,
+        errors: report.error_count() as u64,
+        warnings: report.warning_count() as u64,
+        exit_code: u32::from(report.has_errors()),
+        report: report_doc,
+    })
+}
+
+/// Answers a [`BatchRequest`], fanning the items out over `sweep`.
+///
+/// `vsafe_fn` is how a single `vsafe` item is answered — the daemon
+/// passes its memoizing wrapper, everyone else passes [`vsafe`] — so the
+/// batch path and the single-request path share one cache.
+///
+/// # Errors
+///
+/// `unsupported_version` or `bad_request` (malformed item) errors fail
+/// the whole batch; *per-item* analysis errors come back inside the
+/// matching [`BatchOutcome`] instead.
+pub fn batch<F>(
+    req: &BatchRequest,
+    sweep: &culpeo_exec::Sweep,
+    vsafe_fn: F,
+) -> Result<BatchResponse, ApiError>
+where
+    F: Fn(&VsafeRequest) -> Result<VsafeResponse, ApiError> + Sync,
+{
+    check_schema_version(req.schema_version)?;
+    for (i, item) in req.items.iter().enumerate() {
+        item.validate(i)?;
+    }
+    let results = sweep.map(&req.items, |_, item| match (&item.vsafe, &item.lint) {
+        (Some(v), None) => match vsafe_fn(v) {
+            Ok(resp) => BatchOutcome {
+                vsafe: Some(resp),
+                lint: None,
+                error: None,
+            },
+            Err(e) => outcome_err(e),
+        },
+        (None, Some(l)) => match lint(l) {
+            Ok(resp) => BatchOutcome {
+                vsafe: None,
+                lint: Some(resp),
+                error: None,
+            },
+            Err(e) => outcome_err(e),
+        },
+        // validate() above rules this out.
+        _ => outcome_err(ApiError::bad_request("unreachable batch item shape")),
+    });
+    Ok(BatchResponse {
+        schema_version: SCHEMA_VERSION,
+        results,
+    })
+}
+
+fn outcome_err(e: ApiError) -> BatchOutcome {
+    BatchOutcome {
+        vsafe: None,
+        lint: None,
+        error: Some(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_api::{ApiErrorKind, BatchItem, NamedTrace};
+    use culpeo_exec::Sweep;
+
+    fn ble_csv() -> String {
+        let trace = culpeo_loadgen::peripheral::BleRadio::default()
+            .profile()
+            .sample(culpeo_units::Hertz::new(125_000.0));
+        culpeo_loadgen::io::to_csv(&trace)
+    }
+
+    fn vsafe_req() -> VsafeRequest {
+        VsafeRequest {
+            schema_version: None,
+            spec: None,
+            trace_csv: ble_csv(),
+        }
+    }
+
+    #[test]
+    fn vsafe_answer_matches_direct_computation() {
+        let resp = vsafe(&vsafe_req()).unwrap();
+        let model = SystemSpec::capybara().into_model().unwrap();
+        let trace = trace_io::from_csv(&ble_csv()).unwrap();
+        let est = pg::compute_vsafe(&trace, &model);
+        assert_eq!(resp.v_safe_v, est.v_safe.get());
+        assert_eq!(resp.schema_version, SCHEMA_VERSION);
+        assert_eq!(resp.report, vsafe_report(&model, &trace));
+        assert!(resp.report.contains("V_safe (Culpeo-PG)"));
+    }
+
+    #[test]
+    fn vsafe_rejects_bad_trace_and_version() {
+        let mut req = vsafe_req();
+        req.trace_csv = "not,a,trace".into();
+        assert_eq!(vsafe(&req).unwrap_err().kind, ApiErrorKind::Trace);
+        let mut req = vsafe_req();
+        req.schema_version = Some(42);
+        assert_eq!(
+            vsafe(&req).unwrap_err().kind,
+            ApiErrorKind::UnsupportedVersion
+        );
+    }
+
+    #[test]
+    fn vsafe_rejects_invalid_spec() {
+        let mut req = vsafe_req();
+        let mut spec = SystemSpec::capybara();
+        spec.capacitance_mf = -1.0;
+        req.spec = Some(spec);
+        assert_eq!(vsafe(&req).unwrap_err().kind, ApiErrorKind::Spec);
+    }
+
+    #[test]
+    fn lint_clean_spec_is_exit_zero() {
+        let resp = lint(&LintRequest {
+            schema_version: None,
+            spec: SystemSpec::capybara(),
+            traces: Vec::new(),
+            plan: None,
+        })
+        .unwrap();
+        assert_eq!((resp.errors, resp.exit_code), (0, 0));
+    }
+
+    #[test]
+    fn lint_sees_nan_trace_as_c010() {
+        let resp = lint(&LintRequest {
+            schema_version: None,
+            spec: SystemSpec::capybara(),
+            traces: vec![NamedTrace {
+                name: "corrupt.csv".into(),
+                csv: "# dt_us: 8\n0.0,0.01\n0.000008,NaN\n".into(),
+            }],
+            plan: None,
+        })
+        .unwrap();
+        assert_eq!(resp.exit_code, 1);
+        assert!(serde_json::to_string(&resp.report)
+            .unwrap()
+            .contains("C010"));
+    }
+
+    #[test]
+    fn batch_answers_in_input_order_with_per_item_errors() {
+        let bad = VsafeRequest {
+            schema_version: None,
+            spec: None,
+            trace_csv: "garbage".into(),
+        };
+        let req = BatchRequest {
+            schema_version: None,
+            items: vec![
+                BatchItem {
+                    vsafe: Some(vsafe_req()),
+                    lint: None,
+                },
+                BatchItem {
+                    vsafe: Some(bad),
+                    lint: None,
+                },
+                BatchItem {
+                    vsafe: None,
+                    lint: Some(LintRequest {
+                        schema_version: None,
+                        spec: SystemSpec::capybara(),
+                        traces: Vec::new(),
+                        plan: None,
+                    }),
+                },
+            ],
+        };
+        let resp = batch(&req, &Sweep::with_threads(3), vsafe).unwrap();
+        assert_eq!(resp.results.len(), 3);
+        assert!(resp.results[0].vsafe.is_some());
+        assert_eq!(
+            resp.results[1].error.as_ref().unwrap().kind,
+            ApiErrorKind::Trace
+        );
+        assert!(resp.results[2].lint.is_some());
+    }
+
+    #[test]
+    fn batch_rejects_malformed_items_wholesale() {
+        let req = BatchRequest {
+            schema_version: None,
+            items: vec![BatchItem {
+                vsafe: None,
+                lint: None,
+            }],
+        };
+        let err = batch(&req, &Sweep::serial(), vsafe).unwrap_err();
+        assert_eq!(err.kind, ApiErrorKind::BadRequest);
+    }
+}

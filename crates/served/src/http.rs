@@ -1,0 +1,215 @@
+//! A deliberately small HTTP/1.1 layer over `std::net`.
+//!
+//! The workspace vendors no HTTP crate, and the daemon needs very little:
+//! parse one request (line + headers + `Content-Length` body), write one
+//! response, close. Every response carries `Connection: close`, so there
+//! is no keep-alive state machine, no chunked encoding, and no pipelining
+//! — a client wanting throughput uses `POST /v1/batch`, not connection
+//! reuse.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Cap on the request body; traces are text CSV, so 16 MiB is generous.
+const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target path (query strings are not split off; no
+    /// endpoint takes one).
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The socket failed or closed mid-request.
+    Io(String),
+    /// The bytes were not a parseable HTTP/1.1 request.
+    Malformed(String),
+    /// The head or body exceeded its size cap.
+    TooLarge(&'static str),
+}
+
+impl core::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(e) => write!(f, "malformed request: {e}"),
+            HttpError::TooLarge(what) => write!(f, "{what} exceeds the size cap"),
+        }
+    }
+}
+
+/// Reads and parses one request off `stream`.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] on socket failure, malformed syntax, or an
+/// oversized head/body.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    // Read until the blank line ending the head. One byte at a time would
+    // be slow; a chunked read may overshoot into the body, so keep the
+    // overshoot and account for it when reading the body.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("request head"));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end.start])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?
+        .to_string();
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty head".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing path".into()))?
+        .to_string();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpError::Malformed("missing HTTP/1.x version".into())),
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("request body"));
+    }
+
+    let mut body = buf[head_end.end..].to_vec();
+    if body.len() > content_length {
+        return Err(HttpError::Malformed(
+            "body longer than Content-Length".into(),
+        ));
+    }
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        if body.len() > content_length {
+            return Err(HttpError::Malformed(
+                "body longer than Content-Length".into(),
+            ));
+        }
+    }
+
+    Ok(Request { method, path, body })
+}
+
+/// Where the head ends: `start` is the offset of the blank-line
+/// terminator, `end` the first body byte.
+struct HeadEnd {
+    start: usize,
+    end: usize,
+}
+
+/// Finds the `\r\n\r\n` (or lenient `\n\n`) head terminator.
+fn find_head_end(buf: &[u8]) -> Option<HeadEnd> {
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n");
+    let lf = buf.windows(2).position(|w| w == b"\n\n");
+    match (crlf, lf) {
+        (Some(c), Some(l)) if l + 1 < c => Some(HeadEnd {
+            start: l,
+            end: l + 2,
+        }),
+        (Some(c), _) => Some(HeadEnd {
+            start: c,
+            end: c + 4,
+        }),
+        (None, Some(l)) => Some(HeadEnd {
+            start: l,
+            end: l + 2,
+        }),
+        (None, None) => None,
+    }
+}
+
+/// The reason phrase for the handful of statuses the daemon emits.
+#[must_use]
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one `application/json` response and flushes. Errors are
+/// swallowed: the client may have hung up, and there is nobody left to
+/// tell.
+pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason_phrase(status),
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection_handles_both_conventions() {
+        assert!(find_head_end(b"GET / HTTP/1.1\r\nHost: x\r\n").is_none());
+        let crlf = find_head_end(b"GET / HTTP/1.1\r\n\r\nBODY").unwrap();
+        assert_eq!((crlf.start, crlf.end), (14, 18));
+        let lf = find_head_end(b"GET / HTTP/1.1\n\nBODY").unwrap();
+        assert_eq!((lf.start, lf.end), (14, 16));
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_emitted_statuses() {
+        for s in [200, 400, 404, 405, 500, 503] {
+            assert_ne!(reason_phrase(s), "Unknown");
+        }
+        assert_eq!(reason_phrase(418), "Unknown");
+    }
+}

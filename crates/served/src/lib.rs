@@ -1,0 +1,33 @@
+//! `culpeo-served`: the batch analysis daemon behind `culpeo serve`.
+//!
+//! A long-running, std-only HTTP/1.1 service that answers the same
+//! questions as the CLI — `V_safe` estimation, the C0xx lint battery —
+//! over a unified, versioned request/response API defined in
+//! [`culpeo_api`]:
+//!
+//! | endpoint            | verb | handler                        |
+//! |---------------------|------|--------------------------------|
+//! | `/v1/vsafe`         | POST | [`handle::vsafe`] (memoized)   |
+//! | `/v1/lint`          | POST | [`handle::lint`]               |
+//! | `/v1/batch`         | POST | [`handle::batch`] over a sweep |
+//! | `/v1/health`        | GET  | liveness + uptime              |
+//! | `/v1/metrics`       | GET  | per-endpoint + cache counters  |
+//! | `/v1/shutdown`      | POST | graceful drain                 |
+//!
+//! The layering is strict: [`handle`] is pure DTO → DTO logic shared with
+//! the CLI (that is what keeps daemon and CLI output byte-identical),
+//! [`http`] is the minimal wire codec, [`cache`] and [`metrics`] are
+//! self-contained state, and [`server`] glues them behind a bounded
+//! accept queue and a worker pool. No crate outside the repo's vendored
+//! stubs is involved.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod handle;
+pub mod http;
+pub mod metrics;
+mod server;
+
+pub use server::{ServeSummary, Server, ServerConfig, ShutdownHandle};

@@ -1,0 +1,107 @@
+//! Per-endpoint request counters, lock-free on the hot path.
+//!
+//! Every worker bumps plain `AtomicU64`s after answering; `/v1/metrics`
+//! reads them relaxed into the [`culpeo_api::MetricsResponse`] DTO.
+//! Counters may be mutually torn by a hair under load — each is
+//! individually consistent, which is all an operations dashboard needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use culpeo_api::EndpointMetrics;
+
+/// Counters for one endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointCounters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    total_latency_us: AtomicU64,
+    max_latency_us: AtomicU64,
+}
+
+impl EndpointCounters {
+    /// Records one answered request.
+    pub fn record(&self, latency_us: u64, was_error: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if was_error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_latency_us
+            .fetch_add(latency_us, Ordering::Relaxed);
+        self.max_latency_us.fetch_max(latency_us, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, path: &str) -> EndpointMetrics {
+        EndpointMetrics {
+            path: path.to_string(),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            total_latency_us: self.total_latency_us.load(Ordering::Relaxed),
+            max_latency_us: self.max_latency_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The daemon's full counter set, one row per routable endpoint plus a
+/// synthetic row for accept-queue rejections.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `POST /v1/vsafe`.
+    pub vsafe: EndpointCounters,
+    /// `POST /v1/lint`.
+    pub lint: EndpointCounters,
+    /// `POST /v1/batch`.
+    pub batch: EndpointCounters,
+    /// `GET /v1/health`.
+    pub health: EndpointCounters,
+    /// `GET /v1/metrics`.
+    pub metrics: EndpointCounters,
+    /// `POST /v1/shutdown`.
+    pub shutdown: EndpointCounters,
+    /// Anything else: 404/405/parse failures.
+    pub other: EndpointCounters,
+    /// 503s written by the acceptor because the bounded queue was full.
+    pub accept_rejected: EndpointCounters,
+}
+
+impl Metrics {
+    /// One row per endpoint, in a fixed order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<EndpointMetrics> {
+        vec![
+            self.vsafe.snapshot("/v1/vsafe"),
+            self.lint.snapshot("/v1/lint"),
+            self.batch.snapshot("/v1/batch"),
+            self.health.snapshot("/v1/health"),
+            self.metrics.snapshot("/v1/metrics"),
+            self.shutdown.snapshot("/v1/shutdown"),
+            self.other.snapshot("(other)"),
+            self.accept_rejected.snapshot("(accept-queue)"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_and_tracks_max() {
+        let m = Metrics::default();
+        m.vsafe.record(100, false);
+        m.vsafe.record(300, true);
+        m.vsafe.record(200, false);
+        let rows = m.snapshot();
+        let v = rows.iter().find(|r| r.path == "/v1/vsafe").unwrap();
+        assert_eq!(v.requests, 3);
+        assert_eq!(v.errors, 1);
+        assert_eq!(v.total_latency_us, 600);
+        assert_eq!(v.max_latency_us, 300);
+    }
+
+    #[test]
+    fn snapshot_has_one_row_per_endpoint() {
+        let rows = Metrics::default().snapshot();
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|r| r.requests == 0));
+    }
+}

@@ -1,0 +1,412 @@
+//! The daemon: listener, bounded accept queue, worker pool, shutdown.
+//!
+//! One acceptor thread owns the `TcpListener` and feeds accepted
+//! connections into a *bounded* `sync_channel`; when the queue is full
+//! the acceptor answers `503 busy` itself instead of letting latency
+//! grow unboundedly. `threads` worker threads pop connections, parse one
+//! request each, and route it through [`crate::handle`].
+//!
+//! Shutdown is cooperative: [`ShutdownHandle::request`] (also wired to
+//! `POST /v1/shutdown`) sets a flag and pokes the listener awake with a
+//! self-connection. The acceptor stops accepting and drops its sender;
+//! workers drain every connection already accepted into the queue, then
+//! exit — so no accepted request is ever dropped. [`Server::join`]
+//! blocks until that drain completes. (Pure-std Rust cannot install a
+//! SIGTERM handler without `unsafe`/libc, which this workspace forbids;
+//! deployments get signal-triggered draining by trapping the signal in
+//! their supervisor and calling `/v1/shutdown` — see DESIGN.md §9 and
+//! `scripts/smoke_serve.sh`.)
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use culpeo_api::{
+    ApiError, ApiErrorKind, BatchRequest, HealthResponse, LintRequest, MetricsResponse,
+    VsafeRequest, VsafeResponse, SCHEMA_VERSION,
+};
+use culpeo_exec::Sweep;
+
+use crate::cache::{content_key, LruCache};
+use crate::http::{self, Request};
+use crate::metrics::{EndpointCounters, Metrics};
+
+/// How the daemon is stood up. `Default` matches `culpeo serve` with no
+/// flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Interface to bind. Loopback by default: the daemon has no auth
+    /// layer, so exposing it wider is an explicit operator decision.
+    pub host: String,
+    /// TCP port; 0 asks the OS for an ephemeral one (tests, smoke).
+    pub port: u16,
+    /// Worker threads. 0 means "resolve like the sweeps do":
+    /// `CULPEO_THREADS`, else available parallelism.
+    pub threads: usize,
+    /// Bounded accept-queue depth; beyond it the acceptor answers 503.
+    pub queue_depth: usize,
+    /// `V_safe` memo-cache capacity in entries; 0 disables memoization.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            host: "127.0.0.1".to_string(),
+            port: 7070,
+            threads: 0,
+            queue_depth: 64,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers, and shutdown handles.
+struct Shared {
+    shutting: AtomicBool,
+    metrics: Metrics,
+    cache: Mutex<LruCache<VsafeResponse>>,
+    sweep: Sweep,
+    threads: usize,
+    started: Instant,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Flags shutdown and pokes the acceptor awake. Idempotent.
+    fn request_shutdown(&self) {
+        if !self.shutting.swap(true, Ordering::SeqCst) {
+            // The acceptor is (probably) parked in accept(); a throwaway
+            // self-connection unblocks it so it can observe the flag.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A handle that can request a drain from any thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Begins graceful shutdown: stop accepting, drain, exit. Returns
+    /// immediately; pair with [`Server::join`] to wait for the drain.
+    pub fn request(&self) {
+        self.shared.request_shutdown();
+    }
+}
+
+/// What a completed run served, returned by [`Server::join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests answered across all endpoints (errors included).
+    pub requests: u64,
+    /// `V_safe` cache hits over the run.
+    pub cache_hits: u64,
+}
+
+/// A running daemon.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving in background threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn start(config: &ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+        let addr = listener.local_addr()?;
+        let threads = if config.threads == 0 {
+            Sweep::from_env().threads()
+        } else {
+            config.threads
+        };
+        let shared = Arc::new(Shared {
+            shutting: AtomicBool::new(false),
+            metrics: Metrics::default(),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            sweep: Sweep::with_threads(threads),
+            threads,
+            started: Instant::now(),
+            addr,
+        });
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            workers.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
+        }
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener, &tx))
+        };
+
+        Ok(Self {
+            shared,
+            acceptor,
+            workers,
+        })
+    }
+
+    /// The bound address (useful with `port: 0`).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A cloneable handle for requesting shutdown from anywhere.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Blocks until shutdown has been requested *and* every accepted
+    /// connection has been answered, then returns the run's totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the acceptor or a worker thread itself panicked
+    /// (individual request handlers are unwind-caught and answer 500,
+    /// so this indicates a daemon bug, not bad input).
+    #[must_use]
+    pub fn join(self) -> ServeSummary {
+        self.acceptor.join().expect("acceptor thread panicked");
+        for w in self.workers {
+            w.join().expect("worker thread panicked");
+        }
+        let requests = self
+            .shared
+            .metrics
+            .snapshot()
+            .iter()
+            .map(|e| e.requests)
+            .sum();
+        let cache_hits = self
+            .shared
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .metrics()
+            .hits;
+        ServeSummary {
+            requests,
+            cache_hits,
+        }
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+    for stream in listener.incoming() {
+        let Ok(mut conn) = stream else { continue };
+        if shared.shutting.load(Ordering::SeqCst) {
+            // Usually the shutdown handle's own wake connection; anyone
+            // else racing in gets an honest 503 before we stop.
+            respond_error(
+                &mut conn,
+                &ApiError::new(ApiErrorKind::ShuttingDown, "daemon is draining"),
+            );
+            break;
+        }
+        match tx.try_send(conn) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut conn)) => {
+                shared.metrics.accept_rejected.record(0, true);
+                respond_error(
+                    &mut conn,
+                    &ApiError::new(
+                        ApiErrorKind::Busy,
+                        "accept queue is full; retry with backoff",
+                    ),
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping `tx` (by returning) lets workers drain the queue and exit.
+}
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        // Hold the lock only to pop; recv() returns queued connections
+        // even after the acceptor hung up, which is the drain guarantee.
+        let conn = rx.lock().expect("receiver lock poisoned").recv();
+        match conn {
+            Ok(conn) => handle_connection(shared, conn),
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut conn: TcpStream) {
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
+    let started = Instant::now();
+    let req = match http::read_request(&mut conn) {
+        Ok(req) => req,
+        Err(e) => {
+            let latency = elapsed_us(started);
+            shared.metrics.other.record(latency, true);
+            respond_error(&mut conn, &ApiError::bad_request(e));
+            return;
+        }
+    };
+
+    let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(shared, &req)));
+    let (status, body, counters, was_error, shutdown_after) = match routed {
+        Ok(r) => r,
+        Err(_) => (
+            500,
+            error_body(&ApiError::new(
+                ApiErrorKind::Internal,
+                "handler panicked; see daemon stderr",
+            )),
+            &shared.metrics.other,
+            true,
+            false,
+        ),
+    };
+    counters.record(elapsed_us(started), was_error);
+    http::write_json_response(&mut conn, status, &body);
+    if shutdown_after {
+        shared.request_shutdown();
+    }
+}
+
+/// Routing result: status, JSON body, metrics row, error flag, and
+/// whether to begin draining once the response is on the wire.
+type Routed<'a> = (u16, String, &'a EndpointCounters, bool, bool);
+
+fn route<'a>(shared: &'a Shared, req: &Request) -> Routed<'a> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/vsafe") => {
+            let outcome =
+                parse_body::<VsafeRequest>(&req.body).and_then(|r| cached_vsafe(shared, &r));
+            finish(&shared.metrics.vsafe, outcome)
+        }
+        ("POST", "/v1/lint") => {
+            let outcome =
+                parse_body::<LintRequest>(&req.body).and_then(|r| crate::handle::lint(&r));
+            finish(&shared.metrics.lint, outcome)
+        }
+        ("POST", "/v1/batch") => {
+            let outcome = parse_body::<BatchRequest>(&req.body)
+                .and_then(|r| crate::handle::batch(&r, &shared.sweep, |v| cached_vsafe(shared, v)));
+            finish(&shared.metrics.batch, outcome)
+        }
+        ("GET", "/v1/health") => {
+            let doc = health_doc(shared, false);
+            finish(&shared.metrics.health, Ok(doc))
+        }
+        ("GET", "/v1/metrics") => {
+            let doc = MetricsResponse {
+                schema_version: SCHEMA_VERSION,
+                uptime_s: shared.started.elapsed().as_secs_f64(),
+                endpoints: shared.metrics.snapshot(),
+                cache: shared.cache.lock().expect("cache lock poisoned").metrics(),
+            };
+            finish(&shared.metrics.metrics, Ok(doc))
+        }
+        ("POST", "/v1/shutdown") => {
+            let doc = health_doc(shared, true);
+            let (status, body, counters, was_error, _) = finish(&shared.metrics.shutdown, Ok(doc));
+            (status, body, counters, was_error, true)
+        }
+        (
+            _,
+            "/v1/vsafe" | "/v1/lint" | "/v1/batch" | "/v1/health" | "/v1/metrics" | "/v1/shutdown",
+        ) => {
+            let e = ApiError::new(
+                ApiErrorKind::MethodNotAllowed,
+                format!("{} does not accept {}", req.path, req.method),
+            );
+            (405, error_body(&e), &shared.metrics.other, true, false)
+        }
+        _ => {
+            let e = ApiError::new(
+                ApiErrorKind::NotFound,
+                format!("no such endpoint: {}", req.path),
+            );
+            (404, error_body(&e), &shared.metrics.other, true, false)
+        }
+    }
+}
+
+fn health_doc(shared: &Shared, draining: bool) -> HealthResponse {
+    let draining = draining || shared.shutting.load(Ordering::SeqCst);
+    HealthResponse {
+        schema_version: SCHEMA_VERSION,
+        status: if draining { "draining" } else { "ok" }.to_string(),
+        uptime_s: shared.started.elapsed().as_secs_f64(),
+        threads: shared.threads as u64,
+    }
+}
+
+/// Serialises a handler outcome into (status, body) against an endpoint's
+/// counter row.
+fn finish<T: serde::Serialize>(
+    counters: &EndpointCounters,
+    outcome: Result<T, ApiError>,
+) -> Routed<'_> {
+    match outcome {
+        Ok(doc) => {
+            let body = serde_json::to_string(&doc).expect("response serialisation is infallible");
+            (200, body, counters, false, false)
+        }
+        Err(e) => (e.http_status(), error_body(&e), counters, true, false),
+    }
+}
+
+fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("request body is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| ApiError::bad_request(format!("bad request body: {e}")))
+}
+
+/// The memoizing `V_safe` path: single requests and batch items both
+/// land here, so they share one content-hash cache.
+fn cached_vsafe(shared: &Shared, req: &VsafeRequest) -> Result<VsafeResponse, ApiError> {
+    culpeo_api::check_schema_version(req.schema_version)?;
+    let spec_json = match &req.spec {
+        // Struct-declaration field order makes this canonical.
+        Some(spec) => serde_json::to_string(spec).expect("spec serialisation is infallible"),
+        None => "default".to_string(),
+    };
+    let key = content_key(&spec_json, &req.trace_csv);
+    if let Some(hit) = shared.cache.lock().expect("cache lock poisoned").get(key) {
+        return Ok(hit);
+    }
+    let resp = crate::handle::vsafe(req)?;
+    shared
+        .cache
+        .lock()
+        .expect("cache lock poisoned")
+        .insert(key, resp.clone());
+    Ok(resp)
+}
+
+fn error_body(e: &ApiError) -> String {
+    serde_json::to_string(e).expect("error serialisation is infallible")
+}
+
+fn respond_error(conn: &mut TcpStream, e: &ApiError) {
+    http::write_json_response(conn, e.http_status(), &error_body(e));
+}
+
+fn elapsed_us(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+}

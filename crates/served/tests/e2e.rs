@@ -1,0 +1,215 @@
+//! End-to-end tests: boot the daemon on an ephemeral port and drive it
+//! with raw `std::net::TcpStream` clients, the same way an external
+//! consumer would.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use culpeo_api::{
+    BatchItem, BatchRequest, BatchResponse, HealthResponse, MetricsResponse, VsafeRequest,
+    VsafeResponse, SCHEMA_VERSION,
+};
+use culpeo_served::{handle, Server, ServerConfig};
+
+fn ble_csv() -> String {
+    let trace = culpeo_loadgen::peripheral::BleRadio::default()
+        .profile()
+        .sample(culpeo_units::Hertz::new(125_000.0));
+    culpeo_loadgen::io::to_csv(&trace)
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        port: 0, // ephemeral: tests must not fight over a fixed port
+        threads: 2,
+        ..ServerConfig::default()
+    }
+}
+
+/// Sends one request and reads the full response (the daemon closes the
+/// connection after answering). Returns (status, body).
+fn roundtrip(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: e2e\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    s.write_all(head.as_bytes()).unwrap();
+    s.write_all(body.as_bytes()).unwrap();
+    read_response(&mut s)
+}
+
+fn read_response(s: &mut TcpStream) -> (u16, String) {
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .expect("header terminator")
+        .1
+        .to_string();
+    (status, body)
+}
+
+fn vsafe_body() -> String {
+    let req = VsafeRequest {
+        schema_version: Some(SCHEMA_VERSION),
+        spec: None,
+        trace_csv: ble_csv(),
+    };
+    serde_json::to_string(&req).unwrap()
+}
+
+#[test]
+fn vsafe_over_tcp_is_byte_identical_to_the_cli_path() {
+    let server = Server::start(&test_config()).unwrap();
+    let addr = server.addr();
+
+    let (status, body) = roundtrip(addr, "POST", "/v1/vsafe", &vsafe_body());
+    assert_eq!(status, 200, "body: {body}");
+    let resp: VsafeResponse = serde_json::from_str(&body).unwrap();
+
+    // The CLI's `vsafe` verb renders through the very same function; the
+    // daemon's `report` field must match it to the byte.
+    let model = culpeo_api::SystemSpec::capybara().into_model().unwrap();
+    let trace = culpeo_loadgen::io::from_csv(&ble_csv()).unwrap();
+    assert_eq!(resp.report, handle::vsafe_report(&model, &trace));
+    assert_eq!(resp.schema_version, SCHEMA_VERSION);
+    assert!(resp.v_safe_v > resp.energy_only_v);
+
+    server.shutdown_handle().request();
+    let _ = server.join();
+}
+
+#[test]
+fn repeated_request_is_a_cache_hit_in_metrics() {
+    let server = Server::start(&test_config()).unwrap();
+    let addr = server.addr();
+
+    let (s1, b1) = roundtrip(addr, "POST", "/v1/vsafe", &vsafe_body());
+    let (s2, b2) = roundtrip(addr, "POST", "/v1/vsafe", &vsafe_body());
+    assert_eq!((s1, s2), (200, 200));
+    assert_eq!(b1, b2, "memoized answer must be identical");
+
+    let (status, body) = roundtrip(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    let m: MetricsResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(m.cache.misses, 1, "first request misses");
+    assert_eq!(m.cache.hits, 1, "second request hits");
+    assert_eq!(m.cache.entries, 1);
+    let vsafe_row = m.endpoints.iter().find(|e| e.path == "/v1/vsafe").unwrap();
+    assert_eq!(vsafe_row.requests, 2);
+    assert_eq!(vsafe_row.errors, 0);
+
+    server.shutdown_handle().request();
+    let _ = server.join();
+}
+
+#[test]
+fn batch_fans_out_and_health_answers() {
+    let server = Server::start(&test_config()).unwrap();
+    let addr = server.addr();
+
+    let item = || BatchItem {
+        vsafe: Some(VsafeRequest {
+            schema_version: None,
+            spec: None,
+            trace_csv: ble_csv(),
+        }),
+        lint: None,
+    };
+    let batch = BatchRequest {
+        schema_version: None,
+        items: vec![item(), item(), item()],
+    };
+    let (status, body) = roundtrip(
+        addr,
+        "POST",
+        "/v1/batch",
+        &serde_json::to_string(&batch).unwrap(),
+    );
+    assert_eq!(status, 200, "body: {body}");
+    let resp: BatchResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(resp.results.len(), 3);
+    assert!(resp.results.iter().all(|r| r.vsafe.is_some()));
+
+    let (status, body) = roundtrip(addr, "GET", "/v1/health", "");
+    assert_eq!(status, 200);
+    let h: HealthResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(h.status, "ok");
+    assert_eq!(h.threads, 2);
+
+    server.shutdown_handle().request();
+    let _ = server.join();
+}
+
+#[test]
+fn unknown_paths_and_wrong_methods_get_structured_errors() {
+    let server = Server::start(&test_config()).unwrap();
+    let addr = server.addr();
+
+    let (status, body) = roundtrip(addr, "GET", "/v1/nope", "");
+    assert_eq!(status, 404);
+    assert!(body.contains("\"not_found\""));
+
+    let (status, body) = roundtrip(addr, "GET", "/v1/vsafe", "");
+    assert_eq!(status, 405);
+    assert!(body.contains("\"method_not_allowed\""));
+
+    let (status, body) = roundtrip(addr, "POST", "/v1/vsafe", "{not json");
+    assert_eq!(status, 400);
+    assert!(body.contains("\"bad_request\""));
+
+    server.shutdown_handle().request();
+    let _ = server.join();
+}
+
+#[test]
+fn shutdown_drains_accepted_requests_before_exit() {
+    // One worker, so a second accepted connection must sit in the queue
+    // and survive the drain.
+    let config = ServerConfig {
+        port: 0,
+        threads: 1,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(&config).unwrap();
+    let addr = server.addr();
+
+    let send = |body: &str| -> TcpStream {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let head = format!(
+            "POST /v1/vsafe HTTP/1.1\r\nHost: e2e\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        s.write_all(head.as_bytes()).unwrap();
+        s.write_all(body.as_bytes()).unwrap();
+        s
+    };
+    let body = vsafe_body();
+    let mut a = send(&body);
+    let mut b = send(&body);
+    // Give the acceptor a beat to move both connections into the queue.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    // Drain via the wire, like an operator would.
+    let (status, resp) = roundtrip(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    let h: HealthResponse = serde_json::from_str(&resp).unwrap();
+    assert_eq!(h.status, "draining");
+
+    // Both in-flight requests must still get complete answers.
+    let (sa, ba) = read_response(&mut a);
+    let (sb, bb) = read_response(&mut b);
+    assert_eq!((sa, sb), (200, 200));
+    assert!(ba.contains("v_safe_v") && bb.contains("v_safe_v"));
+
+    // join() returning at all proves the drain terminates.
+    let summary = server.join();
+    assert!(summary.requests >= 3, "summary: {summary:?}");
+}

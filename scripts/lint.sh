@@ -15,4 +15,7 @@ cargo fmt --all -- --check
 echo "== cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
+echo "== scripts/smoke_serve.sh"
+scripts/smoke_serve.sh
+
 echo "lint: clean"

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Smoke test for the `culpeo serve` daemon: boot on an ephemeral port,
+# check /v1/health, fire one /v1/vsafe request twice (the repeat must be
+# a cache hit per /v1/metrics), then drain via POST /v1/shutdown and
+# confirm a clean exit. Pure bash + /dev/tcp — no curl dependency.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=${CULPEO_BIN:-target/release/culpeo}
+if [[ ! -x "$BIN" ]]; then
+    echo "== building $BIN"
+    cargo build --release -p culpeo-cli
+fi
+
+LOG=$(mktemp)
+"$BIN" serve --port 0 --threads 2 >"$LOG" &
+PID=$!
+cleanup() {
+    kill "$PID" 2>/dev/null || true
+    rm -f "$LOG"
+}
+trap cleanup EXIT
+
+# Scrape the bound ephemeral port from the startup line.
+PORT=""
+for _ in $(seq 1 100); do
+    PORT=$(sed -n 's|.*listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$LOG")
+    [[ -n "$PORT" ]] && break
+    sleep 0.05
+done
+if [[ -z "$PORT" ]]; then
+    echo "smoke_serve: daemon never reported its port" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+echo "== daemon up on port $PORT"
+
+# Minimal HTTP/1.1 client; the daemon answers one request per connection.
+http() { # METHOD PATH [BODY]
+    local method=$1 path=$2 body=${3:-}
+    exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+    printf '%s %s HTTP/1.1\r\nHost: smoke\r\nContent-Length: %s\r\n\r\n%s' \
+        "$method" "$path" "${#body}" "$body" >&3
+    cat <&3
+    exec 3>&- 3<&-
+}
+
+expect() { # LABEL NEEDLE HAYSTACK
+    if [[ "$3" != *"$2"* ]]; then
+        echo "smoke_serve: $1 — expected to find $2 in: $3" >&2
+        exit 1
+    fi
+}
+
+HEALTH=$(http GET /v1/health)
+expect "health" '"status":"ok"' "$HEALTH"
+
+VSAFE_BODY='{"schema_version": 1, "trace_csv": "# dt_us: 8\n0.0,0.010\n0.000008,0.025\n0.000016,0.010\n"}'
+FIRST=$(http POST /v1/vsafe "$VSAFE_BODY")
+expect "vsafe" '"v_safe_v":' "$FIRST"
+SECOND=$(http POST /v1/vsafe "$VSAFE_BODY")
+expect "vsafe repeat" '"v_safe_v":' "$SECOND"
+
+METRICS=$(http GET /v1/metrics)
+expect "metrics cache hit" '"hits":1' "$METRICS"
+
+SHUTDOWN=$(http POST /v1/shutdown)
+expect "shutdown" '"status":"draining"' "$SHUTDOWN"
+
+# The daemon must now drain and exit on its own.
+for _ in $(seq 1 100); do
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.05
+done
+if kill -0 "$PID" 2>/dev/null; then
+    echo "smoke_serve: daemon did not exit after /v1/shutdown" >&2
+    exit 1
+fi
+wait "$PID" || true
+grep -q "culpeo-served drained" "$LOG" || {
+    echo "smoke_serve: missing drain summary" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+echo "smoke_serve: clean"
