@@ -221,6 +221,32 @@ pub struct CacheMetrics {
     pub evictions: u64,
 }
 
+/// Load-shed and self-healing counters, inside a [`MetricsResponse`].
+///
+/// Each row counts a way the daemon refused or recovered from work
+/// rather than letting it wedge a worker: slow readers/writers cut off
+/// by socket timeouts, connections past their wall-clock deadline, and
+/// poisoned-lock recoveries after an injected handler panic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShedMetrics {
+    /// Connections closed because the client stalled while we read the
+    /// request (read timeout → 408).
+    pub read_timeouts: u64,
+    /// Connections closed because the client stalled while we wrote the
+    /// response (write timeout).
+    pub write_timeouts: u64,
+    /// Connections closed because they exceeded the per-connection
+    /// wall-clock deadline.
+    pub deadline_closes: u64,
+    /// Requests refused with 413 because the head or body exceeded caps.
+    pub oversize_rejects: u64,
+    /// Handler panics caught and answered as 500 instead of crashing.
+    pub handler_panics: u64,
+    /// Times a worker found the cache lock poisoned and recovered by
+    /// clearing the cache instead of aborting.
+    pub lock_recoveries: u64,
+}
+
 /// `GET /v1/metrics` — per-endpoint latency/hit-rate counters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsResponse {
@@ -232,6 +258,10 @@ pub struct MetricsResponse {
     pub endpoints: Vec<EndpointMetrics>,
     /// `V_safe` memoization cache counters.
     pub cache: CacheMetrics,
+    /// Load-shed and recovery counters. Defaults to all-zero when absent
+    /// so pre-hardening clients still parse the document.
+    #[serde(default)]
+    pub shed: ShedMetrics,
 }
 
 #[cfg(test)]

@@ -29,6 +29,10 @@ pub enum ApiErrorKind {
     NotFound,
     /// The endpoint exists but not for this HTTP method.
     MethodNotAllowed,
+    /// The request body exceeded the daemon's size cap.
+    TooLarge,
+    /// The client took too long to send (or accept) the request.
+    Timeout,
     /// The daemon's bounded accept queue is full; retry later.
     Busy,
     /// The daemon is draining and accepts no new work.
@@ -49,6 +53,8 @@ impl ApiErrorKind {
             ApiErrorKind::Plan => "plan",
             ApiErrorKind::NotFound => "not_found",
             ApiErrorKind::MethodNotAllowed => "method_not_allowed",
+            ApiErrorKind::TooLarge => "too_large",
+            ApiErrorKind::Timeout => "timeout",
             ApiErrorKind::Busy => "busy",
             ApiErrorKind::ShuttingDown => "shutting_down",
             ApiErrorKind::Internal => "internal",
@@ -66,6 +72,8 @@ impl ApiErrorKind {
             "plan" => ApiErrorKind::Plan,
             "not_found" => ApiErrorKind::NotFound,
             "method_not_allowed" => ApiErrorKind::MethodNotAllowed,
+            "too_large" => ApiErrorKind::TooLarge,
+            "timeout" => ApiErrorKind::Timeout,
             "busy" => ApiErrorKind::Busy,
             "shutting_down" => ApiErrorKind::ShuttingDown,
             "internal" => ApiErrorKind::Internal,
@@ -84,8 +92,23 @@ impl ApiErrorKind {
             | ApiErrorKind::Plan => 400,
             ApiErrorKind::NotFound => 404,
             ApiErrorKind::MethodNotAllowed => 405,
+            ApiErrorKind::TooLarge => 413,
+            ApiErrorKind::Timeout => 408,
             ApiErrorKind::Busy | ApiErrorKind::ShuttingDown => 503,
             ApiErrorKind::Internal => 500,
+        }
+    }
+
+    /// The `Retry-After` hint (in seconds) the daemon attaches to this
+    /// kind's response, if any. Transient conditions — a full accept
+    /// queue, a drain in progress, a client that stalled mid-request —
+    /// are worth retrying; everything else is not.
+    #[must_use]
+    pub fn retry_after_s(self) -> Option<u32> {
+        match self {
+            ApiErrorKind::Busy | ApiErrorKind::Timeout => Some(1),
+            ApiErrorKind::ShuttingDown => Some(5),
+            _ => None,
         }
     }
 
@@ -100,6 +123,8 @@ impl ApiErrorKind {
             ApiErrorKind::Plan,
             ApiErrorKind::NotFound,
             ApiErrorKind::MethodNotAllowed,
+            ApiErrorKind::TooLarge,
+            ApiErrorKind::Timeout,
             ApiErrorKind::Busy,
             ApiErrorKind::ShuttingDown,
             ApiErrorKind::Internal,
@@ -215,8 +240,19 @@ mod tests {
         assert_eq!(ApiErrorKind::Spec.http_status(), 400);
         assert_eq!(ApiErrorKind::NotFound.http_status(), 404);
         assert_eq!(ApiErrorKind::MethodNotAllowed.http_status(), 405);
+        assert_eq!(ApiErrorKind::TooLarge.http_status(), 413);
+        assert_eq!(ApiErrorKind::Timeout.http_status(), 408);
         assert_eq!(ApiErrorKind::Busy.http_status(), 503);
         assert_eq!(ApiErrorKind::Internal.http_status(), 500);
+    }
+
+    #[test]
+    fn retry_after_marks_only_transient_kinds() {
+        assert_eq!(ApiErrorKind::Busy.retry_after_s(), Some(1));
+        assert_eq!(ApiErrorKind::Timeout.retry_after_s(), Some(1));
+        assert_eq!(ApiErrorKind::ShuttingDown.retry_after_s(), Some(5));
+        assert_eq!(ApiErrorKind::BadRequest.retry_after_s(), None);
+        assert_eq!(ApiErrorKind::Internal.retry_after_s(), None);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod spec;
 pub use dto::{
     check_schema_version, BatchItem, BatchOutcome, BatchRequest, BatchResponse, CacheMetrics,
     EndpointMetrics, HealthResponse, LintRequest, LintResponse, MetricsResponse, NamedTrace,
-    VsafeRequest, VsafeResponse,
+    ShedMetrics, VsafeRequest, VsafeResponse,
 };
 pub use error::{ApiError, ApiErrorKind};
 pub use plan::{LaunchSpec, PlanSpec};

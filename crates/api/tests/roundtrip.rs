@@ -10,7 +10,7 @@
 use culpeo_api::{
     ApiError, ApiErrorKind, BatchItem, BatchOutcome, BatchRequest, BatchResponse, CacheMetrics,
     EndpointMetrics, HealthResponse, LintRequest, LintResponse, MetricsResponse, NamedTrace,
-    PlanSpec, SystemSpec, VsafeRequest, VsafeResponse, SCHEMA_VERSION,
+    PlanSpec, ShedMetrics, SystemSpec, VsafeRequest, VsafeResponse, SCHEMA_VERSION,
 };
 use proptest::prelude::*;
 
@@ -271,6 +271,14 @@ proptest! {
                 hits: c.2,
                 misses: lat.0,
                 evictions: lat.1,
+            },
+            shed: ShedMetrics {
+                read_timeouts: c.0,
+                write_timeouts: c.1,
+                deadline_closes: c.2,
+                oversize_rejects: lat.0,
+                handler_panics: lat.1,
+                lock_recoveries: c.0,
             },
         };
         prop_assert_eq!(roundtrip(&metrics), metrics);

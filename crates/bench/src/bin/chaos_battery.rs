@@ -1,0 +1,20 @@
+//! Runs the seeded chaos battery and records its report + timing
+//! telemetry alongside the figure artifacts.
+//!
+//! Seed comes from `CULPEO_CHAOS_SEED` (default 42); thread count from
+//! `CULPEO_THREADS` as everywhere else. The report JSON is byte-identical
+//! for a given seed at any thread count. Exits 1 if any scenario failed.
+
+use culpeo_harness::chaos;
+use culpeo_harness::exec::Sweep;
+
+fn main() {
+    let seed = std::env::var("CULPEO_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(chaos::DEFAULT_SEED);
+    let (report, telemetry) = chaos::run_timed(Sweep::from_env(), seed);
+    chaos::print_table(&report);
+    culpeo_bench::write_json_with_telemetry("chaos_battery", &report, &telemetry);
+    std::process::exit(i32::from(!report.all_passed()));
+}

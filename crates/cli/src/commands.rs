@@ -146,6 +146,23 @@ pub fn serve(config: &culpeo_served::ServerConfig) -> Result<(String, i32), CliE
     ))
 }
 
+/// `culpeo chaos [--seed N] [--threads N] [--format json|human]` — runs
+/// the seeded `culpeo-faults` battery across all four fault levels and
+/// exits 1 if any scenario fails. For a given seed the report is
+/// byte-identical across runs and thread counts.
+pub fn chaos(seed: u64, sweep: &culpeo_exec::Sweep, format: LintFormat) -> (String, i32) {
+    let report = culpeo_faults::run_battery(seed, sweep);
+    let rendered = match format {
+        LintFormat::Json => {
+            let mut doc = report.render_json();
+            doc.push('\n');
+            doc
+        }
+        LintFormat::Human => report.render_table(),
+    };
+    (rendered, i32::from(!report.all_passed()))
+}
+
 /// `culpeo check --trace a.csv --trace b.csv …` — per-task verdicts plus
 /// the composed `V_safe_multi` for running the tasks back-to-back.
 ///

@@ -4,6 +4,7 @@
 //! culpeo vsafe --trace packet.csv [--system spec.json]
 //! culpeo lint  spec.json [--trace packet.csv]… [--plan plan.json] [--format json]
 //! culpeo serve [--port 7070] [--threads N] [--queue-depth 64] [--cache-capacity 256]
+//! culpeo chaos [--seed 42] [--threads N] [--format json|human]
 //! culpeo check --trace a.csv --trace b.csv [--system spec.json] [--threads N]
 //! culpeo vsafe-table --trace packet.csv [--system spec.json]
 //! culpeo catalog [--capacitance-mf 45]
@@ -15,7 +16,10 @@
 //! spec and any `--trace` / `--plan` inputs, printing rustc-style `C0xx`
 //! diagnostics (or a JSON report with `--format json`) and exiting 1 if
 //! any error fired. `serve` starts the `culpeo-served` batch daemon
-//! speaking the versioned `/v1/*` API over HTTP.
+//! speaking the versioned `/v1/*` API over HTTP. `chaos` runs the seeded
+//! `culpeo-faults` battery — trace, physics, scheduler, and service
+//! fault injection — and exits 1 if any scenario fails; its report is
+//! byte-identical for a given `--seed` at any `--threads` count.
 //!
 //! (Both questions used to share the `analyze` verb; those spellings
 //! still work as hidden aliases with the exact same exit codes, printing
@@ -53,6 +57,7 @@ fn usage() -> &'static str {
     "usage:\n  culpeo vsafe --trace FILE [--system SPEC.json]\n  \
      culpeo lint SPEC.json [--trace FILE…] [--plan PLAN.json] [--format json|human]\n  \
      culpeo serve [--port 7070] [--threads N] [--queue-depth 64] [--cache-capacity 256]\n  \
+     culpeo chaos [--seed 42] [--threads N] [--format json|human]\n  \
      culpeo check --trace FILE [--trace FILE…] [--system SPEC.json] [--threads N]\n  \
      culpeo vsafe-table --trace FILE [--system SPEC.json]\n  \
      culpeo catalog [--capacitance-mf MF]\n  \
@@ -84,6 +89,13 @@ fn run(args: &[String]) -> Result<(String, i32), CliError> {
         "serve" => {
             let config = parse_serve(rest)?;
             commands::serve(&config)
+        }
+        "chaos" => {
+            let (seed, threads, format) = parse_chaos(rest)?;
+            let sweep = threads.map_or_else(culpeo_exec::Sweep::from_env, |n| {
+                culpeo_exec::Sweep::with_threads(n)
+            });
+            Ok(commands::chaos(seed, &sweep, format))
         }
         "check" => {
             let (trace_paths, system, threads) = parse_check(rest)?;
@@ -224,6 +236,47 @@ fn parse_serve(args: &[String]) -> Result<culpeo_served::ServerConfig, CliError>
         }
     }
     Ok(config)
+}
+
+/// `chaos`'s parsed flags: master seed, optional worker count, format.
+type ChaosArgs = (u64, Option<usize>, LintFormat);
+
+/// Parses `chaos`'s flags: optional `--seed N` (default 42), optional
+/// `--threads N`, optional `--format json|human`.
+fn parse_chaos(args: &[String]) -> Result<ChaosArgs, CliError> {
+    let mut seed = 42u64;
+    let mut threads = None;
+    let mut format = LintFormat::Human;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or_else(|| CliError::Usage("--seed needs a non-negative integer".into()))?;
+            }
+            "--threads" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .ok_or_else(|| CliError::Usage("--threads needs a positive integer".into()))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--threads must be positive".into()));
+                }
+                threads = Some(n);
+            }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("json") => LintFormat::Json,
+                    Some("human") => LintFormat::Human,
+                    _ => return Err(CliError::Usage("--format takes `json` or `human`".into())),
+                };
+            }
+            other => return Err(CliError::Usage(format!("unknown flag: {other}"))),
+        }
+    }
+    Ok((seed, threads, format))
 }
 
 /// Parses repeated `--trace` flags and an optional `--system`.
@@ -375,6 +428,23 @@ mod tests {
         assert!(parse_serve(&s(&["--threads", "0"])).is_err());
         assert!(parse_serve(&s(&["--queue-depth", "0"])).is_err());
         assert!(parse_serve(&s(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn chaos_flag_parsing() {
+        let (seed, threads, format) = parse_chaos(&s(&[])).unwrap();
+        assert_eq!(seed, 42);
+        assert_eq!(threads, None);
+        assert_eq!(format, LintFormat::Human);
+        let (seed, threads, format) =
+            parse_chaos(&s(&["--seed", "7", "--threads", "4", "--format", "json"])).unwrap();
+        assert_eq!(seed, 7);
+        assert_eq!(threads, Some(4));
+        assert_eq!(format, LintFormat::Json);
+        assert!(parse_chaos(&s(&["--seed", "minus-one"])).is_err());
+        assert!(parse_chaos(&s(&["--threads", "0"])).is_err());
+        assert!(parse_chaos(&s(&["--format", "xml"])).is_err());
+        assert!(parse_chaos(&s(&["--bogus"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,731 @@
+//! The chaos battery: every fault level, one seeded deterministic run.
+//!
+//! [`scenarios`] is a fixed roster — each entry injects one fault at one
+//! level and judges the stack's response against the paper's safety
+//! claims. [`run_battery`] fans the roster out over a [`Sweep`] (the
+//! same input-order-scatter executor the figure sweeps use), so the
+//! report is byte-identical at any thread count: every scenario draws
+//! all of its randomness from [`crate::sub_seed`]`(master, roster_index)`
+//! and reports only deterministic facts — status codes, error kinds,
+//! diagnostic codes, voltages rounded to millivolts. No scenario may put
+//! a port number, a timing, or an OS error string in its detail.
+//!
+//! The battery's own promises, asserted per scenario:
+//!
+//! * nothing panics — a panic anywhere (caught per scenario) is a
+//!   failure, full stop;
+//! * `V_safe`-gated dispatch never browns out under in-envelope faults
+//!   (harvester dropout, arrival bursts);
+//! * the linter promotes out-of-envelope trace corruption to C0xx
+//!   diagnostics instead of crashing or silently analyzing garbage;
+//! * the daemon always answers abusive clients with well-formed JSON
+//!   errors (408/413/503 carrying `Retry-After` where transient) and
+//!   still drains cleanly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use culpeo_api::{
+    ApiErrorKind, LintRequest, LintResponse, MetricsResponse, NamedTrace, SystemSpec, VsafeRequest,
+    VsafeResponse,
+};
+use culpeo_device::intermittent::{run_to_completion_with, DispatchPolicy};
+use culpeo_exec::Sweep;
+use culpeo_powersim::{AgingState, PowerSystem};
+use culpeo_served::{handle, Server};
+use culpeo_units::{Amps, Hertz, Seconds, Volts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::service::{self, ServiceFault};
+use crate::trace::{corrupt_csv, TraceFault};
+use crate::{physics, sched, sub_seed};
+
+/// Which layer of the stack a scenario attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Corrupted trace files into the linter and analyzer.
+    Trace,
+    /// Plant drift: ESR aging, capacitance derating, harvester dropout.
+    Physics,
+    /// Surprise brownouts and arrival bursts at the dispatch policies.
+    Sched,
+    /// Abusive TCP clients at the daemon.
+    Service,
+}
+
+impl Level {
+    /// Stable lower-case name used in reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Physics => "physics",
+            Level::Sched => "sched",
+            Level::Service => "service",
+        }
+    }
+}
+
+/// One roster entry: a named fault injection plus its judgment.
+///
+/// The function receives the scenario's own sub-seed and returns
+/// `Ok(detail)` on a passed judgment, `Err(detail)` on a failed one.
+/// Details must be deterministic functions of the seed alone.
+pub struct Scenario {
+    /// Stable kebab-case identifier (also the table row name).
+    pub id: &'static str,
+    /// The layer attacked.
+    pub level: Level,
+    /// One-line statement of what passing means.
+    pub expect: &'static str,
+    /// The injection + judgment.
+    pub run: fn(u64) -> Result<String, String>,
+}
+
+/// One scenario's verdict, reduced to deterministic facts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// The scenario's roster id.
+    pub id: String,
+    /// The attacked level's name.
+    pub level: String,
+    /// Whether the judgment passed.
+    pub passed: bool,
+    /// Deterministic explanation (no ports, timings, or OS text).
+    pub detail: String,
+}
+
+/// The whole battery's outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatteryReport {
+    /// The master seed the battery ran under.
+    pub seed: u64,
+    /// Scenarios passed.
+    pub passed: u64,
+    /// Scenarios failed.
+    pub failed: u64,
+    /// Per-scenario verdicts, in roster order.
+    pub results: Vec<ScenarioResult>,
+}
+
+impl BatteryReport {
+    /// True when every scenario passed.
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.failed == 0
+    }
+
+    /// The fixed-width human table (deterministic, diffable).
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("chaos battery  seed={}\n", self.seed));
+        out.push_str(&format!(
+            "{:-<6} {:-<8} {:-<30} {}\n",
+            "", "", "", "--------"
+        ));
+        for r in &self.results {
+            out.push_str(&format!(
+                "{:<6} {:<8} {:<30} {}\n",
+                if r.passed { "PASS" } else { "FAIL" },
+                r.level,
+                r.id,
+                r.detail
+            ));
+        }
+        out.push_str(&format!(
+            "{:-<6} {:-<8} {:-<30} {}\n",
+            "", "", "", "--------"
+        ));
+        out.push_str(&format!(
+            "{} passed, {} failed, {} total\n",
+            self.passed,
+            self.failed,
+            self.passed + self.failed
+        ));
+        out
+    }
+
+    /// The battery as pretty JSON (the `--format json` document).
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails, which would be a serde-stub bug.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// The fixed scenario roster: every level represented, every entry
+/// judged independently.
+#[must_use]
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            id: "trace-nan-samples",
+            level: Level::Trace,
+            expect: "linter raises C010 on NaN currents",
+            run: trace_nan_samples,
+        },
+        Scenario {
+            id: "trace-negative-spikes",
+            level: Level::Trace,
+            expect: "linter raises C012 on negative spikes",
+            run: trace_negative_spikes,
+        },
+        Scenario {
+            id: "trace-dropped-samples",
+            level: Level::Trace,
+            expect: "linter raises C011 on a holey timebase",
+            run: trace_dropped_samples,
+        },
+        Scenario {
+            id: "trace-duplicated-samples",
+            level: Level::Trace,
+            expect: "linter raises C011 on a stuttered timebase",
+            run: trace_duplicated_samples,
+        },
+        Scenario {
+            id: "trace-truncated-mid-write",
+            level: Level::Trace,
+            expect: "analyzer answers truncation gracefully, never panics",
+            run: trace_truncated_mid_write,
+        },
+        Scenario {
+            id: "physics-esr-aging-step",
+            level: Level::Physics,
+            expect: "grown ESR strictly raises V_safe",
+            run: physics_esr_aging_step,
+        },
+        Scenario {
+            id: "physics-cap-derate",
+            level: Level::Physics,
+            expect: "derated capacitance strictly raises V_safe",
+            run: physics_cap_derate,
+        },
+        Scenario {
+            id: "physics-harvester-dropout",
+            level: Level::Physics,
+            expect: "V_safe-gated dispatch completes with zero failures",
+            run: physics_harvester_dropout,
+        },
+        Scenario {
+            id: "sched-arrival-burst",
+            level: Level::Sched,
+            expect: "culpeo thresholds brown out no more than energy-only",
+            run: sched_arrival_burst,
+        },
+        Scenario {
+            id: "sched-surprise-brownout",
+            level: Level::Sched,
+            expect: "culpeo thresholds brown out no more than energy-only",
+            run: sched_surprise_brownout,
+        },
+        Scenario {
+            id: "service-garbage-bytes",
+            level: Level::Service,
+            expect: "daemon answers 400 bad_request JSON",
+            run: service_garbage_bytes,
+        },
+        Scenario {
+            id: "service-slow-loris",
+            level: Level::Service,
+            expect: "daemon cuts the stall off with 408 + Retry-After",
+            run: service_slow_loris,
+        },
+        Scenario {
+            id: "service-lying-content-length",
+            level: Level::Service,
+            expect: "daemon answers the short body with 408 + Retry-After",
+            run: service_lying_content_length,
+        },
+        Scenario {
+            id: "service-oversized-body",
+            level: Level::Service,
+            expect: "daemon rejects the claim alone with 413 too_large",
+            run: service_oversized_body,
+        },
+        Scenario {
+            id: "service-mid-request-disconnect",
+            level: Level::Service,
+            expect: "daemon survives hang-ups and keeps serving",
+            run: service_mid_request_disconnect,
+        },
+        Scenario {
+            id: "service-handler-panic",
+            level: Level::Service,
+            expect: "500 answered, lock recovered, daemon keeps serving",
+            run: service_handler_panic,
+        },
+        Scenario {
+            id: "service-drain-under-chaos",
+            level: Level::Service,
+            expect: "daemon drains cleanly after absorbing the abuse",
+            run: service_drain_under_chaos,
+        },
+    ]
+}
+
+/// Runs the whole roster under `master_seed`, scattered over `sweep`.
+///
+/// Each scenario runs inside `catch_unwind` — a panic is a failed
+/// scenario, not a dead battery — and the default panic hook is
+/// silenced for the duration so injected panics do not spray backtraces
+/// over the report. Results come back in roster order regardless of
+/// thread count.
+#[must_use]
+pub fn run_battery(master_seed: u64, sweep: &Sweep) -> BatteryReport {
+    let roster = scenarios();
+    // Silence the hook while injected panics (scenario-level and the
+    // daemon's own handler hook) are expected; restore it after.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let results: Vec<ScenarioResult> = sweep.map(&roster, |i, s| {
+        let seed = sub_seed(master_seed, i as u64);
+        let verdict = catch_unwind(AssertUnwindSafe(|| (s.run)(seed)));
+        let (passed, detail) = match verdict {
+            Ok(Ok(detail)) => (true, detail),
+            Ok(Err(detail)) => (false, detail),
+            Err(_) => (false, "panicked".to_string()),
+        };
+        ScenarioResult {
+            id: s.id.to_string(),
+            level: s.level.as_str().to_string(),
+            passed,
+            detail,
+        }
+    });
+    std::panic::set_hook(prev_hook);
+    let passed = results.iter().filter(|r| r.passed).count() as u64;
+    let failed = results.len() as u64 - passed;
+    BatteryReport {
+        seed: master_seed,
+        passed,
+        failed,
+        results,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace level
+// ---------------------------------------------------------------------
+
+/// The clean reference trace every corruption starts from.
+fn clean_csv() -> String {
+    let trace = culpeo_loadgen::peripheral::BleRadio::default()
+        .profile()
+        .sample(Hertz::new(125_000.0));
+    culpeo_loadgen::io::to_csv(&trace)
+}
+
+/// Lints one (possibly corrupted) CSV against the Capybara spec.
+fn lint_csv(csv: String) -> Result<LintResponse, culpeo_api::ApiError> {
+    handle::lint(&LintRequest {
+        schema_version: None,
+        spec: SystemSpec::capybara(),
+        traces: vec![NamedTrace {
+            name: "chaos.csv".to_string(),
+            csv,
+        }],
+        plan: None,
+    })
+}
+
+/// Judges that the lint battery fired `code` on the corrupted trace.
+fn expect_code(fault: &TraceFault, seed: u64, code: &str) -> Result<String, String> {
+    let csv = corrupt_csv(&clean_csv(), fault, seed);
+    let resp = lint_csv(csv)
+        .map_err(|e| format!("{} refused outright: {}", fault.name(), e.kind.as_str()))?;
+    let doc = serde_json::to_string(&resp.report).map_err(|e| format!("report: {e}"))?;
+    if doc.contains(code) {
+        Ok(format!("{} promoted to {code}", fault.name()))
+    } else {
+        Err(format!("{} missed {code}", fault.name()))
+    }
+}
+
+fn trace_nan_samples(seed: u64) -> Result<String, String> {
+    let count = StdRng::seed_from_u64(seed).gen_range(2..6);
+    expect_code(&TraceFault::NanSamples { count }, seed, "C010")
+}
+
+fn trace_negative_spikes(seed: u64) -> Result<String, String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fault = TraceFault::NegativeSpikes {
+        count: rng.gen_range(2..6),
+        magnitude_a: rng.gen_range(0.01..0.2),
+    };
+    expect_code(&fault, seed, "C012")
+}
+
+fn trace_dropped_samples(seed: u64) -> Result<String, String> {
+    let frac = StdRng::seed_from_u64(seed).gen_range(0.1..0.4);
+    expect_code(&TraceFault::DropSamples { frac }, seed, "C011")
+}
+
+fn trace_duplicated_samples(seed: u64) -> Result<String, String> {
+    let frac = StdRng::seed_from_u64(seed).gen_range(0.1..0.4);
+    expect_code(&TraceFault::DuplicateSamples { frac }, seed, "C011")
+}
+
+fn trace_truncated_mid_write(seed: u64) -> Result<String, String> {
+    let keep = StdRng::seed_from_u64(seed).gen_range(0.2..0.9);
+    let csv = corrupt_csv(
+        &clean_csv(),
+        &TraceFault::TruncateMidWrite { keep_frac: keep },
+        seed,
+    );
+    // Depending on where the cut lands the file is either a clean parse
+    // error or a shorter-but-valid trace; both are graceful. A panic
+    // (caught by the battery) or a non-trace error kind is the failure.
+    match handle::vsafe(&VsafeRequest {
+        schema_version: None,
+        spec: None,
+        trace_csv: csv,
+    }) {
+        Ok(_) => Ok("truncation still parsed; analyzed the shorter trace".to_string()),
+        Err(e) if e.kind == ApiErrorKind::Trace => {
+            Ok("truncation refused with a clean trace error".to_string())
+        }
+        Err(e) => Err(format!("wrong error kind: {}", e.kind.as_str())),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Physics level
+// ---------------------------------------------------------------------
+
+/// `V_safe` of the clean reference trace under `spec`.
+fn vsafe_of(spec: SystemSpec) -> Result<VsafeResponse, String> {
+    handle::vsafe(&VsafeRequest {
+        schema_version: None,
+        spec: Some(spec),
+        trace_csv: clean_csv(),
+    })
+    .map_err(|e| format!("vsafe refused: {}", e.kind.as_str()))
+}
+
+fn physics_esr_aging_step(seed: u64) -> Result<String, String> {
+    let growth = StdRng::seed_from_u64(seed).gen_range(1.5..2.5);
+    let aging = AgingState {
+        capacitance_retention: 1.0,
+        esr_growth: growth,
+    };
+    let fresh = vsafe_of(SystemSpec::capybara())?;
+    let aged = vsafe_of(physics::aged_capybara_spec(aging))?;
+    if aged.v_safe_v > fresh.v_safe_v {
+        Ok(format!(
+            "V_safe rose {:.3} V -> {:.3} V under ESR growth",
+            fresh.v_safe_v, aged.v_safe_v
+        ))
+    } else {
+        Err(format!(
+            "V_safe did not rise: {:.3} V -> {:.3} V",
+            fresh.v_safe_v, aged.v_safe_v
+        ))
+    }
+}
+
+fn physics_cap_derate(seed: u64) -> Result<String, String> {
+    let retention = StdRng::seed_from_u64(seed).gen_range(0.5..0.8);
+    let aging = AgingState {
+        capacitance_retention: retention,
+        esr_growth: 1.0,
+    };
+    let fresh = vsafe_of(SystemSpec::capybara())?;
+    let aged = vsafe_of(physics::aged_capybara_spec(aging))?;
+    if aged.v_safe_v > fresh.v_safe_v {
+        Ok(format!(
+            "V_safe rose {:.3} V -> {:.3} V under derating",
+            fresh.v_safe_v, aged.v_safe_v
+        ))
+    } else {
+        Err(format!(
+            "V_safe did not rise: {:.3} V -> {:.3} V",
+            fresh.v_safe_v, aged.v_safe_v
+        ))
+    }
+}
+
+fn physics_harvester_dropout(seed: u64) -> Result<String, String> {
+    // Theorem 1 assumes zero harvest during the task, so a dropout can
+    // only slow the wait, never doom a gated dispatch.
+    let mut sys = PowerSystem::builder()
+        .harvester(physics::dropout_harvester(seed))
+        .build();
+    sys.set_buffer_voltage(Volts::new(1.7));
+    sys.force_output_enabled();
+    let task = culpeo_loadgen::LoadProfile::constant(
+        "lora",
+        Amps::from_milli(50.0),
+        Seconds::from_milli(100.0),
+    );
+    let stats = run_to_completion_with(
+        &mut sys,
+        &task,
+        DispatchPolicy::VsafeGated(Volts::new(2.2)),
+        5,
+        Seconds::new(120.0),
+    );
+    if stats.completed && stats.failures == 0 && stats.attempts == 1 {
+        Ok("gated dispatch completed first try, zero brownouts".to_string())
+    } else {
+        Err(format!(
+            "attempts={} failures={} completed={}",
+            stats.attempts, stats.failures, stats.completed
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler level
+// ---------------------------------------------------------------------
+
+fn judge_duel(d: &sched::PolicyDuel) -> Result<String, String> {
+    if d.culpeo.brownouts <= d.catnap.brownouts {
+        Ok(format!(
+            "brownouts: culpeo {} <= energy-only {}",
+            d.culpeo.brownouts, d.catnap.brownouts
+        ))
+    } else {
+        Err(format!(
+            "culpeo browned out more: {} > {}",
+            d.culpeo.brownouts, d.catnap.brownouts
+        ))
+    }
+}
+
+fn sched_arrival_burst(seed: u64) -> Result<String, String> {
+    let app = sched::arrival_burst_app(seed);
+    judge_duel(&sched::duel(&app, Seconds::new(120.0), seed))
+}
+
+fn sched_surprise_brownout(seed: u64) -> Result<String, String> {
+    let app = sched::surprise_brownout_app(seed);
+    judge_duel(&sched::duel(&app, Seconds::new(120.0), seed))
+}
+
+// ---------------------------------------------------------------------
+// Service level
+// ---------------------------------------------------------------------
+
+/// Boots a chaos-configured daemon, runs `f` against it, always shuts
+/// the daemon down before returning.
+fn with_daemon<F>(f: F) -> Result<String, String>
+where
+    F: FnOnce(std::net::SocketAddr) -> Result<String, String>,
+{
+    let server =
+        Server::start(&service::chaos_server_config()).map_err(|_| "daemon failed to boot")?;
+    let addr = server.addr();
+    let verdict = f(addr);
+    server.shutdown_handle().request();
+    let _ = server.join();
+    verdict
+}
+
+/// Judges one abusive conversation: expected status, error kind, and
+/// `Retry-After` seconds.
+fn expect_answer(
+    fault: &ServiceFault,
+    seed: u64,
+    status: u16,
+    kind: ApiErrorKind,
+    retry_after_s: Option<u32>,
+) -> Result<String, String> {
+    with_daemon(|addr| {
+        let got = service::apply(addr, fault, seed).map_err(|_| "transport failed")?;
+        if got.status != Some(status) {
+            return Err(format!("{}: status {:?}", fault.name(), got.status));
+        }
+        if got.error_kind.as_deref() != Some(kind.as_str()) {
+            return Err(format!("{}: kind {:?}", fault.name(), got.error_kind));
+        }
+        if got.retry_after_s != retry_after_s {
+            return Err(format!("{}: retry {:?}", fault.name(), got.retry_after_s));
+        }
+        match retry_after_s {
+            Some(s) => Ok(format!(
+                "{} answered {status} {} with Retry-After {s}",
+                fault.name(),
+                kind.as_str()
+            )),
+            None => Ok(format!(
+                "{} answered {status} {}",
+                fault.name(),
+                kind.as_str()
+            )),
+        }
+    })
+}
+
+fn service_garbage_bytes(seed: u64) -> Result<String, String> {
+    let len = StdRng::seed_from_u64(seed).gen_range(64..1024);
+    expect_answer(
+        &ServiceFault::GarbageBytes { len },
+        seed,
+        400,
+        ApiErrorKind::BadRequest,
+        None,
+    )
+}
+
+fn service_slow_loris(seed: u64) -> Result<String, String> {
+    expect_answer(
+        &ServiceFault::SlowLoris,
+        seed,
+        408,
+        ApiErrorKind::Timeout,
+        Some(1),
+    )
+}
+
+fn service_lying_content_length(seed: u64) -> Result<String, String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let claimed = rng.gen_range(500..4000);
+    let sent = rng.gen_range(0..100);
+    expect_answer(
+        &ServiceFault::LyingContentLength { claimed, sent },
+        seed,
+        408,
+        ApiErrorKind::Timeout,
+        Some(1),
+    )
+}
+
+fn service_oversized_body(seed: u64) -> Result<String, String> {
+    expect_answer(
+        &ServiceFault::OversizedBody,
+        seed,
+        413,
+        ApiErrorKind::TooLarge,
+        None,
+    )
+}
+
+fn service_mid_request_disconnect(seed: u64) -> Result<String, String> {
+    with_daemon(|addr| {
+        for k in 0..4u64 {
+            let got = service::apply(addr, &ServiceFault::MidBodyDisconnect, sub_seed(seed, k))
+                .map_err(|_| "transport failed")?;
+            if got.status.is_some() {
+                return Err("disconnect unexpectedly read an answer".to_string());
+            }
+        }
+        let (health, _) = service::probe(addr, "/v1/health").map_err(|_| "probe failed")?;
+        if health.status == Some(200) {
+            Ok("4 hang-ups absorbed; health still 200".to_string())
+        } else {
+            Err(format!("health after hang-ups: {:?}", health.status))
+        }
+    })
+}
+
+fn service_handler_panic(seed: u64) -> Result<String, String> {
+    with_daemon(|addr| {
+        let got = service::apply(addr, &ServiceFault::HandlerPanic, seed)
+            .map_err(|_| "transport failed")?;
+        if got.status != Some(500) {
+            return Err(format!("panic answered {:?}", got.status));
+        }
+        let (health, _) = service::probe(addr, "/v1/health").map_err(|_| "probe failed")?;
+        if health.status != Some(200) {
+            return Err(format!("health after panic: {:?}", health.status));
+        }
+        let (m, body) = service::probe(addr, "/v1/metrics").map_err(|_| "probe failed")?;
+        if m.status != Some(200) {
+            return Err(format!("metrics after panic: {:?}", m.status));
+        }
+        let doc: MetricsResponse =
+            serde_json::from_str(&body).map_err(|_| "metrics body malformed")?;
+        if doc.shed.handler_panics < 1 {
+            return Err("panic not counted in shed metrics".to_string());
+        }
+        if doc.shed.lock_recoveries < 1 {
+            return Err("poisoned cache lock was not recovered".to_string());
+        }
+        Ok("500 answered; lock recovered; panic counted; daemon healthy".to_string())
+    })
+}
+
+fn service_drain_under_chaos(seed: u64) -> Result<String, String> {
+    let server =
+        Server::start(&service::chaos_server_config()).map_err(|_| "daemon failed to boot")?;
+    let addr = server.addr();
+    let abuse = [
+        ServiceFault::GarbageBytes { len: 300 },
+        ServiceFault::OversizedBody,
+        ServiceFault::MidBodyDisconnect,
+        ServiceFault::LyingContentLength {
+            claimed: 900,
+            sent: 9,
+        },
+    ];
+    for (k, fault) in abuse.iter().enumerate() {
+        service::apply(addr, fault, sub_seed(seed, k as u64)).map_err(|_| "transport failed")?;
+    }
+    let (health, _) = service::probe(addr, "/v1/health").map_err(|_| "probe failed")?;
+    server.shutdown_handle().request();
+    let summary = server.join(); // blocks until workers drain
+    if health.status != Some(200) {
+        return Err(format!("health under chaos: {:?}", health.status));
+    }
+    if summary.requests == 0 {
+        return Err("summary counted no requests".to_string());
+    }
+    Ok("absorbed the abuse, answered health 200, drained cleanly".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_covers_every_level_with_at_least_twelve_scenarios() {
+        let roster = scenarios();
+        assert!(roster.len() >= 12, "only {} scenarios", roster.len());
+        for level in [Level::Trace, Level::Physics, Level::Sched, Level::Service] {
+            assert!(
+                roster.iter().filter(|s| s.level == level).count() >= 2,
+                "level {} under-covered",
+                level.as_str()
+            );
+        }
+        let mut ids: Vec<&str> = roster.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), roster.len(), "duplicate scenario ids");
+    }
+
+    #[test]
+    fn battery_passes_and_is_byte_deterministic_across_thread_counts() {
+        let serial = run_battery(42, &Sweep::serial());
+        assert!(
+            serial.all_passed(),
+            "failed scenarios:\n{}",
+            serial.render_table()
+        );
+        let threaded = run_battery(42, &Sweep::with_threads(4));
+        assert_eq!(
+            serial.render_json(),
+            threaded.render_json(),
+            "report must be byte-identical at any thread count"
+        );
+        assert_eq!(serial.render_table(), threaded.render_table());
+    }
+
+    #[test]
+    fn different_seeds_change_details_not_verdicts() {
+        let a = run_battery(1, &Sweep::with_threads(4));
+        let b = run_battery(2, &Sweep::with_threads(4));
+        assert!(a.all_passed(), "seed 1:\n{}", a.render_table());
+        assert!(b.all_passed(), "seed 2:\n{}", b.render_table());
+        assert_ne!(
+            a.render_json(),
+            b.render_json(),
+            "seeded randomness must actually vary"
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! `culpeo-faults`: seeded, deterministic fault injection for the whole
+//! Culpeo stack, plus the chaos battery that drives it.
+//!
+//! Real energy-harvesting deployments fail constantly — that is the
+//! premise of the paper — and every layer of this reproduction makes a
+//! safety claim worth attacking:
+//!
+//! * [`trace`] corrupts captured current traces the way real instruments
+//!   do (dropped/duplicated samples, NaN readings, negative spikes,
+//!   mid-file truncation); the C0xx lint battery must *diagnose* these,
+//!   never crash on them.
+//! * [`physics`] drifts the plant itself (ESR aging, capacitance
+//!   derating, harvester dropout windows); `V_safe`-gated dispatch must
+//!   stay brownout-free whenever the fault is inside the modeled
+//!   envelope (Theorem 1 assumes zero harvest, so losing the harvester
+//!   can slow a task down but never doom it).
+//! * [`sched`] throws surprise brownouts and adversarial arrival bursts
+//!   at the dispatch policies; the gated policy's attempt count must
+//!   stay bounded while the opportunistic baseline pays in failures.
+//! * [`service`] abuses the daemon over real TCP (slow-loris writers,
+//!   lying `Content-Length`, oversized bodies, mid-request disconnects,
+//!   injected handler panics); the daemon must always answer well-formed
+//!   JSON errors and still drain cleanly.
+//!
+//! [`chaos`] assembles all of it into one seeded battery
+//! (`culpeo chaos --seed S`) whose report is byte-identical across runs
+//! and thread counts: every injector draws from a [`sub_seed`] derived
+//! from the master seed and the scenario's fixed roster position, and no
+//! timing, port number, or OS error text leaks into a verdict.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod physics;
+pub mod sched;
+pub mod service;
+pub mod trace;
+
+pub use chaos::{run_battery, scenarios, Level, Scenario, ScenarioResult};
+
+/// Derives the `index`-th deterministic sub-seed from a master seed
+/// (one splitmix64 round over their combination).
+///
+/// Every scenario gets its own stream: re-ordering or skipping scenarios
+/// must not shift the randomness any other scenario sees.
+#[must_use]
+pub fn sub_seed(master: u64, index: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_seeds_are_deterministic_and_distinct() {
+        assert_eq!(sub_seed(42, 0), sub_seed(42, 0));
+        let seeds: Vec<u64> = (0..32).map(|i| sub_seed(42, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "sub-seeds must not collide");
+        assert_ne!(sub_seed(1, 0), sub_seed(2, 0), "master seed must matter");
+    }
+}

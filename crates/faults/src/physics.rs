@@ -1,0 +1,103 @@
+//! Physics-level faults: the plant itself drifts out from under the
+//! analysis.
+//!
+//! Three drifts the paper's §IV-C re-profiling story worries about, each
+//! seeded and deterministic:
+//!
+//! * **ESR aging** — the supercapacitor's series resistance grows over
+//!   its lifetime (2× at datasheet end-of-life), which raises the true
+//!   `V_safe` of every task.
+//! * **Capacitance derating** — the same lifetime drift shrinks the
+//!   buffer (80 % retention at end-of-life), so less energy hides behind
+//!   the same terminal voltage.
+//! * **Harvester dropout** — the ambient source disappears for a window
+//!   of every cycle. Theorem 1's guarantee assumes *zero* harvest during
+//!   a task, so this fault is always in-envelope for `V_safe`-gated
+//!   dispatch: it slows charging, never dooms a launched task.
+
+use culpeo_api::SystemSpec;
+use culpeo_powersim::{AgingState, Harvester, PowerSystem};
+use culpeo_units::{Amps, Seconds};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Capybara reference spec aged to the given state: capacitance
+/// derated by the retention factor, flat ESR grown by the growth factor.
+///
+/// Feeding this through the same `/v1/vsafe` pipeline as the fresh spec
+/// shows the aged plant demanding a strictly higher safe voltage — the
+/// drift the linter and re-profiling exist to catch.
+#[must_use]
+pub fn aged_capybara_spec(aging: AgingState) -> SystemSpec {
+    let mut spec = SystemSpec::capybara();
+    spec.capacitance_mf *= aging.capacitance_retention;
+    spec.esr_ohms = spec.esr_ohms.map(|r| r * aging.esr_growth);
+    spec.esr_curve = spec.esr_curve.map(|pts| {
+        pts.into_iter()
+            .map(|(hz, r)| (hz, r * aging.esr_growth))
+            .collect()
+    });
+    spec
+}
+
+/// Ages every branch of a live plant in place, preserving each branch's
+/// present internal voltage — an ESR step mid-run, not a rebuild.
+pub fn age_plant(sys: &mut PowerSystem, aging: AgingState) {
+    for branch in sys.buffer_mut().branches_mut() {
+        *branch = branch.aged(aging);
+    }
+}
+
+/// A seeded harvester-dropout fault: a square-wave source whose current,
+/// period, duty cycle, and phase are drawn deterministically from `seed`.
+///
+/// The ranges keep the fault in-envelope: the source always returns
+/// (duty ≥ 0.3) and always charges faster than leakage while present.
+#[must_use]
+pub fn dropout_harvester(seed: u64) -> Harvester {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let i_ma = rng.gen_range(3.0..8.0);
+    let period_s = rng.gen_range(1.0..3.0);
+    let duty = rng.gen_range(0.3..0.7);
+    let phase_s = rng.gen_range(0.0..period_s);
+    Harvester::Windowed {
+        i: Amps::from_milli(i_ma),
+        period: Seconds::new(period_s),
+        duty,
+        phase: Seconds::new(phase_s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_units::Volts;
+
+    #[test]
+    fn aged_spec_scales_both_knobs() {
+        let fresh = SystemSpec::capybara();
+        let aged = aged_capybara_spec(AgingState::END_OF_LIFE);
+        assert!((aged.capacitance_mf - fresh.capacitance_mf * 0.8).abs() < 1e-9);
+        assert!((aged.esr_ohms.unwrap() - fresh.esr_ohms.unwrap() * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aging_a_plant_preserves_its_voltage() {
+        let mut sys = PowerSystem::capybara();
+        sys.set_buffer_voltage(Volts::new(2.1));
+        let before = sys.v_node();
+        age_plant(&mut sys, AgingState::at_fraction(0.5));
+        // ESR grew, capacitance shrank, but the stored state survived.
+        assert!((sys.v_node().get() - before.get()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dropout_harvester_is_deterministic_and_in_envelope() {
+        assert_eq!(dropout_harvester(9), dropout_harvester(9));
+        assert_ne!(dropout_harvester(9), dropout_harvester(10));
+        for seed in 0..16 {
+            let h = dropout_harvester(seed);
+            assert!(!h.is_off(), "seed {seed} produced a dead source: {h:?}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Scheduler-level faults: surprise brownouts and adversarial arrival
+//! bursts thrown at the charge policies.
+//!
+//! Both faults reuse the real `culpeo-sched` trial machinery — the same
+//! plant, monitor, and event engine the Figure 12/13 reproductions run —
+//! so a chaos verdict here is a statement about the actual scheduler,
+//! not a mock. The adversarial knobs are drawn from a seed:
+//!
+//! * **Arrival burst** — event interarrivals compressed by a seeded
+//!   factor, so reports arrive faster than the harvester was budgeted
+//!   for. The energy-only baseline launches doomed sequences; the
+//!   Culpeo-thresholded policy must not brown out more than it does.
+//! * **Surprise brownout** — the app's harvester replaced by a seeded
+//!   square-wave dropout source, starving the plant mid-trial.
+
+use culpeo_sched::{apps, run_trial, AppSpec, ChargePolicy, TrialResult};
+use culpeo_units::Seconds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::physics;
+
+/// Both policies run against the same faulted app and seed — the duel the
+/// chaos battery judges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyDuel {
+    /// The Culpeo-thresholded policy's trial.
+    pub culpeo: TrialResult,
+    /// The energy-only baseline's trial.
+    pub catnap: TrialResult,
+}
+
+/// Runs the duel: both policies, same app, same duration, same arrival
+/// seed (seeded trials generate identical event timelines per policy).
+#[must_use]
+pub fn duel(app: &AppSpec, duration: Seconds, seed: u64) -> PolicyDuel {
+    PolicyDuel {
+        culpeo: run_trial(app, ChargePolicy::Culpeo, duration, seed),
+        catnap: run_trial(app, ChargePolicy::Catnap, duration, seed),
+    }
+}
+
+/// Responsive Reporting with its interarrivals compressed by a seeded
+/// factor in `[0.3, 0.7]` — events arrive ~1.4–3.3× faster than the
+/// deployment was budgeted for.
+#[must_use]
+pub fn arrival_burst_app(seed: u64) -> AppSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let factor = rng.gen_range(0.3..0.7);
+    apps::responsive_reporting().with_rate_scaled(factor)
+}
+
+/// Responsive Reporting powered by a seeded dropout harvester instead of
+/// its budgeted constant-power source — the plant periodically starves.
+#[must_use]
+pub fn surprise_brownout_app(seed: u64) -> AppSpec {
+    let mut app = apps::responsive_reporting();
+    app.harvester = physics::dropout_harvester(seed);
+    app
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faulted_apps_are_deterministic_per_seed() {
+        assert_eq!(arrival_burst_app(3), arrival_burst_app(3));
+        assert_eq!(surprise_brownout_app(3), surprise_brownout_app(3));
+        assert_ne!(
+            arrival_burst_app(3).classes[0].source,
+            arrival_burst_app(4).classes[0].source
+        );
+    }
+
+    #[test]
+    fn culpeo_survives_the_burst_no_worse_than_catnap() {
+        let app = arrival_burst_app(17);
+        let d = duel(&app, Seconds::new(120.0), 17);
+        assert!(
+            d.culpeo.brownouts <= d.catnap.brownouts,
+            "culpeo {} vs catnap {}",
+            d.culpeo.brownouts,
+            d.catnap.brownouts
+        );
+    }
+
+    #[test]
+    fn duel_is_deterministic() {
+        let app = surprise_brownout_app(5);
+        assert_eq!(
+            duel(&app, Seconds::new(60.0), 5),
+            duel(&app, Seconds::new(60.0), 5)
+        );
+    }
+}

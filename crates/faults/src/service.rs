@@ -1,0 +1,274 @@
+//! Service-level faults: abusive TCP clients thrown at a live daemon.
+//!
+//! Each fault is a real socket conversation with a real `culpeo-served`
+//! instance — no mocked streams — and each returns a [`FaultOutcome`]
+//! containing only deterministic facts (status code, `Retry-After`
+//! seconds, API error kind). Ports, timings, and OS error strings never
+//! leave this module, so a chaos verdict built from an outcome is
+//! byte-identical across runs and machines.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use culpeo_api::ApiError;
+use culpeo_served::ServerConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One abusive client behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceFault {
+    /// Write `len` pseudo-random bytes (plus a head terminator) and read
+    /// the answer — the daemon must say 400, not crash.
+    GarbageBytes {
+        /// How many garbage bytes to send.
+        len: usize,
+    },
+    /// Write one byte, then stall past the read timeout — the daemon
+    /// must cut the connection off with a 408.
+    SlowLoris,
+    /// Claim `claimed` body bytes, send only `sent`, then stall — the
+    /// daemon must blame the client with a 408, not hang.
+    LyingContentLength {
+        /// The `Content-Length` value claimed.
+        claimed: usize,
+        /// Bytes actually sent.
+        sent: usize,
+    },
+    /// Claim a body far beyond the daemon's cap — rejected as 413 on the
+    /// claim alone, before any body bytes are read.
+    OversizedBody,
+    /// Hang up mid-request without reading the answer; the daemon must
+    /// survive and keep serving the next client.
+    MidBodyDisconnect,
+    /// Ask the handler to panic via the `x-culpeo-fault` test hook
+    /// (honored only when [`chaos_server_config`] sets `test_faults`) —
+    /// the worker must answer 500 and the daemon must keep serving.
+    HandlerPanic,
+}
+
+impl ServiceFault {
+    /// A short stable name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServiceFault::GarbageBytes { .. } => "garbage-bytes",
+            ServiceFault::SlowLoris => "slow-loris",
+            ServiceFault::LyingContentLength { .. } => "lying-content-length",
+            ServiceFault::OversizedBody => "oversized-body",
+            ServiceFault::MidBodyDisconnect => "mid-body-disconnect",
+            ServiceFault::HandlerPanic => "handler-panic",
+        }
+    }
+}
+
+/// What the daemon answered, reduced to deterministic facts only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// HTTP status of the answer, or `None` when the fault hangs up
+    /// without reading one (mid-body disconnect).
+    pub status: Option<u16>,
+    /// The `Retry-After` header's seconds, when present.
+    pub retry_after_s: Option<u32>,
+    /// The wire name of the `ApiError` kind in the JSON body, when the
+    /// body parsed as one.
+    pub error_kind: Option<String>,
+}
+
+/// The daemon configuration the chaos battery boots: ephemeral port, two
+/// workers, short timeouts (so loris/lying faults resolve in ~1 s), and
+/// the panic test hook armed.
+#[must_use]
+pub fn chaos_server_config() -> ServerConfig {
+    ServerConfig {
+        port: 0,
+        threads: 2,
+        read_timeout_ms: 250,
+        write_timeout_ms: 250,
+        deadline_ms: 2_000,
+        test_faults: true,
+        ..ServerConfig::default()
+    }
+}
+
+/// Runs one abusive conversation against the daemon at `addr`.
+///
+/// # Errors
+///
+/// Returns `Err` only for transport failures establishing or using the
+/// connection in ways the fault did not intend (e.g. the daemon is not
+/// listening at all). An intentional hang-up is `Ok`.
+pub fn apply(addr: SocketAddr, fault: &ServiceFault, seed: u64) -> std::io::Result<FaultOutcome> {
+    let mut s = TcpStream::connect(addr)?;
+    // A generous client-side ceiling so a misbehaving daemon fails the
+    // scenario instead of wedging the battery.
+    s.set_read_timeout(Some(Duration::from_secs(10)))?;
+    match *fault {
+        ServiceFault::GarbageBytes { len } => {
+            let mut bytes = garbage_bytes(seed, len);
+            bytes.extend_from_slice(b"\r\n\r\n");
+            s.write_all(&bytes)?;
+            read_outcome(&mut s)
+        }
+        ServiceFault::SlowLoris => {
+            s.write_all(b"P")?;
+            std::thread::sleep(Duration::from_millis(600));
+            read_outcome(&mut s)
+        }
+        ServiceFault::LyingContentLength { claimed, sent } => {
+            let head = format!("POST /v1/vsafe HTTP/1.1\r\nContent-Length: {claimed}\r\n\r\n");
+            s.write_all(head.as_bytes())?;
+            s.write_all(&garbage_bytes(seed, sent.min(claimed)))?;
+            read_outcome(&mut s)
+        }
+        ServiceFault::OversizedBody => {
+            s.write_all(b"POST /v1/vsafe HTTP/1.1\r\nContent-Length: 10737418240\r\n\r\n")?;
+            read_outcome(&mut s)
+        }
+        ServiceFault::MidBodyDisconnect => {
+            let cuts: [&[u8]; 4] = [
+                b"POST",
+                b"POST /v1/vsafe HTTP/1.1\r\n",
+                b"POST /v1/vsafe HTTP/1.1\r\nContent-Length: 50\r\n\r\n",
+                b"POST /v1/vsafe HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"trace",
+            ];
+            let pick = StdRng::seed_from_u64(seed).gen_range(0..cuts.len());
+            s.write_all(cuts[pick])?;
+            drop(s); // hang up without reading
+            Ok(FaultOutcome {
+                status: None,
+                retry_after_s: None,
+                error_kind: None,
+            })
+        }
+        ServiceFault::HandlerPanic => {
+            s.write_all(b"GET /v1/health HTTP/1.1\r\nx-culpeo-fault: panic\r\n\r\n")?;
+            read_outcome(&mut s)
+        }
+    }
+}
+
+/// A plain well-formed request, used to prove the daemon still serves
+/// after a fault (and to fetch `/v1/metrics` for shed counters).
+///
+/// # Errors
+///
+/// Propagates transport failures; a daemon that stopped answering is the
+/// scenario's failure to report.
+pub fn probe(addr: SocketAddr, path: &str) -> std::io::Result<(FaultOutcome, String)> {
+    let mut s = TcpStream::connect(addr)?;
+    s.set_read_timeout(Some(Duration::from_secs(10)))?;
+    s.write_all(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes())?;
+    let mut raw = String::new();
+    s.read_to_string(&mut raw)?;
+    let outcome = parse_outcome(&raw);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((outcome, body))
+}
+
+/// Deterministic pseudo-random bytes from a seed (splitmix64 stream).
+#[must_use]
+pub fn garbage_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed;
+    let mut out = Vec::with_capacity(len + 8);
+    while out.len() < len {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        out.extend_from_slice(&z.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+fn read_outcome(s: &mut TcpStream) -> std::io::Result<FaultOutcome> {
+    let mut raw = String::new();
+    s.read_to_string(&mut raw)?;
+    Ok(parse_outcome(&raw))
+}
+
+/// Reduces a raw HTTP response to its deterministic facts.
+fn parse_outcome(raw: &str) -> FaultOutcome {
+    let status = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|code| code.parse::<u16>().ok());
+    let retry_after_s = raw.lines().take_while(|l| !l.is_empty()).find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.trim()
+            .eq_ignore_ascii_case("retry-after")
+            .then(|| value.trim().parse::<u32>().ok())?
+    });
+    let error_kind = raw
+        .split_once("\r\n\r\n")
+        .and_then(|(_, body)| serde_json::from_str::<ApiError>(body).ok())
+        .map(|e| e.kind.as_str().to_string());
+    FaultOutcome {
+        status,
+        retry_after_s,
+        error_kind,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_served::Server;
+
+    #[test]
+    fn garbage_is_deterministic() {
+        assert_eq!(garbage_bytes(1, 64), garbage_bytes(1, 64));
+        assert_ne!(garbage_bytes(1, 64), garbage_bytes(2, 64));
+    }
+
+    #[test]
+    fn outcome_parsing_extracts_the_facts() {
+        let raw = "HTTP/1.1 408 Request Timeout\r\nContent-Type: application/json\r\n\
+                   Retry-After: 1\r\nContent-Length: 2\r\n\r\n{}";
+        let o = parse_outcome(raw);
+        assert_eq!(o.status, Some(408));
+        assert_eq!(o.retry_after_s, Some(1));
+        assert_eq!(o.error_kind, None, "{{}} is not an ApiError");
+    }
+
+    #[test]
+    fn every_fault_resolves_against_a_live_daemon() {
+        let server = Server::start(&chaos_server_config()).unwrap();
+        let addr = server.addr();
+        let faults = [
+            ServiceFault::GarbageBytes { len: 256 },
+            ServiceFault::LyingContentLength {
+                claimed: 1_000,
+                sent: 10,
+            },
+            ServiceFault::OversizedBody,
+            ServiceFault::MidBodyDisconnect,
+            ServiceFault::HandlerPanic,
+        ];
+        for (i, fault) in faults.iter().enumerate() {
+            let outcome = apply(addr, fault, i as u64).unwrap();
+            match fault {
+                ServiceFault::GarbageBytes { .. } => assert_eq!(outcome.status, Some(400)),
+                ServiceFault::LyingContentLength { .. } => {
+                    assert_eq!(outcome.status, Some(408));
+                    assert_eq!(outcome.retry_after_s, Some(1));
+                }
+                ServiceFault::OversizedBody => assert_eq!(outcome.status, Some(413)),
+                ServiceFault::MidBodyDisconnect => assert_eq!(outcome.status, None),
+                ServiceFault::HandlerPanic => assert_eq!(outcome.status, Some(500)),
+                ServiceFault::SlowLoris => unreachable!(),
+            }
+        }
+        // The daemon took everything above and still serves.
+        let (health, _) = probe(addr, "/v1/health").unwrap();
+        assert_eq!(health.status, Some(200));
+        server.shutdown_handle().request();
+        let _ = server.join();
+    }
+}

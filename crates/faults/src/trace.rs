@@ -1,0 +1,250 @@
+//! Deterministic corruption of `culpeo-trace v1` CSV text.
+//!
+//! Each injector models a real capture failure: an instrument that
+//! skipped samples, a logger that stuttered and wrote rows twice, an ADC
+//! that glitched to NaN or rang negative, a file that was cut off
+//! mid-write. All of them operate on the *textual* CSV so the corruption
+//! flows through the same `parse_raw` path a real corrupted file would,
+//! and all of them are pure functions of `(csv, fault, seed)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One way to corrupt a trace file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceFault {
+    /// Delete roughly `frac` of the data rows (timestamps of the
+    /// survivors keep their original values, so the file's timebase now
+    /// disagrees with `dt_us` — the C011 sampling lint's territory).
+    DropSamples {
+        /// Fraction of rows to delete, in `(0, 1)`.
+        frac: f64,
+    },
+    /// Write roughly `frac` of the data rows twice (a stuttering logger;
+    /// duplicate timestamps also violate the `dt_us` timebase → C011).
+    DuplicateSamples {
+        /// Fraction of rows to duplicate, in `(0, 1)`.
+        frac: f64,
+    },
+    /// Replace `count` random samples' current values with `NaN` (an ADC
+    /// glitch → C010).
+    NanSamples {
+        /// How many samples to corrupt.
+        count: usize,
+    },
+    /// Replace `count` random samples with a negative spike of the given
+    /// magnitude (instrument ringing → C012).
+    NegativeSpikes {
+        /// How many samples to corrupt.
+        count: usize,
+        /// Spike magnitude in amps (written as its negation).
+        magnitude_a: f64,
+    },
+    /// Cut the file off mid-write at roughly `keep_frac` of its bytes —
+    /// not at a line boundary, the way a crashed logger really truncates.
+    TruncateMidWrite {
+        /// Fraction of the byte length to keep, in `(0, 1)`.
+        keep_frac: f64,
+    },
+}
+
+impl TraceFault {
+    /// A short stable name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceFault::DropSamples { .. } => "drop-samples",
+            TraceFault::DuplicateSamples { .. } => "duplicate-samples",
+            TraceFault::NanSamples { .. } => "nan-samples",
+            TraceFault::NegativeSpikes { .. } => "negative-spikes",
+            TraceFault::TruncateMidWrite { .. } => "truncate-mid-write",
+        }
+    }
+}
+
+/// Applies `fault` to the CSV text, deterministically under `seed`.
+///
+/// Header lines (`# …` and the `time_s,current_a` column header) are
+/// preserved; only data rows are touched. At least one row is always
+/// corrupted even when a fractional fault rounds to zero victims.
+#[must_use]
+pub fn corrupt_csv(csv: &str, fault: &TraceFault, seed: u64) -> String {
+    if let TraceFault::TruncateMidWrite { keep_frac } = fault {
+        let keep = truncation_point(csv, *keep_frac);
+        return csv[..keep].to_string();
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut header: Vec<&str> = Vec::new();
+    let mut rows: Vec<String> = Vec::new();
+    for line in csv.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('#') || trimmed == "time_s,current_a" || trimmed.is_empty() {
+            header.push(line);
+        } else {
+            rows.push(line.to_string());
+        }
+    }
+    if rows.is_empty() {
+        return csv.to_string();
+    }
+
+    match *fault {
+        TraceFault::DropSamples { frac } => {
+            let victims = pick_victims(&mut rng, rows.len(), frac);
+            let mut kept = Vec::with_capacity(rows.len());
+            for (i, row) in rows.into_iter().enumerate() {
+                if !victims.contains(&i) {
+                    kept.push(row);
+                }
+            }
+            // Never drop everything: an empty body is a different fault.
+            if kept.is_empty() {
+                kept.push("0.0,0.0".to_string());
+            }
+            rows = kept;
+        }
+        TraceFault::DuplicateSamples { frac } => {
+            let victims = pick_victims(&mut rng, rows.len(), frac);
+            let mut doubled = Vec::with_capacity(rows.len() + victims.len());
+            for (i, row) in rows.into_iter().enumerate() {
+                doubled.push(row.clone());
+                if victims.contains(&i) {
+                    doubled.push(row);
+                }
+            }
+            rows = doubled;
+        }
+        TraceFault::NanSamples { count } => {
+            for _ in 0..count.max(1) {
+                let i = rng.gen_range(0..rows.len());
+                rows[i] = rewrite_current(&rows[i], "NaN");
+            }
+        }
+        TraceFault::NegativeSpikes { count, magnitude_a } => {
+            for _ in 0..count.max(1) {
+                let i = rng.gen_range(0..rows.len());
+                rows[i] = rewrite_current(&rows[i], &format!("{}", -magnitude_a.abs()));
+            }
+        }
+        TraceFault::TruncateMidWrite { .. } => unreachable!("handled above"),
+    }
+
+    let mut out = String::with_capacity(csv.len());
+    for line in header {
+        out.push_str(line);
+        out.push('\n');
+    }
+    for row in rows {
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Picks a deterministic set of distinct victim row indices covering
+/// roughly `frac` of `len` rows, always at least one.
+fn pick_victims(rng: &mut StdRng, len: usize, frac: f64) -> Vec<usize> {
+    let want = ((len as f64 * frac.clamp(0.0, 1.0)).round() as usize)
+        .max(1)
+        .min(len);
+    let mut victims: Vec<usize> = Vec::with_capacity(want);
+    while victims.len() < want {
+        let i = rng.gen_range(0..len);
+        if !victims.contains(&i) {
+            victims.push(i);
+        }
+    }
+    victims
+}
+
+/// Replaces the current column of one `time_s,current_a` row.
+fn rewrite_current(row: &str, new_current: &str) -> String {
+    match row.split_once(',') {
+        Some((t, _)) => format!("{t},{new_current}"),
+        None => row.to_string(),
+    }
+}
+
+/// A cut point that lands strictly inside the data body (past the column
+/// header, before the last byte) so truncation is structural, not a
+/// shorter-but-valid file.
+fn truncation_point(csv: &str, keep_frac: f64) -> usize {
+    let body_start = csv
+        .find("time_s,current_a")
+        .map_or(0, |p| p + "time_s,current_a\n".len());
+    let raw = (csv.len() as f64 * keep_frac.clamp(0.0, 1.0)) as usize;
+    let cut = raw.clamp(body_start + 1, csv.len().saturating_sub(1));
+    // Land on a char boundary (the dialect is ASCII, but stay correct).
+    let mut cut = cut;
+    while cut > 0 && !csv.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_loadgen::io;
+
+    fn clean_csv() -> String {
+        let trace = culpeo_loadgen::peripheral::BleRadio::default()
+            .profile()
+            .sample(culpeo_units::Hertz::new(125_000.0));
+        io::to_csv(&trace)
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let csv = clean_csv();
+        let f = TraceFault::NanSamples { count: 3 };
+        assert_eq!(corrupt_csv(&csv, &f, 7), corrupt_csv(&csv, &f, 7));
+        assert_ne!(corrupt_csv(&csv, &f, 7), corrupt_csv(&csv, &f, 8));
+    }
+
+    #[test]
+    fn nan_injection_parses_raw_with_nan_samples() {
+        let csv = corrupt_csv(&clean_csv(), &TraceFault::NanSamples { count: 2 }, 3);
+        let raw = io::parse_raw(&csv).expect("still structurally valid");
+        assert!(raw.currents().iter().any(|c| c.is_nan()));
+        assert!(io::from_csv(&csv).is_err(), "strict parser must refuse");
+    }
+
+    #[test]
+    fn negative_spike_injection_goes_negative() {
+        let f = TraceFault::NegativeSpikes {
+            count: 2,
+            magnitude_a: 0.05,
+        };
+        let csv = corrupt_csv(&clean_csv(), &f, 11);
+        let raw = io::parse_raw(&csv).unwrap();
+        assert!(raw.currents().iter().any(|&c| c < 0.0));
+    }
+
+    #[test]
+    fn dropped_samples_shrink_the_row_count() {
+        let clean = clean_csv();
+        let before = io::parse_raw(&clean).unwrap().rows.len();
+        let csv = corrupt_csv(&clean, &TraceFault::DropSamples { frac: 0.25 }, 5);
+        let after = io::parse_raw(&csv).unwrap().rows.len();
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn duplicated_samples_grow_the_row_count() {
+        let clean = clean_csv();
+        let before = io::parse_raw(&clean).unwrap().rows.len();
+        let csv = corrupt_csv(&clean, &TraceFault::DuplicateSamples { frac: 0.25 }, 5);
+        let after = io::parse_raw(&csv).unwrap().rows.len();
+        assert!(after > before, "{after} !> {before}");
+    }
+
+    #[test]
+    fn truncation_cuts_mid_row() {
+        let clean = clean_csv();
+        let csv = corrupt_csv(&clean, &TraceFault::TruncateMidWrite { keep_frac: 0.5 }, 0);
+        assert!(csv.len() < clean.len());
+        assert!(!csv.ends_with('\n'), "cut must land mid-line");
+    }
+}

@@ -1,0 +1,51 @@
+//! Chaos-battery driver: the `culpeo-faults` roster as a reproducible
+//! experiment, with the same telemetry envelope as the figure drivers.
+//!
+//! The battery itself lives in `culpeo_faults::chaos`; this module wraps
+//! it in the harness conventions — pre-flight lint gate, [`PhaseClock`]
+//! phases, a printed table — so `make`-style reproduction runs treat
+//! "the stack survives its faults" as one more figure to regenerate.
+
+use culpeo_exec::{PhaseClock, Sweep, Telemetry};
+use culpeo_faults::chaos::BatteryReport;
+
+/// The default master seed, shared with `culpeo chaos` and
+/// `scripts/chaos.sh` so every surface reproduces the same battery.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Runs the battery under the harness conventions.
+#[must_use]
+pub fn run(seed: u64) -> BatteryReport {
+    run_timed(Sweep::from_env(), seed).0
+}
+
+/// [`run`] on an explicit executor, with phase telemetry.
+#[must_use]
+pub fn run_timed(sweep: Sweep, seed: u64) -> (BatteryReport, Telemetry) {
+    crate::preflight::require_clean_reference();
+    let mut clock = PhaseClock::new(sweep.threads());
+    clock.mark("preflight");
+    let report = culpeo_faults::run_battery(seed, &sweep);
+    clock.mark("battery");
+    (report, clock.finish())
+}
+
+/// Prints the battery's deterministic table to stdout.
+pub fn print_table(report: &BatteryReport) {
+    print!("{}", report.render_table());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn battery_passes_under_the_harness_envelope() {
+        let (report, telemetry) = run_timed(Sweep::with_threads(2), DEFAULT_SEED);
+        assert!(report.all_passed(), "{}", report.render_table());
+        assert!(telemetry.phase_seconds("battery").is_some());
+        let table = report.render_table();
+        assert!(table.contains("PASS"));
+        assert!(!table.contains("FAIL"));
+    }
+}

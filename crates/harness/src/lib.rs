@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod aging;
+pub mod chaos;
 pub mod decoupling;
 pub mod fig01;
 pub mod fig03;

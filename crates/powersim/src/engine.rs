@@ -269,7 +269,8 @@ impl PowerSystem {
     pub fn step(&mut self, i_load: Amps, dt: Seconds) -> StepOutput {
         let charging_enabled = self.last_v_node < self.monitor.v_high();
         let i_charge = if charging_enabled {
-            self.harvester.charge_current(self.last_v_node)
+            self.harvester
+                .charge_current_at(self.last_v_node, self.time)
         } else {
             Amps::ZERO
         };

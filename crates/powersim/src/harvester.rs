@@ -1,6 +1,6 @@
 //! Harvester + input-booster charging models.
 
-use culpeo_units::{Amps, Volts, Watts};
+use culpeo_units::{Amps, Seconds, Volts, Watts};
 
 /// What the input booster delivers into the energy buffer.
 ///
@@ -22,6 +22,21 @@ pub enum Harvester {
     ConstantPower(Watts),
     /// Constant charge current (a current-limited charger).
     ConstantCurrent(Amps),
+    /// Square-wave gated constant current: `i` flows while the wave is
+    /// "on", nothing during the rest of each period. Models periodic
+    /// harvester dropouts (shadowed solar, duty-cycled RF) for fault
+    /// injection; all fields are plain scalars so the enum stays `Copy`.
+    Windowed {
+        /// Charge current while the window is on.
+        i: Amps,
+        /// Full on+off cycle length; non-positive means permanently off.
+        period: Seconds,
+        /// Fraction of each period the harvester is on, clamped to 0..=1.
+        duty: f64,
+        /// Offset added to the wall clock before windowing, so scenarios
+        /// can start mid-dropout.
+        phase: Seconds,
+    },
 }
 
 impl Harvester {
@@ -32,7 +47,11 @@ impl Harvester {
         Harvester::ConstantPower(Watts::from_milli(8.0))
     }
 
-    /// The charge current pushed into the buffer node at voltage `v_node`.
+    /// The charge current pushed into the buffer node at voltage `v_node`,
+    /// ignoring any time windowing (a [`Harvester::Windowed`] source is
+    /// treated as inside its on-window). Time-invariant callers — the
+    /// `V_safe` analyses, which assume zero harvest anyway — use this;
+    /// the simulation engine calls [`Harvester::charge_current_at`].
     ///
     /// Constant-power charging saturates at a boost-converter-style current
     /// limit as the node voltage approaches zero (a real BQ25504 is
@@ -48,13 +67,47 @@ impl Harvester {
                 Amps::new((p.get() / v).min(CURRENT_LIMIT))
             }
             Harvester::ConstantCurrent(i) => i,
+            Harvester::Windowed { i, .. } => i,
         }
     }
 
-    /// True when this source delivers no energy.
+    /// The charge current at wall-clock time `t` — windowed sources gate
+    /// [`Harvester::charge_current`] on the square wave, everything else
+    /// ignores `t`.
+    #[must_use]
+    pub fn charge_current_at(&self, v_node: Volts, t: Seconds) -> Amps {
+        match *self {
+            Harvester::Windowed {
+                period,
+                duty,
+                phase,
+                ..
+            } => {
+                let p = period.get();
+                if p <= 0.0 {
+                    return Amps::ZERO;
+                }
+                let cycle = ((t.get() + phase.get()) / p).rem_euclid(1.0);
+                if cycle < duty.clamp(0.0, 1.0) {
+                    self.charge_current(v_node)
+                } else {
+                    Amps::ZERO
+                }
+            }
+            _ => self.charge_current(v_node),
+        }
+    }
+
+    /// True when this source delivers no energy, ever.
     #[must_use]
     pub fn is_off(&self) -> bool {
-        matches!(self, Harvester::Off)
+        match *self {
+            Harvester::Off => true,
+            Harvester::Windowed {
+                i, period, duty, ..
+            } => i == Amps::ZERO || period.get() <= 0.0 || duty <= 0.0,
+            _ => false,
+        }
     }
 }
 
@@ -82,6 +135,84 @@ mod tests {
         let h = Harvester::ConstantPower(Watts::new(1.0));
         let i = h.charge_current(Volts::ZERO);
         assert!(i.get() <= 0.100 + 1e-12);
+    }
+
+    #[test]
+    fn windowed_gates_on_the_square_wave() {
+        let h = Harvester::Windowed {
+            i: Amps::from_milli(5.0),
+            period: Seconds::new(10.0),
+            duty: 0.7,
+            phase: Seconds::ZERO,
+        };
+        let v = Volts::new(2.0);
+        // On for the first 7 s of each 10 s cycle, off for the last 3 s.
+        assert_eq!(
+            h.charge_current_at(v, Seconds::new(0.0)),
+            Amps::from_milli(5.0)
+        );
+        assert_eq!(
+            h.charge_current_at(v, Seconds::new(6.9)),
+            Amps::from_milli(5.0)
+        );
+        assert_eq!(h.charge_current_at(v, Seconds::new(7.1)), Amps::ZERO);
+        assert_eq!(h.charge_current_at(v, Seconds::new(9.9)), Amps::ZERO);
+        assert_eq!(
+            h.charge_current_at(v, Seconds::new(10.1)),
+            Amps::from_milli(5.0)
+        );
+        // The time-blind view reports the on-window current.
+        assert_eq!(h.charge_current(v), Amps::from_milli(5.0));
+        assert!(!h.is_off());
+    }
+
+    #[test]
+    fn windowed_phase_shifts_the_window() {
+        let h = Harvester::Windowed {
+            i: Amps::from_milli(5.0),
+            period: Seconds::new(10.0),
+            duty: 0.5,
+            phase: Seconds::new(5.0),
+        };
+        let v = Volts::new(2.0);
+        // Phase 5 s of a 50 % duty wave: starts inside the dropout.
+        assert_eq!(h.charge_current_at(v, Seconds::new(0.0)), Amps::ZERO);
+        assert_eq!(
+            h.charge_current_at(v, Seconds::new(5.5)),
+            Amps::from_milli(5.0)
+        );
+    }
+
+    #[test]
+    fn degenerate_windows_are_off() {
+        let dead = Harvester::Windowed {
+            i: Amps::from_milli(5.0),
+            period: Seconds::ZERO,
+            duty: 0.5,
+            phase: Seconds::ZERO,
+        };
+        assert!(dead.is_off());
+        assert_eq!(
+            dead.charge_current_at(Volts::new(2.0), Seconds::new(1.0)),
+            Amps::ZERO
+        );
+        let zero_duty = Harvester::Windowed {
+            i: Amps::from_milli(5.0),
+            period: Seconds::new(10.0),
+            duty: 0.0,
+            phase: Seconds::ZERO,
+        };
+        assert!(zero_duty.is_off());
+    }
+
+    #[test]
+    fn non_windowed_sources_ignore_time() {
+        let h = Harvester::ConstantCurrent(Amps::from_milli(5.0));
+        let v = Volts::new(2.0);
+        assert_eq!(
+            h.charge_current_at(v, Seconds::new(123.0)),
+            h.charge_current(v)
+        );
     }
 
     #[test]

@@ -91,6 +91,13 @@ impl<V: Clone> LruCache<V> {
         self.map.insert(key, (self.tick, value));
     }
 
+    /// Drops every entry (counters survive). Poisoned-lock recovery uses
+    /// this: a panic mid-insert may have left a half-updated map, and an
+    /// empty cache is always safe — memoization is an optimisation.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
     /// Current counters, for `/v1/metrics`.
     #[must_use]
     pub fn metrics(&self) -> CacheMetrics {
@@ -148,6 +155,18 @@ mod tests {
         assert_eq!(c.get(2), Some(20));
         assert_eq!(c.get(1), Some(11));
         assert_eq!(c.metrics().evictions, 0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let mut c: LruCache<u32> = LruCache::new(4);
+        c.insert(1, 10);
+        assert_eq!(c.get(1), Some(10));
+        c.clear();
+        assert_eq!(c.get(1), None);
+        let m = c.metrics();
+        assert_eq!(m.entries, 0);
+        assert_eq!((m.hits, m.misses), (1, 1));
     }
 
     #[test]

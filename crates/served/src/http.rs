@@ -6,14 +6,17 @@
 //! is no keep-alive state machine, no chunked encoding, and no pipelining
 //! — a client wanting throughput uses `POST /v1/batch`, not connection
 //! reuse.
+//!
+//! Reading and writing are generic over [`Read`]/[`Write`] so the fuzz
+//! battery can drive the parser from in-memory byte slices, with the real
+//! `TcpStream` as just one instantiation.
 
 use std::io::{Read, Write};
-use std::net::TcpStream;
 
 /// Cap on the request head (request line + headers).
-const MAX_HEAD_BYTES: usize = 64 * 1024;
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
 /// Cap on the request body; traces are text CSV, so 16 MiB is generous.
-const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
 
 /// One parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,8 +26,21 @@ pub struct Request {
     /// The request target path (query strings are not split off; no
     /// endpoint takes one).
     pub path: String,
+    /// The request headers, in wire order, names as sent.
+    pub headers: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (ASCII case-insensitive), trimmed.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Why a request could not be parsed.
@@ -32,16 +48,28 @@ pub struct Request {
 pub enum HttpError {
     /// The socket failed or closed mid-request.
     Io(String),
+    /// The socket's read timeout expired — the client stalled.
+    Timeout,
     /// The bytes were not a parseable HTTP/1.1 request.
     Malformed(String),
     /// The head or body exceeded its size cap.
     TooLarge(&'static str),
 }
 
+impl HttpError {
+    fn from_io(e: &std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+            _ => HttpError::Io(e.to_string()),
+        }
+    }
+}
+
 impl core::fmt::Display for HttpError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Timeout => write!(f, "client stalled past the read timeout"),
             HttpError::Malformed(e) => write!(f, "malformed request: {e}"),
             HttpError::TooLarge(what) => write!(f, "{what} exceeds the size cap"),
         }
@@ -52,9 +80,9 @@ impl core::fmt::Display for HttpError {
 ///
 /// # Errors
 ///
-/// Returns an [`HttpError`] on socket failure, malformed syntax, or an
-/// oversized head/body.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+/// Returns an [`HttpError`] on socket failure, a read-timeout stall,
+/// malformed syntax, or an oversized head/body.
+pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, HttpError> {
     // Read until the blank line ending the head. One byte at a time would
     // be slow; a chunked read may overshoot into the body, so keep the
     // overshoot and account for it when reading the body.
@@ -69,7 +97,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         }
         let n = stream
             .read(&mut chunk)
-            .map_err(|e| HttpError::Io(e.to_string()))?;
+            .map_err(|e| HttpError::from_io(&e))?;
         if n == 0 {
             return Err(HttpError::Malformed("connection closed mid-head".into()));
         }
@@ -97,6 +125,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         _ => return Err(HttpError::Malformed("missing HTTP/1.x version".into())),
     }
 
+    let mut headers: Vec<(String, String)> = Vec::new();
     let mut content_length = 0usize;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
@@ -106,6 +135,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
                     .parse()
                     .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?;
             }
+            headers.push((name.trim().to_string(), value.trim().to_string()));
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -121,7 +151,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     while body.len() < content_length {
         let n = stream
             .read(&mut chunk)
-            .map_err(|e| HttpError::Io(e.to_string()))?;
+            .map_err(|e| HttpError::from_io(&e))?;
         if n == 0 {
             return Err(HttpError::Malformed("connection closed mid-body".into()));
         }
@@ -133,7 +163,12 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         }
     }
 
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
 }
 
 /// Where the head ends: `start` is the offset of the blank-line
@@ -172,24 +207,45 @@ pub fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-/// Writes one `application/json` response and flushes. Errors are
-/// swallowed: the client may have hung up, and there is nobody left to
-/// tell.
-pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) {
+/// Writes one `application/json` response (with an optional
+/// `Retry-After` header) and flushes.
+///
+/// # Errors
+///
+/// Propagates the socket error so the caller can count write timeouts;
+/// use [`write_json_response`] when nobody is left to tell.
+pub fn try_write_json_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    retry_after_s: Option<u32>,
+    body: &str,
+) -> std::io::Result<()> {
+    let retry = match retry_after_s {
+        Some(s) => format!("Retry-After: {s}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: close\r\n\r\n",
         reason_phrase(status),
         body.len()
     );
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
-    let _ = stream.flush();
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// [`try_write_json_response`] with errors swallowed: the client may have
+/// hung up, and there is nobody left to tell.
+pub fn write_json_response<W: Write>(stream: &mut W, status: u16, body: &str) {
+    let _ = try_write_json_response(stream, status, None, body);
 }
 
 #[cfg(test)]
@@ -207,9 +263,44 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_the_emitted_statuses() {
-        for s in [200, 400, 404, 405, 500, 503] {
+        for s in [200, 400, 404, 405, 408, 413, 500, 503] {
             assert_ne!(reason_phrase(s), "Unknown");
         }
         assert_eq!(reason_phrase(418), "Unknown");
+    }
+
+    #[test]
+    fn parses_headers_case_insensitively_from_a_slice() {
+        let raw: &[u8] =
+            b"POST /v1/vsafe HTTP/1.1\r\nX-Culpeo-Fault: panic\r\nContent-Length: 2\r\n\r\nhi";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.header("x-culpeo-fault"), Some("panic"));
+        assert_eq!(req.header("CONTENT-LENGTH"), Some("2"));
+        assert_eq!(req.header("absent"), None);
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn timeout_kind_is_distinguished_from_other_io() {
+        struct Stall;
+        impl Read for Stall {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "stall"))
+            }
+        }
+        assert_eq!(read_request(&mut Stall), Err(HttpError::Timeout));
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_on_request() {
+        let mut out: Vec<u8> = Vec::new();
+        try_write_json_response(&mut out, 503, Some(5), "{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Retry-After: 5\r\n"), "{text}");
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        let mut out: Vec<u8> = Vec::new();
+        try_write_json_response(&mut out, 200, None, "{}").unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("Retry-After"));
     }
 }

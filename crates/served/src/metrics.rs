@@ -7,7 +7,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use culpeo_api::EndpointMetrics;
+use culpeo_api::{EndpointMetrics, ShedMetrics};
 
 /// Counters for one endpoint.
 #[derive(Debug, Default)]
@@ -41,6 +41,44 @@ impl EndpointCounters {
     }
 }
 
+/// Load-shed and self-healing counters: each one is a way the daemon
+/// refused or recovered from work instead of letting it wedge a worker.
+#[derive(Debug, Default)]
+pub struct ShedCounters {
+    /// Read-timeout closes (slow or stalled request writers → 408).
+    pub read_timeouts: AtomicU64,
+    /// Write-timeout closes (slow response readers).
+    pub write_timeouts: AtomicU64,
+    /// Connections cut at the per-connection wall-clock deadline.
+    pub deadline_closes: AtomicU64,
+    /// 413s for oversized heads or bodies.
+    pub oversize_rejects: AtomicU64,
+    /// Handler panics caught and answered as 500.
+    pub handler_panics: AtomicU64,
+    /// Poisoned-lock recoveries (cache cleared, worker carried on).
+    pub lock_recoveries: AtomicU64,
+}
+
+impl ShedCounters {
+    /// Reads the counters into the wire DTO.
+    #[must_use]
+    pub fn snapshot(&self) -> ShedMetrics {
+        ShedMetrics {
+            read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+            write_timeouts: self.write_timeouts.load(Ordering::Relaxed),
+            deadline_closes: self.deadline_closes.load(Ordering::Relaxed),
+            oversize_rejects: self.oversize_rejects.load(Ordering::Relaxed),
+            handler_panics: self.handler_panics.load(Ordering::Relaxed),
+            lock_recoveries: self.lock_recoveries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bumps one counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// The daemon's full counter set, one row per routable endpoint plus a
 /// synthetic row for accept-queue rejections.
 #[derive(Debug, Default)]
@@ -61,6 +99,8 @@ pub struct Metrics {
     pub other: EndpointCounters,
     /// 503s written by the acceptor because the bounded queue was full.
     pub accept_rejected: EndpointCounters,
+    /// Load-shed and recovery counters.
+    pub shed: ShedCounters,
 }
 
 impl Metrics {
@@ -103,5 +143,17 @@ mod tests {
         let rows = Metrics::default().snapshot();
         assert_eq!(rows.len(), 8);
         assert!(rows.iter().all(|r| r.requests == 0));
+    }
+
+    #[test]
+    fn shed_counters_snapshot_into_the_dto() {
+        let m = Metrics::default();
+        ShedCounters::bump(&m.shed.write_timeouts);
+        ShedCounters::bump(&m.shed.lock_recoveries);
+        ShedCounters::bump(&m.shed.lock_recoveries);
+        let s = m.shed.snapshot();
+        assert_eq!(s.write_timeouts, 1);
+        assert_eq!(s.lock_recoveries, 2);
+        assert_eq!(s.read_timeouts, 0);
     }
 }

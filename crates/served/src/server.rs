@@ -6,6 +6,15 @@
 //! grow unboundedly. `threads` worker threads pop connections, parse one
 //! request each, and route it through [`crate::handle`].
 //!
+//! Every connection is bounded three ways: a read timeout (a slow-loris
+//! request writer gets a 408, not a wedged worker), a write timeout (a
+//! slow response reader gets cut off), and a per-connection wall-clock
+//! deadline capping read + handle + write together. Worker-side lock
+//! poisoning is survivable: a handler panic is caught and answered as
+//! 500, and the next toucher of the poisoned cache lock clears the cache
+//! and carries on. All of it is counted in [`crate::metrics::ShedCounters`]
+//! and surfaced by `/v1/metrics`.
+//!
 //! Shutdown is cooperative: [`ShutdownHandle::request`] (also wired to
 //! `POST /v1/shutdown`) sets a flag and pokes the listener awake with a
 //! self-connection. The acceptor stops accepting and drops its sender;
@@ -20,7 +29,7 @@
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -31,8 +40,8 @@ use culpeo_api::{
 use culpeo_exec::Sweep;
 
 use crate::cache::{content_key, LruCache};
-use crate::http::{self, Request};
-use crate::metrics::{EndpointCounters, Metrics};
+use crate::http::{self, HttpError, Request};
+use crate::metrics::{EndpointCounters, Metrics, ShedCounters};
 
 /// How the daemon is stood up. `Default` matches `culpeo serve` with no
 /// flags.
@@ -50,6 +59,17 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// `V_safe` memo-cache capacity in entries; 0 disables memoization.
     pub cache_capacity: usize,
+    /// Socket read timeout: how long a client may stall while sending its
+    /// request before it gets a 408.
+    pub read_timeout_ms: u64,
+    /// Socket write timeout: how long a client may stall while receiving
+    /// its response before the connection is cut.
+    pub write_timeout_ms: u64,
+    /// Per-connection wall-clock deadline capping read + handle + write.
+    pub deadline_ms: u64,
+    /// Honour the `x-culpeo-fault` request header (chaos batteries only:
+    /// lets a test inject a handler panic while the cache lock is held).
+    pub test_faults: bool,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +80,10 @@ impl Default for ServerConfig {
             threads: 0,
             queue_depth: 64,
             cache_capacity: 256,
+            read_timeout_ms: 10_000,
+            write_timeout_ms: 10_000,
+            deadline_ms: 30_000,
+            test_faults: false,
         }
     }
 }
@@ -73,6 +97,10 @@ struct Shared {
     threads: usize,
     started: Instant,
     addr: SocketAddr,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    deadline: Duration,
+    test_faults: bool,
 }
 
 impl Shared {
@@ -83,6 +111,20 @@ impl Shared {
             // self-connection unblocks it so it can observe the flag.
             let _ = TcpStream::connect(self.addr);
         }
+    }
+
+    /// Locks the `V_safe` cache, recovering from poisoning: a handler
+    /// panic mid-insert may have left a half-updated map, so the first
+    /// toucher clears it (an empty cache is always safe), un-poisons the
+    /// mutex, and counts the recovery. Workers never die to `expect`.
+    fn lock_cache(&self) -> MutexGuard<'_, LruCache<VsafeResponse>> {
+        self.cache.lock().unwrap_or_else(|poisoned| {
+            ShedCounters::bump(&self.metrics.shed.lock_recoveries);
+            self.cache.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.clear();
+            guard
+        })
     }
 }
 
@@ -138,6 +180,10 @@ impl Server {
             threads,
             started: Instant::now(),
             addr,
+            read_timeout: Duration::from_millis(config.read_timeout_ms.max(1)),
+            write_timeout: Duration::from_millis(config.write_timeout_ms.max(1)),
+            deadline: Duration::from_millis(config.deadline_ms.max(1)),
+            test_faults: config.test_faults,
         });
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
@@ -197,13 +243,7 @@ impl Server {
             .iter()
             .map(|e| e.requests)
             .sum();
-        let cache_hits = self
-            .shared
-            .cache
-            .lock()
-            .expect("cache lock poisoned")
-            .metrics()
-            .hits;
+        let cache_hits = self.shared.lock_cache().metrics().hits;
         ServeSummary {
             requests,
             cache_hits,
@@ -245,7 +285,10 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
     loop {
         // Hold the lock only to pop; recv() returns queued connections
         // even after the acceptor hung up, which is the drain guarantee.
-        let conn = rx.lock().expect("receiver lock poisoned").recv();
+        // A worker that panicked past catch_unwind poisons this lock; the
+        // queue is recoverable state (unlike a half-mutated cache map),
+        // so the survivors keep popping.
+        let conn = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
         match conn {
             Ok(conn) => handle_connection(shared, conn),
             Err(_) => break,
@@ -254,14 +297,33 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
 }
 
 fn handle_connection(shared: &Shared, mut conn: TcpStream) {
-    let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
     let started = Instant::now();
+    // Both socket timeouts are capped by the connection deadline so a
+    // client cannot stretch its wall-clock budget by trickling bytes.
+    let _ = conn.set_read_timeout(Some(shared.read_timeout.min(shared.deadline)));
     let req = match http::read_request(&mut conn) {
         Ok(req) => req,
         Err(e) => {
-            let latency = elapsed_us(started);
-            shared.metrics.other.record(latency, true);
-            respond_error(&mut conn, &ApiError::bad_request(e));
+            let api_err = match &e {
+                HttpError::Timeout => {
+                    ShedCounters::bump(&shared.metrics.shed.read_timeouts);
+                    ApiError::new(ApiErrorKind::Timeout, e.to_string())
+                }
+                HttpError::TooLarge(_) => {
+                    ShedCounters::bump(&shared.metrics.shed.oversize_rejects);
+                    ApiError::new(ApiErrorKind::TooLarge, e.to_string())
+                }
+                HttpError::Io(_) | HttpError::Malformed(_) => ApiError::bad_request(e),
+            };
+            shared.metrics.other.record(elapsed_us(started), true);
+            write_response(
+                shared,
+                &mut conn,
+                started,
+                api_err.http_status(),
+                api_err.kind.retry_after_s(),
+                &error_body(&api_err),
+            );
             return;
         }
     };
@@ -269,21 +331,57 @@ fn handle_connection(shared: &Shared, mut conn: TcpStream) {
     let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(shared, &req)));
     let (status, body, counters, was_error, shutdown_after) = match routed {
         Ok(r) => r,
-        Err(_) => (
-            500,
-            error_body(&ApiError::new(
-                ApiErrorKind::Internal,
-                "handler panicked; see daemon stderr",
-            )),
-            &shared.metrics.other,
-            true,
-            false,
-        ),
+        Err(_) => {
+            ShedCounters::bump(&shared.metrics.shed.handler_panics);
+            (
+                500,
+                error_body(&ApiError::new(
+                    ApiErrorKind::Internal,
+                    "handler panicked; see daemon stderr",
+                )),
+                &shared.metrics.other,
+                true,
+                false,
+            )
+        }
     };
     counters.record(elapsed_us(started), was_error);
-    http::write_json_response(&mut conn, status, &body);
+    let retry_after = match status {
+        408 => ApiErrorKind::Timeout.retry_after_s(),
+        503 => ApiErrorKind::Busy.retry_after_s(),
+        _ => None,
+    };
+    write_response(shared, &mut conn, started, status, retry_after, &body);
     if shutdown_after {
         shared.request_shutdown();
+    }
+}
+
+/// Writes the response under the write timeout and the remaining
+/// connection-deadline budget, counting deadline closes and write
+/// timeouts. A connection already past its deadline is dropped unwritten
+/// — the client stopped deserving an answer when it ate the whole budget.
+fn write_response(
+    shared: &Shared,
+    conn: &mut TcpStream,
+    started: Instant,
+    status: u16,
+    retry_after_s: Option<u32>,
+    body: &str,
+) {
+    let spent = started.elapsed();
+    let Some(remaining) = shared.deadline.checked_sub(spent).filter(|r| !r.is_zero()) else {
+        ShedCounters::bump(&shared.metrics.shed.deadline_closes);
+        return;
+    };
+    let _ = conn.set_write_timeout(Some(shared.write_timeout.min(remaining)));
+    if let Err(e) = http::try_write_json_response(conn, status, retry_after_s, body) {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            ShedCounters::bump(&shared.metrics.shed.write_timeouts);
+        }
     }
 }
 
@@ -292,6 +390,17 @@ fn handle_connection(shared: &Shared, mut conn: TcpStream) {
 type Routed<'a> = (u16, String, &'a EndpointCounters, bool, bool);
 
 fn route<'a>(shared: &'a Shared, req: &Request) -> Routed<'a> {
+    if shared.test_faults {
+        if let Some(fault) = req.header("x-culpeo-fault") {
+            if fault.eq_ignore_ascii_case("panic") {
+                // Panic *while holding the cache lock* so the chaos
+                // battery exercises both the catch_unwind 500 path and
+                // the poisoned-lock recovery on the next request.
+                let _guard = shared.cache.lock();
+                panic!("injected handler panic (x-culpeo-fault: panic)");
+            }
+        }
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/vsafe") => {
             let outcome =
@@ -317,7 +426,8 @@ fn route<'a>(shared: &'a Shared, req: &Request) -> Routed<'a> {
                 schema_version: SCHEMA_VERSION,
                 uptime_s: shared.started.elapsed().as_secs_f64(),
                 endpoints: shared.metrics.snapshot(),
-                cache: shared.cache.lock().expect("cache lock poisoned").metrics(),
+                cache: shared.lock_cache().metrics(),
+                shed: shared.metrics.shed.snapshot(),
             };
             finish(&shared.metrics.metrics, Ok(doc))
         }
@@ -387,15 +497,11 @@ fn cached_vsafe(shared: &Shared, req: &VsafeRequest) -> Result<VsafeResponse, Ap
         None => "default".to_string(),
     };
     let key = content_key(&spec_json, &req.trace_csv);
-    if let Some(hit) = shared.cache.lock().expect("cache lock poisoned").get(key) {
+    if let Some(hit) = shared.lock_cache().get(key) {
         return Ok(hit);
     }
     let resp = crate::handle::vsafe(req)?;
-    shared
-        .cache
-        .lock()
-        .expect("cache lock poisoned")
-        .insert(key, resp.clone());
+    shared.lock_cache().insert(key, resp.clone());
     Ok(resp)
 }
 
@@ -404,7 +510,12 @@ fn error_body(e: &ApiError) -> String {
 }
 
 fn respond_error(conn: &mut TcpStream, e: &ApiError) {
-    http::write_json_response(conn, e.http_status(), &error_body(e));
+    let _ = http::try_write_json_response(
+        conn,
+        e.http_status(),
+        e.kind.retry_after_s(),
+        &error_body(e),
+    );
 }
 
 fn elapsed_us(started: Instant) -> u64 {

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Chaos gate: run the seeded `culpeo chaos` battery and prove the two
+# determinism claims the fault-injection design makes:
+#   1. same seed, same report — byte-identical across repeated runs;
+#   2. thread-count independence — byte-identical at 1, 2, and 8 workers.
+# Exits non-zero if any scenario fails or any pair of reports differs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=${CULPEO_BIN:-target/release/culpeo}
+if [[ ! -x "$BIN" ]]; then
+    echo "== building $BIN"
+    cargo build --release -p culpeo-cli
+fi
+
+SEED=${CULPEO_CHAOS_SEED:-42}
+WORK=$(mktemp -d)
+cleanup() { rm -rf "$WORK"; }
+trap cleanup EXIT
+
+echo "== culpeo chaos --seed $SEED (run 1, 2 threads)"
+"$BIN" chaos --seed "$SEED" --threads 2 --format json >"$WORK/run1.json"
+
+echo "== culpeo chaos --seed $SEED (run 2, 2 threads — must be byte-identical)"
+"$BIN" chaos --seed "$SEED" --threads 2 --format json >"$WORK/run2.json"
+if ! cmp -s "$WORK/run1.json" "$WORK/run2.json"; then
+    echo "chaos: repeated runs differ for seed $SEED" >&2
+    diff "$WORK/run1.json" "$WORK/run2.json" >&2 || true
+    exit 1
+fi
+
+for THREADS in 1 8; do
+    echo "== culpeo chaos --seed $SEED ($THREADS threads — must be byte-identical)"
+    "$BIN" chaos --seed "$SEED" --threads "$THREADS" --format json >"$WORK/t$THREADS.json"
+    if ! cmp -s "$WORK/run1.json" "$WORK/t$THREADS.json"; then
+        echo "chaos: report differs at $THREADS threads" >&2
+        diff "$WORK/run1.json" "$WORK/t$THREADS.json" >&2 || true
+        exit 1
+    fi
+done
+
+# CULPEO_THREADS must steer the default the same way --threads does.
+echo "== CULPEO_THREADS=4 culpeo chaos --seed $SEED (env-steered)"
+CULPEO_THREADS=4 "$BIN" chaos --seed "$SEED" --format json >"$WORK/env.json"
+if ! cmp -s "$WORK/run1.json" "$WORK/env.json"; then
+    echo "chaos: report differs under CULPEO_THREADS=4" >&2
+    exit 1
+fi
+
+# Human table for the log, and the pass/fail verdict via exit code.
+echo "== culpeo chaos --seed $SEED (human table)"
+"$BIN" chaos --seed "$SEED" --threads 2
+
+echo "chaos: deterministic and green (seed $SEED)"

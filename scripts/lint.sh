@@ -18,4 +18,7 @@ cargo bench --workspace --no-run
 echo "== scripts/smoke_serve.sh"
 scripts/smoke_serve.sh
 
+echo "== scripts/chaos.sh"
+scripts/chaos.sh
+
 echo "lint: clean"
