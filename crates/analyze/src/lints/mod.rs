@@ -3,3 +3,4 @@
 pub mod plan;
 pub mod spec;
 pub mod trace;
+pub mod verify;

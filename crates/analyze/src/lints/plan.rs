@@ -318,6 +318,7 @@ mod tests {
         let plan = PlanSpec {
             recharge_power_mw: 8.0,
             v_start: None,
+            period_s: None,
             launches: vec![],
         };
         assert!(run_plan(&plan).is_clean());

@@ -1,0 +1,117 @@
+//! C040–C046: the static verifier's verdicts, surfaced as diagnostics.
+//!
+//! The heavy lifting lives in `culpeo-verify` (interval abstract
+//! interpretation to a fixpoint over the whole schedule); this pass just
+//! runs it when the input carries a plan and maps its [`Finding`]s onto
+//! the diagnostic vocabulary:
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | C040 | error    | refuted: certain exhaustion, replayable witness |
+//! | C041 | error    | the whole envelope undercuts a launch requirement |
+//! | C042 | error    | unknown: launch envelope straddles the requirement |
+//! | C043 | error    | unknown: post-task envelope reaches `V_off` |
+//! | C044 | warning  | widening applied at the period fixpoint |
+//! | C045 | warning  | model-derived Theorem 1 floor exceeds declared `V_safe` |
+//! | C046 | error    | verification inapplicable (unusable spec/plan) |
+
+use culpeo_verify::{verify_plan, Finding};
+
+use crate::diag::{Diagnostic, Report};
+use crate::input::AnalysisInput;
+
+/// Runs `culpeo-verify` over the plan (no-op without one) and promotes
+/// its findings into diagnostics.
+pub fn schedule_verification(input: &AnalysisInput<'_>, report: &mut Report) {
+    let Some(plan) = input.plan else {
+        return;
+    };
+    let outcome = verify_plan(input.spec, plan);
+    for finding in &outcome.findings {
+        report.push(promote(finding, input.plan_locus));
+    }
+}
+
+/// Maps one verifier finding to a diagnostic, prefixing the plan locus.
+fn promote(finding: &Finding, plan_locus: &str) -> Diagnostic {
+    let locus = format!("{plan_locus}: {}", finding.locus);
+    let d = if finding.error {
+        Diagnostic::error(finding.code, locus, finding.message.clone())
+    } else {
+        Diagnostic::warning(finding.code, locus, finding.message.clone())
+    };
+    match &finding.help {
+        Some(help) => d.with_help(help.clone()),
+        None => d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::PlanSpec;
+    use crate::spec::SystemSpec;
+
+    fn run(plan: &PlanSpec) -> Report {
+        let spec = SystemSpec::capybara();
+        let input = AnalysisInput {
+            spec: &spec,
+            spec_locus: "spec.json",
+            traces: &[],
+            plan: Some(plan),
+            plan_locus: "plan.json",
+        };
+        let mut report = Report::new();
+        schedule_verification(&input, &mut report);
+        report
+    }
+
+    #[test]
+    fn proved_plan_stays_clean() {
+        let report = run(&PlanSpec::verified_example());
+        assert!(report.is_clean(), "{}", report.render_human(false));
+    }
+
+    #[test]
+    fn figure5_reports_straddle_and_floor_warning() {
+        let report = run(&PlanSpec::figure5_example());
+        let codes: Vec<&str> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"C042"), "{codes:?}");
+        assert!(codes.contains(&"C045"), "{codes:?}");
+        assert!(report.has_errors());
+        let straddle = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "C042")
+            .unwrap();
+        assert!(
+            straddle.locus.starts_with("plan.json: launch 'radio'"),
+            "{}",
+            straddle.locus
+        );
+    }
+
+    #[test]
+    fn certain_exhaustion_reports_c040_with_a_witness() {
+        let mut plan = PlanSpec::figure5_example();
+        plan.launches[0].energy_mj = 200.0;
+        plan.launches[0].v_delta = 0.3;
+        let report = run(&plan);
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "C040")
+            .unwrap();
+        assert!(d.message.contains("counterexample"), "{}", d.message);
+        assert!(d.message.contains("V_start"), "{}", d.message);
+    }
+
+    #[test]
+    fn no_plan_means_no_verification_diagnostics() {
+        let spec = SystemSpec::capybara();
+        let input = AnalysisInput::spec_only(&spec, "spec.json");
+        let mut report = Report::new();
+        schedule_verification(&input, &mut report);
+        assert!(report.is_clean());
+    }
+}

@@ -14,9 +14,13 @@ use crate::diag::{Diagnostic, Report};
 #[must_use]
 pub fn promote(violation: &Violation, locus: &str) -> Diagnostic {
     match violation {
-        Violation::EnergyImbalance { actual, expected } => Diagnostic::error(
+        Violation::EnergyImbalance {
+            t,
+            actual,
+            expected,
+        } => Diagnostic::error(
             "C030",
-            format!("{locus}: energy ledger"),
+            format!("{locus}: energy ledger, t = {t}"),
             format!("stored-energy change {actual} disagrees with the ledger's {expected}"),
         )
         .with_help("a conservation bug in the plant model, never in the workload"),
@@ -51,6 +55,7 @@ mod tests {
     fn each_violation_kind_maps_to_its_code() {
         let vs = [
             Violation::EnergyImbalance {
+                t: Seconds::new(0.3),
                 actual: Joules::new(1.0e-3),
                 expected: Joules::new(2.0e-3),
             },
@@ -66,7 +71,20 @@ mod tests {
         let codes: Vec<&str> = report.diagnostics().iter().map(|d| d.code).collect();
         assert_eq!(codes, ["C030", "C031", "C032"]);
         assert_eq!(report.error_count(), 3);
-        assert!(report.diagnostics()[1].locus.contains("t = "));
+        // Every promoted locus carries the simulation timestamp — C030's
+        // energy-ledger rendering used to drop it.
+        for (d, t) in report.diagnostics().iter().zip([
+            Seconds::new(0.3),
+            Seconds::new(0.5),
+            Seconds::new(0.7),
+        ]) {
+            assert!(
+                d.locus.contains(&format!("t = {t}")),
+                "{}: {}",
+                d.code,
+                d.locus
+            );
+        }
     }
 
     #[test]

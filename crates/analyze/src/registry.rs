@@ -97,6 +97,11 @@ impl Registry {
                     codes: &["C020", "C021"],
                     run: lints::plan::brownout_reachability,
                 },
+                Pass {
+                    name: "schedule-verification",
+                    codes: &["C040", "C041", "C042", "C043", "C044", "C045", "C046"],
+                    run: lints::verify::schedule_verification,
+                },
             ],
         }
     }
@@ -143,7 +148,8 @@ mod tests {
             codes,
             [
                 "C001", "C002", "C003", "C004", "C005", "C006", "C010", "C011", "C012", "C013",
-                "C014", "C020", "C021", "C022", "C023"
+                "C014", "C020", "C021", "C022", "C023", "C040", "C041", "C042", "C043", "C044",
+                "C045", "C046"
             ]
         );
     }

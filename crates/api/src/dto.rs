@@ -95,6 +95,10 @@ pub struct LintRequest {
     /// An optional schedule to lint against the spec.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub plan: Option<PlanSpec>,
+    /// When set, warnings count toward the exit code exactly like errors
+    /// (the CLI's `--deny-warnings`). Defaults to off.
+    #[serde(default)]
+    pub deny_warnings: bool,
 }
 
 /// The answer to a [`LintRequest`].
@@ -111,6 +115,100 @@ pub struct LintResponse {
     /// The battery's versioned JSON report document, embedded verbatim
     /// (the same document `culpeo lint --format json` prints).
     pub report: Value,
+}
+
+/// `POST /v1/verify` — statically verify Theorem 1 over a whole schedule
+/// with the `culpeo-verify` interval abstract interpreter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerifyRequest {
+    /// Optional version claim; absent means "current".
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub schema_version: Option<u32>,
+    /// The system spec the schedule runs on.
+    pub spec: SystemSpec,
+    /// The schedule under verification.
+    pub plan: PlanSpec,
+}
+
+/// A replayable witness inside a `refuted` [`VerifyResponse`]: the
+/// schedule prefix (absolute start times) that exhausts the buffer even
+/// under best-case physics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterexampleDto {
+    /// The starting buffer voltage the witness assumes, in volts.
+    pub v_start_v: f64,
+    /// 1-based hyperperiod cycle in which exhaustion is certain.
+    pub cycle: u64,
+    /// Index (into `prefix`) of the launch that exhausts the buffer.
+    pub failing_launch: u64,
+    /// The best-case internal voltage after that launch, in volts.
+    pub v_predicted_v: f64,
+    /// The unrolled launch prefix to replay, absolute start times.
+    pub prefix: Vec<crate::plan::LaunchSpec>,
+}
+
+/// Where and why the verifier lost precision, inside an `unknown`
+/// [`VerifyResponse`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnknownDto {
+    /// Stable kind tag: `"launch-straddle"`,
+    /// `"envelope-below-requirement"`, `"exhaustion-straddle"`, or
+    /// `"inapplicable"`.
+    pub kind: String,
+    /// The task whose check blocked the proof (empty for
+    /// `"inapplicable"`).
+    pub task: String,
+    /// Index of the blocking launch in the plan, when one exists.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub launch_index: Option<u64>,
+    /// Lower end of the blocking voltage envelope, in volts.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub envelope_lo_v: Option<f64>,
+    /// Upper end of the blocking voltage envelope, in volts.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub envelope_hi_v: Option<f64>,
+    /// The launch requirement the envelope failed to clear, in volts.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub requirement_v: Option<f64>,
+}
+
+/// One verifier finding (C040–C046) in wire form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerifyFindingDto {
+    /// Diagnostic code (`"C040"`…`"C046"`).
+    pub code: String,
+    /// `"error"` or `"warning"`.
+    pub severity: String,
+    /// What the finding is about (launch, period, spec).
+    pub locus: String,
+    /// The finding text.
+    pub message: String,
+    /// Optional remediation hint.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub help: Option<String>,
+}
+
+/// The answer to a [`VerifyRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerifyResponse {
+    /// Always [`crate::SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// `"proved"`, `"refuted"`, or `"unknown"`.
+    pub verdict: String,
+    /// Fixpoint iterations the abstract interpreter ran.
+    pub iterations: u64,
+    /// Whether widening was applied to force convergence.
+    pub widened: bool,
+    /// The replayable witness, set exactly when `verdict == "refuted"`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub counterexample: Option<CounterexampleDto>,
+    /// The blocking imprecision, set exactly when `verdict == "unknown"`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub unknown: Option<UnknownDto>,
+    /// Every C040–C046 finding, in report order.
+    pub findings: Vec<VerifyFindingDto>,
+    /// The exit code the CLI would have returned (0 only for `proved`).
+    pub exit_code: u32,
 }
 
 /// One entry of a [`BatchRequest`]: exactly one of the fields is set.
@@ -302,6 +400,7 @@ mod tests {
                 spec: SystemSpec::capybara(),
                 traces: Vec::new(),
                 plan: None,
+                deny_warnings: false,
             }),
         };
         let err = both.validate(3).unwrap_err();
@@ -314,5 +413,64 @@ mod tests {
         let req: LintRequest = serde_json::from_str(&format!(r#"{{ "spec": {json} }}"#)).unwrap();
         assert!(req.traces.is_empty());
         assert!(req.plan.is_none());
+        assert!(!req.deny_warnings);
+    }
+
+    #[test]
+    fn verify_request_minimal_json_parses() {
+        let spec = serde_json::to_string(&SystemSpec::capybara()).unwrap();
+        let plan = serde_json::to_string(&crate::plan::PlanSpec::verified_example()).unwrap();
+        let req: VerifyRequest =
+            serde_json::from_str(&format!(r#"{{ "spec": {spec}, "plan": {plan} }}"#)).unwrap();
+        assert_eq!(req.schema_version, None);
+        assert_eq!(req.plan.launches.len(), 2);
+    }
+
+    #[test]
+    fn verify_response_roundtrips_with_optional_fields_absent() {
+        let resp = VerifyResponse {
+            schema_version: crate::SCHEMA_VERSION,
+            verdict: "proved".to_string(),
+            iterations: 2,
+            widened: false,
+            counterexample: None,
+            unknown: None,
+            findings: vec![VerifyFindingDto {
+                code: "C045".to_string(),
+                severity: "warning".to_string(),
+                locus: "launch 'sense'".to_string(),
+                message: "floor above declared V_safe".to_string(),
+                help: None,
+            }],
+            exit_code: 0,
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(!json.contains("counterexample"), "{json}");
+        let back: VerifyResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn verify_counterexample_roundtrips_the_prefix() {
+        let resp = VerifyResponse {
+            schema_version: crate::SCHEMA_VERSION,
+            verdict: "refuted".to_string(),
+            iterations: 1,
+            widened: false,
+            counterexample: Some(CounterexampleDto {
+                v_start_v: 2.56,
+                cycle: 3,
+                failing_launch: 1,
+                v_predicted_v: 1.55,
+                prefix: crate::plan::PlanSpec::verified_example().launches,
+            }),
+            unknown: None,
+            findings: Vec::new(),
+            exit_code: 1,
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: VerifyResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(back.counterexample.unwrap().prefix.len(), 2);
     }
 }

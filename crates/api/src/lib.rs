@@ -28,8 +28,9 @@ pub mod spec;
 
 pub use dto::{
     check_schema_version, BatchItem, BatchOutcome, BatchRequest, BatchResponse, CacheMetrics,
-    EndpointMetrics, HealthResponse, LintRequest, LintResponse, MetricsResponse, NamedTrace,
-    ShedMetrics, VsafeRequest, VsafeResponse,
+    CounterexampleDto, EndpointMetrics, HealthResponse, LintRequest, LintResponse, MetricsResponse,
+    NamedTrace, ShedMetrics, UnknownDto, VerifyFindingDto, VerifyRequest, VerifyResponse,
+    VsafeRequest, VsafeResponse,
 };
 pub use error::{ApiError, ApiErrorKind};
 pub use plan::{LaunchSpec, PlanSpec};

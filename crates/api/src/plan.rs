@@ -32,6 +32,13 @@ pub struct PlanSpec {
     /// Buffer voltage at the schedule origin; defaults to `V_high`.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub v_start: Option<f64>,
+    /// Hyperperiod in seconds: when present, the schedule repeats every
+    /// `period_s` (which must cover the last launch), and the static
+    /// verifier iterates the launch list to a fixpoint instead of walking
+    /// it once. Absent means a single-shot schedule. Added compatibly:
+    /// plans without the field parse exactly as before.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub period_s: Option<f64>,
     /// The task launches, in start order.
     pub launches: Vec<LaunchSpec>,
 }
@@ -62,6 +69,7 @@ impl PlanSpec {
         Self {
             recharge_power_mw: 8.0,
             v_start: Some(2.56),
+            period_s: None,
             launches: vec![
                 LaunchSpec {
                     task: "sense".to_string(),
@@ -76,6 +84,37 @@ impl PlanSpec {
                     energy_mj: 3.0,
                     v_delta: 0.35,
                     v_safe: Some(2.1),
+                },
+            ],
+        }
+    }
+
+    /// A modest periodic sense-then-radio schedule over the Capybara
+    /// buffer that the static verifier (`culpeo verify`) can prove
+    /// brownout-free: both tasks fit one discharge with margin over their
+    /// Theorem 1 floors, and the 59 s tail of the hyperperiod recharges
+    /// the buffer back to `V_high` even under the verifier's pessimistic
+    /// harvest envelope.
+    #[must_use]
+    pub fn verified_example() -> Self {
+        Self {
+            recharge_power_mw: 8.0,
+            v_start: Some(2.56),
+            period_s: Some(60.0),
+            launches: vec![
+                LaunchSpec {
+                    task: "sense".to_string(),
+                    start_s: 0.0,
+                    energy_mj: 20.0,
+                    v_delta: 0.1,
+                    v_safe: Some(2.1),
+                },
+                LaunchSpec {
+                    task: "radio".to_string(),
+                    start_s: 1.0,
+                    energy_mj: 5.0,
+                    v_delta: 0.3,
+                    v_safe: Some(2.0),
                 },
             ],
         }

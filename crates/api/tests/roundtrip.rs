@@ -9,8 +9,9 @@
 
 use culpeo_api::{
     ApiError, ApiErrorKind, BatchItem, BatchOutcome, BatchRequest, BatchResponse, CacheMetrics,
-    EndpointMetrics, HealthResponse, LintRequest, LintResponse, MetricsResponse, NamedTrace,
-    PlanSpec, ShedMetrics, SystemSpec, VsafeRequest, VsafeResponse, SCHEMA_VERSION,
+    CounterexampleDto, EndpointMetrics, HealthResponse, LintRequest, LintResponse, MetricsResponse,
+    NamedTrace, PlanSpec, ShedMetrics, SystemSpec, UnknownDto, VerifyFindingDto, VerifyRequest,
+    VerifyResponse, VsafeRequest, VsafeResponse, SCHEMA_VERSION,
 };
 use proptest::prelude::*;
 
@@ -83,6 +84,7 @@ proptest! {
         let plan = PlanSpec {
             recharge_power_mw: power,
             v_start: (with_vstart == 1).then_some(t.0),
+            period_s: (with_vstart == 0).then_some(t.1 + 1.0),
             launches: (0..n)
                 .map(|i| culpeo_api::LaunchSpec {
                     task: label(i),
@@ -134,6 +136,7 @@ proptest! {
         a in 0.0..0.5f64,
         with_plan in 0u32..2,
         power in 0.0..100.0f64,
+        deny in 0u32..2,
     ) {
         let req = LintRequest {
             schema_version: None,
@@ -144,8 +147,10 @@ proptest! {
             plan: (with_plan == 1).then_some(PlanSpec {
                 recharge_power_mw: power,
                 v_start: None,
+                period_s: None,
                 launches: Vec::new(),
             }),
+            deny_warnings: deny == 1,
         };
         prop_assert_eq!(roundtrip(&req), req);
     }
@@ -165,6 +170,63 @@ proptest! {
             warnings: counts.1,
             exit_code: u32::from(counts.0 > 0),
             report,
+        };
+        prop_assert_eq!(roundtrip(&resp), resp);
+    }
+
+    #[test]
+    fn verify_request_roundtrips(
+        versioned in 0u32..2,
+        power in 0.0..100.0f64,
+    ) {
+        let mut plan = PlanSpec::verified_example();
+        plan.recharge_power_mw = power;
+        let req = VerifyRequest {
+            schema_version: (versioned == 1).then_some(SCHEMA_VERSION),
+            spec: SystemSpec::capybara(),
+            plan,
+        };
+        prop_assert_eq!(roundtrip(&req), req);
+    }
+
+    #[test]
+    fn verify_response_roundtrips(
+        kind_sel in 0u32..3,
+        iters in 1u64..64,
+        vs in (0.0..3.0f64, 0.0..3.0f64, 1.5..2.5f64),
+        li in 0usize..6,
+    ) {
+        let verdict = ["proved", "refuted", "unknown"][kind_sel as usize];
+        let counterexample = (kind_sel == 1).then(|| CounterexampleDto {
+            v_start_v: vs.0 + 1.0,
+            cycle: iters,
+            failing_launch: 0,
+            v_predicted_v: vs.1,
+            prefix: PlanSpec::verified_example().launches,
+        });
+        let unknown = (kind_sel == 2).then(|| UnknownDto {
+            kind: "launch-straddle".to_string(),
+            task: label(li),
+            launch_index: Some(1),
+            envelope_lo_v: Some(vs.0),
+            envelope_hi_v: Some(vs.0 + vs.1),
+            requirement_v: Some(vs.2),
+        });
+        let resp = VerifyResponse {
+            schema_version: SCHEMA_VERSION,
+            verdict: verdict.to_string(),
+            iterations: iters,
+            widened: kind_sel == 2,
+            counterexample,
+            unknown,
+            findings: vec![VerifyFindingDto {
+                code: "C042".to_string(),
+                severity: "error".to_string(),
+                locus: format!("launch '{}'", label(li)),
+                message: format!("envelope [{}, {}] straddles {}", vs.0, vs.0 + vs.1, vs.2),
+                help: (kind_sel == 2).then(|| "raise recharge power".to_string()),
+            }],
+            exit_code: u32::from(kind_sel != 0),
         };
         prop_assert_eq!(roundtrip(&resp), resp);
     }
@@ -194,6 +256,7 @@ proptest! {
                             spec: SystemSpec::capybara(),
                             traces: Vec::new(),
                             plan: None,
+                            deny_warnings: false,
                         }),
                     }
                 }

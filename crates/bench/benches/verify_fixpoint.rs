@@ -1,0 +1,70 @@
+//! Criterion benches for the `culpeo-verify` fixpoint interpreter.
+//!
+//! `culpeo verify` joins the lint battery as a pre-flight gate, so the
+//! fixpoint must stay cheap even on plans that exercise its slow paths.
+//! Three shapes: the converging reference plan, the widening path (a
+//! draining periodic plan that never converges without it), and the
+//! counterexample unroll (a refuted plan searched across hyperperiods).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use culpeo::PowerSystemModel;
+use culpeo_api::PlanSpec;
+use culpeo_verify::{verify_with_model, VerifyConfig};
+
+fn bench_converging_fixpoint(c: &mut Criterion) {
+    let model = PowerSystemModel::capybara();
+    let plan = PlanSpec::verified_example();
+    let cfg = VerifyConfig::default();
+    c.bench_function("verify_fixpoint_converging", |b| {
+        b.iter(|| verify_with_model(black_box(&model), black_box(&plan), &cfg))
+    });
+}
+
+fn bench_widening_path(c: &mut Criterion) {
+    let model = PowerSystemModel::capybara();
+    let mut plan = PlanSpec::verified_example();
+    plan.period_s = Some(20.0);
+    let cfg = VerifyConfig::default();
+    c.bench_function("verify_fixpoint_widening", |b| {
+        b.iter(|| verify_with_model(black_box(&model), black_box(&plan), &cfg))
+    });
+}
+
+fn bench_counterexample_unroll(c: &mut Criterion) {
+    let model = PowerSystemModel::capybara();
+    let mut plan = PlanSpec::verified_example();
+    plan.recharge_power_mw = 0.0;
+    let cfg = VerifyConfig::default();
+    let mut group = c.benchmark_group("verify_counterexample_unroll");
+    for launches in [2usize, 8, 16] {
+        let mut p = plan.clone();
+        let (sense, radio) = (p.launches[0].clone(), p.launches[1].clone());
+        p.launches.clear();
+        for i in 0..launches {
+            let mut l = if i % 2 == 0 {
+                sense.clone()
+            } else {
+                radio.clone()
+            };
+            l.start_s = i as f64 * 2.0;
+            p.launches.push(l);
+        }
+        p.period_s = Some(p.launches.len() as f64 * 2.0 + 30.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{launches}_launches")),
+            &p,
+            |b, p| b.iter(|| verify_with_model(black_box(&model), black_box(p), &cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_converging_fixpoint,
+    bench_widening_path,
+    bench_counterexample_unroll
+);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Runs the static-verification battery and records its report + timing
+//! telemetry alongside the figure artifacts.
+//!
+//! Thread count comes from `CULPEO_THREADS` as everywhere else; the
+//! roster is fixed, so the report is byte-identical across runs and
+//! thread counts. Exits 1 if any case missed its pinned verdict or a
+//! refuted counterexample failed to brown out on replay.
+
+use culpeo_harness::exec::Sweep;
+use culpeo_harness::verify;
+
+fn main() {
+    let (report, telemetry) = verify::run_timed(Sweep::from_env());
+    verify::print_table(&report);
+    culpeo_bench::write_json_with_telemetry("verify_battery", &report, &telemetry);
+    std::process::exit(i32::from(!report.all_passed()));
+}

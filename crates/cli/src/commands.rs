@@ -64,14 +64,16 @@ pub enum LintFormat {
     Json,
 }
 
-/// `culpeo lint SPEC.json [--trace FILE]… [--plan FILE] [--format json]`
-/// — the static lint battery. Returns the rendered report and the exit
-/// code: 1 when any error-severity diagnostic fired, 0 otherwise.
+/// `culpeo lint SPEC.json [--trace FILE]… [--plan FILE] [--format json]
+/// [--deny-warnings]` — the static lint battery. Returns the rendered
+/// report and the exit code: 1 when any error-severity diagnostic fired
+/// (or, under `--deny-warnings`, any warning), 0 otherwise.
 pub fn lint(
     spec_path: &str,
     trace_paths: &[String],
     plan_path: Option<&str>,
     format: LintFormat,
+    deny_warnings: bool,
 ) -> Result<(String, i32), CliError> {
     let text =
         std::fs::read_to_string(spec_path).map_err(|e| CliError::Io(spec_path.to_string(), e))?;
@@ -113,7 +115,104 @@ pub fn lint(
             out
         }
     };
-    Ok((rendered, i32::from(report.has_errors())))
+    let failing = report.has_errors() || (deny_warnings && report.warning_count() > 0);
+    Ok((rendered, i32::from(failing)))
+}
+
+/// `culpeo verify SPEC.json --plan PLAN.json [--format json|human]` —
+/// sound whole-schedule verification through the `culpeo-verify`
+/// abstract interpreter. Exit code 0 only for a proof; `refuted` and
+/// `unknown` both exit 1 (same contract as `lint`: a clean exit means
+/// the schedule is safe to ship).
+pub fn verify(
+    spec_path: &str,
+    plan_path: &str,
+    format: LintFormat,
+) -> Result<(String, i32), CliError> {
+    let text =
+        std::fs::read_to_string(spec_path).map_err(|e| CliError::Io(spec_path.to_string(), e))?;
+    let spec: culpeo_analyze::SystemSpec =
+        serde_json::from_str(&text).map_err(|e| CliError::Spec(e.to_string()))?;
+    let text =
+        std::fs::read_to_string(plan_path).map_err(|e| CliError::Io(plan_path.to_string(), e))?;
+    let plan: PlanSpec = serde_json::from_str(&text).map_err(|e| CliError::Spec(e.to_string()))?;
+
+    let outcome = culpeo_verify::verify_plan(&spec, &plan);
+    let code = i32::from(culpeo_verify::exit_code(&outcome.verdict) != 0);
+    let rendered = match format {
+        LintFormat::Json => {
+            let mut doc = serde_json::to_string(&culpeo_verify::to_response(&outcome))
+                .map_err(|e| CliError::Spec(e.to_string()))?;
+            doc.push('\n');
+            doc
+        }
+        LintFormat::Human => render_verify_human(&outcome, plan_path),
+    };
+    Ok((rendered, code))
+}
+
+/// Human rendering for a verification outcome: one verdict line, the
+/// witness or blocking interval, then the C04x findings.
+fn render_verify_human(outcome: &culpeo_verify::VerifyOutcome, plan_path: &str) -> String {
+    use culpeo_verify::Verdict;
+    let mut out = String::new();
+    match &outcome.verdict {
+        Verdict::Proved => {
+            let _ = writeln!(
+                out,
+                "verify: proved — Theorem 1 holds for every launch of every cycle \
+                 ({} fixpoint iteration{})",
+                outcome.iterations,
+                if outcome.iterations == 1 { "" } else { "s" }
+            );
+        }
+        Verdict::Refuted(cex) => {
+            let _ = writeln!(
+                out,
+                "verify: REFUTED — certain exhaustion in cycle {} even under best-case \
+                 physics; counterexample (from V_start = {}):",
+                cex.cycle, cex.v_start
+            );
+            for (i, l) in cex.prefix.iter().enumerate() {
+                let marker = if i == cex.failing_launch {
+                    " <- browns out"
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    "  t=+{:.3}s {} ({} mJ, V_δ {} V){marker}",
+                    l.start_s, l.task, l.energy_mj, l.v_delta
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  predicted best-case voltage after the failing task: {}",
+                cex.v_predicted
+            );
+        }
+        Verdict::Unknown(imp) => {
+            let _ = writeln!(
+                out,
+                "verify: unknown ({}) — cannot prove or refute {plan_path} at this precision",
+                imp.kind.tag()
+            );
+        }
+    }
+    for f in &outcome.findings {
+        let _ = writeln!(
+            out,
+            "{} {}: {}: {}",
+            f.code,
+            if f.error { "error" } else { "warning" },
+            f.locus,
+            f.message
+        );
+        if let Some(help) = &f.help {
+            let _ = writeln!(out, "  help: {help}");
+        }
+    }
+    out
 }
 
 /// `culpeo vsafe --trace t.csv [--system spec.json]` — the core report:

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! culpeo vsafe --trace packet.csv [--system spec.json]
-//! culpeo lint  spec.json [--trace packet.csv]… [--plan plan.json] [--format json]
+//! culpeo lint  spec.json [--trace packet.csv]… [--plan plan.json] [--format json] [--deny-warnings]
+//! culpeo verify spec.json --plan plan.json [--format json]
 //! culpeo serve [--port 7070] [--threads N] [--queue-depth 64] [--cache-capacity 256]
 //! culpeo chaos [--seed 42] [--threads N] [--format json|human]
 //! culpeo check --trace a.csv --trace b.csv [--system spec.json] [--threads N]
@@ -15,7 +16,11 @@
 //! `lint` runs the *static lint battery* from `culpeo-analyze` over the
 //! spec and any `--trace` / `--plan` inputs, printing rustc-style `C0xx`
 //! diagnostics (or a JSON report with `--format json`) and exiting 1 if
-//! any error fired. `serve` starts the `culpeo-served` batch daemon
+//! any error fired (with `--deny-warnings`, warnings fail too). `verify`
+//! runs the `culpeo-verify` interval abstract interpreter over a whole
+//! schedule and exits 0 only on a proof — `refuted` comes with a
+//! replayable counterexample, `unknown` with the blocking interval.
+//! `serve` starts the `culpeo-served` batch daemon
 //! speaking the versioned `/v1/*` API over HTTP. `chaos` runs the seeded
 //! `culpeo-faults` battery — trace, physics, scheduler, and service
 //! fault injection — and exits 1 if any scenario fails; its report is
@@ -55,7 +60,8 @@ fn main() {
 
 fn usage() -> &'static str {
     "usage:\n  culpeo vsafe --trace FILE [--system SPEC.json]\n  \
-     culpeo lint SPEC.json [--trace FILE…] [--plan PLAN.json] [--format json|human]\n  \
+     culpeo lint SPEC.json [--trace FILE…] [--plan PLAN.json] [--format json|human] [--deny-warnings]\n  \
+     culpeo verify SPEC.json --plan PLAN.json [--format json|human]\n  \
      culpeo serve [--port 7070] [--threads N] [--queue-depth 64] [--cache-capacity 256]\n  \
      culpeo chaos [--seed 42] [--threads N] [--format json|human]\n  \
      culpeo check --trace FILE [--trace FILE…] [--system SPEC.json] [--threads N]\n  \
@@ -74,6 +80,7 @@ fn run(args: &[String]) -> Result<(String, i32), CliError> {
     let rest = &args[1..];
     match command.as_str() {
         "lint" => run_lint(rest),
+        "verify" => run_verify(rest),
         "vsafe" => run_vsafe(rest),
         // Deprecated spellings: `analyze SPEC` → `lint`, `analyze --trace`
         // → `vsafe`. Same parsing, same exit codes; only a stderr pointer
@@ -149,7 +156,8 @@ fn run(args: &[String]) -> Result<(String, i32), CliError> {
     }
 }
 
-/// `culpeo lint SPEC.json [--trace FILE]… [--plan FILE] [--format json]`.
+/// `culpeo lint SPEC.json [--trace FILE]… [--plan FILE] [--format json]
+/// [--deny-warnings]`.
 fn run_lint(rest: &[String]) -> Result<(String, i32), CliError> {
     let Some(spec_path) = rest.first().filter(|a| !a.starts_with("--")) else {
         return Err(CliError::Usage("lint needs a spec path".into()));
@@ -158,6 +166,7 @@ fn run_lint(rest: &[String]) -> Result<(String, i32), CliError> {
     let mut traces = Vec::new();
     let mut plan = None;
     let mut format = LintFormat::Human;
+    let mut deny_warnings = false;
     let mut it = lint_rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -180,10 +189,44 @@ fn run_lint(rest: &[String]) -> Result<(String, i32), CliError> {
                     _ => return Err(CliError::Usage("--format takes `json` or `human`".into())),
                 };
             }
+            "--deny-warnings" => deny_warnings = true,
             other => return Err(CliError::Usage(format!("unknown flag: {other}"))),
         }
     }
-    commands::lint(spec_path, &traces, plan.as_deref(), format)
+    commands::lint(spec_path, &traces, plan.as_deref(), format, deny_warnings)
+}
+
+/// `culpeo verify SPEC.json --plan PLAN.json [--format json|human]`.
+fn run_verify(rest: &[String]) -> Result<(String, i32), CliError> {
+    let Some(spec_path) = rest.first().filter(|a| !a.starts_with("--")) else {
+        return Err(CliError::Usage("verify needs a spec path".into()));
+    };
+    let mut plan = None;
+    let mut format = LintFormat::Human;
+    let mut it = rest[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--plan" => {
+                plan = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--plan needs a path".into()))?
+                        .clone(),
+                );
+            }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("json") => LintFormat::Json,
+                    Some("human") => LintFormat::Human,
+                    _ => return Err(CliError::Usage("--format takes `json` or `human`".into())),
+                };
+            }
+            other => return Err(CliError::Usage(format!("unknown flag: {other}"))),
+        }
+    }
+    let Some(plan_path) = plan else {
+        return Err(CliError::Usage("verify needs --plan PLAN.json".into()));
+    };
+    commands::verify(spec_path, &plan_path, format)
 }
 
 /// `culpeo vsafe --trace FILE [--system SPEC.json]`.
@@ -575,5 +618,95 @@ mod tests {
     #[test]
     fn lint_missing_spec_file_is_a_usage_error() {
         assert!(run(&s(&["lint", "/nonexistent/spec.json"])).is_err());
+    }
+
+    // -- verify mode ------------------------------------------------------
+
+    #[test]
+    fn verify_proves_the_reference_schedule() {
+        let spec = temp_file("verify-spec.json", &capybara_spec_json());
+        let plan = temp_file(
+            "verified-plan.json",
+            &serde_json::to_string(&culpeo_analyze::PlanSpec::verified_example()).unwrap(),
+        );
+        let (report, code) = run(&s(&["verify", &spec, "--plan", &plan])).unwrap();
+        assert_eq!(code, 0, "{report}");
+        assert!(report.contains("proved"), "{report}");
+    }
+
+    #[test]
+    fn verify_refutes_an_exhausting_schedule_with_a_witness() {
+        let spec = temp_file("verify-spec.json", &capybara_spec_json());
+        let mut doomed = culpeo_analyze::PlanSpec::figure5_example();
+        doomed.launches[0].energy_mj = 200.0;
+        doomed.launches[0].v_delta = 0.3;
+        let plan = temp_file("doomed-plan.json", &serde_json::to_string(&doomed).unwrap());
+        let (report, code) = run(&s(&["verify", &spec, "--plan", &plan])).unwrap();
+        assert_eq!(code, 1);
+        assert!(report.contains("REFUTED"), "{report}");
+        assert!(report.contains("browns out"), "{report}");
+        assert!(report.contains("C040"), "{report}");
+    }
+
+    #[test]
+    fn verify_json_format_is_parseable() {
+        let spec = temp_file("verify-spec.json", &capybara_spec_json());
+        let plan = temp_file(
+            "unknown-plan.json",
+            &serde_json::to_string(&culpeo_analyze::PlanSpec::figure5_example()).unwrap(),
+        );
+        let (report, code) =
+            run(&s(&["verify", &spec, "--plan", &plan, "--format", "json"])).unwrap();
+        assert_eq!(code, 1);
+        let doc = serde_json::parse_value_str(&report).unwrap();
+        assert_eq!(
+            doc.get("verdict").and_then(serde::Value::as_str),
+            Some("unknown")
+        );
+        assert!(doc.get("unknown").is_some());
+    }
+
+    #[test]
+    fn verify_usage_errors() {
+        assert!(run(&s(&["verify"])).is_err());
+        assert!(run(&s(&["verify", "spec.json"])).is_err());
+        assert!(run(&s(&["verify", "spec.json", "--plan"])).is_err());
+        assert!(run(&s(&[
+            "verify",
+            "spec.json",
+            "--plan",
+            "p.json",
+            "--format",
+            "yaml"
+        ]))
+        .is_err());
+        assert!(run(&s(&["verify", "spec.json", "--bogus"])).is_err());
+        assert!(run(&s(&[
+            "verify",
+            "/nonexistent/spec.json",
+            "--plan",
+            "p.json"
+        ]))
+        .is_err());
+    }
+
+    // -- --deny-warnings --------------------------------------------------
+
+    #[test]
+    fn deny_warnings_fails_a_warning_only_lint() {
+        let spec = temp_file("deny-spec.json", &capybara_spec_json());
+        // Declare `sense`'s V_safe below its Theorem 1 floor: the plan
+        // still proves, but the verifier pass warns (C045).
+        let mut plan_spec = culpeo_analyze::PlanSpec::verified_example();
+        plan_spec.launches[0].v_safe = Some(1.9);
+        let plan = temp_file(
+            "warned-plan.json",
+            &serde_json::to_string(&plan_spec).unwrap(),
+        );
+        let (report, lax) = run(&s(&["lint", &spec, "--plan", &plan])).unwrap();
+        assert_eq!(lax, 0, "{report}");
+        assert!(report.contains("C045"), "{report}");
+        let (_, strict) = run(&s(&["lint", &spec, "--plan", &plan, "--deny-warnings"])).unwrap();
+        assert_eq!(strict, 1);
     }
 }

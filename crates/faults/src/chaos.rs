@@ -30,9 +30,9 @@ use culpeo_api::{
 };
 use culpeo_device::intermittent::{run_to_completion_with, DispatchPolicy};
 use culpeo_exec::Sweep;
-use culpeo_powersim::{AgingState, PowerSystem};
+use culpeo_powersim::{AgingState, Harvester, PowerSystem};
 use culpeo_served::{handle, Server};
-use culpeo_units::{Amps, Hertz, Seconds, Volts};
+use culpeo_units::{Amps, Hertz, Seconds, Volts, Watts};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -265,6 +265,12 @@ pub fn scenarios() -> Vec<Scenario> {
             expect: "daemon drains cleanly after absorbing the abuse",
             run: service_drain_under_chaos,
         },
+        Scenario {
+            id: "sched-verifier-refuted-duel",
+            level: Level::Sched,
+            expect: "a verifier-refuted schedule browns out on the plant",
+            run: sched_verifier_refuted_duel,
+        },
     ]
 }
 
@@ -330,6 +336,7 @@ fn lint_csv(csv: String) -> Result<LintResponse, culpeo_api::ApiError> {
             csv,
         }],
         plan: None,
+        deny_warnings: false,
     })
 }
 
@@ -505,6 +512,45 @@ fn sched_arrival_burst(seed: u64) -> Result<String, String> {
 fn sched_surprise_brownout(seed: u64) -> Result<String, String> {
     let app = sched::surprise_brownout_app(seed);
     judge_duel(&sched::duel(&app, Seconds::new(120.0), seed))
+}
+
+/// The verifier and the plant must agree on doom: take the Figure 5
+/// schedule, inflate its first launch until `culpeo-verify` refutes it,
+/// then replay the counterexample prefix on the simulated plant and
+/// demand a brownout at (or before) the launch the verifier blamed.
+fn sched_verifier_refuted_duel(seed: u64) -> Result<String, String> {
+    let spec = SystemSpec::capybara();
+    let mut plan = culpeo_api::PlanSpec::figure5_example();
+    plan.launches[0].energy_mj = 150.0 + (seed % 101) as f64;
+    plan.launches[0].v_delta = 0.3;
+    let model = spec
+        .into_model()
+        .map_err(|e| format!("spec rejected: {e:?}"))?;
+    let outcome =
+        culpeo_verify::verify_with_model(&model, &plan, &culpeo_verify::VerifyConfig::default());
+    let culpeo_verify::Verdict::Refuted(cex) = &outcome.verdict else {
+        return Err(format!(
+            "expected refuted at {} mJ, got {}",
+            plan.launches[0].energy_mj,
+            outcome.verdict.tag()
+        ));
+    };
+    let mut sys = culpeo_verify::plant_from_model(&model);
+    sys.set_harvester(Harvester::ConstantPower(Watts::from_milli(
+        plan.recharge_power_mw,
+    )));
+    let replay = culpeo_verify::replay_on(&mut sys, &model, &cex.prefix, cex.v_start);
+    match replay.brownout_launch {
+        Some(hit) if hit <= cex.failing_launch => Ok(format!(
+            "refuted {} mJ in cycle {}, plant browned out at launch {hit}",
+            plan.launches[0].energy_mj, cex.cycle
+        )),
+        Some(hit) => Err(format!(
+            "plant browned out at launch {hit}, after the blamed launch {}",
+            cex.failing_launch
+        )),
+        None => Err("verifier-refuted plan survived its own counterexample".to_string()),
+    }
 }
 
 // ---------------------------------------------------------------------

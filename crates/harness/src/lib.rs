@@ -27,6 +27,7 @@ pub mod harvest;
 pub mod preflight;
 pub mod reconfig;
 pub mod systems;
+pub mod verify;
 
 pub use culpeo_exec as exec;
 

@@ -1,0 +1,269 @@
+//! Verification-battery driver: the `culpeo-verify` abstract interpreter
+//! exercised over a roster of known-verdict schedules, with the same
+//! telemetry envelope as the figure drivers.
+//!
+//! Each case pins a plan to the verdict the interpreter must return —
+//! proved, refuted, or unknown with a specific imprecision kind — and
+//! every `Refuted` verdict is additionally *replayed* through
+//! `culpeo-powersim` to confirm the counterexample physically browns out
+//! (the soundness contract of DESIGN.md §11, checked end-to-end on every
+//! reproduction run). The report lands in `results/verify_battery.json`.
+
+use culpeo_api::PlanSpec;
+use culpeo_exec::{PhaseClock, Sweep, Telemetry};
+use culpeo_powersim::Harvester;
+use culpeo_units::Watts;
+use culpeo_verify::{plant_from_model, replay_on, verify_with_model, Verdict, VerifyConfig};
+use serde::Serialize;
+
+/// What a battery case expects back from the verifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    /// `Verdict::Proved`.
+    Proved,
+    /// `Verdict::Refuted`, with a counterexample that must brown out on
+    /// replay.
+    Refuted,
+    /// `Verdict::Unknown` with this imprecision-kind tag.
+    Unknown(&'static str),
+}
+
+impl Expect {
+    fn label(self) -> String {
+        match self {
+            Expect::Proved => "proved".to_string(),
+            Expect::Refuted => "refuted".to_string(),
+            Expect::Unknown(kind) => format!("unknown({kind})"),
+        }
+    }
+}
+
+/// One named schedule with its pinned verdict.
+struct Case {
+    name: &'static str,
+    expect: Expect,
+    plan: PlanSpec,
+}
+
+/// The roster: every verdict and every imprecision kind the interpreter
+/// can produce, each witnessed by a concrete schedule.
+fn roster() -> Vec<Case> {
+    let mut single_shot_doom = PlanSpec::figure5_example();
+    single_shot_doom.launches[0].energy_mj = 200.0;
+    single_shot_doom.launches[0].v_delta = 0.3;
+
+    let mut periodic_drain = PlanSpec::verified_example();
+    periodic_drain.recharge_power_mw = 0.0;
+
+    let mut slow_drain = PlanSpec::verified_example();
+    slow_drain.period_s = Some(20.0);
+
+    let mut unusable = PlanSpec::verified_example();
+    unusable.launches[0].energy_mj = f64::NAN;
+
+    vec![
+        Case {
+            name: "reference-periodic",
+            expect: Expect::Proved,
+            plan: PlanSpec::verified_example(),
+        },
+        Case {
+            name: "figure5-straddle",
+            expect: Expect::Unknown("launch-straddle"),
+            plan: PlanSpec::figure5_example(),
+        },
+        Case {
+            name: "single-shot-exhaustion",
+            expect: Expect::Refuted,
+            plan: single_shot_doom,
+        },
+        Case {
+            name: "periodic-drain",
+            expect: Expect::Refuted,
+            plan: periodic_drain,
+        },
+        Case {
+            name: "slow-drain-widened",
+            expect: Expect::Unknown("launch-straddle"),
+            plan: slow_drain,
+        },
+        Case {
+            name: "unusable-plan",
+            expect: Expect::Unknown("inapplicable"),
+            plan: unusable,
+        },
+    ]
+}
+
+/// One row of the battery report.
+#[derive(Debug, Clone, Serialize)]
+pub struct CaseRow {
+    /// Case name.
+    pub case: String,
+    /// The pinned verdict, e.g. `"unknown(launch-straddle)"`.
+    pub expected: String,
+    /// What the verifier actually answered.
+    pub verdict: String,
+    /// Fixpoint rounds taken.
+    pub iterations: u64,
+    /// Whether widening fired.
+    pub widened: bool,
+    /// The C04x codes the verdict came with, in report order.
+    pub codes: Vec<String>,
+    /// For refuted cases: whether the counterexample browned out when
+    /// replayed on the physical plant (`None` when there was nothing to
+    /// replay).
+    pub replay_brownout: Option<bool>,
+    /// Whether the case met its pin.
+    pub pass: bool,
+}
+
+/// The whole battery's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct VerifyBatteryReport {
+    /// One row per roster case, in roster order.
+    pub rows: Vec<CaseRow>,
+}
+
+impl VerifyBatteryReport {
+    /// True when every case met its pinned verdict.
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.rows.iter().all(|r| r.pass)
+    }
+
+    /// The deterministic human-readable table.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:<28} {:<28} {:>7} {:>7}",
+            "case", "expected", "verdict", "replay", "result"
+        );
+        for r in &self.rows {
+            let replay = match r.replay_brownout {
+                None => "-",
+                Some(true) => "brownout",
+                Some(false) => "SURVIVED",
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:<28} {:<28} {:>7} {:>7}",
+                r.case,
+                r.expected,
+                r.verdict,
+                replay,
+                if r.pass { "PASS" } else { "FAIL" }
+            );
+        }
+        out
+    }
+}
+
+/// Runs one case: verify, compare against the pin, replay any witness.
+fn run_case(case: &Case) -> CaseRow {
+    let model = culpeo::PowerSystemModel::capybara();
+    let outcome = verify_with_model(&model, &case.plan, &VerifyConfig::default());
+    let verdict = match &outcome.verdict {
+        Verdict::Proved | Verdict::Refuted(_) => outcome.verdict.tag().to_string(),
+        Verdict::Unknown(imp) => format!("unknown({})", imp.kind.tag()),
+    };
+    let mut replay_brownout = None;
+    if let Verdict::Refuted(cex) = &outcome.verdict {
+        let mut sys = plant_from_model(&model);
+        sys.set_harvester(Harvester::ConstantPower(Watts::from_milli(
+            case.plan.recharge_power_mw,
+        )));
+        let replay = replay_on(&mut sys, &model, &cex.prefix, cex.v_start);
+        replay_brownout = Some(replay.brownout_launch.is_some());
+    }
+    let verdict_ok = verdict == case.expect.label();
+    let replay_ok = replay_brownout != Some(false);
+    CaseRow {
+        case: case.name.to_string(),
+        expected: case.expect.label(),
+        verdict,
+        iterations: outcome.iterations as u64,
+        widened: outcome.widened,
+        codes: outcome
+            .findings
+            .iter()
+            .map(|f| f.code.to_string())
+            .collect(),
+        replay_brownout,
+        pass: verdict_ok && replay_ok,
+    }
+}
+
+/// Runs the battery under the harness conventions.
+#[must_use]
+pub fn run() -> VerifyBatteryReport {
+    run_timed(Sweep::from_env()).0
+}
+
+/// [`run`] on an explicit executor, with phase telemetry. The report is
+/// identical at any thread count: cases are independent and reassembled
+/// in roster order.
+#[must_use]
+pub fn run_timed(sweep: Sweep) -> (VerifyBatteryReport, Telemetry) {
+    crate::preflight::require_clean_reference();
+    let mut clock = PhaseClock::new(sweep.threads());
+    clock.mark("preflight");
+    let cases = roster();
+    let rows = sweep.map(&cases, |_, case| run_case(case));
+    clock.mark("battery");
+    (VerifyBatteryReport { rows }, clock.finish())
+}
+
+/// Prints the battery's deterministic table to stdout.
+pub fn print_table(report: &VerifyBatteryReport) {
+    print!("{}", report.render_table());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_case_meets_its_pinned_verdict() {
+        let (report, telemetry) = run_timed(Sweep::with_threads(2));
+        assert!(report.all_passed(), "{}", report.render_table());
+        assert!(telemetry.phase_seconds("battery").is_some());
+    }
+
+    #[test]
+    fn refuted_cases_replayed_and_browned_out() {
+        let (report, _) = run_timed(Sweep::serial());
+        let refuted: Vec<&CaseRow> = report
+            .rows
+            .iter()
+            .filter(|r| r.expected == "refuted")
+            .collect();
+        assert_eq!(refuted.len(), 2);
+        assert!(refuted.iter().all(|r| r.replay_brownout == Some(true)));
+    }
+
+    #[test]
+    fn report_is_identical_at_any_thread_count() {
+        let serial = run_timed(Sweep::serial()).0;
+        let parallel = run_timed(Sweep::with_threads(4)).0;
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
+    }
+
+    #[test]
+    fn widening_fires_on_the_slow_drain_case() {
+        let (report, _) = run_timed(Sweep::serial());
+        let slow = report
+            .rows
+            .iter()
+            .find(|r| r.case == "slow-drain-widened")
+            .unwrap();
+        assert!(slow.widened);
+        assert!(slow.codes.iter().any(|c| c == "C044"), "{:?}", slow.codes);
+    }
+}

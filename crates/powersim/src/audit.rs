@@ -23,6 +23,8 @@ use crate::{MonitorState, PowerSystem, StepOutput};
 pub enum Violation {
     /// Ledger and stored energy disagree beyond tolerance.
     EnergyImbalance {
+        /// Simulation time at which the audit closed the ledger.
+        t: Seconds,
         /// Actual `½CV²` change since the audit began.
         actual: Joules,
         /// Ledger-predicted change.
@@ -45,10 +47,14 @@ pub enum Violation {
 impl core::fmt::Display for Violation {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            Violation::EnergyImbalance { actual, expected } => {
+            Violation::EnergyImbalance {
+                t,
+                actual,
+                expected,
+            } => {
                 write!(
                     f,
-                    "energy imbalance: stored Δ{actual} vs ledger Δ{expected}"
+                    "energy imbalance at t = {t}: stored Δ{actual} vs ledger Δ{expected}"
                 )
             }
             Violation::DeliveryWhileRecharging { t } => {
@@ -132,7 +138,11 @@ impl<'a> Auditor<'a> {
         let expected = ledger.expected_storage_delta();
         let tol = self.e_start.get().abs() * self.tolerance + 1e-9;
         if (actual.get() - expected.get()).abs() > tol {
-            violations.push(Violation::EnergyImbalance { actual, expected });
+            violations.push(Violation::EnergyImbalance {
+                t: self.sys.time(),
+                actual,
+                expected,
+            });
         }
         violations
     }
@@ -185,10 +195,12 @@ mod tests {
         };
         assert!(v.to_string().contains("recharge"));
         let e = Violation::EnergyImbalance {
+            t: Seconds::new(2.5),
             actual: Joules::new(1.0),
             expected: Joules::new(2.0),
         };
         assert!(e.to_string().contains("imbalance"));
+        assert!(e.to_string().contains("t = "), "{e}");
         let u = Violation::UnphysicalValue {
             t: Seconds::ZERO,
             what: "x",

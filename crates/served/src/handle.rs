@@ -13,7 +13,8 @@ use culpeo::{baseline, pg, PowerSystemModel};
 use culpeo_analyze::{AnalysisInput, Registry, TraceInput};
 use culpeo_api::{
     check_schema_version, ApiError, BatchOutcome, BatchRequest, BatchResponse, LintRequest,
-    LintResponse, SystemSpec, VsafeRequest, VsafeResponse, SCHEMA_VERSION,
+    LintResponse, SystemSpec, VerifyRequest, VerifyResponse, VsafeRequest, VsafeResponse,
+    SCHEMA_VERSION,
 };
 use culpeo_loadgen::{io as trace_io, CurrentTrace};
 
@@ -133,13 +134,28 @@ pub fn lint(req: &LintRequest) -> Result<LintResponse, ApiError> {
     let report = Registry::default_battery().run(&input);
     let report_doc = serde_json::parse_value_str(&report.render_json())
         .map_err(|e| ApiError::new(culpeo_api::ApiErrorKind::Internal, e))?;
+    let failing = report.has_errors() || (req.deny_warnings && report.warning_count() > 0);
     Ok(LintResponse {
         schema_version: SCHEMA_VERSION,
         errors: report.error_count() as u64,
         warnings: report.warning_count() as u64,
-        exit_code: u32::from(report.has_errors()),
+        exit_code: u32::from(failing),
         report: report_doc,
     })
+}
+
+/// Answers a [`VerifyRequest`] by running the `culpeo-verify` abstract
+/// interpreter over the whole schedule.
+///
+/// # Errors
+///
+/// `unsupported_version` [`ApiError`]s only. A spec or plan the verifier
+/// cannot interpret is not a transport error — it comes back as a
+/// C046-carrying `"unknown"` verdict, same as the CLI.
+pub fn verify(req: &VerifyRequest) -> Result<VerifyResponse, ApiError> {
+    check_schema_version(req.schema_version)?;
+    let outcome = culpeo_verify::verify_plan(&req.spec, &req.plan);
+    Ok(culpeo_verify::to_response(&outcome))
 }
 
 /// Answers a [`BatchRequest`], fanning the items out over `sweep`.
@@ -261,6 +277,7 @@ mod tests {
             spec: SystemSpec::capybara(),
             traces: Vec::new(),
             plan: None,
+            deny_warnings: false,
         })
         .unwrap();
         assert_eq!((resp.errors, resp.exit_code), (0, 0));
@@ -276,12 +293,73 @@ mod tests {
                 csv: "# dt_us: 8\n0.0,0.01\n0.000008,NaN\n".into(),
             }],
             plan: None,
+            deny_warnings: false,
         })
         .unwrap();
         assert_eq!(resp.exit_code, 1);
         assert!(serde_json::to_string(&resp.report)
             .unwrap()
             .contains("C010"));
+    }
+
+    #[test]
+    fn deny_warnings_promotes_a_warning_only_report_to_exit_one() {
+        // Declare `sense`'s V_safe below its model-derived Theorem 1
+        // floor (≈ 2.007 V): the verifier still proves the plan but
+        // emits a C045 warning, which `deny_warnings` turns fatal.
+        let mut plan = culpeo_api::PlanSpec::verified_example();
+        plan.launches[0].v_safe = Some(1.9);
+        let mut req = LintRequest {
+            schema_version: None,
+            spec: SystemSpec::capybara(),
+            traces: Vec::new(),
+            plan: Some(plan),
+            deny_warnings: false,
+        };
+        let lax = lint(&req).unwrap();
+        assert_eq!((lax.errors, lax.exit_code), (0, 0));
+        assert!(lax.warnings > 0);
+        req.deny_warnings = true;
+        let strict = lint(&req).unwrap();
+        assert_eq!((strict.errors, strict.exit_code), (0, 1));
+        assert_eq!(strict.warnings, lax.warnings);
+    }
+
+    #[test]
+    fn verify_answers_proved_for_the_reference_schedule() {
+        let resp = verify(&VerifyRequest {
+            schema_version: None,
+            spec: SystemSpec::capybara(),
+            plan: culpeo_api::PlanSpec::verified_example(),
+        })
+        .unwrap();
+        assert_eq!((resp.verdict.as_str(), resp.exit_code), ("proved", 0));
+        assert_eq!(resp.schema_version, SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn verify_reports_unverifiable_input_as_a_verdict_not_an_error() {
+        let mut plan = culpeo_api::PlanSpec::verified_example();
+        plan.launches[0].energy_mj = f64::NAN;
+        let resp = verify(&VerifyRequest {
+            schema_version: None,
+            spec: SystemSpec::capybara(),
+            plan,
+        })
+        .unwrap();
+        assert_eq!(resp.verdict, "unknown");
+        assert!(resp.findings.iter().any(|f| f.code == "C046"));
+    }
+
+    #[test]
+    fn verify_rejects_a_version_mismatch() {
+        let err = verify(&VerifyRequest {
+            schema_version: Some(99),
+            spec: SystemSpec::capybara(),
+            plan: culpeo_api::PlanSpec::verified_example(),
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, ApiErrorKind::UnsupportedVersion);
     }
 
     #[test]
@@ -309,6 +387,7 @@ mod tests {
                         spec: SystemSpec::capybara(),
                         traces: Vec::new(),
                         plan: None,
+                        deny_warnings: false,
                     }),
                 },
             ],

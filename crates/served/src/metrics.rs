@@ -89,6 +89,8 @@ pub struct Metrics {
     pub lint: EndpointCounters,
     /// `POST /v1/batch`.
     pub batch: EndpointCounters,
+    /// `POST /v1/verify`.
+    pub verify: EndpointCounters,
     /// `GET /v1/health`.
     pub health: EndpointCounters,
     /// `GET /v1/metrics`.
@@ -111,6 +113,7 @@ impl Metrics {
             self.vsafe.snapshot("/v1/vsafe"),
             self.lint.snapshot("/v1/lint"),
             self.batch.snapshot("/v1/batch"),
+            self.verify.snapshot("/v1/verify"),
             self.health.snapshot("/v1/health"),
             self.metrics.snapshot("/v1/metrics"),
             self.shutdown.snapshot("/v1/shutdown"),
@@ -141,7 +144,7 @@ mod tests {
     #[test]
     fn snapshot_has_one_row_per_endpoint() {
         let rows = Metrics::default().snapshot();
-        assert_eq!(rows.len(), 8);
+        assert_eq!(rows.len(), 9);
         assert!(rows.iter().all(|r| r.requests == 0));
     }
 

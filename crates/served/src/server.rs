@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 
 use culpeo_api::{
     ApiError, ApiErrorKind, BatchRequest, HealthResponse, LintRequest, MetricsResponse,
-    VsafeRequest, VsafeResponse, SCHEMA_VERSION,
+    VerifyRequest, VsafeRequest, VsafeResponse, SCHEMA_VERSION,
 };
 use culpeo_exec::Sweep;
 
@@ -417,6 +417,11 @@ fn route<'a>(shared: &'a Shared, req: &Request) -> Routed<'a> {
                 .and_then(|r| crate::handle::batch(&r, &shared.sweep, |v| cached_vsafe(shared, v)));
             finish(&shared.metrics.batch, outcome)
         }
+        ("POST", "/v1/verify") => {
+            let outcome =
+                parse_body::<VerifyRequest>(&req.body).and_then(|r| crate::handle::verify(&r));
+            finish(&shared.metrics.verify, outcome)
+        }
         ("GET", "/v1/health") => {
             let doc = health_doc(shared, false);
             finish(&shared.metrics.health, Ok(doc))
@@ -438,7 +443,8 @@ fn route<'a>(shared: &'a Shared, req: &Request) -> Routed<'a> {
         }
         (
             _,
-            "/v1/vsafe" | "/v1/lint" | "/v1/batch" | "/v1/health" | "/v1/metrics" | "/v1/shutdown",
+            "/v1/vsafe" | "/v1/lint" | "/v1/batch" | "/v1/verify" | "/v1/health" | "/v1/metrics"
+            | "/v1/shutdown",
         ) => {
             let e = ApiError::new(
                 ApiErrorKind::MethodNotAllowed,

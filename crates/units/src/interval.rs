@@ -1,0 +1,420 @@
+//! Directed-rounding interval arithmetic over voltages and energies.
+//!
+//! The static verifier (`culpeo-verify`) propagates a worst-case voltage
+//! envelope `[v_lo, v_hi]` through the charge model. For its `Proved`
+//! verdict to be *sound*, every arithmetic step must round outward: the
+//! lower endpoint toward −∞, the upper endpoint toward +∞. Rust's default
+//! round-to-nearest is within half an ulp of the true value, so stepping
+//! each endpoint one ulp outward after every operation ([`f64::next_down`]
+//! / [`f64::next_up`]) brackets the exact real-number result.
+//!
+//! Two wrappers are provided, matching the two quantities the charge walk
+//! moves between: [`IntervalV`] (volts) and [`IntervalJ`] (joules).
+//! Operations are the small closed set the verifier's transfer functions
+//! need — addition, scaling, clamping, and the `½CV²` conversions between
+//! voltage and energy space — each one outward-rounded.
+
+use crate::quantity::{Joules, Volts};
+
+/// One ulp downward, used on lower endpoints after every operation.
+#[inline]
+fn down(x: f64) -> f64 {
+    x.next_down()
+}
+
+/// One ulp upward, used on upper endpoints after every operation.
+#[inline]
+fn up(x: f64) -> f64 {
+    x.next_up()
+}
+
+/// A closed voltage interval `[lo, hi]` with outward-rounded endpoints.
+///
+/// Endpoints are kept non-negative (a capacitor voltage cannot be) and
+/// finite, so the wrapper composes with the `strict-finite` feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalV {
+    lo: Volts,
+    hi: Volts,
+}
+
+impl IntervalV {
+    /// Creates an interval from ordered endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either endpoint is negative.
+    #[must_use]
+    pub fn new(lo: Volts, hi: Volts) -> Self {
+        assert!(
+            Volts::ZERO <= lo && lo <= hi,
+            "interval endpoints must satisfy 0 ≤ lo ≤ hi; got [{lo}, {hi}]"
+        );
+        Self { lo, hi }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    #[must_use]
+    pub fn point(v: Volts) -> Self {
+        Self::new(v, v)
+    }
+
+    /// Lower endpoint.
+    #[must_use]
+    pub fn lo(self) -> Volts {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[must_use]
+    pub fn hi(self) -> Volts {
+        self.hi
+    }
+
+    /// `hi − lo`.
+    #[must_use]
+    pub fn width(self) -> Volts {
+        self.hi - self.lo
+    }
+
+    /// Whether `v` lies inside the closed interval.
+    #[must_use]
+    pub fn contains(self, v: Volts) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// The smallest interval containing both operands (lattice join).
+    #[must_use]
+    pub fn join(self, other: Self) -> Self {
+        Self::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Whether `self` encloses `other` entirely.
+    #[must_use]
+    pub fn encloses(self, other: Self) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Clamps both endpoints to at most `cap` (the `V_high` charge cutoff).
+    /// Exact: clamping introduces no rounding error.
+    #[must_use]
+    pub fn min(self, cap: Volts) -> Self {
+        Self::new(self.lo.min(cap), self.hi.min(cap))
+    }
+
+    /// Clamps both endpoints to at least `floor`. Exact.
+    #[must_use]
+    pub fn max(self, floor: Volts) -> Self {
+        Self::new(self.lo.max(floor), self.hi.max(floor))
+    }
+
+    /// Outward-rounded squared endpoints `[lo², hi²]` in V².
+    ///
+    /// Monotone because endpoints are non-negative.
+    #[must_use]
+    pub fn squared(self) -> (f64, f64) {
+        (
+            down(self.lo.get() * self.lo.get()).max(0.0),
+            up(self.hi.get() * self.hi.get()),
+        )
+    }
+
+    /// Rebuilds a voltage interval from squared-space bounds, rounding the
+    /// square roots outward and clamping negative squared values to zero
+    /// (a drained capacitor, mirroring [`Volts::from_squared`]).
+    #[must_use]
+    pub fn from_squared(lo_sq: f64, hi_sq: f64) -> Self {
+        let lo = down(lo_sq.max(0.0).sqrt()).max(0.0);
+        let hi = up(hi_sq.max(0.0).sqrt());
+        Self::new(Volts::new(lo), Volts::new(hi))
+    }
+
+    /// The charge transfer function `v ↦ √(v² + 2E/C)` lifted to
+    /// intervals, outward-rounded at every step. Monotone in both `v` and
+    /// `E`, so the lower endpoint pairs with `e.lo()` and the upper with
+    /// `e.hi()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not strictly positive.
+    #[must_use]
+    pub fn charge(self, e: IntervalJ, c: f64) -> Self {
+        let (v_lo_sq, v_hi_sq) = self.squared();
+        let (e_lo_sq, e_hi_sq) = e.v_squared_swing(c);
+        Self::from_squared(down(v_lo_sq + e_lo_sq), up(v_hi_sq + e_hi_sq))
+    }
+
+    /// The discharge transfer function `v ↦ √(max(v² − 2E/C, 0))` lifted
+    /// to intervals, outward-rounded. Anti-monotone in `E`: the lower
+    /// endpoint assumes the *largest* admissible draw (`e.hi()`), the
+    /// upper the smallest (`e.lo()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not strictly positive.
+    #[must_use]
+    pub fn discharge(self, e: IntervalJ, c: f64) -> Self {
+        let (v_lo_sq, v_hi_sq) = self.squared();
+        let (e_lo_sq, e_hi_sq) = e.v_squared_swing(c);
+        Self::from_squared(down(v_lo_sq - e_hi_sq), up(v_hi_sq - e_lo_sq))
+    }
+}
+
+impl core::ops::Add for IntervalV {
+    type Output = Self;
+
+    /// Interval addition, outward-rounded.
+    fn add(self, rhs: Self) -> Self {
+        Self::new(
+            Volts::new(down(self.lo.get() + rhs.lo.get()).max(0.0)),
+            Volts::new(up(self.hi.get() + rhs.hi.get())),
+        )
+    }
+}
+
+impl core::ops::Sub for IntervalV {
+    type Output = Self;
+
+    /// Interval subtraction, outward-rounded, floored at zero volts on
+    /// both endpoints.
+    fn sub(self, rhs: Self) -> Self {
+        let lo = down(self.lo.get() - rhs.hi.get()).max(0.0);
+        let hi = up(self.hi.get() - rhs.lo.get()).max(0.0);
+        Self::new(Volts::new(lo), Volts::new(hi.max(lo)))
+    }
+}
+
+impl core::fmt::Display for IntervalV {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// A closed energy interval `[lo, hi]` with outward-rounded endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalJ {
+    lo: Joules,
+    hi: Joules,
+}
+
+impl IntervalJ {
+    /// Creates an interval from ordered endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either endpoint is negative.
+    #[must_use]
+    pub fn new(lo: Joules, hi: Joules) -> Self {
+        assert!(
+            Joules::ZERO <= lo && lo <= hi,
+            "interval endpoints must satisfy 0 ≤ lo ≤ hi; got [{lo}, {hi}]"
+        );
+        Self { lo, hi }
+    }
+
+    /// The degenerate interval `[e, e]`.
+    #[must_use]
+    pub fn point(e: Joules) -> Self {
+        Self::new(e, e)
+    }
+
+    /// Lower endpoint.
+    #[must_use]
+    pub fn lo(self) -> Joules {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[must_use]
+    pub fn hi(self) -> Joules {
+        self.hi
+    }
+
+    /// Scales by a non-negative factor, outward-rounded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is negative or non-finite.
+    #[must_use]
+    pub fn scale(self, k: f64) -> Self {
+        assert!(k.is_finite() && k >= 0.0, "scale factor must be ≥ 0");
+        Self::new(
+            Joules::new(down(self.lo.get() * k).max(0.0)),
+            Joules::new(up(self.hi.get() * k)),
+        )
+    }
+
+    /// The voltage-squared swing `2·E/C` of this much energy on a buffer
+    /// of capacitance `c` farads, outward-rounded (V² per endpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not strictly positive.
+    #[must_use]
+    pub fn v_squared_swing(self, c: f64) -> (f64, f64) {
+        assert!(c > 0.0, "capacitance must be positive");
+        (
+            down(2.0 * self.lo.get() / c).max(0.0),
+            up(2.0 * self.hi.get() / c),
+        )
+    }
+}
+
+impl core::ops::Add for IntervalJ {
+    type Output = Self;
+
+    /// Interval addition, outward-rounded.
+    fn add(self, rhs: Self) -> Self {
+        Self::new(
+            Joules::new(down(self.lo.get() + rhs.lo.get()).max(0.0)),
+            Joules::new(up(self.hi.get() + rhs.hi.get())),
+        )
+    }
+}
+
+impl core::fmt::Display for IntervalJ {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Directed-rounding pins: every operation must land exactly one
+    // nextafter step outside the round-to-nearest result.
+
+    #[test]
+    fn add_endpoints_pin_to_nextafter() {
+        let a = IntervalV::point(Volts::new(2.5));
+        let b = IntervalV::point(Volts::new(0.25));
+        let sum = a + b;
+        assert_eq!(sum.lo().get(), (2.5f64 + 0.25).next_down());
+        assert_eq!(sum.hi().get(), (2.5f64 + 0.25).next_up());
+    }
+
+    #[test]
+    fn squared_endpoints_pin_to_nextafter() {
+        let v = IntervalV::point(Volts::new(2.3));
+        let (lo_sq, hi_sq) = v.squared();
+        assert_eq!(lo_sq, (2.3f64 * 2.3).next_down());
+        assert_eq!(hi_sq, (2.3f64 * 2.3).next_up());
+    }
+
+    #[test]
+    fn from_squared_endpoints_pin_to_nextafter() {
+        let v = IntervalV::from_squared(5.29, 5.29);
+        assert_eq!(v.lo().get(), 5.29f64.sqrt().next_down());
+        assert_eq!(v.hi().get(), 5.29f64.sqrt().next_up());
+    }
+
+    #[test]
+    fn energy_scale_pins_to_nextafter() {
+        let e = IntervalJ::point(Joules::new(1.0e-3));
+        let s = e.scale(3.0);
+        assert_eq!(s.lo().get(), (1.0e-3f64 * 3.0).next_down());
+        assert_eq!(s.hi().get(), (1.0e-3f64 * 3.0).next_up());
+    }
+
+    #[test]
+    fn v_squared_swing_pins_to_nextafter() {
+        let e = IntervalJ::point(Joules::new(30.0e-3));
+        let (lo, hi) = e.v_squared_swing(45.0e-3);
+        assert_eq!(lo, (2.0 * 30.0e-3f64 / 45.0e-3).next_down());
+        assert_eq!(hi, (2.0 * 30.0e-3f64 / 45.0e-3).next_up());
+    }
+
+    #[test]
+    fn point_round_trip_through_v_squared_space_stays_tight() {
+        // Down-up through squared space must enclose the scalar result and
+        // stay within a few ulps of it.
+        let v = Volts::new(2.2);
+        let (lo_sq, hi_sq) = IntervalV::point(v).squared();
+        let back = IntervalV::from_squared(lo_sq, hi_sq);
+        assert!(back.contains(v));
+        assert!(back.width().get() < 1e-12, "width {}", back.width());
+    }
+
+    #[test]
+    fn charge_and_discharge_enclose_the_scalar_walk() {
+        // 45 mF buffer, 2.56 V start, 60 mJ draw: the scalar model's
+        // answer must lie inside the interval result, and a tight
+        // round trip must stay within a few ulps.
+        let c = 45.0e-3;
+        let e = IntervalJ::point(Joules::new(60.0e-3));
+        let after = IntervalV::point(Volts::new(2.56)).discharge(e, c);
+        let scalar = Volts::from_squared(2.56f64 * 2.56 - 2.0 * 60.0e-3 / c);
+        assert!(after.contains(scalar), "{after} does not contain {scalar}");
+        let back = after.charge(e, c);
+        assert!(back.contains(Volts::new(2.56)), "{back}");
+        assert!(back.width().get() < 1e-12, "width {}", back.width());
+    }
+
+    #[test]
+    fn discharge_floors_at_zero_volts() {
+        let e = IntervalJ::point(Joules::new(1.0));
+        let drained = IntervalV::point(Volts::new(1.0)).discharge(e, 45.0e-3);
+        assert_eq!(drained.lo(), Volts::ZERO);
+        // The upper endpoint rounds outward, so it may sit one ulp above
+        // zero rather than exactly on it.
+        assert!(drained.hi().get() <= f64::MIN_POSITIVE, "{}", drained.hi());
+    }
+
+    #[test]
+    fn discharge_pairs_endpoints_anti_monotonically() {
+        // The lower endpoint must assume the 20 mJ draw, the upper the
+        // 10 mJ draw; a mid-band scalar walk lands strictly inside.
+        let c = 45.0e-3;
+        let e = IntervalJ::new(Joules::new(10.0e-3), Joules::new(20.0e-3));
+        let after = IntervalV::point(Volts::new(2.5)).discharge(e, c);
+        assert!(after.lo() < after.hi());
+        let mid = Volts::from_squared(2.5f64 * 2.5 - 2.0 * 15.0e-3 / c);
+        assert!(after.contains(mid), "{after} does not contain {mid}");
+    }
+
+    #[test]
+    fn sub_floors_at_zero() {
+        let a = IntervalV::new(Volts::new(0.1), Volts::new(0.2));
+        let b = IntervalV::point(Volts::new(0.5));
+        let d = a - b;
+        assert_eq!(d.lo(), Volts::ZERO);
+        assert_eq!(d.hi(), Volts::ZERO);
+    }
+
+    #[test]
+    fn join_and_encloses() {
+        let a = IntervalV::new(Volts::new(1.0), Volts::new(2.0));
+        let b = IntervalV::new(Volts::new(1.5), Volts::new(2.5));
+        let j = a.join(b);
+        assert_eq!(j.lo(), Volts::new(1.0));
+        assert_eq!(j.hi(), Volts::new(2.5));
+        assert!(j.encloses(a) && j.encloses(b));
+        assert!(!a.encloses(b));
+    }
+
+    #[test]
+    fn clamps_are_exact() {
+        let v = IntervalV::new(Volts::new(1.0), Volts::new(3.0));
+        let capped = v.min(Volts::new(2.56));
+        assert_eq!(capped.hi(), Volts::new(2.56));
+        assert_eq!(capped.lo(), Volts::new(1.0));
+        let floored = v.max(Volts::new(1.6));
+        assert_eq!(floored.lo(), Volts::new(1.6));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 ≤ lo ≤ hi")]
+    fn rejects_inverted_interval() {
+        let _ = IntervalV::new(Volts::new(2.0), Volts::new(1.0));
+    }
+
+    #[test]
+    fn display_renders_both_endpoints() {
+        let v = IntervalV::new(Volts::new(1.6), Volts::new(2.56));
+        let s = v.to_string();
+        assert!(s.starts_with('[') && s.contains(", "), "{s}");
+        let e = IntervalJ::point(Joules::new(1.0e-3));
+        assert!(e.to_string().contains(", "));
+    }
+}

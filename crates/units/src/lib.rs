@@ -25,10 +25,12 @@
 #![warn(missing_docs)]
 
 mod fmt;
+mod interval;
 mod ops;
 mod quantity;
 
 pub use fmt::si;
+pub use interval::{IntervalJ, IntervalV};
 pub use quantity::{
     Amps, Celsius, Farads, Hertz, Joules, Ohms, Percent, Quantity, Seconds, Volts, Watts,
 };

@@ -1,0 +1,836 @@
+//! The interval abstract interpreter over [`PlanSpec`] schedules.
+//!
+//! One launch is abstracted by two transfer functions on voltage
+//! envelopes — gap recharge then task draw — with the uncertainty bands
+//! described in the crate docs. Single-shot plans are walked once;
+//! periodic plans iterate entry-envelope → exit-envelope to a fixpoint
+//! with join at the wrap-around, widening to the domain bounds when the
+//! iteration refuses to converge.
+//!
+//! `Refuted` verdicts do not come from the envelope (an envelope can only
+//! prove universals); they come from a *concrete* best-case unroll: the
+//! scalar trajectory that draws the least and harvests the most, rounded
+//! upward. If even that trajectory drains to `V_off`, every admissible
+//! trajectory does, and the unrolled prefix is a replayable witness.
+
+use culpeo::PowerSystemModel;
+use culpeo_api::{LaunchSpec, PlanSpec, SystemSpec};
+use culpeo_units::{IntervalJ, IntervalV, Joules, Seconds, Volts, Watts};
+
+use crate::replay::replay_duration;
+use crate::VerifyConfig;
+
+/// The three-valued result of static verification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Theorem 1 holds at every launch of every cycle, for every
+    /// trajectory inside the admissible envelope.
+    Proved,
+    /// Even the best-case trajectory exhausts the buffer: the plan browns
+    /// out on the physical plant, and here is a replayable witness.
+    Refuted(Counterexample),
+    /// The envelope straddles a requirement — the verifier can neither
+    /// prove nor refute the plan at this precision.
+    Unknown(Imprecision),
+}
+
+impl Verdict {
+    /// Short lowercase tag (`proved` / `refuted` / `unknown`), used by the
+    /// CLI and the daemon's JSON surface.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Verdict::Proved => "proved",
+            Verdict::Refuted(_) => "refuted",
+            Verdict::Unknown(_) => "unknown",
+        }
+    }
+}
+
+/// A concrete minimal schedule prefix that browns out even under
+/// best-case physics. Replay it with [`crate::replay::replay_on`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Counterexample {
+    /// Buffer voltage at the schedule origin.
+    pub v_start: Volts,
+    /// The unrolled launches, with *absolute* start times (cycle offsets
+    /// already applied), up to and including the failing launch.
+    pub prefix: Vec<LaunchSpec>,
+    /// Index of the failing launch within `prefix` (always the last).
+    pub failing_launch: usize,
+    /// 1-based hyperperiod cycle in which the exhaustion happens.
+    pub cycle: usize,
+    /// The best-case buffer voltage at the end of the failing task — at
+    /// or below `V_off`, hence the brownout.
+    pub v_predicted: Volts,
+}
+
+/// Why a plan came back [`Verdict::Unknown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImprecisionKind {
+    /// The launch envelope straddles the requirement (C042).
+    LaunchStraddle,
+    /// Even the envelope's best case undercuts the requirement (C041) —
+    /// a definite Theorem 1 violation, but launching below a conservative
+    /// `V_safe` does not *guarantee* a physical brownout, so this is not
+    /// a refutation.
+    EnvelopeBelowRequirement,
+    /// The post-task envelope straddles `V_off` (C043).
+    ExhaustionStraddle,
+    /// The spec or plan cannot be verified at all (C046).
+    Inapplicable,
+}
+
+impl ImprecisionKind {
+    /// Stable kebab-case tag for the wire surface.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            ImprecisionKind::LaunchStraddle => "launch-straddle",
+            ImprecisionKind::EnvelopeBelowRequirement => "envelope-below-requirement",
+            ImprecisionKind::ExhaustionStraddle => "exhaustion-straddle",
+            ImprecisionKind::Inapplicable => "inapplicable",
+        }
+    }
+}
+
+/// The blocking interval behind an [`Verdict::Unknown`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Imprecision {
+    /// What kind of precision loss blocked the proof.
+    pub kind: ImprecisionKind,
+    /// Task name of the blocking launch (empty when inapplicable).
+    pub task: String,
+    /// Index of the blocking launch in the plan's launch list.
+    pub launch_index: usize,
+    /// The voltage envelope at the point precision was lost.
+    pub envelope: Option<IntervalV>,
+    /// The requirement the envelope failed to clear.
+    pub requirement: Option<Volts>,
+}
+
+/// One diagnostic-ready finding (C040–C046). `culpeo-analyze` maps these
+/// onto [`Diagnostic`]s; the locus is relative to the plan (the caller
+/// prepends the file locus).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Diagnostic code, `"C040"`–`"C046"`.
+    pub code: &'static str,
+    /// True for errors, false for warnings.
+    pub error: bool,
+    /// Plan-relative locus, e.g. `launch 'radio' [1]`.
+    pub locus: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Optional remediation hint.
+    pub help: Option<String>,
+}
+
+/// Everything the verifier learned about one plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyOutcome {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Diagnostic-ready findings (C040–C046), in walk order.
+    pub findings: Vec<Finding>,
+    /// Pre-launch voltage envelopes from the final (fixpoint) walk, one
+    /// per plan launch. Every admissible trajectory's launch voltage lies
+    /// inside the corresponding interval.
+    pub launch_envelopes: Vec<IntervalV>,
+    /// Fixpoint rounds taken (1 for single-shot plans).
+    pub iterations: usize,
+    /// Whether widening was needed to terminate the fixpoint iteration.
+    pub widened: bool,
+    /// The entry envelope the periodic fixpoint settled on (None for
+    /// single-shot plans).
+    pub fixpoint: Option<IntervalV>,
+}
+
+impl VerifyOutcome {
+    fn inapplicable(message: String) -> Self {
+        Self {
+            verdict: Verdict::Unknown(Imprecision {
+                kind: ImprecisionKind::Inapplicable,
+                task: String::new(),
+                launch_index: 0,
+                envelope: None,
+                requirement: None,
+            }),
+            findings: vec![Finding {
+                code: "C046",
+                error: true,
+                locus: "plan".to_string(),
+                message,
+                help: Some("fix the spec/plan so the charge model is well-defined".to_string()),
+            }],
+            launch_envelopes: Vec::new(),
+            iterations: 0,
+            widened: false,
+            fixpoint: None,
+        }
+    }
+}
+
+/// Model-derived constants the transfer functions close over.
+#[derive(Debug, Clone, Copy)]
+struct ModelParams {
+    c: f64,
+    v_off: Volts,
+    v_high: Volts,
+    /// Worst-case booster efficiency, `η(V_off)`, clamped into `(0, 1]`.
+    eta_off: f64,
+    /// `r_max / r_min` over the measured ESR curve (≥ 1).
+    esr_ratio: f64,
+    /// `V_high / V_off`: how much more a declared harvest power can
+    /// deliver at the top of the operating range than at the bottom.
+    headroom: f64,
+}
+
+impl ModelParams {
+    fn of(model: &PowerSystemModel) -> Self {
+        let points = model.esr_curve().points();
+        let r_max = points.iter().map(|&(_, r)| r.get()).fold(0.0, f64::max);
+        let r_min = points
+            .iter()
+            .map(|&(_, r)| r.get())
+            .fold(f64::INFINITY, f64::min);
+        Self {
+            c: model.capacitance().get(),
+            v_off: model.v_off(),
+            v_high: model.v_high(),
+            eta_off: model.efficiency_at(model.v_off()).clamp(0.05, 1.0),
+            esr_ratio: if r_min > 0.0 {
+                (r_max / r_min).max(1.0)
+            } else {
+                1.0
+            },
+            headroom: (model.v_high().get() / model.v_off().get()).max(1.0),
+        }
+    }
+}
+
+/// The physical-draw band for a task declaring buffer energy `e`:
+/// `[e·η_off, e/η_off]`, outward-rounded.
+#[must_use]
+pub fn consumption_band(e: Joules, eta_off: f64) -> IntervalJ {
+    let eta = eta_off.clamp(0.05, 1.0);
+    IntervalJ::new(
+        Joules::new((e.get() * eta).next_down().max(0.0)),
+        Joules::new((e.get() / eta).next_up()),
+    )
+}
+
+/// The harvest-credit band for an idle window of `gap` seconds at
+/// declared power `p`: `[p·max(0, d_min·gap − t_out), p·gap·headroom]`,
+/// outward-rounded. Windows shorter than `t_out / d_min` credit nothing
+/// on the low side — the zero-harvest envelope.
+#[must_use]
+pub fn harvest_band(p: Watts, gap: Seconds, headroom: f64, cfg: &VerifyConfig) -> IntervalJ {
+    let on_s = (cfg.duty_min * gap.get() - cfg.outage_s).max(0.0);
+    let lo = (p.get() * on_s).next_down().max(0.0);
+    let hi = (p.get() * gap.get() * headroom.max(1.0)).next_up().max(lo);
+    IntervalJ::new(Joules::new(lo), Joules::new(hi))
+}
+
+/// The Theorem 1 voltage floor the model itself implies for a launch:
+/// `√((V_off + V_δ·r_max/r_min)² + 2·E_hi/C)`, rounded up. A launch below
+/// this voltage either dips under `V_off` through the worst-case ESR or
+/// exhausts the buffer outright, whatever its declared `V_safe` says.
+#[must_use]
+pub fn requirement_floor(
+    v_off: Volts,
+    v_delta: Volts,
+    esr_ratio: f64,
+    e_hi: Joules,
+    c: f64,
+) -> Volts {
+    let dip = (v_off.get() + (v_delta.get() * esr_ratio.max(1.0)).next_up()).next_up();
+    IntervalV::point(Volts::new(dip))
+        .charge(IntervalJ::point(e_hi), c)
+        .hi()
+}
+
+/// Per-launch record from one envelope walk.
+#[derive(Debug, Clone)]
+struct WalkCheck {
+    launch_index: usize,
+    task: String,
+    pre: IntervalV,
+    post: IntervalV,
+    requirement: Volts,
+    floor: Volts,
+    declared_v_safe: Option<Volts>,
+}
+
+/// Walks the launch list once from `entry`, returning the envelope after
+/// the last task and the per-launch records.
+fn walk(
+    entry: IntervalV,
+    plan: &PlanSpec,
+    p: &ModelParams,
+    cfg: &VerifyConfig,
+) -> (IntervalV, Vec<WalkCheck>) {
+    let power = Watts::from_milli(plan.recharge_power_mw);
+    let mut env = entry;
+    let mut t_prev = 0.0_f64;
+    let mut checks = Vec::with_capacity(plan.launches.len());
+    for (i, l) in plan.launches.iter().enumerate() {
+        let gap = Seconds::new((l.start_s - t_prev).max(0.0));
+        env = env
+            .charge(harvest_band(power, gap, p.headroom, cfg), p.c)
+            .min(p.v_high);
+        let band = consumption_band(Joules::new(l.energy_mj * 1e-3), p.eta_off);
+        let floor = requirement_floor(p.v_off, Volts::new(l.v_delta), p.esr_ratio, band.hi(), p.c);
+        let declared = l.v_safe.map(Volts::new);
+        let requirement = declared.map_or(floor, |vs| vs.max(floor));
+        let pre = env;
+        env = env.discharge(band, p.c);
+        checks.push(WalkCheck {
+            launch_index: i,
+            task: l.task.clone(),
+            pre,
+            post: env,
+            requirement,
+            floor,
+            declared_v_safe: declared,
+        });
+        t_prev = l.start_s;
+    }
+    (env, checks)
+}
+
+/// The concrete best-case unroll: minimal draw, maximal harvest, rounded
+/// upward at every step, including harvest during the synthesized replay
+/// tasks themselves. Returns a witness if even this trajectory drains to
+/// `V_off`. Monotonicity makes the witness minimal: the first doomed
+/// launch of the best-case trajectory is the earliest any admissible
+/// trajectory can be *certainly* dead.
+fn find_certain_exhaustion(
+    plan: &PlanSpec,
+    model: &PowerSystemModel,
+    p: &ModelParams,
+    cfg: &VerifyConfig,
+    v_start: Volts,
+) -> Option<Counterexample> {
+    let power = Watts::from_milli(plan.recharge_power_mw);
+    let cycles = if plan.period_s.is_some() {
+        cfg.unroll_cycles.max(1)
+    } else {
+        1
+    };
+    let period = plan.period_s.unwrap_or(0.0);
+    let mut hi = IntervalV::point(v_start);
+    let mut prefix: Vec<LaunchSpec> = Vec::new();
+    let mut t_prev = 0.0_f64;
+    let mut cycle_entry_hi = hi.hi();
+    for cycle in 0..cycles {
+        let offset = cycle as f64 * period;
+        for l in &plan.launches {
+            let abs_start = offset + l.start_s;
+            let gap = Seconds::new((abs_start - t_prev).max(0.0));
+            // Harvest credit for the window leading into this launch. The
+            // replayed task may outlast the planned gap, so the *previous*
+            // window was already stretched to cover it (below).
+            hi = hi
+                .charge(harvest_band(power, gap, p.headroom, cfg).hi_only(), p.c)
+                .min(p.v_high);
+            let mut unrolled = l.clone();
+            unrolled.start_s = abs_start;
+            prefix.push(unrolled);
+            let e_lo = consumption_band(Joules::new(l.energy_mj * 1e-3), p.eta_off).lo();
+            // Credit harvest during the synthesized task itself, then take
+            // the minimal draw; energy conservation bounds any interleaving.
+            let d = replay_duration(model, l);
+            let task_credit = harvest_band(power, d, p.headroom, cfg).hi();
+            let task_end = hi
+                .charge(IntervalJ::point(task_credit), p.c)
+                .discharge(IntervalJ::point(e_lo), p.c)
+                .min(p.v_high);
+            if task_end.hi() <= p.v_off {
+                return Some(Counterexample {
+                    v_start,
+                    failing_launch: prefix.len() - 1,
+                    cycle: cycle + 1,
+                    v_predicted: task_end.hi(),
+                    prefix,
+                });
+            }
+            // Transition: the harvest window to the next launch starts
+            // where the replayed task actually ends, so an overlong task
+            // never shortens the credited charging time below reality.
+            hi = task_end;
+            t_prev = abs_start + d.get().max(0.0);
+        }
+        if plan.launches.is_empty() {
+            break;
+        }
+        // Stationary across a full cycle ⇒ it never dooms; stop early.
+        let entry_now = hi.hi();
+        if cycle > 0 && entry_now == cycle_entry_hi {
+            break;
+        }
+        cycle_entry_hi = entry_now;
+    }
+    None
+}
+
+/// Verifies `plan` against `spec`, deriving the charge model from the
+/// spec. Spec errors come back as a C046 [`Verdict::Unknown`].
+#[must_use]
+pub fn verify_plan(spec: &SystemSpec, plan: &PlanSpec) -> VerifyOutcome {
+    match spec.clone().into_model() {
+        Ok(model) => verify_with_model(&model, plan, &VerifyConfig::default()),
+        Err(e) => VerifyOutcome::inapplicable(format!(
+            "the system spec does not define a usable charge model: {e}"
+        )),
+    }
+}
+
+/// Verifies `plan` against an already-built charge model.
+#[must_use]
+pub fn verify_with_model(
+    model: &PowerSystemModel,
+    plan: &PlanSpec,
+    cfg: &VerifyConfig,
+) -> VerifyOutcome {
+    if let Some(reason) = unusable_reason(plan) {
+        return VerifyOutcome::inapplicable(reason);
+    }
+    let p = ModelParams::of(model);
+    let v_start = plan.v_start.map_or(p.v_high, Volts::new);
+    let start = IntervalV::point(v_start.min(p.v_high));
+
+    // Fixpoint over the hyperperiod (trivial for single-shot plans).
+    let (entry, iterations, widened) = match plan.period_s {
+        Some(period) if !plan.launches.is_empty() => {
+            let power = Watts::from_milli(plan.recharge_power_mw);
+            let last_start = plan.launches.last().map_or(0.0, |l| l.start_s);
+            let wrap = Seconds::new((period - last_start).max(0.0));
+            let mut entry = start;
+            let mut iterations = 0usize;
+            let mut widened = false;
+            loop {
+                iterations += 1;
+                let (exit, _) = walk(entry, plan, &p, cfg);
+                let wrapped = exit
+                    .charge(harvest_band(power, wrap, p.headroom, cfg), p.c)
+                    .min(p.v_high);
+                let next = entry.join(wrapped);
+                if next == entry {
+                    break;
+                }
+                if iterations >= cfg.max_iterations {
+                    entry = IntervalV::new(Volts::ZERO, p.v_high);
+                    widened = true;
+                    break;
+                }
+                entry = if iterations >= cfg.widen_after {
+                    widened = true;
+                    IntervalV::new(
+                        if next.lo() < entry.lo() {
+                            Volts::ZERO
+                        } else {
+                            next.lo()
+                        },
+                        if next.hi() > entry.hi() {
+                            p.v_high
+                        } else {
+                            next.hi()
+                        },
+                    )
+                } else {
+                    next
+                };
+            }
+            (entry, iterations, widened)
+        }
+        _ => (start, 1, false),
+    };
+
+    let (_, checks) = walk(entry, plan, &p, cfg);
+    let counterexample = find_certain_exhaustion(plan, model, &p, cfg, v_start.min(p.v_high));
+
+    let mut findings = Vec::new();
+    if let Some(cex) = &counterexample {
+        let failing = &cex.prefix[cex.failing_launch];
+        findings.push(Finding {
+            code: "C040",
+            error: true,
+            locus: format!("launch '{}' [{}]", failing.task, cex.failing_launch),
+            message: format!(
+                "certain exhaustion: even drawing only E·η and harvesting at the envelope \
+                 maximum, the buffer reaches {} ≤ V_off = {} at t = {} s (cycle {}) from \
+                 V_start = {}; a {}-launch prefix is a replayable counterexample",
+                cex.v_predicted,
+                p.v_off,
+                failing.start_s,
+                cex.cycle,
+                cex.v_start,
+                cex.prefix.len(),
+            ),
+            help: Some(
+                "replay the counterexample with `culpeo-verify::replay_on` or drop \
+                 launches until the plan recharges faster than it drains"
+                    .to_string(),
+            ),
+        });
+    }
+
+    let mut blocking: Option<Imprecision> = None;
+    for chk in &checks {
+        let locus = format!("launch '{}' [{}]", chk.task, chk.launch_index);
+        if let Some(vs) = chk.declared_v_safe {
+            if chk.floor > vs {
+                findings.push(Finding {
+                    code: "C045",
+                    error: false,
+                    locus: locus.clone(),
+                    message: format!(
+                        "the model-derived Theorem 1 floor {} exceeds the declared V_safe = {vs}; \
+                         verification uses the floor",
+                        chk.floor
+                    ),
+                    help: Some("re-profile the task or loosen the declared estimate".to_string()),
+                });
+            }
+        }
+        if chk.pre.hi() < chk.requirement {
+            findings.push(Finding {
+                code: "C041",
+                error: true,
+                locus: locus.clone(),
+                message: format!(
+                    "the whole launch envelope {} lies below the requirement {} — Theorem 1's \
+                     voltage conjunct fails for every admissible trajectory",
+                    chk.pre, chk.requirement
+                ),
+                help: Some(
+                    "a conservative V_safe violation is not a certain brownout, so this \
+                     refutes the proof, not the plan"
+                        .to_string(),
+                ),
+            });
+            if blocking.is_none() {
+                blocking = Some(Imprecision {
+                    kind: ImprecisionKind::EnvelopeBelowRequirement,
+                    task: chk.task.clone(),
+                    launch_index: chk.launch_index,
+                    envelope: Some(chk.pre),
+                    requirement: Some(chk.requirement),
+                });
+            }
+        } else if chk.pre.lo() < chk.requirement {
+            findings.push(Finding {
+                code: "C042",
+                error: true,
+                locus: locus.clone(),
+                message: format!(
+                    "the launch envelope {} straddles the requirement {} — the proof is blocked \
+                     by this interval",
+                    chk.pre, chk.requirement
+                ),
+                help: Some(
+                    "delay the launch, raise recharge power, or tighten the task's \
+                     declared energy band"
+                        .to_string(),
+                ),
+            });
+            if blocking.is_none() {
+                blocking = Some(Imprecision {
+                    kind: ImprecisionKind::LaunchStraddle,
+                    task: chk.task.clone(),
+                    launch_index: chk.launch_index,
+                    envelope: Some(chk.pre),
+                    requirement: Some(chk.requirement),
+                });
+            }
+        }
+        if chk.post.lo() <= p.v_off && counterexample.is_none() {
+            findings.push(Finding {
+                code: "C043",
+                error: true,
+                locus,
+                message: format!(
+                    "the post-task envelope {} reaches V_off = {} — possible exhaustion the \
+                     verifier cannot rule out",
+                    chk.post, p.v_off
+                ),
+                help: None,
+            });
+            if blocking.is_none() {
+                blocking = Some(Imprecision {
+                    kind: ImprecisionKind::ExhaustionStraddle,
+                    task: chk.task.clone(),
+                    launch_index: chk.launch_index,
+                    envelope: Some(chk.post),
+                    requirement: Some(p.v_off),
+                });
+            }
+        }
+    }
+
+    let verdict = if let Some(cex) = counterexample {
+        Verdict::Refuted(cex)
+    } else if let Some(imp) = blocking {
+        Verdict::Unknown(imp)
+    } else {
+        Verdict::Proved
+    };
+    if widened && !matches!(verdict, Verdict::Proved) {
+        findings.push(Finding {
+            code: "C044",
+            error: false,
+            locus: "period fixpoint".to_string(),
+            message: format!(
+                "the entry envelope was widened to {entry} after {iterations} rounds; the \
+                 verdict may be imprecise for this plan"
+            ),
+            help: Some(
+                "a plan that drains a little every cycle has no finite fixpoint".to_string(),
+            ),
+        });
+    }
+
+    VerifyOutcome {
+        verdict,
+        findings,
+        launch_envelopes: checks.iter().map(|c| c.pre).collect(),
+        iterations,
+        widened,
+        fixpoint: plan.period_s.map(|_| entry),
+    }
+}
+
+/// Why this plan cannot be verified at all, if it can't.
+fn unusable_reason(plan: &PlanSpec) -> Option<String> {
+    let clean_f = |v: f64| v.is_finite() && v >= 0.0;
+    if !clean_f(plan.recharge_power_mw) {
+        return Some(format!(
+            "recharge power must be finite and non-negative; got {} mW",
+            plan.recharge_power_mw
+        ));
+    }
+    if let Some(v) = plan.v_start {
+        if !(v.is_finite() && v > 0.0) {
+            return Some(format!(
+                "start voltage must be positive and finite; got {v} V"
+            ));
+        }
+    }
+    for (i, l) in plan.launches.iter().enumerate() {
+        if !(clean_f(l.start_s) && clean_f(l.energy_mj) && clean_f(l.v_delta)) {
+            return Some(format!("launch [{i}] '{}' has unusable numbers", l.task));
+        }
+        if let Some(vs) = l.v_safe {
+            if !vs.is_finite() {
+                return Some(format!("launch [{i}] '{}' has a non-finite V_safe", l.task));
+            }
+        }
+        if i > 0 && l.start_s < plan.launches[i - 1].start_s {
+            return Some("launches are not sorted by start time".to_string());
+        }
+    }
+    if let Some(t) = plan.period_s {
+        let last = plan.launches.last().map_or(0.0, |l| l.start_s);
+        if !(t.is_finite() && t > 0.0) {
+            return Some(format!("period must be positive and finite; got {t} s"));
+        }
+        if t < last {
+            return Some(format!(
+                "period {t} s does not cover the last launch at {last} s"
+            ));
+        }
+    }
+    None
+}
+
+/// Upper-endpoint-only view used by the best-case unroll.
+trait HiOnly {
+    fn hi_only(self) -> IntervalJ;
+}
+
+impl HiOnly for IntervalJ {
+    fn hi_only(self) -> IntervalJ {
+        IntervalJ::point(self.hi())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capybara() -> PowerSystemModel {
+        PowerSystemModel::capybara()
+    }
+
+    fn outcome(plan: &PlanSpec) -> VerifyOutcome {
+        verify_with_model(&capybara(), plan, &VerifyConfig::default())
+    }
+
+    fn codes(o: &VerifyOutcome) -> Vec<&'static str> {
+        o.findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn verified_example_is_proved() {
+        let o = outcome(&PlanSpec::verified_example());
+        assert_eq!(o.verdict, Verdict::Proved, "{:?}", o.findings);
+        assert!(o.findings.is_empty(), "{:?}", o.findings);
+        assert!(!o.widened);
+        assert!(o.iterations <= 3, "iterations = {}", o.iterations);
+        let fix = o.fixpoint.expect("periodic plan has a fixpoint");
+        assert!(fix.lo() >= Volts::new(2.0), "fixpoint {fix}");
+    }
+
+    #[test]
+    fn figure5_is_unknown_with_straddle_on_the_radio() {
+        let o = outcome(&PlanSpec::figure5_example());
+        let Verdict::Unknown(imp) = &o.verdict else {
+            panic!("expected Unknown, got {:?}", o.verdict);
+        };
+        assert_eq!(imp.task, "radio");
+        assert_eq!(imp.kind, ImprecisionKind::LaunchStraddle);
+        assert!(imp.envelope.is_some() && imp.requirement.is_some());
+        let cs = codes(&o);
+        assert!(cs.contains(&"C042"), "{cs:?}");
+        // The sense task's declared V_safe = 1.7 sits below the
+        // model-derived floor → warning.
+        assert!(cs.contains(&"C045"), "{cs:?}");
+        assert!(
+            !cs.contains(&"C040"),
+            "figure 5 is not certainly doomed: {cs:?}"
+        );
+    }
+
+    #[test]
+    fn single_shot_exhaustion_is_refuted_with_minimal_prefix() {
+        let mut plan = PlanSpec::figure5_example();
+        plan.launches[0].energy_mj = 200.0; // > ½C(V_high² − V_off²) even at E·η
+        plan.launches[0].v_delta = 0.3; // high-current task: too fast to be rescued by harvest
+        let o = outcome(&plan);
+        let Verdict::Refuted(cex) = &o.verdict else {
+            panic!("expected Refuted, got {:?}", o.verdict);
+        };
+        assert_eq!(cex.cycle, 1);
+        assert_eq!(cex.failing_launch, 0);
+        assert_eq!(
+            cex.prefix.len(),
+            1,
+            "minimal prefix stops at the doomed launch"
+        );
+        assert!(cex.v_predicted <= Volts::new(1.6));
+        assert!(codes(&o).contains(&"C040"));
+    }
+
+    #[test]
+    fn periodic_drain_without_harvest_is_refuted_in_a_later_cycle() {
+        let mut plan = PlanSpec::verified_example();
+        plan.recharge_power_mw = 0.0;
+        let o = outcome(&plan);
+        let Verdict::Refuted(cex) = &o.verdict else {
+            panic!("expected Refuted, got {:?}", o.verdict);
+        };
+        assert!(
+            cex.cycle > 1,
+            "drain takes several cycles; got {}",
+            cex.cycle
+        );
+        // The prefix is fully unrolled with absolute times.
+        let last = cex.prefix.last().unwrap();
+        assert!(last.start_s >= plan.period_s.unwrap());
+        assert_eq!(cex.failing_launch, cex.prefix.len() - 1);
+    }
+
+    #[test]
+    fn slow_periodic_drain_widens_to_unknown() {
+        // Per cycle: the worst-case draw exceeds the envelope's minimum
+        // harvest credit, so the entry envelope descends forever — no
+        // finite fixpoint. Widening must terminate it, and the best case
+        // (full 8 mW) recharges fine, so it cannot be refuted either.
+        let mut plan = PlanSpec::verified_example();
+        plan.period_s = Some(20.0);
+        let o = outcome(&plan);
+        assert!(o.widened);
+        assert!(matches!(o.verdict, Verdict::Unknown(_)), "{:?}", o.verdict);
+        let cs = codes(&o);
+        assert!(cs.contains(&"C044"), "{cs:?}");
+        assert!(!cs.contains(&"C040"), "{cs:?}");
+    }
+
+    #[test]
+    fn exhaustion_straddle_reports_c043_alongside_the_launch_check() {
+        // 80 mJ from a full buffer: drains below V_off at E/η but stays
+        // above at E·η — a genuine unknown.
+        let mut plan = PlanSpec::figure5_example();
+        plan.launches.truncate(1);
+        plan.launches[0].energy_mj = 80.0;
+        let o = outcome(&plan);
+        assert!(matches!(o.verdict, Verdict::Unknown(_)));
+        let cs = codes(&o);
+        assert!(cs.contains(&"C043"), "{cs:?}");
+    }
+
+    #[test]
+    fn empty_plan_is_trivially_proved() {
+        let plan = PlanSpec {
+            recharge_power_mw: 8.0,
+            v_start: None,
+            period_s: None,
+            launches: vec![],
+        };
+        let o = outcome(&plan);
+        assert_eq!(o.verdict, Verdict::Proved);
+        assert!(o.launch_envelopes.is_empty());
+    }
+
+    #[test]
+    fn bad_period_is_inapplicable() {
+        let mut plan = PlanSpec::verified_example();
+        plan.period_s = Some(0.5); // does not cover the radio at 1 s
+        let o = outcome(&plan);
+        assert!(matches!(
+            o.verdict,
+            Verdict::Unknown(Imprecision {
+                kind: ImprecisionKind::Inapplicable,
+                ..
+            })
+        ));
+        assert_eq!(codes(&o), vec!["C046"]);
+    }
+
+    #[test]
+    fn unusable_numbers_are_inapplicable() {
+        let mut plan = PlanSpec::figure5_example();
+        plan.launches[0].energy_mj = f64::NAN;
+        let o = outcome(&plan);
+        assert_eq!(codes(&o), vec!["C046"]);
+    }
+
+    #[test]
+    fn envelopes_enclose_scalar_prediction_for_the_figure5_plan() {
+        // The scalar walk (exact declared energy, full declared harvest)
+        // is one admissible trajectory; every launch envelope must
+        // contain it.
+        let plan = PlanSpec::figure5_example();
+        let o = outcome(&plan);
+        assert_eq!(o.launch_envelopes.len(), 2);
+        // Scalar: 2.56 at sense; √(2.56² − 2·0.06/0.045) then 0.5 s of
+        // 8 mW before the radio.
+        let v_sense = 2.56_f64;
+        let v_after = (v_sense * v_sense - 2.0 * 0.06 / 0.045).sqrt();
+        let v_radio = (v_after * v_after + 2.0 * 0.008 * 0.5 / 0.045).sqrt();
+        assert!(o.launch_envelopes[0].contains(Volts::new(v_sense)));
+        assert!(
+            o.launch_envelopes[1].contains(Volts::new(v_radio)),
+            "{} should contain {v_radio}",
+            o.launch_envelopes[1]
+        );
+    }
+
+    #[test]
+    fn verdict_tags_are_stable() {
+        assert_eq!(Verdict::Proved.tag(), "proved");
+        let o = outcome(&PlanSpec::figure5_example());
+        assert_eq!(o.verdict.tag(), "unknown");
+    }
+}

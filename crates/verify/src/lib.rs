@@ -1,0 +1,98 @@
+//! Sound static verification of whole schedules (`culpeo verify`).
+//!
+//! The plan lints (C020–C023) walk a *scalar* voltage prediction: each
+//! task consumes exactly its declared energy and every gap recharges at
+//! exactly the declared power. That is a useful smell test but not a
+//! proof — the real plant draws more than the model (booster loss, ESR
+//! heating), harvesters drop out, and floating-point rounding cuts both
+//! ways. This crate replaces the scalar walk with an *abstract
+//! interpretation* over [`culpeo_units::IntervalV`]: a voltage envelope
+//! `[v_lo, v_hi]` that provably brackets every admissible concrete
+//! trajectory, propagated with directed (outward) rounding.
+//!
+//! The admissible-trajectory envelope, per launch:
+//!
+//! * **consumption**: the declared task energy `E` is the *model's* buffer
+//!   draw; the physical draw is bracketed by the booster-efficiency band
+//!   `[E·η(V_off), E/η(V_off)]` (a plant drawing `E` at the output rail
+//!   costs up to `E/η` from the buffer; one that declared `E` as a buffer
+//!   figure can physically draw as little as `E·η`);
+//! * **harvest**: an idle gap of `g` seconds credits at most
+//!   `P·g·(V_high/V_off)` (the declared power `P`, measured at the bottom
+//!   of the range, scales with node voltage) and at least
+//!   `P·max(0, d_min·g − t_out)` — a duty-cycled source that is on a
+//!   fraction `d_min` of the time and can disappear for up to `t_out`
+//!   seconds at a stretch. Gaps shorter than `t_out/d_min` therefore
+//!   credit *nothing*: the zero-harvest envelope of Culpeo-PG's worst
+//!   case;
+//! * **requirement**: a launch is safe when the envelope's lower endpoint
+//!   clears both the declared `V_safe` and the Theorem 1 floor derived
+//!   from the model itself, `√((V_off + V_δ·r_max/r_min)² + 2E_hi/C)`,
+//!   which charges the declared ESR dip up to the top of the measured
+//!   ESR curve.
+//!
+//! Periodic plans ([`culpeo_api::PlanSpec::period_s`]) iterate the launch
+//! list to a fixpoint with lattice join at the cycle boundary, widening to
+//! the domain bounds after [`VerifyConfig::widen_after`] rounds so the
+//! iteration always terminates. The result is a three-valued verdict:
+//!
+//! * [`Verdict::Proved`] — every admissible trajectory clears every
+//!   launch; Theorem 1 holds for the whole schedule.
+//! * [`Verdict::Refuted`] — even the *best-case* trajectory (minimal
+//!   draw, maximal harvest) exhausts the buffer; the attached
+//!   [`Counterexample`] is a concrete minimal schedule prefix plus a
+//!   starting voltage that browns out when replayed through
+//!   `culpeo-powersim` (see [`replay`]).
+//! * [`Verdict::Unknown`] — the envelope straddles a requirement; the
+//!   attached [`Imprecision`] names the blocking interval and the launch
+//!   where precision was lost.
+//!
+//! Verdicts surface as diagnostics C040–C046 through
+//! `culpeo-analyze`'s registry; see `DESIGN.md` §11 for the full table
+//! and the soundness argument.
+
+pub mod interp;
+pub mod replay;
+pub mod wire;
+
+pub use interp::{
+    verify_plan, verify_with_model, Counterexample, Finding, Imprecision, ImprecisionKind, Verdict,
+    VerifyOutcome,
+};
+pub use replay::{plant_from_model, replay_duration, replay_on, synthesize_profile, ReplayOutcome};
+pub use wire::{exit_code, to_response};
+
+/// Tunable envelope parameters for the abstract interpreter.
+///
+/// The defaults are matched to the fault-injection battery's
+/// `dropout_harvester` family (duty ≥ 0.3, dropout windows ≤ 3 s), so a
+/// `Proved` plan survives every harvester that battery can throw at it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerifyConfig {
+    /// Minimum fraction of any idle gap the harvester is actually on.
+    pub duty_min: f64,
+    /// Longest contiguous harvester outage, in seconds. Gaps shorter than
+    /// `outage_s / duty_min` credit no harvest at all.
+    pub outage_s: f64,
+    /// How many hyperperiods the concrete best-case unroll searches for a
+    /// certain-exhaustion counterexample before giving up.
+    pub unroll_cycles: usize,
+    /// Fixpoint rounds before the entry envelope is widened to the domain
+    /// bounds (`[0, V_high]` on the moving side).
+    pub widen_after: usize,
+    /// Hard cap on fixpoint rounds (defensive; widening converges long
+    /// before this).
+    pub max_iterations: usize,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        Self {
+            duty_min: 0.3,
+            outage_s: 3.0,
+            unroll_cycles: 64,
+            widen_after: 8,
+            max_iterations: 64,
+        }
+    }
+}

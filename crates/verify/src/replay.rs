@@ -1,0 +1,289 @@
+//! Counterexample replay: turning a [`Counterexample`] prefix back into a
+//! physical `culpeo-powersim` run.
+//!
+//! A plan launch declares only `(E, V_δ)`; the plant needs a load
+//! profile. The synthesis here picks the unique constant-current profile
+//! that honours both numbers against the *model's* physics:
+//!
+//! * output current `i_out = V_δ·η(V_off)·V_off / (V_out·r_max)` — the
+//!   current whose booster-side input current dips the node by at most
+//!   the declared `V_δ` through the worst-case ESR (clamped to a
+//!   practical 1–80 mA band);
+//! * output energy `e_out = E·η(V_off)·η_max` — chosen so the buffer-side
+//!   draw lands inside the verifier's consumption band
+//!   `[E·η(V_off), E/η(V_off)]` whatever voltage the booster actually
+//!   runs at (`draw = e_out/η_actual ∈ [e_out/η_max, e_out/η(V_off)]`,
+//!   plus ESR heating, which only pushes it further from the lower
+//!   bound);
+//! * duration `d = e_out / (V_out·i_out)`.
+//!
+//! Replaying a [`Verdict::Refuted`] prefix with any harvester inside the
+//! verifier's envelope must brown the plant out; replaying a
+//! [`Verdict::Proved`] plan must not. The soundness battery exercises
+//! both directions.
+//!
+//! [`Counterexample`]: crate::Counterexample
+//! [`Verdict::Refuted`]: crate::Verdict::Refuted
+//! [`Verdict::Proved`]: crate::Verdict::Proved
+
+use culpeo::PowerSystemModel;
+use culpeo_api::LaunchSpec;
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::{OutputBooster, PowerSystem, RunConfig, VoltageMonitor};
+use culpeo_units::{Amps, Seconds, Volts};
+
+/// Practical bounds on the synthesized output current.
+const I_OUT_MIN: f64 = 1.0e-3;
+const I_OUT_MAX: f64 = 80.0e-3;
+
+/// What happened when a schedule prefix ran on the plant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayOutcome {
+    /// Index (into the replayed prefix) of the first launch the monitor
+    /// killed, if any.
+    pub brownout_launch: Option<usize>,
+    /// Node voltage when the replay ended.
+    pub v_final: Volts,
+    /// How many launches actually started.
+    pub launches_run: usize,
+}
+
+impl ReplayOutcome {
+    /// True when every launch ran to completion.
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.brownout_launch.is_none()
+    }
+}
+
+/// Worst-case booster efficiency `η(V_off)`, clamped usable.
+fn eta_off(model: &PowerSystemModel) -> f64 {
+    model.efficiency_at(model.v_off()).clamp(0.05, 1.0)
+}
+
+/// Best-case booster efficiency over the operating range (the efficiency
+/// line is monotone, so an endpoint attains the maximum).
+fn eta_max(model: &PowerSystemModel) -> f64 {
+    model
+        .efficiency_at(model.v_off())
+        .max(model.efficiency_at(model.v_high()))
+        .clamp(0.05, 1.0)
+}
+
+/// The largest resistance on the model's measured ESR curve.
+fn r_max(model: &PowerSystemModel) -> f64 {
+    model
+        .esr_curve()
+        .points()
+        .iter()
+        .map(|&(_, r)| r.get())
+        .fold(0.0, f64::max)
+        .max(1e-6)
+}
+
+/// The synthesized constant output current for one launch.
+fn output_current(model: &PowerSystemModel, launch: &LaunchSpec) -> Amps {
+    let i = launch.v_delta * eta_off(model) * model.v_off().get()
+        / (model.v_out().get() * r_max(model));
+    Amps::new(i.clamp(I_OUT_MIN, I_OUT_MAX))
+}
+
+/// How long the synthesized replay profile for `launch` runs. The
+/// best-case unroll in `interp` credits harvest over exactly this window,
+/// which is why the two modules must agree on it.
+#[must_use]
+pub fn replay_duration(model: &PowerSystemModel, launch: &LaunchSpec) -> Seconds {
+    let e_out = launch.energy_mj * 1e-3 * eta_off(model) * eta_max(model);
+    if e_out <= 0.0 {
+        return Seconds::ZERO;
+    }
+    let i = output_current(model, launch);
+    Seconds::new(e_out / (model.v_out().get() * i.get()))
+}
+
+/// Builds the constant-current load profile for one launch, or `None`
+/// for a zero-energy launch (nothing to run).
+#[must_use]
+pub fn synthesize_profile(model: &PowerSystemModel, launch: &LaunchSpec) -> Option<LoadProfile> {
+    let d = replay_duration(model, launch);
+    if d.get() <= 0.0 {
+        return None;
+    }
+    Some(LoadProfile::constant(
+        launch.task.clone(),
+        output_current(model, launch),
+        d,
+    ))
+}
+
+/// A worst-case physical plant for `model`: single-branch bank at the ESR
+/// curve's maximum resistance, the model's own booster and monitor, no
+/// harvester (callers attach one with
+/// [`PowerSystem::set_harvester`]).
+#[must_use]
+pub fn plant_from_model(model: &PowerSystemModel) -> PowerSystem {
+    PowerSystem::builder()
+        .bank(model.capacitance(), culpeo_units::Ohms::new(r_max(model)))
+        .booster(OutputBooster::new(
+            model.v_out(),
+            *model.efficiency(),
+            Volts::new(0.5),
+        ))
+        .monitor(VoltageMonitor::new(model.v_high(), model.v_off()))
+        .build()
+}
+
+/// Replays a schedule prefix on `sys` from `v_start`, launching each task
+/// at its (absolute) planned start time — or immediately, open-loop, if
+/// the previous task overran. Returns at the first launch the monitor
+/// kills.
+pub fn replay_on(
+    sys: &mut PowerSystem,
+    model: &PowerSystemModel,
+    prefix: &[LaunchSpec],
+    v_start: Volts,
+) -> ReplayOutcome {
+    let idle_dt = Seconds::from_milli(1.0);
+    let mut cfg = RunConfig::coarse().without_trace();
+    cfg.settle_timeout = Seconds::ZERO;
+    sys.set_buffer_voltage(v_start);
+    sys.force_output_enabled();
+    let mut launches_run = 0usize;
+    for (i, launch) in prefix.iter().enumerate() {
+        let wait = launch.start_s - sys.time().get();
+        if wait > idle_dt.get() {
+            let _ = sys.run_idle(Seconds::new(wait), idle_dt);
+        }
+        // The open-loop schedule launches regardless of monitor state —
+        // that is exactly the failure mode Theorem 1 exists to prevent.
+        sys.force_output_enabled();
+        let Some(profile) = synthesize_profile(model, launch) else {
+            continue;
+        };
+        launches_run += 1;
+        let out = sys.run_profile(&profile, cfg);
+        if out.brownout.is_some() || out.collapsed {
+            return ReplayOutcome {
+                brownout_launch: Some(i),
+                v_final: sys.v_node(),
+                launches_run,
+            };
+        }
+    }
+    ReplayOutcome {
+        brownout_launch: None,
+        v_final: sys.v_node(),
+        launches_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{verify_with_model, Verdict, VerifyConfig};
+    use culpeo_api::PlanSpec;
+    use culpeo_powersim::Harvester;
+    use culpeo_units::Watts;
+
+    fn model() -> PowerSystemModel {
+        PowerSystemModel::capybara()
+    }
+
+    #[test]
+    fn synthesized_current_respects_the_declared_dip() {
+        let m = model();
+        let launch = LaunchSpec {
+            task: "radio".to_string(),
+            start_s: 0.0,
+            energy_mj: 3.0,
+            v_delta: 0.35,
+            v_safe: Some(2.1),
+        };
+        let i_out = output_current(&m, &launch);
+        // Input current through the worst-case ESR must dip ≤ V_δ at the
+        // bottom of the range.
+        let i_in = i_out.get() * m.v_out().get() / (eta_off(&m) * m.v_off().get());
+        assert!(i_in * r_max(&m) <= 0.35 + 1e-9, "dip {}", i_in * r_max(&m));
+        // Duration shrinks as the declared dip (hence current) grows.
+        let mut gentle = launch.clone();
+        gentle.v_delta = 0.05;
+        assert!(replay_duration(&m, &gentle) > replay_duration(&m, &launch));
+    }
+
+    #[test]
+    fn zero_energy_launch_synthesizes_nothing() {
+        let m = model();
+        let launch = LaunchSpec {
+            task: "noop".to_string(),
+            start_s: 0.0,
+            energy_mj: 0.0,
+            v_delta: 0.1,
+            v_safe: None,
+        };
+        assert!(synthesize_profile(&m, &launch).is_none());
+        assert_eq!(replay_duration(&m, &launch), Seconds::ZERO);
+    }
+
+    #[test]
+    fn refuted_counterexample_browns_out_on_the_plant() {
+        let m = model();
+        let mut plan = PlanSpec::figure5_example();
+        plan.launches[0].energy_mj = 200.0;
+        plan.launches[0].v_delta = 0.3;
+        let outcome = verify_with_model(&m, &plan, &VerifyConfig::default());
+        let Verdict::Refuted(cex) = outcome.verdict else {
+            panic!("expected Refuted, got {:?}", outcome.verdict);
+        };
+        // Replay with the plan's own declared harvest — inside the
+        // verifier's envelope, so the brownout is guaranteed.
+        let mut sys = plant_from_model(&m);
+        sys.set_harvester(Harvester::ConstantPower(Watts::from_milli(
+            plan.recharge_power_mw,
+        )));
+        let replay = replay_on(&mut sys, &m, &cex.prefix, cex.v_start);
+        let hit = replay
+            .brownout_launch
+            .expect("a refuted prefix must brown out");
+        assert!(hit <= cex.failing_launch, "browned out late: {hit}");
+        // The monitor trips on the ESR-dipped *node* voltage, so the cut
+        // can land before the internal voltage reaches V_off; the node
+        // still ends well below a healthy launch level.
+        assert!(replay.v_final < Volts::new(2.0), "{}", replay.v_final);
+    }
+
+    #[test]
+    fn proved_plan_survives_a_dropout_harvester_replay() {
+        let m = model();
+        let plan = PlanSpec::verified_example();
+        let outcome = verify_with_model(&m, &plan, &VerifyConfig::default());
+        assert_eq!(outcome.verdict, Verdict::Proved);
+        // Unroll three hyperperiods by hand and run them under a
+        // worst-admissible windowed harvester: duty at the envelope's
+        // minimum, on-current sized so the declared 8 mW is the on-window
+        // delivery floor (v ≥ V_off ⇒ v·i ≥ 8 mW).
+        let period = plan.period_s.unwrap();
+        let mut prefix = Vec::new();
+        for k in 0..3 {
+            for l in &plan.launches {
+                let mut unrolled = l.clone();
+                unrolled.start_s += k as f64 * period;
+                prefix.push(unrolled);
+            }
+        }
+        let mut sys = plant_from_model(&m);
+        sys.set_harvester(Harvester::Windowed {
+            i: Amps::new(8.0e-3 / m.v_off().get()),
+            period: Seconds::new(3.0),
+            duty: 0.3,
+            phase: Seconds::new(1.7),
+        });
+        let replay = replay_on(&mut sys, &m, &prefix, Volts::new(2.56));
+        assert!(
+            replay.completed(),
+            "proved plan browned out at launch {:?} (v_final {})",
+            replay.brownout_launch,
+            replay.v_final
+        );
+        assert_eq!(replay.launches_run, prefix.len());
+    }
+}

@@ -1,0 +1,113 @@
+//! Wire conversion: [`VerifyOutcome`] → [`culpeo_api::VerifyResponse`].
+//!
+//! The daemon's `/v1/verify` handler, the CLI's `--format json` mode, and
+//! the harness battery all serialise verdicts through this one function,
+//! so the three surfaces cannot drift apart.
+
+use culpeo_api::{CounterexampleDto, UnknownDto, VerifyFindingDto, VerifyResponse};
+
+use crate::interp::{Verdict, VerifyOutcome};
+
+/// The exit code a verdict maps to: 0 only for a proof, 1 otherwise
+/// (`Refuted` and `Unknown` both mean "do not ship this schedule").
+#[must_use]
+pub fn exit_code(verdict: &Verdict) -> u32 {
+    match verdict {
+        Verdict::Proved => 0,
+        Verdict::Refuted(_) | Verdict::Unknown(_) => 1,
+    }
+}
+
+/// Builds the versioned wire document for one verification outcome.
+#[must_use]
+pub fn to_response(outcome: &VerifyOutcome) -> VerifyResponse {
+    let counterexample = match &outcome.verdict {
+        Verdict::Refuted(cex) => Some(CounterexampleDto {
+            v_start_v: cex.v_start.get(),
+            cycle: cex.cycle as u64,
+            failing_launch: cex.failing_launch as u64,
+            v_predicted_v: cex.v_predicted.get(),
+            prefix: cex.prefix.clone(),
+        }),
+        _ => None,
+    };
+    let unknown = match &outcome.verdict {
+        Verdict::Unknown(imp) => Some(UnknownDto {
+            kind: imp.kind.tag().to_string(),
+            task: imp.task.clone(),
+            launch_index: imp.envelope.is_some().then_some(imp.launch_index as u64),
+            envelope_lo_v: imp.envelope.map(|e| e.lo().get()),
+            envelope_hi_v: imp.envelope.map(|e| e.hi().get()),
+            requirement_v: imp.requirement.map(culpeo_units::Volts::get),
+        }),
+        _ => None,
+    };
+    VerifyResponse {
+        schema_version: culpeo_api::SCHEMA_VERSION,
+        verdict: outcome.verdict.tag().to_string(),
+        iterations: outcome.iterations as u64,
+        widened: outcome.widened,
+        counterexample,
+        unknown,
+        findings: outcome
+            .findings
+            .iter()
+            .map(|f| VerifyFindingDto {
+                code: f.code.to_string(),
+                severity: if f.error { "error" } else { "warning" }.to_string(),
+                locus: f.locus.clone(),
+                message: f.message.clone(),
+                help: f.help.clone(),
+            })
+            .collect(),
+        exit_code: exit_code(&outcome.verdict),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{verify_with_model, VerifyConfig};
+    use culpeo::PowerSystemModel;
+    use culpeo_api::PlanSpec;
+
+    fn respond(plan: &PlanSpec) -> VerifyResponse {
+        let model = PowerSystemModel::capybara();
+        to_response(&verify_with_model(&model, plan, &VerifyConfig::default()))
+    }
+
+    #[test]
+    fn proved_response_has_no_optional_payloads() {
+        let resp = respond(&PlanSpec::verified_example());
+        assert_eq!(resp.verdict, "proved");
+        assert_eq!(resp.exit_code, 0);
+        assert!(resp.counterexample.is_none());
+        assert!(resp.unknown.is_none());
+        assert!(resp.findings.is_empty());
+    }
+
+    #[test]
+    fn refuted_response_carries_the_witness() {
+        let mut plan = PlanSpec::figure5_example();
+        plan.launches[0].energy_mj = 200.0;
+        plan.launches[0].v_delta = 0.3;
+        let resp = respond(&plan);
+        assert_eq!((resp.verdict.as_str(), resp.exit_code), ("refuted", 1));
+        let cex = resp.counterexample.expect("witness");
+        assert!(!cex.prefix.is_empty());
+        assert!(cex.v_predicted_v <= 1.6 + 1e-9);
+        assert!(resp.findings.iter().any(|f| f.code == "C040"));
+    }
+
+    #[test]
+    fn unknown_response_names_the_blocking_interval() {
+        let resp = respond(&PlanSpec::figure5_example());
+        assert_eq!((resp.verdict.as_str(), resp.exit_code), ("unknown", 1));
+        let unk = resp.unknown.expect("imprecision");
+        assert_eq!(unk.kind, "launch-straddle");
+        assert_eq!(unk.task, "radio");
+        let (lo, hi) = (unk.envelope_lo_v.unwrap(), unk.envelope_hi_v.unwrap());
+        let req = unk.requirement_v.unwrap();
+        assert!(lo < req && req <= hi, "[{lo}, {hi}] vs {req}");
+    }
+}

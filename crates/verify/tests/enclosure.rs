@@ -1,0 +1,118 @@
+//! Enclosure property: the interval interpreter's launch envelopes must
+//! contain the scalar `culpeo-sched` prediction for every randomized
+//! plan. The scalar walk (exact declared energy, the full declared
+//! harvest power) is one admissible trajectory inside the verifier's
+//! uncertainty band, so an envelope that ever excludes it is unsound.
+
+use culpeo::compose::TaskRequirement;
+use culpeo::PowerSystemModel;
+use culpeo_api::{LaunchSpec, PlanSpec};
+use culpeo_sched::feasibility::{predicted_voltages, PlanContext, PlannedLaunch};
+use culpeo_units::{Joules, Seconds, Volts, Watts};
+use culpeo_verify::{verify_with_model, VerifyConfig};
+use proptest::prelude::*;
+
+const TASK_NAMES: [&str; 4] = ["sense", "radio", "log", "compute"];
+
+fn plan_from(power_mw: f64, n: usize, gap_s: f64, e_mj: f64, v_delta: f64) -> PlanSpec {
+    PlanSpec {
+        recharge_power_mw: power_mw,
+        v_start: Some(2.56),
+        period_s: None,
+        launches: (0..n)
+            .map(|i| LaunchSpec {
+                task: TASK_NAMES[i % TASK_NAMES.len()].to_string(),
+                start_s: gap_s * i as f64,
+                energy_mj: e_mj * (1.0 + 0.3 * i as f64),
+                v_delta,
+                v_safe: Some(1.7),
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn launch_envelopes_enclose_the_scalar_prediction(
+        power_mw in 0.0..30.0f64,
+        n in 1usize..5,
+        gap_s in 0.1..40.0f64,
+        e_mj in 0.5..40.0f64,
+        v_delta in 0.0..0.4f64,
+    ) {
+        let model = PowerSystemModel::capybara();
+        let plan = plan_from(power_mw, n, gap_s, e_mj, v_delta);
+        let outcome = verify_with_model(&model, &plan, &VerifyConfig::default());
+        prop_assert_eq!(outcome.launch_envelopes.len(), plan.launches.len());
+
+        let ctx = PlanContext {
+            capacitance: model.capacitance(),
+            v_off: model.v_off(),
+            v_high: model.v_high(),
+            recharge_power: Watts::from_milli(plan.recharge_power_mw),
+            v_start: Volts::new(2.56),
+        };
+        let launches: Vec<PlannedLaunch> = plan
+            .launches
+            .iter()
+            .map(|l| PlannedLaunch {
+                start: Seconds::new(l.start_s),
+                requirement: TaskRequirement {
+                    buffer_energy: Joules::new(l.energy_mj * 1e-3),
+                    v_delta: Volts::new(l.v_delta),
+                },
+                v_safe: l.v_safe.map_or(ctx.v_off, Volts::new),
+            })
+            .collect();
+        let scalar = predicted_voltages(&launches, &ctx);
+        for (env, v) in outcome.launch_envelopes.iter().zip(&scalar) {
+            prop_assert!(
+                env.contains(*v),
+                "envelope {} excludes the scalar prediction {}", env, v
+            );
+        }
+    }
+
+    // A periodic plan's fixpoint envelopes must still enclose the scalar
+    // first-cycle prediction: the fixpoint entry contains the start point.
+    #[test]
+    fn periodic_envelopes_enclose_cycle_one(
+        power_mw in 0.0..30.0f64,
+        gap_s in 0.5..20.0f64,
+        e_mj in 0.5..30.0f64,
+    ) {
+        let model = PowerSystemModel::capybara();
+        let mut plan = plan_from(power_mw, 2, gap_s, e_mj, 0.1);
+        plan.period_s = Some(gap_s * 2.0 + 30.0);
+        let outcome = verify_with_model(&model, &plan, &VerifyConfig::default());
+
+        let ctx = PlanContext {
+            capacitance: model.capacitance(),
+            v_off: model.v_off(),
+            v_high: model.v_high(),
+            recharge_power: Watts::from_milli(plan.recharge_power_mw),
+            v_start: Volts::new(2.56),
+        };
+        let launches: Vec<PlannedLaunch> = plan
+            .launches
+            .iter()
+            .map(|l| PlannedLaunch {
+                start: Seconds::new(l.start_s),
+                requirement: TaskRequirement {
+                    buffer_energy: Joules::new(l.energy_mj * 1e-3),
+                    v_delta: Volts::new(l.v_delta),
+                },
+                v_safe: Volts::new(1.7),
+            })
+            .collect();
+        let scalar = predicted_voltages(&launches, &ctx);
+        for (env, v) in outcome.launch_envelopes.iter().zip(&scalar) {
+            prop_assert!(
+                env.contains(*v),
+                "fixpoint envelope {} excludes cycle-1 scalar {}", env, v
+            );
+        }
+    }
+}

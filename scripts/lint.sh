@@ -15,6 +15,21 @@ cargo fmt --all -- --check
 echo "== cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
+# The static verifier must prove the seed Capybara schedule: a regression
+# here means either the interpreter lost precision or the reference plan
+# stopped being provable — both block the gate.
+echo "== culpeo verify examples/capybara_spec.json --plan examples/verified_plan.json"
+BIN=${CULPEO_BIN:-target/release/culpeo}
+if [[ ! -x "$BIN" ]]; then
+    cargo build --release -p culpeo-cli
+fi
+VERIFY_OUT=$("$BIN" verify examples/capybara_spec.json --plan examples/verified_plan.json)
+echo "$VERIFY_OUT"
+if [[ "$VERIFY_OUT" != *"proved"* ]]; then
+    echo "lint: the reference schedule is no longer statically proved" >&2
+    exit 1
+fi
+
 echo "== scripts/smoke_serve.sh"
 scripts/smoke_serve.sh
 

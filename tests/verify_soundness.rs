@@ -1,0 +1,108 @@
+//! Soundness battery for the static verifier: `culpeo-verify`'s verdicts
+//! must be *physically* meaningful on the simulated plant.
+//!
+//! Two directions, both property-based:
+//!
+//! * **`Proved` is safe** — a plan the interpreter proves must survive a
+//!   seeded harvester-dropout fault (from `culpeo-faults`) whose delivery
+//!   floor matches the plan's declared recharge power, replayed over
+//!   several hyperperiods on the worst-case plant. A single brownout
+//!   would falsify Theorem 1's static proof.
+//! * **`Refuted` is honest** — the concrete counterexample the verifier
+//!   returns must actually brown the plant out when its prefix is
+//!   replayed under the plan's own declared harvest, at or before the
+//!   launch the verifier blamed.
+
+use culpeo::PowerSystemModel;
+use culpeo_api::PlanSpec;
+use culpeo_faults::physics::dropout_harvester;
+use culpeo_powersim::Harvester;
+use culpeo_units::{Volts, Watts};
+use culpeo_verify::{plant_from_model, replay_on, verify_with_model, Verdict, VerifyConfig};
+use proptest::prelude::*;
+
+fn model() -> PowerSystemModel {
+    PowerSystemModel::capybara()
+}
+
+/// Unrolls a periodic plan's launch list over `cycles` hyperperiods into
+/// absolute start times.
+fn unroll(plan: &PlanSpec, cycles: usize) -> Vec<culpeo_api::LaunchSpec> {
+    let period = plan.period_s.expect("unroll needs a periodic plan");
+    let mut prefix = Vec::new();
+    for k in 0..cycles {
+        for launch in &plan.launches {
+            let mut l = launch.clone();
+            l.start_s += k as f64 * period;
+            prefix.push(l);
+        }
+    }
+    prefix
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `Proved` ⇒ zero brownouts under an in-envelope harvester-dropout
+    /// fault. The dropout source is seeded from `culpeo-faults` (duty ≥
+    /// 0.3, outage < 3 s — inside the envelope the interpreter's harvest
+    /// floor assumes), and the plan declares exactly the fault's
+    /// worst-case delivery floor `V_off · i` so the proof obligation and
+    /// the injected fault line up.
+    #[test]
+    fn proved_plans_survive_harvester_dropout(seed in 0u64..512) {
+        let m = model();
+        let fault = dropout_harvester(seed);
+        let Harvester::Windowed { i, .. } = fault else {
+            panic!("dropout_harvester changed shape");
+        };
+        let mut plan = PlanSpec::verified_example();
+        plan.recharge_power_mw = i.get() * m.v_off().get() * 1e3;
+        let outcome = verify_with_model(&m, &plan, &VerifyConfig::default());
+        prop_assert_eq!(
+            outcome.verdict.tag(), "proved",
+            "seed {} (P = {:.2} mW) should stay provable: {:?}",
+            seed, plan.recharge_power_mw, outcome.verdict
+        );
+        let prefix = unroll(&plan, 3);
+        let mut sys = plant_from_model(&m);
+        sys.set_harvester(fault);
+        let v_start = Volts::new(plan.v_start.unwrap_or(m.v_high().get()));
+        let replay = replay_on(&mut sys, &m, &prefix, v_start);
+        prop_assert!(
+            replay.completed(),
+            "proved plan browned out at launch {:?} under seed {} (v_final {})",
+            replay.brownout_launch, seed, replay.v_final
+        );
+        prop_assert_eq!(replay.launches_run, prefix.len());
+    }
+
+    /// `Refuted` ⇒ the returned counterexample reproduces: replaying its
+    /// prefix under the plan's declared harvest browns the plant out no
+    /// later than the blamed launch, across the whole overdraw range.
+    #[test]
+    fn refuted_witnesses_reproduce_on_the_plant(overdraw_mj in 150.0f64..250.0) {
+        let m = model();
+        let mut plan = PlanSpec::figure5_example();
+        plan.launches[0].energy_mj = overdraw_mj;
+        plan.launches[0].v_delta = 0.3;
+        let outcome = verify_with_model(&m, &plan, &VerifyConfig::default());
+        prop_assert!(
+            matches!(outcome.verdict, Verdict::Refuted(_)),
+            "{} mJ should refute: {:?}", overdraw_mj, outcome.verdict
+        );
+        let Verdict::Refuted(cex) = outcome.verdict else { unreachable!() };
+        let mut sys = plant_from_model(&m);
+        sys.set_harvester(Harvester::ConstantPower(Watts::from_milli(
+            plan.recharge_power_mw,
+        )));
+        let replay = replay_on(&mut sys, &m, &cex.prefix, cex.v_start);
+        let hit = replay.brownout_launch;
+        prop_assert!(hit.is_some(), "witness at {} mJ survived replay", overdraw_mj);
+        prop_assert!(
+            hit.unwrap() <= cex.failing_launch,
+            "browned out at launch {} but the verifier blamed {}",
+            hit.unwrap(), cex.failing_launch
+        );
+    }
+}
