@@ -10,6 +10,12 @@ use culpeo_powersim::Violation;
 
 use crate::diag::{Diagnostic, Report};
 
+/// The codes [`promote`] can emit, one per [`Violation`] variant. These
+/// live outside the [`crate::Registry`] battery (they are promoted from
+/// simulation, not linted from inputs), so doc-drift checks enumerate
+/// them here.
+pub const PROMOTED_CODES: &[&str] = &["C030", "C031", "C032"];
+
 /// Maps one audit violation to its diagnostic.
 #[must_use]
 pub fn promote(violation: &Violation, locus: &str) -> Diagnostic {

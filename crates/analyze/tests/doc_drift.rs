@@ -1,0 +1,115 @@
+//! Doc-drift gate: the diagnostic codes the code can emit and the codes
+//! DESIGN.md documents must be the *same set*, checked in both
+//! directions.
+//!
+//! The registered side is enumerated from `Registry::default_battery()`
+//! (every pass declares its codes) plus `promote::PROMOTED_CODES` (the
+//! simulation-violation promotions, which live outside the battery).
+//! The documented side is parsed from the diagnostics table in
+//! DESIGN.md §7: rows shaped `| C0xx | … |` or `| C0xx–C0yy | … |`
+//! (en-dash ranges are expanded). A new diagnostic without a table row
+//! fails here, and so does a table row whose code was deleted.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+
+/// Every code the crate can emit, from the machine-readable rosters.
+fn registered_codes() -> BTreeSet<String> {
+    let mut codes: BTreeSet<String> = culpeo_analyze::Registry::default_battery()
+        .passes()
+        .iter()
+        .flat_map(|pass| pass.codes.iter().map(ToString::to_string))
+        .collect();
+    codes.extend(
+        culpeo_analyze::promote::PROMOTED_CODES
+            .iter()
+            .map(ToString::to_string),
+    );
+    codes
+}
+
+/// Every code DESIGN.md's diagnostics table documents.
+fn documented_codes() -> BTreeSet<String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md");
+    let text = std::fs::read_to_string(path).expect("DESIGN.md sits at the workspace root");
+    let mut codes = BTreeSet::new();
+    for line in text.lines() {
+        // Table rows only: `| C0xx … | severity | … |`. Prose mentions
+        // of codes (examples, cross-references) are not documentation
+        // rows and must not satisfy the gate.
+        let Some(rest) = line.strip_prefix("| C") else {
+            continue;
+        };
+        let Some(cell) = rest.split('|').next() else {
+            continue;
+        };
+        let cell = format!("C{}", cell.trim());
+        // Other tables have rows starting with a capital C too
+        // ("| Capybara … |"); only C-followed-by-a-digit is a code row.
+        if !cell[1..].starts_with(|c: char| c.is_ascii_digit()) {
+            continue;
+        }
+        match parse_row_codes(&cell) {
+            Some(row) => codes.extend(row),
+            None => panic!("unparseable diagnostics-table row in DESIGN.md: {line:?}"),
+        }
+    }
+    assert!(
+        !codes.is_empty(),
+        "DESIGN.md no longer contains a recognisable diagnostics table"
+    );
+    codes
+}
+
+/// Parses one table cell: a single `C0xx` or an en-dash range
+/// `C0xx–C0yy`, expanded inclusively.
+fn parse_row_codes(cell: &str) -> Option<Vec<String>> {
+    let parse_one = |s: &str| -> Option<u32> {
+        let digits = s.strip_prefix('C')?;
+        (digits.len() == 3).then(|| digits.parse::<u32>().ok())?
+    };
+    if let Some((lo, hi)) = cell.split_once('–') {
+        let (lo, hi) = (parse_one(lo.trim())?, parse_one(hi.trim())?);
+        (lo < hi).then(|| (lo..=hi).map(|n| format!("C{n:03}")).collect())
+    } else {
+        parse_one(cell).map(|n| vec![format!("C{n:03}")])
+    }
+}
+
+#[test]
+fn every_registered_code_is_documented() {
+    let undocumented: Vec<String> = registered_codes()
+        .difference(&documented_codes())
+        .cloned()
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "codes emitted by culpeo-analyze but missing from the DESIGN.md \
+         diagnostics table: {undocumented:?} — add a table row for each"
+    );
+}
+
+#[test]
+fn every_documented_code_is_registered() {
+    let stale: Vec<String> = documented_codes()
+        .difference(&registered_codes())
+        .cloned()
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "codes documented in the DESIGN.md diagnostics table but no longer \
+         emitted by any pass or promotion: {stale:?} — delete the rows or \
+         restore the diagnostics"
+    );
+}
+
+#[test]
+fn range_rows_expand_inclusively() {
+    assert_eq!(
+        parse_row_codes("C030–C032").unwrap(),
+        vec!["C030", "C031", "C032"]
+    );
+    assert_eq!(parse_row_codes("C001").unwrap(), vec!["C001"]);
+    assert!(parse_row_codes("C9").is_none(), "codes are three digits");
+}

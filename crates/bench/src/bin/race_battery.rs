@@ -1,0 +1,18 @@
+//! Runs the interleaving model-checker battery and records its report +
+//! timing telemetry alongside the figure artifacts.
+//!
+//! The report half of `results/race_battery.json` is deterministic in
+//! `(seed, preemptions)`; wall-clock lives only in the telemetry
+//! envelope. Exits 1 unless every invariant holds AND every mutant is
+//! refuted — the same contract as `culpeo race`.
+
+use culpeo_harness::race;
+use culpeo_race::battery::{render_table, BatteryConfig};
+
+fn main() {
+    let config = BatteryConfig::default();
+    let (report, telemetry) = race::run_timed(&config);
+    print!("{}", render_table(&report));
+    culpeo_bench::write_json_with_telemetry("race_battery", &report, &telemetry);
+    std::process::exit(i32::from(!report.passed()));
+}

@@ -262,6 +262,27 @@ pub fn chaos(seed: u64, sweep: &culpeo_exec::Sweep, format: LintFormat) -> (Stri
     (rendered, i32::from(!report.all_passed()))
 }
 
+/// `culpeo race [--preemptions N] [--seed N] [--format json|human]` —
+/// runs the `culpeo-race` interleaving battery: every protocol invariant
+/// model-checked up to the preemption bound, every mutant refuted. Exits
+/// 0 only when all invariants hold AND all mutants are caught.
+///
+/// The report depends only on `(seed, preemptions)` — no wall-clock
+/// leaks into it — so both output formats are byte-identical across
+/// runs; `scripts/race.sh` gates on exactly that.
+pub fn race(config: &culpeo_race::battery::BatteryConfig, format: LintFormat) -> (String, i32) {
+    let report = culpeo_race::battery::run(config);
+    let rendered = match format {
+        LintFormat::Json => {
+            let mut doc = serde_json::to_string_pretty(&report).expect("battery report serialises");
+            doc.push('\n');
+            doc
+        }
+        LintFormat::Human => culpeo_race::battery::render_table(&report),
+    };
+    (rendered, i32::from(!report.passed()))
+}
+
 /// `culpeo check --trace a.csv --trace b.csv …` — per-task verdicts plus
 /// the composed `V_safe_multi` for running the tasks back-to-back.
 ///

@@ -6,6 +6,7 @@
 //! culpeo verify spec.json --plan plan.json [--format json]
 //! culpeo serve [--port 7070] [--threads N] [--queue-depth 64] [--cache-capacity 256]
 //! culpeo chaos [--seed 42] [--threads N] [--format json|human]
+//! culpeo race [--preemptions N] [--seed N] [--format json|human]
 //! culpeo check --trace a.csv --trace b.csv [--system spec.json] [--threads N]
 //! culpeo vsafe-table --trace packet.csv [--system spec.json]
 //! culpeo catalog [--capacitance-mf 45]
@@ -24,7 +25,11 @@
 //! speaking the versioned `/v1/*` API over HTTP. `chaos` runs the seeded
 //! `culpeo-faults` battery — trace, physics, scheduler, and service
 //! fault injection — and exits 1 if any scenario fails; its report is
-//! byte-identical for a given `--seed` at any `--threads` count.
+//! byte-identical for a given `--seed` at any `--threads` count. `race`
+//! runs the `culpeo-race` interleaving model checker over the exec and
+//! serving concurrency protocols — every invariant explored to the
+//! preemption bound, every mutant refuted with a trace — and exits 0
+//! only when both halves pass.
 //!
 //! (Both questions used to share the `analyze` verb; those spellings
 //! still work as hidden aliases with the exact same exit codes, printing
@@ -64,6 +69,7 @@ fn usage() -> &'static str {
      culpeo verify SPEC.json --plan PLAN.json [--format json|human]\n  \
      culpeo serve [--port 7070] [--threads N] [--queue-depth 64] [--cache-capacity 256]\n  \
      culpeo chaos [--seed 42] [--threads N] [--format json|human]\n  \
+     culpeo race [--preemptions N] [--seed N] [--format json|human]\n  \
      culpeo check --trace FILE [--trace FILE…] [--system SPEC.json] [--threads N]\n  \
      culpeo vsafe-table --trace FILE [--system SPEC.json]\n  \
      culpeo catalog [--capacitance-mf MF]\n  \
@@ -96,6 +102,10 @@ fn run(args: &[String]) -> Result<(String, i32), CliError> {
         "serve" => {
             let config = parse_serve(rest)?;
             commands::serve(&config)
+        }
+        "race" => {
+            let (config, format) = parse_race(rest)?;
+            Ok(commands::race(&config, format))
         }
         "chaos" => {
             let (seed, threads, format) = parse_chaos(rest)?;
@@ -322,6 +332,43 @@ fn parse_chaos(args: &[String]) -> Result<ChaosArgs, CliError> {
     Ok((seed, threads, format))
 }
 
+/// Parses `race`'s flags: optional `--preemptions N`, `--seed N`, and
+/// `--format json|human`, over the battery defaults.
+fn parse_race(
+    args: &[String],
+) -> Result<(culpeo_race::battery::BatteryConfig, LintFormat), CliError> {
+    let mut config = culpeo_race::battery::BatteryConfig::default();
+    let mut format = LintFormat::Human;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--preemptions" => {
+                config.preemptions =
+                    it.next()
+                        .and_then(|v| v.parse::<u32>().ok())
+                        .ok_or_else(|| {
+                            CliError::Usage("--preemptions needs a non-negative integer".into())
+                        })?;
+            }
+            "--seed" => {
+                config.seed = it
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or_else(|| CliError::Usage("--seed needs a non-negative integer".into()))?;
+            }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("json") => LintFormat::Json,
+                    Some("human") => LintFormat::Human,
+                    _ => return Err(CliError::Usage("--format takes `json` or `human`".into())),
+                };
+            }
+            other => return Err(CliError::Usage(format!("unknown flag: {other}"))),
+        }
+    }
+    Ok((config, format))
+}
+
 /// Parses repeated `--trace` flags and an optional `--system`.
 fn parse_common(args: &[String]) -> Result<(Vec<String>, Option<String>), CliError> {
     let mut traces = Vec::new();
@@ -488,6 +535,63 @@ mod tests {
         assert!(parse_chaos(&s(&["--threads", "0"])).is_err());
         assert!(parse_chaos(&s(&["--format", "xml"])).is_err());
         assert!(parse_chaos(&s(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn race_flag_parsing() {
+        let (config, format) = parse_race(&s(&[])).unwrap();
+        assert_eq!(config.preemptions, 3);
+        assert_eq!(config.seed, 0xC01D_CAFE);
+        assert_eq!(format, LintFormat::Human);
+        let (config, format) = parse_race(&s(&[
+            "--preemptions",
+            "1",
+            "--seed",
+            "9",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert_eq!(config.preemptions, 1);
+        assert_eq!(config.seed, 9);
+        assert_eq!(format, LintFormat::Json);
+        assert!(parse_race(&s(&["--preemptions", "minus-one"])).is_err());
+        assert!(parse_race(&s(&["--seed", "nope"])).is_err());
+        assert!(parse_race(&s(&["--format", "xml"])).is_err());
+        assert!(parse_race(&s(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn race_end_to_end_passes_and_is_deterministic() {
+        // Bound 1 keeps the test fast while still proving and refuting.
+        let args = s(&["race", "--preemptions", "1", "--seed", "9"]);
+        let (report, code) = run(&args).unwrap();
+        assert_eq!(code, 0, "{report}");
+        assert!(report.contains("invariants all hold"));
+        assert!(report.contains("mutation gate all refuted"));
+        let (again, _) = run(&args).unwrap();
+        assert_eq!(
+            report, again,
+            "race output is deterministic in (seed, preemptions)"
+        );
+        let (json, code) = run(&s(&[
+            "race",
+            "--preemptions",
+            "1",
+            "--seed",
+            "9",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert_eq!(code, 0);
+        let doc = serde_json::parse_value_str(&json).unwrap();
+        assert_eq!(
+            doc.get("schema_version").and_then(serde::Value::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(doc.get("all_proved"), Some(&serde::Value::Bool(true)));
+        assert_eq!(doc.get("all_refuted"), Some(&serde::Value::Bool(true)));
     }
 
     #[test]

@@ -19,12 +19,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod protocol;
+pub mod shim;
 mod telemetry;
 
 pub use telemetry::{Phase, PhaseClock, Telemetry};
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::AtomicUsize;
 
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "CULPEO_THREADS";
@@ -116,10 +118,8 @@ impl Sweep {
                 let f = &f;
                 handles.push(scope.spawn(move || {
                     let mut local = Vec::new();
-                    loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(cell) = cells.get(idx) else { break };
-                        local.push((idx, f(idx, cell)));
+                    while let Some(idx) = protocol::claim_next(cursor, cells.len()) {
+                        local.push((idx, f(idx, &cells[idx])));
                     }
                     local
                 }));
@@ -127,11 +127,7 @@ impl Sweep {
             let mut panic = None;
             for handle in handles {
                 match handle.join() {
-                    Ok(pairs) => {
-                        for (idx, r) in pairs {
-                            slots[idx] = Some(r);
-                        }
-                    }
+                    Ok(pairs) => protocol::scatter(&mut slots, pairs),
                     Err(payload) => panic = panic.or(Some(payload)),
                 }
             }

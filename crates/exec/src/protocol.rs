@@ -1,0 +1,81 @@
+//! The sweep's core concurrency protocol, extracted and generic over the
+//! [`crate::shim`] vocabulary.
+//!
+//! [`crate::Sweep::map`]'s determinism contract rests on two facts:
+//!
+//! 1. **every cell is claimed exactly once** — workers race on one
+//!    atomic cursor, and `fetch_add`'s read-modify-write atomicity is
+//!    what makes concurrent claims disjoint;
+//! 2. **results land in input order** — whatever order cells were
+//!    claimed and finished in, each result is scattered back to the slot
+//!    of the *input index* it was claimed under.
+//!
+//! Both live here as free functions so that production code
+//! (instantiated with `std::sync::atomic::AtomicUsize`; inlines to the
+//! exact loop `Sweep::map` always ran) and the `culpeo-race` model
+//! checker (instantiated with the cooperative model atomic; explored
+//! over every interleaving up to a preemption bound) execute the *same
+//! protocol source*, not a transliteration that could drift.
+
+use crate::shim::AtomicUsizeShim;
+use std::sync::atomic::Ordering;
+
+/// Claims the next unclaimed cell index from the shared cursor, or
+/// `None` when the sweep is exhausted.
+///
+/// `Relaxed` is sufficient: the cursor orders nothing but itself — the
+/// claim is made by the atomicity of the read-modify-write, and results
+/// flow back to the parent through thread-join synchronization, not
+/// through this counter.
+#[inline]
+pub fn claim_next<A: AtomicUsizeShim>(cursor: &A, len: usize) -> Option<usize> {
+    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+    (idx < len).then_some(idx)
+}
+
+/// Scatters a worker's `(input index, result)` batch into the shared
+/// output slots, preserving input order by construction.
+///
+/// # Panics
+///
+/// Panics if two results claim the same slot — the double-claim the
+/// cursor protocol exists to rule out, kept as a hard assertion so a
+/// future protocol regression fails loudly instead of silently dropping
+/// a result.
+#[inline]
+pub fn scatter<R>(slots: &mut [Option<R>], batch: Vec<(usize, R)>) {
+    for (idx, r) in batch {
+        assert!(
+            slots[idx].replace(r).is_none(),
+            "cell {idx} scattered twice: the claim protocol double-claimed"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn claim_hands_out_each_index_once_then_none() {
+        let cursor = AtomicUsize::new(0);
+        let claimed: Vec<Option<usize>> = (0..5).map(|_| claim_next(&cursor, 3)).collect();
+        assert_eq!(claimed, vec![Some(0), Some(1), Some(2), None, None]);
+    }
+
+    #[test]
+    fn scatter_preserves_input_order() {
+        let mut slots: Vec<Option<u32>> = vec![None, None, None];
+        scatter(&mut slots, vec![(2, 20), (0, 0)]);
+        scatter(&mut slots, vec![(1, 10)]);
+        assert_eq!(slots, vec![Some(0), Some(10), Some(20)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scattered twice")]
+    fn scatter_refuses_a_double_claim() {
+        let mut slots: Vec<Option<u32>> = vec![None];
+        scatter(&mut slots, vec![(0, 1), (0, 2)]);
+    }
+}

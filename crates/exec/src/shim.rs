@@ -1,0 +1,352 @@
+//! The sync shim: the concurrency vocabulary the execution and serving
+//! protocols are written against.
+//!
+//! Every protocol this workspace stakes a guarantee on — the sweep's
+//! atomic-cursor claim, the daemon's bounded accept queue, its drain on
+//! sender-drop, the poison-recovering cache lock, the shutdown handshake
+//! — manipulates shared state through a handful of `std::sync`
+//! primitives. To *prove* those protocols over all interleavings (not
+//! just the schedules a lucky test run happens to sample), the protocol
+//! code is written against the traits below instead of the concrete std
+//! types, and instantiated twice:
+//!
+//! * **production** — with the `std::sync` types themselves. Every trait
+//!   here is implemented *directly on* `std::sync::atomic::AtomicUsize`,
+//!   `std::sync::Mutex<T>`, `std::sync::mpsc::SyncSender<T>`, …, so a
+//!   monomorphised protocol compiles to the exact code it replaced: no
+//!   wrapper structs, no indirection, no cost. (`Sweep::map` and the
+//!   `culpeo-served` hot paths use these instantiations.)
+//! * **model** — with the cooperative types in `culpeo-race`, which
+//!   route every acquire/release/load/store through a deterministic
+//!   scheduler so a bounded-DFS explorer can enumerate interleavings and
+//!   a vector-clock detector can flag unsynchronized conflicting
+//!   accesses.
+//!
+//! The trait surface is deliberately *exactly* what the protocols use —
+//! mirroring the std signatures (including `LockResult` poisoning and
+//! the `mpsc` error types) so the two instantiations are observationally
+//! identical, which `culpeo-race`'s equivalence proptests pin.
+//!
+//! Methods are `#[track_caller]` so the model instantiation can tag
+//! every access with the protocol source line that performed it; the
+//! std instantiation ignores the caller location entirely.
+
+use std::ops::DerefMut;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{RecvError, SendError, TrySendError};
+use std::sync::{Condvar, LockResult, Mutex, MutexGuard, PoisonError};
+
+/// `std::sync::atomic::AtomicUsize`'s protocol surface.
+pub trait AtomicUsizeShim: Send + Sync {
+    /// Creates the atomic holding `v`.
+    fn new(v: usize) -> Self;
+    /// Atomic load.
+    #[track_caller]
+    fn load(&self, order: Ordering) -> usize;
+    /// Atomic store.
+    #[track_caller]
+    fn store(&self, v: usize, order: Ordering);
+    /// Atomic fetch-add, returning the previous value.
+    #[track_caller]
+    fn fetch_add(&self, v: usize, order: Ordering) -> usize;
+    /// Atomic compare-exchange, `Ok(previous)` on success.
+    #[track_caller]
+    fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize>;
+}
+
+/// `std::sync::atomic::AtomicBool`'s protocol surface.
+pub trait AtomicBoolShim: Send + Sync {
+    /// Creates the atomic holding `v`.
+    fn new(v: bool) -> Self;
+    /// Atomic load.
+    #[track_caller]
+    fn load(&self, order: Ordering) -> bool;
+    /// Atomic store.
+    #[track_caller]
+    fn store(&self, v: bool, order: Ordering);
+    /// Atomic swap, returning the previous value.
+    #[track_caller]
+    fn swap(&self, v: bool, order: Ordering) -> bool;
+}
+
+/// `std::sync::atomic::AtomicU64`'s protocol surface (metrics counters).
+pub trait AtomicU64Shim: Send + Sync {
+    /// Creates the atomic holding `v`.
+    fn new(v: u64) -> Self;
+    /// Atomic load.
+    #[track_caller]
+    fn load(&self, order: Ordering) -> u64;
+    /// Atomic store.
+    #[track_caller]
+    fn store(&self, v: u64, order: Ordering);
+    /// Atomic fetch-add, returning the previous value.
+    #[track_caller]
+    fn fetch_add(&self, v: u64, order: Ordering) -> u64;
+}
+
+/// `std::sync::Mutex<T>`'s protocol surface, poisoning included: the
+/// daemon's cache-lock recovery protocol is *about* poisoning, so the
+/// shim keeps std's `LockResult` shape rather than papering over it.
+pub trait MutexShim<T: Send>: Send + Sync {
+    /// The RAII guard; unlocks (and, under a panic, poisons) on drop.
+    type Guard<'a>: DerefMut<Target = T>
+    where
+        Self: 'a,
+        T: 'a;
+
+    /// Creates the mutex owning `value`.
+    fn new(value: T) -> Self;
+    /// Blocks until the lock is held; `Err` carries the guard of a
+    /// poisoned mutex exactly like [`std::sync::Mutex::lock`].
+    #[track_caller]
+    fn lock(&self) -> LockResult<Self::Guard<'_>>;
+    /// Clears the poison flag, as [`std::sync::Mutex::clear_poison`].
+    fn clear_poison(&self);
+    /// Whether a holder has panicked.
+    fn is_poisoned(&self) -> bool;
+}
+
+/// A lite `std::sync::Condvar`: wait/notify without poison plumbing
+/// (the wait re-acquire returns the guard directly; protocols that care
+/// about poison observe it at the next `lock`).
+pub trait CondvarShim<T: Send, M: MutexShim<T>>: Send + Sync {
+    /// Creates the condition variable.
+    fn new() -> Self;
+    /// Atomically releases `guard`, waits for a notification, and
+    /// re-acquires the lock.
+    #[track_caller]
+    fn wait<'a>(&self, guard: M::Guard<'a>, mutex: &'a M) -> M::Guard<'a>;
+    /// Wakes one waiter.
+    #[track_caller]
+    fn notify_one(&self);
+    /// Wakes every waiter.
+    #[track_caller]
+    fn notify_all(&self);
+}
+
+/// The sending half of a bounded channel
+/// ([`std::sync::mpsc::SyncSender`]).
+pub trait SenderShim<T: Send>: Send + Clone {
+    /// Blocking send; `Err` when the receiver is gone.
+    #[track_caller]
+    fn send(&self, value: T) -> Result<(), SendError<T>>;
+    /// Non-blocking send; `Err(Full)` when the queue is at capacity.
+    #[track_caller]
+    fn try_send(&self, value: T) -> Result<(), TrySendError<T>>;
+}
+
+/// The receiving half of a bounded channel
+/// ([`std::sync::mpsc::Receiver`]).
+pub trait ReceiverShim<T: Send>: Send {
+    /// Blocking receive; keeps returning queued values after every
+    /// sender is dropped (the drain guarantee), then `Err`.
+    #[track_caller]
+    fn recv(&self) -> Result<T, RecvError>;
+}
+
+// ---------------------------------------------------------------------
+// Production instantiation: the traits implemented directly on the std
+// types, so generic protocol code monomorphises to plain std calls.
+// ---------------------------------------------------------------------
+
+impl AtomicUsizeShim for std::sync::atomic::AtomicUsize {
+    #[inline]
+    fn new(v: usize) -> Self {
+        Self::new(v)
+    }
+    #[inline]
+    fn load(&self, order: Ordering) -> usize {
+        self.load(order)
+    }
+    #[inline]
+    fn store(&self, v: usize, order: Ordering) {
+        self.store(v, order);
+    }
+    #[inline]
+    fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        self.fetch_add(v, order)
+    }
+    #[inline]
+    fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.compare_exchange(current, new, success, failure)
+    }
+}
+
+impl AtomicBoolShim for std::sync::atomic::AtomicBool {
+    #[inline]
+    fn new(v: bool) -> Self {
+        Self::new(v)
+    }
+    #[inline]
+    fn load(&self, order: Ordering) -> bool {
+        self.load(order)
+    }
+    #[inline]
+    fn store(&self, v: bool, order: Ordering) {
+        self.store(v, order);
+    }
+    #[inline]
+    fn swap(&self, v: bool, order: Ordering) -> bool {
+        self.swap(v, order)
+    }
+}
+
+impl AtomicU64Shim for std::sync::atomic::AtomicU64 {
+    #[inline]
+    fn new(v: u64) -> Self {
+        Self::new(v)
+    }
+    #[inline]
+    fn load(&self, order: Ordering) -> u64 {
+        self.load(order)
+    }
+    #[inline]
+    fn store(&self, v: u64, order: Ordering) {
+        self.store(v, order);
+    }
+    #[inline]
+    fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+        self.fetch_add(v, order)
+    }
+}
+
+impl<T: Send> MutexShim<T> for Mutex<T> {
+    type Guard<'a>
+        = MutexGuard<'a, T>
+    where
+        T: 'a;
+
+    #[inline]
+    fn new(value: T) -> Self {
+        Self::new(value)
+    }
+    #[inline]
+    fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        self.lock()
+    }
+    #[inline]
+    fn clear_poison(&self) {
+        self.clear_poison();
+    }
+    #[inline]
+    fn is_poisoned(&self) -> bool {
+        self.is_poisoned()
+    }
+}
+
+impl<T: Send> CondvarShim<T, Mutex<T>> for Condvar {
+    #[inline]
+    fn new() -> Self {
+        Self::new()
+    }
+    #[inline]
+    fn wait<'a>(&self, guard: MutexGuard<'a, T>, _mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        // Lite contract: poison is surfaced at the next `lock`, not here.
+        self.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+    #[inline]
+    fn notify_one(&self) {
+        self.notify_one();
+    }
+    #[inline]
+    fn notify_all(&self) {
+        self.notify_all();
+    }
+}
+
+impl<T: Send> SenderShim<T> for std::sync::mpsc::SyncSender<T> {
+    #[inline]
+    fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.send(value)
+    }
+    #[inline]
+    fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        self.try_send(value)
+    }
+}
+
+impl<T: Send> ReceiverShim<T> for std::sync::mpsc::Receiver<T> {
+    #[inline]
+    fn recv(&self) -> Result<T, RecvError> {
+        self.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+
+    /// The std instantiation must behave exactly like the std types it
+    /// re-exports — trivially true by construction, but pinned so a
+    /// wrapper can never sneak in between the trait and the type.
+    #[test]
+    fn std_atomics_pass_through() {
+        let a = <AtomicUsize as AtomicUsizeShim>::new(3);
+        assert_eq!(AtomicUsizeShim::fetch_add(&a, 2, Ordering::Relaxed), 3);
+        assert_eq!(AtomicUsizeShim::load(&a, Ordering::SeqCst), 5);
+        AtomicUsizeShim::store(&a, 9, Ordering::SeqCst);
+        assert_eq!(
+            AtomicUsizeShim::compare_exchange(&a, 9, 1, Ordering::SeqCst, Ordering::SeqCst),
+            Ok(9)
+        );
+        assert_eq!(
+            AtomicUsizeShim::compare_exchange(&a, 9, 1, Ordering::SeqCst, Ordering::SeqCst),
+            Err(1)
+        );
+
+        let b = <AtomicBool as AtomicBoolShim>::new(false);
+        assert!(!AtomicBoolShim::swap(&b, true, Ordering::SeqCst));
+        assert!(AtomicBoolShim::load(&b, Ordering::SeqCst));
+
+        let c = <AtomicU64 as AtomicU64Shim>::new(7);
+        assert_eq!(AtomicU64Shim::fetch_add(&c, 1, Ordering::Relaxed), 7);
+        AtomicU64Shim::store(&c, 0, Ordering::SeqCst);
+        assert_eq!(AtomicU64Shim::load(&c, Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn std_mutex_poisons_and_recovers_through_the_shim() {
+        let m = <Mutex<Vec<u32>> as MutexShim<Vec<u32>>>::new(vec![1]);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = MutexShim::lock(&m);
+            panic!("poison it");
+        }));
+        assert!(MutexShim::is_poisoned(&m));
+        let guard = match MutexShim::lock(&m) {
+            Err(poisoned) => {
+                MutexShim::clear_poison(&m);
+                poisoned.into_inner()
+            }
+            Ok(g) => g,
+        };
+        assert_eq!(*guard, vec![1]);
+        drop(guard);
+        assert!(!MutexShim::is_poisoned(&m));
+    }
+
+    #[test]
+    fn std_channel_shim_round_trips() {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<u32>(1);
+        SenderShim::send(&tx, 1).unwrap();
+        assert!(matches!(
+            SenderShim::try_send(&tx, 2),
+            Err(TrySendError::Full(2))
+        ));
+        assert_eq!(ReceiverShim::recv(&rx), Ok(1));
+        drop(tx);
+        assert!(ReceiverShim::recv(&rx).is_err());
+    }
+}

@@ -39,20 +39,14 @@ pub mod trace;
 
 pub use chaos::{run_battery, scenarios, Level, Scenario, ScenarioResult};
 
-/// Derives the `index`-th deterministic sub-seed from a master seed
-/// (one splitmix64 round over their combination).
+/// Derives the `index`-th deterministic sub-seed from a master seed.
 ///
 /// Every scenario gets its own stream: re-ordering or skipping scenarios
-/// must not shift the randomness any other scenario sees.
-#[must_use]
-pub fn sub_seed(master: u64, index: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+/// must not shift the randomness any other scenario sees. The
+/// implementation is the workspace-wide [`culpeo_units::seed::sub_seed`]
+/// (its historical home was here; the seed stream is pinned bit-for-bit
+/// by a test in `culpeo-units`).
+pub use culpeo_units::seed::sub_seed;
 
 #[cfg(test)]
 mod tests {

@@ -170,21 +170,11 @@ pub fn probe(addr: SocketAddr, path: &str) -> std::io::Result<(FaultOutcome, Str
     Ok((outcome, body))
 }
 
-/// Deterministic pseudo-random bytes from a seed (splitmix64 stream).
+/// Deterministic pseudo-random bytes from a seed (the workspace-wide
+/// splitmix64 stream, [`culpeo_units::seed::byte_stream`]).
 #[must_use]
 pub fn garbage_bytes(seed: u64, len: usize) -> Vec<u8> {
-    let mut state = seed;
-    let mut out = Vec::with_capacity(len + 8);
-    while out.len() < len {
-        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^= z >> 31;
-        out.extend_from_slice(&z.to_le_bytes());
-    }
-    out.truncate(len);
-    out
+    culpeo_units::seed::byte_stream(seed, len)
 }
 
 fn read_outcome(s: &mut TcpStream) -> std::io::Result<FaultOutcome> {

@@ -25,6 +25,7 @@ pub mod fig13;
 pub mod ground_truth;
 pub mod harvest;
 pub mod preflight;
+pub mod race;
 pub mod reconfig;
 pub mod systems;
 pub mod verify;

@@ -1,0 +1,83 @@
+//! Harness driver for the `culpeo-race` battery: runs every protocol
+//! model and every mutant with per-phase wall-clock telemetry, so
+//! `results/race_battery.json` records how long each exploration took
+//! next to how many interleavings it covered.
+//!
+//! The battery itself is deterministic — verdicts, counts and traces
+//! depend only on `(seed, preemptions)` — so the report half of the
+//! artifact is byte-stable; wall-clock lives only in the telemetry
+//! envelope, like every other timed driver in this crate.
+
+use culpeo_exec::{PhaseClock, Telemetry};
+use culpeo_race::battery::{self, BatteryConfig, BatteryReport};
+
+/// Runs the full race battery under the harness conventions.
+#[must_use]
+pub fn run(config: &BatteryConfig) -> BatteryReport {
+    run_timed(config).0
+}
+
+/// [`run`] with per-model / per-mutant phase telemetry.
+#[must_use]
+pub fn run_timed(config: &BatteryConfig) -> (BatteryReport, Telemetry) {
+    // The explorer is inherently serial: one schedule at a time.
+    let mut clock = PhaseClock::new(1);
+    let models: Vec<_> = battery::model_names()
+        .into_iter()
+        .map(|name| {
+            let report = battery::run_model(name, config);
+            clock.mark(name);
+            report
+        })
+        .collect();
+    let mutants: Vec<_> = battery::mutant_names()
+        .into_iter()
+        .map(|name| {
+            let report = battery::run_mutant(name, config);
+            clock.mark(name);
+            report
+        })
+        .collect();
+    let total_interleavings = models.iter().map(|m| m.interleavings).sum::<u64>()
+        + mutants.iter().map(|m| m.interleavings).sum::<u64>();
+    let all_proved = models.iter().all(|m| m.holds);
+    let all_refuted = mutants.iter().all(|m| m.caught);
+    let report = BatteryReport {
+        schema_version: 1,
+        seed: config.seed,
+        preemptions: config.preemptions,
+        total_interleavings,
+        models,
+        mutants,
+        all_proved,
+        all_refuted,
+    };
+    (report, clock.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> BatteryConfig {
+        BatteryConfig {
+            preemptions: 2,
+            seed: 11,
+            max_interleavings: 20_000,
+        }
+    }
+
+    #[test]
+    fn battery_passes_and_matches_direct_run() {
+        let (timed, telemetry) = run_timed(&quick());
+        assert!(timed.passed(), "{}", battery::render_table(&timed));
+        assert_eq!(telemetry.phases.len(), 10, "one phase per model and mutant");
+        // The harness assembly must agree with the crate's own runner.
+        let direct = battery::run(&quick());
+        assert_eq!(
+            serde_json::to_string(&timed).unwrap(),
+            serde_json::to_string(&direct).unwrap(),
+            "timing must not perturb the report"
+        );
+    }
+}

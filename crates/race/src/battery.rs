@@ -1,0 +1,793 @@
+//! The race battery: five protocol invariants proved by exhaustive
+//! bounded exploration, and five seeded mutants the checker must
+//! refute.
+//!
+//! Each *model* instantiates the **real protocol code** —
+//! [`culpeo_exec::protocol`] and [`culpeo_served::protocol`], the exact
+//! functions the production `Sweep::map` and daemon run — with the
+//! model types from [`crate::model`], shrunk to the smallest
+//! configuration that still exhibits every qualitative behavior
+//! (contended claims, a full queue, a shutdown race, a poisoned lock).
+//! The explorer then enumerates every schedule up to the preemption
+//! bound; "holds" means no schedule panicked, deadlocked, or raced.
+//!
+//! Each *mutant* breaks the protocol the way a plausible refactor
+//! would — splitting a `fetch_add` into load + store, reading results
+//! before the join barrier, gating the drain loop on the shutdown flag,
+//! forgetting the wake after flagging shutdown, `unwrap`ing a poisoned
+//! lock — and is **caught** only if the checker produces a
+//! counterexample of the expected kind with a concrete interleaving
+//! trace. A mutation gate is what separates "the checker found nothing"
+//! from "the checker can find things, and found nothing".
+
+use crate::explore::{explore, Counterexample, Options};
+use crate::model;
+use culpeo_exec::protocol as exec_protocol;
+use culpeo_exec::shim::{AtomicBoolShim, AtomicUsizeShim, MutexShim};
+use culpeo_served::protocol as served_protocol;
+use culpeo_served::protocol::Enqueue;
+use serde::Serialize;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Battery-wide knobs (CLI-exposed).
+#[derive(Clone, Copy, Debug)]
+pub struct BatteryConfig {
+    /// Preemption bound for every exploration.
+    pub preemptions: u32,
+    /// Exploration-order seed (verdicts must not depend on it).
+    pub seed: u64,
+    /// Per-exploration execution cap.
+    pub max_interleavings: u64,
+}
+
+impl Default for BatteryConfig {
+    fn default() -> Self {
+        Self {
+            // One more than the explorer's default: the battery is a
+            // proof artifact, so it buys extra schedule coverage
+            // (~19k interleavings, still single-digit seconds).
+            preemptions: 3,
+            seed: 0xC01D_CAFE,
+            max_interleavings: 50_000,
+        }
+    }
+}
+
+/// A counterexample, JSON-shaped.
+#[derive(Debug, Clone, Serialize)]
+pub struct CounterexampleReport {
+    /// `panic`, `deadlock`, `race`, or `step-limit`.
+    pub kind: String,
+    /// One-line description (races carry both tagged access sites).
+    pub message: String,
+    /// The failing interleaving, one line per granted operation.
+    pub trace: Vec<String>,
+}
+
+impl CounterexampleReport {
+    fn from(c: Counterexample) -> Self {
+        Self {
+            kind: c.kind,
+            message: c.message,
+            trace: c.trace,
+        }
+    }
+}
+
+/// One protocol invariant's exploration verdict.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelReport {
+    /// Model name (stable identifier, used by scripts).
+    pub name: String,
+    /// The invariant in words.
+    pub invariant: String,
+    /// Model threads, main included.
+    pub threads: usize,
+    /// Completed executions (distinct interleavings).
+    pub interleavings: u64,
+    /// Executions cut short by sleep-set / preemption-bound pruning.
+    pub pruned: u64,
+    /// The search exhausted its bounded schedule space.
+    pub complete: bool,
+    /// The execution cap stopped the search early.
+    pub capped: bool,
+    /// No explored schedule violated the invariant.
+    pub holds: bool,
+    /// The violating schedule, if one was found.
+    pub counterexample: Option<CounterexampleReport>,
+}
+
+/// One mutant's refutation verdict.
+#[derive(Debug, Clone, Serialize)]
+pub struct MutantReport {
+    /// Mutant name (stable identifier).
+    pub name: String,
+    /// What the mutant breaks, in words.
+    pub breaks: String,
+    /// The failure kind the checker is required to produce.
+    pub expected: String,
+    /// The failure kind it produced (empty if none).
+    pub observed: String,
+    /// Executions explored before the counterexample (or until bounds).
+    pub interleavings: u64,
+    /// The checker refuted the mutant with the expected failure kind.
+    pub caught: bool,
+    /// The refuting interleaving.
+    pub trace: Vec<String>,
+}
+
+/// The whole battery's verdict: what `results/race_battery.json` holds
+/// and what the `culpeo race` exit code reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatteryReport {
+    /// Versioned envelope, like every results/ artifact.
+    pub schema_version: u32,
+    /// Exploration-order seed the battery ran under.
+    pub seed: u64,
+    /// Preemption bound the battery ran under.
+    pub preemptions: u32,
+    /// Sum of interleavings across all models and mutants.
+    pub total_interleavings: u64,
+    /// Every invariant, in roster order.
+    pub models: Vec<ModelReport>,
+    /// Every mutant, in roster order.
+    pub mutants: Vec<MutantReport>,
+    /// Every invariant holds over its explored space.
+    pub all_proved: bool,
+    /// Every mutant was refuted with the expected failure kind.
+    pub all_refuted: bool,
+}
+
+impl BatteryReport {
+    /// The `culpeo race` exit-code contract: all invariants hold AND
+    /// all mutants are caught.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.all_proved && self.all_refuted
+    }
+}
+
+// ---------------------------------------------------------------------
+// Invariant models — the real protocol functions under model types.
+// ---------------------------------------------------------------------
+
+/// Sweep claim protocol: two workers racing one cursor must claim every
+/// cell exactly once between them.
+fn exec_claim_unique() {
+    const CELLS: usize = 4;
+    let cursor = Arc::new(<model::AtomicUsize as AtomicUsizeShim>::new(0));
+    let mut handles = Vec::new();
+    for w in 0..2 {
+        let cursor = Arc::clone(&cursor);
+        handles.push(model::spawn(&format!("worker-{w}"), move || {
+            let mut claimed = Vec::new();
+            while let Some(idx) = exec_protocol::claim_next(&*cursor, CELLS) {
+                claimed.push(idx);
+            }
+            claimed
+        }));
+    }
+    let mut all: Vec<usize> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("workers do not panic"))
+        .collect();
+    all.sort_unstable();
+    assert_eq!(
+        all,
+        (0..CELLS).collect::<Vec<_>>(),
+        "claim protocol must hand out each cell exactly once"
+    );
+}
+
+/// Sweep scatter protocol: whatever order workers claim and finish in,
+/// scattered results land in input order.
+fn exec_scatter_order() {
+    const CELLS: usize = 3;
+    let cursor = Arc::new(<model::AtomicUsize as AtomicUsizeShim>::new(0));
+    let mut handles = Vec::new();
+    for w in 0..2 {
+        let cursor = Arc::clone(&cursor);
+        handles.push(model::spawn(&format!("worker-{w}"), move || {
+            let mut local = Vec::new();
+            while let Some(idx) = exec_protocol::claim_next(&*cursor, CELLS) {
+                local.push((idx, idx * 10));
+            }
+            local
+        }));
+    }
+    let mut slots: Vec<Option<usize>> = vec![None; CELLS];
+    for h in handles {
+        exec_protocol::scatter(&mut slots, h.join().expect("workers do not panic"));
+    }
+    let out: Vec<usize> = slots
+        .into_iter()
+        .map(|s| s.expect("every cell produced a result"))
+        .collect();
+    assert_eq!(out, vec![0, 10, 20], "results must land in input order");
+}
+
+/// Daemon drain: every connection the acceptor queued is processed by
+/// the worker, in order, no matter how a concurrent shutdown lands.
+fn served_drain_no_loss() {
+    const CONNS: usize = 3;
+    let (tx, rx) = model::sync_channel::<usize>(2);
+    let shutting = Arc::new(<model::AtomicBool as AtomicBoolShim>::new(false));
+    let rx = Arc::new(<model::Mutex<model::Receiver<usize>> as MutexShim<_>>::new(
+        rx,
+    ));
+
+    let acceptor = {
+        let shutting = Arc::clone(&shutting);
+        model::spawn("acceptor", move || {
+            let mut queued = Vec::new();
+            for conn in 0..CONNS {
+                match served_protocol::offer(&*shutting, &tx, conn) {
+                    Enqueue::Queued => queued.push(conn),
+                    Enqueue::Busy(_) | Enqueue::Draining(_) | Enqueue::Disconnected(_) => {}
+                }
+            }
+            drop(tx); // hangup: the drain trigger
+            queued
+        })
+    };
+    let worker = {
+        let rx = Arc::clone(&rx);
+        model::spawn("worker", move || {
+            let mut processed = Vec::new();
+            while let Some(job) = served_protocol::next_job(&*rx) {
+                processed.push(job);
+            }
+            processed
+        })
+    };
+    let requester = {
+        let shutting = Arc::clone(&shutting);
+        model::spawn("shutdown", move || {
+            served_protocol::begin_shutdown(&*shutting)
+        })
+    };
+
+    let queued = acceptor.join().expect("acceptor does not panic");
+    let processed = worker.join().expect("worker does not panic");
+    requester.join().expect("requester does not panic");
+    assert_eq!(
+        processed, queued,
+        "drain must process every queued connection, in order"
+    );
+}
+
+/// Shutdown handshake: of two concurrent shutdown requesters exactly
+/// one wins the flag and owes the parked acceptor its wake; the
+/// acceptor always terminates.
+fn served_shutdown_handshake() {
+    shutdown_handshake(true);
+}
+
+fn shutdown_handshake(winner_wakes: bool) {
+    let (tx, rx) = model::sync_channel::<u8>(1);
+    let shutting = Arc::new(<model::AtomicBool as AtomicBoolShim>::new(false));
+
+    let acceptor = {
+        let shutting = Arc::clone(&shutting);
+        model::spawn("acceptor", move || loop {
+            // A parked accept(): only a connection (the wake) unblocks
+            // it — the main thread keeps a sender alive throughout.
+            let _wake = culpeo_exec::shim::ReceiverShim::recv(&rx);
+            if shutting.load(Ordering::SeqCst) {
+                break;
+            }
+        })
+    };
+
+    let mut requesters = Vec::new();
+    for i in 0..2 {
+        let shutting = Arc::clone(&shutting);
+        let tx = tx.clone();
+        requesters.push(model::spawn(&format!("shutdown-{i}"), move || {
+            if served_protocol::begin_shutdown(&*shutting) {
+                if winner_wakes {
+                    culpeo_exec::shim::SenderShim::send(&tx, 0).expect("acceptor is alive");
+                }
+                true
+            } else {
+                false
+            }
+        }));
+    }
+
+    let winners = requesters
+        .into_iter()
+        .map(|r| r.join().expect("requesters do not panic"))
+        .filter(|&won| won)
+        .count();
+    acceptor.join().expect("acceptor does not panic");
+    drop(tx);
+    assert_eq!(winners, 1, "exactly one requester wins the wake obligation");
+}
+
+/// Cache-lock poisoning: a handler panicking mid-update poisons the
+/// lock; every later locker recovers through `recovering_lock` and the
+/// cache ends empty (the recovery invariant), never panicking.
+fn served_poison_recovery() {
+    poison_recovery(true);
+}
+
+fn poison_recovery(recover: bool) {
+    let cache = Arc::new(<model::Mutex<Vec<u32>> as MutexShim<Vec<u32>>>::new(vec![
+        1,
+    ]));
+
+    let crasher = {
+        let cache = Arc::clone(&cache);
+        model::spawn("crasher", move || {
+            // A handler that dies mid-cache-update: the half-applied
+            // push stays behind under a poisoned lock.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut guard = match cache.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                guard.push(2);
+                panic!("handler died mid-update");
+            }));
+        })
+    };
+    let survivor = {
+        let cache = Arc::clone(&cache);
+        model::spawn("survivor", move || {
+            if recover {
+                let guard = served_protocol::recovering_lock(&*cache, Vec::clear);
+                guard.len()
+            } else {
+                // The mutant: trust the lock blindly.
+                let guard = cache.lock().expect("lock is never poisoned (wrong!)");
+                guard.len()
+            }
+        })
+    };
+
+    crasher.join().expect("crasher contains its panic");
+    let _ = survivor
+        .join()
+        .expect("survivor must outlive a poisoned lock");
+    // Whoever locked after the crash recovered; by now the cache is
+    // invariant-safe (empty) and unpoisoned on every schedule.
+    let guard = served_protocol::recovering_lock(&*cache, Vec::clear);
+    assert!(guard.is_empty(), "recovery must restore the safe state");
+    drop(guard);
+    assert!(!cache.is_poisoned(), "recovery must clear the poison");
+}
+
+// ---------------------------------------------------------------------
+// Mutants — protocol breakages the checker must refute.
+// ---------------------------------------------------------------------
+
+/// The claim RMW split into a load and a store: two workers can both
+/// read the same cursor value and claim the same cell.
+fn mutant_claim_split() {
+    const CELLS: usize = 2;
+    fn broken_claim(cursor: &model::AtomicUsize, len: usize) -> Option<usize> {
+        let idx = cursor.load(Ordering::Relaxed);
+        cursor.store(idx + 1, Ordering::Relaxed);
+        (idx < len).then_some(idx)
+    }
+    let cursor = Arc::new(<model::AtomicUsize as AtomicUsizeShim>::new(0));
+    let mut handles = Vec::new();
+    for w in 0..2 {
+        let cursor = Arc::clone(&cursor);
+        handles.push(model::spawn(&format!("worker-{w}"), move || {
+            let mut claimed = Vec::new();
+            while let Some(idx) = broken_claim(&cursor, CELLS) {
+                claimed.push(idx);
+            }
+            claimed
+        }));
+    }
+    let mut all: Vec<usize> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("workers do not panic"))
+        .collect();
+    all.sort_unstable();
+    assert_eq!(
+        all,
+        (0..CELLS).collect::<Vec<_>>(),
+        "claim protocol must hand out each cell exactly once"
+    );
+}
+
+/// Results read before the join barrier: the parent's reads are
+/// unsynchronized against worker writes — a genuine data race the
+/// vector clocks must flag with both access sites.
+fn mutant_scatter_unjoined() {
+    const CELLS: usize = 2;
+    let cursor = Arc::new(<model::AtomicUsize as AtomicUsizeShim>::new(0));
+    let slots: Arc<Vec<model::RaceCell<usize>>> = Arc::new(
+        (0..CELLS)
+            .map(|_| model::RaceCell::new(usize::MAX))
+            .collect(),
+    );
+    let mut handles = Vec::new();
+    for w in 0..2 {
+        let cursor = Arc::clone(&cursor);
+        let slots = Arc::clone(&slots);
+        handles.push(model::spawn(&format!("worker-{w}"), move || {
+            while let Some(idx) = exec_protocol::claim_next(&*cursor, CELLS) {
+                slots[idx].set(idx * 10);
+            }
+        }));
+    }
+    // The mutation: harvest results without joining first.
+    let early: Vec<usize> = (0..CELLS).map(|i| slots[i].get()).collect();
+    drop(early);
+    for h in handles {
+        h.join().expect("workers do not panic");
+    }
+}
+
+/// The drain loop gated on the shutdown flag: queued connections are
+/// abandoned the moment the flag flips.
+fn mutant_drain_flag_gated() {
+    const CONNS: usize = 3;
+    let (tx, rx) = model::sync_channel::<usize>(2);
+    let shutting = Arc::new(<model::AtomicBool as AtomicBoolShim>::new(false));
+    let rx = Arc::new(<model::Mutex<model::Receiver<usize>> as MutexShim<_>>::new(
+        rx,
+    ));
+
+    let acceptor = {
+        let shutting = Arc::clone(&shutting);
+        model::spawn("acceptor", move || {
+            let mut queued = Vec::new();
+            for conn in 0..CONNS {
+                match served_protocol::offer(&*shutting, &tx, conn) {
+                    Enqueue::Queued => queued.push(conn),
+                    Enqueue::Busy(_) | Enqueue::Draining(_) | Enqueue::Disconnected(_) => {}
+                }
+            }
+            drop(tx);
+            queued
+        })
+    };
+    let worker = {
+        let shutting = Arc::clone(&shutting);
+        let rx = Arc::clone(&rx);
+        model::spawn("worker", move || {
+            let mut processed = Vec::new();
+            // The mutation: stop draining as soon as shutdown is
+            // flagged, instead of draining until hangup.
+            while !shutting.load(Ordering::SeqCst) {
+                match served_protocol::next_job(&*rx) {
+                    Some(job) => processed.push(job),
+                    None => break,
+                }
+            }
+            processed
+        })
+    };
+    let requester = {
+        let shutting = Arc::clone(&shutting);
+        model::spawn("shutdown", move || {
+            served_protocol::begin_shutdown(&*shutting)
+        })
+    };
+
+    let queued = acceptor.join().expect("acceptor does not panic");
+    let processed = worker.join().expect("worker does not panic");
+    requester.join().expect("requester does not panic");
+    assert_eq!(
+        processed, queued,
+        "drain must process every queued connection, in order"
+    );
+}
+
+/// Shutdown flagged but the wake forgotten: the acceptor stays parked
+/// in accept() forever — a deadlock the explorer must exhibit.
+fn mutant_shutdown_no_wake() {
+    shutdown_handshake(false);
+}
+
+/// A worker `unwrap`ing the cache lock: the first schedule where the
+/// crasher poisons it first kills the worker.
+fn mutant_poison_unwrap() {
+    poison_recovery(false);
+}
+
+// ---------------------------------------------------------------------
+// The roster and the runner.
+// ---------------------------------------------------------------------
+
+struct ModelSpec {
+    name: &'static str,
+    invariant: &'static str,
+    threads: usize,
+    run: fn(),
+}
+
+struct MutantSpec {
+    name: &'static str,
+    breaks: &'static str,
+    expected: &'static str,
+    run: fn(),
+}
+
+const MODELS: &[ModelSpec] = &[
+    ModelSpec {
+        name: "exec-claim-unique",
+        invariant: "no cell is claimed twice; none is skipped",
+        threads: 3,
+        run: exec_claim_unique,
+    },
+    ModelSpec {
+        name: "exec-scatter-order",
+        invariant: "scattered results equal input order",
+        threads: 3,
+        run: exec_scatter_order,
+    },
+    ModelSpec {
+        name: "served-drain-no-loss",
+        invariant: "drain processes every queued connection, in order",
+        threads: 4,
+        run: served_drain_no_loss,
+    },
+    ModelSpec {
+        name: "served-shutdown-handshake",
+        invariant: "one wake obligation; the acceptor always terminates",
+        threads: 4,
+        run: served_shutdown_handshake,
+    },
+    ModelSpec {
+        name: "served-poison-recovery",
+        invariant: "a poisoned cache lock is always recovered, never fatal",
+        threads: 3,
+        run: served_poison_recovery,
+    },
+];
+
+const MUTANTS: &[MutantSpec] = &[
+    MutantSpec {
+        name: "claim-split-rmw",
+        breaks: "fetch_add split into load + store",
+        expected: "panic",
+        run: mutant_claim_split,
+    },
+    MutantSpec {
+        name: "scatter-before-join",
+        breaks: "results harvested before the join barrier",
+        expected: "race",
+        run: mutant_scatter_unjoined,
+    },
+    MutantSpec {
+        name: "drain-flag-gated",
+        breaks: "drain loop exits on the shutdown flag, not hangup",
+        expected: "panic",
+        run: mutant_drain_flag_gated,
+    },
+    MutantSpec {
+        name: "shutdown-no-wake",
+        breaks: "shutdown flagged but the acceptor wake forgotten",
+        expected: "deadlock",
+        run: mutant_shutdown_no_wake,
+    },
+    MutantSpec {
+        name: "poison-unwrap",
+        breaks: "worker unwraps the cache lock instead of recovering",
+        expected: "panic",
+        run: mutant_poison_unwrap,
+    },
+];
+
+fn options(config: &BatteryConfig) -> Options {
+    Options {
+        preemptions: config.preemptions,
+        max_interleavings: config.max_interleavings,
+        max_steps: 5_000,
+        seed: config.seed,
+    }
+}
+
+/// Runs one named model (exposed for the harness's per-model timing).
+///
+/// # Panics
+///
+/// Panics if `name` is not in the roster.
+pub fn run_model(name: &str, config: &BatteryConfig) -> ModelReport {
+    let spec = MODELS
+        .iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("unknown model {name:?}"));
+    let ex = explore(&options(config), spec.run);
+    ModelReport {
+        name: spec.name.to_string(),
+        invariant: spec.invariant.to_string(),
+        threads: spec.threads,
+        interleavings: ex.interleavings,
+        pruned: ex.pruned,
+        complete: ex.complete,
+        capped: ex.capped,
+        holds: ex.holds(),
+        counterexample: ex.failure.map(CounterexampleReport::from),
+    }
+}
+
+/// Runs one named mutant (exposed for the harness's per-mutant timing).
+///
+/// # Panics
+///
+/// Panics if `name` is not in the roster.
+pub fn run_mutant(name: &str, config: &BatteryConfig) -> MutantReport {
+    let spec = MUTANTS
+        .iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("unknown mutant {name:?}"));
+    let ex = explore(&options(config), spec.run);
+    let observed = ex
+        .failure
+        .as_ref()
+        .map(|f| f.kind.clone())
+        .unwrap_or_default();
+    let caught = observed == spec.expected;
+    MutantReport {
+        name: spec.name.to_string(),
+        breaks: spec.breaks.to_string(),
+        expected: spec.expected.to_string(),
+        observed,
+        interleavings: ex.interleavings,
+        caught,
+        trace: ex.failure.map(|f| f.trace).unwrap_or_default(),
+    }
+}
+
+/// Every model name, roster order (for drivers that time each one).
+#[must_use]
+pub fn model_names() -> Vec<&'static str> {
+    MODELS.iter().map(|m| m.name).collect()
+}
+
+/// Every mutant name, roster order.
+#[must_use]
+pub fn mutant_names() -> Vec<&'static str> {
+    MUTANTS.iter().map(|m| m.name).collect()
+}
+
+/// Runs the full battery: every invariant, every mutant.
+#[must_use]
+pub fn run(config: &BatteryConfig) -> BatteryReport {
+    let models: Vec<ModelReport> = MODELS.iter().map(|m| run_model(m.name, config)).collect();
+    let mutants: Vec<MutantReport> = MUTANTS.iter().map(|m| run_mutant(m.name, config)).collect();
+    let total_interleavings = models.iter().map(|m| m.interleavings).sum::<u64>()
+        + mutants.iter().map(|m| m.interleavings).sum::<u64>();
+    let all_proved = models.iter().all(|m| m.holds);
+    let all_refuted = mutants.iter().all(|m| m.caught);
+    BatteryReport {
+        schema_version: 1,
+        seed: config.seed,
+        preemptions: config.preemptions,
+        total_interleavings,
+        models,
+        mutants,
+        all_proved,
+        all_refuted,
+    }
+}
+
+/// Renders the battery verdict as the human table `culpeo race` prints.
+#[must_use]
+pub fn render_table(report: &BatteryReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "race battery: preemption bound {}, seed {:#x}\n\n",
+        report.preemptions, report.seed
+    ));
+    out.push_str(&format!(
+        "{:<28} {:>7} {:>13} {:>8} {:>9}  verdict\n",
+        "model", "threads", "interleavings", "pruned", "complete"
+    ));
+    for m in &report.models {
+        out.push_str(&format!(
+            "{:<28} {:>7} {:>13} {:>8} {:>9}  {}\n",
+            m.name,
+            m.threads,
+            m.interleavings,
+            m.pruned,
+            if m.complete {
+                "yes"
+            } else if m.capped {
+                "capped"
+            } else {
+                "no"
+            },
+            if m.holds { "HOLDS" } else { "VIOLATED" }
+        ));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<28} {:>9} {:>9} {:>13}  verdict\n",
+        "mutant", "expected", "observed", "interleavings"
+    ));
+    for m in &report.mutants {
+        out.push_str(&format!(
+            "{:<28} {:>9} {:>9} {:>13}  {}\n",
+            m.name,
+            m.expected,
+            if m.observed.is_empty() {
+                "-"
+            } else {
+                &m.observed
+            },
+            m.interleavings,
+            if m.caught { "CAUGHT" } else { "MISSED" }
+        ));
+    }
+    for m in &report.models {
+        if let Some(cx) = &m.counterexample {
+            out.push_str(&format!(
+                "\ncounterexample for {} ({}):\n  {}\n",
+                m.name, cx.kind, cx.message
+            ));
+            for line in &cx.trace {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "\n{} interleavings explored; invariants {}; mutation gate {}\n",
+        report.total_interleavings,
+        if report.all_proved {
+            "all hold"
+        } else {
+            "VIOLATED"
+        },
+        if report.all_refuted {
+            "all refuted"
+        } else {
+            "INCOMPLETE"
+        },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(seed: u64) -> BatteryConfig {
+        BatteryConfig {
+            preemptions: 2,
+            seed,
+            max_interleavings: 20_000,
+        }
+    }
+
+    #[test]
+    fn claim_unique_holds() {
+        let r = run_model("exec-claim-unique", &quick(7));
+        assert!(r.holds, "{:?}", r.counterexample);
+        assert!(r.interleavings > 10, "exploration actually branched");
+    }
+
+    #[test]
+    fn poison_recovery_holds() {
+        let r = run_model("served-poison-recovery", &quick(7));
+        assert!(r.holds, "{:?}", r.counterexample);
+    }
+
+    #[test]
+    fn split_rmw_is_refuted_with_a_trace() {
+        let r = run_mutant("claim-split-rmw", &quick(7));
+        assert!(r.caught, "expected {} got {}", r.expected, r.observed);
+        assert!(!r.trace.is_empty(), "a refutation carries its schedule");
+    }
+
+    #[test]
+    fn unjoined_scatter_is_a_race_with_both_sites() {
+        let r = run_mutant("scatter-before-join", &quick(7));
+        assert!(r.caught, "expected {} got {}", r.expected, r.observed);
+    }
+
+    #[test]
+    fn missing_wake_deadlocks() {
+        let r = run_mutant("shutdown-no-wake", &quick(7));
+        assert!(r.caught, "expected {} got {}", r.expected, r.observed);
+    }
+}

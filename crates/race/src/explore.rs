@@ -1,0 +1,345 @@
+//! The schedule explorer: bounded-depth DFS over thread interleavings.
+//!
+//! Stateless model checking: every execution re-runs the closure from
+//! scratch under a *forced prefix* of scheduling choices, then lets a
+//! deterministic policy finish the schedule. After each execution the
+//! explorer backtracks to the deepest choice point with an untried
+//! alternative and re-runs with that alternative appended to the
+//! prefix. Three prunings keep the tree tractable:
+//!
+//! * **preemption bounding** — switching away from a thread that is
+//!   still eligible costs one preemption; schedules beyond the budget
+//!   are not explored. Empirically almost all concurrency bugs manifest
+//!   within two preemptions (CHESS); the bound is a CLI knob.
+//! * **sleep sets** — after fully exploring choice `t` at a node, `t`
+//!   is added to the node's sleep set and inherited by siblings through
+//!   any step it commutes with, so two independent operations are not
+//!   explored in both orders. Independence is judged from pending-op
+//!   signatures (different objects, or both reads).
+//! * **a step limit** — a livelock guard; exceeding it fails the
+//!   execution rather than hanging the checker.
+//!
+//! The choice *order* at each node is rotated by a splitmix64 stream
+//! seeded from [`Options::seed`] — two explorations with different
+//! seeds walk the tree in different orders (and may prune differently),
+//! but must reach identical verdicts; `scripts/race.sh` pins exactly
+//! that.
+
+use crate::model::{in_model_thread, thread_shell};
+use crate::rt::{Decision, Runtime, Sig, Tid};
+use std::sync::Once;
+
+/// Exploration bounds and seed.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Maximum preemptive context switches per execution.
+    pub preemptions: u32,
+    /// Hard cap on executions (completed + pruned); hitting it reports
+    /// `capped` honestly rather than silently claiming exhaustiveness.
+    pub max_interleavings: u64,
+    /// Per-execution step bound (livelock guard).
+    pub max_steps: usize,
+    /// Rotates candidate order at every depth (exploration-order seed).
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            preemptions: 2,
+            max_interleavings: 50_000,
+            max_steps: 5_000,
+            seed: 0xC01D_CAFE,
+        }
+    }
+}
+
+/// A failing schedule, rendered for humans and JSON alike.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// `panic`, `deadlock`, `race`, or `step-limit`.
+    pub kind: String,
+    /// One-line description (for races: both tagged access sites).
+    pub message: String,
+    /// The full interleaving that manifests the failure, one line per
+    /// granted operation.
+    pub trace: Vec<String>,
+}
+
+/// What an exploration established.
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    /// Completed executions (each a distinct interleaving).
+    pub interleavings: u64,
+    /// Executions cut short by sleep-set or preemption-bound pruning.
+    pub pruned: u64,
+    /// The DFS exhausted every schedule within its bounds.
+    pub complete: bool,
+    /// The `max_interleavings` cap stopped the search.
+    pub capped: bool,
+    /// The first failing schedule found, if any.
+    pub failure: Option<Counterexample>,
+}
+
+impl Exploration {
+    /// No failure found (which, with `complete`, is a proof up to the
+    /// explored bounds).
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// One choice point on the DFS stack.
+struct Node {
+    /// Ready threads in tid order with their pending-op signatures and
+    /// eligibility, exactly as the runtime reported them.
+    info: Vec<(Tid, Sig, bool)>,
+    /// The thread granted the previous step (preemption accounting).
+    was_running: Option<Tid>,
+    /// Preemptions spent on the path *up to* this node.
+    pre_used: u32,
+    /// Sleep set: threads whose subtrees are covered elsewhere.
+    sleep: Vec<(Tid, Sig)>,
+    /// Fully explored choices at this node.
+    done: Vec<Tid>,
+    /// The choice the current path takes.
+    chosen: Tid,
+}
+
+impl Node {
+    fn sig_of(&self, tid: Tid) -> Sig {
+        self.info
+            .iter()
+            .find(|&&(t, _, _)| t == tid)
+            .map(|&(_, s, _)| s)
+            .expect("chosen thread is in the node's info")
+    }
+
+    fn eligible(&self, tid: Tid) -> bool {
+        self.info.iter().any(|&(t, _, e)| t == tid && e)
+    }
+
+    /// The preemption cost of choosing `tid` here: 1 iff the previous
+    /// step's thread is still eligible and passed over.
+    fn cost(&self, tid: Tid) -> u32 {
+        match self.was_running {
+            Some(r) if r != tid && self.eligible(r) => 1,
+            _ => 0,
+        }
+    }
+
+    /// Candidate choices in seeded rotation order: eligible, not
+    /// sleeping, not already explored, within the preemption budget.
+    fn candidates(&self, depth: usize, opts: &Options) -> Vec<Tid> {
+        let eligible: Vec<Tid> = self
+            .info
+            .iter()
+            .filter(|&&(_, _, e)| e)
+            .map(|&(t, _, _)| t)
+            .collect();
+        let n = eligible.len();
+        let rot = (culpeo_units::seed::sub_seed(opts.seed, depth as u64) as usize) % n.max(1);
+        (0..n)
+            .map(|i| eligible[(i + rot) % n])
+            .filter(|&t| !self.sleep.iter().any(|&(s, _)| s == t))
+            .filter(|&t| !self.done.contains(&t))
+            .filter(|&t| self.pre_used + self.cost(t) <= opts.preemptions)
+            .collect()
+    }
+
+    /// The sleep set a child born of this node's `chosen` inherits:
+    /// members of `sleep ∪ done` whose pending op commutes with the
+    /// executed one.
+    fn child_sleep(&self) -> Vec<(Tid, Sig)> {
+        let exec_sig = self.sig_of(self.chosen);
+        self.sleep
+            .iter()
+            .copied()
+            .chain(self.done.iter().map(|&t| (t, self.sig_of(t))))
+            .filter(|&(t, s)| t != self.chosen && s.independent(exec_sig))
+            .collect()
+    }
+}
+
+enum RunEnd {
+    /// The closure ran to completion under this schedule.
+    Completed,
+    /// Every remaining choice at the frontier was sleeping or over
+    /// budget: the subtree is covered elsewhere (or out of bounds).
+    Pruned,
+    /// The runtime recorded a failure.
+    Failed(Counterexample),
+}
+
+/// Explores `f` under `opts`, returning what the bounded search
+/// established. `f` is re-run once per schedule; it must confine all
+/// inter-thread communication to the model types (anything else is
+/// invisible to the scheduler and unsound to prune).
+pub fn explore<F>(opts: &Options, f: F) -> Exploration
+where
+    F: Fn() + Send + Sync,
+{
+    let mut stack: Vec<Node> = Vec::new();
+    let mut prefix_len = 0usize;
+    let mut interleavings = 0u64;
+    let mut pruned = 0u64;
+
+    loop {
+        let end = run_once(opts, &f, &mut stack, prefix_len);
+        match end {
+            RunEnd::Completed => interleavings += 1,
+            RunEnd::Pruned => pruned += 1,
+            RunEnd::Failed(counterexample) => {
+                return Exploration {
+                    interleavings: interleavings + 1,
+                    pruned,
+                    complete: false,
+                    capped: false,
+                    failure: Some(counterexample),
+                };
+            }
+        }
+        if interleavings + pruned >= opts.max_interleavings {
+            return Exploration {
+                interleavings,
+                pruned,
+                complete: false,
+                capped: true,
+                failure: None,
+            };
+        }
+        // Backtrack: deepest node with an untried, in-budget choice.
+        loop {
+            if stack.is_empty() {
+                return Exploration {
+                    interleavings,
+                    pruned,
+                    complete: true,
+                    capped: false,
+                    failure: None,
+                };
+            }
+            let depth = stack.len() - 1;
+            let node = &mut stack[depth];
+            // The just-explored branch is done before looking for a
+            // sibling, so it can never be re-chosen.
+            node.done.push(node.chosen);
+            match node.candidates(depth, opts).into_iter().next() {
+                Some(next) => {
+                    node.chosen = next;
+                    prefix_len = depth + 1;
+                    break;
+                }
+                None => {
+                    stack.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Runs one controlled execution: replays `stack[..prefix_len]`, then
+/// extends the path with the deterministic default policy, pushing
+/// fresh nodes as it goes.
+fn run_once<F>(opts: &Options, f: &F, stack: &mut Vec<Node>, prefix_len: usize) -> RunEnd
+where
+    F: Fn() + Send + Sync,
+{
+    // Nodes beyond the replay prefix belong to the previous execution.
+    stack.truncate(prefix_len);
+
+    let rt = Runtime::new();
+    rt.register_main();
+
+    std::thread::scope(|scope| {
+        let main_rt = rt.clone();
+        scope.spawn(move || thread_shell(main_rt, 0, f));
+
+        let mut depth = 0usize;
+        loop {
+            match rt.wait_decision() {
+                Decision::Complete => return RunEnd::Completed,
+                Decision::Failed => {
+                    let failure = rt.failure().expect("Failed implies a recorded failure");
+                    let (kind, message) = rt.render_failure(&failure);
+                    let counterexample = Counterexample {
+                        kind,
+                        message,
+                        trace: rt.render_trace(),
+                    };
+                    rt.abandon();
+                    return RunEnd::Failed(counterexample);
+                }
+                Decision::Choose(info) => {
+                    if rt.step_count() >= opts.max_steps {
+                        rt.record_step_limit(opts.max_steps);
+                        continue; // next wait_decision reports Failed
+                    }
+                    let chosen = if depth < prefix_len {
+                        let node = &stack[depth];
+                        assert_eq!(
+                            node.info, info,
+                            "model execution diverged on replay: the closure must be \
+                             deterministic apart from scheduling"
+                        );
+                        node.chosen
+                    } else {
+                        let (was_running, pre_used, sleep) = match stack.last() {
+                            None => (None, 0, Vec::new()),
+                            Some(parent) => (
+                                Some(parent.chosen),
+                                parent.pre_used + parent.cost(parent.chosen),
+                                parent.child_sleep(),
+                            ),
+                        };
+                        let node = Node {
+                            info,
+                            was_running,
+                            pre_used,
+                            sleep,
+                            done: Vec::new(),
+                            chosen: 0,
+                        };
+                        match node.candidates(depth, opts).into_iter().next() {
+                            None => {
+                                // All remaining choices are covered
+                                // elsewhere or out of budget.
+                                rt.abandon();
+                                return RunEnd::Pruned;
+                            }
+                            Some(first) => {
+                                let mut node = node;
+                                node.chosen = first;
+                                let chosen = node.chosen;
+                                stack.push(node);
+                                chosen
+                            }
+                        }
+                    };
+                    rt.grant(chosen);
+                    depth += 1;
+                }
+            }
+        }
+    })
+}
+
+static SILENCER: Once = Once::new();
+
+/// Installs (once, process-wide) a panic hook that swallows panics
+/// raised on model threads — expected panics (poison scenarios, mutant
+/// refutations, abandoned executions) would otherwise spray thousands
+/// of backtraces. Panics anywhere else fall through to the previous
+/// hook.
+pub(crate) fn install_panic_silencer() {
+    SILENCER.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if in_model_thread() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}

@@ -1,0 +1,642 @@
+//! The model instantiation of the [`culpeo_exec::shim`] vocabulary:
+//! drop-in `AtomicUsize`/`AtomicBool`/`AtomicU64`, `Mutex`, `Condvar`,
+//! `sync_channel`, `spawn`/`JoinHandle`, plus [`RaceCell`] for plain
+//! shared data under race detection.
+//!
+//! Every type holds an object id in the current execution's
+//! [`crate::rt::Runtime`] and funnels each operation through
+//! [`Runtime::yield_op`], which is what turns ordinary-looking protocol
+//! code into a fully schedulable, clock-tracked execution. The types
+//! can only be constructed *inside* a closure driven by
+//! [`crate::explore::explore`]; construction anywhere else panics with
+//! a pointed message.
+//!
+//! Observational equivalence with `std::sync` is part of the contract
+//! (the shim equivalence proptests pin it): `lock` returns the same
+//! `LockResult` shape, guards poison on panicky drops, `try_send`
+//! reports `Full`/`Disconnected` with the payload, `recv` keeps
+//! draining after the last sender drops, and panics out of a spawned
+//! closure surface as `Err` from `join`.
+
+use crate::rt::{ObjId, ObjKind, Op, Outcome, Runtime, Tid, TrySendVerdict};
+use culpeo_exec::shim::{
+    AtomicBoolShim, AtomicU64Shim, AtomicUsizeShim, CondvarShim, MutexShim, ReceiverShim,
+    SenderShim,
+};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{RecvError, SendError, TrySendError};
+use std::sync::{Arc, LockResult, Mutex as StdMutex, PoisonError};
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) rt: Arc<Runtime>,
+    pub(crate) tid: Tid,
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+pub(crate) fn in_model_thread() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+fn ctx() -> Ctx {
+    CTX.with(|c| {
+        c.borrow().clone().expect(
+            "culpeo-race model sync primitives can only be used inside a closure \
+             driven by culpeo_race::explore()",
+        )
+    })
+}
+
+fn op(o: Op, site: &'static Location<'static>) -> Outcome {
+    let Ctx { rt, tid } = ctx();
+    rt.yield_op(tid, o, site)
+}
+
+fn value_of(out: Outcome) -> u64 {
+    match out {
+        Outcome::Value(v) => v,
+        // Dummy outcome while unwinding an abandoned execution.
+        _ => 0,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------
+
+/// Model `std::sync::atomic::AtomicUsize`.
+#[derive(Debug)]
+pub struct AtomicUsize {
+    obj: ObjId,
+}
+
+impl AtomicUsizeShim for AtomicUsize {
+    fn new(v: usize) -> Self {
+        let obj = ctx().rt.alloc_object(ObjKind::AtomicUsize, v as u64, 0);
+        Self { obj }
+    }
+    #[track_caller]
+    fn load(&self, order: Ordering) -> usize {
+        value_of(op(
+            Op::AtomicLoad {
+                obj: self.obj,
+                order,
+            },
+            Location::caller(),
+        )) as usize
+    }
+    #[track_caller]
+    fn store(&self, v: usize, order: Ordering) {
+        op(
+            Op::AtomicStore {
+                obj: self.obj,
+                value: v as u64,
+                order,
+            },
+            Location::caller(),
+        );
+    }
+    #[track_caller]
+    fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        value_of(op(
+            Op::AtomicFetchAdd {
+                obj: self.obj,
+                delta: v as u64,
+                order,
+            },
+            Location::caller(),
+        )) as usize
+    }
+    #[track_caller]
+    fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        match op(
+            Op::AtomicCas {
+                obj: self.obj,
+                current: current as u64,
+                new: new as u64,
+                success,
+                failure,
+            },
+            Location::caller(),
+        ) {
+            Outcome::Cas(Ok(v)) => Ok(v as usize),
+            Outcome::Cas(Err(v)) => Err(v as usize),
+            _ => Ok(current),
+        }
+    }
+}
+
+/// Model `std::sync::atomic::AtomicBool`.
+#[derive(Debug)]
+pub struct AtomicBool {
+    obj: ObjId,
+}
+
+impl AtomicBoolShim for AtomicBool {
+    fn new(v: bool) -> Self {
+        let obj = ctx().rt.alloc_object(ObjKind::AtomicBool, u64::from(v), 0);
+        Self { obj }
+    }
+    #[track_caller]
+    fn load(&self, order: Ordering) -> bool {
+        value_of(op(
+            Op::AtomicLoad {
+                obj: self.obj,
+                order,
+            },
+            Location::caller(),
+        )) != 0
+    }
+    #[track_caller]
+    fn store(&self, v: bool, order: Ordering) {
+        op(
+            Op::AtomicStore {
+                obj: self.obj,
+                value: u64::from(v),
+                order,
+            },
+            Location::caller(),
+        );
+    }
+    #[track_caller]
+    fn swap(&self, v: bool, order: Ordering) -> bool {
+        value_of(op(
+            Op::AtomicSwap {
+                obj: self.obj,
+                value: u64::from(v),
+                order,
+            },
+            Location::caller(),
+        )) != 0
+    }
+}
+
+/// Model `std::sync::atomic::AtomicU64`.
+#[derive(Debug)]
+pub struct AtomicU64 {
+    obj: ObjId,
+}
+
+impl AtomicU64Shim for AtomicU64 {
+    fn new(v: u64) -> Self {
+        let obj = ctx().rt.alloc_object(ObjKind::AtomicU64, v, 0);
+        Self { obj }
+    }
+    #[track_caller]
+    fn load(&self, order: Ordering) -> u64 {
+        value_of(op(
+            Op::AtomicLoad {
+                obj: self.obj,
+                order,
+            },
+            Location::caller(),
+        ))
+    }
+    #[track_caller]
+    fn store(&self, v: u64, order: Ordering) {
+        op(
+            Op::AtomicStore {
+                obj: self.obj,
+                value: v,
+                order,
+            },
+            Location::caller(),
+        );
+    }
+    #[track_caller]
+    fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+        value_of(op(
+            Op::AtomicFetchAdd {
+                obj: self.obj,
+                delta: v,
+                order,
+            },
+            Location::caller(),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutex + Condvar
+// ---------------------------------------------------------------------
+
+/// Model `std::sync::Mutex<T>`. The payload lives in an uncontended
+/// std mutex — logical ownership (who may touch it, and when) is
+/// enforced entirely by the scheduler.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    obj: ObjId,
+    data: StdMutex<T>,
+}
+
+/// The RAII guard of a model [`Mutex`]; its drop is the unlock yield
+/// point, and a drop during a panic poisons, exactly like std.
+pub struct MutexGuard<'a, T: Send> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// Condvar wait dismantles the guard without announcing an unlock
+    /// (the `CvWait` op covers the release).
+    announce: bool,
+}
+
+impl<T: Send> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: Send> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T: Send> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            if self.announce {
+                op(
+                    Op::MutexUnlock {
+                        obj: self.lock.obj,
+                        poison: std::thread::panicking(),
+                    },
+                    Location::caller(),
+                );
+            }
+            // Only dropped after the logical unlock: no other thread
+            // runs between the grant above and this drop.
+            drop(inner);
+        }
+    }
+}
+
+impl<T: Send> MutexShim<T> for Mutex<T> {
+    type Guard<'a>
+        = MutexGuard<'a, T>
+    where
+        T: 'a;
+
+    fn new(value: T) -> Self {
+        let obj = ctx().rt.alloc_object(ObjKind::Mutex, 0, 0);
+        Self {
+            obj,
+            data: StdMutex::new(value),
+        }
+    }
+
+    #[track_caller]
+    fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let out = op(Op::MutexLock { obj: self.obj }, Location::caller());
+        let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+        let guard = MutexGuard {
+            lock: self,
+            inner: Some(inner),
+            announce: true,
+        };
+        match out {
+            Outcome::Lock { poisoned: true } => Err(PoisonError::new(guard)),
+            _ => Ok(guard),
+        }
+    }
+
+    fn clear_poison(&self) {
+        ctx().rt.set_poison(self.obj, false);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        ctx().rt.is_poisoned(self.obj)
+    }
+}
+
+/// Model `std::sync::Condvar` (the lite wait/notify surface of
+/// [`CondvarShim`]).
+#[derive(Debug)]
+pub struct Condvar {
+    obj: ObjId,
+}
+
+impl<T: Send> CondvarShim<T, Mutex<T>> for Condvar {
+    fn new() -> Self {
+        let obj = ctx().rt.alloc_object(ObjKind::Condvar, 0, 0);
+        Self { obj }
+    }
+
+    #[track_caller]
+    fn wait<'a>(&self, mut guard: MutexGuard<'a, T>, mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        let site = Location::caller();
+        // Dismantle the guard silently: the CvWait op is the release.
+        guard.announce = false;
+        let inner = guard.inner.take();
+        drop(inner);
+        drop(guard);
+        op(
+            Op::CvWait {
+                cv: self.obj,
+                mutex: mutex.obj,
+            },
+            site,
+        );
+        op(
+            Op::CvReacquire {
+                cv: self.obj,
+                mutex: mutex.obj,
+            },
+            site,
+        );
+        let inner = mutex.data.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            lock: mutex,
+            inner: Some(inner),
+            announce: true,
+        }
+    }
+
+    #[track_caller]
+    fn notify_one(&self) {
+        op(
+            Op::CvNotify {
+                cv: self.obj,
+                all: false,
+            },
+            Location::caller(),
+        );
+    }
+
+    #[track_caller]
+    fn notify_all(&self) {
+        op(
+            Op::CvNotify {
+                cv: self.obj,
+                all: true,
+            },
+            Location::caller(),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bounded channel
+// ---------------------------------------------------------------------
+
+/// Model `std::sync::mpsc::sync_channel`: a bounded queue whose typed
+/// payloads ride beside the runtime's logical occupancy + per-message
+/// clock bookkeeping.
+pub fn sync_channel<T: Send>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let obj = ctx().rt.alloc_object(ObjKind::Channel, 0, cap);
+    let queue = Arc::new(StdMutex::new(VecDeque::new()));
+    (
+        Sender {
+            obj,
+            queue: queue.clone(),
+        },
+        Receiver { obj, queue },
+    )
+}
+
+/// Model `std::sync::mpsc::SyncSender<T>`.
+#[derive(Debug)]
+pub struct Sender<T> {
+    obj: ObjId,
+    queue: Arc<StdMutex<VecDeque<T>>>,
+}
+
+impl<T: Send> Clone for Sender<T> {
+    #[track_caller]
+    fn clone(&self) -> Self {
+        op(Op::SenderClone { obj: self.obj }, Location::caller());
+        Self {
+            obj: self.obj,
+            queue: self.queue.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        op(Op::SenderDrop { obj: self.obj }, Location::caller());
+    }
+}
+
+impl<T: Send> SenderShim<T> for Sender<T> {
+    #[track_caller]
+    fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match op(Op::ChanSend { obj: self.obj }, Location::caller()) {
+            Outcome::Send { disconnected: true } => Err(SendError(value)),
+            _ => {
+                self.queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push_back(value);
+                Ok(())
+            }
+        }
+    }
+
+    #[track_caller]
+    fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        match op(Op::ChanTrySend { obj: self.obj }, Location::caller()) {
+            Outcome::TrySend(TrySendVerdict::Full) => Err(TrySendError::Full(value)),
+            Outcome::TrySend(TrySendVerdict::Disconnected) => {
+                Err(TrySendError::Disconnected(value))
+            }
+            _ => {
+                self.queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push_back(value);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Model `std::sync::mpsc::Receiver<T>`.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    obj: ObjId,
+    queue: Arc<StdMutex<VecDeque<T>>>,
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        op(Op::ReceiverDrop { obj: self.obj }, Location::caller());
+    }
+}
+
+impl<T: Send> ReceiverShim<T> for Receiver<T> {
+    #[track_caller]
+    fn recv(&self) -> Result<T, RecvError> {
+        match op(Op::ChanRecv { obj: self.obj }, Location::caller()) {
+            Outcome::Recv { ok: true } => Ok(self
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+                .expect("logical occupancy said non-empty")),
+            _ => Err(RecvError),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// RaceCell: plain shared data under the vector-clock detector
+// ---------------------------------------------------------------------
+
+/// Plain shared data with **no synchronization of its own** — the
+/// model-world equivalent of an `UnsafeCell` the protocol believes is
+/// protected by surrounding synchronization. Every `get`/`set` is
+/// checked against the previous conflicting access via vector clocks;
+/// an unsynchronized pair fails the execution as a race, reporting both
+/// `#[track_caller]` sites.
+#[derive(Debug)]
+pub struct RaceCell<T: Copy + Send> {
+    obj: ObjId,
+    data: StdMutex<T>,
+}
+
+impl<T: Copy + Send> RaceCell<T> {
+    /// A cell holding `v`, owned by the current execution.
+    pub fn new(v: T) -> Self {
+        let obj = ctx().rt.alloc_object(ObjKind::Cell, 0, 0);
+        Self {
+            obj,
+            data: StdMutex::new(v),
+        }
+    }
+
+    /// Reads the value (a checked access).
+    #[track_caller]
+    pub fn get(&self) -> T {
+        op(Op::CellRead { obj: self.obj }, Location::caller());
+        *self.data.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Writes the value (a checked access).
+    #[track_caller]
+    pub fn set(&self, v: T) {
+        op(Op::CellWrite { obj: self.obj }, Location::caller());
+        *self.data.lock().unwrap_or_else(PoisonError::into_inner) = v;
+    }
+}
+
+// ---------------------------------------------------------------------
+// spawn / join
+// ---------------------------------------------------------------------
+
+/// Model `std::thread::JoinHandle<T>`.
+pub struct JoinHandle<T> {
+    tid: Tid,
+    result: Arc<StdMutex<Option<T>>>,
+    real: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T: Send> JoinHandle<T> {
+    /// Model `std::thread::JoinHandle::join`: blocks (schedulably)
+    /// until the target finishes; `Err` if its closure panicked.
+    #[track_caller]
+    pub fn join(mut self) -> std::thread::Result<T> {
+        let out = op(Op::Join { target: self.tid }, Location::caller());
+        if let Some(real) = self.real.take() {
+            // The logical join already happened; the OS thread exits
+            // promptly. Reap it so executions leak nothing.
+            let _ = real.join();
+        }
+        match out {
+            Outcome::Join { panicked: true } => Err(Box::new("model thread panicked".to_string())),
+            _ => Ok(self
+                .result
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .expect("a finished, unpanicked thread stored its result")),
+        }
+    }
+}
+
+/// Spawns a named model thread. The name appears in traces and race
+/// reports; scheduling is entirely up to the explorer.
+#[track_caller]
+pub fn spawn<T, F>(name: &str, f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let Ctx { rt, tid } = ctx();
+    let out = rt.yield_op(
+        tid,
+        Op::Spawn {
+            name: name.to_string(),
+        },
+        Location::caller(),
+    );
+    let child = match out {
+        Outcome::Spawned(child) => child,
+        _ => unreachable!("spawn is never reached while unwinding"),
+    };
+    let result = Arc::new(StdMutex::new(None));
+    let slot = result.clone();
+    let child_rt = rt.clone();
+    let real = std::thread::spawn(move || {
+        thread_shell(child_rt, child, move || {
+            let value = f();
+            *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+        });
+    });
+    JoinHandle {
+        tid: child,
+        result,
+        real: Some(real),
+    }
+}
+
+/// The body every model OS thread runs: install the context, announce
+/// the first yield, run user code under `catch_unwind`, and report how
+/// it ended. Used for the execution's main thread and every
+/// [`spawn`]ed thread.
+pub(crate) fn thread_shell(rt: Arc<Runtime>, tid: Tid, body: impl FnOnce()) {
+    crate::explore::install_panic_silencer();
+    set_ctx(Some(Ctx {
+        rt: rt.clone(),
+        tid,
+    }));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.yield_op(tid, Op::Start, Location::caller());
+        body();
+    }));
+    match result {
+        Ok(()) => rt.finish(tid, None),
+        Err(payload) if payload.downcast_ref::<crate::rt::Abandoned>().is_some() => {
+            rt.finish_abandoned(tid);
+        }
+        Err(payload) => rt.finish(tid, Some(panic_message(&payload))),
+    }
+    set_ctx(None);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}

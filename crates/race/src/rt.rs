@@ -1,0 +1,992 @@
+//! The cooperative execution runtime: one *controlled execution* of a
+//! closure whose threads synchronize only through the model types in
+//! [`crate::model`].
+//!
+//! The mechanism is token passing over real OS threads. Every model
+//! operation (atomic access, lock, channel send, spawn, join, …) is a
+//! *yield point*: the thread announces the operation it wants to
+//! perform and parks; the explorer — running on the driving thread —
+//! waits until every thread is parked (quiescence), picks exactly one
+//! announced operation whose precondition holds (a free mutex, a
+//! non-full channel, …), applies its effect to the shared logical
+//! state, and wakes that one thread. Only one model thread is ever
+//! runnable, so an execution is fully determined by the sequence of
+//! choices — which is what lets [`crate::explore`] enumerate schedules.
+//!
+//! Alongside the logical state the runtime maintains **vector clocks**:
+//! one per thread, one per synchronization object, one per in-flight
+//! channel message. Lock/unlock, send/recv, spawn/join and
+//! acquire/release atomics transfer clocks exactly as the
+//! happens-before relation dictates (`Relaxed` transfers nothing).
+//! [`crate::model::RaceCell`] — plain shared data with *no* atomicity
+//! of its own — checks every access against the previous conflicting
+//! access ([`FastTrack`]-style epochs) and reports an unsynchronized
+//! pair as a race, tagged with the `#[track_caller]` source location of
+//! both sides.
+//!
+//! One deliberate approximation: an acquire load joins the object's
+//! *accumulated* release clock rather than the clock of the particular
+//! store it read, which over-synchronizes (can under-report races
+//! routed through atomics). Mutex, channel and join edges are exact.
+//!
+//! [`FastTrack`]: https://dl.acm.org/doi/10.1145/1543135.1542490
+
+use std::collections::VecDeque;
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A model thread id: index into the runtime's thread table. Thread 0
+/// is always the execution's main thread.
+pub(crate) type Tid = usize;
+/// A model object id: index into the runtime's object table.
+pub(crate) type ObjId = usize;
+
+/// A vector clock over model threads. Component `t` counts the yield
+/// points thread `t` has executed; `a ≤ b` pointwise iff the state `a`
+/// summarizes happened-before the state `b` summarizes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    pub(crate) fn get(&self, tid: Tid) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn tick(&mut self, tid: Tid) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+/// One recorded access to a [`crate::model::RaceCell`]: who, at what
+/// point of their clock, from which protocol source line.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Access {
+    pub(crate) tid: Tid,
+    pub(crate) at: u32,
+    pub(crate) write: bool,
+    pub(crate) site: &'static Location<'static>,
+}
+
+/// An announced operation: everything the explorer needs to decide
+/// eligibility, judge independence, apply the effect, and render a
+/// trace line.
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    /// A thread's very first yield, before any user code.
+    Start,
+    AtomicLoad {
+        obj: ObjId,
+        order: Ordering,
+    },
+    AtomicStore {
+        obj: ObjId,
+        value: u64,
+        order: Ordering,
+    },
+    AtomicFetchAdd {
+        obj: ObjId,
+        delta: u64,
+        order: Ordering,
+    },
+    AtomicSwap {
+        obj: ObjId,
+        value: u64,
+        order: Ordering,
+    },
+    AtomicCas {
+        obj: ObjId,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    },
+    MutexLock {
+        obj: ObjId,
+    },
+    MutexUnlock {
+        obj: ObjId,
+        poison: bool,
+    },
+    /// Condvar wait, phase 1: atomically release the mutex and join the
+    /// waiter queue. Always eligible.
+    CvWait {
+        cv: ObjId,
+        mutex: ObjId,
+    },
+    /// Condvar wait, phase 2: eligible once notified *and* the mutex is
+    /// free; re-acquires.
+    CvReacquire {
+        cv: ObjId,
+        mutex: ObjId,
+    },
+    CvNotify {
+        cv: ObjId,
+        all: bool,
+    },
+    ChanSend {
+        obj: ObjId,
+    },
+    ChanTrySend {
+        obj: ObjId,
+    },
+    ChanRecv {
+        obj: ObjId,
+    },
+    SenderClone {
+        obj: ObjId,
+    },
+    SenderDrop {
+        obj: ObjId,
+    },
+    ReceiverDrop {
+        obj: ObjId,
+    },
+    CellRead {
+        obj: ObjId,
+    },
+    CellWrite {
+        obj: ObjId,
+    },
+    Spawn {
+        name: String,
+    },
+    Join {
+        target: Tid,
+    },
+}
+
+/// What an operation's effect hands back to the announcing thread.
+#[derive(Clone, Debug)]
+pub(crate) enum Outcome {
+    Unit,
+    Value(u64),
+    Cas(Result<u64, u64>),
+    Lock {
+        poisoned: bool,
+    },
+    /// `Ok`, or the receiver is gone.
+    Send {
+        disconnected: bool,
+    },
+    TrySend(TrySendVerdict),
+    /// `ok` → the typed payload is waiting in the channel's queue.
+    Recv {
+        ok: bool,
+    },
+    Join {
+        panicked: bool,
+    },
+    Spawned(Tid),
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum TrySendVerdict {
+    Ok,
+    Full,
+    Disconnected,
+}
+
+/// Why an execution stopped early.
+#[derive(Clone, Debug)]
+pub(crate) enum FailureKind {
+    /// A panic escaped a model thread's user code.
+    Panic { tid: Tid, message: String },
+    /// Threads remain but none has an eligible operation.
+    Deadlock { blocked: Vec<Tid> },
+    /// Two unsynchronized conflicting accesses to one `RaceCell`.
+    Race {
+        obj: ObjId,
+        earlier: Access,
+        later: Access,
+    },
+    /// The execution exceeded the step bound (livelock guard).
+    StepLimit { limit: usize },
+}
+
+/// What kind of synchronization object an [`ObjId`] names (labels).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ObjKind {
+    AtomicUsize,
+    AtomicBool,
+    AtomicU64,
+    Mutex,
+    Condvar,
+    Channel,
+    Cell,
+}
+
+impl ObjKind {
+    fn label(self) -> &'static str {
+        match self {
+            ObjKind::AtomicUsize => "atomic-usize",
+            ObjKind::AtomicBool => "atomic-bool",
+            ObjKind::AtomicU64 => "atomic-u64",
+            ObjKind::Mutex => "mutex",
+            ObjKind::Condvar => "condvar",
+            ObjKind::Channel => "channel",
+            ObjKind::Cell => "cell",
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Registered but has not reached its first yield yet.
+    Spawning,
+    /// Parked with an announced operation, awaiting a grant.
+    Ready,
+    /// Holds the token: between a grant and its next yield.
+    Running,
+    Finished,
+    Panicked,
+}
+
+struct ThreadState {
+    name: String,
+    status: Status,
+    clock: VClock,
+    pending: Option<(Op, &'static Location<'static>)>,
+    outcome: Option<Outcome>,
+    /// Set by a condvar notify; consumed by `CvReacquire` eligibility.
+    notified: bool,
+}
+
+#[derive(Default)]
+struct ObjectState {
+    kind: Option<ObjKind>,
+    clock: VClock,
+    value: u64,
+    owner: Option<Tid>,
+    poisoned: bool,
+    cv_queue: VecDeque<Tid>,
+    cap: usize,
+    len: usize,
+    senders: usize,
+    receiver_alive: bool,
+    msg_clocks: VecDeque<VClock>,
+    last_write: Option<Access>,
+    reads: Vec<Access>,
+}
+
+struct State {
+    threads: Vec<ThreadState>,
+    objects: Vec<ObjectState>,
+    trace: Vec<(Tid, Op, &'static Location<'static>)>,
+    failure: Option<FailureKind>,
+    abandoned: bool,
+}
+
+/// The signature of a pending operation, for the explorer's
+/// independence judgement (sleep-set pruning). Two operations commute
+/// iff they touch different objects or are both pure reads of the same
+/// object; anything `Global` (spawn, join, start) is conservatively
+/// dependent with everything, which forfeits pruning but never
+/// soundness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Sig {
+    Read(ObjId),
+    Write(ObjId),
+    Global,
+}
+
+impl Sig {
+    pub(crate) fn independent(self, other: Sig) -> bool {
+        match (self, other) {
+            (Sig::Global, _) | (_, Sig::Global) => false,
+            // Two reads commute regardless of object.
+            (Sig::Read(_), Sig::Read(_)) => true,
+            (Sig::Read(a), Sig::Write(b))
+            | (Sig::Write(a), Sig::Read(b))
+            | (Sig::Write(a), Sig::Write(b)) => a != b,
+        }
+    }
+}
+
+fn sig_of(op: &Op) -> Sig {
+    match op {
+        Op::AtomicLoad { obj, .. } | Op::CellRead { obj } => Sig::Read(*obj),
+        Op::AtomicStore { obj, .. }
+        | Op::AtomicFetchAdd { obj, .. }
+        | Op::AtomicSwap { obj, .. }
+        | Op::AtomicCas { obj, .. }
+        | Op::MutexLock { obj }
+        | Op::MutexUnlock { obj, .. }
+        | Op::ChanSend { obj }
+        | Op::ChanTrySend { obj }
+        | Op::ChanRecv { obj }
+        | Op::SenderClone { obj }
+        | Op::SenderDrop { obj }
+        | Op::ReceiverDrop { obj }
+        | Op::CellWrite { obj } => Sig::Write(*obj),
+        Op::CvWait { cv, .. } | Op::CvReacquire { cv, .. } | Op::CvNotify { cv, .. } => {
+            Sig::Write(*cv)
+        }
+        Op::Start | Op::Spawn { .. } | Op::Join { .. } => Sig::Global,
+    }
+}
+
+fn acquires(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn releases(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// The panic payload used to unwind threads of an abandoned execution.
+pub(crate) struct Abandoned;
+
+/// What the explorer sees when the system next goes quiescent.
+pub(crate) enum Decision {
+    /// Every thread finished; the execution completed normally.
+    Complete,
+    /// A failure was recorded (panic, deadlock, race, step limit).
+    Failed,
+    /// Parked threads await a choice: `(tid, signature, eligible)` for
+    /// every `Ready` thread, in tid order.
+    Choose(Vec<(Tid, Sig, bool)>),
+}
+
+/// The shared runtime for one controlled execution.
+pub(crate) struct Runtime {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Runtime {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(State {
+                threads: Vec::new(),
+                objects: Vec::new(),
+                trace: Vec::new(),
+                failure: None,
+                abandoned: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Registers a thread (used directly only for the execution's main
+    /// thread; spawned threads register through [`Op::Spawn`]).
+    pub(crate) fn register_main(&self) -> Tid {
+        let mut st = self.state.lock().unwrap();
+        assert!(st.threads.is_empty(), "main must be the first thread");
+        let mut clock = VClock::default();
+        clock.tick(0);
+        st.threads.push(ThreadState {
+            name: "main".to_string(),
+            status: Status::Spawning,
+            clock,
+            pending: None,
+            outcome: None,
+            notified: false,
+        });
+        0
+    }
+
+    /// Allocates a synchronization object. Not a yield point: allocation
+    /// order is already determined by the schedule, and none of the
+    /// modelled protocols create objects concurrently.
+    pub(crate) fn alloc_object(&self, kind: ObjKind, value: u64, cap: usize) -> ObjId {
+        let mut st = self.state.lock().unwrap();
+        let id = st.objects.len();
+        st.objects.push(ObjectState {
+            kind: Some(kind),
+            value,
+            cap,
+            senders: 1,
+            receiver_alive: true,
+            ..ObjectState::default()
+        });
+        id
+    }
+
+    pub(crate) fn set_poison(&self, obj: ObjId, poisoned: bool) {
+        self.state.lock().unwrap().objects[obj].poisoned = poisoned;
+    }
+
+    pub(crate) fn is_poisoned(&self, obj: ObjId) -> bool {
+        self.state.lock().unwrap().objects[obj].poisoned
+    }
+
+    /// Announces `op` at `site`, parks until granted, and returns the
+    /// effect's outcome. The one entry point every model type funnels
+    /// through.
+    pub(crate) fn yield_op(&self, tid: Tid, op: Op, site: &'static Location<'static>) -> Outcome {
+        let mut st = self.state.lock().unwrap();
+        if st.abandoned {
+            drop(st);
+            return Self::bail_abandoned();
+        }
+        {
+            let t = &mut st.threads[tid];
+            debug_assert!(
+                matches!(t.status, Status::Running | Status::Spawning),
+                "a parked thread cannot announce"
+            );
+            t.pending = Some((op, site));
+            t.status = Status::Ready;
+        }
+        self.cv.notify_all();
+        loop {
+            st = self.cv.wait(st).unwrap();
+            if st.abandoned {
+                drop(st);
+                return Self::bail_abandoned();
+            }
+            if st.threads[tid].status == Status::Running {
+                break;
+            }
+        }
+        st.threads[tid]
+            .outcome
+            .take()
+            .expect("a grant stores an outcome before waking the thread")
+    }
+
+    /// Unwinds out of an abandoned execution — unless this thread is
+    /// already unwinding, in which case drop-glue yields must not
+    /// double-panic and a dummy outcome is returned instead.
+    fn bail_abandoned() -> Outcome {
+        if std::thread::panicking() {
+            Outcome::Unit
+        } else {
+            std::panic::panic_any(Abandoned);
+        }
+    }
+
+    /// Marks `tid` finished (`panic_message: Some` records the
+    /// execution's failure, first failure wins).
+    pub(crate) fn finish(&self, tid: Tid, panic_message: Option<String>) {
+        let mut st = self.state.lock().unwrap();
+        match panic_message {
+            None => st.threads[tid].status = Status::Finished,
+            Some(message) => {
+                st.threads[tid].status = Status::Panicked;
+                if st.failure.is_none() && !st.abandoned {
+                    st.failure = Some(FailureKind::Panic { tid, message });
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Marks a thread that exited via [`Abandoned`] as finished so the
+    /// bookkeeping stays consistent while the execution is torn down.
+    pub(crate) fn finish_abandoned(&self, tid: Tid) {
+        let mut st = self.state.lock().unwrap();
+        st.threads[tid].status = Status::Finished;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the system is quiescent (no thread holds the token)
+    /// and reports what the explorer can do. Records a deadlock failure
+    /// itself if live threads exist but none is eligible.
+    pub(crate) fn wait_decision(&self) -> Decision {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.failure.is_some() {
+                return Decision::Failed;
+            }
+            let busy = st
+                .threads
+                .iter()
+                .any(|t| matches!(t.status, Status::Running | Status::Spawning));
+            if !busy {
+                let ready: Vec<Tid> = (0..st.threads.len())
+                    .filter(|&t| st.threads[t].status == Status::Ready)
+                    .collect();
+                if ready.is_empty() {
+                    return Decision::Complete;
+                }
+                let info: Vec<(Tid, Sig, bool)> = ready
+                    .iter()
+                    .map(|&t| {
+                        let (op, _) = st.threads[t]
+                            .pending
+                            .as_ref()
+                            .expect("ready threads have a pending op");
+                        (t, sig_of(op), Self::eligible(&st, t, op))
+                    })
+                    .collect();
+                if !info.iter().any(|&(_, _, e)| e) {
+                    let blocked = ready.clone();
+                    st.failure = Some(FailureKind::Deadlock { blocked });
+                    return Decision::Failed;
+                }
+                return Decision::Choose(info);
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn eligible(st: &State, tid: Tid, op: &Op) -> bool {
+        match op {
+            Op::MutexLock { obj } => st.objects[*obj].owner.is_none(),
+            Op::CvReacquire { mutex, .. } => {
+                st.threads[tid].notified && st.objects[*mutex].owner.is_none()
+            }
+            Op::ChanSend { obj } => {
+                let o = &st.objects[*obj];
+                o.len < o.cap || !o.receiver_alive
+            }
+            Op::ChanRecv { obj } => {
+                let o = &st.objects[*obj];
+                o.len > 0 || o.senders == 0
+            }
+            Op::Join { target } => matches!(
+                st.threads[*target].status,
+                Status::Finished | Status::Panicked
+            ),
+            _ => true,
+        }
+    }
+
+    /// Grants the token to `tid`: applies its pending operation's
+    /// effect under the state lock, records the trace step, stores the
+    /// outcome, and wakes the thread. The caller must have observed
+    /// `tid` eligible in the current quiescent state.
+    pub(crate) fn grant(&self, tid: Tid) {
+        let mut st = self.state.lock().unwrap();
+        let (op, site) = st.threads[tid]
+            .pending
+            .take()
+            .expect("granting a thread with no pending op");
+        st.trace.push((tid, op.clone(), site));
+        let outcome = Self::apply(&mut st, tid, &op, site);
+        let t = &mut st.threads[tid];
+        t.outcome = Some(outcome);
+        t.status = Status::Running;
+        self.cv.notify_all();
+    }
+
+    /// Applies `op`'s effect: logical state transition plus the exact
+    /// vector-clock transfers the happens-before relation dictates.
+    fn apply(st: &mut State, tid: Tid, op: &Op, site: &'static Location<'static>) -> Outcome {
+        st.threads[tid].clock.tick(tid);
+        match op {
+            Op::Start => Outcome::Unit,
+            Op::AtomicLoad { obj, order } => {
+                if acquires(*order) {
+                    let oc = st.objects[*obj].clock.clone();
+                    st.threads[tid].clock.join(&oc);
+                }
+                Outcome::Value(st.objects[*obj].value)
+            }
+            Op::AtomicStore { obj, value, order } => {
+                if releases(*order) {
+                    let tc = st.threads[tid].clock.clone();
+                    st.objects[*obj].clock.join(&tc);
+                }
+                st.objects[*obj].value = *value;
+                Outcome::Unit
+            }
+            Op::AtomicFetchAdd { obj, delta, order } => {
+                Self::rmw_clocks(st, tid, *obj, *order);
+                let prev = st.objects[*obj].value;
+                st.objects[*obj].value = prev.wrapping_add(*delta);
+                Outcome::Value(prev)
+            }
+            Op::AtomicSwap { obj, value, order } => {
+                Self::rmw_clocks(st, tid, *obj, *order);
+                let prev = st.objects[*obj].value;
+                st.objects[*obj].value = *value;
+                Outcome::Value(prev)
+            }
+            Op::AtomicCas {
+                obj,
+                current,
+                new,
+                success,
+                failure,
+            } => {
+                let prev = st.objects[*obj].value;
+                if prev == *current {
+                    Self::rmw_clocks(st, tid, *obj, *success);
+                    st.objects[*obj].value = *new;
+                    Outcome::Cas(Ok(prev))
+                } else {
+                    if acquires(*failure) {
+                        let oc = st.objects[*obj].clock.clone();
+                        st.threads[tid].clock.join(&oc);
+                    }
+                    Outcome::Cas(Err(prev))
+                }
+            }
+            Op::MutexLock { obj } => {
+                debug_assert!(st.objects[*obj].owner.is_none());
+                st.objects[*obj].owner = Some(tid);
+                let oc = st.objects[*obj].clock.clone();
+                st.threads[tid].clock.join(&oc);
+                Outcome::Lock {
+                    poisoned: st.objects[*obj].poisoned,
+                }
+            }
+            Op::MutexUnlock { obj, poison } => {
+                let tc = st.threads[tid].clock.clone();
+                let o = &mut st.objects[*obj];
+                debug_assert_eq!(o.owner, Some(tid), "unlock by non-owner");
+                o.clock.join(&tc);
+                o.owner = None;
+                if *poison {
+                    o.poisoned = true;
+                }
+                Outcome::Unit
+            }
+            Op::CvWait { cv, mutex } => {
+                let tc = st.threads[tid].clock.clone();
+                let m = &mut st.objects[*mutex];
+                debug_assert_eq!(m.owner, Some(tid), "wait without holding the mutex");
+                m.clock.join(&tc);
+                m.owner = None;
+                st.objects[*cv].cv_queue.push_back(tid);
+                st.threads[tid].notified = false;
+                Outcome::Unit
+            }
+            Op::CvReacquire { cv, mutex } => {
+                debug_assert!(st.threads[tid].notified);
+                debug_assert!(st.objects[*mutex].owner.is_none());
+                st.objects[*mutex].owner = Some(tid);
+                let mc = st.objects[*mutex].clock.clone();
+                let cc = st.objects[*cv].clock.clone();
+                let t = &mut st.threads[tid];
+                t.clock.join(&mc);
+                t.clock.join(&cc);
+                t.notified = false;
+                Outcome::Unit
+            }
+            Op::CvNotify { cv, all } => {
+                let tc = st.threads[tid].clock.clone();
+                st.objects[*cv].clock.join(&tc);
+                let woken: Vec<Tid> = if *all {
+                    st.objects[*cv].cv_queue.drain(..).collect()
+                } else {
+                    st.objects[*cv].cv_queue.pop_front().into_iter().collect()
+                };
+                for w in woken {
+                    st.threads[w].notified = true;
+                }
+                Outcome::Unit
+            }
+            Op::ChanSend { obj } => {
+                let tc = st.threads[tid].clock.clone();
+                let o = &mut st.objects[*obj];
+                if !o.receiver_alive {
+                    return Outcome::Send { disconnected: true };
+                }
+                debug_assert!(o.len < o.cap, "granted send on a full channel");
+                o.len += 1;
+                o.msg_clocks.push_back(tc);
+                Outcome::Send {
+                    disconnected: false,
+                }
+            }
+            Op::ChanTrySend { obj } => {
+                let tc = st.threads[tid].clock.clone();
+                let o = &mut st.objects[*obj];
+                if !o.receiver_alive {
+                    Outcome::TrySend(TrySendVerdict::Disconnected)
+                } else if o.len == o.cap {
+                    Outcome::TrySend(TrySendVerdict::Full)
+                } else {
+                    o.len += 1;
+                    o.msg_clocks.push_back(tc);
+                    Outcome::TrySend(TrySendVerdict::Ok)
+                }
+            }
+            Op::ChanRecv { obj } => {
+                let o = &mut st.objects[*obj];
+                if o.len > 0 {
+                    o.len -= 1;
+                    let mc = o.msg_clocks.pop_front().expect("len > 0 implies a clock");
+                    st.threads[tid].clock.join(&mc);
+                    Outcome::Recv { ok: true }
+                } else {
+                    debug_assert_eq!(o.senders, 0, "granted recv on an empty, live channel");
+                    Outcome::Recv { ok: false }
+                }
+            }
+            Op::SenderClone { obj } => {
+                st.objects[*obj].senders += 1;
+                Outcome::Unit
+            }
+            Op::SenderDrop { obj } => {
+                st.objects[*obj].senders -= 1;
+                Outcome::Unit
+            }
+            Op::ReceiverDrop { obj } => {
+                st.objects[*obj].receiver_alive = false;
+                Outcome::Unit
+            }
+            Op::CellRead { obj } => {
+                let me = Access {
+                    tid,
+                    at: st.threads[tid].clock.get(tid),
+                    write: false,
+                    site,
+                };
+                if let Some(w) = st.objects[*obj].last_write {
+                    if Self::unordered(st, tid, &w) && st.failure.is_none() {
+                        st.failure = Some(FailureKind::Race {
+                            obj: *obj,
+                            earlier: w,
+                            later: me,
+                        });
+                    }
+                }
+                st.objects[*obj].reads.push(me);
+                Outcome::Unit
+            }
+            Op::CellWrite { obj } => {
+                let me = Access {
+                    tid,
+                    at: st.threads[tid].clock.get(tid),
+                    write: true,
+                    site,
+                };
+                let priors: Vec<Access> = st.objects[*obj]
+                    .last_write
+                    .iter()
+                    .chain(st.objects[*obj].reads.iter())
+                    .copied()
+                    .collect();
+                for prior in priors {
+                    if Self::unordered(st, tid, &prior) && st.failure.is_none() {
+                        st.failure = Some(FailureKind::Race {
+                            obj: *obj,
+                            earlier: prior,
+                            later: me,
+                        });
+                    }
+                }
+                let o = &mut st.objects[*obj];
+                o.last_write = Some(me);
+                o.reads.clear();
+                Outcome::Unit
+            }
+            Op::Spawn { name } => {
+                let child = st.threads.len();
+                let mut clock = st.threads[tid].clock.clone();
+                clock.tick(child);
+                st.threads.push(ThreadState {
+                    name: name.clone(),
+                    status: Status::Spawning,
+                    clock,
+                    pending: None,
+                    outcome: None,
+                    notified: false,
+                });
+                Outcome::Spawned(child)
+            }
+            Op::Join { target } => {
+                let panicked = st.threads[*target].status == Status::Panicked;
+                let target_clock = st.threads[*target].clock.clone();
+                st.threads[tid].clock.join(&target_clock);
+                Outcome::Join { panicked }
+            }
+        }
+    }
+
+    fn rmw_clocks(st: &mut State, tid: Tid, obj: ObjId, order: Ordering) {
+        if acquires(order) {
+            let oc = st.objects[obj].clock.clone();
+            st.threads[tid].clock.join(&oc);
+        }
+        if releases(order) {
+            let tc = st.threads[tid].clock.clone();
+            st.objects[obj].clock.join(&tc);
+        }
+    }
+
+    /// Whether `prior` is *not* ordered before the current operation of
+    /// `tid` — i.e. the two accesses race (conflict is the caller's
+    /// concern).
+    fn unordered(st: &State, tid: Tid, prior: &Access) -> bool {
+        prior.tid != tid && st.threads[tid].clock.get(prior.tid) < prior.at
+    }
+
+    /// Records the step-limit failure (livelock guard).
+    pub(crate) fn record_step_limit(&self, limit: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.failure.is_none() {
+            st.failure = Some(FailureKind::StepLimit { limit });
+        }
+    }
+
+    /// Abandons the execution: every parked thread unwinds via
+    /// [`Abandoned`] at its next wake. Blocks until all threads have
+    /// exited the execution.
+    pub(crate) fn abandon(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.abandoned = true;
+        for t in &mut st.threads {
+            if matches!(t.status, Status::Ready | Status::Running | Status::Spawning) {
+                // Wake parked threads; Running/Spawning ones will see
+                // the flag at their next yield.
+                t.outcome = Some(Outcome::Unit);
+            }
+        }
+        self.cv.notify_all();
+        while st
+            .threads
+            .iter()
+            .any(|t| !matches!(t.status, Status::Finished | Status::Panicked))
+        {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    pub(crate) fn step_count(&self) -> usize {
+        self.state.lock().unwrap().trace.len()
+    }
+
+    pub(crate) fn failure(&self) -> Option<FailureKind> {
+        self.state.lock().unwrap().failure.clone()
+    }
+
+    /// Renders the execution trace as human-readable schedule lines.
+    pub(crate) fn render_trace(&self) -> Vec<String> {
+        let st = self.state.lock().unwrap();
+        st.trace
+            .iter()
+            .enumerate()
+            .map(|(i, (tid, op, site))| {
+                format!(
+                    "{i:3}  t{tid}({}) {} @ {}:{}",
+                    st.threads[*tid].name,
+                    Self::render_op(&st, op),
+                    site.file(),
+                    site.line()
+                )
+            })
+            .collect()
+    }
+
+    /// Renders a failure as `(kind, message)` for reporting.
+    pub(crate) fn render_failure(&self, failure: &FailureKind) -> (String, String) {
+        let st = self.state.lock().unwrap();
+        match failure {
+            FailureKind::Panic { tid, message } => (
+                "panic".to_string(),
+                format!("t{tid}({}) panicked: {message}", st.threads[*tid].name),
+            ),
+            FailureKind::Deadlock { blocked } => {
+                let who: Vec<String> = blocked
+                    .iter()
+                    .map(|&t| {
+                        let pending = st.threads[t]
+                            .pending
+                            .as_ref()
+                            .map(|(op, site)| {
+                                format!(
+                                    "{} @ {}:{}",
+                                    Self::render_op(&st, op),
+                                    site.file(),
+                                    site.line()
+                                )
+                            })
+                            .unwrap_or_else(|| "?".to_string());
+                        format!("t{t}({}) blocked on {pending}", st.threads[t].name)
+                    })
+                    .collect();
+                ("deadlock".to_string(), who.join("; "))
+            }
+            FailureKind::Race { obj, earlier, later } => (
+                "race".to_string(),
+                format!(
+                    "unsynchronized conflicting accesses on {}: {} by t{}({}) at {}:{} vs {} by t{}({}) at {}:{}",
+                    Self::obj_label(&st, *obj),
+                    if earlier.write { "write" } else { "read" },
+                    earlier.tid,
+                    st.threads[earlier.tid].name,
+                    earlier.site.file(),
+                    earlier.site.line(),
+                    if later.write { "write" } else { "read" },
+                    later.tid,
+                    st.threads[later.tid].name,
+                    later.site.file(),
+                    later.site.line(),
+                ),
+            ),
+            FailureKind::StepLimit { limit } => (
+                "step-limit".to_string(),
+                format!("execution exceeded {limit} steps (livelock guard)"),
+            ),
+        }
+    }
+
+    fn obj_label(st: &State, obj: ObjId) -> String {
+        let kind = st.objects[obj].kind.map(ObjKind::label).unwrap_or("obj");
+        format!("{kind}#{obj}")
+    }
+
+    fn render_op(st: &State, op: &Op) -> String {
+        match op {
+            Op::Start => "start".to_string(),
+            Op::AtomicLoad { obj, .. } => format!("load {}", Self::obj_label(st, *obj)),
+            Op::AtomicStore { obj, value, .. } => {
+                format!("store {} <- {value}", Self::obj_label(st, *obj))
+            }
+            Op::AtomicFetchAdd { obj, delta, .. } => {
+                format!("fetch-add {} += {delta}", Self::obj_label(st, *obj))
+            }
+            Op::AtomicSwap { obj, value, .. } => {
+                format!("swap {} <- {value}", Self::obj_label(st, *obj))
+            }
+            Op::AtomicCas {
+                obj, current, new, ..
+            } => {
+                format!("cas {} {current}->{new}", Self::obj_label(st, *obj))
+            }
+            Op::MutexLock { obj } => format!("lock {}", Self::obj_label(st, *obj)),
+            Op::MutexUnlock { obj, poison } => format!(
+                "unlock{} {}",
+                if *poison { "+poison" } else { "" },
+                Self::obj_label(st, *obj)
+            ),
+            Op::CvWait { cv, .. } => format!("cv-wait {}", Self::obj_label(st, *cv)),
+            Op::CvReacquire { cv, .. } => {
+                format!("cv-reacquire {}", Self::obj_label(st, *cv))
+            }
+            Op::CvNotify { cv, all } => format!(
+                "notify-{} {}",
+                if *all { "all" } else { "one" },
+                Self::obj_label(st, *cv)
+            ),
+            Op::ChanSend { obj } => format!("send {}", Self::obj_label(st, *obj)),
+            Op::ChanTrySend { obj } => format!("try-send {}", Self::obj_label(st, *obj)),
+            Op::ChanRecv { obj } => format!("recv {}", Self::obj_label(st, *obj)),
+            Op::SenderClone { obj } => format!("sender-clone {}", Self::obj_label(st, *obj)),
+            Op::SenderDrop { obj } => format!("sender-drop {}", Self::obj_label(st, *obj)),
+            Op::ReceiverDrop { obj } => {
+                format!("receiver-drop {}", Self::obj_label(st, *obj))
+            }
+            Op::CellRead { obj } => format!("read {}", Self::obj_label(st, *obj)),
+            Op::CellWrite { obj } => format!("write {}", Self::obj_label(st, *obj)),
+            Op::Spawn { name } => format!("spawn \"{name}\""),
+            Op::Join { target } => {
+                format!("join t{target}({})", st.threads[*target].name)
+            }
+        }
+    }
+}

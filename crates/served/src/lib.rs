@@ -28,6 +28,7 @@ pub mod cache;
 pub mod handle;
 pub mod http;
 pub mod metrics;
+pub mod protocol;
 mod server;
 
 pub use server::{ServeSummary, Server, ServerConfig, ShutdownHandle};

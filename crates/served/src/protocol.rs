@@ -1,0 +1,170 @@
+//! The daemon's core concurrency protocols, extracted and generic over
+//! the `culpeo_exec::shim` vocabulary.
+//!
+//! `crate::server` stakes three production guarantees on these few dozen
+//! lines: a full accept queue sheds load with an honest `503` instead of
+//! unbounded latency, **no accepted connection is ever dropped** by a
+//! graceful drain, and a handler panic mid-cache-update can poison the
+//! cache lock without taking a worker (or the daemon) down with it.
+//! Each protocol is a free function generic over the shim traits, so the
+//! production server (instantiated with the plain `std::sync` types —
+//! monomorphises to exactly the code it replaced) and the `culpeo-race`
+//! model checker (instantiated with cooperative model types and explored
+//! over every interleaving up to a preemption bound) run the *same
+//! protocol source*.
+
+use culpeo_exec::shim::{AtomicBoolShim, MutexShim, ReceiverShim, SenderShim};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::TrySendError;
+use std::sync::PoisonError;
+
+/// What became of one accepted connection offered to the bounded queue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Enqueue<T> {
+    /// Queued for a worker; the drain guarantee now covers it.
+    Queued,
+    /// The daemon is draining: answer 503 and stop accepting.
+    Draining(T),
+    /// The queue is at capacity: answer 503 busy, keep accepting.
+    Busy(T),
+    /// Every worker is gone; the daemon is past draining.
+    Disconnected(T),
+}
+
+/// The acceptor's decision for one accepted connection: observe the
+/// shutdown flag, then offer the connection to the bounded queue
+/// without blocking.
+///
+/// The flag check precedes the enqueue so a drain request published
+/// before the accept is honoured even if queue space is available —
+/// shutdown wins races against new work, never the other way around.
+#[inline]
+pub fn offer<B, Tx, T>(shutting: &B, tx: &Tx, conn: T) -> Enqueue<T>
+where
+    B: AtomicBoolShim,
+    Tx: SenderShim<T>,
+    T: Send,
+{
+    if shutting.load(Ordering::SeqCst) {
+        return Enqueue::Draining(conn);
+    }
+    match tx.try_send(conn) {
+        Ok(()) => Enqueue::Queued,
+        Err(TrySendError::Full(conn)) => Enqueue::Busy(conn),
+        Err(TrySendError::Disconnected(conn)) => Enqueue::Disconnected(conn),
+    }
+}
+
+/// Pops the next queued connection for a worker, or `None` once the
+/// queue is both hung up *and empty* — the drain guarantee.
+///
+/// The receiver is shared behind a mutex held only for the pop.
+/// `recv()` keeps returning queued values after the sender is dropped,
+/// which is exactly why dropping the acceptor's sender is the drain
+/// trigger: workers finish everything already accepted, then see the
+/// hangup. A poisoned receiver lock is survivable — the queue holds no
+/// half-mutated state, so the survivors take the guard and keep popping.
+#[inline]
+pub fn next_job<M, R, T>(rx: &M) -> Option<T>
+where
+    T: Send,
+    R: ReceiverShim<T>,
+    M: MutexShim<R>,
+{
+    let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+    guard.recv().ok()
+}
+
+/// Flags shutdown; returns `true` exactly once, for the caller that won
+/// the race and therefore owes the acceptor its wake-up call.
+///
+/// The swap makes "first" well-defined under concurrent shutdown
+/// requests, and the single wake obligation is what the model checker's
+/// `shutdown-handshake` battery pins: flag-without-wake deadlocks an
+/// acceptor parked in `accept()`.
+#[inline]
+pub fn begin_shutdown<B: AtomicBoolShim>(shutting: &B) -> bool {
+    !shutting.swap(true, Ordering::SeqCst)
+}
+
+/// Locks `mutex`, recovering from poisoning: the first toucher after a
+/// panicking holder runs `on_recover` on the (possibly half-mutated)
+/// state to restore an invariant-safe value, clears the poison, and
+/// carries on. Callers never die to a poisoned lock.
+#[inline]
+pub fn recovering_lock<'a, M, T>(mutex: &'a M, on_recover: impl FnOnce(&mut T)) -> M::Guard<'a>
+where
+    T: Send,
+    M: MutexShim<T>,
+{
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            mutex.clear_poison();
+            let mut guard = poisoned.into_inner();
+            on_recover(&mut guard);
+            guard
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::{mpsc, Mutex};
+
+    #[test]
+    fn offer_prefers_draining_over_queueing() {
+        let shutting = AtomicBool::new(false);
+        let (tx, rx) = mpsc::sync_channel::<u32>(1);
+        assert_eq!(offer(&shutting, &tx, 1), Enqueue::Queued);
+        assert_eq!(offer(&shutting, &tx, 2), Enqueue::Busy(2));
+        shutting.store(true, Ordering::SeqCst);
+        assert_eq!(offer(&shutting, &tx, 3), Enqueue::Draining(3));
+        drop(rx);
+        shutting.store(false, Ordering::SeqCst);
+        assert_eq!(offer(&shutting, &tx, 4), Enqueue::Disconnected(4));
+    }
+
+    #[test]
+    fn next_job_drains_queued_items_after_hangup() {
+        let (tx, rx) = mpsc::sync_channel::<u32>(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        let rx = Mutex::new(rx);
+        assert_eq!(next_job(&rx), Some(1));
+        assert_eq!(next_job(&rx), Some(2));
+        assert_eq!(next_job::<_, _, u32>(&rx), None);
+    }
+
+    #[test]
+    fn begin_shutdown_is_first_caller_only() {
+        let shutting = AtomicBool::new(false);
+        assert!(begin_shutdown(&shutting));
+        assert!(!begin_shutdown(&shutting));
+    }
+
+    #[test]
+    fn recovering_lock_restores_a_poisoned_mutex() {
+        let m = Mutex::new(vec![1, 2]);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("die holding the lock");
+        }));
+        assert!(m.is_poisoned());
+        let recovered = std::cell::Cell::new(false);
+        let guard = recovering_lock(&m, |v| {
+            v.clear();
+            recovered.set(true);
+        });
+        assert!(recovered.get());
+        assert!(guard.is_empty());
+        drop(guard);
+        assert!(!m.is_poisoned());
+        // A healthy lock never triggers recovery.
+        let guard = recovering_lock(&m, |_| panic!("must not recover twice"));
+        assert!(guard.is_empty());
+    }
+}

@@ -28,8 +28,8 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -42,6 +42,7 @@ use culpeo_exec::Sweep;
 use crate::cache::{content_key, LruCache};
 use crate::http::{self, HttpError, Request};
 use crate::metrics::{EndpointCounters, Metrics, ShedCounters};
+use crate::protocol::{self, Enqueue};
 
 /// How the daemon is stood up. `Default` matches `culpeo serve` with no
 /// flags.
@@ -106,9 +107,11 @@ struct Shared {
 impl Shared {
     /// Flags shutdown and pokes the acceptor awake. Idempotent.
     fn request_shutdown(&self) {
-        if !self.shutting.swap(true, Ordering::SeqCst) {
+        if protocol::begin_shutdown(&self.shutting) {
             // The acceptor is (probably) parked in accept(); a throwaway
             // self-connection unblocks it so it can observe the flag.
+            // The model checker's `shutdown-handshake` battery pins the
+            // flag+wake pairing: flag-without-wake deadlocks the drain.
             let _ = TcpStream::connect(self.addr);
         }
     }
@@ -118,12 +121,9 @@ impl Shared {
     /// toucher clears it (an empty cache is always safe), un-poisons the
     /// mutex, and counts the recovery. Workers never die to `expect`.
     fn lock_cache(&self) -> MutexGuard<'_, LruCache<VsafeResponse>> {
-        self.cache.lock().unwrap_or_else(|poisoned| {
+        protocol::recovering_lock(&self.cache, |cache| {
             ShedCounters::bump(&self.metrics.shed.lock_recoveries);
-            self.cache.clear_poison();
-            let mut guard = poisoned.into_inner();
-            guard.clear();
-            guard
+            cache.clear();
         })
     }
 }
@@ -253,19 +253,20 @@ impl Server {
 
 fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
     for stream in listener.incoming() {
-        let Ok(mut conn) = stream else { continue };
-        if shared.shutting.load(Ordering::SeqCst) {
-            // Usually the shutdown handle's own wake connection; anyone
-            // else racing in gets an honest 503 before we stop.
-            respond_error(
-                &mut conn,
-                &ApiError::new(ApiErrorKind::ShuttingDown, "daemon is draining"),
-            );
-            break;
-        }
-        match tx.try_send(conn) {
-            Ok(()) => {}
-            Err(TrySendError::Full(mut conn)) => {
+        let Ok(conn) = stream else { continue };
+        match protocol::offer(&shared.shutting, tx, conn) {
+            Enqueue::Queued => {}
+            Enqueue::Draining(mut conn) => {
+                // Usually the shutdown handle's own wake connection;
+                // anyone else racing in gets an honest 503 before we
+                // stop.
+                respond_error(
+                    &mut conn,
+                    &ApiError::new(ApiErrorKind::ShuttingDown, "daemon is draining"),
+                );
+                break;
+            }
+            Enqueue::Busy(mut conn) => {
                 shared.metrics.accept_rejected.record(0, true);
                 respond_error(
                     &mut conn,
@@ -275,24 +276,21 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStrea
                     ),
                 );
             }
-            Err(TrySendError::Disconnected(_)) => break,
+            Enqueue::Disconnected(_) => break,
         }
     }
     // Dropping `tx` (by returning) lets workers drain the queue and exit.
 }
 
 fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
-    loop {
-        // Hold the lock only to pop; recv() returns queued connections
-        // even after the acceptor hung up, which is the drain guarantee.
-        // A worker that panicked past catch_unwind poisons this lock; the
-        // queue is recoverable state (unlike a half-mutated cache map),
-        // so the survivors keep popping.
-        let conn = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
-        match conn {
-            Ok(conn) => handle_connection(shared, conn),
-            Err(_) => break,
-        }
+    // `next_job` holds the lock only to pop; recv() returns queued
+    // connections even after the acceptor hung up, which is the drain
+    // guarantee (pinned over all interleavings by the `culpeo race`
+    // drain battery). A worker that panicked past catch_unwind poisons
+    // the receiver lock; the queue is recoverable state (unlike a
+    // half-mutated cache map), so the survivors keep popping.
+    while let Some(conn) = protocol::next_job(rx.as_ref()) {
+        handle_connection(shared, conn);
     }
 }
 

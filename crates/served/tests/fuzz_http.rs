@@ -17,21 +17,9 @@ use culpeo_served::http::{read_request, HttpError, MAX_HEAD_BYTES};
 use culpeo_served::{Server, ServerConfig};
 use proptest::prelude::*;
 
-/// Deterministic pseudo-random bytes from a seed (splitmix64 stream).
-fn garbage_bytes(seed: u64, len: usize) -> Vec<u8> {
-    let mut state = seed;
-    let mut out = Vec::with_capacity(len);
-    while out.len() < len {
-        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^= z >> 31;
-        out.extend_from_slice(&z.to_le_bytes());
-    }
-    out.truncate(len);
-    out
-}
+/// Deterministic pseudo-random bytes from a seed (the workspace-wide
+/// splitmix64 stream).
+use culpeo_units::seed::byte_stream as garbage_bytes;
 
 proptest! {
     /// Raw garbage at the parser: any outcome is fine except a panic,

@@ -28,6 +28,7 @@ mod fmt;
 mod interval;
 mod ops;
 mod quantity;
+pub mod seed;
 
 pub use fmt::si;
 pub use interval::{IntervalJ, IntervalV};

@@ -1,0 +1,102 @@
+//! Deterministic seed derivation: the workspace's one splitmix64.
+//!
+//! Three crates need small, fast, deterministic pseudo-randomness that
+//! is *not* statistics-grade: `culpeo-faults` derives per-scenario
+//! sub-seeds and garbage byte payloads, `culpeo-race` derives
+//! per-depth schedule rotations, and the served fuzz tests synthesize
+//! malformed request bodies. They all want the same primitive —
+//! splitmix64, the standard 64-bit finalizer-based generator — and
+//! duplicated copies of it had already begun to accumulate. This module
+//! is the single implementation; everything else re-exports or wraps
+//! it.
+//!
+//! Nothing here is suitable for cryptography, and nothing here feeds
+//! the physics: simulation randomness goes through the vendored `rand`
+//! stub so experiment seeds stay on their own, documented stream.
+
+/// Advances `state` by one splitmix64 step and returns the mixed output.
+///
+/// This is the canonical splitmix64 round: add the golden-ratio
+/// increment, then run the 64-bit variant-13 finalizer. Every
+/// deterministic stream in the workspace is some arrangement of this
+/// function.
+#[must_use]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives the `index`-th deterministic sub-seed from a master seed
+/// (one splitmix64 round over their combination).
+///
+/// Every consumer gets its own stream: re-ordering or skipping
+/// consumers must not shift the randomness any other consumer sees.
+/// `culpeo-faults` keys this by roster index, `culpeo-race` by
+/// exploration depth.
+#[must_use]
+pub fn sub_seed(master: u64, index: u64) -> u64 {
+    let mut state = master.wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    splitmix64(&mut state)
+}
+
+/// Deterministic pseudo-random bytes from a seed (splitmix64 stream).
+#[must_use]
+pub fn byte_stream(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed;
+    let mut out = Vec::with_capacity(len + 8);
+    while out.len() < len {
+        out.extend_from_slice(&splitmix64(&mut state).to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_seeds_are_deterministic_and_distinct() {
+        assert_eq!(sub_seed(42, 0), sub_seed(42, 0));
+        let seeds: Vec<u64> = (0..32).map(|i| sub_seed(42, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "sub-seeds must not collide");
+        assert_ne!(sub_seed(1, 0), sub_seed(2, 0), "master seed must matter");
+    }
+
+    /// Pins the exact output so the dedup of the old `culpeo-faults`
+    /// copies cannot silently change any seeded artifact in results/.
+    #[test]
+    fn sub_seed_matches_the_historical_stream() {
+        // Literal transcription of the pre-dedup faults implementation.
+        let reference = |master: u64, index: u64| -> u64 {
+            let mut z = master
+                .wrapping_add(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for master in [0, 1, 42, u64::MAX] {
+            for index in [0, 1, 7, 1 << 40] {
+                assert_eq!(sub_seed(master, index), reference(master, index));
+            }
+        }
+    }
+
+    #[test]
+    fn byte_stream_is_deterministic_seed_sensitive_and_exact_length() {
+        assert_eq!(byte_stream(1, 64), byte_stream(1, 64));
+        assert_ne!(byte_stream(1, 64), byte_stream(2, 64));
+        for len in [0, 1, 7, 8, 9, 64, 100] {
+            assert_eq!(byte_stream(3, len).len(), len);
+        }
+        // A longer stream starts with the shorter one: truncation only.
+        assert_eq!(byte_stream(5, 100)[..32], byte_stream(5, 32)[..]);
+    }
+}

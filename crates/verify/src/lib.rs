@@ -51,6 +51,8 @@
 //! `culpeo-analyze`'s registry; see `DESIGN.md` §11 for the full table
 //! and the soundness argument.
 
+#![forbid(unsafe_code)]
+
 pub mod interp;
 pub mod replay;
 pub mod wire;

@@ -1,1 +1,3 @@
 //! Examples-only crate: see the `[[example]]` targets beside this file.
+
+#![forbid(unsafe_code)]

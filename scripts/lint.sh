@@ -36,4 +36,7 @@ scripts/smoke_serve.sh
 echo "== scripts/chaos.sh"
 scripts/chaos.sh
 
+echo "== scripts/race.sh"
+scripts/race.sh
+
 echo "lint: clean"

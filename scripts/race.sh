@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Race gate: run the `culpeo race` interleaving battery and prove the
+# determinism claims the model checker makes:
+#   1. same (seed, preemptions), same report — byte-identical JSON
+#      across repeated runs (no wall-clock, thread ids, or pointer
+#      values may leak into it);
+#   2. seed independence of *verdicts* — a different exploration-order
+#      seed may walk (and prune) the schedule tree differently, but
+#      every invariant/mutant verdict must be identical.
+# Exits non-zero if any invariant is violated, any mutant is missed, or
+# either determinism claim breaks.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=${CULPEO_BIN:-target/release/culpeo}
+if [[ ! -x "$BIN" ]]; then
+    echo "== building $BIN"
+    cargo build --release -p culpeo-cli
+fi
+
+SEED=${CULPEO_RACE_SEED:-3223177982}   # 0xC01DCAFE, the battery default
+ALT_SEED=$((SEED + 1))
+WORK=$(mktemp -d)
+cleanup() { rm -rf "$WORK"; }
+trap cleanup EXIT
+
+# The seed-independent projection of a report: identities and verdicts,
+# not exploration statistics (counts and traces legitimately vary with
+# the walk order).
+verdicts() {
+    grep -E '"(name|holds|caught|expected|observed|all_proved|all_refuted)"' "$1"
+}
+
+echo "== culpeo race --seed $SEED (run 1)"
+"$BIN" race --seed "$SEED" --format json >"$WORK/run1.json"
+
+echo "== culpeo race --seed $SEED (run 2 — must be byte-identical)"
+"$BIN" race --seed "$SEED" --format json >"$WORK/run2.json"
+if ! cmp -s "$WORK/run1.json" "$WORK/run2.json"; then
+    echo "race: repeated runs differ for seed $SEED" >&2
+    diff "$WORK/run1.json" "$WORK/run2.json" >&2 || true
+    exit 1
+fi
+
+echo "== culpeo race --seed $ALT_SEED (verdicts must not depend on the seed)"
+"$BIN" race --seed "$ALT_SEED" --format json >"$WORK/alt.json"
+verdicts "$WORK/run1.json" >"$WORK/run1.verdicts"
+verdicts "$WORK/alt.json" >"$WORK/alt.verdicts"
+if ! cmp -s "$WORK/run1.verdicts" "$WORK/alt.verdicts"; then
+    echo "race: verdicts differ between seeds $SEED and $ALT_SEED" >&2
+    diff "$WORK/run1.verdicts" "$WORK/alt.verdicts" >&2 || true
+    exit 1
+fi
+
+# Usage errors must exit 2, not masquerade as verdicts.
+if "$BIN" race --bogus-flag >/dev/null 2>&1; then
+    echo "race: a usage error exited 0" >&2
+    exit 1
+fi
+
+# Human table for the log, and the pass/fail verdict via exit code.
+echo "== culpeo race --seed $SEED (human table)"
+"$BIN" race --seed "$SEED"
+
+echo "race: deterministic and green (seed $SEED)"

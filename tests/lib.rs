@@ -1,2 +1,4 @@
 //! Integration-tests-only crate: see the `[[test]]` targets beside this
 //! file.
+
+#![forbid(unsafe_code)]

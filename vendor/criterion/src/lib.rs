@@ -7,6 +7,8 @@
 //! printing mean wall-clock time per iteration. No statistics, plots, or
 //! saved baselines.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

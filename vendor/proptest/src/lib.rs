@@ -11,6 +11,8 @@
 //! runs are reproducible without regression files (`proptest-regressions/`
 //! directories are ignored).
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Per-test configuration; only `cases` is honoured.

@@ -6,6 +6,8 @@
 //! xorshift64\* seeded through splitmix64 — deterministic per seed, with
 //! statistics comfortably good enough for simulation noise and jitter.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// The object-safe core: a source of uniformly distributed `u64`s.

@@ -7,6 +7,8 @@
 //! traits for named-field structs. `serde_json` (the sibling stub) supplies
 //! the text layer.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 pub use serde_derive::{Deserialize, Serialize};

@@ -14,6 +14,8 @@
 //! No `syn`/`quote`: the struct is parsed straight off the token stream and
 //! the impls are emitted as formatted source text.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write as _;
 

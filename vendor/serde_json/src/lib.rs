@@ -1,6 +1,8 @@
 //! Offline stub of `serde_json`: renders the serde stub's [`Value`] model
 //! to JSON text and parses it back with a recursive-descent parser.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
