@@ -1,0 +1,58 @@
+//! Criterion benches for the event kernel: one constant-load segment under
+//! the fixed-step loop vs the analytic chunked kernel, across the harvester
+//! modes the chunk loop monomorphises on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::{Harvester, Kernel, PowerSystem, RunConfig};
+use culpeo_units::{Amps, Seconds, Volts, Watts};
+
+fn segment() -> LoadProfile {
+    LoadProfile::constant("segment", Amps::from_milli(25.0), Seconds::from_milli(10.0))
+}
+
+fn fresh_system(harvester: Harvester) -> PowerSystem {
+    let mut sys = PowerSystem::capybara_two_branch();
+    sys.set_harvester(harvester);
+    sys.set_buffer_voltage(Volts::new(2.35));
+    sys.force_output_enabled();
+    sys
+}
+
+fn probe_cfg(kernel: Kernel) -> RunConfig {
+    RunConfig {
+        dt: Seconds::from_micro(10.0),
+        record_stride: usize::MAX,
+        summary_only: true,
+        kernel,
+        ..RunConfig::default()
+    }
+}
+
+fn bench_segment(c: &mut Criterion) {
+    let profile = segment();
+    let cases = [
+        ("off", Harvester::Off),
+        ("ccur", Harvester::ConstantCurrent(Amps::from_milli(5.0))),
+        ("cpow", Harvester::ConstantPower(Watts::from_milli(8.0))),
+    ];
+    for (name, harvester) in cases {
+        c.bench_function(&format!("event_kernel_segment_fixed_{name}"), |b| {
+            b.iter(|| {
+                let mut sys = fresh_system(harvester);
+                black_box(sys.run_profile(&profile, probe_cfg(Kernel::FixedStep)))
+            })
+        });
+        c.bench_function(&format!("event_kernel_segment_event_{name}"), |b| {
+            b.iter(|| {
+                let mut sys = fresh_system(harvester);
+                black_box(sys.run_profile(&profile, probe_cfg(Kernel::Event)))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_segment);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benches for the batched lanes executor on the Figure 10
+//! workload shapes: a probe grid advanced one simulation at a time vs in
+//! 8-wide lock-step packs, and the batched ground-truth search itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use culpeo_harness::ground_truth::{clear_truth_cache, true_vsafe_batch};
+use culpeo_harness::reference_plant;
+use culpeo_loadgen::synthetic::fig10_loads;
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::{Kernel, Lanes, PowerSystem, RunConfig};
+use culpeo_units::{Seconds, Volts};
+
+/// A probe-grid round: the same load from eight candidate voltages — the
+/// unit of work one bisection round hands the lanes kernel.
+fn grid(load: &LoadProfile) -> (Vec<PowerSystem>, Vec<RunConfig>) {
+    let systems: Vec<PowerSystem> = [2.44, 2.35, 2.26, 2.17, 2.08, 1.99, 1.9, 1.81]
+        .iter()
+        .map(|&v| {
+            let mut sys = reference_plant();
+            sys.set_buffer_voltage(Volts::new(v));
+            sys.force_output_enabled();
+            sys
+        })
+        .collect();
+    let cfgs = vec![RunConfig::probe(load.duration()); systems.len()];
+    (systems, cfgs)
+}
+
+fn bench_probe_round(c: &mut Criterion) {
+    let load = LoadProfile::constant(
+        "probe",
+        culpeo_units::Amps::from_milli(25.0),
+        Seconds::from_milli(10.0),
+    );
+    c.bench_function("lanes_fig10_probe_round_serial", |b| {
+        b.iter(|| {
+            let (mut systems, cfgs) = grid(&load);
+            let outs: Vec<_> = systems
+                .iter_mut()
+                .zip(&cfgs)
+                .map(|(sys, &cfg)| sys.run_profile(&load, cfg))
+                .collect();
+            black_box(outs)
+        })
+    });
+    c.bench_function("lanes_fig10_probe_round_lanes8", |b| {
+        b.iter(|| {
+            let (mut systems, cfgs) = grid(&load);
+            let profiles: Vec<&LoadProfile> = vec![&load; systems.len()];
+            black_box(Lanes::<8>::run(&mut systems, &profiles, &cfgs))
+        })
+    });
+    // Reference point: what the same probe round cost before the event
+    // kernel existed.
+    c.bench_function("lanes_fig10_probe_round_fixed_step", |b| {
+        b.iter(|| {
+            let (mut systems, cfgs) = grid(&load);
+            let outs: Vec<_> = systems
+                .iter_mut()
+                .zip(&cfgs)
+                .map(|(sys, &cfg)| sys.run_profile(&load, cfg.with_kernel(Kernel::FixedStep)))
+                .collect();
+            black_box(outs)
+        })
+    });
+}
+
+fn bench_ground_truth_batch(c: &mut Criterion) {
+    let loads = fig10_loads();
+    c.bench_function("lanes_fig10_ground_truth_batch_cold", |b| {
+        b.iter(|| {
+            clear_truth_cache();
+            black_box(true_vsafe_batch("reference", &reference_plant, &loads))
+        })
+    });
+}
+
+criterion_group!(benches, bench_probe_round, bench_ground_truth_batch);
+criterion_main!(benches);

@@ -30,9 +30,24 @@ use culpeo_harness::ground_truth::TOLERANCE;
 use culpeo_harness::{ground_truth, reference_plant};
 use culpeo_loadgen::synthetic::fig10_loads;
 use culpeo_loadgen::LoadProfile;
-use culpeo_powersim::{MonitorState, RunConfig, VoltageSample, VoltageTrace};
+use culpeo_powersim::{Kernel, MonitorState, RunConfig, VoltageSample, VoltageTrace};
 use culpeo_units::{Quantity as _, Seconds, Volts};
 use serde::Serialize;
+
+/// Wall-clock repetitions per measurement; the minimum is reported so a
+/// noisy neighbour on shared hardware cannot inflate a column.
+const REPS: usize = 3;
+
+/// Minimum wall-clock of [`REPS`] runs of `work`.
+fn time_min(mut work: impl FnMut()) -> f64 {
+    (0..REPS)
+        .map(|_| {
+            let started = Instant::now();
+            work();
+            started.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
 
 /// The receipts written to `results/perf_summary.json`.
 #[derive(Debug, Serialize)]
@@ -56,6 +71,17 @@ struct PerfSummary {
     /// Optimized Figure 10, serial, warm verdict cache (the repeated-run
     /// cost every test-suite invocation pays).
     warm_cache_fig10_seconds: f64,
+    /// The §VI-A ground-truth bisection over the full load set with the
+    /// optimized driver but every probe forced onto the fixed-step kernel.
+    fixed_step_truth_seconds: f64,
+    /// The same serial bisection with probes on the analytic event kernel.
+    event_kernel_truth_seconds: f64,
+    /// The batched lock-step bisection (`true_vsafe_batch`, 8-wide lanes),
+    /// cold cache.
+    lanes_batch_truth_seconds: f64,
+    /// `fixed_step_truth / event_kernel_truth` — the event-kernel win on
+    /// an otherwise identical serial driver.
+    event_kernel_speedup: f64,
     /// `pre_pr / optimized_parallel` — the headline before/after (absent
     /// without `--baseline-seconds`).
     fig10_speedup_vs_pre_pr: Option<f64>,
@@ -80,34 +106,46 @@ fn main() {
         loads.truncate(6);
     }
 
-    ground_truth::clear_truth_cache();
-    let started = Instant::now();
-    let baseline_rows = exec_baseline_fig10(&loads);
-    let exec_baseline_fig10_seconds = started.elapsed().as_secs_f64();
+    let mut baseline_rows = 0;
+    let exec_baseline_fig10_seconds = time_min(|| {
+        ground_truth::clear_truth_cache();
+        baseline_rows = exec_baseline_fig10(&loads);
+    });
 
-    ground_truth::clear_truth_cache();
-    let started = Instant::now();
-    let (serial_rows, _) = fig10::run_on(Sweep::serial(), &loads);
-    let optimized_fig10_serial_seconds = started.elapsed().as_secs_f64();
+    let mut serial_rows = 0;
+    let optimized_fig10_serial_seconds = time_min(|| {
+        ground_truth::clear_truth_cache();
+        serial_rows = fig10::run_on(Sweep::serial(), &loads).0.len();
+    });
     assert_eq!(
-        baseline_rows,
-        serial_rows.len(),
+        baseline_rows, serial_rows,
         "baseline emulation must cover the same grid"
     );
 
-    let parallel_sweep = Sweep::from_env();
-    let threads = parallel_sweep.threads();
-    ground_truth::clear_truth_cache();
-    let started = Instant::now();
-    let (parallel_rows, _) = fig10::run_on(parallel_sweep, &loads);
-    let optimized_fig10_parallel_seconds = started.elapsed().as_secs_f64();
-    assert_eq!(serial_rows.len(), parallel_rows.len());
+    let threads = Sweep::from_env().threads();
+    let mut parallel_rows = 0;
+    let optimized_fig10_parallel_seconds = time_min(|| {
+        ground_truth::clear_truth_cache();
+        parallel_rows = fig10::run_on(Sweep::from_env(), &loads).0.len();
+    });
+    assert_eq!(serial_rows, parallel_rows);
 
     // Cache is warm from the run above; measure the repeated-run cost.
-    let started = Instant::now();
-    let (warm_rows, _) = fig10::run_on(Sweep::serial(), &loads);
-    let warm_cache_fig10_seconds = started.elapsed().as_secs_f64();
-    assert_eq!(serial_rows.len(), warm_rows.len());
+    let mut warm_rows = 0;
+    let warm_cache_fig10_seconds = time_min(|| {
+        warm_rows = fig10::run_on(Sweep::serial(), &loads).0.len();
+    });
+    assert_eq!(serial_rows, warm_rows);
+
+    // Kernel-isolated receipt: the identical serial bisection driver with
+    // fixed-step probes vs event-kernel probes, plus the 8-wide batch.
+    let fixed_step_truth_seconds = time_min(|| kernel_truth(&loads, Kernel::FixedStep));
+    let event_kernel_truth_seconds = time_min(|| kernel_truth(&loads, Kernel::Event));
+    let lanes_batch_truth_seconds = time_min(|| {
+        ground_truth::clear_truth_cache();
+        let _ = ground_truth::true_vsafe_batch("reference", &reference_plant, &loads);
+    });
+    ground_truth::clear_truth_cache();
 
     let summary = PerfSummary {
         quick,
@@ -118,6 +156,10 @@ fn main() {
         optimized_fig10_serial_seconds,
         optimized_fig10_parallel_seconds,
         warm_cache_fig10_seconds,
+        fixed_step_truth_seconds,
+        event_kernel_truth_seconds,
+        lanes_batch_truth_seconds,
+        event_kernel_speedup: fixed_step_truth_seconds / event_kernel_truth_seconds,
         fig10_speedup_vs_pre_pr: pre_pr_fig10_seconds.map(|b| b / optimized_fig10_parallel_seconds),
         serial_exec_layer_speedup: exec_baseline_fig10_seconds / optimized_fig10_serial_seconds,
         warm_cache_speedup: exec_baseline_fig10_seconds / warm_cache_fig10_seconds,
@@ -146,6 +188,22 @@ fn main() {
     println!(
         "  {:<42} {:>8.3} s",
         "optimized (serial, warm cache)", summary.warm_cache_fig10_seconds
+    );
+    println!(
+        "  {:<42} {:>8.3} s",
+        "ground truth, fixed-step probes", summary.fixed_step_truth_seconds
+    );
+    println!(
+        "  {:<42} {:>8.3} s",
+        "ground truth, event-kernel probes", summary.event_kernel_truth_seconds
+    );
+    println!(
+        "  {:<42} {:>8.3} s",
+        "ground truth, 8-wide lanes batch", summary.lanes_batch_truth_seconds
+    );
+    println!(
+        "  event kernel vs fixed step: {:.2}x",
+        summary.event_kernel_speedup
     );
     if let Some(s) = summary.fig10_speedup_vs_pre_pr {
         println!(
@@ -180,6 +238,38 @@ fn exec_baseline_fig10(loads: &[LoadProfile]) -> usize {
         }
     }
     rows
+}
+
+/// The §VI-A bisection over every load with probes pinned to `kernel`,
+/// bypassing the verdict cache. Same candidate sequence as the shipping
+/// driver; only the stepping kernel differs between invocations.
+fn kernel_truth(loads: &[LoadProfile], kernel: Kernel) {
+    for load in loads {
+        let reference = reference_plant();
+        let v_off = reference.monitor().v_off();
+        let v_high = reference.monitor().v_high();
+        let probe = |v_start: Volts| {
+            let mut sys = reference_plant();
+            sys.set_buffer_voltage(v_start);
+            sys.force_output_enabled();
+            let cfg = RunConfig::probe(load.duration()).with_kernel(kernel);
+            sys.run_profile(load, cfg).completed()
+        };
+        if !probe(v_high) {
+            continue;
+        }
+        let mut lo = v_off;
+        let mut hi = v_high;
+        while (hi - lo).get() > TOLERANCE.get() {
+            let mid = lo.lerp(hi, 0.5);
+            if probe(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        std::hint::black_box(hi);
+    }
 }
 
 /// The §VI-A bisection with every probe run in the seed execution mode.

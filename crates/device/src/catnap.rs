@@ -9,8 +9,8 @@
 //! energy.
 
 use culpeo_loadgen::LoadProfile;
-use culpeo_powersim::PowerSystem;
-use culpeo_units::{Seconds, Volts};
+use culpeo_powersim::{BreakOn, EventStepper, PowerSystem, SpanEnd};
+use culpeo_units::{Amps, Seconds, Volts};
 
 use crate::Adc;
 
@@ -45,27 +45,20 @@ pub fn measure_for_catnap(
     let v_start = adc.read(sys.v_node());
 
     let steps = load.duration().steps(dt).max(1);
-    let mut v_last_loaded = sys.v_node();
-    for k in 0..steps {
-        let offset = Seconds::new(k as f64 * dt.get());
-        let i = load.current_at(offset);
-        let out = sys.step(i, dt);
-        if i.get() > 0.0 && (!out.delivering || out.collapsed) {
-            return None;
-        }
-        v_last_loaded = out.v_node;
+    let mut stepper = EventStepper::new(sys, dt);
+    if let SpanEnd::Broke { .. } =
+        stepper.run_profile_steps(load, steps, Amps::ZERO, BreakOn::LoadFault, None)
+    {
+        return None;
     }
 
     let v_end = if delay.get() <= 0.0 {
         // Measured at completion, load still effectively applied.
-        adc.read(v_last_loaded)
+        adc.read(stepper.last_step_v())
     } else {
         let idle_steps = delay.steps(dt).max(1);
-        let mut v = v_last_loaded;
-        for _ in 0..idle_steps {
-            v = sys.step(culpeo_units::Amps::ZERO, dt).v_node;
-        }
-        adc.read(v)
+        stepper.run_const(Amps::ZERO, idle_steps, BreakOn::Never, None);
+        adc.read(stepper.last_step_v())
     };
 
     Some(CatnapMeasurement {

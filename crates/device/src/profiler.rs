@@ -9,7 +9,9 @@
 
 use culpeo::runtime::TaskObservation;
 use culpeo_loadgen::LoadProfile;
-use culpeo_powersim::{PowerSystem, RunOutcome, VoltageSample, VoltageTrace};
+use culpeo_powersim::{
+    BreakOn, EventStepper, PowerSystem, RunOutcome, SpanEnd, VoltageSample, VoltageTrace,
+};
 use culpeo_units::{Amps, Seconds, Volts};
 
 use crate::{Command, IsrProfiler, MinMax, UArchBlock, UArchProfiler};
@@ -119,31 +121,37 @@ fn profile_isr(
     let steps = load.duration().steps(dt).max(1);
     let mut truth_trace = VoltageTrace::new(8);
     let t0 = sys.time();
-    let mut browned_out = false;
-    for k in 0..steps {
-        let offset = Seconds::new(k as f64 * dt.get());
-        let i_task = load.current_at(offset);
-        let i_total = Amps::new(i_task.get() + adc_current.get());
-        let out = sys.step(i_total, dt);
-        truth_trace.push(VoltageSample {
-            t: out.t,
-            v_node: out.v_node,
-            i_in: out.i_in,
-        });
-        if !out.delivering || out.collapsed {
-            browned_out = true;
-            break;
-        }
-        // The profiling timer is not phase-aligned with the task: its
-        // first fire lands half a period in. This is what lets a pulse as
-        // short as the sample period slip past the ISR (§VII-A's
-        // 50 mA/1 ms anomaly).
-        if (k + sample_every / 2).is_multiple_of(sample_every.max(1)) {
-            // Timer ISR: read the ADC, update the software minimum.
-            let reading = cfg.adc.read(out.v_node);
-            v_min_code = v_min_code.min(reading);
-        }
-    }
+    let browned_out = {
+        let mut stepper = EventStepper::new(sys, dt);
+        let mut k = 0usize;
+        let mut observe = |out: culpeo_powersim::StepOutput| {
+            truth_trace.push(VoltageSample {
+                t: out.t,
+                v_node: out.v_node,
+                i_in: out.i_in,
+            });
+            // The profiling timer is not phase-aligned with the task: its
+            // first fire lands half a period in. This is what lets a pulse
+            // as short as the sample period slip past the ISR (§VII-A's
+            // 50 mA/1 ms anomaly).
+            if (k + sample_every / 2).is_multiple_of(sample_every.max(1)) {
+                // Timer ISR: read the ADC, update the software minimum.
+                let reading = cfg.adc.read(out.v_node);
+                v_min_code = v_min_code.min(reading);
+            }
+            k += 1;
+        };
+        matches!(
+            stepper.run_profile_steps(
+                load,
+                steps,
+                adc_current,
+                BreakOn::LoadFault,
+                Some(&mut observe),
+            ),
+            SpanEnd::Broke { .. }
+        )
+    };
 
     let (t_min, v_min_true) = truth_trace
         .minimum()
@@ -164,12 +172,11 @@ fn profile_isr(
     let max_wakes = (cfg.rebound_timeout.get() / cfg.rebound_wake_period.get()).ceil() as u32;
     let mut v_final_code = cfg.adc.read_high(sys.v_node());
     let mut stable = 0u32;
+    let mut stepper = EventStepper::new(sys, dt_rb);
     for _ in 0..max_wakes {
-        for _ in 0..wake_steps {
-            // MCU asleep: only the buffer's own dynamics run.
-            sys.step(Amps::ZERO, dt_rb);
-        }
-        let reading = cfg.adc.read_high(sys.v_node());
+        // MCU asleep: only the buffer's own dynamics run.
+        stepper.run_const(Amps::ZERO, wake_steps, BreakOn::Never, None);
+        let reading = cfg.adc.read_high(stepper.v_node());
         if reading > v_final_code {
             v_final_code = reading;
             stable = 0;
@@ -217,25 +224,32 @@ fn profile_uarch(
     let steps = load.duration().steps(dt).max(1);
     let mut truth_trace = VoltageTrace::new(8);
     let t0 = sys.time();
-    let mut browned_out = false;
-    for k in 0..steps {
-        let offset = Seconds::new(k as f64 * dt.get());
-        let i_task = load.current_at(offset);
-        let i_total = Amps::new(i_task.get() + block_current.get());
-        let out = sys.step(i_total, dt);
-        truth_trace.push(VoltageSample {
-            t: out.t,
-            v_node: out.v_node,
-            i_in: out.i_in,
-        });
-        if !out.delivering || out.collapsed {
-            browned_out = true;
-            break;
-        }
-        if k % tick_every == 0 {
-            block.tick(out.v_node);
-        }
-    }
+    let browned_out = {
+        let mut stepper = EventStepper::new(sys, dt);
+        let mut k = 0usize;
+        let block = &mut block;
+        let mut observe = |out: culpeo_powersim::StepOutput| {
+            truth_trace.push(VoltageSample {
+                t: out.t,
+                v_node: out.v_node,
+                i_in: out.i_in,
+            });
+            if k.is_multiple_of(tick_every) {
+                block.tick(out.v_node);
+            }
+            k += 1;
+        };
+        matches!(
+            stepper.run_profile_steps(
+                load,
+                steps,
+                block_current,
+                BreakOn::LoadFault,
+                Some(&mut observe),
+            ),
+            SpanEnd::Broke { .. }
+        )
+    };
 
     let (t_min, v_min_true) = truth_trace
         .minimum()
@@ -260,11 +274,22 @@ fn profile_uarch(
         .round()
         .max(1.0) as usize;
     let rebound_steps = cfg.rebound_window.steps(dt_rb);
-    for k in 0..rebound_steps {
-        let out = sys.step(block_current, dt_rb);
-        if k % tick_every_rb == 0 {
-            block.tick(out.v_node);
-        }
+    {
+        let mut stepper = EventStepper::new(sys, dt_rb);
+        let mut k = 0usize;
+        let block = &mut block;
+        let mut observe = |out: culpeo_powersim::StepOutput| {
+            if k.is_multiple_of(tick_every_rb) {
+                block.tick(out.v_node);
+            }
+            k += 1;
+        };
+        stepper.run_const(
+            block_current,
+            rebound_steps,
+            BreakOn::Never,
+            Some(&mut observe),
+        );
     }
     let v_final = block.read_volts_high();
     block.command(Command::Configure(false));

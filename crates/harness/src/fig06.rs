@@ -11,7 +11,7 @@ use culpeo_exec::{PhaseClock, Sweep, Telemetry};
 use culpeo_loadgen::synthetic::fig6_loads;
 use serde::Serialize;
 
-use crate::ground_truth::true_vsafe_cached;
+use crate::ground_truth::{true_vsafe_batch, true_vsafe_cached};
 use crate::systems::VsafeSystem;
 use crate::{error_percent_of_range, reference_plant};
 
@@ -53,6 +53,10 @@ pub fn run_timed(sweep: Sweep) -> (Vec<Fig06Row>, Telemetry) {
     let model = PowerSystemModel::characterize(&reference_plant);
     let range = model.operating_range();
     clock.mark("characterize");
+    // Warm the probe cache with one batched lock-step search (see fig10);
+    // the per-load bisections below then resolve from cache.
+    let _ = true_vsafe_batch("reference", &reference_plant, &fig6_loads());
+    clock.mark("ground-truth-batch");
     let per_load = sweep.map_into(fig6_loads(), |_, load| {
         let Some(truth) = true_vsafe_cached("reference", &reference_plant, load) else {
             return Vec::new();

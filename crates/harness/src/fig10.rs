@@ -12,7 +12,7 @@ use culpeo_loadgen::synthetic::fig10_loads;
 use culpeo_loadgen::LoadProfile;
 use serde::Serialize;
 
-use crate::ground_truth::true_vsafe_cached;
+use crate::ground_truth::{true_vsafe_batch, true_vsafe_cached};
 use crate::systems::VsafeSystem;
 use crate::{error_percent_of_range, reference_plant};
 
@@ -62,6 +62,12 @@ pub fn run_on(sweep: Sweep, loads: &[LoadProfile]) -> (Vec<Fig10Row>, Telemetry)
     let model = PowerSystemModel::characterize(&reference_plant);
     let range = model.operating_range();
     clock.mark("characterize");
+    // One lock-step batched ground-truth search warms the probe cache for
+    // the whole grid; the per-load bisections below then resolve from
+    // cache. Verdicts are bitwise the scalar search's, so rows are
+    // unchanged.
+    let _ = true_vsafe_batch("reference", &reference_plant, loads);
+    clock.mark("ground-truth-batch");
     let per_load = sweep.map(loads, |_, load| {
         let Some(truth) = true_vsafe_cached("reference", &reference_plant, load) else {
             return Vec::new();

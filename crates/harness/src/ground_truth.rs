@@ -12,8 +12,8 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Mutex, OnceLock};
 
 use culpeo_loadgen::{LoadProfile, Segment};
-use culpeo_powersim::{PowerSystem, RunConfig};
-use culpeo_units::{Quantity as _, Seconds, Volts};
+use culpeo_powersim::{Lanes, PowerSystem, RunConfig};
+use culpeo_units::{Quantity as _, Volts};
 
 /// The paper's search tolerance: the found `V_safe` is within 5 mV of the
 /// true boundary.
@@ -30,8 +30,8 @@ pub fn completes_from(
     let mut sys = make_system();
     sys.set_buffer_voltage(v_start);
     sys.force_output_enabled();
-    let cfg = search_run_config(load);
-    sys.run_profile(load, cfg).completed()
+    sys.run_profile(load, RunConfig::probe(load.duration()))
+        .completed()
 }
 
 /// [`completes_from`] with memoisation keyed on `(plant_key, load,
@@ -119,6 +119,138 @@ fn bisect(
     Some(hi)
 }
 
+/// Batched [`true_vsafe_cached`] over a whole load grid: every search
+/// bisects in lock-step rounds, and each round's probes run through the
+/// powersim lanes kernel so one invocation advances up to eight
+/// simulations at once.
+///
+/// Each load follows exactly the scalar bisection's candidate sequence,
+/// and the lanes kernel is bitwise-identical to the serial probe, so the
+/// returned voltages equal [`true_vsafe_cached`]'s. Every probe verdict
+/// lands in the shared cache — the figure drivers call this once up
+/// front, then their per-load searches resolve entirely from cache.
+#[must_use]
+pub fn true_vsafe_batch(
+    plant_key: &str,
+    make_system: &(dyn Fn() -> PowerSystem + Sync),
+    loads: &[LoadProfile],
+) -> Vec<Option<Volts>> {
+    struct Search {
+        lo: Volts,
+        hi: Volts,
+        result: Option<Option<Volts>>,
+    }
+    let reference = make_system();
+    let v_off = reference.monitor().v_off();
+    let v_high = reference.monitor().v_high();
+    let mut searches: Vec<Search> = loads
+        .iter()
+        .map(|_| Search {
+            lo: v_off,
+            hi: v_high,
+            result: None,
+        })
+        .collect();
+
+    // Round zero: feasibility at V_high, for every load at once.
+    let queries: Vec<(usize, Volts)> = (0..loads.len()).map(|i| (i, v_high)).collect();
+    let verdicts = probe_round(plant_key, make_system, loads, &queries);
+    for (&(i, _), verdict) in queries.iter().zip(verdicts) {
+        if !verdict {
+            searches[i].result = Some(None);
+        }
+    }
+
+    // Lock-step bisection: each live search contributes its midpoint, the
+    // whole round probes in one lanes batch.
+    loop {
+        let mut queries = Vec::new();
+        for (i, s) in searches.iter_mut().enumerate() {
+            if s.result.is_some() {
+                continue;
+            }
+            if (s.hi - s.lo).get() <= TOLERANCE.get() {
+                s.result = Some(Some(s.hi));
+                continue;
+            }
+            queries.push((i, s.lo.lerp(s.hi, 0.5)));
+        }
+        if queries.is_empty() {
+            break;
+        }
+        let verdicts = probe_round(plant_key, make_system, loads, &queries);
+        for (&(i, mid), verdict) in queries.iter().zip(verdicts) {
+            let s = &mut searches[i];
+            if verdict {
+                s.hi = mid;
+            } else {
+                s.lo = mid;
+            }
+        }
+    }
+    searches
+        .into_iter()
+        .map(|s| s.result.expect("every search resolved"))
+        .collect()
+}
+
+/// Answers one round of probes: cache hits are read back, misses simulate
+/// in 8-wide lanes packs, and every fresh verdict is cached.
+fn probe_round(
+    plant_key: &str,
+    make_system: &(dyn Fn() -> PowerSystem + Sync),
+    loads: &[LoadProfile],
+    queries: &[(usize, Volts)],
+) -> Vec<bool> {
+    let mut verdicts = vec![false; queries.len()];
+    let mut misses: Vec<usize> = Vec::new();
+    {
+        let cache = truth_cache().lock().unwrap();
+        for (q, &(i, v)) in queries.iter().enumerate() {
+            let key = (
+                plant_key.to_owned(),
+                load_fingerprint(&loads[i]),
+                v.get().to_bits(),
+            );
+            match cache.get(&key) {
+                Some(&verdict) => verdicts[q] = verdict,
+                None => misses.push(q),
+            }
+        }
+    }
+    if misses.is_empty() {
+        return verdicts;
+    }
+    let mut systems: Vec<PowerSystem> = Vec::with_capacity(misses.len());
+    let mut profiles: Vec<&LoadProfile> = Vec::with_capacity(misses.len());
+    let mut cfgs: Vec<RunConfig> = Vec::with_capacity(misses.len());
+    for &q in &misses {
+        let (i, v) = queries[q];
+        let mut sys = make_system();
+        sys.set_buffer_voltage(v);
+        sys.force_output_enabled();
+        systems.push(sys);
+        profiles.push(&loads[i]);
+        cfgs.push(RunConfig::probe(loads[i].duration()));
+    }
+    let outcomes = Lanes::<8>::run(&mut systems, &profiles, &cfgs);
+    let mut cache = truth_cache().lock().unwrap();
+    for (&q, outcome) in misses.iter().zip(outcomes) {
+        let (i, v) = queries[q];
+        let verdict = outcome.completed();
+        verdicts[q] = verdict;
+        cache.insert(
+            (
+                plant_key.to_owned(),
+                load_fingerprint(&loads[i]),
+                v.get().to_bits(),
+            ),
+            verdict,
+        );
+    }
+    verdicts
+}
+
 /// Empties the global probe-verdict cache (bench/test hook: honest
 /// cold-cache timings, and determinism tests that must re-run the full
 /// search).
@@ -168,26 +300,6 @@ fn load_fingerprint(load: &LoadProfile) -> u64 {
         }
     }
     h.finish()
-}
-
-/// Run configuration for search probes: fine enough to resolve 1 ms
-/// pulses, summary-only, and with the rebound settle disabled — the
-/// search consumes nothing but the completion verdict, which is decided
-/// before settling would start, so the (often seconds-long) rebound
-/// simulation is pure waste here.
-fn search_run_config(load: &LoadProfile) -> RunConfig {
-    let dt = if load.duration().get() > 1.0 {
-        Seconds::from_micro(50.0)
-    } else {
-        Seconds::from_micro(10.0)
-    };
-    RunConfig {
-        dt,
-        record_stride: usize::MAX,
-        settle_timeout: Seconds::ZERO,
-        ..RunConfig::default()
-    }
-    .without_trace()
 }
 
 #[cfg(test)]
@@ -257,6 +369,29 @@ mod tests {
         let v_ref = true_vsafe_cached("reference", &make, &load).unwrap();
         let v_weak = true_vsafe_cached("weak-bank", &weak, &load).unwrap();
         assert!(v_weak > v_ref, "weak plant {v_weak} vs reference {v_ref}");
+    }
+
+    #[test]
+    fn batch_search_matches_scalar_search() {
+        let loads = vec![
+            pulse(25.0, 10.0),
+            pulse(5.0, 10.0),
+            pulse(50.0, 10.0),
+            LoadProfile::constant("absurd", Amps::new(2.0), Seconds::from_milli(10.0)),
+            pulse(12.0, 30.0),
+        ];
+        clear_truth_cache();
+        let batch = true_vsafe_batch("reference", &make, &loads);
+        clear_truth_cache();
+        let scalar: Vec<Option<Volts>> = loads.iter().map(|l| true_vsafe(&make, l)).collect();
+        assert_eq!(batch, scalar);
+        // The batch left every probe verdict behind: the cached scalar
+        // search must now resolve without fresh simulations.
+        clear_truth_cache();
+        let warm = true_vsafe_batch("reference", &make, &loads);
+        for (b, l) in warm.iter().zip(&loads) {
+            assert_eq!(*b, true_vsafe_cached("reference", &make, l));
+        }
     }
 
     #[test]

@@ -64,6 +64,23 @@ pub struct StepOutput {
     pub monitor: MonitorState,
 }
 
+/// Which integration kernel [`PowerSystem::run_profile`] and
+/// [`PowerSystem::settle`] use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// The reference loop: one Newton node-solve per `dt` step.
+    #[default]
+    FixedStep,
+    /// The event-driven analytic kernel (`event` module): between load
+    /// edges and threshold crossings the state advances in closed-form
+    /// chunks on the same `dt` grid, falling back to literal
+    /// [`PowerSystem::step`] blocks inside a guard band around each
+    /// crossing and for plants the chunk model does not cover. Summaries
+    /// agree with [`Kernel::FixedStep`] to ~1 nV; brownout/completion
+    /// verdicts are grid-exact.
+    Event,
+}
+
 /// Configuration for [`PowerSystem::run_profile`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunConfig {
@@ -86,6 +103,11 @@ pub struct RunConfig {
     /// The bisection searches and application trials only consume the
     /// summary, so they skip the per-step trace work.
     pub summary_only: bool,
+    /// Which integration kernel to use. [`Kernel::Event`] produces the
+    /// same verdicts and (to ~1 nV) the same summaries, much faster on
+    /// supported plants; unsupported configurations silently run the
+    /// fixed-step loop.
+    pub kernel: Kernel,
 }
 
 impl Default for RunConfig {
@@ -96,18 +118,44 @@ impl Default for RunConfig {
             settle_timeout: Seconds::new(2.0),
             settle_tolerance: Volts::from_micro(100.0),
             summary_only: false,
+            kernel: Kernel::FixedStep,
         }
     }
 }
 
 impl RunConfig {
     /// A coarse configuration for long application runs: 100 µs steps,
-    /// minimum-only recording.
+    /// minimum-only recording, event kernel.
     #[must_use]
     pub fn coarse() -> Self {
         Self {
             dt: Seconds::from_micro(100.0),
             record_stride: usize::MAX,
+            kernel: Kernel::Event,
+            ..Self::default()
+        }
+    }
+
+    /// The probe-mode configuration every bisection/completion search
+    /// uses: summary-only, no settle wait (the verdict is decided before
+    /// settling starts), event kernel, and a step size matched to the
+    /// load length — 10 µs for sub-second loads, 50 µs beyond that.
+    ///
+    /// Hoisted here so the ground-truth searches and the event/fixed-step
+    /// comparison paths cannot drift on dt/settle defaults.
+    #[must_use]
+    pub fn probe(load_duration: Seconds) -> Self {
+        let dt = if load_duration.get() > 1.0 {
+            Seconds::from_micro(50.0)
+        } else {
+            Seconds::from_micro(10.0)
+        };
+        Self {
+            dt,
+            record_stride: usize::MAX,
+            settle_timeout: Seconds::ZERO,
+            summary_only: true,
+            kernel: Kernel::Event,
             ..Self::default()
         }
     }
@@ -116,6 +164,13 @@ impl RunConfig {
     #[must_use]
     pub fn without_trace(mut self) -> Self {
         self.summary_only = true;
+        self
+    }
+
+    /// The same configuration with a different [`Kernel`].
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -334,6 +389,16 @@ impl PowerSystem {
     /// dies there.
     #[must_use]
     pub fn run_profile(&mut self, profile: &LoadProfile, cfg: RunConfig) -> RunOutcome {
+        if cfg.kernel == Kernel::Event {
+            if let Some(out) = crate::event::try_run_profile(self, profile, cfg) {
+                return out;
+            }
+        }
+        self.run_profile_fixed(profile, cfg)
+    }
+
+    /// The reference fixed-step loop behind [`PowerSystem::run_profile`].
+    fn run_profile_fixed(&mut self, profile: &LoadProfile, cfg: RunConfig) -> RunOutcome {
         let ledger_before = self.ledger;
         let v_start = self.v_node();
         // A `None` trace (summary-only mode) skips all recording work; the
@@ -423,6 +488,19 @@ impl PowerSystem {
             // verdict is decided before settling starts.
             return self.v_node();
         }
+        if cfg.kernel == Kernel::Event {
+            if let Some(v) = crate::event::try_settle(self, cfg) {
+                return v;
+            }
+        }
+        self.settle_fixed(cfg)
+    }
+
+    /// The reference fixed-step settle loop behind [`PowerSystem::settle`].
+    fn settle_fixed(&mut self, cfg: RunConfig) -> Volts {
+        if cfg.settle_timeout.get() <= 0.0 {
+            return self.v_node();
+        }
         let window = Seconds::from_milli(10.0);
         let window_steps = window.steps(cfg.dt).max(1);
         let max_windows = (cfg.settle_timeout.get() / window.get()).ceil().max(1.0) as usize;
@@ -438,6 +516,29 @@ impl PowerSystem {
             prev = last;
         }
         prev
+    }
+
+    /// The node voltage solved at the previous step (the value the
+    /// charging gate and warm-start logic key on).
+    pub(crate) fn last_v(&self) -> Volts {
+        self.last_v_node
+    }
+
+    /// Chunk-advance bookkeeping for the event kernel: overwrites the
+    /// last-step node voltage the next step's charging gate will see.
+    pub(crate) fn set_last_v(&mut self, v: Volts) {
+        self.last_v_node = v;
+    }
+
+    /// Chunk-advance bookkeeping for the event kernel: advances the clock
+    /// by a whole chunk in one add.
+    pub(crate) fn advance_clock(&mut self, elapsed: Seconds) {
+        self.time += elapsed;
+    }
+
+    /// Ledger access for the event kernel's closed-form chunk sums.
+    pub(crate) fn ledger_mut(&mut self) -> &mut EnergyLedger {
+        &mut self.ledger
     }
 
     /// Runs unloaded (charging if a harvester is set) for a fixed duration.

@@ -1,0 +1,706 @@
+//! Batched SoA lane execution: one kernel invocation advances many
+//! independent simulations.
+//!
+//! The event kernel's cheap loop is latency-bound — its loop-carried
+//! `v → ds → v` chain leaves most of the core idle between dependent
+//! multiply-adds. Running `W` independent lanes in lock-step interleaves
+//! `W` such chains, so the same functional units retire several lanes'
+//! steps per chain latency. The layout is structure-of-arrays with the
+//! lane index innermost (`a[branch][lane]`), which also lets the compiler
+//! vectorise across lanes.
+//!
+//! Correctness contract: a batch run is **bitwise identical** to running
+//! [`PowerSystem::run_profile`] on each lane serially. Each lane performs
+//! exactly the scalar kernel's arithmetic in exactly its order — the pack
+//! loop only interleaves *between* lanes — and every orchestration
+//! decision (piece plan, chunk anchors, guard-band real-step blocks,
+//! settle) reuses the scalar kernel's own code paths. Lanes the event
+//! kernel does not cover (fixed-step configs, full-trace recording,
+//! exotic plants) silently take the scalar path inside the batch call.
+
+use culpeo_loadgen::LoadProfile;
+use culpeo_units::{Amps, Seconds, Volts};
+
+use crate::engine::{Kernel, RunConfig};
+use crate::event::{
+    breaks, plan_pieces, Acc, BreakOn, ChunkPrep, ChunkSums, EventStepper, Piece, MAX_BRANCHES,
+    REAL_BLOCK,
+};
+use crate::{EnergyLedger, PowerSystem, RunOutcome, StepOutput, VoltageSample, VoltageTrace};
+
+/// W-wide batched lane executor (see the module docs).
+///
+/// `W` is the lock-step width: how many lanes one pack advances per
+/// kernel invocation. 8 saturates the floating-point units on current
+/// cores; the sweet spot is insensitive between 8 and 16.
+pub struct Lanes<const W: usize>(());
+
+impl<const W: usize> Lanes<W> {
+    /// Runs `systems[i].run_profile(profiles[i], cfgs[i])` for every lane,
+    /// advancing event-kernel lanes in W-wide lock-step packs. Returns the
+    /// outcomes in input order; each outcome — and each plant's final
+    /// state — is bitwise what the serial call would have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the three slices' lengths differ.
+    #[must_use]
+    pub fn run(
+        systems: &mut [PowerSystem],
+        profiles: &[&LoadProfile],
+        cfgs: &[RunConfig],
+    ) -> Vec<RunOutcome> {
+        assert_eq!(systems.len(), profiles.len(), "one profile per lane");
+        assert_eq!(systems.len(), cfgs.len(), "one config per lane");
+        let mut outcomes: Vec<Option<RunOutcome>> = Vec::with_capacity(systems.len());
+        outcomes.resize_with(systems.len(), || None);
+
+        let mut lanes: Vec<Lane<'_, '_>> = Vec::new();
+        for (i, sys) in systems.iter_mut().enumerate() {
+            let cfg = cfgs[i];
+            let eligible = cfg.kernel == Kernel::Event
+                && (cfg.summary_only || cfg.record_stride == usize::MAX)
+                && EventStepper::new(sys, cfg.dt).capable();
+            if eligible {
+                lanes.push(Lane::new(i, sys, profiles[i], cfg));
+            } else {
+                // Out of the batch kernel's scope: the scalar entry point
+                // (which picks event or fixed itself) is the reference.
+                outcomes[i] = Some(sys.run_profile(profiles[i], cfg));
+            }
+        }
+
+        // Round loop: every live lane advances (scalar) to its next
+        // prepared chunk, then same-shape chunks run in lock-step packs.
+        loop {
+            let mut pending: Vec<usize> = Vec::new();
+            for (j, lane) in lanes.iter_mut().enumerate() {
+                if !lane.done && lane.pending.is_none() {
+                    lane.advance();
+                }
+                if lane.pending.is_some() {
+                    pending.push(j);
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+            // Group by (branch count, charge mode) — the pack loop's
+            // monomorphisation axes. Sort is stable on lane order, so the
+            // grouping is deterministic (not that it matters: lanes are
+            // arithmetically independent).
+            pending.sort_by_key(|&j| (lanes[j].n, lanes[j].pending.as_ref().unwrap().prep.is_cp));
+            let mut start = 0;
+            while start < pending.len() {
+                let j0 = pending[start];
+                let key = (lanes[j0].n, lanes[j0].pending.as_ref().unwrap().prep.is_cp);
+                let mut end = start + 1;
+                while end < pending.len() {
+                    let j = pending[end];
+                    if (lanes[j].n, lanes[j].pending.as_ref().unwrap().prep.is_cp) != key {
+                        break;
+                    }
+                    end += 1;
+                }
+                for pack in pending[start..end].chunks(W.max(1)) {
+                    let mut jobs: Vec<PackJob> = pack
+                        .iter()
+                        .map(|&j| {
+                            let p = lanes[j].pending.take().expect("pending chunk");
+                            PackJob {
+                                y: p.prep.y,
+                                prep: p.prep,
+                                max_steps: p.max_steps,
+                                sums: ChunkSums::new(),
+                            }
+                        })
+                        .collect();
+                    run_pack::<W>(key.0, key.1, &mut jobs);
+                    for (job, &j) in jobs.iter().zip(pack) {
+                        let lane = &mut lanes[j];
+                        let mut stepper = EventStepper::new(lane.sys, lane.cfg.dt);
+                        stepper.commit_chunk(&job.prep, &job.y, &job.sums, &mut lane.acc);
+                        lane.off += job.sums.done;
+                        if job.sums.done == 0 {
+                            // Exactly the scalar kernel's rule: a chunk
+                            // that commits nothing forces one real block.
+                            lane.force_real = true;
+                        }
+                    }
+                }
+                start = end;
+            }
+        }
+
+        for lane in lanes {
+            let (i, outcome) = lane.finish();
+            outcomes[i] = Some(outcome);
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every lane produced an outcome"))
+            .collect()
+    }
+}
+
+/// A prepared chunk parked until its pack runs.
+struct PendingChunk {
+    prep: ChunkPrep,
+    max_steps: usize,
+}
+
+/// One lane of a pack: the anchored chunk, its working branch charges, and
+/// the accumulators the pack loop fills.
+struct PackJob {
+    prep: ChunkPrep,
+    max_steps: usize,
+    y: [f64; MAX_BRANCHES],
+    sums: ChunkSums,
+}
+
+/// One in-flight profile run: the scalar kernel's `run_plan` state machine
+/// unrolled so it can pause at every prepared chunk.
+struct Lane<'a, 'p> {
+    idx: usize,
+    sys: &'a mut PowerSystem,
+    profile: &'p LoadProfile,
+    cfg: RunConfig,
+    n: usize,
+    plan: Vec<Piece>,
+    piece: usize,
+    /// Steps completed inside the current piece.
+    off: usize,
+    acc: Acc,
+    broke: Option<StepOutput>,
+    force_real: bool,
+    pending: Option<PendingChunk>,
+    done: bool,
+    ledger_before: EnergyLedger,
+    v_start: Volts,
+    t0: Seconds,
+}
+
+impl<'a, 'p> Lane<'a, 'p> {
+    fn new(idx: usize, sys: &'a mut PowerSystem, profile: &'p LoadProfile, cfg: RunConfig) -> Self {
+        let ledger_before = sys.ledger();
+        let v_start = sys.v_node();
+        let t0 = sys.time();
+        let total = profile.duration().steps(cfg.dt).max(1);
+        let plan = plan_pieces(profile, cfg.dt.get(), total);
+        let n = sys.buffer().branches().len();
+        Self {
+            idx,
+            sys,
+            profile,
+            cfg,
+            n,
+            plan,
+            piece: 0,
+            off: 0,
+            acc: Acc::new(),
+            broke: None,
+            force_real: false,
+            pending: None,
+            done: false,
+            ledger_before,
+            v_start,
+            t0,
+        }
+    }
+
+    /// Advances scalar work — per-step pieces, guard-band real blocks —
+    /// until the lane either parks a prepared chunk in `pending` or
+    /// finishes its plan (completion or policy break).
+    fn advance(&mut self) {
+        let dt = self.cfg.dt;
+        while !self.done && self.pending.is_none() {
+            let Some(&piece) = self.plan.get(self.piece) else {
+                self.done = true;
+                return;
+            };
+            match piece {
+                Piece::Each { k0, steps } => {
+                    // A fresh cursor answers any monotone query sequence
+                    // identically to the plan-long cursor the scalar
+                    // kernel carries.
+                    let mut cursor = self.profile.cursor();
+                    for k in (k0 + self.off)..(k0 + steps) {
+                        let i = cursor.current_at(Seconds::new(k as f64 * dt.get()));
+                        let out = self.sys.step(i, dt);
+                        self.acc.observe(&out);
+                        self.off += 1;
+                        if breaks(BreakOn::MonitorRecharging, i, &out) {
+                            self.broke = Some(out);
+                            self.done = true;
+                            return;
+                        }
+                    }
+                    self.piece += 1;
+                    self.off = 0;
+                }
+                Piece::Const { i, steps } => {
+                    if self.off >= steps {
+                        self.piece += 1;
+                        self.off = 0;
+                        continue;
+                    }
+                    let remaining = steps - self.off;
+                    let stepper = EventStepper::new(self.sys, dt);
+                    let action = if self.force_real {
+                        None
+                    } else {
+                        stepper.span_action(i, remaining, BreakOn::MonitorRecharging)
+                    };
+                    self.force_real = false;
+                    let prepared = action.and_then(|(charge, phase_steps)| {
+                        stepper
+                            .prepare_chunk(i, charge)
+                            .map(|prep| (prep, phase_steps))
+                    });
+                    if let Some((prep, max_steps)) = prepared {
+                        self.pending = Some(PendingChunk { prep, max_steps });
+                        return;
+                    }
+                    // Guard-band block: literal steps with the exact
+                    // fixed-step break semantics.
+                    let block = remaining.min(REAL_BLOCK);
+                    for _ in 0..block {
+                        let out = self.sys.step(i, dt);
+                        self.acc.observe(&out);
+                        self.off += 1;
+                        if breaks(BreakOn::MonitorRecharging, i, &out) {
+                            self.broke = Some(out);
+                            self.done = true;
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assembles the lane's [`RunOutcome`] exactly as the scalar event
+    /// entry point does.
+    fn finish(mut self) -> (usize, RunOutcome) {
+        let cfg = self.cfg;
+        let brownout = self
+            .broke
+            .as_ref()
+            .map(|out| Seconds::new(out.t.get() - self.t0.get()));
+        if !self.acc.seen {
+            self.acc.v_min = self.v_start.get();
+            self.acc.t_min = 0.0;
+        }
+        let v_final = if brownout.is_none() {
+            self.sys.settle(cfg)
+        } else {
+            self.sys.v_node()
+        };
+        let trace = if cfg.summary_only {
+            VoltageTrace::min_only()
+        } else {
+            let mut tr = VoltageTrace::new(usize::MAX);
+            tr.push(VoltageSample {
+                t: Seconds::new(self.acc.t_min),
+                v_node: Volts::new(self.acc.v_min),
+                i_in: Amps::ZERO,
+            });
+            tr
+        };
+        let outcome = RunOutcome {
+            trace,
+            v_start: self.v_start,
+            v_min: Volts::new(self.acc.v_min),
+            t_min: Seconds::new(self.acc.t_min),
+            v_final,
+            brownout,
+            collapsed: self.acc.collapsed,
+            ledger: self.sys.ledger().delta(&self.ledger_before),
+        };
+        (self.idx, outcome)
+    }
+}
+
+/// Monomorphises the pack loop on branch count and charge mode, mirroring
+/// the scalar kernel's dispatch.
+fn run_pack<const W: usize>(n: usize, is_cp: bool, jobs: &mut [PackJob]) {
+    debug_assert!(jobs.len() <= W.max(1));
+    match (n, is_cp) {
+        (1, false) => lanes_pack::<1, false, W>(jobs),
+        (2, false) => lanes_pack::<2, false, W>(jobs),
+        (3, false) => lanes_pack::<3, false, W>(jobs),
+        (_, false) => lanes_pack::<4, false, W>(jobs),
+        (1, true) => lanes_pack::<1, true, W>(jobs),
+        (2, true) => lanes_pack::<2, true, W>(jobs),
+        (3, true) => lanes_pack::<3, true, W>(jobs),
+        (_, true) => lanes_pack::<4, true, W>(jobs),
+    }
+}
+
+/// The W-wide lock-step chunk loop. Per lane this is the scalar
+/// `chunk_loop` body, expression for expression, so each lane's result is
+/// bitwise the scalar kernel's; the lane dimension only adds independent
+/// work between the steps of each lane's dependency chain.
+#[allow(clippy::too_many_lines)]
+fn lanes_pack<const N: usize, const CP: bool, const W: usize>(jobs: &mut [PackJob]) {
+    // SoA mirrors of the per-lane parameters, lane index innermost.
+    let mut v0 = [0.0; W];
+    let mut beta = [0.0; W];
+    let mut g2 = [0.0; W];
+    let mut lo = [0.0; W];
+    let mut hi = [0.0; W];
+    let mut bw = [0.0; W];
+    let mut cwm = [0.0; W];
+    let mut ds = [0.0; W];
+    let mut dlv = [false; W];
+    let mut p_out = [0.0; W];
+    let mut inv_eta0 = [0.0; W];
+    let mut xs = [0.0; W];
+    let mut p_pow = [0.0; W];
+    let mut ic0 = [0.0; W];
+    let mut vprev = [0.0; W];
+    let mut ic = [0.0; W];
+    let mut max = [0usize; W];
+    let mut active = [false; W];
+    let mut a = [[0.0; W]; N];
+    let mut bv = [[0.0; W]; N];
+    let mut c = [[0.0; W]; N];
+    let mut aw = [[0.0; W]; N];
+    let mut rinv = [[0.0; W]; N];
+    let mut y = [[0.0; W]; N];
+    let mut esr_sq = [[0.0; W]; N];
+    let mut leak_sum = [[0.0; W]; N];
+    let mut hsum = [0.0; W];
+    let mut bsum = [0.0; W];
+    let mut v_last = [0.0; W];
+    let mut v_min = [f64::MAX; W];
+    let mut k_min = [0usize; W];
+    let mut done = [0usize; W];
+
+    for (l, job) in jobs.iter().enumerate() {
+        let p = &job.prep.params;
+        v0[l] = p.v0;
+        beta[l] = p.beta;
+        g2[l] = 0.5 * p.gamma;
+        lo[l] = p.lo;
+        hi[l] = p.hi;
+        dlv[l] = p.delivering;
+        p_out[l] = p.p_out;
+        inv_eta0[l] = p.inv_eta0;
+        xs[l] = p.xs;
+        p_pow[l] = p.p_pow;
+        ic0[l] = p.ic0;
+        ic[l] = p.ic0;
+        vprev[l] = p.v_prev;
+        max[l] = job.max_steps;
+        let mut cw = -p.w0;
+        let mut bwl = 0.0;
+        for b in 0..N {
+            let bvv = p.rinv[b] * p.dtc[b];
+            let av = 1.0 - bvv;
+            a[b][l] = av;
+            bv[b][l] = bvv;
+            c[b][l] = -(p.leak[b] * p.dtc[b]);
+            aw[b][l] = p.rinv[b] * av;
+            bwl += p.rinv[b] * bvv;
+            cw += p.rinv[b] * c[b][l];
+            rinv[b][l] = p.rinv[b];
+            y[b][l] = job.y[b];
+        }
+        bw[l] = bwl;
+        cwm[l] = cw;
+        // The anchor's fold is reproduced bitwise, so ds starts exactly 0.
+        let mut w = 0.0;
+        for b in 0..N {
+            w += job.y[b] * p.rinv[b];
+        }
+        ds[l] = w - p.w0;
+        active[l] = job.max_steps > 0;
+    }
+
+    // Live-lane compaction: `order[..live]` holds the lanes still
+    // stepping; a finished lane swaps to the tail, so the hot loop never
+    // revisits dead slots. Lanes are arithmetically independent, so the
+    // visit order within a row cannot affect any lane's values.
+    let mut order = [0usize; W];
+    let mut live = 0;
+    for (l, &on) in active.iter().enumerate() {
+        if on {
+            order[live] = l;
+            live += 1;
+        }
+    }
+    while live > 0 {
+        let mut j = 0;
+        while j < live {
+            let l = order[j];
+            let dst = if CP {
+                ic[l] = p_pow[l] / vprev[l];
+                ds[l] + (ic[l] - ic0[l])
+            } else {
+                ds[l]
+            };
+            let v = v0[l] + dst * (beta[l] + g2[l] * dst);
+            if !(v > lo[l] && v < hi[l]) {
+                live -= 1;
+                order.swap(j, live);
+                continue;
+            }
+            let mut ynew = [0.0; N];
+            let mut floored = false;
+            let mut t_off = cwm[l];
+            for b in 0..N {
+                let next = a[b][l] * y[b][l] + (bv[b][l] * v + c[b][l]);
+                floored |= next < 0.0;
+                ynew[b] = next;
+                t_off += aw[b][l] * y[b][l];
+            }
+            if floored {
+                live -= 1;
+                order.swap(j, live);
+                continue;
+            }
+            for b in 0..N {
+                let ib = (y[b][l] - v) * rinv[b][l];
+                esr_sq[b][l] += ib * ib;
+                leak_sum[b][l] += y[b][l];
+                y[b][l] = ynew[b];
+            }
+            ds[l] = bw[l] * v + t_off;
+            if CP {
+                hsum[l] += v * ic[l];
+                vprev[l] = v;
+            } else {
+                hsum[l] += v;
+            }
+            if dlv[l] {
+                let x = xs[l] * (v - v0[l]);
+                bsum[l] += (p_out[l] * (1.0 - x + x * x) * inv_eta0[l] - p_out[l]).max(0.0);
+            }
+            if v < v_min[l] {
+                v_min[l] = v;
+                k_min[l] = done[l];
+            }
+            done[l] += 1;
+            v_last[l] = v;
+            if done[l] >= max[l] {
+                live -= 1;
+                order.swap(j, live);
+                continue;
+            }
+            j += 1;
+        }
+    }
+
+    for (l, job) in jobs.iter_mut().enumerate() {
+        for b in 0..N {
+            job.y[b] = y[b][l];
+            job.sums.esr_sq[b] = esr_sq[b][l];
+            job.sums.leak_sum[b] = leak_sum[b][l];
+        }
+        job.sums.hsum = hsum[l];
+        job.sums.bsum = bsum[l];
+        job.sums.v_last = v_last[l];
+        job.sums.v_min = v_min[l];
+        job.sums.k_min = k_min[l];
+        job.sums.done = done[l];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Harvester;
+
+    fn ma(v: f64) -> Amps {
+        Amps::from_milli(v)
+    }
+
+    fn probe_cfg() -> RunConfig {
+        RunConfig {
+            dt: Seconds::from_micro(10.0),
+            record_stride: usize::MAX,
+            summary_only: true,
+            kernel: Kernel::Event,
+            ..RunConfig::default()
+        }
+    }
+
+    /// Runs the same jobs serially and batched and demands bitwise-equal
+    /// outcomes and final plant states.
+    fn assert_batch_matches_serial(
+        systems: &[PowerSystem],
+        profiles: &[&LoadProfile],
+        cfgs: &[RunConfig],
+    ) {
+        let mut serial: Vec<PowerSystem> = systems.to_vec();
+        let expected: Vec<RunOutcome> = serial
+            .iter_mut()
+            .zip(profiles)
+            .zip(cfgs)
+            .map(|((sys, profile), &cfg)| sys.run_profile(profile, cfg))
+            .collect();
+        for width in [1usize, 3, 8] {
+            let mut batched: Vec<PowerSystem> = systems.to_vec();
+            let got = match width {
+                1 => Lanes::<1>::run(&mut batched, profiles, cfgs),
+                3 => Lanes::<3>::run(&mut batched, profiles, cfgs),
+                _ => Lanes::<8>::run(&mut batched, profiles, cfgs),
+            };
+            assert_eq!(got, expected, "outcomes diverged at W={width}");
+            for (i, (b, s)) in batched.iter().zip(&serial).enumerate() {
+                assert_eq!(
+                    b.v_node(),
+                    s.v_node(),
+                    "lane {i} plant state diverged at W={width}"
+                );
+            }
+        }
+    }
+
+    fn plant_at(v: f64) -> PowerSystem {
+        let mut sys = PowerSystem::capybara_two_branch();
+        sys.set_buffer_voltage(Volts::new(v));
+        sys.force_output_enabled();
+        sys
+    }
+
+    #[test]
+    fn probe_grid_batch_is_bitwise_serial() {
+        let pulse = LoadProfile::constant("pulse", ma(25.0), Seconds::from_milli(10.0));
+        let heavy = LoadProfile::constant("heavy", ma(50.0), Seconds::from_milli(100.0));
+        let mixed = LoadProfile::builder("mixed")
+            .hold(ma(25.0), Seconds::from_milli(5.0))
+            .ramp(ma(25.0), ma(2.0), Seconds::from_milli(5.0))
+            .burst(
+                ma(40.0),
+                ma(1.0),
+                Seconds::from_milli(4.0),
+                0.25,
+                Seconds::from_milli(20.0),
+            )
+            .build();
+        let mut systems = Vec::new();
+        let mut profiles: Vec<&LoadProfile> = Vec::new();
+        for (i, v) in [2.4, 2.2, 2.05, 1.9, 1.75, 2.3, 2.1].iter().enumerate() {
+            systems.push(plant_at(*v));
+            profiles.push(match i % 3 {
+                0 => &pulse,
+                1 => &heavy,
+                _ => &mixed,
+            });
+        }
+        let cfgs = vec![probe_cfg(); systems.len()];
+        assert_batch_matches_serial(&systems, &profiles, &cfgs);
+    }
+
+    #[test]
+    fn mixed_charge_modes_group_into_separate_packs() {
+        let load = LoadProfile::constant("task", ma(20.0), Seconds::from_milli(30.0));
+        let harvesters = [
+            Harvester::Off,
+            Harvester::ConstantCurrent(ma(5.0)),
+            Harvester::weak_solar(),
+            Harvester::weak_solar(),
+            Harvester::ConstantCurrent(ma(2.0)),
+        ];
+        let systems: Vec<PowerSystem> = harvesters
+            .iter()
+            .map(|&h| {
+                let mut sys = PowerSystem::builder()
+                    .two_branch_bank()
+                    .harvester(h)
+                    .initial_voltage(Volts::new(2.15))
+                    .build();
+                sys.force_output_enabled();
+                sys
+            })
+            .collect();
+        let profiles: Vec<&LoadProfile> = vec![&load; systems.len()];
+        let cfg = RunConfig {
+            settle_timeout: Seconds::from_milli(200.0),
+            ..probe_cfg()
+        };
+        let cfgs = vec![cfg; systems.len()];
+        assert_batch_matches_serial(&systems, &profiles, &cfgs);
+    }
+
+    #[test]
+    fn ineligible_lanes_fall_back_inside_the_batch() {
+        let load = LoadProfile::constant("task", ma(10.0), Seconds::from_milli(5.0));
+        let systems = vec![plant_at(2.3), plant_at(2.3), plant_at(2.3)];
+        let profiles: Vec<&LoadProfile> = vec![&load; 3];
+        // Lane 1 asks for the fixed-step kernel, lane 2 for a decimated
+        // trace — both out of the batch kernel's scope.
+        let cfgs = vec![
+            probe_cfg(),
+            RunConfig {
+                kernel: Kernel::FixedStep,
+                ..probe_cfg()
+            },
+            RunConfig {
+                record_stride: 4,
+                summary_only: false,
+                ..probe_cfg()
+            },
+        ];
+        assert_batch_matches_serial(&systems, &profiles, &cfgs);
+    }
+
+    #[test]
+    fn brownout_lanes_mix_with_completing_lanes() {
+        let heavy = LoadProfile::constant("heavy", ma(50.0), Seconds::from_milli(100.0));
+        let systems = vec![plant_at(1.75), plant_at(2.45), plant_at(1.8), plant_at(2.4)];
+        let profiles: Vec<&LoadProfile> = vec![&heavy; systems.len()];
+        let cfgs = vec![probe_cfg(); systems.len()];
+        assert_batch_matches_serial(&systems, &profiles, &cfgs);
+    }
+
+    #[test]
+    #[ignore = "manual perf probe: cargo test -p culpeo-powersim --release -- --ignored lanes_perf"]
+    fn lanes_perf_smoke() {
+        let load = LoadProfile::constant("long", ma(25.0), Seconds::from_milli(100.0));
+        let cfg = RunConfig {
+            settle_timeout: Seconds::ZERO,
+            ..probe_cfg()
+        };
+        let systems: Vec<PowerSystem> = (0..8).map(|_| plant_at(2.4)).collect();
+        let profiles: Vec<&LoadProfile> = vec![&load; 8];
+        let cfgs = vec![cfg; 8];
+
+        let t0 = std::time::Instant::now();
+        for _ in 0..50 {
+            let mut s = systems.clone();
+            for (sys, p) in s.iter_mut().zip(&profiles) {
+                std::hint::black_box(sys.run_profile(p, cfg));
+            }
+        }
+        println!("serial 8x100ms: {:?}", t0.elapsed() / 50);
+
+        let t0 = std::time::Instant::now();
+        for _ in 0..50 {
+            let mut s = systems.clone();
+            std::hint::black_box(Lanes::<8>::run(&mut s, &profiles, &cfgs));
+        }
+        println!("lanes8 8x100ms: {:?}", t0.elapsed() / 50);
+
+        use std::sync::atomic::Ordering::Relaxed;
+        crate::event::CHUNK_STEPS.store(0, Relaxed);
+        crate::event::REAL_STEPS.store(0, Relaxed);
+        crate::event::CHUNKS.store(0, Relaxed);
+        let mut s = systems.clone();
+        std::hint::black_box(Lanes::<8>::run(&mut s, &profiles, &cfgs));
+        println!(
+            "one batch: chunk_steps {} real_steps {} chunks {}",
+            crate::event::CHUNK_STEPS.load(Relaxed),
+            crate::event::REAL_STEPS.load(Relaxed),
+            crate::event::CHUNKS.load(Relaxed),
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let got = Lanes::<8>::run(&mut [], &[], &[]);
+        assert!(got.is_empty());
+    }
+}

@@ -48,7 +48,9 @@ mod capacitor;
 mod energy;
 mod engine;
 mod esr_curve;
+mod event;
 mod harvester;
+mod lanes;
 mod monitor;
 mod network;
 mod vtrace;
@@ -57,9 +59,11 @@ pub use audit::{Auditor, Violation};
 pub use booster::{EfficiencyCurve, OutputBooster};
 pub use capacitor::{AgingState, CapacitorBranch};
 pub use energy::EnergyLedger;
-pub use engine::{PowerSystem, PowerSystemBuilder, RunConfig, RunOutcome, StepOutput};
+pub use engine::{Kernel, PowerSystem, PowerSystemBuilder, RunConfig, RunOutcome, StepOutput};
 pub use esr_curve::{measure_esr_curve, standard_probe_frequencies, EsrCurve};
+pub use event::{BreakOn, EventStepper, SpanEnd};
 pub use harvester::Harvester;
+pub use lanes::Lanes;
 pub use monitor::{MonitorState, VoltageMonitor};
 pub use network::{BranchCurrents, BufferNetwork, NodeSolution};
 pub use vtrace::{VoltageSample, VoltageTrace};

@@ -1,0 +1,213 @@
+//! Event-kernel ≡ fixed-step equivalence, from the public API.
+//!
+//! The event kernel's contract: for any supported plant and load, the
+//! brownout *verdict* matches the fixed-step reference exactly, and the
+//! summary voltages (`v_min`, `v_final`, final plant state) match within
+//! 1e-9 V. The kernel guarantees this by construction — it only
+//! analytically advances inside a guard band away from every threshold,
+//! and real-steps the rest — and this suite checks the construction from
+//! outside: a randomized property over plants, harvesters, and
+//! multi-segment profiles, plus a unit battery pinning the crossing
+//! detection at the `V_high`/`V_off` boundaries and degenerate segments.
+
+use culpeo_loadgen::LoadProfile;
+use culpeo_powersim::{Harvester, Kernel, PowerSystem, RunConfig};
+use culpeo_units::{Amps, Farads, Ohms, Seconds, Volts, Watts};
+use proptest::prelude::*;
+
+fn probe_cfg(dt_us: f64) -> RunConfig {
+    RunConfig {
+        dt: Seconds::from_micro(dt_us),
+        record_stride: usize::MAX,
+        summary_only: true,
+        ..RunConfig::default()
+    }
+}
+
+/// Runs `profile` under both kernels and checks the equivalence contract:
+/// verdict-exact, summaries within 1e-9 V.
+fn assert_kernels_agree(sys: &PowerSystem, profile: &LoadProfile, cfg: RunConfig) {
+    let mut fixed_sys = sys.clone();
+    let mut event_sys = sys.clone();
+    let fixed = fixed_sys.run_profile(profile, cfg.with_kernel(Kernel::FixedStep));
+    let event = event_sys.run_profile(profile, cfg.with_kernel(Kernel::Event));
+    assert_eq!(
+        fixed.brownout.is_some(),
+        event.brownout.is_some(),
+        "verdict mismatch on '{}': fixed {:?} event {:?}",
+        profile.label(),
+        fixed.brownout,
+        event.brownout
+    );
+    assert_eq!(fixed.collapsed, event.collapsed, "collapse flag mismatch");
+    assert!(
+        (fixed.v_min - event.v_min).abs().get() < 1e-9,
+        "v_min on '{}': fixed {} event {}",
+        profile.label(),
+        fixed.v_min,
+        event.v_min
+    );
+    assert!(
+        (fixed.v_final - event.v_final).abs().get() < 1e-9,
+        "v_final on '{}': fixed {} event {}",
+        profile.label(),
+        fixed.v_final,
+        event.v_final
+    );
+    assert!(
+        (fixed_sys.v_node() - event_sys.v_node()).abs().get() < 1e-9,
+        "plant state diverged on '{}'",
+        profile.label()
+    );
+}
+
+fn plant(c_mf: f64, esr: f64, v0: f64, harvester: Harvester) -> PowerSystem {
+    let mut sys = PowerSystem::capybara_with_bank(Farads::from_milli(c_mf), Ohms::new(esr));
+    sys.set_harvester(harvester);
+    sys.set_buffer_voltage(Volts::new(v0));
+    sys.force_output_enabled();
+    sys
+}
+
+fn arb_harvester() -> impl Strategy<Value = Harvester> {
+    prop_oneof![
+        Just(Harvester::Off),
+        (0.5..8.0f64).prop_map(|ma| Harvester::ConstantCurrent(Amps::from_milli(ma))),
+        (1.0..12.0f64).prop_map(|mw| Harvester::ConstantPower(Watts::from_milli(mw))),
+        ((1.0..6.0f64), (0.5..5.0f64), (0.2..0.8f64)).prop_map(|(ma, per_ms, duty)| {
+            Harvester::Windowed {
+                i: Amps::from_milli(ma),
+                period: Seconds::from_milli(per_ms),
+                duty,
+                phase: Seconds::ZERO,
+            }
+        }),
+    ]
+}
+
+/// One random load segment: (kind, current a, current b, duration).
+type Seg = (u8, f64, f64, f64);
+
+fn arb_profile() -> impl Strategy<Value = LoadProfile> {
+    proptest::collection::vec((0u8..3, 1.0..45.0f64, 0.5..45.0f64, 0.3..20.0f64), 1..4).prop_map(
+        |segs: Vec<Seg>| {
+            let mut b = LoadProfile::builder("equiv");
+            for (kind, ia, ib, ms) in segs {
+                let (ia, ib) = (Amps::from_milli(ia), Amps::from_milli(ib));
+                let w = Seconds::from_milli(ms);
+                b = match kind {
+                    0 => b.hold(ia, w),
+                    1 => b.ramp(ia, ib, w),
+                    _ => b.burst(ia.max(ib), ia.min(ib), Seconds::from_micro(800.0), 0.4, w),
+                };
+            }
+            b.build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Randomized specs and traces: any supported plant × harvester ×
+    /// multi-segment profile gives the same verdict under both kernels,
+    /// with summaries within 1e-9 V.
+    #[test]
+    fn event_kernel_matches_fixed_step(
+        c_mf in 20.0..80.0f64,
+        esr in 0.5..6.0f64,
+        v0 in 1.7..2.48f64,
+        coarse_dt in 0u8..2,
+        harvester in arb_harvester(),
+        profile in arb_profile(),
+    ) {
+        let sys = plant(c_mf, esr, v0, harvester);
+        let dt_us = if coarse_dt == 0 { 50.0 } else { 10.0 };
+        assert_kernels_agree(&sys, &profile, probe_cfg(dt_us));
+    }
+}
+
+// ---- unit battery: threshold crossings and degenerate segments ----
+
+#[test]
+fn crossing_detection_pinned_around_v_off() {
+    // Scan start voltages across the brownout boundary in sub-guard-band
+    // 0.5 mV increments: every verdict flip must happen at the same grid
+    // point under both kernels.
+    let probe = plant(45.0, 3.0, 2.0, Harvester::Off);
+    let v_off = probe.monitor().v_off().get();
+    let load = LoadProfile::constant("edge", Amps::from_milli(30.0), Seconds::from_milli(12.0));
+    for k in 0..40 {
+        let v0 = v_off + 0.05 + k as f64 * 5e-4;
+        let sys = plant(45.0, 3.0, v0, Harvester::Off);
+        assert_kernels_agree(&sys, &load, probe_cfg(10.0));
+    }
+}
+
+#[test]
+fn crossing_detection_pinned_around_v_high() {
+    // Charging into the V_high rail: start inside the guard band, at the
+    // rail, and just below it. The harvester must cut off on the same
+    // step under both kernels for the summaries to agree.
+    let probe = plant(45.0, 1.0, 2.0, Harvester::Off);
+    let v_high = probe.monitor().v_high().get();
+    let load = LoadProfile::constant(
+        "trickle",
+        Amps::from_micro(200.0),
+        Seconds::from_milli(40.0),
+    );
+    for dv in [0.0, 2e-4, 5e-4, 1.5e-3, 5e-3, 2e-2] {
+        for h in [
+            Harvester::ConstantCurrent(Amps::from_milli(4.0)),
+            Harvester::ConstantPower(Watts::from_milli(9.0)),
+        ] {
+            let sys = plant(45.0, 1.0, v_high - dv, h);
+            assert_kernels_agree(&sys, &load, probe_cfg(10.0));
+        }
+    }
+}
+
+#[test]
+fn starting_at_exactly_v_off_agrees() {
+    let probe = plant(45.0, 3.0, 2.0, Harvester::Off);
+    let v_off = probe.monitor().v_off().get();
+    let load = LoadProfile::constant("doomed", Amps::from_milli(10.0), Seconds::from_milli(5.0));
+    let sys = plant(45.0, 3.0, v_off, Harvester::Off);
+    assert_kernels_agree(&sys, &load, probe_cfg(10.0));
+}
+
+#[test]
+fn zero_length_segments_agree() {
+    // Segments shorter than one step round to zero steps; the planner
+    // must skip them identically to the fixed loop's arithmetic.
+    let tiny = Seconds::from_micro(1.0); // dt is 10 µs
+    let profile = LoadProfile::builder("degenerate")
+        .hold(Amps::from_milli(20.0), Seconds::from_milli(3.0))
+        .hold(Amps::from_milli(44.0), tiny)
+        .hold(Amps::from_milli(5.0), Seconds::from_milli(2.0))
+        .hold(Amps::from_milli(33.0), tiny)
+        .build();
+    let sys = plant(45.0, 2.0, 2.3, Harvester::Off);
+    assert_kernels_agree(&sys, &profile, probe_cfg(10.0));
+
+    // A profile that is *only* a zero-length segment still runs one step.
+    let only = LoadProfile::constant("only-tiny", Amps::from_milli(15.0), tiny);
+    assert_kernels_agree(&sys, &only, probe_cfg(10.0));
+}
+
+#[test]
+fn sub_step_burst_periods_agree() {
+    // Burst period below 2·dt: the square wave aliases against the step
+    // grid, exercising the planner's per-step pieces.
+    let profile = LoadProfile::builder("alias")
+        .burst(
+            Amps::from_milli(35.0),
+            Amps::from_milli(2.0),
+            Seconds::from_micro(15.0),
+            0.5,
+            Seconds::from_milli(6.0),
+        )
+        .build();
+    let sys = plant(45.0, 2.0, 2.25, Harvester::Off);
+    assert_kernels_agree(&sys, &profile, probe_cfg(10.0));
+}

@@ -8,7 +8,8 @@
 #   2. Times the seed's own fig10_vsafe_error binary (median of three).
 #   3. Runs perf_summary with that measurement as --baseline-seconds and
 #      CULPEO_THREADS workers, producing results/perf_summary.json.
-#   4. Compiles and runs the criterion micro-benches.
+#   4. Reports the event-kernel vs fixed-step speedup from the JSON.
+#   5. Compiles and runs the criterion micro-benches.
 #
 # Quick mode (--quick):
 #   Skips the seed build and the criterion benches; runs perf_summary
@@ -69,5 +70,12 @@ echo "seed fig10_vsafe_error: ${BASELINE_S}s (median of 3)"
 # --- 3. perf_summary with the measured baseline -----------------------------
 CULPEO_THREADS="$THREADS" ./target/release/perf_summary --baseline-seconds "$BASELINE_S"
 
-# --- 4. Criterion micro-benches ---------------------------------------------
+# --- 4. Event-kernel receipt -------------------------------------------------
+# perf_summary records the §VI-A ground-truth bisection under both stepping
+# kernels; surface the ratio so the receipt is visible without opening the
+# JSON.
+EVENT_SPEEDUP="$(sed -n 's/.*"event_kernel_speedup": *\([0-9.]*\).*/\1/p' results/perf_summary.json)"
+echo "event kernel vs fixed step (ground-truth bisection): ${EVENT_SPEEDUP}x"
+
+# --- 5. Criterion micro-benches ---------------------------------------------
 cargo bench -p culpeo-bench

@@ -30,6 +30,15 @@ if [[ "$VERIFY_OUT" != *"proved"* ]]; then
     exit 1
 fi
 
+# The event kernel is only allowed to exist because it is provably the
+# same simulation: the kernel-equivalence proptests, the lanes bitwise
+# identity suite, and the fig10 byte-identity tests gate here so a
+# regression in any of them blocks the merge, not just the nightly run.
+echo "== event-kernel equivalence + fig10 byte-identity gate"
+cargo test -q -p culpeo-powersim --test event_equiv
+cargo test -q -p culpeo-powersim --lib lanes::
+cargo test -q -p culpeo-harness --test determinism
+
 echo "== scripts/smoke_serve.sh"
 scripts/smoke_serve.sh
 

@@ -177,11 +177,74 @@ tuple_strategies! {
     (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
 }
 
+/// A strategy choosing uniformly among boxed alternative strategies; built
+/// by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps the alternatives; `prop_oneof!` is the intended constructor.
+    #[must_use]
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = (0..self.arms.len()).generate(rng);
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Collection strategies (the upstream module of the same name).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s with length drawn from `len` and elements
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty vec length range");
+        VecStrategy { element, len }
+    }
+
+    /// The result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Chooses uniformly among the listed strategies (upstream weights are not
+/// supported; every arm is equally likely).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::Strategy<Value = _>>,)+
+        ])
+    };
+}
+
 /// Everything a property test file needs in scope.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
-        Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
     };
 }
 
@@ -315,6 +378,21 @@ mod tests {
         #[test]
         fn configured_case_count_runs(seed in 0u64..1000) {
             prop_assert!(seed < 1000);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_draws_every_arm(v in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(v == 1u8 || v == 2u8 || v == 5u8 || v == 6u8, "v = {}", v);
+        }
+
+        #[test]
+        fn collection_vec_respects_length_range(
+            v in crate::collection::vec(0.0..1.0f64, 2..5usize)
+        ) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
         }
     }
 
