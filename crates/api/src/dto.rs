@@ -16,8 +16,13 @@ use crate::error::ApiError;
 use crate::plan::PlanSpec;
 use crate::spec::SystemSpec;
 
-/// Checks a request's optional `schema_version` claim against this
-/// build's [`crate::SCHEMA_VERSION`]. Absent means "current".
+/// Checks a request's optional `schema_version` claim against the
+/// versions this build accepts. Absent means "current".
+///
+/// Responses are always stamped [`crate::SCHEMA_VERSION`]; *requests*
+/// may claim any entry of [`crate::ACCEPTED_SCHEMA_VERSIONS`] — the
+/// schema-1 request shapes are a strict subset of schema-2's, so an old
+/// client keeps working against a new daemon.
 ///
 /// # Errors
 ///
@@ -25,15 +30,27 @@ use crate::spec::SystemSpec;
 pub fn check_schema_version(claimed: Option<u32>) -> Result<(), ApiError> {
     match claimed {
         None => Ok(()),
-        Some(v) if v == crate::SCHEMA_VERSION => Ok(()),
+        Some(v) if crate::ACCEPTED_SCHEMA_VERSIONS.contains(&v) => Ok(()),
         Some(v) => Err(ApiError::new(
             crate::error::ApiErrorKind::UnsupportedVersion,
             format!(
-                "request claims schema_version {v}; this build speaks {}",
-                crate::SCHEMA_VERSION
+                "request claims schema_version {v}; this build speaks {:?}",
+                crate::ACCEPTED_SCHEMA_VERSIONS
             ),
         )),
     }
+}
+
+/// The `server_timing` member of every schema-2 response envelope: how
+/// long the request sat in the accept/compute queue and how long the
+/// handler actually ran, both in microseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerTiming {
+    /// Microseconds between the reactor parsing the request and a
+    /// compute worker picking it up.
+    pub queue_us: u64,
+    /// Microseconds the handler ran for.
+    pub compute_us: u64,
 }
 
 /// `POST /v1/vsafe` — compute the ESR-aware `V_safe` for one task trace.
@@ -345,6 +362,140 @@ pub struct ShedMetrics {
     pub lock_recoveries: u64,
 }
 
+/// `POST /v1/fleet` — register a batch of digital device twins.
+///
+/// Every twin in the batch shares one (spec, trace, plan) triple; the
+/// shard scheduler advances them through `Lanes<8>` kernel rounds, each
+/// twin descending its start voltage from `V_high` by `v_step_mv` per
+/// completed round until its task browns out. The lowest completing
+/// start voltage is the twin's *empirical* `V_safe` estimate; its drift
+/// against the static Culpeo-PG prediction is what `/v1/fleet/:id` and
+/// the `/v1/fleet/events` stream report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetRegisterRequest {
+    /// Optional version claim; absent means "current".
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub schema_version: Option<u32>,
+    /// The system spec every twin runs on; absent means the Capybara
+    /// reference configuration.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub spec: Option<SystemSpec>,
+    /// The task trace every twin executes, as `culpeo-trace v1` CSV.
+    pub trace_csv: String,
+    /// An optional schedule to verify per twin at registration; its
+    /// `culpeo-verify` verdict is carried on every twin snapshot.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub plan: Option<PlanSpec>,
+    /// How many twins to register (default 8, capped by the daemon).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub count: Option<u32>,
+    /// Kernel rounds to advance each twin through (default 16).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rounds: Option<u32>,
+    /// Start-voltage descent per completed round, in millivolts
+    /// (default 20 mV).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub v_step_mv: Option<f64>,
+}
+
+/// The answer to a [`FleetRegisterRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetRegisterResponse {
+    /// Always [`crate::SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Twins registered by this request.
+    pub registered: u64,
+    /// First twin id assigned to this batch (ids are dense).
+    pub first_id: u64,
+    /// Total twins resident in the fleet after this registration.
+    pub fleet_size: u64,
+    /// Shards (of ≤ 8 twins) the scheduler will advance per round.
+    pub shards: u64,
+    /// The static Culpeo-PG `V_safe` prediction for the shared trace, in
+    /// volts — the reference every twin's drift is measured against.
+    pub static_vsafe_v: f64,
+    /// The `culpeo-verify` verdict for the shared plan (`"proved"`,
+    /// `"refuted"`, `"unknown"`), or `"unverified"` when no plan was
+    /// supplied.
+    pub verify_verdict: String,
+}
+
+/// `GET /v1/fleet/:id` — one twin's current snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTwinResponse {
+    /// Always [`crate::SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// The twin's dense id.
+    pub id: u64,
+    /// Kernel rounds completed so far.
+    pub rounds_done: u64,
+    /// Kernel rounds this twin was registered for.
+    pub rounds_target: u64,
+    /// Rounds that ended in brownout (task did not complete).
+    pub brownouts: u64,
+    /// The start voltage the next round will launch from, in volts.
+    pub v_start_v: f64,
+    /// Final buffer voltage of the last completed round, in volts.
+    pub last_v_final_v: f64,
+    /// Lowest start voltage that still completed the task, in volts —
+    /// the twin's empirical `V_safe` estimate so far.
+    pub vsafe_estimate_v: f64,
+    /// The static Culpeo-PG prediction for the twin's trace, in volts.
+    pub static_vsafe_v: f64,
+    /// `vsafe_estimate_v − static_vsafe_v`, in millivolts.
+    pub drift_mv: f64,
+    /// The registration-time `culpeo-verify` verdict for this twin's
+    /// plan (`"unverified"` when none was supplied).
+    pub verify_verdict: String,
+    /// Whether the twin has finished its round budget.
+    pub done: bool,
+}
+
+/// `GET /v1/fleet` — whole-fleet summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSummaryResponse {
+    /// Always [`crate::SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Twins resident.
+    pub twins: u64,
+    /// Shards (of ≤ 8 twins) the scheduler advances per round.
+    pub shards: u64,
+    /// Total kernel rounds completed across all twins.
+    pub rounds_done: u64,
+    /// Total brownout rounds across all twins.
+    pub brownouts: u64,
+    /// Events currently buffered for `/v1/fleet/events`.
+    pub events_buffered: u64,
+    /// `"idle"` when every twin has met its round budget, `"running"`
+    /// otherwise.
+    pub scheduler: String,
+}
+
+/// One line of the `GET /v1/fleet/events` NDJSON stream: a twin
+/// finishing one kernel round. (The stream carries one serialised
+/// `FleetEvent` per line; it is the only `/v1` surface *not* wrapped in
+/// the response envelope, since NDJSON has no single top-level object.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetEvent {
+    /// Always [`crate::SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// The twin that finished the round.
+    pub twin: u64,
+    /// The twin's round counter after this round.
+    pub round: u64,
+    /// The round's start voltage, in volts.
+    pub v_start_v: f64,
+    /// The round's final buffer voltage, in volts.
+    pub v_final_v: f64,
+    /// Whether the task completed (false = brownout).
+    pub completed: bool,
+    /// The twin's empirical `V_safe` estimate after this round, in
+    /// volts.
+    pub vsafe_estimate_v: f64,
+    /// `vsafe_estimate_v − static_vsafe_v`, in millivolts.
+    pub drift_mv: f64,
+}
+
 /// `GET /v1/metrics` — per-endpoint latency/hit-rate counters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsResponse {
@@ -367,11 +518,40 @@ mod tests {
     use super::*;
 
     #[test]
-    fn version_check_accepts_absent_and_current() {
+    fn version_check_accepts_absent_current_and_legacy() {
         assert!(check_schema_version(None).is_ok());
         assert!(check_schema_version(Some(crate::SCHEMA_VERSION)).is_ok());
+        for v in crate::ACCEPTED_SCHEMA_VERSIONS {
+            assert!(check_schema_version(Some(v)).is_ok(), "version {v}");
+        }
         let err = check_schema_version(Some(99)).unwrap_err();
         assert_eq!(err.kind, crate::error::ApiErrorKind::UnsupportedVersion);
+    }
+
+    #[test]
+    fn fleet_register_minimal_json_parses_with_defaults() {
+        let req: FleetRegisterRequest =
+            serde_json::from_str(r##"{ "trace_csv": "# dt_us: 8\n0.0,0.01\n" }"##).unwrap();
+        assert_eq!(req.schema_version, None);
+        assert!(req.spec.is_none() && req.plan.is_none());
+        assert_eq!((req.count, req.rounds), (None, None));
+    }
+
+    #[test]
+    fn fleet_event_roundtrips() {
+        let ev = FleetEvent {
+            schema_version: crate::SCHEMA_VERSION,
+            twin: 3,
+            round: 7,
+            v_start_v: 2.48,
+            v_final_v: 2.11,
+            completed: true,
+            vsafe_estimate_v: 2.48,
+            drift_mv: -12.5,
+        };
+        let line = serde_json::to_string(&ev).unwrap();
+        let back: FleetEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, ev);
     }
 
     #[test]

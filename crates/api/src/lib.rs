@@ -28,9 +28,10 @@ pub mod spec;
 
 pub use dto::{
     check_schema_version, BatchItem, BatchOutcome, BatchRequest, BatchResponse, CacheMetrics,
-    CounterexampleDto, EndpointMetrics, HealthResponse, LintRequest, LintResponse, MetricsResponse,
-    NamedTrace, ShedMetrics, UnknownDto, VerifyFindingDto, VerifyRequest, VerifyResponse,
-    VsafeRequest, VsafeResponse,
+    CounterexampleDto, EndpointMetrics, FleetEvent, FleetRegisterRequest, FleetRegisterResponse,
+    FleetSummaryResponse, FleetTwinResponse, HealthResponse, LintRequest, LintResponse,
+    MetricsResponse, NamedTrace, ServerTiming, ShedMetrics, UnknownDto, VerifyFindingDto,
+    VerifyRequest, VerifyResponse, VsafeRequest, VsafeResponse,
 };
 pub use error::{ApiError, ApiErrorKind};
 pub use plan::{LaunchSpec, PlanSpec};
@@ -41,4 +42,15 @@ pub use spec::{EfficiencySpec, SpecError, SystemSpec};
 ///
 /// Bump it when a shape changes incompatibly; downstream consumers key
 /// their parsers off the `"schema_version"` field this constant feeds.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version 2 wraps every `/v1` HTTP response in the uniform envelope
+/// (`schema_version`, `request_id`, `server_timing`, `data`) and adds
+/// the `/v1/fleet` surface. Schema-1 *requests* are still accepted —
+/// see [`ACCEPTED_SCHEMA_VERSIONS`].
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Request schema versions this build still understands. Responses and
+/// results files are always stamped [`SCHEMA_VERSION`]; requests may
+/// claim any version listed here (schema-1 request bodies are a strict
+/// subset of schema-2's, so acceptance is shape-exact, not best-effort).
+pub const ACCEPTED_SCHEMA_VERSIONS: [u32; 2] = [1, 2];

@@ -23,10 +23,13 @@
 
 use std::time::Instant;
 
+use culpeo::baseline::vsafe_from_voltage_pair;
 use culpeo::PowerSystemModel;
 use culpeo_harness::exec::Sweep;
 use culpeo_harness::fig10::{self, FIG10_SYSTEMS};
+use culpeo_harness::fig11::{self, FIG11_SYSTEMS};
 use culpeo_harness::ground_truth::TOLERANCE;
+use culpeo_harness::systems::VsafeSystem;
 use culpeo_harness::{ground_truth, reference_plant};
 use culpeo_loadgen::synthetic::fig10_loads;
 use culpeo_loadgen::LoadProfile;
@@ -91,6 +94,15 @@ struct PerfSummary {
     serial_exec_layer_speedup: f64,
     /// `exec_baseline / warm_cache`.
     warm_cache_speedup: f64,
+    /// Figure 11 with every prediction and dispatch sim run per cell on
+    /// the fixed-step kernel with trace recording and the full rebound
+    /// settle — the pre-batching driver, reconstructed in-process.
+    fig11_scalar_seconds: f64,
+    /// The shipping Figure 11 driver: Energy-V profiling sims and all
+    /// dispatch trials lane-packed 8-wide on the event kernel.
+    fig11_lanes_seconds: f64,
+    /// `fig11_scalar / fig11_lanes` — the profiler-sim batching win.
+    fig11_lanes_speedup: f64,
 }
 
 fn main() {
@@ -147,6 +159,19 @@ fn main() {
     });
     ground_truth::clear_truth_cache();
 
+    // Profiler-sim batching receipt: Figure 11 per-cell on the fixed-step
+    // kernel (the pre-batching driver) vs the shipping lane-packed driver.
+    let mut fig11_scalar_rows = 0;
+    let fig11_scalar_seconds = time_min(|| fig11_scalar_rows = fig11_scalar_baseline());
+    let mut fig11_lanes_rows = 0;
+    let fig11_lanes_seconds = time_min(|| {
+        fig11_lanes_rows = fig11::run_timed(Sweep::serial()).0.len();
+    });
+    assert_eq!(
+        fig11_scalar_rows, fig11_lanes_rows,
+        "the scalar fig11 baseline must cover the same grid"
+    );
+
     let summary = PerfSummary {
         quick,
         loads: loads.len(),
@@ -163,6 +188,9 @@ fn main() {
         fig10_speedup_vs_pre_pr: pre_pr_fig10_seconds.map(|b| b / optimized_fig10_parallel_seconds),
         serial_exec_layer_speedup: exec_baseline_fig10_seconds / optimized_fig10_serial_seconds,
         warm_cache_speedup: exec_baseline_fig10_seconds / warm_cache_fig10_seconds,
+        fig11_scalar_seconds,
+        fig11_lanes_seconds,
+        fig11_lanes_speedup: fig11_scalar_seconds / fig11_lanes_seconds,
     };
 
     println!("Figure 10 wall-clock ({} loads):", summary.loads);
@@ -214,6 +242,19 @@ fn main() {
     println!(
         "  serial execution-layer speedup: {:.2}x cold, {:.2}x warm",
         summary.serial_exec_layer_speedup, summary.warm_cache_speedup
+    );
+    println!("Figure 11 wall-clock (profiler-sim batching):");
+    println!(
+        "  {:<42} {:>8.3} s",
+        "scalar per-cell (fixed-step, traced)", summary.fig11_scalar_seconds
+    );
+    println!(
+        "  {:<42} {:>8.3} s",
+        "lane-packed (event kernel, 8-wide)", summary.fig11_lanes_seconds
+    );
+    println!(
+        "  profiler-sim batching speedup: {:.2}x",
+        summary.fig11_lanes_speedup
     );
 
     culpeo_bench::write_json("perf_summary", &summary);
@@ -270,6 +311,53 @@ fn kernel_truth(loads: &[LoadProfile], kernel: Kernel) {
         }
         std::hint::black_box(hi);
     }
+}
+
+/// Pre-batching Figure 11: the same (peripheral × system) grid, predicted
+/// and dispatched one cell at a time with every simulation on the
+/// fixed-step kernel, recording a trace and waiting out the full rebound
+/// settle — exactly the shape the driver had before the Energy-V and
+/// dispatch sims were lane-packed. Returns the number of rows produced.
+fn fig11_scalar_baseline() -> usize {
+    let model = PowerSystemModel::characterize(&reference_plant);
+    let loads = fig11::peripherals();
+    let mut rows = 0;
+    for load in &loads {
+        for system in FIG11_SYSTEMS {
+            let v_safe = match system {
+                VsafeSystem::EnergyV => {
+                    let mut sys = fresh_full_reference();
+                    let out = sys.run_profile(load, RunConfig::default());
+                    if !out.completed() {
+                        continue;
+                    }
+                    vsafe_from_voltage_pair(out.v_start, out.v_final, &model)
+                }
+                _ => match system.predict(load, &model, &reference_plant) {
+                    Some(v) => v,
+                    None => continue,
+                },
+            };
+            let mut sys = reference_plant();
+            let v_start = (v_safe + TOLERANCE).min(model.v_high());
+            sys.set_buffer_voltage(v_start);
+            sys.force_output_enabled();
+            let out = sys.run_profile(load, RunConfig::default());
+            std::hint::black_box((out.v_min, out.completed()));
+            rows += 1;
+        }
+    }
+    rows
+}
+
+/// A reference plant charged to `V_high` with its output latched on — the
+/// profiling-run start state.
+fn fresh_full_reference() -> culpeo_powersim::PowerSystem {
+    let mut sys = reference_plant();
+    let v_high = sys.monitor().v_high();
+    sys.set_buffer_voltage(v_high);
+    sys.force_output_enabled();
+    sys
 }
 
 /// The §VI-A bisection with every probe run in the seed execution mode.

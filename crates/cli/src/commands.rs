@@ -225,7 +225,7 @@ pub fn vsafe(model: &PowerSystemModel, trace: &CurrentTrace) -> String {
     culpeo_served::handle::vsafe_report(model, trace)
 }
 
-/// `culpeo serve [--port P] [--threads N] …` — runs the batch analysis
+/// `culpeo serve [--port P] [--workers N] …` — runs the batch analysis
 /// daemon until a client POSTs `/v1/shutdown`. Prints the bound address
 /// up front (flushed, so wrapper scripts can scrape the port) and returns
 /// a drain summary as the report text.

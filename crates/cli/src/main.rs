@@ -4,7 +4,8 @@
 //! culpeo vsafe --trace packet.csv [--system spec.json]
 //! culpeo lint  spec.json [--trace packet.csv]… [--plan plan.json] [--format json] [--deny-warnings]
 //! culpeo verify spec.json --plan plan.json [--format json]
-//! culpeo serve [--port 7070] [--threads N] [--queue-depth 64] [--cache-capacity 256]
+//! culpeo serve [--port 7070] [--workers N] [--queue-depth 64] [--cache-capacity 256]
+//!              [--max-connections 1024] [--keep-alive-timeout 30]
 //! culpeo chaos [--seed 42] [--threads N] [--format json|human]
 //! culpeo race [--preemptions N] [--seed N] [--format json|human]
 //! culpeo check --trace a.csv --trace b.csv [--system spec.json] [--threads N]
@@ -67,7 +68,7 @@ fn usage() -> &'static str {
     "usage:\n  culpeo vsafe --trace FILE [--system SPEC.json]\n  \
      culpeo lint SPEC.json [--trace FILE…] [--plan PLAN.json] [--format json|human] [--deny-warnings]\n  \
      culpeo verify SPEC.json --plan PLAN.json [--format json|human]\n  \
-     culpeo serve [--port 7070] [--threads N] [--queue-depth 64] [--cache-capacity 256]\n  \
+     culpeo serve [--port 7070] [--workers N] [--queue-depth 64] [--cache-capacity 256] [--max-connections 1024] [--keep-alive-timeout 30]\n  \
      culpeo chaos [--seed 42] [--threads N] [--format json|human]\n  \
      culpeo race [--preemptions N] [--seed N] [--format json|human]\n  \
      culpeo check --trace FILE [--trace FILE…] [--system SPEC.json] [--threads N]\n  \
@@ -265,13 +266,38 @@ fn parse_serve(args: &[String]) -> Result<culpeo_served::ServerConfig, CliError>
                 config.port = u16::try_from(numeric("--port")?)
                     .map_err(|_| CliError::Usage("--port must fit in 16 bits".into()))?;
             }
-            "--threads" => {
-                let n = numeric("--threads")?;
+            "--workers" | "--threads" => {
+                if flag == "--threads" {
+                    // Deprecated spelling from the thread-per-connection
+                    // era; same semantics (compute pool size), stderr
+                    // pointer only, so scripted callers keep working.
+                    eprintln!(
+                        "culpeo: `serve --threads` is deprecated; use `culpeo serve --workers`"
+                    );
+                }
+                let n = numeric(flag)?;
                 if n == 0 {
-                    return Err(CliError::Usage("--threads must be positive".into()));
+                    return Err(CliError::Usage(format!("{flag} must be positive")));
                 }
                 config.threads = usize::try_from(n)
-                    .map_err(|_| CliError::Usage("--threads is out of range".into()))?;
+                    .map_err(|_| CliError::Usage(format!("{flag} is out of range")))?;
+            }
+            "--max-connections" => {
+                let n = numeric("--max-connections")?;
+                if n == 0 {
+                    return Err(CliError::Usage("--max-connections must be positive".into()));
+                }
+                config.max_connections = usize::try_from(n)
+                    .map_err(|_| CliError::Usage("--max-connections is out of range".into()))?;
+            }
+            "--keep-alive-timeout" => {
+                let n = numeric("--keep-alive-timeout")?;
+                if n == 0 {
+                    return Err(CliError::Usage(
+                        "--keep-alive-timeout must be a positive number of seconds".into(),
+                    ));
+                }
+                config.keep_alive_timeout_ms = n.saturating_mul(1_000);
             }
             "--queue-depth" => {
                 let n = numeric("--queue-depth")?;
@@ -501,21 +527,33 @@ mod tests {
         let config = parse_serve(&s(&[
             "--port",
             "9999",
-            "--threads",
+            "--workers",
             "3",
             "--queue-depth",
             "7",
             "--cache-capacity",
             "0",
+            "--max-connections",
+            "64",
+            "--keep-alive-timeout",
+            "5",
         ]))
         .unwrap();
         assert_eq!(config.port, 9999);
         assert_eq!(config.threads, 3);
         assert_eq!(config.queue_depth, 7);
         assert_eq!(config.cache_capacity, 0);
+        assert_eq!(config.max_connections, 64);
+        assert_eq!(config.keep_alive_timeout_ms, 5_000);
+        // The deprecated spelling still parses to the same config.
+        let legacy = parse_serve(&s(&["--threads", "3"])).unwrap();
+        assert_eq!(legacy.threads, 3);
         assert!(parse_serve(&s(&["--port", "notaport"])).is_err());
         assert!(parse_serve(&s(&["--port", "70000"])).is_err());
+        assert!(parse_serve(&s(&["--workers", "0"])).is_err());
         assert!(parse_serve(&s(&["--threads", "0"])).is_err());
+        assert!(parse_serve(&s(&["--max-connections", "0"])).is_err());
+        assert!(parse_serve(&s(&["--keep-alive-timeout", "0"])).is_err());
         assert!(parse_serve(&s(&["--queue-depth", "0"])).is_err());
         assert!(parse_serve(&s(&["--bogus"])).is_err());
     }
@@ -588,7 +626,7 @@ mod tests {
         let doc = serde_json::parse_value_str(&json).unwrap();
         assert_eq!(
             doc.get("schema_version").and_then(serde::Value::as_f64),
-            Some(1.0)
+            Some(2.0)
         );
         assert_eq!(doc.get("all_proved"), Some(&serde::Value::Bool(true)));
         assert_eq!(doc.get("all_refuted"), Some(&serde::Value::Bool(true)));

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod protocol;
+pub mod shard;
 pub mod shim;
 mod telemetry;
 

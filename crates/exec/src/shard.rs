@@ -1,0 +1,161 @@
+//! The shard hand-off protocol for round-based fleet scheduling,
+//! extracted and generic over the [`crate::shim`] vocabulary.
+//!
+//! The fleet scheduler in `culpeo-served` advances device twins in
+//! shards of eight through `Lanes<8>` kernel rounds, with several
+//! scheduler threads cooperating on each round. The round's shard
+//! count can *change between rounds* (registrations append shards), so
+//! the claim word packs a **round generation** (high 32 bits) next to
+//! the **shard cursor** (low 32 bits): a claim is only granted when the
+//! claimer's generation matches, atomically with the cursor bump. A
+//! thread still holding last round's generation gets `None` and goes
+//! back to the round barrier — it can never claim into a round whose
+//! shard count it read stale.
+//!
+//! Correctness then rests on two facts, both staked on the functions
+//! below so the production scheduler and the `culpeo-race` model
+//! checker run the *same protocol source*:
+//!
+//! 1. **every shard is handed off to exactly one thread per round** —
+//!    the compare-exchange makes generation check and cursor bump one
+//!    atomic step, so concurrent claims are disjoint and stale-round
+//!    claims are impossible;
+//! 2. **exactly one thread publishes the round** — the *last* finisher
+//!    (and only it) sees the completion counter reach the shard count,
+//!    so resetting the counters and opening the next generation is a
+//!    single, well-defined obligation. The publisher must reset the
+//!    finish counter **before** opening the next round (no new claim
+//!    can succeed in between, because the old round is exhausted and
+//!    the new generation is not yet open).
+
+use crate::shim::AtomicUsizeShim;
+use std::sync::atomic::Ordering;
+
+const GEN_SHIFT: u32 = 32;
+const CURSOR_MASK: usize = (1 << GEN_SHIFT) - 1;
+
+/// The claim word for round `gen` with no shards yet claimed.
+#[must_use]
+pub fn round_word(gen: u32) -> usize {
+    (gen as usize) << GEN_SHIFT
+}
+
+/// The round generation a claim word carries.
+#[must_use]
+pub fn word_gen(word: usize) -> u32 {
+    (word >> GEN_SHIFT) as u32
+}
+
+/// Claims the next unadvanced shard of round `gen`, or `None` when the
+/// round is exhausted *or* has moved past `gen` (the caller should
+/// return to the round barrier either way).
+#[inline]
+pub fn claim_shard<A: AtomicUsizeShim>(state: &A, gen: u32, shards: usize) -> Option<usize> {
+    loop {
+        let cur = state.load(Ordering::SeqCst);
+        if word_gen(cur) != gen {
+            return None;
+        }
+        let idx = cur & CURSOR_MASK;
+        if idx >= shards {
+            return None;
+        }
+        if state
+            .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            return Some(idx);
+        }
+    }
+}
+
+/// Records one shard of the round finished; returns `true` for exactly
+/// the *last* finisher, who thereby owes the round publication: reset
+/// the finish counter, then [`open_round`] for `gen + 1`, then wake the
+/// threads parked on the round barrier.
+///
+/// `AcqRel` so the publication happens-after every other thread's shard
+/// writes: a waiter released by it observes every twin state the round
+/// produced.
+#[inline]
+pub fn finish_shard<A: AtomicUsizeShim>(done: &A, shards: usize) -> bool {
+    done.fetch_add(1, Ordering::AcqRel) + 1 == shards
+}
+
+/// Opens round `gen`: resets the cursor to zero under the new
+/// generation. Only the round publisher calls this, after resetting the
+/// finish counter.
+#[inline]
+pub fn open_round<A: AtomicUsizeShim>(state: &A, gen: u32) {
+    state.store(round_word(gen), Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn claims_are_disjoint_and_exhaust() {
+        let state = AtomicUsize::new(round_word(1));
+        let claimed: Vec<Option<usize>> = (0..5).map(|_| claim_shard(&state, 1, 3)).collect();
+        assert_eq!(claimed, vec![Some(0), Some(1), Some(2), None, None]);
+    }
+
+    #[test]
+    fn stale_generation_cannot_claim() {
+        let state = AtomicUsize::new(round_word(2));
+        assert_eq!(claim_shard(&state, 1, 8), None);
+        assert_eq!(claim_shard(&state, 3, 8), None);
+        assert_eq!(claim_shard(&state, 2, 8), Some(0));
+        // Publication moves the generation; the old one is dead even
+        // with shards "remaining" from its point of view.
+        open_round(&state, 3);
+        assert_eq!(claim_shard(&state, 2, 8), None);
+        assert_eq!(claim_shard(&state, 3, 2), Some(0));
+        assert_eq!(word_gen(state.load(Ordering::SeqCst)), 3);
+    }
+
+    #[test]
+    fn exactly_one_last_finisher() {
+        let done = AtomicUsize::new(0);
+        let lasts: Vec<bool> = (0..4).map(|_| finish_shard(&done, 4)).collect();
+        assert_eq!(lasts.iter().filter(|&&b| b).count(), 1);
+        assert_eq!(lasts, vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn threaded_rounds_have_one_publisher_each() {
+        let state = AtomicUsize::new(round_word(0));
+        let done = AtomicUsize::new(0);
+        let advanced: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+        let publishers = AtomicUsize::new(0);
+        const ROUNDS: u32 = 5;
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let mut gen = 0u32;
+                    while gen < ROUNDS {
+                        while let Some(i) = claim_shard(&state, gen, 8) {
+                            advanced[i].fetch_add(1, Ordering::Relaxed);
+                            if finish_shard(&done, 8) {
+                                publishers.fetch_add(1, Ordering::Relaxed);
+                                done.store(0, Ordering::SeqCst);
+                                open_round(&state, gen + 1);
+                            }
+                        }
+                        // Round barrier: spin until the publication.
+                        while word_gen(state.load(Ordering::SeqCst)) == gen {
+                            std::thread::yield_now();
+                        }
+                        gen = word_gen(state.load(Ordering::SeqCst));
+                    }
+                });
+            }
+        });
+        for a in &advanced {
+            assert_eq!(a.load(Ordering::Relaxed), ROUNDS as usize);
+        }
+        assert_eq!(publishers.load(Ordering::Relaxed), ROUNDS as usize);
+    }
+}

@@ -159,13 +159,13 @@ pub fn apply(addr: SocketAddr, fault: &ServiceFault, seed: u64) -> std::io::Resu
 pub fn probe(addr: SocketAddr, path: &str) -> std::io::Result<(FaultOutcome, String)> {
     let mut s = TcpStream::connect(addr)?;
     s.set_read_timeout(Some(Duration::from_secs(10)))?;
-    s.write_all(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes())?;
+    s.write_all(format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes())?;
     let mut raw = String::new();
     s.read_to_string(&mut raw)?;
     let outcome = parse_outcome(&raw);
     let body = raw
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(_, b)| unenvelope(b).to_string())
         .unwrap_or_default();
     Ok((outcome, body))
 }
@@ -197,12 +197,25 @@ fn parse_outcome(raw: &str) -> FaultOutcome {
     });
     let error_kind = raw
         .split_once("\r\n\r\n")
-        .and_then(|(_, body)| serde_json::from_str::<ApiError>(body).ok())
+        .and_then(|(_, body)| serde_json::from_str::<ApiError>(unenvelope(body)).ok())
         .map(|e| e.kind.as_str().to_string());
     FaultOutcome {
         status,
         retry_after_s,
         error_kind,
+    }
+}
+
+/// Strips the schema-2 response envelope when present, returning the
+/// inner `data` document (serialised last, so it runs to the closing
+/// brace). Pre-envelope and non-JSON bodies pass through untouched.
+fn unenvelope(body: &str) -> &str {
+    let marker = "\"data\":";
+    match body.find(marker) {
+        Some(i) if body.starts_with("{\"schema_version\"") && body.ends_with('}') => {
+            &body[i + marker.len()..body.len() - 1]
+        }
+        _ => body,
     }
 }
 

@@ -10,7 +10,8 @@ use culpeo::PowerSystemModel;
 use culpeo_exec::{CellGrid, PhaseClock, Sweep, Telemetry};
 use culpeo_loadgen::peripheral::{BleRadio, GestureSensor, MnistAccelerator};
 use culpeo_loadgen::LoadProfile;
-use culpeo_powersim::RunConfig;
+use culpeo_powersim::{Kernel, Lanes, PowerSystem, RunConfig};
+use culpeo_units::{Seconds, Volts};
 use serde::Serialize;
 
 use crate::reference_plant;
@@ -69,9 +70,24 @@ pub fn run() -> Vec<Fig11Row> {
     run_timed(Sweep::from_env()).0
 }
 
-/// [`run`] on an explicit executor, with phase telemetry. Every
-/// (peripheral × system) pair predicts and dispatches independently — one
-/// sweep cell each, row-major so the output order matches the serial
+/// The dispatch-trial configuration: the default stepping, trace-free on
+/// the analytic event kernel, no rebound wait. A trial only consumes
+/// `v_min` and the completion verdict — both decided while the load runs
+/// — so the batch of trials lane-packs through the event kernel.
+#[must_use]
+pub fn dispatch_cfg() -> RunConfig {
+    RunConfig {
+        settle_timeout: Seconds::ZERO,
+        ..RunConfig::default()
+            .without_trace()
+            .with_kernel(Kernel::Event)
+    }
+}
+
+/// [`run`] on an explicit executor, with phase telemetry. Predictions run
+/// first (the Energy-V profiling sims as one lanes batch, the rest as
+/// sweep cells), then every dispatch trial advances in one 8-wide lanes
+/// batch. Cells stay row-major so the output order matches the serial
 /// nesting.
 #[must_use]
 pub fn run_timed(sweep: Sweep) -> (Vec<Fig11Row>, Telemetry) {
@@ -80,30 +96,49 @@ pub fn run_timed(sweep: Sweep) -> (Vec<Fig11Row>, Telemetry) {
     let model = PowerSystemModel::characterize(&reference_plant);
     clock.mark("characterize");
     let loads = peripherals();
+    // The Energy-V profiling sims for all peripherals advance in one
+    // batch; per-cell prediction below just reads the precomputed lane.
+    let energy_v = VsafeSystem::predict_energy_v_batch(&loads, &model, &reference_plant);
     let grid = CellGrid::new(loads.len(), FIG11_SYSTEMS.len());
     let cells = sweep.map_into(grid.cells(), |_, &(li, si)| {
-        let load = &loads[li];
         let system = FIG11_SYSTEMS[si];
-        let v_safe = system.predict(load, &model, &reference_plant)?;
-        // Dispatch the operation at the predicted V_safe, padded by
-        // the 5 mV granularity the §VI-A search procedure resolves —
-        // a prediction within that band is indistinguishable from the
-        // true boundary on the real harness.
-        let mut sys = reference_plant();
-        let v_start = (v_safe + crate::ground_truth::TOLERANCE).min(model.v_high());
-        sys.set_buffer_voltage(v_start);
-        sys.force_output_enabled();
-        let out = sys.run_profile(load, RunConfig::default());
-        Some(Fig11Row {
-            peripheral: load.label().to_string(),
-            system: system.label().to_string(),
+        let v_safe = match system {
+            VsafeSystem::EnergyV => energy_v[li]?,
+            _ => system.predict(&loads[li], &model, &reference_plant)?,
+        };
+        Some((li, si, v_safe))
+    });
+    clock.mark("predict");
+    // Dispatch each operation at its predicted V_safe, padded by the 5 mV
+    // granularity the §VI-A search procedure resolves — a prediction
+    // within that band is indistinguishable from the true boundary on the
+    // real harness. All trials advance in one lanes batch.
+    let trials: Vec<(usize, usize, Volts)> = cells.into_iter().flatten().collect();
+    let mut systems: Vec<PowerSystem> = trials
+        .iter()
+        .map(|&(_, _, v_safe)| {
+            let mut sys = reference_plant();
+            let v_start = (v_safe + crate::ground_truth::TOLERANCE).min(model.v_high());
+            sys.set_buffer_voltage(v_start);
+            sys.force_output_enabled();
+            sys
+        })
+        .collect();
+    let profiles: Vec<&LoadProfile> = trials.iter().map(|&(li, _, _)| &loads[li]).collect();
+    let cfgs = vec![dispatch_cfg(); trials.len()];
+    let outcomes = Lanes::<8>::run(&mut systems, &profiles, &cfgs);
+    clock.mark("dispatch");
+    let rows = trials
+        .iter()
+        .zip(outcomes)
+        .map(|(&(li, si, v_safe), out)| Fig11Row {
+            peripheral: loads[li].label().to_string(),
+            system: FIG11_SYSTEMS[si].label().to_string(),
             v_safe: v_safe.get(),
             v_min: out.v_min.get(),
             completed: out.completed(),
         })
-    });
-    clock.mark("predict+dispatch");
-    let rows = cells.into_iter().flatten().collect();
+        .collect();
     (rows, clock.finish())
 }
 

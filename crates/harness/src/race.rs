@@ -43,7 +43,7 @@ pub fn run_timed(config: &BatteryConfig) -> (BatteryReport, Telemetry) {
     let all_proved = models.iter().all(|m| m.holds);
     let all_refuted = mutants.iter().all(|m| m.caught);
     let report = BatteryReport {
-        schema_version: 1,
+        schema_version: 2,
         seed: config.seed,
         preemptions: config.preemptions,
         total_interleavings,
@@ -71,7 +71,11 @@ mod tests {
     fn battery_passes_and_matches_direct_run() {
         let (timed, telemetry) = run_timed(&quick());
         assert!(timed.passed(), "{}", battery::render_table(&timed));
-        assert_eq!(telemetry.phases.len(), 10, "one phase per model and mutant");
+        assert_eq!(
+            telemetry.phases.len(),
+            battery::model_names().len() + battery::mutant_names().len(),
+            "one phase per model and mutant"
+        );
         // The harness assembly must agree with the crate's own runner.
         let direct = battery::run(&quick());
         assert_eq!(

@@ -11,7 +11,7 @@ use culpeo::baseline::{energy_direct, vsafe_from_voltage_pair, CatnapEstimator};
 use culpeo::{pg, runtime, PowerSystemModel};
 use culpeo_device::{measure_for_catnap, profile_task, IsrProfiler, Profiler, UArchProfiler};
 use culpeo_loadgen::LoadProfile;
-use culpeo_powersim::{PowerSystem, RunConfig};
+use culpeo_powersim::{Kernel, Lanes, PowerSystem, RunConfig};
 use culpeo_units::{Hertz, Volts};
 
 /// Every `V_safe` estimation system in the evaluation.
@@ -82,7 +82,7 @@ impl VsafeSystem {
             }
             VsafeSystem::EnergyV => {
                 let mut sys = fresh_full(make_system);
-                let out = sys.run_profile(load, RunConfig::default());
+                let out = sys.run_profile(load, Self::energy_v_profile_cfg());
                 if !out.completed() {
                     return None;
                 }
@@ -110,6 +110,44 @@ impl VsafeSystem {
                 Some(runtime::compute_vsafe(&run.observation, model).v_safe)
             }
         }
+    }
+}
+
+impl VsafeSystem {
+    /// The Energy-V profiling-run configuration: default stepping and
+    /// settle, trace-free, on the analytic event kernel. Energy-V only
+    /// consumes the fully rebounded `(v_start, v_final)` pair, so the
+    /// trace is dead weight — and the event kernel makes the run (and
+    /// its settle) chunk-analytic *and* eligible for the 8-wide lanes
+    /// batch below.
+    #[must_use]
+    pub fn energy_v_profile_cfg() -> RunConfig {
+        RunConfig::default()
+            .without_trace()
+            .with_kernel(Kernel::Event)
+    }
+
+    /// Batched Energy-V predictions over a load grid: every profiling
+    /// sim starts from a full buffer and the whole grid advances eight
+    /// lanes per kernel invocation through [`Lanes`]. Each returned
+    /// estimate equals what `VsafeSystem::EnergyV.predict` computes for
+    /// the same load — the lanes kernel is bitwise the serial run.
+    #[must_use]
+    pub fn predict_energy_v_batch(
+        loads: &[LoadProfile],
+        model: &PowerSystemModel,
+        make_system: &(dyn Fn() -> PowerSystem + Sync),
+    ) -> Vec<Option<Volts>> {
+        let mut systems: Vec<PowerSystem> = loads.iter().map(|_| fresh_full(make_system)).collect();
+        let profiles: Vec<&LoadProfile> = loads.iter().collect();
+        let cfgs = vec![Self::energy_v_profile_cfg(); loads.len()];
+        Lanes::<8>::run(&mut systems, &profiles, &cfgs)
+            .into_iter()
+            .map(|out| {
+                out.completed()
+                    .then(|| vsafe_from_voltage_pair(out.v_start, out.v_final, model))
+            })
+            .collect()
     }
 }
 
@@ -174,6 +212,24 @@ mod tests {
                 v.get() > direct.get() + 0.1,
                 "{sys} ({v}) should far exceed Energy-Direct ({direct})"
             );
+        }
+    }
+
+    #[test]
+    fn energy_v_batch_matches_scalar_predictions_exactly() {
+        let m = model();
+        let loads = vec![
+            pulse(25.0, 10.0),
+            pulse(5.0, 10.0),
+            pulse(50.0, 10.0),
+            pulse(12.0, 30.0),
+            pulse(40.0, 2.0),
+        ];
+        let batch = VsafeSystem::predict_energy_v_batch(&loads, &m, &reference_plant);
+        assert_eq!(batch.len(), loads.len());
+        for (load, got) in loads.iter().zip(&batch) {
+            let scalar = VsafeSystem::EnergyV.predict(load, &m, &reference_plant);
+            assert_eq!(*got, scalar, "batch diverged on {}", load.label());
         }
     }
 

@@ -23,6 +23,7 @@
 use crate::explore::{explore, Counterexample, Options};
 use crate::model;
 use culpeo_exec::protocol as exec_protocol;
+use culpeo_exec::shard as exec_shard;
 use culpeo_exec::shim::{AtomicBoolShim, AtomicUsizeShim, MutexShim};
 use culpeo_served::protocol as served_protocol;
 use culpeo_served::protocol::Enqueue;
@@ -359,9 +360,172 @@ fn poison_recovery(recover: bool) {
     assert!(!cache.is_poisoned(), "recovery must clear the poison");
 }
 
+/// Reactor completion dispatch: workers hand finished responses through
+/// `publish_completion` (push under the lock, then a coalescing wake
+/// flag, then at most one eventfd wake); the parked reactor drains with
+/// `drain_completions` (re-arm the flag *first*, then take the queue).
+/// No completion is ever stranded and the reactor always terminates, no
+/// matter how wakes coalesce.
+fn served_completion_wake() {
+    completion_wake(true);
+}
+
+fn completion_wake(rearm_before_take: bool) {
+    const PUBLISHERS: usize = 2;
+    let completions = Arc::new(<model::Mutex<Vec<usize>> as MutexShim<Vec<usize>>>::new(
+        Vec::new(),
+    ));
+    let wake = Arc::new(<model::AtomicBool as AtomicBoolShim>::new(false));
+    // The channel stands in for the eventfd: recv() is the reactor
+    // parked in epoll_wait, a send is the wake. Main holds a sender so
+    // an un-woken reactor parks forever instead of seeing a hangup —
+    // exactly like the real poller, which has no timeout in the model.
+    let (tx, rx) = model::sync_channel::<u8>(PUBLISHERS);
+
+    let mut publishers = Vec::new();
+    for p in 0..PUBLISHERS {
+        let completions = Arc::clone(&completions);
+        let wake = Arc::clone(&wake);
+        let tx = tx.clone();
+        publishers.push(model::spawn(&format!("worker-{p}"), move || {
+            if served_protocol::publish_completion(&*completions, &*wake, p) {
+                // Best-effort, like the eventfd write: the reactor may
+                // already have drained everything and gone away.
+                let _ = culpeo_exec::shim::SenderShim::send(&tx, 0);
+            }
+        }));
+    }
+
+    let reactor = {
+        let completions = Arc::clone(&completions);
+        let wake = Arc::clone(&wake);
+        model::spawn("reactor", move || {
+            let mut drained = Vec::new();
+            loop {
+                let got = if rearm_before_take {
+                    served_protocol::drain_completions(&*completions, &*wake)
+                } else {
+                    // The mutant: take the queue first, re-arm after. A
+                    // publish landing in between sees the flag still set,
+                    // owes no wake, and its completion strands forever.
+                    let taken = completions
+                        .lock()
+                        .map(|mut q| std::mem::take(&mut *q))
+                        .unwrap_or_default();
+                    wake.store(false, Ordering::SeqCst);
+                    taken
+                };
+                drained.extend(got);
+                if drained.len() == PUBLISHERS {
+                    break;
+                }
+                let _ = culpeo_exec::shim::ReceiverShim::recv(&rx);
+            }
+            drained
+        })
+    };
+
+    for p in publishers {
+        p.join().expect("workers do not panic");
+    }
+    let mut drained = reactor.join().expect("reactor does not panic");
+    drained.sort_unstable();
+    assert_eq!(
+        drained,
+        (0..PUBLISHERS).collect::<Vec<_>>(),
+        "every published completion must be drained exactly once"
+    );
+    drop(tx);
+}
+
+/// Shard hand-off: two schedulers racing one generation-tagged claim
+/// word must advance every shard exactly once, produce exactly one last
+/// finisher (who owes the round publication), and leave stale-
+/// generation claims impossible once the next round opens.
+fn exec_shard_handoff() {
+    shard_handoff(true);
+}
+
+fn shard_handoff(atomic_finish: bool) {
+    const SHARDS: usize = 3;
+    let state = Arc::new(<model::AtomicUsize as AtomicUsizeShim>::new(
+        exec_shard::round_word(0),
+    ));
+    let done = Arc::new(<model::AtomicUsize as AtomicUsizeShim>::new(0));
+
+    let mut schedulers = Vec::new();
+    for w in 0..2 {
+        let state = Arc::clone(&state);
+        let done = Arc::clone(&done);
+        schedulers.push(model::spawn(&format!("scheduler-{w}"), move || {
+            let mut claimed = Vec::new();
+            let mut published = 0usize;
+            while let Some(shard) = exec_shard::claim_shard(&*state, 0, SHARDS) {
+                claimed.push(shard);
+                let last = if atomic_finish {
+                    exec_shard::finish_shard(&*done, SHARDS)
+                } else {
+                    // The mutant: the finish counter's RMW split into a
+                    // load and a store — finishes can be lost (no
+                    // publisher: the fleet wedges at the round barrier)
+                    // or double-counted (two publishers).
+                    let d = done.load(Ordering::SeqCst);
+                    done.store(d + 1, Ordering::SeqCst);
+                    d + 1 == SHARDS
+                };
+                if last {
+                    exec_shard::open_round(&*state, 1);
+                    published += 1;
+                }
+            }
+            (claimed, published)
+        }));
+    }
+
+    let mut all = Vec::new();
+    let mut publishers = 0;
+    for s in schedulers {
+        let (claimed, published) = s.join().expect("schedulers do not panic");
+        all.extend(claimed);
+        publishers += published;
+    }
+    all.sort_unstable();
+    assert_eq!(
+        all,
+        (0..SHARDS).collect::<Vec<_>>(),
+        "each shard must be advanced exactly once per round"
+    );
+    assert_eq!(
+        publishers, 1,
+        "exactly one scheduler owes the round publication"
+    );
+    assert_eq!(
+        exec_shard::word_gen(state.load(Ordering::SeqCst)),
+        1,
+        "the publication must open the next generation"
+    );
+    assert!(
+        exec_shard::claim_shard(&*state, 0, SHARDS).is_none(),
+        "stale-generation claims must fail once the round turned"
+    );
+}
+
 // ---------------------------------------------------------------------
 // Mutants — protocol breakages the checker must refute.
 // ---------------------------------------------------------------------
+
+/// The completion drain with take-then-re-arm order: a publish landing
+/// between the take and the re-arm owes no wake, strands its
+/// completion, and parks the reactor forever.
+fn mutant_drain_take_first() {
+    completion_wake(false);
+}
+
+/// The shard finish counter's RMW split into load + store: the round's
+/// publication obligation can vanish (fleet wedge) or double.
+fn mutant_finish_split() {
+    shard_handoff(false);
+}
 
 /// The claim RMW split into a load and a store: two workers can both
 /// read the same cursor value and claim the same cell.
@@ -542,6 +706,18 @@ const MODELS: &[ModelSpec] = &[
         threads: 3,
         run: served_poison_recovery,
     },
+    ModelSpec {
+        name: "served-completion-wake",
+        invariant: "no completion strands; coalesced wakes still drain all",
+        threads: 4,
+        run: served_completion_wake,
+    },
+    ModelSpec {
+        name: "exec-shard-handoff",
+        invariant: "each shard advanced once; one publisher turns the round",
+        threads: 3,
+        run: exec_shard_handoff,
+    },
 ];
 
 const MUTANTS: &[MutantSpec] = &[
@@ -574,6 +750,18 @@ const MUTANTS: &[MutantSpec] = &[
         breaks: "worker unwraps the cache lock instead of recovering",
         expected: "panic",
         run: mutant_poison_unwrap,
+    },
+    MutantSpec {
+        name: "drain-take-first",
+        breaks: "completion drain takes the queue before re-arming the wake flag",
+        expected: "deadlock",
+        run: mutant_drain_take_first,
+    },
+    MutantSpec {
+        name: "finish-split-rmw",
+        breaks: "shard finish counter split into load + store",
+        expected: "panic",
+        run: mutant_finish_split,
     },
 ];
 
@@ -660,7 +848,7 @@ pub fn run(config: &BatteryConfig) -> BatteryReport {
     let all_proved = models.iter().all(|m| m.holds);
     let all_refuted = mutants.iter().all(|m| m.caught);
     BatteryReport {
-        schema_version: 1,
+        schema_version: 2,
         seed: config.seed,
         preemptions: config.preemptions,
         total_interleavings,
@@ -788,6 +976,33 @@ mod tests {
     #[test]
     fn missing_wake_deadlocks() {
         let r = run_mutant("shutdown-no-wake", &quick(7));
+        assert!(r.caught, "expected {} got {}", r.expected, r.observed);
+    }
+
+    #[test]
+    fn completion_wake_holds() {
+        let r = run_model("served-completion-wake", &quick(7));
+        assert!(r.holds, "{:?}", r.counterexample);
+        assert!(r.interleavings > 10, "exploration actually branched");
+    }
+
+    #[test]
+    fn shard_handoff_holds() {
+        let r = run_model("exec-shard-handoff", &quick(7));
+        assert!(r.holds, "{:?}", r.counterexample);
+        assert!(r.interleavings > 10, "exploration actually branched");
+    }
+
+    #[test]
+    fn take_first_drain_deadlocks() {
+        let r = run_mutant("drain-take-first", &quick(7));
+        assert!(r.caught, "expected {} got {}", r.expected, r.observed);
+        assert!(!r.trace.is_empty(), "a refutation carries its schedule");
+    }
+
+    #[test]
+    fn split_finish_counter_is_refuted() {
+        let r = run_mutant("finish-split-rmw", &quick(7));
         assert!(r.caught, "expected {} got {}", r.expected, r.observed);
     }
 }

@@ -1,0 +1,235 @@
+//! `culpeo-loadtest` — pipelined keep-alive load generator for the
+//! reactor daemon.
+//!
+//! Boots a daemon in-process on an ephemeral port, then drives it over
+//! real TCP from client threads that each keep one connection alive and
+//! write `--pipeline` requests per batch before reading the batch of
+//! responses back. Per-response latency is measured from the batch
+//! write, so it includes queueing behind earlier requests on the same
+//! connection — the honest number for a pipelined client.
+//!
+//! Prints one JSON document to stdout:
+//!
+//! ```json
+//! {"schema_version":2,"endpoint":"/v1/health","connections":4,...}
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use culpeo_served::{Server, ServerConfig};
+
+struct Args {
+    endpoint: String,
+    connections: usize,
+    pipeline: usize,
+    millis: u64,
+    workers: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        endpoint: "/v1/health".to_string(),
+        connections: 4,
+        pipeline: 64,
+        millis: 2_000,
+        workers: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--endpoint" => args.endpoint = value("--endpoint")?,
+            "--connections" => {
+                args.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?;
+            }
+            "--pipeline" => {
+                args.pipeline = value("--pipeline")?
+                    .parse()
+                    .map_err(|e| format!("--pipeline: {e}"))?;
+            }
+            "--millis" => {
+                args.millis = value("--millis")?
+                    .parse()
+                    .map_err(|e| format!("--millis: {e}"))?;
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.connections == 0 || args.pipeline == 0 || args.millis == 0 {
+        return Err("--connections, --pipeline, and --millis must be positive".into());
+    }
+    if args.pipeline > 256 {
+        // The daemon parks parsing at MAX_PIPELINE in-flight requests;
+        // deeper batches would just serialise against the cap.
+        return Err("--pipeline is capped at 256 (the daemon's in-flight cap)".into());
+    }
+    Ok(args)
+}
+
+/// The wire bytes for one request against `endpoint`, keep-alive.
+fn request_bytes(endpoint: &str) -> Vec<u8> {
+    if endpoint == "/v1/vsafe" {
+        // Repeats of the same trace are cache hits after the first: the
+        // batch-endpoint steady state the acceptance targets.
+        let body = "{\"schema_version\": 2, \"trace_csv\": \"# dt_us: 8\\n0.0,0.010\\n0.000008,0.025\\n0.000016,0.010\\n\"}";
+        format!(
+            "POST /v1/vsafe HTTP/1.1\r\nHost: loadtest\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .into_bytes()
+    } else {
+        format!("GET {endpoint} HTTP/1.1\r\nHost: loadtest\r\nContent-Length: 0\r\n\r\n")
+            .into_bytes()
+    }
+}
+
+/// Consumes complete responses from the front of `buf`, panicking on a
+/// non-200 status. Returns how many were consumed and how many bytes.
+fn consume_responses(buf: &[u8]) -> (usize, usize) {
+    let mut done = 0;
+    let mut pos = 0;
+    loop {
+        let rest = &buf[pos..];
+        let Some(head_end) = rest.windows(4).position(|w| w == b"\r\n\r\n") else {
+            return (done, pos);
+        };
+        let head = &rest[..head_end];
+        assert!(
+            head.starts_with(b"HTTP/1.1 200"),
+            "non-200 under load: {}",
+            String::from_utf8_lossy(head)
+        );
+        let clen: usize = head
+            .split(|&b| b == b'\r')
+            .find_map(|line| {
+                let line = line.strip_prefix(b"\n").unwrap_or(line);
+                let text = std::str::from_utf8(line).ok()?;
+                let (k, v) = text.split_once(':')?;
+                k.eq_ignore_ascii_case("content-length")
+                    .then(|| v.trim().parse().ok())?
+            })
+            .expect("content-length header");
+        if rest.len() < head_end + 4 + clen {
+            return (done, pos);
+        }
+        pos += head_end + 4 + clen;
+        done += 1;
+    }
+}
+
+/// One client: pipelined batches against a keep-alive connection until
+/// the deadline. Returns per-response latencies in microseconds.
+fn client(addr: SocketAddr, request: &[u8], pipeline: usize, deadline: Instant) -> Vec<u64> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let batch: Vec<u8> = request
+        .iter()
+        .copied()
+        .cycle()
+        .take(request.len() * pipeline)
+        .collect();
+    let mut latencies = Vec::new();
+    let mut buf: Vec<u8> = Vec::with_capacity(64 * 1024);
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        let t0 = Instant::now();
+        stream.write_all(&batch).expect("batch write");
+        let mut answered = 0;
+        while answered < pipeline {
+            let n = stream.read(&mut chunk).expect("read");
+            assert!(n > 0, "daemon hung up mid-batch");
+            buf.extend_from_slice(&chunk[..n]);
+            let (done, used) = consume_responses(&buf);
+            buf.drain(..used);
+            let now = t0.elapsed().as_micros() as u64;
+            for _ in 0..done {
+                latencies.push(now);
+            }
+            answered += done;
+        }
+        // Always at least one full batch, even with an expired deadline
+        // (how the warm-up pass runs).
+        if Instant::now() >= deadline {
+            return latencies;
+        }
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("culpeo-loadtest: {e}");
+            eprintln!(
+                "usage: culpeo-loadtest [--endpoint /v1/health] [--connections 4] \
+                 [--pipeline 64] [--millis 2000] [--workers N]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let server = Server::start(&ServerConfig {
+        port: 0,
+        threads: args.workers,
+        // Provision the compute queue for the full offered load, else
+        // the daemon (correctly) sheds the deepest batches with 503.
+        queue_depth: (args.connections * args.pipeline).max(64),
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = server.addr();
+    let request = request_bytes(&args.endpoint);
+
+    // Warm up: first request pays cache fill and lazy init, off the clock.
+    let warm = client(addr, &request, 1, Instant::now());
+    drop(warm);
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_millis(args.millis);
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.connections)
+            .map(|_| scope.spawn(|| client(addr, &request, args.pipeline, deadline)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    server.shutdown_handle().request();
+    let _ = server.join();
+
+    assert!(!latencies.is_empty(), "no responses within the window");
+    latencies.sort_unstable();
+    let requests = latencies.len();
+    let req_per_s = requests as f64 / elapsed;
+    println!(
+        "{{\"schema_version\":2,\"endpoint\":\"{}\",\"connections\":{},\"pipeline_depth\":{},\
+         \"duration_s\":{:.3},\"requests\":{},\"req_per_s\":{:.0},\
+         \"p50_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+        args.endpoint,
+        args.connections,
+        args.pipeline,
+        elapsed,
+        requests,
+        req_per_s,
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+        latencies[requests - 1],
+    );
+}

@@ -1,0 +1,589 @@
+//! The sharded digital-twin fleet behind `POST /v1/fleet`.
+//!
+//! One registration creates `count` device twins sharing a spec, a task
+//! trace, and (optionally) a schedule. Each twin runs a *descent
+//! probe*: starting from `V_high`, every kernel round launches its task
+//! from a start voltage one `v_step` below the last completing one,
+//! until the task browns out or the round budget runs dry. The lowest
+//! completing start voltage is the twin's **empirical `V_safe`
+//! estimate**, and its drift against the static Culpeo-PG prediction
+//! (the paper's §III interface, computed once at registration) is what
+//! `GET /v1/fleet/:id` and the `/v1/fleet/events` NDJSON stream report.
+//! Twins within a registration start phase-staggered (1/8th of a step
+//! apart), so a fleet brackets the prediction from eight offsets at
+//! once instead of replicating one trajectory.
+//!
+//! Scheduling: twins live in shards of [`SHARD_WIDTH`]; each round, the
+//! scheduler threads hand shards off through the generation-tagged
+//! claim protocol in [`culpeo_exec::shard`] and advance every live twin
+//! of a claimed shard in one `Lanes<8>` batched kernel call. The last
+//! finisher of a round publishes it (resets the counters, opens the
+//! next generation, wakes the barrier) — the exact protocol the
+//! `culpeo-race` battery model-checks.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use culpeo::pg;
+use culpeo_api::{
+    check_schema_version, ApiError, FleetEvent, FleetRegisterRequest, FleetRegisterResponse,
+    FleetSummaryResponse, FleetTwinResponse, SystemSpec, VerifyRequest, SCHEMA_VERSION,
+};
+use culpeo_exec::shard;
+use culpeo_loadgen::{io as trace_io, LoadProfile};
+use culpeo_powersim::{Lanes, PowerSystem, RunConfig};
+use culpeo_units::{Farads, Ohms, Volts};
+
+use crate::handle;
+
+/// Twins per shard — matches the `Lanes` width that saturates the
+/// floating-point units.
+pub const SHARD_WIDTH: usize = 8;
+/// Hard cap on resident twins; a registration pushing past it is a 400.
+pub const MAX_TWINS: u64 = 4096;
+/// Hard cap on rounds a twin can be registered for.
+pub const MAX_ROUNDS: u64 = 4096;
+/// Ring capacity of the `/v1/fleet/events` buffer; oldest drop first.
+const MAX_EVENTS: usize = 4096;
+/// ESR operating point used when the trace has no dominant pulse.
+const FALLBACK_ESR_FREQ_HZ: f64 = 1_000.0;
+
+/// Everything a registration's twins share.
+struct Batch {
+    profile: LoadProfile,
+    cfg: RunConfig,
+    capacitance: Farads,
+    esr: Ohms,
+    v_off: f64,
+    static_vsafe: f64,
+    v_step: f64,
+    verdict: String,
+}
+
+/// One device twin's descent-probe state.
+struct TwinState {
+    id: u64,
+    batch: Arc<Batch>,
+    /// Start voltage of the next round.
+    v_next: f64,
+    rounds_done: u64,
+    rounds_target: u64,
+    brownouts: u64,
+    /// Lowest start voltage that still completed (the empirical
+    /// `V_safe` estimate); starts at the initial start voltage.
+    vsafe_estimate: f64,
+    last_v_final: f64,
+    done: bool,
+}
+
+impl TwinState {
+    fn snapshot(&self) -> FleetTwinResponse {
+        FleetTwinResponse {
+            schema_version: SCHEMA_VERSION,
+            id: self.id,
+            rounds_done: self.rounds_done,
+            rounds_target: self.rounds_target,
+            brownouts: self.brownouts,
+            v_start_v: self.v_next,
+            last_v_final_v: self.last_v_final,
+            vsafe_estimate_v: self.vsafe_estimate,
+            static_vsafe_v: self.batch.static_vsafe,
+            drift_mv: (self.vsafe_estimate - self.batch.static_vsafe) * 1000.0,
+            verify_verdict: self.batch.verdict.clone(),
+            done: self.done,
+        }
+    }
+}
+
+type Shard = Arc<Mutex<Vec<TwinState>>>;
+
+/// The registry every endpoint reads and the scheduler advances.
+struct FleetInner {
+    shards: Vec<Shard>,
+    twins: u64,
+    active: u64,
+    rounds_done: u64,
+    brownouts: u64,
+    events: VecDeque<FleetEvent>,
+}
+
+/// The fleet: registry + round synchronisation. One per daemon.
+pub struct FleetState {
+    inner: Mutex<FleetInner>,
+    /// Scheduler threads park here while the fleet is idle.
+    work: Condvar,
+    /// The generation-tagged claim word (see [`culpeo_exec::shard`]).
+    claim: AtomicUsize,
+    /// Shards finished this round.
+    finished: AtomicUsize,
+    /// The shard snapshot the *current* round claims against, installed
+    /// by each round's publisher. Reading it and claiming under its
+    /// generation is what keeps every claimant on the same shard count.
+    plan: Mutex<RoundPlan>,
+    /// Signalled at each round publication (the round barrier).
+    published: Condvar,
+}
+
+struct RoundPlan {
+    gen: u32,
+    shards: Vec<Shard>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Default for FleetState {
+    fn default() -> Self {
+        FleetState {
+            inner: Mutex::new(FleetInner {
+                shards: Vec::new(),
+                twins: 0,
+                active: 0,
+                rounds_done: 0,
+                brownouts: 0,
+                events: VecDeque::new(),
+            }),
+            work: Condvar::new(),
+            claim: AtomicUsize::new(shard::round_word(0)),
+            finished: AtomicUsize::new(0),
+            plan: Mutex::new(RoundPlan {
+                gen: 0,
+                shards: Vec::new(),
+            }),
+            published: Condvar::new(),
+        }
+    }
+}
+
+impl FleetState {
+    /// Registers `count` twins; see the module docs for the model.
+    ///
+    /// # Errors
+    ///
+    /// `unsupported_version`, `spec`, `trace`, or `bad_request`
+    /// [`ApiError`]s; registration is all-or-nothing.
+    pub fn register(&self, req: &FleetRegisterRequest) -> Result<FleetRegisterResponse, ApiError> {
+        check_schema_version(req.schema_version)?;
+        let model = handle::resolve_model(&req.spec)?;
+        let trace = trace_io::from_csv(&req.trace_csv)
+            .map_err(|e| ApiError::trace(format!("bad trace_csv: {e}")))?;
+        let count = u64::from(req.count.unwrap_or(8));
+        if count == 0 {
+            return Err(ApiError::bad_request("count must be at least 1"));
+        }
+        let rounds = u64::from(req.rounds.unwrap_or(16));
+        if rounds == 0 || rounds > MAX_ROUNDS {
+            return Err(ApiError::bad_request(format!(
+                "rounds must be in 1..={MAX_ROUNDS}"
+            )));
+        }
+        let v_step = req.v_step_mv.unwrap_or(20.0) / 1000.0;
+        if !v_step.is_finite() || v_step <= 0.0 {
+            return Err(ApiError::bad_request("v_step_mv must be finite and > 0"));
+        }
+
+        let static_vsafe = pg::compute_vsafe(&trace, &model).v_safe.get();
+        let verdict = match &req.plan {
+            Some(plan) => {
+                handle::verify(&VerifyRequest {
+                    schema_version: None,
+                    spec: req.spec.clone().unwrap_or_else(SystemSpec::capybara),
+                    plan: plan.clone(),
+                })?
+                .verdict
+            }
+            None => "unverified".to_string(),
+        };
+        let esr = match trace.dominant_pulse_width() {
+            Some(w) => model.esr_at(w.frequency()),
+            None => model.esr_at(culpeo_units::Hertz::new(FALLBACK_ESR_FREQ_HZ)),
+        };
+        let profile = LoadProfile::constant("fleet-task", trace.peak(), trace.duration());
+        let cfg = RunConfig::probe(profile.duration());
+        let batch = Arc::new(Batch {
+            profile,
+            cfg,
+            capacitance: model.capacitance(),
+            esr,
+            v_off: model.v_off().get(),
+            static_vsafe,
+            v_step,
+            verdict: verdict.clone(),
+        });
+        let v_high = model.v_high().get();
+
+        let mut inner = lock(&self.inner);
+        if inner.twins + count > MAX_TWINS {
+            return Err(ApiError::bad_request(format!(
+                "fleet is capped at {MAX_TWINS} twins ({} resident, {count} requested)",
+                inner.twins
+            )));
+        }
+        let first_id = inner.twins;
+        for k in 0..count {
+            // Phase stagger: spread the registration's twins across one
+            // descent step so the fleet probes eight offsets at once.
+            let offset = batch.v_step * ((k % SHARD_WIDTH as u64) as f64) / SHARD_WIDTH as f64;
+            let v_start = v_high - offset;
+            let twin = TwinState {
+                id: first_id + k,
+                batch: Arc::clone(&batch),
+                v_next: v_start,
+                rounds_done: 0,
+                rounds_target: rounds,
+                brownouts: 0,
+                vsafe_estimate: v_start,
+                last_v_final: v_start,
+                done: false,
+            };
+            let needs_new_shard = match inner.shards.last() {
+                Some(s) => lock(s).len() >= SHARD_WIDTH,
+                None => true,
+            };
+            if needs_new_shard {
+                inner.shards.push(Arc::new(Mutex::new(vec![twin])));
+            } else {
+                lock(inner.shards.last().expect("checked non-empty")).push(twin);
+            }
+        }
+        inner.twins += count;
+        inner.active += count;
+        let resp = FleetRegisterResponse {
+            schema_version: SCHEMA_VERSION,
+            registered: count,
+            first_id,
+            fleet_size: inner.twins,
+            shards: inner.shards.len() as u64,
+            static_vsafe_v: static_vsafe,
+            verify_verdict: verdict,
+        };
+        drop(inner);
+        // New work: wake parked scheduler threads.
+        self.work.notify_all();
+        Ok(resp)
+    }
+
+    /// One twin's snapshot.
+    ///
+    /// # Errors
+    ///
+    /// `not_found` when no twin has that id.
+    pub fn twin(&self, id: u64) -> Result<FleetTwinResponse, ApiError> {
+        let inner = lock(&self.inner);
+        if id >= inner.twins {
+            return Err(ApiError::new(
+                culpeo_api::ApiErrorKind::NotFound,
+                format!("no twin {id}"),
+            ));
+        }
+        // Ids are dense and shards fill in order, so the address is
+        // arithmetic: shard id/8, slot id%8.
+        let shard = &inner.shards[(id / SHARD_WIDTH as u64) as usize];
+        let twins = lock(shard);
+        Ok(twins[(id % SHARD_WIDTH as u64) as usize].snapshot())
+    }
+
+    /// The whole-fleet summary.
+    #[must_use]
+    pub fn summary(&self) -> FleetSummaryResponse {
+        let inner = lock(&self.inner);
+        FleetSummaryResponse {
+            schema_version: SCHEMA_VERSION,
+            twins: inner.twins,
+            shards: inner.shards.len() as u64,
+            rounds_done: inner.rounds_done,
+            brownouts: inner.brownouts,
+            events_buffered: inner.events.len() as u64,
+            scheduler: if inner.active > 0 { "running" } else { "idle" }.to_string(),
+        }
+    }
+
+    /// Drains the buffered round events as NDJSON (one serialised
+    /// [`FleetEvent`] per line).
+    #[must_use]
+    pub fn drain_events_ndjson(&self) -> String {
+        let events = std::mem::take(&mut lock(&self.inner).events);
+        let mut out = String::new();
+        for ev in events {
+            out.push_str(&serde_json::to_string(&ev).unwrap_or_default());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Wakes every parked scheduler thread (shutdown path).
+    pub fn notify_shutdown(&self) {
+        self.work.notify_all();
+        self.published.notify_all();
+    }
+}
+
+/// One scheduler thread: park while idle, then cooperate on rounds
+/// until shutdown.
+pub fn scheduler_loop(fleet: &FleetState, shutting: &AtomicBool) {
+    loop {
+        // Park until the fleet has live twins (or shutdown).
+        {
+            let mut inner = lock(&fleet.inner);
+            loop {
+                if shutting.load(Ordering::SeqCst) {
+                    return;
+                }
+                if inner.active > 0 {
+                    break;
+                }
+                let (guard, _) = fleet
+                    .work
+                    .wait_timeout(inner, Duration::from_millis(100))
+                    .unwrap_or_else(PoisonError::into_inner);
+                inner = guard;
+            }
+        }
+        run_round(fleet, shutting);
+    }
+}
+
+/// Cooperates on one round: claim shards under the current generation,
+/// advance each, publish if last, then wait at the round barrier.
+fn run_round(fleet: &FleetState, shutting: &AtomicBool) {
+    let (my_gen, shards) = {
+        let plan = lock(&fleet.plan);
+        (plan.gen, plan.shards.clone())
+    };
+    let n = shards.len();
+    if n == 0 {
+        // First round after registrations: install the snapshot. Racing
+        // installers are harmless — the plan lock serialises them and
+        // the generation only moves at publication.
+        let mut plan = lock(&fleet.plan);
+        if plan.gen == my_gen && plan.shards.is_empty() {
+            plan.shards = lock(&fleet.inner).shards.clone();
+        }
+        return;
+    }
+    while let Some(i) = shard::claim_shard(&fleet.claim, my_gen, n) {
+        advance_shard(fleet, &shards[i]);
+        if shard::finish_shard(&fleet.finished, n) {
+            // The publication obligation: reset the finish counter,
+            // open the next generation (no claim can succeed in
+            // between), install the fresh shard snapshot, release the
+            // barrier.
+            fleet.finished.store(0, Ordering::SeqCst);
+            shard::open_round(&fleet.claim, my_gen.wrapping_add(1));
+            let mut plan = lock(&fleet.plan);
+            plan.gen = my_gen.wrapping_add(1);
+            plan.shards = lock(&fleet.inner).shards.clone();
+            drop(plan);
+            fleet.published.notify_all();
+        }
+    }
+    // Round barrier: wait until this round is published (possibly by
+    // this very thread, in which case the generation already moved).
+    let mut plan = lock(&fleet.plan);
+    while plan.gen == my_gen {
+        if shutting.load(Ordering::SeqCst) {
+            return;
+        }
+        let (guard, _) = fleet
+            .published
+            .wait_timeout(plan, Duration::from_millis(50))
+            .unwrap_or_else(PoisonError::into_inner);
+        plan = guard;
+    }
+}
+
+/// Advances every live twin of one shard by one kernel round, in a
+/// single `Lanes<8>` batched call.
+fn advance_shard(fleet: &FleetState, shard: &Shard) {
+    let mut twins = lock(shard);
+    let live: Vec<usize> = twins
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.done)
+        .map(|(i, _)| i)
+        .collect();
+    if live.is_empty() {
+        return;
+    }
+    let mut systems: Vec<PowerSystem> = Vec::with_capacity(live.len());
+    let mut profiles: Vec<&LoadProfile> = Vec::with_capacity(live.len());
+    let mut cfgs: Vec<RunConfig> = Vec::with_capacity(live.len());
+    for &i in &live {
+        let t = &twins[i];
+        let mut sys = PowerSystem::capybara_with_bank(t.batch.capacitance, t.batch.esr);
+        sys.set_buffer_voltage(Volts::new(t.v_next));
+        sys.force_output_enabled();
+        systems.push(sys);
+        profiles.push(&t.batch.profile);
+        cfgs.push(t.batch.cfg);
+    }
+    let outcomes = Lanes::<SHARD_WIDTH>::run(&mut systems, &profiles, &cfgs);
+    drop(profiles);
+
+    let mut events: Vec<FleetEvent> = Vec::with_capacity(live.len());
+    let mut finished = 0u64;
+    let mut brownouts = 0u64;
+    for (&i, out) in live.iter().zip(&outcomes) {
+        let t = &mut twins[i];
+        let v_start = t.v_next;
+        t.rounds_done += 1;
+        t.last_v_final = out.v_final.get();
+        let completed = out.completed();
+        if completed {
+            t.vsafe_estimate = t.vsafe_estimate.min(v_start);
+            let next = v_start - t.batch.v_step;
+            if next <= t.batch.v_off {
+                // Descended to the cutoff without a brownout: the
+                // estimate cannot be refined further.
+                t.done = true;
+            } else {
+                t.v_next = next;
+            }
+        } else {
+            // Brownout: the bracket is closed; the estimate stands at
+            // the last completing start voltage.
+            t.brownouts += 1;
+            brownouts += 1;
+            t.done = true;
+        }
+        if t.rounds_done >= t.rounds_target {
+            t.done = true;
+        }
+        if t.done {
+            finished += 1;
+        }
+        events.push(FleetEvent {
+            schema_version: SCHEMA_VERSION,
+            twin: t.id,
+            round: t.rounds_done,
+            v_start_v: v_start,
+            v_final_v: t.last_v_final,
+            completed,
+            vsafe_estimate_v: t.vsafe_estimate,
+            drift_mv: (t.vsafe_estimate - t.batch.static_vsafe) * 1000.0,
+        });
+    }
+    let rounds = events.len() as u64;
+    drop(twins);
+
+    let mut inner = lock(&fleet.inner);
+    inner.rounds_done += rounds;
+    inner.brownouts += brownouts;
+    inner.active = inner.active.saturating_sub(finished);
+    for ev in events {
+        if inner.events.len() >= MAX_EVENTS {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ble_csv() -> String {
+        let trace = culpeo_loadgen::peripheral::BleRadio::default()
+            .profile()
+            .sample(culpeo_units::Hertz::new(125_000.0));
+        culpeo_loadgen::io::to_csv(&trace)
+    }
+
+    fn register_req(count: u32, rounds: u32) -> FleetRegisterRequest {
+        FleetRegisterRequest {
+            schema_version: None,
+            spec: None,
+            trace_csv: ble_csv(),
+            plan: None,
+            count: Some(count),
+            rounds: Some(rounds),
+            v_step_mv: Some(40.0),
+        }
+    }
+
+    #[test]
+    fn register_validates_and_assigns_dense_ids() {
+        let fleet = FleetState::default();
+        let resp = fleet.register(&register_req(12, 4)).unwrap();
+        assert_eq!((resp.registered, resp.first_id), (12, 0));
+        assert_eq!((resp.fleet_size, resp.shards), (12, 2));
+        assert!(resp.static_vsafe_v > 0.0);
+        assert_eq!(resp.verify_verdict, "unverified");
+        let again = fleet.register(&register_req(3, 4)).unwrap();
+        assert_eq!((again.first_id, again.fleet_size), (12, 15));
+        // 12 + 3 twins still pack into ceil(15/8) = 2 shards.
+        assert_eq!(again.shards, 2);
+        let twin = fleet.twin(14).unwrap();
+        assert_eq!(twin.id, 14);
+        assert_eq!(twin.rounds_target, 4);
+        assert!(!twin.done);
+        assert!(fleet.twin(15).is_err());
+    }
+
+    #[test]
+    fn register_rejects_bad_parameters() {
+        let fleet = FleetState::default();
+        let mut req = register_req(0, 4);
+        assert!(fleet.register(&req).is_err());
+        req = register_req(4, 0);
+        assert!(fleet.register(&req).is_err());
+        req = register_req(4, 4);
+        req.v_step_mv = Some(-1.0);
+        assert!(fleet.register(&req).is_err());
+        req = register_req(4, 4);
+        req.trace_csv = "not a trace".into();
+        assert!(fleet.register(&req).is_err());
+        req = register_req(4, 4);
+        req.schema_version = Some(99);
+        assert!(fleet.register(&req).is_err());
+    }
+
+    #[test]
+    fn scheduler_drives_twins_to_done_and_emits_events() {
+        let fleet = Arc::new(FleetState::default());
+        fleet.register(&register_req(10, 3)).unwrap();
+        let shutting = Arc::new(AtomicBool::new(false));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let fleet = Arc::clone(&fleet);
+                let shutting = Arc::clone(&shutting);
+                std::thread::spawn(move || scheduler_loop(&fleet, &shutting))
+            })
+            .collect();
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            let s = fleet.summary();
+            if s.scheduler == "idle" && s.rounds_done > 0 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "fleet never idled");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        shutting.store(true, Ordering::SeqCst);
+        fleet.notify_shutdown();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let summary = fleet.summary();
+        // Every twin ran at most its 3-round budget, at least 1 round.
+        assert!(summary.rounds_done >= 10 && summary.rounds_done <= 30);
+        for id in 0..10 {
+            let t = fleet.twin(id).unwrap();
+            assert!(t.done);
+            assert!(t.rounds_done >= 1 && t.rounds_done <= 3);
+            assert!(t.vsafe_estimate_v > 0.0);
+            // The estimate only descends from the staggered start.
+            assert!(t.vsafe_estimate_v <= 2.57);
+        }
+        let ndjson = fleet.drain_events_ndjson();
+        let lines: Vec<&str> = ndjson.lines().collect();
+        assert_eq!(lines.len() as u64, summary.rounds_done);
+        let first: FleetEvent = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.schema_version, SCHEMA_VERSION);
+        // Draining empties the ring.
+        assert!(fleet.drain_events_ndjson().is_empty());
+    }
+}

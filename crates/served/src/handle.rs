@@ -79,7 +79,7 @@ pub fn vsafe_report(model: &PowerSystemModel, trace: &CurrentTrace) -> String {
 }
 
 /// Resolves a request's optional spec into a model (absent = Capybara).
-fn resolve_model(spec: &Option<SystemSpec>) -> Result<PowerSystemModel, ApiError> {
+pub(crate) fn resolve_model(spec: &Option<SystemSpec>) -> Result<PowerSystemModel, ApiError> {
     spec.clone()
         .unwrap_or_else(SystemSpec::capybara)
         .into_model()

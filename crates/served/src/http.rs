@@ -1,15 +1,21 @@
 //! A deliberately small HTTP/1.1 layer over `std::net`.
 //!
 //! The workspace vendors no HTTP crate, and the daemon needs very little:
-//! parse one request (line + headers + `Content-Length` body), write one
-//! response, close. Every response carries `Connection: close`, so there
-//! is no keep-alive state machine, no chunked encoding, and no pipelining
-//! — a client wanting throughput uses `POST /v1/batch`, not connection
-//! reuse.
+//! request line + headers + `Content-Length` body in, one JSON response
+//! out. No chunked encoding, no query strings. Two parser entry points
+//! share the head grammar:
 //!
-//! Reading and writing are generic over [`Read`]/[`Write`] so the fuzz
-//! battery can drive the parser from in-memory byte slices, with the real
-//! `TcpStream` as just one instantiation.
+//! * [`read_request`] — the blocking one-shot reader (CLI probes, fuzz
+//!   battery, in-process tests), generic over [`Read`];
+//! * [`try_parse_request`] — the incremental reactor-side parser: given
+//!   the bytes buffered so far, yield a complete request plus its
+//!   consumed length, or report "need more". Trailing bytes are the
+//!   *next* pipelined request, never an error, which is what makes
+//!   HTTP/1.1 keep-alive + pipelining work.
+//!
+//! Responses are serialised by [`response_bytes`]; the daemon holds the
+//! connection open unless the client asked `Connection: close` or the
+//! response status says the connection state is unsalvageable (≥ 400).
 
 use std::io::{Read, Write};
 
@@ -104,9 +110,51 @@ pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, HttpError> {
         buf.extend_from_slice(&chunk[..n]);
     };
 
-    let head = std::str::from_utf8(&buf[..head_end.start])
-        .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?
-        .to_string();
+    let parsed = parse_head(&buf[..head_end.start])?;
+    let content_length = parsed.content_length;
+
+    let mut body = buf[head_end.end..].to_vec();
+    if body.len() > content_length {
+        return Err(HttpError::Malformed(
+            "body longer than Content-Length".into(),
+        ));
+    }
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::from_io(&e))?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        if body.len() > content_length {
+            return Err(HttpError::Malformed(
+                "body longer than Content-Length".into(),
+            ));
+        }
+    }
+
+    Ok(Request {
+        method: parsed.method,
+        path: parsed.path,
+        headers: parsed.headers,
+        body,
+    })
+}
+
+/// A parsed request head, before the body is available.
+struct ParsedHead {
+    method: String,
+    path: String,
+    headers: Vec<(String, String)>,
+    content_length: usize,
+}
+
+/// Parses the request line + headers (everything before the blank-line
+/// terminator), shared by the blocking and incremental entry points.
+fn parse_head(raw: &[u8]) -> Result<ParsedHead, HttpError> {
+    let head =
+        std::str::from_utf8(raw).map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
     let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
     let request_line = lines
         .next()
@@ -141,34 +189,58 @@ pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, HttpError> {
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::TooLarge("request body"));
     }
-
-    let mut body = buf[head_end.end..].to_vec();
-    if body.len() > content_length {
-        return Err(HttpError::Malformed(
-            "body longer than Content-Length".into(),
-        ));
-    }
-    while body.len() < content_length {
-        let n = stream
-            .read(&mut chunk)
-            .map_err(|e| HttpError::from_io(&e))?;
-        if n == 0 {
-            return Err(HttpError::Malformed("connection closed mid-body".into()));
-        }
-        body.extend_from_slice(&chunk[..n]);
-        if body.len() > content_length {
-            return Err(HttpError::Malformed(
-                "body longer than Content-Length".into(),
-            ));
-        }
-    }
-
-    Ok(Request {
+    Ok(ParsedHead {
         method,
         path,
         headers,
-        body,
+        content_length,
     })
+}
+
+/// Tries to parse one complete request from the front of `buf` (the
+/// bytes a nonblocking connection has accumulated so far).
+///
+/// Returns `Ok(Some((request, consumed)))` when a full request is
+/// present — `consumed` is the byte length of that request, and
+/// `buf[consumed..]` is the start of the *next* pipelined request (or
+/// empty). Returns `Ok(None)` when the bytes so far are a valid prefix
+/// and more input is needed.
+///
+/// # Errors
+///
+/// Returns [`HttpError::TooLarge`] when the head or declared body
+/// exceeds its cap, and [`HttpError::Malformed`] when the prefix can
+/// never become a valid request — both mean the connection is beyond
+/// saving.
+pub fn try_parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("request head"));
+        }
+        return Ok(None);
+    };
+    let parsed = parse_head(&buf[..head_end.start])?;
+    let total = head_end.end + parsed.content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((
+        Request {
+            method: parsed.method,
+            path: parsed.path,
+            headers: parsed.headers,
+            body: buf[head_end.end..total].to_vec(),
+        },
+        total,
+    )))
+}
+
+/// Whether the client asked for the connection to be closed after this
+/// request (`Connection: close`, ASCII case-insensitive).
+#[must_use]
+pub fn wants_close(req: &Request) -> bool {
+    req.header("connection")
+        .is_some_and(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case("close")))
 }
 
 /// Where the head ends: `start` is the offset of the blank-line
@@ -228,18 +300,42 @@ pub fn try_write_json_response<W: Write>(
     retry_after_s: Option<u32>,
     body: &str,
 ) -> std::io::Result<()> {
+    let bytes = response_bytes(
+        status,
+        "application/json",
+        retry_after_s,
+        body.as_bytes(),
+        true,
+    );
+    stream.write_all(&bytes)?;
+    stream.flush()
+}
+
+/// Serialises one complete response to bytes for the reactor's write
+/// buffer. `close` selects the `Connection:` header; keep-alive
+/// responses leave the socket open for the next pipelined request.
+#[must_use]
+pub fn response_bytes(
+    status: u16,
+    content_type: &str,
+    retry_after_s: Option<u32>,
+    body: &[u8],
+    close: bool,
+) -> Vec<u8> {
     let retry = match retry_after_s {
         Some(s) => format!("Retry-After: {s}\r\n"),
         None => String::new(),
     };
+    let connection = if close { "close" } else { "keep-alive" };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{retry}Connection: {connection}\r\n\r\n",
         reason_phrase(status),
         body.len()
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body);
+    out
 }
 
 /// [`try_write_json_response`] with errors swallowed: the client may have
@@ -290,6 +386,70 @@ mod tests {
             }
         }
         assert_eq!(read_request(&mut Stall), Err(HttpError::Timeout));
+    }
+
+    #[test]
+    fn incremental_parser_handles_partials_and_pipelining() {
+        let full: &[u8] = b"POST /v1/vsafe HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /v1/health HTTP/1.1\r\n\r\n";
+        // Every strict prefix of the first request is "need more".
+        for cut in 0..48 {
+            assert_eq!(try_parse_request(&full[..cut]), Ok(None), "cut={cut}");
+        }
+        let (first, used) = try_parse_request(full).unwrap().unwrap();
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.body, b"hi");
+        assert_eq!(used, 48);
+        let (second, used2) = try_parse_request(&full[used..]).unwrap().unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/v1/health");
+        assert!(second.body.is_empty());
+        assert_eq!(used + used2, full.len());
+    }
+
+    #[test]
+    fn incremental_parser_rejects_oversize_and_malformed() {
+        let huge = vec![b'x'; MAX_HEAD_BYTES + 2];
+        assert_eq!(
+            try_parse_request(&huge),
+            Err(HttpError::TooLarge("request head"))
+        );
+        let bad: &[u8] = b"NOT-HTTP\r\n\r\n";
+        assert!(matches!(
+            try_parse_request(bad),
+            Err(HttpError::Malformed(_))
+        ));
+        let lying: &[u8] = b"POST /v1/vsafe HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
+        assert!(matches!(
+            try_parse_request(lying),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn wants_close_reads_the_connection_header() {
+        let parse = |raw: &[u8]| try_parse_request(raw).unwrap().unwrap().0;
+        assert!(wants_close(&parse(
+            b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )));
+        assert!(wants_close(&parse(
+            b"GET / HTTP/1.1\r\nconnection: Keep-Alive, CLOSE\r\n\r\n"
+        )));
+        assert!(!wants_close(&parse(
+            b"GET / HTTP/1.1\r\nConnection: keep-alive\r\n\r\n"
+        )));
+        assert!(!wants_close(&parse(b"GET / HTTP/1.1\r\n\r\n")));
+    }
+
+    #[test]
+    fn response_bytes_selects_the_connection_header() {
+        let keep = response_bytes(200, "application/json", None, b"{}", false);
+        let keep = String::from_utf8(keep).unwrap();
+        assert!(keep.contains("Connection: keep-alive\r\n"), "{keep}");
+        assert!(keep.ends_with("\r\n\r\n{}"), "{keep}");
+        let close = response_bytes(503, "application/json", Some(3), b"{}", true);
+        let close = String::from_utf8(close).unwrap();
+        assert!(close.contains("Connection: close\r\n"), "{close}");
+        assert!(close.contains("Retry-After: 3\r\n"), "{close}");
     }
 
     #[test]

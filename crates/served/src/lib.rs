@@ -10,24 +10,38 @@
 //! | `/v1/vsafe`         | POST | [`handle::vsafe`] (memoized)   |
 //! | `/v1/lint`          | POST | [`handle::lint`]               |
 //! | `/v1/batch`         | POST | [`handle::batch`] over a sweep |
+//! | `/v1/fleet`         | POST | [`fleet::FleetState::register`]|
+//! | `/v1/fleet`         | GET  | whole-fleet summary            |
+//! | `/v1/fleet/:id`     | GET  | one twin's drift snapshot      |
+//! | `/v1/fleet/events`  | GET  | NDJSON round-event drain       |
 //! | `/v1/health`        | GET  | liveness + uptime              |
 //! | `/v1/metrics`       | GET  | per-endpoint + cache counters  |
 //! | `/v1/shutdown`      | POST | graceful drain                 |
 //!
+//! Since schema 2 the daemon speaks HTTP/1.1 keep-alive + pipelining
+//! from a nonblocking readiness reactor ([`poll`] + [`server`]): one
+//! reactor thread owns every socket, compute workers answer requests
+//! off a bounded queue, and finished responses flow back through the
+//! completion protocol in [`protocol`]. Every `/v1` JSON response is
+//! wrapped in the uniform schema-2 envelope (`schema_version`,
+//! `request_id`, `server_timing`, `data`).
+//!
 //! The layering is strict: [`handle`] is pure DTO → DTO logic shared with
 //! the CLI (that is what keeps daemon and CLI output byte-identical),
-//! [`http`] is the minimal wire codec, [`cache`] and [`metrics`] are
-//! self-contained state, and [`server`] glues them behind a bounded
-//! accept queue and a worker pool. No crate outside the repo's vendored
-//! stubs is involved.
+//! [`http`] is the minimal wire codec, [`cache`], [`metrics`] and
+//! [`fleet`] are self-contained state, and [`server`] glues them
+//! together. No crate outside the repo's vendored stubs is involved;
+//! the only `unsafe` in the crate is the epoll FFI shim in [`poll`].
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod fleet;
 pub mod handle;
 pub mod http;
 pub mod metrics;
+pub mod poll;
 pub mod protocol;
 mod server;
 

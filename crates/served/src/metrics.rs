@@ -97,6 +97,12 @@ pub struct Metrics {
     pub metrics: EndpointCounters,
     /// `POST /v1/shutdown`.
     pub shutdown: EndpointCounters,
+    /// `POST /v1/fleet` (and `GET /v1/fleet` summaries).
+    pub fleet: EndpointCounters,
+    /// `GET /v1/fleet/:id`.
+    pub fleet_twin: EndpointCounters,
+    /// `GET /v1/fleet/events` (NDJSON).
+    pub fleet_events: EndpointCounters,
     /// Anything else: 404/405/parse failures.
     pub other: EndpointCounters,
     /// 503s written by the acceptor because the bounded queue was full.
@@ -117,6 +123,9 @@ impl Metrics {
             self.health.snapshot("/v1/health"),
             self.metrics.snapshot("/v1/metrics"),
             self.shutdown.snapshot("/v1/shutdown"),
+            self.fleet.snapshot("/v1/fleet"),
+            self.fleet_twin.snapshot("/v1/fleet/:id"),
+            self.fleet_events.snapshot("/v1/fleet/events"),
             self.other.snapshot("(other)"),
             self.accept_rejected.snapshot("(accept-queue)"),
         ]
@@ -144,7 +153,7 @@ mod tests {
     #[test]
     fn snapshot_has_one_row_per_endpoint() {
         let rows = Metrics::default().snapshot();
-        assert_eq!(rows.len(), 9);
+        assert_eq!(rows.len(), 12);
         assert!(rows.iter().all(|r| r.requests == 0));
     }
 

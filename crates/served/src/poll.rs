@@ -1,0 +1,379 @@
+//! Readiness polling for the reactor.
+//!
+//! The workspace vendors no `mio`/`libc`, so on Linux this module talks
+//! to `epoll` and `eventfd` through a four-function `extern "C"` shim
+//! (the symbols live in the libc that `std` already links). Every file
+//! descriptor is wrapped in an owning std type (`OwnedFd`/`File`)
+//! immediately on creation, so lifetimes and close-on-drop stay in safe
+//! Rust; the `unsafe` surface is confined to the raw calls themselves.
+//!
+//! Elsewhere on unix a degraded sleep-poller stands in: it reports
+//! every registered token as ready on a ~1 ms cadence, which is correct
+//! (the connection state machines treat readiness as a *hint* and
+//! handle `WouldBlock` everywhere) but burns a little CPU. The daemon
+//! targets Linux; the fallback exists so the crate still builds and the
+//! test batteries still pass on other unix hosts.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// The token the poller reports when the [`Waker`] fired (completion
+/// queue or shutdown), distinct from every connection id.
+pub const WAKE_TOKEN: u64 = u64::MAX;
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the file descriptor was registered under.
+    pub token: u64,
+    /// The descriptor is readable (or hung up — a read will not block).
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+}
+
+pub use sys::{Poller, Waker};
+
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod sys {
+    use super::{Event, WAKE_TOKEN};
+    use std::fs::File;
+    use std::io::{self, Read, Write};
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+    const MAX_EVENTS: usize = 64;
+
+    /// The kernel's `struct epoll_event`. Packed on x86-64, where the
+    /// kernel ABI packs it so 32- and 64-bit layouts agree; natural
+    /// layout everywhere else.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// A level-triggered epoll instance with a built-in eventfd waker.
+    pub struct Poller {
+        ep: OwnedFd,
+        wake: File,
+    }
+
+    /// A cheap, clonable handle that interrupts [`Poller::wait`] from
+    /// any thread (an 8-byte write to the shared eventfd).
+    #[derive(Clone)]
+    pub struct Waker {
+        wake: Arc<File>,
+    }
+
+    fn interest(writable: bool) -> u32 {
+        EPOLLIN | EPOLLRDHUP | if writable { EPOLLOUT } else { 0 }
+    }
+
+    impl Poller {
+        /// Creates the epoll instance and its waker.
+        pub fn new() -> io::Result<(Poller, Waker)> {
+            // SAFETY: epoll_create1 returns a fresh descriptor that we
+            // immediately take ownership of (or an error, handled first).
+            let ep = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let ep = unsafe { OwnedFd::from_raw_fd(ep) };
+            // SAFETY: same ownership handoff for the eventfd.
+            let efd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+            let wake = File::from(unsafe { OwnedFd::from_raw_fd(efd) });
+            let waker = Waker {
+                wake: Arc::new(wake.try_clone()?),
+            };
+            let poller = Poller { ep, wake };
+            poller.ctl(EPOLL_CTL_ADD, poller.wake.as_raw_fd(), WAKE_TOKEN, EPOLLIN)?;
+            Ok((poller, waker))
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events,
+                data: token,
+            };
+            // SAFETY: `ev` is a live stack value for the duration of the
+            // call; the fd's validity is the caller's contract.
+            cvt(unsafe { epoll_ctl(self.ep.as_raw_fd(), op, fd, &mut ev) }).map(|_| ())
+        }
+
+        /// Starts watching `fd` under `token`; `writable` adds write
+        /// interest on top of the always-on read interest.
+        pub fn register(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest(writable))
+        }
+
+        /// Changes `fd`'s write interest (used to toggle `EPOLLOUT` on
+        /// only while a connection has buffered output).
+        pub fn modify(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest(writable))
+        }
+
+        /// Stops watching `fd`.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Blocks until readiness or `timeout`, filling `out` with the
+        /// ready tokens. A waker fire is drained internally and surfaces
+        /// as a [`WAKE_TOKEN`] event.
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            let mut evs = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(d) if d.is_zero() => 0,
+                // Round up so a 100 µs deadline does not spin at 0 ms.
+                Some(d) => i32::try_from(d.as_millis().min(60_000))
+                    .unwrap_or(60_000)
+                    .max(1),
+            };
+            // SAFETY: `evs` is a valid out-buffer of MAX_EVENTS entries
+            // for the duration of the call.
+            let n = match cvt(unsafe {
+                epoll_wait(
+                    self.ep.as_raw_fd(),
+                    evs.as_mut_ptr(),
+                    MAX_EVENTS as i32,
+                    timeout_ms,
+                )
+            }) {
+                Ok(n) => n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                Err(e) => return Err(e),
+            };
+            for ev in &evs[..n] {
+                // Copy fields out of the (possibly packed) struct before use.
+                let bits = { ev.events };
+                let token = { ev.data };
+                if token == WAKE_TOKEN {
+                    // Drain the eventfd counter so level-triggering rearms.
+                    let mut buf = [0u8; 8];
+                    let _ = (&self.wake).read(&mut buf);
+                    out.push(Event {
+                        token,
+                        readable: true,
+                        writable: false,
+                    });
+                } else {
+                    out.push(Event {
+                        token,
+                        readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                        writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl Waker {
+        /// Interrupts the poller's current (or next) wait.
+        pub fn wake(&self) {
+            // Write errors are unreachable short of fd exhaustion, and
+            // the coalescing wake flag retries on the next publish.
+            let _ = (&*self.wake).write_all(&1u64.to_ne_bytes());
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::{Event, WAKE_TOKEN};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Degraded sleep-poller: no kernel readiness, so every registered
+    /// token is reported ready on a short cadence and the nonblocking
+    /// state machines sort out the `WouldBlock`s.
+    pub struct Poller {
+        registered: Vec<(RawFd, u64)>,
+        woken: Arc<AtomicBool>,
+    }
+
+    /// Fallback waker: a flag the sleep-poller checks each tick.
+    #[derive(Clone)]
+    pub struct Waker {
+        woken: Arc<AtomicBool>,
+    }
+
+    impl Poller {
+        /// Creates the sleep-poller and its waker.
+        pub fn new() -> io::Result<(Poller, Waker)> {
+            let woken = Arc::new(AtomicBool::new(false));
+            Ok((
+                Poller {
+                    registered: Vec::new(),
+                    woken: Arc::clone(&woken),
+                },
+                Waker { woken },
+            ))
+        }
+
+        /// Records `fd` under `token` in the sleep-poller's own table.
+        pub fn register_mut(&mut self, fd: RawFd, token: u64) {
+            self.registered.push((fd, token));
+        }
+
+        /// Changes write interest — a no-op here (every token is always
+        /// reported writable).
+        pub fn modify(&self, _fd: RawFd, _token: u64, _writable: bool) -> io::Result<()> {
+            Ok(())
+        }
+
+        /// Stops reporting `fd`.
+        pub fn deregister_mut(&mut self, fd: RawFd) {
+            self.registered.retain(|&(f, _)| f != fd);
+        }
+
+        /// Sleeps briefly, then reports every registered token ready.
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            let nap = timeout
+                .unwrap_or(Duration::from_millis(1))
+                .min(Duration::from_millis(1));
+            if !self.woken.load(Ordering::SeqCst) && !nap.is_zero() {
+                std::thread::sleep(nap);
+            }
+            if self.woken.swap(false, Ordering::SeqCst) {
+                out.push(Event {
+                    token: WAKE_TOKEN,
+                    readable: true,
+                    writable: false,
+                });
+            }
+            for &(_, token) in &self.registered {
+                out.push(Event {
+                    token,
+                    readable: true,
+                    writable: true,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Waker {
+        /// Interrupts the poller's current (or next) sleep tick.
+        pub fn wake(&self) {
+            self.woken.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Platform-neutral registration entry point for the reactor: epoll
+/// registers through the kernel (`&self`), the fallback records the
+/// token in its own table (`&mut self`).
+pub fn register(poller: &mut Poller, fd: RawFd, token: u64) -> io::Result<()> {
+    #[cfg(target_os = "linux")]
+    {
+        poller.register(fd, token, false)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        poller.register_mut(fd, token);
+        Ok(())
+    }
+}
+
+/// Platform-neutral deregistration; see [`register`].
+pub fn deregister(poller: &mut Poller, fd: RawFd) -> io::Result<()> {
+    #[cfg(target_os = "linux")]
+    {
+        poller.deregister(fd)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        poller.deregister_mut(fd);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn waker_interrupts_a_long_wait() {
+        let (mut poller, waker) = Poller::new().unwrap();
+        let start = Instant::now();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            waker.wake();
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(4), "wait never woke");
+        assert!(events.iter().any(|e| e.token == WAKE_TOKEN));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn socket_readiness_is_reported_under_its_token() {
+        use std::io::Write;
+        use std::os::fd::AsRawFd;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (mut poller, _waker) = Poller::new().unwrap();
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        poller.register(server_side.as_raw_fd(), 7, false).unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.token == 7 && e.readable) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "readiness never arrived");
+        }
+        // Toggling write interest on is reported on the next wait.
+        poller.modify(server_side.as_raw_fd(), 7, true).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(100)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.writable));
+        poller.deregister(server_side.as_raw_fd()).unwrap();
+    }
+}

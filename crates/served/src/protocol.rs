@@ -87,6 +87,52 @@ pub fn begin_shutdown<B: AtomicBoolShim>(shutting: &B) -> bool {
     !shutting.swap(true, Ordering::SeqCst)
 }
 
+/// Publishes one finished compute result onto the reactor's completion
+/// queue; returns `true` exactly when the caller owes the reactor a
+/// wake-up (an `eventfd` write in production, a condvar notify in the
+/// race model).
+///
+/// The wake flag is a *coalescing* signal: many workers finishing close
+/// together produce one wake, because only the worker that flips the
+/// flag `false → true` owes the signal. The push happens **before** the
+/// swap — a reactor woken by the flag is therefore guaranteed to find
+/// the value already queued. Reordering those two lines is the classic
+/// lost-wake: the reactor drains an empty queue, clears nothing, and
+/// the pushed value sits unobserved until the next unrelated wake.
+#[inline]
+pub fn publish_completion<M, B, T>(completions: &M, wake: &B, value: T) -> bool
+where
+    T: Send,
+    M: MutexShim<Vec<T>>,
+    B: AtomicBoolShim,
+{
+    completions
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(value);
+    !wake.swap(true, Ordering::SeqCst)
+}
+
+/// Drains every published completion for the reactor, consuming the
+/// pending wake.
+///
+/// The flag is cleared **before** the queue is taken: a worker that
+/// publishes between the two steps re-raises the flag, so its value is
+/// either in this drain or covered by a fresh wake obligation — never
+/// both lost. Taking the queue first and clearing after is the mutant
+/// the race battery refutes: a publish landing in the gap is swallowed
+/// with its wake, and the reactor sleeps on a non-empty queue.
+#[inline]
+pub fn drain_completions<M, B, T>(completions: &M, wake: &B) -> Vec<T>
+where
+    T: Send,
+    M: MutexShim<Vec<T>>,
+    B: AtomicBoolShim,
+{
+    wake.store(false, Ordering::SeqCst);
+    std::mem::take(&mut *completions.lock().unwrap_or_else(PoisonError::into_inner))
+}
+
 /// Locks `mutex`, recovering from poisoning: the first toucher after a
 /// panicking holder runs `on_recover` on the (possibly half-mutated)
 /// state to restore an invariant-safe value, clears the poison, and
@@ -144,6 +190,48 @@ mod tests {
         let shutting = AtomicBool::new(false);
         assert!(begin_shutdown(&shutting));
         assert!(!begin_shutdown(&shutting));
+    }
+
+    #[test]
+    fn publish_coalesces_wakes_and_drain_rearms() {
+        let completions: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+        let wake = AtomicBool::new(false);
+        assert!(publish_completion(&completions, &wake, 1));
+        assert!(!publish_completion(&completions, &wake, 2));
+        assert_eq!(drain_completions(&completions, &wake), vec![1, 2]);
+        // The drain consumed the wake; the next publish owes a fresh one.
+        assert!(publish_completion(&completions, &wake, 3));
+        assert_eq!(drain_completions(&completions, &wake), vec![3]);
+        assert_eq!(drain_completions::<_, _, u32>(&completions, &wake), vec![]);
+    }
+
+    #[test]
+    fn no_completion_is_lost_under_concurrent_publish() {
+        use std::sync::atomic::AtomicUsize;
+        let completions: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+        let wake = AtomicBool::new(false);
+        let drained = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let completions = &completions;
+                let wake = &wake;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        publish_completion(completions, wake, t * 100 + i);
+                    }
+                });
+            }
+            let reactor = s.spawn(|| {
+                let mut seen = 0usize;
+                while seen < 400 {
+                    seen += drain_completions(&completions, &wake).len();
+                    std::thread::yield_now();
+                }
+                drained.store(seen, Ordering::SeqCst);
+            });
+            reactor.join().unwrap();
+        });
+        assert_eq!(drained.load(Ordering::SeqCst), 400);
     }
 
     #[test]

@@ -1,34 +1,54 @@
-//! The daemon: listener, bounded accept queue, worker pool, shutdown.
+//! The daemon: a nonblocking readiness reactor, a compute worker pool,
+//! the fleet scheduler, and graceful shutdown.
 //!
-//! One acceptor thread owns the `TcpListener` and feeds accepted
-//! connections into a *bounded* `sync_channel`; when the queue is full
-//! the acceptor answers `503 busy` itself instead of letting latency
-//! grow unboundedly. `threads` worker threads pop connections, parse one
-//! request each, and route it through [`crate::handle`].
+//! One **reactor** thread owns the listener and every connection
+//! socket, all nonblocking, multiplexed through [`crate::poll`] (epoll
+//! on Linux). It accepts, accumulates request bytes, parses pipelined
+//! HTTP/1.1 requests incrementally, and dispatches each parsed request
+//! as a job into a *bounded* `sync_channel`; when the queue is full the
+//! reactor answers `503 busy` itself instead of letting latency grow
+//! unboundedly. `workers` **compute** threads pop jobs, route them
+//! through [`crate::handle`], wrap the result in the schema-2 envelope,
+//! and hand the serialised response back through the completion
+//! protocol ([`crate::protocol::publish_completion`] — push, then a
+//! coalescing wake flag, then an eventfd wake). The reactor drains
+//! completions, restores *request order per connection* (pipelined
+//! responses may finish out of order; a `BTreeMap` keyed by
+//! per-connection sequence number re-serialises them), and flushes
+//! nonblockingly with `EPOLLOUT` interest toggled only while output is
+//! buffered. Two **scheduler** threads advance the digital-twin fleet
+//! ([`crate::fleet`]) through `Lanes<8>` rounds via the shard hand-off
+//! protocol in [`culpeo_exec::shard`].
 //!
-//! Every connection is bounded three ways: a read timeout (a slow-loris
-//! request writer gets a 408, not a wedged worker), a write timeout (a
-//! slow response reader gets cut off), and a per-connection wall-clock
-//! deadline capping read + handle + write together. Worker-side lock
+//! Connections keep alive by default; they close when the client asks
+//! (`Connection: close`), on any error status, and on drain. Every
+//! connection is bounded four ways: a read deadline (a slow-loris
+//! request writer gets a 408, not a wedged worker), a write deadline (a
+//! slow response reader gets cut off), an idle keep-alive timeout
+//! (silent close), and a per-request wall-clock deadline capping
+//! parse + queue + compute + write together. Worker-side lock
 //! poisoning is survivable: a handler panic is caught and answered as
-//! 500, and the next toucher of the poisoned cache lock clears the cache
-//! and carries on. All of it is counted in [`crate::metrics::ShedCounters`]
-//! and surfaced by `/v1/metrics`.
+//! 500, and the next toucher of the poisoned cache lock clears the
+//! cache and carries on. All of it is counted in
+//! [`crate::metrics::ShedCounters`] and surfaced by `/v1/metrics`.
 //!
 //! Shutdown is cooperative: [`ShutdownHandle::request`] (also wired to
-//! `POST /v1/shutdown`) sets a flag and pokes the listener awake with a
-//! self-connection. The acceptor stops accepting and drops its sender;
-//! workers drain every connection already accepted into the queue, then
-//! exit — so no accepted request is ever dropped. [`Server::join`]
-//! blocks until that drain completes. (Pure-std Rust cannot install a
-//! SIGTERM handler without `unsafe`/libc, which this workspace forbids;
+//! `POST /v1/shutdown`) sets a flag and fires the reactor's waker. The
+//! reactor stops accepting, answers everything already parsed or
+//! readable, closes each connection as it quiesces, then drops its job
+//! sender; workers drain every job already queued, then exit — so no
+//! accepted request is ever dropped. [`Server::join`] blocks until that
+//! drain completes. (Pure-std Rust cannot install a SIGTERM handler;
 //! deployments get signal-triggered draining by trapping the signal in
 //! their supervisor and calling `/v1/shutdown` — see DESIGN.md §9 and
 //! `scripts/smoke_serve.sh`.)
 
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -40,9 +60,25 @@ use culpeo_api::{
 use culpeo_exec::Sweep;
 
 use crate::cache::{content_key, LruCache};
+use crate::fleet::FleetState;
 use crate::http::{self, HttpError, Request};
 use crate::metrics::{EndpointCounters, Metrics, ShedCounters};
+use crate::poll::{self, Poller, Waker, WAKE_TOKEN};
 use crate::protocol::{self, Enqueue};
+
+/// The poller token reserved for the listener (connection ids start
+/// at 1).
+const LISTEN_TOKEN: u64 = 0;
+/// Most requests one connection may have in flight (dispatched, not yet
+/// answered). Parsing pauses at the cap and resumes as answers drain.
+const MAX_PIPELINE: usize = 256;
+/// Unparsed input a capped connection may buffer before it is judged
+/// abusive and closed.
+const MAX_UNPARSED: usize = 4 * 1024 * 1024;
+/// Fleet scheduler threads (mostly parked; two so the shard hand-off
+/// protocol actually runs concurrently in production, not just in the
+/// model checker).
+const SCHEDULER_THREADS: usize = 2;
 
 /// How the daemon is stood up. `Default` matches `culpeo serve` with no
 /// flags.
@@ -53,21 +89,28 @@ pub struct ServerConfig {
     pub host: String,
     /// TCP port; 0 asks the OS for an ephemeral one (tests, smoke).
     pub port: u16,
-    /// Worker threads. 0 means "resolve like the sweeps do":
-    /// `CULPEO_THREADS`, else available parallelism.
+    /// Compute worker threads (`--workers`). 0 means "resolve like the
+    /// sweeps do": `CULPEO_THREADS`, else available parallelism.
     pub threads: usize,
-    /// Bounded accept-queue depth; beyond it the acceptor answers 503.
+    /// Bounded job-queue depth; beyond it the reactor answers 503.
     pub queue_depth: usize,
     /// `V_safe` memo-cache capacity in entries; 0 disables memoization.
     pub cache_capacity: usize,
-    /// Socket read timeout: how long a client may stall while sending its
-    /// request before it gets a 408.
+    /// Read deadline: how long a client may stall mid-request before it
+    /// gets a 408.
     pub read_timeout_ms: u64,
-    /// Socket write timeout: how long a client may stall while receiving
-    /// its response before the connection is cut.
+    /// Write deadline: how long a client may stall without accepting
+    /// response bytes before the connection is cut.
     pub write_timeout_ms: u64,
-    /// Per-connection wall-clock deadline capping read + handle + write.
+    /// Per-request wall-clock deadline capping parse + queue + compute
+    /// + write together.
     pub deadline_ms: u64,
+    /// Idle keep-alive timeout (`--keep-alive-timeout`): a connection
+    /// with no request in progress for this long is closed silently.
+    pub keep_alive_timeout_ms: u64,
+    /// Open-connection cap (`--max-connections`); beyond it new accepts
+    /// get a best-effort 503 and are dropped.
+    pub max_connections: usize,
     /// Honour the `x-culpeo-fault` request header (chaos batteries only:
     /// lets a test inject a handler panic while the cache lock is held).
     pub test_faults: bool,
@@ -84,35 +127,67 @@ impl Default for ServerConfig {
             read_timeout_ms: 10_000,
             write_timeout_ms: 10_000,
             deadline_ms: 30_000,
+            keep_alive_timeout_ms: 30_000,
+            max_connections: 1024,
             test_faults: false,
         }
     }
 }
 
-/// State shared by the acceptor, the workers, and shutdown handles.
+/// One parsed request on its way to a compute worker.
+struct Job {
+    conn: u64,
+    seq: u64,
+    req: Request,
+    /// First byte of the request hit the reactor (deadline anchor).
+    started: Instant,
+    /// The request finished parsing (queue-time anchor).
+    parsed_at: Instant,
+    request_id: u64,
+    /// The client asked `Connection: close`.
+    close: bool,
+}
+
+/// One serialised response on its way back to the reactor.
+struct Completion {
+    conn: u64,
+    seq: u64,
+    bytes: Vec<u8>,
+    close: bool,
+    started: Instant,
+}
+
+/// State shared by the reactor, the workers, and shutdown handles.
 struct Shared {
     shutting: AtomicBool,
     metrics: Metrics,
     cache: Mutex<LruCache<VsafeResponse>>,
     sweep: Sweep,
-    threads: usize,
+    workers: usize,
     started: Instant,
     addr: SocketAddr,
     read_timeout: Duration,
     write_timeout: Duration,
     deadline: Duration,
+    keep_alive: Duration,
+    max_connections: usize,
     test_faults: bool,
+    request_ids: AtomicU64,
+    completions: Mutex<Vec<Completion>>,
+    wake_pending: AtomicBool,
+    waker: Waker,
+    fleet: FleetState,
 }
 
 impl Shared {
-    /// Flags shutdown and pokes the acceptor awake. Idempotent.
+    /// Flags shutdown and fires the reactor's waker. Idempotent.
     fn request_shutdown(&self) {
         if protocol::begin_shutdown(&self.shutting) {
-            // The acceptor is (probably) parked in accept(); a throwaway
-            // self-connection unblocks it so it can observe the flag.
-            // The model checker's `shutdown-handshake` battery pins the
-            // flag+wake pairing: flag-without-wake deadlocks the drain.
-            let _ = TcpStream::connect(self.addr);
+            // The winner of the flag race owes exactly one wake — the
+            // pairing the model checker's `shutdown-handshake` battery
+            // pins (flag-without-wake deadlocks a parked reactor).
+            self.waker.wake();
+            self.fleet.notify_shutdown();
         }
     }
 
@@ -125,6 +200,10 @@ impl Shared {
             ShedCounters::bump(&self.metrics.shed.lock_recoveries);
             cache.clear();
         })
+    }
+
+    fn next_request_id(&self) -> u64 {
+        self.request_ids.fetch_add(1, Ordering::Relaxed)
     }
 }
 
@@ -154,8 +233,9 @@ pub struct ServeSummary {
 /// A running daemon.
 pub struct Server {
     shared: Arc<Shared>,
-    acceptor: JoinHandle<()>,
+    reactor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    schedulers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -163,11 +243,14 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Returns the bind error if the address is unavailable.
+    /// Returns the bind error if the address is unavailable, or the
+    /// poller-creation error if the kernel refuses an epoll/eventfd.
     pub fn start(config: &ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind((config.host.as_str(), config.port))?;
         let addr = listener.local_addr()?;
-        let threads = if config.threads == 0 {
+        listener.set_nonblocking(true)?;
+        let (poller, waker) = Poller::new()?;
+        let workers_n = if config.threads == 0 {
             Sweep::from_env().threads()
         } else {
             config.threads
@@ -176,35 +259,51 @@ impl Server {
             shutting: AtomicBool::new(false),
             metrics: Metrics::default(),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
-            sweep: Sweep::with_threads(threads),
-            threads,
+            sweep: Sweep::with_threads(workers_n),
+            workers: workers_n,
             started: Instant::now(),
             addr,
             read_timeout: Duration::from_millis(config.read_timeout_ms.max(1)),
             write_timeout: Duration::from_millis(config.write_timeout_ms.max(1)),
             deadline: Duration::from_millis(config.deadline_ms.max(1)),
+            keep_alive: Duration::from_millis(config.keep_alive_timeout_ms.max(1)),
+            max_connections: config.max_connections.max(1),
             test_faults: config.test_faults,
+            request_ids: AtomicU64::new(1),
+            completions: Mutex::new(Vec::new()),
+            wake_pending: AtomicBool::new(false),
+            waker,
+            fleet: FleetState::default(),
         });
 
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
 
-        let mut workers = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        let mut workers = Vec::with_capacity(workers_n);
+        for _ in 0..workers_n {
             let shared = Arc::clone(&shared);
             let rx = Arc::clone(&rx);
             workers.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
         }
 
-        let acceptor = {
+        let mut schedulers = Vec::with_capacity(SCHEDULER_THREADS);
+        for _ in 0..SCHEDULER_THREADS {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(&shared, &listener, &tx))
+            schedulers.push(std::thread::spawn(move || {
+                crate::fleet::scheduler_loop(&shared.fleet, &shared.shutting);
+            }));
+        }
+
+        let reactor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || reactor_loop(&shared, listener, poller, tx))
         };
 
         Ok(Self {
             shared,
-            acceptor,
+            reactor,
             workers,
+            schedulers,
         })
     }
 
@@ -222,19 +321,22 @@ impl Server {
         }
     }
 
-    /// Blocks until shutdown has been requested *and* every accepted
-    /// connection has been answered, then returns the run's totals.
+    /// Blocks until shutdown has been requested *and* every parsed
+    /// request has been answered, then returns the run's totals.
     ///
     /// # Panics
     ///
-    /// Panics if the acceptor or a worker thread itself panicked
+    /// Panics if the reactor or a worker thread itself panicked
     /// (individual request handlers are unwind-caught and answer 500,
     /// so this indicates a daemon bug, not bad input).
     #[must_use]
     pub fn join(self) -> ServeSummary {
-        self.acceptor.join().expect("acceptor thread panicked");
+        self.reactor.join().expect("reactor thread panicked");
         for w in self.workers {
             w.join().expect("worker thread panicked");
+        }
+        for s in self.schedulers {
+            s.join().expect("fleet scheduler thread panicked");
         }
         let requests = self
             .shared
@@ -251,142 +353,679 @@ impl Server {
     }
 }
 
-fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
-    for stream in listener.incoming() {
-        let Ok(conn) = stream else { continue };
-        match protocol::offer(&shared.shutting, tx, conn) {
-            Enqueue::Queued => {}
-            Enqueue::Draining(mut conn) => {
-                // Usually the shutdown handle's own wake connection;
-                // anyone else racing in gets an honest 503 before we
-                // stop.
-                respond_error(
-                    &mut conn,
-                    &ApiError::new(ApiErrorKind::ShuttingDown, "daemon is draining"),
-                );
+// ---------------------------------------------------------------------
+// The reactor.
+// ---------------------------------------------------------------------
+
+/// One connection's reactor-side state machine.
+struct Conn {
+    stream: TcpStream,
+    id: u64,
+    /// Accumulated request bytes not yet parsed.
+    inbuf: Vec<u8>,
+    /// Serialised responses not yet flushed.
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// Sequence number the next parsed request gets.
+    next_seq: u64,
+    /// Sequence number the next flushed response must have.
+    write_seq: u64,
+    /// Out-of-order completions parked until their turn.
+    parked: BTreeMap<u64, Completion>,
+    /// Requests dispatched to workers, not yet completed.
+    in_flight: usize,
+    /// Stop parsing (a close-requesting or erroring request was seen).
+    parse_done: bool,
+    /// Close once the outbuf is flushed and nothing is in flight.
+    closing: bool,
+    /// The peer sent EOF (it may still be reading responses).
+    read_closed: bool,
+    /// `EPOLLOUT` interest is currently on.
+    want_write: bool,
+    /// First byte of the currently-parsing request (None = between
+    /// requests); anchors the 408 read deadline and the request
+    /// deadline.
+    req_started: Option<Instant>,
+    /// Last write progress while output is buffered (write deadline).
+    last_write: Option<Instant>,
+    /// Last activity (idle keep-alive timeout anchor).
+    idle_at: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, id: u64, now: Instant) -> Self {
+        Conn {
+            stream,
+            id,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            next_seq: 0,
+            write_seq: 0,
+            parked: BTreeMap::new(),
+            in_flight: 0,
+            parse_done: false,
+            closing: false,
+            read_closed: false,
+            want_write: false,
+            req_started: None,
+            last_write: None,
+            idle_at: now,
+        }
+    }
+
+    /// Nothing pending in either direction: safe to close or idle out.
+    fn quiescent(&self) -> bool {
+        self.in_flight == 0
+            && self.parked.is_empty()
+            && self.outpos >= self.outbuf.len()
+            && self.req_started.is_none()
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn reactor_loop(
+    shared: &Arc<Shared>,
+    listener: TcpListener,
+    mut poller: Poller,
+    tx: SyncSender<Job>,
+) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = 1;
+    let mut events = Vec::new();
+    let mut listener_open = true;
+    if poll::register(&mut poller, listener.as_raw_fd(), LISTEN_TOKEN).is_err() {
+        // Without a pollable listener the daemon cannot serve; drain.
+        shared.request_shutdown();
+        listener_open = false;
+    }
+
+    loop {
+        let shutting = shared.shutting.load(Ordering::SeqCst);
+        if shutting && listener_open {
+            let _ = poll::deregister(&mut poller, listener.as_raw_fd());
+            listener_open = false;
+        }
+        if shutting {
+            // Close every quiescent connection; exit once all are gone.
+            let done: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| {
+                    c.quiescent() || c.read_closed && c.in_flight == 0 && c.parked.is_empty()
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            for id in done {
+                close_conn(&mut poller, &mut conns, id);
+            }
+            if conns.is_empty() {
                 break;
             }
-            Enqueue::Busy(mut conn) => {
-                shared.metrics.accept_rejected.record(0, true);
-                respond_error(
-                    &mut conn,
-                    &ApiError::new(
-                        ApiErrorKind::Busy,
-                        "accept queue is full; retry with backoff",
-                    ),
-                );
+        }
+
+        let timeout = next_timeout(shared, &conns, shutting);
+        let _ = poller.wait(&mut events, Some(timeout));
+        let now = Instant::now();
+
+        let mut dead: Vec<u64> = Vec::new();
+        for &ev in &events {
+            match ev.token {
+                LISTEN_TOKEN => {
+                    if listener_open {
+                        accept_ready(
+                            shared,
+                            &listener,
+                            &mut poller,
+                            &mut conns,
+                            &mut next_id,
+                            now,
+                        );
+                    }
+                }
+                WAKE_TOKEN => {
+                    // Completions are drained below, once per iteration.
+                }
+                id => {
+                    let Some(conn) = conns.get_mut(&id) else {
+                        continue;
+                    };
+                    if ev.readable {
+                        conn_read(shared, conn, &tx, now);
+                    }
+                    if ev.writable {
+                        conn_flush(shared, conn, now);
+                    }
+                    update_write_interest(&mut poller, conn);
+                    if conn_finished(conn) {
+                        dead.push(id);
+                    }
+                }
             }
-            Enqueue::Disconnected(_) => break,
+        }
+
+        // Route finished compute results back onto their connections.
+        for done in protocol::drain_completions(&shared.completions, &shared.wake_pending) {
+            let Some(conn) = conns.get_mut(&done.conn) else {
+                // The connection died mid-pipeline; drop the orphan.
+                continue;
+            };
+            conn.in_flight = conn.in_flight.saturating_sub(1);
+            conn.parked.insert(done.seq, done);
+            pump_conn(shared, conn, &tx, now);
+            update_write_interest(&mut poller, conn);
+            if conn_finished(conn) {
+                dead.push(conn.id);
+            }
+        }
+
+        // Timers: read/write/idle/request deadlines.
+        sweep_timers(shared, &mut poller, &mut conns, &mut dead, now);
+
+        for id in dead {
+            close_conn(&mut poller, &mut conns, id);
         }
     }
-    // Dropping `tx` (by returning) lets workers drain the queue and exit.
+    // Dropping `tx` (by returning) lets workers drain the queue and
+    // exit; schedulers exit on the shutdown flag.
+    drop(tx);
 }
 
-fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
-    // `next_job` holds the lock only to pop; recv() returns queued
-    // connections even after the acceptor hung up, which is the drain
-    // guarantee (pinned over all interleavings by the `culpeo race`
-    // drain battery). A worker that panicked past catch_unwind poisons
-    // the receiver lock; the queue is recoverable state (unlike a
-    // half-mutated cache map), so the survivors keep popping.
-    while let Some(conn) = protocol::next_job(rx.as_ref()) {
-        handle_connection(shared, conn);
+/// The poll timeout: the nearest per-connection deadline, defaulting to
+/// a coarse housekeeping tick.
+fn next_timeout(shared: &Shared, conns: &HashMap<u64, Conn>, shutting: bool) -> Duration {
+    let mut cap = if shutting {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(250)
+    };
+    let now = Instant::now();
+    for conn in conns.values() {
+        if let Some(t0) = conn.req_started {
+            let read_due = t0 + shared.read_timeout.min(shared.deadline);
+            cap = cap.min(read_due.saturating_duration_since(now));
+        }
+        if conn.last_write.is_some() && conn.outpos < conn.outbuf.len() {
+            let write_due = conn.last_write.unwrap_or(now) + shared.write_timeout;
+            cap = cap.min(write_due.saturating_duration_since(now));
+        }
+    }
+    cap.max(Duration::from_millis(1))
+}
+
+fn accept_ready(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    poller: &mut Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_id: &mut u64,
+    now: Instant,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting.load(Ordering::SeqCst) {
+                    reject(
+                        shared,
+                        stream,
+                        ApiErrorKind::ShuttingDown,
+                        "daemon is draining",
+                    );
+                    continue;
+                }
+                if conns.len() >= shared.max_connections {
+                    shared.metrics.accept_rejected.record(0, true);
+                    reject(
+                        shared,
+                        stream,
+                        ApiErrorKind::Busy,
+                        "connection cap reached; retry with backoff",
+                    );
+                    continue;
+                }
+                let _ = stream.set_nonblocking(true);
+                let _ = stream.set_nodelay(true);
+                let id = *next_id;
+                *next_id += 1;
+                if poll::register(poller, stream.as_raw_fd(), id).is_ok() {
+                    conns.insert(id, Conn::new(stream, id, now));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
     }
 }
 
-fn handle_connection(shared: &Shared, mut conn: TcpStream) {
-    let started = Instant::now();
-    // Both socket timeouts are capped by the connection deadline so a
-    // client cannot stretch its wall-clock budget by trickling bytes.
-    let _ = conn.set_read_timeout(Some(shared.read_timeout.min(shared.deadline)));
-    let req = match http::read_request(&mut conn) {
-        Ok(req) => req,
-        Err(e) => {
-            let api_err = match &e {
-                HttpError::Timeout => {
-                    ShedCounters::bump(&shared.metrics.shed.read_timeouts);
-                    ApiError::new(ApiErrorKind::Timeout, e.to_string())
+/// Best-effort one-shot 503/error write to a connection we will not
+/// keep (the socket is still blocking-fresh, but one nonblocking write
+/// of a small response almost always lands in the socket buffer).
+fn reject(shared: &Shared, stream: TcpStream, kind: ApiErrorKind, msg: &str) {
+    let _ = stream.set_nonblocking(true);
+    let e = ApiError::new(kind, msg);
+    let body = envelope(shared.next_request_id(), 0, 0, &error_body(&e));
+    let bytes = http::response_bytes(
+        e.http_status(),
+        "application/json",
+        e.kind.retry_after_s(),
+        body.as_bytes(),
+        true,
+    );
+    let _ = (&stream).write(&bytes);
+}
+
+fn conn_read(shared: &Arc<Shared>, conn: &mut Conn, tx: &SyncSender<Job>, now: Instant) {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.read_closed = true;
+                break;
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&chunk[..n]);
+                conn.idle_at = now;
+                if conn.req_started.is_none() && !conn.parse_done {
+                    conn.req_started = Some(now);
                 }
-                HttpError::TooLarge(_) => {
-                    ShedCounters::bump(&shared.metrics.shed.oversize_rejects);
-                    ApiError::new(ApiErrorKind::TooLarge, e.to_string())
-                }
-                HttpError::Io(_) | HttpError::Malformed(_) => ApiError::bad_request(e),
-            };
-            shared.metrics.other.record(elapsed_us(started), true);
-            write_response(
-                shared,
-                &mut conn,
-                started,
-                api_err.http_status(),
-                api_err.kind.retry_after_s(),
-                &error_body(&api_err),
-            );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // Hard socket error: nothing more can be delivered.
+                conn.read_closed = true;
+                conn.closing = true;
+                conn.parse_done = true;
+                conn.outbuf.clear();
+                conn.outpos = 0;
+                break;
+            }
+        }
+    }
+    conn_parse(shared, conn, tx, now);
+}
+
+/// Parses as many complete pipelined requests as the in-flight cap
+/// allows, dispatching each to the compute pool.
+fn conn_parse(shared: &Arc<Shared>, conn: &mut Conn, tx: &SyncSender<Job>, now: Instant) {
+    while !conn.parse_done {
+        if conn.in_flight >= MAX_PIPELINE {
+            if conn.inbuf.len() > MAX_UNPARSED {
+                // Pipelining flood with no reads on the other side.
+                conn.closing = true;
+                conn.parse_done = true;
+            }
             return;
         }
-    };
-
-    let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(shared, &req)));
-    let (status, body, counters, was_error, shutdown_after) = match routed {
-        Ok(r) => r,
-        Err(_) => {
-            ShedCounters::bump(&shared.metrics.shed.handler_panics);
-            (
-                500,
-                error_body(&ApiError::new(
-                    ApiErrorKind::Internal,
-                    "handler panicked; see daemon stderr",
-                )),
-                &shared.metrics.other,
-                true,
-                false,
-            )
+        match http::try_parse_request(&conn.inbuf) {
+            Ok(Some((req, used))) => {
+                conn.inbuf.drain(..used);
+                let started = conn.req_started.take().unwrap_or(now);
+                if !conn.inbuf.is_empty() {
+                    // The next pipelined request is already mid-flight.
+                    conn.req_started = Some(now);
+                }
+                dispatch(shared, conn, req, started, tx, now);
+            }
+            Ok(None) => {
+                if conn.inbuf.is_empty() {
+                    conn.req_started = None;
+                }
+                return;
+            }
+            Err(e) => {
+                enqueue_parse_error(shared, conn, &e, now);
+                return;
+            }
         }
+    }
+}
+
+/// Hands one parsed request to the compute pool, or answers 503 inline
+/// when the daemon is draining or the queue is full.
+fn dispatch(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    req: Request,
+    started: Instant,
+    tx: &SyncSender<Job>,
+    now: Instant,
+) {
+    let close = http::wants_close(&req);
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    let job = Job {
+        conn: conn.id,
+        seq,
+        req,
+        started,
+        parsed_at: now,
+        request_id: shared.next_request_id(),
+        close,
     };
-    counters.record(elapsed_us(started), was_error);
-    let retry_after = match status {
+    match protocol::offer(&shared.shutting, tx, job) {
+        Enqueue::Queued => {
+            conn.in_flight += 1;
+        }
+        Enqueue::Draining(job) => {
+            let e = ApiError::new(ApiErrorKind::ShuttingDown, "daemon is draining");
+            enqueue_local(shared, conn, seq, &e, job.request_id, started, now);
+        }
+        Enqueue::Busy(job) => {
+            shared.metrics.accept_rejected.record(0, true);
+            let e = ApiError::new(ApiErrorKind::Busy, "job queue is full; retry with backoff");
+            enqueue_local(shared, conn, seq, &e, job.request_id, started, now);
+        }
+        Enqueue::Disconnected(_) => {
+            conn.closing = true;
+            conn.parse_done = true;
+        }
+    }
+}
+
+/// Parks a reactor-generated error response under the sequence number
+/// the failed request would have used, so ordering holds even
+/// mid-pipeline. Reactor errors always close the connection.
+fn enqueue_local(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    seq: u64,
+    e: &ApiError,
+    request_id: u64,
+    started: Instant,
+    now: Instant,
+) {
+    shared.metrics.other.record(0, true);
+    let body = envelope(request_id, 0, 0, &error_body(e));
+    let bytes = http::response_bytes(
+        e.http_status(),
+        "application/json",
+        e.kind.retry_after_s(),
+        body.as_bytes(),
+        true,
+    );
+    conn.parked.insert(
+        seq,
+        Completion {
+            conn: conn.id,
+            seq,
+            bytes,
+            close: true,
+            started,
+        },
+    );
+    conn.parse_done = true;
+    pump_conn_inner(shared, conn, now);
+}
+
+/// Answers a parse failure (malformed, oversized, or — from the timer
+/// sweep — a read timeout) and begins closing.
+fn enqueue_parse_error(shared: &Arc<Shared>, conn: &mut Conn, e: &HttpError, now: Instant) {
+    let api_err = match e {
+        HttpError::Timeout => {
+            ShedCounters::bump(&shared.metrics.shed.read_timeouts);
+            ApiError::new(ApiErrorKind::Timeout, e.to_string())
+        }
+        HttpError::TooLarge(_) => {
+            ShedCounters::bump(&shared.metrics.shed.oversize_rejects);
+            ApiError::new(ApiErrorKind::TooLarge, e.to_string())
+        }
+        HttpError::Io(_) | HttpError::Malformed(_) => ApiError::bad_request(e),
+    };
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    let started = conn.req_started.take().unwrap_or(now);
+    let id = shared.next_request_id();
+    enqueue_local(shared, conn, seq, &api_err, id, started, now);
+}
+
+/// Moves in-order parked completions into the write buffer, enforcing
+/// the per-request deadline, then flushes. Also resumes parsing if the
+/// pipeline cap had paused it.
+fn pump_conn(shared: &Arc<Shared>, conn: &mut Conn, tx: &SyncSender<Job>, now: Instant) {
+    pump_conn_inner(shared, conn, now);
+    if !conn.parse_done && conn.in_flight < MAX_PIPELINE && !conn.inbuf.is_empty() {
+        conn_parse(shared, conn, tx, now);
+    }
+}
+
+fn pump_conn_inner(shared: &Arc<Shared>, conn: &mut Conn, now: Instant) {
+    while let Some(done) = conn.parked.remove(&conn.write_seq) {
+        if now.saturating_duration_since(done.started) > shared.deadline {
+            // The request ate its whole wall-clock budget; the client
+            // stopped deserving an answer. Cut the connection.
+            ShedCounters::bump(&shared.metrics.shed.deadline_closes);
+            conn.closing = true;
+            conn.parse_done = true;
+            conn.outbuf.clear();
+            conn.outpos = 0;
+            conn.parked.clear();
+            return;
+        }
+        conn.write_seq += 1;
+        conn.outbuf.extend_from_slice(&done.bytes);
+        if done.close {
+            conn.closing = true;
+            conn.parse_done = true;
+            // Later pipelined responses will never be sent; drop them
+            // as they arrive (conn is removed once flushed).
+            break;
+        }
+    }
+    conn_flush(shared, conn, now);
+}
+
+/// Nonblocking flush of the write buffer.
+fn conn_flush(shared: &Shared, conn: &mut Conn, now: Instant) {
+    while conn.outpos < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+            Ok(0) => {
+                conn.closing = true;
+                conn.outbuf.clear();
+                conn.outpos = 0;
+                conn.in_flight = 0;
+                conn.parked.clear();
+                return;
+            }
+            Ok(n) => {
+                conn.outpos += n;
+                conn.last_write = Some(now);
+                conn.idle_at = now;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if conn.last_write.is_none() {
+                    conn.last_write = Some(now);
+                }
+                return;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                ShedCounters::bump(&shared.metrics.shed.write_timeouts);
+                conn.closing = true;
+                conn.outbuf.clear();
+                conn.outpos = 0;
+                conn.in_flight = 0;
+                conn.parked.clear();
+                return;
+            }
+        }
+    }
+    // Fully flushed.
+    conn.outbuf.clear();
+    conn.outpos = 0;
+    conn.last_write = None;
+}
+
+/// Syncs `EPOLLOUT` interest with whether output is buffered.
+fn update_write_interest(poller: &mut Poller, conn: &mut Conn) {
+    let want = conn.outpos < conn.outbuf.len();
+    if want != conn.want_write {
+        conn.want_write = want;
+        let _ = poller.modify(conn.stream.as_raw_fd(), conn.id, want);
+    }
+}
+
+/// Whether the connection has nothing left to do and should be closed.
+fn conn_finished(conn: &Conn) -> bool {
+    let flushed = conn.outpos >= conn.outbuf.len();
+    if conn.closing {
+        return flushed && conn.in_flight == 0;
+    }
+    // Peer EOF: once every pipelined answer is out, close.
+    conn.read_closed && flushed && conn.in_flight == 0 && conn.parked.is_empty()
+}
+
+fn close_conn(poller: &mut Poller, conns: &mut HashMap<u64, Conn>, id: u64) {
+    if let Some(conn) = conns.remove(&id) {
+        let _ = poll::deregister(poller, conn.stream.as_raw_fd());
+        // Dropping the stream closes the socket.
+    }
+}
+
+/// Read, write, and idle deadline enforcement.
+fn sweep_timers(
+    shared: &Arc<Shared>,
+    poller: &mut Poller,
+    conns: &mut HashMap<u64, Conn>,
+    dead: &mut Vec<u64>,
+    now: Instant,
+) {
+    for conn in conns.values_mut() {
+        if conn.closing {
+            continue;
+        }
+        // Slow-loris: a request started but never finished parsing.
+        if let Some(t0) = conn.req_started {
+            if now.saturating_duration_since(t0) > shared.read_timeout.min(shared.deadline) {
+                enqueue_parse_error(shared, conn, &HttpError::Timeout, now);
+                update_write_interest(poller, conn);
+                continue;
+            }
+        }
+        // Write stall: buffered output, no progress past the deadline.
+        if conn.outpos < conn.outbuf.len() {
+            if let Some(t0) = conn.last_write {
+                if now.saturating_duration_since(t0) > shared.write_timeout {
+                    ShedCounters::bump(&shared.metrics.shed.write_timeouts);
+                    dead.push(conn.id);
+                    continue;
+                }
+            }
+        }
+        // Idle keep-alive expiry: silent close.
+        if conn.quiescent() && now.saturating_duration_since(conn.idle_at) > shared.keep_alive {
+            dead.push(conn.id);
+        }
+    }
+    for conn in conns.values() {
+        if conn_finished(conn) && !dead.contains(&conn.id) {
+            dead.push(conn.id);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The compute pool.
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<std::sync::mpsc::Receiver<Job>>>) {
+    // `next_job` holds the lock only to pop; recv() returns queued jobs
+    // even after the reactor hung up, which is the drain guarantee
+    // (pinned over all interleavings by the `culpeo race` drain
+    // battery). A worker that panicked past catch_unwind poisons the
+    // receiver lock; the queue is recoverable state (unlike a
+    // half-mutated cache map), so the survivors keep popping.
+    while let Some(job) = protocol::next_job(rx.as_ref()) {
+        let picked = Instant::now();
+        let queue_us = us_between(job.parsed_at, picked);
+        let routed =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(shared, &job.req)));
+        let r = match routed {
+            Ok(r) => r,
+            Err(_) => {
+                ShedCounters::bump(&shared.metrics.shed.handler_panics);
+                Routed {
+                    status: 500,
+                    body: error_body(&ApiError::new(
+                        ApiErrorKind::Internal,
+                        "handler panicked; see daemon stderr",
+                    )),
+                    content_type: "application/json",
+                    counters: &shared.metrics.other,
+                    was_error: true,
+                    shutdown_after: false,
+                    enveloped: true,
+                }
+            }
+        };
+        let compute_us = us_between(picked, Instant::now());
+        r.counters.record(queue_us + compute_us, r.was_error);
+        let body = if r.enveloped {
+            envelope(job.request_id, queue_us, compute_us, &r.body)
+        } else {
+            r.body
+        };
+        let close = job.close || r.status >= 400 || r.shutdown_after;
+        let bytes = http::response_bytes(
+            r.status,
+            r.content_type,
+            retry_after_for(r.status),
+            body.as_bytes(),
+            close,
+        );
+        let owes_wake = protocol::publish_completion(
+            &shared.completions,
+            &shared.wake_pending,
+            Completion {
+                conn: job.conn,
+                seq: job.seq,
+                bytes,
+                close,
+                started: job.started,
+            },
+        );
+        if owes_wake {
+            shared.waker.wake();
+        }
+        if r.shutdown_after {
+            shared.request_shutdown();
+        }
+    }
+}
+
+fn retry_after_for(status: u16) -> Option<u32> {
+    match status {
         408 => ApiErrorKind::Timeout.retry_after_s(),
         503 => ApiErrorKind::Busy.retry_after_s(),
         _ => None,
-    };
-    write_response(shared, &mut conn, started, status, retry_after, &body);
-    if shutdown_after {
-        shared.request_shutdown();
     }
 }
 
-/// Writes the response under the write timeout and the remaining
-/// connection-deadline budget, counting deadline closes and write
-/// timeouts. A connection already past its deadline is dropped unwritten
-/// — the client stopped deserving an answer when it ate the whole budget.
-fn write_response(
-    shared: &Shared,
-    conn: &mut TcpStream,
-    started: Instant,
+/// The schema-2 response envelope. Hand-assembled (the vendored serde
+/// stub cannot derive generics), with `data` last so readers can strip
+/// the envelope with one prefix match.
+fn envelope(request_id: u64, queue_us: u64, compute_us: u64, data: &str) -> String {
+    format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"request_id\":\"r-{request_id:08}\",\
+         \"server_timing\":{{\"queue_us\":{queue_us},\"compute_us\":{compute_us}}},\
+         \"data\":{data}}}"
+    )
+}
+
+/// Routing result: status, JSON body (pre-envelope), metrics row, and
+/// response policy flags.
+struct Routed<'a> {
     status: u16,
-    retry_after_s: Option<u32>,
-    body: &str,
-) {
-    let spent = started.elapsed();
-    let Some(remaining) = shared.deadline.checked_sub(spent).filter(|r| !r.is_zero()) else {
-        ShedCounters::bump(&shared.metrics.shed.deadline_closes);
-        return;
-    };
-    let _ = conn.set_write_timeout(Some(shared.write_timeout.min(remaining)));
-    if let Err(e) = http::try_write_json_response(conn, status, retry_after_s, body) {
-        if matches!(
-            e.kind(),
-            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-        ) {
-            ShedCounters::bump(&shared.metrics.shed.write_timeouts);
-        }
-    }
+    body: String,
+    content_type: &'static str,
+    counters: &'a EndpointCounters,
+    was_error: bool,
+    shutdown_after: bool,
+    /// Wrap in the schema-2 envelope (everything but NDJSON streams).
+    enveloped: bool,
 }
 
-/// Routing result: status, JSON body, metrics row, error flag, and
-/// whether to begin draining once the response is on the wire.
-type Routed<'a> = (u16, String, &'a EndpointCounters, bool, bool);
-
+#[allow(clippy::too_many_lines)]
 fn route<'a>(shared: &'a Shared, req: &Request) -> Routed<'a> {
     if shared.test_faults {
         if let Some(fault) = req.header("x-culpeo-fault") {
@@ -420,6 +1059,35 @@ fn route<'a>(shared: &'a Shared, req: &Request) -> Routed<'a> {
                 parse_body::<VerifyRequest>(&req.body).and_then(|r| crate::handle::verify(&r));
             finish(&shared.metrics.verify, outcome)
         }
+        ("POST", "/v1/fleet") => {
+            let outcome = parse_body::<culpeo_api::FleetRegisterRequest>(&req.body)
+                .and_then(|r| shared.fleet.register(&r));
+            finish(&shared.metrics.fleet, outcome)
+        }
+        ("GET", "/v1/fleet") => finish(&shared.metrics.fleet, Ok(shared.fleet.summary())),
+        ("GET", "/v1/fleet/events") => {
+            let body = shared.fleet.drain_events_ndjson();
+            shared.metrics.fleet_events.record(0, false);
+            Routed {
+                status: 200,
+                body,
+                content_type: "application/x-ndjson",
+                counters: &shared.metrics.fleet_events,
+                was_error: false,
+                shutdown_after: false,
+                enveloped: false,
+            }
+        }
+        ("GET", path) if path.starts_with("/v1/fleet/") => {
+            let outcome = match path["/v1/fleet/".len()..].parse::<u64>() {
+                Ok(id) => shared.fleet.twin(id),
+                Err(_) => Err(ApiError::new(
+                    ApiErrorKind::NotFound,
+                    format!("no such endpoint: {path}"),
+                )),
+            };
+            finish(&shared.metrics.fleet_twin, outcome)
+        }
         ("GET", "/v1/health") => {
             let doc = health_doc(shared, false);
             finish(&shared.metrics.health, Ok(doc))
@@ -436,26 +1104,27 @@ fn route<'a>(shared: &'a Shared, req: &Request) -> Routed<'a> {
         }
         ("POST", "/v1/shutdown") => {
             let doc = health_doc(shared, true);
-            let (status, body, counters, was_error, _) = finish(&shared.metrics.shutdown, Ok(doc));
-            (status, body, counters, was_error, true)
+            let mut r = finish(&shared.metrics.shutdown, Ok(doc));
+            r.shutdown_after = true;
+            r
         }
         (
             _,
-            "/v1/vsafe" | "/v1/lint" | "/v1/batch" | "/v1/verify" | "/v1/health" | "/v1/metrics"
-            | "/v1/shutdown",
+            "/v1/vsafe" | "/v1/lint" | "/v1/batch" | "/v1/verify" | "/v1/fleet"
+            | "/v1/fleet/events" | "/v1/health" | "/v1/metrics" | "/v1/shutdown",
         ) => {
             let e = ApiError::new(
                 ApiErrorKind::MethodNotAllowed,
                 format!("{} does not accept {}", req.path, req.method),
             );
-            (405, error_body(&e), &shared.metrics.other, true, false)
+            error_routed(&shared.metrics.other, &e)
         }
         _ => {
             let e = ApiError::new(
                 ApiErrorKind::NotFound,
                 format!("no such endpoint: {}", req.path),
             );
-            (404, error_body(&e), &shared.metrics.other, true, false)
+            error_routed(&shared.metrics.other, &e)
         }
     }
 }
@@ -466,22 +1135,39 @@ fn health_doc(shared: &Shared, draining: bool) -> HealthResponse {
         schema_version: SCHEMA_VERSION,
         status: if draining { "draining" } else { "ok" }.to_string(),
         uptime_s: shared.started.elapsed().as_secs_f64(),
-        threads: shared.threads as u64,
+        threads: shared.workers as u64,
     }
 }
 
-/// Serialises a handler outcome into (status, body) against an endpoint's
+/// Serialises a handler outcome into a [`Routed`] against an endpoint's
 /// counter row.
 fn finish<T: serde::Serialize>(
     counters: &EndpointCounters,
     outcome: Result<T, ApiError>,
 ) -> Routed<'_> {
     match outcome {
-        Ok(doc) => {
-            let body = serde_json::to_string(&doc).expect("response serialisation is infallible");
-            (200, body, counters, false, false)
-        }
-        Err(e) => (e.http_status(), error_body(&e), counters, true, false),
+        Ok(doc) => Routed {
+            status: 200,
+            body: serde_json::to_string(&doc).expect("response serialisation is infallible"),
+            content_type: "application/json",
+            counters,
+            was_error: false,
+            shutdown_after: false,
+            enveloped: true,
+        },
+        Err(e) => error_routed(counters, &e),
+    }
+}
+
+fn error_routed<'a>(counters: &'a EndpointCounters, e: &ApiError) -> Routed<'a> {
+    Routed {
+        status: e.http_status(),
+        body: error_body(e),
+        content_type: "application/json",
+        counters,
+        was_error: true,
+        shutdown_after: false,
+        enveloped: true,
     }
 }
 
@@ -513,15 +1199,6 @@ fn error_body(e: &ApiError) -> String {
     serde_json::to_string(e).expect("error serialisation is infallible")
 }
 
-fn respond_error(conn: &mut TcpStream, e: &ApiError) {
-    let _ = http::try_write_json_response(
-        conn,
-        e.http_status(),
-        e.kind.retry_after_s(),
-        &error_body(e),
-    );
-}
-
-fn elapsed_us(started: Instant) -> u64 {
-    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+fn us_between(from: Instant, to: Instant) -> u64 {
+    u64::try_from(to.saturating_duration_since(from).as_micros()).unwrap_or(u64::MAX)
 }

@@ -1,0 +1,211 @@
+//! API compatibility pins: the `/v1` wire contract, both schema
+//! generations.
+//!
+//! Schema 2 introduced the uniform response envelope and the fleet
+//! surface; schema-1 *requests* (pinned below as byte literals, exactly
+//! what a v1 client sends) must still be accepted. These tests drive a
+//! live daemon over TCP so what is pinned is the actual wire shape, not
+//! a serialisation detail.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use culpeo_served::{Server, ServerConfig};
+
+fn boot() -> Server {
+    Server::start(&ServerConfig {
+        port: 0,
+        threads: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap()
+}
+
+/// One request, `Connection: close`; returns (status, raw JSON body).
+fn roundtrip(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: compat\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    s.write_all(head.as_bytes()).unwrap();
+    s.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw.split_whitespace().nth(1).unwrap().parse().unwrap();
+    (status, raw.split_once("\r\n\r\n").unwrap().1.to_string())
+}
+
+/// The schema-1 `/v1/vsafe` request, as a byte-for-byte client literal.
+const SCHEMA1_VSAFE: &str = r##"{"schema_version": 1, "trace_csv": "# dt_us: 8\n0.0,0.010\n0.000008,0.025\n0.000016,0.010\n"}"##;
+
+/// The same request under schema 2.
+const SCHEMA2_VSAFE: &str = r##"{"schema_version": 2, "trace_csv": "# dt_us: 8\n0.0,0.010\n0.000008,0.025\n0.000016,0.010\n"}"##;
+
+/// Asserts the schema-2 envelope shape and returns the inner `data`.
+fn assert_envelope(body: &str) -> String {
+    assert!(
+        body.starts_with("{\"schema_version\":2,\"request_id\":\"r-"),
+        "envelope prefix: {body}"
+    );
+    assert!(
+        body.contains("\"server_timing\":{\"queue_us\":"),
+        "server_timing: {body}"
+    );
+    assert!(body.contains(",\"compute_us\":"), "server_timing: {body}");
+    let i = body.find("\"data\":").expect("data field");
+    assert!(body.ends_with('}'));
+    body[i + "\"data\":".len()..body.len() - 1].to_string()
+}
+
+#[test]
+fn schema_1_requests_are_still_accepted() {
+    let server = boot();
+    let addr = server.addr();
+
+    let (status, body) = roundtrip(addr, "POST", "/v1/vsafe", SCHEMA1_VSAFE);
+    assert_eq!(status, 200, "schema-1 client must not break: {body}");
+    let data = assert_envelope(&body);
+    let doc = serde_json::parse_value_str(&data).unwrap();
+    // The response itself is schema 2: accepting old requests does not
+    // mean emitting old responses.
+    assert_eq!(
+        doc.get("schema_version").and_then(serde::Value::as_f64),
+        Some(2.0)
+    );
+    assert!(doc.get("v_safe_v").is_some());
+
+    server.shutdown_handle().request();
+    let _ = server.join();
+}
+
+#[test]
+fn schema_2_requests_envelope_every_v1_response() {
+    let server = boot();
+    let addr = server.addr();
+
+    let (status, body) = roundtrip(addr, "POST", "/v1/vsafe", SCHEMA2_VSAFE);
+    assert_eq!(status, 200, "{body}");
+    let v2 = assert_envelope(&body);
+    // Byte-identity across schema generations: the inner payload for a
+    // schema-1 request is the same document.
+    let (_, body1) = roundtrip(addr, "POST", "/v1/vsafe", SCHEMA1_VSAFE);
+    assert_eq!(assert_envelope(&body1), v2);
+
+    // Errors are enveloped too, and carry distinct request ids.
+    let (status, e1) = roundtrip(addr, "GET", "/v1/nope", "");
+    assert_eq!(status, 404);
+    let (_, e2) = roundtrip(addr, "GET", "/v1/nope", "");
+    let kind = |b: &str| {
+        serde_json::parse_value_str(&assert_envelope(b))
+            .unwrap()
+            .get("kind")
+            .and_then(serde::Value::as_str)
+            .map(str::to_string)
+    };
+    assert_eq!(kind(&e1).as_deref(), Some("not_found"));
+    let id = |b: &str| {
+        b["{\"schema_version\":2,\"request_id\":\"".len()..]
+            .split('"')
+            .next()
+            .map(str::to_string)
+    };
+    assert_ne!(id(&e1), id(&e2), "request ids are unique");
+
+    // Health and metrics, the GET surfaces, are enveloped as well.
+    let (_, h) = roundtrip(addr, "GET", "/v1/health", "");
+    assert!(assert_envelope(&h).contains("\"uptime_s\""));
+    let (_, m) = roundtrip(addr, "GET", "/v1/metrics", "");
+    assert!(assert_envelope(&m).contains("\"endpoints\""));
+
+    server.shutdown_handle().request();
+    let _ = server.join();
+}
+
+#[test]
+fn unsupported_schema_version_is_rejected() {
+    let server = boot();
+    let addr = server.addr();
+
+    let bad = r##"{"schema_version": 99, "trace_csv": "# dt_us: 8\n0.0,0.010\n"}"##;
+    let (status, body) = roundtrip(addr, "POST", "/v1/vsafe", bad);
+    assert_eq!(status, 400, "{body}");
+    let data = assert_envelope(&body);
+    assert!(data.contains("unsupported_version"), "{data}");
+
+    server.shutdown_handle().request();
+    let _ = server.join();
+}
+
+#[test]
+fn fleet_surface_registers_reports_and_streams() {
+    let server = boot();
+    let addr = server.addr();
+
+    // Two twins, one round each: finishes in well under a second.
+    let req = r##"{"schema_version": 2, "count": 2, "rounds": 1, "trace_csv": "# dt_us: 8\n0.0,0.010\n0.000008,0.025\n0.000016,0.010\n"}"##;
+    let (status, body) = roundtrip(addr, "POST", "/v1/fleet", req);
+    assert_eq!(status, 200, "{body}");
+    let reg = serde_json::parse_value_str(&assert_envelope(&body)).unwrap();
+    assert_eq!(
+        reg.get("registered").and_then(serde::Value::as_f64),
+        Some(2.0)
+    );
+    assert_eq!(
+        reg.get("first_id").and_then(serde::Value::as_f64),
+        Some(0.0)
+    );
+    assert_eq!(
+        reg.get("verify_verdict").and_then(serde::Value::as_str),
+        Some("unverified")
+    );
+
+    // Poll the summary until the scheduler has driven both twins done.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let (_, s) = roundtrip(addr, "GET", "/v1/fleet", "");
+        let doc = serde_json::parse_value_str(&assert_envelope(&s)).unwrap();
+        if doc.get("scheduler").and_then(serde::Value::as_str) == Some("idle")
+            && doc.get("rounds_done").and_then(serde::Value::as_f64) >= Some(2.0)
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "fleet never went idle: {s}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    // Twin snapshots answer by id; out-of-range ids are 404s.
+    let (status, t) = roundtrip(addr, "GET", "/v1/fleet/1", "");
+    assert_eq!(status, 200, "{t}");
+    let twin = serde_json::parse_value_str(&assert_envelope(&t)).unwrap();
+    assert_eq!(twin.get("id").and_then(serde::Value::as_f64), Some(1.0));
+    assert_eq!(twin.get("done"), Some(&serde::Value::Bool(true)));
+    assert!(twin.get("drift_mv").is_some());
+    let (status, _) = roundtrip(addr, "GET", "/v1/fleet/99", "");
+    assert_eq!(status, 404);
+
+    // The NDJSON stream: un-enveloped, one schema-2 event per line.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /v1/fleet/events HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    assert!(raw.contains("application/x-ndjson"), "{raw}");
+    let body = raw.split_once("\r\n\r\n").unwrap().1;
+    let lines: Vec<&str> = body.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(lines.len(), 2, "one event per completed round: {body}");
+    for line in lines {
+        let ev = serde_json::parse_value_str(line).unwrap();
+        assert_eq!(
+            ev.get("schema_version").and_then(serde::Value::as_f64),
+            Some(2.0)
+        );
+        assert!(ev.get("v_final_v").is_some());
+    }
+
+    server.shutdown_handle().request();
+    let _ = server.join();
+}

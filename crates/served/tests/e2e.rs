@@ -26,12 +26,13 @@ fn test_config() -> ServerConfig {
     }
 }
 
-/// Sends one request and reads the full response (the daemon closes the
-/// connection after answering). Returns (status, body).
+/// Sends one request with `Connection: close` and reads the full
+/// response (the daemon honours the close and hangs up after
+/// answering). Returns (status, envelope-stripped body).
 fn roundtrip(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut s = TcpStream::connect(addr).expect("connect");
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: e2e\r\nContent-Length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: e2e\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
         body.len()
     );
     s.write_all(head.as_bytes()).unwrap();
@@ -53,7 +54,20 @@ fn read_response(s: &mut TcpStream) -> (u16, String) {
         .expect("header terminator")
         .1
         .to_string();
-    (status, body)
+    (status, unwrap_envelope(&body))
+}
+
+/// Strips the schema-2 response envelope, returning the inner `data`
+/// document (the envelope serialises `data` last, so the payload runs
+/// to the closing brace).
+fn unwrap_envelope(body: &str) -> String {
+    let marker = "\"data\":";
+    match body.find(marker) {
+        Some(i) if body.starts_with("{\"schema_version\"") && body.ends_with('}') => {
+            body[i + marker.len()..body.len() - 1].to_string()
+        }
+        _ => body.to_string(),
+    }
 }
 
 fn vsafe_body() -> String {
@@ -184,7 +198,7 @@ fn shutdown_drains_accepted_requests_before_exit() {
     let send = |body: &str| -> TcpStream {
         let mut s = TcpStream::connect(addr).unwrap();
         let head = format!(
-            "POST /v1/vsafe HTTP/1.1\r\nHost: e2e\r\nContent-Length: {}\r\n\r\n",
+            "POST /v1/vsafe HTTP/1.1\r\nHost: e2e\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
             body.len()
         );
         s.write_all(head.as_bytes()).unwrap();

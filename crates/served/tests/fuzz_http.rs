@@ -101,8 +101,21 @@ fn chaos_config() -> ServerConfig {
     }
 }
 
+/// Strips the schema-2 response envelope, returning the inner `data`
+/// document (serialised last, so it runs to the closing brace).
+fn unwrap_envelope(body: &str) -> &str {
+    let marker = "\"data\":";
+    match body.find(marker) {
+        Some(i) if body.starts_with("{\"schema_version\"") && body.ends_with('}') => {
+            &body[i + marker.len()..body.len() - 1]
+        }
+        _ => body,
+    }
+}
+
 /// Reads whatever the daemon answers and asserts it is a well-formed
-/// HTTP/1.1 error response carrying a parseable `ApiError` JSON body.
+/// HTTP/1.1 error response carrying a parseable `ApiError` JSON body
+/// (inside the schema-2 envelope).
 fn assert_well_formed_error(s: &mut TcpStream, expect_status: u16) -> ApiError {
     let mut raw = String::new();
     s.read_to_string(&mut raw).expect("daemon must answer");
@@ -115,7 +128,7 @@ fn assert_well_formed_error(s: &mut TcpStream, expect_status: u16) -> ApiError {
         .expect("numeric status");
     assert_eq!(status, expect_status, "raw: {raw:?}");
     let body = raw.split_once("\r\n\r\n").expect("header terminator").1;
-    serde_json::from_str::<ApiError>(body).expect("body must be ApiError JSON")
+    serde_json::from_str::<ApiError>(unwrap_envelope(body)).expect("body must be ApiError JSON")
 }
 
 #[test]
@@ -150,7 +163,7 @@ fn daemon_answers_lying_content_length_with_408_and_retry_after() {
     assert!(raw.starts_with("HTTP/1.1 408 "), "raw: {raw:?}");
     assert!(raw.contains("Retry-After: 1\r\n"), "raw: {raw:?}");
     let body = raw.split_once("\r\n\r\n").unwrap().1;
-    let e: ApiError = serde_json::from_str(body).unwrap();
+    let e: ApiError = serde_json::from_str(unwrap_envelope(body)).unwrap();
     assert_eq!(e.kind, culpeo_api::ApiErrorKind::Timeout);
     server.shutdown_handle().request();
     let _ = server.join();
@@ -187,7 +200,8 @@ fn daemon_survives_mid_request_disconnects() {
     }
     // The daemon is still alive and sane.
     let mut s = TcpStream::connect(addr).unwrap();
-    s.write_all(b"GET /v1/health HTTP/1.1\r\n\r\n").unwrap();
+    s.write_all(b"GET /v1/health HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
     let mut raw = String::new();
     s.read_to_string(&mut raw).unwrap();
     assert!(raw.starts_with("HTTP/1.1 200 "), "raw: {raw:?}");
@@ -208,11 +222,12 @@ fn slow_loris_writer_is_cut_off_with_408() {
     assert!(raw.starts_with("HTTP/1.1 408 "), "raw: {raw:?}");
     // And the stall is visible to operators.
     let mut m = TcpStream::connect(addr).unwrap();
-    m.write_all(b"GET /v1/metrics HTTP/1.1\r\n\r\n").unwrap();
+    m.write_all(b"GET /v1/metrics HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
     let mut mraw = String::new();
     m.read_to_string(&mut mraw).unwrap();
     let body = mraw.split_once("\r\n\r\n").unwrap().1;
-    let doc: culpeo_api::MetricsResponse = serde_json::from_str(body).unwrap();
+    let doc: culpeo_api::MetricsResponse = serde_json::from_str(unwrap_envelope(body)).unwrap();
     assert!(doc.shed.read_timeouts >= 1, "shed: {:?}", doc.shed);
     server.shutdown_handle().request();
     let _ = server.join();

@@ -42,6 +42,9 @@ cargo test -q -p culpeo-harness --test determinism
 echo "== scripts/smoke_serve.sh"
 scripts/smoke_serve.sh
 
+echo "== scripts/loadtest.sh --smoke"
+scripts/loadtest.sh --smoke
+
 echo "== scripts/chaos.sh"
 scripts/chaos.sh
 

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Load test for the reactor daemon: pipelined keep-alive connections via
+# the culpeo-loadtest generator (in-process daemon + real TCP clients).
+# Full mode runs both batch endpoints for 2s each, writes
+# results/loadtest.json, and gates on sustained throughput; --smoke runs
+# a sub-second pass that only checks the harness end-to-end.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+[[ "${1:-}" == "--smoke" ]] && SMOKE=1
+
+BIN=target/release/culpeo-loadtest
+if [[ ! -x "$BIN" ]]; then
+    echo "== building $BIN"
+    cargo build --release -p culpeo-served
+fi
+
+rps_of() { # JSON_LINE
+    local rps
+    rps=$(grep -o '"req_per_s":[0-9]*' <<<"$1" | cut -d: -f2)
+    [[ -n "$rps" ]] || { echo "loadtest: no req_per_s in: $1" >&2; exit 1; }
+    echo "$rps"
+}
+
+if [[ "$SMOKE" == 1 ]]; then
+    OUT=$("$BIN" --connections 2 --pipeline 16 --millis 200)
+    echo "$OUT"
+    rps_of "$OUT" >/dev/null
+    echo "loadtest: smoke clean"
+    exit 0
+fi
+
+MIN_RPS=${LOADTEST_MIN_RPS:-50000}
+HEALTH=$("$BIN" --endpoint /v1/health --connections 4 --pipeline 64 --millis 2000)
+echo "$HEALTH"
+VSAFE=$("$BIN" --endpoint /v1/vsafe --connections 4 --pipeline 64 --millis 2000)
+echo "$VSAFE"
+
+mkdir -p results
+{
+    printf '{"schema_version":2,"generated_by":"scripts/loadtest.sh","min_rps_gate":%s,"runs":[\n' "$MIN_RPS"
+    printf '%s,\n' "$HEALTH"
+    printf '%s\n' "$VSAFE"
+    printf ']}\n'
+} >results/loadtest.json
+echo "== wrote results/loadtest.json"
+
+for RUN in "$HEALTH" "$VSAFE"; do
+    RPS=$(rps_of "$RUN")
+    if (( RPS < MIN_RPS )); then
+        echo "loadtest: sustained $RPS req/s is below the $MIN_RPS gate" >&2
+        exit 1
+    fi
+done
+echo "loadtest: clean (gate: ${MIN_RPS} req/s)"

@@ -14,7 +14,7 @@ if [[ ! -x "$BIN" ]]; then
 fi
 
 LOG=$(mktemp)
-"$BIN" serve --port 0 --threads 2 >"$LOG" &
+"$BIN" serve --port 0 --workers 2 >"$LOG" &
 PID=$!
 cleanup() {
     kill "$PID" 2>/dev/null || true
@@ -36,11 +36,12 @@ if [[ -z "$PORT" ]]; then
 fi
 echo "== daemon up on port $PORT"
 
-# Minimal HTTP/1.1 client; the daemon answers one request per connection.
+# Minimal HTTP/1.1 client; `Connection: close` makes the keep-alive
+# daemon hang up after answering, so `cat` sees EOF.
 http() { # METHOD PATH [BODY]
     local method=$1 path=$2 body=${3:-}
     exec 3<>"/dev/tcp/127.0.0.1/$PORT"
-    printf '%s %s HTTP/1.1\r\nHost: smoke\r\nContent-Length: %s\r\n\r\n%s' \
+    printf '%s %s HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\nContent-Length: %s\r\n\r\n%s' \
         "$method" "$path" "${#body}" "$body" >&3
     cat <&3
     exec 3>&- 3<&-
