@@ -51,6 +51,11 @@ pub struct ServerTiming {
     pub queue_us: u64,
     /// Microseconds the handler ran for.
     pub compute_us: u64,
+    /// Microseconds the handler spent waiting on log durability
+    /// (group-commit fsync). Present only on ingest answers; absent
+    /// keeps pre-store envelopes byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fsync_us: Option<u64>,
 }
 
 /// `POST /v1/vsafe` — compute the ESR-aware `V_safe` for one task trace.
@@ -496,6 +501,195 @@ pub struct FleetEvent {
     pub drift_mv: f64,
 }
 
+/// One observation triple in wire form: what a deployed device reports
+/// after each task run (the §IV-D Culpeo-R inputs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservationDto {
+    /// The reporting device's id.
+    pub device: u64,
+    /// Buffer voltage when the task started, in volts.
+    pub v_start_v: f64,
+    /// Minimum buffer voltage observed during the task, in volts.
+    pub v_min_v: f64,
+    /// Buffer voltage after the post-task rebound, in volts.
+    pub v_final_v: f64,
+}
+
+impl ObservationDto {
+    /// Validates the triple against the runtime-estimator preconditions
+    /// (`culpeo::runtime::TaskObservation` panics on violations, so the
+    /// wire layer must refuse them first): all voltages finite, and
+    /// `v_min` no higher than either endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `bad_request` [`ApiError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ApiError> {
+        let finite =
+            self.v_start_v.is_finite() && self.v_min_v.is_finite() && self.v_final_v.is_finite();
+        if !finite {
+            return Err(ApiError::bad_request(format!(
+                "observation for device {} must have finite voltages",
+                self.device
+            )));
+        }
+        if self.v_min_v > self.v_start_v || self.v_min_v > self.v_final_v {
+            return Err(ApiError::bad_request(format!(
+                "observation for device {}: v_min_v must not exceed v_start_v or v_final_v",
+                self.device
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// `POST /v1/observe` — ingest one observation or a batch; the answer is
+/// an *ack*, and an ack means the record is on stable storage (it
+/// survives `kill -9` at any byte offset).
+///
+/// (Exactly one of `observation` / `batch` is set; the vendored serde
+/// stub derives structs only, so the sum type is spelled as options with
+/// the invariant checked by [`ObserveRequest::validate`].)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObserveRequest {
+    /// Optional version claim; absent means "current".
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub schema_version: Option<u32>,
+    /// A single observation.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub observation: Option<ObservationDto>,
+    /// A batch of observations, all for one durability round (one
+    /// group-commit fsync acks the whole batch).
+    #[serde(default)]
+    pub batch: Vec<ObservationDto>,
+}
+
+impl ObserveRequest {
+    /// Confirms exactly one of `observation` / `batch` is populated and
+    /// every triple passes [`ObservationDto::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a `bad_request` [`ApiError`].
+    pub fn validate(&self) -> Result<(), ApiError> {
+        match (&self.observation, self.batch.is_empty()) {
+            (Some(obs), true) => obs.validate(),
+            (None, false) => self.batch.iter().try_for_each(ObservationDto::validate),
+            _ => Err(ApiError::bad_request(
+                "observe request must set exactly one of `observation` or `batch`",
+            )),
+        }
+    }
+
+    /// The observations, whichever shape carried them.
+    #[must_use]
+    pub fn observations(&self) -> Vec<&ObservationDto> {
+        match &self.observation {
+            Some(obs) => vec![obs],
+            None => self.batch.iter().collect(),
+        }
+    }
+}
+
+/// One acked record inside an [`ObserveResponse`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObserveAckDto {
+    /// The device the record belongs to.
+    pub device: u64,
+    /// The store-assigned per-device sequence number (1-based,
+    /// monotonic).
+    pub seq: u64,
+}
+
+/// The answer to an [`ObserveRequest`]: every listed record is durable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObserveResponse {
+    /// Always [`crate::SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// One ack per ingested observation, in request order.
+    pub acked: Vec<ObserveAckDto>,
+    /// Fsync rounds this request led itself; 0 means a concurrent
+    /// group-commit covered it (batching under load).
+    pub fsync_rounds: u64,
+    /// Records appended but not yet durable after this request (the
+    /// shed-threshold observable).
+    pub pending: u64,
+}
+
+/// The rolling harvest-credit verdict inside an
+/// [`ObserveDeviceResponse`]: how many upcoming hyperperiods the
+/// device's current estimate provably survives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RollingVerdictDto {
+    /// Hyperperiods (of `period_s` each) proved safe from now.
+    pub safe_hyperperiods: u64,
+    /// The horizon `k` the daemon checks against.
+    pub horizon: u64,
+    /// The hyperperiod length, in seconds.
+    pub period_s: f64,
+    /// True when the periodic fixpoint proof succeeded — safe for *all*
+    /// k (and beyond); false means `safe_hyperperiods` came from
+    /// concrete unrolling.
+    pub proven_periodic: bool,
+    /// `"proved-periodic"`, `"proved-k"` (some prefix proved), or
+    /// `"unproved"`.
+    pub verdict: String,
+}
+
+/// `GET /v1/observe/:device` — the device's online Culpeo-R estimate and
+/// its rolling safety envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObserveDeviceResponse {
+    /// Always [`crate::SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// The device id.
+    pub device: u64,
+    /// Highest sequence number acked for this device.
+    pub last_seq: u64,
+    /// Total observations ever ingested for this device.
+    pub records: u64,
+    /// Observations in the current estimate window.
+    pub window: u64,
+    /// The online Culpeo-R safe-voltage estimate, in volts (the §IV-D
+    /// update over the window's worst case).
+    pub v_safe_v: f64,
+    /// The estimated worst-case recoverable drop `V_δ`, in volts.
+    pub v_delta_v: f64,
+    /// The estimated buffer energy draw, in joules.
+    pub buffer_energy_j: f64,
+    /// The rolling "safe for the next k hyperperiods" verdict.
+    pub rolling: RollingVerdictDto,
+}
+
+/// `GET /v1/livez` — process liveness: the reactor answered, nothing
+/// more. Always 200 while the event loop runs (draining included).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LivezResponse {
+    /// Always [`crate::SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Always `"ok"` (a dead reactor answers nothing).
+    pub status: String,
+}
+
+/// `GET /v1/readyz` — readiness to take traffic: 200 only when the
+/// store is recovered, workers are up, and the queue is below the shed
+/// threshold; 503 while draining or recovering.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadyzResponse {
+    /// Always [`crate::SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// `"ok"`, `"draining"`, `"recovering"`, `"overloaded"`, or
+    /// `"failed"`.
+    pub status: String,
+    /// Store state: `"ready"`, `"recovering"`, `"failed"`, or
+    /// `"disabled"` (no `--store` configured).
+    pub store: String,
+    /// Jobs currently queued for the compute workers.
+    pub queued: u64,
+    /// The queue depth readiness is judged against.
+    pub queue_depth: u64,
+}
+
 /// `GET /v1/metrics` — per-endpoint latency/hit-rate counters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsResponse {
@@ -627,6 +821,82 @@ mod tests {
         let json = serde_json::to_string(&resp).unwrap();
         assert!(!json.contains("counterexample"), "{json}");
         let back: VerifyResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn observe_request_exactly_one_shape() {
+        let single: ObserveRequest = serde_json::from_str(
+            r##"{ "observation": { "device": 7, "v_start_v": 2.3, "v_min_v": 2.1, "v_final_v": 2.28 } }"##,
+        )
+        .unwrap();
+        assert!(single.validate().is_ok());
+        assert_eq!(single.observations().len(), 1);
+
+        let neither: ObserveRequest = serde_json::from_str("{}").unwrap();
+        assert!(neither.validate().is_err());
+
+        let both = ObserveRequest {
+            schema_version: None,
+            observation: single.observation.clone(),
+            batch: vec![single.observation.clone().unwrap()],
+        };
+        assert!(both.validate().is_err());
+    }
+
+    #[test]
+    fn observe_validation_enforces_estimator_preconditions() {
+        let mut obs = ObservationDto {
+            device: 1,
+            v_start_v: 2.3,
+            v_min_v: 2.1,
+            v_final_v: 2.28,
+        };
+        assert!(obs.validate().is_ok());
+        obs.v_min_v = 2.35; // above v_start: TaskObservation would panic
+        assert!(obs.validate().is_err());
+        obs.v_min_v = f64::NAN;
+        assert!(obs.validate().is_err());
+    }
+
+    #[test]
+    fn server_timing_without_fsync_is_byte_stable() {
+        let t = ServerTiming {
+            queue_us: 5,
+            compute_us: 9,
+            fsync_us: None,
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(!json.contains("fsync_us"), "{json}");
+        let with = ServerTiming {
+            fsync_us: Some(120),
+            ..t
+        };
+        let json = serde_json::to_string(&with).unwrap();
+        assert!(json.contains(r#""fsync_us":120"#), "{json}");
+    }
+
+    #[test]
+    fn observe_device_response_roundtrips() {
+        let resp = ObserveDeviceResponse {
+            schema_version: crate::SCHEMA_VERSION,
+            device: 7,
+            last_seq: 42,
+            records: 42,
+            window: 16,
+            v_safe_v: 2.41,
+            v_delta_v: 0.08,
+            buffer_energy_j: 0.0021,
+            rolling: RollingVerdictDto {
+                safe_hyperperiods: 8,
+                horizon: 8,
+                period_s: 60.0,
+                proven_periodic: true,
+                verdict: "proved-periodic".to_string(),
+            },
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: ObserveDeviceResponse = serde_json::from_str(&json).unwrap();
         assert_eq!(back, resp);
     }
 

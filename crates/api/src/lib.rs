@@ -30,8 +30,10 @@ pub use dto::{
     check_schema_version, BatchItem, BatchOutcome, BatchRequest, BatchResponse, CacheMetrics,
     CounterexampleDto, EndpointMetrics, FleetEvent, FleetRegisterRequest, FleetRegisterResponse,
     FleetSummaryResponse, FleetTwinResponse, HealthResponse, LintRequest, LintResponse,
-    MetricsResponse, NamedTrace, ServerTiming, ShedMetrics, UnknownDto, VerifyFindingDto,
-    VerifyRequest, VerifyResponse, VsafeRequest, VsafeResponse,
+    LivezResponse, MetricsResponse, NamedTrace, ObservationDto, ObserveAckDto,
+    ObserveDeviceResponse, ObserveRequest, ObserveResponse, ReadyzResponse, RollingVerdictDto,
+    ServerTiming, ShedMetrics, UnknownDto, VerifyFindingDto, VerifyRequest, VerifyResponse,
+    VsafeRequest, VsafeResponse,
 };
 pub use error::{ApiError, ApiErrorKind};
 pub use plan::{LaunchSpec, PlanSpec};

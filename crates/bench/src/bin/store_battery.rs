@@ -1,0 +1,27 @@
+//! Produces `results/store_battery.json`: ingest throughput per
+//! durability mode and crash-recovery latency for the telemetry store —
+//! the receipts behind EXPERIMENTS.md's "durable telemetry" table.
+//!
+//! The throughput and latency columns are wall-clock by design; the
+//! record counts, recovered counts, and torn-byte accounting in the same
+//! rows are exact. Pass `--quick` for a CI-sized run.
+
+use culpeo_harness::store::{self, StoreBatteryConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        StoreBatteryConfig {
+            fsync_records: 200,
+            batch_records: 1_600,
+            batch_size: 64,
+            manual_records: 20_000,
+            seed: 42,
+        }
+    } else {
+        StoreBatteryConfig::default()
+    };
+    let (report, telemetry) = store::run_timed(&config);
+    print!("{}", store::print_table(&report));
+    culpeo_bench::write_json_with_telemetry("store_battery", &report, &telemetry);
+}

@@ -245,6 +245,127 @@ pub fn serve(config: &culpeo_served::ServerConfig) -> Result<(String, i32), CliE
     ))
 }
 
+/// `culpeo store recover DIR [--format json|human]` — runs crash
+/// recovery on a telemetry store directory: truncates the torn tail a
+/// `kill -9` left behind, quarantines CRC-corrupt segments, and reports
+/// what survived. Idempotent — safe to run on a healthy directory.
+pub fn store_recover(dir: &str, format: LintFormat) -> Result<(String, i32), CliError> {
+    let report =
+        culpeo_store::recover(std::path::Path::new(dir)).map_err(|e| store_error(dir, &e))?;
+    let rendered = match format {
+        LintFormat::Json => {
+            let mut doc =
+                serde_json::to_string(&report).map_err(|e| CliError::Spec(e.to_string()))?;
+            doc.push('\n');
+            doc
+        }
+        LintFormat::Human => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "store recover: {} records over {} segments ({} devices), {} live bytes",
+                report.records_recovered,
+                report.segments_scanned,
+                report.devices,
+                report.live_bytes
+            );
+            let _ = writeln!(
+                out,
+                "  torn tail truncated: {} bytes",
+                report.truncated_bytes
+            );
+            if report.quarantined.is_empty() {
+                let _ = writeln!(out, "  quarantined segments: none");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  quarantined segments: {}",
+                    report.quarantined.join(", ")
+                );
+            }
+            out
+        }
+    };
+    Ok((rendered, 0))
+}
+
+/// `culpeo store stat DIR [--format json|human]` — read-only scan: what
+/// a recovery *would* do. Exits 1 when the directory needs one (a torn
+/// tail or a corrupt segment is present), 0 when it is clean — so
+/// `store recover && store stat` proves recovery converged.
+pub fn store_stat(dir: &str, format: LintFormat) -> Result<(String, i32), CliError> {
+    let stat = culpeo_store::scan(std::path::Path::new(dir)).map_err(|e| store_error(dir, &e))?;
+    let dirty = stat.torn_bytes > 0 || !stat.corrupt_segments.is_empty();
+    let rendered = match format {
+        LintFormat::Json => {
+            let mut doc =
+                serde_json::to_string(&stat).map_err(|e| CliError::Spec(e.to_string()))?;
+            doc.push('\n');
+            doc
+        }
+        LintFormat::Human => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "store stat: {} records over {} live segments ({} devices), {} live bytes",
+                stat.records, stat.segments, stat.devices, stat.live_bytes
+            );
+            let _ = writeln!(out, "  torn bytes awaiting recovery: {}", stat.torn_bytes);
+            let _ = writeln!(
+                out,
+                "  segments a recovery would quarantine: {}",
+                if stat.corrupt_segments.is_empty() {
+                    "none".to_string()
+                } else {
+                    stat.corrupt_segments.join(", ")
+                }
+            );
+            if !stat.quarantined.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  already quarantined: {}",
+                    stat.quarantined.join(", ")
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  verdict: {}",
+                if dirty { "NEEDS RECOVERY" } else { "clean" }
+            );
+            out
+        }
+    };
+    Ok((rendered, i32::from(dirty)))
+}
+
+/// `culpeo store fill DIR --records N [--seed S]` — appends `N` seeded,
+/// acked-durable observation records (the `culpeo-faults` seeded stream,
+/// so the bytes are a pure function of the seed). `scripts/store.sh`
+/// byte-compares two fills of the same seed and tears one apart.
+pub fn store_fill(dir: &str, records: u64, seed: u64) -> Result<(String, i32), CliError> {
+    let config = culpeo_store::StoreConfig::default();
+    let (store, _) = culpeo_store::Store::open(std::path::Path::new(dir), config)
+        .map_err(|e| store_error(dir, &e))?;
+    let records = usize::try_from(records)
+        .map_err(|_| CliError::Usage("--records is out of range".into()))?;
+    for (device, vs, vm, vf) in culpeo_faults::store::seeded_triples(seed, records) {
+        store
+            .append(device, vs, vm, vf)
+            .map_err(|e| store_error(dir, &e))?;
+    }
+    store.sync().map_err(|e| store_error(dir, &e))?;
+    let durable = store.durable_bytes();
+    Ok((
+        format!("store fill: {records} records durable in {dir} ({durable} bytes)\n"),
+        0,
+    ))
+}
+
+/// Maps a store failure onto the CLI error surface.
+fn store_error(dir: &str, e: &culpeo_store::StoreError) -> CliError {
+    CliError::Io(dir.to_string(), std::io::Error::other(e.to_string()))
+}
+
 /// `culpeo chaos [--seed N] [--threads N] [--format json|human]` — runs
 /// the seeded `culpeo-faults` battery across all four fault levels and
 /// exits 1 if any scenario fails. For a given seed the report is

@@ -39,7 +39,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::service::{self, ServiceFault};
 use crate::trace::{corrupt_csv, TraceFault};
-use crate::{physics, sched, sub_seed};
+use crate::{physics, sched, store, sub_seed};
 
 /// Which layer of the stack a scenario attacks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +52,9 @@ pub enum Level {
     Sched,
     /// Abusive TCP clients at the daemon.
     Service,
+    /// Crash/torn-write/overload injections at the durable telemetry
+    /// log.
+    Store,
 }
 
 impl Level {
@@ -63,6 +66,7 @@ impl Level {
             Level::Physics => "physics",
             Level::Sched => "sched",
             Level::Service => "service",
+            Level::Store => "store",
         }
     }
 }
@@ -270,6 +274,24 @@ pub fn scenarios() -> Vec<Scenario> {
             level: Level::Sched,
             expect: "a verifier-refuted schedule browns out on the plant",
             run: sched_verifier_refuted_duel,
+        },
+        Scenario {
+            id: "store-kill-mid-append",
+            level: Level::Store,
+            expect: "recovery keeps the acked prefix and truncates the torn tail",
+            run: store_kill_mid_append,
+        },
+        Scenario {
+            id: "store-crc-corrupt-quarantine",
+            level: Level::Store,
+            expect: "a CRC-corrupt segment is quarantined, never fatal",
+            run: store_crc_corrupt_quarantine,
+        },
+        Scenario {
+            id: "store-overload-shed-no-loss",
+            level: Level::Store,
+            expect: "overload sheds new ingests; every acked record survives",
+            run: store_overload_shed_no_loss,
         },
     ]
 }
@@ -724,6 +746,157 @@ fn service_drain_under_chaos(seed: u64) -> Result<String, String> {
     Ok("absorbed the abuse, answered health 200, drained cleanly".to_string())
 }
 
+// ---------------------------------------------------------------------
+// Store level
+// ---------------------------------------------------------------------
+
+/// Kill -9 mid-append: write a seeded stream durably, cut the log at a
+/// seeded byte offset, and demand recovery yields exactly the surviving
+/// whole-frame prefix — twice (idempotence).
+fn store_kill_mid_append(seed: u64) -> Result<String, String> {
+    use culpeo_store::{Durability, FRAME_LEN};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(6..14usize);
+    let frame = FRAME_LEN as u64;
+    let total = n as u64 * frame;
+    let crash = rng.gen_range(0..total + 1);
+    let dir = store::scratch_dir("kill", seed);
+    let verdict = (|| {
+        store::write_durable(
+            &dir,
+            store::tiny_config(3, Durability::Manual),
+            &store::seeded_triples(seed, n),
+        )
+        .map_err(|_| "seed write failed".to_string())?;
+        store::crash_at(&dir, crash).map_err(|_| "crash injection failed".to_string())?;
+        let expected = crash / frame;
+        let tail = crash % frame;
+        let report = culpeo_store::recover(&dir).map_err(|_| "recovery errored".to_string())?;
+        if report.records_recovered != expected {
+            return Err(format!(
+                "kill at frame {expected}+{tail}B of {n}: recovered {} records, wanted {expected}",
+                report.records_recovered
+            ));
+        }
+        if report.truncated_bytes != tail {
+            return Err(format!(
+                "truncated {} bytes, wanted the {tail}-byte torn tail",
+                report.truncated_bytes
+            ));
+        }
+        let again = culpeo_store::recover(&dir).map_err(|_| "re-recovery errored".to_string())?;
+        if again.records_recovered != expected || again.truncated_bytes != 0 {
+            return Err("recovery was not idempotent".to_string());
+        }
+        Ok(format!(
+            "killed at frame {expected} (+{tail}B) of {n}; prefix recovered twice"
+        ))
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    verdict
+}
+
+/// Bit-rot inside a sealed segment: flip one payload byte in the middle
+/// segment and demand recovery quarantines that segment alone, keeping
+/// every record around it — and keeps answering on the second pass.
+fn store_crc_corrupt_quarantine(seed: u64) -> Result<String, String> {
+    use culpeo_store::{Durability, FRAME_LEN, HEADER_LEN, PAYLOAD_LEN};
+    let mut rng = StdRng::seed_from_u64(seed);
+    // 9 records over 3-frame segments: segments 0,1 sealed, 2 live.
+    let n = 9usize;
+    let frame = FRAME_LEN as u64;
+    // A payload byte of a seeded frame inside segment 1 (frames 3..6).
+    let victim_frame = rng.gen_range(3..6u64);
+    let within = HEADER_LEN as u64 + rng.gen_range(0..PAYLOAD_LEN as u64);
+    let dir = store::scratch_dir("crc", seed);
+    let verdict = (|| {
+        store::write_durable(
+            &dir,
+            store::tiny_config(3, Durability::Manual),
+            &store::seeded_triples(seed, n),
+        )
+        .map_err(|_| "seed write failed".to_string())?;
+        store::flip_byte(&dir, victim_frame * frame + within)
+            .map_err(|_| "flip injection failed".to_string())?;
+        let report = culpeo_store::recover(&dir).map_err(|_| "recovery errored".to_string())?;
+        if report.quarantined.len() != 1 {
+            return Err(format!(
+                "{} segments quarantined, wanted exactly the corrupt one",
+                report.quarantined.len()
+            ));
+        }
+        if report.records_recovered != 6 {
+            return Err(format!(
+                "recovered {} records, wanted the 6 outside the corrupt segment",
+                report.records_recovered
+            ));
+        }
+        // The second pass still *lists* the renamed-aside file but must
+        // find nothing new to repair.
+        let again = culpeo_store::recover(&dir).map_err(|_| "re-recovery errored".to_string())?;
+        if again.records_recovered != 6
+            || again.quarantined.len() != 1
+            || again.truncated_bytes != 0
+        {
+            return Err("recovery was not idempotent after quarantine".to_string());
+        }
+        Ok(format!(
+            "flipped a byte in frame {victim_frame}; 1 segment quarantined, 6 of 9 records kept"
+        ))
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    verdict
+}
+
+/// Fsync-backlog overload: with the backlog cap at zero every new
+/// ingest must shed with `Overloaded` *before* writing a byte, so the
+/// acked records on disk survive recovery untouched.
+fn store_overload_shed_no_loss(seed: u64) -> Result<String, String> {
+    use culpeo_store::{Durability, Store, StoreConfig, StoreError};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let acked = rng.gen_range(4..9usize);
+    let shed_attempts = rng.gen_range(3..7usize);
+    let dir = store::scratch_dir("shed", seed);
+    let verdict = (|| {
+        store::write_durable(
+            &dir,
+            store::tiny_config(3, Durability::Manual),
+            &store::seeded_triples(seed, acked),
+        )
+        .map_err(|_| "seed write failed".to_string())?;
+        {
+            let config = StoreConfig {
+                max_pending: 0,
+                durability: Durability::Fsync,
+                ..store::tiny_config(3, Durability::Fsync)
+            };
+            let (full, _) = Store::open(&dir, config).map_err(|_| "reopen failed".to_string())?;
+            for k in 0..shed_attempts {
+                match full.append(1, 2.3, 2.2, 2.28) {
+                    Err(StoreError::Overloaded { .. }) => {}
+                    Err(e) => return Err(format!("shed {k} failed oddly: {e}")),
+                    Ok(_) => return Err("a full backlog acked an ingest".to_string()),
+                }
+            }
+        }
+        let report = culpeo_store::recover(&dir).map_err(|_| "recovery errored".to_string())?;
+        if report.records_recovered != acked as u64 {
+            return Err(format!(
+                "recovered {} records, wanted all {acked} acked ones",
+                report.records_recovered
+            ));
+        }
+        if report.truncated_bytes != 0 {
+            return Err("shed ingests leaked bytes into the log".to_string());
+        }
+        Ok(format!(
+            "shed {shed_attempts} ingests at a full backlog; all {acked} acked records survived"
+        ))
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    verdict
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -732,7 +905,13 @@ mod tests {
     fn roster_covers_every_level_with_at_least_twelve_scenarios() {
         let roster = scenarios();
         assert!(roster.len() >= 12, "only {} scenarios", roster.len());
-        for level in [Level::Trace, Level::Physics, Level::Sched, Level::Service] {
+        for level in [
+            Level::Trace,
+            Level::Physics,
+            Level::Sched,
+            Level::Service,
+            Level::Store,
+        ] {
             assert!(
                 roster.iter().filter(|s| s.level == level).count() >= 2,
                 "level {} under-covered",

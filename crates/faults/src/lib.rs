@@ -21,6 +21,11 @@
 //!   lying `Content-Length`, oversized bodies, mid-request disconnects,
 //!   injected handler panics); the daemon must always answer well-formed
 //!   JSON errors and still drain cleanly.
+//! * [`store`] attacks the durable telemetry log the way a `kill -9`
+//!   or bit-rot would (mid-append truncation, CRC-invalidating byte
+//!   flips, fsync-backlog overload); recovery must keep every acked
+//!   record, truncate torn tails, and quarantine — never die on —
+//!   corruption.
 //!
 //! [`chaos`] assembles all of it into one seeded battery
 //! (`culpeo chaos --seed S`) whose report is byte-identical across runs
@@ -35,6 +40,7 @@ pub mod chaos;
 pub mod physics;
 pub mod sched;
 pub mod service;
+pub mod store;
 pub mod trace;
 
 pub use chaos::{run_battery, scenarios, Level, Scenario, ScenarioResult};

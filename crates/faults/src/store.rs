@@ -1,0 +1,193 @@
+//! Crash and torn-write injectors for the durable telemetry store.
+//!
+//! Everything here manipulates a real on-disk segment directory the way
+//! a `kill -9` (or a decaying flash sector) would: truncating the byte
+//! stream at an arbitrary offset, deleting the segments written after
+//! it, or flipping a single payload byte so the frame's CRC no longer
+//! matches. The chaos battery then asserts the store's recovery
+//! invariant — every acked record survives, torn tails are truncated,
+//! corrupt segments are quarantined, and nothing is ever fatal.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use culpeo_store::{segment_files, Durability, Store, StoreConfig, StoreError, FRAME_LEN};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A store configuration with tiny segments (`frames` records each) so
+/// scenarios exercise rotation and multi-segment recovery cheaply.
+#[must_use]
+pub fn tiny_config(frames: u64, durability: Durability) -> StoreConfig {
+    StoreConfig {
+        segment_bytes: frames * FRAME_LEN as u64,
+        ring_capacity: 64,
+        durability,
+        max_pending: 4096,
+    }
+}
+
+/// A fresh scratch directory for one scenario run. The caller removes
+/// it; the name never appears in a detail string.
+#[must_use]
+pub fn scratch_dir(tag: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "culpeo-chaos-store-{tag}-{seed:016x}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Draws `n` seeded, estimator-valid observation triples over a few
+/// devices.
+#[must_use]
+pub fn seeded_triples(seed: u64, n: usize) -> Vec<(u64, f64, f64, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let device = rng.gen_range(1..4u64);
+            let v_start = rng.gen_range(2.2..2.5f64);
+            let v_min = rng.gen_range(1.9..2.2f64);
+            let v_final = rng.gen_range(v_min..2.4f64);
+            (device, v_start, v_min, v_final)
+        })
+        .collect()
+}
+
+/// Writes `triples` into a fresh store under `dir`, syncs, and closes —
+/// after this every record is acked-durable on disk.
+///
+/// # Errors
+///
+/// Propagates any store error (the scenario converts it to a failure).
+pub fn write_durable(
+    dir: &Path,
+    config: StoreConfig,
+    triples: &[(u64, f64, f64, f64)],
+) -> Result<(), StoreError> {
+    let (store, _) = Store::open(dir, config)?;
+    for &(device, vs, vm, vf) in triples {
+        store.append(device, vs, vm, vf)?;
+    }
+    store.sync()?;
+    Ok(())
+}
+
+/// Emulates `kill -9` at byte offset `crash_at` of the cumulative log:
+/// segments entirely before the offset survive, the segment containing
+/// it is truncated there, and everything written after it is removed
+/// (those bytes never reached the disk).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn crash_at(dir: &Path, crash_at: u64) -> std::io::Result<()> {
+    let mut cum = 0u64;
+    for path in segment_files(dir)? {
+        let len = std::fs::metadata(&path)?.len();
+        if cum + len <= crash_at {
+            cum += len;
+            continue;
+        }
+        if cum >= crash_at {
+            std::fs::remove_file(&path)?;
+        } else {
+            let keep = crash_at - cum;
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&path)?
+                .set_len(keep)?;
+            cum += len;
+        }
+    }
+    Ok(())
+}
+
+/// Flips one bit of the byte at `offset` into the cumulative log — a
+/// torn-write / bit-rot injection that invalidates exactly one frame's
+/// CRC.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; fails if `offset` is past the log end.
+pub fn flip_byte(dir: &Path, offset: u64) -> std::io::Result<()> {
+    let mut cum = 0u64;
+    for path in segment_files(dir)? {
+        let len = std::fs::metadata(&path)?.len();
+        if cum + len <= offset {
+            cum += len;
+            continue;
+        }
+        let within = offset - cum;
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        f.seek(SeekFrom::Start(within))?;
+        let mut b = [0u8; 1];
+        f.read_exact(&mut b)?;
+        b[0] ^= 0x40;
+        f.seek(SeekFrom::Start(within))?;
+        f.write_all(&b)?;
+        return Ok(());
+    }
+    Err(std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        "offset past end of log",
+    ))
+}
+
+/// Total bytes across live (non-quarantined) segments.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn log_bytes(dir: &Path) -> std::io::Result<u64> {
+    let mut total = 0u64;
+    for path in segment_files(dir)? {
+        total += std::fs::metadata(&path)?.len();
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_at_keeps_exactly_the_prefix() {
+        let dir = scratch_dir("unit-crash", 7);
+        let triples = seeded_triples(7, 7);
+        write_durable(&dir, tiny_config(3, Durability::Manual), &triples).unwrap();
+        let frame = FRAME_LEN as u64;
+        crash_at(&dir, 4 * frame + 13).unwrap();
+        assert_eq!(log_bytes(&dir).unwrap(), 4 * frame + 13);
+        let report = culpeo_store::recover(&dir).unwrap();
+        assert_eq!(report.records_recovered, 4);
+        assert_eq!(report.truncated_bytes, 13);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flip_byte_changes_exactly_one_byte() {
+        let dir = scratch_dir("unit-flip", 8);
+        write_durable(
+            &dir,
+            tiny_config(3, Durability::Manual),
+            &seeded_triples(8, 3),
+        )
+        .unwrap();
+        let before = std::fs::read(segment_files(&dir).unwrap()[0].clone()).unwrap();
+        flip_byte(&dir, 60).unwrap();
+        let after = std::fs::read(segment_files(&dir).unwrap()[0].clone()).unwrap();
+        let diffs = before
+            .iter()
+            .zip(after.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(diffs, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -27,6 +27,7 @@ pub mod harvest;
 pub mod preflight;
 pub mod race;
 pub mod reconfig;
+pub mod store;
 pub mod systems;
 pub mod verify;
 

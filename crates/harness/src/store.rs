@@ -1,0 +1,304 @@
+//! Harness driver for the durable telemetry store: ingest throughput in
+//! each durability mode and crash-recovery latency, the receipts behind
+//! EXPERIMENTS.md's "durable telemetry" table.
+//!
+//! Determinism caveat: unlike the figure drivers, the *point* of this
+//! artifact is wall-clock (records/s, recovery seconds), so the rows of
+//! `results/store_battery.json` carry timings and are not byte-stable
+//! across machines. The record counts, recovered counts, and torn-tail
+//! bytes in the same rows *are* exact and machine-independent — the
+//! correctness half of the report is still a fixed function of the
+//! configuration.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use culpeo_exec::{PhaseClock, Telemetry};
+use culpeo_faults::store::seeded_triples;
+use culpeo_store::{recover, Durability, Store, StoreConfig, FRAME_LEN};
+use serde::Serialize;
+
+/// Sizing knobs for one battery run.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreBatteryConfig {
+    /// Records appended one-per-ack in `Durability::Fsync` mode.
+    pub fsync_records: usize,
+    /// Records appended via `append_batch` (one ack per batch) in
+    /// `Durability::Fsync` mode.
+    pub batch_records: usize,
+    /// Records per `append_batch` call in the batched phase.
+    pub batch_size: usize,
+    /// Records appended in `Durability::Manual` mode (one fsync at the
+    /// end), and the population the recovery phase then crashes into.
+    pub manual_records: usize,
+    /// Seed for the synthetic observation stream.
+    pub seed: u64,
+}
+
+impl Default for StoreBatteryConfig {
+    fn default() -> Self {
+        Self {
+            fsync_records: 2_000,
+            batch_records: 16_000,
+            batch_size: 64,
+            manual_records: 200_000,
+            seed: 42,
+        }
+    }
+}
+
+/// One ingest-mode measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct IngestRow {
+    /// Durability mode + call shape being measured.
+    pub mode: String,
+    /// Records appended.
+    pub records: u64,
+    /// Wall-clock seconds for the whole phase (including the final
+    /// fsync in manual mode — durability is part of the price).
+    pub seconds: f64,
+    /// `records / seconds`.
+    pub records_per_s: f64,
+    /// Group-commit fsync rounds the phase paid for (0 in manual mode's
+    /// append loop; its single closing `sync` is counted here too).
+    pub fsync_rounds: u64,
+}
+
+/// The recovery measurement: crash into a populated log, repair it.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecoveryRow {
+    /// Records durable before the simulated crash.
+    pub records_before: u64,
+    /// Bytes torn off the final frame by the simulated crash.
+    pub torn_bytes: u64,
+    /// Records recovered (must be `records_before` — the torn frame was
+    /// never acked).
+    pub records_recovered: u64,
+    /// Segment files scanned.
+    pub segments: usize,
+    /// Wall-clock seconds for `culpeo_store::recover`.
+    pub seconds: f64,
+    /// `records_recovered / seconds`.
+    pub records_per_s: f64,
+}
+
+/// The full battery artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct StoreBatteryReport {
+    /// Seed of the synthetic observation stream.
+    pub seed: u64,
+    /// Per-mode ingest throughput.
+    pub ingest: Vec<IngestRow>,
+    /// Crash-recovery latency over the manual-mode population.
+    pub recovery: RecoveryRow,
+}
+
+/// Runs the battery in a scratch directory with phase telemetry.
+///
+/// # Panics
+///
+/// Panics on any store or filesystem error — a failed measurement run
+/// has no artifact to write.
+#[must_use]
+pub fn run_timed(config: &StoreBatteryConfig) -> (StoreBatteryReport, Telemetry) {
+    let mut clock = PhaseClock::new(1);
+    let mut ingest = Vec::new();
+
+    // Phase 1: one durable ack per record.
+    let dir = scratch("fsync");
+    let (store, _) = Store::open(&dir, store_config(Durability::Fsync)).expect("open fsync store");
+    let triples = seeded_triples(config.seed, config.fsync_records);
+    let started = Instant::now();
+    let mut rounds = 0u64;
+    for (device, vs, vm, vf) in &triples {
+        let acked = store.append(*device, *vs, *vm, *vf).expect("append");
+        rounds = rounds.max(acked.fsync_rounds as u64);
+    }
+    ingest.push(ingest_row(
+        "fsync-per-record",
+        triples.len(),
+        started.elapsed().as_secs_f64(),
+        rounds,
+    ));
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    clock.mark("fsync-per-record");
+
+    // Phase 2: durable acks amortised over batches.
+    let dir = scratch("batch");
+    let (store, _) = Store::open(&dir, store_config(Durability::Fsync)).expect("open batch store");
+    let triples = seeded_triples(config.seed, config.batch_records);
+    let started = Instant::now();
+    let mut rounds = 0u64;
+    for chunk in triples.chunks(config.batch_size) {
+        // One device per batch call keeps the shape of a real uplink: a
+        // device flushes its backlog in one request.
+        let device = chunk[0].0;
+        let batch: Vec<(f64, f64, f64)> = chunk.iter().map(|t| (t.1, t.2, t.3)).collect();
+        let acks = store.append_batch(device, &batch).expect("append_batch");
+        rounds = rounds.max(acks.last().map_or(0, |a| a.fsync_rounds as u64));
+    }
+    ingest.push(ingest_row(
+        "fsync-batch",
+        triples.len(),
+        started.elapsed().as_secs_f64(),
+        rounds,
+    ));
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    clock.mark("fsync-batch");
+
+    // Phase 3: manual mode — ack means "in the page cache", one closing
+    // fsync covers the run (the analysis-cache shape, not the ingest
+    // default).
+    let dir = scratch("manual");
+    let (store, _) =
+        Store::open(&dir, store_config(Durability::Manual)).expect("open manual store");
+    let triples = seeded_triples(config.seed, config.manual_records);
+    let started = Instant::now();
+    for (device, vs, vm, vf) in &triples {
+        store.append(*device, *vs, *vm, *vf).expect("append");
+    }
+    store.sync().expect("closing sync");
+    ingest.push(ingest_row(
+        "manual+final-sync",
+        triples.len(),
+        started.elapsed().as_secs_f64(),
+        1,
+    ));
+    drop(store);
+    clock.mark("manual+final-sync");
+
+    // Phase 4: crash into the manual population mid-frame and recover.
+    let torn = (FRAME_LEN as u64) / 2;
+    let last = culpeo_store::segment_files(&dir)
+        .expect("list segments")
+        .pop()
+        .expect("at least one segment");
+    let len = std::fs::metadata(&last).expect("segment metadata").len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&last)
+        .and_then(|f| f.set_len(len + torn - FRAME_LEN as u64))
+        .expect("tear the tail");
+    let started = Instant::now();
+    let report = recover(&dir).expect("recovery");
+    let seconds = started.elapsed().as_secs_f64();
+    assert_eq!(
+        report.records_recovered + 1,
+        config.manual_records as u64,
+        "exactly the torn final frame is lost"
+    );
+    assert!(report.quarantined.is_empty(), "a tear is not corruption");
+    let recovery = RecoveryRow {
+        records_before: config.manual_records as u64,
+        torn_bytes: report.truncated_bytes,
+        records_recovered: report.records_recovered,
+        segments: report.segments_scanned,
+        seconds,
+        records_per_s: throughput(report.records_recovered, seconds),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    clock.mark("recover");
+
+    (
+        StoreBatteryReport {
+            seed: config.seed,
+            ingest,
+            recovery,
+        },
+        clock.finish(),
+    )
+}
+
+/// Human-readable table for the battery report.
+#[must_use]
+pub fn print_table(report: &StoreBatteryReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "durable telemetry store (seed {}):", report.seed);
+    let _ = writeln!(
+        out,
+        "{:<20} {:>10} {:>12} {:>14}",
+        "ingest mode", "records", "records/s", "fsync rounds"
+    );
+    for row in &report.ingest {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>10} {:>12.0} {:>14}",
+            row.mode, row.records, row.records_per_s, row.fsync_rounds
+        );
+    }
+    let r = &report.recovery;
+    let _ = writeln!(
+        out,
+        "recovery: {} of {} records in {:.3}s ({:.0} records/s, {} torn bytes truncated, {} segments)",
+        r.records_recovered, r.records_before, r.seconds, r.records_per_s, r.torn_bytes, r.segments
+    );
+    out
+}
+
+fn ingest_row(mode: &str, records: usize, seconds: f64, fsync_rounds: u64) -> IngestRow {
+    IngestRow {
+        mode: mode.to_string(),
+        records: records as u64,
+        seconds,
+        records_per_s: throughput(records as u64, seconds),
+        fsync_rounds,
+    }
+}
+
+fn throughput(records: u64, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        records as f64 / seconds
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// 256 KiB segments: large enough to amortise rotation, small enough
+/// that the recovery phase scans a multi-segment directory.
+fn store_config(durability: Durability) -> StoreConfig {
+    StoreConfig {
+        segment_bytes: 256 * 1024,
+        durability,
+        ..StoreConfig::default()
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("culpeo-store-battery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_battery_measures_all_modes_and_recovers_exactly() {
+        let config = StoreBatteryConfig {
+            fsync_records: 20,
+            batch_records: 128,
+            batch_size: 16,
+            manual_records: 500,
+            seed: 7,
+        };
+        let (report, telemetry) = run_timed(&config);
+        assert_eq!(report.ingest.len(), 3);
+        for row in &report.ingest {
+            assert!(row.records_per_s > 0.0, "{}: no throughput", row.mode);
+        }
+        assert_eq!(report.recovery.records_before, 500);
+        assert_eq!(report.recovery.records_recovered, 499);
+        assert_eq!(report.recovery.torn_bytes, (FRAME_LEN as u64) / 2);
+        assert!(report.recovery.segments > 0);
+        assert_eq!(telemetry.phases.len(), 4);
+        let table = print_table(&report);
+        assert!(table.contains("fsync-batch"));
+        assert!(table.contains("recovery: 499 of 500"));
+    }
+}

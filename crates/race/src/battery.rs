@@ -24,9 +24,11 @@ use crate::explore::{explore, Counterexample, Options};
 use crate::model;
 use culpeo_exec::protocol as exec_protocol;
 use culpeo_exec::shard as exec_shard;
-use culpeo_exec::shim::{AtomicBoolShim, AtomicUsizeShim, MutexShim};
+use culpeo_exec::shim::{AtomicBoolShim, AtomicU64Shim, AtomicUsizeShim, CondvarShim, MutexShim};
 use culpeo_served::protocol as served_protocol;
 use culpeo_served::protocol::Enqueue;
+use culpeo_store::commit as store_commit;
+use culpeo_store::commit::CommitState;
 use serde::Serialize;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -510,9 +512,110 @@ fn shard_handoff(atomic_finish: bool) {
     );
 }
 
+/// Store group commit: two writers racing the real
+/// [`culpeo_store::commit::commit_durable`] — whichever becomes the
+/// fsync leader and however wakes coalesce, no writer's append call may
+/// return (ack) before an fsync covering its record has completed. The
+/// `synced` word is the disk: only the sync closure advances it, so
+/// `synced >= seq` on return *is* the durability invariant.
+fn store_group_commit() {
+    group_commit(true);
+}
+
+fn group_commit(ack_after_sync: bool) {
+    const WRITERS: usize = 2;
+    let state = Arc::new(<model::Mutex<CommitState> as MutexShim<CommitState>>::new(
+        CommitState::default(),
+    ));
+    let cv = Arc::new(<model::Condvar as CondvarShim<
+        CommitState,
+        model::Mutex<CommitState>,
+    >>::new());
+    let durable = Arc::new(<model::AtomicU64 as AtomicU64Shim>::new(0));
+    let appended = Arc::new(<model::AtomicU64 as AtomicU64Shim>::new(0));
+    // The model's disk: the high-water mark an actually-completed fsync
+    // covers. Only the sync closure may advance it.
+    let synced = Arc::new(<model::AtomicU64 as AtomicU64Shim>::new(0));
+
+    let mut writers = Vec::new();
+    for w in 0..WRITERS {
+        let (state, cv, durable, appended, synced) = (
+            Arc::clone(&state),
+            Arc::clone(&cv),
+            Arc::clone(&durable),
+            Arc::clone(&appended),
+            Arc::clone(&synced),
+        );
+        writers.push(model::spawn(&format!("writer-{w}"), move || {
+            let seq = appended.fetch_add(1, Ordering::SeqCst) + 1;
+            if ack_after_sync {
+                store_commit::commit_durable(&*state, &*cv, &*durable, seq, || {
+                    let upto = appended.load(Ordering::SeqCst);
+                    synced.store(upto, Ordering::SeqCst); // the fsync lands
+                    Ok::<u64, ()>(upto)
+                })
+                .expect("sync cannot fail in this model");
+            } else {
+                // The mutant: the leader publishes `durable` (the ack
+                // gate) *before* running the fsync — the tempting
+                // "optimistic ack" refactor. A writer observing the
+                // early publication returns with its record still in
+                // the page cache.
+                loop {
+                    if durable.load(Ordering::SeqCst) >= seq {
+                        break;
+                    }
+                    let mut g = match state.lock() {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    if durable.load(Ordering::SeqCst) >= seq {
+                        break;
+                    }
+                    if g.leader_active {
+                        drop(cv.wait(g, &*state));
+                        continue;
+                    }
+                    g.leader_active = true;
+                    drop(g);
+                    let upto = appended.load(Ordering::SeqCst);
+                    durable.store(upto, Ordering::SeqCst); // ack first…
+                    synced.store(upto, Ordering::SeqCst); // …fsync later
+                    let mut g = match state.lock() {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    g.leader_active = false;
+                    <model::Condvar as CondvarShim<CommitState, model::Mutex<CommitState>>>::notify_all(&cv);
+                    drop(g);
+                }
+            }
+            // The ack's meaning: the record is on stable storage.
+            assert!(
+                synced.load(Ordering::SeqCst) >= seq,
+                "acked before the covering fsync completed"
+            );
+        }));
+    }
+    for w in writers {
+        w.join().expect("writers do not panic");
+    }
+    assert_eq!(
+        durable.load(Ordering::SeqCst),
+        WRITERS as u64,
+        "every append ends durable"
+    );
+}
+
 // ---------------------------------------------------------------------
 // Mutants — protocol breakages the checker must refute.
 // ---------------------------------------------------------------------
+
+/// The group-commit leader publishing the durable mark before its fsync
+/// runs: a concurrent writer acks a record the disk has not seen.
+fn mutant_commit_ack_first() {
+    group_commit(false);
+}
 
 /// The completion drain with take-then-re-arm order: a publish landing
 /// between the take and the re-arm owes no wake, strands its
@@ -718,6 +821,12 @@ const MODELS: &[ModelSpec] = &[
         threads: 3,
         run: exec_shard_handoff,
     },
+    ModelSpec {
+        name: "store-group-commit",
+        invariant: "no append acks before an fsync covering it completes",
+        threads: 3,
+        run: store_group_commit,
+    },
 ];
 
 const MUTANTS: &[MutantSpec] = &[
@@ -762,6 +871,12 @@ const MUTANTS: &[MutantSpec] = &[
         breaks: "shard finish counter split into load + store",
         expected: "panic",
         run: mutant_finish_split,
+    },
+    MutantSpec {
+        name: "commit-ack-first",
+        breaks: "group-commit leader publishes durability before the fsync",
+        expected: "panic",
+        run: mutant_commit_ack_first,
     },
 ];
 
@@ -1004,5 +1119,19 @@ mod tests {
     fn split_finish_counter_is_refuted() {
         let r = run_mutant("finish-split-rmw", &quick(7));
         assert!(r.caught, "expected {} got {}", r.expected, r.observed);
+    }
+
+    #[test]
+    fn group_commit_holds() {
+        let r = run_model("store-group-commit", &quick(7));
+        assert!(r.holds, "{:?}", r.counterexample);
+        assert!(r.interleavings > 10, "exploration actually branched");
+    }
+
+    #[test]
+    fn ack_before_fsync_is_refuted() {
+        let r = run_mutant("commit-ack-first", &quick(7));
+        assert!(r.caught, "expected {} got {}", r.expected, r.observed);
+        assert!(!r.trace.is_empty(), "a refutation carries its schedule");
     }
 }

@@ -10,11 +10,15 @@
 //! | `/v1/vsafe`         | POST | [`handle::vsafe`] (memoized)   |
 //! | `/v1/lint`          | POST | [`handle::lint`]               |
 //! | `/v1/batch`         | POST | [`handle::batch`] over a sweep |
+//! | `/v1/observe`       | POST | [`observe::ObserveHub::observe`] (durable ingest) |
+//! | `/v1/observe/:id`   | GET  | live Culpeo-R estimate + rolling verdict |
 //! | `/v1/fleet`         | POST | [`fleet::FleetState::register`]|
 //! | `/v1/fleet`         | GET  | whole-fleet summary            |
 //! | `/v1/fleet/:id`     | GET  | one twin's drift snapshot      |
 //! | `/v1/fleet/events`  | GET  | NDJSON round-event drain       |
 //! | `/v1/health`        | GET  | liveness + uptime              |
+//! | `/v1/livez`         | GET  | reactor liveness (inline)      |
+//! | `/v1/readyz`        | GET  | store/queue readiness (inline) |
 //! | `/v1/metrics`       | GET  | per-endpoint + cache counters  |
 //! | `/v1/shutdown`      | POST | graceful drain                 |
 //!
@@ -41,8 +45,10 @@ pub mod fleet;
 pub mod handle;
 pub mod http;
 pub mod metrics;
+pub mod observe;
 pub mod poll;
 pub mod protocol;
 mod server;
 
-pub use server::{ServeSummary, Server, ServerConfig, ShutdownHandle};
+pub use observe::{ObserveHub, StorePhase};
+pub use server::{LogMode, ServeSummary, Server, ServerConfig, ShutdownHandle};

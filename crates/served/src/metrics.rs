@@ -103,6 +103,14 @@ pub struct Metrics {
     pub fleet_twin: EndpointCounters,
     /// `GET /v1/fleet/events` (NDJSON).
     pub fleet_events: EndpointCounters,
+    /// `POST /v1/observe` (durable telemetry ingest).
+    pub observe: EndpointCounters,
+    /// `GET /v1/observe/:device` (live estimate + rolling verdict).
+    pub observe_device: EndpointCounters,
+    /// `GET /v1/livez` (reactor liveness, answered inline).
+    pub livez: EndpointCounters,
+    /// `GET /v1/readyz` (readiness, answered inline).
+    pub readyz: EndpointCounters,
     /// Anything else: 404/405/parse failures.
     pub other: EndpointCounters,
     /// 503s written by the acceptor because the bounded queue was full.
@@ -126,6 +134,10 @@ impl Metrics {
             self.fleet.snapshot("/v1/fleet"),
             self.fleet_twin.snapshot("/v1/fleet/:id"),
             self.fleet_events.snapshot("/v1/fleet/events"),
+            self.observe.snapshot("/v1/observe"),
+            self.observe_device.snapshot("/v1/observe/:device"),
+            self.livez.snapshot("/v1/livez"),
+            self.readyz.snapshot("/v1/readyz"),
             self.other.snapshot("(other)"),
             self.accept_rejected.snapshot("(accept-queue)"),
         ]
@@ -153,7 +165,7 @@ mod tests {
     #[test]
     fn snapshot_has_one_row_per_endpoint() {
         let rows = Metrics::default().snapshot();
-        assert_eq!(rows.len(), 12);
+        assert_eq!(rows.len(), 16);
         assert!(rows.iter().all(|r| r.requests == 0));
     }
 

@@ -1,0 +1,374 @@
+//! The telemetry ingest hub: durable observation log + online Culpeo-R.
+//!
+//! [`ObserveHub`] owns the crash-safe [`culpeo_store::Store`] behind
+//! `POST /v1/observe` and folds every acked `(V_start, V_min, V_final)`
+//! triple into a per-device Culpeo-R estimate (§IV-D) the moment it is
+//! durable. `GET /v1/observe/:device` serves the live estimate together
+//! with `culpeo-verify`'s rolling harvest-credit envelope — "safe for
+//! the next *k* hyperperiods" recomputed from the latest estimate.
+//!
+//! The fold is Culpeo-R's **max-update**: each new observation's
+//! estimate joins the running one component-wise upward (`V_safe`,
+//! `V_δ`, buffer energy), so the served requirement only ever moves in
+//! the pessimistic direction a fresh worst-case observation justifies —
+//! the same monotonicity [`culpeo_verify::rolling`] relies on. On
+//! recovery the fold replays the store's ring-buffer index, so a
+//! `kill -9` loses no acked estimate input.
+//!
+//! [`StorePhase`] is the daemon-visible lifecycle: `Disabled` (no
+//! `--store`), `Recovering` (startup scan running; `/v1/readyz` answers
+//! 503), `Ready`, or `Failed` (recovery error preserved for operators).
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use culpeo::runtime::{compute_vsafe, TaskObservation};
+use culpeo::{PowerSystemModel, VsafeEstimate};
+use culpeo_api::{
+    ApiError, ApiErrorKind, ObservationDto, ObserveAckDto, ObserveDeviceResponse, ObserveRequest,
+    ObserveResponse, RollingVerdictDto, SCHEMA_VERSION,
+};
+use culpeo_store::{Record, RecoveryReport, Store, StoreConfig, StoreError};
+use culpeo_units::Volts;
+use culpeo_verify::{rolling_envelope, RollingConfig};
+
+/// Where the daemon's durable telemetry layer currently stands.
+pub enum StorePhase {
+    /// `culpeo serve` was started without `--store`; `/v1/observe`
+    /// answers 404 and readiness reports the store as `disabled`.
+    Disabled,
+    /// The startup recovery scan is still running; ingest and readiness
+    /// answer 503 until it finishes.
+    Recovering,
+    /// The store recovered and ingest is live.
+    Ready(Arc<ObserveHub>),
+    /// Recovery failed; the message is deterministic enough to serve.
+    Failed(String),
+}
+
+/// One device's live Culpeo-R state: the max-update estimate plus the
+/// last observed post-rebound voltage (the rolling check's `v_now`).
+#[derive(Debug, Clone, Copy)]
+struct DeviceState {
+    est: VsafeEstimate,
+    v_now: f64,
+}
+
+/// The durable ingest hub shared by the observe endpoints.
+pub struct ObserveHub {
+    store: Store,
+    model: PowerSystemModel,
+    rolling: RollingConfig,
+    estimates: Mutex<HashMap<u64, DeviceState>>,
+}
+
+impl ObserveHub {
+    /// Opens (and recovers) the store under `dir`, then rebuilds every
+    /// device's Culpeo-R estimate from the recovered ring-buffer index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's recovery error (I/O only; torn tails and
+    /// CRC corruption are repaired, not fatal).
+    pub fn open(dir: &Path) -> Result<(Self, RecoveryReport), StoreError> {
+        let (store, report) = Store::open(dir, StoreConfig::default())?;
+        let hub = Self {
+            store,
+            model: PowerSystemModel::capybara(),
+            rolling: RollingConfig::default(),
+            estimates: Mutex::new(HashMap::new()),
+        };
+        {
+            let mut map = hub.lock_estimates();
+            for device in hub.store.devices() {
+                if let Some(snap) = hub.store.device(device) {
+                    for rec in &snap.recent {
+                        fold_record(&mut map, &hub.model, rec);
+                    }
+                }
+            }
+        }
+        Ok((hub, report))
+    }
+
+    /// Ingests one observe request: appends every triple durably (the
+    /// ack below is only built from records the store has fsynced),
+    /// then folds them into the per-device estimates. Returns the
+    /// response plus the microseconds spent inside the durability path
+    /// (the envelope's `fsync_us`).
+    ///
+    /// # Errors
+    ///
+    /// `bad_request` on shape/estimator-precondition violations, 503
+    /// `busy` (with `Retry-After`) when the store sheds load, 500 on
+    /// I/O failure.
+    pub fn observe(&self, req: &ObserveRequest) -> Result<(ObserveResponse, u64), ApiError> {
+        culpeo_api::check_schema_version(req.schema_version)?;
+        req.validate()?;
+        let observations = req.observations();
+
+        let t0 = Instant::now();
+        let mut acked = Vec::with_capacity(observations.len());
+        let mut fsync_rounds = 0u64;
+        // Consecutive same-device triples share one append (and thus
+        // one group-commit ticket); a mixed batch degrades gracefully
+        // to per-run appends.
+        let mut i = 0;
+        while i < observations.len() {
+            let device = observations[i].device;
+            let mut run: Vec<(f64, f64, f64)> = Vec::new();
+            while i < observations.len() && observations[i].device == device {
+                let o = observations[i];
+                run.push((o.v_start_v, o.v_min_v, o.v_final_v));
+                i += 1;
+            }
+            let acks = self.store.append_batch(device, &run).map_err(store_error)?;
+            if let Some(last) = acks.last() {
+                fsync_rounds += last.fsync_rounds as u64;
+            }
+            acked.extend(acks);
+        }
+        let fsync_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+
+        {
+            let mut map = self.lock_estimates();
+            for (ack, dto) in acked.iter().zip(observations.iter()) {
+                fold_dto(&mut map, &self.model, ack.device, dto);
+            }
+        }
+
+        Ok((
+            ObserveResponse {
+                schema_version: SCHEMA_VERSION,
+                acked: acked
+                    .iter()
+                    .map(|a| ObserveAckDto {
+                        device: a.device,
+                        seq: a.seq,
+                    })
+                    .collect(),
+                fsync_rounds,
+                pending: self.store.pending(),
+            },
+            fsync_us,
+        ))
+    }
+
+    /// Serves one device's live estimate plus the rolling "safe for the
+    /// next *k* hyperperiods" verdict.
+    ///
+    /// # Errors
+    ///
+    /// 404 `not_found` when the device has never reported.
+    pub fn device(&self, device: u64) -> Result<ObserveDeviceResponse, ApiError> {
+        let snap = self.store.device(device).ok_or_else(|| {
+            ApiError::new(
+                ApiErrorKind::NotFound,
+                format!("device {device} has no observations"),
+            )
+        })?;
+        let state = self.lock_estimates().get(&device).copied().ok_or_else(|| {
+            ApiError::new(
+                ApiErrorKind::NotFound,
+                format!("device {device} has no estimate"),
+            )
+        })?;
+        let verdict = rolling_envelope(&self.model, &state.est, state.v_now, &self.rolling);
+        Ok(ObserveDeviceResponse {
+            schema_version: SCHEMA_VERSION,
+            device,
+            last_seq: snap.last_seq,
+            records: snap.total,
+            window: snap.recent.len() as u64,
+            v_safe_v: state.est.v_safe.get(),
+            v_delta_v: state.est.v_delta.get(),
+            buffer_energy_j: state.est.buffer_energy.get(),
+            rolling: RollingVerdictDto {
+                safe_hyperperiods: verdict.safe_hyperperiods,
+                horizon: verdict.horizon,
+                period_s: self.rolling.period_s,
+                proven_periodic: verdict.proven_periodic,
+                verdict: verdict.label().to_string(),
+            },
+        })
+    }
+
+    /// Unsynced records currently awaiting a group-commit round.
+    #[must_use]
+    pub fn pending(&self) -> u64 {
+        self.store.pending()
+    }
+
+    /// Poison-recovering estimates lock: the map is rebuildable from
+    /// the store, so a panicked folder costs (at worst) pessimism lag,
+    /// never a dead worker.
+    fn lock_estimates(&self) -> MutexGuard<'_, HashMap<u64, DeviceState>> {
+        match self.estimates.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.estimates.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+}
+
+/// Maps a store failure onto the wire error taxonomy. Overload is the
+/// explicit degradation path: 503 + `Retry-After`, acked data untouched.
+fn store_error(e: StoreError) -> ApiError {
+    match e {
+        StoreError::Overloaded { pending } => ApiError::new(
+            ApiErrorKind::Busy,
+            format!(
+                "ingest fsync backlog is full ({pending} unsynced records); retry with backoff"
+            ),
+        ),
+        StoreError::NotFinite => ApiError::bad_request("observation voltages must be finite"),
+        StoreError::Io(err) => ApiError::new(
+            ApiErrorKind::Internal,
+            format!("telemetry store I/O failure: {}", err.kind()),
+        ),
+    }
+}
+
+fn fold_record(map: &mut HashMap<u64, DeviceState>, model: &PowerSystemModel, rec: &Record) {
+    fold(map, model, rec.device, rec.v_start, rec.v_min, rec.v_final);
+}
+
+fn fold_dto(
+    map: &mut HashMap<u64, DeviceState>,
+    model: &PowerSystemModel,
+    device: u64,
+    dto: &ObservationDto,
+) {
+    fold(
+        map,
+        model,
+        device,
+        dto.v_start_v,
+        dto.v_min_v,
+        dto.v_final_v,
+    );
+}
+
+/// The §IV-D online update: estimate the triple, then max-join it into
+/// the device's running estimate.
+fn fold(
+    map: &mut HashMap<u64, DeviceState>,
+    model: &PowerSystemModel,
+    device: u64,
+    v_start: f64,
+    v_min: f64,
+    v_final: f64,
+) {
+    // The store only holds triples the DTO validator (or a unit test)
+    // already checked, but recovered bytes are still external input:
+    // skip anything the estimator would reject rather than panic.
+    if !(v_start.is_finite() && v_min.is_finite() && v_final.is_finite())
+        || v_min > v_start
+        || v_min > v_final
+    {
+        return;
+    }
+    let obs = TaskObservation::new(Volts::new(v_start), Volts::new(v_min), Volts::new(v_final));
+    let new = compute_vsafe(&obs, model);
+    map.entry(device)
+        .and_modify(|s| {
+            s.est = VsafeEstimate {
+                v_safe: s.est.v_safe.max(new.v_safe),
+                v_delta: s.est.v_delta.max(new.v_delta),
+                buffer_energy: s.est.buffer_energy.max(new.buffer_energy),
+            };
+            s.v_now = v_final;
+        })
+        .or_insert(DeviceState {
+            est: new,
+            v_now: v_final,
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("culpeo-observe-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn single(device: u64, vs: f64, vm: f64, vf: f64) -> ObserveRequest {
+        ObserveRequest {
+            schema_version: Some(SCHEMA_VERSION),
+            observation: Some(ObservationDto {
+                device,
+                v_start_v: vs,
+                v_min_v: vm,
+                v_final_v: vf,
+            }),
+            batch: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn observe_acks_then_serves_a_rolling_verdict() {
+        let dir = tmp_dir("roundtrip");
+        let (hub, report) = ObserveHub::open(&dir).unwrap();
+        assert_eq!(report.records_recovered, 0);
+
+        let (resp, _fsync) = hub.observe(&single(7, 2.3, 2.25, 2.29)).unwrap();
+        assert_eq!(resp.acked.len(), 1);
+        assert_eq!(resp.acked[0].seq, 1);
+        assert_eq!(resp.pending, 0, "fsync mode leaves nothing pending");
+
+        let dev = hub.device(7).unwrap();
+        assert_eq!(dev.last_seq, 1);
+        assert!(dev.v_safe_v > 1.6, "estimate above V_off: {}", dev.v_safe_v);
+        assert_eq!(dev.rolling.horizon, 8);
+        assert!(
+            dev.rolling.proven_periodic,
+            "a light task proves the whole horizon: {:?}",
+            dev.rolling
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn the_estimate_is_a_max_update_and_survives_reopen() {
+        let dir = tmp_dir("maxjoin");
+        let deep_vsafe;
+        {
+            let (hub, _) = ObserveHub::open(&dir).unwrap();
+            hub.observe(&single(3, 2.3, 2.05, 2.29)).unwrap(); // deep dip
+            deep_vsafe = hub.device(3).unwrap().v_safe_v;
+            hub.observe(&single(3, 2.3, 2.28, 2.30)).unwrap(); // shallow
+            let after = hub.device(3).unwrap();
+            assert!(
+                after.v_safe_v >= deep_vsafe,
+                "a shallow observation must not relax the requirement"
+            );
+        }
+        // Reopen: the recovered fold must reproduce the pessimal bound.
+        let (hub, report) = ObserveHub::open(&dir).unwrap();
+        assert_eq!(report.records_recovered, 2);
+        let recovered = hub.device(3).unwrap();
+        assert!(recovered.v_safe_v >= deep_vsafe);
+        assert_eq!(recovered.last_seq, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_devices_and_bad_shapes_map_to_wire_errors() {
+        let dir = tmp_dir("errors");
+        let (hub, _) = ObserveHub::open(&dir).unwrap();
+        let e = hub.device(99).unwrap_err();
+        assert_eq!(e.kind, ApiErrorKind::NotFound);
+        // v_min above v_start: the validator, not the estimator, rejects.
+        let e = hub.observe(&single(1, 2.0, 2.4, 2.1)).unwrap_err();
+        assert_eq!(e.kind, ApiErrorKind::BadRequest);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -47,6 +47,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -54,8 +55,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use culpeo_api::{
-    ApiError, ApiErrorKind, BatchRequest, HealthResponse, LintRequest, MetricsResponse,
-    VerifyRequest, VsafeRequest, VsafeResponse, SCHEMA_VERSION,
+    ApiError, ApiErrorKind, BatchRequest, HealthResponse, LintRequest, LivezResponse,
+    MetricsResponse, ObserveRequest, ReadyzResponse, VerifyRequest, VsafeRequest, VsafeResponse,
+    SCHEMA_VERSION,
 };
 use culpeo_exec::Sweep;
 
@@ -63,6 +65,7 @@ use crate::cache::{content_key, LruCache};
 use crate::fleet::FleetState;
 use crate::http::{self, HttpError, Request};
 use crate::metrics::{EndpointCounters, Metrics, ShedCounters};
+use crate::observe::{ObserveHub, StorePhase};
 use crate::poll::{self, Poller, Waker, WAKE_TOKEN};
 use crate::protocol::{self, Enqueue};
 
@@ -112,8 +115,30 @@ pub struct ServerConfig {
     /// get a best-effort 503 and are dropped.
     pub max_connections: usize,
     /// Honour the `x-culpeo-fault` request header (chaos batteries only:
-    /// lets a test inject a handler panic while the cache lock is held).
+    /// lets a test inject a handler panic while the cache lock is held,
+    /// or a bounded `sleep:MS` compute stall).
     pub test_faults: bool,
+    /// Directory of the durable telemetry store (`--store DIR`). `None`
+    /// leaves `/v1/observe` disabled; `Some` recovers the store in the
+    /// background at boot (readiness answers 503 until it finishes).
+    pub store_dir: Option<PathBuf>,
+    /// Structured request logging (`--log json|off`).
+    pub log: LogMode,
+    /// Artificial delay before store recovery begins, in milliseconds.
+    /// Test-only: lets e2e tests observe the `/v1/readyz` recovery
+    /// window deterministically. 0 in production.
+    pub recovery_delay_ms: u64,
+}
+
+/// Structured request-log modes (`culpeo serve --log`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogMode {
+    /// One JSON object per answered request on stderr: `request_id`,
+    /// method, path, status, and the schema-2 `server_timing` numbers.
+    Json,
+    /// No per-request output (the default).
+    #[default]
+    Off,
 }
 
 impl Default for ServerConfig {
@@ -130,6 +155,9 @@ impl Default for ServerConfig {
             keep_alive_timeout_ms: 30_000,
             max_connections: 1024,
             test_faults: false,
+            store_dir: None,
+            log: LogMode::Off,
+            recovery_delay_ms: 0,
         }
     }
 }
@@ -177,6 +205,13 @@ struct Shared {
     wake_pending: AtomicBool,
     waker: Waker,
     fleet: FleetState,
+    /// The durable telemetry layer's lifecycle (see [`StorePhase`]).
+    store: Mutex<StorePhase>,
+    /// Jobs handed to the compute queue and not yet popped; feeds the
+    /// `/v1/readyz` shed threshold.
+    queued_jobs: AtomicU64,
+    queue_depth: u64,
+    log: LogMode,
 }
 
 impl Shared {
@@ -205,6 +240,85 @@ impl Shared {
     fn next_request_id(&self) -> u64 {
         self.request_ids.fetch_add(1, Ordering::Relaxed)
     }
+
+    /// Locks the store phase, recovering from poisoning (the phase is a
+    /// plain enum; whatever value is inside remains valid).
+    fn lock_store(&self) -> MutexGuard<'_, StorePhase> {
+        match self.store.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.store.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// The ingest hub, or the wire error describing why ingest cannot
+    /// serve right now (disabled / recovering / failed).
+    fn store_hub(&self) -> Result<Arc<ObserveHub>, ApiError> {
+        match &*self.lock_store() {
+            StorePhase::Ready(hub) => Ok(Arc::clone(hub)),
+            StorePhase::Disabled => Err(ApiError::new(
+                ApiErrorKind::NotFound,
+                "telemetry store is disabled; start the daemon with --store DIR",
+            )),
+            StorePhase::Recovering => Err(ApiError::new(
+                ApiErrorKind::Busy,
+                "telemetry store is recovering; retry with backoff",
+            )),
+            StorePhase::Failed(msg) => Err(ApiError::new(
+                ApiErrorKind::Internal,
+                format!("telemetry store failed to recover: {msg}"),
+            )),
+        }
+    }
+}
+
+/// Emits one structured JSON request-log line on stderr when
+/// `--log json` is on. The line reuses the schema-2 `server_timing`
+/// numbers, so logs and envelopes always agree.
+#[allow(clippy::too_many_arguments)]
+fn log_request(
+    shared: &Shared,
+    request_id: u64,
+    method: &str,
+    path: &str,
+    status: u16,
+    queue_us: u64,
+    compute_us: u64,
+    fsync_us: Option<u64>,
+) {
+    if shared.log != LogMode::Json {
+        return;
+    }
+    let ts_us = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+        .unwrap_or(0);
+    let fsync = fsync_us.map_or(String::new(), |f| format!(",\"fsync_us\":{f}"));
+    eprintln!(
+        "{{\"ts_us\":{ts_us},\"request_id\":\"r-{request_id:08}\",\
+         \"method\":\"{}\",\"path\":\"{}\",\"status\":{status},\
+         \"queue_us\":{queue_us},\"compute_us\":{compute_us}{fsync}}}",
+        json_safe(method),
+        json_safe(path),
+    );
+}
+
+/// Keeps client-controlled strings from breaking the log line's JSON:
+/// quotes, backslashes, and control bytes are replaced, not escaped —
+/// logs are diagnostics, not a faithful byte channel.
+fn json_safe(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c == '"' || c == '\\' || c.is_control() {
+                '_'
+            } else {
+                c
+            }
+        })
+        .take(128)
+        .collect()
 }
 
 /// A handle that can request a drain from any thread.
@@ -236,6 +350,7 @@ pub struct Server {
     reactor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
     schedulers: Vec<JoinHandle<()>>,
+    recovery: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -274,6 +389,45 @@ impl Server {
             wake_pending: AtomicBool::new(false),
             waker,
             fleet: FleetState::default(),
+            store: Mutex::new(if config.store_dir.is_some() {
+                StorePhase::Recovering
+            } else {
+                StorePhase::Disabled
+            }),
+            queued_jobs: AtomicU64::new(0),
+            queue_depth: config.queue_depth.max(1) as u64,
+            log: config.log,
+        });
+
+        // Store recovery runs off the accept path: the daemon binds and
+        // answers probes immediately, readiness flips once the scan and
+        // index rebuild finish (or fail).
+        let recovery = config.store_dir.clone().map(|dir| {
+            let shared = Arc::clone(&shared);
+            let delay = config.recovery_delay_ms;
+            std::thread::spawn(move || {
+                if delay > 0 {
+                    std::thread::sleep(Duration::from_millis(delay));
+                }
+                let phase = match ObserveHub::open(&dir) {
+                    Ok((hub, report)) => {
+                        if shared.log == LogMode::Json {
+                            eprintln!(
+                                "{{\"event\":\"store-recovered\",\"records\":{},\
+                                 \"devices\":{},\"truncated_bytes\":{},\
+                                 \"quarantined\":{}}}",
+                                report.records_recovered,
+                                report.devices,
+                                report.truncated_bytes,
+                                report.quarantined.len(),
+                            );
+                        }
+                        StorePhase::Ready(Arc::new(hub))
+                    }
+                    Err(e) => StorePhase::Failed(e.to_string()),
+                };
+                *shared.lock_store() = phase;
+            })
         });
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_depth.max(1));
@@ -304,6 +458,7 @@ impl Server {
             reactor,
             workers,
             schedulers,
+            recovery,
         })
     }
 
@@ -338,6 +493,13 @@ impl Server {
         for s in self.schedulers {
             s.join().expect("fleet scheduler thread panicked");
         }
+        if let Some(r) = self.recovery {
+            r.join().expect("store recovery thread panicked");
+        }
+        // A final best-effort sync: dropping the last hub Arc runs the
+        // store's Drop sync, so acked-but-batched bytes hit the disk
+        // before the process exits.
+        *self.shared.lock_store() = StorePhase::Disabled;
         let requests = self
             .shared
             .metrics
@@ -603,7 +765,7 @@ fn accept_ready(
 fn reject(shared: &Shared, stream: TcpStream, kind: ApiErrorKind, msg: &str) {
     let _ = stream.set_nonblocking(true);
     let e = ApiError::new(kind, msg);
-    let body = envelope(shared.next_request_id(), 0, 0, &error_body(&e));
+    let body = envelope(shared.next_request_id(), 0, 0, None, &error_body(&e));
     let bytes = http::response_bytes(
         e.http_status(),
         "application/json",
@@ -691,6 +853,13 @@ fn dispatch(
     tx: &SyncSender<Job>,
     now: Instant,
 ) {
+    // Probes never touch the compute queue: the reactor answering at
+    // all *is* liveness, and readiness must stay answerable while the
+    // queue is exactly the thing that is full (or draining).
+    if req.method == "GET" && (req.path == "/v1/livez" || req.path == "/v1/readyz") {
+        answer_probe(shared, conn, &req, started, now);
+        return;
+    }
     let close = http::wants_close(&req);
     let seq = conn.next_seq;
     conn.next_seq += 1;
@@ -703,24 +872,137 @@ fn dispatch(
         request_id: shared.next_request_id(),
         close,
     };
+    // Count before offering so a worker popping immediately can never
+    // drive the gauge below zero; un-count on every rejected branch.
+    shared.queued_jobs.fetch_add(1, Ordering::Relaxed);
     match protocol::offer(&shared.shutting, tx, job) {
         Enqueue::Queued => {
             conn.in_flight += 1;
         }
         Enqueue::Draining(job) => {
+            shared.queued_jobs.fetch_sub(1, Ordering::Relaxed);
             let e = ApiError::new(ApiErrorKind::ShuttingDown, "daemon is draining");
             enqueue_local(shared, conn, seq, &e, job.request_id, started, now);
         }
         Enqueue::Busy(job) => {
+            shared.queued_jobs.fetch_sub(1, Ordering::Relaxed);
             shared.metrics.accept_rejected.record(0, true);
             let e = ApiError::new(ApiErrorKind::Busy, "job queue is full; retry with backoff");
             enqueue_local(shared, conn, seq, &e, job.request_id, started, now);
         }
         Enqueue::Disconnected(_) => {
+            shared.queued_jobs.fetch_sub(1, Ordering::Relaxed);
             conn.closing = true;
             conn.parse_done = true;
         }
     }
+}
+
+/// Answers `/v1/livez` or `/v1/readyz` inline on the reactor thread,
+/// parked under the request's pipeline sequence number like any other
+/// completion (so ordering holds mid-pipeline).
+fn answer_probe(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    req: &Request,
+    started: Instant,
+    now: Instant,
+) {
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    let request_id = shared.next_request_id();
+    let (status, body, counters) = if req.path == "/v1/livez" {
+        let doc = LivezResponse {
+            schema_version: SCHEMA_VERSION,
+            status: "ok".to_string(),
+        };
+        (
+            200,
+            serde_json::to_string(&doc).expect("probe serialisation is infallible"),
+            &shared.metrics.livez,
+        )
+    } else {
+        let (status, doc) = readyz_doc(shared);
+        (
+            status,
+            serde_json::to_string(&doc).expect("probe serialisation is infallible"),
+            &shared.metrics.readyz,
+        )
+    };
+    let close = http::wants_close(req) || status >= 400;
+    counters.record(0, status >= 400);
+    log_request(
+        shared,
+        request_id,
+        &req.method,
+        &req.path,
+        status,
+        0,
+        0,
+        None,
+    );
+    let enveloped = envelope(request_id, 0, 0, None, &body);
+    let retry_after = if status == 503 {
+        ApiErrorKind::Busy.retry_after_s()
+    } else {
+        None
+    };
+    let bytes = http::response_bytes(
+        status,
+        "application/json",
+        retry_after,
+        enveloped.as_bytes(),
+        close,
+    );
+    conn.parked.insert(
+        seq,
+        Completion {
+            conn: conn.id,
+            seq,
+            bytes,
+            close,
+            started,
+        },
+    );
+    if close {
+        conn.parse_done = true;
+    }
+    pump_conn_inner(shared, conn, now);
+}
+
+/// The readiness document: 200 only when the daemon is not draining,
+/// the store is not mid-recovery (or failed), and the compute queue is
+/// below its shed threshold.
+fn readyz_doc(shared: &Shared) -> (u16, ReadyzResponse) {
+    let draining = shared.shutting.load(Ordering::SeqCst);
+    let store = match &*shared.lock_store() {
+        StorePhase::Disabled => "disabled",
+        StorePhase::Recovering => "recovering",
+        StorePhase::Ready(_) => "ready",
+        StorePhase::Failed(_) => "failed",
+    };
+    let queued = shared.queued_jobs.load(Ordering::Relaxed);
+    let overloaded = queued >= shared.queue_depth;
+    let status = if draining {
+        "draining"
+    } else if store == "recovering" || store == "failed" {
+        store
+    } else if overloaded {
+        "overloaded"
+    } else {
+        "ok"
+    };
+    let code = if status == "ok" { 200 } else { 503 };
+    (
+        code,
+        ReadyzResponse {
+            schema_version: SCHEMA_VERSION,
+            status: status.to_string(),
+            store: store.to_string(),
+            queued,
+            queue_depth: shared.queue_depth,
+        },
+    )
 }
 
 /// Parks a reactor-generated error response under the sequence number
@@ -736,7 +1018,8 @@ fn enqueue_local(
     now: Instant,
 ) {
     shared.metrics.other.record(0, true);
-    let body = envelope(request_id, 0, 0, &error_body(e));
+    log_request(shared, request_id, "-", "-", e.http_status(), 0, 0, None);
+    let body = envelope(request_id, 0, 0, None, &error_body(e));
     let bytes = http::response_bytes(
         e.http_status(),
         "application/json",
@@ -936,6 +1219,7 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<std::sync::mpsc::Receiver<Job>>>)
     // receiver lock; the queue is recoverable state (unlike a
     // half-mutated cache map), so the survivors keep popping.
     while let Some(job) = protocol::next_job(rx.as_ref()) {
+        shared.queued_jobs.fetch_sub(1, Ordering::Relaxed);
         let picked = Instant::now();
         let queue_us = us_between(job.parsed_at, picked);
         let routed =
@@ -955,13 +1239,24 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<std::sync::mpsc::Receiver<Job>>>)
                     was_error: true,
                     shutdown_after: false,
                     enveloped: true,
+                    fsync_us: None,
                 }
             }
         };
         let compute_us = us_between(picked, Instant::now());
         r.counters.record(queue_us + compute_us, r.was_error);
+        log_request(
+            shared,
+            job.request_id,
+            &job.req.method,
+            &job.req.path,
+            r.status,
+            queue_us,
+            compute_us,
+            r.fsync_us,
+        );
         let body = if r.enveloped {
-            envelope(job.request_id, queue_us, compute_us, &r.body)
+            envelope(job.request_id, queue_us, compute_us, r.fsync_us, &r.body)
         } else {
             r.body
         };
@@ -1003,11 +1298,19 @@ fn retry_after_for(status: u16) -> Option<u32> {
 
 /// The schema-2 response envelope. Hand-assembled (the vendored serde
 /// stub cannot derive generics), with `data` last so readers can strip
-/// the envelope with one prefix match.
-fn envelope(request_id: u64, queue_us: u64, compute_us: u64, data: &str) -> String {
+/// the envelope with one prefix match. Durable-ingest answers append
+/// `fsync_us` inside `server_timing`, after the two pinned keys.
+fn envelope(
+    request_id: u64,
+    queue_us: u64,
+    compute_us: u64,
+    fsync_us: Option<u64>,
+    data: &str,
+) -> String {
+    let fsync = fsync_us.map_or(String::new(), |f| format!(",\"fsync_us\":{f}"));
     format!(
         "{{\"schema_version\":{SCHEMA_VERSION},\"request_id\":\"r-{request_id:08}\",\
-         \"server_timing\":{{\"queue_us\":{queue_us},\"compute_us\":{compute_us}}},\
+         \"server_timing\":{{\"queue_us\":{queue_us},\"compute_us\":{compute_us}{fsync}}},\
          \"data\":{data}}}"
     )
 }
@@ -1023,6 +1326,9 @@ struct Routed<'a> {
     shutdown_after: bool,
     /// Wrap in the schema-2 envelope (everything but NDJSON streams).
     enveloped: bool,
+    /// Microseconds the handler spent inside the store's durability
+    /// path (`/v1/observe` only); surfaced in `server_timing`.
+    fsync_us: Option<u64>,
 }
 
 #[allow(clippy::too_many_lines)]
@@ -1035,6 +1341,14 @@ fn route<'a>(shared: &'a Shared, req: &Request) -> Routed<'a> {
                 // the poisoned-lock recovery on the next request.
                 let _guard = shared.cache.lock();
                 panic!("injected handler panic (x-culpeo-fault: panic)");
+            }
+            if let Some(ms) = fault
+                .strip_prefix("sleep:")
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                // A bounded compute stall: lets e2e tests pin a request
+                // inside a worker while probes race it.
+                std::thread::sleep(Duration::from_millis(ms.min(2_000)));
             }
         }
     }
@@ -1059,6 +1373,28 @@ fn route<'a>(shared: &'a Shared, req: &Request) -> Routed<'a> {
                 parse_body::<VerifyRequest>(&req.body).and_then(|r| crate::handle::verify(&r));
             finish(&shared.metrics.verify, outcome)
         }
+        ("POST", "/v1/observe") => {
+            let outcome = parse_body::<ObserveRequest>(&req.body)
+                .and_then(|r| shared.store_hub().and_then(|hub| hub.observe(&r)));
+            match outcome {
+                Ok((doc, fsync_us)) => {
+                    let mut r = finish(&shared.metrics.observe, Ok::<_, ApiError>(doc));
+                    r.fsync_us = Some(fsync_us);
+                    r
+                }
+                Err(e) => error_routed(&shared.metrics.observe, &e),
+            }
+        }
+        ("GET", path) if path.starts_with("/v1/observe/") => {
+            let outcome = match path["/v1/observe/".len()..].parse::<u64>() {
+                Ok(device) => shared.store_hub().and_then(|hub| hub.device(device)),
+                Err(_) => Err(ApiError::new(
+                    ApiErrorKind::NotFound,
+                    format!("no such endpoint: {path}"),
+                )),
+            };
+            finish(&shared.metrics.observe_device, outcome)
+        }
         ("POST", "/v1/fleet") => {
             let outcome = parse_body::<culpeo_api::FleetRegisterRequest>(&req.body)
                 .and_then(|r| shared.fleet.register(&r));
@@ -1076,6 +1412,7 @@ fn route<'a>(shared: &'a Shared, req: &Request) -> Routed<'a> {
                 was_error: false,
                 shutdown_after: false,
                 enveloped: false,
+                fsync_us: None,
             }
         }
         ("GET", path) if path.starts_with("/v1/fleet/") => {
@@ -1110,8 +1447,9 @@ fn route<'a>(shared: &'a Shared, req: &Request) -> Routed<'a> {
         }
         (
             _,
-            "/v1/vsafe" | "/v1/lint" | "/v1/batch" | "/v1/verify" | "/v1/fleet"
-            | "/v1/fleet/events" | "/v1/health" | "/v1/metrics" | "/v1/shutdown",
+            "/v1/vsafe" | "/v1/lint" | "/v1/batch" | "/v1/verify" | "/v1/observe" | "/v1/fleet"
+            | "/v1/fleet/events" | "/v1/health" | "/v1/metrics" | "/v1/shutdown" | "/v1/livez"
+            | "/v1/readyz",
         ) => {
             let e = ApiError::new(
                 ApiErrorKind::MethodNotAllowed,
@@ -1154,6 +1492,7 @@ fn finish<T: serde::Serialize>(
             was_error: false,
             shutdown_after: false,
             enveloped: true,
+            fsync_us: None,
         },
         Err(e) => error_routed(counters, &e),
     }
@@ -1168,6 +1507,7 @@ fn error_routed<'a>(counters: &'a EndpointCounters, e: &ApiError) -> Routed<'a> 
         was_error: true,
         shutdown_after: false,
         enveloped: true,
+        fsync_us: None,
     }
 }
 

@@ -227,3 +227,297 @@ fn shutdown_drains_accepted_requests_before_exit() {
     let summary = server.join();
     assert!(summary.requests >= 3, "summary: {summary:?}");
 }
+
+// ---------------------------------------------------------------------
+// Probes + durable telemetry ingest.
+// ---------------------------------------------------------------------
+
+use culpeo_api::{ObservationDto, ObserveDeviceResponse, ObserveRequest, ObserveResponse};
+use culpeo_served::LogMode;
+
+/// Like [`roundtrip`] but returns the raw (envelope-intact) body, for
+/// asserting on `server_timing` itself.
+fn roundtrip_raw(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: e2e\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    s.write_all(head.as_bytes()).unwrap();
+    s.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .expect("header terminator")
+        .1
+        .to_string();
+    (status, body)
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("culpeo-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn observe_body(device: u64, triples: &[(f64, f64, f64)]) -> String {
+    let dto = |&(vs, vm, vf): &(f64, f64, f64)| ObservationDto {
+        device,
+        v_start_v: vs,
+        v_min_v: vm,
+        v_final_v: vf,
+    };
+    let req = if triples.len() == 1 {
+        ObserveRequest {
+            schema_version: Some(SCHEMA_VERSION),
+            observation: Some(dto(&triples[0])),
+            batch: Vec::new(),
+        }
+    } else {
+        ObserveRequest {
+            schema_version: Some(SCHEMA_VERSION),
+            observation: None,
+            batch: triples.iter().map(dto).collect(),
+        }
+    };
+    serde_json::to_string(&req).unwrap()
+}
+
+/// Polls `/v1/readyz` until it answers 200 (bounded).
+fn await_ready(addr: SocketAddr) {
+    for _ in 0..100 {
+        let (status, _) = roundtrip(addr, "GET", "/v1/readyz", "");
+        if status == 200 {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    panic!("daemon never became ready");
+}
+
+#[test]
+fn probes_answer_without_a_store_and_reject_wrong_methods() {
+    let server = Server::start(&test_config()).unwrap();
+    let addr = server.addr();
+
+    let (status, body) = roundtrip(addr, "GET", "/v1/livez", "");
+    assert_eq!(status, 200, "body: {body}");
+    assert!(body.contains("\"ok\""), "body: {body}");
+
+    let (status, body) = roundtrip(addr, "GET", "/v1/readyz", "");
+    assert_eq!(status, 200, "body: {body}");
+    assert!(body.contains("\"disabled\""), "store disabled: {body}");
+
+    let (status, body) = roundtrip(addr, "POST", "/v1/livez", "");
+    assert_eq!(status, 405, "body: {body}");
+
+    // Without --store, ingest is an explicit 404, not a silent accept.
+    let (status, body) = roundtrip(
+        addr,
+        "POST",
+        "/v1/observe",
+        &observe_body(1, &[(2.3, 2.2, 2.28)]),
+    );
+    assert_eq!(status, 404, "body: {body}");
+
+    server.shutdown_handle().request();
+    let _ = server.join();
+}
+
+#[test]
+fn observe_round_trip_acks_serves_the_estimate_and_stamps_fsync_us() {
+    let dir = fresh_dir("observe");
+    let config = ServerConfig {
+        store_dir: Some(dir.clone()),
+        ..test_config()
+    };
+    let server = Server::start(&config).unwrap();
+    let addr = server.addr();
+    await_ready(addr);
+
+    // Single observation: the ack arrives only after durability, and
+    // the envelope's server_timing carries fsync_us.
+    let (status, raw) = roundtrip_raw(
+        addr,
+        "POST",
+        "/v1/observe",
+        &observe_body(5, &[(2.3, 2.25, 2.29)]),
+    );
+    assert_eq!(status, 200, "body: {raw}");
+    assert!(
+        raw.contains(",\"fsync_us\":"),
+        "observe must stamp fsync_us inside server_timing: {raw}"
+    );
+    let resp: ObserveResponse = serde_json::from_str(&unwrap_envelope(&raw)).unwrap();
+    assert_eq!(resp.acked.len(), 1);
+    assert_eq!((resp.acked[0].device, resp.acked[0].seq), (5, 1));
+
+    // Batch: per-device sequence numbers stay monotonic.
+    let (status, body) = roundtrip(
+        addr,
+        "POST",
+        "/v1/observe",
+        &observe_body(
+            5,
+            &[(2.3, 2.24, 2.29), (2.29, 2.2, 2.27), (2.27, 2.19, 2.26)],
+        ),
+    );
+    assert_eq!(status, 200, "body: {body}");
+    let resp: ObserveResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(
+        resp.acked.iter().map(|a| a.seq).collect::<Vec<_>>(),
+        vec![2, 3, 4]
+    );
+
+    // The live estimate + rolling verdict round-trips.
+    let (status, body) = roundtrip(addr, "GET", "/v1/observe/5", "");
+    assert_eq!(status, 200, "body: {body}");
+    let dev: ObserveDeviceResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(dev.device, 5);
+    assert_eq!(dev.last_seq, 4);
+    assert_eq!(dev.records, 4);
+    assert!(dev.v_safe_v > 1.6, "estimate above V_off: {}", dev.v_safe_v);
+    assert_eq!(dev.rolling.horizon, 8);
+    assert!(
+        matches!(
+            dev.rolling.verdict.as_str(),
+            "proved-periodic" | "proved-k" | "unproved"
+        ),
+        "verdict: {:?}",
+        dev.rolling
+    );
+
+    let (status, body) = roundtrip(addr, "GET", "/v1/observe/999", "");
+    assert_eq!(status, 404, "body: {body}");
+
+    // Ordinary endpoints must NOT gain fsync_us.
+    let (status, raw) = roundtrip_raw(addr, "GET", "/v1/health", "");
+    assert_eq!(status, 200);
+    assert!(
+        !raw.contains("fsync_us"),
+        "health must not stamp fsync_us: {raw}"
+    );
+
+    let (status, body) = roundtrip(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    let m: MetricsResponse = serde_json::from_str(&body).unwrap();
+    let row = m
+        .endpoints
+        .iter()
+        .find(|e| e.path == "/v1/observe")
+        .unwrap();
+    assert_eq!(row.requests, 2);
+    assert!(m
+        .endpoints
+        .iter()
+        .any(|e| e.path == "/v1/readyz" && e.requests >= 1));
+
+    server.shutdown_handle().request();
+    let _ = server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn readyz_flips_to_503_during_the_recovery_window_and_back() {
+    let dir = fresh_dir("recovery");
+    // Pre-seed the store so recovery has real records to rebuild from.
+    {
+        let (store, _) =
+            culpeo_store::Store::open(&dir, culpeo_store::StoreConfig::default()).unwrap();
+        store.append(9, 2.3, 2.2, 2.28).unwrap();
+        store.append(9, 2.29, 2.21, 2.27).unwrap();
+    }
+    let config = ServerConfig {
+        store_dir: Some(dir.clone()),
+        recovery_delay_ms: 500,
+        log: LogMode::Json,
+        ..test_config()
+    };
+    let server = Server::start(&config).unwrap();
+    let addr = server.addr();
+
+    // Inside the recovery window: live but not ready.
+    let (status, body) = roundtrip(addr, "GET", "/v1/livez", "");
+    assert_eq!(status, 200, "livez during recovery: {body}");
+    let (status, raw) = roundtrip_raw(addr, "GET", "/v1/readyz", "");
+    assert_eq!(status, 503, "readyz during recovery: {raw}");
+    assert!(raw.contains("\"recovering\""), "body: {raw}");
+    let (status, body) = roundtrip(
+        addr,
+        "POST",
+        "/v1/observe",
+        &observe_body(9, &[(2.3, 2.2, 2.28)]),
+    );
+    assert_eq!(status, 503, "ingest during recovery: {body}");
+    assert!(body.contains("\"busy\""), "body: {body}");
+
+    // After recovery: ready, and the pre-seeded records survived.
+    await_ready(addr);
+    let (status, body) = roundtrip(addr, "GET", "/v1/observe/9", "");
+    assert_eq!(status, 200, "body: {body}");
+    let dev: ObserveDeviceResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(dev.last_seq, 2, "recovered both pre-seeded records");
+
+    server.shutdown_handle().request();
+    let _ = server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn readyz_flips_to_503_during_drain_while_inflight_work_completes() {
+    // One worker + test faults: a slow request pins the worker while
+    // probes answer inline, then shutdown flips readiness mid-pipeline.
+    let config = ServerConfig {
+        port: 0,
+        threads: 1,
+        test_faults: true,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(&config).unwrap();
+    let addr = server.addr();
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    // Request 0: pinned in the worker for ~600 ms.
+    s.write_all(
+        b"GET /v1/health HTTP/1.1\r\nHost: e2e\r\nx-culpeo-fault: sleep:600\r\nContent-Length: 0\r\n\r\n",
+    )
+    .unwrap();
+    // Request 1: readyz, answered inline by the reactor *now* (pre-
+    // drain, so 200) but flushed after request 0 in pipeline order.
+    s.write_all(b"GET /v1/readyz HTTP/1.1\r\nHost: e2e\r\nContent-Length: 0\r\n\r\n")
+        .unwrap();
+    // Give the reactor a beat to parse both (the probe answer is
+    // computed at parse time).
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    server.shutdown_handle().request();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    // Request 2: readyz during the drain window → 503 "draining".
+    s.write_all(b"GET /v1/readyz HTTP/1.1\r\nHost: e2e\r\nContent-Length: 0\r\n\r\n")
+        .unwrap();
+
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).unwrap();
+    let statuses: Vec<u16> = raw
+        .split("HTTP/1.1 ")
+        .skip(1)
+        .map(|chunk| chunk.split_whitespace().next().unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(
+        statuses,
+        vec![200, 200, 503],
+        "pipeline order: slow health, pre-drain readyz, drain readyz; raw:\n{raw}"
+    );
+    assert!(raw.contains("\"draining\""), "raw:\n{raw}");
+
+    let _ = server.join();
+}

@@ -1,0 +1,207 @@
+//! The group-commit durability protocol, extracted and generic over the
+//! [`culpeo_exec::shim`] vocabulary.
+//!
+//! The store's one hard invariant — *every acked record survives
+//! `kill -9` at any byte offset* — reduces to an ordering claim: an
+//! append call may not return success (ack) before an `fsync` covering
+//! its record has completed. Under load, one fsync per record would
+//! serialise the ingest path on the disk, so durability is
+//! **leader-based group commit**: concurrent writers race on a small
+//! mutex; the first to find no leader active becomes the leader, syncs
+//! *everything appended so far* (one fsync covers the whole group), and
+//! publishes the covered high-water mark; the rest park on a condvar and
+//! re-check. Batching therefore *widens automatically under overload* —
+//! the more writers pile up behind one fsync, the more records that
+//! fsync acks — which is exactly the explicit-degradation shape the
+//! serving layer wants.
+//!
+//! The ordering that makes the ack safe:
+//!
+//! 1. the leader runs `sync` (the real fsync) to completion **first**;
+//! 2. only then does it advance `durable` (release store);
+//! 3. only a `durable ≥ seq` observation (acquire load) lets any writer
+//!    return.
+//!
+//! Like the sweep-claim and reactor protocols before it, the function
+//! lives here as a free generic so production (instantiated with
+//! `std::sync` types; monomorphises to plain std calls) and the
+//! `culpeo-race` model checker (instantiated with cooperative model
+//! types; explored over every interleaving up to a preemption bound)
+//! execute the *same protocol source*. The battery's
+//! `store-group-commit` phase proves the no-ack-before-durability
+//! invariant; its `commit-ack-first` mutant shows the checker catches
+//! the tempting bug of publishing `durable` before the fsync lands.
+
+use culpeo_exec::shim::{AtomicU64Shim, CondvarShim, MutexShim};
+use std::sync::atomic::Ordering;
+
+/// The group-commit coordination word, guarded by the commit mutex.
+#[derive(Debug, Default)]
+pub struct CommitState {
+    /// A leader is currently between claiming leadership and finishing
+    /// its fsync; followers must wait instead of issuing a second,
+    /// redundant fsync for the same group.
+    pub leader_active: bool,
+}
+
+/// Locks the commit mutex, recovering from poison: the state is one
+/// resettable bool, so the safe response to a poisoned lock is to clear
+/// the flag (worst case: one redundant fsync) and move on.
+fn lock_commit<M: MutexShim<CommitState>>(state: &M) -> M::Guard<'_> {
+    match state.lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            state.clear_poison();
+            let mut g = poisoned.into_inner();
+            g.leader_active = false;
+            g
+        }
+    }
+}
+
+/// Blocks until the record with global sequence `seq` is durable,
+/// becoming the fsync leader if no one else is. Returns the number of
+/// fsync rounds *this* caller led (0 when a concurrent leader's group
+/// covered it — the batching observable the stats report).
+///
+/// `sync` must make every record appended so far durable and return the
+/// global high-water mark it covered (which is `≥ seq`, because `seq`
+/// was appended before this call). On `Err` the leadership is released
+/// and the error propagates; parked writers elect a new leader and
+/// retry, so one failed fsync never wedges the group.
+///
+/// # Errors
+///
+/// Returns `sync`'s error unchanged; no ack has been published for any
+/// record the failed round would have covered.
+pub fn commit_durable<M, C, A, E>(
+    state: &M,
+    cv: &C,
+    durable: &A,
+    seq: u64,
+    mut sync: impl FnMut() -> Result<u64, E>,
+) -> Result<usize, E>
+where
+    M: MutexShim<CommitState>,
+    C: CondvarShim<CommitState, M>,
+    A: AtomicU64Shim,
+{
+    let mut rounds = 0usize;
+    loop {
+        if durable.load(Ordering::Acquire) >= seq {
+            return Ok(rounds);
+        }
+        let mut g = lock_commit(state);
+        if durable.load(Ordering::Acquire) >= seq {
+            // A leader finished while this writer queued on the lock.
+            return Ok(rounds);
+        }
+        if g.leader_active {
+            // Park until the current round completes, then re-check:
+            // the round may have started before this record was
+            // appended, in which case a second round is needed.
+            let parked = cv.wait(g, state);
+            drop(parked);
+            continue;
+        }
+        g.leader_active = true;
+        drop(g);
+        let result = sync();
+        if let Ok(upto) = &result {
+            // Durability is published before any waiter is woken, so a
+            // woken writer's `durable >= seq` check is an ack backed by
+            // a completed fsync — never a promise.
+            durable.store(*upto, Ordering::Release);
+        }
+        let mut g = lock_commit(state);
+        g.leader_active = false;
+        cv.notify_all();
+        drop(g);
+        rounds += 1;
+        result?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    #[test]
+    fn single_writer_leads_its_own_round() {
+        let state = Mutex::new(CommitState::default());
+        let cv = Condvar::new();
+        let durable = AtomicU64::new(0);
+        let appended = AtomicU64::new(3);
+        let rounds = commit_durable(&state, &cv, &durable, 3, || {
+            Ok::<u64, ()>(appended.load(Ordering::Acquire))
+        })
+        .unwrap();
+        assert_eq!(rounds, 1);
+        assert_eq!(durable.load(Ordering::Acquire), 3);
+    }
+
+    #[test]
+    fn already_durable_records_ack_without_a_round() {
+        let state = Mutex::new(CommitState::default());
+        let cv = Condvar::new();
+        let durable = AtomicU64::new(9);
+        let rounds = commit_durable(&state, &cv, &durable, 5, || -> Result<u64, ()> {
+            unreachable!("no fsync needed")
+        })
+        .unwrap();
+        assert_eq!(rounds, 0);
+    }
+
+    #[test]
+    fn a_failed_sync_releases_leadership_and_propagates() {
+        let state = Mutex::new(CommitState::default());
+        let cv = Condvar::new();
+        let durable = AtomicU64::new(0);
+        let err = commit_durable(&state, &cv, &durable, 1, || Err::<u64, &str>("disk gone"));
+        assert_eq!(err, Err("disk gone"));
+        assert!(!lock_commit(&state).leader_active);
+        assert_eq!(durable.load(Ordering::Acquire), 0, "no ack was published");
+    }
+
+    #[test]
+    fn concurrent_writers_batch_under_one_leader() {
+        // 8 writers, one shared fsync counter: every writer must see its
+        // record durable on return, and the total fsync count must come
+        // in under one-per-record (the group-commit win). The schedule
+        // dependence of the exact count is why the exhaustive proof
+        // lives in culpeo-race, not here.
+        let state = Arc::new(Mutex::new(CommitState::default()));
+        let cv = Arc::new(Condvar::new());
+        let durable = Arc::new(AtomicU64::new(0));
+        let appended = Arc::new(AtomicU64::new(0));
+        let synced = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (state, cv, durable, appended, synced) = (
+                    Arc::clone(&state),
+                    Arc::clone(&cv),
+                    Arc::clone(&durable),
+                    Arc::clone(&appended),
+                    Arc::clone(&synced),
+                );
+                std::thread::spawn(move || {
+                    let seq = appended.fetch_add(1, Ordering::AcqRel) + 1;
+                    commit_durable(&*state, &*cv, &*durable, seq, || {
+                        let upto = appended.load(Ordering::Acquire);
+                        synced.fetch_add(1, Ordering::AcqRel);
+                        Ok::<u64, ()>(upto)
+                    })
+                    .unwrap();
+                    assert!(durable.load(Ordering::Acquire) >= seq);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(durable.load(Ordering::Acquire), 8);
+        assert!(synced.load(Ordering::Acquire) >= 1);
+    }
+}

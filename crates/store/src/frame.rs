@@ -1,0 +1,229 @@
+//! The on-disk frame: one observation triple, length-prefixed and
+//! CRC-guarded.
+//!
+//! A frame is `[payload_len: u32 LE][crc32: u32 LE][payload]`, where the
+//! payload is the fixed 40-byte little-endian encoding of a [`Record`]
+//! (`device`, `seq`, and the three voltages as IEEE-754 bit patterns).
+//! The CRC covers the payload only; the length prefix is validated by
+//! range (a store holds exactly one record shape, so any other length is
+//! *corruption*, not a format to be skipped over).
+//!
+//! Recovery leans on the **prefix property** of appends: a crash —
+//! `kill -9` at any byte offset included — leaves the file a byte prefix
+//! of what was written, never scrambled bytes. [`scan_frame`] therefore
+//! distinguishes two failure shapes:
+//!
+//! * [`Scan::Torn`] — the buffer ends mid-frame. Legal only at the tail
+//!   of the *last* segment (the interrupted append); recovery truncates
+//!   it away.
+//! * [`Scan::Corrupt`] — a full frame is present but its length is not a
+//!   record's or its CRC fails. That cannot be produced by a crash; it
+//!   is bit rot, and recovery quarantines the whole segment rather than
+//!   guessing where the damage ends.
+
+/// Bytes of frame header: length prefix + CRC32.
+pub const HEADER_LEN: usize = 8;
+/// Bytes of record payload: `device` + `seq` + three voltages.
+pub const PAYLOAD_LEN: usize = 40;
+/// Total bytes of one encoded frame.
+pub const FRAME_LEN: usize = HEADER_LEN + PAYLOAD_LEN;
+
+/// The standard reflected CRC-32 (IEEE 802.3) table, built at compile
+/// time so the crate needs no checksum dependency.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// One stored observation: a `(V_start, V_min, V_final)` triple stamped
+/// with its device and that device's monotonic sequence number.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Record {
+    /// Reporting device id.
+    pub device: u64,
+    /// Per-device sequence number, assigned by the store (1-based,
+    /// strictly increasing per device).
+    pub seq: u64,
+    /// Buffer voltage when the task started, in volts.
+    pub v_start: f64,
+    /// Minimum buffer voltage observed while the task ran, in volts.
+    pub v_min: f64,
+    /// Buffer voltage after the post-task rebound, in volts.
+    pub v_final: f64,
+}
+
+impl Record {
+    /// Encodes the record as one complete frame (header + payload).
+    #[must_use]
+    pub fn encode(&self) -> [u8; FRAME_LEN] {
+        let mut payload = [0u8; PAYLOAD_LEN];
+        payload[0..8].copy_from_slice(&self.device.to_le_bytes());
+        payload[8..16].copy_from_slice(&self.seq.to_le_bytes());
+        payload[16..24].copy_from_slice(&self.v_start.to_le_bytes());
+        payload[24..32].copy_from_slice(&self.v_min.to_le_bytes());
+        payload[32..40].copy_from_slice(&self.v_final.to_le_bytes());
+        let mut frame = [0u8; FRAME_LEN];
+        frame[0..4].copy_from_slice(&(PAYLOAD_LEN as u32).to_le_bytes());
+        frame[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
+        frame[HEADER_LEN..].copy_from_slice(&payload);
+        frame
+    }
+
+    /// Decodes a validated 40-byte payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` is not exactly [`PAYLOAD_LEN`] bytes; callers
+    /// go through [`scan_frame`], which guarantees the length.
+    #[must_use]
+    pub fn decode_payload(payload: &[u8]) -> Self {
+        assert_eq!(payload.len(), PAYLOAD_LEN, "payload length");
+        let word = |i: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&payload[i..i + 8]);
+            b
+        };
+        Self {
+            device: u64::from_le_bytes(word(0)),
+            seq: u64::from_le_bytes(word(8)),
+            v_start: f64::from_le_bytes(word(16)),
+            v_min: f64::from_le_bytes(word(24)),
+            v_final: f64::from_le_bytes(word(32)),
+        }
+    }
+}
+
+/// What [`scan_frame`] found at the head of a buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scan {
+    /// A complete, CRC-valid frame; advance by [`FRAME_LEN`].
+    Record(Record),
+    /// The buffer is empty: a clean end.
+    End,
+    /// The buffer ends mid-frame (`have` bytes of it are present) — a
+    /// torn append, legal only at the tail of the last segment.
+    Torn {
+        /// Bytes of the partial frame present.
+        have: usize,
+    },
+    /// A full frame's worth of bytes is present but it is not a valid
+    /// frame: bit rot, never the residue of a crash.
+    Corrupt {
+        /// Human-readable cause, for recovery reports.
+        reason: &'static str,
+    },
+}
+
+/// Classifies the bytes at the head of `buf` (see the module docs for
+/// the torn/corrupt distinction).
+#[must_use]
+pub fn scan_frame(buf: &[u8]) -> Scan {
+    if buf.is_empty() {
+        return Scan::End;
+    }
+    if buf.len() < HEADER_LEN {
+        return Scan::Torn { have: buf.len() };
+    }
+    let mut len_bytes = [0u8; 4];
+    len_bytes.copy_from_slice(&buf[0..4]);
+    if u32::from_le_bytes(len_bytes) as usize != PAYLOAD_LEN {
+        return Scan::Corrupt {
+            reason: "frame length is not a record's",
+        };
+    }
+    if buf.len() < FRAME_LEN {
+        return Scan::Torn { have: buf.len() };
+    }
+    let mut crc_bytes = [0u8; 4];
+    crc_bytes.copy_from_slice(&buf[4..8]);
+    let payload = &buf[HEADER_LEN..FRAME_LEN];
+    if crc32(payload) != u32::from_le_bytes(crc_bytes) {
+        return Scan::Corrupt {
+            reason: "payload CRC mismatch",
+        };
+    }
+    Scan::Record(Record::decode_payload(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> Record {
+        Record {
+            device: 7,
+            seq: 42,
+            v_start: 2.3,
+            v_min: 2.1,
+            v_final: 2.28,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The canonical IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let frame = rec().encode();
+        assert_eq!(scan_frame(&frame), Scan::Record(rec()));
+    }
+
+    #[test]
+    fn every_torn_prefix_is_torn_never_corrupt() {
+        // The prefix property: a crash leaves a prefix, and every strict
+        // prefix of a valid frame must classify as Torn (so recovery
+        // truncates instead of quarantining).
+        let frame = rec().encode();
+        for cut in 1..FRAME_LEN {
+            assert_eq!(
+                scan_frame(&frame[..cut]),
+                Scan::Torn { have: cut },
+                "prefix of {cut} bytes"
+            );
+        }
+        assert_eq!(scan_frame(&frame[..0]), Scan::End);
+    }
+
+    #[test]
+    fn a_flipped_payload_bit_is_corruption() {
+        let mut frame = rec().encode();
+        frame[HEADER_LEN + 3] ^= 0x10;
+        assert!(matches!(scan_frame(&frame), Scan::Corrupt { .. }));
+    }
+
+    #[test]
+    fn a_wrong_length_prefix_is_corruption() {
+        let mut frame = rec().encode();
+        frame[0] = 0xFF;
+        assert!(matches!(scan_frame(&frame), Scan::Corrupt { .. }));
+    }
+}

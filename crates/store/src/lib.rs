@@ -1,0 +1,44 @@
+//! culpeo-store: append-only, crash-safe segmented log for observation
+//! triples.
+//!
+//! The telemetry ingest path needs one guarantee the in-memory reactor
+//! cannot give: **every acked record survives `kill -9` at any byte
+//! offset**. This crate provides it with three small pieces:
+//!
+//! * [`frame`] — the on-disk unit: a length-prefixed, CRC-32-guarded
+//!   48-byte frame holding one `(device, seq, V_start, V_min, V_final)`
+//!   record, plus the scanner that classifies damage as *torn* (crash
+//!   residue, truncate) or *corrupt* (bit rot, quarantine).
+//! * [`commit`] — leader-based group-commit durability, written over the
+//!   [`culpeo_exec::shim`] vocabulary so the exact production protocol is
+//!   model-checked by `culpeo-race` (phase `store-group-commit`, mutant
+//!   `commit-ack-first`).
+//! * [`store`] — the segmented log itself: rotation, the per-device
+//!   ring-buffer index, overload shedding, and startup recovery
+//!   (idempotent torn-tail truncation + segment quarantine).
+//!
+//! ```no_run
+//! use culpeo_store::{Store, StoreConfig};
+//! # fn main() -> Result<(), culpeo_store::StoreError> {
+//! let dir = std::env::temp_dir().join("culpeo-observations");
+//! let (store, report) = Store::open(&dir, StoreConfig::default())?;
+//! assert_eq!(report.schema_version, 2);
+//! let acked = store.append(7, 2.30, 2.11, 2.28)?; // durable on return
+//! assert_eq!(acked.seq, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commit;
+pub mod frame;
+pub mod store;
+
+pub use commit::{commit_durable, CommitState};
+pub use frame::{crc32, scan_frame, Record, Scan, FRAME_LEN, HEADER_LEN, PAYLOAD_LEN};
+pub use store::{
+    recover, scan, segment_files, segment_path, Acked, DeviceSnapshot, Durability, RecoveryReport,
+    Store, StoreConfig, StoreError, StoreStat, QUARANTINE_SUFFIX,
+};

@@ -1,0 +1,960 @@
+//! The segmented log itself: append, rotate, recover, serve.
+//!
+//! A store directory holds numbered segment files (`seg-00000000.log`,
+//! `seg-00000001.log`, …), each a plain concatenation of
+//! [`frame`](crate::frame) frames. Appends go to the highest-numbered
+//! segment; when it passes [`StoreConfig::segment_bytes`] the writer
+//! rotates to a fresh file (the old one joins the unsynced list until
+//! the next group-commit round covers it). Durability is the
+//! [`commit`](crate::commit) protocol: an [`Store::append`] in
+//! [`Durability::Fsync`] mode returns only after an fsync covering its
+//! record has completed.
+//!
+//! [`Store::open`] always runs recovery first: scan every segment in
+//! order, truncate a torn tail on the last one (the interrupted append a
+//! `kill -9` leaves behind), quarantine any segment with a CRC failure
+//! (bit rot — renamed aside, never silently skipped), and rebuild the
+//! per-device ring-buffer index from the surviving records. Recovery is
+//! idempotent: a second scan of a recovered directory finds nothing to
+//! repair.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use serde::Serialize;
+
+use crate::commit::{self, CommitState};
+use crate::frame::{scan_frame, Record, Scan, FRAME_LEN};
+
+/// Suffix a quarantined segment file is renamed to.
+pub const QUARANTINE_SUFFIX: &str = ".quarantined";
+
+/// How the store is stood up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Rotation threshold: a segment past this size is closed and a new
+    /// one opened. Small values exercise rotation; production default is
+    /// 4 MiB.
+    pub segment_bytes: u64,
+    /// Per-device ring-buffer index capacity: how many recent records
+    /// `GET /v1/observe/:device` style reads can see without touching
+    /// disk.
+    pub ring_capacity: usize,
+    /// Whether appends block on group-commit fsync (production) or
+    /// leave durability to explicit [`Store::sync`] calls (tests, fault
+    /// injectors, and bulk fills).
+    pub durability: Durability,
+    /// Ingest shed threshold: when this many appended records await
+    /// durability, further appends fail with
+    /// [`StoreError::Overloaded`] instead of growing the window of
+    /// acked-but-unsynced data (there is none: un-durable records are
+    /// simply never acked).
+    pub max_pending: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            segment_bytes: 4 * 1024 * 1024,
+            ring_capacity: 64,
+            durability: Durability::Fsync,
+            max_pending: 4096,
+        }
+    }
+}
+
+/// The durability mode of [`StoreConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Every append blocks until a group-commit fsync covers it.
+    Fsync,
+    /// Appends return immediately and nothing is acked durable until
+    /// [`Store::sync`]; crash injectors use this to stage exact
+    /// durable/undurable boundaries.
+    Manual,
+}
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem said no.
+    Io(std::io::Error),
+    /// The un-durable backlog hit [`StoreConfig::max_pending`]; the
+    /// caller should shed (HTTP 503 + `Retry-After`) rather than queue.
+    Overloaded {
+        /// Records appended but not yet durable.
+        pending: u64,
+    },
+    /// An observation voltage was NaN or infinite.
+    NotFinite,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "store I/O error: {e}"),
+            Self::Overloaded { pending } => {
+                write!(f, "ingest overloaded: {pending} records await durability")
+            }
+            Self::NotFinite => write!(f, "observation voltages must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// A durable (or, in [`Durability::Manual`] mode, staged) append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Acked {
+    /// The device the record belongs to.
+    pub device: u64,
+    /// The per-device sequence number the store assigned.
+    pub seq: u64,
+    /// Global append ordinal (this session), used by the durability
+    /// protocol.
+    pub global: u64,
+    /// Fsync rounds this append led itself; 0 means a concurrent
+    /// group-commit leader covered it (the batching win).
+    pub fsync_rounds: usize,
+}
+
+/// What recovery found and repaired. Serialized by `culpeo store
+/// recover` and surfaced through the daemon's readiness probe.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RecoveryReport {
+    /// Report schema generation (matches the `/v1` envelope's).
+    pub schema_version: u32,
+    /// Segment files scanned (quarantined ones included).
+    pub segments_scanned: usize,
+    /// CRC-valid records indexed.
+    pub records_recovered: u64,
+    /// Distinct devices among the recovered records.
+    pub devices: usize,
+    /// Torn-tail bytes truncated off the last segment.
+    pub truncated_bytes: u64,
+    /// Segment file names renamed aside for CRC corruption.
+    pub quarantined: Vec<String>,
+    /// Bytes of CRC-valid log retained.
+    pub live_bytes: u64,
+}
+
+/// A read-only scan of a store directory (`culpeo store stat`): what
+/// recovery *would* do, without mutating anything.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StoreStat {
+    /// Report schema generation (matches the `/v1` envelope's).
+    pub schema_version: u32,
+    /// Live (non-quarantined) segment files present.
+    pub segments: usize,
+    /// CRC-valid records across live segments.
+    pub records: u64,
+    /// Distinct devices among those records.
+    pub devices: usize,
+    /// Bytes of CRC-valid log.
+    pub live_bytes: u64,
+    /// Torn-tail bytes a recovery would truncate.
+    pub torn_bytes: u64,
+    /// Live segment file names a recovery would quarantine.
+    pub corrupt_segments: Vec<String>,
+    /// Segment file names already quarantined by an earlier recovery.
+    pub quarantined: Vec<String>,
+}
+
+/// The most recent records and counters for one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSnapshot {
+    /// The device id.
+    pub device: u64,
+    /// Highest sequence number assigned to this device.
+    pub last_seq: u64,
+    /// Total records ever indexed for this device (ring evictions
+    /// included).
+    pub total: u64,
+    /// Up to [`StoreConfig::ring_capacity`] most recent records, oldest
+    /// first.
+    pub recent: Vec<Record>,
+}
+
+#[derive(Debug, Default)]
+struct DeviceRing {
+    ring: VecDeque<Record>,
+    total: u64,
+    last_seq: u64,
+}
+
+impl DeviceRing {
+    fn push(&mut self, rec: Record, cap: usize) {
+        if self.ring.len() >= cap.max(1) {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(rec);
+        self.total += 1;
+        self.last_seq = rec.seq;
+    }
+}
+
+struct Inner {
+    file: File,
+    segment_id: u64,
+    segment_len: u64,
+    total_bytes: u64,
+    /// Rotated-away segment files not yet covered by an fsync round.
+    unsynced: Vec<File>,
+    /// Global records appended this session (durability high-water
+    /// candidates).
+    appended: u64,
+    records: u64,
+    index: HashMap<u64, DeviceRing>,
+}
+
+/// The append-only, crash-safe observation log. Cheap to share behind an
+/// `Arc`; all methods take `&self`.
+pub struct Store {
+    dir: PathBuf,
+    config: StoreConfig,
+    inner: Mutex<Inner>,
+    commit: Mutex<CommitState>,
+    commit_cv: Condvar,
+    /// Global appends covered by a completed fsync (session-scoped, like
+    /// `Inner::appended`).
+    durable: AtomicU64,
+    /// Log bytes known covered by a completed fsync, for crash
+    /// injectors that model page-cache loss.
+    durable_bytes: AtomicU64,
+}
+
+impl Store {
+    /// Opens (creating if absent) the store at `dir`, running recovery
+    /// first. Returns the writable store and the recovery report.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created/scanned or a segment
+    /// cannot be repaired or opened for append.
+    pub fn open(dir: &Path, config: StoreConfig) -> Result<(Self, RecoveryReport), StoreError> {
+        fs::create_dir_all(dir)?;
+        let (report, records, segments) = recover_impl(dir, true)?;
+
+        let mut index: HashMap<u64, DeviceRing> = HashMap::new();
+        for rec in &records {
+            index
+                .entry(rec.device)
+                .or_default()
+                .push(*rec, config.ring_capacity);
+        }
+
+        // Append to the last live segment, or start segment 0 — unless
+        // the highest-numbered file was quarantined, in which case its
+        // number stays burnt and a fresh segment follows it.
+        let (segment_id, path, segment_len) = match segments.last() {
+            Some(seg) => (seg.id, seg.path.clone(), seg.bytes),
+            None => {
+                let id = next_free_segment_id(dir)?;
+                (id, segment_path(dir, id), 0)
+            }
+        };
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+
+        let store = Self {
+            dir: dir.to_path_buf(),
+            config,
+            inner: Mutex::new(Inner {
+                file,
+                segment_id,
+                segment_len,
+                total_bytes: report.live_bytes,
+                unsynced: Vec::new(),
+                appended: 0,
+                records: report.records_recovered,
+                index,
+            }),
+            commit: Mutex::new(CommitState::default()),
+            commit_cv: Condvar::new(),
+            durable: AtomicU64::new(0),
+            durable_bytes: AtomicU64::new(report.live_bytes),
+        };
+        Ok((store, report))
+    }
+
+    /// Appends one observation for `device`, assigning the next
+    /// per-device sequence number. In [`Durability::Fsync`] mode the
+    /// call returns only after the record is on stable storage.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFinite`] for NaN/infinite voltages,
+    /// [`StoreError::Overloaded`] when the un-durable backlog is at
+    /// [`StoreConfig::max_pending`], or the underlying I/O error.
+    pub fn append(
+        &self,
+        device: u64,
+        v_start: f64,
+        v_min: f64,
+        v_final: f64,
+    ) -> Result<Acked, StoreError> {
+        let acks = self.append_batch(device, &[(v_start, v_min, v_final)])?;
+        Ok(acks[0])
+    }
+
+    /// Appends a batch of observations for `device` under one lock
+    /// acquisition and (in fsync mode) one durability wait: the whole
+    /// batch rides a single group-commit round.
+    ///
+    /// # Errors
+    ///
+    /// As [`Store::append`]; on error nothing in the batch is acked.
+    pub fn append_batch(
+        &self,
+        device: u64,
+        triples: &[(f64, f64, f64)],
+    ) -> Result<Vec<Acked>, StoreError> {
+        if triples
+            .iter()
+            .any(|t| !(t.0.is_finite() && t.1.is_finite() && t.2.is_finite()))
+        {
+            return Err(StoreError::NotFinite);
+        }
+        let mut acks = Vec::with_capacity(triples.len());
+        let last_global = {
+            let mut g = self.lock_inner();
+            let pending = g.appended - self.durable.load(Ordering::Acquire);
+            if self.config.durability == Durability::Fsync
+                && pending + triples.len() as u64 > self.config.max_pending
+            {
+                return Err(StoreError::Overloaded { pending });
+            }
+            for &(v_start, v_min, v_final) in triples {
+                let ring = g.index.entry(device).or_default();
+                let rec = Record {
+                    device,
+                    seq: ring.last_seq + 1,
+                    v_start,
+                    v_min,
+                    v_final,
+                };
+                g.file.write_all(&rec.encode())?;
+                let cap = self.config.ring_capacity;
+                g.index.entry(device).or_default().push(rec, cap);
+                g.segment_len += FRAME_LEN as u64;
+                g.total_bytes += FRAME_LEN as u64;
+                g.records += 1;
+                g.appended += 1;
+                acks.push(Acked {
+                    device,
+                    seq: rec.seq,
+                    global: g.appended,
+                    fsync_rounds: 0,
+                });
+                if g.segment_len >= self.config.segment_bytes {
+                    self.rotate(&mut g)?;
+                }
+            }
+            g.appended
+        };
+        if self.config.durability == Durability::Fsync {
+            let rounds = commit::commit_durable(
+                &self.commit,
+                &self.commit_cv,
+                &self.durable,
+                last_global,
+                || self.sync_now(),
+            )?;
+            if let Some(last) = acks.last_mut() {
+                last.fsync_rounds = rounds;
+            }
+        }
+        Ok(acks)
+    }
+
+    /// Forces an fsync round covering everything appended so far
+    /// (required for durability in [`Durability::Manual`] mode; a no-op
+    /// ack-wise if everything is already durable).
+    ///
+    /// # Errors
+    ///
+    /// The underlying fsync error, with no durability published.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        let upto = self.sync_now()?;
+        // Monotonic publish: `sync_now` snapshots `appended` under the
+        // inner lock, and competing publishes only ever raise the mark.
+        let prev = self.durable.load(Ordering::Acquire);
+        if upto > prev {
+            self.durable.store(upto, Ordering::Release);
+        }
+        Ok(())
+    }
+
+    /// A snapshot of one device's recent records, or `None` for a device
+    /// the store has never seen.
+    #[must_use]
+    pub fn device(&self, device: u64) -> Option<DeviceSnapshot> {
+        let g = self.lock_inner();
+        g.index.get(&device).map(|ring| DeviceSnapshot {
+            device,
+            last_seq: ring.last_seq,
+            total: ring.total,
+            recent: ring.ring.iter().copied().collect(),
+        })
+    }
+
+    /// Every known device id, sorted.
+    #[must_use]
+    pub fn devices(&self) -> Vec<u64> {
+        let g = self.lock_inner();
+        let mut ids: Vec<u64> = g.index.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Records appended this session but not yet covered by an fsync.
+    #[must_use]
+    pub fn pending(&self) -> u64 {
+        let g = self.lock_inner();
+        g.appended - self.durable.load(Ordering::Acquire)
+    }
+
+    /// Log bytes known durable (recovered bytes plus fsync-covered
+    /// appends); crash injectors truncate to this offset to model
+    /// page-cache loss.
+    #[must_use]
+    pub fn durable_bytes(&self) -> u64 {
+        self.durable_bytes.load(Ordering::Acquire)
+    }
+
+    /// Live totals, from memory (no directory rescan).
+    #[must_use]
+    pub fn live_stat(&self) -> (u64, u64, usize) {
+        let g = self.lock_inner();
+        (g.records, g.total_bytes, g.index.len())
+    }
+
+    /// The directory this store writes to.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // An append panics only on arithmetic bugs, not on client data;
+        // a poisoned inner lock therefore means a store bug. Recover by
+        // taking the guard anyway: every on-disk mutation is a
+        // write_all that either landed or didn't, and recovery semantics
+        // already cover half-applied appends.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.inner.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Closes the current segment into the unsynced list and opens the
+    /// next one. Called with the inner lock held.
+    fn rotate(&self, g: &mut Inner) -> Result<(), StoreError> {
+        let next_id = g.segment_id + 1;
+        let next = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&self.dir, next_id))?;
+        let old = std::mem::replace(&mut g.file, next);
+        g.unsynced.push(old);
+        g.segment_id = next_id;
+        g.segment_len = 0;
+        Ok(())
+    }
+
+    /// The group-commit `sync` closure: snapshot the files and
+    /// high-water mark under the inner lock, fsync outside it (appends
+    /// continue concurrently), and report what the round covered.
+    fn sync_now(&self) -> Result<u64, StoreError> {
+        let (files, upto, bytes) = {
+            let mut g = self.lock_inner();
+            let mut files = std::mem::take(&mut g.unsynced);
+            files.push(g.file.try_clone()?);
+            (files, g.appended, g.total_bytes)
+        };
+        for (i, f) in files.iter().enumerate() {
+            if let Err(e) = f.sync_data() {
+                // Put the not-yet-synced rotated files back so a retry
+                // round still covers them (the current-segment clone at
+                // the end is re-cloned next round anyway).
+                let mut g = self.lock_inner();
+                let tail = files.len() - 1;
+                g.unsynced
+                    .extend(files.into_iter().skip(i).take(tail.saturating_sub(i)));
+                return Err(e.into());
+            }
+        }
+        let prev = self.durable_bytes.load(Ordering::Acquire);
+        if bytes > prev {
+            self.durable_bytes.store(bytes, Ordering::Release);
+        }
+        Ok(upto)
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        // Graceful shutdown in fsync mode leaves nothing un-durable
+        // anyway; this covers the Manual-mode caller that forgot and
+        // costs one fsync. Crash injectors bypass it by construction
+        // (they model the crash with file truncation, not drop order).
+        if self.config.durability == Durability::Fsync {
+            let _ = self.sync();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Directory scanning and recovery.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct SegmentInfo {
+    id: u64,
+    path: PathBuf,
+    bytes: u64,
+}
+
+/// The path of segment `id` under `dir`.
+#[must_use]
+pub fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:08}.log"))
+}
+
+/// The live (non-quarantined) segment files under `dir`, sorted by
+/// segment number — the byte stream in append order.
+///
+/// # Errors
+///
+/// Any directory-read error.
+pub fn segment_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut segs: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if let Some(id) = parse_segment_id(&path) {
+            segs.push((id, path));
+        }
+    }
+    segs.sort_by_key(|(id, _)| *id);
+    Ok(segs.into_iter().map(|(_, p)| p).collect())
+}
+
+fn parse_segment_id(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let id = name.strip_prefix("seg-")?.strip_suffix(".log")?;
+    (id.len() == 8).then(|| id.parse().ok()).flatten()
+}
+
+fn next_free_segment_id(dir: &Path) -> std::io::Result<u64> {
+    // Quarantined files burn their number: seg-00000002.log.quarantined
+    // must never be shadowed by a fresh seg-00000002.log.
+    let mut max: Option<u64> = None;
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let candidate = parse_segment_id(&path).or_else(|| {
+            let name = path.file_name()?.to_str()?;
+            let stem = name.strip_suffix(QUARANTINE_SUFFIX)?;
+            parse_segment_id(Path::new(stem))
+        });
+        if let Some(id) = candidate {
+            max = Some(max.map_or(id, |m: u64| m.max(id)));
+        }
+    }
+    Ok(max.map_or(0, |m| m + 1))
+}
+
+fn quarantined_files(dir: &Path) -> std::io::Result<Vec<String>> {
+    let mut names: Vec<String> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+            if name.ends_with(QUARANTINE_SUFFIX) {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+/// Scans one segment's bytes. Returns the records, the clean byte
+/// length, and what ended the scan.
+enum SegmentEnd {
+    Clean,
+    Torn { at: u64 },
+    Corrupt,
+}
+
+fn scan_segment(bytes: &[u8]) -> (Vec<Record>, SegmentEnd) {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    loop {
+        match scan_frame(&bytes[off..]) {
+            Scan::Record(rec) => {
+                records.push(rec);
+                off += FRAME_LEN;
+            }
+            Scan::End => return (records, SegmentEnd::Clean),
+            Scan::Torn { .. } => return (records, SegmentEnd::Torn { at: off as u64 }),
+            Scan::Corrupt { .. } => return (records, SegmentEnd::Corrupt),
+        }
+    }
+}
+
+fn recover_impl(
+    dir: &Path,
+    mutate: bool,
+) -> Result<(RecoveryReport, Vec<Record>, Vec<SegmentInfo>), StoreError> {
+    let paths = segment_files(dir)?;
+    let mut report = RecoveryReport {
+        schema_version: 2,
+        segments_scanned: paths.len(),
+        records_recovered: 0,
+        devices: 0,
+        truncated_bytes: 0,
+        quarantined: quarantined_files(dir)?,
+        live_bytes: 0,
+    };
+    let mut records: Vec<Record> = Vec::new();
+    let mut segments: Vec<SegmentInfo> = Vec::new();
+
+    for (i, path) in paths.iter().enumerate() {
+        let is_last = i + 1 == paths.len();
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let (segment_records, end) = scan_segment(&bytes);
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("segment")
+            .to_string();
+        let quarantine = match end {
+            SegmentEnd::Clean => {
+                keep_segment(
+                    &mut records,
+                    &mut segments,
+                    &mut report,
+                    path,
+                    segment_records,
+                    bytes.len() as u64,
+                );
+                false
+            }
+            SegmentEnd::Torn { at } if is_last => {
+                // The interrupted append `kill -9` leaves behind: drop
+                // the torn tail, keep the clean prefix.
+                report.truncated_bytes += bytes.len() as u64 - at;
+                if mutate {
+                    let f = OpenOptions::new().write(true).open(path)?;
+                    f.set_len(at)?;
+                    f.sync_data()?;
+                }
+                keep_segment(
+                    &mut records,
+                    &mut segments,
+                    &mut report,
+                    path,
+                    segment_records,
+                    at,
+                );
+                false
+            }
+            // A torn frame mid-directory cannot be an interrupted
+            // append (later segments exist), so it is treated as the
+            // corruption it must be.
+            SegmentEnd::Torn { .. } | SegmentEnd::Corrupt => true,
+        };
+        if quarantine {
+            report.quarantined.push(name.clone());
+            if mutate {
+                let mut to = path.as_os_str().to_owned();
+                to.push(QUARANTINE_SUFFIX);
+                fs::rename(path, PathBuf::from(to))?;
+            }
+            // The whole segment is set aside: indexing a prefix of a
+            // rotted file would present a silently incomplete history
+            // as authoritative.
+        }
+    }
+    report.quarantined.sort();
+    report.records_recovered = records.len() as u64;
+    let mut devices: Vec<u64> = records.iter().map(|r| r.device).collect();
+    devices.sort_unstable();
+    devices.dedup();
+    report.devices = devices.len();
+    Ok((report, records, segments))
+}
+
+fn keep_segment(
+    records: &mut Vec<Record>,
+    segments: &mut Vec<SegmentInfo>,
+    report: &mut RecoveryReport,
+    path: &Path,
+    segment_records: Vec<Record>,
+    clean_bytes: u64,
+) {
+    records.extend(segment_records);
+    report.live_bytes += clean_bytes;
+    if let Some(id) = parse_segment_id(path) {
+        segments.push(SegmentInfo {
+            id,
+            path: path.to_path_buf(),
+            bytes: clean_bytes,
+        });
+    }
+}
+
+/// Runs recovery on `dir` without keeping the store open: truncates a
+/// torn tail, quarantines corrupt segments, and reports what it did.
+/// Idempotent — re-running on a recovered directory repairs nothing.
+///
+/// # Errors
+///
+/// Any I/O error while scanning or repairing.
+pub fn recover(dir: &Path) -> Result<RecoveryReport, StoreError> {
+    fs::create_dir_all(dir)?;
+    let (report, _, _) = recover_impl(dir, true)?;
+    Ok(report)
+}
+
+/// Read-only scan of `dir`: what recovery *would* find, with nothing
+/// mutated (safe against a live writer for monitoring).
+///
+/// # Errors
+///
+/// Any I/O error while scanning.
+pub fn scan(dir: &Path) -> Result<StoreStat, StoreError> {
+    let paths = segment_files(dir)?;
+    let mut stat = StoreStat {
+        schema_version: 2,
+        segments: paths.len(),
+        records: 0,
+        devices: 0,
+        live_bytes: 0,
+        torn_bytes: 0,
+        corrupt_segments: Vec::new(),
+        quarantined: quarantined_files(dir)?,
+    };
+    let mut devices: Vec<u64> = Vec::new();
+    for (i, path) in paths.iter().enumerate() {
+        let is_last = i + 1 == paths.len();
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let (segment_records, end) = scan_segment(&bytes);
+        match end {
+            SegmentEnd::Clean => {
+                stat.live_bytes += bytes.len() as u64;
+            }
+            SegmentEnd::Torn { at } if is_last => {
+                stat.torn_bytes += bytes.len() as u64 - at;
+                stat.live_bytes += at;
+            }
+            SegmentEnd::Torn { .. } | SegmentEnd::Corrupt => {
+                if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                    stat.corrupt_segments.push(name.to_string());
+                }
+                continue;
+            }
+        }
+        stat.records += segment_records.len() as u64;
+        devices.extend(segment_records.iter().map(|r| r.device));
+    }
+    devices.sort_unstable();
+    devices.dedup();
+    stat.devices = devices.len();
+    stat.corrupt_segments.sort();
+    Ok(stat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("culpeo-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn small_config() -> StoreConfig {
+        StoreConfig {
+            segment_bytes: 3 * FRAME_LEN as u64, // rotate every 3 records
+            ring_capacity: 4,
+            durability: Durability::Fsync,
+            max_pending: 64,
+        }
+    }
+
+    #[test]
+    fn append_recover_round_trip_with_rotation() {
+        let dir = test_dir("roundtrip");
+        {
+            let (store, report) = Store::open(&dir, small_config()).unwrap();
+            assert_eq!(report.records_recovered, 0);
+            for i in 0..8u32 {
+                let acked = store
+                    .append(1, 2.3, 2.1 - f64::from(i) * 0.01, 2.28)
+                    .unwrap();
+                assert_eq!(acked.seq, u64::from(i) + 1);
+            }
+            store.append(2, 2.4, 2.2, 2.39).unwrap();
+        }
+        // 9 records at 3 per segment: segments 0..=2 full, 3 current.
+        assert!(segment_files(&dir).unwrap().len() >= 3);
+        let (store, report) = Store::open(&dir, small_config()).unwrap();
+        assert_eq!(report.records_recovered, 9);
+        assert_eq!(report.devices, 2);
+        assert_eq!(report.truncated_bytes, 0);
+        assert!(report.quarantined.is_empty());
+        let snap = store.device(1).unwrap();
+        assert_eq!(snap.last_seq, 8);
+        assert_eq!(snap.total, 8);
+        assert_eq!(snap.recent.len(), 4, "ring capacity bounds the index");
+        assert_eq!(snap.recent.last().unwrap().seq, 8);
+        // Sequence numbers keep rising across a reopen.
+        let acked = store.append(1, 2.3, 2.1, 2.28).unwrap();
+        assert_eq!(acked.seq, 9);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_recovery_is_idempotent() {
+        let dir = test_dir("torn");
+        {
+            let (store, _) = Store::open(&dir, small_config()).unwrap();
+            for _ in 0..5 {
+                store.append(9, 2.3, 2.1, 2.28).unwrap();
+            }
+        }
+        // Tear the live tail: cut the last record's frame short by 5
+        // bytes, as a kill mid-append would.
+        let last = segment_files(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&last).unwrap().len();
+        assert!(len > 5);
+        let f = OpenOptions::new().write(true).open(&last).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+
+        let report = recover(&dir).unwrap();
+        assert_eq!(report.records_recovered, 4);
+        assert_eq!(report.truncated_bytes, FRAME_LEN as u64 - 5);
+        let again = recover(&dir).unwrap();
+        assert_eq!(again.records_recovered, 4);
+        assert_eq!(again.truncated_bytes, 0, "second recovery repairs nothing");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_mid_directory_segment_is_quarantined_not_fatal() {
+        let dir = test_dir("quarantine");
+        {
+            let (store, _) = Store::open(&dir, small_config()).unwrap();
+            for _ in 0..7 {
+                store.append(3, 2.3, 2.1, 2.28).unwrap();
+            }
+        }
+        // Flip a payload byte in the FIRST segment (3 records live
+        // there).
+        let first = segment_files(&dir).unwrap().remove(0);
+        let mut bytes = fs::read(&first).unwrap();
+        bytes[HEADER_LEN_PROBE] ^= 0x40;
+        fs::write(&first, &bytes).unwrap();
+
+        let (store, report) = Store::open(&dir, small_config()).unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.records_recovered, 4, "the other segments survive");
+        assert!(!first.exists(), "the corrupt segment was renamed aside");
+        // The quarantined file is preserved aside, not deleted.
+        let mut q = first.as_os_str().to_owned();
+        q.push(QUARANTINE_SUFFIX);
+        assert!(PathBuf::from(q).exists());
+        // Appends still work and recovery of the recovered dir is clean.
+        store.append(3, 2.3, 2.1, 2.28).unwrap();
+        drop(store);
+        let stat = scan(&dir).unwrap();
+        assert!(stat.corrupt_segments.is_empty());
+        assert_eq!(stat.quarantined.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    const HEADER_LEN_PROBE: usize = crate::frame::HEADER_LEN + 2;
+
+    #[test]
+    fn manual_mode_sheds_nothing_but_tracks_durable_bytes() {
+        let dir = test_dir("manual");
+        let config = StoreConfig {
+            durability: Durability::Manual,
+            ..small_config()
+        };
+        let (store, _) = Store::open(&dir, config).unwrap();
+        store.append(1, 2.3, 2.1, 2.28).unwrap();
+        store.append(1, 2.3, 2.1, 2.28).unwrap();
+        assert_eq!(store.pending(), 2);
+        store.sync().unwrap();
+        assert_eq!(store.pending(), 0);
+        let (records, bytes, devices) = store.live_stat();
+        assert_eq!((records, devices), (2, 1));
+        assert_eq!(store.durable_bytes(), bytes);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_mode_sheds_at_the_pending_cap() {
+        // With Manual durability pending grows; switching the config's
+        // shed check on requires Fsync mode, so exercise the arithmetic
+        // directly: a store whose durable mark never advances must
+        // refuse the append that would exceed max_pending.
+        let dir = test_dir("shed");
+        let config = StoreConfig {
+            durability: Durability::Fsync,
+            max_pending: 0,
+            ..small_config()
+        };
+        let (store, _) = Store::open(&dir, config).unwrap();
+        let err = store.append(1, 2.3, 2.1, 2.28).unwrap_err();
+        assert!(matches!(err, StoreError::Overloaded { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_append_assigns_consecutive_seqs_under_one_commit() {
+        let dir = test_dir("batch");
+        let (store, _) = Store::open(&dir, small_config()).unwrap();
+        let acks = store
+            .append_batch(
+                5,
+                &[(2.3, 2.1, 2.28), (2.29, 2.12, 2.27), (2.28, 2.11, 2.26)],
+            )
+            .unwrap();
+        assert_eq!(
+            acks.iter().map(|a| a.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(store.pending(), 0, "the batch is durable on return");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_finite_observations_are_refused() {
+        let dir = test_dir("nan");
+        let (store, _) = Store::open(&dir, small_config()).unwrap();
+        let err = store.append(1, f64::NAN, 2.1, 2.2).unwrap_err();
+        assert!(matches!(err, StoreError::NotFinite));
+        let (records, _, _) = store.live_stat();
+        assert_eq!(records, 0, "nothing was written");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

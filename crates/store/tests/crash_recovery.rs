@@ -1,0 +1,179 @@
+//! The crash-safety property, stated as a property test: for an
+//! arbitrary record stream and an arbitrary crash byte offset, recovery
+//! yields exactly the frames wholly within the surviving prefix — no
+//! loss, no phantom records — and a second recovery repairs nothing.
+//!
+//! The crash model leans on the prefix property of appends (a crash
+//! leaves each file a byte prefix of what was written, in global append
+//! order): segments wholly before the crash offset survive intact, the
+//! segment containing it is truncated mid-frame, and segments after it
+//! never made it to disk.
+
+use culpeo_store::{recover, scan, segment_files, Durability, Store, StoreConfig, FRAME_LEN};
+use proptest::prelude::*;
+use std::fs::{self, OpenOptions};
+use std::path::{Path, PathBuf};
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("culpeo-crash-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn tiny_config() -> StoreConfig {
+    StoreConfig {
+        segment_bytes: 3 * FRAME_LEN as u64, // rotate every 3 records
+        ring_capacity: 128,
+        durability: Durability::Manual,
+        max_pending: 4096,
+    }
+}
+
+/// Writes `triples` through a real store (rotation included), then
+/// simulates `kill -9` after exactly `crash_at` bytes of the global
+/// stream reached disk. Returns the number of whole frames in the
+/// surviving prefix.
+fn write_then_crash(dir: &Path, triples: &[(u64, f64, f64, f64)], crash_frac: f64) -> u64 {
+    let (store, _) = Store::open(dir, tiny_config()).unwrap();
+    for &(device, v_start, v_min, v_final) in triples {
+        store.append(device, v_start, v_min, v_final).unwrap();
+    }
+    store.sync().unwrap();
+    drop(store);
+
+    let segs = segment_files(dir).unwrap();
+    let total: u64 = segs.iter().map(|p| fs::metadata(p).unwrap().len()).sum();
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let crash_at = ((total as f64) * crash_frac.clamp(0.0, 1.0)).floor() as u64;
+
+    let mut cum = 0u64;
+    for path in &segs {
+        let len = fs::metadata(path).unwrap().len();
+        if cum + len <= crash_at {
+            cum += len;
+            continue; // wholly durable before the crash
+        }
+        if crash_at > cum {
+            // The crash lands inside this segment: its prefix survives.
+            let keep = crash_at - cum;
+            let f = OpenOptions::new().write(true).open(path).unwrap();
+            f.set_len(keep).unwrap();
+            cum += len;
+        } else {
+            // Created after the crash point: never reached disk.
+            fs::remove_file(path).unwrap();
+            cum += len;
+        }
+    }
+    crash_at / FRAME_LEN as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn recovery_yields_exactly_the_surviving_prefix(
+        triples in proptest::collection::vec(
+            (1u64..4, 2.0..3.0f64, 1.5..2.2f64, 1.9..2.9f64),
+            1..40,
+        ),
+        crash_frac in 0.0..1.0f64,
+    ) {
+        let dir = fresh_dir("prefix");
+        let expect = write_then_crash(&dir, &triples, crash_frac);
+
+        let report = recover(&dir).unwrap();
+        prop_assert_eq!(report.records_recovered, expect, "no loss, no phantoms");
+        prop_assert!(report.quarantined.is_empty(), "a crash never corrupts");
+
+        // Idempotence: a recovered directory has nothing left to repair.
+        let again = recover(&dir).unwrap();
+        prop_assert_eq!(again.records_recovered, expect);
+        prop_assert_eq!(again.truncated_bytes, 0);
+        prop_assert!(again.quarantined.is_empty());
+
+        // Reopening assigns fresh sequence numbers that continue each
+        // device's recovered history (per-device monotonicity survives
+        // the crash).
+        let (store, _) = Store::open(&dir, tiny_config()).unwrap();
+        for device in store.devices() {
+            let snap = store.device(device).unwrap();
+            let written = triples.iter().filter(|t| t.0 == device).count() as u64;
+            prop_assert!(snap.last_seq <= written, "no phantom sequence numbers");
+            let acked = store.append(device, 2.5, 2.0, 2.4).unwrap();
+            prop_assert_eq!(acked.seq, snap.last_seq + 1);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_is_read_only_and_agrees_with_recovery(
+        triples in proptest::collection::vec(
+            (1u64..3, 2.0..3.0f64, 1.5..2.2f64, 1.9..2.9f64),
+            1..25,
+        ),
+        crash_frac in 0.0..1.0f64,
+    ) {
+        let dir = fresh_dir("scan");
+        let expect = write_then_crash(&dir, &triples, crash_frac);
+
+        let before = scan(&dir).unwrap();
+        prop_assert_eq!(before.records, expect);
+        // scan() must not have repaired anything: a second scan sees the
+        // same torn bytes.
+        let still = scan(&dir).unwrap();
+        prop_assert_eq!(still.torn_bytes, before.torn_bytes);
+
+        let report = recover(&dir).unwrap();
+        prop_assert_eq!(report.records_recovered, before.records);
+        prop_assert_eq!(report.truncated_bytes, before.torn_bytes);
+        let after = scan(&dir).unwrap();
+        prop_assert_eq!(after.torn_bytes, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// The deterministic torn-tail battery the property test samples around:
+/// tear the last frame at the exact boundary offsets that historically
+/// hide off-by-ones (0 extra bytes, 1 byte, and all-but-one byte).
+#[test]
+fn torn_tail_battery_at_frame_boundaries() {
+    for (tag, extra) in [("b0", 0usize), ("b1", 1), ("bm1", FRAME_LEN - 1)] {
+        let dir = fresh_dir(&format!("battery-{tag}"));
+        let (store, _) = Store::open(&dir, tiny_config()).unwrap();
+        for _ in 0..4 {
+            store.append(1, 2.3, 2.1, 2.28).unwrap();
+        }
+        store.sync().unwrap();
+        drop(store);
+
+        // Rewrite the directory to hold 4 complete frames plus `extra`
+        // bytes of a fifth, torn frame on the last segment.
+        let segs = segment_files(&dir).unwrap();
+        let last = segs.last().unwrap();
+        let mut bytes = fs::read(last).unwrap();
+        let fifth = culpeo_store::Record {
+            device: 1,
+            seq: 5,
+            v_start: 2.3,
+            v_min: 2.1,
+            v_final: 2.28,
+        }
+        .encode();
+        bytes.extend_from_slice(&fifth[..extra]);
+        fs::write(last, &bytes).unwrap();
+
+        let report = recover(&dir).unwrap();
+        assert_eq!(report.records_recovered, 4, "case {tag}");
+        assert_eq!(report.truncated_bytes, extra as u64, "case {tag}");
+        assert!(report.quarantined.is_empty(), "case {tag}");
+        let again = recover(&dir).unwrap();
+        assert_eq!(again.truncated_bytes, 0, "case {tag}: idempotent");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

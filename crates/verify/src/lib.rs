@@ -55,6 +55,7 @@
 
 pub mod interp;
 pub mod replay;
+pub mod rolling;
 pub mod wire;
 
 pub use interp::{
@@ -62,6 +63,7 @@ pub use interp::{
     VerifyOutcome,
 };
 pub use replay::{plant_from_model, replay_duration, replay_on, synthesize_profile, ReplayOutcome};
+pub use rolling::{rolling_envelope, RollingConfig, RollingVerdict};
 pub use wire::{exit_code, to_response};
 
 /// Tunable envelope parameters for the abstract interpreter.

@@ -1,0 +1,239 @@
+//! Rolling harvest-credit envelope: "safe for the next *k* hyperperiods".
+//!
+//! The ingest path turns each device's observation stream into a live
+//! Culpeo-R estimate (`V_safe`, `V_δ`, buffer energy). This module turns
+//! that estimate into a *forward-looking* verdict by synthesising a
+//! one-launch periodic plan — the device repeating its observed task
+//! every `period_s` seconds under `recharge_power_mw` of harvest — and
+//! asking the abstract interpreter how far ahead safety is provable:
+//!
+//! 1. **Periodic proof first.** If the periodic fixpoint proves the
+//!    synthetic plan, the device is safe for *every* upcoming
+//!    hyperperiod, `k` included ([`RollingVerdict::proven_periodic`]).
+//! 2. **Concrete unrolls otherwise.** When the fixpoint cannot close
+//!    (e.g. the estimate sits near the requirement and widening loses
+//!    it), the module falls back to single-shot plans of 1, 2, … `k`
+//!    concrete launches and reports the longest proved prefix.
+//!
+//! The verdict is monotone in the estimate's pessimism: a worse
+//! (higher-`V_safe`, higher-energy) estimate can only shorten the safe
+//! horizon, never lengthen it — the same direction Culpeo-R's max-update
+//! moves, so serving the rolling verdict from the latest estimate is
+//! sound.
+
+use culpeo::{PowerSystemModel, VsafeEstimate};
+use culpeo_api::plan::{LaunchSpec, PlanSpec};
+
+use crate::interp::{verify_with_model, Verdict};
+use crate::VerifyConfig;
+
+/// How far ahead and under what assumed conditions the rolling check
+/// looks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RollingConfig {
+    /// Hyperperiods to certify (`k`).
+    pub horizon: u64,
+    /// Hyperperiod length: the device repeats its task every this many
+    /// seconds.
+    pub period_s: f64,
+    /// Assumed harvested power while idle, in milliwatts.
+    pub recharge_power_mw: f64,
+}
+
+impl Default for RollingConfig {
+    fn default() -> Self {
+        Self {
+            horizon: 8,
+            period_s: 60.0,
+            recharge_power_mw: 8.0,
+        }
+    }
+}
+
+/// The rolling verdict: how many upcoming hyperperiods are provably
+/// safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RollingVerdict {
+    /// Hyperperiods proved safe from now (capped at the horizon).
+    pub safe_hyperperiods: u64,
+    /// The horizon `k` that was checked.
+    pub horizon: u64,
+    /// The periodic fixpoint proof closed: safe for all hyperperiods,
+    /// not just `k`.
+    pub proven_periodic: bool,
+}
+
+impl RollingVerdict {
+    /// The wire-verdict string (`"proved-periodic"`, `"proved-k"`, or
+    /// `"unproved"`).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        if self.proven_periodic {
+            "proved-periodic"
+        } else if self.safe_hyperperiods > 0 {
+            "proved-k"
+        } else {
+            "unproved"
+        }
+    }
+}
+
+/// The synthetic plan a rolling check verifies: one launch per
+/// hyperperiod with the estimate's energy/dip/floor, starting from the
+/// device's current voltage. `cycles == None` makes it periodic
+/// (fixpoint); `Some(c)` unrolls `c` concrete launches single-shot.
+fn synthetic_plan(
+    est: &VsafeEstimate,
+    v_now: f64,
+    cfg: &RollingConfig,
+    cycles: Option<u64>,
+) -> PlanSpec {
+    let launch = |i: u64| LaunchSpec {
+        task: "observed".to_string(),
+        #[allow(clippy::cast_precision_loss)]
+        start_s: (i as f64) * cfg.period_s,
+        energy_mj: est.buffer_energy.to_milli(),
+        v_delta: est.v_delta.get(),
+        v_safe: Some(est.v_safe.get()),
+    };
+    match cycles {
+        None => PlanSpec {
+            recharge_power_mw: cfg.recharge_power_mw,
+            v_start: Some(v_now),
+            period_s: Some(cfg.period_s),
+            launches: vec![launch(0)],
+        },
+        Some(c) => PlanSpec {
+            recharge_power_mw: cfg.recharge_power_mw,
+            v_start: Some(v_now),
+            period_s: None,
+            launches: (0..c).map(launch).collect(),
+        },
+    }
+}
+
+/// Evaluates the rolling harvest-credit envelope for one device: given
+/// its live Culpeo-R estimate and current buffer voltage, how many of
+/// the next [`RollingConfig::horizon`] hyperperiods provably complete
+/// without exhaustion.
+#[must_use]
+pub fn rolling_envelope(
+    model: &PowerSystemModel,
+    est: &VsafeEstimate,
+    v_now: f64,
+    cfg: &RollingConfig,
+) -> RollingVerdict {
+    let vcfg = VerifyConfig::default();
+
+    // Periodic fixpoint first: one proof covers every horizon.
+    let periodic = synthetic_plan(est, v_now, cfg, None);
+    if matches!(
+        verify_with_model(model, &periodic, &vcfg).verdict,
+        Verdict::Proved
+    ) {
+        return RollingVerdict {
+            safe_hyperperiods: cfg.horizon,
+            horizon: cfg.horizon,
+            proven_periodic: true,
+        };
+    }
+
+    // Otherwise the longest proved concrete prefix. Proved prefixes are
+    // monotone (a proof of c launches walks through a proof of every
+    // shorter prefix), so stop at the first failure.
+    let mut safe = 0u64;
+    for c in 1..=cfg.horizon {
+        let unrolled = synthetic_plan(est, v_now, cfg, Some(c));
+        if matches!(
+            verify_with_model(model, &unrolled, &vcfg).verdict,
+            Verdict::Proved
+        ) {
+            safe = c;
+        } else {
+            break;
+        }
+    }
+    RollingVerdict {
+        safe_hyperperiods: safe,
+        horizon: cfg.horizon,
+        proven_periodic: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culpeo_units::{Joules, Volts};
+
+    fn model() -> PowerSystemModel {
+        PowerSystemModel::capybara()
+    }
+
+    fn modest_estimate() -> VsafeEstimate {
+        // A light task on a healthy buffer: comfortably provable.
+        VsafeEstimate {
+            v_safe: Volts::new(2.1),
+            v_delta: Volts::new(0.1),
+            buffer_energy: Joules::from_milli(5.0),
+        }
+    }
+
+    #[test]
+    fn a_light_periodic_load_proves_the_whole_horizon() {
+        let v = rolling_envelope(
+            &model(),
+            &modest_estimate(),
+            2.56,
+            &RollingConfig::default(),
+        );
+        assert!(v.proven_periodic, "{v:?}");
+        assert_eq!(v.safe_hyperperiods, v.horizon);
+        assert_eq!(v.label(), "proved-periodic");
+    }
+
+    #[test]
+    fn an_impossible_estimate_proves_nothing() {
+        // A task whose floor sits above the buffer ceiling can never be
+        // proved safe for even one hyperperiod.
+        let est = VsafeEstimate {
+            v_safe: Volts::new(9.0),
+            v_delta: Volts::new(0.5),
+            buffer_energy: Joules::from_milli(500.0),
+        };
+        let v = rolling_envelope(&model(), &est, 2.56, &RollingConfig::default());
+        assert!(!v.proven_periodic);
+        assert_eq!(v.safe_hyperperiods, 0);
+        assert_eq!(v.label(), "unproved");
+    }
+
+    #[test]
+    fn the_verdict_is_monotone_in_estimate_pessimism() {
+        let cfg = RollingConfig {
+            horizon: 4,
+            ..RollingConfig::default()
+        };
+        let light = rolling_envelope(&model(), &modest_estimate(), 2.56, &cfg);
+        let heavy = VsafeEstimate {
+            v_safe: Volts::new(2.4),
+            v_delta: Volts::new(0.3),
+            buffer_energy: Joules::from_milli(60.0),
+        };
+        let worse = rolling_envelope(&model(), &heavy, 2.56, &cfg);
+        assert!(
+            worse.safe_hyperperiods <= light.safe_hyperperiods,
+            "pessimism must not lengthen the horizon: {worse:?} vs {light:?}"
+        );
+    }
+
+    #[test]
+    fn a_lower_current_voltage_cannot_lengthen_the_horizon() {
+        let cfg = RollingConfig {
+            horizon: 4,
+            ..RollingConfig::default()
+        };
+        let est = modest_estimate();
+        let high = rolling_envelope(&model(), &est, 2.56, &cfg);
+        let low = rolling_envelope(&model(), &est, 2.12, &cfg);
+        assert!(low.safe_hyperperiods <= high.safe_hyperperiods);
+    }
+}

@@ -51,4 +51,7 @@ scripts/chaos.sh
 echo "== scripts/race.sh"
 scripts/race.sh
 
+echo "== scripts/store.sh"
+scripts/store.sh
+
 echo "lint: clean"

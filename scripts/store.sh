@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Durability gate: prove the telemetry store's two headline claims from
+# the outside, with the real binary and a real filesystem:
+#   1. determinism — two `culpeo store fill` runs of the same seed
+#      produce byte-identical segment files (no wall-clock, pid, or
+#      allocation order leaks into the log);
+#   2. crash safety — tearing the log mid-frame (what a `kill -9`
+#      leaves behind) is repaired by `store recover`, exactly once:
+#      the acked prefix survives, `store stat` flips back to clean,
+#      and a second recovery finds nothing to do.
+# The in-process version of claim 2 (arbitrary crash offsets, proptest)
+# runs in `cargo test -p culpeo-store`, which gates here too.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=${CULPEO_BIN:-target/release/culpeo}
+if [[ ! -x "$BIN" ]]; then
+    echo "== building $BIN"
+    cargo build --release -p culpeo-cli
+fi
+
+SEED=${CULPEO_STORE_SEED:-42}
+RECORDS=${CULPEO_STORE_RECORDS:-64}
+WORK=$(mktemp -d)
+cleanup() { rm -rf "$WORK"; }
+trap cleanup EXIT
+
+echo "== culpeo store fill x2 --seed $SEED (must be byte-identical)"
+"$BIN" store fill "$WORK/a" --records "$RECORDS" --seed "$SEED"
+"$BIN" store fill "$WORK/b" --records "$RECORDS" --seed "$SEED"
+for seg in "$WORK"/a/seg-*.log; do
+    twin="$WORK/b/$(basename "$seg")"
+    if ! cmp -s "$seg" "$twin"; then
+        echo "store: fill is not deterministic: $(basename "$seg") differs" >&2
+        exit 1
+    fi
+done
+
+echo "== tearing the log tail mid-frame (kill -9 residue)"
+LAST=$(ls "$WORK"/a/seg-*.log | sort | tail -n 1)
+LEN=$(wc -c <"$LAST")
+truncate -s $((LEN - 11)) "$LAST"
+
+if "$BIN" store stat "$WORK/a" >/dev/null; then
+    echo "store: stat exited 0 on a torn log" >&2
+    exit 1
+fi
+
+echo "== culpeo store recover (must repair the tear)"
+"$BIN" store recover "$WORK/a"
+
+echo "== culpeo store stat (must be clean again)"
+"$BIN" store stat "$WORK/a"
+
+# Idempotence: a second recovery finds nothing to truncate or
+# quarantine.
+AGAIN=$("$BIN" store recover "$WORK/a" --format json)
+if [[ "$AGAIN" != *'"truncated_bytes":0'* ]]; then
+    echo "store: recovery was not idempotent: $AGAIN" >&2
+    exit 1
+fi
+
+# Usage errors must exit 2, not masquerade as verdicts.
+if "$BIN" store frobnicate "$WORK/a" >/dev/null 2>&1; then
+    echo "store: a usage error exited 0" >&2
+    exit 1
+fi
+
+# The in-process batteries: torn-tail units + the arbitrary-crash-offset
+# proptest ("recovery yields exactly the acked prefix, idempotent").
+echo "== cargo test -q -p culpeo-store"
+cargo test -q -p culpeo-store
+
+echo "store: durable and deterministic (seed $SEED, $RECORDS records)"
