@@ -4,3 +4,4 @@ pub mod plan;
 pub mod spec;
 pub mod trace;
 pub mod verify;
+pub mod wcec;

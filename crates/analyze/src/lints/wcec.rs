@@ -1,0 +1,258 @@
+//! C050–C054: derived-vs-declared `(E, V_δ)` drift, surfaced as
+//! diagnostics.
+//!
+//! The verifier (C040–C046) trusts a launch's declared energy and ESR
+//! dip. This pass closes that loophole for every launch whose task name
+//! maps to a `culpeo-wcec` workload model: the analyzer derives a
+//! worst-case certificate from the task's own structure and compares it
+//! with what the plan declares. Certificate substitution is opt-in by
+//! exact task name (see `culpeo_wcec::workloads::named`), so
+//! hand-declared tasks are never second-guessed.
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | C050 | error    | declared energy below the certified worst case |
+//! | C051 | warning  | declared energy over-provisioned (> 4× certificate) |
+//! | C052 | error    | declared `V_δ` below the certified worst-case dip |
+//! | C053 | warning  | task model exists but is not certifiable (unbounded loop) |
+//! | C054 | error    | certified worst-case latency overlaps the next launch |
+
+use culpeo_wcec::{analyze, esr_max_ohms, workloads, WcecVerdict};
+
+use crate::diag::{Diagnostic, Report};
+use crate::input::AnalysisInput;
+
+/// Declared energy above this multiple of the certified worst case is
+/// flagged as over-provisioned (C051).
+const OVERPROVISION_FACTOR: f64 = 4.0;
+
+/// Relative slack on derived-vs-declared comparisons, so calibration
+/// noise at the last ulp never flips a verdict.
+const REL_EPS: f64 = 1e-9;
+
+/// Derives worst-case certificates for recognizably modelled tasks and
+/// lints the plan's declared figures against them (no-op without a plan
+/// or a usable model).
+pub fn certificate_drift(input: &AnalysisInput<'_>, report: &mut Report) {
+    let Some(plan) = input.plan else {
+        return;
+    };
+    let Ok(model) = input.spec.clone().into_model() else {
+        // C046 (inapplicable spec) is the verification pass's finding.
+        return;
+    };
+    let v_out = model.v_out();
+    let r_max = esr_max_ohms(&model);
+    for (i, launch) in plan.launches.iter().enumerate() {
+        let Some(graph) = workloads::named(&launch.task, v_out) else {
+            continue;
+        };
+        let locus = format!("{}: launch {i} ({})", input.plan_locus, launch.task);
+        let verdict = match analyze(&graph) {
+            Ok(v) => v,
+            Err(e) => {
+                report.push(Diagnostic::warning(
+                    "C053",
+                    locus,
+                    format!("workload model failed structural validation: {e}"),
+                ));
+                continue;
+            }
+        };
+        let cert = match verdict {
+            WcecVerdict::Certified(cert) => cert,
+            WcecVerdict::Unknown(blocked) => {
+                report.push(
+                    Diagnostic::warning(
+                        "C053",
+                        locus,
+                        format!("task is not statically certifiable: {blocked}"),
+                    )
+                    .with_help(
+                        "declare an iteration bound on the blocking loop so the analyzer \
+                         can derive a worst-case energy",
+                    ),
+                );
+                continue;
+            }
+        };
+        let derived_mj = cert.energy_mj_hi();
+        if launch.energy_mj < derived_mj * (1.0 - REL_EPS) {
+            report.push(
+                Diagnostic::error(
+                    "C050",
+                    locus.clone(),
+                    format!(
+                        "declared energy {:.3} mJ is below the certified worst case \
+                         {derived_mj:.3} mJ — any proof resting on the declaration is void",
+                        launch.energy_mj
+                    ),
+                )
+                .with_help(format!(
+                    "declare at least {derived_mj:.3} mJ or verify with the certificate \
+                     substituted (culpeo-verify::verify_certified)"
+                )),
+            );
+        } else if launch.energy_mj > derived_mj * OVERPROVISION_FACTOR {
+            report.push(
+                Diagnostic::warning(
+                    "C051",
+                    locus.clone(),
+                    format!(
+                        "declared energy {:.3} mJ over-provisions the certified worst case \
+                         {derived_mj:.3} mJ more than {OVERPROVISION_FACTOR:.0}×",
+                        launch.energy_mj
+                    ),
+                )
+                .with_help(
+                    "tighten the declaration; slack here inflates V_safe and starves \
+                            lower-priority work",
+                ),
+            );
+        }
+        let derived_dip = cert.v_delta_at(r_max);
+        if launch.v_delta < derived_dip * (1.0 - REL_EPS) {
+            report.push(
+                Diagnostic::error(
+                    "C052",
+                    locus.clone(),
+                    format!(
+                        "declared V_δ {:.3} V is below the certified worst-case ESR dip \
+                         {derived_dip:.3} V (peak {:.1} mA across {:.1} Ω)",
+                        launch.v_delta, cert.peak_ma, r_max
+                    ),
+                )
+                .with_help(format!("declare V_δ ≥ {derived_dip:.3} V")),
+            );
+        }
+        // The certified latency must fit the gap to the next launch —
+        // wrapping through the period for the last one.
+        let next_start = if i + 1 < plan.launches.len() {
+            Some(plan.launches[i + 1].start_s)
+        } else {
+            plan.period_s
+                .map(|p| p + plan.launches.first().map_or(0.0, |l| l.start_s))
+        };
+        if let Some(next_start) = next_start {
+            let gap = next_start - launch.start_s;
+            if cert.time_s.1 > gap {
+                report.push(
+                    Diagnostic::error(
+                        "C054",
+                        locus,
+                        format!(
+                            "certified worst-case latency {:.3} s overlaps the next launch \
+                             {:.3} s away",
+                            cert.time_s.1, gap
+                        ),
+                    )
+                    .with_help("space the launches at least the certified latency apart"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::PlanSpec;
+    use crate::spec::SystemSpec;
+
+    fn run(plan: &PlanSpec) -> Report {
+        let spec = SystemSpec::capybara();
+        let input = AnalysisInput {
+            spec: &spec,
+            spec_locus: "spec.json",
+            traces: &[],
+            plan: Some(plan),
+            plan_locus: "plan.json",
+        };
+        let mut report = Report::new();
+        certificate_drift(&input, &mut report);
+        report
+    }
+
+    fn codes(report: &Report) -> Vec<&str> {
+        report.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    /// The certified worst case for a task on the capybara model.
+    fn certified(task: &str) -> culpeo_wcec::Certificate {
+        let model = SystemSpec::capybara().into_model().unwrap();
+        let graph = workloads::named(task, model.v_out()).unwrap();
+        match analyze(&graph).unwrap() {
+            WcecVerdict::Certified(c) => c,
+            WcecVerdict::Unknown(b) => panic!("{b}"),
+        }
+    }
+
+    #[test]
+    fn unrecognized_tasks_stay_unjudged() {
+        let report = run(&PlanSpec::verified_example());
+        assert!(report.is_clean(), "{}", report.render_human(false));
+    }
+
+    #[test]
+    fn under_declared_energy_is_c050() {
+        let cert = certified("gesture");
+        let mut plan = PlanSpec::verified_example();
+        plan.launches[0].task = "gesture".to_string();
+        plan.launches[0].energy_mj = cert.energy_mj_hi() * 0.5;
+        plan.launches[0].v_delta = 1.0; // dip generously declared
+        let report = run(&plan);
+        assert!(codes(&report).contains(&"C050"), "{:?}", codes(&report));
+        assert!(!codes(&report).contains(&"C052"));
+    }
+
+    #[test]
+    fn honest_declaration_is_clean() {
+        let cert = certified("gesture");
+        let model = SystemSpec::capybara().into_model().unwrap();
+        let mut plan = PlanSpec::verified_example();
+        plan.launches[0].task = "gesture".to_string();
+        plan.launches[0].energy_mj = cert.energy_mj_hi() * 1.05;
+        plan.launches[0].v_delta = cert.v_delta_at(esr_max_ohms(&model)) * 1.05;
+        let report = run(&plan);
+        assert!(report.is_clean(), "{}", report.render_human(false));
+    }
+
+    #[test]
+    fn overprovisioned_energy_is_c051() {
+        let cert = certified("gesture");
+        let model = SystemSpec::capybara().into_model().unwrap();
+        let mut plan = PlanSpec::verified_example();
+        plan.launches[0].task = "gesture".to_string();
+        plan.launches[0].energy_mj = cert.energy_mj_hi() * (OVERPROVISION_FACTOR + 1.0);
+        plan.launches[0].v_delta = cert.v_delta_at(esr_max_ohms(&model)) * 1.05;
+        let report = run(&plan);
+        assert_eq!(codes(&report), vec!["C051"]);
+        assert_eq!(report.error_count(), 0);
+    }
+
+    #[test]
+    fn under_declared_dip_is_c052() {
+        let cert = certified("ble-report");
+        let mut plan = PlanSpec::verified_example();
+        plan.launches[1].task = "ble-report".to_string();
+        plan.launches[1].energy_mj = cert.energy_mj_hi() * 1.1;
+        plan.launches[1].v_delta = 0.0;
+        let report = run(&plan);
+        assert!(codes(&report).contains(&"C052"), "{:?}", codes(&report));
+    }
+
+    #[test]
+    fn latency_overlap_is_c054() {
+        let cert = certified("mnist");
+        let model = SystemSpec::capybara().into_model().unwrap();
+        let mut plan = PlanSpec::verified_example();
+        // mnist runs > 4 s worst-case; squeeze the next launch into 1 s.
+        plan.launches[0].task = "mnist".to_string();
+        plan.launches[0].energy_mj = cert.energy_mj_hi() * 1.1;
+        plan.launches[0].v_delta = cert.v_delta_at(esr_max_ohms(&model)) * 1.05;
+        plan.launches[1].start_s = plan.launches[0].start_s + 1.0;
+        let report = run(&plan);
+        assert!(codes(&report).contains(&"C054"), "{:?}", codes(&report));
+        assert!(cert.time_s.1 > 1.0, "mnist model should outlast 1 s");
+    }
+}

@@ -102,6 +102,11 @@ impl Registry {
                     codes: &["C040", "C041", "C042", "C043", "C044", "C045", "C046"],
                     run: lints::verify::schedule_verification,
                 },
+                Pass {
+                    name: "wcec-certificate-drift",
+                    codes: &["C050", "C051", "C052", "C053", "C054"],
+                    run: lints::wcec::certificate_drift,
+                },
             ],
         }
     }
@@ -149,7 +154,7 @@ mod tests {
             [
                 "C001", "C002", "C003", "C004", "C005", "C006", "C010", "C011", "C012", "C013",
                 "C014", "C020", "C021", "C022", "C023", "C040", "C041", "C042", "C043", "C044",
-                "C045", "C046"
+                "C045", "C046", "C050", "C051", "C052", "C053", "C054"
             ]
         );
     }

@@ -63,7 +63,10 @@ fn documented_codes() -> BTreeSet<String> {
 }
 
 /// Parses one table cell: a single `C0xx` or an en-dash range
-/// `C0xx–C0yy`, expanded inclusively.
+/// `C0xx–C0yy`, expanded inclusively. Degenerate ranges (`C050–C050`)
+/// expand to the single code; inverted ranges are unparseable. Codes
+/// are exactly three digits, zero-padded on expansion, so a range may
+/// cross the hundreds boundary (`C099–C101`) without losing padding.
 fn parse_row_codes(cell: &str) -> Option<Vec<String>> {
     let parse_one = |s: &str| -> Option<u32> {
         let digits = s.strip_prefix('C')?;
@@ -71,7 +74,7 @@ fn parse_row_codes(cell: &str) -> Option<Vec<String>> {
     };
     if let Some((lo, hi)) = cell.split_once('–') {
         let (lo, hi) = (parse_one(lo.trim())?, parse_one(hi.trim())?);
-        (lo < hi).then(|| (lo..=hi).map(|n| format!("C{n:03}")).collect())
+        (lo <= hi).then(|| (lo..=hi).map(|n| format!("C{n:03}")).collect())
     } else {
         parse_one(cell).map(|n| vec![format!("C{n:03}")])
     }
@@ -110,6 +113,35 @@ fn range_rows_expand_inclusively() {
         parse_row_codes("C030–C032").unwrap(),
         vec!["C030", "C031", "C032"]
     );
+    assert_eq!(
+        parse_row_codes("C050–C054").unwrap(),
+        vec!["C050", "C051", "C052", "C053", "C054"]
+    );
     assert_eq!(parse_row_codes("C001").unwrap(), vec!["C001"]);
     assert!(parse_row_codes("C9").is_none(), "codes are three digits");
+}
+
+#[test]
+fn range_edge_cases_keep_three_digit_padding() {
+    // Degenerate ranges are a single code, not a parse failure.
+    assert_eq!(parse_row_codes("C050–C050").unwrap(), vec!["C050"]);
+    // Inverted ranges stay unparseable (the caller panics loudly).
+    assert!(parse_row_codes("C054–C050").is_none());
+    // Crossing the hundreds boundary keeps zero-padded three-digit codes.
+    assert_eq!(
+        parse_row_codes("C099–C101").unwrap(),
+        vec!["C099", "C100", "C101"]
+    );
+    // Two-digit endpoints never silently widen into a range.
+    assert!(parse_row_codes("C050–C54").is_none());
+}
+
+#[test]
+fn new_wcec_rows_are_documented_as_a_range() {
+    // The §7 table documents C050–C054 as one range row; this pins the
+    // expansion end-to-end through the DESIGN.md parse.
+    let docs = documented_codes();
+    for code in ["C050", "C051", "C052", "C053", "C054"] {
+        assert!(docs.contains(code), "{code} missing from DESIGN.md §7");
+    }
 }

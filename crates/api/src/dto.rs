@@ -41,6 +41,22 @@ pub fn check_schema_version(claimed: Option<u32>) -> Result<(), ApiError> {
     }
 }
 
+/// Wraps an already-rendered JSON payload in the schema-2 envelope the
+/// *local* surfaces (CLI `--format json`, harness result files) stamp:
+/// `{"schema_version":N,"data":…}`.
+///
+/// This is the daemon envelope minus the members that only make sense
+/// with a server in the loop — no `request_id` (nothing to correlate)
+/// and no `server_timing`. Pinned against the daemon generation in
+/// `crates/served/tests/api_compat.rs`.
+#[must_use]
+pub fn cli_envelope(data: &str) -> String {
+    format!(
+        "{{\"schema_version\":{},\"data\":{data}}}",
+        crate::SCHEMA_VERSION
+    )
+}
+
 /// The `server_timing` member of every schema-2 response envelope: how
 /// long the request sat in the accept/compute queue and how long the
 /// handler actually ran, both in microseconds.
@@ -230,6 +246,137 @@ pub struct VerifyResponse {
     /// Every C040–C046 finding, in report order.
     pub findings: Vec<VerifyFindingDto>,
     /// The exit code the CLI would have returned (0 only for `proved`).
+    pub exit_code: u32,
+}
+
+/// One costed operation inside a [`NodeDto`] block: energy and time
+/// bands plus the worst-case rail current.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpDto {
+    /// What the op is ("ble-tx", "feature-extract", …).
+    pub name: String,
+    /// Lower energy endpoint, millijoules at the output rail.
+    pub energy_mj_lo: f64,
+    /// Upper energy endpoint, millijoules at the output rail.
+    pub energy_mj_hi: f64,
+    /// Lower duration endpoint, milliseconds.
+    pub time_ms_lo: f64,
+    /// Upper duration endpoint, milliseconds.
+    pub time_ms_hi: f64,
+    /// Worst-case instantaneous rail current, milliamps.
+    pub peak_ma: f64,
+}
+
+/// One node of a [`TaskGraphDto`] arena.
+///
+/// (The vendored serde stub derives structs only, so the node sum type is
+/// spelled as a `kind` tag plus optional payloads: `"block"` uses `ops`,
+/// `"seq"` uses `children` in order, `"branch"` uses `children` as
+/// `[then, else]`, `"loop"` uses `children` as `[body]` with
+/// `bound_lo`/`bound_hi` — both absent meaning *unbounded*.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeDto {
+    /// Diagnostic label.
+    pub label: String,
+    /// `"block"`, `"seq"`, `"branch"`, or `"loop"`.
+    pub kind: String,
+    /// The ops of a `"block"`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub ops: Option<Vec<OpDto>>,
+    /// Child node indices (meaning depends on `kind`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub children: Option<Vec<u32>>,
+    /// Declared lower iteration bound of a `"loop"`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub bound_lo: Option<u32>,
+    /// Declared upper iteration bound of a `"loop"`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub bound_hi: Option<u32>,
+}
+
+/// A whole task graph in wire form: a flat node arena plus its entry
+/// index — the same shape `culpeo-wcec`'s in-memory IR uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraphDto {
+    /// Task name; certificates key on it.
+    pub name: String,
+    /// The node arena.
+    pub nodes: Vec<NodeDto>,
+    /// Entry node index.
+    pub root: u32,
+}
+
+/// `POST /v1/wcec` — statically derive worst-case energy/latency
+/// certificates for a batch of task graphs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WcecRequest {
+    /// Optional version claim; absent means "current".
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub schema_version: Option<u32>,
+    /// The system spec supplying the rail voltage and ESR used to derive
+    /// `V_δ`; the daemon's default model applies when absent.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub spec: Option<SystemSpec>,
+    /// The task graphs to certify, answered in input order.
+    pub tasks: Vec<TaskGraphDto>,
+}
+
+/// One task's worst-case certificate in wire form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CertificateDto {
+    /// The task the certificate covers.
+    pub task: String,
+    /// Best-case output-rail energy, millijoules.
+    pub energy_mj_lo: f64,
+    /// Worst-case output-rail energy, millijoules.
+    pub energy_mj_hi: f64,
+    /// Best-case latency, seconds.
+    pub time_s_lo: f64,
+    /// Worst-case latency, seconds.
+    pub time_s_hi: f64,
+    /// Worst-case instantaneous rail current, milliamps.
+    pub peak_ma: f64,
+    /// The worst-case ESR dip `V_δ = I_peak · R_max` on the analyzed
+    /// model's buffer, volts. Absent when no model was supplied.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub v_delta_v: Option<f64>,
+    /// Distinct acyclic paths the interval covers (saturating).
+    pub paths: u64,
+    /// Bounded loops multiplied through symbolically.
+    pub loops: u32,
+}
+
+/// One row of a [`WcecResponse`]: a certificate or the blocking node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WcecTaskRow {
+    /// The task this row answers for.
+    pub task: String,
+    /// `"certified"` or `"unknown"`.
+    pub status: String,
+    /// The certificate, set exactly when `status == "certified"`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub certificate: Option<CertificateDto>,
+    /// Label of the blocking node, set when `status == "unknown"`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub blocking: Option<String>,
+    /// Why precision was lost there, set when `status == "unknown"`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub reason: Option<String>,
+}
+
+/// The answer to a [`WcecRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WcecResponse {
+    /// Always [`crate::SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// One row per requested task, in input order.
+    pub tasks: Vec<WcecTaskRow>,
+    /// How many rows are `"certified"`.
+    pub certified: u64,
+    /// How many rows are `"unknown"`.
+    pub unknown: u64,
+    /// The exit code the CLI would have returned (0 only when every
+    /// task certified).
     pub exit_code: u32,
 }
 
@@ -922,5 +1069,92 @@ mod tests {
         let back: VerifyResponse = serde_json::from_str(&json).unwrap();
         assert_eq!(back, resp);
         assert_eq!(back.counterexample.unwrap().prefix.len(), 2);
+    }
+
+    #[test]
+    fn wcec_request_and_response_roundtrip() {
+        let req = WcecRequest {
+            schema_version: Some(crate::SCHEMA_VERSION),
+            spec: None,
+            tasks: vec![TaskGraphDto {
+                name: "gesture".to_string(),
+                nodes: vec![
+                    NodeDto {
+                        label: "frame".to_string(),
+                        kind: "block".to_string(),
+                        ops: Some(vec![OpDto {
+                            name: "apds-read".to_string(),
+                            energy_mj_lo: 0.18,
+                            energy_mj_hi: 0.21,
+                            time_ms_lo: 3.3,
+                            time_ms_hi: 3.7,
+                            peak_ma: 25.0,
+                        }]),
+                        children: None,
+                        bound_lo: None,
+                        bound_hi: None,
+                    },
+                    NodeDto {
+                        label: "frame-loop".to_string(),
+                        kind: "loop".to_string(),
+                        ops: None,
+                        children: Some(vec![0]),
+                        bound_lo: Some(8),
+                        bound_hi: Some(8),
+                    },
+                ],
+                root: 1,
+            }],
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: WcecRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+
+        let resp = WcecResponse {
+            schema_version: crate::SCHEMA_VERSION,
+            tasks: vec![WcecTaskRow {
+                task: "gesture".to_string(),
+                status: "certified".to_string(),
+                certificate: Some(CertificateDto {
+                    task: "gesture".to_string(),
+                    energy_mj_lo: 1.4,
+                    energy_mj_hi: 1.8,
+                    time_s_lo: 0.026,
+                    time_s_hi: 0.031,
+                    peak_ma: 25.0,
+                    v_delta_v: Some(0.25),
+                    paths: 2,
+                    loops: 1,
+                }),
+                blocking: None,
+                reason: None,
+            }],
+            certified: 1,
+            unknown: 0,
+            exit_code: 0,
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: WcecResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn cli_envelope_stamps_schema_without_request_id() {
+        let enveloped = cli_envelope("{\"verdict\":\"proved\"}");
+        assert_eq!(
+            enveloped,
+            format!(
+                "{{\"schema_version\":{},\"data\":{{\"verdict\":\"proved\"}}}}",
+                crate::SCHEMA_VERSION
+            )
+        );
+        let doc = serde_json::parse_value_str(&enveloped).unwrap();
+        assert!(doc.get("request_id").is_none());
+        assert_eq!(
+            doc.get("data")
+                .and_then(|d| d.get("verdict"))
+                .and_then(Value::as_str),
+            Some("proved")
+        );
     }
 }

@@ -1,0 +1,19 @@
+//! Runs the WCEC battery — static certificates over the roster plus the
+//! admission-gate scenario — and records its report + timing telemetry
+//! alongside the figure artifacts.
+//!
+//! Thread count comes from `CULPEO_THREADS` as everywhere else; the
+//! roster is fixed, so the report is byte-identical across runs and
+//! thread counts (`scripts/wcec.sh` gates on exactly that). Exits 1 if
+//! any case missed its pinned verdict or the admission scenario failed
+//! any of its four legs.
+
+use culpeo_harness::exec::Sweep;
+use culpeo_harness::wcec;
+
+fn main() {
+    let (report, telemetry) = wcec::run_timed(Sweep::from_env());
+    wcec::print_table(&report);
+    culpeo_bench::write_json_with_telemetry("wcec_battery", &report, &telemetry);
+    std::process::exit(i32::from(!report.all_passed()));
+}

@@ -105,7 +105,14 @@ pub fn lint(
     };
     let report = Registry::default_battery().run(&input);
     let rendered = match format {
-        LintFormat::Json => report.render_json(),
+        LintFormat::Json => {
+            // Schema-2 CLI envelope: the schema-1 report document rides
+            // in `data`, same as the daemon's `/v1/lint` answer minus
+            // the per-request fields (`request_id`, `server_timing`).
+            let mut doc = culpeo_api::cli_envelope(&report.render_json());
+            doc.push('\n');
+            doc
+        }
         LintFormat::Human => {
             use std::io::IsTerminal as _;
             let mut out = report.render_human(std::io::stdout().is_terminal());
@@ -141,8 +148,9 @@ pub fn verify(
     let code = i32::from(culpeo_verify::exit_code(&outcome.verdict) != 0);
     let rendered = match format {
         LintFormat::Json => {
-            let mut doc = serde_json::to_string(&culpeo_verify::to_response(&outcome))
+            let body = serde_json::to_string(&culpeo_verify::to_response(&outcome))
                 .map_err(|e| CliError::Spec(e.to_string()))?;
+            let mut doc = culpeo_api::cli_envelope(&body);
             doc.push('\n');
             doc
         }
@@ -212,6 +220,92 @@ fn render_verify_human(outcome: &culpeo_verify::VerifyOutcome, plan_path: &str) 
             let _ = writeln!(out, "  help: {help}");
         }
     }
+    out
+}
+
+/// `culpeo wcec SPEC.json --tasks TASKS.json [--format json|human]` —
+/// static worst-case energy certification through the `culpeo-wcec`
+/// abstract interpreter. Every task graph in the tasks file gets either
+/// a certificate (sound energy/latency interval, worst-case ESR dip on
+/// the spec's R_max) or an `unknown` verdict naming the blocking node.
+/// Exit code 0 only when every task certifies; any `unknown` exits 1.
+pub fn wcec(
+    spec_path: &str,
+    tasks_path: &str,
+    format: LintFormat,
+) -> Result<(String, i32), CliError> {
+    let text =
+        std::fs::read_to_string(spec_path).map_err(|e| CliError::Io(spec_path.to_string(), e))?;
+    let spec: culpeo_analyze::SystemSpec =
+        serde_json::from_str(&text).map_err(|e| CliError::Spec(e.to_string()))?;
+    let model = spec
+        .into_model()
+        .map_err(|e| CliError::Spec(e.to_string()))?;
+    let text =
+        std::fs::read_to_string(tasks_path).map_err(|e| CliError::Io(tasks_path.to_string(), e))?;
+    let req: culpeo_api::WcecRequest =
+        serde_json::from_str(&text).map_err(|e| CliError::Spec(e.to_string()))?;
+    if let Some(v) = req.schema_version {
+        if v != culpeo_api::SCHEMA_VERSION {
+            return Err(CliError::Spec(format!(
+                "tasks file declares schema_version {v}, this build speaks {}",
+                culpeo_api::SCHEMA_VERSION
+            )));
+        }
+    }
+    let response = culpeo_wcec::run_graphs(Some(&model), &req.tasks)
+        .map_err(|e| CliError::Spec(e.to_string()))?;
+    let code = i32::from(response.exit_code != 0);
+    let rendered = match format {
+        LintFormat::Json => {
+            let body =
+                serde_json::to_string(&response).map_err(|e| CliError::Spec(e.to_string()))?;
+            let mut doc = culpeo_api::cli_envelope(&body);
+            doc.push('\n');
+            doc
+        }
+        LintFormat::Human => render_wcec_human(&response),
+    };
+    Ok((rendered, code))
+}
+
+/// Human rendering for a WCEC run: one row per task, then the tally.
+fn render_wcec_human(response: &culpeo_api::WcecResponse) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>22} {:>12} {:>8} {:>8}",
+        "task", "verdict", "energy (mJ)", "latency (s)", "V_δ (V)", "paths"
+    );
+    for row in &response.tasks {
+        if let Some(cert) = &row.certificate {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>10} {:>22} {:>12} {:>8} {:>8}",
+                row.task,
+                row.status,
+                format!("[{:.3}, {:.3}]", cert.energy_mj_lo, cert.energy_mj_hi),
+                format!("{:.3}", cert.time_s_hi),
+                cert.v_delta_v
+                    .map_or_else(|| "-".to_string(), |v| format!("{v:.3}")),
+                cert.paths
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>10}   blocked at {}: {}",
+                row.task,
+                row.status,
+                row.blocking.as_deref().unwrap_or("?"),
+                row.reason.as_deref().unwrap_or("unknown")
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "----\nwcec: {} certified, {} unknown",
+        response.certified, response.unknown
+    );
     out
 }
 

@@ -4,6 +4,7 @@
 //! culpeo vsafe --trace packet.csv [--system spec.json]
 //! culpeo lint  spec.json [--trace packet.csv]… [--plan plan.json] [--format json] [--deny-warnings]
 //! culpeo verify spec.json --plan plan.json [--format json]
+//! culpeo wcec spec.json --tasks tasks.json [--format json]
 //! culpeo serve [--port 7070] [--workers N] [--queue-depth 64] [--cache-capacity 256]
 //!              [--max-connections 1024] [--keep-alive-timeout 30]
 //!              [--store DIR] [--log json|off]
@@ -26,6 +27,9 @@
 //! runs the `culpeo-verify` interval abstract interpreter over a whole
 //! schedule and exits 0 only on a proof — `refuted` comes with a
 //! replayable counterexample, `unknown` with the blocking interval.
+//! `wcec` certifies worst-case energy/latency for task graphs through
+//! the `culpeo-wcec` static analyzer and exits 0 only when every task
+//! gets a finite certificate.
 //! `serve` starts the `culpeo-served` batch daemon
 //! speaking the versioned `/v1/*` API over HTTP; with `--store DIR` it
 //! also ingests observation telemetry into a crash-safe segmented log
@@ -80,6 +84,7 @@ fn usage() -> &'static str {
     "usage:\n  culpeo vsafe --trace FILE [--system SPEC.json]\n  \
      culpeo lint SPEC.json [--trace FILE…] [--plan PLAN.json] [--format json|human] [--deny-warnings]\n  \
      culpeo verify SPEC.json --plan PLAN.json [--format json|human]\n  \
+     culpeo wcec SPEC.json --tasks TASKS.json [--format json|human]\n  \
      culpeo serve [--port 7070] [--workers N] [--queue-depth 64] [--cache-capacity 256] [--max-connections 1024] [--keep-alive-timeout 30] [--store DIR] [--log json|off]\n  \
      culpeo store recover|stat DIR [--format json|human]\n  \
      culpeo store fill DIR --records N [--seed 42]\n  \
@@ -102,6 +107,7 @@ fn run(args: &[String]) -> Result<(String, i32), CliError> {
     match command.as_str() {
         "lint" => run_lint(rest),
         "verify" => run_verify(rest),
+        "wcec" => run_wcec(rest),
         "vsafe" => run_vsafe(rest),
         // Deprecated spellings: `analyze SPEC` → `lint`, `analyze --trace`
         // → `vsafe`. Same parsing, same exit codes; only a stderr pointer
@@ -253,6 +259,39 @@ fn run_verify(rest: &[String]) -> Result<(String, i32), CliError> {
         return Err(CliError::Usage("verify needs --plan PLAN.json".into()));
     };
     commands::verify(spec_path, &plan_path, format)
+}
+
+/// `culpeo wcec SPEC.json --tasks TASKS.json [--format json|human]`.
+fn run_wcec(rest: &[String]) -> Result<(String, i32), CliError> {
+    let Some(spec_path) = rest.first().filter(|a| !a.starts_with("--")) else {
+        return Err(CliError::Usage("wcec needs a spec path".into()));
+    };
+    let mut tasks = None;
+    let mut format = LintFormat::Human;
+    let mut it = rest[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--tasks" => {
+                tasks = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--tasks needs a path".into()))?
+                        .clone(),
+                );
+            }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("json") => LintFormat::Json,
+                    Some("human") => LintFormat::Human,
+                    _ => return Err(CliError::Usage("--format takes `json` or `human`".into())),
+                };
+            }
+            other => return Err(CliError::Usage(format!("unknown flag: {other}"))),
+        }
+    }
+    let Some(tasks_path) = tasks else {
+        return Err(CliError::Usage("wcec needs --tasks TASKS.json".into()));
+    };
+    commands::wcec(spec_path, &tasks_path, format)
 }
 
 /// `culpeo vsafe --trace FILE [--system SPEC.json]`.
@@ -928,9 +967,17 @@ mod tests {
         let spec = temp_file("spec-for-json.json", &capybara_spec_json());
         let (report, code) = run(&s(&["lint", &spec, "--format", "json"])).unwrap();
         assert_eq!(code, 0);
+        // Schema-2 CLI envelope: the schema-1 report document rides in
+        // `data`; `request_id` is a daemon-only field and must be absent.
         let doc = serde_json::parse_value_str(&report).unwrap();
-        assert_eq!(doc.get("errors").and_then(serde::Value::as_f64), Some(0.0));
-        assert!(doc
+        assert_eq!(
+            doc.get("schema_version").and_then(serde::Value::as_f64),
+            Some(2.0)
+        );
+        assert!(doc.get("request_id").is_none());
+        let data = doc.get("data").expect("lint JSON wraps the report in data");
+        assert_eq!(data.get("errors").and_then(serde::Value::as_f64), Some(0.0));
+        assert!(data
             .get("diagnostics")
             .and_then(serde::Value::as_array)
             .is_some());
@@ -981,10 +1028,93 @@ mod tests {
         assert_eq!(code, 1);
         let doc = serde_json::parse_value_str(&report).unwrap();
         assert_eq!(
-            doc.get("verdict").and_then(serde::Value::as_str),
+            doc.get("schema_version").and_then(serde::Value::as_f64),
+            Some(2.0)
+        );
+        assert!(doc.get("request_id").is_none());
+        let data = doc.get("data").expect("verify JSON wraps the outcome");
+        assert_eq!(
+            data.get("verdict").and_then(serde::Value::as_str),
             Some("unknown")
         );
-        assert!(doc.get("unknown").is_some());
+        assert!(data.get("unknown").is_some());
+    }
+
+    // -- wcec mode --------------------------------------------------------
+
+    /// The three Table III workloads as a `culpeo wcec --tasks` file.
+    fn table3_tasks_json() -> String {
+        let req = culpeo_api::WcecRequest {
+            schema_version: Some(2),
+            spec: None,
+            tasks: culpeo_wcec::workloads::table3(culpeo_units::Volts::new(2.55))
+                .iter()
+                .map(culpeo_wcec::to_dto)
+                .collect(),
+        };
+        serde_json::to_string(&req).unwrap()
+    }
+
+    #[test]
+    fn wcec_certifies_the_table3_workloads() {
+        let spec = temp_file("wcec-spec.json", &capybara_spec_json());
+        let tasks = temp_file("wcec-tasks.json", &table3_tasks_json());
+        let (report, code) = run(&s(&["wcec", &spec, "--tasks", &tasks])).unwrap();
+        assert_eq!(code, 0, "{report}");
+        assert!(report.contains("3 certified, 0 unknown"), "{report}");
+        for task in ["gesture", "ble-report", "mnist"] {
+            assert!(report.contains(task), "missing {task} row: {report}");
+        }
+    }
+
+    #[test]
+    fn wcec_json_is_enveloped_and_unknown_exits_one() {
+        let spec = temp_file("wcec-spec.json", &capybara_spec_json());
+        // An unbounded loop over a costly op cannot certify.
+        let mut graph = culpeo_wcec::TaskGraph::new("spin");
+        let body = graph.block(
+            "poll",
+            vec![culpeo_wcec::OpCost::exact("poll", 0.1, 1.0, 5.0)],
+        );
+        graph.bounded_loop("spin", culpeo_wcec::LoopBound::Unbounded, body);
+        let req = culpeo_api::WcecRequest {
+            schema_version: Some(2),
+            spec: None,
+            tasks: vec![culpeo_wcec::to_dto(&graph)],
+        };
+        let tasks = temp_file("wcec-spin.json", &serde_json::to_string(&req).unwrap());
+        let (report, code) =
+            run(&s(&["wcec", &spec, "--tasks", &tasks, "--format", "json"])).unwrap();
+        assert_eq!(code, 1);
+        let doc = serde_json::parse_value_str(&report).unwrap();
+        assert_eq!(
+            doc.get("schema_version").and_then(serde::Value::as_f64),
+            Some(2.0)
+        );
+        assert!(doc.get("request_id").is_none());
+        let data = doc.get("data").expect("wcec JSON wraps the response");
+        assert_eq!(
+            data.get("unknown").and_then(serde::Value::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn wcec_usage_errors() {
+        assert!(run(&s(&["wcec"])).is_err());
+        assert!(run(&s(&["wcec", "spec.json"])).is_err());
+        assert!(run(&s(&["wcec", "spec.json", "--tasks"])).is_err());
+        assert!(run(&s(&[
+            "wcec",
+            "spec.json",
+            "--tasks",
+            "t.json",
+            "--format",
+            "yaml"
+        ]))
+        .is_err());
+        assert!(run(&s(&["wcec", "spec.json", "--bogus"])).is_err());
+        assert!(run(&s(&["wcec", "/nonexistent/spec.json", "--tasks", "t.json"])).is_err());
     }
 
     #[test]

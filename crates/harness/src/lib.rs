@@ -30,6 +30,7 @@ pub mod reconfig;
 pub mod store;
 pub mod systems;
 pub mod verify;
+pub mod wcec;
 
 pub use culpeo_exec as exec;
 

@@ -1,0 +1,393 @@
+//! WCEC-battery driver: the `culpeo-wcec` static analyzer exercised over
+//! a roster of known-verdict task graphs, plus the admission-gate
+//! scenario the ROADMAP's arena item asks for, with the same telemetry
+//! envelope as the figure drivers.
+//!
+//! Two halves:
+//!
+//! * **Certificates** — every Table III workload model plus hand-built
+//!   shapes (diamond join, nested bounded loops, an unbounded spin) is
+//!   analyzed and pinned to its expected verdict and path/loop counts.
+//! * **Admission gate** — a seeded plan whose launches under-declare a
+//!   modelled workload's energy: declared-`(E, V_δ)` verification proves
+//!   it, the ETAP-style admission test rejects it on certificates, and
+//!   certificate-substituted verification refutes it with a
+//!   counterexample that physically browns out on replay — the
+//!   end-to-end justification for the rejection.
+//!
+//! The report lands in `results/wcec_battery.json`; everything below is
+//! a pure function of the fixed roster, so the bytes are identical
+//! across runs and thread counts (`scripts/wcec.sh` gates on that).
+
+use culpeo_api::PlanSpec;
+use culpeo_exec::{PhaseClock, Sweep, Telemetry};
+use culpeo_powersim::Harvester;
+use culpeo_sched::{ArenaPolicy, WcecAdmission};
+use culpeo_units::{Volts, Watts};
+use culpeo_verify::{plant_from_model, replay_on, verify_with_model, Verdict, VerifyConfig};
+use culpeo_wcec::{analyze, workloads, LoopBound, OpCost, TaskGraph, WcecVerdict};
+use serde::Serialize;
+
+/// What a battery case expects back from the analyzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    /// A finite certificate with these path/loop counts.
+    Certified { paths: u64, loops: u32 },
+    /// `WcecVerdict::Unknown` blocked at this node label.
+    Unknown(&'static str),
+}
+
+impl Expect {
+    fn label(self) -> String {
+        match self {
+            Expect::Certified { paths, loops } => format!("certified(paths={paths},loops={loops})"),
+            Expect::Unknown(node) => format!("unknown(at {node})"),
+        }
+    }
+}
+
+/// One named task graph with its pinned verdict.
+struct Case {
+    name: &'static str,
+    expect: Expect,
+    graph: TaskGraph,
+}
+
+/// The analysis operates on the reference output rail.
+fn v_out() -> Volts {
+    culpeo::PowerSystemModel::capybara().v_out()
+}
+
+/// The roster: the three Table III workload models plus hand-built
+/// shapes covering every analyzer feature (joins, nested bounded loops,
+/// the widening fallback).
+fn roster() -> Vec<Case> {
+    let v = v_out();
+
+    let mut spin = TaskGraph::new("unbounded-spin");
+    let poll = spin.block("poll", vec![OpCost::exact("poll", 0.05, 0.5, 2.0)]);
+    spin.bounded_loop("spin", LoopBound::Unbounded, poll);
+
+    let mut diamond = TaskGraph::new("diamond");
+    let cheap = diamond.block("cheap", vec![OpCost::exact("idle-path", 0.2, 2.0, 1.0)]);
+    let dear = diamond.block("dear", vec![OpCost::exact("burst-path", 1.4, 4.0, 30.0)]);
+    diamond.branch("split", cheap, dear);
+
+    let mut nested = TaskGraph::new("nested-loops");
+    let step = nested.block("step", vec![OpCost::exact("step", 0.1, 1.0, 4.0)]);
+    let inner = nested.bounded_loop("inner", LoopBound::Range(1, 2), step);
+    nested.bounded_loop("outer", LoopBound::Exact(3), inner);
+
+    vec![
+        Case {
+            name: "gesture",
+            expect: Expect::Certified { paths: 2, loops: 1 },
+            graph: workloads::gesture(v),
+        },
+        Case {
+            name: "ble-report",
+            expect: Expect::Certified { paths: 3, loops: 1 },
+            graph: workloads::ble_report(v),
+        },
+        Case {
+            name: "mnist",
+            expect: Expect::Certified { paths: 2, loops: 1 },
+            graph: workloads::mnist(v),
+        },
+        Case {
+            name: "diamond-join",
+            expect: Expect::Certified { paths: 2, loops: 0 },
+            graph: diamond,
+        },
+        Case {
+            // The inner `Range(1, 2)` bound is a two-way choice made anew
+            // on each of the outer loop's three iterations: 2³ paths.
+            name: "nested-loops",
+            expect: Expect::Certified { paths: 8, loops: 2 },
+            graph: nested,
+        },
+        Case {
+            name: "unbounded-spin",
+            expect: Expect::Unknown("spin"),
+            graph: spin,
+        },
+    ]
+}
+
+/// One certificate row of the battery report.
+#[derive(Debug, Clone, Serialize)]
+pub struct CaseRow {
+    /// Case name.
+    pub case: String,
+    /// The pinned verdict, e.g. `"certified(paths=2,loops=1)"`.
+    pub expected: String,
+    /// What the analyzer actually answered.
+    pub verdict: String,
+    /// Certified energy interval, millijoules (`0` for unknown rows).
+    pub energy_mj_lo: f64,
+    /// Upper endpoint of the certified energy interval.
+    pub energy_mj_hi: f64,
+    /// Certified worst-case latency, seconds.
+    pub time_s_hi: f64,
+    /// Worst simultaneous draw on any path, milliamps.
+    pub peak_ma: f64,
+    /// Whether the case met its pin.
+    pub pass: bool,
+}
+
+/// The admission-gate scenario's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct AdmissionRow {
+    /// Verdict of declared-`(E, V_δ)` verification (must be `proved`).
+    pub declared_verdict: String,
+    /// Whether the certificate-charging admission test admitted the plan
+    /// (must be `false`).
+    pub admitted: bool,
+    /// Worst-case certified buffer demand, millijoules.
+    pub demand_mj: f64,
+    /// Credit envelope (initial swing + harvest floor), millijoules.
+    pub credit_mj: f64,
+    /// First launch where demand overtakes credit.
+    pub failing_launch: Option<usize>,
+    /// Verdict once certificates replace the declarations (must be
+    /// `refuted`).
+    pub certified_verdict: String,
+    /// Whether the certified counterexample browned out when replayed on
+    /// the physical plant — the witness that justifies the rejection.
+    pub replay_brownout: Option<bool>,
+    /// Whether the whole scenario met its pins.
+    pub pass: bool,
+}
+
+/// The whole battery's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct WcecBatteryReport {
+    /// One row per roster case, in roster order.
+    pub rows: Vec<CaseRow>,
+    /// The admission-gate scenario.
+    pub admission: AdmissionRow,
+}
+
+impl WcecBatteryReport {
+    /// True when every case and the admission scenario met their pins.
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.rows.iter().all(|r| r.pass) && self.admission.pass
+    }
+
+    /// The deterministic human-readable table.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:<28} {:<28} {:>20} {:>10} {:>7}",
+            "case", "expected", "verdict", "energy (mJ)", "t_hi (s)", "result"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<16} {:<28} {:<28} {:>20} {:>10} {:>7}",
+                r.case,
+                r.expected,
+                r.verdict,
+                format!("[{:.3}, {:.3}]", r.energy_mj_lo, r.energy_mj_hi),
+                format!("{:.3}", r.time_s_hi),
+                if r.pass { "PASS" } else { "FAIL" }
+            );
+        }
+        let a = &self.admission;
+        let _ = writeln!(out, "----");
+        let _ = writeln!(
+            out,
+            "admission gate: declared {} | admitted {} (demand {:.1} mJ vs credit {:.1} mJ) | \
+             certified {} | replay {} | {}",
+            a.declared_verdict,
+            a.admitted,
+            a.demand_mj,
+            a.credit_mj,
+            a.certified_verdict,
+            match a.replay_brownout {
+                None => "-",
+                Some(true) => "brownout",
+                Some(false) => "SURVIVED",
+            },
+            if a.pass { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+/// Runs one certificate case against its pin.
+fn run_case(case: &Case) -> CaseRow {
+    let (verdict, energy, time_s_hi, peak_ma, pass) = match analyze(&case.graph) {
+        Ok(WcecVerdict::Certified(cert)) => {
+            let got = Expect::Certified {
+                paths: cert.paths,
+                loops: cert.loops,
+            };
+            let sound = cert.energy_mj_lo() <= cert.energy_mj_hi()
+                && cert.energy_mj_lo() >= 0.0
+                && cert.time_s.0 <= cert.time_s.1;
+            (
+                got.label(),
+                (cert.energy_mj_lo(), cert.energy_mj_hi()),
+                cert.time_s.1,
+                cert.peak_ma,
+                got == case.expect && sound,
+            )
+        }
+        Ok(WcecVerdict::Unknown(blocked)) => (
+            format!("unknown(at {})", blocked.label),
+            (0.0, 0.0),
+            0.0,
+            0.0,
+            matches!(case.expect, Expect::Unknown(node) if node == blocked.label),
+        ),
+        Err(e) => (format!("ir-error({e})"), (0.0, 0.0), 0.0, 0.0, false),
+    };
+    CaseRow {
+        case: case.name.to_string(),
+        expected: case.expect.label(),
+        verdict,
+        energy_mj_lo: energy.0,
+        energy_mj_hi: energy.1,
+        time_s_hi,
+        peak_ma,
+        pass,
+    }
+}
+
+/// The seeded plan the admission gate must save us from: three MNIST
+/// inferences declared at a fraction of their certified worst case. The
+/// declarations alone look comfortably affordable.
+#[must_use]
+pub fn under_declared_plan() -> PlanSpec {
+    let mut plan = PlanSpec::figure5_example();
+    plan.period_s = None;
+    plan.recharge_power_mw = 2.0;
+    plan.launches.clear();
+    for i in 0..3 {
+        plan.launches.push(culpeo_api::LaunchSpec {
+            task: "mnist".to_string(),
+            start_s: f64::from(i) * 0.5,
+            energy_mj: 12.0, // certified worst case is ≈ 54 mJ
+            v_delta: 0.05,
+            v_safe: Some(2.1),
+        });
+    }
+    plan
+}
+
+/// Runs the admission-gate scenario; see the module docs.
+fn run_admission() -> AdmissionRow {
+    let model = culpeo::PowerSystemModel::capybara();
+    let plan = under_declared_plan();
+    let cfg = VerifyConfig::default();
+
+    let declared = verify_with_model(&model, &plan, &cfg);
+    let declared_verdict = declared.verdict.tag().to_string();
+
+    let certs = culpeo_wcec::certificates_for_plan(&plan, &model);
+    let policy = WcecAdmission::default();
+    let admission = policy.admit(&model, &plan, &certs);
+
+    let certified = culpeo_verify::verify_certified(&model, &plan, &certs, &cfg);
+    let certified_verdict = certified.verdict.tag().to_string();
+    let mut replay_brownout = None;
+    if let Verdict::Refuted(cex) = &certified.verdict {
+        let mut sys = plant_from_model(&model);
+        sys.set_harvester(Harvester::ConstantPower(Watts::from_milli(
+            plan.recharge_power_mw,
+        )));
+        let replay = replay_on(&mut sys, &model, &cex.prefix, cex.v_start);
+        replay_brownout = Some(replay.brownout_launch.is_some());
+    }
+
+    let pass = declared_verdict == "proved"
+        && !admission.admitted()
+        && certified_verdict == "refuted"
+        && replay_brownout == Some(true);
+    AdmissionRow {
+        declared_verdict,
+        admitted: admission.admitted(),
+        demand_mj: admission.demand_mj,
+        credit_mj: admission.credit_mj,
+        failing_launch: admission.failing_launch,
+        certified_verdict,
+        replay_brownout,
+        pass,
+    }
+}
+
+/// Runs the battery under the harness conventions.
+#[must_use]
+pub fn run() -> WcecBatteryReport {
+    run_timed(Sweep::from_env()).0
+}
+
+/// [`run`] on an explicit executor, with phase telemetry. The report is
+/// identical at any thread count: cases are independent and reassembled
+/// in roster order, and the admission scenario runs once, serially.
+#[must_use]
+pub fn run_timed(sweep: Sweep) -> (WcecBatteryReport, Telemetry) {
+    crate::preflight::require_clean_reference();
+    let mut clock = PhaseClock::new(sweep.threads());
+    clock.mark("preflight");
+    let cases = roster();
+    let rows = sweep.map(&cases, |_, case| run_case(case));
+    clock.mark("certificates");
+    let admission = run_admission();
+    clock.mark("admission");
+    (WcecBatteryReport { rows, admission }, clock.finish())
+}
+
+/// Prints the battery's deterministic table to stdout.
+pub fn print_table(report: &WcecBatteryReport) {
+    print!("{}", report.render_table());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_case_meets_its_pinned_verdict() {
+        let (report, telemetry) = run_timed(Sweep::with_threads(2));
+        assert!(report.all_passed(), "{}", report.render_table());
+        assert!(telemetry.phase_seconds("certificates").is_some());
+    }
+
+    #[test]
+    fn table3_rows_all_certify_finite() {
+        let (report, _) = run_timed(Sweep::serial());
+        for name in ["gesture", "ble-report", "mnist"] {
+            let row = report.rows.iter().find(|r| r.case == name).unwrap();
+            assert!(row.pass, "{}", report.render_table());
+            assert!(row.energy_mj_hi.is_finite() && row.energy_mj_hi > 0.0);
+            assert!(row.energy_mj_lo <= row.energy_mj_hi);
+        }
+    }
+
+    #[test]
+    fn admission_gate_rejects_what_declarations_prove() {
+        let (report, _) = run_timed(Sweep::serial());
+        let a = &report.admission;
+        assert_eq!(a.declared_verdict, "proved", "{a:?}");
+        assert!(!a.admitted, "{a:?}");
+        assert_eq!(a.certified_verdict, "refuted", "{a:?}");
+        assert_eq!(a.replay_brownout, Some(true), "{a:?}");
+        assert!(a.demand_mj > a.credit_mj);
+    }
+
+    #[test]
+    fn report_is_identical_at_any_thread_count() {
+        let serial = run_timed(Sweep::serial()).0;
+        let parallel = run_timed(Sweep::with_threads(4)).0;
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
+    }
+}

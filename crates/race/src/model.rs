@@ -4,8 +4,8 @@
 //! shared data under race detection.
 //!
 //! Every type holds an object id in the current execution's
-//! [`crate::rt::Runtime`] and funnels each operation through
-//! [`Runtime::yield_op`], which is what turns ordinary-looking protocol
+//! `crate::rt::Runtime` (a private module) and funnels each operation
+//! through `Runtime::yield_op`, which is what turns ordinary-looking protocol
 //! code into a fully schedulable, clock-tracked execution. The types
 //! can only be constructed *inside* a closure driven by
 //! [`crate::explore::explore`]; construction anywhere else panics with

@@ -1,0 +1,274 @@
+//! ETAP-style worst-case-energy admission: the first arena policy hook.
+//!
+//! The ROADMAP's scheduler arena wants pluggable policies competing on
+//! the same plans. This module lands the hook and its first citizen: an
+//! admission test that gates a schedule on *analyzed* worst-case energy
+//! (`culpeo-wcec` certificates) against a conservative harvest-credit
+//! envelope, in the spirit of ETAP's energy-adequacy check.
+//!
+//! The test walks the plan launch by launch, comparing two running sums:
+//!
+//! * **demand** — each certified launch charges its worst-case buffer
+//!   draw `E_hi / η(V_off)` (the certificate meters the output rail; the
+//!   buffer pays the booster's worst-case efficiency on top). Launches
+//!   without a certificate charge their declared energy the same way.
+//! * **credit** — the starting buffer swing `½·C·(V_start² − V_floor²)`
+//!   — where the floor `V_off + V_δ·r_max/r_min` also has to clear the
+//!   worst certified ESR dip — plus, per idle gap, the harvest *floor*
+//!   `P·max(0, duty_min·gap − outage)` the verifier's envelope uses.
+//!
+//! `admit` iff demand never overtakes credit; a rejection names the
+//! first launch where it does, which is the launch to replay for a
+//! brownout witness. The test is deliberately one-sided: it can reject
+//! plans the full interval interpreter would prove (it ignores voltage
+//! caps and recovery detail), but a plan it admits never exhausts the
+//! credit envelope its certificates define.
+
+use culpeo::PowerSystemModel;
+use culpeo_api::{CertificateDto, PlanSpec};
+use culpeo_units::{Volts, Watts};
+
+/// Envelope parameters for the harvest-credit floor; the defaults match
+/// `culpeo-verify`'s `VerifyConfig` so both surfaces assume the same
+/// worst-case harvester.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Minimum fraction of any idle gap the harvester is actually on.
+    pub duty_min: f64,
+    /// Longest contiguous harvester outage, seconds.
+    pub outage_s: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            duty_min: 0.3,
+            outage_s: 3.0,
+        }
+    }
+}
+
+/// The admission verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Worst-case demand stays inside the credit envelope everywhere.
+    Admit,
+    /// Demand overtakes credit at some launch.
+    Reject,
+}
+
+/// What the admission walk found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionReport {
+    /// Admit or reject.
+    pub decision: AdmissionDecision,
+    /// Total worst-case buffer demand over one period, millijoules.
+    pub demand_mj: f64,
+    /// Total credit (initial swing + harvest floor), millijoules.
+    pub credit_mj: f64,
+    /// `credit − demand` at the tightest point, millijoules (negative
+    /// exactly when rejected).
+    pub margin_mj: f64,
+    /// Index of the first launch where demand overtakes credit.
+    pub failing_launch: Option<usize>,
+    /// How many launches charged certificate energies (the rest charged
+    /// their declared figures).
+    pub certified_launches: usize,
+}
+
+impl AdmissionReport {
+    /// Whether the plan was admitted.
+    #[must_use]
+    pub fn admitted(&self) -> bool {
+        self.decision == AdmissionDecision::Admit
+    }
+}
+
+/// An arena policy: anything that can gate a plan on a model plus
+/// certificates. The arena's tournament driver will grow around this
+/// hook; [`WcecAdmission`] is its first implementation.
+pub trait ArenaPolicy {
+    /// Stable policy name for arena rosters and reports.
+    fn name(&self) -> &'static str;
+    /// Gate `plan` on `model`, charging `certs` where they apply.
+    fn admit(
+        &self,
+        model: &PowerSystemModel,
+        plan: &PlanSpec,
+        certs: &[CertificateDto],
+    ) -> AdmissionReport;
+}
+
+/// The ETAP-style worst-case-energy admission policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WcecAdmission {
+    /// Harvest-envelope parameters.
+    pub cfg: AdmissionConfig,
+}
+
+impl ArenaPolicy for WcecAdmission {
+    fn name(&self) -> &'static str {
+        "wcec-admission"
+    }
+
+    fn admit(
+        &self,
+        model: &PowerSystemModel,
+        plan: &PlanSpec,
+        certs: &[CertificateDto],
+    ) -> AdmissionReport {
+        admit_plan(model, plan, certs, &self.cfg)
+    }
+}
+
+/// Runs the admission walk; see the module docs for the accounting.
+#[must_use]
+pub fn admit_plan(
+    model: &PowerSystemModel,
+    plan: &PlanSpec,
+    certs: &[CertificateDto],
+    cfg: &AdmissionConfig,
+) -> AdmissionReport {
+    let c = model.capacitance().get();
+    let eta_off = model.efficiency_at(model.v_off()).clamp(0.05, 1.0);
+    let esr_points = model.esr_curve().points();
+    let r_max = esr_points.iter().map(|&(_, r)| r.get()).fold(0.0, f64::max);
+    let r_min = esr_points
+        .iter()
+        .map(|&(_, r)| r.get())
+        .fold(f64::INFINITY, f64::min);
+    let esr_ratio = if r_min > 0.0 {
+        (r_max / r_min).max(1.0)
+    } else {
+        1.0
+    };
+
+    // The buffer floor must clear the worst ESR dip any launch can cause
+    // — certified peak current where a certificate exists, declared V_δ
+    // otherwise — scaled to the top of the measured ESR curve.
+    let v_delta_worst = plan
+        .launches
+        .iter()
+        .map(|l| {
+            certs
+                .iter()
+                .find(|cert| cert.task == l.task)
+                .and_then(|cert| cert.v_delta_v)
+                .unwrap_or(l.v_delta)
+        })
+        .fold(0.0, f64::max);
+    let v_floor = model.v_off().get() + v_delta_worst * esr_ratio;
+    let v_start = plan
+        .v_start
+        .map_or(model.v_high(), Volts::new)
+        .get()
+        .max(v_floor);
+    let initial_mj = 0.5 * c * (v_start * v_start - v_floor * v_floor) * 1e3;
+
+    let power = Watts::from_milli(plan.recharge_power_mw).get();
+    let mut credit_mj = initial_mj;
+    let mut demand_mj = 0.0;
+    let mut margin_mj = f64::INFINITY;
+    let mut failing = None;
+    let mut certified_launches = 0usize;
+    let mut t_prev = 0.0f64;
+    for (i, launch) in plan.launches.iter().enumerate() {
+        let gap = (launch.start_s - t_prev).max(0.0);
+        t_prev = launch.start_s;
+        credit_mj += power * (cfg.duty_min * gap - cfg.outage_s).max(0.0) * 1e3;
+        let e_mj = match certs.iter().find(|cert| cert.task == launch.task) {
+            Some(cert) => {
+                certified_launches += 1;
+                cert.energy_mj_hi
+            }
+            None => launch.energy_mj,
+        };
+        demand_mj += e_mj / eta_off;
+        let margin_here = credit_mj - demand_mj;
+        if margin_here < margin_mj {
+            margin_mj = margin_here;
+        }
+        if margin_here < 0.0 && failing.is_none() {
+            failing = Some(i);
+        }
+    }
+    if plan.launches.is_empty() {
+        margin_mj = credit_mj;
+    }
+    AdmissionReport {
+        decision: if failing.is_none() {
+            AdmissionDecision::Admit
+        } else {
+            AdmissionDecision::Reject
+        },
+        demand_mj,
+        credit_mj,
+        margin_mj,
+        failing_launch: failing,
+        certified_launches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cert(task: &str, e_hi_mj: f64, v_delta: f64) -> CertificateDto {
+        CertificateDto {
+            task: task.to_string(),
+            energy_mj_lo: e_hi_mj * 0.8,
+            energy_mj_hi: e_hi_mj,
+            time_s_lo: 0.01,
+            time_s_hi: 0.02,
+            peak_ma: 25.0,
+            v_delta_v: Some(v_delta),
+            paths: 1,
+            loops: 0,
+        }
+    }
+
+    #[test]
+    fn declared_feasible_plan_is_admitted_without_certs() {
+        let model = PowerSystemModel::capybara();
+        let plan = PlanSpec::verified_example();
+        let report = admit_plan(&model, &plan, &[], &AdmissionConfig::default());
+        assert!(report.admitted(), "{report:?}");
+        assert_eq!(report.certified_launches, 0);
+        assert!(report.margin_mj > 0.0);
+    }
+
+    #[test]
+    fn inflated_certificate_flips_the_decision() {
+        let model = PowerSystemModel::capybara();
+        let plan = PlanSpec::verified_example();
+        let certs = vec![cert("sense", 500.0, 0.05)];
+        let report = admit_plan(&model, &plan, &certs, &AdmissionConfig::default());
+        assert!(!report.admitted());
+        assert_eq!(report.failing_launch, Some(0));
+        assert!(report.margin_mj < 0.0);
+        assert!(report.certified_launches >= 1);
+    }
+
+    #[test]
+    fn policy_hook_reports_a_stable_name() {
+        let policy = WcecAdmission::default();
+        assert_eq!(policy.name(), "wcec-admission");
+        let model = PowerSystemModel::capybara();
+        let report = policy.admit(&model, &PlanSpec::verified_example(), &[]);
+        assert!(report.admitted());
+    }
+
+    #[test]
+    fn empty_plan_is_admitted_with_full_credit() {
+        let model = PowerSystemModel::capybara();
+        let plan = PlanSpec {
+            recharge_power_mw: 5.0,
+            v_start: None,
+            period_s: None,
+            launches: Vec::new(),
+        };
+        let report = admit_plan(&model, &plan, &[], &AdmissionConfig::default());
+        assert!(report.admitted());
+        assert!(report.margin_mj > 0.0);
+    }
+}

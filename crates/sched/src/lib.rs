@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod admission;
 pub mod apps;
 pub mod degrade;
 pub mod feasibility;
@@ -32,6 +33,9 @@ mod policy;
 mod task;
 mod trial;
 
+pub use admission::{
+    admit_plan, AdmissionConfig, AdmissionDecision, AdmissionReport, ArenaPolicy, WcecAdmission,
+};
 pub use event::{EventClass, EventSource};
 pub use policy::{derive_thresholds, ChargePolicy, PolicyThresholds};
 pub use task::{AppSpec, Task};

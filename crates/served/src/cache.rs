@@ -2,7 +2,7 @@
 //!
 //! A `V_safe` answer is a pure function of (spec, trace). The daemon
 //! hashes the canonical spec JSON and the raw trace CSV into one 64-bit
-//! key and remembers the full [`VsafeResponse`] under it, with
+//! key and remembers the full [`culpeo_api::VsafeResponse`] under it, with
 //! least-recently-used eviction once the configured capacity is reached.
 //!
 //! The key is a 64-bit `DefaultHasher` digest, not the full content: a

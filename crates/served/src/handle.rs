@@ -14,7 +14,7 @@ use culpeo_analyze::{AnalysisInput, Registry, TraceInput};
 use culpeo_api::{
     check_schema_version, ApiError, BatchOutcome, BatchRequest, BatchResponse, LintRequest,
     LintResponse, SystemSpec, VerifyRequest, VerifyResponse, VsafeRequest, VsafeResponse,
-    SCHEMA_VERSION,
+    WcecRequest, WcecResponse, SCHEMA_VERSION,
 };
 use culpeo_loadgen::{io as trace_io, CurrentTrace};
 
@@ -156,6 +156,22 @@ pub fn verify(req: &VerifyRequest) -> Result<VerifyResponse, ApiError> {
     check_schema_version(req.schema_version)?;
     let outcome = culpeo_verify::verify_plan(&req.spec, &req.plan);
     Ok(culpeo_verify::to_response(&outcome))
+}
+
+/// Answers a [`WcecRequest`] by running the `culpeo-wcec` static
+/// worst-case energy analyzer over every submitted task graph.
+///
+/// # Errors
+///
+/// `unsupported_version`, `spec` (embedded spec fails validation), or
+/// `bad_request` (a task graph fails structural validation — dangling
+/// node, inverted loop bound, non-positive op cost) [`ApiError`]s. An
+/// *analysis* failure is not an error: an uncertifiable task comes back
+/// as an `"unknown"` row naming the blocking node, same as the CLI.
+pub fn wcec(req: &WcecRequest) -> Result<WcecResponse, ApiError> {
+    check_schema_version(req.schema_version)?;
+    let model = resolve_model(&req.spec)?;
+    culpeo_wcec::run_graphs(Some(&model), &req.tasks).map_err(ApiError::bad_request)
 }
 
 /// How many batch items one worker claims at a time; see the call site.
@@ -370,6 +386,59 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err.kind, ApiErrorKind::UnsupportedVersion);
+    }
+
+    #[test]
+    fn wcec_certifies_table3_and_rejects_a_version_mismatch() {
+        let tasks: Vec<culpeo_api::TaskGraphDto> =
+            culpeo_wcec::workloads::table3(culpeo_units::Volts::new(2.55))
+                .iter()
+                .map(culpeo_wcec::to_dto)
+                .collect();
+        let resp = wcec(&WcecRequest {
+            schema_version: None,
+            spec: None,
+            tasks: tasks.clone(),
+        })
+        .unwrap();
+        assert_eq!((resp.certified, resp.unknown, resp.exit_code), (3, 0, 0));
+        assert_eq!(resp.schema_version, SCHEMA_VERSION);
+        // Every certified row carries the spec-derived worst-case dip.
+        assert!(resp.tasks.iter().all(|row| row
+            .certificate
+            .as_ref()
+            .is_some_and(|c| c.v_delta_v.is_some_and(|v| v > 0.0))));
+        let err = wcec(&WcecRequest {
+            schema_version: Some(99),
+            spec: None,
+            tasks,
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, ApiErrorKind::UnsupportedVersion);
+    }
+
+    #[test]
+    fn wcec_reports_structural_failures_as_bad_request() {
+        // A dangling child is a malformed graph, not an analysis verdict.
+        let dto = culpeo_api::TaskGraphDto {
+            name: "broken".into(),
+            nodes: vec![culpeo_api::NodeDto {
+                label: "seq".into(),
+                kind: "seq".into(),
+                ops: None,
+                children: Some(vec![7]),
+                bound_lo: None,
+                bound_hi: None,
+            }],
+            root: 0,
+        };
+        let err = wcec(&WcecRequest {
+            schema_version: None,
+            spec: None,
+            tasks: vec![dto],
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, ApiErrorKind::BadRequest);
     }
 
     #[test]

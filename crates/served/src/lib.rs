@@ -23,7 +23,8 @@
 //! | `/v1/shutdown`      | POST | graceful drain                 |
 //!
 //! Since schema 2 the daemon speaks HTTP/1.1 keep-alive + pipelining
-//! from a nonblocking readiness reactor ([`poll`] + [`server`]): one
+//! from a nonblocking readiness reactor ([`poll`] + the private
+//! `server` module): one
 //! reactor thread owns every socket, compute workers answer requests
 //! off a bounded queue, and finished responses flow back through the
 //! completion protocol in [`protocol`]. Every `/v1` JSON response is
@@ -33,7 +34,7 @@
 //! The layering is strict: [`handle`] is pure DTO → DTO logic shared with
 //! the CLI (that is what keeps daemon and CLI output byte-identical),
 //! [`http`] is the minimal wire codec, [`cache`], [`metrics`] and
-//! [`fleet`] are self-contained state, and [`server`] glues them
+//! [`fleet`] are self-contained state, and `server` glues them
 //! together. No crate outside the repo's vendored stubs is involved;
 //! the only `unsafe` in the crate is the epoll FFI shim in [`poll`].
 

@@ -91,6 +91,8 @@ pub struct Metrics {
     pub batch: EndpointCounters,
     /// `POST /v1/verify`.
     pub verify: EndpointCounters,
+    /// `POST /v1/wcec` (static worst-case energy certification).
+    pub wcec: EndpointCounters,
     /// `GET /v1/health`.
     pub health: EndpointCounters,
     /// `GET /v1/metrics`.
@@ -128,6 +130,7 @@ impl Metrics {
             self.lint.snapshot("/v1/lint"),
             self.batch.snapshot("/v1/batch"),
             self.verify.snapshot("/v1/verify"),
+            self.wcec.snapshot("/v1/wcec"),
             self.health.snapshot("/v1/health"),
             self.metrics.snapshot("/v1/metrics"),
             self.shutdown.snapshot("/v1/shutdown"),
@@ -165,7 +168,7 @@ mod tests {
     #[test]
     fn snapshot_has_one_row_per_endpoint() {
         let rows = Metrics::default().snapshot();
-        assert_eq!(rows.len(), 16);
+        assert_eq!(rows.len(), 17);
         assert!(rows.iter().all(|r| r.requests == 0));
     }
 

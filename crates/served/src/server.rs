@@ -57,7 +57,7 @@ use std::time::{Duration, Instant};
 use culpeo_api::{
     ApiError, ApiErrorKind, BatchRequest, HealthResponse, LintRequest, LivezResponse,
     MetricsResponse, ObserveRequest, ReadyzResponse, VerifyRequest, VsafeRequest, VsafeResponse,
-    SCHEMA_VERSION,
+    WcecRequest, SCHEMA_VERSION,
 };
 use culpeo_exec::Sweep;
 
@@ -1373,6 +1373,11 @@ fn route<'a>(shared: &'a Shared, req: &Request) -> Routed<'a> {
                 parse_body::<VerifyRequest>(&req.body).and_then(|r| crate::handle::verify(&r));
             finish(&shared.metrics.verify, outcome)
         }
+        ("POST", "/v1/wcec") => {
+            let outcome =
+                parse_body::<WcecRequest>(&req.body).and_then(|r| crate::handle::wcec(&r));
+            finish(&shared.metrics.wcec, outcome)
+        }
         ("POST", "/v1/observe") => {
             let outcome = parse_body::<ObserveRequest>(&req.body)
                 .and_then(|r| shared.store_hub().and_then(|hub| hub.observe(&r)));
@@ -1447,9 +1452,9 @@ fn route<'a>(shared: &'a Shared, req: &Request) -> Routed<'a> {
         }
         (
             _,
-            "/v1/vsafe" | "/v1/lint" | "/v1/batch" | "/v1/verify" | "/v1/observe" | "/v1/fleet"
-            | "/v1/fleet/events" | "/v1/health" | "/v1/metrics" | "/v1/shutdown" | "/v1/livez"
-            | "/v1/readyz",
+            "/v1/vsafe" | "/v1/lint" | "/v1/batch" | "/v1/verify" | "/v1/wcec" | "/v1/observe"
+            | "/v1/fleet" | "/v1/fleet/events" | "/v1/health" | "/v1/metrics" | "/v1/shutdown"
+            | "/v1/livez" | "/v1/readyz",
         ) => {
             let e = ApiError::new(
                 ApiErrorKind::MethodNotAllowed,

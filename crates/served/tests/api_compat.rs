@@ -123,6 +123,76 @@ fn schema_2_requests_envelope_every_v1_response() {
 }
 
 #[test]
+fn wcec_endpoint_is_enveloped_and_certifies_table3() {
+    let server = boot();
+    let addr = server.addr();
+
+    let tasks: Vec<String> = culpeo_wcec::workloads::table3(culpeo_units::Volts::new(2.55))
+        .iter()
+        .map(|g| serde_json::to_string(&culpeo_wcec::to_dto(g)).unwrap())
+        .collect();
+    let req = format!(
+        "{{\"schema_version\": 2, \"tasks\": [{}]}}",
+        tasks.join(",")
+    );
+    let (status, body) = roundtrip(addr, "POST", "/v1/wcec", &req);
+    assert_eq!(status, 200, "{body}");
+    let doc = serde_json::parse_value_str(&assert_envelope(&body)).unwrap();
+    assert_eq!(
+        doc.get("certified").and_then(serde::Value::as_f64),
+        Some(3.0)
+    );
+    assert_eq!(doc.get("unknown").and_then(serde::Value::as_f64), Some(0.0));
+    assert_eq!(
+        doc.get("exit_code").and_then(serde::Value::as_f64),
+        Some(0.0)
+    );
+
+    // Wrong method on the route answers 405, not 404.
+    let (status, _) = roundtrip(addr, "GET", "/v1/wcec", "");
+    assert_eq!(status, 405);
+
+    // The endpoint has its own metrics row.
+    let (_, m) = roundtrip(addr, "GET", "/v1/metrics", "");
+    assert!(assert_envelope(&m).contains("\"path\":\"/v1/wcec\""), "{m}");
+
+    server.shutdown_handle().request();
+    let _ = server.join();
+}
+
+/// Both envelope generations, pinned side by side: the daemon stamps
+/// `request_id` + `server_timing` around `data`; the CLI's local
+/// envelope (`culpeo_api::cli_envelope`, used by `culpeo lint`/`verify`
+/// /`wcec --format json`) carries the same `schema_version` + `data`
+/// with the per-request fields omitted — there is no request to identify
+/// or time.
+#[test]
+fn cli_and_daemon_envelopes_share_a_generation() {
+    let server = boot();
+    let addr = server.addr();
+
+    let (status, body) = roundtrip(addr, "POST", "/v1/vsafe", SCHEMA2_VSAFE);
+    assert_eq!(status, 200, "{body}");
+    let daemon_data = assert_envelope(&body);
+
+    let cli = culpeo_api::cli_envelope(&daemon_data);
+    assert!(cli.starts_with("{\"schema_version\":2,\"data\":"), "{cli}");
+    assert!(!cli.contains("request_id"), "{cli}");
+    assert!(!cli.contains("server_timing"), "{cli}");
+    let cli_doc = serde_json::parse_value_str(&cli).unwrap();
+    assert_eq!(
+        cli_doc.get("schema_version").and_then(serde::Value::as_f64),
+        Some(2.0)
+    );
+    // The payload under `data` is byte-identical across both surfaces.
+    let daemon_doc = serde_json::parse_value_str(&body).unwrap();
+    assert_eq!(cli_doc.get("data"), daemon_doc.get("data"));
+
+    server.shutdown_handle().request();
+    let _ = server.join();
+}
+
+#[test]
 fn unsupported_schema_version_is_rejected() {
     let server = boot();
     let addr = server.addr();

@@ -6,7 +6,7 @@
 //! segment; when it passes [`StoreConfig::segment_bytes`] the writer
 //! rotates to a fresh file (the old one joins the unsynced list until
 //! the next group-commit round covers it). Durability is the
-//! [`commit`](crate::commit) protocol: an [`Store::append`] in
+//! [`commit`] protocol: an [`Store::append`] in
 //! [`Durability::Fsync`] mode returns only after an fsync covering its
 //! record has completed.
 //!

@@ -244,6 +244,32 @@ impl IntervalJ {
         )
     }
 
+    /// The smallest interval containing both operands (lattice join).
+    /// Exact: selecting endpoints introduces no rounding error.
+    #[must_use]
+    pub fn join(self, other: Self) -> Self {
+        Self::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// The energy of repeating this draw between `lo_n` and `hi_n` times:
+    /// `[lo·lo_n, hi·hi_n]`, outward-rounded. This is the symbolic
+    /// loop-bound multiplication the worst-case analyzer uses — the
+    /// repeat count is an interval of its own, so the cheapest trajectory
+    /// takes the fewest iterations of the cheapest body and the dearest
+    /// takes the most of the dearest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo_n > hi_n`.
+    #[must_use]
+    pub fn repeat(self, lo_n: u32, hi_n: u32) -> Self {
+        assert!(lo_n <= hi_n, "repeat bounds must satisfy lo_n ≤ hi_n");
+        Self::new(
+            Joules::new(down(self.lo.get() * f64::from(lo_n)).max(0.0)),
+            Joules::new(up(self.hi.get() * f64::from(hi_n))),
+        )
+    }
+
     /// The voltage-squared swing `2·E/C` of this much energy on a buffer
     /// of capacitance `c` farads, outward-rounded (V² per endpoint).
     ///
@@ -407,6 +433,31 @@ mod tests {
     #[should_panic(expected = "0 ≤ lo ≤ hi")]
     fn rejects_inverted_interval() {
         let _ = IntervalV::new(Volts::new(2.0), Volts::new(1.0));
+    }
+
+    #[test]
+    fn energy_join_selects_extremes_exactly() {
+        let a = IntervalJ::new(Joules::new(1.0e-3), Joules::new(2.0e-3));
+        let b = IntervalJ::new(Joules::new(1.5e-3), Joules::new(3.0e-3));
+        let j = a.join(b);
+        assert_eq!(j.lo(), Joules::new(1.0e-3));
+        assert_eq!(j.hi(), Joules::new(3.0e-3));
+    }
+
+    #[test]
+    fn repeat_endpoints_pin_to_nextafter() {
+        let e = IntervalJ::new(Joules::new(0.3e-3), Joules::new(0.7e-3));
+        let r = e.repeat(2, 5);
+        assert_eq!(r.lo().get(), (0.3e-3f64 * 2.0).next_down());
+        assert_eq!(r.hi().get(), (0.7e-3f64 * 5.0).next_up());
+        // A zero-iteration floor collapses the cheap path to nothing.
+        assert_eq!(e.repeat(0, 3).lo(), Joules::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo_n ≤ hi_n")]
+    fn repeat_rejects_inverted_bounds() {
+        let _ = IntervalJ::point(Joules::new(1.0e-3)).repeat(3, 1);
     }
 
     #[test]

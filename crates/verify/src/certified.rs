@@ -1,0 +1,113 @@
+//! Verification on *analyzed* rather than *declared* energies.
+//!
+//! The interval interpreter is sound relative to its inputs: a launch
+//! that under-declares `(E, V_δ)` gets a proof that means nothing. When
+//! `culpeo-wcec` has certified a task, the certificate's worst-case
+//! endpoints are the figures the proof should rest on — so this module
+//! substitutes them *in place of* the declared values (not merely as a
+//! cross-check) before running the ordinary abstract interpretation.
+
+use culpeo::PowerSystemModel;
+use culpeo_api::{CertificateDto, PlanSpec};
+
+use crate::interp::{verify_with_model, VerifyOutcome};
+use crate::VerifyConfig;
+
+/// Rewrites `plan` so every launch whose task has a certificate declares
+/// the certificate's worst-case energy and ESR dip. Launches without a
+/// matching certificate keep their declared figures.
+#[must_use]
+pub fn apply_certificates(plan: &PlanSpec, certs: &[CertificateDto]) -> PlanSpec {
+    let mut certified = plan.clone();
+    for launch in &mut certified.launches {
+        let Some(cert) = certs.iter().find(|c| c.task == launch.task) else {
+            continue;
+        };
+        launch.energy_mj = cert.energy_mj_hi;
+        if let Some(v_delta) = cert.v_delta_v {
+            launch.v_delta = v_delta;
+        }
+    }
+    certified
+}
+
+/// Verifies `plan` against `model` with certificates substituted for
+/// declared energies. The resulting verdict (and any counterexample —
+/// still replayable, since replay reads the rewritten launches) speaks
+/// about the *analyzed* worst case.
+#[must_use]
+pub fn verify_certified(
+    model: &PowerSystemModel,
+    plan: &PlanSpec,
+    certs: &[CertificateDto],
+    cfg: &VerifyConfig,
+) -> VerifyOutcome {
+    verify_with_model(model, &apply_certificates(plan, certs), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Verdict;
+
+    fn cert(task: &str, e_hi_mj: f64, v_delta: f64) -> CertificateDto {
+        CertificateDto {
+            task: task.to_string(),
+            energy_mj_lo: e_hi_mj * 0.8,
+            energy_mj_hi: e_hi_mj,
+            time_s_lo: 0.01,
+            time_s_hi: 0.02,
+            peak_ma: 25.0,
+            v_delta_v: Some(v_delta),
+            paths: 1,
+            loops: 0,
+        }
+    }
+
+    #[test]
+    fn substitution_rewrites_matching_launches_only() {
+        let plan = PlanSpec::verified_example();
+        let declared: Vec<f64> = plan.launches.iter().map(|l| l.energy_mj).collect();
+        let certs = vec![cert("sense", 99.0, 0.5)];
+        let rewritten = apply_certificates(&plan, &certs);
+        for (before, after) in plan.launches.iter().zip(&rewritten.launches) {
+            if before.task == "sense" {
+                assert_eq!(after.energy_mj, 99.0);
+                assert_eq!(after.v_delta, 0.5);
+            } else {
+                assert_eq!(after.energy_mj, before.energy_mj);
+            }
+        }
+        // The input plan is untouched.
+        for (l, e) in plan.launches.iter().zip(&declared) {
+            assert_eq!(l.energy_mj, *e);
+        }
+    }
+
+    #[test]
+    fn inflated_certificate_voids_a_declared_proof() {
+        let model = PowerSystemModel::capybara();
+        let plan = PlanSpec::verified_example();
+        let declared = verify_with_model(&model, &plan, &VerifyConfig::default());
+        assert_eq!(declared.verdict, Verdict::Proved, "baseline must prove");
+        // A certificate showing the task really draws far more than it
+        // declared must flip the verdict off Proved.
+        let certs = vec![cert("sense", 400.0, 0.05)];
+        let certified = verify_certified(&model, &plan, &certs, &VerifyConfig::default());
+        assert_ne!(
+            certified.verdict,
+            Verdict::Proved,
+            "{:?}",
+            certified.verdict
+        );
+    }
+
+    #[test]
+    fn empty_certificate_set_is_identity() {
+        let model = PowerSystemModel::capybara();
+        let plan = PlanSpec::verified_example();
+        let a = verify_with_model(&model, &plan, &VerifyConfig::default());
+        let b = verify_certified(&model, &plan, &[], &VerifyConfig::default());
+        assert_eq!(a.verdict, b.verdict);
+    }
+}

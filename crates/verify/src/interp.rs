@@ -110,7 +110,7 @@ pub struct Imprecision {
 }
 
 /// One diagnostic-ready finding (C040–C046). `culpeo-analyze` maps these
-/// onto [`Diagnostic`]s; the locus is relative to the plan (the caller
+/// onto `culpeo_analyze::Diagnostic`s; the locus is relative to the plan (the caller
 /// prepends the file locus).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Finding {

@@ -53,11 +53,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod certified;
 pub mod interp;
 pub mod replay;
 pub mod rolling;
 pub mod wire;
 
+pub use certified::{apply_certificates, verify_certified};
 pub use interp::{
     verify_plan, verify_with_model, Counterexample, Finding, Imprecision, ImprecisionKind, Verdict,
     VerifyOutcome,

@@ -1,0 +1,438 @@
+//! The path-sensitive interval analyzer producing worst-case certificates.
+//!
+//! One structural pass over the [`TaskGraph`], propagating a
+//! directed-rounding energy interval ([`culpeo_units::IntervalJ`]) and a
+//! latency interval through the CFG:
+//!
+//! * **blocks** sum their ops' bands (outward-rounded addition);
+//! * **sequences** sum their children;
+//! * **branches** are analyzed path-sensitively — each arm's interval is
+//!   computed in full before the lattice *join* at the merge, so the
+//!   certificate's `lo` is the cheapest path and its `hi` the dearest,
+//!   never a mix;
+//! * **bounded loops** multiply the body symbolically by the declared
+//!   iteration interval ([`IntervalJ::repeat`]): the cheap endpoint takes
+//!   the fewest iterations of the cheapest body, the dear endpoint the
+//!   most of the dearest;
+//! * **unbounded loops** fall back to widening. The transfer function
+//!   adds a non-negative body cost every round, so the widened fixpoint
+//!   is `+∞` unless the body is provably free — in which case the loop
+//!   contributes nothing and analysis continues. A diverging widen yields
+//!   [`WcecVerdict::Unknown`] carrying the *blocking node*, never a
+//!   silently-unsound finite number.
+//!
+//! Sharing is handled by memoization (a diamond's merge block is analyzed
+//! once) and unstructured cycles — a back-edge smuggled through `Seq`
+//! indices — are detected with a visiting stack and reported as
+//! [`WcecVerdict::Unknown`], same as a diverging widen.
+
+use culpeo_units::{IntervalJ, Joules};
+
+use crate::ir::{IrError, NodeId, NodeKind, TaskGraph};
+
+/// A sound worst-case energy/latency certificate for one task.
+///
+/// Soundness contract (checked end-to-end by the workspace's wcec
+/// soundness battery): for every concrete execution path admitted by the
+/// graph, the output-rail energy actually consumed lies in `energy` and
+/// the wall-clock latency in `time_s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Certificate {
+    /// The task the certificate covers ([`TaskGraph::name`]).
+    pub task: String,
+    /// Output-rail energy across all paths, joules.
+    pub energy: IntervalJ,
+    /// Latency across all paths, seconds.
+    pub time_s: (f64, f64),
+    /// Worst-case instantaneous rail current, milliamps.
+    pub peak_ma: f64,
+    /// Distinct acyclic paths the interval covers (saturating count).
+    pub paths: u64,
+    /// Bounded loops multiplied through symbolically.
+    pub loops: u32,
+}
+
+impl Certificate {
+    /// Worst-case energy in millijoules — the figure a launch must
+    /// declare for Theorem 1 to rest on analyzed rather than asserted
+    /// consumption.
+    #[must_use]
+    pub fn energy_mj_hi(&self) -> f64 {
+        self.energy.hi().get() * 1e3
+    }
+
+    /// Best-case energy in millijoules.
+    #[must_use]
+    pub fn energy_mj_lo(&self) -> f64 {
+        self.energy.lo().get() * 1e3
+    }
+
+    /// The worst-case ESR dip `V_δ = I_peak · R` this task can cause on
+    /// a buffer with series resistance `esr_ohms`.
+    #[must_use]
+    pub fn v_delta_at(&self, esr_ohms: f64) -> f64 {
+        self.peak_ma * 1e-3 * esr_ohms
+    }
+}
+
+/// Why analysis could not certify a task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Blocked {
+    /// The node precision died at.
+    pub node: NodeId,
+    /// That node's label.
+    pub label: String,
+    /// What happened there.
+    pub reason: String,
+}
+
+impl core::fmt::Display for Blocked {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "node {} ({}): {}", self.node.0, self.label, self.reason)
+    }
+}
+
+/// The analyzer's verdict for one task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WcecVerdict {
+    /// Every path's cost is bracketed by the certificate.
+    Certified(Certificate),
+    /// Analysis lost precision; the payload names the blocking node.
+    Unknown(Blocked),
+}
+
+impl WcecVerdict {
+    /// The certificate, when certified.
+    #[must_use]
+    pub fn certificate(&self) -> Option<&Certificate> {
+        match self {
+            Self::Certified(c) => Some(c),
+            Self::Unknown(_) => None,
+        }
+    }
+}
+
+/// In-flight interval state for one subgraph.
+#[derive(Clone)]
+struct Flow {
+    energy: IntervalJ,
+    /// Latency band in milliseconds.
+    t_ms: (f64, f64),
+    peak_ma: f64,
+    paths: u64,
+    loops: u32,
+}
+
+impl Flow {
+    fn nothing() -> Self {
+        Self {
+            energy: IntervalJ::point(Joules::ZERO),
+            t_ms: (0.0, 0.0),
+            peak_ma: 0.0,
+            paths: 1,
+            loops: 0,
+        }
+    }
+
+    /// Sequential composition, outward-rounded.
+    fn then(&self, next: &Self) -> Self {
+        Self {
+            energy: self.energy + next.energy,
+            t_ms: (
+                (self.t_ms.0 + next.t_ms.0).next_down().max(0.0),
+                (self.t_ms.1 + next.t_ms.1).next_up(),
+            ),
+            peak_ma: self.peak_ma.max(next.peak_ma),
+            paths: self.paths.saturating_mul(next.paths),
+            loops: self.loops + next.loops,
+        }
+    }
+
+    /// Lattice join at a merge point.
+    fn join(&self, other: &Self) -> Self {
+        Self {
+            energy: self.energy.join(other.energy),
+            t_ms: (self.t_ms.0.min(other.t_ms.0), self.t_ms.1.max(other.t_ms.1)),
+            peak_ma: self.peak_ma.max(other.peak_ma),
+            paths: self.paths.saturating_add(other.paths),
+            loops: self.loops + other.loops,
+        }
+    }
+
+    /// Symbolic multiplication by an iteration interval.
+    fn repeat(&self, lo_n: u32, hi_n: u32) -> Self {
+        Self {
+            energy: self.energy.repeat(lo_n, hi_n),
+            t_ms: (
+                (self.t_ms.0 * f64::from(lo_n)).next_down().max(0.0),
+                (self.t_ms.1 * f64::from(hi_n)).next_up(),
+            ),
+            peak_ma: self.peak_ma,
+            paths: saturating_path_power(self.paths, lo_n, hi_n),
+            loops: self.loops + 1,
+        }
+    }
+}
+
+/// Paths through a loop of `p`-path body running `lo..=hi` times:
+/// `Σ_{k=lo}^{hi} p^k`, saturating. Informational only — the energy
+/// interval is what soundness rests on.
+fn saturating_path_power(p: u64, lo: u32, hi: u32) -> u64 {
+    let mut total: u64 = 0;
+    for k in lo..=hi.min(lo.saturating_add(64)) {
+        let term = p.checked_pow(k).unwrap_or(u64::MAX);
+        total = total.saturating_add(term);
+        if total == u64::MAX {
+            break;
+        }
+    }
+    total.max(1)
+}
+
+/// Analyzes `graph` with the default configuration.
+///
+/// # Errors
+///
+/// [`IrError`] when the graph fails structural validation; a structurally
+/// valid graph always yields a verdict (possibly `Unknown`).
+pub fn analyze(graph: &TaskGraph) -> Result<WcecVerdict, IrError> {
+    graph.validate()?;
+    let mut memo: Vec<Option<Flow>> = vec![None; graph.nodes.len()];
+    let mut visiting = vec![false; graph.nodes.len()];
+    Ok(match flow_of(graph, graph.root, &mut visiting, &mut memo) {
+        Ok(flow) => WcecVerdict::Certified(Certificate {
+            task: graph.name.clone(),
+            energy: flow.energy,
+            time_s: (
+                (flow.t_ms.0 * 1e-3).next_down().max(0.0),
+                (flow.t_ms.1 * 1e-3).next_up(),
+            ),
+            peak_ma: flow.peak_ma,
+            paths: flow.paths,
+            loops: flow.loops,
+        }),
+        Err(blocked) => WcecVerdict::Unknown(blocked),
+    })
+}
+
+fn flow_of(
+    graph: &TaskGraph,
+    id: NodeId,
+    visiting: &mut Vec<bool>,
+    memo: &mut Vec<Option<Flow>>,
+) -> Result<Flow, Blocked> {
+    if let Some(flow) = &memo[id.index()] {
+        return Ok(flow.clone());
+    }
+    if visiting[id.index()] {
+        return Err(Blocked {
+            node: id,
+            label: graph.node(id).label.clone(),
+            reason: "unstructured back-edge re-enters the node; express the cycle as a \
+                     bounded loop"
+                .into(),
+        });
+    }
+    visiting[id.index()] = true;
+    let result = transfer(graph, id, visiting, memo);
+    visiting[id.index()] = false;
+    if let Ok(flow) = &result {
+        memo[id.index()] = Some(flow.clone());
+    }
+    result
+}
+
+fn transfer(
+    graph: &TaskGraph,
+    id: NodeId,
+    visiting: &mut Vec<bool>,
+    memo: &mut Vec<Option<Flow>>,
+) -> Result<Flow, Blocked> {
+    let node = graph.node(id);
+    match &node.kind {
+        NodeKind::Block(ops) => {
+            let mut acc = Flow::nothing();
+            for op in ops {
+                let step = Flow {
+                    energy: op.energy(),
+                    t_ms: op.time_ms,
+                    peak_ma: op.peak_ma,
+                    paths: 1,
+                    loops: 0,
+                };
+                acc = acc.then(&step);
+            }
+            Ok(acc)
+        }
+        NodeKind::Seq(children) => {
+            let mut acc = Flow::nothing();
+            for child in children {
+                acc = acc.then(&flow_of(graph, *child, visiting, memo)?);
+            }
+            Ok(acc)
+        }
+        NodeKind::Branch(then_, else_) => {
+            let t = flow_of(graph, *then_, visiting, memo)?;
+            let e = flow_of(graph, *else_, visiting, memo)?;
+            Ok(t.join(&e))
+        }
+        NodeKind::Loop { body, bound } => {
+            let body_flow = flow_of(graph, *body, visiting, memo)?;
+            match bound.bounds() {
+                Some((lo, hi)) => Ok(body_flow.repeat(lo, hi)),
+                // Widening fallback: the body re-enters with at least its
+                // own cost added, so the only finite fixpoint is a free
+                // body. Anything else diverges to +∞ — report Unknown
+                // with this loop as the blocking node.
+                None => {
+                    if body_flow.energy.hi() == Joules::ZERO && body_flow.t_ms.1 == 0.0 {
+                        Ok(Flow {
+                            peak_ma: body_flow.peak_ma,
+                            ..Flow::nothing()
+                        })
+                    } else {
+                        Err(Blocked {
+                            node: id,
+                            label: node.label.clone(),
+                            reason: format!(
+                                "unbounded loop over a non-free body (ΔE ≤ {:.4} mJ, Δt ≤ {:.3} ms \
+                                 per iteration); widening diverges — declare an iteration bound",
+                                body_flow.energy.hi().get() * 1e3,
+                                body_flow.t_ms.1
+                            ),
+                        })
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{LoopBound, OpCost};
+
+    fn op(e_mj: f64, t_ms: f64, peak: f64) -> OpCost {
+        OpCost::exact("op", e_mj, t_ms, peak)
+    }
+
+    fn cert(graph: &TaskGraph) -> Certificate {
+        match analyze(graph).unwrap() {
+            WcecVerdict::Certified(c) => c,
+            WcecVerdict::Unknown(b) => panic!("expected certificate, got Unknown: {b}"),
+        }
+    }
+
+    #[test]
+    fn straight_line_sums_outward() {
+        let mut g = TaskGraph::new("t");
+        g.block("a", vec![op(1.0, 2.0, 5.0), op(2.0, 3.0, 8.0)]);
+        let c = cert(&g);
+        assert!(c.energy_mj_lo() <= 3.0 && 3.0 <= c.energy_mj_hi());
+        assert!(c.time_s.0 <= 5.0e-3 && 5.0e-3 <= c.time_s.1);
+        assert_eq!(c.peak_ma, 8.0);
+        assert_eq!(c.paths, 1);
+    }
+
+    #[test]
+    fn branch_joins_cheapest_and_dearest_paths() {
+        let mut g = TaskGraph::new("t");
+        let cheap = g.block("cheap", vec![op(1.0, 1.0, 2.0)]);
+        let dear = g.block("dear", vec![op(5.0, 9.0, 20.0)]);
+        g.branch("detect?", dear, cheap);
+        let c = cert(&g);
+        // Path-sensitive: lo is the whole cheap path, hi the whole dear
+        // path — not a per-op mixture.
+        assert!(c.energy_mj_lo() <= 1.0 && c.energy_mj_lo() > 0.9);
+        assert!(c.energy_mj_hi() >= 5.0 && c.energy_mj_hi() < 5.1);
+        assert_eq!(c.paths, 2);
+        assert_eq!(c.peak_ma, 20.0);
+    }
+
+    #[test]
+    fn nested_loops_multiply_symbolically() {
+        let mut g = TaskGraph::new("t");
+        let body = g.block("body", vec![op(0.5, 1.0, 3.0)]);
+        let inner = g.bounded_loop("inner", LoopBound::Range(2, 4), body);
+        let outer = g.bounded_loop("outer", LoopBound::Exact(3), inner);
+        g.set_root(outer);
+        let c = cert(&g);
+        // lo = 0.5·2·3, hi = 0.5·4·3, with one-ulp outward slack.
+        assert!((c.energy_mj_lo() - 3.0).abs() < 1e-9);
+        assert!((c.energy_mj_hi() - 6.0).abs() < 1e-9);
+        assert_eq!(c.loops, 2);
+    }
+
+    #[test]
+    fn shared_merge_block_is_one_visit_two_paths() {
+        let mut g = TaskGraph::new("t");
+        let merge = g.block("merge", vec![op(1.0, 1.0, 1.0)]);
+        let a = g.seq("a", vec![merge]);
+        let b = g.seq("b", vec![merge]);
+        g.branch("diamond", a, b);
+        let c = cert(&g);
+        assert_eq!(c.paths, 2);
+        assert!((c.energy_mj_hi() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbounded_loop_reports_blocking_node() {
+        let mut g = TaskGraph::new("t");
+        let body = g.block("poll", vec![op(0.1, 0.5, 1.0)]);
+        let lp = g.bounded_loop("wait-irq", LoopBound::Unbounded, body);
+        g.set_root(lp);
+        match analyze(&g).unwrap() {
+            WcecVerdict::Unknown(b) => {
+                assert_eq!(b.node, lp);
+                assert_eq!(b.label, "wait-irq");
+                assert!(b.reason.contains("widening"), "{}", b.reason);
+            }
+            WcecVerdict::Certified(c) => panic!("unsound: certified {c:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_loop_over_free_body_converges() {
+        let mut g = TaskGraph::new("t");
+        let free = g.block("nop", vec![]);
+        let lp = g.bounded_loop("spin", LoopBound::Unbounded, free);
+        let tail = g.block("tail", vec![op(2.0, 1.0, 4.0)]);
+        g.seq("root", vec![lp, tail]);
+        let c = cert(&g);
+        assert!((c.energy_mj_hi() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstructured_cycle_is_unknown_not_hang() {
+        let mut g = TaskGraph::new("t");
+        let a = g.seq("a", vec![]);
+        let b = g.seq("b", vec![a]);
+        // Rewire a to point back at b: a cycle no structured walk admits.
+        g.nodes[a.index()].kind = NodeKind::Seq(vec![b]);
+        g.set_root(b);
+        match analyze(&g).unwrap() {
+            WcecVerdict::Unknown(blocked) => {
+                assert!(blocked.reason.contains("back-edge"), "{}", blocked.reason);
+            }
+            WcecVerdict::Certified(c) => panic!("unsound: certified {c:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_iteration_floor_admits_skipping_the_loop() {
+        let mut g = TaskGraph::new("t");
+        let body = g.block("body", vec![op(1.0, 1.0, 1.0)]);
+        let lp = g.bounded_loop("retry", LoopBound::Range(0, 2), body);
+        g.set_root(lp);
+        let c = cert(&g);
+        assert_eq!(c.energy_mj_lo(), 0.0);
+        assert!((c.energy_mj_hi() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_graph_is_an_error_not_a_verdict() {
+        let g = TaskGraph::new("t");
+        assert!(analyze(&g).is_err());
+    }
+}

@@ -1,0 +1,426 @@
+//! The bounded task IR the worst-case analyzer runs over.
+//!
+//! A task is a flat arena of [`Node`]s — straight-line [`NodeKind::Block`]s
+//! of costed operations, composed by sequencing, two-way branches, and
+//! loops with declared iteration bounds — rooted at [`TaskGraph::root`].
+//! The arena form (indices, not boxes) keeps the wire encoding trivial
+//! (`culpeo_api::TaskGraphDto` is the same shape) and lets merge blocks be
+//! *shared*: a diamond CFG references its join block from both arms, and
+//! the analyzer memoizes per node, so joins cost one visit.
+//!
+//! Costs are intervals, not scalars. Every [`OpCost`] carries an energy
+//! band `[lo, hi]` in millijoules at the regulated output rail and a time
+//! band in milliseconds — calibrated ops (see [`crate::workloads`]) wrap
+//! a measured peripheral profile in a tolerance band, so the analyzer's
+//! certificate brackets calibration error instead of trusting a point
+//! estimate.
+
+use culpeo_units::{IntervalJ, Joules};
+
+/// Index of a node in its [`TaskGraph`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena slot this id names.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One costed operation: a peripheral transaction or an MCU-active span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpCost {
+    /// What the op is, for diagnostics ("ble-tx", "feature-extract", …).
+    pub name: String,
+    /// Output-rail energy band `[lo, hi]` in millijoules.
+    pub energy_mj: (f64, f64),
+    /// Duration band `[lo, hi]` in milliseconds.
+    pub time_ms: (f64, f64),
+    /// Worst-case instantaneous rail current in milliamps (drives the
+    /// ESR-dip `V_δ` when a consumer knows the buffer's resistance).
+    pub peak_ma: f64,
+}
+
+impl OpCost {
+    /// An op whose cost is known exactly (degenerate bands).
+    #[must_use]
+    pub fn exact(name: impl Into<String>, energy_mj: f64, time_ms: f64, peak_ma: f64) -> Self {
+        Self {
+            name: name.into(),
+            energy_mj: (energy_mj, energy_mj),
+            time_ms: (time_ms, time_ms),
+            peak_ma,
+        }
+    }
+
+    /// An op calibrated from a nominal measurement with a symmetric
+    /// relative tolerance: bands `[x·(1−tol), x·(1+tol)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol` is not in `[0, 1)`.
+    #[must_use]
+    pub fn calibrated(
+        name: impl Into<String>,
+        energy_mj: f64,
+        time_ms: f64,
+        peak_ma: f64,
+        tol: f64,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&tol), "tolerance must be in [0, 1)");
+        Self {
+            name: name.into(),
+            energy_mj: (energy_mj * (1.0 - tol), energy_mj * (1.0 + tol)),
+            time_ms: (time_ms * (1.0 - tol), time_ms * (1.0 + tol)),
+            peak_ma,
+        }
+    }
+
+    /// The energy band as a directed-rounding interval in joules.
+    #[must_use]
+    pub fn energy(&self) -> IntervalJ {
+        IntervalJ::new(
+            Joules::new((self.energy_mj.0 * 1e-3).max(0.0)),
+            Joules::new(self.energy_mj.1 * 1e-3),
+        )
+    }
+
+    fn validate(&self, node: NodeId, index: usize) -> Result<(), IrError> {
+        let band_ok =
+            |(lo, hi): (f64, f64)| lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi;
+        if self.name.is_empty() {
+            return Err(IrError::BadOp {
+                node,
+                op: index,
+                reason: "op name is empty".into(),
+            });
+        }
+        if !band_ok(self.energy_mj) {
+            return Err(IrError::BadOp {
+                node,
+                op: index,
+                reason: format!(
+                    "energy band must satisfy 0 ≤ lo ≤ hi and be finite; got [{}, {}] mJ",
+                    self.energy_mj.0, self.energy_mj.1
+                ),
+            });
+        }
+        if !band_ok(self.time_ms) || self.time_ms.1 <= 0.0 {
+            return Err(IrError::BadOp {
+                node,
+                op: index,
+                reason: format!(
+                    "time band must satisfy 0 ≤ lo ≤ hi, hi > 0, finite; got [{}, {}] ms",
+                    self.time_ms.0, self.time_ms.1
+                ),
+            });
+        }
+        if !self.peak_ma.is_finite() || self.peak_ma < 0.0 {
+            return Err(IrError::BadOp {
+                node,
+                op: index,
+                reason: format!(
+                    "peak current must be finite and ≥ 0; got {} mA",
+                    self.peak_ma
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Declared iteration bounds of a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopBound {
+    /// Exactly `n` iterations every execution.
+    Exact(u32),
+    /// Between `lo` and `hi` iterations, inclusive.
+    Range(u32, u32),
+    /// No static bound — the analyzer's widening fallback applies.
+    Unbounded,
+}
+
+impl LoopBound {
+    /// The `[lo, hi]` iteration interval, `None` when unbounded.
+    #[must_use]
+    pub fn bounds(self) -> Option<(u32, u32)> {
+        match self {
+            Self::Exact(n) => Some((n, n)),
+            Self::Range(lo, hi) => Some((lo, hi)),
+            Self::Unbounded => None,
+        }
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// A basic block: straight-line ops, executed in order.
+    Block(Vec<OpCost>),
+    /// Children executed in order.
+    Seq(Vec<NodeId>),
+    /// Two-way branch; control joins after either arm.
+    Branch(NodeId, NodeId),
+    /// A loop over `body` with declared `bound`.
+    Loop {
+        /// The loop body.
+        body: NodeId,
+        /// Declared iteration bounds.
+        bound: LoopBound,
+    },
+}
+
+/// One arena slot: a labelled [`NodeKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Diagnostic label ("frame-loop", "detect?", …).
+    pub label: String,
+    /// The node's structure.
+    pub kind: NodeKind,
+}
+
+/// A whole task: an arena of nodes plus the entry node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskGraph {
+    /// Task name; certificates and lints key on it.
+    pub name: String,
+    /// The node arena.
+    pub nodes: Vec<Node>,
+    /// Entry node.
+    pub root: NodeId,
+}
+
+impl TaskGraph {
+    /// An empty graph; add nodes with the builder methods, then
+    /// [`Self::set_root`]. The root defaults to the *last* node pushed,
+    /// which is the natural top-level composition order.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+            root: NodeId(0),
+        }
+    }
+
+    fn push(&mut self, label: impl Into<String>, kind: NodeKind) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("arena fits in u32"));
+        self.nodes.push(Node {
+            label: label.into(),
+            kind,
+        });
+        self.root = id;
+        id
+    }
+
+    /// Adds a basic block of ops.
+    pub fn block(&mut self, label: impl Into<String>, ops: Vec<OpCost>) -> NodeId {
+        self.push(label, NodeKind::Block(ops))
+    }
+
+    /// Adds a sequence node.
+    pub fn seq(&mut self, label: impl Into<String>, children: Vec<NodeId>) -> NodeId {
+        self.push(label, NodeKind::Seq(children))
+    }
+
+    /// Adds a two-way branch.
+    pub fn branch(&mut self, label: impl Into<String>, then_: NodeId, else_: NodeId) -> NodeId {
+        self.push(label, NodeKind::Branch(then_, else_))
+    }
+
+    /// Adds a loop with declared bounds.
+    pub fn bounded_loop(
+        &mut self,
+        label: impl Into<String>,
+        bound: LoopBound,
+        body: NodeId,
+    ) -> NodeId {
+        self.push(label, NodeKind::Loop { body, bound })
+    }
+
+    /// Overrides the entry node.
+    pub fn set_root(&mut self, id: NodeId) {
+        self.root = id;
+    }
+
+    /// The node at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (validated graphs never do).
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Every child id a node references.
+    #[must_use]
+    pub fn children(&self, id: NodeId) -> Vec<NodeId> {
+        match &self.node(id).kind {
+            NodeKind::Block(_) => Vec::new(),
+            NodeKind::Seq(c) => c.clone(),
+            NodeKind::Branch(t, e) => vec![*t, *e],
+            NodeKind::Loop { body, .. } => vec![*body],
+        }
+    }
+
+    /// Structural validation: non-empty, every referenced id in range,
+    /// every op's bands well-formed, loop ranges ordered.
+    ///
+    /// # Errors
+    ///
+    /// The first structural defect found.
+    pub fn validate(&self) -> Result<(), IrError> {
+        if self.name.is_empty() {
+            return Err(IrError::Unnamed);
+        }
+        if self.nodes.is_empty() {
+            return Err(IrError::Empty);
+        }
+        let in_range = |id: NodeId| id.index() < self.nodes.len();
+        if !in_range(self.root) {
+            return Err(IrError::DanglingNode {
+                node: self.root,
+                child: self.root,
+            });
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(u32::try_from(i).expect("arena fits in u32"));
+            match &node.kind {
+                NodeKind::Block(ops) => {
+                    for (j, op) in ops.iter().enumerate() {
+                        op.validate(id, j)?;
+                    }
+                }
+                NodeKind::Loop {
+                    bound: LoopBound::Range(lo, hi),
+                    ..
+                } if lo > hi => {
+                    return Err(IrError::BadBound {
+                        node: id,
+                        lo: *lo,
+                        hi: *hi,
+                    });
+                }
+                _ => {}
+            }
+            for child in self.children(id) {
+                if !in_range(child) {
+                    return Err(IrError::DanglingNode { node: id, child });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A structural defect in a [`TaskGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// The graph has no name.
+    Unnamed,
+    /// The graph has no nodes.
+    Empty,
+    /// A node references an id outside the arena.
+    DanglingNode {
+        /// The referencing node (equal to `child` when the root dangles).
+        node: NodeId,
+        /// The out-of-range id.
+        child: NodeId,
+    },
+    /// A loop's declared range is inverted.
+    BadBound {
+        /// The loop node.
+        node: NodeId,
+        /// Declared lower bound.
+        lo: u32,
+        /// Declared upper bound.
+        hi: u32,
+    },
+    /// An op's cost bands are malformed.
+    BadOp {
+        /// The owning block.
+        node: NodeId,
+        /// Index of the op within the block.
+        op: usize,
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for IrError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Unnamed => write!(f, "task graph has no name"),
+            Self::Empty => write!(f, "task graph has no nodes"),
+            Self::DanglingNode { node, child } => {
+                write!(
+                    f,
+                    "node {} references out-of-range node {}",
+                    node.0, child.0
+                )
+            }
+            Self::BadBound { node, lo, hi } => {
+                write!(
+                    f,
+                    "loop node {} declares inverted bounds [{lo}, {hi}]",
+                    node.0
+                )
+            }
+            Self::BadOp { node, op, reason } => {
+                write!(f, "node {} op {op}: {reason}", node.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_and_validates() {
+        let mut g = TaskGraph::new("t");
+        let a = g.block("a", vec![OpCost::exact("x", 1.0, 2.0, 5.0)]);
+        let b = g.block("b", vec![]);
+        let br = g.branch("a-or-b", a, b);
+        let lp = g.bounded_loop("spin", LoopBound::Exact(3), br);
+        let root = g.seq("root", vec![lp, a]);
+        assert_eq!(g.root, root);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.children(br), vec![a, b]);
+    }
+
+    #[test]
+    fn dangling_child_is_rejected() {
+        let mut g = TaskGraph::new("t");
+        let a = g.block("a", vec![]);
+        g.seq("root", vec![a, NodeId(99)]);
+        assert!(matches!(
+            g.validate(),
+            Err(IrError::DanglingNode {
+                child: NodeId(99),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn malformed_op_band_is_rejected() {
+        let mut g = TaskGraph::new("t");
+        let mut op = OpCost::exact("x", 1.0, 2.0, 5.0);
+        op.energy_mj = (2.0, 1.0);
+        g.block("a", vec![op]);
+        assert!(matches!(g.validate(), Err(IrError::BadOp { .. })));
+    }
+
+    #[test]
+    fn calibrated_bands_bracket_the_nominal() {
+        let op = OpCost::calibrated("x", 10.0, 4.0, 25.0, 0.05);
+        assert!(op.energy_mj.0 < 10.0 && 10.0 < op.energy_mj.1);
+        assert!(op.energy().lo().get() <= 10.0e-3);
+        assert!(op.energy().hi().get() >= 10.0e-3);
+    }
+}

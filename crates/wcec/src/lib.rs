@@ -1,0 +1,48 @@
+//! ETAP-style static worst-case energy analysis (`culpeo wcec`).
+//!
+//! Everything downstream of Theorem 1 — the interval verifier, the
+//! scheduler's threshold derivation, the daemon's admission surfaces —
+//! trusts the *declared* per-launch `(E, V_δ)`. Nothing in the stack
+//! derives those figures from what a task actually does; a hand-declared
+//! energy that undershoots the real draw silently voids the proof. ETAP
+//! (Erata et al.) shows the missing piece is computable: worst-case
+//! energy of an intermittent program falls out of a static analysis over
+//! a costed program model.
+//!
+//! This crate is that analysis, in three movements:
+//!
+//! * [`ir`] — a bounded task IR: basic blocks of costed ops (energy/time
+//!   *bands*, not scalars), sequencing, branches, and loops with declared
+//!   iteration bounds, in a flat arena that doubles as the wire shape;
+//! * [`interp`] — the path-sensitive analyzer: directed-rounding interval
+//!   propagation through the CFG ([`culpeo_units::IntervalJ`]), symbolic
+//!   loop-bound multiplication, lattice joins at merges, and a widening
+//!   fallback that answers `Unknown` (naming the blocking node) for
+//!   unbounded loops instead of inventing a finite number;
+//! * [`workloads`] — Table III task models (gesture / BLE / MNIST) whose
+//!   op costs are calibrated against the `culpeo-loadgen` peripheral
+//!   profiles, each wrapped in an honest tolerance band.
+//!
+//! The product is a [`interp::Certificate`]: a sound worst-case
+//! energy/latency bracket per task. Downstream, `culpeo-analyze` lints
+//! declared-vs-derived mismatches (C050–C054), `culpeo-verify` accepts
+//! certificates in place of declared energies, and `culpeo-sched`'s
+//! admission test gates plans on `WCEC ≤ harvest credit`. Soundness is
+//! not asserted but tested: [`lower`] turns oracle-chosen concrete paths
+//! into powersim load profiles, and the workspace battery checks every
+//! simulated path's metered consumption stays under the certificate.
+
+#![forbid(unsafe_code)]
+
+pub mod interp;
+pub mod ir;
+pub mod lower;
+pub mod wire;
+pub mod workloads;
+
+pub use interp::{analyze, Blocked, Certificate, WcecVerdict};
+pub use ir::{IrError, LoopBound, Node, NodeId, NodeKind, OpCost, TaskGraph};
+pub use lower::{lower_path, LoweredPath, PathOracle};
+pub use wire::{
+    certificate_dto, certificates_for_plan, esr_max_ohms, from_dto, run_graphs, to_dto,
+};

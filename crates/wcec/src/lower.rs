@@ -1,0 +1,253 @@
+//! Lowering a concrete path through a task graph to a powersim load
+//! profile — the ground-truth side of the soundness battery.
+//!
+//! The analyzer's certificate claims to bracket *every* admissible
+//! execution. To test that against the plant rather than against the
+//! analyzer's own arithmetic, [`lower_path`] walks the graph resolving
+//! each branch and loop-iteration choice from a seeded [`PathOracle`] and
+//! sampling each op's concrete cost *within its declared band*, then
+//! emits the path as a [`LoadProfile`] whose output-rail energy equals the
+//! sampled total. Simulating that profile through `culpeo-powersim` and
+//! metering the ledger's `delivered` energy gives an independent measured
+//! consumption the static `hi` endpoint must dominate.
+
+use culpeo_loadgen::LoadProfile;
+use culpeo_units::{Amps, Seconds, Volts};
+
+use crate::interp::Blocked;
+use crate::ir::{NodeId, NodeKind, TaskGraph};
+
+/// A deterministic decision stream: which branch arm, how many loop
+/// iterations, where in each op's band the concrete cost lands.
+#[derive(Debug, Clone)]
+pub struct PathOracle {
+    state: u64,
+}
+
+impl PathOracle {
+    /// An oracle seeded for one path; equal seeds replay the same path.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw word (splitmix64).
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A branch decision.
+    pub fn flip(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    /// A uniform pick in `0..n` (`0` when `n == 0`).
+    pub fn pick(&mut self, n: u32) -> u32 {
+        if n == 0 {
+            0
+        } else {
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                (self.next() % u64::from(n)) as u32
+            }
+        }
+    }
+
+    /// A uniform fraction in `[0, 1)`.
+    pub fn fraction(&mut self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            (self.next() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// One concrete path, lowered.
+#[derive(Debug, Clone)]
+pub struct LoweredPath {
+    /// The path as a plant-ready load profile.
+    pub profile: LoadProfile,
+    /// Sampled output-rail energy of the path, millijoules. The profile
+    /// integrates to exactly this at the lowering voltage.
+    pub nominal_mj: f64,
+    /// Sampled duration, milliseconds.
+    pub nominal_ms: f64,
+}
+
+/// Lowers one oracle-chosen path through `graph` at rail voltage `v_out`.
+///
+/// Every op is lowered to a constant-current hold whose energy is the
+/// oracle's sample inside the op's declared band, so by construction the
+/// path's nominal energy lies inside any *correct* certificate — the
+/// soundness battery then checks the analyzer actually delivers one, with
+/// the plant in the loop.
+///
+/// # Errors
+///
+/// [`Blocked`] on unbounded loops or unstructured cycles — exactly the
+/// graphs the analyzer refuses to certify.
+pub fn lower_path(
+    graph: &TaskGraph,
+    v_out: Volts,
+    oracle: &mut PathOracle,
+) -> Result<LoweredPath, Blocked> {
+    let mut segments: Vec<(f64, f64)> = Vec::new(); // (amps, seconds)
+    let mut depth = 0usize;
+    walk(graph, graph.root, v_out, oracle, &mut segments, &mut depth)?;
+    let mut builder = LoadProfile::builder(graph.name.clone());
+    let mut e_mj = 0.0;
+    let mut t_ms = 0.0;
+    for (amps, secs) in &segments {
+        builder = builder.hold(Amps::new(*amps), Seconds::new(*secs));
+        e_mj += amps * v_out.get() * secs * 1e3;
+        t_ms += secs * 1e3;
+    }
+    Ok(LoweredPath {
+        profile: builder.build(),
+        nominal_mj: e_mj,
+        nominal_ms: t_ms,
+    })
+}
+
+fn walk(
+    graph: &TaskGraph,
+    id: NodeId,
+    v_out: Volts,
+    oracle: &mut PathOracle,
+    segments: &mut Vec<(f64, f64)>,
+    depth: &mut usize,
+) -> Result<(), Blocked> {
+    // A concrete walk cannot detect sharing-vs-cycle by a visiting set
+    // (revisiting a shared merge block is legal), so bound the dynamic
+    // nesting depth instead: any structured graph stays far below it.
+    *depth += 1;
+    if *depth > 10_000 {
+        return Err(Blocked {
+            node: id,
+            label: graph.node(id).label.clone(),
+            reason: "path walk exceeded depth bound; the graph likely cycles".into(),
+        });
+    }
+    let result = walk_kind(graph, id, v_out, oracle, segments, depth);
+    *depth -= 1;
+    result
+}
+
+fn walk_kind(
+    graph: &TaskGraph,
+    id: NodeId,
+    v_out: Volts,
+    oracle: &mut PathOracle,
+    segments: &mut Vec<(f64, f64)>,
+    depth: &mut usize,
+) -> Result<(), Blocked> {
+    let node = graph.node(id);
+    match &node.kind {
+        NodeKind::Block(ops) => {
+            for op in ops {
+                let (e_lo, e_hi) = op.energy_mj;
+                let (t_lo, t_hi) = op.time_ms;
+                let e_mj = e_lo + oracle.fraction() * (e_hi - e_lo);
+                let t_ms = (t_lo + oracle.fraction() * (t_hi - t_lo)).max(1e-6);
+                let secs = t_ms * 1e-3;
+                let amps = e_mj * 1e-3 / (v_out.get() * secs);
+                segments.push((amps, secs));
+            }
+            Ok(())
+        }
+        NodeKind::Seq(children) => {
+            for child in children {
+                walk(graph, *child, v_out, oracle, segments, depth)?;
+            }
+            Ok(())
+        }
+        NodeKind::Branch(then_, else_) => {
+            let chosen = if oracle.flip() { *then_ } else { *else_ };
+            walk(graph, chosen, v_out, oracle, segments, depth)
+        }
+        NodeKind::Loop { body, bound } => match bound.bounds() {
+            Some((lo, hi)) => {
+                let n = lo + oracle.pick(hi - lo + 1);
+                for _ in 0..n {
+                    walk(graph, *body, v_out, oracle, segments, depth)?;
+                }
+                Ok(())
+            }
+            None => Err(Blocked {
+                node: id,
+                label: node.label.clone(),
+                reason: "cannot lower an unbounded loop to a finite profile".into(),
+            }),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{analyze, WcecVerdict};
+    use crate::ir::{LoopBound, OpCost};
+    use crate::workloads;
+
+    const V_OUT: Volts = Volts::new(2.55);
+
+    #[test]
+    fn lowered_nominal_stays_inside_the_certificate() {
+        for graph in workloads::table3(V_OUT) {
+            let cert = match analyze(&graph).unwrap() {
+                WcecVerdict::Certified(c) => c,
+                WcecVerdict::Unknown(b) => panic!("{b}"),
+            };
+            for seed in 0..64u64 {
+                let mut oracle = PathOracle::new(seed);
+                let path = lower_path(&graph, V_OUT, &mut oracle).unwrap();
+                assert!(
+                    path.nominal_mj <= cert.energy_mj_hi() + 1e-9,
+                    "{}: path {seed} nominal {} mJ exceeds certified hi {} mJ",
+                    graph.name,
+                    path.nominal_mj,
+                    cert.energy_mj_hi()
+                );
+                assert!(path.nominal_mj >= cert.energy_mj_lo() - 1e-9);
+                assert!(path.nominal_ms * 1e-3 <= cert.time_s.1 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_integrates_to_the_sampled_energy() {
+        let graph = workloads::ble_report(V_OUT);
+        let mut oracle = PathOracle::new(7);
+        let path = lower_path(&graph, V_OUT, &mut oracle).unwrap();
+        let integrated = path.profile.output_energy(V_OUT).get() * 1e3;
+        assert!(
+            (integrated - path.nominal_mj).abs() < 1e-6,
+            "integrated {integrated} vs nominal {}",
+            path.nominal_mj
+        );
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_path() {
+        let graph = workloads::mnist(V_OUT);
+        let a = lower_path(&graph, V_OUT, &mut PathOracle::new(42)).unwrap();
+        let b = lower_path(&graph, V_OUT, &mut PathOracle::new(42)).unwrap();
+        assert_eq!(a.nominal_mj, b.nominal_mj);
+        assert_eq!(a.profile.segments().len(), b.profile.segments().len());
+    }
+
+    #[test]
+    fn unbounded_loop_refuses_to_lower() {
+        let mut g = TaskGraph::new("t");
+        let body = g.block("poll", vec![OpCost::exact("p", 0.1, 0.5, 1.0)]);
+        let lp = g.bounded_loop("wait", LoopBound::Unbounded, body);
+        g.set_root(lp);
+        assert!(lower_path(&g, V_OUT, &mut PathOracle::new(0)).is_err());
+    }
+}

@@ -1,0 +1,363 @@
+//! Wire conversions: in-memory IR/certificates ⇄ `culpeo-api` DTOs, plus
+//! the shared request runner the CLI and daemon both call.
+
+use culpeo::PowerSystemModel;
+use culpeo_api::{CertificateDto, NodeDto, OpDto, TaskGraphDto, WcecResponse, WcecTaskRow};
+
+use crate::interp::{analyze, Certificate, WcecVerdict};
+use crate::ir::{IrError, LoopBound, NodeId, NodeKind, OpCost, TaskGraph};
+
+/// Renders a graph in wire form.
+#[must_use]
+pub fn to_dto(graph: &TaskGraph) -> TaskGraphDto {
+    TaskGraphDto {
+        name: graph.name.clone(),
+        root: graph.root.0,
+        nodes: graph
+            .nodes
+            .iter()
+            .map(|node| {
+                let (kind, ops, children, bound_lo, bound_hi) = match &node.kind {
+                    NodeKind::Block(ops) => (
+                        "block",
+                        Some(
+                            ops.iter()
+                                .map(|op| OpDto {
+                                    name: op.name.clone(),
+                                    energy_mj_lo: op.energy_mj.0,
+                                    energy_mj_hi: op.energy_mj.1,
+                                    time_ms_lo: op.time_ms.0,
+                                    time_ms_hi: op.time_ms.1,
+                                    peak_ma: op.peak_ma,
+                                })
+                                .collect(),
+                        ),
+                        None,
+                        None,
+                        None,
+                    ),
+                    NodeKind::Seq(c) => (
+                        "seq",
+                        None,
+                        Some(c.iter().map(|id| id.0).collect()),
+                        None,
+                        None,
+                    ),
+                    NodeKind::Branch(t, e) => ("branch", None, Some(vec![t.0, e.0]), None, None),
+                    NodeKind::Loop { body, bound } => {
+                        let (lo, hi) = match bound.bounds() {
+                            Some((lo, hi)) => (Some(lo), Some(hi)),
+                            None => (None, None),
+                        };
+                        ("loop", None, Some(vec![body.0]), lo, hi)
+                    }
+                };
+                NodeDto {
+                    label: node.label.clone(),
+                    kind: kind.to_string(),
+                    ops,
+                    children,
+                    bound_lo,
+                    bound_hi,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Rebuilds a graph from wire form, then validates it structurally.
+///
+/// # Errors
+///
+/// [`IrError`] on an unknown `kind`, a payload/kind mismatch, or any
+/// structural defect [`TaskGraph::validate`] finds.
+pub fn from_dto(dto: &TaskGraphDto) -> Result<TaskGraph, IrError> {
+    let mut graph = TaskGraph::new(dto.name.clone());
+    for (i, node) in dto.nodes.iter().enumerate() {
+        let id = NodeId(u32::try_from(i).expect("arena fits in u32"));
+        let children: Vec<NodeId> = node
+            .children
+            .clone()
+            .unwrap_or_default()
+            .into_iter()
+            .map(NodeId)
+            .collect();
+        let kind = match node.kind.as_str() {
+            "block" => NodeKind::Block(
+                node.ops
+                    .clone()
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(|op| OpCost {
+                        name: op.name,
+                        energy_mj: (op.energy_mj_lo, op.energy_mj_hi),
+                        time_ms: (op.time_ms_lo, op.time_ms_hi),
+                        peak_ma: op.peak_ma,
+                    })
+                    .collect(),
+            ),
+            "seq" => NodeKind::Seq(children),
+            "branch" => match children.as_slice() {
+                [t, e] => NodeKind::Branch(*t, *e),
+                _ => {
+                    return Err(IrError::BadOp {
+                        node: id,
+                        op: 0,
+                        reason: format!(
+                            "branch node needs exactly two children, got {}",
+                            children.len()
+                        ),
+                    })
+                }
+            },
+            "loop" => match children.as_slice() {
+                [body] => NodeKind::Loop {
+                    body: *body,
+                    bound: match (node.bound_lo, node.bound_hi) {
+                        (None, None) => LoopBound::Unbounded,
+                        (lo, hi) => {
+                            let lo = lo.unwrap_or(0);
+                            let hi = hi.unwrap_or(lo);
+                            if lo == hi {
+                                LoopBound::Exact(lo)
+                            } else {
+                                LoopBound::Range(lo, hi)
+                            }
+                        }
+                    },
+                },
+                _ => {
+                    return Err(IrError::BadOp {
+                        node: id,
+                        op: 0,
+                        reason: format!(
+                            "loop node needs exactly one child, got {}",
+                            children.len()
+                        ),
+                    })
+                }
+            },
+            other => {
+                return Err(IrError::BadOp {
+                    node: id,
+                    op: 0,
+                    reason: format!("unknown node kind `{other}` (expected block/seq/branch/loop)"),
+                })
+            }
+        };
+        graph.nodes.push(crate::ir::Node {
+            label: node.label.clone(),
+            kind,
+        });
+    }
+    graph.root = NodeId(dto.root);
+    graph.validate()?;
+    Ok(graph)
+}
+
+/// The largest resistance on the model's measured ESR curve — the figure
+/// the worst-case dip `V_δ = I_peak · R_max` charges against.
+#[must_use]
+pub fn esr_max_ohms(model: &PowerSystemModel) -> f64 {
+    model
+        .esr_curve()
+        .points()
+        .iter()
+        .map(|&(_, r)| r.get())
+        .fold(0.0, f64::max)
+}
+
+/// Renders a certificate in wire form, deriving `V_δ` when a model is in
+/// hand.
+#[must_use]
+pub fn certificate_dto(cert: &Certificate, model: Option<&PowerSystemModel>) -> CertificateDto {
+    CertificateDto {
+        task: cert.task.clone(),
+        energy_mj_lo: cert.energy_mj_lo(),
+        energy_mj_hi: cert.energy_mj_hi(),
+        time_s_lo: cert.time_s.0,
+        time_s_hi: cert.time_s.1,
+        peak_ma: cert.peak_ma,
+        v_delta_v: model.map(|m| cert.v_delta_at(esr_max_ohms(m))),
+        paths: cert.paths,
+        loops: cert.loops,
+    }
+}
+
+/// Analyzes a batch of wire-form graphs and assembles the response the
+/// CLI and `POST /v1/wcec` both return.
+///
+/// # Errors
+///
+/// [`IrError`] when any graph fails to decode or validate; per-task
+/// `Unknown` verdicts are rows, not errors.
+pub fn run_graphs(
+    model: Option<&PowerSystemModel>,
+    tasks: &[TaskGraphDto],
+) -> Result<WcecResponse, IrError> {
+    let mut rows = Vec::with_capacity(tasks.len());
+    let mut certified = 0u64;
+    let mut unknown = 0u64;
+    for dto in tasks {
+        let graph = from_dto(dto)?;
+        match analyze(&graph)? {
+            WcecVerdict::Certified(cert) => {
+                certified += 1;
+                rows.push(WcecTaskRow {
+                    task: graph.name,
+                    status: "certified".to_string(),
+                    certificate: Some(certificate_dto(&cert, model)),
+                    blocking: None,
+                    reason: None,
+                });
+            }
+            WcecVerdict::Unknown(blocked) => {
+                unknown += 1;
+                rows.push(WcecTaskRow {
+                    task: graph.name,
+                    status: "unknown".to_string(),
+                    certificate: None,
+                    blocking: Some(blocked.label),
+                    reason: Some(blocked.reason),
+                });
+            }
+        }
+    }
+    Ok(WcecResponse {
+        schema_version: culpeo_api::SCHEMA_VERSION,
+        tasks: rows,
+        certified,
+        unknown,
+        exit_code: u32::from(unknown > 0),
+    })
+}
+
+/// Derives certificates for every launch in `plan` whose task name maps
+/// to a known workload model (see [`crate::workloads::named`]), in wire
+/// form with `V_δ` charged against `model`'s worst-case ESR. Tasks with
+/// no model, or whose analysis is `Unknown`, are skipped — certificate
+/// substitution is strictly opt-in by name.
+#[must_use]
+pub fn certificates_for_plan(
+    plan: &culpeo_api::PlanSpec,
+    model: &PowerSystemModel,
+) -> Vec<CertificateDto> {
+    let mut certs: Vec<CertificateDto> = Vec::new();
+    for launch in &plan.launches {
+        if certs.iter().any(|c| c.task == launch.task) {
+            continue;
+        }
+        let Some(graph) = crate::workloads::named(&launch.task, model.v_out()) else {
+            continue;
+        };
+        if let Ok(WcecVerdict::Certified(cert)) = analyze(&graph) {
+            certs.push(certificate_dto(&cert, Some(model)));
+        }
+    }
+    certs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use culpeo_units::Volts;
+
+    const V_OUT: Volts = Volts::new(2.55);
+
+    #[test]
+    fn dto_roundtrip_preserves_the_graph() {
+        for graph in workloads::table3(V_OUT) {
+            let back = from_dto(&to_dto(&graph)).unwrap();
+            assert_eq!(back, graph);
+        }
+    }
+
+    #[test]
+    fn unbounded_loop_survives_the_roundtrip() {
+        let mut g = TaskGraph::new("t");
+        let body = g.block("poll", vec![OpCost::exact("p", 0.1, 0.5, 1.0)]);
+        g.bounded_loop("wait", LoopBound::Unbounded, body);
+        let back = from_dto(&to_dto(&g)).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn run_graphs_counts_and_exit_codes() {
+        let mut unknown = TaskGraph::new("spin");
+        let body = unknown.block("poll", vec![OpCost::exact("p", 0.1, 0.5, 1.0)]);
+        unknown.bounded_loop("wait", LoopBound::Unbounded, body);
+        let dtos = vec![to_dto(&workloads::gesture(V_OUT)), to_dto(&unknown)];
+        let resp = run_graphs(None, &dtos).unwrap();
+        assert_eq!(resp.certified, 1);
+        assert_eq!(resp.unknown, 1);
+        assert_eq!(resp.exit_code, 1);
+        assert_eq!(resp.tasks[0].status, "certified");
+        assert!(resp.tasks[1].blocking.is_some());
+        assert!(resp.tasks[0]
+            .certificate
+            .as_ref()
+            .unwrap()
+            .v_delta_v
+            .is_none());
+    }
+
+    #[test]
+    fn bad_kind_is_a_decode_error() {
+        let dto = TaskGraphDto {
+            name: "t".to_string(),
+            root: 0,
+            nodes: vec![NodeDto {
+                label: "x".to_string(),
+                kind: "goto".to_string(),
+                ops: None,
+                children: None,
+                bound_lo: None,
+                bound_hi: None,
+            }],
+        };
+        assert!(from_dto(&dto).is_err());
+    }
+
+    /// Drift gate for `examples/wcec_tasks.json`: the committed example
+    /// file is exactly the Table III roster in wire form (the README's
+    /// `culpeo wcec` quick-start feeds it to the CLI). Regenerate with
+    /// `CULPEO_REGEN_EXAMPLES=1 cargo test -p culpeo-wcec`.
+    #[test]
+    fn example_tasks_file_is_in_sync() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/wcec_tasks.json"
+        );
+        let req = culpeo_api::WcecRequest {
+            schema_version: Some(culpeo_api::SCHEMA_VERSION),
+            spec: None,
+            tasks: workloads::table3(V_OUT).iter().map(to_dto).collect(),
+        };
+        let mut want = serde_json::to_string_pretty(
+            &serde_json::parse_value_str(&serde_json::to_string(&req).unwrap()).unwrap(),
+        )
+        .unwrap();
+        want.push('\n');
+        if std::env::var_os("CULPEO_REGEN_EXAMPLES").is_some() {
+            std::fs::write(path, &want).unwrap();
+        }
+        let got = std::fs::read_to_string(path)
+            .expect("examples/wcec_tasks.json exists (CULPEO_REGEN_EXAMPLES=1 regenerates it)");
+        assert_eq!(
+            got, want,
+            "examples/wcec_tasks.json drifted from the roster"
+        );
+    }
+
+    #[test]
+    fn certificates_for_plan_maps_known_names_only() {
+        let model = culpeo::PowerSystemModel::capybara();
+        let mut plan = culpeo_api::PlanSpec::verified_example();
+        plan.launches[0].task = "gesture".to_string();
+        let certs = certificates_for_plan(&plan, &model);
+        assert_eq!(certs.len(), 1);
+        assert_eq!(certs[0].task, "gesture");
+        assert!(certs[0].v_delta_v.unwrap() > 0.0);
+    }
+}

@@ -12,6 +12,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
+# Rendered API docs are part of the deliverable: broken intra-doc links
+# and malformed doc comments fail the gate, not just the nightly build.
+echo "== cargo doc --workspace --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
@@ -53,5 +58,8 @@ scripts/race.sh
 
 echo "== scripts/store.sh"
 scripts/store.sh
+
+echo "== scripts/wcec.sh"
+scripts/wcec.sh
 
 echo "lint: clean"

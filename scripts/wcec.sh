@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# WCEC gate: the static worst-case-energy analyzer's two public claims,
+# proven from outside with the real binaries:
+#   1. determinism — the wcec battery report (certificates + the
+#      admission-gate scenario) is byte-identical at 1, 2, and 8
+#      threads; a diff means wall-clock, thread ids, or map order leaked
+#      into a certificate;
+#   2. exit-code contract — `culpeo wcec` exits 0 when every task
+#      certifies, 1 when any task is uncertifiable, 2 on usage errors.
+# Exits non-zero if any battery case misses its pinned verdict, the
+# admission gate loses a leg, or either claim breaks.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=${CULPEO_BIN:-target/release/culpeo}
+BATTERY=${CULPEO_WCEC_BATTERY:-target/release/wcec_battery}
+if [[ ! -x "$BIN" ]]; then
+    echo "== building $BIN"
+    cargo build --release -p culpeo-cli
+fi
+if [[ ! -x "$BATTERY" ]]; then
+    echo "== building $BATTERY"
+    cargo build --release -p culpeo-bench --bin wcec_battery
+fi
+
+WORK=$(mktemp -d)
+cleanup() { rm -rf "$WORK"; }
+trap cleanup EXIT
+
+# The thread-independent projection of the battery artifact: everything
+# except the telemetry block's wall-clock readings ("seconds",
+# "total_seconds") and its thread count, which differs across
+# CULPEO_THREADS by construction. Every certificate value, verdict, and
+# admission number must survive byte-for-byte.
+report() {
+    grep -vE '"(seconds|total_seconds|threads)":' "$1"
+}
+
+# 1. Same-seed byte-identity of results/wcec_battery.json across thread
+# counts. The battery exits non-zero on any missed pin, which trips
+# `set -e` here.
+for threads in 1 2 8; do
+    echo "== wcec_battery (CULPEO_THREADS=$threads)"
+    CULPEO_THREADS=$threads "$BATTERY" >/dev/null
+    report results/wcec_battery.json >"$WORK/battery.$threads.json"
+done
+for threads in 2 8; do
+    if ! cmp -s "$WORK/battery.1.json" "$WORK/battery.$threads.json"; then
+        echo "wcec: battery report differs between 1 and $threads threads" >&2
+        diff "$WORK/battery.1.json" "$WORK/battery.$threads.json" >&2 || true
+        exit 1
+    fi
+done
+
+# 2. CLI exit-code contract. All three Table III workloads certify …
+echo "== culpeo wcec (all certified -> exit 0)"
+"$BIN" wcec examples/capybara_spec.json --tasks examples/wcec_tasks.json
+
+# … an unbounded loop is uncertifiable (exit 1, still a report) …
+cat >"$WORK/spin.json" <<'EOF'
+{
+  "schema_version": 2,
+  "tasks": [
+    {
+      "name": "spin",
+      "root": 1,
+      "nodes": [
+        {
+          "label": "poll",
+          "kind": "block",
+          "ops": [
+            {
+              "name": "poll",
+              "energy_mj_lo": 0.05,
+              "energy_mj_hi": 0.05,
+              "time_ms_lo": 0.5,
+              "time_ms_hi": 0.5,
+              "peak_ma": 2.0
+            }
+          ]
+        },
+        { "label": "spin", "kind": "loop", "children": [0] }
+      ]
+    }
+  ]
+}
+EOF
+echo "== culpeo wcec (unbounded loop -> exit 1)"
+set +e
+"$BIN" wcec examples/capybara_spec.json --tasks "$WORK/spin.json" >"$WORK/spin.out"
+code=$?
+set -e
+if [[ $code -ne 1 ]]; then
+    echo "wcec: uncertifiable task exited $code, want 1" >&2
+    cat "$WORK/spin.out" >&2
+    exit 1
+fi
+if ! grep -q "unknown" "$WORK/spin.out"; then
+    echo "wcec: uncertifiable task's report names no unknown row" >&2
+    cat "$WORK/spin.out" >&2
+    exit 1
+fi
+
+# … and usage errors exit 2, not masquerading as verdicts.
+echo "== culpeo wcec (usage error -> exit 2)"
+set +e
+"$BIN" wcec examples/capybara_spec.json >/dev/null 2>&1
+code=$?
+set -e
+if [[ $code -ne 2 ]]; then
+    echo "wcec: a usage error exited $code, want 2" >&2
+    exit 1
+fi
+
+echo "wcec: deterministic and green"

@@ -1,0 +1,254 @@
+//! Soundness battery for the WCEC analyzer: `culpeo-wcec`'s certificates
+//! must dominate what the simulated plant *actually* consumes, not just
+//! the analyzer's own arithmetic.
+//!
+//! Three legs:
+//!
+//! * **Certificates upper-bound the plant** — property-based: random
+//!   bounded task graphs are analyzed, then concrete paths through them
+//!   (branch arms, loop trip counts, and per-op costs all resolved by a
+//!   seeded oracle) are lowered to load profiles and simulated through
+//!   `culpeo-powersim`; the ledger's metered `delivered` energy must stay
+//!   at or below the static `hi` endpoint on every explored path.
+//! * **Table III certifies** — the gesture/BLE/MNIST workload models all
+//!   get finite certificates with a positive worst-case ESR dip.
+//! * **Admission beats declared verification** — the acceptance scenario:
+//!   a plan whose declared `(E, V_δ)` figures *prove*, but whose
+//!   certificates make the WCEC admission test reject — and the
+//!   rejection is justified end-to-end by a certificate-substituted
+//!   refutation whose counterexample browns the plant out on replay.
+
+use culpeo::PowerSystemModel;
+use culpeo_powersim::{Harvester, RunConfig};
+use culpeo_sched::{ArenaPolicy, WcecAdmission};
+use culpeo_units::{Seconds, Watts};
+use culpeo_verify::{
+    plant_from_model, replay_on, verify_certified, verify_with_model, Verdict, VerifyConfig,
+};
+use culpeo_wcec::{
+    analyze, certificates_for_plan, lower_path, workloads, LoopBound, OpCost, PathOracle,
+    TaskGraph, WcecVerdict,
+};
+use proptest::prelude::*;
+
+fn model() -> PowerSystemModel {
+    PowerSystemModel::capybara()
+}
+
+/// Adds a random basic block whose op cost bands are small enough that
+/// even the deepest generated nesting stays far inside the capybara
+/// buffer's usable swing (so the simulated path completes and the
+/// delivered-energy meter is exercised in full).
+fn gen_block(g: &mut TaskGraph, o: &mut PathOracle, n: &mut u32) -> culpeo_wcec::NodeId {
+    *n += 1;
+    let ops = (0..1 + o.pick(2))
+        .map(|i| {
+            let e_lo = 0.01 + o.fraction() * 0.2;
+            let t_lo = 2.0 + o.fraction() * 8.0;
+            OpCost {
+                name: format!("op{i}"),
+                energy_mj: (e_lo, e_lo + o.fraction() * 0.15),
+                time_ms: (t_lo, t_lo + o.fraction() * 5.0),
+                peak_ma: 1.0 + o.fraction() * 14.0,
+            }
+        })
+        .collect();
+    g.block(format!("n{n}"), ops)
+}
+
+/// Adds a random subtree: nesting depth ≤ `depth`, loop trip counts ≤ 2,
+/// so path enumeration stays cheap and worst-case totals stay simulable.
+fn gen_shape(
+    g: &mut TaskGraph,
+    o: &mut PathOracle,
+    depth: u32,
+    n: &mut u32,
+) -> culpeo_wcec::NodeId {
+    if depth == 0 {
+        return gen_block(g, o, n);
+    }
+    match o.pick(4) {
+        0 => gen_block(g, o, n),
+        1 => {
+            let children = (0..1 + o.pick(3))
+                .map(|_| gen_shape(g, o, depth - 1, n))
+                .collect();
+            *n += 1;
+            g.seq(format!("n{n}"), children)
+        }
+        2 => {
+            let t = gen_shape(g, o, depth - 1, n);
+            let e = gen_shape(g, o, depth - 1, n);
+            *n += 1;
+            g.branch(format!("n{n}"), t, e)
+        }
+        _ => {
+            let body = gen_shape(g, o, depth - 1, n);
+            let lo = 1 + o.pick(2);
+            let hi = (lo + o.pick(2)).min(2);
+            *n += 1;
+            let bound = if lo >= hi {
+                LoopBound::Exact(lo)
+            } else {
+                LoopBound::Range(lo, hi)
+            };
+            g.bounded_loop(format!("n{n}"), bound, body)
+        }
+    }
+}
+
+/// Deterministically grows a random bounded task graph from `seed`.
+fn random_graph(seed: u64) -> TaskGraph {
+    let mut g = TaskGraph::new(format!("generated-{seed}"));
+    let mut o = PathOracle::new(seed);
+    let mut n = 0;
+    let root = gen_shape(&mut g, &mut o, 2, &mut n);
+    g.set_root(root);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Static WCEC upper-bounds simulated consumption on every explored
+    /// path: lower a handful of oracle-chosen paths per graph, run each
+    /// through the worst-case plant, and check the ledger's delivered
+    /// energy against the certificate's `hi` endpoint — allowing only the
+    /// grid-quantization slack of the integrator (one `dt` of current per
+    /// profile segment).
+    #[test]
+    fn certificates_dominate_the_plant(graph_seed in 0u64..1_000_000, seed in 0u64..1024) {
+        let m = model();
+        let graph = random_graph(graph_seed);
+        let cert = match analyze(&graph).expect("generated graphs are structurally valid") {
+            WcecVerdict::Certified(c) => c,
+            WcecVerdict::Unknown(b) => {
+                return Err(proptest::TestCaseError::Fail(format!(
+                    "bounded graph failed to certify: {b}"
+                )));
+            }
+        };
+        let cfg = RunConfig::coarse().without_trace();
+        for k in 0..3u64 {
+            let mut oracle = PathOracle::new(seed.wrapping_mul(3).wrapping_add(k));
+            let path = lower_path(&graph, m.v_out(), &mut oracle)
+                .expect("bounded graphs always lower");
+            prop_assert!(path.nominal_mj <= cert.energy_mj_hi() + 1e-9);
+            prop_assert!(path.nominal_ms * 1e-3 <= cert.time_s.1 + 1e-9);
+
+            let mut sys = plant_from_model(&m);
+            sys.set_buffer_voltage(m.v_high());
+            sys.force_output_enabled();
+            let before = sys.ledger().delivered;
+            let out = sys.run_profile(&path.profile, cfg);
+            prop_assert!(
+                out.brownout.is_none() && !out.collapsed,
+                "generated path browned out — totals outgrew the buffer sizing"
+            );
+            let delivered_mj = (sys.ledger().delivered - before).get() * 1e3;
+            // Left-Riemann stepping can credit each constant hold with up
+            // to one extra dt of its own current.
+            let slack_mj: f64 = path
+                .profile
+                .segments()
+                .iter()
+                .map(|s| s.current_at(Seconds::ZERO).get() * m.v_out().get() * cfg.dt.get() * 1e3)
+                .sum();
+            prop_assert!(
+                delivered_mj <= cert.energy_mj_hi() + slack_mj + 1e-9,
+                "plant delivered {delivered_mj} mJ > certified hi {} mJ (+ {slack_mj} mJ slack) \
+                 on path seed {seed}/{k}",
+                cert.energy_mj_hi(),
+            );
+        }
+    }
+}
+
+/// All three Table III workload models earn finite certificates, and the
+/// model-derived worst-case dip is strictly positive.
+#[test]
+fn table3_workloads_all_certify() {
+    let m = model();
+    for graph in workloads::table3(m.v_out()) {
+        let cert = match analyze(&graph).unwrap() {
+            WcecVerdict::Certified(c) => c,
+            WcecVerdict::Unknown(b) => panic!("{}: {b}", graph.name),
+        };
+        assert!(
+            cert.energy_mj_hi().is_finite() && cert.energy_mj_hi() > 0.0,
+            "{}: {:?}",
+            graph.name,
+            cert
+        );
+        assert!(cert.energy_mj_lo() <= cert.energy_mj_hi());
+        assert!(cert.time_s.1.is_finite() && cert.time_s.1 > 0.0);
+        assert!(cert.v_delta_at(culpeo_wcec::esr_max_ohms(&m)) > 0.0);
+        assert!(cert.paths >= 1);
+    }
+}
+
+/// The acceptance scenario: declared figures prove, certificates reject —
+/// and the rejection carries a replayable brownout witness.
+#[test]
+fn admission_rejects_an_under_declared_plan_that_declared_verification_proves() {
+    let m = model();
+    let plan = culpeo_harness::wcec::under_declared_plan();
+    let cfg = VerifyConfig::default();
+
+    // Leg 1: on its declared (E, V_δ) figures the plan is a theorem.
+    let declared = verify_with_model(&m, &plan, &cfg);
+    assert_eq!(declared.verdict.tag(), "proved", "{:?}", declared.verdict);
+
+    // Leg 2: charging certificates instead, the admission test rejects.
+    let certs = certificates_for_plan(&plan, &m);
+    assert_eq!(certs.len(), 1, "one certified task (mnist) in the plan");
+    let report = WcecAdmission::default().admit(&m, &plan, &certs);
+    assert!(!report.admitted(), "{report:?}");
+    assert!(report.demand_mj > report.credit_mj);
+    assert!(report.failing_launch.is_some());
+    assert_eq!(report.certified_launches, plan.launches.len());
+
+    // Leg 3: the rejection is physically justified — substituting the
+    // certificates refutes the plan, and the counterexample browns the
+    // plant out when replayed under the plan's own declared harvest.
+    let certified = verify_certified(&m, &plan, &certs, &cfg);
+    let Verdict::Refuted(cex) = &certified.verdict else {
+        panic!(
+            "expected certificate-substituted refutation, got {:?}",
+            certified.verdict
+        );
+    };
+    let mut sys = plant_from_model(&m);
+    sys.set_harvester(Harvester::ConstantPower(Watts::from_milli(
+        plan.recharge_power_mw,
+    )));
+    let replay = replay_on(&mut sys, &m, &cex.prefix, cex.v_start);
+    let hit = replay
+        .brownout_launch
+        .expect("witness must reproduce on the plant");
+    assert!(
+        hit <= cex.failing_launch,
+        "browned out at launch {hit} but the verifier blamed {}",
+        cex.failing_launch
+    );
+}
+
+/// The oracle's decisions are total: even a degenerate single-block graph
+/// lowers, simulates, and stays inside its certificate.
+#[test]
+fn degenerate_single_block_graph_round_trips() {
+    let m = model();
+    let mut g = TaskGraph::new("single");
+    g.block("only", vec![OpCost::exact("op", 0.5, 5.0, 10.0)]);
+    let WcecVerdict::Certified(cert) = analyze(&g).unwrap() else {
+        panic!("single block must certify");
+    };
+    let path = lower_path(&g, m.v_out(), &mut PathOracle::new(0)).unwrap();
+    assert!((path.nominal_mj - 0.5).abs() < 1e-9);
+    assert!(path.nominal_mj <= cert.energy_mj_hi() + 1e-12);
+    let mut sys = plant_from_model(&m);
+    sys.set_buffer_voltage(m.v_high());
+    sys.force_output_enabled();
+    let out = sys.run_profile(&path.profile, RunConfig::coarse().without_trace());
+    assert!(out.brownout.is_none() && !out.collapsed);
+}
